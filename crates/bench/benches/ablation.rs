@@ -1,0 +1,98 @@
+//! Ablation benches: design choices called out in DESIGN.md.
+//!
+//! * transformation on/off under the same scheduler (runtime cost of the
+//!   barrier bookkeeping and the simulated makespans);
+//! * scheduler-policy sensitivity of the simulator;
+//! * exact solver with and without its dominance memo / incumbent seeding
+//!   (via configuration knobs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetrta_core::transform;
+use hetrta_exact::{solve, SolverConfig};
+use hetrta_gen::series::BatchSpec;
+use hetrta_gen::NfjParams;
+use hetrta_sim::policy::{BreadthFirst, CriticalPathFirst, DepthFirst, Policy, RandomTieBreak};
+use hetrta_sim::{simulate, Platform};
+use std::hint::black_box;
+
+fn bench_transformation_ablation(c: &mut Criterion) {
+    let spec = BatchSpec::new(NfjParams::large_tasks().with_node_range(100, 250), 1, 1);
+    let task = spec.task(0, 0.25).expect("generation succeeds");
+    let t = transform(&task).expect("transform succeeds");
+    let platform = Platform::with_accelerator(4);
+
+    let mut group = c.benchmark_group("ablation/transformation");
+    group.bench_function("simulate_original", |b| {
+        b.iter(|| {
+            black_box(
+                simulate(task.dag(), Some(task.offloaded()), platform, &mut BreadthFirst::new())
+                    .expect("simulate"),
+            )
+        });
+    });
+    group.bench_function("simulate_transformed", |b| {
+        b.iter(|| {
+            black_box(
+                simulate(
+                    t.transformed(),
+                    Some(task.offloaded()),
+                    platform,
+                    &mut BreadthFirst::new(),
+                )
+                .expect("simulate"),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_policy_sensitivity(c: &mut Criterion) {
+    let spec = BatchSpec::new(NfjParams::large_tasks().with_node_range(100, 250), 1, 2);
+    let task = spec.task(0, 0.25).expect("generation succeeds");
+    let platform = Platform::with_accelerator(4);
+    let mut group = c.benchmark_group("ablation/policy");
+    type PolicyFactory = Box<dyn Fn() -> Box<dyn Policy>>;
+    let policies: Vec<(&str, PolicyFactory)> = vec![
+        ("breadth_first", Box::new(|| Box::new(BreadthFirst::new()))),
+        ("depth_first", Box::new(|| Box::new(DepthFirst::new()))),
+        ("critical_path_first", Box::new(|| Box::new(CriticalPathFirst::new()))),
+        ("random", Box::new(|| Box::new(RandomTieBreak::new(3)))),
+    ];
+    for (name, make) in policies {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = make();
+                black_box(
+                    simulate(task.dag(), Some(task.offloaded()), platform, p.as_mut())
+                        .expect("simulate"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_memo_ablation(c: &mut Criterion) {
+    let spec = BatchSpec::new(NfjParams::small_tasks().with_node_range(14, 22), 1, 3);
+    let task = spec.task(0, 0.2).expect("generation succeeds");
+    let mut group = c.benchmark_group("ablation/solver_memo");
+    for (label, memo) in [("with_memo", 64usize), ("no_memo", 0)] {
+        let cfg = SolverConfig { max_memo_per_mask: memo, ..SolverConfig::default() };
+        group.bench_with_input(BenchmarkId::new("m2", label), &cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(
+                    solve(task.dag(), Some(task.offloaded()), 2, cfg).expect("solver runs"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transformation_ablation,
+    bench_policy_sensitivity,
+    bench_solver_memo_ablation
+);
+criterion_main!(benches);

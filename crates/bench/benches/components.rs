@@ -1,0 +1,143 @@
+//! Component micro-benchmarks: generator, graph algorithms,
+//! transformation, RTA, simulator and exact solver in isolation.
+//!
+//! These are the ablation/performance benches backing the claim that the
+//! analysis is cheap (polynomial) while the exact oracle is not.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetrta_core::{r_het, r_hom_dag, transform};
+use hetrta_dag::algo::{CriticalPath, Reachability};
+use hetrta_exact::{list_schedule_cp_first, solve, SolverConfig};
+use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+use hetrta_gen::{generate_nfj, NfjParams};
+use hetrta_sim::policy::{BreadthFirst, CriticalPathFirst};
+use hetrta_sim::{simulate, Platform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn task_of(n_lo: usize, n_hi: usize, seed: u64) -> hetrta_dag::HeteroDagTask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = generate_nfj(&NfjParams::large_tasks().with_node_range(n_lo, n_hi), &mut rng)
+        .expect("generation succeeds");
+    make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::VolumeFraction(0.2), &mut rng)
+        .expect("offload succeeds")
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components/generate");
+    for (label, lo, hi) in [("n100_250", 100, 250), ("n250_400", 250, 400)] {
+        group.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                black_box(
+                    generate_nfj(&NfjParams::large_tasks().with_node_range(lo, hi), &mut rng)
+                        .expect("generation succeeds"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_algorithms(c: &mut Criterion) {
+    let task = task_of(250, 400, 11);
+    let dag = task.dag();
+    let mut group = c.benchmark_group("components/graph");
+    group.bench_function("critical_path_n400", |b| {
+        b.iter(|| black_box(CriticalPath::of(dag).length()));
+    });
+    group.bench_function("reachability_n400", |b| {
+        b.iter(|| black_box(Reachability::of(dag).expect("acyclic").node_count()));
+    });
+    group.finish();
+}
+
+fn bench_transform_and_rta(c: &mut Criterion) {
+    let task = task_of(250, 400, 13);
+    let mut group = c.benchmark_group("components/analysis");
+    group.bench_function("transform_n400", |b| {
+        b.iter(|| black_box(transform(&task).expect("transform succeeds")));
+    });
+    let t = transform(&task).expect("transform succeeds");
+    group.bench_function("r_hom_n400", |b| {
+        b.iter(|| black_box(r_hom_dag(task.dag(), 8).expect("m > 0")));
+    });
+    group.bench_function("r_het_n400", |b| {
+        b.iter(|| black_box(r_het(&t, 8).expect("m > 0")));
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let task = task_of(250, 400, 17);
+    let mut group = c.benchmark_group("components/simulate");
+    for m in [2usize, 16] {
+        group.bench_with_input(BenchmarkId::new("breadth_first", m), &m, |b, &m| {
+            b.iter(|| {
+                black_box(
+                    simulate(
+                        task.dag(),
+                        Some(task.offloaded()),
+                        Platform::with_accelerator(m),
+                        &mut BreadthFirst::new(),
+                    )
+                    .expect("simulate"),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("critical_path_first", m), &m, |b, &m| {
+            b.iter(|| {
+                black_box(
+                    simulate(
+                        task.dag(),
+                        Some(task.offloaded()),
+                        Platform::with_accelerator(m),
+                        &mut CriticalPathFirst::new(),
+                    )
+                    .expect("simulate"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(19);
+    let dag = generate_nfj(&NfjParams::small_tasks().with_node_range(10, 18), &mut rng)
+        .expect("generation succeeds");
+    let task =
+        make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::VolumeFraction(0.2), &mut rng)
+            .expect("offload succeeds");
+    let mut group = c.benchmark_group("components/exact");
+    group.bench_function("list_schedule_n18", |b| {
+        b.iter(|| {
+            black_box(
+                list_schedule_cp_first(task.dag(), Some(task.offloaded()), 2)
+                    .expect("heuristic runs"),
+            )
+        });
+    });
+    group.bench_function("branch_and_bound_n18", |b| {
+        b.iter(|| {
+            black_box(
+                solve(task.dag(), Some(task.offloaded()), 2, &SolverConfig::default())
+                    .expect("solver runs"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generator,
+    bench_graph_algorithms,
+    bench_transform_and_rta,
+    bench_simulator,
+    bench_exact
+);
+criterion_main!(benches);

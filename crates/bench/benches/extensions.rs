@@ -1,0 +1,99 @@
+//! Criterion benchmarks of the extension crates: runtime scaling of the
+//! set-level schedulability tests and the sporadic task-set simulator.
+//!
+//! These are *analysis cost* benchmarks (how expensive is the tooling),
+//! complementing the accuracy experiments of the `acceptance` and
+//! `baselines` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetrta_dag::Ticks;
+use hetrta_sched::model::{AnalysisModel, DeviceModel};
+use hetrta_sched::taskset::{generate_task_set, sort_deadline_monotonic, TaskSetParams};
+use hetrta_sched::{gedf_test, gfp_test};
+use hetrta_sim::sporadic::{simulate_sporadic, Discipline, SporadicConfig};
+use hetrta_sim::Platform;
+use hetrta_suspend::BaselineComparison;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const HET: AnalysisModel = AnalysisModel::Heterogeneous(DeviceModel::DedicatedPerTask);
+
+fn taskset(n: usize, seed: u64) -> Vec<hetrta_dag::HeteroDagTask> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = TaskSetParams::small(n, 0.25 * n as f64).with_offload_fraction(0.15, 0.4);
+    let mut set = generate_task_set(&params, &mut rng).expect("generation succeeds");
+    sort_deadline_monotonic(&mut set);
+    set
+}
+
+fn bench_schedulability_tests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_tests");
+    for &n in &[2usize, 4, 8] {
+        let set = taskset(n, 7);
+        group.bench_with_input(BenchmarkId::new("gfp_het", n), &set, |b, s| {
+            b.iter(|| gfp_test(s, 8, HET).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("gfp_hom", n), &set, |b, s| {
+            b.iter(|| gfp_test(s, 8, AnalysisModel::Homogeneous).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("gedf_het", n), &set, |b, s| {
+            b.iter(|| gedf_test(s, 8, HET).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_sporadic_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sporadic_sim");
+    group.sample_size(20);
+    for &n in &[2usize, 4] {
+        let set = taskset(n, 13);
+        let horizon = Ticks::new(set.iter().map(|t| t.period().get()).max().unwrap() * 3);
+        for (name, disc) in [
+            ("fp", Discipline::FixedPriority),
+            ("edf", Discipline::EarliestDeadlineFirst),
+        ] {
+            let config = SporadicConfig::new(Platform::new(8, n), horizon).discipline(disc);
+            group.bench_with_input(BenchmarkId::new(name, n), &set, |b, s| {
+                b.iter(|| simulate_sporadic(s, &config).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_baseline_comparison(c: &mut Criterion) {
+    let set = taskset(1, 21);
+    c.bench_function("suspend_baseline_comparison", |b| {
+        b.iter(|| BaselineComparison::compute(&set[0], 8).unwrap())
+    });
+}
+
+fn bench_conditional_bounds(c: &mut Criterion) {
+    use hetrta_cond::{generate_cond, r_cond, r_cond_exact, CondGenParams};
+
+    let mut group = c.benchmark_group("cond_bounds");
+    let mut rng = StdRng::seed_from_u64(31);
+    // Pick expressions with a fixed realization budget so the exact
+    // enumeration stays comparable across runs.
+    let exprs: Vec<_> = std::iter::from_fn(|| generate_cond(&CondGenParams::small(), &mut rng).ok())
+        .filter(|e| (8..=64).contains(&e.realization_count()))
+        .take(4)
+        .collect();
+    group.bench_function("dp", |b| {
+        b.iter(|| exprs.iter().map(|e| r_cond(e, 8).unwrap()).collect::<Vec<_>>())
+    });
+    group.bench_function("exact_enumeration", |b| {
+        b.iter(|| exprs.iter().map(|e| r_cond_exact(e, 8, 128).unwrap()).collect::<Vec<_>>())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedulability_tests,
+    bench_sporadic_simulation,
+    bench_baseline_comparison,
+    bench_conditional_bounds
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for the Figure 6 pipeline (transformation impact on
+//! average simulated performance).
+//!
+//! Measures the per-task cost of the full Figure 6 inner loop
+//! (generate → transform → simulate τ and τ') and runs the scaled-down
+//! experiment once per sample to keep `cargo bench` fast; the `fig6`
+//! binary regenerates the full figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetrta_bench::experiments::fig6;
+use hetrta_core::transform;
+use hetrta_gen::series::BatchSpec;
+use hetrta_gen::NfjParams;
+use hetrta_sim::policy::BreadthFirst;
+use hetrta_sim::{simulate, Platform};
+use std::hint::black_box;
+
+fn bench_inner_loop(c: &mut Criterion) {
+    let spec = BatchSpec::new(NfjParams::large_tasks().with_node_range(100, 250), 1, 42);
+    let mut group = c.benchmark_group("fig6/per_task");
+    for m in [2usize, 16] {
+        group.bench_with_input(BenchmarkId::new("simulate_both", m), &m, |b, &m| {
+            b.iter(|| {
+                let task = spec.task(0, 0.2).expect("generation succeeds");
+                let t = transform(&task).expect("transform succeeds");
+                let platform = Platform::with_accelerator(m);
+                let orig = simulate(
+                    task.dag(),
+                    Some(task.offloaded()),
+                    platform,
+                    &mut BreadthFirst::new(),
+                )
+                .expect("simulate");
+                let trans = simulate(
+                    t.transformed(),
+                    Some(task.offloaded()),
+                    platform,
+                    &mut BreadthFirst::new(),
+                )
+                .expect("simulate");
+                black_box((orig.makespan(), trans.makespan()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_quick_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/experiment");
+    group.sample_size(10);
+    group.bench_function("quick_config", |b| {
+        b.iter(|| black_box(fig6::run(&fig6::Config::quick())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inner_loop, bench_quick_experiment);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the Figure 7 pipeline (exact-oracle accuracy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetrta_bench::experiments::fig7;
+use hetrta_exact::{solve, SolverConfig};
+use hetrta_gen::series::BatchSpec;
+use hetrta_gen::NfjParams;
+use std::hint::black_box;
+
+fn bench_exact_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/exact_solver");
+    for (label, lo, hi) in [("n3_20", 3usize, 20usize), ("n20_40", 20, 40)] {
+        let spec = BatchSpec::new(NfjParams::small_tasks().with_node_range(lo, hi), 1, 7);
+        let task = spec.task(0, 0.2).expect("generation succeeds");
+        group.bench_with_input(BenchmarkId::new("solve_m2", label), &task, |b, task| {
+            b.iter(|| {
+                black_box(
+                    solve(task.dag(), Some(task.offloaded()), 2, &SolverConfig::default())
+                        .expect("solver runs"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_quick_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7/experiment");
+    group.sample_size(10);
+    group.bench_function("quick_config", |b| {
+        b.iter(|| black_box(fig7::run(&fig7::Config::quick())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_solver, bench_quick_experiment);
+criterion_main!(benches);

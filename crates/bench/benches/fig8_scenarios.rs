@@ -1,0 +1,31 @@
+//! Criterion bench for the Figure 8 pipeline (scenario classification).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetrta_bench::experiments::fig8;
+use hetrta_core::{r_het, transform};
+use hetrta_gen::series::BatchSpec;
+use hetrta_gen::NfjParams;
+use std::hint::black_box;
+
+fn bench_classification(c: &mut Criterion) {
+    let spec = BatchSpec::new(NfjParams::large_tasks().with_node_range(100, 250), 1, 99);
+    let task = spec.task(0, 0.15).expect("generation succeeds");
+    c.bench_function("fig8/transform_and_classify", |b| {
+        b.iter(|| {
+            let t = transform(&task).expect("transform succeeds");
+            black_box(r_het(&t, 8).expect("m > 0").scenario())
+        });
+    });
+}
+
+fn bench_quick_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/experiment");
+    group.sample_size(10);
+    group.bench_function("quick_config", |b| {
+        b.iter(|| black_box(fig8::run(&fig8::Config::quick())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classification, bench_quick_experiment);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for the Figure 9 pipeline (`R_hom` vs `R_het`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetrta_bench::experiments::fig9;
+use hetrta_core::HeterogeneousAnalysis;
+use hetrta_gen::series::BatchSpec;
+use hetrta_gen::NfjParams;
+use std::hint::black_box;
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let spec = BatchSpec::new(NfjParams::large_tasks().with_node_range(100, 250), 1, 5);
+    let task = spec.task(0, 0.25).expect("generation succeeds");
+    let mut group = c.benchmark_group("fig9/analysis");
+    for m in [2u64, 16] {
+        group.bench_with_input(BenchmarkId::new("run", m), &m, |b, &m| {
+            b.iter(|| black_box(HeterogeneousAnalysis::run(&task, m).expect("analysis runs")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_quick_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9/experiment");
+    group.sample_size(10);
+    group.bench_function("quick_config", |b| {
+        b.iter(|| black_box(fig9::run(&fig9::Config::quick())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_analysis, bench_quick_experiment);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Acceptance-ratio experiment (extension): global FP / EDF / federated
+//! schedulability of random heterogeneous task sets, homogeneous vs.
+//! heterogeneous analysis, swept over normalized utilization.
+//!
+//! ```text
+//! cargo run -p hetrta-bench --release --bin acceptance [-- --quick]
+//! ```
+
+use hetrta_bench::runner::parallel_map;
+use hetrta_bench::table::{pct, Table};
+use hetrta_sched::acceptance::{acceptance_sweep, AcceptanceConfig, TestKind};
+use hetrta_sched::taskset::TaskSetParams;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sets, cores_list) = if quick { (12, vec![4u64]) } else { (100, vec![2u64, 4, 8, 16]) };
+
+    for cores in cores_list {
+        let config = AcceptanceConfig {
+            cores,
+            n_tasks: 4,
+            sets_per_point: sets,
+            normalized_utils: (1..=9).map(|i| i as f64 / 10.0).collect(),
+            template: TaskSetParams::small(4, 1.0).with_offload_fraction(0.2, 0.45),
+            seed: 0xDAC_2018 ^ cores,
+        };
+        // Each utilization point is independent: fan out across threads.
+        let per_point: Vec<AcceptanceConfig> = config
+            .normalized_utils
+            .iter()
+            .map(|&u| AcceptanceConfig { normalized_utils: vec![u], ..config.clone() })
+            .collect();
+        let points: Vec<_> = parallel_map(per_point, |c| {
+            acceptance_sweep(&c).expect("sweep succeeds").remove(0)
+        });
+
+        println!("\n== acceptance ratios, m = {cores}, {sets} sets/point, offload 20-45% ==");
+        let mut table = Table::new(
+            std::iter::once("U/m".to_string())
+                .chain(TestKind::ALL.iter().map(|t| t.label().to_string()))
+                .collect(),
+        );
+        for p in &points {
+            table.row(
+                std::iter::once(format!("{:.2}", p.normalized_util))
+                    .chain(TestKind::ALL.iter().map(|&t| pct(p.ratio(t))))
+                    .collect(),
+            );
+        }
+        println!("{}", table.render());
+
+        // Breakeven summary: last utilization where each test still
+        // accepts at least half the sets.
+        for t in TestKind::ALL {
+            let breakeven = points
+                .iter()
+                .filter(|p| p.ratio(t) >= 0.5)
+                .map(|p| p.normalized_util)
+                .fold(f64::NAN, f64::max);
+            println!("  {:>9}: 50% acceptance up to U/m ≈ {breakeven:.2}", t.label());
+        }
+    }
+}

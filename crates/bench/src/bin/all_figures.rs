@@ -1,0 +1,30 @@
+//! Runs every experiment of the paper in sequence (the full evaluation).
+//!
+//! ```text
+//! cargo run -p hetrta-bench --release --bin all_figures            # paper config
+//! cargo run -p hetrta-bench --release --bin all_figures -- --quick # scaled-down
+//! ```
+
+use hetrta_bench::experiments::{fig6, fig7, fig8, fig9, paper_example};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("================ worked example (Figures 1-2) ================\n");
+    print!("{}", paper_example::report());
+
+    println!("\n================ Figure 6 ================\n");
+    let c6 = if quick { fig6::Config::quick() } else { fig6::Config::paper() };
+    print!("{}", fig6::run(&c6).render());
+
+    println!("\n================ Figure 7 ================\n");
+    let c7 = if quick { fig7::Config::quick() } else { fig7::Config::paper() };
+    print!("{}", fig7::run(&c7).render());
+
+    println!("\n================ Figure 8 ================\n");
+    let c8 = if quick { fig8::Config::quick() } else { fig8::Config::paper() };
+    print!("{}", fig8::run(&c8).render());
+
+    println!("\n================ Figure 9 ================\n");
+    let c9 = if quick { fig9::Config::quick() } else { fig9::Config::paper() };
+    print!("{}", fig9::run(&c9).render());
+}

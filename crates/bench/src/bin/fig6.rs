@@ -1,0 +1,22 @@
+//! Regenerates Figure 6 of the paper.
+//!
+//! ```text
+//! cargo run -p hetrta-bench --release --bin fig6            # full (paper) config
+//! cargo run -p hetrta-bench --release --bin fig6 -- --quick # scaled-down
+//! ```
+
+use hetrta_bench::experiments::fig6;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { fig6::Config::quick() } else { fig6::Config::paper() };
+    eprintln!(
+        "fig6: {} core counts x {} fractions x {} DAGs ({} mode)",
+        config.core_counts.len(),
+        config.fractions.len(),
+        config.tasks_per_point,
+        if quick { "quick" } else { "paper" },
+    );
+    let results = fig6::run(&config);
+    print!("{}", results.render());
+}

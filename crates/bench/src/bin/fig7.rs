@@ -1,0 +1,22 @@
+//! Regenerates Figure 7 of the paper (accuracy vs. the exact oracle).
+//!
+//! ```text
+//! cargo run -p hetrta-bench --release --bin fig7            # full (paper) config
+//! cargo run -p hetrta-bench --release --bin fig7 -- --quick # scaled-down
+//! ```
+
+use hetrta_bench::experiments::fig7;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { fig7::Config::quick() } else { fig7::Config::paper() };
+    eprintln!(
+        "fig7: {} panels x {} fractions x {} DAGs ({} mode)",
+        config.panels.len(),
+        config.fractions.len(),
+        config.tasks_per_point,
+        if quick { "quick" } else { "paper" },
+    );
+    let results = fig7::run(&config);
+    print!("{}", results.render());
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 8 of the paper (scenario occurrence).
+//!
+//! ```text
+//! cargo run -p hetrta-bench --release --bin fig8            # full (paper) config
+//! cargo run -p hetrta-bench --release --bin fig8 -- --quick # scaled-down
+//! ```
+
+use hetrta_bench::experiments::fig8;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { fig8::Config::quick() } else { fig8::Config::paper() };
+    eprintln!(
+        "fig8: {} core counts x {} fractions x {} DAGs ({} mode)",
+        config.core_counts.len(),
+        config.fractions.len(),
+        config.tasks_per_point,
+        if quick { "quick" } else { "paper" },
+    );
+    let results = fig8::run(&config);
+    print!("{}", results.render());
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 9 of the paper (`R_hom` vs `R_het`).
+//!
+//! ```text
+//! cargo run -p hetrta-bench --release --bin fig9            # full (paper) config
+//! cargo run -p hetrta-bench --release --bin fig9 -- --quick # scaled-down
+//! ```
+
+use hetrta_bench::experiments::fig9;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { fig9::Config::quick() } else { fig9::Config::paper() };
+    eprintln!(
+        "fig9: {} core counts x {} fractions x {} DAGs ({} mode)",
+        config.core_counts.len(),
+        config.fractions.len(),
+        config.tasks_per_point,
+        if quick { "quick" } else { "paper" },
+    );
+    let results = fig9::run(&config);
+    print!("{}", results.render());
+}

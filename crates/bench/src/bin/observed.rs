@@ -1,0 +1,123 @@
+//! Observed-response ablation (extension): the task-set-level analogue of
+//! the paper's Figure 6. Random task sets run in the sporadic simulator
+//! under global FP, once as the homogeneous deployment (offload on the
+//! host) and once as the transformed heterogeneous deployment (offload on
+//! a device); the table reports the mean observed per-job response-time
+//! improvement, swept over the offload fraction.
+//!
+//! ```text
+//! cargo run -p hetrta-bench --release --bin observed [-- --quick]
+//! ```
+
+use hetrta_bench::runner::parallel_map;
+use hetrta_bench::table::Table;
+use hetrta_core::transform;
+use hetrta_dag::{HeteroDagTask, Ticks};
+use hetrta_sched::taskset::{generate_task_set, sort_deadline_monotonic, TaskSetParams};
+use hetrta_sim::sporadic::{simulate_sporadic, SporadicConfig};
+use hetrta_sim::Platform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Point {
+    fraction_pct: u32,
+    m: usize,
+    /// Mean % change of hom mean response w.r.t. het mean response
+    /// (positive = heterogeneous deployment faster).
+    improvement: f64,
+    miss_rate_hom: f64,
+    miss_rate_het: f64,
+    sets: usize,
+}
+
+fn transformed_deployment(set: &[HeteroDagTask]) -> Vec<HeteroDagTask> {
+    set.iter()
+        .map(|t| {
+            let tr = transform(t).expect("transformable");
+            HeteroDagTask::new(tr.transformed().clone(), tr.offloaded(), t.period(), t.deadline())
+                .expect("valid task")
+        })
+        .collect()
+}
+
+fn sweep(fraction_pct: u32, m: usize, sets: usize) -> Point {
+    let f = f64::from(fraction_pct) / 100.0;
+    let mut improvement = 0.0;
+    let mut misses_hom = 0usize;
+    let mut misses_het = 0usize;
+    let mut count = 0usize;
+    for seed in 0..sets as u64 {
+        let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(fraction_pct) << 16) ^ ((m as u64) << 40));
+        let params = TaskSetParams::small(3, 0.35 * m as f64)
+            .with_offload_fraction((f - 0.02).max(0.01), f + 0.02);
+        let Ok(mut set) = generate_task_set(&params, &mut rng) else { continue };
+        sort_deadline_monotonic(&mut set);
+        let horizon = Ticks::new(set.iter().map(|t| t.period().get()).max().unwrap() * 3);
+
+        let hom_cfg =
+            SporadicConfig::new(Platform::host_only(m), horizon).offload_on_host(true);
+        let hom = simulate_sporadic(&set, &hom_cfg).expect("simulation succeeds");
+
+        let tset = transformed_deployment(&set);
+        let het_cfg = SporadicConfig::new(Platform::new(m, tset.len()), horizon);
+        let het = simulate_sporadic(&tset, &het_cfg).expect("simulation succeeds");
+
+        let mut hom_mean = 0.0;
+        let mut het_mean = 0.0;
+        let mut tasks_counted = 0usize;
+        for k in 0..set.len() {
+            if let (Some(a), Some(b)) = (hom.response_stats(k), het.response_stats(k)) {
+                hom_mean += a.mean;
+                het_mean += b.mean;
+                tasks_counted += 1;
+            }
+        }
+        if tasks_counted == 0 || het_mean == 0.0 {
+            continue;
+        }
+        improvement += (hom_mean / het_mean - 1.0) * 100.0;
+        misses_hom += usize::from(hom.any_deadline_miss());
+        misses_het += usize::from(het.any_deadline_miss());
+        count += 1;
+    }
+    Point {
+        fraction_pct,
+        m,
+        improvement: improvement / count.max(1) as f64,
+        miss_rate_hom: misses_hom as f64 / count.max(1) as f64,
+        miss_rate_het: misses_het as f64 / count.max(1) as f64,
+        sets: count,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sets = if quick { 20 } else { 100 };
+
+    let jobs: Vec<(u32, usize)> = [5u32, 10, 20, 30, 45]
+        .into_iter()
+        .flat_map(|p| [2usize, 8].map(|m| (p, m)))
+        .collect();
+    let points = parallel_map(jobs, move |(p, m)| sweep(p, m, sets));
+
+    println!("== observed mean response, hom vs transformed het deployment (global FP) ==");
+    println!("   {sets} sets/point, 3 tasks/set, total utilization 0.35·m\n");
+    let mut table = Table::new(
+        ["C_off/vol", "m", "het speedup (+%)", "miss rate hom", "miss rate het", "sets"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for p in &points {
+        table.row(vec![
+            format!("{}%", p.fraction_pct),
+            p.m.to_string(),
+            format!("{:+.1}%", p.improvement),
+            format!("{:.2}", p.miss_rate_hom),
+            format!("{:.2}", p.miss_rate_het),
+            p.sets.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("positive speedup = the transformed heterogeneous deployment responds faster");
+    println!("on average; the paper's Fig. 6 reports the single-task analogue.");
+}

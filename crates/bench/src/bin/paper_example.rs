@@ -1,0 +1,12 @@
+//! Prints the worked example of the paper (Figures 1–2) with every stated
+//! number recomputed by this reproduction.
+//!
+//! ```text
+//! cargo run -p hetrta-bench --release --bin paper_example
+//! ```
+
+use hetrta_bench::experiments::paper_example;
+
+fn main() {
+    print!("{}", paper_example::report());
+}

@@ -1,0 +1,7 @@
+//! One module per evaluation artifact of the paper.
+
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod paper_example;

@@ -1,0 +1,149 @@
+//! The worked example of the paper (§3, Figures 1–2), end to end.
+
+use hetrta_core::{r_het, r_hom_dag, transform, Scenario};
+use hetrta_dag::{DagBuilder, HeteroDagTask, NodeId, Rational, Ticks};
+use hetrta_sim::policy::{BreadthFirst, CriticalPathFirst};
+use hetrta_sim::{simulate, trace, Platform};
+
+/// All numbers the paper states about the Figure 1/2 example, computed by
+/// this reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperExample {
+    /// `vol(G)` — the paper states 18.
+    pub volume: Ticks,
+    /// `len(G)` — the paper states 8.
+    pub len_original: Ticks,
+    /// `R_hom(τ)` on `m = 2` — the paper states 13.
+    pub r_hom: Rational,
+    /// The (unsafe!) bound obtained by naively discounting `C_off/m` —
+    /// the paper states 11.
+    pub naive_reduced: Rational,
+    /// Worst observed work-conserving heterogeneous makespan of `τ` —
+    /// the paper states 12 (Figure 1(c)).
+    pub worst_case_original: Ticks,
+    /// `len(G')` after the transformation — the paper states 10.
+    pub len_transformed: Ticks,
+    /// Breadth-first makespan of the transformed task (Figure 2(b)).
+    pub makespan_transformed: Ticks,
+    /// `R_het(τ')` (Theorem 1).
+    pub r_het: Rational,
+    /// The scenario that applies to the transformed task.
+    pub scenario: Scenario,
+    /// Best observed makespan of `τ` (optimal is 8 here).
+    pub best_case_original: Ticks,
+    /// Gantt chart of the transformed task's breadth-first schedule.
+    pub gantt_transformed: String,
+}
+
+/// Builds the Figure 1(a) task (WCETs reconstructed from the paper's
+/// aggregate values — see DESIGN.md §3) and evaluates every claim made
+/// about it in §3 of the paper.
+///
+/// # Panics
+///
+/// Panics only on internal inconsistency (the construction is static).
+#[must_use]
+pub fn run() -> PaperExample {
+    let (task, _) = figure1_task();
+    let m = 2u64;
+
+    let t = transform(&task).expect("figure 1 task transforms");
+    let bound = r_het(&t, m).expect("m > 0");
+
+    let platform = Platform::with_accelerator(m as usize);
+    let worst =
+        hetrta_sim::explore_worst_case(task.dag(), Some(task.offloaded()), platform, 500)
+            .expect("simulation succeeds");
+    let best = simulate(task.dag(), Some(task.offloaded()), platform, &mut CriticalPathFirst::new())
+        .expect("simulation succeeds");
+    let transformed_run = simulate(
+        t.transformed(),
+        Some(task.offloaded()),
+        platform,
+        &mut BreadthFirst::new(),
+    )
+    .expect("simulation succeeds");
+
+    let r_hom = r_hom_dag(task.dag(), m).expect("m > 0");
+    let naive_reduced =
+        r_hom - Rational::new(task.c_off().get() as i128, m as i128);
+
+    PaperExample {
+        volume: task.volume(),
+        len_original: task.critical_path_length(),
+        r_hom,
+        naive_reduced,
+        worst_case_original: worst.makespan(),
+        len_transformed: t.len_transformed(),
+        makespan_transformed: transformed_run.makespan(),
+        r_het: bound.value(),
+        scenario: bound.scenario(),
+        best_case_original: best.makespan(),
+        gantt_transformed: trace::gantt(t.transformed(), &transformed_run, 1),
+    }
+}
+
+/// The Figure 1(a) heterogeneous task.
+#[must_use]
+pub fn figure1_task() -> (HeteroDagTask, [NodeId; 6]) {
+    let mut b = DagBuilder::new();
+    let v1 = b.node("v1", Ticks::new(1));
+    let v2 = b.node("v2", Ticks::new(4));
+    let v3 = b.node("v3", Ticks::new(6));
+    let v4 = b.node("v4", Ticks::new(2));
+    let v5 = b.node("v5", Ticks::new(1));
+    let voff = b.node("v_off", Ticks::new(4));
+    b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
+        .expect("static edges are valid");
+    let task = HeteroDagTask::new(b.build().expect("static graph is valid"), voff, Ticks::new(50), Ticks::new(50))
+        .expect("valid task");
+    (task, [v1, v2, v3, v4, v5, voff])
+}
+
+/// Renders the example as a human-readable report comparing against the
+/// paper's stated values.
+#[must_use]
+pub fn report() -> String {
+    let e = run();
+    let mut out = String::new();
+    out.push_str("Worked example of the paper (Figures 1-2), m = 2 cores + 1 accelerator\n");
+    out.push_str(&format!("  vol(G)                         = {:>5}   (paper: 18)\n", e.volume));
+    out.push_str(&format!("  len(G)                         = {:>5}   (paper: 8)\n", e.len_original));
+    out.push_str(&format!("  R_hom(tau)        [Eq. 1]      = {:>5}   (paper: 13)\n", e.r_hom));
+    out.push_str(&format!("  naive C_off/m discount (UNSAFE)= {:>5}   (paper: 11)\n", e.naive_reduced));
+    out.push_str(&format!("  worst work-conserving makespan = {:>5}   (paper: 12 > 11!)\n", e.worst_case_original));
+    out.push_str(&format!("  len(G') after transformation   = {:>5}   (paper: 10)\n", e.len_transformed));
+    out.push_str(&format!("  BFS makespan of tau'           = {:>5}   (Figure 2(b): 10)\n", e.makespan_transformed));
+    out.push_str(&format!("  R_het(tau')       [{}]         = {:>5}\n", e.scenario, e.r_het));
+    out.push_str(&format!("  best observed makespan of tau  = {:>5}\n", e.best_case_original));
+    out.push_str("\nTransformed-task schedule (breadth-first):\n");
+    out.push_str(&e.gantt_transformed);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_number_matches_the_paper() {
+        let e = run();
+        assert_eq!(e.volume, Ticks::new(18));
+        assert_eq!(e.len_original, Ticks::new(8));
+        assert_eq!(e.r_hom, Rational::from_integer(13));
+        assert_eq!(e.naive_reduced, Rational::from_integer(11));
+        assert_eq!(e.worst_case_original, Ticks::new(12));
+        assert_eq!(e.len_transformed, Ticks::new(10));
+        assert_eq!(e.makespan_transformed, Ticks::new(10));
+        assert_eq!(e.scenario, Scenario::OffNotOnCriticalPath);
+        assert_eq!(e.r_het, Rational::from_integer(12));
+        assert_eq!(e.best_case_original, Ticks::new(8));
+    }
+
+    #[test]
+    fn report_mentions_key_values() {
+        let r = report();
+        assert!(r.contains("(paper: 13)"));
+        assert!(r.contains("accel"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # hetrta-bench — experiment harness for the DAC 2018 reproduction
+//!
+//! One module per evaluation artifact of the paper:
+//!
+//! | module | reproduces | paper section |
+//! |--------|------------|---------------|
+//! | [`experiments::fig6`] | % change of avg simulated execution time of `τ` w.r.t. `τ'` | §5.2, Figure 6 |
+//! | [`experiments::fig7`] | increment of `R_hom`/`R_het` over the minimum makespan | §5.3, Figure 7 |
+//! | [`experiments::fig8`] | scenario occurrence percentages | §5.4, Figure 8 |
+//! | [`experiments::fig9`] | % change of `R_hom(τ)` w.r.t. `R_het(τ')` | §5.4, Figure 9 |
+//! | [`experiments::paper_example`] | the worked example of Figures 1–3 | §3 |
+//!
+//! Every experiment has a `Config` with two presets: `paper()` — the full
+//! parameters of the publication (100 DAGs per sweep point) — and
+//! `quick()` — a scaled-down variant for CI and Criterion benches. Results
+//! are plain structs with an ASCII [`table`] rendering; the `fig*` binaries
+//! print them (`cargo run -p hetrta-bench --release --bin fig6`).
+//!
+//! Sweep points are independent, so [`runner::parallel_map`] fans them out
+//! across OS threads (std only, no external executor).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod runner;
+pub mod stats;
+pub mod table;

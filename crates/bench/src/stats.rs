@@ -1,0 +1,104 @@
+//! Small statistics helpers for experiment aggregation.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Minimum (0 for an empty sample).
+    pub min: f64,
+    /// Maximum (0 for an empty sample).
+    pub max: f64,
+    /// Population standard deviation (0 for an empty sample).
+    pub stddev: f64,
+}
+
+/// Computes [`Summary`] statistics of `values`.
+///
+/// # Examples
+///
+/// ```
+/// let s = hetrta_bench::stats::summarize(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.mean, 2.0);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 3.0);
+/// ```
+#[must_use]
+pub fn summarize(values: &[f64]) -> Summary {
+    if values.is_empty() {
+        return Summary { count: 0, mean: 0.0, min: 0.0, max: 0.0, stddev: 0.0 };
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    Summary {
+        count: values.len(),
+        mean,
+        min: values.iter().copied().fold(f64::INFINITY, f64::min),
+        max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        stddev: var.sqrt(),
+    }
+}
+
+/// Linear interpolation of the x-position where a series crosses zero.
+///
+/// `points` are `(x, y)` pairs sorted by `x`. Returns the first crossing,
+/// interpolated between the bracketing points, or `None` if the series
+/// never changes sign.
+///
+/// Used to report the paper's crossover fractions ("`R_hom` only
+/// outperforms `R_het` when `C_off` represents less than 1.6%…").
+///
+/// # Examples
+///
+/// ```
+/// let xs = [(0.0, -2.0), (1.0, 2.0)];
+/// assert_eq!(hetrta_bench::stats::zero_crossing(&xs), Some(0.5));
+/// ```
+#[must_use]
+pub fn zero_crossing(points: &[(f64, f64)]) -> Option<f64> {
+    for w in points.windows(2) {
+        let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+        if y0 == 0.0 {
+            return Some(x0);
+        }
+        if y0 < 0.0 && y1 >= 0.0 || y0 > 0.0 && y1 <= 0.0 {
+            let t = y0 / (y0 - y1);
+            return Some(x0 + t * (x1 - x0));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_sample() {
+        let s = summarize(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn crossing_detection() {
+        assert_eq!(zero_crossing(&[(0.0, -1.0), (1.0, 1.0)]), Some(0.5));
+        assert_eq!(zero_crossing(&[(0.0, 1.0), (1.0, 2.0)]), None);
+        assert_eq!(zero_crossing(&[(0.0, 0.0), (1.0, 2.0)]), Some(0.0));
+        // descending series
+        assert_eq!(zero_crossing(&[(0.0, 3.0), (2.0, -3.0)]), Some(1.0));
+    }
+}

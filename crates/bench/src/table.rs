@@ -1,0 +1,124 @@
+//! ASCII table rendering for experiment results.
+
+/// A simple right-aligned ASCII table.
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_bench::table::Table;
+///
+/// let mut t = Table::new(vec!["m".into(), "R_hom".into()]);
+/// t.row(vec!["2".into(), "13".into()]);
+/// let text = t.render();
+/// assert!(text.contains("m"));
+/// assert!(text.contains("13"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: Vec<String>) -> Self {
+        Table { header, rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator line under the header.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals (e.g. `0.125` →
+/// `"12.50%"`).
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// Formats a signed percentage value with two decimals (e.g. `-3.4` →
+/// `"-3.40%"`).
+#[must_use]
+pub fn signed_pct(value: f64) -> String {
+    format!("{value:+.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a".into(), "long_header".into()]);
+        t.row(vec!["12345".into(), "x".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["1".into()]);
+        let s = t.render();
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.125), "12.50%");
+        assert_eq!(signed_pct(-3.4), "-3.40%");
+        assert_eq!(signed_pct(5.0), "+5.00%");
+    }
+}

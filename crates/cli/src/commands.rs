@@ -1,0 +1,640 @@
+//! Command implementations (pure: strings in, strings out, testable).
+
+use std::fmt::Write as _;
+
+use hetrta_core::federated::{minimum_cores, AnalysisKind};
+use hetrta_core::{transform, HeterogeneousAnalysis};
+use hetrta_dag::dot::{to_dot, DotOptions};
+use hetrta_dag::io::{parse_task, render_task, TaskKind};
+use hetrta_dag::{HeteroDagTask, NodeId, Ticks};
+use hetrta_exact::{lp, solve, SolverConfig};
+use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+use hetrta_gen::{generate_nfj, NfjParams};
+use hetrta_sched::model::{AnalysisModel, DeviceModel};
+use hetrta_sched::taskset::sort_deadline_monotonic;
+use hetrta_sched::{gedf_test, gfp_test, SetVerdict};
+use hetrta_sim::policy::{BreadthFirst, CriticalPathFirst, DepthFirst, Policy, RandomTieBreak};
+use hetrta_sim::{simulate, trace, Platform};
+use hetrta_suspend::BaselineComparison;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "\
+usage:
+  hetrta analyze   <task.hdag> [-m CORES[,CORES...]]
+  hetrta transform <task.hdag> [--dot]
+  hetrta simulate  <task.hdag> [-m CORES] [--policy bfs|dfs|cp|random:SEED] [--gantt]
+  hetrta solve     <task.hdag> [-m CORES] [--lp]
+  hetrta sched     <task.hdag>... [-m CORES] [--edf] [--shared-device]
+  hetrta baselines <task.hdag> [-m CORES[,CORES...]]
+  hetrta cond      <expr.hcond> [-m CORES[,CORES...]] [--offload LABEL]
+  hetrta generate  [--small|--large] [--seed N] [--fraction F]
+  hetrta example";
+
+/// Dispatches a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for any failure: unknown command,
+/// malformed flags, unreadable file, parse error, analysis error.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("analyze") => analyze(&args[1..]),
+        Some("transform") => transform_cmd(&args[1..]),
+        Some("simulate") => simulate_cmd(&args[1..]),
+        Some("solve") => solve_cmd(&args[1..]),
+        Some("sched") => sched_cmd(&args[1..]),
+        Some("baselines") => baselines_cmd(&args[1..]),
+        Some("cond") => cond_cmd(&args[1..]),
+        Some("generate") => generate_cmd(&args[1..]),
+        Some("example") => Ok(example_file()),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("missing command".into()),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn load_task(args: &[String]) -> Result<(HeteroDagTask, Option<NodeId>), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with('-') && !a.chars().all(|c| c.is_ascii_digit() || c == ','))
+        .ok_or("missing task file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let parsed = parse_task(&text).map_err(|e| format!("{path}: {e}"))?;
+    match parsed.task {
+        TaskKind::Heterogeneous(t) => {
+            let off = t.offloaded();
+            Ok((t, Some(off)))
+        }
+        TaskKind::Homogeneous(t) => {
+            // Wrap as heterogeneous with a phantom offload for the shared
+            // plumbing; commands that need v_off check `off` is Some.
+            let period = t.period();
+            let deadline = t.deadline();
+            let dag = t.into_dag();
+            let any = dag.node_ids().next().ok_or("empty graph")?;
+            let task = HeteroDagTask::new(dag, any, period, deadline)
+                .map_err(|e| e.to_string())?;
+            Ok((task, None))
+        }
+    }
+}
+
+fn core_list(args: &[String]) -> Result<Vec<u64>, String> {
+    match flag_value(args, "-m") {
+        None => Ok(vec![2, 4, 8, 16]),
+        Some(spec) => spec
+            .split(',')
+            .map(|s| s.parse::<u64>().map_err(|_| format!("invalid core count `{s}`")))
+            .collect(),
+    }
+}
+
+fn analyze(args: &[String]) -> Result<String, String> {
+    let (task, off) = load_task(args)?;
+    if off.is_none() {
+        return Err("task file has no `offload` line; nothing heterogeneous to analyze".into());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "task: n = {}, vol = {}, len = {}, C_off = {} ({:.1}% of vol), T = {}, D = {}",
+        task.dag().node_count(),
+        task.volume(),
+        task.critical_path_length(),
+        task.c_off(),
+        task.offload_fraction().to_f64() * 100.0,
+        task.period(),
+        task.deadline(),
+    );
+    let _ = writeln!(out, "\n  m  R_hom(tau)  R_het(tau')  scenario  schedulable(het)  min cores (het)");
+    for m in core_list(args)? {
+        let report = HeterogeneousAnalysis::run(&task, m).map_err(|e| e.to_string())?;
+        let min = minimum_cores(&task, AnalysisKind::Heterogeneous, 128)
+            .map_err(|e| e.to_string())?
+            .map_or("-".to_owned(), |(c, _)| c.to_string());
+        let _ = writeln!(
+            out,
+            "{m:>3}  {:>10.2}  {:>11.2}  {:>8}  {:>16}  {:>15}",
+            report.r_hom_original().to_f64(),
+            report.r_het().to_f64(),
+            report.scenario().paper_label(),
+            report.is_schedulable(),
+            min,
+        );
+    }
+    Ok(out)
+}
+
+fn transform_cmd(args: &[String]) -> Result<String, String> {
+    let (task, off) = load_task(args)?;
+    if off.is_none() {
+        return Err("task file has no `offload` line; nothing to transform".into());
+    }
+    let t = transform(&task).map_err(|e| e.to_string())?;
+    if has_flag(args, "--dot") {
+        let mut opts = DotOptions::named("transformed");
+        opts.offloaded = Some(task.offloaded());
+        opts.sync = Some(t.sync_node());
+        opts.highlight = Some(t.par_nodes().clone());
+        Ok(to_dot(t.transformed(), &opts))
+    } else {
+        let out_task = t.as_task();
+        let mut out = render_task(&out_task);
+        let _ = writeln!(
+            out,
+            "# len(G') = {}, vol(G_par) = {}, len(G_par) = {}",
+            t.len_transformed(),
+            t.vol_g_par(),
+            t.len_g_par()
+        );
+        Ok(out)
+    }
+}
+
+fn make_policy(args: &[String]) -> Result<Box<dyn Policy>, String> {
+    match flag_value(args, "--policy") {
+        None | Some("bfs") => Ok(Box::new(BreadthFirst::new())),
+        Some("dfs") => Ok(Box::new(DepthFirst::new())),
+        Some("cp") => Ok(Box::new(CriticalPathFirst::new())),
+        Some(spec) if spec.starts_with("random:") => {
+            let seed = spec["random:".len()..]
+                .parse::<u64>()
+                .map_err(|_| format!("invalid random seed in `{spec}`"))?;
+            Ok(Box::new(RandomTieBreak::new(seed)))
+        }
+        Some(other) => Err(format!("unknown policy `{other}`")),
+    }
+}
+
+fn single_core_count(args: &[String]) -> Result<u64, String> {
+    let list = core_list(args)?;
+    Ok(*list.first().unwrap_or(&2))
+}
+
+fn simulate_cmd(args: &[String]) -> Result<String, String> {
+    let (task, off) = load_task(args)?;
+    let m = single_core_count(args)? as usize;
+    let mut policy = make_policy(args)?;
+    let platform =
+        if off.is_some() { Platform::with_accelerator(m) } else { Platform::host_only(m) };
+    let result =
+        simulate(task.dag(), off, platform, policy.as_mut()).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "policy {} on {} cores{}: makespan = {}",
+        result.policy(),
+        m,
+        if off.is_some() { " + 1 accelerator" } else { "" },
+        result.makespan()
+    );
+    if has_flag(args, "--gantt") {
+        let scale = (result.makespan().get() / 72).max(1);
+        out.push_str(&trace::gantt(task.dag(), &result, scale));
+    }
+    Ok(out)
+}
+
+fn solve_cmd(args: &[String]) -> Result<String, String> {
+    let (task, off) = load_task(args)?;
+    let m = single_core_count(args)?;
+    if has_flag(args, "--lp") {
+        return lp::to_lp_format(task.dag(), off, m).map_err(|e| e.to_string());
+    }
+    let sol = solve(task.dag(), off, m, &SolverConfig::default()).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "minimum makespan on {m} cores{}: {} ({:?}, lower bound {}, {} nodes explored)",
+        if off.is_some() { " + 1 accelerator" } else { "" },
+        sol.makespan(),
+        sol.optimality(),
+        sol.lower_bound(),
+        sol.explored_nodes()
+    );
+    Ok(out)
+}
+
+/// Loads every non-flag argument as a heterogeneous task file.
+fn load_task_files(args: &[String]) -> Result<Vec<HeteroDagTask>, String> {
+    let mut tasks = Vec::new();
+    let mut skip_next = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "-m" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with('-') || a.chars().all(|c| c.is_ascii_digit() || c == ',') {
+            continue;
+        }
+        let text = std::fs::read_to_string(a).map_err(|e| format!("cannot read {a}: {e}"))?;
+        let parsed = parse_task(&text).map_err(|e| format!("{a}: {e}"))?;
+        match parsed.task {
+            TaskKind::Heterogeneous(t) => tasks.push(t),
+            TaskKind::Homogeneous(_) => {
+                return Err(format!("{a} (argument {i}): task has no `offload` line"));
+            }
+        }
+    }
+    if tasks.is_empty() {
+        return Err("no task files given".into());
+    }
+    Ok(tasks)
+}
+
+fn render_verdict(out: &mut String, label: &str, v: &SetVerdict, tasks: &[HeteroDagTask]) {
+    let _ = writeln!(out, "\n{label}: {}", if v.is_schedulable() { "SCHEDULABLE" } else { "not schedulable" });
+    for tv in &v.per_task {
+        let bound = tv
+            .response_bound
+            .as_ref()
+            .map_or("exceeds deadline".to_owned(), |r| format!("{:.2}", r.to_f64()));
+        let _ = writeln!(
+            out,
+            "  task {} (T = {}, D = {}): R = {}",
+            tv.task,
+            tasks[tv.task].period(),
+            tv.deadline,
+            bound
+        );
+    }
+}
+
+fn sched_cmd(args: &[String]) -> Result<String, String> {
+    let mut tasks = load_task_files(args)?;
+    sort_deadline_monotonic(&mut tasks);
+    let m = single_core_count(args)?;
+    let device = if has_flag(args, "--shared-device") {
+        DeviceModel::SharedFifo
+    } else {
+        DeviceModel::DedicatedPerTask
+    };
+    let het = AnalysisModel::Heterogeneous(device);
+    let mut out = format!(
+        "{} tasks (deadline-monotonic order), m = {m} host cores, device: {}\n",
+        tasks.len(),
+        match device {
+            DeviceModel::DedicatedPerTask => "dedicated per task",
+            DeviceModel::SharedFifo => "one shared FIFO device",
+        }
+    );
+    if has_flag(args, "--edf") {
+        let hom = gedf_test(&tasks, m, AnalysisModel::Homogeneous).map_err(|e| e.to_string())?;
+        let hv = gedf_test(&tasks, m, het).map_err(|e| e.to_string())?;
+        render_verdict(&mut out, "global EDF, homogeneous model", &hom, &tasks);
+        render_verdict(&mut out, "global EDF, heterogeneous model", &hv, &tasks);
+    } else {
+        let hom = gfp_test(&tasks, m, AnalysisModel::Homogeneous).map_err(|e| e.to_string())?;
+        let hv = gfp_test(&tasks, m, het).map_err(|e| e.to_string())?;
+        render_verdict(&mut out, "global FP (DM), homogeneous model", &hom, &tasks);
+        render_verdict(&mut out, "global FP (DM), heterogeneous model", &hv, &tasks);
+    }
+    Ok(out)
+}
+
+fn baselines_cmd(args: &[String]) -> Result<String, String> {
+    let (task, off) = load_task(args)?;
+    if off.is_none() {
+        return Err("task file has no `offload` line; baselines need one".into());
+    }
+    let mut out = String::from(
+        "  m   oblivious    barrier     R_het~   naive(!)   <- naive is UNSOUND (paper Fig. 1(c))\n",
+    );
+    for m in core_list(args)? {
+        let c = BaselineComparison::compute(&task, m).map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "{m:>3}  {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            c.oblivious.to_f64(),
+            c.phase_barrier.to_f64(),
+            c.r_het_tight.to_f64(),
+            c.naive_unsound.to_f64(),
+        );
+    }
+    Ok(out)
+}
+
+fn cond_cmd(args: &[String]) -> Result<String, String> {
+    let path = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| {
+            !a.starts_with('-')
+                && !a.chars().all(|c| c.is_ascii_digit() || c == ',')
+                && (*i == 0 || !matches!(args[*i - 1].as_str(), "-m" | "--offload"))
+        })
+        .map(|(_, a)| a)
+        .ok_or("missing expression file argument")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let expr = hetrta_cond::parse_expr(&text).map_err(|e| format!("{path}:{e}"))?;
+    let mut out = format!(
+        "expression: {} leaves, {} realizations, W* = {}, len* = {}\n\n",
+        expr.leaf_count(),
+        expr.realization_count(),
+        expr.worst_case_workload(),
+        expr.worst_case_length()
+    );
+    let offload = flag_value(args, "--offload");
+    let het_task = match offload {
+        Some(label) => Some(
+            hetrta_cond::HetCondTask::new(
+                expr.clone(),
+                label,
+                Ticks::new(u64::MAX / 4),
+                Ticks::new(u64::MAX / 4),
+            )
+            .map_err(|e| e.to_string())?,
+        ),
+        None => None,
+    };
+    let _ = writeln!(out, "  m  flatten-all  cond-aware  per-realization{}",
+        if het_task.is_some() { "  het (offloaded)" } else { "" });
+    for m in core_list(args)? {
+        let flat = hetrta_cond::r_parallel_flattening(&expr, m).map_err(|e| e.to_string())?;
+        let aware = hetrta_cond::r_cond(&expr, m).map_err(|e| e.to_string())?;
+        let exact = match hetrta_cond::r_cond_exact(&expr, m, 4096) {
+            Ok(v) => format!("{:.2}", v.to_f64()),
+            Err(hetrta_cond::CondError::TooManyRealizations { .. }) => "-".to_owned(),
+            Err(e) => return Err(e.to_string()),
+        };
+        let het = match &het_task {
+            Some(t) => match t.r_het_cond(m, 4096) {
+                Ok(v) => format!("  {:>14.2}", v.to_f64()),
+                Err(hetrta_cond::CondError::TooManyRealizations { .. }) => {
+                    "  -".to_owned()
+                }
+                Err(e) => return Err(e.to_string()),
+            },
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "{m:>3}  {:>11.2} {:>11.2}  {:>15}{het}",
+            flat.to_f64(),
+            aware.to_f64(),
+            exact,
+        );
+    }
+    Ok(out)
+}
+
+fn generate_cmd(args: &[String]) -> Result<String, String> {
+    let params =
+        if has_flag(args, "--large") { NfjParams::large_tasks() } else { NfjParams::small_tasks() };
+    let seed = match flag_value(args, "--seed") {
+        None => 0,
+        Some(s) => s.parse::<u64>().map_err(|_| format!("invalid seed `{s}`"))?,
+    };
+    let sizing = match flag_value(args, "--fraction") {
+        None => CoffSizing::Generated,
+        Some(f) => {
+            let f = f.parse::<f64>().map_err(|_| format!("invalid fraction `{f}`"))?;
+            CoffSizing::VolumeFraction(f)
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = generate_nfj(&params, &mut rng).map_err(|e| e.to_string())?;
+    if dag.node_count() < 3 {
+        return Err("generated graph too small for an interior offload; try another --seed".into());
+    }
+    let task = make_hetero_task(dag, OffloadSelection::AnyInterior, sizing, &mut rng)
+        .map_err(|e| e.to_string())?;
+    Ok(render_task(&task))
+}
+
+fn example_file() -> String {
+    let mut b = hetrta_dag::DagBuilder::new();
+    let v1 = b.node("v1", Ticks::new(1));
+    let v2 = b.node("v2", Ticks::new(4));
+    let v3 = b.node("v3", Ticks::new(6));
+    let v4 = b.node("v4", Ticks::new(2));
+    let v5 = b.node("v5", Ticks::new(1));
+    let voff = b.node("v_off", Ticks::new(4));
+    b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
+        .expect("static edges");
+    let task = HeteroDagTask::new(b.build().expect("static graph"), voff, Ticks::new(50), Ticks::new(50))
+        .expect("static task");
+    render_task(&task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn write_example() -> tempfile::TempPath {
+        let text = example_file();
+        let mut f = tempfile::Builder::new().suffix(".hdag").tempfile().unwrap();
+        std::io::Write::write_all(&mut f, text.as_bytes()).unwrap();
+        f.into_temp_path()
+    }
+
+    // tempfile is not a dependency; emulate with std.
+    mod tempfile {
+        use std::path::PathBuf;
+
+        pub struct TempPath(PathBuf);
+        impl TempPath {
+            pub fn to_str(&self) -> &str {
+                self.0.to_str().unwrap()
+            }
+        }
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+
+        pub struct Builder {
+            suffix: String,
+        }
+        pub struct NamedFile {
+            pub file: std::fs::File,
+            path: PathBuf,
+        }
+        impl Builder {
+            pub fn new() -> Self {
+                Builder { suffix: String::new() }
+            }
+            pub fn suffix(mut self, s: &str) -> Self {
+                self.suffix = s.to_owned();
+                self
+            }
+            pub fn tempfile(self) -> std::io::Result<NamedFile> {
+                let path = std::env::temp_dir().join(format!(
+                    "hetrta-test-{}-{}{}",
+                    std::process::id(),
+                    std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .unwrap()
+                        .as_nanos(),
+                    self.suffix
+                ));
+                Ok(NamedFile { file: std::fs::File::create(&path)?, path })
+            }
+        }
+        impl NamedFile {
+            pub fn into_temp_path(self) -> TempPath {
+                TempPath(self.path)
+            }
+        }
+        impl std::io::Write for NamedFile {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.file.write(buf)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.file.flush()
+            }
+        }
+    }
+
+    #[test]
+    fn example_parses_and_analyzes() {
+        let path = write_example();
+        let out = run(&args(&["analyze", path.to_str(), "-m", "2"])).unwrap();
+        assert!(out.contains("R_hom"));
+        assert!(out.contains("13.00"));
+        assert!(out.contains("12.00"));
+    }
+
+    #[test]
+    fn transform_outputs_task_file_and_dot() {
+        let path = write_example();
+        let out = run(&args(&["transform", path.to_str()])).unwrap();
+        assert!(out.contains("node v_sync 0"));
+        assert!(out.contains("len(G') = 10"));
+        let dot = run(&args(&["transform", path.to_str(), "--dot"])).unwrap();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("cluster_par"));
+    }
+
+    #[test]
+    fn simulate_reports_makespan() {
+        let path = write_example();
+        let out = run(&args(&["simulate", path.to_str(), "-m", "2"])).unwrap();
+        assert!(out.contains("makespan = 12"));
+        let gantt = run(&args(&["simulate", path.to_str(), "-m", "2", "--gantt"])).unwrap();
+        assert!(gantt.contains("core 0"));
+        let cp = run(&args(&["simulate", path.to_str(), "-m", "2", "--policy", "cp"])).unwrap();
+        assert!(cp.contains("makespan = 8"));
+    }
+
+    #[test]
+    fn solve_finds_optimum() {
+        let path = write_example();
+        let out = run(&args(&["solve", path.to_str(), "-m", "2"])).unwrap();
+        assert!(out.contains("minimum makespan"));
+        assert!(out.contains(": 8 "));
+        let lp = run(&args(&["solve", path.to_str(), "-m", "2", "--lp"])).unwrap();
+        assert!(lp.contains("Minimize"));
+    }
+
+    #[test]
+    fn generate_emits_parseable_file() {
+        let out = run(&args(&["generate", "--seed", "7", "--fraction", "0.3"])).unwrap();
+        let parsed = hetrta_dag::io::parse_task(&out).unwrap();
+        assert!(parsed.task.offloaded().is_some());
+    }
+
+    #[test]
+    fn example_command_roundtrips() {
+        let out = run(&args(&["example"])).unwrap();
+        let parsed = hetrta_dag::io::parse_task(&out).unwrap();
+        assert_eq!(parsed.task.dag().node_count(), 6);
+    }
+
+    #[test]
+    fn sched_reports_both_models() {
+        let path = write_example();
+        let p = path.to_str().to_owned();
+        let out = run(&args(&["sched", &p, &p, "-m", "2"])).unwrap();
+        assert!(out.contains("2 tasks"));
+        assert!(out.contains("homogeneous model"));
+        assert!(out.contains("heterogeneous model"));
+        assert!(out.contains("task 0"));
+        let edf = run(&args(&["sched", &p, "-m", "4", "--edf"])).unwrap();
+        assert!(edf.contains("global EDF"));
+        let shared = run(&args(&["sched", &p, &p, "-m", "2", "--shared-device"])).unwrap();
+        assert!(shared.contains("shared FIFO"));
+    }
+
+    #[test]
+    fn baselines_prints_all_bounds() {
+        let path = write_example();
+        let out = run(&args(&["baselines", path.to_str(), "-m", "2"])).unwrap();
+        assert!(out.contains("oblivious"));
+        // Figure 1 numbers: oblivious 13, naive 11, R_het~ 12.
+        assert!(out.contains("13.00"));
+        assert!(out.contains("11.00"));
+        assert!(out.contains("12.00"));
+    }
+
+    fn write_hcond() -> tempfile::TempPath {
+        let text = "pre(4); if { par { kernel(26) | edge(11) | flow(9) } | soft(30) }; fuse(3)";
+        let mut f = tempfile::Builder::new().suffix(".hcond").tempfile().unwrap();
+        std::io::Write::write_all(&mut f, text.as_bytes()).unwrap();
+        f.into_temp_path()
+    }
+
+    #[test]
+    fn cond_reports_bounds() {
+        let path = write_hcond();
+        let out = run(&args(&["cond", path.to_str(), "-m", "2"])).unwrap();
+        assert!(out.contains("2 realizations"));
+        assert!(out.contains("W* = 53"));
+        assert!(out.contains("cond-aware"));
+        let het = run(&args(&["cond", path.to_str(), "-m", "2", "--offload", "kernel"])).unwrap();
+        assert!(het.contains("het (offloaded)"));
+        assert!(het.contains("37.00"));
+    }
+
+    #[test]
+    fn cond_errors_are_positioned() {
+        let mut f = tempfile::Builder::new().suffix(".hcond").tempfile().unwrap();
+        std::io::Write::write_all(&mut f, b"a(1);\nb(?)").unwrap();
+        let path = f.into_temp_path();
+        let err = run(&args(&["cond", path.to_str()])).unwrap_err();
+        assert!(err.contains(":2:"), "{err}");
+        let path2 = write_hcond();
+        let err = run(&args(&["cond", path2.to_str(), "--offload", "nope"])).unwrap_err();
+        assert!(err.contains("nope"));
+    }
+
+    #[test]
+    fn sched_rejects_homogeneous_and_missing_files() {
+        assert!(run(&args(&["sched", "-m", "2"])).unwrap_err().contains("no task files"));
+        assert!(run(&args(&["baselines"])).unwrap_err().contains("missing task file"));
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(run(&args(&["frobnicate"])).unwrap_err().contains("unknown command"));
+        assert!(run(&[]).unwrap_err().contains("missing command"));
+        assert!(run(&args(&["analyze"])).unwrap_err().contains("missing task file"));
+        assert!(run(&args(&["analyze", "/nonexistent/x.hdag"])).unwrap_err().contains("cannot read"));
+        let path = write_example();
+        assert!(run(&args(&["simulate", path.to_str(), "--policy", "zigzag"]))
+            .unwrap_err()
+            .contains("unknown policy"));
+        assert!(run(&args(&["analyze", path.to_str(), "-m", "x"]))
+            .unwrap_err()
+            .contains("invalid core count"));
+    }
+}

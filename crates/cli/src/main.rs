@@ -1,0 +1,31 @@
+//! `hetrta` — command-line front end for the heterogeneous DAG RTA.
+//!
+//! ```text
+//! hetrta analyze  <task.hdag> [-m CORES[,CORES…]]
+//! hetrta transform <task.hdag> [--dot]
+//! hetrta simulate <task.hdag> [-m CORES] [--policy bfs|dfs|cp|random:SEED] [--gantt]
+//! hetrta solve    <task.hdag> [-m CORES] [--lp]
+//! hetrta generate [--small|--large] [--seed N] [--fraction F]
+//! hetrta example
+//! ```
+//!
+//! Task files use the `.hdag` text format of [`hetrta_dag::io`].
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

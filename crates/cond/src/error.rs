@@ -1,0 +1,85 @@
+//! Conditional-task errors.
+
+use core::fmt;
+
+use hetrta_dag::DagError;
+
+/// Errors of the conditional DAG task model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CondError {
+    /// A series/parallel/conditional composite has no children.
+    EmptyComposite(&'static str),
+    /// A choice vector selected a branch index that does not exist.
+    ChoiceOutOfRange {
+        /// The selected index.
+        index: usize,
+        /// Number of branches of the conditional.
+        branches: usize,
+    },
+    /// A choice vector had the wrong length for the expression.
+    MissingChoices {
+        /// Choices the expression consumes.
+        expected: usize,
+        /// Choices supplied.
+        got: usize,
+    },
+    /// The host core count `m` must be at least 1.
+    ZeroCores,
+    /// No leaf carries the requested offload label.
+    UnknownOffloadLabel(String),
+    /// Too many realizations to enumerate exactly.
+    TooManyRealizations {
+        /// Realizations in the expression (saturating).
+        count: u64,
+        /// The enumeration cap that was exceeded.
+        cap: usize,
+    },
+    /// Graph construction failed (wrapped cause).
+    Dag(DagError),
+}
+
+impl fmt::Display for CondError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CondError::EmptyComposite(kind) => write!(f, "empty {kind} composite"),
+            CondError::ChoiceOutOfRange { index, branches } => {
+                write!(f, "branch choice {index} out of range (conditional has {branches})")
+            }
+            CondError::MissingChoices { expected, got } => {
+                write!(f, "choice vector mismatch: expression consumes {expected}, got {got}")
+            }
+            CondError::ZeroCores => write!(f, "host must have at least one core"),
+            CondError::UnknownOffloadLabel(l) => write!(f, "no leaf labeled `{l}`"),
+            CondError::TooManyRealizations { count, cap } => {
+                write!(f, "{count} realizations exceed the enumeration cap {cap}")
+            }
+            CondError::Dag(e) => write!(f, "graph construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CondError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CondError::Dag(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(CondError::EmptyComposite("series").to_string(), "empty series composite");
+        assert!(CondError::ChoiceOutOfRange { index: 3, branches: 2 }.to_string().contains('3'));
+        assert!(CondError::MissingChoices { expected: 2, got: 0 }.to_string().contains("got 0"));
+        assert!(CondError::UnknownOffloadLabel("k".into()).to_string().contains('k'));
+        assert!(CondError::TooManyRealizations { count: 100, cap: 10 }
+            .to_string()
+            .contains("cap 10"));
+    }
+}

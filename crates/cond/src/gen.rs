@@ -1,0 +1,176 @@
+//! Random conditional task expressions, mirroring the paper's §5.1
+//! generator with an extra conditional-branch probability.
+//!
+//! Nodes are recursively expanded to terminal leaves, parallel sub-trees
+//! (probability `p_par`) or conditional sub-trees (probability `p_cond`)
+//! until `max_depth`; WCETs are uniform in `[c_min, c_max]` like the
+//! paper's `U[1, 100]`.
+
+use hetrta_dag::Ticks;
+use rand::Rng;
+
+use crate::expr::CondExpr;
+use crate::CondError;
+
+/// Parameters of the conditional generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CondGenParams {
+    /// Probability that an expanded node becomes a parallel sub-tree.
+    pub p_par: f64,
+    /// Probability that an expanded node becomes a conditional sub-tree.
+    pub p_cond: f64,
+    /// Maximum children of a parallel / branches of a conditional.
+    pub n_par: usize,
+    /// Maximum recursion depth.
+    pub max_depth: usize,
+    /// WCET range `[c_min, c_max]` for leaves.
+    pub c_min: u64,
+    /// Upper WCET bound (inclusive).
+    pub c_max: u64,
+}
+
+impl CondGenParams {
+    /// The paper's small-task shape with a 25 % conditional share.
+    #[must_use]
+    pub fn small() -> Self {
+        CondGenParams { p_par: 0.4, p_cond: 0.25, n_par: 4, max_depth: 3, c_min: 1, c_max: 100 }
+    }
+}
+
+/// Generates a random conditional expression.
+///
+/// The result always has at least two leaves (the root is a series of a
+/// leaf and an expansion, so sources/sinks are well-defined after
+/// [`CondExpr::expand`]).
+///
+/// # Errors
+///
+/// [`CondError::EmptyComposite`] never occurs for valid parameters;
+/// parameter errors are reported as `EmptyComposite("series")` when
+/// `n_par < 2` makes composites impossible.
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_cond::{generate_cond, CondGenParams};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let e = generate_cond(&CondGenParams::small(), &mut rng)?;
+/// e.validate()?;
+/// assert!(e.leaf_count() >= 2);
+/// # Ok::<(), hetrta_cond::CondError>(())
+/// ```
+pub fn generate_cond<R: Rng + ?Sized>(
+    params: &CondGenParams,
+    rng: &mut R,
+) -> Result<CondExpr, CondError> {
+    if params.n_par < 2 || params.c_min == 0 || params.c_min > params.c_max {
+        return Err(CondError::EmptyComposite("series"));
+    }
+    let mut counter = 0usize;
+    let body = expand(params, rng, 0, &mut counter);
+    let expr = CondExpr::series(vec![leaf(params, rng, &mut counter), body]);
+    expr.validate()?;
+    Ok(expr)
+}
+
+fn leaf<R: Rng + ?Sized>(p: &CondGenParams, rng: &mut R, counter: &mut usize) -> CondExpr {
+    *counter += 1;
+    CondExpr::Leaf {
+        label: format!("v{counter}"),
+        wcet: Ticks::new(rng.gen_range(p.c_min..=p.c_max)),
+    }
+}
+
+fn expand<R: Rng + ?Sized>(
+    p: &CondGenParams,
+    rng: &mut R,
+    depth: usize,
+    counter: &mut usize,
+) -> CondExpr {
+    if depth >= p.max_depth {
+        return leaf(p, rng, counter);
+    }
+    let roll: f64 = rng.gen();
+    if roll < p.p_par {
+        let k = rng.gen_range(2..=p.n_par);
+        CondExpr::Parallel((0..k).map(|_| branch(p, rng, depth + 1, counter)).collect())
+    } else if roll < p.p_par + p.p_cond {
+        let k = rng.gen_range(2..=p.n_par);
+        CondExpr::Conditional((0..k).map(|_| branch(p, rng, depth + 1, counter)).collect())
+    } else {
+        leaf(p, rng, counter)
+    }
+}
+
+/// A branch is a short series of expansions (1–2 elements).
+fn branch<R: Rng + ?Sized>(
+    p: &CondGenParams,
+    rng: &mut R,
+    depth: usize,
+    counter: &mut usize,
+) -> CondExpr {
+    if rng.gen_bool(0.5) {
+        expand(p, rng, depth, counter)
+    } else {
+        CondExpr::Series(vec![expand(p, rng, depth, counter), expand(p, rng, depth, counter)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_expressions_are_valid() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let e = generate_cond(&CondGenParams::small(), &mut rng).unwrap();
+            e.validate().unwrap();
+            assert!(e.leaf_count() >= 2);
+            assert!(e.realization_count() >= 1);
+            assert!(e.worst_case_length() <= e.worst_case_workload());
+        }
+    }
+
+    #[test]
+    fn generated_expressions_expand_to_valid_dags() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let e = generate_cond(&CondGenParams::small(), &mut rng).unwrap();
+            if let Some(choices) = e.enumerate_choices(64) {
+                for c in choices.iter().take(8) {
+                    let r = e.expand(c).unwrap();
+                    hetrta_dag::validate_task_model(&r.dag).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conditionals_do_appear() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut with_cond = 0;
+        for _ in 0..100 {
+            let e = generate_cond(&CondGenParams::small(), &mut rng).unwrap();
+            if e.realization_count() > 1 {
+                with_cond += 1;
+            }
+        }
+        assert!(with_cond > 20, "only {with_cond}/100 had conditionals");
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = CondGenParams::small();
+        p.n_par = 1;
+        assert!(generate_cond(&p, &mut rng).is_err());
+        let mut p = CondGenParams::small();
+        p.c_min = 0;
+        assert!(generate_cond(&p, &mut rng).is_err());
+    }
+}

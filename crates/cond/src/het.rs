@@ -1,0 +1,254 @@
+//! Heterogeneous conditional tasks: Theorem 1 across realizations.
+//!
+//! Combines the two extensions of the paper's model: a task with
+//! **conditional branches** (reference \[12\]) *and* an **offloaded**
+//! kernel. The offloaded leaf is named by label; realizations whose chosen
+//! branches contain that leaf offload it (Algorithm 1 + Theorem 1 apply),
+//! the others execute purely on the host (Eq. 1 applies). The task's bound
+//! is the maximum over realizations — exact for enumerable structures,
+//! with the conditional-aware DP bound [`r_cond`] as the
+//! always-available conservative fallback (it charges `C_off` as host
+//! work, i.e. ignores the heterogeneity benefit but never the risk).
+
+use hetrta_core::{r_het, transform, r_hom_dag};
+use hetrta_dag::{HeteroDagTask, Rational, Ticks};
+
+use crate::expr::{expand_with_offload, CondExpr};
+use crate::rta::r_cond;
+use crate::CondError;
+
+/// A conditional task with one offloadable kernel, `τ = <E, label, T, D>`.
+#[derive(Debug, Clone)]
+pub struct HetCondTask {
+    expr: CondExpr,
+    offload_label: String,
+    period: Ticks,
+    deadline: Ticks,
+}
+
+/// Per-realization analysis record.
+#[derive(Debug, Clone)]
+pub struct RealizationBound {
+    /// The conditional choices of this realization.
+    pub choices: Vec<usize>,
+    /// `true` if the realization executes (and offloads) the kernel.
+    pub offloads: bool,
+    /// The sound response-time bound of the realization: Theorem 1
+    /// (tight) when it offloads, Eq. 1 otherwise.
+    pub bound: Rational,
+}
+
+impl HetCondTask {
+    /// Creates the task, checking the offload label exists.
+    ///
+    /// # Errors
+    ///
+    /// - [`CondError::UnknownOffloadLabel`] if no leaf carries `label`;
+    /// - validation errors from the expression.
+    pub fn new(
+        expr: CondExpr,
+        label: impl Into<String>,
+        period: Ticks,
+        deadline: Ticks,
+    ) -> Result<Self, CondError> {
+        expr.validate()?;
+        let label = label.into();
+        if !has_leaf(&expr, &label) {
+            return Err(CondError::UnknownOffloadLabel(label));
+        }
+        Ok(HetCondTask { expr, offload_label: label, period, deadline })
+    }
+
+    /// The underlying expression.
+    #[must_use]
+    pub fn expr(&self) -> &CondExpr {
+        &self.expr
+    }
+
+    /// The offloaded leaf's label.
+    #[must_use]
+    pub fn offload_label(&self) -> &str {
+        &self.offload_label
+    }
+
+    /// Minimum inter-arrival time.
+    #[must_use]
+    pub fn period(&self) -> Ticks {
+        self.period
+    }
+
+    /// Constrained relative deadline.
+    #[must_use]
+    pub fn deadline(&self) -> Ticks {
+        self.deadline
+    }
+
+    /// Analyzes every realization (up to `cap`): Theorem 1 for offloading
+    /// realizations, Eq. 1 for host-only ones.
+    ///
+    /// # Errors
+    ///
+    /// - [`CondError::TooManyRealizations`] beyond `cap`;
+    /// - [`CondError::ZeroCores`] if `m == 0`;
+    /// - expansion/analysis errors.
+    pub fn analyze_realizations(
+        &self,
+        m: u64,
+        cap: usize,
+    ) -> Result<Vec<RealizationBound>, CondError> {
+        if m == 0 {
+            return Err(CondError::ZeroCores);
+        }
+        let choices = self.expr.enumerate_choices(cap).ok_or(CondError::TooManyRealizations {
+            count: self.expr.realization_count(),
+            cap,
+        })?;
+        let mut out = Vec::with_capacity(choices.len());
+        for c in choices {
+            let r = expand_with_offload(&self.expr, &c, &self.offload_label)?;
+            let (offloads, bound) = match r.offload {
+                Some(off) => {
+                    let task =
+                        HeteroDagTask::new(r.dag, off, self.period, self.deadline)
+                            .map_err(CondError::Dag)?;
+                    let t = transform(&task).map_err(analysis_err)?;
+                    (true, r_het(&t, m).map_err(analysis_err)?.tight_value())
+                }
+                None => (false, r_hom_dag(&r.dag, m).map_err(analysis_err)?),
+            };
+            out.push(RealizationBound { choices: c, offloads, bound });
+        }
+        Ok(out)
+    }
+
+    /// The heterogeneous conditional bound: `max` over realizations of
+    /// the per-realization sound bound.
+    ///
+    /// # Errors
+    ///
+    /// See [`HetCondTask::analyze_realizations`].
+    pub fn r_het_cond(&self, m: u64, cap: usize) -> Result<Rational, CondError> {
+        Ok(self
+            .analyze_realizations(m, cap)?
+            .into_iter()
+            .map(|r| r.bound)
+            .fold(Rational::ZERO, Rational::max))
+    }
+
+    /// The conservative DP fallback: the conditional-aware homogeneous
+    /// bound with `C_off` charged as host work. Works at any scale.
+    ///
+    /// # Errors
+    ///
+    /// See [`r_cond`].
+    pub fn r_hom_cond(&self, m: u64) -> Result<Rational, CondError> {
+        r_cond(&self.expr, m)
+    }
+
+    /// `true` if the task meets its deadline per the realization-exact
+    /// analysis.
+    ///
+    /// # Errors
+    ///
+    /// See [`HetCondTask::analyze_realizations`].
+    pub fn is_schedulable(&self, m: u64, cap: usize) -> Result<bool, CondError> {
+        Ok(self.r_het_cond(m, cap)? <= self.deadline.to_rational())
+    }
+}
+
+fn analysis_err(e: hetrta_core::AnalysisError) -> CondError {
+    match e {
+        hetrta_core::AnalysisError::ZeroCores => CondError::ZeroCores,
+        hetrta_core::AnalysisError::Dag(d) => CondError::Dag(d),
+        _ => CondError::ZeroCores,
+    }
+}
+
+fn has_leaf(expr: &CondExpr, label: &str) -> bool {
+    match expr {
+        CondExpr::Leaf { label: l, .. } => l == label,
+        CondExpr::Series(cs) | CondExpr::Parallel(cs) | CondExpr::Conditional(cs) => {
+            cs.iter().any(|c| has_leaf(c, label))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `pre ; if { gpu-branch: (kernel ∥ filter) | cpu-branch: soft } ; post`
+    fn vision() -> HetCondTask {
+        let expr = CondExpr::series(vec![
+            CondExpr::leaf("pre", 2),
+            CondExpr::conditional(vec![
+                CondExpr::parallel(vec![CondExpr::leaf("kernel", 12), CondExpr::leaf("filter", 5)]),
+                CondExpr::leaf("soft", 20),
+            ]),
+            CondExpr::leaf("post", 1),
+        ]);
+        HetCondTask::new(expr, "kernel", Ticks::new(60), Ticks::new(40)).unwrap()
+    }
+
+    #[test]
+    fn realizations_split_by_offload_presence() {
+        let t = vision();
+        let rs = t.analyze_realizations(2, 100).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert!(rs.iter().any(|r| r.offloads));
+        assert!(rs.iter().any(|r| !r.offloads));
+    }
+
+    #[test]
+    fn het_cond_bound_is_max_of_realizations() {
+        let t = vision();
+        let rs = t.analyze_realizations(2, 100).unwrap();
+        let max = rs.iter().map(|r| r.bound).fold(Rational::ZERO, Rational::max);
+        assert_eq!(t.r_het_cond(2, 100).unwrap(), max);
+    }
+
+    #[test]
+    fn het_cond_at_most_dp_fallback() {
+        // The fallback charges the kernel to the host, so it dominates.
+        let t = vision();
+        for m in [1u64, 2, 4, 8] {
+            let het = t.r_het_cond(m, 100).unwrap();
+            let dp = t.r_hom_cond(m).unwrap();
+            assert!(het <= dp, "m = {m}: het {het} > dp {dp}");
+        }
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let expr = CondExpr::leaf("only", 3);
+        assert!(matches!(
+            HetCondTask::new(expr, "kernel", Ticks::new(10), Ticks::new(10)),
+            Err(CondError::UnknownOffloadLabel(_))
+        ));
+    }
+
+    #[test]
+    fn schedulability_uses_deadline() {
+        let t = vision();
+        // Bound on 2 cores is well below 40.
+        assert!(t.is_schedulable(2, 100).unwrap());
+        let expr = t.expr().clone();
+        let tight = HetCondTask::new(expr, "kernel", Ticks::new(60), Ticks::new(5)).unwrap();
+        assert!(!tight.is_schedulable(2, 100).unwrap());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = vision();
+        assert_eq!(t.offload_label(), "kernel");
+        assert_eq!(t.period(), Ticks::new(60));
+        assert_eq!(t.deadline(), Ticks::new(40));
+        assert_eq!(t.expr().realization_count(), 2);
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        let t = vision();
+        assert_eq!(t.analyze_realizations(0, 10).unwrap_err(), CondError::ZeroCores);
+    }
+}

@@ -1,0 +1,57 @@
+//! # hetrta-cond — conditional DAG tasks
+//!
+//! The conditional task model of *Melani et al., "Response-Time Analysis
+//! of Conditional DAG Tasks in Multiprocessor Systems", ECRTS 2015* — the
+//! paper's reference \[12\] and the second pillar of its related work —
+//! combined with the heterogeneous offloading of the reproduced paper:
+//!
+//! * [`CondExpr`] — series-parallel expressions with **exclusive**
+//!   conditional branches; DP for worst-case workload `W*` and worst-case
+//!   critical path `len*`; expansion of any *realization* to a plain
+//!   task-model DAG ([`expr`]);
+//! * [`r_cond`] — the conditional-aware bound `len* + (W* − len*)/m`;
+//!   [`r_cond_exact`] — per-realization maximum by enumeration;
+//!   [`r_parallel_flattening`] — the naive all-branches baseline ([`rta`]);
+//! * [`HetCondTask`] — a conditional task with an offloadable kernel:
+//!   Theorem 1 on offloading realizations, Eq. 1 on host-only ones
+//!   ([`het`]);
+//! * [`generate_cond`] — random conditional expressions in the style of
+//!   the paper's §5.1 generator ([`gen`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use hetrta_cond::{CondExpr, HetCondTask};
+//! use hetrta_dag::Ticks;
+//!
+//! // pre ; if { (kernel ∥ filter) | fallback } ; post
+//! let expr = CondExpr::series(vec![
+//!     CondExpr::leaf("pre", 2),
+//!     CondExpr::conditional(vec![
+//!         CondExpr::parallel(vec![CondExpr::leaf("kernel", 12), CondExpr::leaf("filter", 5)]),
+//!         CondExpr::leaf("fallback", 20),
+//!     ]),
+//!     CondExpr::leaf("post", 1),
+//! ]);
+//! let task = HetCondTask::new(expr, "kernel", Ticks::new(60), Ticks::new(40))?;
+//! assert!(task.is_schedulable(2, 100)?);
+//! # Ok::<(), hetrta_cond::CondError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+pub mod expr;
+pub mod gen;
+pub mod het;
+pub mod rta;
+pub mod text;
+
+pub use error::CondError;
+pub use expr::{CondExpr, Realization};
+pub use gen::{generate_cond, CondGenParams};
+pub use het::{HetCondTask, RealizationBound};
+pub use rta::{r_cond, r_cond_exact, r_parallel_flattening};
+pub use text::{parse_expr, render_expr};

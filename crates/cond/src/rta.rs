@@ -1,0 +1,215 @@
+//! Response-time bounds for conditional DAG tasks.
+//!
+//! The conditional-aware bound of Melani et al. (ECRTS 2015, the paper's
+//! reference \[12\]) generalizes Eq. 1 with the two DP quantities of
+//! [`CondExpr`]:
+//!
+//! ```text
+//! R_cond = len*(G) + (W*(G) − len*(G)) / m
+//! ```
+//!
+//! where `len*` is the worst-case critical path and `W*` the worst-case
+//! workload over all realizations. Soundness: for any realization `r`,
+//! `R_r = (1 − 1/m)·len_r + vol_r/m` is monotone in both `len_r ≤ len*`
+//! and `vol_r ≤ W*`.
+//!
+//! For comparison, [`r_parallel_flattening`] evaluates the *naive*
+//! over-approximation that treats conditional branches as if they all
+//! executed (conditional ⇒ parallel): also sound, but it inflates the
+//! workload by the non-taken branches — the ablation showing why
+//! conditional-aware analysis matters.
+
+use hetrta_dag::{Rational, Ticks};
+
+use crate::expr::CondExpr;
+use crate::CondError;
+
+/// The conditional-aware bound `len* + (W* − len*)/m`.
+///
+/// # Errors
+///
+/// [`CondError::ZeroCores`] if `m == 0`; validation errors from the
+/// expression.
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_cond::{r_cond, CondExpr};
+/// use hetrta_dag::Rational;
+///
+/// // a(2) ; (b(5) ∥ if { c1(3) | c2(9) }) ; d(1)
+/// let e = CondExpr::series(vec![
+///     CondExpr::leaf("a", 2),
+///     CondExpr::parallel(vec![
+///         CondExpr::leaf("b", 5),
+///         CondExpr::conditional(vec![CondExpr::leaf("c1", 3), CondExpr::leaf("c2", 9)]),
+///     ]),
+///     CondExpr::leaf("d", 1),
+/// ]);
+/// // len* = 12, W* = 17 → 12 + 5/2 = 14.5 on two cores.
+/// assert_eq!(r_cond(&e, 2)?, Rational::new(29, 2));
+/// # Ok::<(), hetrta_cond::CondError>(())
+/// ```
+pub fn r_cond(expr: &CondExpr, m: u64) -> Result<Rational, CondError> {
+    if m == 0 {
+        return Err(CondError::ZeroCores);
+    }
+    expr.validate()?;
+    let len = expr.worst_case_length().to_rational();
+    let w = expr.worst_case_workload().to_rational();
+    Ok(len + (w - len) / Rational::from_integer(m as i128))
+}
+
+/// The naive bound that flattens conditionals into parallels (all branches
+/// charged): `len* + (W_flat − len*)/m` with `W_flat` summing every
+/// branch.
+///
+/// Sound but pessimistic; provided as the ablation baseline.
+///
+/// # Errors
+///
+/// See [`r_cond`].
+pub fn r_parallel_flattening(expr: &CondExpr, m: u64) -> Result<Rational, CondError> {
+    if m == 0 {
+        return Err(CondError::ZeroCores);
+    }
+    expr.validate()?;
+    let len = expr.worst_case_length().to_rational();
+    let w = flat_workload(expr).to_rational();
+    Ok(len + (w - len) / Rational::from_integer(m as i128))
+}
+
+/// Total workload if every conditional branch executed.
+fn flat_workload(expr: &CondExpr) -> Ticks {
+    match expr {
+        CondExpr::Leaf { wcet, .. } => *wcet,
+        CondExpr::Series(cs) | CondExpr::Parallel(cs) | CondExpr::Conditional(cs) => {
+            cs.iter().map(flat_workload).fold(Ticks::ZERO, |a, b| a + b)
+        }
+    }
+}
+
+/// The exact per-realization maximum of Eq. 1, `max_r R_hom(G_r)`, by
+/// enumeration (up to `cap` realizations).
+///
+/// Tighter than [`r_cond`] when the workload-maximizing and
+/// length-maximizing realizations differ; exponential in the number of
+/// conditionals, hence the cap.
+///
+/// # Errors
+///
+/// - [`CondError::TooManyRealizations`] beyond `cap`;
+/// - [`CondError::ZeroCores`] if `m == 0`.
+pub fn r_cond_exact(expr: &CondExpr, m: u64, cap: usize) -> Result<Rational, CondError> {
+    if m == 0 {
+        return Err(CondError::ZeroCores);
+    }
+    expr.validate()?;
+    let choices = expr.enumerate_choices(cap).ok_or(CondError::TooManyRealizations {
+        count: expr.realization_count(),
+        cap,
+    })?;
+    let mut worst = Rational::ZERO;
+    for c in &choices {
+        let r = expr.expand(c)?;
+        let bound = hetrta_core::r_hom_dag(&r.dag, m)
+            .map_err(|e| match e {
+                hetrta_core::AnalysisError::ZeroCores => CondError::ZeroCores,
+                hetrta_core::AnalysisError::Dag(d) => CondError::Dag(d),
+                _ => CondError::ZeroCores,
+            })?;
+        worst = worst.max(bound);
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CondExpr {
+        CondExpr::series(vec![
+            CondExpr::leaf("a", 2),
+            CondExpr::parallel(vec![
+                CondExpr::leaf("b", 5),
+                CondExpr::conditional(vec![CondExpr::leaf("c1", 3), CondExpr::leaf("c2", 9)]),
+            ]),
+            CondExpr::leaf("d", 1),
+        ])
+    }
+
+    #[test]
+    fn cond_bound_beats_flattening() {
+        let e = sample();
+        for m in [1u64, 2, 4, 8] {
+            let aware = r_cond(&e, m).unwrap();
+            let flat = r_parallel_flattening(&e, m).unwrap();
+            assert!(aware <= flat, "m = {m}: {aware} > {flat}");
+        }
+        // Concretely on m = 2: aware 14.5 vs flat (12 + (20−12)/2) = 16.
+        assert_eq!(r_parallel_flattening(&e, 2).unwrap(), Rational::from_integer(16));
+    }
+
+    #[test]
+    fn exact_enumeration_is_at_least_as_tight_as_dp() {
+        let e = sample();
+        for m in [1u64, 2, 4] {
+            let exact = r_cond_exact(&e, m, 100).unwrap();
+            let dp = r_cond(&e, m).unwrap();
+            assert!(exact <= dp, "m = {m}: exact {exact} > DP {dp}");
+        }
+    }
+
+    #[test]
+    fn exact_dominates_every_realization_bound() {
+        let e = sample();
+        let exact = r_cond_exact(&e, 2, 100).unwrap();
+        for c in e.enumerate_choices(100).unwrap() {
+            let r = e.expand(&c).unwrap();
+            let per = hetrta_core::r_hom_dag(&r.dag, 2).unwrap();
+            assert!(per <= exact);
+        }
+    }
+
+    #[test]
+    fn single_realization_collapses_all_bounds() {
+        // No conditional: DP, exact and flattening all agree with Eq. 1.
+        let e = CondExpr::series(vec![
+            CondExpr::leaf("a", 2),
+            CondExpr::parallel(vec![CondExpr::leaf("x", 4), CondExpr::leaf("y", 6)]),
+        ]);
+        for m in [1u64, 2, 4] {
+            let dp = r_cond(&e, m).unwrap();
+            let exact = r_cond_exact(&e, m, 10).unwrap();
+            let flat = r_parallel_flattening(&e, m).unwrap();
+            assert_eq!(dp, exact);
+            assert_eq!(dp, flat);
+        }
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        let e = sample();
+        assert_eq!(r_cond(&e, 0).unwrap_err(), CondError::ZeroCores);
+        assert_eq!(r_parallel_flattening(&e, 0).unwrap_err(), CondError::ZeroCores);
+        assert_eq!(r_cond_exact(&e, 0, 10).unwrap_err(), CondError::ZeroCores);
+    }
+
+    #[test]
+    fn realization_cap_is_enforced() {
+        let mut branches = Vec::new();
+        for i in 0..12 {
+            branches.push(CondExpr::conditional(vec![
+                CondExpr::leaf(format!("a{i}"), 1),
+                CondExpr::leaf(format!("b{i}"), 2),
+            ]));
+        }
+        let e = CondExpr::series(branches); // 2^12 realizations
+        assert!(matches!(
+            r_cond_exact(&e, 2, 100),
+            Err(CondError::TooManyRealizations { .. })
+        ));
+        // The DP bound still works instantly.
+        assert!(r_cond(&e, 2).is_ok());
+    }
+}

@@ -1,0 +1,409 @@
+//! `.hcond` — a small text format for conditional task expressions.
+//!
+//! Grammar (whitespace and newlines are insignificant; `#` starts a
+//! comment running to end of line):
+//!
+//! ```text
+//! series := term (';' term)*
+//! term   := leaf
+//!         | 'par' '{' series ('|' series)* '}'
+//!         | 'if'  '{' series ('|' series)* '}'
+//! leaf   := IDENT '(' INTEGER ')'
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! # adaptive perception stage
+//! pre(4);
+//! if { par { kernel(26) | edge(11) | flow(9) } | soft_fallback(30) };
+//! fuse(3)
+//! ```
+//!
+//! [`parse_expr`] produces a [`CondExpr`]; [`render_expr`] writes the
+//! canonical form back (round-trip stable, asserted by property tests).
+
+use core::fmt;
+
+use hetrta_dag::Ticks;
+
+use crate::expr::CondExpr;
+
+/// A parse error with 1-based line and column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    Semi,
+    Pipe,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Par,
+    If,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Pipe => write!(f, "`|`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Par => write!(f, "`par`"),
+            Tok::If => write!(f, "`if`"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Lexer<'_> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, column: self.col, message: message.into() }
+    }
+
+    fn tokens(mut self) -> Result<Vec<(Tok, usize, usize)>, ParseError> {
+        let bytes = self.src.as_bytes();
+        let mut out = Vec::new();
+        while self.pos < bytes.len() {
+            let c = bytes[self.pos] as char;
+            let (line, col) = (self.line, self.col);
+            match c {
+                ' ' | '\t' | '\r' => self.bump(1),
+                '\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.col = 1;
+                }
+                '#' => {
+                    while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                        self.bump(1);
+                    }
+                }
+                ';' => {
+                    out.push((Tok::Semi, line, col));
+                    self.bump(1);
+                }
+                '|' => {
+                    out.push((Tok::Pipe, line, col));
+                    self.bump(1);
+                }
+                '{' => {
+                    out.push((Tok::LBrace, line, col));
+                    self.bump(1);
+                }
+                '}' => {
+                    out.push((Tok::RBrace, line, col));
+                    self.bump(1);
+                }
+                '(' => {
+                    out.push((Tok::LParen, line, col));
+                    self.bump(1);
+                }
+                ')' => {
+                    out.push((Tok::RParen, line, col));
+                    self.bump(1);
+                }
+                c if c.is_ascii_digit() => {
+                    let start = self.pos;
+                    while self.pos < bytes.len() && bytes[self.pos].is_ascii_digit() {
+                        self.bump(1);
+                    }
+                    let text = &self.src[start..self.pos];
+                    let v = text
+                        .parse::<u64>()
+                        .map_err(|_| self.error(format!("integer `{text}` out of range")))?;
+                    out.push((Tok::Int(v), line, col));
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = self.pos;
+                    while self.pos < bytes.len()
+                        && (bytes[self.pos].is_ascii_alphanumeric()
+                            || bytes[self.pos] == b'_'
+                            || bytes[self.pos] == b'-')
+                    {
+                        self.bump(1);
+                    }
+                    let word = &self.src[start..self.pos];
+                    let tok = match word {
+                        "par" => Tok::Par,
+                        "if" => Tok::If,
+                        _ => Tok::Ident(word.to_owned()),
+                    };
+                    out.push((tok, line, col));
+                }
+                other => return Err(self.error(format!("unexpected character `{other}`"))),
+            }
+        }
+        Ok(out)
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+        self.col += n;
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error_at(&self, message: impl Into<String>) -> ParseError {
+        let (line, column) = self
+            .toks
+            .get(self.pos)
+            .map_or_else(|| self.toks.last().map_or((1, 1), |t| (t.1, t.2)), |t| (t.1, t.2));
+        ParseError { line, column, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.0.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == *want => Ok(()),
+            Some(t) => {
+                self.pos -= 1;
+                Err(self.error_at(format!("expected {want}, found {t}")))
+            }
+            None => Err(self.error_at(format!("expected {want}, found end of input"))),
+        }
+    }
+
+    /// series := term (';' term)*
+    fn series(&mut self) -> Result<CondExpr, ParseError> {
+        let mut terms = vec![self.term()?];
+        while self.peek() == Some(&Tok::Semi) {
+            self.next();
+            terms.push(self.term()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("non-empty") } else { CondExpr::Series(terms) })
+    }
+
+    /// term := leaf | ('par' | 'if') '{' series ('|' series)* '}'
+    fn term(&mut self) -> Result<CondExpr, ParseError> {
+        match self.next() {
+            Some(Tok::Par) => Ok(CondExpr::Parallel(self.branches()?)),
+            Some(Tok::If) => Ok(CondExpr::Conditional(self.branches()?)),
+            Some(Tok::Ident(name)) => {
+                self.expect(&Tok::LParen)?;
+                let wcet = match self.next() {
+                    Some(Tok::Int(v)) => v,
+                    Some(t) => {
+                        self.pos -= 1;
+                        return Err(self.error_at(format!("expected a WCET integer, found {t}")));
+                    }
+                    None => return Err(self.error_at("expected a WCET integer")),
+                };
+                self.expect(&Tok::RParen)?;
+                Ok(CondExpr::Leaf { label: name, wcet: Ticks::new(wcet) })
+            }
+            Some(t) => {
+                self.pos -= 1;
+                Err(self.error_at(format!("expected a leaf, `par` or `if`, found {t}")))
+            }
+            None => Err(self.error_at("expected a leaf, `par` or `if`, found end of input")),
+        }
+    }
+
+    fn branches(&mut self) -> Result<Vec<CondExpr>, ParseError> {
+        self.expect(&Tok::LBrace)?;
+        let mut out = vec![self.series()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.next();
+            out.push(self.series()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(out)
+    }
+}
+
+/// Parses an `.hcond` expression.
+///
+/// # Errors
+///
+/// [`ParseError`] with 1-based line/column on malformed input (including
+/// trailing garbage).
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_cond::text::parse_expr;
+///
+/// let e = parse_expr("a(2); if { b(3) | c(9) }; d(1)")?;
+/// assert_eq!(e.realization_count(), 2);
+/// assert_eq!(e.worst_case_workload().get(), 12); // 2 + max(3, 9) + 1
+/// # Ok::<(), hetrta_cond::text::ParseError>(())
+/// ```
+pub fn parse_expr(src: &str) -> Result<CondExpr, ParseError> {
+    let toks = Lexer { src, pos: 0, line: 1, col: 1 }.tokens()?;
+    if toks.is_empty() {
+        return Err(ParseError { line: 1, column: 1, message: "empty input".into() });
+    }
+    let mut p = Parser { toks, pos: 0 };
+    let expr = p.series()?;
+    if p.pos < p.toks.len() {
+        let t = &p.toks[p.pos];
+        return Err(ParseError {
+            line: t.1,
+            column: t.2,
+            message: format!("trailing input starting at {}", t.0),
+        });
+    }
+    Ok(expr)
+}
+
+/// Renders an expression in canonical single-line `.hcond` form
+/// (re-parseable; see the round-trip property tests).
+#[must_use]
+pub fn render_expr(expr: &CondExpr) -> String {
+    let mut s = String::new();
+    write_expr(expr, &mut s);
+    s
+}
+
+fn write_expr(expr: &CondExpr, out: &mut String) {
+    match expr {
+        CondExpr::Leaf { label, wcet } => {
+            out.push_str(label);
+            out.push('(');
+            out.push_str(&wcet.get().to_string());
+            out.push(')');
+        }
+        CondExpr::Series(cs) => {
+            for (i, c) in cs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("; ");
+                }
+                write_expr(c, out);
+            }
+        }
+        CondExpr::Parallel(cs) | CondExpr::Conditional(cs) => {
+            out.push_str(if matches!(expr, CondExpr::Parallel(_)) { "par { " } else { "if { " });
+            for (i, c) in cs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                write_expr(c, out);
+            }
+            out.push_str(" }");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_cond, CondGenParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parses_the_module_example() {
+        let src = "# adaptive perception stage\n\
+                   pre(4);\n\
+                   if { par { kernel(26) | edge(11) | flow(9) } | soft_fallback(30) };\n\
+                   fuse(3)";
+        let e = parse_expr(src).unwrap();
+        assert_eq!(e.realization_count(), 2);
+        assert_eq!(e.worst_case_workload().get(), 53);
+        assert_eq!(e.worst_case_length().get(), 37);
+    }
+
+    #[test]
+    fn round_trip_is_stable_on_random_expressions() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let e = generate_cond(&CondGenParams::small(), &mut rng).unwrap();
+            let text = render_expr(&e);
+            let back = parse_expr(&text).unwrap();
+            assert_eq!(back, e, "round-trip failed for: {text}");
+            // Render of the reparse is identical (canonical form).
+            assert_eq!(render_expr(&back), text);
+        }
+    }
+
+    #[test]
+    fn single_leaf_and_nesting() {
+        assert_eq!(parse_expr("x(7)").unwrap(), CondExpr::leaf("x", 7));
+        let e = parse_expr("par { if { a(1) | b(2) } | c(3) }").unwrap();
+        assert_eq!(e.realization_count(), 2);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_expr("a(2);\nb(?)").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unexpected character"));
+
+        let err = parse_expr("a(2); if { b(1)").unwrap_err();
+        assert!(err.message.contains("expected"), "{err}");
+
+        let err = parse_expr("").unwrap_err();
+        assert_eq!(err.message, "empty input");
+
+        let err = parse_expr("a(2) b(3)").unwrap_err();
+        assert!(err.message.contains("trailing input"), "{err}");
+
+        let err = parse_expr("a(99999999999999999999)").unwrap_err();
+        assert!(err.message.contains("out of range"));
+
+        let err = parse_expr("par { }").unwrap_err();
+        assert!(err.message.contains("expected a leaf"), "{err}");
+    }
+
+    #[test]
+    fn keywords_are_reserved() {
+        // `par(3)` parses `par` as a keyword, not a leaf name.
+        assert!(parse_expr("par(3)").is_err());
+        // But identifiers may contain them as substrings.
+        assert!(parse_expr("parser(3)").is_ok());
+        assert!(parse_expr("if_fast(3)").is_ok());
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored()  {
+        let e = parse_expr("  a(1) ;# c\n\t b(2)  ").unwrap();
+        assert_eq!(e, CondExpr::series(vec![CondExpr::leaf("a", 1), CondExpr::leaf("b", 2)]));
+    }
+}

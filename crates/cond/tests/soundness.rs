@@ -1,0 +1,141 @@
+//! Simulation-based soundness of the conditional bounds: for random
+//! conditional expressions, no realization's observed schedule under any
+//! work-conserving policy exceeds the analytical bounds.
+
+use hetrta_cond::{
+    generate_cond, r_cond, r_cond_exact, r_parallel_flattening, CondExpr, CondGenParams,
+    HetCondTask,
+};
+use hetrta_core::transform;
+use hetrta_dag::{HeteroDagTask, Rational, Ticks};
+use hetrta_sim::{explore_worst_case, Platform};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_expr(seed: u64) -> CondExpr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_cond(&CondGenParams::small(), &mut rng).expect("valid params")
+}
+
+#[test]
+fn conditional_bounds_dominate_every_realization_schedule() {
+    let mut realizations_checked = 0usize;
+    for seed in 0..40u64 {
+        let e = random_expr(seed);
+        let Some(choices) = e.enumerate_choices(32) else { continue };
+        for m in [2usize, 4] {
+            let dp = r_cond(&e, m as u64).unwrap();
+            let exact = r_cond_exact(&e, m as u64, 32).unwrap();
+            let flat = r_parallel_flattening(&e, m as u64).unwrap();
+            assert!(exact <= dp);
+            assert!(dp <= flat);
+            for c in &choices {
+                let r = e.expand(c).unwrap();
+                let worst =
+                    explore_worst_case(&r.dag, None, Platform::host_only(m), 20).unwrap();
+                let observed = worst.makespan().to_rational();
+                assert!(
+                    observed <= exact,
+                    "seed {seed}, m {m}, choices {c:?}: {observed} > exact {exact}"
+                );
+                realizations_checked += 1;
+            }
+        }
+    }
+    assert!(realizations_checked >= 100, "only {realizations_checked} realizations checked");
+}
+
+#[test]
+fn heterogeneous_conditional_bounds_hold_under_simulation() {
+    let mut offloading_checked = 0usize;
+    for seed in 100..140u64 {
+        let e = random_expr(seed);
+        // Pick the first leaf label as the kernel; skip structures whose
+        // realizations never contain it only if construction fails.
+        let Ok(task) = HetCondTask::new(e, "v2", Ticks::new(100_000), Ticks::new(100_000)) else {
+            continue;
+        };
+        let Ok(bounds) = task.analyze_realizations(2, 32) else { continue };
+        let r_max = task.r_het_cond(2, 32).unwrap();
+        for rb in &bounds {
+            let r = hetrta_cond::expr::CondExpr::expand(task.expr(), &rb.choices).unwrap();
+            let observed = if rb.offloads {
+                // Simulate the *transformed* deployment of the realization.
+                let choices_r =
+                    task_realization(&task, &rb.choices).expect("offloading realization");
+                let t = transform(&choices_r).unwrap();
+                explore_worst_case(
+                    t.transformed(),
+                    Some(t.offloaded()),
+                    Platform::with_accelerator(2),
+                    20,
+                )
+                .unwrap()
+                .makespan()
+                .to_rational()
+            } else {
+                explore_worst_case(&r.dag, None, Platform::host_only(2), 20)
+                    .unwrap()
+                    .makespan()
+                    .to_rational()
+            };
+            assert!(
+                observed <= rb.bound,
+                "seed {seed}, choices {:?}: observed {observed} > bound {}",
+                rb.choices,
+                rb.bound
+            );
+            assert!(rb.bound <= r_max);
+            if rb.offloads {
+                offloading_checked += 1;
+            }
+        }
+    }
+    assert!(offloading_checked >= 10, "only {offloading_checked} offloading realizations");
+}
+
+/// Rebuilds the offloading realization as a `HeteroDagTask`.
+fn task_realization(task: &HetCondTask, choices: &[usize]) -> Option<HeteroDagTask> {
+    let bounds = task.analyze_realizations(2, 64).ok()?;
+    let _ = bounds;
+    // Re-expand with the offload label applied.
+    let r = hetrta_cond::expr::CondExpr::expand(task.expr(), choices).ok()?;
+    let off = r
+        .dag
+        .node_ids()
+        .find(|&v| r.dag.label(v) == task.offload_label())?;
+    HeteroDagTask::new(r.dag, off, task.period(), task.deadline()).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dp_quantities_bound_realizations(seed: u64) {
+        let e = random_expr(seed);
+        if let Some(choices) = e.enumerate_choices(16) {
+            for c in choices {
+                let r = e.expand(&c).unwrap();
+                prop_assert!(r.dag.volume() <= e.worst_case_workload());
+                let len = hetrta_dag::algo::CriticalPath::of(&r.dag).length();
+                prop_assert!(len <= e.worst_case_length());
+            }
+        }
+    }
+
+    #[test]
+    fn r_cond_monotone_in_cores(seed: u64) {
+        let e = random_expr(seed);
+        let mut prev: Option<Rational> = None;
+        for m in [1u64, 2, 4, 8, 16] {
+            let r = r_cond(&e, m).unwrap();
+            if let Some(p) = prev {
+                prop_assert!(r <= p);
+            }
+            prop_assert!(r >= e.worst_case_length().to_rational());
+            prop_assert!(r <= e.worst_case_workload().to_rational());
+            prev = Some(r);
+        }
+    }
+}

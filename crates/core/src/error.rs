@@ -1,0 +1,58 @@
+//! Analysis errors.
+
+use core::fmt;
+
+use hetrta_dag::DagError;
+
+/// Errors produced by the transformation and response-time analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The host core count `m` must be at least 1.
+    ZeroCores,
+    /// The task's DAG violates a structural assumption (wrapped cause).
+    Dag(DagError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::ZeroCores => write!(f, "host must have at least one core"),
+            AnalysisError::Dag(e) => write!(f, "task structure error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Dag(e) => Some(e),
+            AnalysisError::ZeroCores => None,
+        }
+    }
+}
+
+impl From<DagError> for AnalysisError {
+    fn from(e: DagError) -> Self {
+        AnalysisError::Dag(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(AnalysisError::ZeroCores.to_string(), "host must have at least one core");
+        let wrapped = AnalysisError::from(DagError::Empty);
+        assert!(wrapped.to_string().contains("graph has no nodes"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        assert!(AnalysisError::ZeroCores.source().is_none());
+        assert!(AnalysisError::from(DagError::Empty).source().is_some());
+    }
+}

@@ -1,0 +1,250 @@
+//! Federated scheduling of heterogeneous DAG task *sets* (extension).
+//!
+//! The paper analyzes one task; real systems run several. Under *federated
+//! scheduling* (Li/Baruah style) every high-utilization DAG task receives a
+//! dedicated cluster of host cores, sized so that its response-time bound
+//! meets its deadline; the task set is schedulable when the clusters fit
+//! on the platform. This module sizes clusters with either the homogeneous
+//! bound (Eq. 1) or the paper's heterogeneous bound (Theorem 1),
+//! quantifying at system level how many cores the heterogeneous analysis
+//! saves — the ablation reported by the `federated` experiment binary.
+//!
+//! Platform assumption: every offloading task uses its own accelerator
+//! (the paper's model has a single task and a single device; sharing one
+//! device among tasks needs inter-task device arbitration, which neither
+//! the paper nor this extension models).
+
+use hetrta_dag::{HeteroDagTask, Rational};
+
+use crate::analysis::HeterogeneousAnalysis;
+use crate::AnalysisError;
+
+/// Which response-time bound sizes the per-task clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalysisKind {
+    /// Eq. 1 on the original DAG (homogeneous baseline).
+    Homogeneous,
+    /// Theorem 1 on the transformed DAG.
+    Heterogeneous,
+    /// `min(R_hom(τ), R_het(τ'))` — a designer free to deploy either
+    /// program version.
+    Best,
+}
+
+/// Cluster assignment for one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterAssignment {
+    /// Index of the task in the input slice.
+    pub task: usize,
+    /// Dedicated host cores granted.
+    pub cores: u64,
+    /// The bound achieved with that many cores.
+    pub bound: Rational,
+}
+
+/// Result of federated partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederatedResult {
+    /// Per-task assignments (only present when schedulable).
+    pub assignments: Vec<ClusterAssignment>,
+    /// Total cores required.
+    pub cores_needed: u64,
+    /// Cores available on the platform.
+    pub cores_available: u64,
+}
+
+impl FederatedResult {
+    /// `true` if every task received a cluster and they fit the platform.
+    #[must_use]
+    pub fn is_schedulable(&self) -> bool {
+        !self.assignments.is_empty() && self.cores_needed <= self.cores_available
+    }
+}
+
+/// Smallest core count `m ≤ max_cores` for which the chosen bound of
+/// `task` meets its deadline, with the bound value; `None` if even
+/// `max_cores` does not suffice (e.g. the critical path exceeds `D`).
+///
+/// Uses binary search — all three bounds are non-increasing in `m`.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the underlying analyses.
+pub fn minimum_cores(
+    task: &HeteroDagTask,
+    kind: AnalysisKind,
+    max_cores: u64,
+) -> Result<Option<(u64, Rational)>, AnalysisError> {
+    let deadline = task.deadline().to_rational();
+    let bound_at = |m: u64| -> Result<Rational, AnalysisError> {
+        let report = HeterogeneousAnalysis::run(task, m)?;
+        Ok(match kind {
+            AnalysisKind::Homogeneous => report.r_hom_original(),
+            AnalysisKind::Heterogeneous => report.r_het(),
+            AnalysisKind::Best => report.best_bound(),
+        })
+    };
+    if bound_at(max_cores)? > deadline {
+        return Ok(None);
+    }
+    let (mut lo, mut hi) = (1u64, max_cores);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if bound_at(mid)? <= deadline {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok(Some((lo, bound_at(lo)?)))
+}
+
+/// Federated partitioning: sizes a dedicated cluster for every task and
+/// checks the platform capacity.
+///
+/// Returns the assignments even when the set does not fit (so callers can
+/// report how many cores *would* be needed); an unschedulable single task
+/// (deadline below its critical path) yields `cores_needed = u64::MAX`.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the underlying analyses.
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_core::federated::{federated_partition, AnalysisKind};
+/// use hetrta_dag::{DagBuilder, HeteroDagTask, Ticks};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DagBuilder::new();
+/// let pre = b.node("pre", Ticks::new(2));
+/// let gpu = b.node("gpu", Ticks::new(10));
+/// let cpu = b.node("cpu", Ticks::new(9));
+/// let post = b.node("post", Ticks::new(2));
+/// b.edges([(pre, gpu), (pre, cpu), (gpu, post), (cpu, post)])?;
+/// let task = HeteroDagTask::new(b.build()?, gpu, Ticks::new(40), Ticks::new(20))?;
+///
+/// let result = federated_partition(&[task], 8, AnalysisKind::Heterogeneous)?;
+/// assert!(result.is_schedulable());
+/// # Ok(())
+/// # }
+/// ```
+pub fn federated_partition(
+    tasks: &[HeteroDagTask],
+    total_cores: u64,
+    kind: AnalysisKind,
+) -> Result<FederatedResult, AnalysisError> {
+    let mut assignments = Vec::with_capacity(tasks.len());
+    let mut needed: u64 = 0;
+    for (i, task) in tasks.iter().enumerate() {
+        match minimum_cores(task, kind, total_cores.max(1))? {
+            Some((cores, bound)) => {
+                needed = needed.saturating_add(cores);
+                assignments.push(ClusterAssignment { task: i, cores, bound });
+            }
+            None => {
+                needed = u64::MAX;
+                assignments.push(ClusterAssignment {
+                    task: i,
+                    cores: u64::MAX,
+                    bound: Rational::from_integer(-1),
+                });
+            }
+        }
+    }
+    Ok(FederatedResult { assignments, cores_needed: needed, cores_available: total_cores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetrta_dag::{DagBuilder, Ticks};
+
+    fn offload_heavy_task(deadline: u64) -> HeteroDagTask {
+        let mut b = DagBuilder::new();
+        let pre = b.node("pre", Ticks::new(2));
+        let gpu = b.node("gpu", Ticks::new(20));
+        let c1 = b.node("c1", Ticks::new(8));
+        let c2 = b.node("c2", Ticks::new(8));
+        let c3 = b.node("c3", Ticks::new(8));
+        let post = b.node("post", Ticks::new(2));
+        b.edges([(pre, gpu), (pre, c1), (pre, c2), (pre, c3), (gpu, post), (c1, post), (c2, post), (c3, post)])
+            .unwrap();
+        HeteroDagTask::new(b.build().unwrap(), gpu, Ticks::new(deadline), Ticks::new(deadline))
+            .unwrap()
+    }
+
+    #[test]
+    fn minimum_cores_is_monotone_in_deadline() {
+        let tight = minimum_cores(&offload_heavy_task(30), AnalysisKind::Heterogeneous, 16)
+            .unwrap()
+            .unwrap();
+        let loose = minimum_cores(&offload_heavy_task(48), AnalysisKind::Heterogeneous, 16)
+            .unwrap()
+            .unwrap();
+        assert!(loose.0 <= tight.0);
+    }
+
+    #[test]
+    fn heterogeneous_needs_no_more_cores_than_best_baseline() {
+        for d in [30u64, 36, 42, 48] {
+            let task = offload_heavy_task(d);
+            let hom = minimum_cores(&task, AnalysisKind::Homogeneous, 32).unwrap();
+            let best = minimum_cores(&task, AnalysisKind::Best, 32).unwrap();
+            if let (Some((mh, _)), Some((mb, _))) = (hom, best) {
+                assert!(mb <= mh, "best {mb} > hom {mh} at D = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_search_matches_linear_scan() {
+        let task = offload_heavy_task(36);
+        for kind in [AnalysisKind::Homogeneous, AnalysisKind::Heterogeneous, AnalysisKind::Best] {
+            let bs = minimum_cores(&task, kind, 24).unwrap();
+            let linear = (1..=24u64).find(|&m| {
+                let r = HeterogeneousAnalysis::run(&task, m).unwrap();
+                let b = match kind {
+                    AnalysisKind::Homogeneous => r.r_hom_original(),
+                    AnalysisKind::Heterogeneous => r.r_het(),
+                    AnalysisKind::Best => r.best_bound(),
+                };
+                b <= task.deadline().to_rational()
+            });
+            assert_eq!(bs.map(|(m, _)| m), linear);
+        }
+    }
+
+    #[test]
+    fn impossible_deadline_returns_none() {
+        // deadline below the critical path (2 + 20 + 2 = 24)
+        let task = offload_heavy_task(20);
+        assert_eq!(minimum_cores(&task, AnalysisKind::Homogeneous, 64).unwrap(), None);
+    }
+
+    #[test]
+    fn partition_accounts_all_tasks() {
+        let tasks = vec![offload_heavy_task(40), offload_heavy_task(36), offload_heavy_task(48)];
+        let result = federated_partition(&tasks, 16, AnalysisKind::Best).unwrap();
+        assert_eq!(result.assignments.len(), 3);
+        let sum: u64 = result.assignments.iter().map(|a| a.cores).sum();
+        assert_eq!(sum, result.cores_needed);
+        assert!(result.is_schedulable());
+    }
+
+    #[test]
+    fn partition_reports_infeasible_task() {
+        let tasks = vec![offload_heavy_task(40), offload_heavy_task(10)];
+        let result = federated_partition(&tasks, 16, AnalysisKind::Best).unwrap();
+        assert_eq!(result.cores_needed, u64::MAX);
+        assert!(!result.is_schedulable());
+    }
+
+    #[test]
+    fn empty_task_set_is_trivially_unschedulable_result() {
+        let result = federated_partition(&[], 4, AnalysisKind::Best).unwrap();
+        assert!(!result.is_schedulable());
+        assert_eq!(result.cores_needed, 0);
+    }
+}

@@ -1,0 +1,512 @@
+//! Algorithm 1 — DAG transformation `τ ⇒ τ'`.
+//!
+//! The transformation inserts a synchronization node `v_sync` with zero
+//! WCET immediately before the offloaded node `v_off` *and* before every
+//! node that may execute in parallel with it, so that the parallel sub-DAG
+//! `G_par` and `v_off` are guaranteed to begin execution simultaneously.
+//! This is what makes it *safe* to discount offloaded work from the
+//! self-interference term of the response-time bound (Theorem 1): without
+//! the barrier, the host could sit idle while `v_off` runs (Figure 1(c) of
+//! the paper), defeating any interference reduction.
+//!
+//! Faithful to the paper's pseudo-code:
+//!
+//! ```text
+//! 1  compute Pred(v_off), Succ(v_off)
+//! 2  V' = V ∪ {v_sync}; E' = E; directPred = ∅
+//! 3  for each (v_i, v_off) ∈ E':
+//! 4      directPred ∪= {v_i}
+//! 5      E' = E' ∪ {(v_i, v_sync)} \ {(v_i, v_off)}
+//! 6      for each (v_i, v_j) ∈ E':
+//! 7          if v_j ≠ v_sync:
+//! 8              E' = E' ∪ {(v_sync, v_j)} \ {(v_i, v_j)}
+//! 9  E' ∪= {(v_sync, v_off)}
+//! 10 for each v_i ∈ Pred(v_off) \ directPred:
+//! 11     for each (v_i, v_j) ∈ E':
+//! 12         if v_j ∉ Pred(v_off):
+//! 13             E' = E' ∪ {(v_sync, v_j)} \ {(v_i, v_j)}
+//! 14 V_par = V \ Pred(v_off) \ Succ(v_off)          (v_off itself excluded)
+//! 15 E_par = {(v_i, v_j) ∈ E : v_i, v_j ∈ V_par}
+//! ```
+//!
+//! Because the model forbids transitive edges, every rerouted successor
+//! `v_j` is necessarily parallel to `v_off` (see the module tests and
+//! [`crate::properties`]); the rerouting therefore never loses a precedence
+//! constraint that mattered, it only *adds* the barrier.
+
+use hetrta_dag::algo::CriticalPath;
+use hetrta_dag::{BitSet, Dag, HeteroDagTask, NodeId, Ticks};
+
+use crate::AnalysisError;
+
+/// The result of Algorithm 1: the transformed task `τ'` plus the parallel
+/// sub-DAG `G_par` and everything the RTA needs about them.
+///
+/// Node ids of the original DAG remain valid in the transformed DAG
+/// (`v_sync` is appended with a fresh id), so callers can correlate nodes
+/// across `G` and `G'` directly.
+#[derive(Debug, Clone)]
+pub struct TransformedTask {
+    original: HeteroDagTask,
+    transformed: Dag,
+    sync: NodeId,
+    par_nodes: BitSet,
+    g_par: Dag,
+    g_par_old_ids: Vec<NodeId>,
+    len_transformed: Ticks,
+    len_g_par: Ticks,
+    vol_g_par: Ticks,
+    off_on_critical_path: bool,
+}
+
+impl TransformedTask {
+    /// The untouched original task `τ`.
+    #[must_use]
+    pub fn original(&self) -> &HeteroDagTask {
+        &self.original
+    }
+
+    /// The transformed DAG `G'` (original ids preserved, `v_sync` appended).
+    #[must_use]
+    pub fn transformed(&self) -> &Dag {
+        &self.transformed
+    }
+
+    /// The synchronization node `v_sync` (zero WCET) in `G'`.
+    #[must_use]
+    pub fn sync_node(&self) -> NodeId {
+        self.sync
+    }
+
+    /// The offloaded node `v_off` (same id in `G` and `G'`).
+    #[must_use]
+    pub fn offloaded(&self) -> NodeId {
+        self.original.offloaded()
+    }
+
+    /// `C_off`, the accelerator WCET.
+    #[must_use]
+    pub fn c_off(&self) -> Ticks {
+        self.original.c_off()
+    }
+
+    /// The node set `V_par` (ids in the original/transformed id space).
+    #[must_use]
+    pub fn par_nodes(&self) -> &BitSet {
+        &self.par_nodes
+    }
+
+    /// The parallel sub-DAG `G_par` as a standalone graph.
+    ///
+    /// Its node ids are dense; [`TransformedTask::g_par_original_id`] maps
+    /// them back.
+    #[must_use]
+    pub fn g_par(&self) -> &Dag {
+        &self.g_par
+    }
+
+    /// Maps a node of [`g_par`](TransformedTask::g_par) to its id in the
+    /// original DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a node of `G_par`.
+    #[must_use]
+    pub fn g_par_original_id(&self, v: NodeId) -> NodeId {
+        self.g_par_old_ids[v.index()]
+    }
+
+    /// `len(G')` — critical-path length of the transformed DAG.
+    #[must_use]
+    pub fn len_transformed(&self) -> Ticks {
+        self.len_transformed
+    }
+
+    /// `vol(G')` — equals `vol(G)` because `v_sync` has zero WCET.
+    #[must_use]
+    pub fn vol_transformed(&self) -> Ticks {
+        self.original.volume()
+    }
+
+    /// `len(G_par)`.
+    #[must_use]
+    pub fn len_g_par(&self) -> Ticks {
+        self.len_g_par
+    }
+
+    /// `vol(G_par)`.
+    #[must_use]
+    pub fn vol_g_par(&self) -> Ticks {
+        self.vol_g_par
+    }
+
+    /// `true` if `v_off` lies on a critical path of `G'` — the discriminator
+    /// between Scenario 1 and Scenarios 2.x of Theorem 1.
+    #[must_use]
+    pub fn off_on_critical_path(&self) -> bool {
+        self.off_on_critical_path
+    }
+
+    /// `true` if the parallel sub-DAG is empty (every node is an ancestor or
+    /// descendant of `v_off`); the analysis degenerates to Scenario 2.1 with
+    /// `vol(G_par) = 0`.
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.par_nodes.is_empty()
+    }
+
+    /// A [`HeteroDagTask`] view of the transformed task `τ'` (same period,
+    /// deadline and offloaded node, transformed graph).
+    ///
+    /// Useful for simulating `τ'` with `hetrta-sim`.
+    #[must_use]
+    pub fn as_task(&self) -> HeteroDagTask {
+        HeteroDagTask::new(
+            self.transformed.clone(),
+            self.offloaded(),
+            self.original.period(),
+            self.original.deadline(),
+        )
+        .expect("transformed task keeps a valid offloaded node and deadline")
+    }
+}
+
+/// Runs Algorithm 1 on `task`, producing [`TransformedTask`].
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Dag`] if the task's graph is cyclic (cannot
+/// happen for graphs built via [`hetrta_dag::DagBuilder`]).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate#the-worked-example-of-the-paper-figures-12)
+/// and [`crate::analysis::HeterogeneousAnalysis`].
+pub fn transform(task: &HeteroDagTask) -> Result<TransformedTask, AnalysisError> {
+    let dag = task.dag();
+    let v_off = task.offloaded();
+    let n = dag.node_count();
+
+    // Line 1: Pred(v_off) and Succ(v_off).
+    let reach = hetrta_dag::algo::Reachability::of(dag)?;
+    let pred = reach.ancestors(v_off).clone();
+    let succ = reach.descendants(v_off).clone();
+
+    // Line 2: V' = V ∪ {v_sync}, E' = E.
+    let mut g2 = dag.clone();
+    let sync = g2.add_labeled_node("v_sync", Ticks::ZERO);
+
+    // Lines 3–8: loop over v_off's direct predecessors.
+    let direct_pred: Vec<NodeId> = g2.predecessors(v_off).to_vec();
+    for &vi in &direct_pred {
+        g2.remove_edge(vi, v_off)?;
+        if !g2.has_edge(vi, sync) {
+            g2.add_edge(vi, sync)?;
+        }
+        // Reroute v_i's remaining successors through v_sync. Snapshot the
+        // list: we mutate it while iterating.
+        for vj in g2.successors(vi).to_vec() {
+            if vj == sync {
+                continue;
+            }
+            g2.remove_edge(vi, vj)?;
+            if !g2.has_edge(sync, vj) {
+                g2.add_edge(sync, vj)?;
+            }
+        }
+    }
+
+    // Line 9: (v_sync, v_off).
+    g2.add_edge(sync, v_off)?;
+
+    // Lines 10–13: loop over the remaining ancestors of v_off.
+    for vi in pred.iter().filter(|v| !direct_pred.contains(v)) {
+        for vj in g2.successors(vi).to_vec() {
+            if vj == sync || pred.contains(vj) {
+                continue;
+            }
+            // The model has no transitive edges, so v_j ∉ Succ(v_off):
+            // it is parallel to v_off and must start after the barrier.
+            debug_assert!(!succ.contains(vj), "transitive edge slipped through");
+            g2.remove_edge(vi, vj)?;
+            if !g2.has_edge(sync, vj) {
+                g2.add_edge(sync, vj)?;
+            }
+        }
+    }
+
+    // Line 14: V_par = V \ Pred(v_off) \ Succ(v_off) \ {v_off}.
+    let mut par_nodes = BitSet::full(n);
+    par_nodes.difference_with(&pred);
+    par_nodes.difference_with(&succ);
+    par_nodes.remove(v_off);
+
+    // Line 15–17: E_par from the *original* edge set.
+    let (g_par, g_par_old_ids) = dag.induced_subgraph(&par_nodes);
+
+    let cp2 = CriticalPath::try_of(&g2)?;
+    let cp_par = CriticalPath::try_of(&g_par)?;
+    let off_on_critical_path = cp2.on_critical_path(v_off, &g2);
+
+    Ok(TransformedTask {
+        original: task.clone(),
+        len_transformed: cp2.length(),
+        len_g_par: cp_par.length(),
+        vol_g_par: g_par.volume(),
+        off_on_critical_path,
+        transformed: g2,
+        sync,
+        par_nodes,
+        g_par,
+        g_par_old_ids,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetrta_dag::algo::{is_acyclic, Reachability};
+    use hetrta_dag::DagBuilder;
+
+    /// The paper's Figure 1(a) with WCETs reconstructed from the stated
+    /// aggregates (see DESIGN.md): C1=1, C2=4, C3=6, C4=2, C5=1, C_off=4.
+    fn figure1_task() -> (HeteroDagTask, [NodeId; 6]) {
+        let mut b = DagBuilder::new();
+        let v1 = b.node("v1", Ticks::new(1));
+        let v2 = b.node("v2", Ticks::new(4));
+        let v3 = b.node("v3", Ticks::new(6));
+        let v4 = b.node("v4", Ticks::new(2));
+        let v5 = b.node("v5", Ticks::new(1));
+        let voff = b.node("v_off", Ticks::new(4));
+        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
+            .unwrap();
+        let task =
+            HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(50), Ticks::new(50)).unwrap();
+        (task, [v1, v2, v3, v4, v5, voff])
+    }
+
+    /// The paper's Figure 3(a): a larger example exercising both loops of
+    /// Algorithm 1 (direct and indirect predecessors with parallel
+    /// successors).
+    ///
+    /// Structure (all WCET 1 unless noted):
+    /// v1 → v2, v1 → v3 ;  v3 → v7, v3 → v8 ; v8 → v_off, v8 → v11 ;
+    /// v9 → v_off ; v1 → v9 (so v9 is a second direct predecessor) ;
+    /// v2 → v10 ; v7 → v10 ; v_off → v12 ; v11 → v12 ; v10 → v12.
+    fn figure3_task() -> (HeteroDagTask, std::collections::HashMap<&'static str, NodeId>) {
+        let mut b = DagBuilder::new();
+        let mut m = std::collections::HashMap::new();
+        for name in ["v1", "v2", "v3", "v7", "v8", "v9", "v_off", "v10", "v11", "v12"] {
+            m.insert(name, b.node(name, Ticks::new(1)));
+        }
+        b.edges([
+            (m["v1"], m["v2"]),
+            (m["v1"], m["v3"]),
+            (m["v1"], m["v9"]),
+            (m["v3"], m["v7"]),
+            (m["v3"], m["v8"]),
+            (m["v8"], m["v_off"]),
+            (m["v8"], m["v11"]),
+            (m["v9"], m["v_off"]),
+            (m["v2"], m["v10"]),
+            (m["v7"], m["v10"]),
+            (m["v_off"], m["v12"]),
+            (m["v11"], m["v12"]),
+            (m["v10"], m["v12"]),
+        ])
+        .unwrap();
+        let task = HeteroDagTask::new(b.build().unwrap(), m["v_off"], Ticks::new(99), Ticks::new(99))
+            .unwrap();
+        (task, m)
+    }
+
+    #[test]
+    fn figure1_transformation_structure() {
+        let (task, [v1, v2, v3, v4, v5, voff]) = figure1_task();
+        let t = transform(&task).unwrap();
+        let g2 = t.transformed();
+        let sync = t.sync_node();
+
+        // v_sync properties
+        assert_eq!(g2.wcet(sync), Ticks::ZERO);
+        assert_eq!(g2.node_count(), 7);
+
+        // Edges: v1→v4 kept; v4→v_sync; v_sync→{v2, v3, v_off}; v2,v3,v_off→v5.
+        assert!(g2.has_edge(v1, v4));
+        assert!(g2.has_edge(v4, sync));
+        assert!(g2.has_edge(sync, v2));
+        assert!(g2.has_edge(sync, v3));
+        assert!(g2.has_edge(sync, voff));
+        assert!(g2.has_edge(v2, v5));
+        assert!(g2.has_edge(v3, v5));
+        assert!(g2.has_edge(voff, v5));
+        // removed edges
+        assert!(!g2.has_edge(v4, voff));
+        assert!(!g2.has_edge(v1, v2));
+        assert!(!g2.has_edge(v1, v3));
+
+        // len(G') = 10 (paper §3.3), vol unchanged.
+        assert_eq!(t.len_transformed(), Ticks::new(10));
+        assert_eq!(t.vol_transformed(), Ticks::new(18));
+
+        // G_par = {v2, v3}: len 6, vol 10.
+        assert_eq!(t.par_nodes().len(), 2);
+        assert!(t.par_nodes().contains(v2) && t.par_nodes().contains(v3));
+        assert_eq!(t.len_g_par(), Ticks::new(6));
+        assert_eq!(t.vol_g_par(), Ticks::new(10));
+
+        // v_off is NOT on the critical path of G' (8 < 10): Scenario 1.
+        assert!(!t.off_on_critical_path());
+        assert!(!t.is_degenerate());
+    }
+
+    #[test]
+    fn figure3_transformation_edges() {
+        let (task, m) = figure3_task();
+        let t = transform(&task).unwrap();
+        let g2 = t.transformed();
+        let sync = t.sync_node();
+
+        // Direct predecessors v8, v9: green edges to v_sync, removed to v_off.
+        assert!(g2.has_edge(m["v8"], sync));
+        assert!(g2.has_edge(m["v9"], sync));
+        assert!(!g2.has_edge(m["v8"], m["v_off"]));
+        assert!(!g2.has_edge(m["v9"], m["v_off"]));
+        // Black edge: v8's other successor v11 now hangs from v_sync.
+        assert!(!g2.has_edge(m["v8"], m["v11"]));
+        assert!(g2.has_edge(sync, m["v11"]));
+        // Yellow edge.
+        assert!(g2.has_edge(sync, m["v_off"]));
+        // Pink edges: (v1,v2) and (v3,v7) rerouted through v_sync.
+        assert!(!g2.has_edge(m["v1"], m["v2"]));
+        assert!(!g2.has_edge(m["v3"], m["v7"]));
+        assert!(g2.has_edge(sync, m["v2"]));
+        assert!(g2.has_edge(sync, m["v7"]));
+        // Ancestor-to-ancestor edges are untouched: v1→v3, v3→v8, v1→v9.
+        assert!(g2.has_edge(m["v1"], m["v3"]));
+        assert!(g2.has_edge(m["v3"], m["v8"]));
+        assert!(g2.has_edge(m["v1"], m["v9"]));
+        // G_par = {v2, v7, v10, v11}.
+        let par: Vec<&str> = ["v2", "v7", "v10", "v11"].to_vec();
+        assert_eq!(t.par_nodes().len(), 4);
+        for p in par {
+            assert!(t.par_nodes().contains(m[p]), "{p} should be parallel");
+        }
+        // E_par keeps internal edges (v2,v10), (v7,v10) but not (v11,v12).
+        assert_eq!(t.g_par().edge_count(), 2);
+    }
+
+    #[test]
+    fn transformed_graph_is_acyclic_with_single_terminals() {
+        let (task, _) = figure1_task();
+        let t = transform(&task).unwrap();
+        assert!(is_acyclic(t.transformed()));
+        assert_eq!(t.transformed().sources().len(), 1);
+        assert_eq!(t.transformed().sinks().len(), 1);
+        let (task3, _) = figure3_task();
+        let t3 = transform(&task3).unwrap();
+        assert!(is_acyclic(t3.transformed()));
+        assert_eq!(t3.transformed().sources().len(), 1);
+        assert_eq!(t3.transformed().sinks().len(), 1);
+    }
+
+    #[test]
+    fn sync_dominates_off_and_gpar() {
+        let (task, _) = figure3_task();
+        let t = transform(&task).unwrap();
+        let g2 = t.transformed();
+        let reach = Reachability::of(g2).unwrap();
+        // every parallel node and v_off are descendants of v_sync
+        assert!(reach.descendants(t.sync_node()).contains(t.offloaded()));
+        for v in t.par_nodes().iter() {
+            assert!(
+                reach.descendants(t.sync_node()).contains(v),
+                "{v} must start after the barrier"
+            );
+        }
+    }
+
+    #[test]
+    fn volume_preserved() {
+        let (task, _) = figure1_task();
+        let t = transform(&task).unwrap();
+        assert_eq!(t.transformed().volume(), task.volume());
+    }
+
+    #[test]
+    fn gpar_mapping_roundtrip() {
+        let (task, m) = figure3_task();
+        let t = transform(&task).unwrap();
+        for v in t.g_par().node_ids() {
+            let orig = t.g_par_original_id(v);
+            assert!(t.par_nodes().contains(orig));
+            assert_eq!(t.g_par().wcet(v), task.dag().wcet(orig));
+        }
+        let _ = m;
+    }
+
+    #[test]
+    fn chain_task_has_empty_gpar() {
+        // v_off in series with everything: G_par must be empty (degenerate).
+        let mut b = DagBuilder::new();
+        let a = b.node("a", Ticks::new(2));
+        let k = b.node("k", Ticks::new(5));
+        let z = b.node("z", Ticks::new(2));
+        b.edges([(a, k), (k, z)]).unwrap();
+        let task = HeteroDagTask::new(b.build().unwrap(), k, Ticks::new(20), Ticks::new(20)).unwrap();
+        let t = transform(&task).unwrap();
+        assert!(t.is_degenerate());
+        assert_eq!(t.vol_g_par(), Ticks::ZERO);
+        assert_eq!(t.len_g_par(), Ticks::ZERO);
+        // Chain plus barrier: a → v_sync → k → z, len unchanged.
+        assert_eq!(t.len_transformed(), Ticks::new(9));
+        assert!(t.off_on_critical_path());
+    }
+
+    #[test]
+    fn as_task_preserves_timing_and_offload() {
+        let (task, _) = figure1_task();
+        let t = transform(&task).unwrap();
+        let t2 = t.as_task();
+        assert_eq!(t2.period(), task.period());
+        assert_eq!(t2.deadline(), task.deadline());
+        assert_eq!(t2.offloaded(), task.offloaded());
+        assert_eq!(t2.c_off(), task.c_off());
+        assert_eq!(t2.dag().node_count(), task.dag().node_count() + 1);
+    }
+
+    #[test]
+    fn shared_parallel_successor_of_two_direct_preds() {
+        // Both p1 and p2 are direct preds of v_off and both point at the
+        // same parallel node w: the rerouted edge (v_sync, w) must be added
+        // only once.
+        let mut b = DagBuilder::new();
+        let src = b.node("src", Ticks::ONE);
+        let p1 = b.node("p1", Ticks::ONE);
+        let p2 = b.node("p2", Ticks::ONE);
+        let w = b.node("w", Ticks::ONE);
+        let voff = b.node("v_off", Ticks::new(3));
+        let sink = b.node("sink", Ticks::ONE);
+        b.edges([
+            (src, p1),
+            (src, p2),
+            (p1, voff),
+            (p2, voff),
+            (p1, w),
+            (p2, w),
+            (voff, sink),
+            (w, sink),
+        ])
+        .unwrap();
+        let task =
+            HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(30), Ticks::new(30)).unwrap();
+        let t = transform(&task).unwrap();
+        let g2 = t.transformed();
+        let sync = t.sync_node();
+        assert!(g2.has_edge(sync, w));
+        assert!(g2.has_edge(p1, sync) && g2.has_edge(p2, sync));
+        assert!(is_acyclic(g2));
+        // w appears exactly once among sync's successors
+        assert_eq!(g2.successors(sync).iter().filter(|&&v| v == w).count(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Soundness of the multi-offload extension against the multi-device
+//! simulator: for random tasks with several offloaded nodes, every
+//! work-conserving schedule stays below the `r_het_multi` bound.
+
+use hetrta_core::multi::{r_het_multi, typed_graham_bound};
+use hetrta_dag::{Dag, NodeId};
+use hetrta_gen::{generate_nfj, NfjParams};
+use hetrta_sim::policy::{BreadthFirst, CriticalPathFirst, DepthFirst, Policy, RandomTieBreak};
+use hetrta_sim::trace::validate_schedule_multi;
+use hetrta_sim::{simulate_multi, Platform};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a DAG and picks `k` distinct interior nodes as offloaded set.
+fn random_multi(seed: u64, k: usize) -> (Dag, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = generate_nfj(&NfjParams::small_tasks().with_node_range(6, 40), &mut rng)
+        .expect("generation succeeds");
+    let source = dag.source();
+    let sink = dag.sink();
+    let mut candidates: Vec<NodeId> = dag
+        .node_ids()
+        .filter(|&v| Some(v) != source && Some(v) != sink && !dag.wcet(v).is_zero())
+        .collect();
+    let mut offloaded = Vec::new();
+    for _ in 0..k.min(candidates.len()) {
+        let i = rng.gen_range(0..candidates.len());
+        offloaded.push(candidates.swap_remove(i));
+    }
+    (dag, offloaded)
+}
+
+fn policies(seed: u64) -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(BreadthFirst::new()),
+        Box::new(DepthFirst::new()),
+        Box::new(CriticalPathFirst::new()),
+        Box::new(RandomTieBreak::new(seed)),
+        Box::new(RandomTieBreak::new(seed ^ 0xdead_beef)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn multi_bound_dominates_all_schedules(
+        seed in 0u64..4000, k in 1usize..4, m in 1usize..9, d in 1usize..4
+    ) {
+        let (dag, offloaded) = random_multi(seed, k);
+        prop_assume!(!offloaded.is_empty());
+        let bound = r_het_multi(&dag, &offloaded, m as u64, d as u64).unwrap();
+        let platform = Platform::new(m, d);
+        for mut p in policies(seed) {
+            // The typed bound certifies the ORIGINAL program…
+            let run = simulate_multi(&dag, &offloaded, platform, p.as_mut()).unwrap();
+            prop_assert!(
+                run.makespan().to_rational() <= bound.typed_bound(),
+                "{}: makespan {} > typed bound {} (k={}, m={}, d={})",
+                p.name(), run.makespan(), bound.typed_bound(), offloaded.len(), m, d
+            );
+            validate_schedule_multi(&dag, &offloaded, &run).unwrap();
+            // …and the candidate bound certifies its TRANSFORMED program.
+            if let Some(plan) = bound.candidate() {
+                let run_t =
+                    simulate_multi(&plan.transformed, &offloaded, platform, p.as_mut()).unwrap();
+                prop_assert!(
+                    run_t.makespan().to_rational() <= plan.bound,
+                    "{}: transformed makespan {} > candidate bound {} (node {}, k={}, m={}, d={})",
+                    p.name(), run_t.makespan(), plan.bound, plan.node, offloaded.len(), m, d
+                );
+                validate_schedule_multi(&plan.transformed, &offloaded, &run_t).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn typed_bound_alone_is_sound_for_shared_device(
+        seed in 0u64..4000, k in 2usize..5, m in 1usize..9
+    ) {
+        // One device, several offloaded nodes: only the typed bound applies.
+        let (dag, offloaded) = random_multi(seed, k);
+        prop_assume!(offloaded.len() >= 2);
+        let typed = typed_graham_bound(&dag, &offloaded, m as u64, 1).unwrap();
+        let platform = Platform::with_accelerator(m);
+        for mut p in policies(seed) {
+            let run = simulate_multi(&dag, &offloaded, platform, p.as_mut()).unwrap();
+            prop_assert!(
+                run.makespan().to_rational() <= typed,
+                "{}: makespan {} > typed bound {}", p.name(), run.makespan(), typed
+            );
+        }
+    }
+
+    #[test]
+    fn more_devices_never_raise_the_bound(seed in 0u64..2000, k in 1usize..4, m in 1usize..9) {
+        let (dag, offloaded) = random_multi(seed, k);
+        prop_assume!(!offloaded.is_empty());
+        let mut prev = r_het_multi(&dag, &offloaded, m as u64, 1).unwrap().value();
+        for d in 2u64..=4 {
+            let cur = r_het_multi(&dag, &offloaded, m as u64, d).unwrap().value();
+            prop_assert!(cur <= prev, "bound rose with devices: {prev} -> {cur}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn single_offload_multi_matches_or_beats_paper_route(seed in 0u64..2000, m in 1usize..9) {
+        // With |O| = 1 and one device, r_het_multi is min(Theorem 1, typed):
+        // never worse than Theorem 1 alone.
+        let (dag, offloaded) = random_multi(seed, 1);
+        prop_assume!(offloaded.len() == 1);
+        let vol = dag.volume();
+        let task = hetrta_dag::HeteroDagTask::new(dag.clone(), offloaded[0], vol, vol).unwrap();
+        let theorem1 = hetrta_core::r_het(&hetrta_core::transform(&task).unwrap(), m as u64)
+            .unwrap()
+            .tight_value();
+        let multi = r_het_multi(&dag, &offloaded, m as u64, 1).unwrap().value();
+        prop_assert!(multi <= theorem1);
+    }
+}

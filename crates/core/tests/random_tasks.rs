@@ -1,0 +1,136 @@
+//! Property tests of transformation + RTA over randomly generated tasks.
+
+use hetrta_core::properties::check_transform_invariants;
+use hetrta_core::{r_het, r_hom_dag, transform, HeterogeneousAnalysis, Scenario};
+use hetrta_dag::{HeteroDagTask, Rational};
+use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+use hetrta_gen::{generate_nfj, NfjParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_task(seed: u64, fraction: f64) -> HeteroDagTask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = generate_nfj(&NfjParams::small_tasks(), &mut rng).expect("generation succeeds");
+    if dag.node_count() < 3 {
+        // guarantee an interior node exists by regenerating deterministically
+        return random_task(seed.wrapping_add(0x9e37_79b9), fraction);
+    }
+    make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::VolumeFraction(fraction), &mut rng)
+        .expect("offload assignment succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transform_invariants_hold(seed in 0u64..5000, pct in 1u32..70) {
+        let task = random_task(seed, f64::from(pct) / 100.0);
+        let t = transform(&task).unwrap();
+        check_transform_invariants(&task, &t).unwrap();
+    }
+
+    #[test]
+    fn r_het_vs_r_hom_of_transformed(seed in 0u64..5000, pct in 1u32..70, m in 1u64..17) {
+        let task = random_task(seed, f64::from(pct) / 100.0);
+        let t = transform(&task).unwrap();
+        let bound = r_het(&t, m).unwrap();
+        let hom_t = r_hom_dag(t.transformed(), m).unwrap();
+        prop_assert_eq!(bound.r_hom_transformed(), hom_t);
+        // Scenarios 1 and 2.1 are provably no worse than Eq. 1 on G'
+        // (they discount a non-negative term). Scenario 2.2 may exceed it
+        // on non-generic structures (see the tightness note in rta.rs) but
+        // the capped value never does.
+        match bound.scenario() {
+            Scenario::OffNotOnCriticalPath | Scenario::OffOnCriticalPathDominant => {
+                prop_assert!(bound.value() <= hom_t, "R_het {} > R_hom(τ') {}", bound.value(), hom_t);
+            }
+            Scenario::OffOnCriticalPathDominated => {
+                prop_assert!(bound.tight_value() <= hom_t);
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_dominate_critical_path_and_volume_over_m(seed in 0u64..5000, pct in 1u32..70, m in 1u64..17) {
+        // Any sound bound is at least len(G') and at least the host
+        // workload divided by m.
+        let task = random_task(seed, f64::from(pct) / 100.0);
+        let t = transform(&task).unwrap();
+        let het = r_het(&t, m).unwrap().value();
+        prop_assert!(het >= t.len_transformed().to_rational() - task.c_off().to_rational());
+        let host_share = Rational::new(task.host_volume().get() as i128, m as i128);
+        prop_assert!(het >= host_share);
+    }
+
+    #[test]
+    fn scenario_matches_definitions(seed in 0u64..5000, pct in 1u32..70, m in 1u64..17) {
+        let task = random_task(seed, f64::from(pct) / 100.0);
+        let t = transform(&task).unwrap();
+        let bound = r_het(&t, m).unwrap();
+        let r_gpar = r_hom_dag(t.g_par(), m).unwrap();
+        match bound.scenario() {
+            Scenario::OffNotOnCriticalPath => {
+                prop_assert!(!t.off_on_critical_path());
+                // paper: scenario 1 implies len(G_par) > C_off
+                prop_assert!(t.len_g_par() >= task.c_off());
+            }
+            Scenario::OffOnCriticalPathDominant => {
+                prop_assert!(t.off_on_critical_path());
+                prop_assert!(task.c_off().to_rational() >= r_gpar);
+            }
+            Scenario::OffOnCriticalPathDominated => {
+                prop_assert!(t.off_on_critical_path());
+                prop_assert!(task.c_off().to_rational() < r_gpar);
+            }
+        }
+    }
+
+    #[test]
+    fn m_one_het_bound_equals_serialized_host_plus_overlap(seed in 0u64..2000, pct in 5u32..60) {
+        // On a single host core the bound never exceeds host work + C_off
+        // (everything serialized) and never drops below host work.
+        let task = random_task(seed, f64::from(pct) / 100.0);
+        let t = transform(&task).unwrap();
+        let het = r_het(&t, 1).unwrap().value();
+        prop_assert!(het <= task.volume().to_rational());
+        prop_assert!(het >= task.host_volume().to_rational());
+    }
+
+    #[test]
+    fn monotone_in_cores(seed in 0u64..2000, pct in 1u32..70) {
+        let task = random_task(seed, f64::from(pct) / 100.0);
+        let t = transform(&task).unwrap();
+        let mut prev = r_het(&t, 1).unwrap().value();
+        for m in [2u64, 4, 8, 16, 64] {
+            let cur = r_het(&t, m).unwrap().value();
+            prop_assert!(cur <= prev, "bound increased from m: {prev} -> {cur}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn report_consistent_with_parts(seed in 0u64..2000, pct in 1u32..70, m in 1u64..17) {
+        let task = random_task(seed, f64::from(pct) / 100.0);
+        let report = HeterogeneousAnalysis::run(&task, m).unwrap();
+        let t = transform(&task).unwrap();
+        prop_assert_eq!(report.r_het(), r_het(&t, m).unwrap().value());
+        prop_assert_eq!(report.r_hom_original(), r_hom_dag(task.dag(), m).unwrap());
+        prop_assert_eq!(report.best_bound(), report.r_het().min(report.r_hom_original()));
+    }
+
+    #[test]
+    fn large_coff_makes_het_win(seed in 0u64..500) {
+        // For a 60% offload fraction the heterogeneous analysis should
+        // essentially always beat the homogeneous baseline (paper Fig. 9:
+        // crossover is below ~5% for every m).
+        let task = random_task(seed, 0.6);
+        let report = HeterogeneousAnalysis::run(&task, 4).unwrap();
+        prop_assert!(
+            report.r_het() <= report.r_hom_original(),
+            "R_het {} > R_hom {} at 60% offload",
+            report.r_het(),
+            report.r_hom_original()
+        );
+    }
+}

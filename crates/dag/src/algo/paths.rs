@@ -1,0 +1,168 @@
+//! Path counting and bounded enumeration.
+
+use crate::algo::topological_order;
+use crate::{Dag, DagError, NodeId};
+
+/// Counts the number of distinct directed paths from `from` to `to`
+/// (a path of zero edges counts when `from == to`).
+///
+/// Uses saturating arithmetic: on graphs with an astronomically large
+/// number of paths the result clamps at `u128::MAX`.
+///
+/// # Errors
+///
+/// Returns [`DagError::UnknownNode`] for out-of-range ids and
+/// [`DagError::Cycle`] if the graph is not acyclic.
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_dag::{Dag, Ticks, algo::count_paths};
+///
+/// let mut dag = Dag::new();
+/// let a = dag.add_node(Ticks::ONE);
+/// let b = dag.add_node(Ticks::ONE);
+/// let c = dag.add_node(Ticks::ONE);
+/// let d = dag.add_node(Ticks::ONE);
+/// for (f, t) in [(a, b), (a, c), (b, d), (c, d)] {
+///     dag.add_edge(f, t)?;
+/// }
+/// assert_eq!(count_paths(&dag, a, d)?, 2);
+/// # Ok::<(), hetrta_dag::DagError>(())
+/// ```
+pub fn count_paths(dag: &Dag, from: NodeId, to: NodeId) -> Result<u128, DagError> {
+    if !dag.contains_node(from) {
+        return Err(DagError::UnknownNode(from));
+    }
+    if !dag.contains_node(to) {
+        return Err(DagError::UnknownNode(to));
+    }
+    let order = topological_order(dag)?;
+    let mut count = vec![0u128; dag.node_count()];
+    count[from.index()] = 1;
+    for &v in &order {
+        if count[v.index()] == 0 {
+            continue;
+        }
+        let c = count[v.index()];
+        for &s in dag.successors(v) {
+            count[s.index()] = count[s.index()].saturating_add(c);
+        }
+    }
+    Ok(count[to.index()])
+}
+
+/// Enumerates up to `limit` source-to-sink paths of `dag`, each as a node
+/// sequence in execution order.
+///
+/// Intended for diagnostics and tests on small graphs; the number of paths
+/// can be exponential, hence the mandatory bound.
+///
+/// # Errors
+///
+/// Returns [`DagError::Cycle`] if the graph is not acyclic.
+pub fn enumerate_paths(dag: &Dag, limit: usize) -> Result<Vec<Vec<NodeId>>, DagError> {
+    topological_order(dag)?; // cycle check
+    let mut out = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    for src in dag.sources() {
+        dfs(dag, src, &mut stack, &mut out, limit);
+        if out.len() >= limit {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+fn dfs(dag: &Dag, v: NodeId, stack: &mut Vec<NodeId>, out: &mut Vec<Vec<NodeId>>, limit: usize) {
+    if out.len() >= limit {
+        return;
+    }
+    stack.push(v);
+    if dag.out_degree(v) == 0 {
+        out.push(stack.clone());
+    } else {
+        for &s in dag.successors(v) {
+            dfs(dag, s, stack, out, limit);
+        }
+    }
+    stack.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ticks;
+
+    fn diamond() -> (Dag, [NodeId; 4]) {
+        let mut dag = Dag::new();
+        let a = dag.add_node(Ticks::ONE);
+        let b = dag.add_node(Ticks::ONE);
+        let c = dag.add_node(Ticks::ONE);
+        let d = dag.add_node(Ticks::ONE);
+        for (f, t) in [(a, b), (a, c), (b, d), (c, d)] {
+            dag.add_edge(f, t).unwrap();
+        }
+        (dag, [a, b, c, d])
+    }
+
+    #[test]
+    fn count_in_diamond() {
+        let (dag, [a, b, _, d]) = diamond();
+        assert_eq!(count_paths(&dag, a, d).unwrap(), 2);
+        assert_eq!(count_paths(&dag, b, d).unwrap(), 1);
+        assert_eq!(count_paths(&dag, d, a).unwrap(), 0);
+        assert_eq!(count_paths(&dag, a, a).unwrap(), 1);
+    }
+
+    #[test]
+    fn count_unknown_node() {
+        let (dag, [a, ..]) = diamond();
+        let bogus = NodeId::from_index(42);
+        assert!(matches!(count_paths(&dag, a, bogus), Err(DagError::UnknownNode(_))));
+        assert!(matches!(count_paths(&dag, bogus, a), Err(DagError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn enumerate_diamond_paths() {
+        let (dag, [a, b, c, d]) = diamond();
+        let paths = enumerate_paths(&dag, 100).unwrap();
+        assert_eq!(paths.len(), 2);
+        assert!(paths.contains(&vec![a, b, d]));
+        assert!(paths.contains(&vec![a, c, d]));
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let (dag, _) = diamond();
+        let paths = enumerate_paths(&dag, 1).unwrap();
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn exponential_path_count_does_not_overflow() {
+        // A ladder of k diamonds has 2^k paths; build k = 140 > 128 bits.
+        let mut dag = Dag::new();
+        let mut prev = dag.add_node(Ticks::ONE);
+        let first = prev;
+        for _ in 0..140 {
+            let l = dag.add_node(Ticks::ONE);
+            let r = dag.add_node(Ticks::ONE);
+            let join = dag.add_node(Ticks::ONE);
+            dag.add_edge(prev, l).unwrap();
+            dag.add_edge(prev, r).unwrap();
+            dag.add_edge(l, join).unwrap();
+            dag.add_edge(r, join).unwrap();
+            prev = join;
+        }
+        assert_eq!(count_paths(&dag, first, prev).unwrap(), u128::MAX);
+    }
+
+    #[test]
+    fn isolated_node_is_its_own_path() {
+        let mut dag = Dag::new();
+        let a = dag.add_node(Ticks::ONE);
+        let paths = enumerate_paths(&dag, 10).unwrap();
+        assert_eq!(paths, vec![vec![a]]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Transitive-edge detection and reduction.
+//!
+//! The task model of the paper (Section 2) requires that transitive edges do
+//! not exist: if `(v1, v2) ∈ E` and `(v2, v3) ∈ E` then `(v1, v3) ∉ E`.
+//! More generally an edge `(u, w)` is transitive when some other path
+//! `u → … → w` of length ≥ 2 exists. Algorithm 1 relies on this property
+//! (the *other* successors of `v_off`'s direct predecessors are necessarily
+//! parallel to `v_off`), so the builder validates it and the generators
+//! guarantee it.
+
+use crate::algo::Reachability;
+use crate::{Dag, DagError, NodeId};
+
+/// Finds one transitive edge, if any exists.
+///
+/// An edge `(u, w)` is transitive iff removing it still leaves a directed
+/// path from `u` to `w`.
+///
+/// # Errors
+///
+/// Returns [`DagError::Cycle`] if the graph is not acyclic.
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_dag::{Dag, Ticks, algo::transitive};
+///
+/// let mut dag = Dag::new();
+/// let a = dag.add_node(Ticks::ONE);
+/// let b = dag.add_node(Ticks::ONE);
+/// let c = dag.add_node(Ticks::ONE);
+/// dag.add_edge(a, b)?;
+/// dag.add_edge(b, c)?;
+/// dag.add_edge(a, c)?; // transitive: a → b → c exists
+/// assert_eq!(transitive::find_transitive_edge(&dag)?, Some((a, c)));
+/// # Ok::<(), hetrta_dag::DagError>(())
+/// ```
+pub fn find_transitive_edge(dag: &Dag) -> Result<Option<(NodeId, NodeId)>, DagError> {
+    let reach = Reachability::of(dag)?;
+    for (u, w) in dag.edges() {
+        // (u, w) is transitive iff some other successor of u reaches w.
+        let redundant =
+            dag.successors(u).iter().any(|&s| s != w && reach.is_ordered_before(s, w));
+        if redundant {
+            return Ok(Some((u, w)));
+        }
+    }
+    Ok(None)
+}
+
+/// `true` if the graph contains no transitive edge.
+///
+/// # Errors
+///
+/// Returns [`DagError::Cycle`] if the graph is not acyclic.
+pub fn is_transitively_reduced(dag: &Dag) -> Result<bool, DagError> {
+    Ok(find_transitive_edge(dag)?.is_none())
+}
+
+/// Returns a copy of `dag` with all transitive edges removed (the unique
+/// transitive reduction of a DAG).
+///
+/// Node ids, WCETs and labels are preserved; only redundant edges are
+/// dropped. Useful to sanitize externally supplied graphs before building a
+/// [`DagTask`](crate::task::DagTask).
+///
+/// # Errors
+///
+/// Returns [`DagError::Cycle`] if the graph is not acyclic.
+pub fn transitive_reduction(dag: &Dag) -> Result<Dag, DagError> {
+    let reach = Reachability::of(dag)?;
+    let mut reduced = dag.clone();
+    let edges: Vec<(NodeId, NodeId)> = dag.edges().collect();
+    for (u, w) in edges {
+        let redundant = dag
+            .successors(u)
+            .iter()
+            .any(|&s| s != w && reach.is_ordered_before(s, w));
+        if redundant {
+            reduced.remove_edge(u, w).expect("edge listed by iterator exists");
+        }
+    }
+    debug_assert!(is_transitively_reduced(&reduced).unwrap_or(false));
+    Ok(reduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ticks;
+
+    fn chain_with_shortcut() -> (Dag, [NodeId; 3]) {
+        let mut dag = Dag::new();
+        let a = dag.add_node(Ticks::ONE);
+        let b = dag.add_node(Ticks::ONE);
+        let c = dag.add_node(Ticks::ONE);
+        dag.add_edge(a, b).unwrap();
+        dag.add_edge(b, c).unwrap();
+        dag.add_edge(a, c).unwrap();
+        (dag, [a, b, c])
+    }
+
+    #[test]
+    fn detects_direct_transitive_edge() {
+        let (dag, [a, _, c]) = chain_with_shortcut();
+        assert_eq!(find_transitive_edge(&dag).unwrap(), Some((a, c)));
+        assert!(!is_transitively_reduced(&dag).unwrap());
+    }
+
+    #[test]
+    fn detects_long_range_transitive_edge() {
+        let mut dag = Dag::new();
+        let v: Vec<NodeId> = (0..4).map(|_| dag.add_node(Ticks::ONE)).collect();
+        dag.add_edge(v[0], v[1]).unwrap();
+        dag.add_edge(v[1], v[2]).unwrap();
+        dag.add_edge(v[2], v[3]).unwrap();
+        dag.add_edge(v[0], v[3]).unwrap(); // spans a 3-edge path
+        assert_eq!(find_transitive_edge(&dag).unwrap(), Some((v[0], v[3])));
+    }
+
+    #[test]
+    fn diamond_is_reduced() {
+        let mut dag = Dag::new();
+        let a = dag.add_node(Ticks::ONE);
+        let b = dag.add_node(Ticks::ONE);
+        let c = dag.add_node(Ticks::ONE);
+        let d = dag.add_node(Ticks::ONE);
+        for (f, t) in [(a, b), (a, c), (b, d), (c, d)] {
+            dag.add_edge(f, t).unwrap();
+        }
+        assert!(is_transitively_reduced(&dag).unwrap());
+        assert_eq!(find_transitive_edge(&dag).unwrap(), None);
+    }
+
+    #[test]
+    fn reduction_removes_only_redundant_edges() {
+        let (dag, [a, b, c]) = chain_with_shortcut();
+        let reduced = transitive_reduction(&dag).unwrap();
+        assert_eq!(reduced.edge_count(), 2);
+        assert!(reduced.has_edge(a, b));
+        assert!(reduced.has_edge(b, c));
+        assert!(!reduced.has_edge(a, c));
+        // node data preserved
+        assert_eq!(reduced.node_count(), 3);
+        assert_eq!(reduced.volume(), dag.volume());
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let (dag, _) = chain_with_shortcut();
+        let once = transitive_reduction(&dag).unwrap();
+        let twice = transitive_reduction(&once).unwrap();
+        assert_eq!(once.edge_count(), twice.edge_count());
+    }
+
+    #[test]
+    fn cycle_reported() {
+        let mut dag = Dag::new();
+        let a = dag.add_node(Ticks::ONE);
+        let b = dag.add_node(Ticks::ONE);
+        dag.add_edge(a, b).unwrap();
+        dag.add_edge(b, a).unwrap();
+        assert!(find_transitive_edge(&dag).is_err());
+        assert!(transitive_reduction(&dag).is_err());
+    }
+}

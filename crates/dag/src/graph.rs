@@ -1,0 +1,632 @@
+//! Mutable DAG storage.
+
+use core::fmt;
+
+use crate::{BitSet, DagError, NodeId, Ticks};
+
+/// A directed acyclic graph of jobs, each with a worst-case execution time.
+///
+/// `Dag` is the `G = (V, E)` of the paper's task model: nodes represent
+/// sequential jobs characterized by a WCET, edges represent precedence
+/// constraints. The structure is kept deliberately mutable — the DAG
+/// transformation of Algorithm 1 inserts a node and rewires edges — while
+/// the *model* constraints (acyclicity, single source/sink, no transitive
+/// edges) are enforced at the boundaries by [`DagBuilder`](crate::DagBuilder)
+/// and [`validate_task_model`](crate::validate_task_model).
+///
+/// Node ids are dense indices in insertion order; nodes cannot be removed
+/// (the model never needs it and stable ids keep cross-references between
+/// the original DAG `G` and the transformed `G'` trivial).
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_dag::{Dag, Ticks};
+///
+/// let mut dag = Dag::new();
+/// let a = dag.add_node(Ticks::new(2));
+/// let b = dag.add_node(Ticks::new(3));
+/// dag.add_edge(a, b)?;
+/// assert_eq!(dag.node_count(), 2);
+/// assert_eq!(dag.volume(), Ticks::new(5));
+/// assert!(dag.has_edge(a, b));
+/// # Ok::<(), hetrta_dag::DagError>(())
+/// ```
+#[derive(Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dag {
+    wcets: Vec<Ticks>,
+    labels: Vec<String>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Dag {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    /// Creates an empty graph with room for `nodes` nodes.
+    #[must_use]
+    pub fn with_capacity(nodes: usize) -> Self {
+        Dag {
+            wcets: Vec::with_capacity(nodes),
+            labels: Vec::with_capacity(nodes),
+            succs: Vec::with_capacity(nodes),
+            preds: Vec::with_capacity(nodes),
+            edge_count: 0,
+        }
+    }
+
+    /// Adds an unlabeled node with the given WCET and returns its id.
+    pub fn add_node(&mut self, wcet: Ticks) -> NodeId {
+        self.add_labeled_node(String::new(), wcet)
+    }
+
+    /// Adds a node with a human-readable label (used by DOT export and
+    /// debugging) and returns its id.
+    pub fn add_labeled_node(&mut self, label: impl Into<String>, wcet: Ticks) -> NodeId {
+        let id = NodeId::from_index(self.wcets.len());
+        self.wcets.push(wcet);
+        self.labels.push(label.into());
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Number of nodes `|V|`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.wcets.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// `true` if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.wcets.is_empty()
+    }
+
+    /// `true` if `id` refers to a node of this graph.
+    #[must_use]
+    pub fn contains_node(&self, id: NodeId) -> bool {
+        id.index() < self.wcets.len()
+    }
+
+    fn check_node(&self, id: NodeId) -> Result<(), DagError> {
+        if self.contains_node(id) {
+            Ok(())
+        } else {
+            Err(DagError::UnknownNode(id))
+        }
+    }
+
+    /// WCET of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this graph.
+    #[must_use]
+    pub fn wcet(&self, id: NodeId) -> Ticks {
+        self.wcets[id.index()]
+    }
+
+    /// WCET of a node, `None` if the id is out of range.
+    #[must_use]
+    pub fn get_wcet(&self, id: NodeId) -> Option<Ticks> {
+        self.wcets.get(id.index()).copied()
+    }
+
+    /// Replaces the WCET of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::UnknownNode`] if `id` is out of range.
+    pub fn set_wcet(&mut self, id: NodeId, wcet: Ticks) -> Result<(), DagError> {
+        self.check_node(id)?;
+        self.wcets[id.index()] = wcet;
+        Ok(())
+    }
+
+    /// Label of a node (empty string if unlabeled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this graph.
+    #[must_use]
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.labels[id.index()]
+    }
+
+    /// Replaces the label of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::UnknownNode`] if `id` is out of range.
+    pub fn set_label(&mut self, id: NodeId, label: impl Into<String>) -> Result<(), DagError> {
+        self.check_node(id)?;
+        self.labels[id.index()] = label.into();
+        Ok(())
+    }
+
+    /// Adds the precedence edge `(from, to)`.
+    ///
+    /// Acyclicity is *not* re-checked here (it would make Algorithm 1
+    /// quadratic); use [`Dag::add_edge_acyclic`] for untrusted input, or
+    /// validate the finished graph with
+    /// [`validate_task_model`](crate::validate_task_model).
+    ///
+    /// # Errors
+    ///
+    /// - [`DagError::UnknownNode`] if either endpoint is out of range;
+    /// - [`DagError::SelfLoop`] if `from == to`;
+    /// - [`DagError::DuplicateEdge`] if the edge already exists.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), DagError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if from == to {
+            return Err(DagError::SelfLoop(from));
+        }
+        if self.has_edge(from, to) {
+            return Err(DagError::DuplicateEdge(from, to));
+        }
+        self.succs[from.index()].push(to);
+        self.preds[to.index()].push(from);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Adds `(from, to)` after checking that it would not create a cycle.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Dag::add_edge`] reports, plus [`DagError::Cycle`] if a
+    /// path `to → … → from` already exists.
+    pub fn add_edge_acyclic(&mut self, from: NodeId, to: NodeId) -> Result<(), DagError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if self.reaches(to, from) {
+            return Err(DagError::Cycle(from));
+        }
+        self.add_edge(from, to)
+    }
+
+    /// Removes the edge `(from, to)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::UnknownEdge`] if the edge does not exist and
+    /// [`DagError::UnknownNode`] if either endpoint is out of range.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), DagError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        let spos = self.succs[from.index()].iter().position(|&v| v == to);
+        match spos {
+            None => Err(DagError::UnknownEdge(from, to)),
+            Some(i) => {
+                self.succs[from.index()].remove(i);
+                let j = self.preds[to.index()]
+                    .iter()
+                    .position(|&v| v == from)
+                    .expect("adjacency lists out of sync");
+                self.preds[to.index()].remove(j);
+                self.edge_count -= 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// `true` if the edge `(from, to)` exists.
+    #[must_use]
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.contains_node(from)
+            && self.contains_node(to)
+            && self.succs[from.index()].contains(&to)
+    }
+
+    /// Direct successors of a node, in edge-insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this graph.
+    #[must_use]
+    pub fn successors(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id.index()]
+    }
+
+    /// Direct predecessors of a node, in edge-insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this graph.
+    #[must_use]
+    pub fn predecessors(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id.index()]
+    }
+
+    /// Out-degree of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this graph.
+    #[must_use]
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.succs[id.index()].len()
+    }
+
+    /// In-degree of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this graph.
+    #[must_use]
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.preds[id.index()].len()
+    }
+
+    /// Iterates over all node ids in index order.
+    pub fn node_ids(&self) -> NodeIter {
+        NodeIter { next: 0, count: self.node_count() }
+    }
+
+    /// Iterates over all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> EdgeIter<'_> {
+        EdgeIter { dag: self, from: 0, succ_pos: 0 }
+    }
+
+    /// All nodes without predecessors, in index order.
+    #[must_use]
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&v| self.in_degree(v) == 0).collect()
+    }
+
+    /// All nodes without successors, in index order.
+    #[must_use]
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.node_ids().filter(|&v| self.out_degree(v) == 0).collect()
+    }
+
+    /// The unique source, if there is exactly one.
+    #[must_use]
+    pub fn source(&self) -> Option<NodeId> {
+        let mut it = self.node_ids().filter(|&v| self.in_degree(v) == 0);
+        let first = it.next()?;
+        if it.next().is_none() {
+            Some(first)
+        } else {
+            None
+        }
+    }
+
+    /// The unique sink, if there is exactly one.
+    #[must_use]
+    pub fn sink(&self) -> Option<NodeId> {
+        let mut it = self.node_ids().filter(|&v| self.out_degree(v) == 0);
+        let first = it.next()?;
+        if it.next().is_none() {
+            Some(first)
+        } else {
+            None
+        }
+    }
+
+    /// `vol(G)`: the sum of all node WCETs (Section 2 of the paper).
+    ///
+    /// On a parallel architecture this is the WCET of the task when executed
+    /// entirely sequentially.
+    #[must_use]
+    pub fn volume(&self) -> Ticks {
+        self.wcets.iter().copied().sum()
+    }
+
+    /// Sum of the WCETs of the nodes in `set`.
+    ///
+    /// Indices in `set` beyond the node count are ignored.
+    #[must_use]
+    pub fn volume_of(&self, set: &BitSet) -> Ticks {
+        set.iter().filter_map(|v| self.get_wcet(v)).sum()
+    }
+
+    /// `true` if `from` can reach `to` through directed edges
+    /// (including `from == to`).
+    #[must_use]
+    pub fn reaches(&self, from: NodeId, to: NodeId) -> bool {
+        if !self.contains_node(from) || !self.contains_node(to) {
+            return false;
+        }
+        if from == to {
+            return true;
+        }
+        let mut visited = BitSet::new(self.node_count());
+        let mut stack = vec![from];
+        visited.insert(from);
+        while let Some(v) = stack.pop() {
+            for &s in self.successors(v) {
+                if s == to {
+                    return true;
+                }
+                if visited.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+
+    /// Extracts the subgraph induced by `nodes`.
+    ///
+    /// Returns the new graph together with the mapping *new id → old id*
+    /// (position `i` of the vector holds the original id of new node `i`).
+    /// Edges of `self` with both endpoints in `nodes` are preserved. Labels
+    /// and WCETs are copied.
+    ///
+    /// This is how the parallel sub-DAG `G_par` is materialized from the
+    /// parallel node set `V_par`.
+    #[must_use]
+    pub fn induced_subgraph(&self, nodes: &BitSet) -> (Dag, Vec<NodeId>) {
+        let mut sub = Dag::with_capacity(nodes.len());
+        let mut old_of_new: Vec<NodeId> = Vec::with_capacity(nodes.len());
+        let mut new_of_old: Vec<Option<NodeId>> = vec![None; self.node_count()];
+        for old in nodes.iter().filter(|&v| self.contains_node(v)) {
+            let new = sub.add_labeled_node(self.label(old).to_owned(), self.wcet(old));
+            new_of_old[old.index()] = Some(new);
+            old_of_new.push(old);
+        }
+        for (from, to) in self.edges() {
+            if let (Some(nf), Some(nt)) = (new_of_old[from.index()], new_of_old[to.index()]) {
+                sub.add_edge(nf, nt).expect("induced subgraph edges are unique");
+            }
+        }
+        (sub, old_of_new)
+    }
+}
+
+impl fmt::Debug for Dag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Dag {{ nodes: {}, edges: {} }}", self.node_count(), self.edge_count())?;
+        for v in self.node_ids() {
+            let label = if self.label(v).is_empty() { String::new() } else { format!(" ({})", self.label(v)) };
+            writeln!(
+                f,
+                "  {v}{label} C={} -> {:?}",
+                self.wcet(v),
+                self.successors(v)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over node ids, produced by [`Dag::node_ids`].
+#[derive(Debug, Clone)]
+pub struct NodeIter {
+    next: usize,
+    count: usize,
+}
+
+impl Iterator for NodeIter {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.next < self.count {
+            let id = NodeId::from_index(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.count - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for NodeIter {}
+
+/// Iterator over edges, produced by [`Dag::edges`].
+#[derive(Debug)]
+pub struct EdgeIter<'a> {
+    dag: &'a Dag,
+    from: usize,
+    succ_pos: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        while self.from < self.dag.node_count() {
+            let succs = &self.dag.succs[self.from];
+            if self.succ_pos < succs.len() {
+                let edge = (NodeId::from_index(self.from), succs[self.succ_pos]);
+                self.succ_pos += 1;
+                return Some(edge);
+            }
+            self.from += 1;
+            self.succ_pos = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Dag, [NodeId; 4]) {
+        let mut dag = Dag::new();
+        let a = dag.add_labeled_node("a", Ticks::new(1));
+        let b = dag.add_labeled_node("b", Ticks::new(2));
+        let c = dag.add_labeled_node("c", Ticks::new(3));
+        let d = dag.add_labeled_node("d", Ticks::new(4));
+        dag.add_edge(a, b).unwrap();
+        dag.add_edge(a, c).unwrap();
+        dag.add_edge(b, d).unwrap();
+        dag.add_edge(c, d).unwrap();
+        (dag, [a, b, c, d])
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let (dag, _) = diamond();
+        assert_eq!(dag.node_count(), 4);
+        assert_eq!(dag.edge_count(), 4);
+        assert!(!dag.is_empty());
+        assert!(Dag::new().is_empty());
+    }
+
+    #[test]
+    fn adjacency() {
+        let (dag, [a, b, c, d]) = diamond();
+        assert_eq!(dag.successors(a), &[b, c]);
+        assert_eq!(dag.predecessors(d), &[b, c]);
+        assert_eq!(dag.out_degree(a), 2);
+        assert_eq!(dag.in_degree(a), 0);
+        assert!(dag.has_edge(a, b));
+        assert!(!dag.has_edge(b, a));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let (mut dag, [a, b, ..]) = diamond();
+        assert_eq!(dag.add_edge(a, b), Err(DagError::DuplicateEdge(a, b)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let (mut dag, [a, ..]) = diamond();
+        assert_eq!(dag.add_edge(a, a), Err(DagError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let (mut dag, [a, ..]) = diamond();
+        let bogus = NodeId::from_index(99);
+        assert_eq!(dag.add_edge(a, bogus), Err(DagError::UnknownNode(bogus)));
+        assert_eq!(dag.set_wcet(bogus, Ticks::ZERO), Err(DagError::UnknownNode(bogus)));
+    }
+
+    #[test]
+    fn remove_edge_updates_both_lists() {
+        let (mut dag, [a, b, _, d]) = diamond();
+        dag.remove_edge(a, b).unwrap();
+        assert!(!dag.has_edge(a, b));
+        assert_eq!(dag.edge_count(), 3);
+        assert_eq!(dag.predecessors(b), &[] as &[NodeId]);
+        assert_eq!(dag.remove_edge(a, b), Err(DagError::UnknownEdge(a, b)));
+        assert_eq!(dag.predecessors(d).len(), 2);
+    }
+
+    #[test]
+    fn acyclic_guard_detects_cycles() {
+        let (mut dag, [a, _, _, d]) = diamond();
+        assert_eq!(dag.add_edge_acyclic(d, a), Err(DagError::Cycle(d)));
+        // A fresh forward edge is fine.
+        let e = dag.add_node(Ticks::new(1));
+        dag.add_edge_acyclic(d, e).unwrap();
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let (dag, [a, _, _, d]) = diamond();
+        assert_eq!(dag.sources(), vec![a]);
+        assert_eq!(dag.sinks(), vec![d]);
+        assert_eq!(dag.source(), Some(a));
+        assert_eq!(dag.sink(), Some(d));
+
+        let mut two_sources = Dag::new();
+        let x = two_sources.add_node(Ticks::ONE);
+        let y = two_sources.add_node(Ticks::ONE);
+        let z = two_sources.add_node(Ticks::ONE);
+        two_sources.add_edge(x, z).unwrap();
+        two_sources.add_edge(y, z).unwrap();
+        assert_eq!(two_sources.source(), None);
+        assert_eq!(two_sources.sources().len(), 2);
+    }
+
+    #[test]
+    fn volume_sums_wcets() {
+        let (dag, [_, b, c, _]) = diamond();
+        assert_eq!(dag.volume(), Ticks::new(10));
+        let mut set = BitSet::new(4);
+        set.insert(b);
+        set.insert(c);
+        assert_eq!(dag.volume_of(&set), Ticks::new(5));
+    }
+
+    #[test]
+    fn reaches_follows_paths() {
+        let (dag, [a, b, c, d]) = diamond();
+        assert!(dag.reaches(a, d));
+        assert!(dag.reaches(a, a));
+        assert!(!dag.reaches(b, c));
+        assert!(!dag.reaches(d, a));
+    }
+
+    #[test]
+    fn edge_iterator_yields_all_edges() {
+        let (dag, [a, b, c, d]) = diamond();
+        let edges: Vec<_> = dag.edges().collect();
+        assert_eq!(edges, vec![(a, b), (a, c), (b, d), (c, d)]);
+    }
+
+    #[test]
+    fn node_iterator_is_exact_size() {
+        let (dag, _) = diamond();
+        let it = dag.node_ids();
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.collect::<Vec<_>>().len(), 4);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_internal_edges() {
+        let (dag, [_, b, c, d]) = diamond();
+        let mut set = BitSet::new(4);
+        set.insert(b);
+        set.insert(c);
+        set.insert(d);
+        let (sub, mapping) = dag.induced_subgraph(&set);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2); // b->d, c->d
+        assert_eq!(mapping, vec![b, c, d]);
+        assert_eq!(sub.volume(), Ticks::new(9));
+        assert_eq!(sub.label(NodeId::from_index(0)), "b");
+    }
+
+    #[test]
+    fn induced_subgraph_of_empty_set_is_empty() {
+        let (dag, _) = diamond();
+        let (sub, mapping) = dag.induced_subgraph(&BitSet::new(4));
+        assert!(sub.is_empty());
+        assert!(mapping.is_empty());
+        assert_eq!(sub.volume(), Ticks::ZERO);
+    }
+
+    #[test]
+    fn labels_and_wcets_are_mutable() {
+        let (mut dag, [a, ..]) = diamond();
+        dag.set_wcet(a, Ticks::new(42)).unwrap();
+        dag.set_label(a, "start").unwrap();
+        assert_eq!(dag.wcet(a), Ticks::new(42));
+        assert_eq!(dag.label(a), "start");
+        assert_eq!(dag.get_wcet(NodeId::from_index(77)), None);
+    }
+
+    #[test]
+    fn debug_output_mentions_nodes() {
+        let (dag, _) = diamond();
+        let s = format!("{dag:?}");
+        assert!(s.contains("nodes: 4"));
+        assert!(s.contains("(a)"));
+    }
+}

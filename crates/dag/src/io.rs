@@ -1,0 +1,359 @@
+//! Plain-text task format (`.hdag`) — parse and render.
+//!
+//! A minimal line-oriented format so tasks can be stored in version
+//! control, diffed, and fed to the `hetrta` CLI without pulling in a
+//! serialization framework:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! node <name> <wcet>
+//! edge <from-name> <to-name>
+//! offload <name>          # optional, at most once
+//! period <ticks>          # optional (defaults to vol(G))
+//! deadline <ticks>        # optional (defaults to period)
+//! ```
+//!
+//! Names may contain any non-whitespace characters and must be unique.
+//! The parsed graph is validated against the task model (acyclic, single
+//! source/sink, no transitive edges).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{DagBuilder, DagError, HeteroDagTask, NodeId, Ticks};
+
+/// A parse failure: line number (1-based) plus message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "task file invalid: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<DagError> for ParseError {
+    fn from(e: DagError) -> Self {
+        ParseError { line: 0, message: e.to_string() }
+    }
+}
+
+/// Result of parsing: the task plus the name table (id → name).
+#[derive(Debug, Clone)]
+pub struct ParsedTask {
+    /// The heterogeneous task. When the file has no `offload` line the
+    /// offloaded node is absent and the task is purely a host DAG.
+    pub task: TaskKind,
+    /// Node names in id order.
+    pub names: Vec<String>,
+}
+
+/// Either a plain host task or a heterogeneous one, depending on whether
+/// the file declares an `offload` node.
+#[derive(Debug, Clone)]
+pub enum TaskKind {
+    /// No `offload` line: a homogeneous DAG task.
+    Homogeneous(crate::DagTask),
+    /// An `offload` line designated `v_off`.
+    Heterogeneous(HeteroDagTask),
+}
+
+impl TaskKind {
+    /// The underlying graph.
+    #[must_use]
+    pub fn dag(&self) -> &crate::Dag {
+        match self {
+            TaskKind::Homogeneous(t) => t.dag(),
+            TaskKind::Heterogeneous(t) => t.dag(),
+        }
+    }
+
+    /// The offloaded node, if heterogeneous.
+    #[must_use]
+    pub fn offloaded(&self) -> Option<NodeId> {
+        match self {
+            TaskKind::Homogeneous(_) => None,
+            TaskKind::Heterogeneous(t) => Some(t.offloaded()),
+        }
+    }
+}
+
+/// Parses the `.hdag` text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] carrying the offending line number for syntax
+/// problems, duplicate/unknown names, or a model violation detected by the
+/// validating builder.
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_dag::io::parse_task;
+///
+/// let text = "
+/// node a 2
+/// node k 6
+/// node z 2
+/// edge a k
+/// edge k z
+/// offload k
+/// deadline 12
+/// period 20
+/// ";
+/// let parsed = parse_task(text)?;
+/// assert_eq!(parsed.names, vec!["a", "k", "z"]);
+/// assert!(parsed.task.offloaded().is_some());
+/// # Ok::<(), hetrta_dag::io::ParseError>(())
+/// ```
+pub fn parse_task(text: &str) -> Result<ParsedTask, ParseError> {
+    let mut builder = DagBuilder::new();
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut offload: Option<(usize, NodeId)> = None;
+    let mut period: Option<Ticks> = None;
+    let mut deadline: Option<Ticks> = None;
+    let mut edges: Vec<(usize, String, String)> = Vec::new();
+
+    let err = |line: usize, message: String| ParseError { line, message };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("non-empty line has a first token");
+        let rest: Vec<&str> = parts.collect();
+        match keyword {
+            "node" => {
+                let [name, wcet] = rest.as_slice() else {
+                    return Err(err(lineno, "expected `node <name> <wcet>`".into()));
+                };
+                if ids.contains_key(*name) {
+                    return Err(err(lineno, format!("duplicate node name `{name}`")));
+                }
+                let wcet: u64 = wcet
+                    .parse()
+                    .map_err(|_| err(lineno, format!("invalid WCET `{wcet}`")))?;
+                let id = builder.node((*name).to_owned(), Ticks::new(wcet));
+                ids.insert((*name).to_owned(), id);
+                names.push((*name).to_owned());
+            }
+            "edge" => {
+                let [from, to] = rest.as_slice() else {
+                    return Err(err(lineno, "expected `edge <from> <to>`".into()));
+                };
+                edges.push((lineno, (*from).to_owned(), (*to).to_owned()));
+            }
+            "offload" => {
+                let [name] = rest.as_slice() else {
+                    return Err(err(lineno, "expected `offload <name>`".into()));
+                };
+                if offload.is_some() {
+                    return Err(err(lineno, "the model has a single offloaded node".into()));
+                }
+                let id = *ids
+                    .get(*name)
+                    .ok_or_else(|| err(lineno, format!("unknown node `{name}`")))?;
+                offload = Some((lineno, id));
+            }
+            "period" => {
+                let [v] = rest.as_slice() else {
+                    return Err(err(lineno, "expected `period <ticks>`".into()));
+                };
+                let v: u64 =
+                    v.parse().map_err(|_| err(lineno, format!("invalid period `{v}`")))?;
+                period = Some(Ticks::new(v));
+            }
+            "deadline" => {
+                let [v] = rest.as_slice() else {
+                    return Err(err(lineno, "expected `deadline <ticks>`".into()));
+                };
+                let v: u64 =
+                    v.parse().map_err(|_| err(lineno, format!("invalid deadline `{v}`")))?;
+                deadline = Some(Ticks::new(v));
+            }
+            other => {
+                return Err(err(lineno, format!("unknown keyword `{other}`")));
+            }
+        }
+    }
+
+    for (lineno, from, to) in edges {
+        let f = *ids.get(&from).ok_or_else(|| err(lineno, format!("unknown node `{from}`")))?;
+        let t = *ids.get(&to).ok_or_else(|| err(lineno, format!("unknown node `{to}`")))?;
+        builder
+            .edge(f, t)
+            .map_err(|e| err(lineno, e.to_string()))?;
+    }
+
+    let dag = builder.build()?;
+    let period = period.unwrap_or_else(|| dag.volume());
+    let deadline = deadline.unwrap_or(period);
+    let task = match offload {
+        Some((line, v)) => TaskKind::Heterogeneous(
+            HeteroDagTask::new(dag, v, period, deadline)
+                .map_err(|e| err(line, e.to_string()))?,
+        ),
+        None => TaskKind::Homogeneous(
+            crate::DagTask::new(dag, period, deadline).map_err(ParseError::from)?,
+        ),
+    };
+    Ok(ParsedTask { task, names })
+}
+
+/// Renders a heterogeneous task back into the `.hdag` text format.
+///
+/// Unlabeled nodes are named after their ids (`n0`, `n1`, …); round-trips
+/// through [`parse_task`] preserve structure, WCETs, offload designation
+/// and timing parameters.
+#[must_use]
+pub fn render_task(task: &HeteroDagTask) -> String {
+    let dag = task.dag();
+    // Labels are display aids and need not be unique; fall back to the node
+    // id for empty, multi-token, `#`-containing or duplicated labels.
+    let mut label_count: HashMap<&str, usize> = HashMap::new();
+    for v in dag.node_ids() {
+        *label_count.entry(dag.label(v)).or_insert(0) += 1;
+    }
+    let name = |v: NodeId| -> String {
+        let label = dag.label(v);
+        let usable = !label.is_empty()
+            && label.split_whitespace().count() == 1
+            && !label.contains('#')
+            && label_count.get(label) == Some(&1);
+        if usable {
+            label.to_owned()
+        } else {
+            format!("{v}")
+        }
+    };
+    let mut out = String::from("# hetrta task file\n");
+    for v in dag.node_ids() {
+        out.push_str(&format!("node {} {}\n", name(v), dag.wcet(v)));
+    }
+    for (f, t) in dag.edges() {
+        out.push_str(&format!("edge {} {}\n", name(f), name(t)));
+    }
+    out.push_str(&format!("offload {}\n", name(task.offloaded())));
+    out.push_str(&format!("period {}\n", task.period()));
+    out.push_str(&format!("deadline {}\n", task.deadline()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+# Figure 1(a)
+node v1 1
+node v2 4
+node v3 6
+node v4 2
+node v5 1
+node v_off 4
+edge v1 v2
+edge v1 v3
+edge v1 v4
+edge v4 v_off
+edge v2 v5
+edge v3 v5
+edge v_off v5
+offload v_off
+period 50
+deadline 40
+";
+
+    #[test]
+    fn parses_figure1() {
+        let parsed = parse_task(SAMPLE).unwrap();
+        let TaskKind::Heterogeneous(task) = parsed.task else {
+            panic!("expected heterogeneous task");
+        };
+        assert_eq!(task.volume(), Ticks::new(18));
+        assert_eq!(task.c_off(), Ticks::new(4));
+        assert_eq!(task.period(), Ticks::new(50));
+        assert_eq!(task.deadline(), Ticks::new(40));
+        assert_eq!(parsed.names.len(), 6);
+    }
+
+    #[test]
+    fn defaults_for_period_and_deadline() {
+        let parsed = parse_task("node a 3\nnode b 4\nedge a b\n").unwrap();
+        let TaskKind::Homogeneous(task) = parsed.task else {
+            panic!("expected homogeneous task");
+        };
+        assert_eq!(task.period(), Ticks::new(7));
+        assert_eq!(task.deadline(), Ticks::new(7));
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let parsed = parse_task(SAMPLE).unwrap();
+        let TaskKind::Heterogeneous(task) = parsed.task else { unreachable!() };
+        let rendered = render_task(&task);
+        let reparsed = parse_task(&rendered).unwrap();
+        let TaskKind::Heterogeneous(task2) = reparsed.task else {
+            panic!("roundtrip lost the offload");
+        };
+        assert_eq!(task.volume(), task2.volume());
+        assert_eq!(task.c_off(), task2.c_off());
+        assert_eq!(task.period(), task2.period());
+        assert_eq!(task.deadline(), task2.deadline());
+        assert_eq!(task.dag().edge_count(), task2.dag().edge_count());
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = parse_task("node a 3\nnode a 4\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("duplicate"));
+
+        let e = parse_task("node a 3\nedge a b\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown node `b`"));
+
+        let e = parse_task("node a x\n").unwrap_err();
+        assert!(e.message.contains("invalid WCET"));
+
+        let e = parse_task("frobnicate\n").unwrap_err();
+        assert!(e.message.contains("unknown keyword"));
+    }
+
+    #[test]
+    fn structural_violations_are_reported() {
+        // transitive edge
+        let e = parse_task("node a 1\nnode b 1\nnode c 1\nedge a b\nedge b c\nedge a c\n")
+            .unwrap_err();
+        assert!(e.to_string().contains("transitive"));
+        // two offloads
+        let e = parse_task("node a 1\nnode b 1\nedge a b\noffload a\noffload b\n").unwrap_err();
+        assert!(e.message.contains("single offloaded node"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let parsed = parse_task("\n# hi\nnode a 3 # trailing\n\n").unwrap();
+        assert_eq!(parsed.names, vec!["a"]);
+    }
+
+    #[test]
+    fn deadline_exceeding_period_rejected() {
+        let e = parse_task("node a 1\nperiod 5\ndeadline 9\n").unwrap_err();
+        assert!(e.to_string().contains("constrained deadline"));
+    }
+}

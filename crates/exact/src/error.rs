@@ -1,0 +1,53 @@
+//! Solver errors.
+
+use core::fmt;
+
+use hetrta_dag::DagError;
+
+/// Errors produced by the exact solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExactError {
+    /// The platform must have at least one host core.
+    ZeroCores,
+    /// The task graph is unusable (wrapped cause).
+    Dag(DagError),
+}
+
+impl fmt::Display for ExactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExactError::ZeroCores => write!(f, "host must have at least one core"),
+            ExactError::Dag(e) => write!(f, "invalid task graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExactError::Dag(e) => Some(e),
+            ExactError::ZeroCores => None,
+        }
+    }
+}
+
+impl From<DagError> for ExactError {
+    fn from(e: DagError) -> Self {
+        ExactError::Dag(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        assert_eq!(ExactError::ZeroCores.to_string(), "host must have at least one core");
+        let e = ExactError::from(DagError::Empty);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("no nodes"));
+    }
+}

@@ -1,0 +1,230 @@
+//! List-scheduling heuristics (incumbent seeds for the solver).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hetrta_dag::algo::CriticalPath;
+use hetrta_dag::{Dag, NodeId, Ticks};
+
+use crate::ExactError;
+
+/// A critical-path-first (longest remaining chain) work-conserving list
+/// schedule on `m` host cores plus an accelerator for `offloaded`.
+///
+/// Semantics match `hetrta-sim`: non-preemptive, the offloaded node starts
+/// the moment it is ready, zero-WCET nodes complete instantly without a
+/// core. Returns `(makespan, start_times)`.
+///
+/// This is both the solver's initial incumbent and a strong standalone
+/// heuristic (HLF — "highest level first" — in the classic scheduling
+/// literature).
+///
+/// # Errors
+///
+/// - [`ExactError::ZeroCores`] if `m == 0`;
+/// - [`ExactError::Dag`] if the graph is cyclic or `offloaded` is unknown.
+pub fn list_schedule_cp_first(
+    dag: &Dag,
+    offloaded: Option<NodeId>,
+    m: u64,
+) -> Result<(Ticks, Vec<Ticks>), ExactError> {
+    if m == 0 {
+        return Err(ExactError::ZeroCores);
+    }
+    if let Some(off) = offloaded {
+        if !dag.contains_node(off) {
+            return Err(ExactError::Dag(hetrta_dag::DagError::UnknownNode(off)));
+        }
+    }
+    let n = dag.node_count();
+    let cp = CriticalPath::try_of(dag)?;
+    let tails: Vec<u64> = dag.node_ids().map(|v| cp.tail(v).get()).collect();
+
+    let mut remaining: Vec<usize> = (0..n).map(|i| dag.in_degree(NodeId::from_index(i))).collect();
+    let mut starts = vec![Ticks::ZERO; n];
+    let mut done = 0usize;
+    let mut free: BinaryHeap<Reverse<u64>> = (0..m).map(|_| Reverse(0u64)).collect();
+    // (finish, node)
+    let mut running: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    // ready host jobs, picked by max tail (ties: smallest id)
+    let mut ready: Vec<NodeId> = Vec::new();
+    let mut now = 0u64;
+
+    #[allow(clippy::too_many_arguments)] // internal event helper threading engine state
+    fn release(
+        v: NodeId,
+        now: u64,
+        dag: &Dag,
+        offloaded: Option<NodeId>,
+        tails: &[u64],
+        ready: &mut Vec<NodeId>,
+        running: &mut BinaryHeap<Reverse<(u64, u32)>>,
+        starts: &mut [Ticks],
+        done: &mut usize,
+        remaining: &mut [usize],
+    ) {
+        let w = dag.wcet(v).get();
+        if w == 0 {
+            starts[v.index()] = Ticks::new(now);
+            *done += 1;
+            for &s in dag.successors(v) {
+                remaining[s.index()] -= 1;
+                if remaining[s.index()] == 0 {
+                    release(s, now, dag, offloaded, tails, ready, running, starts, done, remaining);
+                }
+            }
+        } else if offloaded == Some(v) {
+            starts[v.index()] = Ticks::new(now);
+            running.push(Reverse((now + w, v.index() as u32)));
+        } else {
+            let pos = ready
+                .binary_search_by(|x| {
+                    (Reverse(tails[x.index()]), x.index())
+                        .cmp(&(Reverse(tails[v.index()]), v.index()))
+                })
+                .unwrap_or_else(|p| p);
+            ready.insert(pos, v);
+        }
+    }
+
+    for v in dag.sources() {
+        release(
+            v,
+            now,
+            dag,
+            offloaded,
+            &tails,
+            &mut ready,
+            &mut running,
+            &mut starts,
+            &mut done,
+            &mut remaining,
+        );
+    }
+
+    loop {
+        while !ready.is_empty() {
+            let Some(&Reverse(core_free)) = free.peek() else { break };
+            if core_free > now {
+                break;
+            }
+            free.pop();
+            let v = ready.remove(0);
+            starts[v.index()] = Ticks::new(now);
+            let finish = now + dag.wcet(v).get();
+            free.push(Reverse(finish));
+            running.push(Reverse((finish, v.index() as u32)));
+        }
+        // next event: earliest running completion, or earliest core slot if
+        // jobs are waiting (cores all busy)
+        let Some(&Reverse((fin, _))) = running.peek() else { break };
+        now = fin;
+        while let Some(&Reverse((f, vi))) = running.peek() {
+            if f != now {
+                break;
+            }
+            running.pop();
+            done += 1;
+            let v = NodeId::from_index(vi as usize);
+            for &s in dag.successors(v).to_vec().iter() {
+                remaining[s.index()] -= 1;
+                if remaining[s.index()] == 0 {
+                    release(
+                        s,
+                        now,
+                        dag,
+                        offloaded,
+                        &tails,
+                        &mut ready,
+                        &mut running,
+                        &mut starts,
+                        &mut done,
+                        &mut remaining,
+                    );
+                }
+            }
+        }
+    }
+    if done != n {
+        return Err(ExactError::Dag(hetrta_dag::DagError::Cycle(
+            (0..n).map(NodeId::from_index).find(|v| remaining[v.index()] > 0).unwrap_or(NodeId::from_index(0)),
+        )));
+    }
+    let makespan = dag
+        .node_ids()
+        .map(|v| starts[v.index()] + dag.wcet(v))
+        .max()
+        .unwrap_or(Ticks::ZERO);
+    Ok((makespan, starts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetrta_dag::DagBuilder;
+
+    fn figure1() -> (Dag, NodeId) {
+        let mut b = DagBuilder::new();
+        let v1 = b.node("v1", Ticks::new(1));
+        let v2 = b.node("v2", Ticks::new(4));
+        let v3 = b.node("v3", Ticks::new(6));
+        let v4 = b.node("v4", Ticks::new(2));
+        let v5 = b.node("v5", Ticks::new(1));
+        let voff = b.node("v_off", Ticks::new(4));
+        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
+            .unwrap();
+        (b.build().unwrap(), voff)
+    }
+
+    #[test]
+    fn cp_first_achieves_optimum_on_figure1() {
+        let (dag, voff) = figure1();
+        let (makespan, starts) = list_schedule_cp_first(&dag, Some(voff), 2).unwrap();
+        assert_eq!(makespan, Ticks::new(8));
+        assert_eq!(starts.len(), 6);
+    }
+
+    #[test]
+    fn single_core_serializes_host_work() {
+        let (dag, voff) = figure1();
+        let (makespan, _) = list_schedule_cp_first(&dag, Some(voff), 1).unwrap();
+        // host work = 14, plus possible accelerator overlap; serial host is
+        // the dominant term here: v1(1) then 13 more host ticks, with v_off
+        // overlapping. 14 ≤ makespan ≤ 18.
+        assert!(makespan >= Ticks::new(14) && makespan <= Ticks::new(18), "{makespan}");
+    }
+
+    #[test]
+    fn homogeneous_schedule_uses_host_for_all() {
+        let (dag, _) = figure1();
+        let (makespan, starts) = list_schedule_cp_first(&dag, None, 2).unwrap();
+        assert!(makespan >= Ticks::new(9)); // ceil(18/2)
+        assert!(makespan <= Ticks::new(13)); // R_hom
+        // precedence sanity
+        for (f, t) in dag.edges() {
+            assert!(starts[f.index()] + dag.wcet(f) <= starts[t.index()]);
+        }
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        let (dag, voff) = figure1();
+        assert_eq!(list_schedule_cp_first(&dag, Some(voff), 0).unwrap_err(), ExactError::ZeroCores);
+    }
+
+    #[test]
+    fn unknown_offload_rejected() {
+        let (dag, _) = figure1();
+        assert!(list_schedule_cp_first(&dag, Some(NodeId::from_index(77)), 2).is_err());
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        let mut dag = Dag::new();
+        let a = dag.add_node(Ticks::ONE);
+        let b = dag.add_node(Ticks::ONE);
+        dag.add_edge(a, b).unwrap();
+        dag.add_edge(b, a).unwrap();
+        assert!(list_schedule_cp_first(&dag, None, 1).is_err());
+    }
+}

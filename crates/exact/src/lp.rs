@@ -1,0 +1,189 @@
+//! Time-indexed ILP formulation export (CPLEX LP file format).
+//!
+//! The paper computes minimum makespans with "an ILP formulation (based on
+//! \[13\])" — Melani et al., *A static scheduling approach to enable
+//! safety-critical OpenMP applications*, ASP-DAC 2017 — solved by IBM
+//! CPLEX. Our solver ([`crate::solve`]) replaces CPLEX, but for users who
+//! have access to an external MILP solver this module renders the
+//! equivalent time-indexed formulation:
+//!
+//! * binary `x_i_t` — node `i` starts at tick `t`;
+//! * each node starts exactly once;
+//! * precedence: `start_j ≥ start_i + C_i` for every edge `(i, j)`;
+//! * host capacity: at every tick at most `m` host nodes are running;
+//! * the makespan variable `M` dominates every completion;
+//! * objective: `minimize M`.
+//!
+//! The horizon `H` (latest considered completion) is taken from the
+//! critical-path-first list schedule, which is always feasible — so the
+//! formulation is never infeasible by construction.
+
+use std::fmt::Write as _;
+
+use hetrta_dag::{Dag, NodeId};
+
+use crate::heuristics::list_schedule_cp_first;
+use crate::ExactError;
+
+/// Renders the time-indexed makespan-minimization ILP for `dag` on `m`
+/// host cores (+ accelerator for `offloaded`) in CPLEX LP file format.
+///
+/// The output can be fed to CPLEX (`cplex -c "read model.lp" "optimize"`),
+/// Gurobi, SCIP, HiGHS, CBC or any LP-format-compatible solver; the optimal
+/// objective equals [`crate::solve`]'s makespan.
+///
+/// # Errors
+///
+/// Propagates [`ExactError`] from the feasibility pre-pass (zero cores,
+/// cyclic graph, unknown offloaded node).
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_dag::{DagBuilder, Ticks};
+/// use hetrta_exact::lp::to_lp_format;
+///
+/// let mut b = DagBuilder::new();
+/// let a = b.node("a", Ticks::new(2));
+/// let z = b.node("z", Ticks::new(3));
+/// b.edge(a, z)?;
+/// let dag = b.build()?;
+/// let lp = to_lp_format(&dag, None, 1)?;
+/// assert!(lp.starts_with("\\ time-indexed DAG makespan model"));
+/// assert!(lp.contains("Minimize"));
+/// assert!(lp.contains("Binaries"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn to_lp_format(dag: &Dag, offloaded: Option<NodeId>, m: u64) -> Result<String, ExactError> {
+    let (horizon, _) = list_schedule_cp_first(dag, offloaded, m)?;
+    let h = horizon.get();
+    let n = dag.node_count();
+    let w = |v: NodeId| dag.wcet(v).get();
+    let latest_start = |v: NodeId| h - w(v);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\\ time-indexed DAG makespan model ({} nodes, m = {m}, horizon = {h})",
+        n
+    );
+    let _ = writeln!(out, "\\ after Melani et al. (ASP-DAC 2017), as used by Serrano & Quinones (DAC 2018)");
+    let _ = writeln!(out, "Minimize\n obj: M");
+    let _ = writeln!(out, "Subject To");
+
+    // Each node starts exactly once.
+    for v in dag.node_ids() {
+        let mut terms = Vec::new();
+        for t in 0..=latest_start(v) {
+            terms.push(format!("x_{}_{t}", v.index()));
+        }
+        let _ = writeln!(out, " once_{}: {} = 1", v.index(), terms.join(" + "));
+    }
+
+    // Precedence: Σ t·x_j ≥ Σ t·x_i + C_i  ⇔  Σ t·x_j − Σ t·x_i ≥ C_i.
+    for (i, j) in dag.edges() {
+        let mut lhs = Vec::new();
+        for t in 1..=latest_start(j) {
+            lhs.push(format!("{t} x_{}_{t}", j.index()));
+        }
+        for t in 1..=latest_start(i) {
+            lhs.push(format!("- {t} x_{}_{t}", i.index()));
+        }
+        let body = if lhs.is_empty() { "0".to_owned() } else { lhs.join(" + ").replace("+ -", "-") };
+        let _ = writeln!(out, " prec_{}_{}: {body} >= {}", i.index(), j.index(), w(i));
+    }
+
+    // Host capacity at every tick.
+    for t in 0..h {
+        let mut terms = Vec::new();
+        for v in dag.node_ids() {
+            if Some(v) == offloaded || w(v) == 0 {
+                continue;
+            }
+            let lo = t.saturating_sub(w(v) - 1);
+            for s in lo..=t.min(latest_start(v)) {
+                terms.push(format!("x_{}_{s}", v.index()));
+            }
+        }
+        if !terms.is_empty() {
+            let _ = writeln!(out, " cap_{t}: {} <= {m}", terms.join(" + "));
+        }
+    }
+
+    // Makespan dominates every completion.
+    for v in dag.node_ids() {
+        let mut terms = vec!["M".to_owned()];
+        for t in 1..=latest_start(v) {
+            terms.push(format!("- {t} x_{}_{t}", v.index()));
+        }
+        let _ = writeln!(out, " mk_{}: {} >= {}", v.index(), terms.join(" "), w(v));
+    }
+
+    let _ = writeln!(out, "Bounds\n 0 <= M <= {h}");
+    let _ = writeln!(out, "Binaries");
+    for v in dag.node_ids() {
+        for t in 0..=latest_start(v) {
+            let _ = write!(out, " x_{}_{t}", v.index());
+        }
+    }
+    let _ = writeln!(out, "\nEnd");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetrta_dag::{DagBuilder, Ticks};
+
+    fn small() -> (Dag, NodeId) {
+        let mut b = DagBuilder::new();
+        let a = b.node("a", Ticks::new(2));
+        let k = b.node("k", Ticks::new(3));
+        let z = b.node("z", Ticks::new(1));
+        b.edges([(a, k), (k, z)]).unwrap();
+        (b.build().unwrap(), k)
+    }
+
+    #[test]
+    fn structure_of_lp_output() {
+        let (dag, _) = small();
+        let lp = to_lp_format(&dag, None, 2).unwrap();
+        assert!(lp.contains("Minimize"));
+        assert!(lp.contains("Subject To"));
+        assert!(lp.contains("Bounds"));
+        assert!(lp.contains("Binaries"));
+        assert!(lp.trim_end().ends_with("End"));
+        // one `once` row per node
+        assert_eq!(lp.matches("once_").count(), 3);
+        // one precedence row per edge
+        assert_eq!(lp.matches("prec_").count(), 2);
+        // horizon = chain length 6 → capacity rows 0..5
+        assert!(lp.contains("cap_0:"));
+        assert!(lp.contains("cap_5:"));
+        assert!(!lp.contains("cap_6:"));
+    }
+
+    #[test]
+    fn offloaded_node_not_in_capacity_rows() {
+        let (dag, k) = small();
+        let lp = to_lp_format(&dag, Some(k), 1).unwrap();
+        for line in lp.lines().filter(|l| l.trim_start().starts_with("cap_")) {
+            assert!(!line.contains("x_1_"), "offloaded node in capacity row: {line}");
+        }
+        // but it still has a once-row and precedence rows
+        assert!(lp.contains("once_1:"));
+    }
+
+    #[test]
+    fn horizon_comes_from_feasible_schedule() {
+        let (dag, k) = small();
+        let lp = to_lp_format(&dag, Some(k), 2).unwrap();
+        assert!(lp.contains("horizon = 6"));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let (dag, _) = small();
+        assert!(to_lp_format(&dag, None, 0).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-validation of the exact solver against the simulator and bounds.
+
+use hetrta_core::{r_het, r_hom_dag, transform};
+use hetrta_dag::HeteroDagTask;
+use hetrta_exact::bounds::root_bound;
+use hetrta_exact::{list_schedule_cp_first, solve, SolverConfig};
+use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+use hetrta_gen::{generate_nfj, NfjParams};
+use hetrta_sim::policy::{BreadthFirst, DepthFirst, RandomTieBreak};
+use hetrta_sim::{simulate, Platform};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_task(seed: u64, fraction: f64) -> HeteroDagTask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = NfjParams::small_tasks().with_node_range(3, 24);
+    let dag = generate_nfj(&params, &mut rng).expect("generation succeeds");
+    if dag.node_count() < 3 {
+        return small_task(seed.wrapping_add(0x9e37_79b9), fraction);
+    }
+    make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::VolumeFraction(fraction), &mut rng)
+        .expect("offload assignment succeeds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_below_every_simulated_schedule(seed in 0u64..3000, pct in 1u32..60, m in 1u64..9) {
+        let task = small_task(seed, f64::from(pct) / 100.0);
+        let sol = solve(task.dag(), Some(task.offloaded()), m, &SolverConfig::default()).unwrap();
+        prop_assume!(sol.is_optimal());
+        for policy in 0..3u8 {
+            let r = match policy {
+                0 => simulate(task.dag(), Some(task.offloaded()), Platform::with_accelerator(m as usize), &mut BreadthFirst::new()),
+                1 => simulate(task.dag(), Some(task.offloaded()), Platform::with_accelerator(m as usize), &mut DepthFirst::new()),
+                _ => simulate(task.dag(), Some(task.offloaded()), Platform::with_accelerator(m as usize), &mut RandomTieBreak::new(seed)),
+            }.unwrap();
+            prop_assert!(
+                sol.makespan() <= r.makespan(),
+                "exact {} > simulated {}", sol.makespan(), r.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn exact_within_root_bounds(seed in 0u64..3000, pct in 1u32..60, m in 1u64..9) {
+        let task = small_task(seed, f64::from(pct) / 100.0);
+        let sol = solve(task.dag(), Some(task.offloaded()), m, &SolverConfig::default()).unwrap();
+        let lb = root_bound(task.dag(), Some(task.offloaded()), m);
+        prop_assert!(sol.makespan() >= lb);
+        let (ub, _) = list_schedule_cp_first(task.dag(), Some(task.offloaded()), m).unwrap();
+        prop_assert!(sol.makespan() <= ub);
+    }
+
+    #[test]
+    fn analytic_bounds_dominate_exact_makespan(seed in 0u64..3000, pct in 1u32..60, m in 1u64..9) {
+        // The chain exact ≤ R_het(τ') for the transformed task and
+        // exact ≤ R_hom(τ) for the original — Figure 7's premise.
+        let task = small_task(seed, f64::from(pct) / 100.0);
+        let t = transform(&task).unwrap();
+
+        let exact_orig = solve(task.dag(), Some(task.offloaded()), m, &SolverConfig::default()).unwrap();
+        prop_assume!(exact_orig.is_optimal());
+        prop_assert!(exact_orig.makespan().to_rational() <= r_hom_dag(task.dag(), m).unwrap());
+
+        let exact_trans = solve(t.transformed(), Some(task.offloaded()), m, &SolverConfig::default()).unwrap();
+        prop_assume!(exact_trans.is_optimal());
+        prop_assert!(exact_trans.makespan().to_rational() <= r_het(&t, m).unwrap().value());
+
+        // The barrier never lets the transformed task finish earlier than
+        // the untransformed optimum (it only removes schedules).
+        prop_assert!(exact_orig.makespan() <= exact_trans.makespan());
+    }
+
+    #[test]
+    fn homogeneous_exact_at_most_heterogeneous_volume_argument(seed in 0u64..1500, pct in 5u32..50) {
+        // With the accelerator, the optimum can only improve (or tie) over
+        // the all-host optimum on the same core count.
+        let task = small_task(seed, f64::from(pct) / 100.0);
+        let m = 2;
+        let het = solve(task.dag(), Some(task.offloaded()), m, &SolverConfig::default()).unwrap();
+        let hom = solve(task.dag(), None, m, &SolverConfig::default()).unwrap();
+        prop_assume!(het.is_optimal() && hom.is_optimal());
+        prop_assert!(het.makespan() <= hom.makespan());
+    }
+}
+
+#[test]
+fn most_small_instances_are_proven_optimal() {
+    // Mirrors the paper's setup: the ILP oracle must actually close the
+    // small instances. Count optimality over a fixed batch.
+    let mut optimal = 0;
+    let total = 60;
+    for seed in 0..total {
+        let task = small_task(seed, 0.2);
+        let sol = solve(task.dag(), Some(task.offloaded()), 4, &SolverConfig::default()).unwrap();
+        if sol.is_optimal() {
+            optimal += 1;
+        }
+    }
+    assert!(optimal >= total * 9 / 10, "only {optimal}/{total} instances closed");
+}

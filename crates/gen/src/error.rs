@@ -1,0 +1,73 @@
+//! Generator errors.
+
+use core::fmt;
+
+use hetrta_dag::DagError;
+
+/// Errors produced by the random task generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GenError {
+    /// A parameter combination is invalid (message explains which).
+    InvalidParams(String),
+    /// Rejection sampling failed to hit the requested node-count range
+    /// within the attempt budget.
+    AttemptsExhausted {
+        /// Number of DAGs generated and rejected.
+        attempts: usize,
+    },
+    /// The generated structure violated the task model — indicates a bug in
+    /// a generator and is surfaced rather than silently retried.
+    Structure(DagError),
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::InvalidParams(msg) => write!(f, "invalid generator parameters: {msg}"),
+            GenError::AttemptsExhausted { attempts } => {
+                write!(f, "node-count range not reached after {attempts} attempts")
+            }
+            GenError::Structure(e) => write!(f, "generated graph violates the task model: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GenError::Structure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DagError> for GenError {
+    fn from(e: DagError) -> Self {
+        GenError::Structure(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GenError::InvalidParams("p_par out of range".into()).to_string(),
+            "invalid generator parameters: p_par out of range"
+        );
+        assert_eq!(
+            GenError::AttemptsExhausted { attempts: 42 }.to_string(),
+            "node-count range not reached after 42 attempts"
+        );
+    }
+
+    #[test]
+    fn source_chains_dag_error() {
+        use std::error::Error;
+        let e = GenError::from(DagError::Empty);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,295 @@
+//! Offloaded-node selection and `C_off` sizing.
+//!
+//! The paper (§5.1): "Once a DAG is generated, we randomly select `v_off`
+//! among all the nodes. `C_off` is assigned with the interval
+//! `[1, C_off^MAX]`, where `C_off^MAX` represents a percentage (up to 60%)
+//! of DAG's volume." The evaluation then reports results *per target value
+//! of* `C_off/vol(τ)`, which [`CoffSizing::VolumeFraction`] hits exactly.
+
+use hetrta_dag::{Dag, HeteroDagTask, NodeId, Ticks};
+use rand::Rng;
+
+use crate::GenError;
+
+/// How the offloaded node `v_off` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OffloadSelection {
+    /// Uniformly among all nodes except the unique source and sink
+    /// (the default used by the experiment harness; see DESIGN.md §3).
+    AnyInterior,
+    /// Uniformly among *all* nodes, the paper's literal wording.
+    Any,
+    /// A specific node.
+    Node(NodeId),
+}
+
+/// How `C_off` (the WCET of `v_off` on the accelerator) is determined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum CoffSizing {
+    /// Keep the WCET the generator assigned to the node.
+    Generated,
+    /// Set `C_off` so that `C_off / vol(G) ≈ fraction` (`vol` *includes*
+    /// `C_off`): `C_off = max(1, round(f/(1−f) · vol_host))`.
+    ///
+    /// This realizes the x-axis of Figs. 6–9 ("percentage of `C_off` over
+    /// `vol(τ)`").
+    VolumeFraction(f64),
+    /// Draw `C_off` uniformly from `[1, round(fraction · vol_host/(1−fraction))]` —
+    /// the paper's literal `[1, C_off^MAX]` interval.
+    UniformUpToFraction(f64),
+}
+
+/// Selects an offloaded node, resizes its WCET according to `sizing`, and
+/// wraps everything into a [`HeteroDagTask`].
+///
+/// The task's period and deadline are both set to `vol(G)` after resizing —
+/// a neutral choice: the response-time experiments of the paper compare
+/// bounds and makespans, never absolute deadlines. Use
+/// [`HeteroDagTask::new`] directly for explicit timing parameters.
+///
+/// # Errors
+///
+/// - [`GenError::InvalidParams`] if a fraction is outside `(0, 1)`, a
+///   specific node is unknown, or `AnyInterior` is requested on a DAG with
+///   fewer than three nodes;
+/// - [`GenError::Structure`] if the resulting task violates the model.
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+/// use hetrta_gen::{generate_nfj, NfjParams};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), hetrta_gen::GenError> {
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let dag = generate_nfj(&NfjParams::small_tasks(), &mut rng)?;
+/// let task = make_hetero_task(dag, OffloadSelection::AnyInterior,
+///                             CoffSizing::Generated, &mut rng)?;
+/// assert!(task.c_off() >= hetrta_gen::Ticks::ONE);
+/// # Ok(())
+/// # }
+/// ```
+pub fn make_hetero_task<R: Rng + ?Sized>(
+    mut dag: Dag,
+    selection: OffloadSelection,
+    sizing: CoffSizing,
+    rng: &mut R,
+) -> Result<HeteroDagTask, GenError> {
+    let v_off = select_node(&dag, selection, rng)?;
+    let c_off = size_c_off(&dag, v_off, sizing, rng)?;
+    dag.set_wcet(v_off, c_off)?;
+    dag.set_label(v_off, "v_off")?;
+    let vol = dag.volume();
+    HeteroDagTask::new(dag, v_off, vol, vol).map_err(GenError::Structure)
+}
+
+fn select_node<R: Rng + ?Sized>(
+    dag: &Dag,
+    selection: OffloadSelection,
+    rng: &mut R,
+) -> Result<NodeId, GenError> {
+    match selection {
+        OffloadSelection::Node(v) => {
+            if dag.contains_node(v) {
+                Ok(v)
+            } else {
+                Err(GenError::InvalidParams(format!("offload node {v} not in graph")))
+            }
+        }
+        OffloadSelection::Any => {
+            let n = dag.node_count();
+            if n == 0 {
+                return Err(GenError::InvalidParams("cannot offload in an empty graph".into()));
+            }
+            Ok(NodeId::from_index(rng.gen_range(0..n)))
+        }
+        OffloadSelection::AnyInterior => {
+            let source = dag.source();
+            let sink = dag.sink();
+            let candidates: Vec<NodeId> = dag
+                .node_ids()
+                .filter(|&v| Some(v) != source && Some(v) != sink)
+                .collect();
+            if candidates.is_empty() {
+                return Err(GenError::InvalidParams(
+                    "no interior node available for offloading".into(),
+                ));
+            }
+            Ok(candidates[rng.gen_range(0..candidates.len())])
+        }
+    }
+}
+
+fn size_c_off<R: Rng + ?Sized>(
+    dag: &Dag,
+    v_off: NodeId,
+    sizing: CoffSizing,
+    rng: &mut R,
+) -> Result<Ticks, GenError> {
+    let host_vol = (dag.volume() - dag.wcet(v_off)).get();
+    let target = |fraction: f64| -> Result<u64, GenError> {
+        if !(fraction > 0.0 && fraction < 1.0) {
+            return Err(GenError::InvalidParams(format!(
+                "offload fraction {fraction} not in (0, 1)"
+            )));
+        }
+        let c = (fraction / (1.0 - fraction) * host_vol as f64).round() as u64;
+        Ok(c.max(1))
+    };
+    match sizing {
+        CoffSizing::Generated => Ok(dag.wcet(v_off)),
+        CoffSizing::VolumeFraction(f) => Ok(Ticks::new(target(f)?)),
+        CoffSizing::UniformUpToFraction(f) => {
+            let max = target(f)?;
+            Ok(Ticks::new(rng.gen_range(1..=max)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_nfj, NfjParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_dag(seed: u64) -> Dag {
+        generate_nfj(&NfjParams::small_tasks(), &mut StdRng::seed_from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn volume_fraction_hits_target() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for f in [0.05, 0.25, 0.5, 0.7] {
+            let dag = sample_dag(10);
+            let task =
+                make_hetero_task(dag, OffloadSelection::Any, CoffSizing::VolumeFraction(f), &mut rng)
+                    .unwrap();
+            let got = task.offload_fraction().to_f64();
+            assert!((got - f).abs() < 0.05, "target {f}, got {got}");
+        }
+    }
+
+    #[test]
+    fn uniform_sizing_within_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dag = sample_dag(11);
+        let host_vol = dag.volume().get(); // before resize; upper bound grows slightly
+        let task = make_hetero_task(
+            dag,
+            OffloadSelection::Any,
+            CoffSizing::UniformUpToFraction(0.6),
+            &mut rng,
+        )
+        .unwrap();
+        let c = task.c_off().get();
+        assert!(c >= 1);
+        // C_off ≤ 0.6/(1-0.6) · host_vol = 1.5 · host_vol
+        assert!(c <= (1.5 * host_vol as f64) as u64 + 1);
+    }
+
+    #[test]
+    fn generated_sizing_keeps_wcet() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dag = sample_dag(12);
+        let before: Vec<Ticks> = dag.node_ids().map(|v| dag.wcet(v)).collect();
+        let task =
+            make_hetero_task(dag, OffloadSelection::Any, CoffSizing::Generated, &mut rng).unwrap();
+        assert_eq!(task.c_off(), before[task.offloaded().index()]);
+    }
+
+    #[test]
+    fn interior_selection_avoids_terminals() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for seed in 0..20 {
+            let dag = sample_dag(seed);
+            if dag.node_count() < 3 {
+                continue;
+            }
+            let src = dag.source();
+            let sink = dag.sink();
+            let task = make_hetero_task(
+                dag,
+                OffloadSelection::AnyInterior,
+                CoffSizing::Generated,
+                &mut rng,
+            )
+            .unwrap();
+            assert_ne!(Some(task.offloaded()), src);
+            assert_ne!(Some(task.offloaded()), sink);
+        }
+    }
+
+    #[test]
+    fn interior_selection_fails_on_tiny_graph() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut dag = Dag::new();
+        let a = dag.add_node(Ticks::ONE);
+        let b = dag.add_node(Ticks::ONE);
+        dag.add_edge(a, b).unwrap();
+        assert!(matches!(
+            make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::Generated, &mut rng),
+            Err(GenError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn specific_node_selection() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let dag = sample_dag(13);
+        let v = NodeId::from_index(dag.node_count() / 2);
+        let task = make_hetero_task(
+            dag,
+            OffloadSelection::Node(v),
+            CoffSizing::Generated,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(task.offloaded(), v);
+        assert_eq!(task.dag().label(v), "v_off");
+    }
+
+    #[test]
+    fn unknown_specific_node_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dag = sample_dag(14);
+        let bogus = NodeId::from_index(10_000);
+        assert!(matches!(
+            make_hetero_task(dag, OffloadSelection::Node(bogus), CoffSizing::Generated, &mut rng),
+            Err(GenError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn bad_fractions_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for f in [0.0, 1.0, -0.3, 1.5, f64::NAN] {
+            let dag = sample_dag(15);
+            assert!(
+                matches!(
+                    make_hetero_task(
+                        dag,
+                        OffloadSelection::Any,
+                        CoffSizing::VolumeFraction(f),
+                        &mut rng
+                    ),
+                    Err(GenError::InvalidParams(_))
+                ),
+                "fraction {f} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn period_and_deadline_default_to_volume() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let dag = sample_dag(16);
+        let task =
+            make_hetero_task(dag, OffloadSelection::Any, CoffSizing::Generated, &mut rng).unwrap();
+        assert_eq!(task.period(), task.volume());
+        assert_eq!(task.deadline(), task.volume());
+    }
+}

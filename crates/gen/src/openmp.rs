@@ -1,0 +1,320 @@
+//! OpenMP-style task programs → DAG lowering.
+//!
+//! The paper's system model "resembles the OpenMP parallel programming
+//! model" (§2): `#pragma omp task` spawns deferred work, `#pragma omp
+//! taskwait` joins it, and `#pragma omp target` offloads a region to the
+//! accelerator — the citation \[22\] (Vargas et al., ASP-DAC 2016) describes
+//! deriving the task DAG from such programs. This module implements that
+//! front end for a structured subset:
+//!
+//! * [`Stmt::Work`] — sequential work executed by the encountering thread;
+//! * [`Stmt::Spawn`] — an `omp task` region (recursively a [`Program`]),
+//!   running concurrently with the spawner until joined;
+//! * [`Stmt::Offload`] — an `omp target` region executing on the
+//!   accelerator (at most one per program, per the paper's model);
+//! * [`Stmt::Taskwait`] — joins every task spawned so far in this region.
+//!
+//! Lowering produces a task-model-conformant DAG (single source/sink, no
+//! transitive edges — redundant precedence introduced by joins is removed
+//! with a transitive reduction) plus the offloaded node, ready for
+//! [`HeteroDagTask`](hetrta_dag::HeteroDagTask) and the analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use hetrta_gen::openmp::{Program, Stmt};
+//! use hetrta_dag::Ticks;
+//!
+//! // work(2); #pragma omp target {gpu(20)};
+//! // #pragma omp task {cpu(9)}; work(3); #pragma omp taskwait; work(1);
+//! let program = Program::new(vec![
+//!     Stmt::work("prep", 2),
+//!     Stmt::offload("gpu_kernel", 20),
+//!     Stmt::spawn(Program::new(vec![Stmt::work("cpu_branch", 9)])),
+//!     Stmt::work("local", 3),
+//!     Stmt::Taskwait,
+//!     Stmt::work("post", 1),
+//! ]);
+//! let lowered = program.lower()?;
+//! assert_eq!(lowered.dag.volume(), Ticks::new(35));
+//! assert!(lowered.offloaded.is_some());
+//! # Ok::<(), hetrta_gen::GenError>(())
+//! ```
+
+use hetrta_dag::algo::transitive;
+use hetrta_dag::{Dag, NodeId, Ticks};
+
+use crate::GenError;
+
+/// One statement of a structured OpenMP-like tasking program.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// Sequential work by the encountering thread: `(label, wcet)`.
+    Work(String, u64),
+    /// `#pragma omp task { … }`: the nested program runs concurrently with
+    /// the remainder of the current region until a [`Stmt::Taskwait`] (or
+    /// the region end) joins it.
+    Spawn(Program),
+    /// `#pragma omp target { … }`: asynchronous offload to the accelerator
+    /// (joined like a task). At most one per whole program.
+    Offload(String, u64),
+    /// `#pragma omp taskwait`: wait for all tasks spawned so far in this
+    /// region.
+    Taskwait,
+}
+
+impl Stmt {
+    /// Convenience constructor for [`Stmt::Work`].
+    #[must_use]
+    pub fn work(label: impl Into<String>, wcet: u64) -> Self {
+        Stmt::Work(label.into(), wcet)
+    }
+
+    /// Convenience constructor for [`Stmt::Spawn`].
+    #[must_use]
+    pub fn spawn(program: Program) -> Self {
+        Stmt::Spawn(program)
+    }
+
+    /// Convenience constructor for [`Stmt::Offload`].
+    #[must_use]
+    pub fn offload(label: impl Into<String>, wcet: u64) -> Self {
+        Stmt::Offload(label.into(), wcet)
+    }
+}
+
+/// A structured sequence of statements (one task region).
+#[derive(Debug, Clone, Default)]
+pub struct Program(Vec<Stmt>);
+
+/// The result of lowering a [`Program`].
+#[derive(Debug, Clone)]
+pub struct LoweredProgram {
+    /// The derived DAG (validated against the task model).
+    pub dag: Dag,
+    /// The node of the `Offload` statement, if the program had one.
+    pub offloaded: Option<NodeId>,
+}
+
+impl Program {
+    /// Creates a program from its statements.
+    #[must_use]
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Program(stmts)
+    }
+
+    /// The statements.
+    #[must_use]
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.0
+    }
+
+    /// Lowers the program to a DAG per the OpenMP tasking semantics
+    /// described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// - [`GenError::InvalidParams`] if the program is empty or contains
+    ///   more than one `Offload` (the paper's model has a single `v_off`);
+    /// - [`GenError::Structure`] if lowering produced an invalid graph
+    ///   (internal bug, surfaced rather than hidden).
+    pub fn lower(&self) -> Result<LoweredProgram, GenError> {
+        if self.0.is_empty() {
+            return Err(GenError::InvalidParams("empty program".into()));
+        }
+        let mut builder = Lowering { dag: Dag::new(), offloaded: None, sync_counter: 0 };
+        let source = builder.dag.add_labeled_node("entry", Ticks::ZERO);
+        // region() joins every spawned task into its returned exit node, so
+        // the graph ends in a single sink.
+        builder.region(self, source)?;
+        // Remove redundant precedence introduced by join fan-ins.
+        let reduced = transitive::transitive_reduction(&builder.dag)?;
+        hetrta_dag::validate_task_model(&reduced)?;
+        Ok(LoweredProgram { dag: reduced, offloaded: builder.offloaded })
+    }
+}
+
+struct Lowering {
+    dag: Dag,
+    offloaded: Option<NodeId>,
+    sync_counter: usize,
+}
+
+impl Lowering {
+    /// Lowers one region starting after `entry`; returns the node that
+    /// represents the region's completion (all statements + spawned tasks
+    /// joined).
+    fn region(&mut self, program: &Program, entry: NodeId) -> Result<NodeId, GenError> {
+        let mut current = entry; // encountering-thread chain
+        let mut open: Vec<NodeId> = Vec::new(); // un-joined task/offload exits
+        for stmt in &program.0 {
+            match stmt {
+                Stmt::Work(label, wcet) => {
+                    let v = self.dag.add_labeled_node(label.clone(), Ticks::new(*wcet));
+                    self.dag.add_edge(current, v)?;
+                    current = v;
+                }
+                Stmt::Spawn(sub) => {
+                    let exit = self.region(sub, current)?;
+                    open.push(exit);
+                }
+                Stmt::Offload(label, wcet) => {
+                    if self.offloaded.is_some() {
+                        return Err(GenError::InvalidParams(
+                            "the task model supports a single offloaded region".into(),
+                        ));
+                    }
+                    let v = self.dag.add_labeled_node(label.clone(), Ticks::new(*wcet));
+                    self.dag.add_edge(current, v)?;
+                    self.offloaded = Some(v);
+                    open.push(v);
+                }
+                Stmt::Taskwait => {
+                    current = self.join(current, &mut open)?;
+                }
+            }
+        }
+        self.join(current, &mut open)
+    }
+
+    /// Joins `current` with all `open` exits into a fresh zero-WCET node
+    /// (or returns `current` unchanged when nothing is open).
+    fn join(&mut self, current: NodeId, open: &mut Vec<NodeId>) -> Result<NodeId, GenError> {
+        if open.is_empty() {
+            return Ok(current);
+        }
+        let j = self
+            .dag
+            .add_labeled_node(format!("taskwait{}", self.sync_counter), Ticks::ZERO);
+        self.sync_counter += 1;
+        for exit in open.drain(..) {
+            if !self.dag.has_edge(exit, j) {
+                self.dag.add_edge(exit, j)?;
+            }
+        }
+        if !self.dag.has_edge(current, j) {
+            self.dag.add_edge(current, j)?;
+        }
+        Ok(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetrta_dag::algo::{CriticalPath, Reachability};
+    use hetrta_dag::HeteroDagTask;
+
+    fn paper_style_program() -> Program {
+        Program::new(vec![
+            Stmt::work("prep", 2),
+            Stmt::offload("gpu", 20),
+            Stmt::spawn(Program::new(vec![Stmt::work("cpu_a", 9)])),
+            Stmt::spawn(Program::new(vec![Stmt::work("cpu_b", 7)])),
+            Stmt::work("local", 3),
+            Stmt::Taskwait,
+            Stmt::work("post", 1),
+        ])
+    }
+
+    #[test]
+    fn lowering_produces_valid_model() {
+        let lowered = paper_style_program().lower().unwrap();
+        hetrta_dag::validate_task_model(&lowered.dag).unwrap();
+        assert!(lowered.offloaded.is_some());
+        assert_eq!(lowered.dag.volume(), Ticks::new(42));
+    }
+
+    #[test]
+    fn spawned_tasks_run_parallel_to_spawner() {
+        let lowered = paper_style_program().lower().unwrap();
+        let dag = &lowered.dag;
+        let find = |label: &str| dag.node_ids().find(|&v| dag.label(v) == label).unwrap();
+        let reach = Reachability::of(dag).unwrap();
+        // cpu_a ∥ local, cpu_a ∥ gpu, cpu_a ∥ cpu_b
+        assert!(reach.are_parallel(find("cpu_a"), find("local")));
+        assert!(reach.are_parallel(find("cpu_a"), find("gpu")));
+        assert!(reach.are_parallel(find("cpu_a"), find("cpu_b")));
+        // but everything precedes post
+        for label in ["cpu_a", "cpu_b", "gpu", "local", "prep"] {
+            assert!(reach.is_ordered_before(find(label), find("post")), "{label} must precede post");
+        }
+    }
+
+    #[test]
+    fn taskwait_orders_subsequent_work() {
+        // spawn; taskwait; spawn — the second spawn must come after the
+        // first task completes.
+        let p = Program::new(vec![
+            Stmt::spawn(Program::new(vec![Stmt::work("t1", 5)])),
+            Stmt::Taskwait,
+            Stmt::spawn(Program::new(vec![Stmt::work("t2", 5)])),
+            Stmt::work("w", 1),
+        ]);
+        let lowered = p.lower().unwrap();
+        let dag = &lowered.dag;
+        let find = |label: &str| dag.node_ids().find(|&v| dag.label(v) == label).unwrap();
+        let reach = Reachability::of(dag).unwrap();
+        assert!(reach.is_ordered_before(find("t1"), find("t2")));
+        assert!(reach.are_parallel(find("t2"), find("w")));
+    }
+
+    #[test]
+    fn critical_path_reflects_longest_branch() {
+        let lowered = paper_style_program().lower().unwrap();
+        // chain: prep(2) → gpu(20) → join → post(1) = 23
+        assert_eq!(CriticalPath::of(&lowered.dag).length(), Ticks::new(23));
+    }
+
+    #[test]
+    fn nested_spawns() {
+        let p = Program::new(vec![
+            Stmt::work("a", 1),
+            Stmt::spawn(Program::new(vec![
+                Stmt::work("b", 2),
+                Stmt::spawn(Program::new(vec![Stmt::work("c", 3)])),
+                Stmt::work("d", 4),
+            ])),
+            Stmt::work("e", 5),
+        ]);
+        let lowered = p.lower().unwrap();
+        let dag = &lowered.dag;
+        hetrta_dag::validate_task_model(dag).unwrap();
+        let find = |label: &str| dag.node_ids().find(|&v| dag.label(v) == label).unwrap();
+        let reach = Reachability::of(dag).unwrap();
+        // c runs parallel to d (spawned inside), both after b
+        assert!(reach.are_parallel(find("c"), find("d")));
+        assert!(reach.is_ordered_before(find("b"), find("c")));
+        // e parallel to the whole inner task
+        assert!(reach.are_parallel(find("e"), find("c")));
+    }
+
+    #[test]
+    fn two_offloads_rejected() {
+        let p = Program::new(vec![Stmt::offload("g1", 5), Stmt::offload("g2", 5)]);
+        assert!(matches!(p.lower(), Err(GenError::InvalidParams(_))));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(matches!(Program::default().lower(), Err(GenError::InvalidParams(_))));
+    }
+
+    #[test]
+    fn lowered_program_becomes_analyzable_task() {
+        let lowered = paper_style_program().lower().unwrap();
+        let vol = lowered.dag.volume();
+        let task =
+            HeteroDagTask::new(lowered.dag, lowered.offloaded.unwrap(), vol, vol).unwrap();
+        assert_eq!(task.c_off(), Ticks::new(20));
+    }
+
+    #[test]
+    fn work_only_program_is_a_chain() {
+        let p = Program::new(vec![Stmt::work("a", 1), Stmt::work("b", 2), Stmt::work("c", 3)]);
+        let lowered = p.lower().unwrap();
+        assert_eq!(CriticalPath::of(&lowered.dag).length(), Ticks::new(6));
+        assert_eq!(lowered.dag.volume(), Ticks::new(6));
+        assert!(lowered.offloaded.is_none());
+    }
+}

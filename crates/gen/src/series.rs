@@ -1,0 +1,153 @@
+//! Batch generation for experiment sweeps.
+//!
+//! Every figure of the paper's evaluation sweeps the offload fraction
+//! `C_off / vol(τ)` and, per sweep point, averages over a batch of randomly
+//! generated DAGs (100 in the paper). This module packages that pattern.
+
+use hetrta_dag::HeteroDagTask;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+use crate::{generate_nfj, GenError, NfjParams};
+
+/// A reproducible batch specification: generator parameters, batch size and
+/// a base seed.
+///
+/// Batches are deterministic: task `i` of the batch for fraction `f` is
+/// produced from seed `base_seed ⊕ hash(i, f)`, so re-running an experiment
+/// (or running sweep points in parallel) yields identical tasks.
+#[derive(Debug, Clone)]
+pub struct BatchSpec {
+    /// Generator parameters for the DAG structure.
+    pub params: NfjParams,
+    /// Tasks per sweep point (paper: 100).
+    pub tasks_per_point: usize,
+    /// Base RNG seed.
+    pub base_seed: u64,
+    /// How the offloaded node is selected.
+    pub selection: OffloadSelection,
+}
+
+impl BatchSpec {
+    /// Creates a batch specification with `AnyInterior` selection.
+    #[must_use]
+    pub fn new(params: NfjParams, tasks_per_point: usize, base_seed: u64) -> Self {
+        BatchSpec { params, tasks_per_point, base_seed, selection: OffloadSelection::AnyInterior }
+    }
+
+    /// Generates the batch of heterogeneous tasks for one sweep point.
+    ///
+    /// `fraction` is the target `C_off / vol(τ)` and must lie in `(0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors ([`GenError`]).
+    pub fn tasks_at_fraction(&self, fraction: f64) -> Result<Vec<HeteroDagTask>, GenError> {
+        (0..self.tasks_per_point)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(self.seed_for(i, fraction));
+                let dag = generate_nfj(&self.params, &mut rng)?;
+                make_hetero_task(dag, self.selection, CoffSizing::VolumeFraction(fraction), &mut rng)
+            })
+            .collect()
+    }
+
+    /// Generates one task of the batch (used by parallel runners).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors ([`GenError`]).
+    pub fn task(&self, index: usize, fraction: f64) -> Result<HeteroDagTask, GenError> {
+        let mut rng = StdRng::seed_from_u64(self.seed_for(index, fraction));
+        let dag = generate_nfj(&self.params, &mut rng)?;
+        make_hetero_task(dag, self.selection, CoffSizing::VolumeFraction(fraction), &mut rng)
+    }
+
+    fn seed_for(&self, index: usize, fraction: f64) -> u64 {
+        // FNV-1a over (index, fraction bits) for decorrelated, reproducible
+        // per-task seeds.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.base_seed;
+        for byte in (index as u64).to_le_bytes().into_iter().chain(fraction.to_bits().to_le_bytes())
+        {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// The offload-fraction sweep used by Figs. 6 and 9 (≈1% … 70%).
+#[must_use]
+pub fn fraction_sweep_wide() -> Vec<f64> {
+    vec![0.01, 0.02, 0.04, 0.06, 0.08, 0.11, 0.14, 0.18, 0.22, 0.28, 0.34, 0.42, 0.50, 0.60, 0.70]
+}
+
+/// The offload-fraction sweep used by Figs. 7 and 8 (0.12% … 50%).
+#[must_use]
+pub fn fraction_sweep_fine() -> Vec<f64> {
+    vec![0.0012, 0.005, 0.01, 0.02, 0.035, 0.05, 0.08, 0.11, 0.15, 0.20, 0.25, 0.32, 0.40, 0.50]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BatchSpec {
+        BatchSpec::new(NfjParams::small_tasks(), 5, 1234)
+    }
+
+    #[test]
+    fn batch_has_requested_size() {
+        let tasks = spec().tasks_at_fraction(0.2).unwrap();
+        assert_eq!(tasks.len(), 5);
+    }
+
+    #[test]
+    fn batches_are_reproducible() {
+        let a = spec().tasks_at_fraction(0.2).unwrap();
+        let b = spec().tasks_at_fraction(0.2).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.volume(), y.volume());
+            assert_eq!(x.offloaded(), y.offloaded());
+            assert_eq!(x.c_off(), y.c_off());
+        }
+    }
+
+    #[test]
+    fn single_task_matches_batch_entry() {
+        let batch = spec().tasks_at_fraction(0.3).unwrap();
+        let solo = spec().task(2, 0.3).unwrap();
+        assert_eq!(batch[2].volume(), solo.volume());
+        assert_eq!(batch[2].offloaded(), solo.offloaded());
+    }
+
+    #[test]
+    fn different_fractions_decorrelate_structure() {
+        // Not a strict requirement, but the hash should at least vary seeds.
+        let s = spec();
+        assert_ne!(s.seed_for(0, 0.1), s.seed_for(0, 0.2));
+        assert_ne!(s.seed_for(0, 0.1), s.seed_for(1, 0.1));
+        assert_ne!(
+            BatchSpec::new(NfjParams::small_tasks(), 5, 1).seed_for(0, 0.1),
+            BatchSpec::new(NfjParams::small_tasks(), 5, 2).seed_for(0, 0.1)
+        );
+    }
+
+    #[test]
+    fn fractions_hit_targets() {
+        let tasks = spec().tasks_at_fraction(0.4).unwrap();
+        for t in tasks {
+            let f = t.offload_fraction().to_f64();
+            assert!((f - 0.4).abs() < 0.05, "got {f}");
+        }
+    }
+
+    #[test]
+    fn sweeps_are_sorted_and_in_range() {
+        for sweep in [fraction_sweep_wide(), fraction_sweep_fine()] {
+            assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+            assert!(sweep.iter().all(|&f| f > 0.0 && f < 1.0));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Schedulability-analysis errors.
+
+use core::fmt;
+
+use hetrta_core::AnalysisError;
+use hetrta_gen::GenError;
+
+/// Errors produced by task-set generation and schedulability tests.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// A parameter is out of range (message explains which).
+    InvalidParams(String),
+    /// The platform must have at least one host core.
+    ZeroCores,
+    /// Task-set generation failed.
+    Gen(GenError),
+    /// A single-task analysis failed.
+    Analysis(AnalysisError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            SchedError::ZeroCores => write!(f, "platform must have at least one host core"),
+            SchedError::Gen(e) => write!(f, "task-set generation failed: {e}"),
+            SchedError::Analysis(e) => write!(f, "single-task analysis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Gen(e) => Some(e),
+            SchedError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GenError> for SchedError {
+    fn from(e: GenError) -> Self {
+        SchedError::Gen(e)
+    }
+}
+
+impl From<AnalysisError> for SchedError {
+    fn from(e: AnalysisError) -> Self {
+        SchedError::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SchedError::InvalidParams("x".into()).to_string().contains('x'));
+        assert_eq!(
+            SchedError::ZeroCores.to_string(),
+            "platform must have at least one host core"
+        );
+        assert!(SchedError::from(AnalysisError::ZeroCores).to_string().contains("analysis"));
+    }
+
+    #[test]
+    fn error_sources() {
+        use std::error::Error;
+        assert!(SchedError::ZeroCores.source().is_none());
+        assert!(SchedError::from(AnalysisError::ZeroCores).source().is_some());
+    }
+}

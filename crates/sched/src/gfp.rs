@@ -1,0 +1,287 @@
+//! Global fixed-priority response-time analysis for heterogeneous DAG
+//! task sets.
+//!
+//! Tasks are analyzed in priority order (slice index 0 = highest priority;
+//! sort with [`sort_deadline_monotonic`](crate::taskset::sort_deadline_monotonic)
+//! first for DM priorities). For each task `τ_k` the test iterates
+//!
+//! ```text
+//! R_k ← intra_k + I_k/m [+ B_k]     I_k = Σ_{j < k} W_j(⌈R_k⌉)
+//! ```
+//!
+//! to its least fixed point, where `W_j` is the carry-in workload bound of
+//! [`workload`](crate::workload) instantiated with the *already computed*
+//! bound `R_j` of each higher-priority task, `intra_k` is the Eq. 1 or
+//! Theorem 1 term of [`AnalysisModel`], and `B_k` is the shared-device
+//! queueing delay under [`DeviceModel::SharedFifo`]. Iteration stops as
+//! soon as the bound exceeds the deadline (unschedulable: lower-priority
+//! tasks are still analyzed, with this task interfering at `R_j = D_j`).
+//!
+//! Windows passed to `W_j` are rounded up to the next integer, which keeps
+//! every iterate on the lattice `(1/m)·ℤ` and guarantees termination
+//! without a convergence epsilon (the rounding only ever increases the
+//! bound, preserving soundness).
+
+use hetrta_dag::{HeteroDagTask, Rational};
+
+use crate::model::{build_contexts, device_utilization_ok, AnalysisModel, DeviceModel, SetVerdict, TaskCtx, TaskVerdict};
+use crate::workload::{carry_in_workload, device_demand};
+use crate::SchedError;
+
+/// Hard cap on fixed-point iterations per task; reaching it is reported as
+/// unschedulable (sound direction).
+const MAX_ITERATIONS: usize = 50_000;
+
+/// Global-FP schedulability test: per-task response-time bounds for
+/// `tasks` (in priority order) on `m` host cores.
+///
+/// # Errors
+///
+/// - [`SchedError::ZeroCores`] if `m == 0`;
+/// - [`SchedError::Analysis`] if a task's graph is structurally invalid.
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_dag::{DagBuilder, HeteroDagTask, Ticks};
+/// use hetrta_sched::gfp::gfp_test;
+/// use hetrta_sched::model::{AnalysisModel, DeviceModel};
+///
+/// # fn mk(c_off: u64, t: u64) -> HeteroDagTask {
+/// #     let mut b = DagBuilder::new();
+/// #     let a = b.node("a", Ticks::new(1));
+/// #     let k = b.node("k", Ticks::new(c_off));
+/// #     let z = b.node("z", Ticks::new(1));
+/// #     b.edges([(a, k), (k, z)]).unwrap();
+/// #     HeteroDagTask::new(b.build().unwrap(), k, Ticks::new(t), Ticks::new(t)).unwrap()
+/// # }
+/// let tasks = vec![mk(3, 12), mk(4, 30)];
+/// let het = AnalysisModel::Heterogeneous(DeviceModel::DedicatedPerTask);
+/// let verdict = gfp_test(&tasks, 2, het)?;
+/// assert!(verdict.is_schedulable());
+/// # Ok::<(), hetrta_sched::SchedError>(())
+/// ```
+pub fn gfp_test(
+    tasks: &[HeteroDagTask],
+    m: u64,
+    model: AnalysisModel,
+) -> Result<SetVerdict, SchedError> {
+    let ctxs = build_contexts(tasks, m)?;
+    if matches!(model, AnalysisModel::Heterogeneous(DeviceModel::SharedFifo))
+        && !device_utilization_ok(tasks)
+    {
+        // Over-utilized device: the job-count bound does not hold; reject.
+        let per_task = ctxs
+            .iter()
+            .enumerate()
+            .map(|(k, c)| TaskVerdict { task: k, response_bound: None, deadline: c.deadline })
+            .collect();
+        return Ok(SetVerdict { per_task, model });
+    }
+
+    let mut per_task = Vec::with_capacity(ctxs.len());
+    // Response bound of already-analyzed (higher-priority) tasks; D_j for
+    // tasks that failed (they still release and interfere).
+    let mut resp: Vec<Rational> = Vec::with_capacity(ctxs.len());
+
+    for (k, ctx) in ctxs.iter().enumerate() {
+        let bound = fixed_point(k, ctx, &ctxs, &resp, m, model);
+        resp.push(match &bound {
+            Some(r) => *r,
+            None => ctx.deadline.to_rational(),
+        });
+        per_task.push(TaskVerdict { task: k, response_bound: bound, deadline: ctx.deadline });
+    }
+    Ok(SetVerdict { per_task, model })
+}
+
+/// Least fixed point of the response-time recurrence for task `k`, or
+/// `None` once the bound exceeds the deadline.
+fn fixed_point(
+    k: usize,
+    ctx: &TaskCtx,
+    ctxs: &[TaskCtx],
+    resp: &[Rational],
+    m: u64,
+    model: AnalysisModel,
+) -> Option<Rational> {
+    let deadline = ctx.deadline.to_rational();
+    let intra = ctx.intra_bound(model, m);
+    let mut r = intra;
+    if r > deadline {
+        return None;
+    }
+    for _ in 0..MAX_ITERATIONS {
+        let window = Rational::from_integer(r.ceil());
+        let mut inter = Rational::ZERO;
+        for j in 0..k {
+            inter += carry_in_workload(ctxs[j].interference(model), window, resp[j], m);
+        }
+        let mut next = intra + inter / Rational::from_integer(m as i128);
+        if let AnalysisModel::Heterogeneous(DeviceModel::SharedFifo) = model {
+            // FIFO device: *every* other task (any priority) may enqueue
+            // its offload ahead of ours.
+            let mut blocking = Rational::ZERO;
+            for (j, other) in ctxs.iter().enumerate() {
+                if j != k {
+                    let rj = resp.get(j).copied().unwrap_or(other.deadline.to_rational());
+                    blocking += device_demand(&other.interf_het, window, rj);
+                }
+            }
+            next += blocking;
+        }
+        if next > deadline {
+            return None;
+        }
+        if next == r {
+            return Some(r);
+        }
+        debug_assert!(next > r, "response-time recurrence must be non-decreasing");
+        r = next;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DeviceModel;
+    use hetrta_dag::{DagBuilder, Ticks};
+
+    fn chain(c_off: u64, t: u64, d: u64) -> HeteroDagTask {
+        let mut b = DagBuilder::new();
+        let a = b.node("a", Ticks::new(1));
+        let k = b.node("k", Ticks::new(c_off));
+        let z = b.node("z", Ticks::new(1));
+        b.edges([(a, k), (k, z)]).unwrap();
+        HeteroDagTask::new(b.build().unwrap(), k, Ticks::new(t), Ticks::new(d)).unwrap()
+    }
+
+    fn forkjoin(w: u64, branches: usize, c_off: u64, t: u64) -> HeteroDagTask {
+        let mut b = DagBuilder::new();
+        let src = b.node("src", Ticks::new(1));
+        let sink = b.node("sink", Ticks::new(1));
+        let k = b.node("k", Ticks::new(c_off));
+        b.edges([(src, k), (k, sink)]).unwrap();
+        for i in 0..branches {
+            let p = b.node(format!("p{i}"), Ticks::new(w));
+            b.edges([(src, p), (p, sink)]).unwrap();
+        }
+        HeteroDagTask::new(b.build().unwrap(), k, Ticks::new(t), Ticks::new(t)).unwrap()
+    }
+
+    const HET: AnalysisModel = AnalysisModel::Heterogeneous(DeviceModel::DedicatedPerTask);
+    const HET_SHARED: AnalysisModel = AnalysisModel::Heterogeneous(DeviceModel::SharedFifo);
+
+    #[test]
+    fn single_task_reduces_to_single_task_analysis() {
+        let t = forkjoin(4, 3, 5, 100);
+        let v = gfp_test(std::slice::from_ref(&t), 2, AnalysisModel::Homogeneous).unwrap();
+        let expected = hetrta_core::r_hom(&t.as_homogeneous(), 2).unwrap();
+        assert_eq!(v.per_task[0].response_bound, Some(expected));
+    }
+
+    #[test]
+    fn lower_priority_tasks_absorb_interference() {
+        let tasks = vec![chain(2, 10, 10), chain(2, 40, 40)];
+        let v = gfp_test(&tasks, 2, HET).unwrap();
+        assert!(v.is_schedulable());
+        let r0 = v.per_task[0].response_bound.unwrap();
+        let r1 = v.per_task[1].response_bound.unwrap();
+        assert!(r1 >= r0, "low priority should not beat high priority here");
+    }
+
+    #[test]
+    fn het_accepts_what_hom_rejects_for_large_offloads() {
+        // Three tasks whose offloads dominate: the host barely works, but
+        // on a homogeneous platform the kernels crush the two cores.
+        let tasks =
+            vec![chain(20, 30, 30), chain(20, 34, 34), chain(20, 38, 38)];
+        let hom = gfp_test(&tasks, 2, AnalysisModel::Homogeneous).unwrap();
+        let het = gfp_test(&tasks, 2, HET).unwrap();
+        assert!(!hom.is_schedulable());
+        assert!(het.is_schedulable());
+    }
+
+    #[test]
+    fn overload_is_rejected() {
+        // Two host-heavy tasks on one core with tight periods.
+        let tasks = vec![forkjoin(5, 3, 1, 18), forkjoin(5, 3, 1, 18)];
+        let v = gfp_test(&tasks, 1, AnalysisModel::Homogeneous).unwrap();
+        assert!(!v.is_schedulable());
+        // The top-priority task alone is fine.
+        assert!(v.per_task[0].is_schedulable());
+        assert!(!v.per_task[1].is_schedulable());
+    }
+
+    #[test]
+    fn shared_device_adds_blocking() {
+        let tasks = vec![chain(6, 40, 40), chain(6, 44, 44)];
+        let ded = gfp_test(&tasks, 2, HET).unwrap();
+        let shared = gfp_test(&tasks, 2, HET_SHARED).unwrap();
+        for k in 0..2 {
+            let rd = ded.per_task[k].response_bound.unwrap();
+            let rs = shared.per_task[k].response_bound.unwrap();
+            assert!(rs >= rd, "shared device must not tighten the bound");
+        }
+        // Task 1's offload can wait behind task 0's.
+        assert!(
+            shared.per_task[1].response_bound.unwrap()
+                > ded.per_task[1].response_bound.unwrap()
+        );
+    }
+
+    #[test]
+    fn overutilized_shared_device_rejects_cleanly() {
+        let tasks = vec![chain(9, 10, 10), chain(9, 12, 12)];
+        let v = gfp_test(&tasks, 4, HET_SHARED).unwrap();
+        assert!(!v.is_schedulable());
+        assert!(v.per_task.iter().all(|t| t.response_bound.is_none()));
+    }
+
+    #[test]
+    fn bounds_decrease_with_more_cores() {
+        let tasks = vec![forkjoin(4, 4, 3, 60), forkjoin(4, 4, 3, 80)];
+        let mut prev: Option<Rational> = None;
+        for m in [1u64, 2, 4, 8] {
+            let v = gfp_test(&tasks, m, HET).unwrap();
+            if let Some(r) = v.per_task[1].response_bound {
+                if let Some(p) = prev {
+                    assert!(r <= p, "m = {m}: bound {r} > previous {p}");
+                }
+                prev = Some(r);
+            }
+        }
+        assert!(prev.is_some());
+    }
+
+    #[test]
+    fn zero_cores_is_an_error() {
+        assert!(matches!(
+            gfp_test(&[chain(1, 10, 10)], 0, AnalysisModel::Homogeneous),
+            Err(SchedError::ZeroCores)
+        ));
+    }
+
+    #[test]
+    fn empty_set_is_vacuously_unschedulable_by_convention() {
+        let v = gfp_test(&[], 2, AnalysisModel::Homogeneous).unwrap();
+        assert!(!v.is_schedulable());
+        assert!(v.per_task.is_empty());
+    }
+
+    #[test]
+    fn failed_high_priority_still_interferes_with_low() {
+        // Task 0 infeasible (deadline below its critical path); task 1
+        // must still account for τ_0's workload.
+        let tasks = vec![chain(50, 60, 20), chain(2, 200, 200)];
+        let v = gfp_test(&tasks, 2, AnalysisModel::Homogeneous).unwrap();
+        assert!(!v.per_task[0].is_schedulable());
+        let alone =
+            gfp_test(&tasks[1..], 2, AnalysisModel::Homogeneous).unwrap().per_task[0]
+                .response_bound
+                .unwrap();
+        let with_hp = v.per_task[1].response_bound.unwrap();
+        assert!(with_hp > alone);
+    }
+}

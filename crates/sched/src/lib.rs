@@ -1,0 +1,56 @@
+//! # hetrta-sched — multi-task schedulability for heterogeneous DAG tasks
+//!
+//! The DAC 2018 paper analyzes **one** DAG task in isolation; its future
+//! work asks for systems with "more tasks". This crate is that extension:
+//! global schedulability tests for *sets* of sporadic heterogeneous DAG
+//! tasks sharing `m` host cores (and optionally a single accelerator),
+//! composing the paper's Theorem 1 intra-task bound with classical
+//! carry-in inter-task workload bounds (Melani et al., ECRTS 2015; the
+//! paper's reference \[18\], DATE 2016).
+//!
+//! * [`taskset`] — UUniFast utilization draws + random task-set generation
+//!   on top of the paper's §5.1 DAG generator;
+//! * [`workload`] — carry-in workload and shared-device demand bounds;
+//! * [`model`] — the homogeneous/heterogeneous analysis models and the
+//!   interference-robust composition of Theorem 1 (see its module docs);
+//! * [`gfp`] — global fixed-priority response-time analysis;
+//! * [`gedf`] — global-EDF schedulability test;
+//! * [`acceptance`] — acceptance-ratio sweeps comparing all tests (plus
+//!   the federated clustering of `hetrta-core`).
+//!
+//! The empirical soundness harness lives in `tests/empirical.rs`: every
+//! set accepted by any test here is replayed in the sporadic simulator of
+//! `hetrta-sim` and must not miss a deadline.
+//!
+//! ## Example
+//!
+//! ```
+//! use hetrta_sched::acceptance::{acceptance_sweep, AcceptanceConfig, TestKind};
+//!
+//! let mut config = AcceptanceConfig::quick(4);
+//! config.sets_per_point = 5;          // keep the doc test fast
+//! config.normalized_utils = vec![0.3];
+//! let points = acceptance_sweep(&config)?;
+//! let p = &points[0];
+//! assert!(p.ratio(TestKind::GfpHeterogeneous) >= p.ratio(TestKind::GfpHomogeneous));
+//! # Ok::<(), hetrta_sched::SchedError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod acceptance;
+mod error;
+pub mod gedf;
+pub mod gfp;
+pub mod model;
+pub mod taskset;
+pub mod workload;
+
+pub use acceptance::{acceptance_sweep, AcceptanceConfig, AcceptancePoint, TestKind};
+pub use error::SchedError;
+pub use gedf::{gedf_test, gedf_test_with, CarryIn};
+pub use gfp::gfp_test;
+pub use model::{AnalysisModel, DeviceModel, SetVerdict, TaskVerdict};
+pub use taskset::{generate_task_set, TaskSetParams};

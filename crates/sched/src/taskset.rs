@@ -1,0 +1,374 @@
+//! Random heterogeneous DAG task-*set* generation.
+//!
+//! Schedulability experiments (the acceptance-ratio methodology standard in
+//! the real-time literature) need task sets with a controlled **total
+//! utilization**: utilizations are drawn with UUniFast (Bini & Buttazzo,
+//! 2005), a DAG is generated per task with the paper's §5.1 generator, and
+//! the period is derived as `T = vol(G) / u` so the set hits the target
+//! exactly (up to integer rounding).
+
+use hetrta_dag::{HeteroDagTask, Rational, Ticks};
+use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+use hetrta_gen::{generate_nfj, NfjParams};
+use rand::Rng;
+
+use crate::workload::InterferingTask;
+use crate::SchedError;
+
+/// Draws `n` utilizations summing to `total` with the UUniFast algorithm.
+///
+/// The returned values are unbiased over the simplex
+/// `{u ∈ (0, total)^n : Σu = total}`. Individual utilizations may exceed 1
+/// — legitimate for parallel DAG tasks (`vol/T > 1` just means the task
+/// needs more than one core); use [`uunifast_capped`] to constrain them.
+///
+/// # Errors
+///
+/// [`SchedError::InvalidParams`] if `n == 0` or `total <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_sched::taskset::uunifast;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let us = uunifast(4, 2.0, &mut rng)?;
+/// assert_eq!(us.len(), 4);
+/// assert!((us.iter().sum::<f64>() - 2.0).abs() < 1e-9);
+/// # Ok::<(), hetrta_sched::SchedError>(())
+/// ```
+pub fn uunifast<R: Rng + ?Sized>(
+    n: usize,
+    total: f64,
+    rng: &mut R,
+) -> Result<Vec<f64>, SchedError> {
+    if n == 0 {
+        return Err(SchedError::InvalidParams("n must be positive".into()));
+    }
+    if total <= 0.0 || !total.is_finite() {
+        return Err(SchedError::InvalidParams(format!("total utilization {total} must be > 0")));
+    }
+    let mut us = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let next = sum * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
+        us.push(sum - next);
+        sum = next;
+    }
+    us.push(sum);
+    Ok(us)
+}
+
+/// UUniFast with rejection: redraws until every utilization is at most
+/// `cap` (at most `max_attempts` times).
+///
+/// # Errors
+///
+/// Everything [`uunifast`] reports, plus [`SchedError::InvalidParams`] if
+/// `cap <= total/n` makes the constraint unsatisfiable or the attempt
+/// budget is exhausted.
+pub fn uunifast_capped<R: Rng + ?Sized>(
+    n: usize,
+    total: f64,
+    cap: f64,
+    max_attempts: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>, SchedError> {
+    if cap * n as f64 <= total {
+        return Err(SchedError::InvalidParams(format!(
+            "cap {cap} · {n} tasks cannot reach total {total}"
+        )));
+    }
+    for _ in 0..max_attempts.max(1) {
+        let us = uunifast(n, total, rng)?;
+        if us.iter().all(|&u| u <= cap) {
+            return Ok(us);
+        }
+    }
+    Err(SchedError::InvalidParams(format!(
+        "no utilization vector with cap {cap} found in {max_attempts} attempts"
+    )))
+}
+
+/// Parameters of a random heterogeneous task set.
+#[derive(Debug, Clone)]
+pub struct TaskSetParams {
+    /// Number of tasks.
+    pub n_tasks: usize,
+    /// Target total utilization `Σ vol_i/T_i` (host + device volume).
+    pub total_util: f64,
+    /// Per-task utilization cap for UUniFast rejection (DAG tasks may
+    /// legitimately exceed 1; cap relative to the platform keeps sets
+    /// meaningful).
+    pub util_cap: f64,
+    /// DAG shape parameters (paper §5.1).
+    pub nfj: NfjParams,
+    /// Offload fraction `C_off/vol` is drawn uniformly from this range.
+    pub offload_fraction: (f64, f64),
+    /// `D = deadline_ratio · T` (1.0 = implicit deadlines).
+    pub deadline_ratio: f64,
+}
+
+impl TaskSetParams {
+    /// A small-task template: `n_tasks` tasks of the paper's *small* DAG
+    /// shape, implicit deadlines, offload fraction in `[0.05, 0.4]`.
+    #[must_use]
+    pub fn small(n_tasks: usize, total_util: f64) -> Self {
+        TaskSetParams {
+            n_tasks,
+            total_util,
+            util_cap: f64::INFINITY,
+            nfj: NfjParams::small_tasks(),
+            offload_fraction: (0.05, 0.4),
+            deadline_ratio: 1.0,
+        }
+    }
+
+    /// Sets the per-task utilization cap.
+    #[must_use]
+    pub fn with_util_cap(mut self, cap: f64) -> Self {
+        self.util_cap = cap;
+        self
+    }
+
+    /// Sets the offload-fraction range.
+    #[must_use]
+    pub fn with_offload_fraction(mut self, lo: f64, hi: f64) -> Self {
+        self.offload_fraction = (lo, hi);
+        self
+    }
+
+    /// Sets the deadline-to-period ratio (constrained deadlines).
+    #[must_use]
+    pub fn with_deadline_ratio(mut self, ratio: f64) -> Self {
+        self.deadline_ratio = ratio;
+        self
+    }
+}
+
+/// Generates a random heterogeneous task set hitting `params.total_util`.
+///
+/// Each task's period is `T_i = max(round(vol_i / u_i), len_i)` — a period
+/// below the critical-path length would make the task trivially
+/// infeasible on *any* number of cores, which acceptance experiments
+/// exclude by construction (the clamp loses a little utilization on very
+/// unlucky draws; the typical deviation is well below 1 %).
+///
+/// # Errors
+///
+/// - [`SchedError::InvalidParams`] for out-of-range parameters;
+/// - [`SchedError::Gen`] if DAG generation fails.
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_sched::taskset::{generate_task_set, TaskSetParams};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(11);
+/// let set = generate_task_set(&TaskSetParams::small(4, 2.0), &mut rng)?;
+/// assert_eq!(set.len(), 4);
+/// let total: f64 = set.iter().map(|t| t.as_homogeneous().utilization().to_f64()).sum();
+/// assert!((total - 2.0).abs() < 0.2, "total utilization {total}");
+/// # Ok::<(), hetrta_sched::SchedError>(())
+/// ```
+pub fn generate_task_set<R: Rng + ?Sized>(
+    params: &TaskSetParams,
+    rng: &mut R,
+) -> Result<Vec<HeteroDagTask>, SchedError> {
+    let (lo, hi) = params.offload_fraction;
+    if !(0.0 < lo && lo <= hi && hi < 1.0) {
+        return Err(SchedError::InvalidParams(format!(
+            "offload fraction range ({lo}, {hi}) must satisfy 0 < lo ≤ hi < 1"
+        )));
+    }
+    if !(params.deadline_ratio > 0.0 && params.deadline_ratio <= 1.0) {
+        return Err(SchedError::InvalidParams(format!(
+            "deadline ratio {} must be in (0, 1]",
+            params.deadline_ratio
+        )));
+    }
+    let us = if params.util_cap.is_finite() {
+        uunifast_capped(params.n_tasks, params.total_util, params.util_cap, 1000, rng)?
+    } else {
+        uunifast(params.n_tasks, params.total_util, rng)?
+    };
+
+    let mut tasks = Vec::with_capacity(params.n_tasks);
+    for u in us {
+        let dag = generate_nfj(&params.nfj, rng)?;
+        let f = if lo < hi { rng.gen_range(lo..hi) } else { lo };
+        let sized = make_hetero_task(
+            dag,
+            OffloadSelection::AnyInterior,
+            CoffSizing::VolumeFraction(f),
+            rng,
+        )?;
+        let vol = sized.volume().get();
+        let len = sized.critical_path_length().get();
+        let period = ((vol as f64 / u).round() as u64).max(len).max(1);
+        let deadline = ((period as f64 * params.deadline_ratio).round() as u64).max(len).max(1);
+        let deadline = deadline.min(period);
+        tasks.push(HeteroDagTask::new(
+            sized.dag().clone(),
+            sized.offloaded(),
+            Ticks::new(period),
+            Ticks::new(deadline),
+        )?);
+    }
+    Ok(tasks)
+}
+
+impl From<hetrta_dag::DagError> for SchedError {
+    fn from(e: hetrta_dag::DagError) -> Self {
+        SchedError::Gen(hetrta_gen::GenError::Structure(e))
+    }
+}
+
+/// Sorts a task set into deadline-monotonic priority order (shortest
+/// deadline first; ties by period, then original position).
+pub fn sort_deadline_monotonic(tasks: &mut [HeteroDagTask]) {
+    tasks.sort_by_key(|t| (t.deadline(), t.period()));
+}
+
+/// The interference summary of a task on a **homogeneous** platform, where
+/// `v_off` executes on the host and its WCET interferes like any other.
+#[must_use]
+pub fn interference_homogeneous(task: &HeteroDagTask) -> InterferingTask {
+    InterferingTask {
+        host_workload: task.volume(),
+        period: task.period(),
+        c_off: Ticks::ZERO,
+    }
+}
+
+/// The interference summary of a task on the **heterogeneous** platform:
+/// only the host volume competes for host cores; `C_off` is reported for
+/// device-contention bounds.
+#[must_use]
+pub fn interference_heterogeneous(task: &HeteroDagTask) -> InterferingTask {
+    InterferingTask {
+        host_workload: task.host_volume(),
+        period: task.period(),
+        c_off: task.c_off(),
+    }
+}
+
+/// Total utilization `Σ vol_i/T_i` of a set, exactly.
+#[must_use]
+pub fn total_utilization(tasks: &[HeteroDagTask]) -> Rational {
+    tasks
+        .iter()
+        .map(|t| Rational::new(t.volume().get() as i128, t.period().get() as i128))
+        .fold(Rational::ZERO, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uunifast_sums_to_total() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 20] {
+            for total in [0.5, 1.0, 3.7] {
+                let us = uunifast(n, total, &mut rng).unwrap();
+                assert_eq!(us.len(), n);
+                assert!((us.iter().sum::<f64>() - total).abs() < 1e-9);
+                assert!(us.iter().all(|&u| u > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn uunifast_rejects_bad_params() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(uunifast(0, 1.0, &mut rng).is_err());
+        assert!(uunifast(3, 0.0, &mut rng).is_err());
+        assert!(uunifast(3, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn uunifast_capped_respects_cap() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let us = uunifast_capped(6, 3.0, 0.9, 10_000, &mut rng).unwrap();
+        assert!(us.iter().all(|&u| u <= 0.9));
+        assert!((us.iter().sum::<f64>() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uunifast_capped_detects_impossible_cap() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(uunifast_capped(4, 4.0, 0.5, 100, &mut rng).is_err());
+    }
+
+    #[test]
+    fn generated_set_hits_target_utilization() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = TaskSetParams::small(6, 3.0);
+        let set = generate_task_set(&params, &mut rng).unwrap();
+        assert_eq!(set.len(), 6);
+        let total = total_utilization(&set).to_f64();
+        assert!((total - 3.0).abs() < 0.3, "total {total}");
+        for t in &set {
+            assert!(t.period() >= t.critical_path_length());
+            assert_eq!(t.deadline(), t.period()); // implicit
+        }
+    }
+
+    #[test]
+    fn constrained_deadlines_respect_ratio() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let params = TaskSetParams::small(5, 2.0).with_deadline_ratio(0.8);
+        let set = generate_task_set(&params, &mut rng).unwrap();
+        for t in &set {
+            assert!(t.deadline() <= t.period());
+            assert!(t.deadline() >= t.critical_path_length());
+        }
+    }
+
+    #[test]
+    fn offload_fraction_lands_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let params = TaskSetParams::small(8, 2.0).with_offload_fraction(0.2, 0.3);
+        let set = generate_task_set(&params, &mut rng).unwrap();
+        for t in &set {
+            let f = t.offload_fraction().to_f64();
+            // VolumeFraction rounds to integer WCETs; allow slack.
+            assert!((0.1..=0.45).contains(&f), "offload fraction {f}");
+        }
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let bad_frac = TaskSetParams::small(3, 1.0).with_offload_fraction(0.0, 0.4);
+        assert!(generate_task_set(&bad_frac, &mut rng).is_err());
+        let bad_ratio = TaskSetParams::small(3, 1.0).with_deadline_ratio(1.5);
+        assert!(generate_task_set(&bad_ratio, &mut rng).is_err());
+    }
+
+    #[test]
+    fn dm_sort_orders_by_deadline() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut set = generate_task_set(&TaskSetParams::small(6, 2.0), &mut rng).unwrap();
+        sort_deadline_monotonic(&mut set);
+        assert!(set.windows(2).all(|w| w[0].deadline() <= w[1].deadline()));
+    }
+
+    #[test]
+    fn interference_summaries_split_host_and_device() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let set = generate_task_set(&TaskSetParams::small(1, 0.5), &mut rng).unwrap();
+        let t = &set[0];
+        let hom = interference_homogeneous(t);
+        let het = interference_heterogeneous(t);
+        assert_eq!(hom.host_workload, t.volume());
+        assert_eq!(hom.c_off, Ticks::ZERO);
+        assert_eq!(het.host_workload + het.c_off, hom.host_workload);
+        assert_eq!(het.c_off, t.c_off());
+    }
+}

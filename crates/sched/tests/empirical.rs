@@ -1,0 +1,233 @@
+//! Empirical soundness of the set-level schedulability tests.
+//!
+//! Every random task set accepted by a test is replayed in the sporadic
+//! simulator of `hetrta-sim` under the matching discipline and platform;
+//! the synchronous periodic arrival pattern is one legal sporadic arrival
+//! sequence, so an observed deadline miss would disprove the test's
+//! soundness. We additionally check the stronger per-job property: no
+//! observed response time exceeds the task's analytical bound.
+
+use hetrta_dag::Ticks;
+use hetrta_sched::model::{AnalysisModel, DeviceModel};
+use hetrta_sched::taskset::{generate_task_set, sort_deadline_monotonic, TaskSetParams};
+use hetrta_sched::{gedf_test, gfp_test, SetVerdict};
+use hetrta_sim::sporadic::{simulate_sporadic, Discipline, SporadicConfig};
+use hetrta_sim::Platform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const HET: AnalysisModel = AnalysisModel::Heterogeneous(DeviceModel::DedicatedPerTask);
+const HET_SHARED: AnalysisModel = AnalysisModel::Heterogeneous(DeviceModel::SharedFifo);
+
+/// The heterogeneous bounds hold for the *transformed* tasks τ′ (the
+/// paper's whole point: without `v_sync`, the schedule of Figure 1(c) can
+/// beat the analysis). Deploying the het analysis means deploying τ′.
+fn transformed_set(tasks: &[hetrta_dag::HeteroDagTask]) -> Vec<hetrta_dag::HeteroDagTask> {
+    tasks
+        .iter()
+        .map(|t| {
+            let tr = hetrta_core::transform(t).unwrap();
+            hetrta_dag::HeteroDagTask::new(
+                tr.transformed().clone(),
+                tr.offloaded(),
+                t.period(),
+                t.deadline(),
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+/// Simulation horizon: a few periods of every task.
+fn horizon(tasks: &[hetrta_dag::HeteroDagTask]) -> Ticks {
+    let max_t = tasks.iter().map(|t| t.period().get()).max().unwrap_or(1);
+    Ticks::new(max_t * 3 + 1)
+}
+
+fn check_accepted_set(
+    tasks: &[hetrta_dag::HeteroDagTask],
+    verdict: &SetVerdict,
+    discipline: Discipline,
+    platform: Platform,
+    on_host: bool,
+    label: &str,
+) {
+    let config = SporadicConfig::new(platform, horizon(tasks))
+        .discipline(discipline)
+        .offload_on_host(on_host);
+    let result = simulate_sporadic(tasks, &config).unwrap();
+    hetrta_sim::sporadic::validate_segments(tasks, &result, &config)
+        .unwrap_or_else(|e| panic!("{label}: invalid schedule: {e}"));
+    assert!(
+        !result.any_deadline_miss(),
+        "{label}: accepted set missed a deadline (miss = {:?})",
+        result.misses().next()
+    );
+    for tv in &verdict.per_task {
+        let bound = tv.response_bound.as_ref().expect("accepted set has bounds");
+        if let Some(observed) = result.max_response_time(tv.task) {
+            assert!(
+                observed.to_rational() <= *bound,
+                "{label}: task {} observed response {} exceeds bound {}",
+                tv.task,
+                observed,
+                bound
+            );
+        }
+    }
+}
+
+fn run_campaign(m: u64, n_tasks: usize, util: f64, seeds: std::ops::Range<u64>) -> (usize, usize) {
+    let mut accepted = 0;
+    let mut total = 0;
+    for seed in seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = TaskSetParams::small(n_tasks, util).with_offload_fraction(0.1, 0.5);
+        let Ok(mut set) = generate_task_set(&params, &mut rng) else {
+            continue;
+        };
+        sort_deadline_monotonic(&mut set);
+        total += 1;
+        let dedicated = Platform::new(m as usize, set.len());
+        let shared = Platform::with_accelerator(m as usize);
+        let host_only = Platform::host_only(m as usize);
+
+        let v = gfp_test(&set, m, AnalysisModel::Homogeneous).unwrap();
+        if v.is_schedulable() {
+            accepted += 1;
+            check_accepted_set(&set, &v, Discipline::FixedPriority, host_only, true, "GFP-hom");
+        }
+        let tset = transformed_set(&set);
+        let v = gfp_test(&set, m, HET).unwrap();
+        if v.is_schedulable() {
+            check_accepted_set(&tset, &v, Discipline::FixedPriority, dedicated, false, "GFP-het");
+        }
+        let v = gfp_test(&set, m, HET_SHARED).unwrap();
+        if v.is_schedulable() {
+            check_accepted_set(
+                &tset,
+                &v,
+                Discipline::FixedPriority,
+                shared,
+                false,
+                "GFP-het-shared",
+            );
+        }
+        let v = gedf_test(&set, m, AnalysisModel::Homogeneous).unwrap();
+        if v.is_schedulable() {
+            check_accepted_set(
+                &set,
+                &v,
+                Discipline::EarliestDeadlineFirst,
+                host_only,
+                true,
+                "GEDF-hom",
+            );
+        }
+        let v = gedf_test(&set, m, HET).unwrap();
+        if v.is_schedulable() {
+            check_accepted_set(
+                &tset,
+                &v,
+                Discipline::EarliestDeadlineFirst,
+                dedicated,
+                false,
+                "GEDF-het",
+            );
+        }
+    }
+    (accepted, total)
+}
+
+#[test]
+fn accepted_sets_never_miss_light_load() {
+    // Light sets: most are accepted, exercising the miss check broadly.
+    let (accepted, total) = run_campaign(4, 3, 1.0, 0..25);
+    assert!(total >= 20, "generation failed too often ({total})");
+    assert!(accepted > 0, "campaign accepted nothing — checks never ran");
+}
+
+#[test]
+fn accepted_sets_never_miss_medium_load() {
+    let (_, total) = run_campaign(2, 4, 1.2, 100..120);
+    assert!(total >= 15);
+}
+
+#[test]
+fn accepted_sets_never_miss_many_cores() {
+    let (_, total) = run_campaign(8, 5, 3.0, 200..215);
+    assert!(total >= 10);
+}
+
+#[test]
+fn accepted_sets_survive_asynchronous_release_patterns() {
+    // Synchronous release is not always the worst case under global
+    // scheduling; a sound test's accepted sets must survive arbitrary
+    // offsets too. Sweep a few deterministic offset patterns.
+    use hetrta_sim::sporadic::simulate_sporadic_with_offsets;
+    let mut replays = 0usize;
+    for seed in 400..420u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = TaskSetParams::small(3, 1.2).with_offload_fraction(0.1, 0.4);
+        let Ok(mut set) = generate_task_set(&params, &mut rng) else { continue };
+        sort_deadline_monotonic(&mut set);
+        let v = gfp_test(&set, 4, HET).unwrap();
+        if !v.is_schedulable() {
+            continue;
+        }
+        let tset = transformed_set(&set);
+        let config = SporadicConfig::new(Platform::new(4, tset.len()), horizon(&tset))
+            .discipline(Discipline::FixedPriority);
+        for divisor in [2u64, 3, 5] {
+            let offsets: Vec<Ticks> = tset
+                .iter()
+                .enumerate()
+                .map(|(i, t)| Ticks::new((t.period().get() / divisor) * (i as u64 % divisor)))
+                .collect();
+            let run = simulate_sporadic_with_offsets(&tset, &offsets, &config).unwrap();
+            assert!(
+                !run.any_deadline_miss(),
+                "seed {seed}, divisor {divisor}: accepted set missed under offsets {offsets:?}"
+            );
+            for tv in &v.per_task {
+                if let (Some(bound), Some(observed)) =
+                    (&tv.response_bound, run.max_response_time(tv.task))
+                {
+                    assert!(
+                        observed.to_rational() <= *bound,
+                        "seed {seed}, divisor {divisor}, task {}: {observed} > {bound}",
+                        tv.task
+                    );
+                }
+            }
+            replays += 1;
+        }
+    }
+    assert!(replays >= 9, "only {replays} asynchronous replays ran");
+}
+
+#[test]
+fn het_test_accepts_superset_of_hom_on_offload_heavy_sets() {
+    // Statistical domination: across seeds, every GFP-hom-accepted set is
+    // also GFP-het-accepted (interference can only shrink; intra bound
+    // uses tight_value ≤ R_hom(G) does not hold in general because of the
+    // sync node, so we check set-level counts instead of per-set).
+    let mut hom_count = 0;
+    let mut het_count = 0;
+    for seed in 300..330u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = TaskSetParams::small(4, 1.6).with_offload_fraction(0.25, 0.5);
+        let Ok(mut set) = generate_task_set(&params, &mut rng) else { continue };
+        sort_deadline_monotonic(&mut set);
+        if gfp_test(&set, 2, AnalysisModel::Homogeneous).unwrap().is_schedulable() {
+            hom_count += 1;
+        }
+        if gfp_test(&set, 2, HET).unwrap().is_schedulable() {
+            het_count += 1;
+        }
+    }
+    assert!(
+        het_count >= hom_count,
+        "heterogeneous test accepted fewer sets ({het_count}) than homogeneous ({hom_count})"
+    );
+}

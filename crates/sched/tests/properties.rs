@@ -1,0 +1,129 @@
+//! Property-based tests of the schedulability machinery.
+
+use hetrta_dag::{Rational, Ticks};
+use hetrta_sched::model::{AnalysisModel, DeviceModel};
+use hetrta_sched::taskset::{generate_task_set, sort_deadline_monotonic, uunifast, TaskSetParams};
+use hetrta_sched::workload::{carry_in_workload, device_demand, InterferingTask};
+use hetrta_sched::{gedf_test, gfp_test};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const HET: AnalysisModel = AnalysisModel::Heterogeneous(DeviceModel::DedicatedPerTask);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn uunifast_always_sums_to_total(n in 1usize..24, total in 0.05f64..8.0, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let us = uunifast(n, total, &mut rng).unwrap();
+        prop_assert_eq!(us.len(), n);
+        prop_assert!((us.iter().sum::<f64>() - total).abs() < 1e-6);
+        prop_assert!(us.iter().all(|&u| u > 0.0));
+    }
+
+    #[test]
+    fn workload_monotone_in_window_and_resp(
+        w in 1u64..200, t in 1u64..500, c in 0u64..50,
+        m in 1u64..16,
+        l1 in 0i128..1000, dl in 0i128..500,
+        r1 in 0i128..300, dr in 0i128..200,
+    ) {
+        let task = InterferingTask {
+            host_workload: Ticks::new(w),
+            period: Ticks::new(t),
+            c_off: Ticks::new(c),
+        };
+        let (l2, r2) = (l1 + dl, r1 + dr);
+        let base = carry_in_workload(&task, Rational::from_integer(l1), Rational::from_integer(r1), m);
+        let wider = carry_in_workload(&task, Rational::from_integer(l2), Rational::from_integer(r1), m);
+        let later = carry_in_workload(&task, Rational::from_integer(l1), Rational::from_integer(r2), m);
+        prop_assert!(wider >= base);
+        prop_assert!(later >= base);
+        // Never negative, never more than one job per period plus two.
+        prop_assert!(!base.is_negative());
+        let jobs_cap = (l1 + r1) / t as i128 + 2;
+        prop_assert!(base <= Rational::from_integer(jobs_cap.max(0) * w as i128));
+        // Device demand monotone too.
+        let d1 = device_demand(&task, Rational::from_integer(l1), Rational::from_integer(r1));
+        let d2 = device_demand(&task, Rational::from_integer(l2), Rational::from_integer(r1));
+        prop_assert!(d2 >= d1);
+    }
+
+    #[test]
+    fn gfp_bounds_shrink_with_more_cores(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = TaskSetParams::small(3, 1.5).with_offload_fraction(0.1, 0.4);
+        let Ok(mut set) = generate_task_set(&params, &mut rng) else { return Ok(()) };
+        sort_deadline_monotonic(&mut set);
+        for model in [AnalysisModel::Homogeneous, HET] {
+            let mut prev: Vec<Option<Rational>> = vec![None; set.len()];
+            for m in [2u64, 4, 8, 16] {
+                let v = gfp_test(&set, m, model).unwrap();
+                for (k, tv) in v.per_task.iter().enumerate() {
+                    if let (Some(p), Some(r)) = (&prev[k], &tv.response_bound) {
+                        prop_assert!(r <= p, "task {k}, m {m}: {r} > {p}");
+                    }
+                    if tv.response_bound.is_some() {
+                        prev[k] = tv.response_bound;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gfp_accepts_monotonically_in_priority_removal(seed: u64) {
+        // Removing the lowest-priority task never hurts the remaining ones.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = TaskSetParams::small(4, 2.0);
+        let Ok(mut set) = generate_task_set(&params, &mut rng) else { return Ok(()) };
+        sort_deadline_monotonic(&mut set);
+        let full = gfp_test(&set, 4, HET).unwrap();
+        let trimmed = gfp_test(&set[..3], 4, HET).unwrap();
+        for k in 0..3 {
+            prop_assert_eq!(
+                full.per_task[k].response_bound,
+                trimmed.per_task[k].response_bound,
+                "higher-priority bounds must not depend on lower-priority tasks"
+            );
+        }
+    }
+
+    #[test]
+    fn gedf_invariant_under_permutation(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = TaskSetParams::small(4, 1.8);
+        let Ok(set) = generate_task_set(&params, &mut rng) else { return Ok(()) };
+        let mut rev = set.clone();
+        rev.reverse();
+        let a = gedf_test(&set, 4, HET).unwrap();
+        let b = gedf_test(&rev, 4, HET).unwrap();
+        prop_assert_eq!(a.is_schedulable(), b.is_schedulable());
+        for k in 0..set.len() {
+            prop_assert_eq!(
+                a.per_task[k].response_bound,
+                b.per_task[set.len() - 1 - k].response_bound
+            );
+        }
+    }
+
+    #[test]
+    fn single_task_gfp_equals_gedf_equals_tight_theorem1(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = TaskSetParams::small(1, 0.8).with_offload_fraction(0.1, 0.5);
+        let Ok(set) = generate_task_set(&params, &mut rng) else { return Ok(()) };
+        let fp = gfp_test(&set, 4, HET).unwrap();
+        let edf = gedf_test(&set, 4, HET).unwrap();
+        prop_assert_eq!(
+            fp.per_task[0].response_bound,
+            edf.per_task[0].response_bound
+        );
+        if let Some(r) = &fp.per_task[0].response_bound {
+            let t = hetrta_core::transform(&set[0]).unwrap();
+            let faithful = hetrta_core::r_het(&t, 4).unwrap();
+            prop_assert_eq!(*r, faithful.tight_value());
+        }
+    }
+}

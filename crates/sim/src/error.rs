@@ -1,0 +1,73 @@
+//! Simulator errors.
+
+use core::fmt;
+
+use hetrta_dag::{DagError, NodeId};
+
+/// Errors produced by the execution simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The platform must have at least one host core.
+    ZeroCores,
+    /// The DAG is structurally unusable (wrapped cause).
+    Dag(DagError),
+    /// An offloaded node was designated but the platform has no accelerator.
+    NoAccelerator(NodeId),
+    /// The simulation stalled with unfinished nodes — indicates a cycle or
+    /// an internal bug; reported rather than asserted so that fuzzed inputs
+    /// fail cleanly.
+    Stalled {
+        /// Number of nodes that never became ready.
+        unfinished: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ZeroCores => write!(f, "platform must have at least one host core"),
+            SimError::Dag(e) => write!(f, "invalid task graph: {e}"),
+            SimError::NoAccelerator(v) => {
+                write!(f, "node {v} is offloaded but the platform has no accelerator")
+            }
+            SimError::Stalled { unfinished } => {
+                write!(f, "simulation stalled with {unfinished} unfinished nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Dag(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DagError> for SimError {
+    fn from(e: DagError) -> Self {
+        SimError::Dag(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(SimError::ZeroCores.to_string(), "platform must have at least one host core");
+        assert!(SimError::NoAccelerator(NodeId::from_index(3)).to_string().contains("n3"));
+        assert!(SimError::Stalled { unfinished: 2 }.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_source() {
+        use std::error::Error;
+        assert!(SimError::from(DagError::Empty).source().is_some());
+        assert!(SimError::ZeroCores.source().is_none());
+    }
+}

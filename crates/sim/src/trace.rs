@@ -1,0 +1,301 @@
+//! Schedule validation and Gantt rendering.
+
+use std::collections::HashMap;
+
+use hetrta_dag::{Dag, NodeId, Ticks};
+
+use crate::{Interval, Resource, SimResult};
+
+/// A violated schedule property (validation failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleViolation(pub String);
+
+impl core::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "schedule violation: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScheduleViolation {}
+
+macro_rules! ensure {
+    ($cond:expr, $($msg:tt)+) => {
+        if !$cond {
+            return Err(ScheduleViolation(format!($($msg)+)));
+        }
+    };
+}
+
+/// Validates that `result` is a correct, work-conserving, non-preemptive
+/// schedule of `dag`:
+///
+/// 1. every node executes exactly once, for exactly its WCET;
+/// 2. precedence: no node starts before all its predecessors finish;
+/// 3. capacity: host cores and accelerators each run at most one node at
+///    any instant (half-open interval semantics);
+/// 4. offloaded nodes ran on accelerators and no other node did;
+/// 5. work conservation: whenever a host node waits (`ready < start`),
+///    **all** host cores are busy throughout `[ready, start)`;
+/// 6. zero-WCET nodes completed instantly at their ready time.
+///
+/// # Errors
+///
+/// Returns the first violated property with an explanatory message.
+pub fn validate_schedule(
+    dag: &Dag,
+    offloaded: Option<NodeId>,
+    result: &SimResult,
+) -> Result<(), ScheduleViolation> {
+    match offloaded {
+        Some(off) => validate_schedule_multi(dag, &[off], result),
+        None => validate_schedule_multi(dag, &[], result),
+    }
+}
+
+/// Multi-offload variant of [`validate_schedule`].
+///
+/// # Errors
+///
+/// Returns the first violated property with an explanatory message.
+pub fn validate_schedule_multi(
+    dag: &Dag,
+    offloaded: &[NodeId],
+    result: &SimResult,
+) -> Result<(), ScheduleViolation> {
+    let intervals = result.intervals();
+    ensure!(
+        intervals.len() == dag.node_count(),
+        "schedule has {} intervals for {} nodes",
+        intervals.len(),
+        dag.node_count()
+    );
+    let mut by_node: HashMap<NodeId, &Interval> = HashMap::new();
+    for i in intervals {
+        ensure!(by_node.insert(i.node, i).is_none(), "node {} executed twice", i.node);
+        ensure!(
+            i.finish == i.start + dag.wcet(i.node),
+            "node {} ran for {} instead of {}",
+            i.node,
+            i.finish.get() - i.start.get(),
+            dag.wcet(i.node)
+        );
+        ensure!(i.ready <= i.start, "node {} started before it was ready", i.node);
+        if dag.wcet(i.node).is_zero() {
+            ensure!(
+                i.resource == Resource::Instant && i.start == i.ready,
+                "zero-WCET node {} did not complete instantly",
+                i.node
+            );
+        }
+    }
+    // Precedence.
+    for (f, t) in dag.edges() {
+        let (fi, ti) = (by_node[&f], by_node[&t]);
+        ensure!(
+            fi.finish <= ti.start,
+            "precedence ({f}, {t}) violated: {} > {}",
+            fi.finish,
+            ti.start
+        );
+    }
+    // Offload placement.
+    for i in intervals {
+        match i.resource {
+            Resource::Accelerator(_) => ensure!(
+                offloaded.contains(&i.node),
+                "node {} ran on an accelerator but is not offloaded",
+                i.node
+            ),
+            Resource::HostCore(_) => ensure!(
+                !offloaded.contains(&i.node),
+                "offloaded node {} ran on a host core",
+                i.node
+            ),
+            Resource::Instant => {}
+        }
+    }
+    // Capacity per resource.
+    let mut per_resource: HashMap<Resource, Vec<&Interval>> = HashMap::new();
+    for i in intervals {
+        if i.resource != Resource::Instant && i.start != i.finish {
+            per_resource.entry(i.resource).or_default().push(i);
+        }
+    }
+    for (res, mut ivs) in per_resource {
+        ivs.sort_by_key(|i| i.start);
+        for w in ivs.windows(2) {
+            ensure!(
+                w[0].finish <= w[1].start,
+                "{res:?} overbooked: {} and {} overlap",
+                w[0].node,
+                w[1].node
+            );
+        }
+    }
+    // Work conservation: while any host node waits, every core is busy.
+    let cores = result.platform().cores();
+    let host_busy: Vec<(Ticks, Ticks)> = intervals
+        .iter()
+        .filter(|i| matches!(i.resource, Resource::HostCore(_)))
+        .map(|i| (i.start, i.finish))
+        .collect();
+    for i in intervals {
+        if matches!(i.resource, Resource::HostCore(_)) && i.ready < i.start {
+            // every instant in [ready, start) must have `cores` busy cores
+            let mut events: Vec<(Ticks, i64)> = Vec::new();
+            for &(s, f) in &host_busy {
+                let s = s.max(i.ready);
+                let f = f.min(i.start);
+                if s < f {
+                    events.push((s, 1));
+                    events.push((f, -1));
+                }
+            }
+            events.sort();
+            let mut busy = 0i64;
+            let mut cursor = i.ready;
+            for (t, d) in events {
+                if t > cursor {
+                    ensure!(
+                        busy as usize >= cores,
+                        "node {} waited during [{cursor}, {t}) with only {busy}/{cores} busy cores",
+                        i.node
+                    );
+                    cursor = t;
+                }
+                busy += d;
+            }
+            ensure!(
+                cursor >= i.start || (busy as usize) >= cores,
+                "node {} waited with idle cores at the tail of its wait window",
+                i.node
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Renders the schedule as an ASCII Gantt chart (one row per resource,
+/// one column per `scale` ticks).
+///
+/// Intended for examples and debugging; rows are labeled `core N` /
+/// `accel`, and each node is drawn as a run of its label's first
+/// characters.
+#[must_use]
+pub fn gantt(dag: &Dag, result: &SimResult, scale: u64) -> String {
+    let scale = scale.max(1);
+    let width = (result.makespan().get().div_ceil(scale)) as usize;
+    let mut rows: Vec<(String, Vec<char>)> = Vec::new();
+    for c in 0..result.platform().cores() {
+        rows.push((format!("core {c}"), vec!['.'; width]));
+    }
+    let accel_row = rows.len();
+    for d in 0..result.platform().accelerators() {
+        let label = if result.platform().accelerators() == 1 {
+            "accel ".to_owned()
+        } else {
+            format!("accel {d}")
+        };
+        rows.push((label, vec!['.'; width]));
+    }
+    for i in result.intervals() {
+        let row = match i.resource {
+            Resource::HostCore(c) => c,
+            Resource::Accelerator(d) => accel_row + d,
+            Resource::Instant => continue,
+        };
+        let label = dag.label(i.node);
+        let tag: Vec<char> = if label.is_empty() {
+            format!("{}", i.node).chars().collect()
+        } else {
+            label.chars().collect()
+        };
+        let (s, f) = ((i.start.get() / scale) as usize, (i.finish.get().div_ceil(scale)) as usize);
+        for (k, cell) in (s..f.min(width)).enumerate() {
+            rows[row].1[cell] = *tag.get(k % tag.len()).unwrap_or(&'#');
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("t = 0 .. {} (1 col = {} ticks)\n", result.makespan(), scale));
+    for (label, cells) in rows {
+        out.push_str(&format!("{label:>8} |{}|\n", cells.into_iter().collect::<String>()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::BreadthFirst;
+    use crate::{simulate, Platform};
+    use hetrta_dag::DagBuilder;
+
+    fn sample() -> (Dag, NodeId) {
+        let mut b = DagBuilder::new();
+        let v1 = b.node("v1", Ticks::new(1));
+        let v2 = b.node("v2", Ticks::new(4));
+        let v3 = b.node("v3", Ticks::new(6));
+        let v4 = b.node("v4", Ticks::new(2));
+        let v5 = b.node("v5", Ticks::new(1));
+        let voff = b.node("voff", Ticks::new(4));
+        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
+            .unwrap();
+        (b.build().unwrap(), voff)
+    }
+
+    #[test]
+    fn valid_schedules_pass() {
+        let (dag, voff) = sample();
+        for m in 1..=4 {
+            let r = simulate(&dag, Some(voff), Platform::with_accelerator(m), &mut BreadthFirst::new())
+                .unwrap();
+            validate_schedule(&dag, Some(voff), &r).unwrap();
+            let rh = simulate(&dag, None, Platform::host_only(m), &mut BreadthFirst::new()).unwrap();
+            validate_schedule(&dag, None, &rh).unwrap();
+        }
+    }
+
+    #[test]
+    fn tampered_offload_detected() {
+        let (dag, voff) = sample();
+        let r = simulate(&dag, Some(voff), Platform::with_accelerator(2), &mut BreadthFirst::new())
+            .unwrap();
+        // claim no node is offloaded: accelerator interval becomes illegal
+        let err = validate_schedule(&dag, None, &r).unwrap_err();
+        assert!(err.to_string().contains("accelerator"));
+    }
+
+    #[test]
+    fn mismatched_graph_detected() {
+        let (dag, voff) = sample();
+        let r = simulate(&dag, Some(voff), Platform::with_accelerator(2), &mut BreadthFirst::new())
+            .unwrap();
+        let mut other = DagBuilder::new();
+        other.node("only", Ticks::ONE);
+        let other = other.build().unwrap();
+        assert!(validate_schedule(&other, None, &r).is_err());
+    }
+
+    #[test]
+    fn gantt_renders_all_resources() {
+        let (dag, voff) = sample();
+        let r = simulate(&dag, Some(voff), Platform::with_accelerator(2), &mut BreadthFirst::new())
+            .unwrap();
+        let chart = gantt(&dag, &r, 1);
+        assert!(chart.contains("core 0"));
+        assert!(chart.contains("core 1"));
+        assert!(chart.contains("accel"));
+        // v3 runs for 6 ticks: its label pattern appears
+        assert!(chart.contains("v3"));
+    }
+
+    #[test]
+    fn gantt_scale_shrinks_width() {
+        let (dag, voff) = sample();
+        let r = simulate(&dag, Some(voff), Platform::with_accelerator(2), &mut BreadthFirst::new())
+            .unwrap();
+        let wide = gantt(&dag, &r, 1);
+        let narrow = gantt(&dag, &r, 4);
+        assert!(narrow.len() < wide.len());
+    }
+}

@@ -1,0 +1,112 @@
+//! Cross-validation of the two simulators: a single job in the sporadic
+//! task-set simulator must behave exactly like the single-task engine
+//! under the same (breadth-first, work-conserving) discipline.
+
+use hetrta_dag::{HeteroDagTask, Ticks};
+use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+use hetrta_gen::{generate_nfj, NfjParams};
+use hetrta_sim::policy::BreadthFirst;
+use hetrta_sim::sporadic::{simulate_sporadic, Preemption, SporadicConfig};
+use hetrta_sim::{simulate, Platform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_task(seed: u64, fraction: f64) -> Option<HeteroDagTask> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = generate_nfj(&NfjParams::small_tasks(), &mut rng).ok()?;
+    let t = make_hetero_task(
+        dag,
+        OffloadSelection::AnyInterior,
+        CoffSizing::VolumeFraction(fraction),
+        &mut rng,
+    )
+    .ok()?;
+    // Huge period so exactly one job releases.
+    let vol = t.volume();
+    HeteroDagTask::new(t.dag().clone(), t.offloaded(), vol + vol, vol + vol).ok()
+}
+
+#[test]
+fn single_job_matches_engine_with_accelerator() {
+    let mut checked = 0;
+    for seed in 0..60u64 {
+        let Some(task) = random_task(seed, 0.3) else { continue };
+        for m in [1usize, 2, 4, 8] {
+            let engine = simulate(
+                task.dag(),
+                Some(task.offloaded()),
+                Platform::with_accelerator(m),
+                &mut BreadthFirst::new(),
+            )
+            .unwrap();
+            for pre in [Preemption::Preemptive, Preemption::NonPreemptive] {
+                let config =
+                    SporadicConfig::new(Platform::with_accelerator(m), Ticks::ONE).preemption(pre);
+                let run = simulate_sporadic(std::slice::from_ref(&task), &config).unwrap();
+                assert_eq!(
+                    run.jobs()[0].response_time(),
+                    Some(engine.makespan()),
+                    "seed {seed}, m {m}, {pre:?}"
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 150, "only {checked} configurations checked");
+}
+
+#[test]
+fn single_job_matches_engine_homogeneous() {
+    let mut checked = 0;
+    for seed in 100..140u64 {
+        let Some(task) = random_task(seed, 0.2) else { continue };
+        for m in [2usize, 4] {
+            let engine =
+                simulate(task.dag(), None, Platform::host_only(m), &mut BreadthFirst::new())
+                    .unwrap();
+            let config = SporadicConfig::new(Platform::host_only(m), Ticks::ONE)
+                .offload_on_host(true);
+            let run = simulate_sporadic(std::slice::from_ref(&task), &config).unwrap();
+            assert_eq!(
+                run.jobs()[0].response_time(),
+                Some(engine.makespan()),
+                "seed {seed}, m {m}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 60);
+}
+
+#[test]
+fn sporadic_single_job_bounded_by_r_hom_and_r_het() {
+    // Response-time bounds hold in the multi-task simulator too (single
+    // job, so the single-task theorems apply; het bound on the
+    // transformed deployment).
+    for seed in 200..240u64 {
+        let Some(task) = random_task(seed, 0.35) else { continue };
+        for m in [2u64, 8] {
+            let r_hom = hetrta_core::r_hom(&task.as_homogeneous(), m).unwrap();
+            let config =
+                SporadicConfig::new(Platform::host_only(m as usize), Ticks::ONE)
+                    .offload_on_host(true);
+            let run = simulate_sporadic(std::slice::from_ref(&task), &config).unwrap();
+            let observed = run.jobs()[0].response_time().unwrap();
+            assert!(observed.to_rational() <= r_hom, "seed {seed}, m {m}");
+
+            let t = hetrta_core::transform(&task).unwrap();
+            let r_het = hetrta_core::r_het(&t, m).unwrap().tight_value();
+            let tt = HeteroDagTask::new(
+                t.transformed().clone(),
+                t.offloaded(),
+                task.period(),
+                task.deadline(),
+            )
+            .unwrap();
+            let config = SporadicConfig::new(Platform::with_accelerator(m as usize), Ticks::ONE);
+            let run = simulate_sporadic(std::slice::from_ref(&tt), &config).unwrap();
+            let observed = run.jobs()[0].response_time().unwrap();
+            assert!(observed.to_rational() <= r_het, "seed {seed}, m {m} (het)");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Soundness of the analytical bounds against simulated execution.
+//!
+//! These are the load-bearing correctness tests of the whole reproduction:
+//! for randomly generated tasks and every scheduling policy,
+//!
+//! * the homogeneous bound `R_hom(τ)` (Eq. 1) dominates any work-conserving
+//!   schedule of `τ` — both fully on the host and with `v_off` on the
+//!   accelerator;
+//! * the heterogeneous bound `R_het(τ')` (Theorem 1) dominates any
+//!   work-conserving schedule of the transformed task `τ'`;
+//! * simulated makespans never drop below the trivial lower bounds.
+
+use hetrta_core::{r_het, r_hom_dag, transform};
+use hetrta_dag::{HeteroDagTask, Rational, Ticks};
+use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+use hetrta_gen::{generate_nfj, NfjParams};
+use hetrta_sim::policy::{BreadthFirst, CriticalPathFirst, DepthFirst, Policy, RandomTieBreak};
+use hetrta_sim::trace::validate_schedule;
+use hetrta_sim::{explore_worst_case, simulate, Platform};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_task(seed: u64, fraction: f64) -> HeteroDagTask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = generate_nfj(&NfjParams::small_tasks(), &mut rng).expect("generation succeeds");
+    if dag.node_count() < 3 {
+        return random_task(seed.wrapping_add(0x9e37_79b9), fraction);
+    }
+    make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::VolumeFraction(fraction), &mut rng)
+        .expect("offload assignment succeeds")
+}
+
+fn policies(seed: u64) -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(BreadthFirst::new()),
+        Box::new(DepthFirst::new()),
+        Box::new(CriticalPathFirst::new()),
+        Box::new(RandomTieBreak::new(seed)),
+        Box::new(RandomTieBreak::new(seed.wrapping_mul(31).wrapping_add(7))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn r_hom_bounds_homogeneous_execution(seed in 0u64..4000, pct in 1u32..70, m in 1usize..17) {
+        let task = random_task(seed, f64::from(pct) / 100.0);
+        let bound = r_hom_dag(task.dag(), m as u64).unwrap();
+        for mut p in policies(seed) {
+            let r = simulate(task.dag(), None, Platform::host_only(m), p.as_mut()).unwrap();
+            prop_assert!(
+                r.makespan().to_rational() <= bound,
+                "{}: makespan {} > R_hom {}", p.name(), r.makespan(), bound
+            );
+            validate_schedule(task.dag(), None, &r).unwrap();
+        }
+    }
+
+    #[test]
+    fn r_hom_bounds_heterogeneous_execution_of_original(seed in 0u64..4000, pct in 1u32..70, m in 1usize..17) {
+        // Offloading can only reduce host interference; R_hom(τ) stays sound
+        // for the *untransformed* heterogeneous execution (paper §3.2).
+        let task = random_task(seed, f64::from(pct) / 100.0);
+        let bound = r_hom_dag(task.dag(), m as u64).unwrap();
+        for mut p in policies(seed) {
+            let r = simulate(
+                task.dag(), Some(task.offloaded()), Platform::with_accelerator(m), p.as_mut(),
+            ).unwrap();
+            prop_assert!(
+                r.makespan().to_rational() <= bound,
+                "{}: het makespan {} > R_hom {}", p.name(), r.makespan(), bound
+            );
+            validate_schedule(task.dag(), Some(task.offloaded()), &r).unwrap();
+        }
+    }
+
+    #[test]
+    fn r_het_bounds_transformed_execution(seed in 0u64..4000, pct in 1u32..70, m in 1usize..17) {
+        // The paper's Theorem 1: R_het(τ') dominates every work-conserving
+        // schedule of the transformed task on m cores + accelerator.
+        let task = random_task(seed, f64::from(pct) / 100.0);
+        let t = transform(&task).unwrap();
+        let bound = r_het(&t, m as u64).unwrap();
+        for mut p in policies(seed) {
+            let r = simulate(
+                t.transformed(), Some(task.offloaded()), Platform::with_accelerator(m), p.as_mut(),
+            ).unwrap();
+            prop_assert!(
+                r.makespan().to_rational() <= bound.value(),
+                "{} ({}): makespan {} > R_het {}",
+                p.name(), bound.scenario(), r.makespan(), bound.value()
+            );
+            // the capped variant must also stay sound
+            prop_assert!(r.makespan().to_rational() <= bound.tight_value());
+            validate_schedule(t.transformed(), Some(task.offloaded()), &r).unwrap();
+        }
+    }
+
+    #[test]
+    fn makespan_at_least_trivial_lower_bounds(seed in 0u64..4000, pct in 1u32..70, m in 1usize..9) {
+        let task = random_task(seed, f64::from(pct) / 100.0);
+        let t = transform(&task).unwrap();
+        for (dag, off) in [
+            (task.dag(), Some(task.offloaded())),
+            (t.transformed(), Some(task.offloaded())),
+        ] {
+            let cp = hetrta_dag::algo::CriticalPath::of(dag).length();
+            let host_vol = dag.volume() - task.c_off();
+            let lb = cp.max(host_vol.div_ceil(m as u64));
+            let r = simulate(dag, off, Platform::with_accelerator(m), &mut BreadthFirst::new())
+                .unwrap();
+            prop_assert!(r.makespan() >= lb, "makespan {} < lower bound {lb}", r.makespan());
+        }
+    }
+
+    #[test]
+    fn worst_case_exploration_stays_under_r_hom(seed in 0u64..800, pct in 1u32..70) {
+        let task = random_task(seed, f64::from(pct) / 100.0);
+        let m = 2usize;
+        let worst = explore_worst_case(
+            task.dag(), Some(task.offloaded()), Platform::with_accelerator(m), 20,
+        ).unwrap();
+        let bound = r_hom_dag(task.dag(), m as u64).unwrap();
+        prop_assert!(worst.makespan().to_rational() <= bound);
+    }
+
+    #[test]
+    fn transformed_never_slower_than_serial(seed in 0u64..2000, pct in 1u32..70) {
+        let task = random_task(seed, f64::from(pct) / 100.0);
+        let t = transform(&task).unwrap();
+        let r = simulate(
+            t.transformed(), Some(task.offloaded()), Platform::with_accelerator(1),
+            &mut BreadthFirst::new(),
+        ).unwrap();
+        // Even one host core + accelerator never exceeds fully serial volume.
+        prop_assert!(r.makespan() <= task.volume());
+        let _ = Rational::ZERO;
+        let _ = Ticks::ZERO;
+    }
+}

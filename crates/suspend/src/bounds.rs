@@ -1,0 +1,254 @@
+//! Single-task baseline bounds from the self-suspending literature.
+//!
+//! The paper's §6 notes that heterogeneous real-time tasks were
+//! traditionally modeled as self-suspending tasks, and that "many previous
+//! works concerning the analysis of self-suspending tasks are flawed"
+//! (Chen et al.'s review, the paper's reference \[8\]). This module
+//! implements the *sound* classical baselines for a single DAG task on `m`
+//! cores, plus — deliberately, clearly marked — the **unsound** naive
+//! discount of the paper's §3.2, so the Figure 1(c) counterexample is
+//! executable.
+//!
+//! For a task `τ` with offloaded node `v_off` (`C_off`), the bounds are:
+//!
+//! | bound | formula | status |
+//! |-------|---------|--------|
+//! | [`suspension_oblivious`] | Eq. 1 on `G` (suspension as computation) | sound; = the paper's `R_hom` baseline |
+//! | [`phase_barrier`] | `R_hom(pred) + max(C_off, R_hom(par)) + R_hom(succ)` | sound for the barrier deployment |
+//! | [`naive_discount`] | `len(G) + (vol(G) − len(G) − C_off)/m` | **unsound** (Figure 1(c)) |
+//!
+//! The phase-barrier bound analyzes the classical *deployment*: run
+//! everything before `v_off`, hit a barrier, run the suspension in
+//! parallel with the independent work, hit a barrier, run the rest. It is
+//! coarser than the paper's Theorem 1 because both barriers are full
+//! (Theorem 1's transformation only synchronizes *before* the offload
+//! region and lets `succ`-side work start as its own predecessors allow).
+
+use hetrta_core::r_hom_dag;
+use hetrta_dag::algo::CriticalPath;
+use hetrta_dag::{HeteroDagTask, Rational};
+
+use crate::model::PhaseDecomposition;
+use crate::SuspendError;
+
+/// Suspension-oblivious bound: the device time is treated as host
+/// computation, i.e. Eq. 1 applied to the full DAG — identical to the
+/// paper's homogeneous baseline `R_hom(τ)`.
+///
+/// Sound for any work-conserving host schedule because adding `v_off` to
+/// the host workload only over-approximates.
+///
+/// # Errors
+///
+/// [`SuspendError::ZeroCores`] if `m == 0`; [`SuspendError::Dag`] on a
+/// cyclic graph.
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_dag::{DagBuilder, HeteroDagTask, Rational, Ticks};
+/// use hetrta_suspend::suspension_oblivious;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = DagBuilder::new();
+/// let a = b.node("a", Ticks::new(2));
+/// let k = b.node("k", Ticks::new(6));
+/// let z = b.node("z", Ticks::new(2));
+/// b.edges([(a, k), (k, z)])?;
+/// let task = HeteroDagTask::new(b.build()?, k, Ticks::new(40), Ticks::new(40))?;
+/// assert_eq!(suspension_oblivious(&task, 4)?, Rational::from_integer(10));
+/// # Ok(())
+/// # }
+/// ```
+pub fn suspension_oblivious(task: &HeteroDagTask, m: u64) -> Result<Rational, SuspendError> {
+    Ok(r_hom_dag(task.dag(), m)?)
+}
+
+/// Phase-barrier bound: the classical three-phase self-suspending
+/// decomposition on `m` cores,
+/// `R_hom(pred) + max(C_off, R_hom(par)) + R_hom(succ)`.
+///
+/// Sound for the barrier-structured deployment (full synchronization
+/// before and after the offload region). Note it does **not** bound the
+/// paper's less constrained `τ'`: removing precedence constraints can
+/// lengthen greedy schedules (Graham's timing anomalies), which is exactly
+/// why `τ'` needs its own analysis (Theorem 1).
+///
+/// # Errors
+///
+/// [`SuspendError::ZeroCores`] if `m == 0`; [`SuspendError::Dag`] on a
+/// cyclic graph.
+pub fn phase_barrier(task: &HeteroDagTask, m: u64) -> Result<Rational, SuspendError> {
+    if m == 0 {
+        return Err(SuspendError::ZeroCores);
+    }
+    let phases = PhaseDecomposition::of(task)?;
+    let pred = r_hom_dag(phases.pred(), m)?;
+    let par = r_hom_dag(phases.par(), m)?;
+    let succ = r_hom_dag(phases.succ(), m)?;
+    Ok(pred + phases.c_off().to_rational().max(par) + succ)
+}
+
+/// The naive discount of the paper's §3.2: subtract `C_off` from the
+/// self-interference term of Eq. 1 without any synchronization,
+/// `len(G) + (vol(G) − len(G) − C_off)/m`.
+///
+/// **This bound is unsound** — the paper's Figure 1(c) shows a
+/// work-conserving schedule of the original task τ whose makespan (12)
+/// exceeds it (11). It is provided so the counterexample is executable
+/// (see `tests/counterexample.rs`) and as the strawman the DAG
+/// transformation exists to fix. Never use it for verification.
+///
+/// When `C_off` exceeds the total self-interference `vol − len` the
+/// formula would go below the critical-path length; the value is clamped
+/// at `len(G)` (the paper never evaluates it there).
+///
+/// # Errors
+///
+/// [`SuspendError::ZeroCores`] if `m == 0`; [`SuspendError::Dag`] on a
+/// cyclic graph.
+pub fn naive_discount(task: &HeteroDagTask, m: u64) -> Result<Rational, SuspendError> {
+    if m == 0 {
+        return Err(SuspendError::ZeroCores);
+    }
+    let len = CriticalPath::try_of(task.dag())?.length().to_rational();
+    let vol = task.volume().to_rational();
+    let c_off = task.c_off().to_rational();
+    let slack = (vol - len - c_off).max(Rational::ZERO);
+    Ok(len + slack / Rational::from_integer(m as i128))
+}
+
+/// Side-by-side comparison of every baseline with the paper's bounds for
+/// one task and core count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineComparison {
+    /// Host cores the bounds were computed for.
+    pub cores: u64,
+    /// [`suspension_oblivious`] (= `R_hom(τ)`).
+    pub oblivious: Rational,
+    /// [`phase_barrier`].
+    pub phase_barrier: Rational,
+    /// [`naive_discount`] — **unsound**, for illustration only.
+    pub naive_unsound: Rational,
+    /// The paper's Theorem 1 on the transformed task.
+    pub r_het: Rational,
+    /// `min(R_het, R_hom(G'))` (tightness cap; see `hetrta-core::rta`).
+    pub r_het_tight: Rational,
+}
+
+impl BaselineComparison {
+    /// Computes all bounds for `task` on `m` cores.
+    ///
+    /// # Errors
+    ///
+    /// [`SuspendError::ZeroCores`] if `m == 0`; [`SuspendError::Dag`] on
+    /// structural errors.
+    pub fn compute(task: &HeteroDagTask, m: u64) -> Result<Self, SuspendError> {
+        let transformed = hetrta_core::transform(task)?;
+        let het = hetrta_core::r_het(&transformed, m)?;
+        Ok(BaselineComparison {
+            cores: m,
+            oblivious: suspension_oblivious(task, m)?,
+            phase_barrier: phase_barrier(task, m)?,
+            naive_unsound: naive_discount(task, m)?,
+            r_het: het.value(),
+            r_het_tight: het.tight_value(),
+        })
+    }
+
+    /// The tightest *sound* bound in the comparison.
+    #[must_use]
+    pub fn best_sound(&self) -> Rational {
+        self.oblivious.min(self.phase_barrier).min(self.r_het_tight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetrta_dag::{DagBuilder, Ticks};
+
+    /// Figure 1(a) of the paper (reconstructed WCETs).
+    fn figure1_task() -> HeteroDagTask {
+        let mut b = DagBuilder::new();
+        let v1 = b.node("v1", Ticks::new(1));
+        let v2 = b.node("v2", Ticks::new(4));
+        let v3 = b.node("v3", Ticks::new(6));
+        let v4 = b.node("v4", Ticks::new(2));
+        let v5 = b.node("v5", Ticks::new(1));
+        let voff = b.node("v_off", Ticks::new(4));
+        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
+            .unwrap();
+        HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(50), Ticks::new(50)).unwrap()
+    }
+
+    #[test]
+    fn oblivious_matches_r_hom_13() {
+        assert_eq!(
+            suspension_oblivious(&figure1_task(), 2).unwrap(),
+            Rational::from_integer(13)
+        );
+    }
+
+    #[test]
+    fn naive_discount_gives_the_papers_11() {
+        assert_eq!(naive_discount(&figure1_task(), 2).unwrap(), Rational::from_integer(11));
+    }
+
+    #[test]
+    fn phase_barrier_on_figure1() {
+        // pred {v1,v4}: chain, len 3 → R_hom = 3.
+        // par {v2,v3}: R_hom on m=2 = 6 + 4/2 = 8 > C_off 4.
+        // succ {v5}: 1. Total 3 + 8 + 1 = 12.
+        assert_eq!(phase_barrier(&figure1_task(), 2).unwrap(), Rational::from_integer(12));
+    }
+
+    #[test]
+    fn theorem1_is_at_least_as_tight_as_every_sound_baseline_here() {
+        let c = BaselineComparison::compute(&figure1_task(), 2).unwrap();
+        assert!(c.r_het_tight <= c.oblivious);
+        assert!(c.r_het_tight <= c.phase_barrier);
+        assert_eq!(c.best_sound(), c.r_het_tight);
+    }
+
+    #[test]
+    fn naive_is_below_sound_bounds_that_is_the_problem() {
+        let c = BaselineComparison::compute(&figure1_task(), 2).unwrap();
+        // It *looks* tighter than everything — because it is wrong.
+        assert!(c.naive_unsound < c.r_het_tight);
+        assert!(c.naive_unsound < c.oblivious);
+    }
+
+    #[test]
+    fn clamp_prevents_below_critical_path() {
+        // Chain a → k → z with C_off larger than the interference slack.
+        let mut b = DagBuilder::new();
+        let a = b.node("a", Ticks::new(1));
+        let k = b.node("k", Ticks::new(10));
+        let z = b.node("z", Ticks::new(1));
+        b.edges([(a, k), (k, z)]).unwrap();
+        let t = HeteroDagTask::new(b.build().unwrap(), k, Ticks::new(50), Ticks::new(50)).unwrap();
+        // vol = len = 12: slack is zero even before subtracting C_off.
+        assert_eq!(naive_discount(&t, 2).unwrap(), Rational::from_integer(12));
+    }
+
+    #[test]
+    fn zero_cores_rejected_everywhere() {
+        let t = figure1_task();
+        assert_eq!(suspension_oblivious(&t, 0).unwrap_err(), SuspendError::ZeroCores);
+        assert_eq!(phase_barrier(&t, 0).unwrap_err(), SuspendError::ZeroCores);
+        assert_eq!(naive_discount(&t, 0).unwrap_err(), SuspendError::ZeroCores);
+        assert!(BaselineComparison::compute(&t, 0).is_err());
+    }
+
+    #[test]
+    fn many_cores_collapse_interference() {
+        let t = figure1_task();
+        // With many cores the oblivious bound approaches len(G) = 8 and
+        // phase barrier approaches 3 + max(4, R_hom(par) → 6) + 1 = 10.
+        assert_eq!(suspension_oblivious(&t, 1000).unwrap().floor(), 8);
+        let pb = phase_barrier(&t, 1000).unwrap();
+        assert_eq!(pb.floor(), 10);
+        assert!(pb < Rational::new(1001, 100), "limit is 10 + ε: {pb}");
+    }
+}

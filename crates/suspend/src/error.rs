@@ -1,0 +1,72 @@
+//! Errors of the self-suspending baseline analyses.
+
+use core::fmt;
+
+use hetrta_core::AnalysisError;
+use hetrta_dag::DagError;
+
+/// Errors produced by the self-suspending baselines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SuspendError {
+    /// The host core count `m` must be at least 1.
+    ZeroCores,
+    /// The task's DAG violates a structural assumption (wrapped cause).
+    Dag(DagError),
+    /// A response-time iteration diverged past the deadline (task-set
+    /// analyses report this per task, not as an error; this variant flags
+    /// parameter mistakes such as a zero period).
+    InvalidTask(String),
+}
+
+impl fmt::Display for SuspendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuspendError::ZeroCores => write!(f, "host must have at least one core"),
+            SuspendError::Dag(e) => write!(f, "task structure error: {e}"),
+            SuspendError::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SuspendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SuspendError::Dag(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DagError> for SuspendError {
+    fn from(e: DagError) -> Self {
+        SuspendError::Dag(e)
+    }
+}
+
+impl From<AnalysisError> for SuspendError {
+    fn from(e: AnalysisError) -> Self {
+        match e {
+            AnalysisError::ZeroCores => SuspendError::ZeroCores,
+            AnalysisError::Dag(d) => SuspendError::Dag(d),
+            _ => SuspendError::InvalidTask(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(SuspendError::ZeroCores.to_string(), "host must have at least one core");
+        assert!(SuspendError::InvalidTask("p".into()).to_string().contains('p'));
+        assert!(SuspendError::from(DagError::Empty).to_string().contains("structure"));
+    }
+
+    #[test]
+    fn conversion_from_analysis_error() {
+        assert_eq!(SuspendError::from(AnalysisError::ZeroCores), SuspendError::ZeroCores);
+    }
+}

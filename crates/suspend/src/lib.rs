@@ -1,0 +1,53 @@
+//! # hetrta-suspend — self-suspending baselines for heterogeneous DAG tasks
+//!
+//! The related-work lens of the paper's §6: before DAG-aware heterogeneous
+//! response-time analyses, tasks that offload work to an accelerator were
+//! modeled as **self-suspending** tasks (Chen et al.'s review, the paper's
+//! reference \[8\]). This crate implements those classical models and
+//! bounds so the paper's contribution can be compared against the
+//! tradition it replaces:
+//!
+//! * [`PhaseDecomposition`] / [`FlatSuspendingTask`] — the self-suspending
+//!   views of a heterogeneous DAG task ([`model`]);
+//! * [`suspension_oblivious`], [`phase_barrier`] — sound single-task
+//!   baselines on `m` cores, and [`naive_discount`] — the **unsound**
+//!   shortcut of the paper's §3.2, kept executable as the motivating
+//!   counterexample ([`bounds`]);
+//! * [`oblivious_rta`], [`jitter_rta`] — the two classical *sound*
+//!   uniprocessor task-set analyses ([`uniprocessor`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use hetrta_dag::{DagBuilder, HeteroDagTask, Ticks};
+//! use hetrta_suspend::BaselineComparison;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DagBuilder::new();
+//! let pre = b.node("pre", Ticks::new(2));
+//! let gpu = b.node("gpu", Ticks::new(9));
+//! let cpu = b.node("cpu", Ticks::new(6));
+//! let post = b.node("post", Ticks::new(1));
+//! b.edges([(pre, gpu), (pre, cpu), (gpu, post), (cpu, post)])?;
+//! let task = HeteroDagTask::new(b.build()?, gpu, Ticks::new(40), Ticks::new(40))?;
+//!
+//! let c = BaselineComparison::compute(&task, 2)?;
+//! assert!(c.r_het_tight <= c.oblivious);     // Theorem 1 beats oblivious
+//! assert!(c.best_sound() <= c.phase_barrier); // and the barrier baseline
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounds;
+mod error;
+pub mod model;
+pub mod uniprocessor;
+
+pub use bounds::{naive_discount, phase_barrier, suspension_oblivious, BaselineComparison};
+pub use error::SuspendError;
+pub use model::{FlatSuspendingTask, PhaseDecomposition};
+pub use uniprocessor::{jitter_rta, oblivious_rta, UniVerdict};

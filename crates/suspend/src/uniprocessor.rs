@@ -1,0 +1,245 @@
+//! Classical uniprocessor RTA for sets of self-suspending tasks.
+//!
+//! This is the related-work setting the paper's §6 describes: "most of the
+//! published work consider that tasks are scheduled on a uniprocessor
+//! platform and utilizes a device to accelerate part of the execution."
+//! Following the two analyses that Chen et al.'s review (the paper's
+//! reference \[8\]) confirms sound for *dynamic* self-suspending tasks under
+//! fixed-priority preemptive scheduling:
+//!
+//! * [`oblivious_rta`] — **suspension-oblivious**: suspensions are modeled
+//!   as execution, both for the task under analysis and for interfering
+//!   tasks: `R_i = C_i + S_i + Σ_{j<i} ⌈R_i/T_j⌉ (C_j + S_j)`.
+//! * [`jitter_rta`] — **suspension-as-jitter**: interfering tasks keep
+//!   their real execution time but get a release jitter of
+//!   `J_j = R_j − C_j`:
+//!   `R_i = C_i + S_i + Σ_{j<i} ⌈(R_i + J_j)/T_j⌉ C_j`.
+//!
+//! A heterogeneous DAG task on one host core *is* a dynamic self-suspending
+//! task (host execution ≤ `C¹ + C²`, total suspension ≤ `C_off`), so these
+//! bounds apply to [`FlatSuspendingTask`] views directly — giving the
+//! historical baseline that the DAG-aware multiprocessor analyses of
+//! `hetrta-core`/`hetrta-sched` supersede.
+
+use hetrta_dag::Ticks;
+
+use crate::model::FlatSuspendingTask;
+use crate::SuspendError;
+
+/// Iteration cap; exceeding it reports the task unschedulable.
+const MAX_ITERATIONS: usize = 100_000;
+
+/// Per-task verdict of a uniprocessor RTA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniVerdict {
+    /// Index of the task in the input slice (priority order).
+    pub task: usize,
+    /// Converged response-time bound, `None` if it exceeded the deadline.
+    pub response_bound: Option<Ticks>,
+    /// The task's relative deadline.
+    pub deadline: Ticks,
+}
+
+impl UniVerdict {
+    /// `true` if the bound exists and meets the deadline.
+    #[must_use]
+    pub fn is_schedulable(&self) -> bool {
+        matches!(self.response_bound, Some(r) if r <= self.deadline)
+    }
+}
+
+fn validate(tasks: &[FlatSuspendingTask]) -> Result<(), SuspendError> {
+    for (i, t) in tasks.iter().enumerate() {
+        if t.period.is_zero() {
+            return Err(SuspendError::InvalidTask(format!("task {i} has a zero period")));
+        }
+        if t.deadline > t.period {
+            return Err(SuspendError::InvalidTask(format!(
+                "task {i} has deadline {} > period {}",
+                t.deadline, t.period
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Generic TDA fixed point: `R = base + Σ_j ⌈(R + jitter_j)/T_j⌉ · cost_j`
+/// over the higher-priority prefix.
+fn tda(
+    base: Ticks,
+    deadline: Ticks,
+    hp: &[(Ticks, Ticks, Ticks)], // (period, cost, jitter)
+) -> Option<Ticks> {
+    let mut r = base;
+    if r > deadline {
+        return None;
+    }
+    for _ in 0..MAX_ITERATIONS {
+        let mut next = base;
+        for &(t, c, j) in hp {
+            let jobs = (r + j).div_ceil(t.get());
+            next += Ticks::new(jobs.get() * c.get());
+        }
+        if next > deadline {
+            return None;
+        }
+        if next == r {
+            return Some(r);
+        }
+        r = next;
+    }
+    None
+}
+
+/// Suspension-oblivious RTA (tasks in priority order, index 0 highest).
+///
+/// # Errors
+///
+/// [`SuspendError::InvalidTask`] for zero periods or deadlines exceeding
+/// periods.
+///
+/// # Examples
+///
+/// ```
+/// use hetrta_dag::Ticks;
+/// use hetrta_suspend::{oblivious_rta, FlatSuspendingTask};
+///
+/// let t = |c1, s, c2, p| FlatSuspendingTask {
+///     c1: Ticks::new(c1), suspension: Ticks::new(s), c2: Ticks::new(c2),
+///     period: Ticks::new(p), deadline: Ticks::new(p),
+/// };
+/// let verdicts = oblivious_rta(&[t(2, 1, 1, 10), t(3, 2, 1, 20)])?;
+/// // τ0: 2+1+1 = 4. τ1: 3+2+1 + ⌈R/10⌉·4 → 6 + 4 = 10.
+/// assert_eq!(verdicts[0].response_bound, Some(Ticks::new(4)));
+/// assert_eq!(verdicts[1].response_bound, Some(Ticks::new(10)));
+/// # Ok::<(), hetrta_suspend::SuspendError>(())
+/// ```
+pub fn oblivious_rta(tasks: &[FlatSuspendingTask]) -> Result<Vec<UniVerdict>, SuspendError> {
+    validate(tasks)?;
+    let mut out = Vec::with_capacity(tasks.len());
+    for (i, task) in tasks.iter().enumerate() {
+        let base = task.execution() + task.suspension;
+        let hp: Vec<_> = tasks[..i]
+            .iter()
+            .map(|h| (h.period, h.execution() + h.suspension, Ticks::ZERO))
+            .collect();
+        let bound = tda(base, task.deadline, &hp);
+        out.push(UniVerdict { task: i, response_bound: bound, deadline: task.deadline });
+    }
+    Ok(out)
+}
+
+/// Suspension-as-jitter RTA (tasks in priority order, index 0 highest).
+///
+/// Interfering tasks contribute only their execution time, with release
+/// jitter `J_j = R_j − C_j` (their own bound minus their execution — the
+/// classical sound choice; an unschedulable higher-priority task falls
+/// back to `J_j = D_j − C_j` saturated at zero).
+///
+/// # Errors
+///
+/// See [`oblivious_rta`].
+pub fn jitter_rta(tasks: &[FlatSuspendingTask]) -> Result<Vec<UniVerdict>, SuspendError> {
+    validate(tasks)?;
+    let mut out: Vec<UniVerdict> = Vec::with_capacity(tasks.len());
+    for (i, task) in tasks.iter().enumerate() {
+        let base = task.execution() + task.suspension;
+        let hp: Vec<_> = tasks[..i]
+            .iter()
+            .enumerate()
+            .map(|(j, h)| {
+                let rj = out[j].response_bound.unwrap_or(h.deadline);
+                (h.period, h.execution(), rj.saturating_sub(h.execution()))
+            })
+            .collect();
+        let bound = tda(base, task.deadline, &hp);
+        out.push(UniVerdict { task: i, response_bound: bound, deadline: task.deadline });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c1: u64, s: u64, c2: u64, p: u64) -> FlatSuspendingTask {
+        FlatSuspendingTask {
+            c1: Ticks::new(c1),
+            suspension: Ticks::new(s),
+            c2: Ticks::new(c2),
+            period: Ticks::new(p),
+            deadline: Ticks::new(p),
+        }
+    }
+
+    #[test]
+    fn top_priority_is_isolated() {
+        let v = oblivious_rta(&[t(3, 2, 1, 20)]).unwrap();
+        assert_eq!(v[0].response_bound, Some(Ticks::new(6)));
+        let v = jitter_rta(&[t(3, 2, 1, 20)]).unwrap();
+        assert_eq!(v[0].response_bound, Some(Ticks::new(6)));
+    }
+
+    #[test]
+    fn jitter_no_worse_than_oblivious() {
+        // Jitter analysis discounts hp suspensions from the interference.
+        let sets: &[&[FlatSuspendingTask]] = &[
+            &[t(2, 3, 1, 12), t(4, 2, 2, 30)],
+            &[t(1, 5, 1, 10), t(2, 1, 2, 25), t(3, 3, 1, 60)],
+        ];
+        for set in sets {
+            let ob = oblivious_rta(set).unwrap();
+            let ji = jitter_rta(set).unwrap();
+            for (o, j) in ob.iter().zip(&ji) {
+                match (o.response_bound, j.response_bound) {
+                    (Some(ro), Some(rj)) => assert!(rj <= ro, "jitter {rj} > oblivious {ro}"),
+                    (None, Some(_)) => {} // jitter accepts more: fine
+                    (Some(_), None) => panic!("jitter rejected what oblivious accepted"),
+                    (None, None) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_interference_is_visible() {
+        // hp task with big suspension: oblivious charges 8/period, jitter
+        // charges only 3 but with jitter 5.
+        let set = [t(2, 6, 1, 15), t(5, 0, 0, 40)];
+        let ob = oblivious_rta(&set).unwrap();
+        let ji = jitter_rta(&set).unwrap();
+        // oblivious: 5 + ⌈R/15⌉·9 → 14. jitter: 5 + ⌈(R+6)/15⌉·3 → 8.
+        assert_eq!(ob[1].response_bound, Some(Ticks::new(14)));
+        assert_eq!(ji[1].response_bound, Some(Ticks::new(8)));
+    }
+
+    #[test]
+    fn overload_is_rejected() {
+        let v = oblivious_rta(&[t(5, 4, 0, 10), t(4, 0, 0, 12)]).unwrap();
+        assert!(v[0].is_schedulable());
+        assert!(!v[1].is_schedulable());
+        assert_eq!(v[1].response_bound, None);
+    }
+
+    #[test]
+    fn unschedulable_hp_still_interferes_via_deadline_jitter() {
+        let v = jitter_rta(&[t(9, 4, 0, 12), t(1, 0, 0, 50)]).unwrap();
+        assert!(!v[0].is_schedulable());
+        // lp analyzed with J_0 = D_0 − C_0 = 3.
+        assert!(v[1].response_bound.is_some());
+    }
+
+    #[test]
+    fn invalid_tasks_rejected() {
+        assert!(oblivious_rta(&[t(1, 0, 0, 0)]).is_err());
+        let mut bad = t(1, 0, 0, 10);
+        bad.deadline = Ticks::new(12);
+        assert!(jitter_rta(&[bad]).is_err());
+    }
+
+    #[test]
+    fn empty_set_is_empty() {
+        assert!(oblivious_rta(&[]).unwrap().is_empty());
+        assert!(jitter_rta(&[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! Task-set schedulability: acceptance-ratio comparison of the global
+//! tests (extension of the paper's single-task evaluation).
+//!
+//! Sweeps the normalized utilization `U/m` and reports, per test, the
+//! fraction of random heterogeneous task sets accepted — the standard way
+//! to compare schedulability analyses at system level. The heterogeneous
+//! tests (Theorem 1 intra-task bound, host-only interference) accept
+//! strictly more sets than their homogeneous counterparts once a sizable
+//! share of each task is offloaded.
+//!
+//! ```text
+//! cargo run --release --example taskset_acceptance
+//! ```
+
+use hetrta::sched::acceptance::{acceptance_sweep, AcceptanceConfig, TestKind};
+use hetrta::sched::taskset::TaskSetParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cores = 4;
+    let config = AcceptanceConfig {
+        cores,
+        n_tasks: 4,
+        sets_per_point: 40,
+        normalized_utils: (1..=9).map(|i| i as f64 / 10.0).collect(),
+        template: TaskSetParams::small(4, 1.0).with_offload_fraction(0.2, 0.45),
+        seed: 0xDAC_2018,
+    };
+
+    println!("acceptance ratios, m = {cores} host cores, {} tasks/set, {} sets/point",
+             config.n_tasks, config.sets_per_point);
+    println!("offload fraction per task: 20-45% of vol\n");
+
+    print!("{:>6}", "U/m");
+    for t in TestKind::ALL {
+        print!("{:>10}", t.label());
+    }
+    println!();
+
+    for point in acceptance_sweep(&config)? {
+        print!("{:>6.2}", point.normalized_util);
+        for t in TestKind::ALL {
+            print!("{:>10.2}", point.ratio(t));
+        }
+        println!();
+    }
+
+    println!("\nreading guide: het columns should dominate their hom counterparts;");
+    println!("federated wastes cores on low-utilization tasks, so the global tests");
+    println!("overtake it as the set gets denser.");
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! The curated `.hdag` task corpus under `tasks/` parses, validates, and
+//! analyzes soundly end to end.
+
+use hetrta::analysis::HeterogeneousAnalysis;
+use hetrta::dag::io::{parse_task, TaskKind};
+use hetrta::sim::policy::BreadthFirst;
+use hetrta::sim::{simulate, trace::validate_schedule, Platform};
+use hetrta::{HeteroDagTask, Rational, Scenario};
+
+fn corpus() -> Vec<(String, HeteroDagTask)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tasks");
+    let mut tasks = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("tasks/ directory exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("hdag") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable task file");
+        let parsed = parse_task(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let TaskKind::Heterogeneous(task) = parsed.task else {
+            panic!("{} should declare an offload", path.display());
+        };
+        tasks.push((path.file_name().unwrap().to_string_lossy().into_owned(), task));
+    }
+    assert!(tasks.len() >= 4, "corpus should have at least 4 tasks");
+    tasks
+}
+
+#[test]
+fn corpus_parses_and_validates() {
+    for (name, task) in corpus() {
+        hetrta::dag::validate_task_model(task.dag())
+            .unwrap_or_else(|e| panic!("{name}: invalid model: {e}"));
+        assert!(task.c_off() > hetrta::Ticks::ZERO, "{name}: zero offload");
+    }
+}
+
+#[test]
+fn corpus_analyzes_soundly_on_every_platform() {
+    for (name, task) in corpus() {
+        for m in [1u64, 2, 4, 8] {
+            let report = HeterogeneousAnalysis::run(&task, m)
+                .unwrap_or_else(|e| panic!("{name}: analysis failed: {e}"));
+            let run = simulate(
+                report.transformed().transformed(),
+                Some(task.offloaded()),
+                Platform::with_accelerator(m as usize),
+                &mut BreadthFirst::new(),
+            )
+            .unwrap();
+            assert!(
+                run.makespan().to_rational() <= report.r_het(),
+                "{name} (m={m}): simulated {} > R_het {}",
+                run.makespan(),
+                report.r_het()
+            );
+            validate_schedule(
+                report.transformed().transformed(),
+                Some(task.offloaded()),
+                &run,
+            )
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn figure1_corpus_entry_matches_paper() {
+    let (_, task) = corpus()
+        .into_iter()
+        .find(|(name, _)| name == "figure1.hdag")
+        .expect("figure1.hdag in corpus");
+    let report = HeterogeneousAnalysis::run(&task, 2).unwrap();
+    assert_eq!(report.r_hom_original(), Rational::from_integer(13));
+    assert_eq!(report.r_het(), Rational::from_integer(12));
+    assert_eq!(report.scenario(), Scenario::OffNotOnCriticalPath);
+}
+
+#[test]
+fn sequential_offload_entry_is_degenerate_scenario_21() {
+    let (_, task) = corpus()
+        .into_iter()
+        .find(|(name, _)| name == "sequential_offload.hdag")
+        .expect("sequential_offload.hdag in corpus");
+    let report = HeterogeneousAnalysis::run(&task, 4).unwrap();
+    assert!(report.transformed().is_degenerate());
+    assert_eq!(report.scenario(), Scenario::OffOnCriticalPathDominant);
+    // chain: everything serial, bound = vol = 64 regardless of m
+    assert_eq!(report.r_het(), Rational::from_integer(64));
+}
+
+#[test]
+fn hcond_corpus_files_parse_and_analyze() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tasks");
+    let mut found = 0;
+    for entry in std::fs::read_dir(dir).expect("tasks/ directory exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("hcond") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable file");
+        let expr = hetrta::cond::parse_expr(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        expr.validate().unwrap();
+        // Round-trip through the canonical renderer.
+        let back = hetrta::cond::parse_expr(&hetrta::cond::render_expr(&expr)).unwrap();
+        assert_eq!(back, expr);
+        // The bounds hold their ordering on every core count.
+        for m in [1u64, 2, 8] {
+            let aware = hetrta::cond::r_cond(&expr, m).unwrap();
+            let flat = hetrta::cond::r_parallel_flattening(&expr, m).unwrap();
+            let exact = hetrta::cond::r_cond_exact(&expr, m, 1024).unwrap();
+            assert!(exact <= aware);
+            assert!(aware <= flat);
+        }
+        found += 1;
+    }
+    assert!(found >= 1, "corpus should have at least one .hcond file");
+}

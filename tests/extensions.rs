@@ -1,0 +1,115 @@
+//! Integration of the beyond-the-paper extensions through the facade:
+//! OpenMP lowering → analysis → simulation, multi-offload bounds, and
+//! federated scheduling.
+
+use hetrta::analysis::federated::{federated_partition, minimum_cores, AnalysisKind};
+use hetrta::analysis::multi::r_het_multi;
+use hetrta::analysis::HeterogeneousAnalysis;
+use hetrta::gen::openmp::{Program, Stmt};
+use hetrta::sim::policy::BreadthFirst;
+use hetrta::sim::{simulate, simulate_multi, Platform};
+use hetrta::{HeteroDagTask, Ticks};
+
+fn pipeline_program(gpu_wcet: u64) -> Program {
+    Program::new(vec![
+        Stmt::work("pre", 3),
+        Stmt::offload("gpu", gpu_wcet),
+        Stmt::spawn(Program::new(vec![Stmt::work("f1", 10)])),
+        Stmt::spawn(Program::new(vec![
+            Stmt::work("f2a", 4),
+            Stmt::spawn(Program::new(vec![Stmt::work("f2b", 6)])),
+            Stmt::work("f2c", 2),
+        ])),
+        Stmt::work("host", 5),
+        Stmt::Taskwait,
+        Stmt::work("post", 2),
+    ])
+}
+
+#[test]
+fn openmp_program_end_to_end() {
+    let lowered = pipeline_program(25).lower().unwrap();
+    hetrta::dag::validate_task_model(&lowered.dag).unwrap();
+    let v_off = lowered.offloaded.unwrap();
+    let vol = lowered.dag.volume();
+    assert_eq!(vol, Ticks::new(57));
+    let task = HeteroDagTask::new(lowered.dag, v_off, vol, vol).unwrap();
+
+    for m in [1u64, 2, 4] {
+        let report = HeterogeneousAnalysis::run(&task, m).unwrap();
+        let run = simulate(
+            report.transformed().transformed(),
+            Some(v_off),
+            Platform::with_accelerator(m as usize),
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
+        assert!(run.makespan().to_rational() <= report.r_het());
+    }
+}
+
+#[test]
+fn openmp_offload_size_drives_scenarios() {
+    // Tiny GPU region: v_off off the critical path (scenario 1); huge GPU
+    // region: v_off dominates (scenario 2.1).
+    let small = pipeline_program(1);
+    let large = pipeline_program(200);
+    for (program, expect_dominant) in [(small, false), (large, true)] {
+        let lowered = program.lower().unwrap();
+        let vol = lowered.dag.volume();
+        let task = HeteroDagTask::new(lowered.dag, lowered.offloaded.unwrap(), vol, vol).unwrap();
+        let report = HeterogeneousAnalysis::run(&task, 2).unwrap();
+        let dominant = report.scenario() == hetrta::Scenario::OffOnCriticalPathDominant;
+        assert_eq!(dominant, expect_dominant, "scenario was {}", report.scenario());
+    }
+}
+
+#[test]
+fn multi_offload_extension_through_facade() {
+    let mut b = hetrta::DagBuilder::new();
+    let src = b.node("src", Ticks::new(1));
+    let k1 = b.node("k1", Ticks::new(12));
+    let k2 = b.node("k2", Ticks::new(12));
+    let h = b.node("h", Ticks::new(8));
+    let sink = b.node("sink", Ticks::new(1));
+    b.edges([(src, k1), (src, k2), (src, h), (k1, sink), (k2, sink), (h, sink)]).unwrap();
+    let dag = b.build().unwrap();
+
+    let one_dev = r_het_multi(&dag, &[k1, k2], 2, 1).unwrap();
+    let two_dev = r_het_multi(&dag, &[k1, k2], 2, 2).unwrap();
+    assert!(two_dev.value() <= one_dev.value());
+
+    // simulated executions respect the per-program bounds
+    for d in [1usize, 2] {
+        let bound = r_het_multi(&dag, &[k1, k2], 2, d as u64).unwrap();
+        let run = simulate_multi(&dag, &[k1, k2], Platform::new(2, d), &mut BreadthFirst::new())
+            .unwrap();
+        assert!(run.makespan().to_rational() <= bound.typed_bound());
+    }
+}
+
+#[test]
+fn federated_extension_through_facade() {
+    let make_task = |gpu: u64, deadline: u64| {
+        let lowered = pipeline_program(gpu).lower().unwrap();
+        HeteroDagTask::new(
+            lowered.dag.clone(),
+            lowered.offloaded.unwrap(),
+            Ticks::new(deadline),
+            Ticks::new(deadline),
+        )
+        .unwrap()
+    };
+    let tasks = vec![make_task(25, 45), make_task(40, 60), make_task(10, 40)];
+    let het = federated_partition(&tasks, 12, AnalysisKind::Heterogeneous).unwrap();
+    let hom = federated_partition(&tasks, 12, AnalysisKind::Homogeneous).unwrap();
+    assert!(het.cores_needed <= hom.cores_needed);
+    assert!(het.is_schedulable());
+    // per-task sizing agrees with direct queries
+    for a in &het.assignments {
+        let (m, bound) =
+            minimum_cores(&tasks[a.task], AnalysisKind::Heterogeneous, 12).unwrap().unwrap();
+        assert_eq!(m, a.cores);
+        assert_eq!(bound, a.bound);
+    }
+}

@@ -1,0 +1,126 @@
+//! Cross-crate integration: generate → transform → analyze → simulate →
+//! exactly solve, with every consistency relation between the layers
+//! checked on fixed seeds through the public facade.
+
+use hetrta::analysis::HeterogeneousAnalysis;
+use hetrta::exact::{solve, SolverConfig};
+use hetrta::gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+use hetrta::gen::{generate_nfj, NfjParams};
+use hetrta::sim::policy::{BreadthFirst, CriticalPathFirst, DepthFirst};
+use hetrta::sim::trace::validate_schedule;
+use hetrta::sim::{simulate, Platform};
+use hetrta::{HeteroDagTask, Ticks};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn make_task(seed: u64, params: &NfjParams, fraction: f64) -> HeteroDagTask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dag = generate_nfj(params, &mut rng).expect("generation succeeds");
+    if dag.node_count() < 3 {
+        return make_task(seed + 1000, params, fraction);
+    }
+    make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::VolumeFraction(fraction), &mut rng)
+        .expect("offload succeeds")
+}
+
+#[test]
+fn all_layers_agree_on_small_tasks() {
+    let params = NfjParams::small_tasks().with_node_range(5, 22);
+    for seed in 0..25u64 {
+        for fraction in [0.05, 0.25, 0.55] {
+            let task = make_task(seed, &params, fraction);
+            for m in [1u64, 2, 4] {
+                let report = HeterogeneousAnalysis::run(&task, m).unwrap();
+                let platform = Platform::with_accelerator(m as usize);
+
+                // Simulations of τ' stay under R_het and validate.
+                let g2 = report.transformed().transformed();
+                for policy in 0..3 {
+                    let run = match policy {
+                        0 => simulate(g2, Some(task.offloaded()), platform, &mut BreadthFirst::new()),
+                        1 => simulate(g2, Some(task.offloaded()), platform, &mut DepthFirst::new()),
+                        _ => simulate(g2, Some(task.offloaded()), platform, &mut CriticalPathFirst::new()),
+                    }
+                    .unwrap();
+                    assert!(run.makespan().to_rational() <= report.r_het());
+                    validate_schedule(g2, Some(task.offloaded()), &run).unwrap();
+                }
+
+                // Exact optimum ≤ any simulation of τ, and ≤ R_hom.
+                let sol = solve(task.dag(), Some(task.offloaded()), m, &SolverConfig::default())
+                    .unwrap();
+                let bfs = simulate(task.dag(), Some(task.offloaded()), platform, &mut BreadthFirst::new())
+                    .unwrap();
+                if sol.is_optimal() {
+                    assert!(sol.makespan() <= bfs.makespan());
+                    assert!(sol.makespan().to_rational() <= report.r_hom_original());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_large_tasks_analyze_quickly_and_consistently() {
+    let params = NfjParams::large_tasks().with_node_range(100, 250);
+    for seed in 0..10u64 {
+        let task = make_task(seed, &params, 0.2);
+        let mut previous = None;
+        for m in [2u64, 4, 8, 16] {
+            let report = HeterogeneousAnalysis::run(&task, m).unwrap();
+            // bounds shrink with more cores
+            if let Some(prev) = previous {
+                assert!(report.r_het() <= prev);
+            }
+            previous = Some(report.r_het());
+            // R_het(τ') bound relationships from the paper
+            assert!(report.r_het() <= report.r_hom_transformed() || report.scenario() == hetrta::Scenario::OffOnCriticalPathDominated);
+            assert!(report.best_bound() <= report.r_hom_original());
+        }
+    }
+}
+
+#[test]
+fn layered_generator_tasks_work_end_to_end() {
+    use hetrta::gen::layered::{generate_layered, LayeredParams};
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dag = generate_layered(&LayeredParams::default(), &mut rng).unwrap();
+        let task = make_hetero_task(
+            dag,
+            OffloadSelection::AnyInterior,
+            CoffSizing::VolumeFraction(0.3),
+            &mut rng,
+        )
+        .unwrap();
+        let report = HeterogeneousAnalysis::run(&task, 4).unwrap();
+        let run = simulate(
+            report.transformed().transformed(),
+            Some(task.offloaded()),
+            Platform::with_accelerator(4),
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
+        assert!(run.makespan().to_rational() <= report.r_het());
+    }
+}
+
+#[test]
+fn dummy_terminal_normalization_integrates_with_analysis() {
+    // A multi-source, multi-sink workload normalized by the builder:
+    // two sources {a, c}, two sinks {z, w}.
+    let mut b = hetrta::DagBuilder::new();
+    let a = b.node("a", Ticks::new(5));
+    let c = b.node("c", Ticks::new(7));
+    let k = b.node("k", Ticks::new(9));
+    let z = b.node("z", Ticks::new(4));
+    let w = b.node("w", Ticks::new(2));
+    b.edges([(a, k), (c, k), (k, z), (k, w)]).unwrap();
+    b.add_dummy_terminals();
+    let dag = b.build().unwrap();
+    let task = HeteroDagTask::new(dag, k, Ticks::new(100), Ticks::new(100)).unwrap();
+    let report = HeterogeneousAnalysis::run(&task, 2).unwrap();
+    assert!(report.is_schedulable());
+    // the dummies have zero WCET, so volume is untouched
+    assert_eq!(task.volume(), Ticks::new(27));
+}

@@ -1,0 +1,112 @@
+//! End-to-end multi-task pipeline through the facade: generate a task set,
+//! run every set-level test, replay accepted sets in the sporadic
+//! simulator, and cross-check the self-suspending baselines.
+
+use hetrta::sched::model::{AnalysisModel, DeviceModel};
+use hetrta::sched::taskset::{generate_task_set, sort_deadline_monotonic, TaskSetParams};
+use hetrta::sched::{gedf_test, gfp_test};
+use hetrta::sim::sporadic::{
+    deadline_monotonic_order, hyperperiod, simulate_sporadic, Discipline, SporadicConfig,
+};
+use hetrta::sim::Platform;
+use hetrta::suspend::{BaselineComparison, FlatSuspendingTask};
+use hetrta::{HeteroDagTask, Ticks};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const HET: AnalysisModel = AnalysisModel::Heterogeneous(DeviceModel::DedicatedPerTask);
+
+fn demo_set(seed: u64, n: usize, util: f64) -> Vec<HeteroDagTask> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = TaskSetParams::small(n, util).with_offload_fraction(0.2, 0.4);
+    let mut set = generate_task_set(&params, &mut rng).expect("generation succeeds");
+    sort_deadline_monotonic(&mut set);
+    set
+}
+
+#[test]
+fn facade_exposes_the_full_multitask_pipeline() {
+    let set = demo_set(1, 3, 1.2);
+    let m = 4u64;
+
+    // Analytical verdicts.
+    let fp_hom = gfp_test(&set, m, AnalysisModel::Homogeneous).unwrap();
+    let fp_het = gfp_test(&set, m, HET).unwrap();
+    let edf_het = gedf_test(&set, m, HET).unwrap();
+    assert_eq!(fp_hom.per_task.len(), 3);
+
+    // The heterogeneous FP test dominates the homogeneous one per task.
+    for (h, e) in fp_hom.per_task.iter().zip(&fp_het.per_task) {
+        if let (Some(rh), Some(re)) = (&h.response_bound, &e.response_bound) {
+            assert!(re <= rh, "het bound {re} above hom bound {rh}");
+        }
+    }
+
+    // Replay under the sporadic simulator (transformed tasks for het).
+    if fp_het.is_schedulable() {
+        let tset: Vec<HeteroDagTask> = set
+            .iter()
+            .map(|t| {
+                let tr = hetrta::analysis::transform(t).unwrap();
+                HeteroDagTask::new(tr.transformed().clone(), tr.offloaded(), t.period(), t.deadline())
+                    .unwrap()
+            })
+            .collect();
+        let horizon = hyperperiod(&tset)
+            .unwrap_or(Ticks::new(10_000))
+            .min(Ticks::new(50_000));
+        let config = SporadicConfig::new(Platform::new(m as usize, tset.len()), horizon)
+            .discipline(Discipline::FixedPriority);
+        let run = simulate_sporadic(&tset, &config).unwrap();
+        assert!(!run.any_deadline_miss(), "accepted set missed in simulation");
+    }
+    let _ = edf_het;
+}
+
+#[test]
+fn dm_order_helpers_agree() {
+    let set = demo_set(2, 4, 1.0);
+    // set is already DM-sorted; the sim helper must return identity.
+    assert_eq!(deadline_monotonic_order(&set), vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn suspension_baselines_bracket_theorem_1_through_facade() {
+    let set = demo_set(3, 1, 0.4);
+    let task = &set[0];
+    for m in [2u64, 4, 16] {
+        let c = BaselineComparison::compute(task, m).unwrap();
+        assert!(c.best_sound() <= c.oblivious);
+        assert!(c.r_het_tight <= c.r_het);
+        let flat = FlatSuspendingTask::of(task).unwrap();
+        assert_eq!(flat.execution() + flat.suspension, task.volume());
+    }
+}
+
+#[test]
+fn shared_device_configuration_is_consistent_end_to_end() {
+    let set = demo_set(4, 2, 0.8);
+    let m = 4u64;
+    let shared = gfp_test(&set, m, AnalysisModel::Heterogeneous(DeviceModel::SharedFifo)).unwrap();
+    let dedicated = gfp_test(&set, m, HET).unwrap();
+    for (s, d) in shared.per_task.iter().zip(&dedicated.per_task) {
+        if let (Some(rs), Some(rd)) = (&s.response_bound, &d.response_bound) {
+            assert!(rs >= rd, "shared-device bound tighter than dedicated");
+        }
+    }
+    if shared.is_schedulable() {
+        // Replay on the literal single-device platform.
+        let tset: Vec<HeteroDagTask> = set
+            .iter()
+            .map(|t| {
+                let tr = hetrta::analysis::transform(t).unwrap();
+                HeteroDagTask::new(tr.transformed().clone(), tr.offloaded(), t.period(), t.deadline())
+                    .unwrap()
+            })
+            .collect();
+        let horizon = Ticks::new(tset.iter().map(|t| t.period().get()).max().unwrap() * 3);
+        let config = SporadicConfig::new(Platform::with_accelerator(m as usize), horizon);
+        let run = simulate_sporadic(&tset, &config).unwrap();
+        assert!(!run.any_deadline_miss());
+    }
+}

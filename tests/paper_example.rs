@@ -1,0 +1,104 @@
+//! End-to-end assertion of every number the paper states about its worked
+//! example (Figures 1–2), through the public facade crate.
+
+use hetrta::analysis::HeterogeneousAnalysis;
+use hetrta::sim::policy::{BreadthFirst, CriticalPathFirst};
+use hetrta::sim::{explore_worst_case, simulate, Platform};
+use hetrta::{DagBuilder, HeteroDagTask, NodeId, Rational, Scenario, Ticks};
+
+fn figure1() -> (HeteroDagTask, [NodeId; 6]) {
+    let mut b = DagBuilder::new();
+    let v1 = b.node("v1", Ticks::new(1));
+    let v2 = b.node("v2", Ticks::new(4));
+    let v3 = b.node("v3", Ticks::new(6));
+    let v4 = b.node("v4", Ticks::new(2));
+    let v5 = b.node("v5", Ticks::new(1));
+    let voff = b.node("v_off", Ticks::new(4));
+    b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)]).unwrap();
+    let task =
+        HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(50), Ticks::new(50)).unwrap();
+    (task, [v1, v2, v3, v4, v5, voff])
+}
+
+#[test]
+fn section_3_2_homogeneous_bound_is_13() {
+    let (task, _) = figure1();
+    let report = HeterogeneousAnalysis::run(&task, 2).unwrap();
+    assert_eq!(task.volume(), Ticks::new(18));
+    assert_eq!(task.critical_path_length(), Ticks::new(8));
+    assert_eq!(report.r_hom_original(), Rational::from_integer(13));
+}
+
+#[test]
+fn section_3_2_worst_case_heterogeneous_response_is_12() {
+    let (task, _) = figure1();
+    let worst = explore_worst_case(
+        task.dag(),
+        Some(task.offloaded()),
+        Platform::with_accelerator(2),
+        500,
+    )
+    .unwrap();
+    // The paper: "the response time is 12, which is higher than the
+    // reduced R_hom computed above, 11" — naive discounting is unsound.
+    assert_eq!(worst.makespan(), Ticks::new(12));
+    let naive = Rational::from_integer(11);
+    assert!(worst.makespan().to_rational() > naive);
+}
+
+#[test]
+fn section_3_3_transformation_lengthens_critical_path_to_10() {
+    let (task, _) = figure1();
+    let report = HeterogeneousAnalysis::run(&task, 2).unwrap();
+    assert_eq!(report.transformed().len_transformed(), Ticks::new(10));
+    // G_par = {v2, v3}
+    assert_eq!(report.transformed().par_nodes().len(), 2);
+}
+
+#[test]
+fn section_4_heterogeneous_bound_is_scenario_1() {
+    let (task, _) = figure1();
+    let report = HeterogeneousAnalysis::run(&task, 2).unwrap();
+    assert_eq!(report.scenario(), Scenario::OffNotOnCriticalPath);
+    assert_eq!(report.r_het(), Rational::from_integer(12));
+    // The heterogeneous bound beats the homogeneous one here.
+    assert!(report.r_het() < report.r_hom_original());
+}
+
+#[test]
+fn figure_2b_schedule_of_transformed_task_has_makespan_10() {
+    let (task, _) = figure1();
+    let report = HeterogeneousAnalysis::run(&task, 2).unwrap();
+    let run = simulate(
+        report.transformed().transformed(),
+        Some(task.offloaded()),
+        Platform::with_accelerator(2),
+        &mut BreadthFirst::new(),
+    )
+    .unwrap();
+    assert_eq!(run.makespan(), Ticks::new(10));
+}
+
+#[test]
+fn optimal_heterogeneous_makespan_is_8() {
+    let (task, _) = figure1();
+    // CP-first realizes the optimum on this instance…
+    let run = simulate(
+        task.dag(),
+        Some(task.offloaded()),
+        Platform::with_accelerator(2),
+        &mut CriticalPathFirst::new(),
+    )
+    .unwrap();
+    assert_eq!(run.makespan(), Ticks::new(8));
+    // …and the exact solver proves it.
+    let sol = hetrta::exact::solve(
+        task.dag(),
+        Some(task.offloaded()),
+        2,
+        &hetrta::exact::SolverConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(sol.makespan(), Ticks::new(8));
+    assert!(sol.is_optimal());
+}
