@@ -25,8 +25,13 @@ fn bench_transformation_ablation(c: &mut Criterion) {
     group.bench_function("simulate_original", |b| {
         b.iter(|| {
             black_box(
-                simulate(task.dag(), Some(task.offloaded()), platform, &mut BreadthFirst::new())
-                    .expect("simulate"),
+                simulate(
+                    task.dag(),
+                    Some(task.offloaded()),
+                    platform,
+                    &mut BreadthFirst::new(),
+                )
+                .expect("simulate"),
             )
         });
     });
@@ -55,7 +60,10 @@ fn bench_policy_sensitivity(c: &mut Criterion) {
     let policies: Vec<(&str, PolicyFactory)> = vec![
         ("breadth_first", Box::new(|| Box::new(BreadthFirst::new()))),
         ("depth_first", Box::new(|| Box::new(DepthFirst::new()))),
-        ("critical_path_first", Box::new(|| Box::new(CriticalPathFirst::new()))),
+        (
+            "critical_path_first",
+            Box::new(|| Box::new(CriticalPathFirst::new())),
+        ),
         ("random", Box::new(|| Box::new(RandomTieBreak::new(3)))),
     ];
     for (name, make) in policies {
@@ -77,12 +85,13 @@ fn bench_solver_memo_ablation(c: &mut Criterion) {
     let task = spec.task(0, 0.2).expect("generation succeeds");
     let mut group = c.benchmark_group("ablation/solver_memo");
     for (label, memo) in [("with_memo", 64usize), ("no_memo", 0)] {
-        let cfg = SolverConfig { max_memo_per_mask: memo, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            max_memo_per_mask: memo,
+            ..SolverConfig::default()
+        };
         group.bench_with_input(BenchmarkId::new("m2", label), &cfg, |b, cfg| {
             b.iter(|| {
-                black_box(
-                    solve(task.dag(), Some(task.offloaded()), 2, cfg).expect("solver runs"),
-                )
+                black_box(solve(task.dag(), Some(task.offloaded()), 2, cfg).expect("solver runs"))
             });
         });
     }

@@ -18,10 +18,18 @@ use std::hint::black_box;
 
 fn task_of(n_lo: usize, n_hi: usize, seed: u64) -> hetrta_dag::HeteroDagTask {
     let mut rng = StdRng::seed_from_u64(seed);
-    let dag = generate_nfj(&NfjParams::large_tasks().with_node_range(n_lo, n_hi), &mut rng)
-        .expect("generation succeeds");
-    make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::VolumeFraction(0.2), &mut rng)
-        .expect("offload succeeds")
+    let dag = generate_nfj(
+        &NfjParams::large_tasks().with_node_range(n_lo, n_hi),
+        &mut rng,
+    )
+    .expect("generation succeeds");
+    make_hetero_task(
+        dag,
+        OffloadSelection::AnyInterior,
+        CoffSizing::VolumeFraction(0.2),
+        &mut rng,
+    )
+    .expect("offload succeeds")
 }
 
 fn bench_generator(c: &mut Criterion) {
@@ -109,9 +117,13 @@ fn bench_exact(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(19);
     let dag = generate_nfj(&NfjParams::small_tasks().with_node_range(10, 18), &mut rng)
         .expect("generation succeeds");
-    let task =
-        make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::VolumeFraction(0.2), &mut rng)
-            .expect("offload succeeds");
+    let task = make_hetero_task(
+        dag,
+        OffloadSelection::AnyInterior,
+        CoffSizing::VolumeFraction(0.2),
+        &mut rng,
+    )
+    .expect("offload succeeds");
     let mut group = c.benchmark_group("components/exact");
     group.bench_function("list_schedule_n18", |b| {
         b.iter(|| {
@@ -124,8 +136,13 @@ fn bench_exact(c: &mut Criterion) {
     group.bench_function("branch_and_bound_n18", |b| {
         b.iter(|| {
             black_box(
-                solve(task.dag(), Some(task.offloaded()), 2, &SolverConfig::default())
-                    .expect("solver runs"),
+                solve(
+                    task.dag(),
+                    Some(task.offloaded()),
+                    2,
+                    &SolverConfig::default(),
+                )
+                .expect("solver runs"),
             )
         });
     });

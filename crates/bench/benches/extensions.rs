@@ -76,15 +76,26 @@ fn bench_conditional_bounds(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(31);
     // Pick expressions with a fixed realization budget so the exact
     // enumeration stays comparable across runs.
-    let exprs: Vec<_> = std::iter::from_fn(|| generate_cond(&CondGenParams::small(), &mut rng).ok())
-        .filter(|e| (8..=64).contains(&e.realization_count()))
-        .take(4)
-        .collect();
+    let exprs: Vec<_> =
+        std::iter::from_fn(|| generate_cond(&CondGenParams::small(), &mut rng).ok())
+            .filter(|e| (8..=64).contains(&e.realization_count()))
+            .take(4)
+            .collect();
     group.bench_function("dp", |b| {
-        b.iter(|| exprs.iter().map(|e| r_cond(e, 8).unwrap()).collect::<Vec<_>>())
+        b.iter(|| {
+            exprs
+                .iter()
+                .map(|e| r_cond(e, 8).unwrap())
+                .collect::<Vec<_>>()
+        })
     });
     group.bench_function("exact_enumeration", |b| {
-        b.iter(|| exprs.iter().map(|e| r_cond_exact(e, 8, 128).unwrap()).collect::<Vec<_>>())
+        b.iter(|| {
+            exprs
+                .iter()
+                .map(|e| r_cond_exact(e, 8, 128).unwrap())
+                .collect::<Vec<_>>()
+        })
     });
     group.finish();
 }

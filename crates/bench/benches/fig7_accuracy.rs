@@ -15,8 +15,13 @@ fn bench_exact_solver(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("solve_m2", label), &task, |b, task| {
             b.iter(|| {
                 black_box(
-                    solve(task.dag(), Some(task.offloaded()), 2, &SolverConfig::default())
-                        .expect("solver runs"),
+                    solve(
+                        task.dag(),
+                        Some(task.offloaded()),
+                        2,
+                        &SolverConfig::default(),
+                    )
+                    .expect("solver runs"),
                 )
             });
         });

@@ -2,37 +2,40 @@
 //! schedulability of random heterogeneous task sets, homogeneous vs.
 //! heterogeneous analysis, swept over normalized utilization.
 //!
+//! Runs on the batch-analysis engine: one job per generated task set,
+//! work-stealing across all cores, with content-addressed caching of the
+//! six test verdicts. Seeding matches the serial
+//! [`hetrta_sched::acceptance::acceptance_sweep`] path exactly.
+//!
 //! ```text
 //! cargo run -p hetrta-bench --release --bin acceptance [-- --quick]
 //! ```
 
-use hetrta_bench::runner::parallel_map;
 use hetrta_bench::table::{pct, Table};
-use hetrta_sched::acceptance::{acceptance_sweep, AcceptanceConfig, TestKind};
+use hetrta_engine::{CellKind, Engine, SweepSpec, TestKind};
 use hetrta_sched::taskset::TaskSetParams;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (sets, cores_list) = if quick { (12, vec![4u64]) } else { (100, vec![2u64, 4, 8, 16]) };
-
+    let (sets, cores_list) = if quick {
+        (12, vec![4u64])
+    } else {
+        (100, vec![2u64, 4, 8, 16])
+    };
     for cores in cores_list {
-        let config = AcceptanceConfig {
-            cores,
-            n_tasks: 4,
-            sets_per_point: sets,
-            normalized_utils: (1..=9).map(|i| i as f64 / 10.0).collect(),
-            template: TaskSetParams::small(4, 1.0).with_offload_fraction(0.2, 0.45),
-            seed: 0xDAC_2018 ^ cores,
-        };
-        // Each utilization point is independent: fan out across threads.
-        let per_point: Vec<AcceptanceConfig> = config
-            .normalized_utils
-            .iter()
-            .map(|&u| AcceptanceConfig { normalized_utils: vec![u], ..config.clone() })
-            .collect();
-        let points: Vec<_> = parallel_map(per_point, |c| {
-            acceptance_sweep(&c).expect("sweep succeeds").remove(0)
-        });
+        // One engine per core count: set-job cache keys include `cores`,
+        // so entries can never hit across iterations — a shared engine
+        // would only accumulate dead memory.
+        let engine = Engine::new(0);
+        let spec = SweepSpec::acceptance(
+            TaskSetParams::small(4, 1.0).with_offload_fraction(0.2, 0.45),
+            vec![cores],
+            (1..=9).map(|i| f64::from(i) / 10.0).collect(),
+            4,
+            sets,
+            0xDAC_2018 ^ cores,
+        );
+        let out = engine.run(&spec).expect("sweep succeeds");
 
         println!("\n== acceptance ratios, m = {cores}, {sets} sets/point, offload 20-45% ==");
         let mut table = Table::new(
@@ -40,10 +43,13 @@ fn main() {
                 .chain(TestKind::ALL.iter().map(|t| t.label().to_string()))
                 .collect(),
         );
-        for p in &points {
+        for cell in &out.aggregate.cells {
+            let CellKind::Set(s) = &cell.kind else {
+                unreachable!("acceptance cells")
+            };
             table.row(
-                std::iter::once(format!("{:.2}", p.normalized_util))
-                    .chain(TestKind::ALL.iter().map(|&t| pct(p.ratio(t))))
+                std::iter::once(format!("{:.2}", cell.grid_value))
+                    .chain(TestKind::ALL.iter().map(|&t| pct(s.ratio(t, cell.samples))))
                     .collect(),
             );
         }
@@ -52,12 +58,20 @@ fn main() {
         // Breakeven summary: last utilization where each test still
         // accepts at least half the sets.
         for t in TestKind::ALL {
-            let breakeven = points
+            let breakeven = out
+                .aggregate
+                .cells
                 .iter()
-                .filter(|p| p.ratio(t) >= 0.5)
-                .map(|p| p.normalized_util)
+                .filter_map(|cell| match &cell.kind {
+                    CellKind::Set(s) if s.ratio(t, cell.samples) >= 0.5 => Some(cell.grid_value),
+                    _ => None,
+                })
                 .fold(f64::NAN, f64::max);
-            println!("  {:>9}: 50% acceptance up to U/m ≈ {breakeven:.2}", t.label());
+            println!(
+                "  {:>9}: 50% acceptance up to U/m ≈ {breakeven:.2}",
+                t.label()
+            );
         }
+        println!("\n{}", out.stats.render());
     }
 }

@@ -13,18 +13,34 @@ fn main() {
     print!("{}", paper_example::report());
 
     println!("\n================ Figure 6 ================\n");
-    let c6 = if quick { fig6::Config::quick() } else { fig6::Config::paper() };
+    let c6 = if quick {
+        fig6::Config::quick()
+    } else {
+        fig6::Config::paper()
+    };
     print!("{}", fig6::run(&c6).render());
 
     println!("\n================ Figure 7 ================\n");
-    let c7 = if quick { fig7::Config::quick() } else { fig7::Config::paper() };
+    let c7 = if quick {
+        fig7::Config::quick()
+    } else {
+        fig7::Config::paper()
+    };
     print!("{}", fig7::run(&c7).render());
 
     println!("\n================ Figure 8 ================\n");
-    let c8 = if quick { fig8::Config::quick() } else { fig8::Config::paper() };
+    let c8 = if quick {
+        fig8::Config::quick()
+    } else {
+        fig8::Config::paper()
+    };
     print!("{}", fig8::run(&c8).render());
 
     println!("\n================ Figure 9 ================\n");
-    let c9 = if quick { fig9::Config::quick() } else { fig9::Config::paper() };
+    let c9 = if quick {
+        fig9::Config::quick()
+    } else {
+        fig9::Config::paper()
+    };
     print!("{}", fig9::run(&c9).render());
 }

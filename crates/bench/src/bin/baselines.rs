@@ -28,10 +28,21 @@ struct Point {
 
 fn sweep_point(pct: u32, m: u64, tasks: usize, seeds: u64) -> Point {
     let f = f64::from(pct) / 100.0;
-    let mut p = Point { pct, oblivious: 0.0, barrier: 0.0, het: 0.0, naive: 0.0, worst: 0.0, violations: 0, count: 0 };
+    let mut p = Point {
+        pct,
+        oblivious: 0.0,
+        barrier: 0.0,
+        het: 0.0,
+        naive: 0.0,
+        worst: 0.0,
+        violations: 0,
+        count: 0,
+    };
     for seed in 0..tasks as u64 {
         let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(pct) << 24) ^ (m << 48));
-        let Ok(dag) = generate_nfj(&NfjParams::small_tasks(), &mut rng) else { continue };
+        let Ok(dag) = generate_nfj(&NfjParams::small_tasks(), &mut rng) else {
+            continue;
+        };
         let Ok(task) = make_hetero_task(
             dag,
             OffloadSelection::AnyInterior,
@@ -72,9 +83,17 @@ fn main() {
 
         println!("\n== self-suspending baselines vs Theorem 1, m = {m}, {tasks} tasks/point ==");
         let mut table = Table::new(
-            ["C_off/vol", "oblivious", "barrier", "R_het~", "naive(!)", "sim-worst", "naive-violated"]
-                .map(String::from)
-                .to_vec(),
+            [
+                "C_off/vol",
+                "oblivious",
+                "barrier",
+                "R_het~",
+                "naive(!)",
+                "sim-worst",
+                "naive-violated",
+            ]
+            .map(String::from)
+            .to_vec(),
         );
         for p in &points {
             let n = p.count.max(1) as f64;

@@ -35,8 +35,12 @@ fn sweep(p_cond: f64, m: u64, n: usize) -> Row {
     let mut samples = 0usize;
     for seed in 0..n as u64 {
         let mut rng = StdRng::seed_from_u64(seed ^ ((p_cond * 1000.0) as u64) << 20 ^ (m << 40));
-        let Ok(e) = generate_cond(&params, &mut rng) else { continue };
-        let Ok(exact) = r_cond_exact(&e, m, 512) else { continue };
+        let Ok(e) = generate_cond(&params, &mut rng) else {
+            continue;
+        };
+        let Ok(exact) = r_cond_exact(&e, m, 512) else {
+            continue;
+        };
         let dp = r_cond(&e, m).expect("valid expression");
         let flat = r_parallel_flattening(&e, m).expect("valid expression");
         if exact.is_zero() {
@@ -70,9 +74,16 @@ fn main() {
 
     println!("== conditional-aware vs flatten-all vs exact, {n} expressions/point ==\n");
     let mut table = Table::new(
-        ["p_cond", "m", "avg realizations", "flatten vs DP (+%)", "DP vs exact (+%)", "samples"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "p_cond",
+            "m",
+            "avg realizations",
+            "flatten vs DP (+%)",
+            "DP vs exact (+%)",
+            "samples",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for r in &rows {
         table.row(vec![

@@ -20,11 +20,8 @@ fn random_taskset(seed: u64, tasks: usize, fraction: f64) -> Vec<HeteroDagTask> 
     let mut rng = StdRng::seed_from_u64(seed);
     (0..tasks)
         .map(|_| {
-            let dag = generate_nfj(
-                &NfjParams::large_tasks().with_node_range(80, 160),
-                &mut rng,
-            )
-            .expect("generation succeeds");
+            let dag = generate_nfj(&NfjParams::large_tasks().with_node_range(80, 160), &mut rng)
+                .expect("generation succeeds");
             let t = make_hetero_task(
                 dag,
                 OffloadSelection::AnyInterior,
@@ -33,7 +30,7 @@ fn random_taskset(seed: u64, tasks: usize, fraction: f64) -> Vec<HeteroDagTask> 
             )
             .expect("offload succeeds");
             // Deadline between 1.3x and 2.5x the critical path.
-            let factor = rng.gen_range(130..=250);
+            let factor: u64 = rng.gen_range(130..=250);
             let d = Ticks::new(t.critical_path_length().get() * factor / 100);
             HeteroDagTask::new(t.dag().clone(), t.offloaded(), d, d).expect("valid deadline")
         })
@@ -53,7 +50,9 @@ fn main() {
     println!(
         "Federated scheduling acceptance: clusters sized by R_hom vs R_het vs min of both\n\
          ({} random task sets of {} DAG tasks each, offload fraction {})\n",
-        sets, tasks_per_set, pct(fraction)
+        sets,
+        tasks_per_set,
+        pct(fraction)
     );
 
     let mut table = Table::new(vec![

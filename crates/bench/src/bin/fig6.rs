@@ -9,7 +9,11 @@ use hetrta_bench::experiments::fig6;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let config = if quick { fig6::Config::quick() } else { fig6::Config::paper() };
+    let config = if quick {
+        fig6::Config::quick()
+    } else {
+        fig6::Config::paper()
+    };
     eprintln!(
         "fig6: {} core counts x {} fractions x {} DAGs ({} mode)",
         config.core_counts.len(),

@@ -9,7 +9,11 @@ use hetrta_bench::experiments::fig7;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let config = if quick { fig7::Config::quick() } else { fig7::Config::paper() };
+    let config = if quick {
+        fig7::Config::quick()
+    } else {
+        fig7::Config::paper()
+    };
     eprintln!(
         "fig7: {} panels x {} fractions x {} DAGs ({} mode)",
         config.panels.len(),

@@ -9,7 +9,11 @@ use hetrta_bench::experiments::fig8;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let config = if quick { fig8::Config::quick() } else { fig8::Config::paper() };
+    let config = if quick {
+        fig8::Config::quick()
+    } else {
+        fig8::Config::paper()
+    };
     eprintln!(
         "fig8: {} core counts x {} fractions x {} DAGs ({} mode)",
         config.core_counts.len(),

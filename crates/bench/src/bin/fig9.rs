@@ -9,7 +9,11 @@ use hetrta_bench::experiments::fig9;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let config = if quick { fig9::Config::quick() } else { fig9::Config::paper() };
+    let config = if quick {
+        fig9::Config::quick()
+    } else {
+        fig9::Config::paper()
+    };
     eprintln!(
         "fig9: {} core counts x {} fractions x {} DAGs ({} mode)",
         config.core_counts.len(),

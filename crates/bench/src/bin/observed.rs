@@ -34,8 +34,13 @@ fn transformed_deployment(set: &[HeteroDagTask]) -> Vec<HeteroDagTask> {
     set.iter()
         .map(|t| {
             let tr = transform(t).expect("transformable");
-            HeteroDagTask::new(tr.transformed().clone(), tr.offloaded(), t.period(), t.deadline())
-                .expect("valid task")
+            HeteroDagTask::new(
+                tr.transformed().clone(),
+                tr.offloaded(),
+                t.period(),
+                t.deadline(),
+            )
+            .expect("valid task")
         })
         .collect()
 }
@@ -47,15 +52,17 @@ fn sweep(fraction_pct: u32, m: usize, sets: usize) -> Point {
     let mut misses_het = 0usize;
     let mut count = 0usize;
     for seed in 0..sets as u64 {
-        let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(fraction_pct) << 16) ^ ((m as u64) << 40));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (u64::from(fraction_pct) << 16) ^ ((m as u64) << 40));
         let params = TaskSetParams::small(3, 0.35 * m as f64)
             .with_offload_fraction((f - 0.02).max(0.01), f + 0.02);
-        let Ok(mut set) = generate_task_set(&params, &mut rng) else { continue };
+        let Ok(mut set) = generate_task_set(&params, &mut rng) else {
+            continue;
+        };
         sort_deadline_monotonic(&mut set);
         let horizon = Ticks::new(set.iter().map(|t| t.period().get()).max().unwrap() * 3);
 
-        let hom_cfg =
-            SporadicConfig::new(Platform::host_only(m), horizon).offload_on_host(true);
+        let hom_cfg = SporadicConfig::new(Platform::host_only(m), horizon).offload_on_host(true);
         let hom = simulate_sporadic(&set, &hom_cfg).expect("simulation succeeds");
 
         let tset = transformed_deployment(&set);
@@ -103,9 +110,16 @@ fn main() {
     println!("== observed mean response, hom vs transformed het deployment (global FP) ==");
     println!("   {sets} sets/point, 3 tasks/set, total utilization 0.35·m\n");
     let mut table = Table::new(
-        ["C_off/vol", "m", "het speedup (+%)", "miss rate hom", "miss rate het", "sets"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "C_off/vol",
+            "m",
+            "het speedup (+%)",
+            "miss rate hom",
+            "miss rate het",
+            "sets",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for p in &points {
         table.row(vec![

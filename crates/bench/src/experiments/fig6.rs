@@ -112,9 +112,13 @@ pub fn run(config: &Config) -> Results {
             let task = spec.task(i, fraction).expect("generation succeeds");
             let t = transform(&task).expect("transformation succeeds");
             let platform = Platform::with_accelerator(m as usize);
-            let orig =
-                simulate(task.dag(), Some(task.offloaded()), platform, &mut BreadthFirst::new())
-                    .expect("simulation succeeds");
+            let orig = simulate(
+                task.dag(),
+                Some(task.offloaded()),
+                platform,
+                &mut BreadthFirst::new(),
+            )
+            .expect("simulation succeeds");
             let trans = simulate(
                 t.transformed(),
                 Some(task.offloaded()),
@@ -206,8 +210,16 @@ mod tests {
         assert_eq!(r.points.len(), 2 * 4);
         // Small fraction: transformation hurts or is neutral on average;
         // large fraction: it must help for m = 2.
-        let small = r.points.iter().find(|p| p.m == 2 && p.fraction == 0.02).unwrap();
-        let large = r.points.iter().find(|p| p.m == 2 && p.fraction == 0.60).unwrap();
+        let small = r
+            .points
+            .iter()
+            .find(|p| p.m == 2 && p.fraction == 0.02)
+            .unwrap();
+        let large = r
+            .points
+            .iter()
+            .find(|p| p.m == 2 && p.fraction == 0.60)
+            .unwrap();
         assert!(small.change_percent < large.change_percent);
         assert!(large.change_percent > 0.0, "60% offload must favour tau'");
     }

@@ -50,8 +50,14 @@ impl Config {
     pub fn paper() -> Self {
         Config {
             panels: vec![
-                Panel { m: 2, params: NfjParams::small_tasks().with_node_range(3, 20) },
-                Panel { m: 8, params: NfjParams::small_tasks().with_node_range(30, 60) },
+                Panel {
+                    m: 2,
+                    params: NfjParams::small_tasks().with_node_range(3, 20),
+                },
+                Panel {
+                    m: 8,
+                    params: NfjParams::small_tasks().with_node_range(30, 60),
+                },
             ],
             fractions: fraction_sweep_fine(),
             tasks_per_point: 100,
@@ -65,12 +71,21 @@ impl Config {
     pub fn quick() -> Self {
         Config {
             panels: vec![
-                Panel { m: 2, params: NfjParams::small_tasks().with_node_range(3, 20) },
-                Panel { m: 8, params: NfjParams::small_tasks().with_node_range(20, 40) },
+                Panel {
+                    m: 2,
+                    params: NfjParams::small_tasks().with_node_range(3, 20),
+                },
+                Panel {
+                    m: 8,
+                    params: NfjParams::small_tasks().with_node_range(20, 40),
+                },
             ],
             fractions: vec![0.01, 0.10, 0.30, 0.50],
             tasks_per_point: 10,
-            solver: SolverConfig { max_nodes: 200_000, ..SolverConfig::default() },
+            solver: SolverConfig {
+                max_nodes: 200_000,
+                ..SolverConfig::default()
+            },
             seed: 0x7007_0002,
         }
     }
@@ -108,7 +123,12 @@ pub fn run(config: &Config) -> Results {
     let jobs: Vec<(u64, NfjParams, f64)> = config
         .panels
         .iter()
-        .flat_map(|p| config.fractions.iter().map(move |&f| (p.m, p.params.clone(), f)))
+        .flat_map(|p| {
+            config
+                .fractions
+                .iter()
+                .map(move |&f| (p.m, p.params.clone(), f))
+        })
         .collect();
 
     let points = parallel_map(jobs, |(m, params, fraction)| {
@@ -117,8 +137,8 @@ pub fn run(config: &Config) -> Results {
         let mut het_incs = Vec::new();
         for i in 0..config.tasks_per_point {
             let task = spec.task(i, fraction).expect("generation succeeds");
-            let sol = solve(task.dag(), Some(task.offloaded()), m, &config.solver)
-                .expect("solver runs");
+            let sol =
+                solve(task.dag(), Some(task.offloaded()), m, &config.solver).expect("solver runs");
             if !sol.is_optimal() {
                 continue; // paper: skip instances the oracle cannot close
             }
@@ -186,15 +206,28 @@ mod tests {
         let r = run(&Config::quick());
         assert_eq!(r.points.len(), 2 * 4);
         for p in &r.points {
-            assert!(p.solved > 0, "no instance solved at m={} f={}", p.m, p.fraction);
+            assert!(
+                p.solved > 0,
+                "no instance solved at m={} f={}",
+                p.m,
+                p.fraction
+            );
             // bounds are upper bounds: increments never negative
             assert!(p.hom_increment >= -1e-9);
             assert!(p.het_increment >= -1e-9);
         }
         // R_het pessimism shrinks as C_off grows (paper: <1% at large
         // fractions for m=2).
-        let small = r.points.iter().find(|p| p.m == 2 && p.fraction == 0.01).unwrap();
-        let large = r.points.iter().find(|p| p.m == 2 && p.fraction == 0.50).unwrap();
+        let small = r
+            .points
+            .iter()
+            .find(|p| p.m == 2 && p.fraction == 0.01)
+            .unwrap();
+        let large = r
+            .points
+            .iter()
+            .find(|p| p.m == 2 && p.fraction == 0.50)
+            .unwrap();
         assert!(large.het_increment < small.het_increment);
     }
 

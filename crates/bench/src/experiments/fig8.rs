@@ -7,11 +7,10 @@
 //! with `C_off` — earlier on larger hosts because `R_hom(G_par)` shrinks
 //! with `m`.
 
-use hetrta_core::{r_het, transform, Scenario};
-use hetrta_gen::series::{fraction_sweep_fine, BatchSpec};
+use hetrta_engine::{CellKind, Engine, GeneratorPreset, SweepSpec};
+use hetrta_gen::series::fraction_sweep_fine;
 use hetrta_gen::NfjParams;
 
-use crate::runner::parallel_map;
 use crate::table::{pct, Table};
 
 /// Experiment configuration.
@@ -77,35 +76,56 @@ pub struct Results {
     pub points: Vec<Point>,
 }
 
-/// Runs the experiment.
+/// The engine sweep specification equivalent to `config`.
+#[must_use]
+pub fn sweep_spec(config: &Config) -> SweepSpec {
+    SweepSpec::fractions(
+        GeneratorPreset::Custom(config.params.clone()),
+        config.core_counts.clone(),
+        config.fractions.clone(),
+        config.tasks_per_point,
+        config.seed,
+    )
+}
+
+/// Runs the experiment on the batch-analysis engine (all cores; each task
+/// is transformed once and classified per core count via the engine's
+/// content-addressed cache).
 ///
 /// # Panics
 ///
 /// Panics if generation fails for a configuration (deterministic).
 #[must_use]
 pub fn run(config: &Config) -> Results {
-    let jobs: Vec<(u64, f64)> = config
-        .core_counts
+    run_on(&Engine::new(0), config)
+}
+
+/// Runs the experiment on an existing engine (sharing its caches).
+///
+/// # Panics
+///
+/// Panics if generation fails for a configuration (deterministic).
+#[must_use]
+pub fn run_on(engine: &Engine, config: &Config) -> Results {
+    let out = engine.run(&sweep_spec(config)).expect("sweep succeeds");
+    let points = out
+        .aggregate
+        .cells
         .iter()
-        .flat_map(|&m| config.fractions.iter().map(move |&f| (m, f)))
-        .collect();
-    let spec = BatchSpec::new(config.params.clone(), config.tasks_per_point, config.seed);
-
-    let points = parallel_map(jobs, |(m, fraction)| {
-        let (mut s1, mut s21, mut s22) = (0usize, 0usize, 0usize);
-        for i in 0..spec.tasks_per_point {
-            let task = spec.task(i, fraction).expect("generation succeeds");
-            let t = transform(&task).expect("transformation succeeds");
-            match r_het(&t, m).expect("m > 0").scenario() {
-                Scenario::OffNotOnCriticalPath => s1 += 1,
-                Scenario::OffOnCriticalPathDominant => s21 += 1,
-                Scenario::OffOnCriticalPathDominated => s22 += 1,
+        .map(|cell| {
+            let CellKind::Task(t) = &cell.kind else {
+                unreachable!("fraction sweeps produce task cells")
+            };
+            let (s1, s21, s22) = t.scenario_shares(cell.samples);
+            Point {
+                m: cell.m,
+                fraction: cell.grid_value,
+                s1,
+                s21,
+                s22,
             }
-        }
-        let n = spec.tasks_per_point as f64;
-        Point { m, fraction, s1: s1 as f64 / n, s21: s21 as f64 / n, s22: s22 as f64 / n }
-    });
-
+        })
+        .collect();
     Results { points }
 }
 
@@ -113,8 +133,7 @@ impl Results {
     /// Renders one table per core count.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Figure 8: occurrence percentage of Theorem 1 scenarios\n\n");
+        let mut out = String::from("Figure 8: occurrence percentage of Theorem 1 scenarios\n\n");
         let mut ms: Vec<u64> = self.points.iter().map(|p| p.m).collect();
         ms.sort_unstable();
         ms.dedup();
@@ -147,17 +166,30 @@ mod tests {
             assert!((p.s1 + p.s21 + p.s22 - 1.0).abs() < 1e-9);
         }
         // Scenario 1 dominates at tiny offload fractions…
-        let tiny = r.points.iter().find(|p| p.m == 2 && p.fraction == 0.0012).unwrap();
+        let tiny = r
+            .points
+            .iter()
+            .find(|p| p.m == 2 && p.fraction == 0.0012)
+            .unwrap();
         assert!(tiny.s1 > 0.5, "s1 = {} at 0.12%", tiny.s1);
         // …and scenario 2.1 dominates at 50%.
-        let big = r.points.iter().find(|p| p.m == 2 && p.fraction == 0.50).unwrap();
+        let big = r
+            .points
+            .iter()
+            .find(|p| p.m == 2 && p.fraction == 0.50)
+            .unwrap();
         assert!(big.s21 > 0.5, "s21 = {} at 50%", big.s21);
     }
 
     #[test]
     fn larger_hosts_reach_scenario_21_earlier() {
         let r = run(&Config::quick());
-        let at = |m: u64, f: f64| r.points.iter().find(|p| p.m == m && p.fraction == f).unwrap();
+        let at = |m: u64, f: f64| {
+            r.points
+                .iter()
+                .find(|p| p.m == m && p.fraction == f)
+                .unwrap()
+        };
         // paper: occurrences of 2.1 start earlier for bigger m
         assert!(at(8, 0.10).s21 >= at(2, 0.10).s21);
     }

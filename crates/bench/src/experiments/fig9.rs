@@ -10,12 +10,11 @@
 //! (70%/55%/40%/30%) is reached where `C_off = R_hom(G_par)`; maximum
 //! observed differences are 95.0%/82.5%/65.3%/47.7%.
 
-use hetrta_core::HeterogeneousAnalysis;
-use hetrta_gen::series::{fraction_sweep_wide, BatchSpec};
+use hetrta_engine::{CellKind, Engine, GeneratorPreset, SweepSpec};
+use hetrta_gen::series::fraction_sweep_wide;
 use hetrta_gen::NfjParams;
 
-use crate::runner::parallel_map;
-use crate::stats::{summarize, zero_crossing};
+use crate::stats::zero_crossing;
 use crate::table::{pct, signed_pct, Table};
 
 /// Experiment configuration.
@@ -87,31 +86,52 @@ pub struct Results {
     pub max_observed: Vec<(u64, f64)>,
 }
 
-/// Runs the experiment.
+/// The engine sweep specification equivalent to `config`.
+#[must_use]
+pub fn sweep_spec(config: &Config) -> SweepSpec {
+    SweepSpec::fractions(
+        GeneratorPreset::Custom(config.params.clone()),
+        config.core_counts.clone(),
+        config.fractions.clone(),
+        config.tasks_per_point,
+        config.seed,
+    )
+}
+
+/// Runs the experiment on the batch-analysis engine (all cores).
 ///
 /// # Panics
 ///
 /// Panics if generation fails for a configuration (deterministic).
 #[must_use]
 pub fn run(config: &Config) -> Results {
-    let jobs: Vec<(u64, f64)> = config
-        .core_counts
-        .iter()
-        .flat_map(|&m| config.fractions.iter().map(move |&f| (m, f)))
-        .collect();
-    let spec = BatchSpec::new(config.params.clone(), config.tasks_per_point, config.seed);
+    run_on(&Engine::new(0), config)
+}
 
-    let points = parallel_map(jobs, |(m, fraction)| {
-        let changes: Vec<f64> = (0..spec.tasks_per_point)
-            .map(|i| {
-                let task = spec.task(i, fraction).expect("generation succeeds");
-                let report = HeterogeneousAnalysis::run(&task, m).expect("analysis succeeds");
-                report.improvement_percent()
-            })
-            .collect();
-        let s = summarize(&changes);
-        Point { m, fraction, mean_change: s.mean, max_change: s.max }
-    });
+/// Runs the experiment on an existing engine (sharing its caches).
+///
+/// # Panics
+///
+/// Panics if generation fails for a configuration (deterministic).
+#[must_use]
+pub fn run_on(engine: &Engine, config: &Config) -> Results {
+    let out = engine.run(&sweep_spec(config)).expect("sweep succeeds");
+    let points: Vec<Point> = out
+        .aggregate
+        .cells
+        .iter()
+        .map(|cell| {
+            let CellKind::Task(t) = &cell.kind else {
+                unreachable!("fraction sweeps produce task cells")
+            };
+            Point {
+                m: cell.m,
+                fraction: cell.grid_value,
+                mean_change: t.mean_improvement,
+                max_change: t.max_improvement,
+            }
+        })
+        .collect();
 
     let mut crossovers = Vec::new();
     let mut peak_benefit = Vec::new();
@@ -138,7 +158,12 @@ pub fn run(config: &Config) -> Results {
         max_observed.push((m, observed));
     }
 
-    Results { points, crossovers, peak_benefit, max_observed }
+    Results {
+        points,
+        crossovers,
+        peak_benefit,
+        max_observed,
+    }
 }
 
 impl Results {
@@ -189,7 +214,10 @@ impl Results {
             ));
         }
         for (m, v) in &self.max_observed {
-            out.push_str(&format!("  m={m:>2}: maximum observed difference {}\n", signed_pct(*v)));
+            out.push_str(&format!(
+                "  m={m:>2}: maximum observed difference {}\n",
+                signed_pct(*v)
+            ));
         }
         out
     }
@@ -202,7 +230,12 @@ mod tests {
     #[test]
     fn paper_trends_hold_in_quick_config() {
         let r = run(&Config::quick());
-        let at = |m: u64, f: f64| r.points.iter().find(|p| p.m == m && p.fraction == f).unwrap();
+        let at = |m: u64, f: f64| {
+            r.points
+                .iter()
+                .find(|p| p.m == m && p.fraction == f)
+                .unwrap()
+        };
         // Tiny offload: hom analysis wins (negative change).
         assert!(at(2, 0.0012).mean_change < 0.0);
         // Large offload: het analysis wins clearly.

@@ -51,11 +51,15 @@ pub fn run() -> PaperExample {
     let bound = r_het(&t, m).expect("m > 0");
 
     let platform = Platform::with_accelerator(m as usize);
-    let worst =
-        hetrta_sim::explore_worst_case(task.dag(), Some(task.offloaded()), platform, 500)
-            .expect("simulation succeeds");
-    let best = simulate(task.dag(), Some(task.offloaded()), platform, &mut CriticalPathFirst::new())
+    let worst = hetrta_sim::explore_worst_case(task.dag(), Some(task.offloaded()), platform, 500)
         .expect("simulation succeeds");
+    let best = simulate(
+        task.dag(),
+        Some(task.offloaded()),
+        platform,
+        &mut CriticalPathFirst::new(),
+    )
+    .expect("simulation succeeds");
     let transformed_run = simulate(
         t.transformed(),
         Some(task.offloaded()),
@@ -65,8 +69,7 @@ pub fn run() -> PaperExample {
     .expect("simulation succeeds");
 
     let r_hom = r_hom_dag(task.dag(), m).expect("m > 0");
-    let naive_reduced =
-        r_hom - Rational::new(task.c_off().get() as i128, m as i128);
+    let naive_reduced = r_hom - Rational::new(task.c_off().get() as i128, m as i128);
 
     PaperExample {
         volume: task.volume(),
@@ -93,10 +96,23 @@ pub fn figure1_task() -> (HeteroDagTask, [NodeId; 6]) {
     let v4 = b.node("v4", Ticks::new(2));
     let v5 = b.node("v5", Ticks::new(1));
     let voff = b.node("v_off", Ticks::new(4));
-    b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
-        .expect("static edges are valid");
-    let task = HeteroDagTask::new(b.build().expect("static graph is valid"), voff, Ticks::new(50), Ticks::new(50))
-        .expect("valid task");
+    b.edges([
+        (v1, v2),
+        (v1, v3),
+        (v1, v4),
+        (v4, voff),
+        (v2, v5),
+        (v3, v5),
+        (voff, v5),
+    ])
+    .expect("static edges are valid");
+    let task = HeteroDagTask::new(
+        b.build().expect("static graph is valid"),
+        voff,
+        Ticks::new(50),
+        Ticks::new(50),
+    )
+    .expect("valid task");
     (task, [v1, v2, v3, v4, v5, voff])
 }
 
@@ -107,15 +123,42 @@ pub fn report() -> String {
     let e = run();
     let mut out = String::new();
     out.push_str("Worked example of the paper (Figures 1-2), m = 2 cores + 1 accelerator\n");
-    out.push_str(&format!("  vol(G)                         = {:>5}   (paper: 18)\n", e.volume));
-    out.push_str(&format!("  len(G)                         = {:>5}   (paper: 8)\n", e.len_original));
-    out.push_str(&format!("  R_hom(tau)        [Eq. 1]      = {:>5}   (paper: 13)\n", e.r_hom));
-    out.push_str(&format!("  naive C_off/m discount (UNSAFE)= {:>5}   (paper: 11)\n", e.naive_reduced));
-    out.push_str(&format!("  worst work-conserving makespan = {:>5}   (paper: 12 > 11!)\n", e.worst_case_original));
-    out.push_str(&format!("  len(G') after transformation   = {:>5}   (paper: 10)\n", e.len_transformed));
-    out.push_str(&format!("  BFS makespan of tau'           = {:>5}   (Figure 2(b): 10)\n", e.makespan_transformed));
-    out.push_str(&format!("  R_het(tau')       [{}]         = {:>5}\n", e.scenario, e.r_het));
-    out.push_str(&format!("  best observed makespan of tau  = {:>5}\n", e.best_case_original));
+    out.push_str(&format!(
+        "  vol(G)                         = {:>5}   (paper: 18)\n",
+        e.volume
+    ));
+    out.push_str(&format!(
+        "  len(G)                         = {:>5}   (paper: 8)\n",
+        e.len_original
+    ));
+    out.push_str(&format!(
+        "  R_hom(tau)        [Eq. 1]      = {:>5}   (paper: 13)\n",
+        e.r_hom
+    ));
+    out.push_str(&format!(
+        "  naive C_off/m discount (UNSAFE)= {:>5}   (paper: 11)\n",
+        e.naive_reduced
+    ));
+    out.push_str(&format!(
+        "  worst work-conserving makespan = {:>5}   (paper: 12 > 11!)\n",
+        e.worst_case_original
+    ));
+    out.push_str(&format!(
+        "  len(G') after transformation   = {:>5}   (paper: 10)\n",
+        e.len_transformed
+    ));
+    out.push_str(&format!(
+        "  BFS makespan of tau'           = {:>5}   (Figure 2(b): 10)\n",
+        e.makespan_transformed
+    ));
+    out.push_str(&format!(
+        "  R_het(tau')       [{}]         = {:>5}\n",
+        e.scenario, e.r_het
+    ));
+    out.push_str(&format!(
+        "  best observed makespan of tau  = {:>5}\n",
+        e.best_case_original
+    ));
     out.push_str("\nTransformed-task schedule (breadth-first):\n");
     out.push_str(&e.gantt_transformed);
     out

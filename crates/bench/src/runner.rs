@@ -32,7 +32,9 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n);
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(n);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -48,7 +50,11 @@ where
                 if i >= n {
                     break;
                 }
-                let item = inputs[i].lock().expect("input lock").take().expect("taken once");
+                let item = inputs[i]
+                    .lock()
+                    .expect("input lock")
+                    .take()
+                    .expect("taken once");
                 let result = f(item);
                 *outputs[i].lock().expect("output lock") = Some(result);
             });
@@ -57,7 +63,11 @@ where
 
     outputs
         .into_iter()
-        .map(|m| m.into_inner().expect("output lock").expect("worker filled every slot"))
+        .map(|m| {
+            m.into_inner()
+                .expect("output lock")
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 

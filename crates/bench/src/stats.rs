@@ -28,7 +28,13 @@ pub struct Summary {
 #[must_use]
 pub fn summarize(values: &[f64]) -> Summary {
     if values.is_empty() {
-        return Summary { count: 0, mean: 0.0, min: 0.0, max: 0.0, stddev: 0.0 };
+        return Summary {
+            count: 0,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            stddev: 0.0,
+        };
     }
     let n = values.len() as f64;
     let mean = values.iter().sum::<f64>() / n;

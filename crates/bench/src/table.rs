@@ -23,7 +23,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(header: Vec<String>) -> Self {
-        Table { header, rows: Vec::new() }
+        Table {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).

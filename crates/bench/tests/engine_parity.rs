@@ -1,0 +1,123 @@
+//! The engine-backed experiments produce exactly what the serial
+//! reference loops produce — same generated tasks, same classification,
+//! same floating-point aggregation.
+
+use hetrta_bench::experiments::{fig8, fig9};
+use hetrta_bench::stats::summarize;
+use hetrta_core::{r_het, transform, HeterogeneousAnalysis, Scenario};
+use hetrta_engine::Engine;
+use hetrta_gen::series::BatchSpec;
+
+/// The pre-engine fig8 inner loop, kept as the serial reference.
+fn serial_fig8(config: &fig8::Config) -> Vec<fig8::Point> {
+    let spec = BatchSpec::new(config.params.clone(), config.tasks_per_point, config.seed);
+    let mut points = Vec::new();
+    for &m in &config.core_counts {
+        for &fraction in &config.fractions {
+            let (mut s1, mut s21, mut s22) = (0usize, 0usize, 0usize);
+            for i in 0..spec.tasks_per_point {
+                let task = spec.task(i, fraction).expect("generation succeeds");
+                let t = transform(&task).expect("transformation succeeds");
+                match r_het(&t, m).expect("m > 0").scenario() {
+                    Scenario::OffNotOnCriticalPath => s1 += 1,
+                    Scenario::OffOnCriticalPathDominant => s21 += 1,
+                    Scenario::OffOnCriticalPathDominated => s22 += 1,
+                }
+            }
+            let n = spec.tasks_per_point as f64;
+            points.push(fig8::Point {
+                m,
+                fraction,
+                s1: s1 as f64 / n,
+                s21: s21 as f64 / n,
+                s22: s22 as f64 / n,
+            });
+        }
+    }
+    points
+}
+
+/// The pre-engine fig9 inner loop, kept as the serial reference.
+fn serial_fig9(config: &fig9::Config) -> Vec<fig9::Point> {
+    let spec = BatchSpec::new(config.params.clone(), config.tasks_per_point, config.seed);
+    let mut points = Vec::new();
+    for &m in &config.core_counts {
+        for &fraction in &config.fractions {
+            let changes: Vec<f64> = (0..spec.tasks_per_point)
+                .map(|i| {
+                    let task = spec.task(i, fraction).expect("generation succeeds");
+                    let report = HeterogeneousAnalysis::run(&task, m).expect("analysis succeeds");
+                    report.improvement_percent()
+                })
+                .collect();
+            let s = summarize(&changes);
+            points.push(fig9::Point {
+                m,
+                fraction,
+                mean_change: s.mean,
+                max_change: s.max,
+            });
+        }
+    }
+    points
+}
+
+fn small_fig8_config() -> fig8::Config {
+    let mut c = fig8::Config::quick();
+    c.tasks_per_point = 8;
+    c.fractions = vec![0.02, 0.25];
+    c
+}
+
+fn small_fig9_config() -> fig9::Config {
+    let mut c = fig9::Config::quick();
+    c.tasks_per_point = 8;
+    c.fractions = vec![0.02, 0.30];
+    c
+}
+
+#[test]
+fn fig8_engine_equals_serial_reference() {
+    let config = small_fig8_config();
+    let serial = serial_fig8(&config);
+    let engine = fig8::run(&config).points;
+    assert_eq!(engine, serial, "engine fig8 diverges from the serial loop");
+}
+
+#[test]
+fn fig9_engine_equals_serial_reference_bitwise() {
+    let config = small_fig9_config();
+    let serial = serial_fig9(&config);
+    let engine = fig9::run(&config).points;
+    assert_eq!(engine.len(), serial.len());
+    for (e, s) in engine.iter().zip(&serial) {
+        assert_eq!((e.m, e.fraction), (s.m, s.fraction));
+        // Bitwise, not approximate: the engine mirrors the serial
+        // reduction order exactly.
+        assert_eq!(e.mean_change.to_bits(), s.mean_change.to_bits());
+        assert_eq!(e.max_change.to_bits(), s.max_change.to_bits());
+    }
+}
+
+#[test]
+fn shared_engine_reuses_transformations_across_experiments() {
+    // fig8 and fig9 on the same engine and generator/seed settings: the
+    // second experiment's transformations are already memoized.
+    let engine = Engine::new(0);
+    let mut fig8_config = small_fig8_config();
+    fig8_config.seed = 777;
+    let mut fig9_config = small_fig9_config();
+    fig9_config.seed = 777;
+    fig9_config.fractions = fig8_config.fractions.clone();
+    fig9_config.core_counts = fig8_config.core_counts.clone();
+    fig9_config.params = fig8_config.params.clone();
+
+    let _ = fig8::run_on(&engine, &fig8_config);
+    let before = engine.caches().transform_counters();
+    let _ = fig9::run_on(&engine, &fig9_config);
+    let after = engine.caches().transform_counters();
+    assert_eq!(
+        after.misses, before.misses,
+        "identical workloads must not transform anything anew"
+    );
+}

@@ -7,6 +7,7 @@ use hetrta_core::{transform, HeterogeneousAnalysis};
 use hetrta_dag::dot::{to_dot, DotOptions};
 use hetrta_dag::io::{parse_task, render_task, TaskKind};
 use hetrta_dag::{HeteroDagTask, NodeId, Ticks};
+use hetrta_engine::{AnalysisSelection, CellKind, Engine, GeneratorPreset, SweepSpec, TestKind};
 use hetrta_exact::{lp, solve, SolverConfig};
 use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
 use hetrta_gen::{generate_nfj, NfjParams};
@@ -30,6 +31,9 @@ usage:
   hetrta baselines <task.hdag> [-m CORES[,CORES...]]
   hetrta cond      <expr.hcond> [-m CORES[,CORES...]] [--offload LABEL]
   hetrta generate  [--small|--large] [--seed N] [--fraction F]
+  hetrta engine sweep [--threads N] [--cores A,B,...] [--per-point N] [--seed S[,S...]]
+                      [--fractions F,... | --utils U,... [--n-tasks N]]
+                      [--analyses hom,het,sim,exact] [--preset small|large|paper] [--csv]
   hetrta example";
 
 /// Dispatches a command line (without the program name).
@@ -49,6 +53,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("baselines") => baselines_cmd(&args[1..]),
         Some("cond") => cond_cmd(&args[1..]),
         Some("generate") => generate_cmd(&args[1..]),
+        Some("engine") => engine_cmd(&args[1..]),
         Some("example") => Ok(example_file()),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("missing command".into()),
@@ -56,7 +61,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn has_flag(args: &[String], flag: &str) -> bool {
@@ -82,8 +90,7 @@ fn load_task(args: &[String]) -> Result<(HeteroDagTask, Option<NodeId>), String>
             let deadline = t.deadline();
             let dag = t.into_dag();
             let any = dag.node_ids().next().ok_or("empty graph")?;
-            let task = HeteroDagTask::new(dag, any, period, deadline)
-                .map_err(|e| e.to_string())?;
+            let task = HeteroDagTask::new(dag, any, period, deadline).map_err(|e| e.to_string())?;
             Ok((task, None))
         }
     }
@@ -92,10 +99,7 @@ fn load_task(args: &[String]) -> Result<(HeteroDagTask, Option<NodeId>), String>
 fn core_list(args: &[String]) -> Result<Vec<u64>, String> {
     match flag_value(args, "-m") {
         None => Ok(vec![2, 4, 8, 16]),
-        Some(spec) => spec
-            .split(',')
-            .map(|s| s.parse::<u64>().map_err(|_| format!("invalid core count `{s}`")))
-            .collect(),
+        Some(spec) => parse_list(spec, "core count"),
     }
 }
 
@@ -116,7 +120,10 @@ fn analyze(args: &[String]) -> Result<String, String> {
         task.period(),
         task.deadline(),
     );
-    let _ = writeln!(out, "\n  m  R_hom(tau)  R_het(tau')  scenario  schedulable(het)  min cores (het)");
+    let _ = writeln!(
+        out,
+        "\n  m  R_hom(tau)  R_het(tau')  scenario  schedulable(het)  min cores (het)"
+    );
     for m in core_list(args)? {
         let report = HeterogeneousAnalysis::run(&task, m).map_err(|e| e.to_string())?;
         let min = minimum_cores(&task, AnalysisKind::Heterogeneous, 128)
@@ -185,17 +192,23 @@ fn simulate_cmd(args: &[String]) -> Result<String, String> {
     let (task, off) = load_task(args)?;
     let m = single_core_count(args)? as usize;
     let mut policy = make_policy(args)?;
-    let platform =
-        if off.is_some() { Platform::with_accelerator(m) } else { Platform::host_only(m) };
-    let result =
-        simulate(task.dag(), off, platform, policy.as_mut()).map_err(|e| e.to_string())?;
+    let platform = if off.is_some() {
+        Platform::with_accelerator(m)
+    } else {
+        Platform::host_only(m)
+    };
+    let result = simulate(task.dag(), off, platform, policy.as_mut()).map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(
         out,
         "policy {} on {} cores{}: makespan = {}",
         result.policy(),
         m,
-        if off.is_some() { " + 1 accelerator" } else { "" },
+        if off.is_some() {
+            " + 1 accelerator"
+        } else {
+            ""
+        },
         result.makespan()
     );
     if has_flag(args, "--gantt") {
@@ -216,7 +229,11 @@ fn solve_cmd(args: &[String]) -> Result<String, String> {
     let _ = writeln!(
         out,
         "minimum makespan on {m} cores{}: {} ({:?}, lower bound {}, {} nodes explored)",
-        if off.is_some() { " + 1 accelerator" } else { "" },
+        if off.is_some() {
+            " + 1 accelerator"
+        } else {
+            ""
+        },
         sol.makespan(),
         sol.optimality(),
         sol.lower_bound(),
@@ -257,12 +274,22 @@ fn load_task_files(args: &[String]) -> Result<Vec<HeteroDagTask>, String> {
 }
 
 fn render_verdict(out: &mut String, label: &str, v: &SetVerdict, tasks: &[HeteroDagTask]) {
-    let _ = writeln!(out, "\n{label}: {}", if v.is_schedulable() { "SCHEDULABLE" } else { "not schedulable" });
+    let _ = writeln!(
+        out,
+        "\n{label}: {}",
+        if v.is_schedulable() {
+            "SCHEDULABLE"
+        } else {
+            "not schedulable"
+        }
+    );
     for tv in &v.per_task {
         let bound = tv
             .response_bound
             .as_ref()
-            .map_or("exceeds deadline".to_owned(), |r| format!("{:.2}", r.to_f64()));
+            .map_or("exceeds deadline".to_owned(), |r| {
+                format!("{:.2}", r.to_f64())
+            });
         let _ = writeln!(
             out,
             "  task {} (T = {}, D = {}): R = {}",
@@ -361,8 +388,15 @@ fn cond_cmd(args: &[String]) -> Result<String, String> {
         ),
         None => None,
     };
-    let _ = writeln!(out, "  m  flatten-all  cond-aware  per-realization{}",
-        if het_task.is_some() { "  het (offloaded)" } else { "" });
+    let _ = writeln!(
+        out,
+        "  m  flatten-all  cond-aware  per-realization{}",
+        if het_task.is_some() {
+            "  het (offloaded)"
+        } else {
+            ""
+        }
+    );
     for m in core_list(args)? {
         let flat = hetrta_cond::r_parallel_flattening(&expr, m).map_err(|e| e.to_string())?;
         let aware = hetrta_cond::r_cond(&expr, m).map_err(|e| e.to_string())?;
@@ -374,9 +408,7 @@ fn cond_cmd(args: &[String]) -> Result<String, String> {
         let het = match &het_task {
             Some(t) => match t.r_het_cond(m, 4096) {
                 Ok(v) => format!("  {:>14.2}", v.to_f64()),
-                Err(hetrta_cond::CondError::TooManyRealizations { .. }) => {
-                    "  -".to_owned()
-                }
+                Err(hetrta_cond::CondError::TooManyRealizations { .. }) => "  -".to_owned(),
                 Err(e) => return Err(e.to_string()),
             },
             None => String::new(),
@@ -393,16 +425,23 @@ fn cond_cmd(args: &[String]) -> Result<String, String> {
 }
 
 fn generate_cmd(args: &[String]) -> Result<String, String> {
-    let params =
-        if has_flag(args, "--large") { NfjParams::large_tasks() } else { NfjParams::small_tasks() };
+    let params = if has_flag(args, "--large") {
+        NfjParams::large_tasks()
+    } else {
+        NfjParams::small_tasks()
+    };
     let seed = match flag_value(args, "--seed") {
         None => 0,
-        Some(s) => s.parse::<u64>().map_err(|_| format!("invalid seed `{s}`"))?,
+        Some(s) => s
+            .parse::<u64>()
+            .map_err(|_| format!("invalid seed `{s}`"))?,
     };
     let sizing = match flag_value(args, "--fraction") {
         None => CoffSizing::Generated,
         Some(f) => {
-            let f = f.parse::<f64>().map_err(|_| format!("invalid fraction `{f}`"))?;
+            let f = f
+                .parse::<f64>()
+                .map_err(|_| format!("invalid fraction `{f}`"))?;
             CoffSizing::VolumeFraction(f)
         }
     };
@@ -416,6 +455,214 @@ fn generate_cmd(args: &[String]) -> Result<String, String> {
     Ok(render_task(&task))
 }
 
+fn parse_list<T: std::str::FromStr>(spec: &str, what: &str) -> Result<Vec<T>, String> {
+    spec.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<T>()
+                .map_err(|_| format!("invalid {what} `{s}`"))
+        })
+        .collect()
+}
+
+/// `hetrta engine sweep …` — run a batch sweep on the work-stealing engine
+/// and report per-cell results plus engine statistics (cache hit/miss,
+/// per-worker job counts).
+fn engine_cmd(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("sweep") => {}
+        Some(other) => return Err(format!("unknown engine subcommand `{other}`")),
+        None => return Err("missing engine subcommand (try `engine sweep`)".into()),
+    }
+    let args = &args[1..];
+
+    let threads = match flag_value(args, "--threads") {
+        None => 0,
+        Some(s) => s
+            .parse::<usize>()
+            .map_err(|_| format!("invalid thread count `{s}`"))?,
+    };
+    let cores = match flag_value(args, "--cores") {
+        None => vec![2, 8],
+        Some(spec) => parse_list(spec, "core count")?,
+    };
+    let per_point = match flag_value(args, "--per-point") {
+        None => 20,
+        Some(s) => s
+            .parse::<usize>()
+            .map_err(|_| format!("invalid per-point count `{s}`"))?,
+    };
+    let seeds = match flag_value(args, "--seed") {
+        None => vec![0xDAC_2018],
+        Some(spec) => parse_list(spec, "seed")?,
+    };
+    let preset = match flag_value(args, "--preset") {
+        None | Some("small") => GeneratorPreset::Small,
+        Some("large") => GeneratorPreset::Large,
+        Some("paper") => GeneratorPreset::LargePaper,
+        Some(other) => return Err(format!("unknown preset `{other}`")),
+    };
+    let analyses = match flag_value(args, "--analyses") {
+        None => AnalysisSelection::het_only(),
+        Some(list) => AnalysisSelection::parse(list)?,
+    };
+    if flag_value(args, "--fractions").is_some() && flag_value(args, "--utils").is_some() {
+        return Err("choose either --fractions or --utils, not both".into());
+    }
+    if flag_value(args, "--utils").is_some() {
+        if flag_value(args, "--analyses").is_some() {
+            return Err("--analyses applies to fraction sweeps; utilization sweeps \
+                        always run the six acceptance tests"
+                .into());
+        }
+        if flag_value(args, "--preset").is_some() {
+            return Err("--preset applies to fraction sweeps; utilization sweeps \
+                        use the small task-set template"
+                .into());
+        }
+    } else if flag_value(args, "--n-tasks").is_some() {
+        return Err("--n-tasks applies to utilization sweeps (--utils)".into());
+    }
+
+    let spec = if let Some(utils) = flag_value(args, "--utils") {
+        let n_tasks = match flag_value(args, "--n-tasks") {
+            None => 4,
+            Some(s) => s
+                .parse::<usize>()
+                .map_err(|_| format!("invalid task count `{s}`"))?,
+        };
+        SweepSpec::acceptance(
+            hetrta_sched::taskset::TaskSetParams::small(n_tasks, 1.0)
+                .with_offload_fraction(0.2, 0.45),
+            cores,
+            parse_list(utils, "utilization")?,
+            n_tasks,
+            per_point,
+            seeds[0],
+        )
+        .with_seeds(seeds)
+    } else {
+        let fractions = match flag_value(args, "--fractions") {
+            None => vec![0.05, 0.10, 0.20, 0.30, 0.50],
+            Some(spec) => parse_list(spec, "fraction")?,
+        };
+        SweepSpec::fractions(preset, cores, fractions, per_point, seeds[0])
+            .with_seeds(seeds)
+            .with_analyses(analyses)
+    };
+
+    let engine = Engine::new(threads);
+    let out = engine.run(&spec).map_err(|e| e.to_string())?;
+
+    let mut text = if has_flag(args, "--csv") {
+        render_cells_csv(&out.aggregate.cells)
+    } else {
+        render_cells_table(&out.aggregate.cells)
+    };
+    text.push('\n');
+    text.push_str(&out.stats.render());
+    Ok(text)
+}
+
+fn render_cells_table(cells: &[hetrta_engine::CellSummary]) -> String {
+    let is_set = matches!(cells.first().map(|c| &c.kind), Some(CellKind::Set(_)));
+    let mut out = String::new();
+    if is_set {
+        let _ = writeln!(
+            out,
+            "  m   U/m  {}",
+            TestKind::ALL.map(|t| format!("{:>9}", t.label())).join(" ")
+        );
+        for cell in cells {
+            let CellKind::Set(s) = &cell.kind else {
+                continue;
+            };
+            let ratios = TestKind::ALL
+                .map(|t| format!("{:>8.1}%", s.ratio(t, cell.samples) * 100.0))
+                .join(" ");
+            let _ = writeln!(out, "{:>3}  {:>4.2}  {ratios}", cell.m, cell.grid_value);
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "  m  C_off/vol        s1      s2.1      s2.2  mean-impr   max-impr  sched(het)"
+        );
+        for cell in cells {
+            let CellKind::Task(t) = &cell.kind else {
+                continue;
+            };
+            let (s1, s21, s22) = t.scenario_shares(cell.samples);
+            let _ = writeln!(
+                out,
+                "{:>3}  {:>8.2}%  {:>7.1}%  {:>7.1}%  {:>7.1}%  {:>+8.2}%  {:>+8.2}%  {:>6}/{}",
+                cell.m,
+                cell.grid_value * 100.0,
+                s1 * 100.0,
+                s21 * 100.0,
+                s22 * 100.0,
+                t.mean_improvement,
+                t.max_improvement,
+                t.schedulable_het,
+                cell.samples,
+            );
+        }
+    }
+    out
+}
+
+fn render_cells_csv(cells: &[hetrta_engine::CellSummary]) -> String {
+    let is_set = matches!(cells.first().map(|c| &c.kind), Some(CellKind::Set(_)));
+    let mut out = String::new();
+    if is_set {
+        let labels = TestKind::ALL.map(|t| t.label().to_owned()).join(",");
+        let _ = writeln!(out, "m,normalized_util,samples,{labels}");
+        for cell in cells {
+            let CellKind::Set(s) = &cell.kind else {
+                continue;
+            };
+            let ratios = TestKind::ALL
+                .map(|t| format!("{:.6}", s.ratio(t, cell.samples)))
+                .join(",");
+            let _ = writeln!(
+                out,
+                "{},{},{},{ratios}",
+                cell.m, cell.grid_value, cell.samples
+            );
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "m,fraction,samples,s1,s21,s22,mean_improvement,max_improvement,\
+             schedulable_het,schedulable_hom,mean_r_het,mean_r_hom,\
+             mean_sim_makespan,exact_solved,mean_exact_makespan"
+        );
+        let opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.6}"));
+        for cell in cells {
+            let CellKind::Task(t) = &cell.kind else {
+                continue;
+            };
+            let (s1, s21, s22) = t.scenario_shares(cell.samples);
+            let _ = writeln!(
+                out,
+                "{},{},{},{s1:.6},{s21:.6},{s22:.6},{:.6},{:.6},{},{},{:.6},{:.6},{},{},{}",
+                cell.m,
+                cell.grid_value,
+                cell.samples,
+                t.mean_improvement,
+                t.max_improvement,
+                t.schedulable_het,
+                t.schedulable_hom,
+                t.mean_r_het,
+                t.mean_r_hom,
+                opt(t.mean_sim_makespan),
+                t.exact_solved,
+                opt(t.mean_exact_makespan),
+            );
+        }
+    }
+    out
+}
+
 fn example_file() -> String {
     let mut b = hetrta_dag::DagBuilder::new();
     let v1 = b.node("v1", Ticks::new(1));
@@ -424,10 +671,23 @@ fn example_file() -> String {
     let v4 = b.node("v4", Ticks::new(2));
     let v5 = b.node("v5", Ticks::new(1));
     let voff = b.node("v_off", Ticks::new(4));
-    b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
-        .expect("static edges");
-    let task = HeteroDagTask::new(b.build().expect("static graph"), voff, Ticks::new(50), Ticks::new(50))
-        .expect("static task");
+    b.edges([
+        (v1, v2),
+        (v1, v3),
+        (v1, v4),
+        (v4, voff),
+        (v2, v5),
+        (v3, v5),
+        (voff, v5),
+    ])
+    .expect("static edges");
+    let task = HeteroDagTask::new(
+        b.build().expect("static graph"),
+        voff,
+        Ticks::new(50),
+        Ticks::new(50),
+    )
+    .expect("static task");
     render_task(&task)
 }
 
@@ -471,7 +731,9 @@ mod tests {
         }
         impl Builder {
             pub fn new() -> Self {
-                Builder { suffix: String::new() }
+                Builder {
+                    suffix: String::new(),
+                }
             }
             pub fn suffix(mut self, s: &str) -> Self {
                 self.suffix = s.to_owned();
@@ -487,7 +749,10 @@ mod tests {
                         .as_nanos(),
                     self.suffix
                 ));
-                Ok(NamedFile { file: std::fs::File::create(&path)?, path })
+                Ok(NamedFile {
+                    file: std::fs::File::create(&path)?,
+                    path,
+                })
             }
         }
         impl NamedFile {
@@ -532,7 +797,15 @@ mod tests {
         assert!(out.contains("makespan = 12"));
         let gantt = run(&args(&["simulate", path.to_str(), "-m", "2", "--gantt"])).unwrap();
         assert!(gantt.contains("core 0"));
-        let cp = run(&args(&["simulate", path.to_str(), "-m", "2", "--policy", "cp"])).unwrap();
+        let cp = run(&args(&[
+            "simulate",
+            path.to_str(),
+            "-m",
+            "2",
+            "--policy",
+            "cp",
+        ]))
+        .unwrap();
         assert!(cp.contains("makespan = 8"));
     }
 
@@ -551,6 +824,150 @@ mod tests {
         let out = run(&args(&["generate", "--seed", "7", "--fraction", "0.3"])).unwrap();
         let parsed = hetrta_dag::io::parse_task(&out).unwrap();
         assert!(parsed.task.offloaded().is_some());
+    }
+
+    #[test]
+    fn engine_sweep_reports_cells_and_stats() {
+        let out = run(&args(&[
+            "engine",
+            "sweep",
+            "--threads",
+            "2",
+            "--cores",
+            "2,4",
+            "--per-point",
+            "4",
+            "--fractions",
+            "0.1,0.3",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert!(out.contains("C_off/vol"), "{out}");
+        assert!(out.contains("result cache"), "{out}");
+        assert!(out.contains("worker 0"), "{out}");
+        assert!(out.contains("worker 1"), "{out}");
+    }
+
+    #[test]
+    fn engine_sweep_single_thread_matches_parallel() {
+        let sweep = |threads: &str| {
+            run(&args(&[
+                "engine",
+                "sweep",
+                "--threads",
+                threads,
+                "--cores",
+                "2",
+                "--per-point",
+                "6",
+                "--fractions",
+                "0.2,0.4",
+                "--seed",
+                "11",
+                "--csv",
+            ]))
+            .unwrap()
+        };
+        let cells = |text: String| {
+            text.lines()
+                .take_while(|l| !l.is_empty())
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(cells(sweep("1")), cells(sweep("3")));
+    }
+
+    #[test]
+    fn engine_sweep_acceptance_mode() {
+        let out = run(&args(&[
+            "engine",
+            "sweep",
+            "--threads",
+            "2",
+            "--cores",
+            "2",
+            "--per-point",
+            "4",
+            "--utils",
+            "0.2,0.8",
+            "--n-tasks",
+            "3",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("GFP-hom"), "{out}");
+        assert!(out.contains("U/m"), "{out}");
+        assert!(out.contains("engine: 8 jobs"), "{out}");
+    }
+
+    #[test]
+    fn engine_sweep_rejects_bad_flags() {
+        assert!(run(&args(&["engine"])).unwrap_err().contains("subcommand"));
+        assert!(run(&args(&["engine", "frob"]))
+            .unwrap_err()
+            .contains("unknown engine"));
+        assert!(run(&args(&["engine", "sweep", "--threads", "x"]))
+            .unwrap_err()
+            .contains("invalid thread count"));
+        assert!(run(&args(&["engine", "sweep", "--analyses", "zig"]))
+            .unwrap_err()
+            .contains("unknown analysis"));
+        assert!(run(&args(&[
+            "engine",
+            "sweep",
+            "--fractions",
+            "0.1",
+            "--utils",
+            "0.5"
+        ]))
+        .unwrap_err()
+        .contains("not both"));
+        assert!(run(&args(&["engine", "sweep", "--preset", "giant"]))
+            .unwrap_err()
+            .contains("unknown preset"));
+        // Flags that would otherwise be silently ignored are rejected.
+        assert!(run(&args(&[
+            "engine",
+            "sweep",
+            "--utils",
+            "0.5",
+            "--analyses",
+            "hom"
+        ]))
+        .unwrap_err()
+        .contains("fraction sweeps"));
+        assert!(run(&args(&[
+            "engine", "sweep", "--utils", "0.5", "--preset", "large"
+        ]))
+        .unwrap_err()
+        .contains("fraction sweeps"));
+        assert!(run(&args(&["engine", "sweep", "--n-tasks", "3"]))
+            .unwrap_err()
+            .contains("utilization sweeps"));
+    }
+
+    #[test]
+    fn engine_sweep_without_het_has_no_infinite_improvement() {
+        let out = run(&args(&[
+            "engine",
+            "sweep",
+            "--threads",
+            "1",
+            "--cores",
+            "2",
+            "--fractions",
+            "0.2",
+            "--per-point",
+            "2",
+            "--analyses",
+            "sim",
+            "--csv",
+        ]))
+        .unwrap();
+        assert!(!out.contains("inf"), "{out}");
+        assert!(out.contains("mean_sim_makespan"), "{out}");
     }
 
     #[test]
@@ -588,7 +1005,10 @@ mod tests {
 
     fn write_hcond() -> tempfile::TempPath {
         let text = "pre(4); if { par { kernel(26) | edge(11) | flow(9) } | soft(30) }; fuse(3)";
-        let mut f = tempfile::Builder::new().suffix(".hcond").tempfile().unwrap();
+        let mut f = tempfile::Builder::new()
+            .suffix(".hcond")
+            .tempfile()
+            .unwrap();
         std::io::Write::write_all(&mut f, text.as_bytes()).unwrap();
         f.into_temp_path()
     }
@@ -600,14 +1020,25 @@ mod tests {
         assert!(out.contains("2 realizations"));
         assert!(out.contains("W* = 53"));
         assert!(out.contains("cond-aware"));
-        let het = run(&args(&["cond", path.to_str(), "-m", "2", "--offload", "kernel"])).unwrap();
+        let het = run(&args(&[
+            "cond",
+            path.to_str(),
+            "-m",
+            "2",
+            "--offload",
+            "kernel",
+        ]))
+        .unwrap();
         assert!(het.contains("het (offloaded)"));
         assert!(het.contains("37.00"));
     }
 
     #[test]
     fn cond_errors_are_positioned() {
-        let mut f = tempfile::Builder::new().suffix(".hcond").tempfile().unwrap();
+        let mut f = tempfile::Builder::new()
+            .suffix(".hcond")
+            .tempfile()
+            .unwrap();
         std::io::Write::write_all(&mut f, b"a(1);\nb(?)").unwrap();
         let path = f.into_temp_path();
         let err = run(&args(&["cond", path.to_str()])).unwrap_err();
@@ -619,20 +1050,32 @@ mod tests {
 
     #[test]
     fn sched_rejects_homogeneous_and_missing_files() {
-        assert!(run(&args(&["sched", "-m", "2"])).unwrap_err().contains("no task files"));
-        assert!(run(&args(&["baselines"])).unwrap_err().contains("missing task file"));
+        assert!(run(&args(&["sched", "-m", "2"]))
+            .unwrap_err()
+            .contains("no task files"));
+        assert!(run(&args(&["baselines"]))
+            .unwrap_err()
+            .contains("missing task file"));
     }
 
     #[test]
     fn errors_are_informative() {
-        assert!(run(&args(&["frobnicate"])).unwrap_err().contains("unknown command"));
-        assert!(run(&[]).unwrap_err().contains("missing command"));
-        assert!(run(&args(&["analyze"])).unwrap_err().contains("missing task file"));
-        assert!(run(&args(&["analyze", "/nonexistent/x.hdag"])).unwrap_err().contains("cannot read"));
-        let path = write_example();
-        assert!(run(&args(&["simulate", path.to_str(), "--policy", "zigzag"]))
+        assert!(run(&args(&["frobnicate"]))
             .unwrap_err()
-            .contains("unknown policy"));
+            .contains("unknown command"));
+        assert!(run(&[]).unwrap_err().contains("missing command"));
+        assert!(run(&args(&["analyze"]))
+            .unwrap_err()
+            .contains("missing task file"));
+        assert!(run(&args(&["analyze", "/nonexistent/x.hdag"]))
+            .unwrap_err()
+            .contains("cannot read"));
+        let path = write_example();
+        assert!(
+            run(&args(&["simulate", path.to_str(), "--policy", "zigzag"]))
+                .unwrap_err()
+                .contains("unknown policy")
+        );
         assert!(run(&args(&["analyze", path.to_str(), "-m", "x"]))
             .unwrap_err()
             .contains("invalid core count"));

@@ -44,10 +44,16 @@ impl fmt::Display for CondError {
         match self {
             CondError::EmptyComposite(kind) => write!(f, "empty {kind} composite"),
             CondError::ChoiceOutOfRange { index, branches } => {
-                write!(f, "branch choice {index} out of range (conditional has {branches})")
+                write!(
+                    f,
+                    "branch choice {index} out of range (conditional has {branches})"
+                )
             }
             CondError::MissingChoices { expected, got } => {
-                write!(f, "choice vector mismatch: expression consumes {expected}, got {got}")
+                write!(
+                    f,
+                    "choice vector mismatch: expression consumes {expected}, got {got}"
+                )
             }
             CondError::ZeroCores => write!(f, "host must have at least one core"),
             CondError::UnknownOffloadLabel(l) => write!(f, "no leaf labeled `{l}`"),
@@ -74,12 +80,30 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(CondError::EmptyComposite("series").to_string(), "empty series composite");
-        assert!(CondError::ChoiceOutOfRange { index: 3, branches: 2 }.to_string().contains('3'));
-        assert!(CondError::MissingChoices { expected: 2, got: 0 }.to_string().contains("got 0"));
-        assert!(CondError::UnknownOffloadLabel("k".into()).to_string().contains('k'));
-        assert!(CondError::TooManyRealizations { count: 100, cap: 10 }
+        assert_eq!(
+            CondError::EmptyComposite("series").to_string(),
+            "empty series composite"
+        );
+        assert!(CondError::ChoiceOutOfRange {
+            index: 3,
+            branches: 2
+        }
+        .to_string()
+        .contains('3'));
+        assert!(CondError::MissingChoices {
+            expected: 2,
+            got: 0
+        }
+        .to_string()
+        .contains("got 0"));
+        assert!(CondError::UnknownOffloadLabel("k".into())
             .to_string()
-            .contains("cap 10"));
+            .contains('k'));
+        assert!(CondError::TooManyRealizations {
+            count: 100,
+            cap: 10
+        }
+        .to_string()
+        .contains("cap 10"));
     }
 }

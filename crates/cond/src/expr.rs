@@ -42,7 +42,10 @@ impl CondExpr {
     /// A leaf job.
     #[must_use]
     pub fn leaf(label: impl Into<String>, wcet: u64) -> Self {
-        CondExpr::Leaf { label: label.into(), wcet: Ticks::new(wcet) }
+        CondExpr::Leaf {
+            label: label.into(),
+            wcet: Ticks::new(wcet),
+        }
     }
 
     /// Sequential composition.
@@ -122,9 +125,10 @@ impl CondExpr {
     pub fn worst_case_workload(&self) -> Ticks {
         match self {
             CondExpr::Leaf { wcet, .. } => *wcet,
-            CondExpr::Series(cs) | CondExpr::Parallel(cs) => {
-                cs.iter().map(CondExpr::worst_case_workload).fold(Ticks::ZERO, |a, b| a + b)
-            }
+            CondExpr::Series(cs) | CondExpr::Parallel(cs) => cs
+                .iter()
+                .map(CondExpr::worst_case_workload)
+                .fold(Ticks::ZERO, |a, b| a + b),
             CondExpr::Conditional(cs) => cs
                 .iter()
                 .map(CondExpr::worst_case_workload)
@@ -139,9 +143,10 @@ impl CondExpr {
     pub fn worst_case_length(&self) -> Ticks {
         match self {
             CondExpr::Leaf { wcet, .. } => *wcet,
-            CondExpr::Series(cs) => {
-                cs.iter().map(CondExpr::worst_case_length).fold(Ticks::ZERO, |a, b| a + b)
-            }
+            CondExpr::Series(cs) => cs
+                .iter()
+                .map(CondExpr::worst_case_length)
+                .fold(Ticks::ZERO, |a, b| a + b),
             CondExpr::Parallel(cs) | CondExpr::Conditional(cs) => cs
                 .iter()
                 .map(CondExpr::worst_case_length)
@@ -168,7 +173,13 @@ impl CondExpr {
         let mut cursor = 0usize;
         let source = b.node("source", Ticks::ZERO);
         let sink = b.node("sink", Ticks::ZERO);
-        let mut ctx = Expand { b, choices, cursor: &mut cursor, offload_label: None, offload: None };
+        let mut ctx = Expand {
+            b,
+            choices,
+            cursor: &mut cursor,
+            offload_label: None,
+            offload: None,
+        };
         let (first, last) = ctx.walk(self, source)?;
         ctx.b.edge(last, sink).map_err(CondError::Dag)?;
         let _ = first;
@@ -273,13 +284,19 @@ impl Expand<'_> {
                 Ok((fork, join))
             }
             CondExpr::Conditional(cs) => {
-                let i = *self.choices.get(*self.cursor).ok_or(CondError::MissingChoices {
-                    expected: *self.cursor + 1,
-                    got: self.choices.len(),
-                })?;
+                let i = *self
+                    .choices
+                    .get(*self.cursor)
+                    .ok_or(CondError::MissingChoices {
+                        expected: *self.cursor + 1,
+                        got: self.choices.len(),
+                    })?;
                 *self.cursor += 1;
                 if i >= cs.len() {
-                    return Err(CondError::ChoiceOutOfRange { index: i, branches: cs.len() });
+                    return Err(CondError::ChoiceOutOfRange {
+                        index: i,
+                        branches: cs.len(),
+                    });
                 }
                 self.walk(&cs[i], entry)
             }
@@ -299,12 +316,20 @@ pub(crate) fn expand_with_offload(
     let mut cursor = 0usize;
     let source = b.node("source", Ticks::ZERO);
     let sink = b.node("sink", Ticks::ZERO);
-    let mut ctx =
-        Expand { b, choices, cursor: &mut cursor, offload_label: Some(label), offload: None };
+    let mut ctx = Expand {
+        b,
+        choices,
+        cursor: &mut cursor,
+        offload_label: Some(label),
+        offload: None,
+    };
     let (_, last) = ctx.walk(expr, source)?;
     ctx.b.edge(last, sink).map_err(CondError::Dag)?;
     if *ctx.cursor != choices.len() {
-        return Err(CondError::MissingChoices { expected: *ctx.cursor, got: choices.len() });
+        return Err(CondError::MissingChoices {
+            expected: *ctx.cursor,
+            got: choices.len(),
+        });
     }
     let offload = ctx.offload;
     let dag = ctx.b.build().map_err(CondError::Dag)?;
@@ -370,7 +395,10 @@ mod tests {
     #[test]
     fn enumerate_counts_match() {
         let e = sample();
-        assert_eq!(e.enumerate_choices(64).unwrap().len(), e.realization_count() as usize);
+        assert_eq!(
+            e.enumerate_choices(64).unwrap().len(),
+            e.realization_count() as usize
+        );
         // Nested conditionals multiply.
         let nested = CondExpr::parallel(vec![
             CondExpr::conditional(vec![CondExpr::leaf("x", 1), CondExpr::leaf("y", 2)]),
@@ -388,16 +416,27 @@ mod tests {
     fn validation_rejects_empty_composites() {
         assert!(CondExpr::series(vec![]).validate().is_err());
         assert!(CondExpr::conditional(vec![]).validate().is_err());
-        assert!(CondExpr::parallel(vec![CondExpr::Series(vec![])]).validate().is_err());
+        assert!(CondExpr::parallel(vec![CondExpr::Series(vec![])])
+            .validate()
+            .is_err());
         assert!(sample().validate().is_ok());
     }
 
     #[test]
     fn bad_choice_vectors_are_rejected() {
         let e = sample();
-        assert!(matches!(e.expand(&[]), Err(CondError::MissingChoices { .. })));
-        assert!(matches!(e.expand(&[7]), Err(CondError::ChoiceOutOfRange { .. })));
-        assert!(matches!(e.expand(&[0, 0]), Err(CondError::MissingChoices { .. })));
+        assert!(matches!(
+            e.expand(&[]),
+            Err(CondError::MissingChoices { .. })
+        ));
+        assert!(matches!(
+            e.expand(&[7]),
+            Err(CondError::ChoiceOutOfRange { .. })
+        ));
+        assert!(matches!(
+            e.expand(&[0, 0]),
+            Err(CondError::MissingChoices { .. })
+        ));
     }
 
     #[test]

@@ -33,7 +33,14 @@ impl CondGenParams {
     /// The paper's small-task shape with a 25 % conditional share.
     #[must_use]
     pub fn small() -> Self {
-        CondGenParams { p_par: 0.4, p_cond: 0.25, n_par: 4, max_depth: 3, c_min: 1, c_max: 100 }
+        CondGenParams {
+            p_par: 0.4,
+            p_cond: 0.25,
+            n_par: 4,
+            max_depth: 3,
+            c_min: 1,
+            c_max: 100,
+        }
     }
 }
 
@@ -114,7 +121,10 @@ fn branch<R: Rng + ?Sized>(
     if rng.gen_bool(0.5) {
         expand(p, rng, depth, counter)
     } else {
-        CondExpr::Series(vec![expand(p, rng, depth, counter), expand(p, rng, depth, counter)])
+        CondExpr::Series(vec![
+            expand(p, rng, depth, counter),
+            expand(p, rng, depth, counter),
+        ])
     }
 }
 

@@ -10,7 +10,7 @@
 //! always-available conservative fallback (it charges `C_off` as host
 //! work, i.e. ignores the heterogeneity benefit but never the risk).
 
-use hetrta_core::{r_het, transform, r_hom_dag};
+use hetrta_core::{r_het, r_hom_dag, transform};
 use hetrta_dag::{HeteroDagTask, Rational, Ticks};
 
 use crate::expr::{expand_with_offload, CondExpr};
@@ -56,7 +56,12 @@ impl HetCondTask {
         if !has_leaf(&expr, &label) {
             return Err(CondError::UnknownOffloadLabel(label));
         }
-        Ok(HetCondTask { expr, offload_label: label, period, deadline })
+        Ok(HetCondTask {
+            expr,
+            offload_label: label,
+            period,
+            deadline,
+        })
     }
 
     /// The underlying expression.
@@ -99,24 +104,30 @@ impl HetCondTask {
         if m == 0 {
             return Err(CondError::ZeroCores);
         }
-        let choices = self.expr.enumerate_choices(cap).ok_or(CondError::TooManyRealizations {
-            count: self.expr.realization_count(),
-            cap,
-        })?;
+        let choices = self
+            .expr
+            .enumerate_choices(cap)
+            .ok_or(CondError::TooManyRealizations {
+                count: self.expr.realization_count(),
+                cap,
+            })?;
         let mut out = Vec::with_capacity(choices.len());
         for c in choices {
             let r = expand_with_offload(&self.expr, &c, &self.offload_label)?;
             let (offloads, bound) = match r.offload {
                 Some(off) => {
-                    let task =
-                        HeteroDagTask::new(r.dag, off, self.period, self.deadline)
-                            .map_err(CondError::Dag)?;
+                    let task = HeteroDagTask::new(r.dag, off, self.period, self.deadline)
+                        .map_err(CondError::Dag)?;
                     let t = transform(&task).map_err(analysis_err)?;
                     (true, r_het(&t, m).map_err(analysis_err)?.tight_value())
                 }
                 None => (false, r_hom_dag(&r.dag, m).map_err(analysis_err)?),
             };
-            out.push(RealizationBound { choices: c, offloads, bound });
+            out.push(RealizationBound {
+                choices: c,
+                offloads,
+                bound,
+            });
         }
         Ok(out)
     }
@@ -182,7 +193,10 @@ mod tests {
         let expr = CondExpr::series(vec![
             CondExpr::leaf("pre", 2),
             CondExpr::conditional(vec![
-                CondExpr::parallel(vec![CondExpr::leaf("kernel", 12), CondExpr::leaf("filter", 5)]),
+                CondExpr::parallel(vec![
+                    CondExpr::leaf("kernel", 12),
+                    CondExpr::leaf("filter", 5),
+                ]),
                 CondExpr::leaf("soft", 20),
             ]),
             CondExpr::leaf("post", 1),
@@ -203,7 +217,10 @@ mod tests {
     fn het_cond_bound_is_max_of_realizations() {
         let t = vision();
         let rs = t.analyze_realizations(2, 100).unwrap();
-        let max = rs.iter().map(|r| r.bound).fold(Rational::ZERO, Rational::max);
+        let max = rs
+            .iter()
+            .map(|r| r.bound)
+            .fold(Rational::ZERO, Rational::max);
         assert_eq!(t.r_het_cond(2, 100).unwrap(), max);
     }
 
@@ -249,6 +266,9 @@ mod tests {
     #[test]
     fn zero_cores_rejected() {
         let t = vision();
-        assert_eq!(t.analyze_realizations(0, 10).unwrap_err(), CondError::ZeroCores);
+        assert_eq!(
+            t.analyze_realizations(0, 10).unwrap_err(),
+            CondError::ZeroCores
+        );
     }
 }

@@ -105,19 +105,20 @@ pub fn r_cond_exact(expr: &CondExpr, m: u64, cap: usize) -> Result<Rational, Con
         return Err(CondError::ZeroCores);
     }
     expr.validate()?;
-    let choices = expr.enumerate_choices(cap).ok_or(CondError::TooManyRealizations {
-        count: expr.realization_count(),
-        cap,
-    })?;
+    let choices = expr
+        .enumerate_choices(cap)
+        .ok_or(CondError::TooManyRealizations {
+            count: expr.realization_count(),
+            cap,
+        })?;
     let mut worst = Rational::ZERO;
     for c in &choices {
         let r = expr.expand(c)?;
-        let bound = hetrta_core::r_hom_dag(&r.dag, m)
-            .map_err(|e| match e {
-                hetrta_core::AnalysisError::ZeroCores => CondError::ZeroCores,
-                hetrta_core::AnalysisError::Dag(d) => CondError::Dag(d),
-                _ => CondError::ZeroCores,
-            })?;
+        let bound = hetrta_core::r_hom_dag(&r.dag, m).map_err(|e| match e {
+            hetrta_core::AnalysisError::ZeroCores => CondError::ZeroCores,
+            hetrta_core::AnalysisError::Dag(d) => CondError::Dag(d),
+            _ => CondError::ZeroCores,
+        })?;
         worst = worst.max(bound);
     }
     Ok(worst)
@@ -147,7 +148,10 @@ mod tests {
             assert!(aware <= flat, "m = {m}: {aware} > {flat}");
         }
         // Concretely on m = 2: aware 14.5 vs flat (12 + (20−12)/2) = 16.
-        assert_eq!(r_parallel_flattening(&e, 2).unwrap(), Rational::from_integer(16));
+        assert_eq!(
+            r_parallel_flattening(&e, 2).unwrap(),
+            Rational::from_integer(16)
+        );
     }
 
     #[test]
@@ -191,7 +195,10 @@ mod tests {
     fn zero_cores_rejected() {
         let e = sample();
         assert_eq!(r_cond(&e, 0).unwrap_err(), CondError::ZeroCores);
-        assert_eq!(r_parallel_flattening(&e, 0).unwrap_err(), CondError::ZeroCores);
+        assert_eq!(
+            r_parallel_flattening(&e, 0).unwrap_err(),
+            CondError::ZeroCores
+        );
         assert_eq!(r_cond_exact(&e, 0, 10).unwrap_err(), CondError::ZeroCores);
     }
 

@@ -88,7 +88,11 @@ struct Lexer<'a> {
 
 impl Lexer<'_> {
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, column: self.col, message: message.into() }
+        ParseError {
+            line: self.line,
+            column: self.col,
+            message: message.into(),
+        }
     }
 
     fn tokens(mut self) -> Result<Vec<(Tok, usize, usize)>, ParseError> {
@@ -180,11 +184,15 @@ struct Parser {
 
 impl Parser {
     fn error_at(&self, message: impl Into<String>) -> ParseError {
-        let (line, column) = self
-            .toks
-            .get(self.pos)
-            .map_or_else(|| self.toks.last().map_or((1, 1), |t| (t.1, t.2)), |t| (t.1, t.2));
-        ParseError { line, column, message: message.into() }
+        let (line, column) = self.toks.get(self.pos).map_or_else(
+            || self.toks.last().map_or((1, 1), |t| (t.1, t.2)),
+            |t| (t.1, t.2),
+        );
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -217,7 +225,11 @@ impl Parser {
             self.next();
             terms.push(self.term()?);
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("non-empty") } else { CondExpr::Series(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("non-empty")
+        } else {
+            CondExpr::Series(terms)
+        })
     }
 
     /// term := leaf | ('par' | 'if') '{' series ('|' series)* '}'
@@ -236,7 +248,10 @@ impl Parser {
                     None => return Err(self.error_at("expected a WCET integer")),
                 };
                 self.expect(&Tok::RParen)?;
-                Ok(CondExpr::Leaf { label: name, wcet: Ticks::new(wcet) })
+                Ok(CondExpr::Leaf {
+                    label: name,
+                    wcet: Ticks::new(wcet),
+                })
             }
             Some(t) => {
                 self.pos -= 1;
@@ -276,9 +291,19 @@ impl Parser {
 /// # Ok::<(), hetrta_cond::text::ParseError>(())
 /// ```
 pub fn parse_expr(src: &str) -> Result<CondExpr, ParseError> {
-    let toks = Lexer { src, pos: 0, line: 1, col: 1 }.tokens()?;
+    let toks = Lexer {
+        src,
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .tokens()?;
     if toks.is_empty() {
-        return Err(ParseError { line: 1, column: 1, message: "empty input".into() });
+        return Err(ParseError {
+            line: 1,
+            column: 1,
+            message: "empty input".into(),
+        });
     }
     let mut p = Parser { toks, pos: 0 };
     let expr = p.series()?;
@@ -319,7 +344,11 @@ fn write_expr(expr: &CondExpr, out: &mut String) {
             }
         }
         CondExpr::Parallel(cs) | CondExpr::Conditional(cs) => {
-            out.push_str(if matches!(expr, CondExpr::Parallel(_)) { "par { " } else { "if { " });
+            out.push_str(if matches!(expr, CondExpr::Parallel(_)) {
+                "par { "
+            } else {
+                "if { "
+            });
             for (i, c) in cs.iter().enumerate() {
                 if i > 0 {
                     out.push_str(" | ");
@@ -402,8 +431,11 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_whitespace_are_ignored()  {
+    fn comments_and_whitespace_are_ignored() {
         let e = parse_expr("  a(1) ;# c\n\t b(2)  ").unwrap();
-        assert_eq!(e, CondExpr::series(vec![CondExpr::leaf("a", 1), CondExpr::leaf("b", 2)]));
+        assert_eq!(
+            e,
+            CondExpr::series(vec![CondExpr::leaf("a", 1), CondExpr::leaf("b", 2)])
+        );
     }
 }

@@ -23,7 +23,9 @@ fn conditional_bounds_dominate_every_realization_schedule() {
     let mut realizations_checked = 0usize;
     for seed in 0..40u64 {
         let e = random_expr(seed);
-        let Some(choices) = e.enumerate_choices(32) else { continue };
+        let Some(choices) = e.enumerate_choices(32) else {
+            continue;
+        };
         for m in [2usize, 4] {
             let dp = r_cond(&e, m as u64).unwrap();
             let exact = r_cond_exact(&e, m as u64, 32).unwrap();
@@ -32,8 +34,7 @@ fn conditional_bounds_dominate_every_realization_schedule() {
             assert!(dp <= flat);
             for c in &choices {
                 let r = e.expand(c).unwrap();
-                let worst =
-                    explore_worst_case(&r.dag, None, Platform::host_only(m), 20).unwrap();
+                let worst = explore_worst_case(&r.dag, None, Platform::host_only(m), 20).unwrap();
                 let observed = worst.makespan().to_rational();
                 assert!(
                     observed <= exact,
@@ -43,7 +44,10 @@ fn conditional_bounds_dominate_every_realization_schedule() {
             }
         }
     }
-    assert!(realizations_checked >= 100, "only {realizations_checked} realizations checked");
+    assert!(
+        realizations_checked >= 100,
+        "only {realizations_checked} realizations checked"
+    );
 }
 
 #[test]
@@ -56,7 +60,9 @@ fn heterogeneous_conditional_bounds_hold_under_simulation() {
         let Ok(task) = HetCondTask::new(e, "v2", Ticks::new(100_000), Ticks::new(100_000)) else {
             continue;
         };
-        let Ok(bounds) = task.analyze_realizations(2, 32) else { continue };
+        let Ok(bounds) = task.analyze_realizations(2, 32) else {
+            continue;
+        };
         let r_max = task.r_het_cond(2, 32).unwrap();
         for rb in &bounds {
             let r = hetrta_cond::expr::CondExpr::expand(task.expr(), &rb.choices).unwrap();
@@ -92,7 +98,10 @@ fn heterogeneous_conditional_bounds_hold_under_simulation() {
             }
         }
     }
-    assert!(offloading_checked >= 10, "only {offloading_checked} offloading realizations");
+    assert!(
+        offloading_checked >= 10,
+        "only {offloading_checked} offloading realizations"
+    );
 }
 
 /// Rebuilds the offloading realization as a `HeteroDagTask`.

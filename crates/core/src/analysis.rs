@@ -70,7 +70,13 @@ impl HeterogeneousAnalysis {
         let het = r_het(&transformed, m)?;
         let r_hom_original = r_hom_dag(task.dag(), m)?;
         let r_hom_transformed = r_hom_dag(transformed.transformed(), m)?;
-        Ok(AnalysisReport { transformed, het, r_hom_original, r_hom_transformed, m })
+        Ok(AnalysisReport {
+            transformed,
+            het,
+            r_hom_original,
+            r_hom_transformed,
+            m,
+        })
     }
 }
 
@@ -179,10 +185,23 @@ mod tests {
         let v4 = b.node("v4", Ticks::new(2));
         let v5 = b.node("v5", Ticks::new(1));
         let voff = b.node("v_off", Ticks::new(4));
-        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
-            .unwrap();
-        HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(deadline), Ticks::new(deadline))
-            .unwrap()
+        b.edges([
+            (v1, v2),
+            (v1, v3),
+            (v1, v4),
+            (v4, voff),
+            (v2, v5),
+            (v3, v5),
+            (voff, v5),
+        ])
+        .unwrap();
+        HeteroDagTask::new(
+            b.build().unwrap(),
+            voff,
+            Ticks::new(deadline),
+            Ticks::new(deadline),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -245,8 +264,16 @@ mod tests {
         let v4 = b.node("v4", Ticks::new(20));
         let v5 = b.node("v5", Ticks::new(1));
         let voff = b.node("v_off", Ticks::new(1)); // ~0.8% of volume
-        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
-            .unwrap();
+        b.edges([
+            (v1, v2),
+            (v1, v3),
+            (v1, v4),
+            (v4, voff),
+            (v2, v5),
+            (v3, v5),
+            (voff, v5),
+        ])
+        .unwrap();
         let task =
             HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(500), Ticks::new(500)).unwrap();
         let report = HeterogeneousAnalysis::run(&task, 2).unwrap();

@@ -44,7 +44,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(AnalysisError::ZeroCores.to_string(), "host must have at least one core");
+        assert_eq!(
+            AnalysisError::ZeroCores.to_string(),
+            "host must have at least one core"
+        );
         let wrapped = AnalysisError::from(DagError::Empty);
         assert!(wrapped.to_string().contains("graph has no nodes"));
     }

@@ -141,7 +141,11 @@ pub fn federated_partition(
         match minimum_cores(task, kind, total_cores.max(1))? {
             Some((cores, bound)) => {
                 needed = needed.saturating_add(cores);
-                assignments.push(ClusterAssignment { task: i, cores, bound });
+                assignments.push(ClusterAssignment {
+                    task: i,
+                    cores,
+                    bound,
+                });
             }
             None => {
                 needed = u64::MAX;
@@ -153,7 +157,11 @@ pub fn federated_partition(
             }
         }
     }
-    Ok(FederatedResult { assignments, cores_needed: needed, cores_available: total_cores })
+    Ok(FederatedResult {
+        assignments,
+        cores_needed: needed,
+        cores_available: total_cores,
+    })
 }
 
 #[cfg(test)]
@@ -169,10 +177,24 @@ mod tests {
         let c2 = b.node("c2", Ticks::new(8));
         let c3 = b.node("c3", Ticks::new(8));
         let post = b.node("post", Ticks::new(2));
-        b.edges([(pre, gpu), (pre, c1), (pre, c2), (pre, c3), (gpu, post), (c1, post), (c2, post), (c3, post)])
-            .unwrap();
-        HeteroDagTask::new(b.build().unwrap(), gpu, Ticks::new(deadline), Ticks::new(deadline))
-            .unwrap()
+        b.edges([
+            (pre, gpu),
+            (pre, c1),
+            (pre, c2),
+            (pre, c3),
+            (gpu, post),
+            (c1, post),
+            (c2, post),
+            (c3, post),
+        ])
+        .unwrap();
+        HeteroDagTask::new(
+            b.build().unwrap(),
+            gpu,
+            Ticks::new(deadline),
+            Ticks::new(deadline),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -201,7 +223,11 @@ mod tests {
     #[test]
     fn binary_search_matches_linear_scan() {
         let task = offload_heavy_task(36);
-        for kind in [AnalysisKind::Homogeneous, AnalysisKind::Heterogeneous, AnalysisKind::Best] {
+        for kind in [
+            AnalysisKind::Homogeneous,
+            AnalysisKind::Heterogeneous,
+            AnalysisKind::Best,
+        ] {
             let bs = minimum_cores(&task, kind, 24).unwrap();
             let linear = (1..=24u64).find(|&m| {
                 let r = HeterogeneousAnalysis::run(&task, m).unwrap();
@@ -220,12 +246,19 @@ mod tests {
     fn impossible_deadline_returns_none() {
         // deadline below the critical path (2 + 20 + 2 = 24)
         let task = offload_heavy_task(20);
-        assert_eq!(minimum_cores(&task, AnalysisKind::Homogeneous, 64).unwrap(), None);
+        assert_eq!(
+            minimum_cores(&task, AnalysisKind::Homogeneous, 64).unwrap(),
+            None
+        );
     }
 
     #[test]
     fn partition_accounts_all_tasks() {
-        let tasks = vec![offload_heavy_task(40), offload_heavy_task(36), offload_heavy_task(48)];
+        let tasks = vec![
+            offload_heavy_task(40),
+            offload_heavy_task(36),
+            offload_heavy_task(48),
+        ];
         let result = federated_partition(&tasks, 16, AnalysisKind::Best).unwrap();
         assert_eq!(result.assignments.len(), 3);
         let sum: u64 = result.assignments.iter().map(|a| a.cores).sum();

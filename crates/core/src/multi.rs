@@ -159,8 +159,12 @@ pub fn typed_graham_bound(
     let mut best = vec![0i128; dag.node_count()];
     let mut overall = 0i128;
     for &v in &order {
-        let pred_best =
-            dag.predecessors(v).iter().map(|&p| best[p.index()]).max().unwrap_or(0);
+        let pred_best = dag
+            .predecessors(v)
+            .iter()
+            .map(|&p| best[p.index()])
+            .max()
+            .unwrap_or(0);
         best[v.index()] = pred_best + weight(v);
         overall = overall.max(best[v.index()]);
     }
@@ -228,7 +232,7 @@ pub fn r_het_multi(
             let t = transform(&task)?;
             let bound = r_het(&t, m)?;
             let value = bound.tight_value();
-            if candidate.as_ref().map_or(true, |best| value < best.bound) {
+            if candidate.as_ref().is_none_or(|best| value < best.bound) {
                 candidate = Some(CandidatePlan {
                     node: v,
                     bound: value,
@@ -238,7 +242,12 @@ pub fn r_het_multi(
             }
         }
     }
-    Ok(MultiOffloadBound { typed, candidate, m, devices })
+    Ok(MultiOffloadBound {
+        typed,
+        candidate,
+        m,
+        devices,
+    })
 }
 
 #[cfg(test)]
@@ -254,7 +263,15 @@ mod tests {
         let k2 = b.node("k2", Ticks::new(6));
         let h = b.node("h", Ticks::new(4));
         let sink = b.node("sink", Ticks::new(1));
-        b.edges([(src, k1), (src, k2), (src, h), (k1, sink), (k2, sink), (h, sink)]).unwrap();
+        b.edges([
+            (src, k1),
+            (src, k2),
+            (src, h),
+            (k1, sink),
+            (k2, sink),
+            (h, sink),
+        ])
+        .unwrap();
         (b.build().unwrap(), [src, k1, k2, h, sink])
     }
 
@@ -321,8 +338,14 @@ mod tests {
     #[test]
     fn errors() {
         let (dag, [_, k1, ..]) = two_kernel_dag();
-        assert_eq!(r_het_multi(&dag, &[k1], 0, 1).unwrap_err(), AnalysisError::ZeroCores);
-        assert_eq!(r_het_multi(&dag, &[k1], 2, 0).unwrap_err(), AnalysisError::ZeroCores);
+        assert_eq!(
+            r_het_multi(&dag, &[k1], 0, 1).unwrap_err(),
+            AnalysisError::ZeroCores
+        );
+        assert_eq!(
+            r_het_multi(&dag, &[k1], 2, 0).unwrap_err(),
+            AnalysisError::ZeroCores
+        );
         let bogus = NodeId::from_index(99);
         assert!(matches!(
             r_het_multi(&dag, &[bogus], 2, 1),

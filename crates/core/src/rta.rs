@@ -227,16 +227,31 @@ pub fn r_het(t: &TransformedTask, m: u64) -> Result<HetBound, AnalysisError> {
     let (scenario, r_het) = if !t.off_on_critical_path() {
         // Eq. 2. vol(G') − len(G') ≥ C_off because v_off is outside the
         // critical path, so the subtraction below cannot underflow.
-        (Scenario::OffNotOnCriticalPath, graham(len2, vol2, len2 + c_off, m))
+        (
+            Scenario::OffNotOnCriticalPath,
+            graham(len2, vol2, len2 + c_off, m),
+        )
     } else if c_off.to_rational() >= r_hom_g_par {
         // Eq. 3.
-        (Scenario::OffOnCriticalPathDominant, graham(len2, vol2, len2 + t.vol_g_par(), m))
+        (
+            Scenario::OffOnCriticalPathDominant,
+            graham(len2, vol2, len2 + t.vol_g_par(), m),
+        )
     } else {
         // Eq. 4.
         let chain = len2 - c_off + t.len_g_par();
-        (Scenario::OffOnCriticalPathDominated, graham(chain, vol2, len2 + t.len_g_par(), m))
+        (
+            Scenario::OffOnCriticalPathDominated,
+            graham(chain, vol2, len2 + t.len_g_par(), m),
+        )
     };
-    Ok(HetBound { scenario, r_het, r_hom_g_par, r_hom_transformed, m })
+    Ok(HetBound {
+        scenario,
+        r_het,
+        r_hom_g_par,
+        r_hom_transformed,
+        m,
+    })
 }
 
 #[cfg(test)]
@@ -253,8 +268,16 @@ mod tests {
         let v4 = b.node("v4", Ticks::new(2));
         let v5 = b.node("v5", Ticks::new(1));
         let voff = b.node("v_off", Ticks::new(4));
-        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
-            .unwrap();
+        b.edges([
+            (v1, v2),
+            (v1, v3),
+            (v1, v4),
+            (v4, voff),
+            (v2, v5),
+            (v3, v5),
+            (voff, v5),
+        ])
+        .unwrap();
         HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(50), Ticks::new(50)).unwrap()
     }
 
@@ -274,8 +297,13 @@ mod tests {
             prev = v;
         }
         b.edge(prev, sink).unwrap();
-        HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(10_000), Ticks::new(10_000))
-            .unwrap()
+        HeteroDagTask::new(
+            b.build().unwrap(),
+            voff,
+            Ticks::new(10_000),
+            Ticks::new(10_000),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -296,7 +324,10 @@ mod tests {
     #[test]
     fn r_hom_zero_cores_rejected() {
         let task = figure1_task();
-        assert_eq!(r_hom(&task.as_homogeneous(), 0).unwrap_err(), AnalysisError::ZeroCores);
+        assert_eq!(
+            r_hom(&task.as_homogeneous(), 0).unwrap_err(),
+            AnalysisError::ZeroCores
+        );
         let t = transform(&task).unwrap();
         assert_eq!(r_het(&t, 0).unwrap_err(), AnalysisError::ZeroCores);
     }
@@ -353,9 +384,8 @@ mod tests {
             b.edge(src, v).unwrap();
             b.edge(v, sink).unwrap();
         }
-        let task =
-            HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(1000), Ticks::new(1000))
-                .unwrap();
+        let task = HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(1000), Ticks::new(1000))
+            .unwrap();
         let t = transform(&task).unwrap();
         // G' critical path: src(1) → sync(0) → v_off(12) → sink(1) = 14
         // vs parallel nodes: 1+0+5+1 = 7. So v_off IS on the critical path.
@@ -383,9 +413,8 @@ mod tests {
             b.edge(src, v).unwrap();
             b.edge(v, sink).unwrap();
         }
-        let task =
-            HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(1000), Ticks::new(1000))
-                .unwrap();
+        let task = HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(1000), Ticks::new(1000))
+            .unwrap();
         let t = transform(&task).unwrap();
         let bound = r_het(&t, 2).unwrap();
         assert_eq!(bound.scenario(), Scenario::OffOnCriticalPathDominant);
@@ -405,7 +434,8 @@ mod tests {
         let k = b.node("k", Ticks::new(5));
         let z = b.node("z", Ticks::new(2));
         b.edges([(a, k), (k, z)]).unwrap();
-        let task = HeteroDagTask::new(b.build().unwrap(), k, Ticks::new(20), Ticks::new(20)).unwrap();
+        let task =
+            HeteroDagTask::new(b.build().unwrap(), k, Ticks::new(20), Ticks::new(20)).unwrap();
         let t = transform(&task).unwrap();
         let bound = r_het(&t, 4).unwrap();
         // G_par empty: R_hom(G_par) = 0 ≤ C_off → scenario 2.1;

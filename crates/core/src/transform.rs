@@ -278,8 +278,16 @@ mod tests {
         let v4 = b.node("v4", Ticks::new(2));
         let v5 = b.node("v5", Ticks::new(1));
         let voff = b.node("v_off", Ticks::new(4));
-        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
-            .unwrap();
+        b.edges([
+            (v1, v2),
+            (v1, v3),
+            (v1, v4),
+            (v4, voff),
+            (v2, v5),
+            (v3, v5),
+            (voff, v5),
+        ])
+        .unwrap();
         let task =
             HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(50), Ticks::new(50)).unwrap();
         (task, [v1, v2, v3, v4, v5, voff])
@@ -293,10 +301,15 @@ mod tests {
     /// v1 → v2, v1 → v3 ;  v3 → v7, v3 → v8 ; v8 → v_off, v8 → v11 ;
     /// v9 → v_off ; v1 → v9 (so v9 is a second direct predecessor) ;
     /// v2 → v10 ; v7 → v10 ; v_off → v12 ; v11 → v12 ; v10 → v12.
-    fn figure3_task() -> (HeteroDagTask, std::collections::HashMap<&'static str, NodeId>) {
+    fn figure3_task() -> (
+        HeteroDagTask,
+        std::collections::HashMap<&'static str, NodeId>,
+    ) {
         let mut b = DagBuilder::new();
         let mut m = std::collections::HashMap::new();
-        for name in ["v1", "v2", "v3", "v7", "v8", "v9", "v_off", "v10", "v11", "v12"] {
+        for name in [
+            "v1", "v2", "v3", "v7", "v8", "v9", "v_off", "v10", "v11", "v12",
+        ] {
             m.insert(name, b.node(name, Ticks::new(1)));
         }
         b.edges([
@@ -315,8 +328,13 @@ mod tests {
             (m["v10"], m["v12"]),
         ])
         .unwrap();
-        let task = HeteroDagTask::new(b.build().unwrap(), m["v_off"], Ticks::new(99), Ticks::new(99))
-            .unwrap();
+        let task = HeteroDagTask::new(
+            b.build().unwrap(),
+            m["v_off"],
+            Ticks::new(99),
+            Ticks::new(99),
+        )
+        .unwrap();
         (task, m)
     }
 
@@ -453,7 +471,8 @@ mod tests {
         let k = b.node("k", Ticks::new(5));
         let z = b.node("z", Ticks::new(2));
         b.edges([(a, k), (k, z)]).unwrap();
-        let task = HeteroDagTask::new(b.build().unwrap(), k, Ticks::new(20), Ticks::new(20)).unwrap();
+        let task =
+            HeteroDagTask::new(b.build().unwrap(), k, Ticks::new(20), Ticks::new(20)).unwrap();
         let t = transform(&task).unwrap();
         assert!(t.is_degenerate());
         assert_eq!(t.vol_g_par(), Ticks::ZERO);

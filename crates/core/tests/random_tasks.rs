@@ -16,8 +16,13 @@ fn random_task(seed: u64, fraction: f64) -> HeteroDagTask {
         // guarantee an interior node exists by regenerating deterministically
         return random_task(seed.wrapping_add(0x9e37_79b9), fraction);
     }
-    make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::VolumeFraction(fraction), &mut rng)
-        .expect("offload assignment succeeds")
+    make_hetero_task(
+        dag,
+        OffloadSelection::AnyInterior,
+        CoffSizing::VolumeFraction(fraction),
+        &mut rng,
+    )
+    .expect("offload assignment succeeds")
 }
 
 proptest! {

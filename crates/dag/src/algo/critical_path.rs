@@ -121,7 +121,12 @@ impl CriticalPath {
             length,
             "witness path must realize len(G)"
         );
-        Ok(CriticalPath { length, path, head, tail })
+        Ok(CriticalPath {
+            length,
+            path,
+            head,
+            tail,
+        })
     }
 
     /// `len(G)`, the length of the longest path.
@@ -205,7 +210,15 @@ mod tests {
         let v4 = dag.add_labeled_node("v4", Ticks::new(2));
         let v5 = dag.add_labeled_node("v5", Ticks::new(1));
         let voff = dag.add_labeled_node("v_off", Ticks::new(4));
-        for (f, t) in [(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)] {
+        for (f, t) in [
+            (v1, v2),
+            (v1, v3),
+            (v1, v4),
+            (v4, voff),
+            (v2, v5),
+            (v3, v5),
+            (voff, v5),
+        ] {
             dag.add_edge(f, t).unwrap();
         }
         (dag, [v1, v2, v3, v4, v5, voff])

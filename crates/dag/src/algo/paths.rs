@@ -119,8 +119,14 @@ mod tests {
     fn count_unknown_node() {
         let (dag, [a, ..]) = diamond();
         let bogus = NodeId::from_index(42);
-        assert!(matches!(count_paths(&dag, a, bogus), Err(DagError::UnknownNode(_))));
-        assert!(matches!(count_paths(&dag, bogus, a), Err(DagError::UnknownNode(_))));
+        assert!(matches!(
+            count_paths(&dag, a, bogus),
+            Err(DagError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            count_paths(&dag, bogus, a),
+            Err(DagError::UnknownNode(_))
+        ));
     }
 
     #[test]

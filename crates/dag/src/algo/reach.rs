@@ -66,7 +66,10 @@ impl Reachability {
             }
             ancestors[v.index()] = set;
         }
-        Ok(Reachability { descendants, ancestors })
+        Ok(Reachability {
+            descendants,
+            ancestors,
+        })
     }
 
     /// `Succ(v)`: all nodes reachable from `v` (excluding `v`).
@@ -140,9 +143,21 @@ mod tests {
     /// A simplified shape capturing the same pred/succ/parallel structure.
     fn fig3_like() -> (Dag, Vec<NodeId>) {
         let mut dag = Dag::new();
-        let v: Vec<NodeId> = (0..8).map(|i| dag.add_labeled_node(format!("v{i}"), Ticks::ONE)).collect();
+        let v: Vec<NodeId> = (0..8)
+            .map(|i| dag.add_labeled_node(format!("v{i}"), Ticks::ONE))
+            .collect();
         // v0 -> v1, v0 -> v3 ; v1 -> v4, v1 -> v2 ; v3 -> v4 is transitive-free
-        for (f, t) in [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6), (6, 7)] {
+        for (f, t) in [
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (3, 5),
+            (4, 6),
+            (5, 6),
+            (6, 7),
+        ] {
             dag.add_edge(v[f], v[t]).unwrap();
         }
         (dag, v)

@@ -29,7 +29,9 @@ use crate::{Dag, DagError, NodeId};
 /// ```
 pub fn topological_order(dag: &Dag) -> Result<Vec<NodeId>, DagError> {
     let n = dag.node_count();
-    let mut in_deg: Vec<usize> = (0..n).map(|i| dag.in_degree(NodeId::from_index(i))).collect();
+    let mut in_deg: Vec<usize> = (0..n)
+        .map(|i| dag.in_degree(NodeId::from_index(i)))
+        .collect();
     // A BinaryHeap would give the smallest-index-first property directly but
     // costs O(E log V); node ids are created in roughly topological order by
     // the builders, so a deque with ordered initial seeding is near-optimal

@@ -39,8 +39,10 @@ pub fn find_transitive_edge(dag: &Dag) -> Result<Option<(NodeId, NodeId)>, DagEr
     let reach = Reachability::of(dag)?;
     for (u, w) in dag.edges() {
         // (u, w) is transitive iff some other successor of u reaches w.
-        let redundant =
-            dag.successors(u).iter().any(|&s| s != w && reach.is_ordered_before(s, w));
+        let redundant = dag
+            .successors(u)
+            .iter()
+            .any(|&s| s != w && reach.is_ordered_before(s, w));
         if redundant {
             return Ok(Some((u, w)));
         }
@@ -77,7 +79,9 @@ pub fn transitive_reduction(dag: &Dag) -> Result<Dag, DagError> {
             .iter()
             .any(|&s| s != w && reach.is_ordered_before(s, w));
         if redundant {
-            reduced.remove_edge(u, w).expect("edge listed by iterator exists");
+            reduced
+                .remove_edge(u, w)
+                .expect("edge listed by iterator exists");
         }
     }
     debug_assert!(is_transitively_reduced(&reduced).unwrap_or(false));

@@ -72,7 +72,12 @@ fn augment(
         }
         visited[wi] = true;
         if match_right[wi].is_none()
-            || augment(match_right[wi].expect("checked some"), reach, visited, match_right)
+            || augment(
+                match_right[wi].expect("checked some"),
+                reach,
+                visited,
+                match_right,
+            )
         {
             match_right[wi] = Some(u);
             return true;
@@ -193,7 +198,16 @@ mod tests {
         let b = dag.add_node(Ticks::ONE);
         let c = dag.add_node(Ticks::ONE);
         let j = dag.add_node(Ticks::ONE);
-        for (s, t) in [(f, a), (a, x), (a, y), (x, b), (y, b), (b, j), (f, c), (c, j)] {
+        for (s, t) in [
+            (f, a),
+            (a, x),
+            (a, y),
+            (x, b),
+            (y, b),
+            (b, j),
+            (f, c),
+            (c, j),
+        ] {
             dag.add_edge(s, t).unwrap();
         }
         assert_eq!(width(&dag).unwrap(), 3);

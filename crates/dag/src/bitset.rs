@@ -37,7 +37,10 @@ impl BitSet {
     /// Creates an empty set able to hold indices `0..capacity`.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// Creates a set containing all indices `0..capacity`.
@@ -63,7 +66,11 @@ impl BitSet {
     /// Panics if `id.index() >= capacity`.
     pub fn insert(&mut self, id: NodeId) -> bool {
         let i = id.index();
-        assert!(i < self.capacity, "bitset index {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bitset index {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let was = self.words[w] & (1 << b) != 0;
         self.words[w] |= 1 << b;
@@ -146,7 +153,11 @@ impl BitSet {
     #[must_use]
     pub fn is_subset(&self, other: &BitSet) -> bool {
         self.capacity == other.capacity
-            && self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+            && self
+                .words
+                .iter()
+                .zip(&other.words)
+                .all(|(a, b)| a & !b == 0)
     }
 
     /// `true` if the two sets share no element.
@@ -157,7 +168,11 @@ impl BitSet {
 
     /// Iterates over the members in increasing index order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 }
 
@@ -268,7 +283,10 @@ mod tests {
 
         let mut u = a.clone();
         u.union_with(&b);
-        assert_eq!(u.iter().map(|n| n.index()).collect::<Vec<_>>(), vec![1, 2, 3, 4, 70, 71]);
+        assert_eq!(
+            u.iter().map(|n| n.index()).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 70, 71]
+        );
 
         let mut i = a.clone();
         i.intersect_with(&b);

@@ -25,7 +25,10 @@ impl DotOptions {
     /// Creates default options with a graph name.
     #[must_use]
     pub fn named(name: impl Into<String>) -> Self {
-        DotOptions { name: name.into(), ..DotOptions::default() }
+        DotOptions {
+            name: name.into(),
+            ..DotOptions::default()
+        }
     }
 }
 
@@ -60,9 +63,19 @@ pub fn to_dot(dag: &Dag, options: &DotOptions) -> String {
     let name: String = options
         .name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
-    let name = if name.is_empty() { "dag".to_owned() } else { name };
+    let name = if name.is_empty() {
+        "dag".to_owned()
+    } else {
+        name
+    };
     let _ = writeln!(out, "digraph {name} {{");
     let _ = writeln!(out, "  rankdir=TB;");
     let _ = writeln!(out, "  node [shape=circle, fontsize=10];");

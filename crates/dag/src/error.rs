@@ -60,13 +60,19 @@ impl fmt::Display for DagError {
                 write!(f, "graph has {} sinks (expected exactly one)", vs.len())
             }
             DagError::TransitiveEdge(a, b) => {
-                write!(f, "transitive edge ({a}, {b}) is forbidden by the task model")
+                write!(
+                    f,
+                    "transitive edge ({a}, {b}) is forbidden by the task model"
+                )
             }
             DagError::InvalidOffloadedNode(v) => {
                 write!(f, "node {v} cannot be the offloaded node in this context")
             }
             DagError::DeadlineExceedsPeriod { deadline, period } => {
-                write!(f, "constrained deadline violated: D = {deadline} > T = {period}")
+                write!(
+                    f,
+                    "constrained deadline violated: D = {deadline} > T = {period}"
+                )
             }
         }
     }
@@ -81,8 +87,14 @@ mod tests {
     #[test]
     fn messages_are_lowercase_and_informative() {
         let cases: Vec<(DagError, &str)> = vec![
-            (DagError::UnknownNode(NodeId::from_index(3)), "unknown node n3"),
-            (DagError::SelfLoop(NodeId::from_index(1)), "self-loop on node n1"),
+            (
+                DagError::UnknownNode(NodeId::from_index(3)),
+                "unknown node n3",
+            ),
+            (
+                DagError::SelfLoop(NodeId::from_index(1)),
+                "self-loop on node n1",
+            ),
             (
                 DagError::DuplicateEdge(NodeId::from_index(0), NodeId::from_index(1)),
                 "duplicate edge (n0, n1)",
@@ -102,7 +114,10 @@ mod tests {
 
     #[test]
     fn deadline_message_mentions_both_values() {
-        let e = DagError::DeadlineExceedsPeriod { deadline: 10, period: 5 };
+        let e = DagError::DeadlineExceedsPeriod {
+            deadline: 10,
+            period: 5,
+        };
         let msg = e.to_string();
         assert!(msg.contains("10") && msg.contains('5'));
     }

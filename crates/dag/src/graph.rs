@@ -227,9 +227,7 @@ impl Dag {
     /// `true` if the edge `(from, to)` exists.
     #[must_use]
     pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
-        self.contains_node(from)
-            && self.contains_node(to)
-            && self.succs[from.index()].contains(&to)
+        self.contains_node(from) && self.contains_node(to) && self.succs[from.index()].contains(&to)
     }
 
     /// Direct successors of a node, in edge-insertion order.
@@ -274,24 +272,35 @@ impl Dag {
 
     /// Iterates over all node ids in index order.
     pub fn node_ids(&self) -> NodeIter {
-        NodeIter { next: 0, count: self.node_count() }
+        NodeIter {
+            next: 0,
+            count: self.node_count(),
+        }
     }
 
     /// Iterates over all edges as `(from, to)` pairs.
     pub fn edges(&self) -> EdgeIter<'_> {
-        EdgeIter { dag: self, from: 0, succ_pos: 0 }
+        EdgeIter {
+            dag: self,
+            from: 0,
+            succ_pos: 0,
+        }
     }
 
     /// All nodes without predecessors, in index order.
     #[must_use]
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&v| self.in_degree(v) == 0).collect()
+        self.node_ids()
+            .filter(|&v| self.in_degree(v) == 0)
+            .collect()
     }
 
     /// All nodes without successors, in index order.
     #[must_use]
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&v| self.out_degree(v) == 0).collect()
+        self.node_ids()
+            .filter(|&v| self.out_degree(v) == 0)
+            .collect()
     }
 
     /// The unique source, if there is exactly one.
@@ -382,7 +391,8 @@ impl Dag {
         }
         for (from, to) in self.edges() {
             if let (Some(nf), Some(nt)) = (new_of_old[from.index()], new_of_old[to.index()]) {
-                sub.add_edge(nf, nt).expect("induced subgraph edges are unique");
+                sub.add_edge(nf, nt)
+                    .expect("induced subgraph edges are unique");
             }
         }
         (sub, old_of_new)
@@ -391,9 +401,18 @@ impl Dag {
 
 impl fmt::Debug for Dag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Dag {{ nodes: {}, edges: {} }}", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "Dag {{ nodes: {}, edges: {} }}",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for v in self.node_ids() {
-            let label = if self.label(v).is_empty() { String::new() } else { format!(" ({})", self.label(v)) };
+            let label = if self.label(v).is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", self.label(v))
+            };
             writeln!(
                 f,
                 "  {v}{label} C={} -> {:?}",
@@ -513,7 +532,10 @@ mod tests {
         let (mut dag, [a, ..]) = diamond();
         let bogus = NodeId::from_index(99);
         assert_eq!(dag.add_edge(a, bogus), Err(DagError::UnknownNode(bogus)));
-        assert_eq!(dag.set_wcet(bogus, Ticks::ZERO), Err(DagError::UnknownNode(bogus)));
+        assert_eq!(
+            dag.set_wcet(bogus, Ticks::ZERO),
+            Err(DagError::UnknownNode(bogus))
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl std::error::Error for ParseError {}
 
 impl From<DagError> for ParseError {
     fn from(e: DagError) -> Self {
-        ParseError { line: 0, message: e.to_string() }
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -174,16 +177,18 @@ pub fn parse_task(text: &str) -> Result<ParsedTask, ParseError> {
                 let [v] = rest.as_slice() else {
                     return Err(err(lineno, "expected `period <ticks>`".into()));
                 };
-                let v: u64 =
-                    v.parse().map_err(|_| err(lineno, format!("invalid period `{v}`")))?;
+                let v: u64 = v
+                    .parse()
+                    .map_err(|_| err(lineno, format!("invalid period `{v}`")))?;
                 period = Some(Ticks::new(v));
             }
             "deadline" => {
                 let [v] = rest.as_slice() else {
                     return Err(err(lineno, "expected `deadline <ticks>`".into()));
                 };
-                let v: u64 =
-                    v.parse().map_err(|_| err(lineno, format!("invalid deadline `{v}`")))?;
+                let v: u64 = v
+                    .parse()
+                    .map_err(|_| err(lineno, format!("invalid deadline `{v}`")))?;
                 deadline = Some(Ticks::new(v));
             }
             other => {
@@ -193,11 +198,13 @@ pub fn parse_task(text: &str) -> Result<ParsedTask, ParseError> {
     }
 
     for (lineno, from, to) in edges {
-        let f = *ids.get(&from).ok_or_else(|| err(lineno, format!("unknown node `{from}`")))?;
-        let t = *ids.get(&to).ok_or_else(|| err(lineno, format!("unknown node `{to}`")))?;
-        builder
-            .edge(f, t)
-            .map_err(|e| err(lineno, e.to_string()))?;
+        let f = *ids
+            .get(&from)
+            .ok_or_else(|| err(lineno, format!("unknown node `{from}`")))?;
+        let t = *ids
+            .get(&to)
+            .ok_or_else(|| err(lineno, format!("unknown node `{to}`")))?;
+        builder.edge(f, t).map_err(|e| err(lineno, e.to_string()))?;
     }
 
     let dag = builder.build()?;
@@ -205,8 +212,7 @@ pub fn parse_task(text: &str) -> Result<ParsedTask, ParseError> {
     let deadline = deadline.unwrap_or(period);
     let task = match offload {
         Some((line, v)) => TaskKind::Heterogeneous(
-            HeteroDagTask::new(dag, v, period, deadline)
-                .map_err(|e| err(line, e.to_string()))?,
+            HeteroDagTask::new(dag, v, period, deadline).map_err(|e| err(line, e.to_string()))?,
         ),
         None => TaskKind::Homogeneous(
             crate::DagTask::new(dag, period, deadline).map_err(ParseError::from)?,
@@ -304,7 +310,9 @@ deadline 40
     #[test]
     fn roundtrip_preserves_everything() {
         let parsed = parse_task(SAMPLE).unwrap();
-        let TaskKind::Heterogeneous(task) = parsed.task else { unreachable!() };
+        let TaskKind::Heterogeneous(task) = parsed.task else {
+            unreachable!()
+        };
         let rendered = render_task(&task);
         let reparsed = parse_task(&rendered).unwrap();
         let TaskKind::Heterogeneous(task2) = reparsed.task else {
@@ -337,8 +345,8 @@ deadline 40
     #[test]
     fn structural_violations_are_reported() {
         // transitive edge
-        let e = parse_task("node a 1\nnode b 1\nnode c 1\nedge a b\nedge b c\nedge a c\n")
-            .unwrap_err();
+        let e =
+            parse_task("node a 1\nnode b 1\nnode c 1\nedge a b\nedge b c\nedge a c\n").unwrap_err();
         assert!(e.to_string().contains("transitive"));
         // two offloads
         let e = parse_task("node a 1\nnode b 1\nedge a b\noffload a\noffload b\n").unwrap_err();

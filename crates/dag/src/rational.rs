@@ -138,7 +138,10 @@ impl Rational {
     /// Absolute value.
     #[must_use]
     pub const fn abs(self) -> Self {
-        Rational { num: if self.num < 0 { -self.num } else { self.num }, den: self.den }
+        Rational {
+            num: if self.num < 0 { -self.num } else { self.num },
+            den: self.den,
+        }
     }
 
     /// Returns the larger of two rationals.
@@ -164,7 +167,10 @@ impl Rational {
     /// Checked addition, `None` on overflow.
     #[must_use]
     pub fn checked_add(self, rhs: Self) -> Option<Self> {
-        let num = self.num.checked_mul(rhs.den)?.checked_add(rhs.num.checked_mul(self.den)?)?;
+        let num = self
+            .num
+            .checked_mul(rhs.den)?
+            .checked_add(rhs.num.checked_mul(self.den)?)?;
         let den = self.den.checked_mul(rhs.den)?;
         Some(Rational::new(num, den))
     }
@@ -255,7 +261,8 @@ impl Sub for Rational {
 impl Mul for Rational {
     type Output = Rational;
     fn mul(self, rhs: Rational) -> Rational {
-        self.checked_mul(rhs).expect("rational multiplication overflow")
+        self.checked_mul(rhs)
+            .expect("rational multiplication overflow")
     }
 }
 
@@ -273,7 +280,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -355,8 +365,14 @@ mod tests {
         assert!(Rational::new(1, 3) < Rational::new(1, 2));
         assert!(Rational::new(-1, 2) < Rational::ZERO);
         assert!(Rational::new(7, 7) == Rational::ONE);
-        assert_eq!(Rational::new(2, 3).max(Rational::new(3, 4)), Rational::new(3, 4));
-        assert_eq!(Rational::new(2, 3).min(Rational::new(3, 4)), Rational::new(2, 3));
+        assert_eq!(
+            Rational::new(2, 3).max(Rational::new(3, 4)),
+            Rational::new(3, 4)
+        );
+        assert_eq!(
+            Rational::new(2, 3).min(Rational::new(3, 4)),
+            Rational::new(2, 3)
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl DagTask {
                 period: period.get(),
             });
         }
-        Ok(DagTask { dag, period, deadline })
+        Ok(DagTask {
+            dag,
+            period,
+            deadline,
+        })
     }
 
     /// Creates an implicit-deadline task (`D = T`).
@@ -160,7 +164,12 @@ impl HeteroDagTask {
                 period: period.get(),
             });
         }
-        Ok(HeteroDagTask { dag, offloaded, period, deadline })
+        Ok(HeteroDagTask {
+            dag,
+            offloaded,
+            period,
+            deadline,
+        })
     }
 
     /// Like [`HeteroDagTask::new`] but additionally rejects an offloaded
@@ -238,7 +247,10 @@ impl HeteroDagTask {
     /// Panics if the volume is zero.
     #[must_use]
     pub fn offload_fraction(&self) -> Rational {
-        assert!(!self.volume().is_zero(), "offload fraction of a zero-volume task");
+        assert!(
+            !self.volume().is_zero(),
+            "offload fraction of a zero-volume task"
+        );
         Rational::new(self.c_off().get() as i128, self.volume().get() as i128)
     }
 
@@ -252,7 +264,11 @@ impl HeteroDagTask {
     /// host core) — the baseline the paper compares against.
     #[must_use]
     pub fn as_homogeneous(&self) -> DagTask {
-        DagTask { dag: self.dag.clone(), period: self.period, deadline: self.deadline }
+        DagTask {
+            dag: self.dag.clone(),
+            period: self.period,
+            deadline: self.deadline,
+        }
     }
 
     /// Consumes the task and returns its DAG.
@@ -280,7 +296,13 @@ mod tests {
     fn constrained_deadline_enforced() {
         let (dag, ..) = simple_dag();
         let err = DagTask::new(dag, Ticks::new(10), Ticks::new(11)).unwrap_err();
-        assert_eq!(err, DagError::DeadlineExceedsPeriod { deadline: 11, period: 10 });
+        assert_eq!(
+            err,
+            DagError::DeadlineExceedsPeriod {
+                deadline: 11,
+                period: 10
+            }
+        );
     }
 
     #[test]

@@ -252,7 +252,10 @@ mod tests {
         assert_eq!(Ticks::ZERO.checked_sub(Ticks::ONE), None);
         assert_eq!(Ticks::MAX.saturating_add(Ticks::ONE), Ticks::MAX);
         assert_eq!(Ticks::ZERO.saturating_sub(Ticks::ONE), Ticks::ZERO);
-        assert_eq!(Ticks::new(3).checked_add(Ticks::new(4)), Some(Ticks::new(7)));
+        assert_eq!(
+            Ticks::new(3).checked_add(Ticks::new(4)),
+            Some(Ticks::new(7))
+        );
     }
 
     #[test]

@@ -91,13 +91,22 @@ mod tests {
         let r = validate_task_model(&dag).unwrap();
         assert_eq!(
             r,
-            StructureReport { nodes: 3, edges: 2, source: a, sink: c, zero_wcet_nodes: 1 }
+            StructureReport {
+                nodes: 3,
+                edges: 2,
+                source: a,
+                sink: c,
+                zero_wcet_nodes: 1
+            }
         );
     }
 
     #[test]
     fn empty_rejected() {
-        assert_eq!(validate_task_model(&Dag::new()).unwrap_err(), DagError::Empty);
+        assert_eq!(
+            validate_task_model(&Dag::new()).unwrap_err(),
+            DagError::Empty
+        );
     }
 
     #[test]
@@ -118,7 +127,9 @@ mod tests {
         let c = dag.add_node(Ticks::ONE);
         dag.add_edge(a, b).unwrap();
         dag.add_edge(a, c).unwrap();
-        assert!(matches!(validate_task_model(&dag), Err(DagError::MultipleSinks(v)) if v == vec![b, c]));
+        assert!(
+            matches!(validate_task_model(&dag), Err(DagError::MultipleSinks(v)) if v == vec![b, c])
+        );
     }
 
     #[test]
@@ -130,6 +141,9 @@ mod tests {
         dag.add_edge(a, b).unwrap();
         dag.add_edge(b, c).unwrap();
         dag.add_edge(a, c).unwrap();
-        assert_eq!(validate_task_model(&dag).unwrap_err(), DagError::TransitiveEdge(a, c));
+        assert_eq!(
+            validate_task_model(&dag).unwrap_err(),
+            DagError::TransitiveEdge(a, c)
+        );
     }
 }

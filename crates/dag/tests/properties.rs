@@ -10,7 +10,11 @@ use proptest::prelude::*;
 /// `(i, j)`, `i < j`, is an edge with probability ~`density`. Forward-only
 /// edges guarantee acyclicity by construction.
 fn arb_dag() -> impl Strategy<Value = Dag> {
-    (1usize..24, proptest::collection::vec(0u8..100, 0..600), proptest::collection::vec(1u64..50, 1..24))
+    (
+        1usize..24,
+        proptest::collection::vec(0u8..100, 0..600),
+        proptest::collection::vec(1u64..50, 1..24),
+    )
         .prop_map(|(n, edge_coins, wcets)| {
             let mut dag = Dag::new();
             let ids: Vec<NodeId> = (0..n)
@@ -246,17 +250,19 @@ mod io_roundtrip {
     /// Random single-source/single-sink DAG without transitive edges: built
     /// as a random fork-join-ish layering, then validated.
     fn arb_task() -> impl Strategy<Value = HeteroDagTask> {
-        (2usize..8, proptest::collection::vec(1u64..40, 2..8), 0usize..100).prop_map(
-            |(width, wcets, off_pick)| {
+        (
+            2usize..8,
+            proptest::collection::vec(1u64..40, 2..8),
+            0usize..100,
+        )
+            .prop_map(|(width, wcets, off_pick)| {
                 let mut dag = Dag::new();
                 let src = dag.add_labeled_node("src", Ticks::new(wcets[0]));
                 let sink = dag.add_labeled_node("sink", Ticks::new(wcets[1 % wcets.len()]));
                 let mut mids = Vec::new();
                 for i in 0..width {
-                    let v = dag.add_labeled_node(
-                        format!("mid{i}"),
-                        Ticks::new(wcets[i % wcets.len()]),
-                    );
+                    let v =
+                        dag.add_labeled_node(format!("mid{i}"), Ticks::new(wcets[i % wcets.len()]));
                     dag.add_edge(src, v).unwrap();
                     dag.add_edge(v, sink).unwrap();
                     mids.push(v);
@@ -264,8 +270,7 @@ mod io_roundtrip {
                 let off = mids[off_pick % mids.len()];
                 let vol = dag.volume();
                 HeteroDagTask::new(dag, off, vol, vol).unwrap()
-            },
-        )
+            })
     }
 
     proptest! {

@@ -1,0 +1,438 @@
+//! Streaming aggregation of job results into per-cell summaries.
+//!
+//! Results arrive in nondeterministic completion order; the aggregator
+//! stores them into expansion-order slots (plus cheap running counters for
+//! progress) and computes every floating-point reduction during
+//! [`Aggregator::finalize`] by replaying the slots in expansion order. That
+//! makes the aggregate **bit-identical across worker counts** — the
+//! determinism contract the engine tests pin down.
+
+use hetrta_sched::acceptance::TestKind;
+
+use crate::job::{JobMetrics, JobResult};
+use crate::spec::CellInfo;
+use crate::EngineError;
+
+/// Per-cell summary of a per-task sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskCellSummary {
+    /// Scenario occurrence counts `[s1, s2.1, s2.2]` (Figure 8).
+    pub scenario_counts: [usize; 3],
+    /// Mean `100·(R_hom − R_het)/R_het` over the cell (Figure 9).
+    pub mean_improvement: f64,
+    /// Maximum observed improvement within the cell.
+    pub max_improvement: f64,
+    /// Mean `R_het` over the cell.
+    pub mean_r_het: f64,
+    /// Mean `R_hom(τ)` over the cell.
+    pub mean_r_hom: f64,
+    /// Tasks with `R_het ≤ D`.
+    pub schedulable_het: usize,
+    /// Tasks with `R_hom ≤ D`.
+    pub schedulable_hom: usize,
+    /// Mean simulated makespan, if simulation was selected.
+    pub mean_sim_makespan: Option<f64>,
+    /// Tasks the bounded exact solver finished.
+    pub exact_solved: usize,
+    /// Mean exact makespan over the solved tasks.
+    pub mean_exact_makespan: Option<f64>,
+}
+
+impl TaskCellSummary {
+    /// Scenario shares `(s1, s2.1, s2.2)` in `[0, 1]`.
+    #[must_use]
+    pub fn scenario_shares(&self, samples: usize) -> (f64, f64, f64) {
+        let n = samples as f64;
+        (
+            self.scenario_counts[0] as f64 / n,
+            self.scenario_counts[1] as f64 / n,
+            self.scenario_counts[2] as f64 / n,
+        )
+    }
+}
+
+/// Per-cell summary of an acceptance sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetCellSummary {
+    /// Sets accepted per test, in [`TestKind::ALL`] order.
+    pub accepted: [usize; 6],
+}
+
+impl SetCellSummary {
+    /// Acceptance ratio of `test` in `[0, 1]`.
+    #[must_use]
+    pub fn ratio(&self, test: TestKind, samples: usize) -> f64 {
+        let idx = TestKind::ALL
+            .iter()
+            .position(|&t| t == test)
+            .expect("known test");
+        self.accepted[idx] as f64 / samples.max(1) as f64
+    }
+}
+
+/// Aggregated contents of one sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellKind {
+    /// Per-task metrics.
+    Task(TaskCellSummary),
+    /// Acceptance-test counts.
+    Set(SetCellSummary),
+}
+
+/// One finalized sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// Host core count.
+    pub m: u64,
+    /// Grid value (offload fraction or normalized utilization).
+    pub grid_value: f64,
+    /// Jobs aggregated into this cell.
+    pub samples: usize,
+    /// The metrics.
+    pub kind: CellKind,
+}
+
+/// The deterministic result of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAggregate {
+    /// One summary per cell, in expansion order (core counts outer, grid
+    /// values inner).
+    pub cells: Vec<CellSummary>,
+}
+
+impl SweepAggregate {
+    /// The cell for `(m, grid_value)`, if present.
+    #[must_use]
+    pub fn cell(&self, m: u64, grid_value: f64) -> Option<&CellSummary> {
+        self.cells
+            .iter()
+            .find(|c| c.m == m && c.grid_value == grid_value)
+    }
+}
+
+/// Collects streamed results and finalizes them deterministically.
+#[derive(Debug)]
+pub struct Aggregator {
+    cells: Vec<CellInfo>,
+    slots: Vec<Option<JobResult>>,
+    received: usize,
+    cache_hits: u64,
+    first_error: Option<(usize, String)>,
+}
+
+impl Aggregator {
+    /// Creates an aggregator for `job_count` jobs over `cells`.
+    #[must_use]
+    pub fn new(cells: Vec<CellInfo>, job_count: usize) -> Self {
+        Aggregator {
+            cells,
+            slots: vec![None; job_count],
+            received: 0,
+            cache_hits: 0,
+            first_error: None,
+        }
+    }
+
+    /// Accepts one streamed result (any order).
+    pub fn accept(&mut self, result: JobResult) {
+        self.received += 1;
+        if result.cache_hit {
+            self.cache_hits += 1;
+        }
+        if let Err(message) = &result.metrics {
+            let candidate = (result.index, message.clone());
+            // Deterministic error selection: lowest job index wins.
+            if self
+                .first_error
+                .as_ref()
+                .is_none_or(|(i, _)| candidate.0 < *i)
+            {
+                self.first_error = Some(candidate);
+            }
+        }
+        let index = result.index;
+        self.slots[index] = Some(result);
+    }
+
+    /// Results accepted so far (progress indicator).
+    #[must_use]
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Jobs whose primary result came from the cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Replays the slots in expansion order and produces the aggregate.
+    ///
+    /// # Errors
+    ///
+    /// - [`EngineError::Job`] if any job failed (lowest index reported);
+    /// - [`EngineError::Incomplete`] if a slot was never filled.
+    pub fn finalize(self) -> Result<SweepAggregate, EngineError> {
+        if let Some((index, message)) = self.first_error {
+            return Err(EngineError::Job { index, message });
+        }
+        let mut per_cell: Vec<Vec<&JobMetrics>> = vec![Vec::new(); self.cells.len()];
+        for (index, slot) in self.slots.iter().enumerate() {
+            let result = slot.as_ref().ok_or(EngineError::Incomplete { index })?;
+            let metrics = result.metrics.as_ref().expect("errors already reported");
+            per_cell[result.cell].push(metrics);
+        }
+
+        let cells = self
+            .cells
+            .iter()
+            .zip(&per_cell)
+            .map(|(info, metrics)| summarize_cell(info, metrics))
+            .collect();
+        Ok(SweepAggregate { cells })
+    }
+}
+
+fn summarize_cell(info: &CellInfo, metrics: &[&JobMetrics]) -> CellSummary {
+    let samples = metrics.len();
+    let is_set = matches!(metrics.first(), Some(JobMetrics::Set(_)));
+    let kind = if is_set {
+        let mut accepted = [0usize; 6];
+        for m in metrics {
+            let JobMetrics::Set(s) = m else {
+                unreachable!("uniform cell job kinds")
+            };
+            for (count, &bit) in accepted.iter_mut().zip(&s.accepted) {
+                *count += usize::from(bit);
+            }
+        }
+        CellKind::Set(SetCellSummary { accepted })
+    } else {
+        CellKind::Task(summarize_task_cell(metrics))
+    };
+    CellSummary {
+        m: info.m,
+        grid_value: info.grid_value,
+        samples,
+        kind,
+    }
+}
+
+/// Mean/max reductions mirror `hetrta_bench::stats::summarize` operation
+/// order (sum then divide; max by `f64::max` fold) so engine sweeps match
+/// the serial experiments bitwise.
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+fn max(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+fn summarize_task_cell(metrics: &[&JobMetrics]) -> TaskCellSummary {
+    let mut scenario_counts = [0usize; 3];
+    let mut improvements = Vec::with_capacity(metrics.len());
+    let mut r_hets = Vec::with_capacity(metrics.len());
+    let mut r_homs = Vec::with_capacity(metrics.len());
+    let mut sims = Vec::new();
+    let mut exacts = Vec::new();
+    let mut schedulable_het = 0usize;
+    let mut schedulable_hom = 0usize;
+
+    for m in metrics {
+        let JobMetrics::Task(t) = m else {
+            unreachable!("uniform cell job kinds")
+        };
+        if let Some(h) = &t.het {
+            use hetrta_core::Scenario;
+            let slot = match h.scenario {
+                Scenario::OffNotOnCriticalPath => 0,
+                Scenario::OffOnCriticalPathDominant => 1,
+                Scenario::OffOnCriticalPathDominated => 2,
+            };
+            scenario_counts[slot] += 1;
+            improvements.push(h.improvement_percent);
+            r_hets.push(h.r_het);
+            r_homs.push(h.r_hom_original);
+            schedulable_het += usize::from(h.schedulable_het);
+            schedulable_hom += usize::from(h.schedulable_hom);
+        } else if let Some(r) = t.r_hom {
+            r_homs.push(r);
+        }
+        if let Some(ms) = t.sim_makespan {
+            sims.push(ms as f64);
+        }
+        if let Some(e) = &t.exact {
+            exacts.push(e.makespan as f64);
+        }
+    }
+
+    TaskCellSummary {
+        scenario_counts,
+        mean_improvement: mean(&improvements),
+        max_improvement: max(&improvements),
+        mean_r_het: mean(&r_hets),
+        mean_r_hom: mean(&r_homs),
+        schedulable_het,
+        schedulable_hom,
+        mean_sim_makespan: if sims.is_empty() {
+            None
+        } else {
+            Some(mean(&sims))
+        },
+        exact_solved: exacts.len(),
+        mean_exact_makespan: if exacts.is_empty() {
+            None
+        } else {
+            Some(mean(&exacts))
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{HetSummary, SetPointMetrics, TaskPointMetrics};
+    use hetrta_core::Scenario;
+
+    fn het(improvement: f64, scenario: Scenario) -> JobMetrics {
+        JobMetrics::Task(TaskPointMetrics {
+            het: Some(HetSummary {
+                r_het: 10.0,
+                r_hom_original: 12.0,
+                r_hom_transformed: 13.0,
+                scenario,
+                improvement_percent: improvement,
+                schedulable_het: true,
+                schedulable_hom: false,
+            }),
+            ..TaskPointMetrics::default()
+        })
+    }
+
+    fn result(index: usize, cell: usize, metrics: JobMetrics) -> JobResult {
+        JobResult {
+            index,
+            cell,
+            worker: 0,
+            cache_hit: false,
+            metrics: Ok(metrics),
+        }
+    }
+
+    #[test]
+    fn order_independence_of_acceptance() {
+        let cells = vec![CellInfo {
+            m: 2,
+            grid_value: 0.1,
+        }];
+        let results = [
+            result(0, 0, het(10.0, Scenario::OffNotOnCriticalPath)),
+            result(1, 0, het(30.0, Scenario::OffOnCriticalPathDominant)),
+            result(2, 0, het(20.0, Scenario::OffNotOnCriticalPath)),
+        ];
+
+        let mut forward = Aggregator::new(cells.clone(), 3);
+        for r in &results {
+            forward.accept(r.clone());
+        }
+        let mut backward = Aggregator::new(cells, 3);
+        for r in results.iter().rev() {
+            backward.accept(r.clone());
+        }
+        let a = forward.finalize().unwrap();
+        let b = backward.finalize().unwrap();
+        assert_eq!(a, b);
+
+        let CellKind::Task(t) = &a.cells[0].kind else {
+            panic!("task cell")
+        };
+        assert_eq!(t.scenario_counts, [2, 1, 0]);
+        assert_eq!(t.mean_improvement, 20.0);
+        assert_eq!(t.max_improvement, 30.0);
+        assert_eq!(t.schedulable_het, 3);
+        let (s1, s21, s22) = t.scenario_shares(a.cells[0].samples);
+        assert!((s1 - 2.0 / 3.0).abs() < 1e-12 && (s21 - 1.0 / 3.0).abs() < 1e-12 && s22 == 0.0);
+    }
+
+    #[test]
+    fn set_cells_count_accepts() {
+        let cells = vec![CellInfo {
+            m: 4,
+            grid_value: 0.5,
+        }];
+        let mut agg = Aggregator::new(cells, 2);
+        agg.accept(result(
+            0,
+            0,
+            JobMetrics::Set(SetPointMetrics {
+                accepted: [true, true, false, true, false, true],
+            }),
+        ));
+        agg.accept(result(
+            1,
+            0,
+            JobMetrics::Set(SetPointMetrics {
+                accepted: [false, true, false, false, false, true],
+            }),
+        ));
+        let a = agg.finalize().unwrap();
+        let CellKind::Set(s) = &a.cells[0].kind else {
+            panic!("set cell")
+        };
+        assert_eq!(s.accepted, [1, 2, 0, 1, 0, 2]);
+        assert_eq!(s.ratio(TestKind::GfpHeterogeneous, a.cells[0].samples), 1.0);
+        assert_eq!(s.ratio(TestKind::GedfHomogeneous, a.cells[0].samples), 0.0);
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let cells = vec![CellInfo {
+            m: 2,
+            grid_value: 0.1,
+        }];
+        let mut agg = Aggregator::new(cells, 2);
+        agg.accept(JobResult {
+            index: 1,
+            cell: 0,
+            worker: 0,
+            cache_hit: false,
+            metrics: Err("late failure".into()),
+        });
+        agg.accept(JobResult {
+            index: 0,
+            cell: 0,
+            worker: 1,
+            cache_hit: false,
+            metrics: Err("early failure".into()),
+        });
+        match agg.finalize() {
+            Err(EngineError::Job { index, message }) => {
+                assert_eq!(index, 0);
+                assert_eq!(message, "early failure");
+            }
+            other => panic!("expected job error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_slots_are_reported() {
+        let cells = vec![CellInfo {
+            m: 2,
+            grid_value: 0.1,
+        }];
+        let agg = Aggregator::new(cells, 1);
+        assert!(matches!(
+            agg.finalize(),
+            Err(EngineError::Incomplete { index: 0 })
+        ));
+    }
+}

@@ -1,0 +1,277 @@
+//! Content-addressed memoization of analysis results.
+//!
+//! The unit of caching is a *structural hash* of the analyzed content — DAG
+//! shape, node WCETs, offloaded node, period and deadline, plus the analysis
+//! parameters (core count, analysis kind). Two jobs that analyze
+//! structurally identical tasks under the same parameters share one
+//! computation, whichever worker gets there first; everyone else gets a
+//! clone of the memoized value. Sweeps with repeated generator seeds, or
+//! spec cells that revisit the same `(seed, fraction)` task under several
+//! core counts, hit the cache instead of re-running the analysis.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use hetrta_dag::{Dag, HeteroDagTask};
+
+/// 128-bit FNV-1a, the workspace's convention for deterministic content
+/// hashes (64-bit would start colliding around a few billion distinct
+/// entries; sweeps reach millions).
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    state: u128,
+}
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+impl ContentHasher {
+    /// Creates a hasher with the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        ContentHasher {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, byte: u8) {
+        self.state ^= u128::from(byte);
+        self.state = self.state.wrapping_mul(FNV128_PRIME);
+    }
+
+    /// Feeds a 64-bit word (little-endian).
+    pub fn write_u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Returns the accumulated digest.
+    #[must_use]
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Structural hash of a DAG: node count, per-node WCET and adjacency.
+///
+/// Labels are deliberately excluded — two tasks that differ only in node
+/// names analyze identically. Node *numbering* is part of the content: the
+/// generators number nodes canonically, so structurally equal generated
+/// tasks hash equal.
+pub fn hash_dag(h: &mut ContentHasher, dag: &Dag) {
+    h.write_u64(dag.node_count() as u64);
+    for v in dag.node_ids() {
+        h.write_u64(dag.wcet(v).get());
+        let succs = dag.successors(v);
+        h.write_u64(succs.len() as u64);
+        for &s in succs {
+            h.write_u64(s.index() as u64);
+        }
+    }
+}
+
+/// Content hash of a heterogeneous task (structure + timing parameters).
+#[must_use]
+pub fn hash_task(task: &HeteroDagTask) -> u128 {
+    let mut h = ContentHasher::new();
+    hash_dag(&mut h, task.dag());
+    h.write_u64(task.offloaded().index() as u64);
+    h.write_u64(task.period().get());
+    h.write_u64(task.deadline().get());
+    h.finish()
+}
+
+/// Content hash of a task *set* (order-sensitive: priority order is part of
+/// the schedulability question).
+#[must_use]
+pub fn hash_task_set(tasks: &[HeteroDagTask]) -> u128 {
+    let mut h = ContentHasher::new();
+    h.write_u64(tasks.len() as u64);
+    for t in tasks {
+        let th = hash_task(t);
+        h.write_u64(th as u64);
+        h.write_u64((th >> 64) as u64);
+    }
+    h.finish()
+}
+
+/// Extends a content hash with analysis parameters, yielding a cache key.
+#[must_use]
+pub fn key_with_params(content: u128, tag: u8, m: u64) -> u128 {
+    let mut h = ContentHasher::new();
+    h.write_u64(content as u64);
+    h.write_u64((content >> 64) as u64);
+    h.write_u8(tag);
+    h.write_u64(m);
+    h.finish()
+}
+
+/// Running hit/miss counters of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (includes the rare concurrent
+    /// double-compute of the same key).
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Hits as a fraction of all lookups (`0` for an untouched cache).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter difference `self - earlier` (for per-run snapshots on a
+    /// long-lived cache).
+    #[must_use]
+    pub fn since(&self, earlier: CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// A sharded, content-addressed memo table.
+///
+/// Values are cloned out; computation runs *outside* the shard lock, so two
+/// workers racing on the same fresh key may both compute (both counted as
+/// misses) — the table stays consistent because the value for a key is a
+/// pure function of the key's content.
+#[derive(Debug)]
+pub struct MemoCache<V> {
+    shards: Vec<Mutex<HashMap<u128, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+const SHARDS: usize = 32;
+
+impl<V: Clone> MemoCache<V> {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        MemoCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, V>> {
+        // High bits select the shard; FNV mixes enough for that.
+        &self.shards[(key >> 96) as usize % SHARDS]
+    }
+
+    /// Looks up `key`, computing and memoizing with `compute` on a miss.
+    /// Returns the value and whether it was a hit.
+    pub fn get_or_compute(&self, key: u128, compute: impl FnOnce() -> V) -> (V, bool) {
+        if let Some(v) = self.shard(key).lock().expect("cache shard").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (v.clone(), true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        let mut shard = self.shard(key).lock().expect("cache shard");
+        let stored = shard.entry(key).or_insert_with(|| value.clone());
+        (stored.clone(), false)
+    }
+
+    /// Number of memoized entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard").len())
+            .sum()
+    }
+
+    /// `true` if nothing is memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss counters.
+    #[must_use]
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<V: Clone> Default for MemoCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetrta_dag::{DagBuilder, Ticks};
+
+    fn sample_task(wcet_kernel: u64) -> HeteroDagTask {
+        let mut b = DagBuilder::new();
+        let pre = b.node("pre", Ticks::new(2));
+        let kernel = b.node("kernel", Ticks::new(wcet_kernel));
+        let post = b.node("post", Ticks::new(2));
+        b.edges([(pre, kernel), (kernel, post)]).unwrap();
+        HeteroDagTask::new(b.build().unwrap(), kernel, Ticks::new(50), Ticks::new(50)).unwrap()
+    }
+
+    #[test]
+    fn equal_content_hashes_equal() {
+        assert_eq!(hash_task(&sample_task(9)), hash_task(&sample_task(9)));
+        assert_ne!(hash_task(&sample_task(9)), hash_task(&sample_task(10)));
+    }
+
+    #[test]
+    fn params_change_the_key() {
+        let c = hash_task(&sample_task(9));
+        assert_ne!(key_with_params(c, 0, 2), key_with_params(c, 0, 4));
+        assert_ne!(key_with_params(c, 0, 2), key_with_params(c, 1, 2));
+    }
+
+    #[test]
+    fn memo_hits_after_first_compute() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        let (v1, hit1) = cache.get_or_compute(42, || 7);
+        let (v2, hit2) = cache.get_or_compute(42, || unreachable!("memoized"));
+        assert_eq!((v1, hit1), (7, false));
+        assert_eq!((v2, hit2), (7, true));
+        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn counter_snapshots_subtract() {
+        let a = CacheCounters {
+            hits: 10,
+            misses: 4,
+        };
+        let b = CacheCounters { hits: 7, misses: 1 };
+        assert_eq!(a.since(b), CacheCounters { hits: 3, misses: 3 });
+        assert!((a.hit_rate() - 10.0 / 14.0).abs() < 1e-12);
+        assert_eq!(CacheCounters::default().hit_rate(), 0.0);
+    }
+}

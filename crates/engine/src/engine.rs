@@ -1,0 +1,264 @@
+//! The engine facade: spec in, deterministic aggregate + run statistics out.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hetrta_core::TransformedTask;
+
+use crate::aggregate::{Aggregator, SweepAggregate};
+use crate::cache::{CacheCounters, MemoCache};
+use crate::job::{self, CachedValue};
+use crate::pool;
+use crate::spec::SweepSpec;
+
+/// Shared memoization state, persistent across [`Engine::run`] calls.
+#[derive(Debug, Default)]
+pub struct EngineCaches {
+    /// Content hash → Algorithm 1 transformation (m-independent, so one
+    /// entry serves every core count of a sweep).
+    pub(crate) transform: MemoCache<Result<TransformedTask, String>>,
+    /// Content hash + params → analysis result.
+    pub(crate) results: MemoCache<CachedValue>,
+}
+
+impl EngineCaches {
+    /// Transformation-cache counters (lifetime of the engine).
+    #[must_use]
+    pub fn transform_counters(&self) -> CacheCounters {
+        self.transform.counters()
+    }
+
+    /// Result-cache counters (lifetime of the engine).
+    #[must_use]
+    pub fn result_counters(&self) -> CacheCounters {
+        self.results.counters()
+    }
+}
+
+/// Statistics of one [`Engine::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Jobs executed (the spec's full expansion).
+    pub jobs: usize,
+    /// Jobs executed per worker.
+    pub per_worker_jobs: Vec<u64>,
+    /// Jobs each worker stole from a sibling's deque.
+    pub per_worker_steals: Vec<u64>,
+    /// Jobs whose primary result was served from the cache.
+    pub cached_jobs: u64,
+    /// Transformation-cache activity during this run.
+    pub transform_cache: CacheCounters,
+    /// Result-cache activity during this run.
+    pub result_cache: CacheCounters,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl EngineStats {
+    /// Multi-line human-readable rendering (used by the CLI and binaries).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "engine: {} jobs on {} threads in {:.2?}",
+            self.jobs, self.threads, self.elapsed
+        );
+        let _ = writeln!(
+            out,
+            "  result cache:    {} hits / {} misses ({:.1}% hit rate), {} jobs fully cached",
+            self.result_cache.hits,
+            self.result_cache.misses,
+            self.result_cache.hit_rate() * 100.0,
+            self.cached_jobs,
+        );
+        let _ = writeln!(
+            out,
+            "  transform cache: {} hits / {} misses ({:.1}% hit rate)",
+            self.transform_cache.hits,
+            self.transform_cache.misses,
+            self.transform_cache.hit_rate() * 100.0,
+        );
+        for (worker, (jobs, steals)) in self
+            .per_worker_jobs
+            .iter()
+            .zip(&self.per_worker_steals)
+            .enumerate()
+        {
+            let _ = writeln!(out, "  worker {worker}: {jobs} jobs ({steals} stolen)");
+        }
+        out
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct EngineOutput {
+    /// The deterministic per-cell aggregate.
+    pub aggregate: SweepAggregate,
+    /// Run statistics (nondeterministic: scheduling-dependent).
+    pub stats: EngineStats,
+}
+
+/// Engine failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The spec is internally inconsistent.
+    InvalidSpec(String),
+    /// A job failed; the lowest failing expansion index is reported.
+    Job {
+        /// Expansion index of the failing job.
+        index: usize,
+        /// The job's error message.
+        message: String,
+    },
+    /// Internal: a job result never arrived.
+    Incomplete {
+        /// Expansion index of the missing job.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidSpec(msg) => write!(f, "invalid sweep spec: {msg}"),
+            EngineError::Job { index, message } => write!(f, "job {index} failed: {message}"),
+            EngineError::Incomplete { index } => {
+                write!(f, "internal: job {index} produced no result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The work-stealing batch-analysis engine.
+///
+/// Holds the worker-thread count and the content-addressed caches; caches
+/// persist across runs, so re-running a spec (or running an overlapping
+/// one) on the same engine is served from memory.
+#[derive(Debug)]
+pub struct Engine {
+    threads: usize,
+    caches: Arc<EngineCaches>,
+}
+
+impl Engine {
+    /// Creates an engine with `threads` workers (`0` = all available
+    /// cores).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Engine {
+            threads: pool::resolve_threads(threads),
+            caches: Arc::default(),
+        }
+    }
+
+    /// Worker threads this engine uses.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The engine's caches (counters survive across runs).
+    #[must_use]
+    pub fn caches(&self) -> &EngineCaches {
+        &self.caches
+    }
+
+    /// Expands `spec`, runs every job on the worker pool, and aggregates.
+    ///
+    /// The aggregate is deterministic: same spec ⇒ identical result for
+    /// any thread count and any cache state.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidSpec`] before any work starts, or
+    /// [`EngineError::Job`] if a job fails.
+    pub fn run(&self, spec: &SweepSpec) -> Result<EngineOutput, EngineError> {
+        spec.validate()?;
+        let started = Instant::now();
+        let transform_before = self.caches.transform.counters();
+        let results_before = self.caches.results.counters();
+
+        let (cells, jobs) = spec.expand();
+        let job_count = jobs.len();
+        let mut aggregator = Aggregator::new(cells, job_count);
+        let caches = Arc::clone(&self.caches);
+        let worker_stats = pool::run_jobs(
+            jobs,
+            self.threads,
+            move |worker, j| job::execute(&caches, &j, worker),
+            |_, result| aggregator.accept(result),
+        );
+
+        let cached_jobs = aggregator.cache_hits();
+        let aggregate = aggregator.finalize()?;
+        let stats = EngineStats {
+            threads: worker_stats.len(),
+            jobs: job_count,
+            per_worker_jobs: worker_stats.iter().map(|w| w.jobs).collect(),
+            per_worker_steals: worker_stats.iter().map(|w| w.steals).collect(),
+            cached_jobs,
+            transform_cache: self.caches.transform.counters().since(transform_before),
+            result_cache: self.caches.results.counters().since(results_before),
+            elapsed: started.elapsed(),
+        };
+        Ok(EngineOutput { aggregate, stats })
+    }
+}
+
+impl Default for Engine {
+    /// An engine on all available cores.
+    fn default() -> Self {
+        Engine::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{GeneratorPreset, SweepSpec};
+
+    #[test]
+    fn invalid_specs_fail_fast() {
+        let engine = Engine::new(1);
+        let mut spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 2, 1);
+        spec.core_counts.clear();
+        assert!(matches!(
+            engine.run(&spec),
+            Err(EngineError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn stats_cover_all_workers_and_jobs() {
+        let engine = Engine::new(2);
+        let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2, 0.3], 4, 5);
+        let out = engine.run(&spec).unwrap();
+        assert_eq!(out.stats.jobs, 8);
+        assert_eq!(out.stats.per_worker_jobs.iter().sum::<u64>(), 8);
+        assert_eq!(out.stats.per_worker_jobs.len(), out.stats.threads);
+        assert_eq!(out.aggregate.cells.len(), 2);
+        let rendered = out.stats.render();
+        assert!(rendered.contains("result cache"));
+        assert!(rendered.contains("worker 0"));
+    }
+
+    #[test]
+    fn error_display_variants() {
+        let e = EngineError::InvalidSpec("x".into());
+        assert!(e.to_string().contains("invalid sweep spec"));
+        let e = EngineError::Job {
+            index: 3,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("job 3"));
+        let e = EngineError::Incomplete { index: 1 };
+        assert!(e.to_string().contains("no result"));
+    }
+}

@@ -1,0 +1,467 @@
+//! Independent units of work and their execution against the caches.
+
+use std::sync::Arc;
+
+use hetrta_core::federated::{federated_partition, AnalysisKind};
+use hetrta_core::{r_het, r_hom_dag, transform, Scenario, TransformedTask};
+use hetrta_dag::HeteroDagTask;
+use hetrta_exact::{solve, SolverConfig, MAX_NODES_SUPPORTED};
+use hetrta_gen::series::BatchSpec;
+use hetrta_sched::model::{AnalysisModel, DeviceModel};
+use hetrta_sched::taskset::{generate_task_set, sort_deadline_monotonic, TaskSetParams};
+use hetrta_sched::{gedf_test, gfp_test};
+use hetrta_sim::policy::BreadthFirst;
+use hetrta_sim::{simulate, Platform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::cache::{hash_task, hash_task_set, key_with_params};
+use crate::spec::AnalysisSelection;
+use crate::EngineCaches;
+
+/// Cache key tags, one per memoized computation kind.
+const TAG_TRANSFORM: u8 = 0;
+const TAG_HET: u8 = 1;
+const TAG_HOM: u8 = 2;
+const TAG_SIM: u8 = 3;
+const TAG_EXACT: u8 = 4;
+const TAG_SET: u8 = 5;
+
+/// One independent unit of work.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Position in the spec's expansion order (the determinism anchor).
+    pub index: usize,
+    /// Index of the sweep cell this job contributes to.
+    pub cell: usize,
+    /// What to compute.
+    pub payload: JobPayload,
+}
+
+/// The two job shapes a [`SweepSpec`](crate::SweepSpec) expands into.
+#[derive(Debug, Clone)]
+pub enum JobPayload {
+    /// Generate task `task_index` of `batch` at `fraction` and analyze it
+    /// on `m` cores.
+    Task {
+        /// Reproducible batch the task is drawn from.
+        batch: Arc<BatchSpec>,
+        /// Target `C_off/vol`.
+        fraction: f64,
+        /// Index within the batch.
+        task_index: usize,
+        /// Host core count.
+        m: u64,
+        /// Which analyses to run.
+        analyses: AnalysisSelection,
+        /// Optional bounded-solver node budget.
+        exact_node_budget: Option<u64>,
+    },
+    /// Generate one task set and run the six acceptance tests.
+    Set {
+        /// Task-set template (total utilization overwritten per point).
+        template: Arc<TaskSetParams>,
+        /// Tasks per set.
+        n_tasks: usize,
+        /// Host core count.
+        cores: u64,
+        /// Normalized utilization `U/m` of this point.
+        normalized_util: f64,
+        /// Fully derived RNG seed for this set.
+        seed: u64,
+    },
+}
+
+/// Everything the heterogeneous analysis of one task produces, reduced to
+/// the values sweeps aggregate. Field-for-field this mirrors the accessors
+/// of [`hetrta_core::AnalysisReport`]; parity is covered by the
+/// `engine_parity` integration tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HetSummary {
+    /// `R_het(τ')` (Theorem 1).
+    pub r_het: f64,
+    /// `R_hom(τ)` (Eq. 1 on the original DAG).
+    pub r_hom_original: f64,
+    /// `R_hom(τ')` (Eq. 1 on the transformed DAG).
+    pub r_hom_transformed: f64,
+    /// Which Theorem 1 scenario applied.
+    pub scenario: Scenario,
+    /// `100·(R_hom − R_het)/R_het` (the Figure 9 metric).
+    pub improvement_percent: f64,
+    /// `R_het(τ') ≤ D`.
+    pub schedulable_het: bool,
+    /// `R_hom(τ) ≤ D`.
+    pub schedulable_hom: bool,
+}
+
+/// Outcome of the bounded exact solver on one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactSummary {
+    /// Minimum makespan found.
+    pub makespan: u64,
+    /// Whether the solver proved optimality within its budget.
+    pub optimal: bool,
+}
+
+/// Metrics of one per-task job (fields are `None` when the corresponding
+/// analysis was not selected, or — for `exact` — not solvable within the
+/// budget/size limits).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TaskPointMetrics {
+    /// `R_hom(τ)` when only the homogeneous analysis was requested.
+    pub r_hom: Option<f64>,
+    /// Heterogeneous analysis summary.
+    pub het: Option<HetSummary>,
+    /// Simulated makespan (breadth-first, `m` hosts + accelerator).
+    pub sim_makespan: Option<u64>,
+    /// Bounded exact solve.
+    pub exact: Option<ExactSummary>,
+}
+
+/// Metrics of one task-set job: accept bit per test, in
+/// [`hetrta_sched::acceptance::TestKind::ALL`] order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetPointMetrics {
+    /// GFP-hom, GFP-het, GEDF-hom, GEDF-het, FED-hom, FED-het.
+    pub accepted: [bool; 6],
+}
+
+/// What a job computed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobMetrics {
+    /// Per-task analysis metrics.
+    Task(TaskPointMetrics),
+    /// Task-set acceptance bits.
+    Set(SetPointMetrics),
+}
+
+/// A finished job, streamed to the aggregator.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's expansion index.
+    pub index: usize,
+    /// The cell it contributes to.
+    pub cell: usize,
+    /// Worker that executed it.
+    pub worker: usize,
+    /// Whether the job's primary result came out of the memo cache.
+    pub cache_hit: bool,
+    /// Metrics, or the failure message.
+    pub metrics: Result<JobMetrics, String>,
+}
+
+/// Values stored in the shared result cache.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedValue {
+    Het(HetSummary),
+    Hom(f64),
+    Sim(u64),
+    Exact(Option<ExactSummary>),
+    Set([bool; 6]),
+    Failed(String),
+}
+
+/// Executes one job against the shared caches.
+pub(crate) fn execute(caches: &EngineCaches, job: &Job, worker: usize) -> JobResult {
+    let (metrics, cache_hit) = match &job.payload {
+        JobPayload::Task {
+            batch,
+            fraction,
+            task_index,
+            m,
+            analyses,
+            exact_node_budget,
+        } => execute_task(
+            caches,
+            batch,
+            *fraction,
+            *task_index,
+            *m,
+            *analyses,
+            *exact_node_budget,
+        ),
+        JobPayload::Set {
+            template,
+            n_tasks,
+            cores,
+            normalized_util,
+            seed,
+        } => execute_set(caches, template, *n_tasks, *cores, *normalized_util, *seed),
+    };
+    JobResult {
+        index: job.index,
+        cell: job.cell,
+        worker,
+        cache_hit,
+        metrics,
+    }
+}
+
+fn execute_task(
+    caches: &EngineCaches,
+    batch: &BatchSpec,
+    fraction: f64,
+    task_index: usize,
+    m: u64,
+    analyses: AnalysisSelection,
+    exact_node_budget: Option<u64>,
+) -> (Result<JobMetrics, String>, bool) {
+    let task = match batch.task(task_index, fraction) {
+        Ok(t) => t,
+        Err(e) => return (Err(format!("generation failed: {e}")), false),
+    };
+    let content = hash_task(&task);
+    let mut metrics = TaskPointMetrics::default();
+    let mut all_hits = true;
+
+    if analyses.het {
+        let key = key_with_params(content, TAG_HET, m);
+        let (value, hit) = caches
+            .results
+            .get_or_compute(key, || het_summary(caches, &task, content, m));
+        all_hits &= hit;
+        match value {
+            CachedValue::Het(h) => metrics.het = Some(h),
+            CachedValue::Failed(e) => return (Err(e), false),
+            _ => unreachable!("het key yields het value"),
+        }
+    }
+    if analyses.hom {
+        let key = key_with_params(content, TAG_HOM, m);
+        let (value, hit) = caches
+            .results
+            .get_or_compute(key, || match r_hom_dag(task.dag(), m) {
+                Ok(r) => CachedValue::Hom(r.to_f64()),
+                Err(e) => CachedValue::Failed(format!("R_hom failed: {e}")),
+            });
+        all_hits &= hit;
+        match value {
+            CachedValue::Hom(r) => metrics.r_hom = Some(r),
+            CachedValue::Failed(e) => return (Err(e), false),
+            _ => unreachable!("hom key yields hom value"),
+        }
+    }
+    if analyses.sim {
+        let key = key_with_params(content, TAG_SIM, m);
+        let (value, hit) = caches.results.get_or_compute(key, || {
+            let platform = Platform::with_accelerator(m as usize);
+            match simulate(
+                task.dag(),
+                Some(task.offloaded()),
+                platform,
+                &mut BreadthFirst::new(),
+            ) {
+                Ok(r) => CachedValue::Sim(r.makespan().get()),
+                Err(e) => CachedValue::Failed(format!("simulation failed: {e}")),
+            }
+        });
+        all_hits &= hit;
+        match value {
+            CachedValue::Sim(ms) => metrics.sim_makespan = Some(ms),
+            CachedValue::Failed(e) => return (Err(e), false),
+            _ => unreachable!("sim key yields sim value"),
+        }
+    }
+    if analyses.exact {
+        // The budget changes what "unsolved" means, so it is part of the
+        // content address (u64::MAX stands for the solver default).
+        let budget_key = exact_node_budget.unwrap_or(u64::MAX);
+        let key = key_with_params(
+            key_with_params(content, TAG_EXACT, m),
+            TAG_EXACT,
+            budget_key,
+        );
+        let (value, hit) = caches.results.get_or_compute(key, || {
+            if task.dag().node_count() > MAX_NODES_SUPPORTED {
+                return CachedValue::Exact(None);
+            }
+            let mut config = SolverConfig::default();
+            if let Some(budget) = exact_node_budget {
+                config.max_nodes = budget;
+            }
+            match solve(task.dag(), Some(task.offloaded()), m, &config) {
+                Ok(sol) => CachedValue::Exact(Some(ExactSummary {
+                    makespan: sol.makespan().get(),
+                    optimal: sol.is_optimal(),
+                })),
+                // A budget/size refusal is data ("unsolved"), not a failure.
+                Err(_) => CachedValue::Exact(None),
+            }
+        });
+        all_hits &= hit;
+        match value {
+            CachedValue::Exact(e) => metrics.exact = e,
+            CachedValue::Failed(e) => return (Err(e), false),
+            _ => unreachable!("exact key yields exact value"),
+        }
+    }
+
+    (Ok(JobMetrics::Task(metrics)), all_hits)
+}
+
+/// Computes the heterogeneous summary, reusing the memoized transformation
+/// when any previous job (e.g. the same task under another core count)
+/// already produced it.
+fn het_summary(caches: &EngineCaches, task: &HeteroDagTask, content: u128, m: u64) -> CachedValue {
+    let transform_key = key_with_params(content, TAG_TRANSFORM, 0);
+    let (transformed, _hit) = caches
+        .transform
+        .get_or_compute(transform_key, || transform(task).map_err(|e| e.to_string()));
+    let transformed: TransformedTask = match transformed {
+        Ok(t) => t,
+        Err(e) => return CachedValue::Failed(format!("transformation failed: {e}")),
+    };
+    let het = match r_het(&transformed, m) {
+        Ok(h) => h,
+        Err(e) => return CachedValue::Failed(format!("R_het failed: {e}")),
+    };
+    let r_hom_original = match r_hom_dag(task.dag(), m) {
+        Ok(r) => r,
+        Err(e) => return CachedValue::Failed(format!("R_hom failed: {e}")),
+    };
+    let r_hom_transformed = het.r_hom_transformed();
+    let deadline = task.deadline().to_rational();
+    let r_het_value = het.value();
+    // improvement_percent mirrors AnalysisReport::improvement_percent
+    // operation-for-operation so engine and serial sweeps agree bitwise.
+    let het_f = r_het_value.to_f64();
+    let improvement = if het_f == 0.0 {
+        0.0
+    } else {
+        100.0 * (r_hom_original.to_f64() - het_f) / het_f
+    };
+    CachedValue::Het(HetSummary {
+        r_het: het_f,
+        r_hom_original: r_hom_original.to_f64(),
+        r_hom_transformed: r_hom_transformed.to_f64(),
+        scenario: het.scenario(),
+        improvement_percent: improvement,
+        schedulable_het: r_het_value <= deadline,
+        schedulable_hom: r_hom_original <= deadline,
+    })
+}
+
+fn execute_set(
+    caches: &EngineCaches,
+    template: &TaskSetParams,
+    n_tasks: usize,
+    cores: u64,
+    normalized_util: f64,
+    seed: u64,
+) -> (Result<JobMetrics, String>, bool) {
+    // Generation mirrors hetrta_sched::acceptance::acceptance_sweep.
+    let mut params = template.clone();
+    params.n_tasks = n_tasks;
+    params.total_util = normalized_util * cores as f64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = match generate_task_set(&params, &mut rng) {
+        Ok(s) => s,
+        Err(e) => return (Err(format!("task-set generation failed: {e}")), false),
+    };
+    sort_deadline_monotonic(&mut set);
+
+    let content = hash_task_set(&set);
+    let key = key_with_params(content, TAG_SET, cores);
+    let (value, hit) = caches
+        .results
+        .get_or_compute(key, || set_verdicts(&set, cores));
+    match value {
+        CachedValue::Set(accepted) => (Ok(JobMetrics::Set(SetPointMetrics { accepted })), hit),
+        CachedValue::Failed(e) => (Err(e), false),
+        _ => unreachable!("set key yields set value"),
+    }
+}
+
+/// Runs the six acceptance tests of the serial sweep, in
+/// [`hetrta_sched::acceptance::TestKind::ALL`] order.
+fn set_verdicts(set: &[HeteroDagTask], cores: u64) -> CachedValue {
+    let het = AnalysisModel::Heterogeneous(DeviceModel::DedicatedPerTask);
+    let mut accepted = [false; 6];
+    let outcome: Result<(), String> = (|| {
+        accepted[0] = gfp_test(set, cores, AnalysisModel::Homogeneous)
+            .map_err(|e| e.to_string())?
+            .is_schedulable();
+        accepted[1] = gfp_test(set, cores, het)
+            .map_err(|e| e.to_string())?
+            .is_schedulable();
+        accepted[2] = gedf_test(set, cores, AnalysisModel::Homogeneous)
+            .map_err(|e| e.to_string())?
+            .is_schedulable();
+        accepted[3] = gedf_test(set, cores, het)
+            .map_err(|e| e.to_string())?
+            .is_schedulable();
+        accepted[4] = federated_partition(set, cores, AnalysisKind::Homogeneous)
+            .map_err(|e| e.to_string())?
+            .is_schedulable();
+        accepted[5] = federated_partition(set, cores, AnalysisKind::Heterogeneous)
+            .map_err(|e| e.to_string())?
+            .is_schedulable();
+        Ok(())
+    })();
+    match outcome {
+        Ok(()) => CachedValue::Set(accepted),
+        Err(e) => CachedValue::Failed(format!("acceptance tests failed: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{GeneratorPreset, SweepSpec};
+
+    #[test]
+    fn task_job_executes_and_caches() {
+        let caches = EngineCaches::default();
+        let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 1, 7);
+        let (_, jobs) = spec.expand();
+        let first = execute(&caches, &jobs[0], 0);
+        assert!(!first.cache_hit);
+        let metrics = first.metrics.expect("job succeeds");
+        let JobMetrics::Task(t) = &metrics else {
+            panic!("task job")
+        };
+        let het = t.het.expect("het selected");
+        assert!(het.r_het <= het.r_hom_transformed + 1e-9);
+
+        // Same job again: fully served from cache, same values.
+        let again = execute(&caches, &jobs[0], 1);
+        assert!(again.cache_hit);
+        assert_eq!(again.metrics.expect("job succeeds"), metrics);
+    }
+
+    #[test]
+    fn transform_is_shared_across_core_counts() {
+        let caches = EngineCaches::default();
+        let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2, 4, 8], vec![0.2], 1, 7);
+        let (_, jobs) = spec.expand();
+        for job in &jobs {
+            let r = execute(&caches, job, 0);
+            assert!(r.metrics.is_ok());
+        }
+        let counters = caches.transform.counters();
+        assert_eq!(counters.misses, 1, "one DAG, one transformation");
+        assert_eq!(counters.hits, 2, "reused for the other two core counts");
+    }
+
+    #[test]
+    fn all_analyses_fill_all_metrics() {
+        let caches = EngineCaches::default();
+        let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.25], 1, 3)
+            .with_analyses(crate::AnalysisSelection::all());
+        let (_, jobs) = spec.expand();
+        let r = execute(&caches, &jobs[0], 0);
+        let JobMetrics::Task(t) = r.metrics.expect("job succeeds") else {
+            panic!("task job")
+        };
+        assert!(t.r_hom.is_some());
+        assert!(t.het.is_some());
+        assert!(t.sim_makespan.is_some());
+        // exact may be None only for oversized DAGs; small preset fits.
+        let exact = t.exact.expect("small task solves");
+        let sim = t.sim_makespan.unwrap();
+        assert!(
+            exact.makespan <= sim,
+            "exact optimum cannot exceed a simulated schedule"
+        );
+    }
+}

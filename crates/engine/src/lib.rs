@@ -1,0 +1,67 @@
+//! # hetrta-engine — parallel batch-analysis engine with content-addressed
+//! # result caching
+//!
+//! The per-task analyses of this workspace (transformation + Theorem 1,
+//! Eq. 1, simulation, bounded exact solving) and the task-set acceptance
+//! tests are all pure functions of their inputs, and evaluation sweeps run
+//! them over thousands of independently generated inputs. This crate is the
+//! production path for those sweeps:
+//!
+//! * a declarative [`SweepSpec`] (generator preset × core counts ×
+//!   utilization/fraction grid × seeds × analysis kinds) expands into
+//!   independent [`Job`]s;
+//! * a **work-stealing worker pool** ([`pool`]) runs the jobs: a shared
+//!   injector queue feeds per-worker deques, idle workers steal from
+//!   siblings, and results stream through a channel into an aggregator;
+//! * a **content-addressed memo cache** ([`cache`]) keyed by a structural
+//!   hash of the DAG + analysis parameters ensures repeated content —
+//!   repeated seeds, the same task under several core counts — is analyzed
+//!   once, with hit/miss counters surfaced in [`EngineStats`];
+//! * the [`SweepAggregate`] is **bit-deterministic**: expansion order, not
+//!   completion order, drives every floating-point reduction, so one
+//!   thread and N threads produce identical aggregates.
+//!
+//! ## Example
+//!
+//! ```
+//! use hetrta_engine::{Engine, GeneratorPreset, SweepSpec};
+//!
+//! # fn main() -> Result<(), hetrta_engine::EngineError> {
+//! // A small Figure-8-style sweep: 2 core counts × 2 offload fractions,
+//! // 8 tasks per point.
+//! let spec = SweepSpec::fractions(
+//!     GeneratorPreset::Small,
+//!     vec![2, 8],
+//!     vec![0.05, 0.30],
+//!     8,
+//!     0xDAC_2018,
+//! );
+//! let engine = Engine::new(0); // all cores
+//! let out = engine.run(&spec)?;
+//! assert_eq!(out.aggregate.cells.len(), 4);
+//! assert_eq!(out.stats.jobs, 32);
+//! // The transformation of each task is shared across core counts:
+//! assert!(out.stats.transform_cache.hits > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aggregate;
+pub mod cache;
+mod engine;
+pub mod job;
+pub mod pool;
+pub mod spec;
+
+pub use aggregate::{CellKind, CellSummary, SetCellSummary, SweepAggregate, TaskCellSummary};
+pub use cache::CacheCounters;
+pub use engine::{Engine, EngineCaches, EngineError, EngineOutput, EngineStats};
+pub use job::{ExactSummary, HetSummary, Job, JobMetrics, JobPayload, JobResult};
+pub use spec::{AnalysisSelection, CellInfo, GeneratorPreset, SweepGrid, SweepSpec};
+
+// The acceptance-test order of set sweeps is the serial path's.
+pub use hetrta_sched::acceptance::TestKind;

@@ -1,0 +1,231 @@
+//! Work-stealing worker pool (std only).
+//!
+//! Topology: one shared **injector** queue seeded with every job, plus one
+//! **local deque** per worker. Owners drain their deque FIFO (pop from the
+//! front), refill in batches from the injector, and — once the injector
+//! runs dry — **steal** from the back of sibling deques (the victim's
+//! newest-queued job: the opposite end from the owner, minimizing
+//! contention). Jobs never spawn jobs, so "everything empty" is a sound
+//! termination condition.
+//!
+//! Results stream to the caller through an [`std::sync::mpsc`] channel in
+//! completion order; every job carries its submission index so callers can
+//! re-establish deterministic order regardless of scheduling.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Per-worker execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker executed.
+    pub jobs: u64,
+    /// Jobs this worker stole from a sibling's deque.
+    pub steals: u64,
+}
+
+/// Resolves a requested thread count: `0` means "all available cores".
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    }
+}
+
+/// Runs `jobs` on `threads` workers, streaming `(index, result)` pairs to
+/// `consume` on the calling thread as they complete.
+///
+/// `consume` observes results in nondeterministic completion order; the
+/// submission `index` lets the caller rebuild input order. Returns the
+/// per-worker counters.
+///
+/// # Panics
+///
+/// Propagates worker panics (via [`std::thread::scope`]).
+pub fn run_jobs<J, R, E, C>(
+    jobs: Vec<J>,
+    threads: usize,
+    exec: E,
+    mut consume: C,
+) -> Vec<WorkerStats>
+where
+    J: Send,
+    R: Send,
+    E: Fn(usize, J) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    let n = jobs.len();
+    let threads = resolve_threads(threads).max(1).min(n.max(1));
+    if n == 0 {
+        return vec![WorkerStats::default(); threads];
+    }
+
+    // Batch size for injector refills: big enough to amortize the injector
+    // lock, small enough that late stragglers still balance via stealing.
+    let batch = (n / (threads * 8)).clamp(1, 64);
+
+    let injector: Mutex<VecDeque<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let locals: Vec<Mutex<VecDeque<(usize, J)>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+
+    let mut stats = vec![WorkerStats::default(); threads];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let tx = tx.clone();
+            let injector = &injector;
+            let locals = &locals;
+            let exec = &exec;
+            handles.push(scope.spawn(move || {
+                let mut local_stats = WorkerStats::default();
+                loop {
+                    let job = next_job(worker, injector, locals, batch, &mut local_stats);
+                    let Some((index, job)) = job else { break };
+                    let result = exec(worker, job);
+                    local_stats.jobs += 1;
+                    if tx.send((index, result)).is_err() {
+                        break; // receiver gone: caller is unwinding
+                    }
+                }
+                local_stats
+            }));
+        }
+        drop(tx);
+
+        // The calling thread doubles as the streaming aggregator.
+        for (index, result) in rx {
+            consume(index, result);
+        }
+
+        for (worker, handle) in handles.into_iter().enumerate() {
+            stats[worker] = handle.join().expect("worker panicked");
+        }
+    });
+    stats
+}
+
+/// Finds the next job for `worker`: local deque, then injector refill, then
+/// stealing; `None` once every queue is empty.
+fn next_job<J>(
+    worker: usize,
+    injector: &Mutex<VecDeque<(usize, J)>>,
+    locals: &[Mutex<VecDeque<(usize, J)>>],
+    batch: usize,
+    stats: &mut WorkerStats,
+) -> Option<(usize, J)> {
+    if let Some(job) = locals[worker].lock().expect("local deque").pop_front() {
+        return Some(job);
+    }
+
+    // Refill from the shared injector.
+    {
+        let mut inj = injector.lock().expect("injector");
+        if !inj.is_empty() {
+            let take = batch.min(inj.len());
+            let mut mine = locals[worker].lock().expect("local deque");
+            for _ in 0..take {
+                if let Some(job) = inj.pop_front() {
+                    mine.push_back(job);
+                }
+            }
+            drop(inj);
+            return mine.pop_front();
+        }
+    }
+
+    // Steal from the *back* of a sibling (its newest-queued job — the
+    // opposite end from the owner's front pops), round-robin
+    // starting after our own slot to spread contention.
+    let k = locals.len();
+    for offset in 1..k {
+        let victim = (worker + offset) % k;
+        if let Some(job) = locals[victim].lock().expect("sibling deque").pop_back() {
+            stats.steals += 1;
+            return Some(job);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        let executed = AtomicU64::new(0);
+        let mut seen = vec![false; 500];
+        let stats = run_jobs(
+            (0..500u64).collect(),
+            4,
+            |_, j| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                j * 2
+            },
+            |index, result| {
+                assert_eq!(result, index as u64 * 2);
+                assert!(!seen[index], "job {index} delivered twice");
+                seen[index] = true;
+            },
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), 500);
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(stats.iter().map(|s| s.jobs).sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn single_thread_is_in_order() {
+        let mut order = Vec::new();
+        run_jobs(
+            (0..50usize).collect(),
+            1,
+            |_, j| j,
+            |index, _| order.push(index),
+        );
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let stats = run_jobs(
+            Vec::<u8>::new(),
+            3,
+            |_, j| j,
+            |_, _| unreachable!("no jobs"),
+        );
+        assert!(stats.iter().all(|s| s.jobs == 0));
+    }
+
+    #[test]
+    fn uneven_work_gets_stolen() {
+        // One enormous job first; the rest are tiny. With more threads than
+        // the injector batch, siblings must steal or starve.
+        let stats = run_jobs(
+            (0..64u64).collect(),
+            4,
+            |_, j| {
+                let spins = if j == 0 { 2_000_000 } else { 10 };
+                let mut acc = j;
+                for i in 0..spins {
+                    acc = acc.wrapping_mul(31).wrapping_add(i);
+                }
+                acc
+            },
+            |_, _| {},
+        );
+        assert_eq!(stats.iter().map(|s| s.jobs).sum::<u64>(), 64);
+        // No worker may have run everything while others idled.
+        assert!(stats.iter().filter(|s| s.jobs > 0).count() > 1);
+    }
+
+    #[test]
+    fn thread_resolution() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -1,0 +1,486 @@
+//! Declarative sweep specifications and their expansion into jobs.
+
+use std::sync::Arc;
+
+use hetrta_gen::series::BatchSpec;
+use hetrta_gen::NfjParams;
+use hetrta_sched::taskset::TaskSetParams;
+
+use crate::job::{Job, JobPayload};
+use crate::EngineError;
+
+/// Which DAG generator feeds the sweep (paper §5.1 presets or custom
+/// parameters).
+#[derive(Debug, Clone)]
+pub enum GeneratorPreset {
+    /// The paper's *small tasks* preset.
+    Small,
+    /// The paper's *large tasks* preset.
+    Large,
+    /// Large tasks constrained to the paper's evaluation range
+    /// `n ∈ [100, 250]` (Figures 8–9).
+    LargePaper,
+    /// Explicit generator parameters.
+    Custom(NfjParams),
+}
+
+impl GeneratorPreset {
+    /// Resolves to concrete generator parameters.
+    #[must_use]
+    pub fn params(&self) -> NfjParams {
+        match self {
+            GeneratorPreset::Small => NfjParams::small_tasks(),
+            GeneratorPreset::Large => NfjParams::large_tasks(),
+            GeneratorPreset::LargePaper => NfjParams::large_tasks().with_node_range(100, 250),
+            GeneratorPreset::Custom(p) => p.clone(),
+        }
+    }
+}
+
+/// Which analyses each per-task job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisSelection {
+    /// Eq. 1 (`R_hom`) on the original DAG.
+    pub hom: bool,
+    /// Algorithm 1 + Theorem 1 (`R_het`, scenario, improvement).
+    pub het: bool,
+    /// Work-conserving breadth-first simulation (paper §5.2).
+    pub sim: bool,
+    /// Bounded exact minimum-makespan solve (paper §5.3).
+    pub exact: bool,
+}
+
+impl AnalysisSelection {
+    /// Only the heterogeneous analysis (Figures 8–9 workloads).
+    #[must_use]
+    pub fn het_only() -> Self {
+        AnalysisSelection {
+            hom: false,
+            het: true,
+            sim: false,
+            exact: false,
+        }
+    }
+
+    /// Every analysis kind.
+    #[must_use]
+    pub fn all() -> Self {
+        AnalysisSelection {
+            hom: true,
+            het: true,
+            sim: true,
+            exact: true,
+        }
+    }
+
+    /// `true` if no analysis is selected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        !(self.hom || self.het || self.sim || self.exact)
+    }
+
+    /// Parses a comma-separated list (`"hom,het,sim,exact"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token on unknown analysis names.
+    pub fn parse(list: &str) -> Result<Self, String> {
+        let mut sel = AnalysisSelection {
+            hom: false,
+            het: false,
+            sim: false,
+            exact: false,
+        };
+        for token in list.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            match token {
+                "hom" => sel.hom = true,
+                "het" => sel.het = true,
+                "sim" => sel.sim = true,
+                "exact" => sel.exact = true,
+                other => return Err(format!("unknown analysis kind `{other}`")),
+            }
+        }
+        if sel.is_empty() {
+            return Err("no analysis kinds selected".into());
+        }
+        Ok(sel)
+    }
+}
+
+/// The swept dimension.
+#[derive(Debug, Clone)]
+pub enum SweepGrid {
+    /// Offload fractions `C_off/vol`; each job generates and analyzes one
+    /// heterogeneous task (Figures 6–9 shape).
+    OffloadFractions(Vec<f64>),
+    /// Normalized utilizations `U/m`; each job generates one task *set* and
+    /// runs the six acceptance tests (GFP/GEDF/federated × hom/het).
+    NormalizedUtilizations(Vec<f64>),
+}
+
+impl SweepGrid {
+    /// The grid values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        match self {
+            SweepGrid::OffloadFractions(v) | SweepGrid::NormalizedUtilizations(v) => v,
+        }
+    }
+}
+
+/// One sweep cell: a `(core count, grid value)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellInfo {
+    /// Host core count `m`.
+    pub m: u64,
+    /// Offload fraction or normalized utilization, depending on the grid.
+    pub grid_value: f64,
+}
+
+/// A declarative batch sweep: generator preset × core counts × grid ×
+/// seeds × analyses, expanded by the engine into independent jobs.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// DAG generator for per-task sweeps (ignored by utilization grids,
+    /// whose generator lives in [`SweepSpec::set_template`]).
+    pub preset: GeneratorPreset,
+    /// Host core counts to sweep.
+    pub core_counts: Vec<u64>,
+    /// The swept dimension.
+    pub grid: SweepGrid,
+    /// Tasks (fraction grid) or task sets (utilization grid) per sweep
+    /// point and seed.
+    pub jobs_per_point: usize,
+    /// Base seeds; every seed is an independent replication of the whole
+    /// sweep. Repeating a seed exercises the result cache.
+    pub seeds: Vec<u64>,
+    /// Analyses run by per-task jobs (utilization grids always run the six
+    /// acceptance tests).
+    pub analyses: AnalysisSelection,
+    /// Task-set template for utilization grids.
+    pub set_template: Option<TaskSetParams>,
+    /// Tasks per generated set (utilization grids).
+    pub n_tasks: usize,
+    /// Node-exploration budget for the bounded exact solver (`None` =
+    /// solver default).
+    pub exact_node_budget: Option<u64>,
+}
+
+impl SweepSpec {
+    /// A per-task sweep over offload fractions (the Figure 8/9 shape).
+    #[must_use]
+    pub fn fractions(
+        preset: GeneratorPreset,
+        core_counts: Vec<u64>,
+        fractions: Vec<f64>,
+        tasks_per_point: usize,
+        seed: u64,
+    ) -> Self {
+        SweepSpec {
+            preset,
+            core_counts,
+            grid: SweepGrid::OffloadFractions(fractions),
+            jobs_per_point: tasks_per_point,
+            seeds: vec![seed],
+            analyses: AnalysisSelection::het_only(),
+            set_template: None,
+            n_tasks: 0,
+            exact_node_budget: None,
+        }
+    }
+
+    /// A task-set acceptance sweep over normalized utilizations, matching
+    /// [`hetrta_sched::acceptance::acceptance_sweep`] seeding exactly (the
+    /// serial reference path).
+    #[must_use]
+    pub fn acceptance(
+        template: TaskSetParams,
+        core_counts: Vec<u64>,
+        normalized_utils: Vec<f64>,
+        n_tasks: usize,
+        sets_per_point: usize,
+        seed: u64,
+    ) -> Self {
+        SweepSpec {
+            preset: GeneratorPreset::Small,
+            core_counts,
+            grid: SweepGrid::NormalizedUtilizations(normalized_utils),
+            jobs_per_point: sets_per_point,
+            seeds: vec![seed],
+            analyses: AnalysisSelection::het_only(),
+            set_template: Some(template),
+            n_tasks,
+            exact_node_budget: None,
+        }
+    }
+
+    /// Overrides the analysis selection (per-task sweeps).
+    #[must_use]
+    pub fn with_analyses(mut self, analyses: AnalysisSelection) -> Self {
+        self.analyses = analyses;
+        self
+    }
+
+    /// Replaces the replication seeds.
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidSpec`] naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        let fail = |msg: &str| Err(EngineError::InvalidSpec(msg.into()));
+        if self.core_counts.is_empty() {
+            return fail("no core counts");
+        }
+        if self.core_counts.contains(&0) {
+            return fail("core count 0");
+        }
+        if self.grid.values().is_empty() {
+            return fail("empty sweep grid");
+        }
+        if self.jobs_per_point == 0 {
+            return fail("jobs_per_point is 0");
+        }
+        if self.seeds.is_empty() {
+            return fail("no seeds");
+        }
+        match &self.grid {
+            SweepGrid::OffloadFractions(fs) => {
+                if fs.iter().any(|&f| !(0.0 < f && f < 1.0)) {
+                    return fail("offload fractions must lie in (0, 1)");
+                }
+                if self.analyses.is_empty() {
+                    return fail("no analyses selected");
+                }
+            }
+            SweepGrid::NormalizedUtilizations(us) => {
+                if us.iter().any(|&u| !(u > 0.0 && u.is_finite())) {
+                    return fail("normalized utilizations must be positive and finite");
+                }
+                if self.set_template.is_none() {
+                    return fail("utilization grid needs a task-set template");
+                }
+                if self.n_tasks == 0 {
+                    return fail("utilization grid needs n_tasks > 0");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total jobs this spec expands into.
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        self.core_counts.len() * self.grid.values().len() * self.seeds.len() * self.jobs_per_point
+    }
+
+    /// Expands the spec into its cells and independent jobs.
+    ///
+    /// Expansion order is the determinism contract: cells iterate core
+    /// counts then grid values; jobs within a cell iterate seeds then the
+    /// per-point index. Aggregation replays results in exactly this order,
+    /// so the aggregate is identical for any worker count.
+    #[must_use]
+    pub fn expand(&self) -> (Vec<CellInfo>, Vec<Job>) {
+        let mut cells = Vec::new();
+        let mut jobs = Vec::new();
+        match &self.grid {
+            SweepGrid::OffloadFractions(fractions) => {
+                let batches: Vec<Arc<BatchSpec>> = self
+                    .seeds
+                    .iter()
+                    .map(|&seed| {
+                        Arc::new(BatchSpec::new(
+                            self.preset.params(),
+                            self.jobs_per_point,
+                            seed,
+                        ))
+                    })
+                    .collect();
+                for &m in &self.core_counts {
+                    for &fraction in fractions {
+                        let cell = cells.len();
+                        cells.push(CellInfo {
+                            m,
+                            grid_value: fraction,
+                        });
+                        for batch in &batches {
+                            for task_index in 0..self.jobs_per_point {
+                                jobs.push(Job {
+                                    index: jobs.len(),
+                                    cell,
+                                    payload: JobPayload::Task {
+                                        batch: Arc::clone(batch),
+                                        fraction,
+                                        task_index,
+                                        m,
+                                        analyses: self.analyses,
+                                        exact_node_budget: self.exact_node_budget,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            SweepGrid::NormalizedUtilizations(utils) => {
+                let template = Arc::new(
+                    self.set_template
+                        .clone()
+                        .expect("validated utilization grid"),
+                );
+                for &m in &self.core_counts {
+                    for (pi, &nu) in utils.iter().enumerate() {
+                        let cell = cells.len();
+                        cells.push(CellInfo { m, grid_value: nu });
+                        for &base_seed in &self.seeds {
+                            for s in 0..self.jobs_per_point {
+                                // Shared derivation with the serial
+                                // acceptance_sweep (parity-tested); the
+                                // SplitMix64 step inside decorrelates
+                                // nearby base seeds across replications.
+                                let seed = hetrta_sched::acceptance::point_seed(base_seed, pi, s);
+                                jobs.push(Job {
+                                    index: jobs.len(),
+                                    cell,
+                                    payload: JobPayload::Set {
+                                        template: Arc::clone(&template),
+                                        n_tasks: self.n_tasks,
+                                        cores: m,
+                                        normalized_util: nu,
+                                        seed,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (cells, jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SweepSpec {
+        SweepSpec::fractions(GeneratorPreset::Small, vec![2, 4], vec![0.1, 0.3], 5, 99)
+    }
+
+    #[test]
+    fn expansion_counts_and_order() {
+        let s = spec();
+        let (cells, jobs) = s.expand();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(jobs.len(), s.job_count());
+        assert_eq!(jobs.len(), 20);
+        // Jobs are cell-contiguous in expansion order.
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.index, i);
+            assert_eq!(job.cell, i / 5);
+        }
+        assert_eq!(
+            cells[0],
+            CellInfo {
+                m: 2,
+                grid_value: 0.1
+            }
+        );
+        assert_eq!(
+            cells[3],
+            CellInfo {
+                m: 4,
+                grid_value: 0.3
+            }
+        );
+    }
+
+    #[test]
+    fn repeated_seeds_multiply_jobs() {
+        let s = spec().with_seeds(vec![7, 7]);
+        assert_eq!(s.job_count(), 40);
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        assert!(spec().validate().is_ok());
+        let mut bad = spec();
+        bad.core_counts.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.core_counts = vec![0];
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.grid = SweepGrid::OffloadFractions(vec![1.5]);
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.jobs_per_point = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.seeds.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = spec();
+        bad.grid = SweepGrid::NormalizedUtilizations(vec![0.5]);
+        assert!(bad.validate().is_err(), "utilization grid without template");
+    }
+
+    #[test]
+    fn analysis_selection_parses() {
+        assert_eq!(
+            AnalysisSelection::parse("het").unwrap(),
+            AnalysisSelection::het_only()
+        );
+        assert_eq!(
+            AnalysisSelection::parse("hom,het,sim,exact").unwrap(),
+            AnalysisSelection::all()
+        );
+        assert!(AnalysisSelection::parse("frob").is_err());
+        assert!(AnalysisSelection::parse("").is_err());
+    }
+
+    #[test]
+    fn acceptance_seed_parity_shape() {
+        let template = TaskSetParams::small(3, 1.0);
+        let s = SweepSpec::acceptance(template, vec![2], vec![0.2, 0.6], 3, 4, 42);
+        let (cells, jobs) = s.expand();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(jobs.len(), 8);
+        // Seeds come from the shared serial-path derivation.
+        use hetrta_sched::acceptance::point_seed;
+        let JobPayload::Set { seed, .. } = &jobs[0].payload else {
+            panic!("set job")
+        };
+        assert_eq!(*seed, point_seed(42, 0, 0));
+        let JobPayload::Set { seed, .. } = &jobs[4 + 1].payload else {
+            panic!("set job")
+        };
+        assert_eq!(*seed, point_seed(42, 1, 1));
+    }
+
+    #[test]
+    fn nearby_base_seeds_do_not_collide() {
+        // Replications with base seeds 0 and 1 must generate disjoint
+        // per-set seed multisets (the review-caught XOR-overlap bug).
+        let template = TaskSetParams::small(3, 1.0);
+        let s = SweepSpec::acceptance(template, vec![2], vec![0.5], 3, 4, 0).with_seeds(vec![0, 1]);
+        let (_, jobs) = s.expand();
+        let seeds: std::collections::BTreeSet<u64> = jobs
+            .iter()
+            .map(|j| {
+                let JobPayload::Set { seed, .. } = &j.payload else {
+                    panic!("set job")
+                };
+                *seed
+            })
+            .collect();
+        assert_eq!(seeds.len(), jobs.len(), "all derived seeds distinct");
+    }
+}

@@ -68,7 +68,11 @@ pub fn water_filling_bound(core_free: &[u64], work: u64) -> u64 {
     let m = f.len() as u128;
     for i in 0..f.len() {
         let width = (i + 1) as u128;
-        let band = if i + 1 < f.len() { (f[i + 1] - f[i]) as u128 } else { u128::MAX };
+        let band = if i + 1 < f.len() {
+            (f[i + 1] - f[i]) as u128
+        } else {
+            u128::MAX
+        };
         if width.saturating_mul(band) >= remaining {
             return f[i] + (remaining as u64).div_ceil(width as u64);
         }

@@ -45,7 +45,10 @@ mod tests {
     #[test]
     fn display_and_source() {
         use std::error::Error;
-        assert_eq!(ExactError::ZeroCores.to_string(), "host must have at least one core");
+        assert_eq!(
+            ExactError::ZeroCores.to_string(),
+            "host must have at least one core"
+        );
         let e = ExactError::from(DagError::Empty);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("no nodes"));

@@ -40,7 +40,9 @@ pub fn list_schedule_cp_first(
     let cp = CriticalPath::try_of(dag)?;
     let tails: Vec<u64> = dag.node_ids().map(|v| cp.tail(v).get()).collect();
 
-    let mut remaining: Vec<usize> = (0..n).map(|i| dag.in_degree(NodeId::from_index(i))).collect();
+    let mut remaining: Vec<usize> = (0..n)
+        .map(|i| dag.in_degree(NodeId::from_index(i)))
+        .collect();
     let mut starts = vec![Ticks::ZERO; n];
     let mut done = 0usize;
     let mut free: BinaryHeap<Reverse<u64>> = (0..m).map(|_| Reverse(0u64)).collect();
@@ -70,7 +72,9 @@ pub fn list_schedule_cp_first(
             for &s in dag.successors(v) {
                 remaining[s.index()] -= 1;
                 if remaining[s.index()] == 0 {
-                    release(s, now, dag, offloaded, tails, ready, running, starts, done, remaining);
+                    release(
+                        s, now, dag, offloaded, tails, ready, running, starts, done, remaining,
+                    );
                 }
             }
         } else if offloaded == Some(v) {
@@ -104,7 +108,9 @@ pub fn list_schedule_cp_first(
 
     loop {
         while !ready.is_empty() {
-            let Some(&Reverse(core_free)) = free.peek() else { break };
+            let Some(&Reverse(core_free)) = free.peek() else {
+                break;
+            };
             if core_free > now {
                 break;
             }
@@ -117,7 +123,9 @@ pub fn list_schedule_cp_first(
         }
         // next event: earliest running completion, or earliest core slot if
         // jobs are waiting (cores all busy)
-        let Some(&Reverse((fin, _))) = running.peek() else { break };
+        let Some(&Reverse((fin, _))) = running.peek() else {
+            break;
+        };
         now = fin;
         while let Some(&Reverse((f, vi))) = running.peek() {
             if f != now {
@@ -147,7 +155,10 @@ pub fn list_schedule_cp_first(
     }
     if done != n {
         return Err(ExactError::Dag(hetrta_dag::DagError::Cycle(
-            (0..n).map(NodeId::from_index).find(|v| remaining[v.index()] > 0).unwrap_or(NodeId::from_index(0)),
+            (0..n)
+                .map(NodeId::from_index)
+                .find(|v| remaining[v.index()] > 0)
+                .unwrap_or(NodeId::from_index(0)),
         )));
     }
     let makespan = dag
@@ -171,8 +182,16 @@ mod tests {
         let v4 = b.node("v4", Ticks::new(2));
         let v5 = b.node("v5", Ticks::new(1));
         let voff = b.node("v_off", Ticks::new(4));
-        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
-            .unwrap();
+        b.edges([
+            (v1, v2),
+            (v1, v3),
+            (v1, v4),
+            (v4, voff),
+            (v2, v5),
+            (v3, v5),
+            (voff, v5),
+        ])
+        .unwrap();
         (b.build().unwrap(), voff)
     }
 
@@ -191,7 +210,10 @@ mod tests {
         // host work = 14, plus possible accelerator overlap; serial host is
         // the dominant term here: v1(1) then 13 more host ticks, with v_off
         // overlapping. 14 ≤ makespan ≤ 18.
-        assert!(makespan >= Ticks::new(14) && makespan <= Ticks::new(18), "{makespan}");
+        assert!(
+            makespan >= Ticks::new(14) && makespan <= Ticks::new(18),
+            "{makespan}"
+        );
     }
 
     #[test]
@@ -200,7 +222,7 @@ mod tests {
         let (makespan, starts) = list_schedule_cp_first(&dag, None, 2).unwrap();
         assert!(makespan >= Ticks::new(9)); // ceil(18/2)
         assert!(makespan <= Ticks::new(13)); // R_hom
-        // precedence sanity
+                                             // precedence sanity
         for (f, t) in dag.edges() {
             assert!(starts[f.index()] + dag.wcet(f) <= starts[t.index()]);
         }
@@ -209,7 +231,10 @@ mod tests {
     #[test]
     fn zero_cores_rejected() {
         let (dag, voff) = figure1();
-        assert_eq!(list_schedule_cp_first(&dag, Some(voff), 0).unwrap_err(), ExactError::ZeroCores);
+        assert_eq!(
+            list_schedule_cp_first(&dag, Some(voff), 0).unwrap_err(),
+            ExactError::ZeroCores
+        );
     }
 
     #[test]

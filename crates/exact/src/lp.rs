@@ -67,7 +67,10 @@ pub fn to_lp_format(dag: &Dag, offloaded: Option<NodeId>, m: u64) -> Result<Stri
         "\\ time-indexed DAG makespan model ({} nodes, m = {m}, horizon = {h})",
         n
     );
-    let _ = writeln!(out, "\\ after Melani et al. (ASP-DAC 2017), as used by Serrano & Quinones (DAC 2018)");
+    let _ = writeln!(
+        out,
+        "\\ after Melani et al. (ASP-DAC 2017), as used by Serrano & Quinones (DAC 2018)"
+    );
     let _ = writeln!(out, "Minimize\n obj: M");
     let _ = writeln!(out, "Subject To");
 
@@ -89,7 +92,11 @@ pub fn to_lp_format(dag: &Dag, offloaded: Option<NodeId>, m: u64) -> Result<Stri
         for t in 1..=latest_start(i) {
             lhs.push(format!("- {t} x_{}_{t}", i.index()));
         }
-        let body = if lhs.is_empty() { "0".to_owned() } else { lhs.join(" + ").replace("+ -", "-") };
+        let body = if lhs.is_empty() {
+            "0".to_owned()
+        } else {
+            lhs.join(" + ").replace("+ -", "-")
+        };
         let _ = writeln!(out, " prec_{}_{}: {body} >= {}", i.index(), j.index(), w(i));
     }
 
@@ -168,7 +175,10 @@ mod tests {
         let (dag, k) = small();
         let lp = to_lp_format(&dag, Some(k), 1).unwrap();
         for line in lp.lines().filter(|l| l.trim_start().starts_with("cap_")) {
-            assert!(!line.contains("x_1_"), "offloaded node in capacity row: {line}");
+            assert!(
+                !line.contains("x_1_"),
+                "offloaded node in capacity row: {line}"
+            );
         }
         // but it still has a once-row and precedence rows
         assert!(lp.contains("once_1:"));

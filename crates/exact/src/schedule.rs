@@ -32,7 +32,13 @@ impl ExactSchedule {
         lower_bound: Ticks,
         explored: u64,
     ) -> Self {
-        ExactSchedule { makespan, starts, optimality, lower_bound, explored }
+        ExactSchedule {
+            makespan,
+            starts,
+            optimality,
+            lower_bound,
+            explored,
+        }
     }
 
     /// The makespan of the best schedule found.
@@ -106,7 +112,13 @@ mod tests {
 
     #[test]
     fn feasible_status() {
-        let s = ExactSchedule::new(Ticks::new(12), vec![], Optimality::Feasible, Ticks::new(10), 7);
+        let s = ExactSchedule::new(
+            Ticks::new(12),
+            vec![],
+            Optimality::Feasible,
+            Ticks::new(10),
+            7,
+        );
         assert!(!s.is_optimal());
         assert_eq!(s.optimality(), Optimality::Feasible);
     }

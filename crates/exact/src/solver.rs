@@ -38,7 +38,11 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { max_nodes: 2_000_000, max_memo_per_mask: 64, time_limit: None }
+        SolverConfig {
+            max_nodes: 2_000_000,
+            max_memo_per_mask: 64,
+            time_limit: None,
+        }
     }
 }
 
@@ -99,10 +103,18 @@ pub fn solve(
     }
     let n = dag.node_count();
     if n > MAX_NODES_SUPPORTED {
-        return Err(ExactError::Dag(DagError::UnknownNode(NodeId::from_index(n))));
+        return Err(ExactError::Dag(DagError::UnknownNode(NodeId::from_index(
+            n,
+        ))));
     }
     if n == 0 {
-        return Ok(ExactSchedule::new(Ticks::ZERO, Vec::new(), Optimality::Optimal, Ticks::ZERO, 0));
+        return Ok(ExactSchedule::new(
+            Ticks::ZERO,
+            Vec::new(),
+            Optimality::Optimal,
+            Ticks::ZERO,
+            0,
+        ));
     }
     let topo = topological_order(dag)?;
     let cp = CriticalPath::try_of(dag)?;
@@ -145,7 +157,11 @@ pub fn solve(
         search.dfs(&mut state);
     }
 
-    let status = if search.exhausted { Optimality::Feasible } else { Optimality::Optimal };
+    let status = if search.exhausted {
+        Optimality::Feasible
+    } else {
+        Optimality::Optimal
+    };
     let lower_bound = match status {
         Optimality::Optimal => Ticks::new(search.best_makespan),
         Optimality::Feasible => root_lb,
@@ -284,7 +300,7 @@ impl Search<'_> {
             self.exhausted = true;
             return;
         }
-        if self.explored % 4096 == 0 {
+        if self.explored.is_multiple_of(4096) {
             if let Some(deadline) = self.deadline {
                 if std::time::Instant::now() >= deadline {
                     self.exhausted = true;
@@ -319,13 +335,19 @@ impl Search<'_> {
         for i in 0..n {
             let v = NodeId::from_index(i);
             if Self::is_scheduled(state, v)
-                && self.dag.successors(v).iter().any(|&s| !Self::is_scheduled(state, s))
+                && self
+                    .dag
+                    .successors(v)
+                    .iter()
+                    .any(|&s| !Self::is_scheduled(state, s))
             {
                 sig.push(state.finishes[i]);
             }
         }
         let entries = self.memo.entry(state.mask).or_default();
-        if entries.iter().any(|e| e.len() == sig.len() && e.iter().zip(&sig).all(|(a, b)| a <= b))
+        if entries
+            .iter()
+            .any(|e| e.len() == sig.len() && e.iter().zip(&sig).all(|(a, b)| a <= b))
         {
             return;
         }
@@ -345,7 +367,10 @@ impl Search<'_> {
                 candidates.push((start, u64::MAX - self.tails[i], i));
             }
         }
-        debug_assert!(!candidates.is_empty(), "non-terminal state must have eligible jobs");
+        debug_assert!(
+            !candidates.is_empty(),
+            "non-terminal state must have eligible jobs"
+        );
         candidates.sort_unstable();
 
         for (start, _, i) in candidates {
@@ -400,8 +425,16 @@ mod tests {
         let v4 = b.node("v4", Ticks::new(2));
         let v5 = b.node("v5", Ticks::new(1));
         let voff = b.node("v_off", Ticks::new(4));
-        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
-            .unwrap();
+        b.edges([
+            (v1, v2),
+            (v1, v3),
+            (v1, v4),
+            (v4, voff),
+            (v2, v5),
+            (v3, v5),
+            (voff, v5),
+        ])
+        .unwrap();
         (b.build().unwrap(), voff)
     }
 
@@ -422,9 +455,7 @@ mod tests {
             let s = sol.start_of(v);
             let overlapping = host
                 .iter()
-                .filter(|&&u| {
-                    sol.start_of(u) <= s && s < sol.start_of(u) + dag.wcet(u)
-                })
+                .filter(|&&u| sol.start_of(u) <= s && s < sol.start_of(u) + dag.wcet(u))
                 .count();
             assert!(overlapping as u64 <= m, "capacity exceeded at {s}");
         }
@@ -494,8 +525,16 @@ mod tests {
         let jb = b.node("b", Ticks::new(2));
         let jc = b.node("c", Ticks::new(2));
         let jd = b.node("d", Ticks::new(4));
-        b.edges([(src, ja), (src, jb), (src, jc), (jb, jd), (ja, sink), (jc, sink), (jd, sink)])
-            .unwrap();
+        b.edges([
+            (src, ja),
+            (src, jb),
+            (src, jc),
+            (jb, jd),
+            (ja, sink),
+            (jc, sink),
+            (jd, sink),
+        ])
+        .unwrap();
         let dag = b.build().unwrap();
         let sol = solve(&dag, None, 2, &SolverConfig::default()).unwrap();
         // optimum: core0: b(0-2), d(2-6); core1: a(0-3), c(3-5) → 6
@@ -534,7 +573,10 @@ mod tests {
             mids.push(v);
         }
         let dag = b.build().unwrap();
-        let cfg = SolverConfig { max_nodes: 3, ..SolverConfig::default() };
+        let cfg = SolverConfig {
+            max_nodes: 3,
+            ..SolverConfig::default()
+        };
         let sol = solve(&dag, None, 3, &cfg).unwrap();
         // whatever happened, the incumbent is a valid schedule and the
         // status reflects the truncated search (unless the incumbent

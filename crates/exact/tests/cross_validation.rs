@@ -19,8 +19,13 @@ fn small_task(seed: u64, fraction: f64) -> HeteroDagTask {
     if dag.node_count() < 3 {
         return small_task(seed.wrapping_add(0x9e37_79b9), fraction);
     }
-    make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::VolumeFraction(fraction), &mut rng)
-        .expect("offload assignment succeeds")
+    make_hetero_task(
+        dag,
+        OffloadSelection::AnyInterior,
+        CoffSizing::VolumeFraction(fraction),
+        &mut rng,
+    )
+    .expect("offload assignment succeeds")
 }
 
 proptest! {
@@ -95,10 +100,19 @@ fn most_small_instances_are_proven_optimal() {
     let total = 60;
     for seed in 0..total {
         let task = small_task(seed, 0.2);
-        let sol = solve(task.dag(), Some(task.offloaded()), 4, &SolverConfig::default()).unwrap();
+        let sol = solve(
+            task.dag(),
+            Some(task.offloaded()),
+            4,
+            &SolverConfig::default(),
+        )
+        .unwrap();
         if sol.is_optimal() {
             optimal += 1;
         }
     }
-    assert!(optimal >= total * 9 / 10, "only {optimal}/{total} instances closed");
+    assert!(
+        optimal >= total * 9 / 10,
+        "only {optimal}/{total} instances closed"
+    );
 }

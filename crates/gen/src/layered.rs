@@ -34,7 +34,14 @@ pub struct LayeredParams {
 
 impl Default for LayeredParams {
     fn default() -> Self {
-        LayeredParams { layers: 5, width_min: 2, width_max: 6, p_edge: 0.3, c_min: 1, c_max: 100 }
+        LayeredParams {
+            layers: 5,
+            width_min: 2,
+            width_max: 6,
+            p_edge: 0.3,
+            c_min: 1,
+            c_max: 100,
+        }
     }
 }
 
@@ -50,7 +57,10 @@ impl LayeredParams {
             )));
         }
         if !(0.0..=1.0).contains(&self.p_edge) {
-            return Err(GenError::InvalidParams(format!("p_edge = {} not in [0,1]", self.p_edge)));
+            return Err(GenError::InvalidParams(format!(
+                "p_edge = {} not in [0,1]",
+                self.p_edge
+            )));
         }
         if self.c_min == 0 || self.c_min > self.c_max {
             return Err(GenError::InvalidParams(format!(
@@ -150,7 +160,12 @@ mod tests {
     #[test]
     fn single_layer_graph_works() {
         let mut rng = StdRng::seed_from_u64(22);
-        let params = LayeredParams { layers: 1, width_min: 3, width_max: 3, ..Default::default() };
+        let params = LayeredParams {
+            layers: 1,
+            width_min: 3,
+            width_max: 3,
+            ..Default::default()
+        };
         let dag = generate_layered(&params, &mut rng).unwrap();
         // 3 parallel nodes + dummy source + dummy sink
         assert_eq!(dag.node_count(), 5);
@@ -160,7 +175,10 @@ mod tests {
     #[test]
     fn dense_wiring_still_reduced() {
         let mut rng = StdRng::seed_from_u64(23);
-        let params = LayeredParams { p_edge: 1.0, ..Default::default() };
+        let params = LayeredParams {
+            p_edge: 1.0,
+            ..Default::default()
+        };
         let dag = generate_layered(&params, &mut rng).unwrap();
         assert!(transitive::is_transitively_reduced(&dag).unwrap());
     }
@@ -168,15 +186,31 @@ mod tests {
     #[test]
     fn invalid_params_rejected() {
         let mut rng = StdRng::seed_from_u64(24);
-        let zero_layers = LayeredParams { layers: 0, ..Default::default() };
+        let zero_layers = LayeredParams {
+            layers: 0,
+            ..Default::default()
+        };
         assert!(matches!(
             generate_layered(&zero_layers, &mut rng),
             Err(GenError::InvalidParams(_))
         ));
-        let bad_width = LayeredParams { width_min: 5, width_max: 2, ..Default::default() };
-        assert!(matches!(generate_layered(&bad_width, &mut rng), Err(GenError::InvalidParams(_))));
-        let bad_p = LayeredParams { p_edge: 2.0, ..Default::default() };
-        assert!(matches!(generate_layered(&bad_p, &mut rng), Err(GenError::InvalidParams(_))));
+        let bad_width = LayeredParams {
+            width_min: 5,
+            width_max: 2,
+            ..Default::default()
+        };
+        assert!(matches!(
+            generate_layered(&bad_width, &mut rng),
+            Err(GenError::InvalidParams(_))
+        ));
+        let bad_p = LayeredParams {
+            p_edge: 2.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            generate_layered(&bad_p, &mut rng),
+            Err(GenError::InvalidParams(_))
+        ));
     }
 
     #[test]

@@ -145,10 +145,16 @@ impl NfjParams {
 
     fn validate(&self) -> Result<(), GenError> {
         if !(0.0..=1.0).contains(&self.p_par) {
-            return Err(GenError::InvalidParams(format!("p_par = {} not in [0, 1]", self.p_par)));
+            return Err(GenError::InvalidParams(format!(
+                "p_par = {} not in [0, 1]",
+                self.p_par
+            )));
         }
         if self.n_par < 2 {
-            return Err(GenError::InvalidParams(format!("n_par = {} must be ≥ 2", self.n_par)));
+            return Err(GenError::InvalidParams(format!(
+                "n_par = {} must be ≥ 2",
+                self.n_par
+            )));
         }
         if self.n_min == 0 || self.n_min > self.n_max {
             return Err(GenError::InvalidParams(format!(
@@ -282,7 +288,11 @@ mod tests {
         let params = NfjParams::large_tasks().with_node_range(100, 250);
         for _ in 0..10 {
             let dag = generate_nfj(&params, &mut rng).unwrap();
-            assert!((100..=250).contains(&dag.node_count()), "n = {}", dag.node_count());
+            assert!(
+                (100..=250).contains(&dag.node_count()),
+                "n = {}",
+                dag.node_count()
+            );
         }
     }
 
@@ -322,7 +332,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         // With p_par = 1 every node expands until max_depth, so the DAG has
         // at least 2·max_depth + 1 nodes on its longest chain.
-        let params = NfjParams::new(2, 2, 1, 1000).with_p_par(1.0).with_wcet_range(1, 1);
+        let params = NfjParams::new(2, 2, 1, 1000)
+            .with_p_par(1.0)
+            .with_wcet_range(1, 1);
         let dag = generate_nfj(&params, &mut rng).unwrap();
         let len = CriticalPath::of(&dag).length().get() as usize;
         assert_eq!(len, params.longest_possible_path());
@@ -333,7 +345,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         // Node counts of the NFJ process are odd at p_par=0 (exactly 1);
         // requiring n = 2 can never succeed.
-        let params = NfjParams::new(4, 2, 2, 2).with_p_par(0.0).with_max_attempts(10);
+        let params = NfjParams::new(4, 2, 2, 2)
+            .with_p_par(0.0)
+            .with_max_attempts(10);
         assert_eq!(
             generate_nfj(&params, &mut rng).unwrap_err(),
             GenError::AttemptsExhausted { attempts: 10 }
@@ -344,13 +358,25 @@ mod tests {
     fn invalid_params_rejected() {
         let mut rng = StdRng::seed_from_u64(1);
         let bad_p = NfjParams::small_tasks().with_p_par(1.5);
-        assert!(matches!(generate_nfj(&bad_p, &mut rng), Err(GenError::InvalidParams(_))));
+        assert!(matches!(
+            generate_nfj(&bad_p, &mut rng),
+            Err(GenError::InvalidParams(_))
+        ));
         let bad_range = NfjParams::small_tasks().with_node_range(10, 5);
-        assert!(matches!(generate_nfj(&bad_range, &mut rng), Err(GenError::InvalidParams(_))));
+        assert!(matches!(
+            generate_nfj(&bad_range, &mut rng),
+            Err(GenError::InvalidParams(_))
+        ));
         let bad_wcet = NfjParams::small_tasks().with_wcet_range(0, 10);
-        assert!(matches!(generate_nfj(&bad_wcet, &mut rng), Err(GenError::InvalidParams(_))));
+        assert!(matches!(
+            generate_nfj(&bad_wcet, &mut rng),
+            Err(GenError::InvalidParams(_))
+        ));
         let bad_npar = NfjParams::new(1, 3, 1, 10);
-        assert!(matches!(generate_nfj(&bad_npar, &mut rng), Err(GenError::InvalidParams(_))));
+        assert!(matches!(
+            generate_nfj(&bad_npar, &mut rng),
+            Err(GenError::InvalidParams(_))
+        ));
     }
 
     #[test]

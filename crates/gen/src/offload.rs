@@ -96,13 +96,17 @@ fn select_node<R: Rng + ?Sized>(
             if dag.contains_node(v) {
                 Ok(v)
             } else {
-                Err(GenError::InvalidParams(format!("offload node {v} not in graph")))
+                Err(GenError::InvalidParams(format!(
+                    "offload node {v} not in graph"
+                )))
             }
         }
         OffloadSelection::Any => {
             let n = dag.node_count();
             if n == 0 {
-                return Err(GenError::InvalidParams("cannot offload in an empty graph".into()));
+                return Err(GenError::InvalidParams(
+                    "cannot offload in an empty graph".into(),
+                ));
             }
             Ok(NodeId::from_index(rng.gen_range(0..n)))
         }
@@ -165,9 +169,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for f in [0.05, 0.25, 0.5, 0.7] {
             let dag = sample_dag(10);
-            let task =
-                make_hetero_task(dag, OffloadSelection::Any, CoffSizing::VolumeFraction(f), &mut rng)
-                    .unwrap();
+            let task = make_hetero_task(
+                dag,
+                OffloadSelection::Any,
+                CoffSizing::VolumeFraction(f),
+                &mut rng,
+            )
+            .unwrap();
             let got = task.offload_fraction().to_f64();
             assert!((got - f).abs() < 0.05, "target {f}, got {got}");
         }
@@ -231,7 +239,12 @@ mod tests {
         let b = dag.add_node(Ticks::ONE);
         dag.add_edge(a, b).unwrap();
         assert!(matches!(
-            make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::Generated, &mut rng),
+            make_hetero_task(
+                dag,
+                OffloadSelection::AnyInterior,
+                CoffSizing::Generated,
+                &mut rng
+            ),
             Err(GenError::InvalidParams(_))
         ));
     }
@@ -258,7 +271,12 @@ mod tests {
         let dag = sample_dag(14);
         let bogus = NodeId::from_index(10_000);
         assert!(matches!(
-            make_hetero_task(dag, OffloadSelection::Node(bogus), CoffSizing::Generated, &mut rng),
+            make_hetero_task(
+                dag,
+                OffloadSelection::Node(bogus),
+                CoffSizing::Generated,
+                &mut rng
+            ),
             Err(GenError::InvalidParams(_))
         ));
     }

@@ -122,7 +122,11 @@ impl Program {
         if self.0.is_empty() {
             return Err(GenError::InvalidParams("empty program".into()));
         }
-        let mut builder = Lowering { dag: Dag::new(), offloaded: None, sync_counter: 0 };
+        let mut builder = Lowering {
+            dag: Dag::new(),
+            offloaded: None,
+            sync_counter: 0,
+        };
         let source = builder.dag.add_labeled_node("entry", Ticks::ZERO);
         // region() joins every spawned task into its returned exit node, so
         // the graph ends in a single sink.
@@ -130,7 +134,10 @@ impl Program {
         // Remove redundant precedence introduced by join fan-ins.
         let reduced = transitive::transitive_reduction(&builder.dag)?;
         hetrta_dag::validate_task_model(&reduced)?;
-        Ok(LoweredProgram { dag: reduced, offloaded: builder.offloaded })
+        Ok(LoweredProgram {
+            dag: reduced,
+            offloaded: builder.offloaded,
+        })
     }
 }
 
@@ -237,7 +244,10 @@ mod tests {
         assert!(reach.are_parallel(find("cpu_a"), find("cpu_b")));
         // but everything precedes post
         for label in ["cpu_a", "cpu_b", "gpu", "local", "prep"] {
-            assert!(reach.is_ordered_before(find(label), find("post")), "{label} must precede post");
+            assert!(
+                reach.is_ordered_before(find(label), find("post")),
+                "{label} must precede post"
+            );
         }
     }
 
@@ -297,21 +307,27 @@ mod tests {
 
     #[test]
     fn empty_program_rejected() {
-        assert!(matches!(Program::default().lower(), Err(GenError::InvalidParams(_))));
+        assert!(matches!(
+            Program::default().lower(),
+            Err(GenError::InvalidParams(_))
+        ));
     }
 
     #[test]
     fn lowered_program_becomes_analyzable_task() {
         let lowered = paper_style_program().lower().unwrap();
         let vol = lowered.dag.volume();
-        let task =
-            HeteroDagTask::new(lowered.dag, lowered.offloaded.unwrap(), vol, vol).unwrap();
+        let task = HeteroDagTask::new(lowered.dag, lowered.offloaded.unwrap(), vol, vol).unwrap();
         assert_eq!(task.c_off(), Ticks::new(20));
     }
 
     #[test]
     fn work_only_program_is_a_chain() {
-        let p = Program::new(vec![Stmt::work("a", 1), Stmt::work("b", 2), Stmt::work("c", 3)]);
+        let p = Program::new(vec![
+            Stmt::work("a", 1),
+            Stmt::work("b", 2),
+            Stmt::work("c", 3),
+        ]);
         let lowered = p.lower().unwrap();
         assert_eq!(CriticalPath::of(&lowered.dag).length(), Ticks::new(6));
         assert_eq!(lowered.dag.volume(), Ticks::new(6));

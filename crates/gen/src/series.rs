@@ -33,7 +33,12 @@ impl BatchSpec {
     /// Creates a batch specification with `AnyInterior` selection.
     #[must_use]
     pub fn new(params: NfjParams, tasks_per_point: usize, base_seed: u64) -> Self {
-        BatchSpec { params, tasks_per_point, base_seed, selection: OffloadSelection::AnyInterior }
+        BatchSpec {
+            params,
+            tasks_per_point,
+            base_seed,
+            selection: OffloadSelection::AnyInterior,
+        }
     }
 
     /// Generates the batch of heterogeneous tasks for one sweep point.
@@ -48,7 +53,12 @@ impl BatchSpec {
             .map(|i| {
                 let mut rng = StdRng::seed_from_u64(self.seed_for(i, fraction));
                 let dag = generate_nfj(&self.params, &mut rng)?;
-                make_hetero_task(dag, self.selection, CoffSizing::VolumeFraction(fraction), &mut rng)
+                make_hetero_task(
+                    dag,
+                    self.selection,
+                    CoffSizing::VolumeFraction(fraction),
+                    &mut rng,
+                )
             })
             .collect()
     }
@@ -61,14 +71,22 @@ impl BatchSpec {
     pub fn task(&self, index: usize, fraction: f64) -> Result<HeteroDagTask, GenError> {
         let mut rng = StdRng::seed_from_u64(self.seed_for(index, fraction));
         let dag = generate_nfj(&self.params, &mut rng)?;
-        make_hetero_task(dag, self.selection, CoffSizing::VolumeFraction(fraction), &mut rng)
+        make_hetero_task(
+            dag,
+            self.selection,
+            CoffSizing::VolumeFraction(fraction),
+            &mut rng,
+        )
     }
 
     fn seed_for(&self, index: usize, fraction: f64) -> u64 {
         // FNV-1a over (index, fraction bits) for decorrelated, reproducible
         // per-task seeds.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.base_seed;
-        for byte in (index as u64).to_le_bytes().into_iter().chain(fraction.to_bits().to_le_bytes())
+        for byte in (index as u64)
+            .to_le_bytes()
+            .into_iter()
+            .chain(fraction.to_bits().to_le_bytes())
         {
             h ^= u64::from(byte);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -80,13 +98,17 @@ impl BatchSpec {
 /// The offload-fraction sweep used by Figs. 6 and 9 (≈1% … 70%).
 #[must_use]
 pub fn fraction_sweep_wide() -> Vec<f64> {
-    vec![0.01, 0.02, 0.04, 0.06, 0.08, 0.11, 0.14, 0.18, 0.22, 0.28, 0.34, 0.42, 0.50, 0.60, 0.70]
+    vec![
+        0.01, 0.02, 0.04, 0.06, 0.08, 0.11, 0.14, 0.18, 0.22, 0.28, 0.34, 0.42, 0.50, 0.60, 0.70,
+    ]
 }
 
 /// The offload-fraction sweep used by Figs. 7 and 8 (0.12% … 50%).
 #[must_use]
 pub fn fraction_sweep_fine() -> Vec<f64> {
-    vec![0.0012, 0.005, 0.01, 0.02, 0.035, 0.05, 0.08, 0.11, 0.15, 0.20, 0.25, 0.32, 0.40, 0.50]
+    vec![
+        0.0012, 0.005, 0.01, 0.02, 0.035, 0.05, 0.08, 0.11, 0.15, 0.20, 0.25, 0.32, 0.40, 0.50,
+    ]
 }
 
 #[cfg(test)]

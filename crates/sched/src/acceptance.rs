@@ -117,6 +117,24 @@ impl AcceptancePoint {
     }
 }
 
+/// The RNG seed of set `set_index` at utilization point `point_index`.
+///
+/// The base seed goes through a SplitMix64 finalizer before the point and
+/// set indices are XORed in: without the mixing step, base seeds that
+/// differ only in their low bits (0, 1, 2, …) would produce overlapping
+/// per-set seed ranges, silently regenerating identical "independent"
+/// sets. Both the serial sweep below and the parallel engine
+/// (`hetrta-engine`) derive seeds through this function, which is what
+/// keeps their acceptance ratios identical.
+#[must_use]
+pub fn point_seed(base_seed: u64, point_index: usize, set_index: usize) -> u64 {
+    let mut z = base_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    z ^ ((point_index as u64) << 32) ^ set_index as u64
+}
+
 /// Runs the acceptance sweep and returns one point per normalized
 /// utilization.
 ///
@@ -141,8 +159,7 @@ pub fn acceptance_sweep(config: &AcceptanceConfig) -> Result<Vec<AcceptancePoint
             let mut params = config.template.clone();
             params.n_tasks = config.n_tasks;
             params.total_util = nu * config.cores as f64;
-            let mut rng =
-                StdRng::seed_from_u64(config.seed ^ ((pi as u64) << 32) ^ s as u64);
+            let mut rng = StdRng::seed_from_u64(point_seed(config.seed, pi, s));
             let mut set = generate_task_set(&params, &mut rng)?;
             sort_deadline_monotonic(&mut set);
 
@@ -158,8 +175,7 @@ pub fn acceptance_sweep(config: &AcceptanceConfig) -> Result<Vec<AcceptancePoint
             if gedf_test(&set, config.cores, het)?.is_schedulable() {
                 counts[3] += 1;
             }
-            if federated_partition(&set, config.cores, AnalysisKind::Homogeneous)?
-                .is_schedulable()
+            if federated_partition(&set, config.cores, AnalysisKind::Homogeneous)?.is_schedulable()
             {
                 counts[4] += 1;
             }

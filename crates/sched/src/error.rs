@@ -58,18 +58,24 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(SchedError::InvalidParams("x".into()).to_string().contains('x'));
+        assert!(SchedError::InvalidParams("x".into())
+            .to_string()
+            .contains('x'));
         assert_eq!(
             SchedError::ZeroCores.to_string(),
             "platform must have at least one host core"
         );
-        assert!(SchedError::from(AnalysisError::ZeroCores).to_string().contains("analysis"));
+        assert!(SchedError::from(AnalysisError::ZeroCores)
+            .to_string()
+            .contains("analysis"));
     }
 
     #[test]
     fn error_sources() {
         use std::error::Error;
         assert!(SchedError::ZeroCores.source().is_none());
-        assert!(SchedError::from(AnalysisError::ZeroCores).source().is_some());
+        assert!(SchedError::from(AnalysisError::ZeroCores)
+            .source()
+            .is_some());
     }
 }

@@ -33,7 +33,9 @@
 
 use hetrta_dag::{HeteroDagTask, Rational};
 
-use crate::model::{build_contexts, device_utilization_ok, AnalysisModel, DeviceModel, SetVerdict, TaskVerdict};
+use crate::model::{
+    build_contexts, device_utilization_ok, AnalysisModel, DeviceModel, SetVerdict, TaskVerdict,
+};
 use crate::workload::{carry_in_workload, device_demand, no_carry_in_workload};
 use crate::SchedError;
 
@@ -103,7 +105,11 @@ pub fn gedf_test_with(
         let per_task = ctxs
             .iter()
             .enumerate()
-            .map(|(k, c)| TaskVerdict { task: k, response_bound: None, deadline: c.deadline })
+            .map(|(k, c)| TaskVerdict {
+                task: k,
+                response_bound: None,
+                deadline: c.deadline,
+            })
             .collect();
         return Ok(SetVerdict { per_task, model });
     }
@@ -148,7 +154,11 @@ pub fn gedf_test_with(
             }
         }
         let bound = if r <= window { Some(r) } else { None };
-        per_task.push(TaskVerdict { task: k, response_bound: bound, deadline: ctx.deadline });
+        per_task.push(TaskVerdict {
+            task: k,
+            response_bound: bound,
+            deadline: ctx.deadline,
+        });
     }
     Ok(SetVerdict { per_task, model })
 }
@@ -197,7 +207,9 @@ mod tests {
         let light = vec![chain(2, 40), chain(2, 50)];
         let heavy = vec![forkjoin(10, 6, 1, 16), forkjoin(10, 6, 1, 16)];
         assert!(gedf_test(&light, 2, HET).unwrap().is_schedulable());
-        assert!(!gedf_test(&heavy, 2, AnalysisModel::Homogeneous).unwrap().is_schedulable());
+        assert!(!gedf_test(&heavy, 2, AnalysisModel::Homogeneous)
+            .unwrap()
+            .is_schedulable());
     }
 
     #[test]
@@ -229,8 +241,12 @@ mod tests {
     fn shared_device_never_tightens() {
         let tasks = vec![chain(6, 60), chain(6, 70)];
         let ded = gedf_test(&tasks, 2, HET).unwrap();
-        let shared =
-            gedf_test(&tasks, 2, AnalysisModel::Heterogeneous(DeviceModel::SharedFifo)).unwrap();
+        let shared = gedf_test(
+            &tasks,
+            2,
+            AnalysisModel::Heterogeneous(DeviceModel::SharedFifo),
+        )
+        .unwrap();
         for k in 0..2 {
             if let (Some(rd), Some(rs)) = (
                 ded.per_task[k].response_bound,
@@ -247,7 +263,10 @@ mod tests {
         let tasks = vec![chain(2, 100)];
         let fp = gfp_test(&tasks, 2, HET).unwrap();
         let edf = gedf_test(&tasks, 2, HET).unwrap();
-        assert_eq!(fp.per_task[0].response_bound, edf.per_task[0].response_bound);
+        assert_eq!(
+            fp.per_task[0].response_bound,
+            edf.per_task[0].response_bound
+        );
     }
 
     #[test]
@@ -260,11 +279,15 @@ mod tests {
 
     #[test]
     fn limited_carry_in_dominates_full_carry_in() {
-        let tasks = vec![chain(4, 25), chain(6, 30), chain(3, 40), forkjoin(3, 3, 2, 50)];
+        let tasks = vec![
+            chain(4, 25),
+            chain(6, 30),
+            chain(3, 40),
+            forkjoin(3, 3, 2, 50),
+        ];
         for m in [2u64, 4, 8] {
             for model in [AnalysisModel::Homogeneous, HET] {
-                let limited =
-                    gedf_test_with(&tasks, m, model, CarryIn::LimitedMinusOne).unwrap();
+                let limited = gedf_test_with(&tasks, m, model, CarryIn::LimitedMinusOne).unwrap();
                 let full = gedf_test_with(&tasks, m, model, CarryIn::AllTasks).unwrap();
                 for (l, f) in limited.per_task.iter().zip(&full.per_task) {
                     match (&l.response_bound, &f.response_bound) {

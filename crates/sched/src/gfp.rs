@@ -24,7 +24,10 @@
 
 use hetrta_dag::{HeteroDagTask, Rational};
 
-use crate::model::{build_contexts, device_utilization_ok, AnalysisModel, DeviceModel, SetVerdict, TaskCtx, TaskVerdict};
+use crate::model::{
+    build_contexts, device_utilization_ok, AnalysisModel, DeviceModel, SetVerdict, TaskCtx,
+    TaskVerdict,
+};
 use crate::workload::{carry_in_workload, device_demand};
 use crate::SchedError;
 
@@ -74,7 +77,11 @@ pub fn gfp_test(
         let per_task = ctxs
             .iter()
             .enumerate()
-            .map(|(k, c)| TaskVerdict { task: k, response_bound: None, deadline: c.deadline })
+            .map(|(k, c)| TaskVerdict {
+                task: k,
+                response_bound: None,
+                deadline: c.deadline,
+            })
             .collect();
         return Ok(SetVerdict { per_task, model });
     }
@@ -90,7 +97,11 @@ pub fn gfp_test(
             Some(r) => *r,
             None => ctx.deadline.to_rational(),
         });
-        per_task.push(TaskVerdict { task: k, response_bound: bound, deadline: ctx.deadline });
+        per_task.push(TaskVerdict {
+            task: k,
+            response_bound: bound,
+            deadline: ctx.deadline,
+        });
     }
     Ok(SetVerdict { per_task, model })
 }
@@ -195,8 +206,7 @@ mod tests {
     fn het_accepts_what_hom_rejects_for_large_offloads() {
         // Three tasks whose offloads dominate: the host barely works, but
         // on a homogeneous platform the kernels crush the two cores.
-        let tasks =
-            vec![chain(20, 30, 30), chain(20, 34, 34), chain(20, 38, 38)];
+        let tasks = vec![chain(20, 30, 30), chain(20, 34, 34), chain(20, 38, 38)];
         let hom = gfp_test(&tasks, 2, AnalysisModel::Homogeneous).unwrap();
         let het = gfp_test(&tasks, 2, HET).unwrap();
         assert!(!hom.is_schedulable());
@@ -226,8 +236,7 @@ mod tests {
         }
         // Task 1's offload can wait behind task 0's.
         assert!(
-            shared.per_task[1].response_bound.unwrap()
-                > ded.per_task[1].response_bound.unwrap()
+            shared.per_task[1].response_bound.unwrap() > ded.per_task[1].response_bound.unwrap()
         );
     }
 
@@ -277,10 +286,11 @@ mod tests {
         let tasks = vec![chain(50, 60, 20), chain(2, 200, 200)];
         let v = gfp_test(&tasks, 2, AnalysisModel::Homogeneous).unwrap();
         assert!(!v.per_task[0].is_schedulable());
-        let alone =
-            gfp_test(&tasks[1..], 2, AnalysisModel::Homogeneous).unwrap().per_task[0]
-                .response_bound
-                .unwrap();
+        let alone = gfp_test(&tasks[1..], 2, AnalysisModel::Homogeneous)
+            .unwrap()
+            .per_task[0]
+            .response_bound
+            .unwrap();
         let with_hp = v.per_task[1].response_bound.unwrap();
         assert!(with_hp > alone);
     }

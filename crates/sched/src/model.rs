@@ -47,8 +47,8 @@
 //! empirical cross-check lives in `tests/empirical.rs`: sets accepted by
 //! these tests never miss a deadline in the sporadic simulator.
 
-use hetrta_dag::{HeteroDagTask, Rational, Ticks};
 use hetrta_core::{r_hom, r_hom_dag, transform, TransformedTask};
+use hetrta_dag::{HeteroDagTask, Rational, Ticks};
 
 use crate::taskset::{interference_heterogeneous, interference_homogeneous};
 use crate::workload::InterferingTask;
@@ -196,10 +196,7 @@ impl TaskCtx {
 }
 
 /// Builds the per-task contexts for a whole set.
-pub(crate) fn build_contexts(
-    tasks: &[HeteroDagTask],
-    m: u64,
-) -> Result<Vec<TaskCtx>, SchedError> {
+pub(crate) fn build_contexts(tasks: &[HeteroDagTask], m: u64) -> Result<Vec<TaskCtx>, SchedError> {
     if m == 0 {
         return Err(SchedError::ZeroCores);
     }
@@ -228,7 +225,13 @@ mod tests {
         let p = b.node("p", Ticks::new(4));
         let z = b.node("z", Ticks::new(1));
         b.edges([(a, k), (a, p), (k, z), (p, z)]).unwrap();
-        HeteroDagTask::new(b.build().unwrap(), k, Ticks::new(period), Ticks::new(period)).unwrap()
+        HeteroDagTask::new(
+            b.build().unwrap(),
+            k,
+            Ticks::new(period),
+            Ticks::new(period),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -236,7 +239,10 @@ mod tests {
         let t = task(3, 20);
         let ctx = TaskCtx::build(&t, 2).unwrap();
         // vol = 9, len = 6 → 6 + 3/2 = 7.5
-        assert_eq!(ctx.intra_bound(AnalysisModel::Homogeneous, 2), Rational::new(15, 2));
+        assert_eq!(
+            ctx.intra_bound(AnalysisModel::Homogeneous, 2),
+            Rational::new(15, 2)
+        );
     }
 
     #[test]
@@ -293,18 +299,30 @@ mod tests {
             deadline: Ticks::new(10),
         };
         assert!(v.is_schedulable());
-        let miss = TaskVerdict { response_bound: None, ..v.clone() };
+        let miss = TaskVerdict {
+            response_bound: None,
+            ..v.clone()
+        };
         assert!(!miss.is_schedulable());
-        let set = SetVerdict { per_task: vec![v, miss], model: AnalysisModel::Homogeneous };
+        let set = SetVerdict {
+            per_task: vec![v, miss],
+            model: AnalysisModel::Homogeneous,
+        };
         assert!(!set.is_schedulable());
         assert!(set.task(0).unwrap().is_schedulable());
-        assert!(SetVerdict { per_task: vec![], model: AnalysisModel::Homogeneous }
-            .is_schedulable()
-            .eq(&false));
+        assert!(SetVerdict {
+            per_task: vec![],
+            model: AnalysisModel::Homogeneous
+        }
+        .is_schedulable()
+        .eq(&false));
     }
 
     #[test]
     fn zero_cores_rejected() {
-        assert!(matches!(build_contexts(&[task(3, 20)], 0), Err(SchedError::ZeroCores)));
+        assert!(matches!(
+            build_contexts(&[task(3, 20)], 0),
+            Err(SchedError::ZeroCores)
+        ));
     }
 }

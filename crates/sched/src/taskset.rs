@@ -47,7 +47,9 @@ pub fn uunifast<R: Rng + ?Sized>(
         return Err(SchedError::InvalidParams("n must be positive".into()));
     }
     if total <= 0.0 || !total.is_finite() {
-        return Err(SchedError::InvalidParams(format!("total utilization {total} must be > 0")));
+        return Err(SchedError::InvalidParams(format!(
+            "total utilization {total} must be > 0"
+        )));
     }
     let mut us = Vec::with_capacity(n);
     let mut sum = total;
@@ -190,7 +192,13 @@ pub fn generate_task_set<R: Rng + ?Sized>(
         )));
     }
     let us = if params.util_cap.is_finite() {
-        uunifast_capped(params.n_tasks, params.total_util, params.util_cap, 1000, rng)?
+        uunifast_capped(
+            params.n_tasks,
+            params.total_util,
+            params.util_cap,
+            1000,
+            rng,
+        )?
     } else {
         uunifast(params.n_tasks, params.total_util, rng)?
     };
@@ -208,7 +216,9 @@ pub fn generate_task_set<R: Rng + ?Sized>(
         let vol = sized.volume().get();
         let len = sized.critical_path_length().get();
         let period = ((vol as f64 / u).round() as u64).max(len).max(1);
-        let deadline = ((period as f64 * params.deadline_ratio).round() as u64).max(len).max(1);
+        let deadline = ((period as f64 * params.deadline_ratio).round() as u64)
+            .max(len)
+            .max(1);
         let deadline = deadline.min(period);
         tasks.push(HeteroDagTask::new(
             sized.dag().clone(),

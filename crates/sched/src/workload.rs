@@ -177,7 +177,12 @@ mod tests {
         // A task whose entire volume is offloaded never touches the host.
         let t = task(0, 10, 9);
         assert_eq!(
-            carry_in_workload(&t, Rational::from_integer(100), Rational::from_integer(9), 2),
+            carry_in_workload(
+                &t,
+                Rational::from_integer(100),
+                Rational::from_integer(9),
+                2
+            ),
             Rational::ZERO
         );
     }
@@ -210,7 +215,12 @@ mod tests {
     fn long_window_approaches_utilization_rate() {
         // Over k periods the bound is ≤ (k+2) jobs of workload.
         let t = task(6, 10, 0);
-        let w = carry_in_workload(&t, Rational::from_integer(1000), Rational::from_integer(8), 2);
+        let w = carry_in_workload(
+            &t,
+            Rational::from_integer(1000),
+            Rational::from_integer(8),
+            2,
+        );
         assert!(w <= Rational::from_integer(102 * 6));
         assert!(w >= Rational::from_integer(100 * 6));
     }
@@ -227,7 +237,10 @@ mod tests {
     fn device_demand_counts_overlapping_jobs() {
         let t = task(4, 10, 3);
         // Tiny window, R = 0: exactly one overlapping job.
-        assert_eq!(device_demand(&t, Rational::ONE, Rational::ZERO), Rational::from_integer(3));
+        assert_eq!(
+            device_demand(&t, Rational::ONE, Rational::ZERO),
+            Rational::from_integer(3)
+        );
         // Window of 3 periods: ⌊30/10⌋ + 1 = 4 jobs.
         assert_eq!(
             device_demand(&t, Rational::from_integer(30), Rational::ZERO),

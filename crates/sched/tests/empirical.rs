@@ -95,12 +95,26 @@ fn run_campaign(m: u64, n_tasks: usize, util: f64, seeds: std::ops::Range<u64>) 
         let v = gfp_test(&set, m, AnalysisModel::Homogeneous).unwrap();
         if v.is_schedulable() {
             accepted += 1;
-            check_accepted_set(&set, &v, Discipline::FixedPriority, host_only, true, "GFP-hom");
+            check_accepted_set(
+                &set,
+                &v,
+                Discipline::FixedPriority,
+                host_only,
+                true,
+                "GFP-hom",
+            );
         }
         let tset = transformed_set(&set);
         let v = gfp_test(&set, m, HET).unwrap();
         if v.is_schedulable() {
-            check_accepted_set(&tset, &v, Discipline::FixedPriority, dedicated, false, "GFP-het");
+            check_accepted_set(
+                &tset,
+                &v,
+                Discipline::FixedPriority,
+                dedicated,
+                false,
+                "GFP-het",
+            );
         }
         let v = gfp_test(&set, m, HET_SHARED).unwrap();
         if v.is_schedulable() {
@@ -169,7 +183,9 @@ fn accepted_sets_survive_asynchronous_release_patterns() {
     for seed in 400..420u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let params = TaskSetParams::small(3, 1.2).with_offload_fraction(0.1, 0.4);
-        let Ok(mut set) = generate_task_set(&params, &mut rng) else { continue };
+        let Ok(mut set) = generate_task_set(&params, &mut rng) else {
+            continue;
+        };
         sort_deadline_monotonic(&mut set);
         let v = gfp_test(&set, 4, HET).unwrap();
         if !v.is_schedulable() {
@@ -217,9 +233,14 @@ fn het_test_accepts_superset_of_hom_on_offload_heavy_sets() {
     for seed in 300..330u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let params = TaskSetParams::small(4, 1.6).with_offload_fraction(0.25, 0.5);
-        let Ok(mut set) = generate_task_set(&params, &mut rng) else { continue };
+        let Ok(mut set) = generate_task_set(&params, &mut rng) else {
+            continue;
+        };
         sort_deadline_monotonic(&mut set);
-        if gfp_test(&set, 2, AnalysisModel::Homogeneous).unwrap().is_schedulable() {
+        if gfp_test(&set, 2, AnalysisModel::Homogeneous)
+            .unwrap()
+            .is_schedulable()
+        {
             hom_count += 1;
         }
         if gfp_test(&set, 2, HET).unwrap().is_schedulable() {

@@ -1,0 +1,188 @@
+//! Offline, API-compatible subset of the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! vendored so the workspace's benches compile and run without network
+//! access.
+//!
+//! Instead of criterion's full statistical machinery this shim runs each
+//! benchmark for a fixed warm-up plus measurement iteration budget and
+//! prints mean wall-clock time per iteration. That keeps
+//! `cargo bench` useful for coarse comparisons and keeps every bench target
+//! compiling under `cargo test`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Iterations used to warm up each benchmark.
+const WARMUP_ITERS: u64 = 3;
+/// Measured iterations per benchmark (kept small: this is a smoke harness,
+/// not a statistics engine).
+const MEASURE_ITERS: u64 = 10;
+
+/// Re-export matching `criterion::black_box` (std's since 1.66).
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Ends the group (no-op in the shim; groups report eagerly).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Times closures; handed to each benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` for the warm-up and measurement budgets, recording mean
+    /// iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = MEASURE_ITERS;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("bench {label:<50} (no iterations)");
+        } else {
+            let per_iter = self.total / u32::try_from(self.iters).unwrap_or(u32::MAX);
+            println!(
+                "bench {label:<50} {per_iter:>12.2?}/iter ({} iters)",
+                self.iters
+            );
+        }
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        assert_eq!(runs, WARMUP_ITERS + MEASURE_ITERS);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut seen = Vec::new();
+        for m in [2u64, 4] {
+            group.bench_with_input(BenchmarkId::new("case", m), &m, |b, &m| {
+                b.iter(|| seen.push(m));
+            });
+        }
+        group.finish();
+        assert!(seen.contains(&2) && seen.contains(&4));
+    }
+}

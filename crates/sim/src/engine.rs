@@ -25,20 +25,29 @@ impl Platform {
     /// A homogeneous host with `cores` cores and no accelerator.
     #[must_use]
     pub fn host_only(cores: usize) -> Self {
-        Platform { cores, accelerators: 0 }
+        Platform {
+            cores,
+            accelerators: 0,
+        }
     }
 
     /// The paper's platform: `cores` host cores plus one accelerator.
     #[must_use]
     pub fn with_accelerator(cores: usize) -> Self {
-        Platform { cores, accelerators: 1 }
+        Platform {
+            cores,
+            accelerators: 1,
+        }
     }
 
     /// A general platform with `cores` host cores and `accelerators`
     /// identical devices.
     #[must_use]
     pub fn new(cores: usize, accelerators: usize) -> Self {
-        Platform { cores, accelerators }
+        Platform {
+            cores,
+            accelerators,
+        }
     }
 
     /// Number of host cores.
@@ -203,7 +212,9 @@ pub fn simulate_multi(
     let mut engine = Engine {
         dag,
         is_offloaded,
-        remaining_preds: (0..n).map(|i| dag.in_degree(NodeId::from_index(i))).collect(),
+        remaining_preds: (0..n)
+            .map(|i| dag.in_degree(NodeId::from_index(i)))
+            .collect(),
         ready_time: vec![Ticks::ZERO; n],
         intervals: Vec::with_capacity(n),
         finished: 0,
@@ -228,7 +239,10 @@ pub fn simulate_multi(
         }
         // Start host work while cores are free (work conservation).
         while !engine.ready_host.is_empty() && !engine.free_cores.is_empty() {
-            let ctx = PolicyContext { dag, now: now.get() };
+            let ctx = PolicyContext {
+                dag,
+                now: now.get(),
+            };
             let idx = policy.choose(&engine.ready_host, &ctx);
             assert!(
                 idx < engine.ready_host.len(),
@@ -259,11 +273,23 @@ pub fn simulate_multi(
     }
 
     if engine.finished != n {
-        return Err(SimError::Stalled { unfinished: n - engine.finished });
+        return Err(SimError::Stalled {
+            unfinished: n - engine.finished,
+        });
     }
-    let makespan = engine.intervals.iter().map(|i| i.finish).max().unwrap_or(Ticks::ZERO);
+    let makespan = engine
+        .intervals
+        .iter()
+        .map(|i| i.finish)
+        .max()
+        .unwrap_or(Ticks::ZERO);
     engine.intervals.sort_by_key(|i| (i.start, i.node));
-    Ok(SimResult { makespan, intervals: engine.intervals, policy: policy.name(), platform })
+    Ok(SimResult {
+        makespan,
+        intervals: engine.intervals,
+        policy: policy.name(),
+        platform,
+    })
 }
 
 /// Internal ordering key so simultaneous completions resolve
@@ -291,7 +317,8 @@ struct Engine<'a> {
 impl Engine<'_> {
     fn start(&mut self, v: NodeId, now: Ticks, key: ResourceKey) {
         let finish = now + self.dag.wcet(v);
-        self.running.push(Reverse((finish.get(), v.index() as u32, key)));
+        self.running
+            .push(Reverse((finish.get(), v.index() as u32, key)));
         let resource = match key {
             ResourceKey::Host(c) => Resource::HostCore(c),
             ResourceKey::Accel(d) => Resource::Accelerator(d),
@@ -344,7 +371,12 @@ pub fn simulate_hetero_task(
     cores: usize,
     policy: &mut dyn Policy,
 ) -> Result<SimResult, SimError> {
-    simulate(task.dag(), Some(task.offloaded()), Platform::with_accelerator(cores), policy)
+    simulate(
+        task.dag(),
+        Some(task.offloaded()),
+        Platform::with_accelerator(cores),
+        policy,
+    )
 }
 
 /// Runs the deterministic policies plus `random_seeds` seeded random
@@ -396,8 +428,16 @@ mod tests {
         let v4 = b.node("v4", Ticks::new(2));
         let v5 = b.node("v5", Ticks::new(1));
         let voff = b.node("v_off", Ticks::new(4));
-        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
-            .unwrap();
+        b.edges([
+            (v1, v2),
+            (v1, v3),
+            (v1, v4),
+            (v4, voff),
+            (v2, v5),
+            (v3, v5),
+            (voff, v5),
+        ])
+        .unwrap();
         (b.build().unwrap(), [v1, v2, v3, v4, v5, voff])
     }
 
@@ -435,10 +475,18 @@ mod tests {
     #[test]
     fn figure1_breadth_first_hits_worst_case_12() {
         let (dag, [_, _, _, _, _, voff]) = figure1();
-        let r = simulate(&dag, Some(voff), Platform::with_accelerator(2), &mut BreadthFirst::new())
-            .unwrap();
+        let r = simulate(
+            &dag,
+            Some(voff),
+            Platform::with_accelerator(2),
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
         assert_eq!(r.makespan(), Ticks::new(12));
-        assert_eq!(r.interval_of(voff).unwrap().resource, Resource::Accelerator(0));
+        assert_eq!(
+            r.interval_of(voff).unwrap().resource,
+            Resource::Accelerator(0)
+        );
     }
 
     #[test]
@@ -466,8 +514,13 @@ mod tests {
     #[test]
     fn offloaded_node_starts_immediately_when_ready() {
         let (dag, [v1, _, _, v4, _, voff]) = figure1();
-        let r = simulate(&dag, Some(voff), Platform::with_accelerator(1), &mut DepthFirst::new())
-            .unwrap();
+        let r = simulate(
+            &dag,
+            Some(voff),
+            Platform::with_accelerator(1),
+            &mut DepthFirst::new(),
+        )
+        .unwrap();
         let ioff = r.interval_of(voff).unwrap();
         let iv4 = r.interval_of(v4).unwrap();
         assert_eq!(ioff.start, iv4.finish);
@@ -478,7 +531,10 @@ mod tests {
     fn homogeneous_execution_puts_offloaded_on_host() {
         let (dag, [_, _, _, _, _, voff]) = figure1();
         let r = simulate(&dag, None, Platform::host_only(2), &mut BreadthFirst::new()).unwrap();
-        assert!(matches!(r.interval_of(voff).unwrap().resource, Resource::HostCore(_)));
+        assert!(matches!(
+            r.interval_of(voff).unwrap().resource,
+            Resource::HostCore(_)
+        ));
         assert!(r.makespan() <= Ticks::new(13));
     }
 
@@ -517,13 +573,23 @@ mod tests {
             SimError::ZeroCores
         );
         assert_eq!(
-            simulate(&dag, Some(voff), Platform::host_only(2), &mut BreadthFirst::new())
-                .unwrap_err(),
+            simulate(
+                &dag,
+                Some(voff),
+                Platform::host_only(2),
+                &mut BreadthFirst::new()
+            )
+            .unwrap_err(),
             SimError::NoAccelerator(voff)
         );
         let bogus = NodeId::from_index(400);
         assert!(matches!(
-            simulate(&dag, Some(bogus), Platform::with_accelerator(2), &mut BreadthFirst::new()),
+            simulate(
+                &dag,
+                Some(bogus),
+                Platform::with_accelerator(2),
+                &mut BreadthFirst::new()
+            ),
             Err(SimError::Dag(DagError::UnknownNode(_)))
         ));
     }
@@ -563,7 +629,13 @@ mod tests {
     fn more_cores_never_needed_beyond_width() {
         let (dag, _) = figure1();
         let r4 = simulate(&dag, None, Platform::host_only(4), &mut BreadthFirst::new()).unwrap();
-        let r16 = simulate(&dag, None, Platform::host_only(16), &mut BreadthFirst::new()).unwrap();
+        let r16 = simulate(
+            &dag,
+            None,
+            Platform::host_only(16),
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
         assert_eq!(r4.makespan(), r16.makespan());
         assert_eq!(r16.makespan(), Ticks::new(8));
     }
@@ -578,26 +650,47 @@ mod tests {
         let k2 = b.node("k2", Ticks::new(6));
         let h = b.node("h", Ticks::new(4));
         let sink = b.node("sink", Ticks::ONE);
-        b.edges([(src, k1), (src, k2), (src, h), (k1, sink), (k2, sink), (h, sink)]).unwrap();
+        b.edges([
+            (src, k1),
+            (src, k2),
+            (src, h),
+            (k1, sink),
+            (k2, sink),
+            (h, sink),
+        ])
+        .unwrap();
         (b.build().unwrap(), [src, k1, k2, h, sink])
     }
 
     #[test]
     fn single_device_serializes_two_kernels() {
         let (dag, [_, k1, k2, _, _]) = two_kernel_dag();
-        let r = simulate_multi(&dag, &[k1, k2], Platform::with_accelerator(1), &mut BreadthFirst::new())
-            .unwrap();
+        let r = simulate_multi(
+            &dag,
+            &[k1, k2],
+            Platform::with_accelerator(1),
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
         // k1 runs 1..7, k2 queues and runs 7..13, sink at 13..14.
         assert_eq!(r.makespan(), Ticks::new(14));
         assert_eq!(r.interval_of(k2).unwrap().start, Ticks::new(7));
-        assert_eq!(r.interval_of(k2).unwrap().resource, Resource::Accelerator(0));
+        assert_eq!(
+            r.interval_of(k2).unwrap().resource,
+            Resource::Accelerator(0)
+        );
     }
 
     #[test]
     fn two_devices_run_kernels_in_parallel() {
         let (dag, [_, k1, k2, _, _]) = two_kernel_dag();
-        let r = simulate_multi(&dag, &[k1, k2], Platform::new(1, 2), &mut BreadthFirst::new())
-            .unwrap();
+        let r = simulate_multi(
+            &dag,
+            &[k1, k2],
+            Platform::new(1, 2),
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
         // both kernels run 1..7 on different devices; sink at 7..8
         assert_eq!(r.makespan(), Ticks::new(8));
         let (i1, i2) = (r.interval_of(k1).unwrap(), r.interval_of(k2).unwrap());
@@ -608,8 +701,13 @@ mod tests {
     #[test]
     fn device_queue_is_work_conserving_fifo() {
         let (dag, [_, k1, k2, h, _]) = two_kernel_dag();
-        let r = simulate_multi(&dag, &[k1, k2], Platform::with_accelerator(2), &mut BreadthFirst::new())
-            .unwrap();
+        let r = simulate_multi(
+            &dag,
+            &[k1, k2],
+            Platform::with_accelerator(2),
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
         // the device never idles while a kernel waits
         let i1 = r.interval_of(k1).unwrap();
         let i2 = r.interval_of(k2).unwrap();
@@ -621,7 +719,8 @@ mod tests {
     #[test]
     fn empty_offload_set_equals_homogeneous() {
         let (dag, _) = two_kernel_dag();
-        let a = simulate_multi(&dag, &[], Platform::host_only(2), &mut BreadthFirst::new()).unwrap();
+        let a =
+            simulate_multi(&dag, &[], Platform::host_only(2), &mut BreadthFirst::new()).unwrap();
         let b = simulate(&dag, None, Platform::host_only(2), &mut BreadthFirst::new()).unwrap();
         assert_eq!(a.makespan(), b.makespan());
     }

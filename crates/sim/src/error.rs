@@ -29,7 +29,10 @@ impl fmt::Display for SimError {
             SimError::ZeroCores => write!(f, "platform must have at least one host core"),
             SimError::Dag(e) => write!(f, "invalid task graph: {e}"),
             SimError::NoAccelerator(v) => {
-                write!(f, "node {v} is offloaded but the platform has no accelerator")
+                write!(
+                    f,
+                    "node {v} is offloaded but the platform has no accelerator"
+                )
             }
             SimError::Stalled { unfinished } => {
                 write!(f, "simulation stalled with {unfinished} unfinished nodes")
@@ -59,9 +62,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(SimError::ZeroCores.to_string(), "platform must have at least one host core");
-        assert!(SimError::NoAccelerator(NodeId::from_index(3)).to_string().contains("n3"));
-        assert!(SimError::Stalled { unfinished: 2 }.to_string().contains('2'));
+        assert_eq!(
+            SimError::ZeroCores.to_string(),
+            "platform must have at least one host core"
+        );
+        assert!(SimError::NoAccelerator(NodeId::from_index(3))
+            .to_string()
+            .contains("n3"));
+        assert!(SimError::Stalled { unfinished: 2 }
+            .to_string()
+            .contains('2'));
     }
 
     #[test]

@@ -66,8 +66,11 @@ pub fn metrics_of(dag: &Dag, result: &SimResult) -> ScheduleMetrics {
     } else {
         Rational::new(host_work.get() as i128, capacity.get() as i128).to_f64()
     };
-    let speedup =
-        if makespan.is_zero() { 1.0 } else { dag.volume().as_f64() / makespan.as_f64() };
+    let speedup = if makespan.is_zero() {
+        1.0
+    } else {
+        dag.volume().as_f64() / makespan.as_f64()
+    };
     ScheduleMetrics {
         makespan,
         host_work,
@@ -117,8 +120,13 @@ mod tests {
         let z = b.node("z", Ticks::new(2));
         b.edges([(a, k), (a, h), (k, z), (h, z)]).unwrap();
         let dag = b.build().unwrap();
-        let r = simulate(&dag, Some(k), Platform::with_accelerator(1), &mut BreadthFirst::new())
-            .unwrap();
+        let r = simulate(
+            &dag,
+            Some(k),
+            Platform::with_accelerator(1),
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
         let m = metrics_of(&dag, &r);
         assert_eq!(m.accelerator_work, Ticks::new(6));
         assert_eq!(m.host_work, Ticks::new(10));

@@ -114,7 +114,12 @@ impl Policy for CriticalPathFirst {
         ready
             .iter()
             .enumerate()
-            .max_by_key(|(i, v)| (self.tails.get(v.index()).copied().unwrap_or(0), usize::MAX - i))
+            .max_by_key(|(i, v)| {
+                (
+                    self.tails.get(v.index()).copied().unwrap_or(0),
+                    usize::MAX - i,
+                )
+            })
             .map(|(i, _)| i)
             .expect("engine never calls choose with an empty queue")
     }
@@ -138,7 +143,10 @@ impl RandomTieBreak {
     /// Creates the policy with a seed (re-applied at every `prepare`).
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        RandomTieBreak { seed, rng: StdRng::seed_from_u64(seed) }
+        RandomTieBreak {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 

@@ -230,7 +230,9 @@ impl SporadicSimResult {
     /// `None` if no job of the task completed.
     #[must_use]
     pub fn max_response_time(&self, task: usize) -> Option<Ticks> {
-        self.jobs_of_task(task).filter_map(JobOutcome::response_time).max()
+        self.jobs_of_task(task)
+            .filter_map(JobOutcome::response_time)
+            .max()
     }
 
     /// Every contiguous execution segment recorded during the run,
@@ -245,8 +247,10 @@ impl SporadicSimResult {
     /// `None` if no job completed.
     #[must_use]
     pub fn response_stats(&self, task: usize) -> Option<ResponseStats> {
-        let rts: Vec<Ticks> =
-            self.jobs_of_task(task).filter_map(JobOutcome::response_time).collect();
+        let rts: Vec<Ticks> = self
+            .jobs_of_task(task)
+            .filter_map(JobOutcome::response_time)
+            .collect();
         if rts.is_empty() {
             return None;
         }
@@ -355,7 +359,11 @@ pub fn deadline_monotonic_order(tasks: &[HeteroDagTask]) -> Vec<usize> {
 #[must_use]
 pub fn hyperperiod(tasks: &[HeteroDagTask]) -> Option<Ticks> {
     fn gcd(a: u64, b: u64) -> u64 {
-        if b == 0 { a } else { gcd(b, a % b) }
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
     }
     if tasks.is_empty() {
         return None;
@@ -412,7 +420,9 @@ pub fn validate_segments(
         let offloaded = tasks[job.task].offloaded();
         for v in dag.node_ids() {
             let wcet = dag.wcet(v);
-            let segs = per_node.get(&(job.task, job.job, v)).map_or(&[][..], Vec::as_slice);
+            let segs = per_node
+                .get(&(job.task, job.job, v))
+                .map_or(&[][..], Vec::as_slice);
             let total: u64 = segs.iter().map(|s| (s.end - s.start).get()).sum();
             if total != wcet.get() {
                 return Err(format!(
@@ -635,7 +645,10 @@ pub fn simulate_sporadic_with_offsets(
         sim.ready_dev.sort_unstable_by_key(|a| a.order());
         while sim.running_dev.len() < sim.device_capacity() && !sim.ready_dev.is_empty() {
             let entry = sim.ready_dev.remove(0);
-            sim.running_dev.push(RunningNode { entry, started_at: now });
+            sim.running_dev.push(RunningNode {
+                entry,
+                started_at: now,
+            });
         }
 
         // 3. Dispatch host cores.
@@ -653,8 +666,10 @@ pub fn simulate_sporadic_with_offsets(
                 pool.sort_unstable_by_key(|(a, _)| a.order());
                 for (i, (entry, started)) in pool.into_iter().enumerate() {
                     if i < m {
-                        sim.running_host
-                            .push(RunningNode { entry, started_at: started.unwrap_or(now) });
+                        sim.running_host.push(RunningNode {
+                            entry,
+                            started_at: started.unwrap_or(now),
+                        });
                     } else {
                         if let Some(s) = started {
                             sim.record_segment(&entry, s, now, SegmentResource::Host);
@@ -667,7 +682,10 @@ pub fn simulate_sporadic_with_offsets(
                 sim.ready_host.sort_unstable_by_key(|a| a.order());
                 while sim.running_host.len() < m && !sim.ready_host.is_empty() {
                     let entry = sim.ready_host.remove(0);
-                    sim.running_host.push(RunningNode { entry, started_at: now });
+                    sim.running_host.push(RunningNode {
+                        entry,
+                        started_at: now,
+                    });
                 }
             }
         }
@@ -679,7 +697,10 @@ pub fn simulate_sporadic_with_offsets(
             .chain(sim.running_dev.iter())
             .map(|r| r.entry.remaining)
             .min();
-        let next_rel = sim.next_release.first().map(|&(t, _)| t.saturating_sub(now));
+        let next_rel = sim
+            .next_release
+            .first()
+            .map(|&(t, _)| t.saturating_sub(now));
         let delta = match (next_finish, next_rel) {
             (Some(f), Some(r)) => f.min(r),
             (Some(f), None) => f,
@@ -713,7 +734,11 @@ pub fn simulate_sporadic_with_offsets(
     outcomes.sort_by_key(|j| (j.release, j.task, j.job));
     let mut segments = std::mem::take(&mut sim.segments);
     segments.sort_by_key(|s| (s.start, s.task, s.job, s.node));
-    Ok(SporadicSimResult { jobs: outcomes, cutoff: Ticks::new(now), segments })
+    Ok(SporadicSimResult {
+        jobs: outcomes,
+        cutoff: Ticks::new(now),
+        segments,
+    })
 }
 
 struct Sim<'a> {
@@ -748,7 +773,12 @@ impl Sim<'_> {
             Discipline::FixedPriority => task as u64,
             Discipline::EarliestDeadlineFirst => release + self.tasks[task].deadline().get(),
         };
-        JobKey { primary, release, task, job }
+        JobKey {
+            primary,
+            release,
+            task,
+            job,
+        }
     }
 
     fn release_job(&mut self, task: usize, now: u64) {
@@ -763,7 +793,9 @@ impl Sim<'_> {
             task,
             job: job_no,
             key,
-            remaining_preds: (0..n).map(|i| dag.in_degree(NodeId::from_index(i))).collect(),
+            remaining_preds: (0..n)
+                .map(|i| dag.in_degree(NodeId::from_index(i)))
+                .collect(),
             unfinished: n,
             next_seq: 0,
         });
@@ -788,8 +820,13 @@ impl Sim<'_> {
         }
         let seq = self.jobs[slot].next_seq;
         self.jobs[slot].next_seq += 1;
-        let entry =
-            ReadyNode { key: self.jobs[slot].key, seq, job_slot: slot, node: v, remaining: wcet };
+        let entry = ReadyNode {
+            key: self.jobs[slot].key,
+            seq,
+            job_slot: slot,
+            node: v,
+            remaining: wcet,
+        };
         if !self.config.offload_on_host && v == t.offloaded() {
             self.ready_dev.push(entry);
         } else {
@@ -965,8 +1002,8 @@ mod tests {
         let slow = forkjoin_task(5, 1, 40, 40);
         let fast = chain_task(2, 8);
         let platform = Platform::with_accelerator(1);
-        let fp = SporadicConfig::new(platform, Ticks::new(40))
-            .discipline(Discipline::FixedPriority);
+        let fp =
+            SporadicConfig::new(platform, Ticks::new(40)).discipline(Discipline::FixedPriority);
         let edf = SporadicConfig::new(platform, Ticks::new(40))
             .discipline(Discipline::EarliestDeadlineFirst);
         let r_fp = simulate_sporadic(&[slow.clone(), fast.clone()], &fp).unwrap();
@@ -1001,7 +1038,10 @@ mod tests {
         let r2 = simulate_sporadic(&tasks, &two_dev).unwrap();
         let worst1 = r1.max_response_time(1).unwrap();
         let worst2 = r2.max_response_time(1).unwrap();
-        assert!(worst2 < worst1, "extra device should help: {worst2} vs {worst1}");
+        assert!(
+            worst2 < worst1,
+            "extra device should help: {worst2} vs {worst1}"
+        );
         assert_eq!(worst1, Ticks::new(12)); // 1 + wait 5 + 5 + 1
         assert_eq!(worst2, Ticks::new(7)); // 1 + 5 + 1
     }
@@ -1009,8 +1049,8 @@ mod tests {
     #[test]
     fn offload_on_host_needs_no_accelerator() {
         let tasks = vec![chain_task(3, 10)];
-        let config = SporadicConfig::new(Platform::host_only(2), Ticks::new(10))
-            .offload_on_host(true);
+        let config =
+            SporadicConfig::new(Platform::host_only(2), Ticks::new(10)).offload_on_host(true);
         let r = simulate_sporadic(&tasks, &config).unwrap();
         assert_eq!(r.jobs()[0].response_time(), Some(Ticks::new(5)));
     }
@@ -1029,7 +1069,10 @@ mod tests {
     fn zero_cores_is_an_error() {
         let tasks = vec![chain_task(3, 10)];
         let config = SporadicConfig::new(Platform::new(0, 1), Ticks::new(10));
-        assert_eq!(simulate_sporadic(&tasks, &config).unwrap_err(), SimError::ZeroCores);
+        assert_eq!(
+            simulate_sporadic(&tasks, &config).unwrap_err(),
+            SimError::ZeroCores
+        );
     }
 
     #[test]
@@ -1074,12 +1117,15 @@ mod tests {
     fn offsets_shift_releases() {
         let tasks = vec![chain_task(2, 10), chain_task(2, 10)];
         let config = SporadicConfig::new(Platform::new(2, 2), Ticks::new(20));
-        let r = simulate_sporadic_with_offsets(&tasks, &[Ticks::ZERO, Ticks::new(5)], &config)
-            .unwrap();
+        let r =
+            simulate_sporadic_with_offsets(&tasks, &[Ticks::ZERO, Ticks::new(5)], &config).unwrap();
         let releases: Vec<u64> = r.jobs_of_task(1).map(|j| j.release.get()).collect();
         assert_eq!(releases, vec![5, 15]);
         // Job numbering starts at 0 despite the offset.
-        assert_eq!(r.jobs_of_task(1).map(|j| j.job).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(
+            r.jobs_of_task(1).map(|j| j.job).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
         assert!(!r.any_deadline_miss());
     }
 
@@ -1103,12 +1149,19 @@ mod tests {
                 .unwrap();
         let rt_sync = sync.max_response_time(1).unwrap();
         let rt_async = async_.max_response_time(1).unwrap();
-        assert!(rt_async < rt_sync, "offset should relieve device contention");
+        assert!(
+            rt_async < rt_sync,
+            "offset should relieve device contention"
+        );
     }
 
     #[test]
     fn segments_validate_across_modes_and_platforms() {
-        let tasks = vec![forkjoin_task(3, 2, 12, 12), chain_task(4, 9), forkjoin_task(2, 5, 15, 15)];
+        let tasks = vec![
+            forkjoin_task(3, 2, 12, 12),
+            chain_task(4, 9),
+            forkjoin_task(2, 5, 15, 15),
+        ];
         for cores in [1usize, 2, 4] {
             for devices in [1usize, 3] {
                 for pre in [Preemption::Preemptive, Preemption::NonPreemptive] {
@@ -1140,7 +1193,10 @@ mod tests {
         for s in r.segments().iter().filter(|s| s.task == 1) {
             *per_node.entry((s.job, s.node)).or_insert(0) += 1;
         }
-        assert!(per_node.values().any(|&n| n > 1), "expected at least one preemption");
+        assert!(
+            per_node.values().any(|&n| n > 1),
+            "expected at least one preemption"
+        );
     }
 
     #[test]

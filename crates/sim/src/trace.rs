@@ -71,7 +71,11 @@ pub fn validate_schedule_multi(
     );
     let mut by_node: HashMap<NodeId, &Interval> = HashMap::new();
     for i in intervals {
-        ensure!(by_node.insert(i.node, i).is_none(), "node {} executed twice", i.node);
+        ensure!(
+            by_node.insert(i.node, i).is_none(),
+            "node {} executed twice",
+            i.node
+        );
         ensure!(
             i.finish == i.start + dag.wcet(i.node),
             "node {} ran for {} instead of {}",
@@ -79,7 +83,11 @@ pub fn validate_schedule_multi(
             i.finish.get() - i.start.get(),
             dag.wcet(i.node)
         );
-        ensure!(i.ready <= i.start, "node {} started before it was ready", i.node);
+        ensure!(
+            i.ready <= i.start,
+            "node {} started before it was ready",
+            i.node
+        );
         if dag.wcet(i.node).is_zero() {
             ensure!(
                 i.resource == Resource::Instant && i.start == i.ready,
@@ -210,15 +218,25 @@ pub fn gantt(dag: &Dag, result: &SimResult, scale: u64) -> String {
         } else {
             label.chars().collect()
         };
-        let (s, f) = ((i.start.get() / scale) as usize, (i.finish.get().div_ceil(scale)) as usize);
+        let (s, f) = (
+            (i.start.get() / scale) as usize,
+            (i.finish.get().div_ceil(scale)) as usize,
+        );
         for (k, cell) in (s..f.min(width)).enumerate() {
             rows[row].1[cell] = *tag.get(k % tag.len()).unwrap_or(&'#');
         }
     }
     let mut out = String::new();
-    out.push_str(&format!("t = 0 .. {} (1 col = {} ticks)\n", result.makespan(), scale));
+    out.push_str(&format!(
+        "t = 0 .. {} (1 col = {} ticks)\n",
+        result.makespan(),
+        scale
+    ));
     for (label, cells) in rows {
-        out.push_str(&format!("{label:>8} |{}|\n", cells.into_iter().collect::<String>()));
+        out.push_str(&format!(
+            "{label:>8} |{}|\n",
+            cells.into_iter().collect::<String>()
+        ));
     }
     out
 }
@@ -238,8 +256,16 @@ mod tests {
         let v4 = b.node("v4", Ticks::new(2));
         let v5 = b.node("v5", Ticks::new(1));
         let voff = b.node("voff", Ticks::new(4));
-        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
-            .unwrap();
+        b.edges([
+            (v1, v2),
+            (v1, v3),
+            (v1, v4),
+            (v4, voff),
+            (v2, v5),
+            (v3, v5),
+            (voff, v5),
+        ])
+        .unwrap();
         (b.build().unwrap(), voff)
     }
 
@@ -247,10 +273,16 @@ mod tests {
     fn valid_schedules_pass() {
         let (dag, voff) = sample();
         for m in 1..=4 {
-            let r = simulate(&dag, Some(voff), Platform::with_accelerator(m), &mut BreadthFirst::new())
-                .unwrap();
+            let r = simulate(
+                &dag,
+                Some(voff),
+                Platform::with_accelerator(m),
+                &mut BreadthFirst::new(),
+            )
+            .unwrap();
             validate_schedule(&dag, Some(voff), &r).unwrap();
-            let rh = simulate(&dag, None, Platform::host_only(m), &mut BreadthFirst::new()).unwrap();
+            let rh =
+                simulate(&dag, None, Platform::host_only(m), &mut BreadthFirst::new()).unwrap();
             validate_schedule(&dag, None, &rh).unwrap();
         }
     }
@@ -258,8 +290,13 @@ mod tests {
     #[test]
     fn tampered_offload_detected() {
         let (dag, voff) = sample();
-        let r = simulate(&dag, Some(voff), Platform::with_accelerator(2), &mut BreadthFirst::new())
-            .unwrap();
+        let r = simulate(
+            &dag,
+            Some(voff),
+            Platform::with_accelerator(2),
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
         // claim no node is offloaded: accelerator interval becomes illegal
         let err = validate_schedule(&dag, None, &r).unwrap_err();
         assert!(err.to_string().contains("accelerator"));
@@ -268,8 +305,13 @@ mod tests {
     #[test]
     fn mismatched_graph_detected() {
         let (dag, voff) = sample();
-        let r = simulate(&dag, Some(voff), Platform::with_accelerator(2), &mut BreadthFirst::new())
-            .unwrap();
+        let r = simulate(
+            &dag,
+            Some(voff),
+            Platform::with_accelerator(2),
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
         let mut other = DagBuilder::new();
         other.node("only", Ticks::ONE);
         let other = other.build().unwrap();
@@ -279,8 +321,13 @@ mod tests {
     #[test]
     fn gantt_renders_all_resources() {
         let (dag, voff) = sample();
-        let r = simulate(&dag, Some(voff), Platform::with_accelerator(2), &mut BreadthFirst::new())
-            .unwrap();
+        let r = simulate(
+            &dag,
+            Some(voff),
+            Platform::with_accelerator(2),
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
         let chart = gantt(&dag, &r, 1);
         assert!(chart.contains("core 0"));
         assert!(chart.contains("core 1"));
@@ -292,8 +339,13 @@ mod tests {
     #[test]
     fn gantt_scale_shrinks_width() {
         let (dag, voff) = sample();
-        let r = simulate(&dag, Some(voff), Platform::with_accelerator(2), &mut BreadthFirst::new())
-            .unwrap();
+        let r = simulate(
+            &dag,
+            Some(voff),
+            Platform::with_accelerator(2),
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
         let wide = gantt(&dag, &r, 1);
         let narrow = gantt(&dag, &r, 4);
         assert!(narrow.len() < wide.len());

@@ -30,7 +30,9 @@ fn random_task(seed: u64, fraction: f64) -> Option<HeteroDagTask> {
 fn single_job_matches_engine_with_accelerator() {
     let mut checked = 0;
     for seed in 0..60u64 {
-        let Some(task) = random_task(seed, 0.3) else { continue };
+        let Some(task) = random_task(seed, 0.3) else {
+            continue;
+        };
         for m in [1usize, 2, 4, 8] {
             let engine = simulate(
                 task.dag(),
@@ -59,13 +61,19 @@ fn single_job_matches_engine_with_accelerator() {
 fn single_job_matches_engine_homogeneous() {
     let mut checked = 0;
     for seed in 100..140u64 {
-        let Some(task) = random_task(seed, 0.2) else { continue };
+        let Some(task) = random_task(seed, 0.2) else {
+            continue;
+        };
         for m in [2usize, 4] {
-            let engine =
-                simulate(task.dag(), None, Platform::host_only(m), &mut BreadthFirst::new())
-                    .unwrap();
-            let config = SporadicConfig::new(Platform::host_only(m), Ticks::ONE)
-                .offload_on_host(true);
+            let engine = simulate(
+                task.dag(),
+                None,
+                Platform::host_only(m),
+                &mut BreadthFirst::new(),
+            )
+            .unwrap();
+            let config =
+                SporadicConfig::new(Platform::host_only(m), Ticks::ONE).offload_on_host(true);
             let run = simulate_sporadic(std::slice::from_ref(&task), &config).unwrap();
             assert_eq!(
                 run.jobs()[0].response_time(),
@@ -84,12 +92,13 @@ fn sporadic_single_job_bounded_by_r_hom_and_r_het() {
     // job, so the single-task theorems apply; het bound on the
     // transformed deployment).
     for seed in 200..240u64 {
-        let Some(task) = random_task(seed, 0.35) else { continue };
+        let Some(task) = random_task(seed, 0.35) else {
+            continue;
+        };
         for m in [2u64, 8] {
             let r_hom = hetrta_core::r_hom(&task.as_homogeneous(), m).unwrap();
-            let config =
-                SporadicConfig::new(Platform::host_only(m as usize), Ticks::ONE)
-                    .offload_on_host(true);
+            let config = SporadicConfig::new(Platform::host_only(m as usize), Ticks::ONE)
+                .offload_on_host(true);
             let run = simulate_sporadic(std::slice::from_ref(&task), &config).unwrap();
             let observed = run.jobs()[0].response_time().unwrap();
             assert!(observed.to_rational() <= r_hom, "seed {seed}, m {m}");

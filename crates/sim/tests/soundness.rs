@@ -27,8 +27,13 @@ fn random_task(seed: u64, fraction: f64) -> HeteroDagTask {
     if dag.node_count() < 3 {
         return random_task(seed.wrapping_add(0x9e37_79b9), fraction);
     }
-    make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::VolumeFraction(fraction), &mut rng)
-        .expect("offload assignment succeeds")
+    make_hetero_task(
+        dag,
+        OffloadSelection::AnyInterior,
+        CoffSizing::VolumeFraction(fraction),
+        &mut rng,
+    )
+    .expect("offload assignment succeeds")
 }
 
 fn policies(seed: u64) -> Vec<Box<dyn Policy>> {

@@ -177,8 +177,16 @@ mod tests {
         let v4 = b.node("v4", Ticks::new(2));
         let v5 = b.node("v5", Ticks::new(1));
         let voff = b.node("v_off", Ticks::new(4));
-        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
-            .unwrap();
+        b.edges([
+            (v1, v2),
+            (v1, v3),
+            (v1, v4),
+            (v4, voff),
+            (v2, v5),
+            (v3, v5),
+            (voff, v5),
+        ])
+        .unwrap();
         HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(50), Ticks::new(50)).unwrap()
     }
 
@@ -192,7 +200,10 @@ mod tests {
 
     #[test]
     fn naive_discount_gives_the_papers_11() {
-        assert_eq!(naive_discount(&figure1_task(), 2).unwrap(), Rational::from_integer(11));
+        assert_eq!(
+            naive_discount(&figure1_task(), 2).unwrap(),
+            Rational::from_integer(11)
+        );
     }
 
     #[test]
@@ -200,7 +211,10 @@ mod tests {
         // pred {v1,v4}: chain, len 3 → R_hom = 3.
         // par {v2,v3}: R_hom on m=2 = 6 + 4/2 = 8 > C_off 4.
         // succ {v5}: 1. Total 3 + 8 + 1 = 12.
-        assert_eq!(phase_barrier(&figure1_task(), 2).unwrap(), Rational::from_integer(12));
+        assert_eq!(
+            phase_barrier(&figure1_task(), 2).unwrap(),
+            Rational::from_integer(12)
+        );
     }
 
     #[test]
@@ -235,7 +249,10 @@ mod tests {
     #[test]
     fn zero_cores_rejected_everywhere() {
         let t = figure1_task();
-        assert_eq!(suspension_oblivious(&t, 0).unwrap_err(), SuspendError::ZeroCores);
+        assert_eq!(
+            suspension_oblivious(&t, 0).unwrap_err(),
+            SuspendError::ZeroCores
+        );
         assert_eq!(phase_barrier(&t, 0).unwrap_err(), SuspendError::ZeroCores);
         assert_eq!(naive_discount(&t, 0).unwrap_err(), SuspendError::ZeroCores);
         assert!(BaselineComparison::compute(&t, 0).is_err());

@@ -60,13 +60,23 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(SuspendError::ZeroCores.to_string(), "host must have at least one core");
-        assert!(SuspendError::InvalidTask("p".into()).to_string().contains('p'));
-        assert!(SuspendError::from(DagError::Empty).to_string().contains("structure"));
+        assert_eq!(
+            SuspendError::ZeroCores.to_string(),
+            "host must have at least one core"
+        );
+        assert!(SuspendError::InvalidTask("p".into())
+            .to_string()
+            .contains('p'));
+        assert!(SuspendError::from(DagError::Empty)
+            .to_string()
+            .contains("structure"));
     }
 
     #[test]
     fn conversion_from_analysis_error() {
-        assert_eq!(SuspendError::from(AnalysisError::ZeroCores), SuspendError::ZeroCores);
+        assert_eq!(
+            SuspendError::from(AnalysisError::ZeroCores),
+            SuspendError::ZeroCores
+        );
     }
 }

@@ -102,8 +102,7 @@ impl PhaseDecomposition {
     /// Sanity: the three phases plus `v_off` account for the whole task.
     #[must_use]
     pub fn accounts_for(&self, task: &HeteroDagTask) -> bool {
-        self.pred.volume() + self.par.volume() + self.succ.volume() + self.c_off
-            == task.volume()
+        self.pred.volume() + self.par.volume() + self.succ.volume() + self.c_off == task.volume()
     }
 }
 
@@ -169,8 +168,16 @@ mod tests {
         let v4 = b.node("v4", Ticks::new(2));
         let v5 = b.node("v5", Ticks::new(1));
         let voff = b.node("v_off", Ticks::new(4));
-        b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
-            .unwrap();
+        b.edges([
+            (v1, v2),
+            (v1, v3),
+            (v1, v4),
+            (v4, voff),
+            (v2, v5),
+            (v3, v5),
+            (voff, v5),
+        ])
+        .unwrap();
         HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(50), Ticks::new(50)).unwrap()
     }
 

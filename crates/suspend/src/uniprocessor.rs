@@ -51,7 +51,9 @@ impl UniVerdict {
 fn validate(tasks: &[FlatSuspendingTask]) -> Result<(), SuspendError> {
     for (i, t) in tasks.iter().enumerate() {
         if t.period.is_zero() {
-            return Err(SuspendError::InvalidTask(format!("task {i} has a zero period")));
+            return Err(SuspendError::InvalidTask(format!(
+                "task {i} has a zero period"
+            )));
         }
         if t.deadline > t.period {
             return Err(SuspendError::InvalidTask(format!(
@@ -124,7 +126,11 @@ pub fn oblivious_rta(tasks: &[FlatSuspendingTask]) -> Result<Vec<UniVerdict>, Su
             .map(|h| (h.period, h.execution() + h.suspension, Ticks::ZERO))
             .collect();
         let bound = tda(base, task.deadline, &hp);
-        out.push(UniVerdict { task: i, response_bound: bound, deadline: task.deadline });
+        out.push(UniVerdict {
+            task: i,
+            response_bound: bound,
+            deadline: task.deadline,
+        });
     }
     Ok(out)
 }
@@ -153,7 +159,11 @@ pub fn jitter_rta(tasks: &[FlatSuspendingTask]) -> Result<Vec<UniVerdict>, Suspe
             })
             .collect();
         let bound = tda(base, task.deadline, &hp);
-        out.push(UniVerdict { task: i, response_bound: bound, deadline: task.deadline });
+        out.push(UniVerdict {
+            task: i,
+            response_bound: bound,
+            deadline: task.deadline,
+        });
     }
     Ok(out)
 }

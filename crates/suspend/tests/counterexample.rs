@@ -25,8 +25,16 @@ fn figure1_task() -> (HeteroDagTask, NodeId) {
     let v4 = b.node("v4", Ticks::new(2));
     let v5 = b.node("v5", Ticks::new(1));
     let voff = b.node("v_off", Ticks::new(4));
-    b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])
-        .unwrap();
+    b.edges([
+        (v1, v2),
+        (v1, v3),
+        (v1, v4),
+        (v4, voff),
+        (v2, v5),
+        (v3, v5),
+        (voff, v5),
+    ])
+    .unwrap();
     let task =
         HeteroDagTask::new(b.build().unwrap(), voff, Ticks::new(50), Ticks::new(50)).unwrap();
     (task, voff)
@@ -69,7 +77,9 @@ fn sound_baselines_hold_on_random_tasks() {
     let mut checked = 0usize;
     for seed in 0..60u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let Ok(dag) = generate_nfj(&NfjParams::small_tasks(), &mut rng) else { continue };
+        let Ok(dag) = generate_nfj(&NfjParams::small_tasks(), &mut rng) else {
+            continue;
+        };
         let Ok(task) = make_hetero_task(
             dag,
             OffloadSelection::AnyInterior,
@@ -158,7 +168,9 @@ fn uniprocessor_baselines_flattened_from_dags_are_consistent() {
 fn comparison_report_is_internally_consistent_on_random_tasks() {
     for seed in 200..230u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        let Ok(dag) = generate_nfj(&NfjParams::small_tasks(), &mut rng) else { continue };
+        let Ok(dag) = generate_nfj(&NfjParams::small_tasks(), &mut rng) else {
+            continue;
+        };
         let Ok(task) = make_hetero_task(
             dag,
             OffloadSelection::AnyInterior,

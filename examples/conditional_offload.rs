@@ -41,8 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let flat = r_parallel_flattening(&expr, m)?;
         let aware = r_cond(&expr, m)?;
         let exact = r_cond_exact(&expr, m, 100)?;
-        let task =
-            HetCondTask::new(expr.clone(), "kernel", Ticks::new(120), Ticks::new(80))?;
+        let task = HetCondTask::new(expr.clone(), "kernel", Ticks::new(120), Ticks::new(80))?;
         let het = task.r_het_cond(m, 100)?;
         println!(
             "{m:>3}   {:>11.2} {:>12.2} {:>17.2} {:>23.2}",
@@ -59,10 +58,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  choices {:?}: {} — bound {:.2}",
             rb.choices,
-            if rb.offloads { "GPU path (Theorem 1)" } else { "fallback path (Eq. 1)" },
+            if rb.offloads {
+                "GPU path (Theorem 1)"
+            } else {
+                "fallback path (Eq. 1)"
+            },
             rb.bound.to_f64()
         );
     }
-    println!("\nschedulable on 2 cores + GPU with D = 80: {}", task.is_schedulable(2, 100)?);
+    println!(
+        "\nschedulable on 2 cores + GPU with D = 80: {}",
+        task.is_schedulable(2, 100)?
+    );
     Ok(())
 }

@@ -21,11 +21,18 @@ const DEADLINE_FACTOR: (u64, u64) = (5, 2); // 2.5x
 
 fn generate_task(seed: u64, fraction: f64) -> HeteroDagTask {
     let mut rng = StdRng::seed_from_u64(seed);
-    let dag = generate_nfj(&NfjParams::large_tasks().with_node_range(100, 200), &mut rng)
-        .expect("generation succeeds");
-    let task =
-        make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::VolumeFraction(fraction), &mut rng)
-            .expect("offload succeeds");
+    let dag = generate_nfj(
+        &NfjParams::large_tasks().with_node_range(100, 200),
+        &mut rng,
+    )
+    .expect("generation succeeds");
+    let task = make_hetero_task(
+        dag,
+        OffloadSelection::AnyInterior,
+        CoffSizing::VolumeFraction(fraction),
+        &mut rng,
+    )
+    .expect("offload succeeds");
     // re-wrap with a deadline proportional to the critical path
     let len = task.critical_path_length();
     let d = Ticks::new(len.get() * DEADLINE_FACTOR.0 / DEADLINE_FACTOR.1);
@@ -36,8 +43,11 @@ fn min_cores(task: &HeteroDagTask, heterogeneous: bool) -> Option<u64> {
     let d = task.deadline().to_rational();
     (1..=64u64).find(|&m| {
         let report = HeterogeneousAnalysis::run(task, m).expect("analysis succeeds");
-        let bound: Rational =
-            if heterogeneous { report.r_het() } else { report.r_hom_original() };
+        let bound: Rational = if heterogeneous {
+            report.r_het()
+        } else {
+            report.r_hom_original()
+        };
         bound <= d
     })
 }

@@ -33,15 +33,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernels = [left, right];
     let m = 2usize;
 
-    println!("stereo pipeline: vol = {}, two offloadable kernels of 24 each\n", dag.volume());
+    println!(
+        "stereo pipeline: vol = {}, two offloadable kernels of 24 each\n",
+        dag.volume()
+    );
     println!("devices | bound (best) | typed bound | candidate plan | simulated (BFS)");
     println!("--------+--------------+-------------+----------------+----------------");
     for d in [1usize, 2] {
         let bound = r_het_multi(&dag, &kernels, m as u64, d as u64)?;
-        let run = simulate_multi(&dag, &kernels, Platform::new(m, d), &mut BreadthFirst::new())?;
+        let run = simulate_multi(
+            &dag,
+            &kernels,
+            Platform::new(m, d),
+            &mut BreadthFirst::new(),
+        )?;
         let plan = bound
             .candidate()
-            .map_or("- (shared device)".to_owned(), |p| format!("transform @ {}", p.node));
+            .map_or("- (shared device)".to_owned(), |p| {
+                format!("transform @ {}", p.node)
+            });
         println!(
             "      {d} | {:>12.2} | {:>11.2} | {:>14} | {:>14}",
             bound.value().to_f64(),
@@ -52,12 +62,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(run.makespan().to_rational() <= bound.typed_bound());
     }
 
-    let run2 = simulate_multi(&dag, &kernels, Platform::new(m, 2), &mut BreadthFirst::new())?;
-    println!("\nschedule with two devices:\n{}", trace::gantt(&dag, &run2, 1));
+    let run2 = simulate_multi(
+        &dag,
+        &kernels,
+        Platform::new(m, 2),
+        &mut BreadthFirst::new(),
+    )?;
+    println!(
+        "\nschedule with two devices:\n{}",
+        trace::gantt(&dag, &run2, 1)
+    );
     println!(
         "A second device lets both kernels overlap ({} vs {} ticks simulated).",
         run2.makespan(),
-        simulate_multi(&dag, &kernels, Platform::new(m, 1), &mut BreadthFirst::new())?.makespan()
+        simulate_multi(
+            &dag,
+            &kernels,
+            Platform::new(m, 1),
+            &mut BreadthFirst::new()
+        )?
+        .makespan()
     );
     Ok(())
 }

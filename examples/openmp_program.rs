@@ -66,7 +66,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Platform::with_accelerator(2),
         &mut BreadthFirst::new(),
     )?;
-    println!("\ntransformed program on 2 cores + GPU (makespan {}):", run.makespan());
-    print!("{}", trace::gantt(report.transformed().transformed(), &run, 1));
+    println!(
+        "\ntransformed program on 2 cores + GPU (makespan {}):",
+        run.makespan()
+    );
+    print!(
+        "{}",
+        trace::gantt(report.transformed().transformed(), &run, 1)
+    );
     Ok(())
 }

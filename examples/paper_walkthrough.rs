@@ -20,7 +20,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v4 = b.node("v4", Ticks::new(2));
     let v5 = b.node("v5", Ticks::new(1));
     let voff = b.node("v_off", Ticks::new(4));
-    b.edges([(v1, v2), (v1, v3), (v1, v4), (v4, voff), (v2, v5), (v3, v5), (voff, v5)])?;
+    b.edges([
+        (v1, v2),
+        (v1, v3),
+        (v1, v4),
+        (v4, voff),
+        (v2, v5),
+        (v3, v5),
+        (voff, v5),
+    ])?;
     let task = HeteroDagTask::new(b.build()?, voff, Ticks::new(50), Ticks::new(50))?;
     let m = 2u64;
 
@@ -40,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Platform::with_accelerator(m as usize),
         500,
     )?;
-    println!("naive bound: {naive}; but a legal work-conserving schedule reaches {}", worst.makespan());
+    println!(
+        "naive bound: {naive}; but a legal work-conserving schedule reaches {}",
+        worst.makespan()
+    );
     println!("(the paper's Figure 1(c): all cores idle while v_off runs)");
 
     println!("\n== Step 3: Algorithm 1 — insert the synchronization node ==");
@@ -57,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     opts.offloaded = Some(task.offloaded());
     opts.sync = Some(t.sync_node());
     opts.highlight = Some(t.par_nodes().clone());
-    println!("\nGraphviz of G' (pipe into `dot -Tpng`):\n{}", to_dot(t.transformed(), &opts));
+    println!(
+        "\nGraphviz of G' (pipe into `dot -Tpng`):\n{}",
+        to_dot(t.transformed(), &opts)
+    );
 
     println!("== Step 4: Theorem 1 — the heterogeneous bound ==");
     let bound = r_het(&t, m)?;
@@ -72,7 +86,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Platform::with_accelerator(m as usize),
         500,
     )?;
-    println!("worst observed makespan of tau' over 500 random schedules: {}", worst_t.makespan());
+    println!(
+        "worst observed makespan of tau' over 500 random schedules: {}",
+        worst_t.makespan()
+    );
     assert!(worst_t.makespan().to_rational() <= bound.value());
     Ok(())
 }

@@ -29,14 +29,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
     let task = HeteroDagTask::new(b.build()?, kernel, Ticks::new(60), Ticks::new(40))?;
 
-    println!("task: vol = {}, len = {}, C_off = {}", task.volume(), task.critical_path_length(), task.c_off());
+    println!(
+        "task: vol = {}, len = {}, C_off = {}",
+        task.volume(),
+        task.critical_path_length(),
+        task.c_off()
+    );
 
     // Analyze on a 2-core host + 1 accelerator.
     let report = HeterogeneousAnalysis::run(&task, 2)?;
     println!("\nanalysis (m = 2):");
-    println!("  R_hom(tau)   = {:>6}  (homogeneous baseline, Eq. 1)", report.r_hom_original());
-    println!("  R_het(tau')  = {:>6}  ({})", report.r_het(), report.scenario());
-    println!("  deadline     = {:>6}  -> schedulable: {}", report.deadline(), report.is_schedulable());
+    println!(
+        "  R_hom(tau)   = {:>6}  (homogeneous baseline, Eq. 1)",
+        report.r_hom_original()
+    );
+    println!(
+        "  R_het(tau')  = {:>6}  ({})",
+        report.r_het(),
+        report.scenario()
+    );
+    println!(
+        "  deadline     = {:>6}  -> schedulable: {}",
+        report.deadline(),
+        report.is_schedulable()
+    );
 
     // Simulate the transformed task under the GOMP-like breadth-first
     // scheduler and show the schedule.
@@ -47,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Platform::with_accelerator(2),
         &mut BreadthFirst::new(),
     )?;
-    println!("\nsimulated makespan of tau': {} (bound was {})", run.makespan(), report.r_het());
+    println!(
+        "\nsimulated makespan of tau': {} (bound was {})",
+        run.makespan(),
+        report.r_het()
+    );
     println!("\n{}", trace::gantt(t.transformed(), &run, 1));
     Ok(())
 }

@@ -25,8 +25,11 @@ const OFFLOAD_FRACTION: f64 = 0.25;
 
 fn task_with_deadline(seed: u64, factor_pct: u64) -> HeteroDagTask {
     let mut rng = StdRng::seed_from_u64(seed);
-    let dag = generate_nfj(&NfjParams::large_tasks().with_node_range(100, 200), &mut rng)
-        .expect("generation succeeds");
+    let dag = generate_nfj(
+        &NfjParams::large_tasks().with_node_range(100, 200),
+        &mut rng,
+    )
+    .expect("generation succeeds");
     let t = make_hetero_task(
         dag,
         OffloadSelection::AnyInterior,

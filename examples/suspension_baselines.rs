@@ -31,7 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut count = 0usize;
         for seed in 0..25u64 {
             let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(pct) << 32));
-            let Ok(dag) = generate_nfj(&NfjParams::small_tasks(), &mut rng) else { continue };
+            let Ok(dag) = generate_nfj(&NfjParams::small_tasks(), &mut rng) else {
+                continue;
+            };
             let Ok(task) = make_hetero_task(
                 dag,
                 OffloadSelection::AnyInterior,

@@ -26,8 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 0xDAC_2018,
     };
 
-    println!("acceptance ratios, m = {cores} host cores, {} tasks/set, {} sets/point",
-             config.n_tasks, config.sets_per_point);
+    println!(
+        "acceptance ratios, m = {cores} host cores, {} tasks/set, {} sets/point",
+        config.n_tasks, config.sets_per_point
+    );
     println!("offload fraction per task: 20-45% of vol\n");
 
     print!("{:>6}", "U/m");

@@ -44,7 +44,12 @@ fn build_pipeline() -> Result<HeteroDagTask, Box<dyn std::error::Error>> {
         (fusion, control),
     ])?;
     // 30 Hz → ~333 (x100 µs); constrained deadline at 300.
-    Ok(HeteroDagTask::new(b.build()?, cnn, Ticks::new(333), Ticks::new(300))?)
+    Ok(HeteroDagTask::new(
+        b.build()?,
+        cnn,
+        Ticks::new(333),
+        Ticks::new(300),
+    )?)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -72,8 +77,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.r_hom_original().to_f64(),
             report.r_het().to_f64(),
             report.scenario().paper_label(),
-            if report.is_schedulable_homogeneous() { "OK" } else { "MISS" },
-            if report.is_schedulable() { "OK" } else { "MISS" },
+            if report.is_schedulable_homogeneous() {
+                "OK"
+            } else {
+                "MISS"
+            },
+            if report.is_schedulable() {
+                "OK"
+            } else {
+                "MISS"
+            },
             sim.makespan(),
         );
     }

@@ -4,7 +4,7 @@
 //! of *Serrano & Quiñones, "Response-Time Analysis of DAG Tasks Supporting
 //! Heterogeneous Computing", DAC 2018*.
 //!
-//! The workspace is organized as five library crates, all re-exported here:
+//! The workspace is organized as nine library crates, all re-exported here:
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
@@ -16,6 +16,7 @@
 //! | [`sched`] | `hetrta-sched` | multi-task global schedulability (extension: future work "(i) more tasks") |
 //! | [`suspend`] | `hetrta-suspend` | self-suspending baselines (the related work of §6) |
 //! | [`cond`] | `hetrta-cond` | conditional DAG tasks (the model of reference \[12\]) with offloading |
+//! | [`engine`] | `hetrta-engine` | work-stealing batch-analysis engine with content-addressed result caching |
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -50,6 +51,7 @@
 pub use hetrta_cond as cond;
 pub use hetrta_core as analysis;
 pub use hetrta_dag as dag;
+pub use hetrta_engine as engine;
 pub use hetrta_exact as exact;
 pub use hetrta_gen as gen;
 pub use hetrta_sched as sched;
@@ -58,3 +60,4 @@ pub use hetrta_suspend as suspend;
 
 pub use hetrta_core::{transform::TransformedTask, HeterogeneousAnalysis, Scenario};
 pub use hetrta_dag::{Dag, DagBuilder, DagError, DagTask, HeteroDagTask, NodeId, Rational, Ticks};
+pub use hetrta_engine::{Engine, EngineStats, SweepSpec};

@@ -16,12 +16,15 @@ fn corpus() -> Vec<(String, HeteroDagTask)> {
             continue;
         }
         let text = std::fs::read_to_string(&path).expect("readable task file");
-        let parsed = parse_task(&text)
-            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let parsed =
+            parse_task(&text).unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
         let TaskKind::Heterogeneous(task) = parsed.task else {
             panic!("{} should declare an offload", path.display());
         };
-        tasks.push((path.file_name().unwrap().to_string_lossy().into_owned(), task));
+        tasks.push((
+            path.file_name().unwrap().to_string_lossy().into_owned(),
+            task,
+        ));
     }
     assert!(tasks.len() >= 4, "corpus should have at least 4 tasks");
     tasks

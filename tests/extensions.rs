@@ -60,7 +60,12 @@ fn openmp_offload_size_drives_scenarios() {
         let task = HeteroDagTask::new(lowered.dag, lowered.offloaded.unwrap(), vol, vol).unwrap();
         let report = HeterogeneousAnalysis::run(&task, 2).unwrap();
         let dominant = report.scenario() == hetrta::Scenario::OffOnCriticalPathDominant;
-        assert_eq!(dominant, expect_dominant, "scenario was {}", report.scenario());
+        assert_eq!(
+            dominant,
+            expect_dominant,
+            "scenario was {}",
+            report.scenario()
+        );
     }
 }
 
@@ -72,7 +77,15 @@ fn multi_offload_extension_through_facade() {
     let k2 = b.node("k2", Ticks::new(12));
     let h = b.node("h", Ticks::new(8));
     let sink = b.node("sink", Ticks::new(1));
-    b.edges([(src, k1), (src, k2), (src, h), (k1, sink), (k2, sink), (h, sink)]).unwrap();
+    b.edges([
+        (src, k1),
+        (src, k2),
+        (src, h),
+        (k1, sink),
+        (k2, sink),
+        (h, sink),
+    ])
+    .unwrap();
     let dag = b.build().unwrap();
 
     let one_dev = r_het_multi(&dag, &[k1, k2], 2, 1).unwrap();
@@ -82,8 +95,13 @@ fn multi_offload_extension_through_facade() {
     // simulated executions respect the per-program bounds
     for d in [1usize, 2] {
         let bound = r_het_multi(&dag, &[k1, k2], 2, d as u64).unwrap();
-        let run = simulate_multi(&dag, &[k1, k2], Platform::new(2, d), &mut BreadthFirst::new())
-            .unwrap();
+        let run = simulate_multi(
+            &dag,
+            &[k1, k2],
+            Platform::new(2, d),
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
         assert!(run.makespan().to_rational() <= bound.typed_bound());
     }
 }
@@ -107,8 +125,9 @@ fn federated_extension_through_facade() {
     assert!(het.is_schedulable());
     // per-task sizing agrees with direct queries
     for a in &het.assignments {
-        let (m, bound) =
-            minimum_cores(&tasks[a.task], AnalysisKind::Heterogeneous, 12).unwrap().unwrap();
+        let (m, bound) = minimum_cores(&tasks[a.task], AnalysisKind::Heterogeneous, 12)
+            .unwrap()
+            .unwrap();
         assert_eq!(m, a.cores);
         assert_eq!(bound, a.bound);
     }

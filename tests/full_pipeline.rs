@@ -19,8 +19,13 @@ fn make_task(seed: u64, params: &NfjParams, fraction: f64) -> HeteroDagTask {
     if dag.node_count() < 3 {
         return make_task(seed + 1000, params, fraction);
     }
-    make_hetero_task(dag, OffloadSelection::AnyInterior, CoffSizing::VolumeFraction(fraction), &mut rng)
-        .expect("offload succeeds")
+    make_hetero_task(
+        dag,
+        OffloadSelection::AnyInterior,
+        CoffSizing::VolumeFraction(fraction),
+        &mut rng,
+    )
+    .expect("offload succeeds")
 }
 
 #[test]
@@ -37,9 +42,19 @@ fn all_layers_agree_on_small_tasks() {
                 let g2 = report.transformed().transformed();
                 for policy in 0..3 {
                     let run = match policy {
-                        0 => simulate(g2, Some(task.offloaded()), platform, &mut BreadthFirst::new()),
+                        0 => simulate(
+                            g2,
+                            Some(task.offloaded()),
+                            platform,
+                            &mut BreadthFirst::new(),
+                        ),
                         1 => simulate(g2, Some(task.offloaded()), platform, &mut DepthFirst::new()),
-                        _ => simulate(g2, Some(task.offloaded()), platform, &mut CriticalPathFirst::new()),
+                        _ => simulate(
+                            g2,
+                            Some(task.offloaded()),
+                            platform,
+                            &mut CriticalPathFirst::new(),
+                        ),
                     }
                     .unwrap();
                     assert!(run.makespan().to_rational() <= report.r_het());
@@ -47,10 +62,20 @@ fn all_layers_agree_on_small_tasks() {
                 }
 
                 // Exact optimum ≤ any simulation of τ, and ≤ R_hom.
-                let sol = solve(task.dag(), Some(task.offloaded()), m, &SolverConfig::default())
-                    .unwrap();
-                let bfs = simulate(task.dag(), Some(task.offloaded()), platform, &mut BreadthFirst::new())
-                    .unwrap();
+                let sol = solve(
+                    task.dag(),
+                    Some(task.offloaded()),
+                    m,
+                    &SolverConfig::default(),
+                )
+                .unwrap();
+                let bfs = simulate(
+                    task.dag(),
+                    Some(task.offloaded()),
+                    platform,
+                    &mut BreadthFirst::new(),
+                )
+                .unwrap();
                 if sol.is_optimal() {
                     assert!(sol.makespan() <= bfs.makespan());
                     assert!(sol.makespan().to_rational() <= report.r_hom_original());
@@ -74,7 +99,10 @@ fn generated_large_tasks_analyze_quickly_and_consistently() {
             }
             previous = Some(report.r_het());
             // R_het(τ') bound relationships from the paper
-            assert!(report.r_het() <= report.r_hom_transformed() || report.scenario() == hetrta::Scenario::OffOnCriticalPathDominated);
+            assert!(
+                report.r_het() <= report.r_hom_transformed()
+                    || report.scenario() == hetrta::Scenario::OffOnCriticalPathDominated
+            );
             assert!(report.best_bound() <= report.r_hom_original());
         }
     }

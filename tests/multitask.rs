@@ -48,8 +48,13 @@ fn facade_exposes_the_full_multitask_pipeline() {
             .iter()
             .map(|t| {
                 let tr = hetrta::analysis::transform(t).unwrap();
-                HeteroDagTask::new(tr.transformed().clone(), tr.offloaded(), t.period(), t.deadline())
-                    .unwrap()
+                HeteroDagTask::new(
+                    tr.transformed().clone(),
+                    tr.offloaded(),
+                    t.period(),
+                    t.deadline(),
+                )
+                .unwrap()
             })
             .collect();
         let horizon = hyperperiod(&tset)
@@ -58,7 +63,10 @@ fn facade_exposes_the_full_multitask_pipeline() {
         let config = SporadicConfig::new(Platform::new(m as usize, tset.len()), horizon)
             .discipline(Discipline::FixedPriority);
         let run = simulate_sporadic(&tset, &config).unwrap();
-        assert!(!run.any_deadline_miss(), "accepted set missed in simulation");
+        assert!(
+            !run.any_deadline_miss(),
+            "accepted set missed in simulation"
+        );
     }
     let _ = edf_het;
 }
@@ -87,7 +95,12 @@ fn suspension_baselines_bracket_theorem_1_through_facade() {
 fn shared_device_configuration_is_consistent_end_to_end() {
     let set = demo_set(4, 2, 0.8);
     let m = 4u64;
-    let shared = gfp_test(&set, m, AnalysisModel::Heterogeneous(DeviceModel::SharedFifo)).unwrap();
+    let shared = gfp_test(
+        &set,
+        m,
+        AnalysisModel::Heterogeneous(DeviceModel::SharedFifo),
+    )
+    .unwrap();
     let dedicated = gfp_test(&set, m, HET).unwrap();
     for (s, d) in shared.per_task.iter().zip(&dedicated.per_task) {
         if let (Some(rs), Some(rd)) = (&s.response_bound, &d.response_bound) {
@@ -100,8 +113,13 @@ fn shared_device_configuration_is_consistent_end_to_end() {
             .iter()
             .map(|t| {
                 let tr = hetrta::analysis::transform(t).unwrap();
-                HeteroDagTask::new(tr.transformed().clone(), tr.offloaded(), t.period(), t.deadline())
-                    .unwrap()
+                HeteroDagTask::new(
+                    tr.transformed().clone(),
+                    tr.offloaded(),
+                    t.period(),
+                    t.deadline(),
+                )
+                .unwrap()
             })
             .collect();
         let horizon = Ticks::new(tset.iter().map(|t| t.period().get()).max().unwrap() * 3);
