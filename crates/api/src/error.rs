@@ -1,0 +1,98 @@
+//! Errors of the analysis API.
+
+/// Failures when resolving or running an analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// The registry has no analysis under this key.
+    UnknownAnalysis {
+        /// The unresolved key.
+        key: String,
+        /// Every key the registry does know, in registration order.
+        known: Vec<String>,
+    },
+    /// The analysis was handed an input kind it cannot consume.
+    InputMismatch {
+        /// The analysis that refused.
+        analysis: String,
+        /// The input kind it expects.
+        expected: &'static str,
+        /// The input kind it received.
+        got: &'static str,
+    },
+    /// The analysis itself failed.
+    Failed {
+        /// The failing analysis.
+        analysis: String,
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl ApiError {
+    /// Convenience constructor for [`ApiError::InputMismatch`].
+    #[must_use]
+    pub fn input_mismatch(analysis: &str, expected: &'static str, got: &'static str) -> Self {
+        ApiError::InputMismatch {
+            analysis: analysis.to_owned(),
+            expected,
+            got,
+        }
+    }
+
+    /// Convenience constructor for [`ApiError::Failed`].
+    #[must_use]
+    pub fn failed(analysis: &str, message: impl Into<String>) -> Self {
+        ApiError::Failed {
+            analysis: analysis.to_owned(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::UnknownAnalysis { key, known } => {
+                write!(
+                    f,
+                    "unknown analysis kind `{key}` (valid keys: {})",
+                    known.join(", ")
+                )
+            }
+            ApiError::InputMismatch {
+                analysis,
+                expected,
+                got,
+            } => write!(f, "analysis `{analysis}` expects a {expected}, got a {got}"),
+            ApiError::Failed { analysis, message } => {
+                write!(f, "analysis `{analysis}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_key_lists_valid_keys() {
+        let e = ApiError::UnknownAnalysis {
+            key: "frob".into(),
+            known: vec!["het".into(), "hom".into()],
+        };
+        let text = e.to_string();
+        assert!(text.contains("unknown analysis kind `frob`"));
+        assert!(text.contains("het, hom"));
+    }
+
+    #[test]
+    fn mismatch_and_failure_render() {
+        let e = ApiError::input_mismatch("acceptance", "task set", "task");
+        assert!(e.to_string().contains("expects a task set"));
+        let e = ApiError::failed("het", "boom");
+        assert_eq!(e.to_string(), "analysis `het` failed: boom");
+    }
+}

@@ -1,0 +1,75 @@
+//! # hetrta-api — the unified analysis API
+//!
+//! Every analysis this workspace can run — the Algorithm 1 + Theorem 1
+//! heterogeneous RTA, the Eq. 1 homogeneous baseline, the breadth-first
+//! simulator, the bounded exact solver, the conditional-DAG bounds, the
+//! self-suspending baselines, and the six-test task-set acceptance — sits
+//! behind one seam:
+//!
+//! * [`Analysis`] — the trait: stable string key, description, and a pure
+//!   `request → outcome` function;
+//! * [`AnalysisRequest`] — a typed input ([`AnalysisInput`]: task, task
+//!   set, or conditional expression) plus shared [`AnalysisParams`];
+//! * [`AnalysisOutcome`] — a tagged metrics value that sweep aggregators
+//!   reduce generically;
+//! * [`AnalysisRegistry`] — resolves analyses by key (`"het"`, `"hom"`,
+//!   `"sim"`, `"exact"`, `"cond"`, `"suspend"`, `"acceptance"`), with
+//!   helpful unknown-key errors and room for custom registrations.
+//!
+//! The batch engine (`hetrta-engine`) schedules and memoizes registry
+//! analyses; the CLI resolves `--analyses` flags against the registry; and
+//! new workloads plug in by implementing [`Analysis`] — see the trait docs
+//! for a complete custom-analysis example.
+//!
+//! ## Example
+//!
+//! ```
+//! use hetrta_api::{AnalysisOutcome, AnalysisRegistry, AnalysisRequest, DirectContext};
+//! use hetrta_dag::{DagBuilder, HeteroDagTask, Ticks};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DagBuilder::new();
+//! let pre = b.node("pre", Ticks::new(2));
+//! let gpu = b.node("gpu", Ticks::new(20));
+//! let cpu = b.node("cpu", Ticks::new(18));
+//! let post = b.node("post", Ticks::new(2));
+//! b.edges([(pre, gpu), (pre, cpu), (gpu, post), (cpu, post)])?;
+//! let task = HeteroDagTask::new(b.build()?, gpu, Ticks::new(60), Ticks::new(40))?;
+//!
+//! let registry = AnalysisRegistry::builtin();
+//! let request = AnalysisRequest::task(task, 2);
+//! let AnalysisOutcome::Het(het) = registry.run("het", &request, &DirectContext)? else {
+//!     unreachable!("`het` produces a heterogeneous outcome");
+//! };
+//! assert!(het.r_het <= het.r_hom_original);
+//!
+//! // Unknown keys fail with a message listing every valid key.
+//! let err = registry.run("frob", &request, &DirectContext).unwrap_err();
+//! assert!(err.to_string().contains("valid keys"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adapters;
+mod error;
+mod outcome;
+mod registry;
+mod request;
+
+pub use adapters::{
+    AcceptanceAnalysis, CondAnalysis, ExactAnalysis, HetAnalysis, HomAnalysis, SimAnalysis,
+    SuspendAnalysis,
+};
+pub use error::ApiError;
+pub use outcome::{
+    AcceptanceOutcome, AnalysisOutcome, CondOutcome, ExactOutcome, HetOutcome, SimOutcome,
+    SuspendOutcome,
+};
+pub use registry::{
+    Analysis, AnalysisContext, AnalysisRegistry, DirectContext, InputKind, ParamDigest,
+};
+pub use request::{AnalysisInput, AnalysisParams, AnalysisRequest};

@@ -1,0 +1,132 @@
+//! Tagged analysis outcomes, reducible by sweep aggregators.
+
+use hetrta_core::Scenario;
+
+/// Everything the heterogeneous analysis (Algorithm 1 + Theorem 1) of one
+/// task produces, reduced to the values sweeps aggregate. Field-for-field
+/// this mirrors the accessors of [`hetrta_core::AnalysisReport`]; parity is
+/// covered by the engine's `engine_parity` integration tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HetOutcome {
+    /// `R_het(τ')` (Theorem 1).
+    pub r_het: f64,
+    /// `R_hom(τ)` (Eq. 1 on the original DAG).
+    pub r_hom_original: f64,
+    /// `R_hom(τ')` (Eq. 1 on the transformed DAG).
+    pub r_hom_transformed: f64,
+    /// Which Theorem 1 scenario applied.
+    pub scenario: Scenario,
+    /// `100·(R_hom − R_het)/R_het` (the Figure 9 metric).
+    pub improvement_percent: f64,
+    /// `R_het(τ') ≤ D`.
+    pub schedulable_het: bool,
+    /// `R_hom(τ) ≤ D`.
+    pub schedulable_hom: bool,
+}
+
+/// Outcome of the breadth-first simulation of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOutcome {
+    /// Makespan of the original task `τ`.
+    pub makespan: u64,
+    /// Makespan of the transformed task `τ'`, when
+    /// [`AnalysisParams::sim_transformed`](crate::AnalysisParams::sim_transformed)
+    /// was set (the Figure 6 comparison).
+    pub transformed_makespan: Option<u64>,
+}
+
+/// Outcome of the bounded exact solver on one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactOutcome {
+    /// Minimum makespan found.
+    pub makespan: u64,
+    /// Whether the solver proved optimality within its budget.
+    pub optimal: bool,
+}
+
+/// Bounds of one conditional expression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CondOutcome {
+    /// Flatten-all baseline `R` (every branch treated as parallel work).
+    pub flattened: f64,
+    /// Conditional-aware DP bound.
+    pub cond_aware: f64,
+    /// Exact per-realization enumeration, `None` when the enumeration was
+    /// refused (too many realizations for the cap) — sweeps skip these
+    /// samples, exactly like the serial ablation loop.
+    pub exact: Option<f64>,
+    /// Distinct realizations of the expression.
+    pub realizations: u64,
+}
+
+/// Self-suspending baseline bounds of one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuspendOutcome {
+    /// Suspension-oblivious bound.
+    pub oblivious: f64,
+    /// Phase-barrier bound.
+    pub phase_barrier: f64,
+    /// `min(R_het, R_hom(τ'))` — the paper's sound bound.
+    pub r_het_tight: f64,
+    /// The **unsound** naive discount of the paper's §3.2.
+    pub naive_unsound: f64,
+    /// Worst observed makespan over the explored schedules, when
+    /// [`AnalysisParams::explore_seeds`](crate::AnalysisParams::explore_seeds)
+    /// is nonzero.
+    pub worst_observed: Option<u64>,
+    /// Whether the observed worst case exceeded the naive discount (the
+    /// Figure 1(c) phenomenon measured in the wild). `None` when the
+    /// exploration was skipped.
+    pub naive_violated: Option<bool>,
+}
+
+/// Accept bit per schedulability test, in
+/// [`hetrta_sched::acceptance::TestKind::ALL`] order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcceptanceOutcome {
+    /// GFP-hom, GFP-het, GEDF-hom, GEDF-het, FED-hom, FED-het.
+    pub accepted: [bool; 6],
+}
+
+/// What one analysis run produced, tagged by the analysis kind.
+///
+/// The tag ([`AnalysisOutcome::key`]) matches the registry key of the
+/// analysis that produced the value, so aggregators can reduce a stream of
+/// outcomes generically — group by tag, then mean/max/count per tag.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisOutcome {
+    /// `"het"` — Algorithm 1 + Theorem 1.
+    Het(HetOutcome),
+    /// `"hom"` — Eq. 1 on the original DAG.
+    Hom {
+        /// `R_hom(τ)`.
+        r_hom: f64,
+    },
+    /// `"sim"` — work-conserving breadth-first simulation.
+    Sim(SimOutcome),
+    /// `"exact"` — bounded exact solve; `None` means the instance was not
+    /// solvable within the budget/size limits (data, not a failure).
+    Exact(Option<ExactOutcome>),
+    /// `"cond"` — conditional-DAG bounds.
+    Cond(CondOutcome),
+    /// `"suspend"` — self-suspending baselines.
+    Suspend(SuspendOutcome),
+    /// `"acceptance"` — the six task-set schedulability tests.
+    Acceptance(AcceptanceOutcome),
+}
+
+impl AnalysisOutcome {
+    /// The registry key of the analysis kind that produced this outcome.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            AnalysisOutcome::Het(_) => "het",
+            AnalysisOutcome::Hom { .. } => "hom",
+            AnalysisOutcome::Sim(_) => "sim",
+            AnalysisOutcome::Exact(_) => "exact",
+            AnalysisOutcome::Cond(_) => "cond",
+            AnalysisOutcome::Suspend(_) => "suspend",
+            AnalysisOutcome::Acceptance(_) => "acceptance",
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Typed analysis inputs and parameters.
+
+use hetrta_cond::CondExpr;
+use hetrta_dag::HeteroDagTask;
+
+use crate::ApiError;
+
+/// The subject of an analysis run.
+///
+/// Every [`Analysis`](crate::Analysis) implementation documents which input
+/// kind it consumes; handing it another kind yields
+/// [`ApiError::InputMismatch`] instead of a panic, so registries can be
+/// driven by untrusted key/input combinations (CLI flags, job queues).
+#[derive(Debug, Clone)]
+pub enum AnalysisInput {
+    /// One heterogeneous DAG task.
+    Task(HeteroDagTask),
+    /// A task set in priority order (deadline-monotonic for GFP).
+    TaskSet(Vec<HeteroDagTask>),
+    /// A conditional expression (the model of reference \[12\]).
+    Cond(CondExpr),
+}
+
+impl AnalysisInput {
+    /// Human-readable input kind (used by mismatch errors).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AnalysisInput::Task(_) => "task",
+            AnalysisInput::TaskSet(_) => "task set",
+            AnalysisInput::Cond(_) => "conditional expression",
+        }
+    }
+
+    /// The task, or an [`ApiError::InputMismatch`] naming `analysis`.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::InputMismatch`] when the input is not a task.
+    pub fn as_task(&self, analysis: &str) -> Result<&HeteroDagTask, ApiError> {
+        match self {
+            AnalysisInput::Task(t) => Ok(t),
+            other => Err(ApiError::input_mismatch(analysis, "task", other.kind())),
+        }
+    }
+
+    /// The task set, or an [`ApiError::InputMismatch`] naming `analysis`.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::InputMismatch`] when the input is not a task set.
+    pub fn as_task_set(&self, analysis: &str) -> Result<&[HeteroDagTask], ApiError> {
+        match self {
+            AnalysisInput::TaskSet(s) => Ok(s),
+            other => Err(ApiError::input_mismatch(analysis, "task set", other.kind())),
+        }
+    }
+
+    /// The conditional expression, or an [`ApiError::InputMismatch`].
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::InputMismatch`] when the input is not an expression.
+    pub fn as_cond(&self, analysis: &str) -> Result<&CondExpr, ApiError> {
+        match self {
+            AnalysisInput::Cond(e) => Ok(e),
+            other => Err(ApiError::input_mismatch(
+                analysis,
+                "conditional expression",
+                other.kind(),
+            )),
+        }
+    }
+}
+
+/// Parameters shared by every analysis kind.
+///
+/// Each [`Analysis`](crate::Analysis) reads the subset it cares about and
+/// declares that subset through
+/// [`Analysis::cache_params`](crate::Analysis::cache_params), so memo keys
+/// stay insensitive to irrelevant knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisParams {
+    /// Host core count `m`.
+    pub m: u64,
+    /// Node-exploration budget of the bounded exact solver (`None` =
+    /// solver default). Read by `exact`.
+    pub exact_node_budget: Option<u64>,
+    /// Enumeration cap for conditional realizations. Read by `cond`.
+    pub realization_cap: usize,
+    /// Also simulate the transformed task `τ'` (the Figure 6 comparison).
+    /// Read by `sim`.
+    pub sim_transformed: bool,
+    /// Random tie-break seeds for the worst-case schedule exploration
+    /// (`0` = skip the exploration). Read by `suspend`.
+    pub explore_seeds: u64,
+}
+
+impl AnalysisParams {
+    /// Parameters for `m` host cores with every other knob at its default
+    /// (no exact budget override, 4096-realization cap, original-task
+    /// simulation only, no worst-case exploration).
+    #[must_use]
+    pub fn new(m: u64) -> Self {
+        AnalysisParams {
+            m,
+            exact_node_budget: None,
+            realization_cap: 4096,
+            sim_transformed: false,
+            explore_seeds: 0,
+        }
+    }
+}
+
+/// One analysis request: an input plus the parameters to analyze it under.
+#[derive(Debug, Clone)]
+pub struct AnalysisRequest {
+    /// What to analyze.
+    pub input: AnalysisInput,
+    /// How to analyze it.
+    pub params: AnalysisParams,
+}
+
+impl AnalysisRequest {
+    /// A per-task request with default parameters.
+    #[must_use]
+    pub fn task(task: HeteroDagTask, m: u64) -> Self {
+        AnalysisRequest {
+            input: AnalysisInput::Task(task),
+            params: AnalysisParams::new(m),
+        }
+    }
+
+    /// A task-set request with default parameters.
+    #[must_use]
+    pub fn task_set(set: Vec<HeteroDagTask>, m: u64) -> Self {
+        AnalysisRequest {
+            input: AnalysisInput::TaskSet(set),
+            params: AnalysisParams::new(m),
+        }
+    }
+
+    /// A conditional-expression request with default parameters.
+    #[must_use]
+    pub fn cond(expr: CondExpr, m: u64) -> Self {
+        AnalysisRequest {
+            input: AnalysisInput::Cond(expr),
+            params: AnalysisParams::new(m),
+        }
+    }
+}

@@ -1,114 +1,28 @@
 //! Self-suspending baseline ablation (extension, related work of §6):
 //! classical single-task bounds vs. the paper's Theorem 1, swept over the
 //! offload fraction, with the unsound naive discount's violation rate.
+//! Runs on the batch-analysis engine via the `suspend` registry key.
 //!
 //! ```text
 //! cargo run -p hetrta-bench --release --bin baselines [-- --quick]
 //! ```
 
-use hetrta_bench::runner::parallel_map;
-use hetrta_bench::table::Table;
-use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
-use hetrta_gen::{generate_nfj, NfjParams};
-use hetrta_sim::{explore_worst_case, Platform};
-use hetrta_suspend::BaselineComparison;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-struct Point {
-    pct: u32,
-    oblivious: f64,
-    barrier: f64,
-    het: f64,
-    naive: f64,
-    worst: f64,
-    violations: usize,
-    count: usize,
-}
-
-fn sweep_point(pct: u32, m: u64, tasks: usize, seeds: u64) -> Point {
-    let f = f64::from(pct) / 100.0;
-    let mut p = Point {
-        pct,
-        oblivious: 0.0,
-        barrier: 0.0,
-        het: 0.0,
-        naive: 0.0,
-        worst: 0.0,
-        violations: 0,
-        count: 0,
-    };
-    for seed in 0..tasks as u64 {
-        let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(pct) << 24) ^ (m << 48));
-        let Ok(dag) = generate_nfj(&NfjParams::small_tasks(), &mut rng) else {
-            continue;
-        };
-        let Ok(task) = make_hetero_task(
-            dag,
-            OffloadSelection::AnyInterior,
-            CoffSizing::VolumeFraction(f),
-            &mut rng,
-        ) else {
-            continue;
-        };
-        let c = BaselineComparison::compute(&task, m).expect("analysis succeeds");
-        let w = explore_worst_case(
-            task.dag(),
-            Some(task.offloaded()),
-            Platform::with_accelerator(m as usize),
-            seeds,
-        )
-        .expect("simulation succeeds")
-        .makespan();
-        p.oblivious += c.oblivious.to_f64();
-        p.barrier += c.phase_barrier.to_f64();
-        p.het += c.r_het_tight.to_f64();
-        p.naive += c.naive_unsound.to_f64();
-        p.worst += w.as_f64();
-        if w.to_rational() > c.naive_unsound {
-            p.violations += 1;
-        }
-        p.count += 1;
-    }
-    p
-}
+use hetrta_bench::experiments::suspension;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (tasks, seeds) = if quick { (15usize, 30u64) } else { (100, 120) };
+    let config = if quick {
+        suspension::Config::quick()
+    } else {
+        suspension::Config::paper()
+    };
 
-    for m in [2u64, 8] {
-        let jobs: Vec<u32> = vec![2, 5, 10, 20, 30, 45, 60];
-        let points = parallel_map(jobs, move |pct| sweep_point(pct, m, tasks, seeds));
-
-        println!("\n== self-suspending baselines vs Theorem 1, m = {m}, {tasks} tasks/point ==");
-        let mut table = Table::new(
-            [
-                "C_off/vol",
-                "oblivious",
-                "barrier",
-                "R_het~",
-                "naive(!)",
-                "sim-worst",
-                "naive-violated",
-            ]
-            .map(String::from)
-            .to_vec(),
-        );
-        for p in &points {
-            let n = p.count.max(1) as f64;
-            table.row(vec![
-                format!("{}%", p.pct),
-                format!("{:.1}", p.oblivious / n),
-                format!("{:.1}", p.barrier / n),
-                format!("{:.1}", p.het / n),
-                format!("{:.1}", p.naive / n),
-                format!("{:.1}", p.worst / n),
-                format!("{}/{}", p.violations, p.count),
-            ]);
-        }
-        println!("{}", table.render());
-    }
+    let points = suspension::run(&config);
+    println!(
+        "== self-suspending baselines vs Theorem 1, {} tasks/point ==\n",
+        config.tasks_per_point
+    );
+    println!("{}", suspension::render(&points));
     println!("R_het~ = min(R_het, R_hom(G')). naive(!) is the unsound §3.2 discount;");
     println!("its violation count is the Figure 1(c) phenomenon measured in the wild.");
 }

@@ -1,101 +1,29 @@
 //! Conditional-analysis ablation (extension, reference \[12\]): pessimism of
 //! the flatten-all baseline vs. the conditional-aware DP bound vs. exact
 //! per-realization enumeration, over random conditional expressions with a
-//! growing conditional share.
+//! growing conditional share. Runs on the batch-analysis engine via the
+//! `cond` registry key.
 //!
 //! ```text
 //! cargo run -p hetrta-bench --release --bin conditional [-- --quick]
 //! ```
 
-use hetrta_bench::runner::parallel_map;
-use hetrta_bench::table::Table;
-use hetrta_cond::{generate_cond, r_cond, r_cond_exact, r_parallel_flattening, CondGenParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-struct Row {
-    p_cond: f64,
-    m: u64,
-    /// Mean % by which flattening exceeds the conditional-aware bound.
-    flat_overhead: f64,
-    /// Mean % by which the DP bound exceeds the exact enumeration.
-    dp_overhead: f64,
-    /// Mean realizations per expression.
-    realizations: f64,
-    samples: usize,
-}
-
-fn sweep(p_cond: f64, m: u64, n: usize) -> Row {
-    let mut params = CondGenParams::small();
-    params.p_cond = p_cond;
-    params.p_par = (0.65 - p_cond).max(0.1);
-    let mut flat_sum = 0.0;
-    let mut dp_sum = 0.0;
-    let mut realizations = 0.0;
-    let mut samples = 0usize;
-    for seed in 0..n as u64 {
-        let mut rng = StdRng::seed_from_u64(seed ^ ((p_cond * 1000.0) as u64) << 20 ^ (m << 40));
-        let Ok(e) = generate_cond(&params, &mut rng) else {
-            continue;
-        };
-        let Ok(exact) = r_cond_exact(&e, m, 512) else {
-            continue;
-        };
-        let dp = r_cond(&e, m).expect("valid expression");
-        let flat = r_parallel_flattening(&e, m).expect("valid expression");
-        if exact.is_zero() {
-            continue;
-        }
-        flat_sum += (flat.to_f64() / dp.to_f64() - 1.0) * 100.0;
-        dp_sum += (dp.to_f64() / exact.to_f64() - 1.0) * 100.0;
-        realizations += e.realization_count() as f64;
-        samples += 1;
-    }
-    let d = samples.max(1) as f64;
-    Row {
-        p_cond,
-        m,
-        flat_overhead: flat_sum / d,
-        dp_overhead: dp_sum / d,
-        realizations: realizations / d,
-        samples,
-    }
-}
+use hetrta_bench::experiments::conditional;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let n = if quick { 40 } else { 300 };
+    let config = if quick {
+        conditional::Config::quick()
+    } else {
+        conditional::Config::paper()
+    };
 
-    let jobs: Vec<(f64, u64)> = [0.1, 0.2, 0.3, 0.4]
-        .into_iter()
-        .flat_map(|p| [2u64, 8].map(|m| (p, m)))
-        .collect();
-    let rows = parallel_map(jobs, move |(p, m)| sweep(p, m, n));
-
-    println!("== conditional-aware vs flatten-all vs exact, {n} expressions/point ==\n");
-    let mut table = Table::new(
-        [
-            "p_cond",
-            "m",
-            "avg realizations",
-            "flatten vs DP (+%)",
-            "DP vs exact (+%)",
-            "samples",
-        ]
-        .map(String::from)
-        .to_vec(),
+    let points = conditional::run(&config);
+    println!(
+        "== conditional-aware vs flatten-all vs exact, {} expressions/point ==\n",
+        config.exprs_per_point
     );
-    for r in &rows {
-        table.row(vec![
-            format!("{:.1}", r.p_cond),
-            r.m.to_string(),
-            format!("{:.1}", r.realizations),
-            format!("+{:.1}%", r.flat_overhead),
-            format!("+{:.1}%", r.dp_overhead),
-            r.samples.to_string(),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("flatten-all charges every branch (sound, naive); the conditional-aware");
-    println!("DP bound removes the non-taken branches; exact enumerates realizations.");
+    println!("{}", conditional::render(&points));
+    println!("flatten vs aware: mean pessimism added by ignoring conditionals.");
+    println!("aware vs exact: residual DP pessimism against full enumeration.");
 }

@@ -12,14 +12,11 @@
 //! m = 2/4/8/16) and helps substantially beyond (τ up to 24% slower than
 //! τ' for m = 2).
 
-use hetrta_core::transform;
-use hetrta_gen::series::{fraction_sweep_wide, BatchSpec};
+use hetrta_engine::{CellKind, Engine, GeneratorPreset, SweepSpec};
+use hetrta_gen::series::fraction_sweep_wide;
 use hetrta_gen::NfjParams;
 use hetrta_sim::metrics::percentage_change;
-use hetrta_sim::policy::BreadthFirst;
-use hetrta_sim::{simulate, Platform};
 
-use crate::runner::parallel_map;
 use crate::stats::zero_crossing;
 use crate::table::{pct, signed_pct, Table};
 
@@ -89,7 +86,21 @@ pub struct Results {
     pub crossovers: Vec<(u64, Option<f64>)>,
 }
 
-/// Runs the experiment.
+/// The engine sweep specification equivalent to `config`: a simulation
+/// grid (`sim` registry key with `sim_transformed`) over the offload
+/// fractions.
+#[must_use]
+pub fn sweep_spec(config: &Config) -> SweepSpec {
+    SweepSpec::simulation_impact(
+        GeneratorPreset::Custom(config.params.clone()),
+        config.core_counts.clone(),
+        config.fractions.clone(),
+        config.tasks_per_point,
+        config.seed,
+    )
+}
+
+/// Runs the experiment on the batch-analysis engine (all cores).
 ///
 /// # Panics
 ///
@@ -98,47 +109,36 @@ pub struct Results {
 /// than flakiness.
 #[must_use]
 pub fn run(config: &Config) -> Results {
-    let jobs: Vec<(u64, f64)> = config
-        .core_counts
-        .iter()
-        .flat_map(|&m| config.fractions.iter().map(move |&f| (m, f)))
-        .collect();
-    let spec = BatchSpec::new(config.params.clone(), config.tasks_per_point, config.seed);
+    run_on(&Engine::new(0), config)
+}
 
-    let points = parallel_map(jobs, |(m, fraction)| {
-        let mut sum_orig = 0.0;
-        let mut sum_trans = 0.0;
-        for i in 0..spec.tasks_per_point {
-            let task = spec.task(i, fraction).expect("generation succeeds");
-            let t = transform(&task).expect("transformation succeeds");
-            let platform = Platform::with_accelerator(m as usize);
-            let orig = simulate(
-                task.dag(),
-                Some(task.offloaded()),
-                platform,
-                &mut BreadthFirst::new(),
-            )
-            .expect("simulation succeeds");
-            let trans = simulate(
-                t.transformed(),
-                Some(task.offloaded()),
-                platform,
-                &mut BreadthFirst::new(),
-            )
-            .expect("simulation succeeds");
-            sum_orig += orig.makespan().as_f64();
-            sum_trans += trans.makespan().as_f64();
-        }
-        let n = spec.tasks_per_point as f64;
-        let (avg_original, avg_transformed) = (sum_orig / n, sum_trans / n);
-        Point {
-            m,
-            fraction,
-            avg_original,
-            avg_transformed,
-            change_percent: percentage_change(avg_original, avg_transformed),
-        }
-    });
+/// Runs the experiment on an existing engine (sharing its caches).
+///
+/// # Panics
+///
+/// Panics if generation fails for a configuration (deterministic).
+#[must_use]
+pub fn run_on(engine: &Engine, config: &Config) -> Results {
+    let out = engine.run(&sweep_spec(config)).expect("sweep succeeds");
+    let points: Vec<Point> = out
+        .aggregate
+        .cells
+        .iter()
+        .map(|cell| {
+            let CellKind::Task(t) = &cell.kind else {
+                unreachable!("fraction sweeps produce task cells")
+            };
+            let avg_original = t.mean_sim_makespan.expect("simulation selected");
+            let avg_transformed = t.mean_sim_transformed.expect("sim_transformed selected");
+            Point {
+                m: cell.m,
+                fraction: cell.grid_value,
+                avg_original,
+                avg_transformed,
+                change_percent: percentage_change(avg_original, avg_transformed),
+            }
+        })
+        .collect();
 
     let crossovers = config
         .core_counts

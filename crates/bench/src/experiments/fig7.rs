@@ -10,13 +10,11 @@
 //! budget are skipped, exactly as the paper skips instances CPLEX could
 //! not solve within 12 hours.
 
-use hetrta_core::{r_het, r_hom_dag, transform};
-use hetrta_exact::{solve, SolverConfig};
-use hetrta_gen::series::{fraction_sweep_fine, BatchSpec};
+use hetrta_engine::{CellKind, Engine, GeneratorPreset, SweepSpec};
+use hetrta_exact::SolverConfig;
+use hetrta_gen::series::fraction_sweep_fine;
 use hetrta_gen::NfjParams;
 
-use crate::runner::parallel_map;
-use crate::stats::summarize;
 use crate::table::{pct, signed_pct, Table};
 
 /// One panel of the figure: a host size plus a node-count range.
@@ -37,7 +35,9 @@ pub struct Config {
     pub fractions: Vec<f64>,
     /// DAGs per sweep point (paper: 100).
     pub tasks_per_point: usize,
-    /// Exact-solver budget per instance.
+    /// Exact-solver budget per instance. The engine path honors
+    /// [`SolverConfig::max_nodes`] only (see [`panel_spec`]); the other
+    /// solver knobs keep their defaults.
     pub solver: SolverConfig,
     /// Base RNG seed.
     pub seed: u64,
@@ -113,54 +113,63 @@ pub struct Results {
     pub points: Vec<Point>,
 }
 
-/// Runs the experiment.
+/// The engine sweep specification equivalent to one panel of `config`: an
+/// exact-accuracy grid (`exact`, `hom`, `het` registry keys) whose cells
+/// report the bounds' mean increment over solved instances.
+///
+/// The engine path honors the solver's node budget
+/// ([`SolverConfig::max_nodes`]); the remaining solver knobs use their
+/// defaults.
+#[must_use]
+pub fn panel_spec(config: &Config, panel: &Panel) -> SweepSpec {
+    let mut spec = SweepSpec::exact_accuracy(
+        GeneratorPreset::Custom(panel.params.clone()),
+        vec![panel.m],
+        config.fractions.clone(),
+        config.tasks_per_point,
+        config.seed,
+    );
+    spec.exact_node_budget = Some(config.solver.max_nodes);
+    spec
+}
+
+/// Runs the experiment on the batch-analysis engine (all cores), one sweep
+/// per panel.
 ///
 /// # Panics
 ///
 /// Panics if generation fails for a configuration (deterministic).
 #[must_use]
 pub fn run(config: &Config) -> Results {
-    let jobs: Vec<(u64, NfjParams, f64)> = config
-        .panels
-        .iter()
-        .flat_map(|p| {
-            config
-                .fractions
-                .iter()
-                .map(move |&f| (p.m, p.params.clone(), f))
-        })
-        .collect();
+    run_on(&Engine::new(0), config)
+}
 
-    let points = parallel_map(jobs, |(m, params, fraction)| {
-        let spec = BatchSpec::new(params, config.tasks_per_point, config.seed);
-        let mut hom_incs = Vec::new();
-        let mut het_incs = Vec::new();
-        for i in 0..config.tasks_per_point {
-            let task = spec.task(i, fraction).expect("generation succeeds");
-            let sol =
-                solve(task.dag(), Some(task.offloaded()), m, &config.solver).expect("solver runs");
-            if !sol.is_optimal() {
-                continue; // paper: skip instances the oracle cannot close
+/// Runs the experiment on an existing engine (sharing its caches).
+///
+/// # Panics
+///
+/// Panics if generation fails for a configuration (deterministic).
+#[must_use]
+pub fn run_on(engine: &Engine, config: &Config) -> Results {
+    let mut points = Vec::new();
+    for panel in &config.panels {
+        let out = engine
+            .run(&panel_spec(config, panel))
+            .expect("sweep succeeds");
+        points.extend(out.aggregate.cells.iter().map(|cell| {
+            let CellKind::Task(t) = &cell.kind else {
+                unreachable!("fraction sweeps produce task cells")
+            };
+            let accuracy = t.accuracy.as_ref().expect("exact+hom+het selected");
+            Point {
+                m: cell.m,
+                fraction: cell.grid_value,
+                hom_increment: accuracy.mean_hom_increment,
+                het_increment: accuracy.mean_het_increment,
+                solved: accuracy.solved,
             }
-            let opt = sol.makespan().as_f64();
-            if opt == 0.0 {
-                continue;
-            }
-            let hom = r_hom_dag(task.dag(), m).expect("m > 0").to_f64();
-            let t = transform(&task).expect("transformation succeeds");
-            let het = r_het(&t, m).expect("m > 0").value().to_f64();
-            hom_incs.push(100.0 * (hom - opt) / opt);
-            het_incs.push(100.0 * (het - opt) / opt);
-        }
-        Point {
-            m,
-            fraction,
-            hom_increment: summarize(&hom_incs).mean,
-            het_increment: summarize(&het_incs).mean,
-            solved: hom_incs.len(),
-        }
-    });
-
+        }));
+    }
     Results { points }
 }
 

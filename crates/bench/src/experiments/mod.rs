@@ -1,7 +1,10 @@
-//! One module per evaluation artifact of the paper.
+//! One module per evaluation artifact of the paper (plus the extension
+//! ablations), every sweep routed through the batch-analysis engine.
 
+pub mod conditional;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod paper_example;
+pub mod suspension;

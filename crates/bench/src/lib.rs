@@ -9,6 +9,8 @@
 //! | [`experiments::fig8`] | scenario occurrence percentages | §5.4, Figure 8 |
 //! | [`experiments::fig9`] | % change of `R_hom(τ)` w.r.t. `R_het(τ')` | §5.4, Figure 9 |
 //! | [`experiments::paper_example`] | the worked example of Figures 1–3 | §3 |
+//! | [`experiments::suspension`] | self-suspending baselines vs Theorem 1 (ablation) | §6 related work |
+//! | [`experiments::conditional`] | flatten-all vs cond-aware vs exact bounds (ablation) | reference \[12\] |
 //!
 //! Every experiment has a `Config` with two presets: `paper()` — the full
 //! parameters of the publication (100 DAGs per sweep point) — and
@@ -16,8 +18,11 @@
 //! are plain structs with an ASCII [`table`] rendering; the `fig*` binaries
 //! print them (`cargo run -p hetrta-bench --release --bin fig6`).
 //!
-//! Sweep points are independent, so [`runner::parallel_map`] fans them out
-//! across OS threads (std only, no external executor).
+//! Every sweep is routed through the batch-analysis engine
+//! (`hetrta-engine`) via analysis registry keys; the `engine_parity`
+//! integration tests pin bitwise equality against verbatim copies of the
+//! pre-engine serial loops. [`runner::parallel_map`] remains for the few
+//! non-sweep fan-outs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,4 +1,11 @@
 //! Command implementations (pure: strings in, strings out, testable).
+//!
+//! Every subcommand is declared once in [`COMMANDS`] — name, positional
+//! synopsis, help line, flags, handler — and dispatch, usage text,
+//! per-command `--help` screens, and unknown-flag errors are generated
+//! from that table by [`crate::spec`]. The `engine sweep` command resolves
+//! `--analyses` against the [`AnalysisRegistry`] of `hetrta-api`, so every
+//! registry key (including custom registrations) is a valid selection.
 
 use std::fmt::Write as _;
 
@@ -20,21 +27,233 @@ use hetrta_suspend::BaselineComparison;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Usage text shown on errors.
-pub const USAGE: &str = "\
-usage:
-  hetrta analyze   <task.hdag> [-m CORES[,CORES...]]
-  hetrta transform <task.hdag> [--dot]
-  hetrta simulate  <task.hdag> [-m CORES] [--policy bfs|dfs|cp|random:SEED] [--gantt]
-  hetrta solve     <task.hdag> [-m CORES] [--lp]
-  hetrta sched     <task.hdag>... [-m CORES] [--edf] [--shared-device]
-  hetrta baselines <task.hdag> [-m CORES[,CORES...]]
-  hetrta cond      <expr.hcond> [-m CORES[,CORES...]] [--offload LABEL]
-  hetrta generate  [--small|--large] [--seed N] [--fraction F]
-  hetrta engine sweep [--threads N] [--cores A,B,...] [--per-point N] [--seed S[,S...]]
-                      [--fractions F,... | --utils U,... [--n-tasks N]]
-                      [--analyses hom,het,sim,exact] [--preset small|large|paper] [--csv]
-  hetrta example";
+use crate::spec::{parse_list, CommandSpec, FlagSpec, ParsedArgs};
+
+const M_FLAG: FlagSpec = FlagSpec {
+    name: "-m",
+    value: Some("CORES[,CORES...]"),
+    help: "host core counts (default 2,4,8,16; single-platform commands use the first)",
+};
+
+/// The declarative command table: dispatch, `--help`, usage, and flag
+/// validation are all generated from these rows.
+pub const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "analyze",
+        args: "<task.hdag>",
+        help: "R_hom/R_het bounds, scenario and schedulability per core count",
+        flags: &[M_FLAG],
+        handler: analyze,
+    },
+    CommandSpec {
+        name: "transform",
+        args: "<task.hdag>",
+        help: "Algorithm 1 transformation (task file or Graphviz output)",
+        flags: &[FlagSpec {
+            name: "--dot",
+            value: None,
+            help: "emit Graphviz instead of the task format",
+        }],
+        handler: transform_cmd,
+    },
+    CommandSpec {
+        name: "simulate",
+        args: "<task.hdag>",
+        help: "work-conserving execution simulation",
+        flags: &[
+            M_FLAG,
+            FlagSpec {
+                name: "--policy",
+                value: Some("bfs|dfs|cp|random:SEED"),
+                help: "ready-queue policy (default bfs)",
+            },
+            FlagSpec {
+                name: "--gantt",
+                value: None,
+                help: "print an ASCII Gantt chart of the schedule",
+            },
+        ],
+        handler: simulate_cmd,
+    },
+    CommandSpec {
+        name: "solve",
+        args: "<task.hdag>",
+        help: "exact minimum makespan (branch-and-bound, or the ILP in LP format)",
+        flags: &[
+            M_FLAG,
+            FlagSpec {
+                name: "--lp",
+                value: None,
+                help: "emit the CPLEX-style LP formulation instead of solving",
+            },
+        ],
+        handler: solve_cmd,
+    },
+    CommandSpec {
+        name: "sched",
+        args: "<task.hdag>...",
+        help: "multi-task global schedulability (GFP or GEDF)",
+        flags: &[
+            M_FLAG,
+            FlagSpec {
+                name: "--edf",
+                value: None,
+                help: "global EDF instead of fixed priorities",
+            },
+            FlagSpec {
+                name: "--shared-device",
+                value: None,
+                help: "one shared FIFO accelerator instead of one per task",
+            },
+        ],
+        handler: sched_cmd,
+    },
+    CommandSpec {
+        name: "baselines",
+        args: "<task.hdag>",
+        help: "self-suspending baselines vs Theorem 1 (incl. the unsound naive discount)",
+        flags: &[M_FLAG],
+        handler: baselines_cmd,
+    },
+    CommandSpec {
+        name: "cond",
+        args: "<expr.hcond>",
+        help: "conditional-DAG bounds (flatten-all, cond-aware, exact, offloaded)",
+        flags: &[
+            M_FLAG,
+            FlagSpec {
+                name: "--offload",
+                value: Some("LABEL"),
+                help: "also bound the expression with LABEL offloaded",
+            },
+        ],
+        handler: cond_cmd,
+    },
+    CommandSpec {
+        name: "generate",
+        args: "",
+        help: "generate a random heterogeneous task file",
+        flags: &[
+            FlagSpec {
+                name: "--small",
+                value: None,
+                help: "small-tasks preset (default)",
+            },
+            FlagSpec {
+                name: "--large",
+                value: None,
+                help: "large-tasks preset",
+            },
+            FlagSpec {
+                name: "--seed",
+                value: Some("N"),
+                help: "RNG seed (default 0)",
+            },
+            FlagSpec {
+                name: "--fraction",
+                value: Some("F"),
+                help: "target C_off/vol instead of a generated WCET",
+            },
+        ],
+        handler: generate_cmd,
+    },
+    CommandSpec {
+        name: "engine sweep",
+        args: "",
+        help: "batch sweep on the work-stealing engine (registry-driven analyses)",
+        flags: &[
+            FlagSpec {
+                name: "--threads",
+                value: Some("N"),
+                help: "worker threads (default: all cores)",
+            },
+            FlagSpec {
+                name: "--cores",
+                value: Some("A,B,..."),
+                help: "host core counts to sweep (default 2,8)",
+            },
+            FlagSpec {
+                name: "--per-point",
+                value: Some("N"),
+                help: "jobs per sweep point (default 20)",
+            },
+            FlagSpec {
+                name: "--seed",
+                value: Some("S[,S...]"),
+                help: "replication base seeds",
+            },
+            FlagSpec {
+                name: "--fractions",
+                value: Some("F,..."),
+                help: "offload-fraction grid (the default sweep shape)",
+            },
+            FlagSpec {
+                name: "--utils",
+                value: Some("U,..."),
+                help: "normalized-utilization grid (task-set acceptance tests)",
+            },
+            FlagSpec {
+                name: "--cond-shares",
+                value: Some("P,..."),
+                help: "conditional-share grid (conditional-DAG bounds)",
+            },
+            FlagSpec {
+                name: "--n-tasks",
+                value: Some("N"),
+                help: "tasks per generated set (utilization sweeps, default 4)",
+            },
+            FlagSpec {
+                name: "--analyses",
+                value: Some("KEY[,KEY...]"),
+                help: "registry keys to run per task (het, hom, sim, exact, suspend, ...)",
+            },
+            FlagSpec {
+                name: "--preset",
+                value: Some("small|large|paper"),
+                help: "DAG generator preset for fraction sweeps",
+            },
+            FlagSpec {
+                name: "--sim-transformed",
+                value: None,
+                help: "sim also measures the transformed task (Figure 6 comparison)",
+            },
+            FlagSpec {
+                name: "--exact-budget",
+                value: Some("N"),
+                help: "node budget for the exact solver",
+            },
+            FlagSpec {
+                name: "--explore-seeds",
+                value: Some("N"),
+                help: "worst-case exploration seeds for suspend (default 0 = off)",
+            },
+            FlagSpec {
+                name: "--realization-cap",
+                value: Some("N"),
+                help: "enumeration cap for cond (default 4096)",
+            },
+            FlagSpec {
+                name: "--csv",
+                value: None,
+                help: "machine-readable CSV instead of the table",
+            },
+        ],
+        handler: engine_sweep_cmd,
+    },
+    CommandSpec {
+        name: "example",
+        args: "",
+        help: "print the paper's Figure 1 task in the .hdag format",
+        flags: &[],
+        handler: |_| Ok(example_file()),
+    },
+];
+
+/// Usage text shown on errors (generated from the command table).
+#[must_use]
+pub fn usage() -> String {
+    crate::spec::usage(COMMANDS)
+}
 
 /// Dispatches a command line (without the program name).
 ///
@@ -43,39 +262,82 @@ usage:
 /// Returns a human-readable message for any failure: unknown command,
 /// malformed flags, unreadable file, parse error, analysis error.
 pub fn run(args: &[String]) -> Result<String, String> {
-    let mut it = args.iter().map(String::as_str);
-    match it.next() {
-        Some("analyze") => analyze(&args[1..]),
-        Some("transform") => transform_cmd(&args[1..]),
-        Some("simulate") => simulate_cmd(&args[1..]),
-        Some("solve") => solve_cmd(&args[1..]),
-        Some("sched") => sched_cmd(&args[1..]),
-        Some("baselines") => baselines_cmd(&args[1..]),
-        Some("cond") => cond_cmd(&args[1..]),
-        Some("generate") => generate_cmd(&args[1..]),
-        Some("engine") => engine_cmd(&args[1..]),
-        Some("example") => Ok(example_file()),
-        Some(other) => Err(format!("unknown command `{other}`")),
-        None => Err("missing command".into()),
+    let Some(first) = args.first().map(String::as_str) else {
+        return Err("missing command".into());
+    };
+    if matches!(first, "help" | "--help" | "-h") {
+        let topic = args[1..].join(" ");
+        if topic.is_empty() {
+            return Ok(crate::spec::global_help(COMMANDS));
+        }
+        if let Some(command) = COMMANDS.iter().find(|c| c.name == topic) {
+            return Ok(command.help_screen());
+        }
+        // A family name (`help engine`) with a single member resolves to
+        // that member, matching the `engine --help` dispatch below.
+        let family: Vec<&CommandSpec> = COMMANDS
+            .iter()
+            .filter(|c| {
+                c.name
+                    .strip_prefix(topic.as_str())
+                    .is_some_and(|rest| rest.starts_with(' '))
+            })
+            .collect();
+        if let [only] = family[..] {
+            return Ok(only.help_screen());
+        }
+        return Err(format!("unknown command `{topic}`"));
     }
-}
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-}
-
-fn has_flag(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
-}
-
-fn load_task(args: &[String]) -> Result<(HeteroDagTask, Option<NodeId>), String> {
-    let path = args
+    // Two-word command families (`engine sweep`).
+    let family: Vec<&CommandSpec> = COMMANDS
         .iter()
-        .find(|a| !a.starts_with('-') && !a.chars().all(|c| c.is_ascii_digit() || c == ','))
-        .ok_or("missing task file argument")?;
+        .filter(|c| {
+            c.name
+                .strip_prefix(first)
+                .is_some_and(|rest| rest.starts_with(' '))
+        })
+        .collect();
+    let (command, rest) = if family.is_empty() {
+        let command = COMMANDS
+            .iter()
+            .find(|c| c.name == first)
+            .ok_or_else(|| format!("unknown command `{first}`"))?;
+        (command, &args[1..])
+    } else {
+        let subcommands: Vec<&str> = family
+            .iter()
+            .map(|c| c.name.split_whitespace().nth(1).unwrap_or_default())
+            .collect();
+        match args.get(1).map(String::as_str) {
+            None => {
+                return Err(format!(
+                    "missing {first} subcommand (try `{first} {}`)",
+                    subcommands.join("`, `")
+                ))
+            }
+            Some("--help" | "-h") if family.len() == 1 => {
+                return Ok(family[0].help_screen());
+            }
+            Some(sub) => {
+                let command = family
+                    .iter()
+                    .find(|c| c.name.split_whitespace().nth(1) == Some(sub))
+                    .ok_or_else(|| format!("unknown {first} subcommand `{sub}`"))?;
+                (*command, &args[2..])
+            }
+        }
+    };
+
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(command.help_screen());
+    }
+    let parsed = ParsedArgs::parse(command, rest)?;
+    (command.handler)(&parsed)
+}
+
+fn load_task(args: &ParsedArgs) -> Result<(HeteroDagTask, Option<NodeId>), String> {
+    let path = args.first_positional("task file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let parsed = parse_task(&text).map_err(|e| format!("{path}: {e}"))?;
     match parsed.task {
@@ -96,14 +358,14 @@ fn load_task(args: &[String]) -> Result<(HeteroDagTask, Option<NodeId>), String>
     }
 }
 
-fn core_list(args: &[String]) -> Result<Vec<u64>, String> {
-    match flag_value(args, "-m") {
+fn core_list(args: &ParsedArgs) -> Result<Vec<u64>, String> {
+    match args.value_of("-m") {
         None => Ok(vec![2, 4, 8, 16]),
         Some(spec) => parse_list(spec, "core count"),
     }
 }
 
-fn analyze(args: &[String]) -> Result<String, String> {
+fn analyze(args: &ParsedArgs) -> Result<String, String> {
     let (task, off) = load_task(args)?;
     if off.is_none() {
         return Err("task file has no `offload` line; nothing heterogeneous to analyze".into());
@@ -142,13 +404,13 @@ fn analyze(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-fn transform_cmd(args: &[String]) -> Result<String, String> {
+fn transform_cmd(args: &ParsedArgs) -> Result<String, String> {
     let (task, off) = load_task(args)?;
     if off.is_none() {
         return Err("task file has no `offload` line; nothing to transform".into());
     }
     let t = transform(&task).map_err(|e| e.to_string())?;
-    if has_flag(args, "--dot") {
+    if args.has("--dot") {
         let mut opts = DotOptions::named("transformed");
         opts.offloaded = Some(task.offloaded());
         opts.sync = Some(t.sync_node());
@@ -168,8 +430,8 @@ fn transform_cmd(args: &[String]) -> Result<String, String> {
     }
 }
 
-fn make_policy(args: &[String]) -> Result<Box<dyn Policy>, String> {
-    match flag_value(args, "--policy") {
+fn make_policy(args: &ParsedArgs) -> Result<Box<dyn Policy>, String> {
+    match args.value_of("--policy") {
         None | Some("bfs") => Ok(Box::new(BreadthFirst::new())),
         Some("dfs") => Ok(Box::new(DepthFirst::new())),
         Some("cp") => Ok(Box::new(CriticalPathFirst::new())),
@@ -183,12 +445,12 @@ fn make_policy(args: &[String]) -> Result<Box<dyn Policy>, String> {
     }
 }
 
-fn single_core_count(args: &[String]) -> Result<u64, String> {
+fn single_core_count(args: &ParsedArgs) -> Result<u64, String> {
     let list = core_list(args)?;
     Ok(*list.first().unwrap_or(&2))
 }
 
-fn simulate_cmd(args: &[String]) -> Result<String, String> {
+fn simulate_cmd(args: &ParsedArgs) -> Result<String, String> {
     let (task, off) = load_task(args)?;
     let m = single_core_count(args)? as usize;
     let mut policy = make_policy(args)?;
@@ -211,17 +473,17 @@ fn simulate_cmd(args: &[String]) -> Result<String, String> {
         },
         result.makespan()
     );
-    if has_flag(args, "--gantt") {
+    if args.has("--gantt") {
         let scale = (result.makespan().get() / 72).max(1);
         out.push_str(&trace::gantt(task.dag(), &result, scale));
     }
     Ok(out)
 }
 
-fn solve_cmd(args: &[String]) -> Result<String, String> {
+fn solve_cmd(args: &ParsedArgs) -> Result<String, String> {
     let (task, off) = load_task(args)?;
     let m = single_core_count(args)?;
-    if has_flag(args, "--lp") {
+    if args.has("--lp") {
         return lp::to_lp_format(task.dag(), off, m).map_err(|e| e.to_string());
     }
     let sol = solve(task.dag(), off, m, &SolverConfig::default()).map_err(|e| e.to_string())?;
@@ -242,28 +504,16 @@ fn solve_cmd(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-/// Loads every non-flag argument as a heterogeneous task file.
-fn load_task_files(args: &[String]) -> Result<Vec<HeteroDagTask>, String> {
+/// Loads every positional argument as a heterogeneous task file.
+fn load_task_files(args: &ParsedArgs) -> Result<Vec<HeteroDagTask>, String> {
     let mut tasks = Vec::new();
-    let mut skip_next = false;
-    for (i, a) in args.iter().enumerate() {
-        if skip_next {
-            skip_next = false;
-            continue;
-        }
-        if a == "-m" {
-            skip_next = true;
-            continue;
-        }
-        if a.starts_with('-') || a.chars().all(|c| c.is_ascii_digit() || c == ',') {
-            continue;
-        }
-        let text = std::fs::read_to_string(a).map_err(|e| format!("cannot read {a}: {e}"))?;
-        let parsed = parse_task(&text).map_err(|e| format!("{a}: {e}"))?;
+    for (i, path) in args.positionals().iter().enumerate() {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let parsed = parse_task(&text).map_err(|e| format!("{path}: {e}"))?;
         match parsed.task {
             TaskKind::Heterogeneous(t) => tasks.push(t),
             TaskKind::Homogeneous(_) => {
-                return Err(format!("{a} (argument {i}): task has no `offload` line"));
+                return Err(format!("{path} (argument {i}): task has no `offload` line"));
             }
         }
     }
@@ -301,11 +551,11 @@ fn render_verdict(out: &mut String, label: &str, v: &SetVerdict, tasks: &[Hetero
     }
 }
 
-fn sched_cmd(args: &[String]) -> Result<String, String> {
+fn sched_cmd(args: &ParsedArgs) -> Result<String, String> {
     let mut tasks = load_task_files(args)?;
     sort_deadline_monotonic(&mut tasks);
     let m = single_core_count(args)?;
-    let device = if has_flag(args, "--shared-device") {
+    let device = if args.has("--shared-device") {
         DeviceModel::SharedFifo
     } else {
         DeviceModel::DedicatedPerTask
@@ -319,7 +569,7 @@ fn sched_cmd(args: &[String]) -> Result<String, String> {
             DeviceModel::SharedFifo => "one shared FIFO device",
         }
     );
-    if has_flag(args, "--edf") {
+    if args.has("--edf") {
         let hom = gedf_test(&tasks, m, AnalysisModel::Homogeneous).map_err(|e| e.to_string())?;
         let hv = gedf_test(&tasks, m, het).map_err(|e| e.to_string())?;
         render_verdict(&mut out, "global EDF, homogeneous model", &hom, &tasks);
@@ -333,7 +583,7 @@ fn sched_cmd(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-fn baselines_cmd(args: &[String]) -> Result<String, String> {
+fn baselines_cmd(args: &ParsedArgs) -> Result<String, String> {
     let (task, off) = load_task(args)?;
     if off.is_none() {
         return Err("task file has no `offload` line; baselines need one".into());
@@ -355,17 +605,8 @@ fn baselines_cmd(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-fn cond_cmd(args: &[String]) -> Result<String, String> {
-    let path = args
-        .iter()
-        .enumerate()
-        .find(|(i, a)| {
-            !a.starts_with('-')
-                && !a.chars().all(|c| c.is_ascii_digit() || c == ',')
-                && (*i == 0 || !matches!(args[*i - 1].as_str(), "-m" | "--offload"))
-        })
-        .map(|(_, a)| a)
-        .ok_or("missing expression file argument")?;
+fn cond_cmd(args: &ParsedArgs) -> Result<String, String> {
+    let path = args.first_positional("expression file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let expr = hetrta_cond::parse_expr(&text).map_err(|e| format!("{path}:{e}"))?;
     let mut out = format!(
@@ -375,7 +616,7 @@ fn cond_cmd(args: &[String]) -> Result<String, String> {
         expr.worst_case_workload(),
         expr.worst_case_length()
     );
-    let offload = flag_value(args, "--offload");
+    let offload = args.value_of("--offload");
     let het_task = match offload {
         Some(label) => Some(
             hetrta_cond::HetCondTask::new(
@@ -424,19 +665,14 @@ fn cond_cmd(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-fn generate_cmd(args: &[String]) -> Result<String, String> {
-    let params = if has_flag(args, "--large") {
+fn generate_cmd(args: &ParsedArgs) -> Result<String, String> {
+    let params = if args.has("--large") {
         NfjParams::large_tasks()
     } else {
         NfjParams::small_tasks()
     };
-    let seed = match flag_value(args, "--seed") {
-        None => 0,
-        Some(s) => s
-            .parse::<u64>()
-            .map_err(|_| format!("invalid seed `{s}`"))?,
-    };
-    let sizing = match flag_value(args, "--fraction") {
+    let seed = args.parsed_or("--seed", "seed", 0u64)?;
+    let sizing = match args.value_of("--fraction") {
         None => CoffSizing::Generated,
         Some(f) => {
             let f = f
@@ -455,82 +691,93 @@ fn generate_cmd(args: &[String]) -> Result<String, String> {
     Ok(render_task(&task))
 }
 
-fn parse_list<T: std::str::FromStr>(spec: &str, what: &str) -> Result<Vec<T>, String> {
-    spec.split(',')
-        .map(|s| {
-            s.trim()
-                .parse::<T>()
-                .map_err(|_| format!("invalid {what} `{s}`"))
-        })
-        .collect()
-}
-
 /// `hetrta engine sweep …` — run a batch sweep on the work-stealing engine
 /// and report per-cell results plus engine statistics (cache hit/miss,
 /// per-worker job counts).
-fn engine_cmd(args: &[String]) -> Result<String, String> {
-    match args.first().map(String::as_str) {
-        Some("sweep") => {}
-        Some(other) => return Err(format!("unknown engine subcommand `{other}`")),
-        None => return Err("missing engine subcommand (try `engine sweep`)".into()),
-    }
-    let args = &args[1..];
-
-    let threads = match flag_value(args, "--threads") {
-        None => 0,
-        Some(s) => s
-            .parse::<usize>()
-            .map_err(|_| format!("invalid thread count `{s}`"))?,
-    };
-    let cores = match flag_value(args, "--cores") {
+fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
+    let threads = args.parsed_or("--threads", "thread count", 0usize)?;
+    let cores = match args.value_of("--cores") {
         None => vec![2, 8],
         Some(spec) => parse_list(spec, "core count")?,
     };
-    let per_point = match flag_value(args, "--per-point") {
-        None => 20,
-        Some(s) => s
-            .parse::<usize>()
-            .map_err(|_| format!("invalid per-point count `{s}`"))?,
-    };
-    let seeds = match flag_value(args, "--seed") {
+    let per_point = args.parsed_or("--per-point", "per-point count", 20usize)?;
+    let seeds = match args.value_of("--seed") {
         None => vec![0xDAC_2018],
         Some(spec) => parse_list(spec, "seed")?,
     };
-    let preset = match flag_value(args, "--preset") {
+    let preset = match args.value_of("--preset") {
         None | Some("small") => GeneratorPreset::Small,
         Some("large") => GeneratorPreset::Large,
         Some("paper") => GeneratorPreset::LargePaper,
         Some(other) => return Err(format!("unknown preset `{other}`")),
     };
-    let analyses = match flag_value(args, "--analyses") {
+    let analyses = match args.value_of("--analyses") {
         None => AnalysisSelection::het_only(),
         Some(list) => AnalysisSelection::parse(list)?,
     };
-    if flag_value(args, "--fractions").is_some() && flag_value(args, "--utils").is_some() {
-        return Err("choose either --fractions or --utils, not both".into());
+
+    let grids = [
+        args.value_of("--fractions").is_some(),
+        args.value_of("--utils").is_some(),
+        args.value_of("--cond-shares").is_some(),
+    ];
+    if grids.iter().filter(|&&g| g).count() > 1 {
+        return Err(
+            "choose one grid of --fractions, --utils and --cond-shares, not both at once".into(),
+        );
     }
-    if flag_value(args, "--utils").is_some() {
-        if flag_value(args, "--analyses").is_some() {
+    // Flags that only make sense on a fraction grid are rejected (not
+    // silently dropped) on the other grids.
+    let fraction_only_given = |args: &ParsedArgs| {
+        ["--sim-transformed"]
+            .iter()
+            .copied()
+            .filter(|f| args.has(f))
+            .chain(
+                ["--explore-seeds", "--exact-budget"]
+                    .iter()
+                    .copied()
+                    .filter(|f| args.value_of(f).is_some()),
+            )
+            .next()
+    };
+    if args.value_of("--utils").is_some() {
+        if args.value_of("--analyses").is_some() {
             return Err("--analyses applies to fraction sweeps; utilization sweeps \
                         always run the six acceptance tests"
                 .into());
         }
-        if flag_value(args, "--preset").is_some() {
+        if args.value_of("--preset").is_some() {
             return Err("--preset applies to fraction sweeps; utilization sweeps \
                         use the small task-set template"
                 .into());
         }
-    } else if flag_value(args, "--n-tasks").is_some() {
+        if let Some(flag) = fraction_only_given(args) {
+            return Err(format!("{flag} applies to fraction sweeps"));
+        }
+        if args.value_of("--realization-cap").is_some() {
+            return Err("--realization-cap applies to fraction and conditional sweeps".into());
+        }
+    } else if args.value_of("--cond-shares").is_some() {
+        if args.value_of("--analyses").is_some() {
+            return Err("--analyses applies to fraction sweeps; conditional sweeps \
+                        always run the cond analysis"
+                .into());
+        }
+        if args.value_of("--preset").is_some() {
+            return Err("--preset applies to fraction sweeps; conditional sweeps \
+                        use the small expression template"
+                .into());
+        }
+        if let Some(flag) = fraction_only_given(args) {
+            return Err(format!("{flag} applies to fraction sweeps"));
+        }
+    } else if args.value_of("--n-tasks").is_some() {
         return Err("--n-tasks applies to utilization sweeps (--utils)".into());
     }
 
-    let spec = if let Some(utils) = flag_value(args, "--utils") {
-        let n_tasks = match flag_value(args, "--n-tasks") {
-            None => 4,
-            Some(s) => s
-                .parse::<usize>()
-                .map_err(|_| format!("invalid task count `{s}`"))?,
-        };
+    let spec = if let Some(utils) = args.value_of("--utils") {
+        let n_tasks = args.parsed_or("--n-tasks", "task count", 4usize)?;
         SweepSpec::acceptance(
             hetrta_sched::taskset::TaskSetParams::small(n_tasks, 1.0)
                 .with_offload_fraction(0.2, 0.45),
@@ -541,20 +788,41 @@ fn engine_cmd(args: &[String]) -> Result<String, String> {
             seeds[0],
         )
         .with_seeds(seeds)
+    } else if let Some(shares) = args.value_of("--cond-shares") {
+        let cap = args.parsed_or("--realization-cap", "realization cap", 4096usize)?;
+        SweepSpec::conditional(
+            hetrta_cond::CondGenParams::small(),
+            cores,
+            parse_list(shares, "conditional share")?,
+            per_point,
+            cap,
+        )
+        .with_seeds(seeds)
     } else {
-        let fractions = match flag_value(args, "--fractions") {
+        let fractions = match args.value_of("--fractions") {
             None => vec![0.05, 0.10, 0.20, 0.30, 0.50],
             Some(spec) => parse_list(spec, "fraction")?,
         };
-        SweepSpec::fractions(preset, cores, fractions, per_point, seeds[0])
+        let mut spec = SweepSpec::fractions(preset, cores, fractions, per_point, seeds[0])
             .with_seeds(seeds)
-            .with_analyses(analyses)
+            .with_analyses(analyses);
+        spec.sim_transformed = args.has("--sim-transformed");
+        spec.explore_seeds = args.parsed_or("--explore-seeds", "exploration seed count", 0u64)?;
+        spec.realization_cap = args.parsed_or("--realization-cap", "realization cap", 4096usize)?;
+        if let Some(budget) = args.value_of("--exact-budget") {
+            spec.exact_node_budget = Some(
+                budget
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid exact budget `{budget}`"))?,
+            );
+        }
+        spec
     };
 
     let engine = Engine::new(threads);
     let out = engine.run(&spec).map_err(|e| e.to_string())?;
 
-    let mut text = if has_flag(args, "--csv") {
+    let mut text = if args.has("--csv") {
         render_cells_csv(&out.aggregate.cells)
     } else {
         render_cells_table(&out.aggregate.cells)
@@ -565,99 +833,246 @@ fn engine_cmd(args: &[String]) -> Result<String, String> {
 }
 
 fn render_cells_table(cells: &[hetrta_engine::CellSummary]) -> String {
-    let is_set = matches!(cells.first().map(|c| &c.kind), Some(CellKind::Set(_)));
     let mut out = String::new();
-    if is_set {
-        let _ = writeln!(
-            out,
-            "  m   U/m  {}",
-            TestKind::ALL.map(|t| format!("{:>9}", t.label())).join(" ")
-        );
-        for cell in cells {
-            let CellKind::Set(s) = &cell.kind else {
-                continue;
-            };
-            let ratios = TestKind::ALL
-                .map(|t| format!("{:>8.1}%", s.ratio(t, cell.samples) * 100.0))
-                .join(" ");
-            let _ = writeln!(out, "{:>3}  {:>4.2}  {ratios}", cell.m, cell.grid_value);
-        }
-    } else {
-        let _ = writeln!(
-            out,
-            "  m  C_off/vol        s1      s2.1      s2.2  mean-impr   max-impr  sched(het)"
-        );
-        for cell in cells {
-            let CellKind::Task(t) = &cell.kind else {
-                continue;
-            };
-            let (s1, s21, s22) = t.scenario_shares(cell.samples);
+    match cells.first().map(|c| &c.kind) {
+        Some(CellKind::Set(_)) => {
             let _ = writeln!(
                 out,
-                "{:>3}  {:>8.2}%  {:>7.1}%  {:>7.1}%  {:>7.1}%  {:>+8.2}%  {:>+8.2}%  {:>6}/{}",
-                cell.m,
-                cell.grid_value * 100.0,
-                s1 * 100.0,
-                s21 * 100.0,
-                s22 * 100.0,
-                t.mean_improvement,
-                t.max_improvement,
-                t.schedulable_het,
-                cell.samples,
+                "  m   U/m  {}",
+                TestKind::ALL.map(|t| format!("{:>9}", t.label())).join(" ")
             );
+            for cell in cells {
+                let CellKind::Set(s) = &cell.kind else {
+                    continue;
+                };
+                let ratios = TestKind::ALL
+                    .map(|t| format!("{:>8.1}%", s.ratio(t, cell.samples) * 100.0))
+                    .join(" ");
+                let _ = writeln!(out, "{:>3}  {:>4.2}  {ratios}", cell.m, cell.grid_value);
+            }
+        }
+        Some(CellKind::Cond(_)) => {
+            let _ = writeln!(
+                out,
+                "  m  p_cond  included  flat-vs-aware  aware-vs-exact  avg-realizations"
+            );
+            for cell in cells {
+                let CellKind::Cond(c) = &cell.kind else {
+                    continue;
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>3}  {:>6.2}  {:>8}  {:>+12.2}%  {:>+13.3}%  {:>16.1}",
+                    cell.m,
+                    cell.grid_value,
+                    c.included,
+                    c.mean_flat_overhead,
+                    c.mean_dp_overhead,
+                    c.mean_realizations,
+                );
+            }
+        }
+        _ => {
+            // The scenario/improvement table only carries data when the
+            // het analysis ran; suspend- or sim-only sweeps skip it.
+            let has_het = cells.iter().any(|c| {
+                matches!(&c.kind, CellKind::Task(t)
+                    if t.scenario_counts.iter().sum::<usize>() > 0)
+            });
+            if has_het {
+                let _ = writeln!(
+                    out,
+                    "  m  C_off/vol        s1      s2.1      s2.2  mean-impr   max-impr  sched(het)"
+                );
+                for cell in cells {
+                    let CellKind::Task(t) = &cell.kind else {
+                        continue;
+                    };
+                    let (s1, s21, s22) = t.scenario_shares(cell.samples);
+                    let _ = writeln!(
+                        out,
+                        "{:>3}  {:>8.2}%  {:>7.1}%  {:>7.1}%  {:>7.1}%  {:>+8.2}%  {:>+8.2}%  {:>6}/{}",
+                        cell.m,
+                        cell.grid_value * 100.0,
+                        s1 * 100.0,
+                        s21 * 100.0,
+                        s22 * 100.0,
+                        t.mean_improvement,
+                        t.max_improvement,
+                        t.schedulable_het,
+                        cell.samples,
+                    );
+                }
+            }
+            if cells
+                .iter()
+                .any(|c| matches!(&c.kind, CellKind::Task(t) if t.mean_sim_makespan.is_some()))
+            {
+                if has_het {
+                    let _ = writeln!(out);
+                }
+                let _ = writeln!(out, "  m  C_off/vol   mean-sim  mean-sim(tau')");
+                for cell in cells {
+                    let CellKind::Task(t) = &cell.kind else {
+                        continue;
+                    };
+                    let Some(sim) = t.mean_sim_makespan else {
+                        continue;
+                    };
+                    let trans = t
+                        .mean_sim_transformed
+                        .map_or("-".to_owned(), |v| format!("{v:.2}"));
+                    let _ = writeln!(
+                        out,
+                        "{:>3}  {:>8.2}%  {:>9.2}  {:>14}",
+                        cell.m,
+                        cell.grid_value * 100.0,
+                        sim,
+                        trans,
+                    );
+                }
+            }
+            if cells
+                .iter()
+                .any(|c| matches!(&c.kind, CellKind::Task(t) if t.accuracy.is_some()))
+            {
+                let _ = writeln!(out, "\n  m  C_off/vol  R_hom-inc  R_het-inc  solved");
+                for cell in cells {
+                    let CellKind::Task(t) = &cell.kind else {
+                        continue;
+                    };
+                    let Some(a) = &t.accuracy else { continue };
+                    let _ = writeln!(
+                        out,
+                        "{:>3}  {:>8.2}%  {:>+8.2}%  {:>+8.2}%  {:>6}/{}",
+                        cell.m,
+                        cell.grid_value * 100.0,
+                        a.mean_hom_increment,
+                        a.mean_het_increment,
+                        a.solved,
+                        cell.samples,
+                    );
+                }
+            }
+            if cells
+                .iter()
+                .any(|c| matches!(&c.kind, CellKind::Task(t) if t.suspend.is_some()))
+            {
+                let _ = writeln!(
+                    out,
+                    "\n  m  C_off/vol  oblivious    barrier     R_het~   naive(!)  violations"
+                );
+                for cell in cells {
+                    let CellKind::Task(t) = &cell.kind else {
+                        continue;
+                    };
+                    let Some(s) = &t.suspend else { continue };
+                    let _ = writeln!(
+                        out,
+                        "{:>3}  {:>8.2}%  {:>9.2}  {:>9.2}  {:>9.2}  {:>9.2}  {:>6}/{}",
+                        cell.m,
+                        cell.grid_value * 100.0,
+                        s.mean_oblivious,
+                        s.mean_barrier,
+                        s.mean_het_tight,
+                        s.mean_naive,
+                        s.naive_violations,
+                        cell.samples,
+                    );
+                }
+            }
         }
     }
     out
 }
 
 fn render_cells_csv(cells: &[hetrta_engine::CellSummary]) -> String {
-    let is_set = matches!(cells.first().map(|c| &c.kind), Some(CellKind::Set(_)));
     let mut out = String::new();
-    if is_set {
-        let labels = TestKind::ALL.map(|t| t.label().to_owned()).join(",");
-        let _ = writeln!(out, "m,normalized_util,samples,{labels}");
-        for cell in cells {
-            let CellKind::Set(s) = &cell.kind else {
-                continue;
-            };
-            let ratios = TestKind::ALL
-                .map(|t| format!("{:.6}", s.ratio(t, cell.samples)))
-                .join(",");
-            let _ = writeln!(
-                out,
-                "{},{},{},{ratios}",
-                cell.m, cell.grid_value, cell.samples
-            );
+    let opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.6}"));
+    match cells.first().map(|c| &c.kind) {
+        Some(CellKind::Set(_)) => {
+            let labels = TestKind::ALL.map(|t| t.label().to_owned()).join(",");
+            let _ = writeln!(out, "m,normalized_util,samples,{labels}");
+            for cell in cells {
+                let CellKind::Set(s) = &cell.kind else {
+                    continue;
+                };
+                let ratios = TestKind::ALL
+                    .map(|t| format!("{:.6}", s.ratio(t, cell.samples)))
+                    .join(",");
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{ratios}",
+                    cell.m, cell.grid_value, cell.samples
+                );
+            }
         }
-    } else {
-        let _ = writeln!(
-            out,
-            "m,fraction,samples,s1,s21,s22,mean_improvement,max_improvement,\
-             schedulable_het,schedulable_hom,mean_r_het,mean_r_hom,\
-             mean_sim_makespan,exact_solved,mean_exact_makespan"
-        );
-        let opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.6}"));
-        for cell in cells {
-            let CellKind::Task(t) = &cell.kind else {
-                continue;
-            };
-            let (s1, s21, s22) = t.scenario_shares(cell.samples);
+        Some(CellKind::Cond(_)) => {
             let _ = writeln!(
                 out,
-                "{},{},{},{s1:.6},{s21:.6},{s22:.6},{:.6},{:.6},{},{},{:.6},{:.6},{},{},{}",
-                cell.m,
-                cell.grid_value,
-                cell.samples,
-                t.mean_improvement,
-                t.max_improvement,
-                t.schedulable_het,
-                t.schedulable_hom,
-                t.mean_r_het,
-                t.mean_r_hom,
-                opt(t.mean_sim_makespan),
-                t.exact_solved,
-                opt(t.mean_exact_makespan),
+                "m,p_cond,samples,included,mean_flat_overhead,mean_dp_overhead,mean_realizations"
             );
+            for cell in cells {
+                let CellKind::Cond(c) = &cell.kind else {
+                    continue;
+                };
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{:.6},{:.6},{:.6}",
+                    cell.m,
+                    cell.grid_value,
+                    cell.samples,
+                    c.included,
+                    c.mean_flat_overhead,
+                    c.mean_dp_overhead,
+                    c.mean_realizations,
+                );
+            }
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "m,fraction,samples,s1,s21,s22,mean_improvement,max_improvement,\
+                 schedulable_het,schedulable_hom,mean_r_het,mean_r_hom,\
+                 mean_sim_makespan,mean_sim_transformed,exact_solved,mean_exact_makespan,\
+                 hom_increment,het_increment,solved,\
+                 suspend_oblivious,suspend_barrier,suspend_het_tight,suspend_naive,\
+                 suspend_worst,naive_violations"
+            );
+            for cell in cells {
+                let CellKind::Task(t) = &cell.kind else {
+                    continue;
+                };
+                let (s1, s21, s22) = t.scenario_shares(cell.samples);
+                let accuracy = t.accuracy.as_ref();
+                let suspend = t.suspend.as_ref();
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{s1:.6},{s21:.6},{s22:.6},{:.6},{:.6},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    cell.m,
+                    cell.grid_value,
+                    cell.samples,
+                    t.mean_improvement,
+                    t.max_improvement,
+                    t.schedulable_het,
+                    t.schedulable_hom,
+                    t.mean_r_het,
+                    t.mean_r_hom,
+                    opt(t.mean_sim_makespan),
+                    opt(t.mean_sim_transformed),
+                    t.exact_solved,
+                    opt(t.mean_exact_makespan),
+                    opt(accuracy.map(|a| a.mean_hom_increment)),
+                    opt(accuracy.map(|a| a.mean_het_increment)),
+                    accuracy.map_or(String::new(), |a| a.solved.to_string()),
+                    opt(suspend.map(|s| s.mean_oblivious)),
+                    opt(suspend.map(|s| s.mean_barrier)),
+                    opt(suspend.map(|s| s.mean_het_tight)),
+                    opt(suspend.map(|s| s.mean_naive)),
+                    opt(suspend.and_then(|s| s.mean_worst_observed)),
+                    suspend.map_or(String::new(), |s| s.naive_violations.to_string()),
+                );
+            }
         }
     }
     out
@@ -697,6 +1112,15 @@ mod tests {
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    /// Registry keys available to `--analyses`.
+    fn registry_keys() -> Vec<String> {
+        hetrta_engine::AnalysisRegistry::builtin()
+            .keys()
+            .iter()
+            .map(|&k| k.to_owned())
+            .collect()
     }
 
     fn write_example() -> tempfile::TempPath {
@@ -903,6 +1327,74 @@ mod tests {
     }
 
     #[test]
+    fn engine_sweep_conditional_mode() {
+        let out = run(&args(&[
+            "engine",
+            "sweep",
+            "--threads",
+            "2",
+            "--cores",
+            "2",
+            "--per-point",
+            "6",
+            "--cond-shares",
+            "0.2,0.4",
+            "--realization-cap",
+            "512",
+        ]))
+        .unwrap();
+        assert!(out.contains("flat-vs-aware"), "{out}");
+        assert!(out.contains("p_cond"), "{out}");
+        assert!(out.contains("engine: 12 jobs"), "{out}");
+    }
+
+    #[test]
+    fn engine_sweep_suspend_analysis() {
+        let out = run(&args(&[
+            "engine",
+            "sweep",
+            "--threads",
+            "1",
+            "--cores",
+            "2",
+            "--per-point",
+            "3",
+            "--fractions",
+            "0.2",
+            "--analyses",
+            "suspend",
+            "--explore-seeds",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("naive(!)"), "{out}");
+        assert!(out.contains("violations"), "{out}");
+    }
+
+    #[test]
+    fn engine_sweep_accuracy_analyses() {
+        let out = run(&args(&[
+            "engine",
+            "sweep",
+            "--threads",
+            "2",
+            "--cores",
+            "2",
+            "--per-point",
+            "3",
+            "--fractions",
+            "0.25",
+            "--analyses",
+            "exact,hom,het",
+            "--csv",
+        ]))
+        .unwrap();
+        assert!(out.contains("hom_increment"), "{out}");
+        let data_line = out.lines().nth(1).unwrap();
+        assert!(!data_line.is_empty(), "{out}");
+    }
+
+    #[test]
     fn engine_sweep_rejects_bad_flags() {
         assert!(run(&args(&["engine"])).unwrap_err().contains("subcommand"));
         assert!(run(&args(&["engine", "frob"]))
@@ -919,6 +1411,16 @@ mod tests {
             "sweep",
             "--fractions",
             "0.1",
+            "--utils",
+            "0.5"
+        ]))
+        .unwrap_err()
+        .contains("not both"));
+        assert!(run(&args(&[
+            "engine",
+            "sweep",
+            "--cond-shares",
+            "0.2",
             "--utils",
             "0.5"
         ]))
@@ -943,9 +1445,58 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("fraction sweeps"));
+        assert!(run(&args(&[
+            "engine",
+            "sweep",
+            "--cond-shares",
+            "0.2",
+            "--analyses",
+            "cond"
+        ]))
+        .unwrap_err()
+        .contains("fraction sweeps"));
         assert!(run(&args(&["engine", "sweep", "--n-tasks", "3"]))
             .unwrap_err()
             .contains("utilization sweeps"));
+        // Fraction-only knobs are rejected (not dropped) on other grids.
+        assert!(run(&args(&[
+            "engine",
+            "sweep",
+            "--utils",
+            "0.5",
+            "--explore-seeds",
+            "5"
+        ]))
+        .unwrap_err()
+        .contains("fraction sweeps"));
+        assert!(run(&args(&[
+            "engine",
+            "sweep",
+            "--cond-shares",
+            "0.2",
+            "--sim-transformed"
+        ]))
+        .unwrap_err()
+        .contains("fraction sweeps"));
+        assert!(run(&args(&[
+            "engine",
+            "sweep",
+            "--utils",
+            "0.5",
+            "--realization-cap",
+            "9"
+        ]))
+        .unwrap_err()
+        .contains("conditional sweeps"));
+    }
+
+    #[test]
+    fn analyses_flag_accepts_every_registry_key_error_lists_them() {
+        // Unknown keys list every valid key, so the error is self-serving.
+        let err = run(&args(&["engine", "sweep", "--analyses", "zig"])).unwrap_err();
+        for key in registry_keys() {
+            assert!(err.contains(&key), "`{key}` missing from: {err}");
+        }
     }
 
     #[test]
@@ -968,6 +1519,42 @@ mod tests {
         .unwrap();
         assert!(!out.contains("inf"), "{out}");
         assert!(out.contains("mean_sim_makespan"), "{out}");
+    }
+
+    #[test]
+    fn sim_transformed_flag_fills_the_transformed_column() {
+        let base = args(&[
+            "engine",
+            "sweep",
+            "--threads",
+            "1",
+            "--cores",
+            "2",
+            "--fractions",
+            "0.3",
+            "--per-point",
+            "2",
+            "--analyses",
+            "sim",
+            "--csv",
+        ]);
+        let without = run(&base).unwrap();
+        let mut with = base.clone();
+        with.push("--sim-transformed".into());
+        let with = run(&with).unwrap();
+        let column = |text: &str, name: &str| {
+            let header: Vec<&str> = text.lines().next().unwrap().split(',').collect();
+            let idx = header.iter().position(|&h| h == name).unwrap();
+            text.lines()
+                .nth(1)
+                .unwrap()
+                .split(',')
+                .nth(idx)
+                .unwrap()
+                .to_owned()
+        };
+        assert!(column(&without, "mean_sim_transformed").is_empty());
+        assert!(!column(&with, "mean_sim_transformed").is_empty());
     }
 
     #[test]
@@ -1079,5 +1666,74 @@ mod tests {
         assert!(run(&args(&["analyze", path.to_str(), "-m", "x"]))
             .unwrap_err()
             .contains("invalid core count"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_the_valid_set() {
+        let path = write_example();
+        let err = run(&args(&["analyze", path.to_str(), "--frobnicate"])).unwrap_err();
+        assert!(err.contains("unknown flag `--frobnicate`"), "{err}");
+        assert!(err.contains("-m"), "{err}");
+        let err = run(&args(&["simulate", path.to_str(), "--policy"])).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn global_help_lists_every_command() {
+        let help = run(&args(&["help"])).unwrap();
+        for command in COMMANDS {
+            assert!(help.contains(command.name), "`{}` missing", command.name);
+        }
+        assert_eq!(help, run(&args(&["--help"])).unwrap());
+        let usage = usage();
+        for command in COMMANDS {
+            assert!(usage.contains(command.name), "`{}` missing", command.name);
+        }
+    }
+
+    #[test]
+    fn per_command_help_is_generated_from_the_spec() {
+        let analyze_help = run(&args(&["analyze", "--help"])).unwrap();
+        assert_eq!(analyze_help, run(&args(&["help", "analyze"])).unwrap());
+        let sweep_help = run(&args(&["engine", "sweep", "--help"])).unwrap();
+        assert_eq!(sweep_help, run(&args(&["help", "engine sweep"])).unwrap());
+        // A single-member family resolves by its family name too.
+        assert_eq!(sweep_help, run(&args(&["help", "engine"])).unwrap());
+        // --help short-circuits even with other flags present.
+        assert_eq!(
+            sweep_help,
+            run(&args(&["engine", "sweep", "--cores", "2", "--help"])).unwrap()
+        );
+        assert_eq!(sweep_help, run(&args(&["engine", "--help"])).unwrap());
+        for flag in ["--analyses", "--cond-shares", "--sim-transformed", "--csv"] {
+            assert!(sweep_help.contains(flag), "`{flag}` missing:\n{sweep_help}");
+        }
+    }
+
+    /// Golden rendering of a generated help screen: pins the exact shape
+    /// the spec table produces.
+    #[test]
+    fn analyze_help_golden() {
+        let expected = "\
+hetrta analyze — R_hom/R_het bounds, scenario and schedulability per core count
+
+usage:
+  hetrta analyze <task.hdag> [-m CORES[,CORES...]]
+
+flags:
+  -m CORES[,CORES...]  host core counts (default 2,4,8,16; single-platform commands use the first)
+";
+        assert_eq!(run(&args(&["analyze", "--help"])).unwrap(), expected);
+    }
+
+    #[test]
+    fn usage_golden_first_lines() {
+        let text = usage();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("usage:"));
+        assert_eq!(
+            lines.next(),
+            Some("  hetrta analyze <task.hdag> [-m CORES[,CORES...]]")
+        );
     }
 }

@@ -1,19 +1,15 @@
 //! `hetrta` — command-line front end for the heterogeneous DAG RTA.
 //!
-//! ```text
-//! hetrta analyze  <task.hdag> [-m CORES[,CORES…]]
-//! hetrta transform <task.hdag> [--dot]
-//! hetrta simulate <task.hdag> [-m CORES] [--policy bfs|dfs|cp|random:SEED] [--gantt]
-//! hetrta solve    <task.hdag> [-m CORES] [--lp]
-//! hetrta generate [--small|--large] [--seed N] [--fraction F]
-//! hetrta example
-//! ```
+//! Run `hetrta help` for the generated command overview, or
+//! `hetrta <command> --help` for per-command flags; both screens are
+//! generated from the declarative command table in [`commands`].
 //!
 //! Task files use the `.hdag` text format of [`hetrta_dag::io`].
 
 use std::process::ExitCode;
 
 mod commands;
+mod spec;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,7 +20,7 @@ fn main() -> ExitCode {
         }
         Err(message) => {
             eprintln!("error: {message}");
-            eprintln!("{}", commands::USAGE);
+            eprintln!("{}", commands::usage());
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,239 @@
+//! Declarative command and flag specifications.
+//!
+//! Every subcommand is one [`CommandSpec`] row in a table: name, positional
+//! synopsis, one-line help, flag specs, handler. Dispatch, usage text,
+//! per-command `--help` screens, unknown-command and unknown-flag errors
+//! are all *generated* from the table — no hand-rolled parsing per
+//! command.
+
+use std::fmt::Write as _;
+
+/// One flag a command accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// The literal flag token (`"-m"`, `"--policy"`).
+    pub name: &'static str,
+    /// `Some(placeholder)` when the flag consumes a value (shown in help
+    /// as `--flag PLACEHOLDER`); `None` for boolean switches.
+    pub value: Option<&'static str>,
+    /// One-line description.
+    pub help: &'static str,
+}
+
+/// One subcommand: everything needed to parse, document, and run it.
+#[derive(Debug, Clone, Copy)]
+pub struct CommandSpec {
+    /// Command name; two-word names (`"engine sweep"`) form families.
+    pub name: &'static str,
+    /// Positional-argument synopsis (`"<task.hdag>"`, possibly empty).
+    pub args: &'static str,
+    /// One-line description for help screens.
+    pub help: &'static str,
+    /// The flags this command accepts.
+    pub flags: &'static [FlagSpec],
+    /// The implementation.
+    pub handler: fn(&ParsedArgs) -> Result<String, String>,
+}
+
+impl CommandSpec {
+    /// `name args [flags...]` — the one-line synopsis.
+    #[must_use]
+    pub fn synopsis(&self) -> String {
+        let mut out = self.name.to_owned();
+        if !self.args.is_empty() {
+            let _ = write!(out, " {}", self.args);
+        }
+        for flag in self.flags {
+            match flag.value {
+                Some(placeholder) => {
+                    let _ = write!(out, " [{} {placeholder}]", flag.name);
+                }
+                None => {
+                    let _ = write!(out, " [{}]", flag.name);
+                }
+            }
+        }
+        out
+    }
+
+    /// The full `--help` screen of this command.
+    #[must_use]
+    pub fn help_screen(&self) -> String {
+        let mut out = format!(
+            "hetrta {} — {}\n\nusage:\n  hetrta {}\n",
+            self.name,
+            self.help,
+            self.synopsis()
+        );
+        if !self.flags.is_empty() {
+            out.push_str("\nflags:\n");
+            let width = self
+                .flags
+                .iter()
+                .map(|f| f.name.len() + f.value.map_or(0, |v| v.len() + 1))
+                .max()
+                .unwrap_or(0);
+            for flag in self.flags {
+                let label = match flag.value {
+                    Some(placeholder) => format!("{} {placeholder}", flag.name),
+                    None => flag.name.to_owned(),
+                };
+                let _ = writeln!(out, "  {label:<width$}  {}", flag.help);
+            }
+        }
+        out
+    }
+}
+
+/// Arguments of one command, parsed against its [`CommandSpec`].
+#[derive(Debug, Clone)]
+pub struct ParsedArgs {
+    positionals: Vec<String>,
+    switches: Vec<&'static str>,
+    values: Vec<(&'static str, String)>,
+}
+
+impl ParsedArgs {
+    /// Parses `args` against `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown flags (listing the command's valid flags) and flags missing
+    /// their value.
+    pub fn parse(spec: &CommandSpec, args: &[String]) -> Result<ParsedArgs, String> {
+        let mut parsed = ParsedArgs {
+            positionals: Vec::new(),
+            switches: Vec::new(),
+            values: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(flag) = spec.flags.iter().find(|f| f.name == arg) {
+                match flag.value {
+                    None => parsed.switches.push(flag.name),
+                    Some(placeholder) => {
+                        let value = it.next().ok_or_else(|| {
+                            format!("flag `{}` needs a value ({placeholder})", flag.name)
+                        })?;
+                        parsed.values.push((flag.name, value.clone()));
+                    }
+                }
+            } else if arg.starts_with('-') && arg.len() > 1 {
+                let valid = spec
+                    .flags
+                    .iter()
+                    .map(|f| f.name)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                return Err(if valid.is_empty() {
+                    format!(
+                        "unknown flag `{arg}` for `{}` (no flags accepted)",
+                        spec.name
+                    )
+                } else {
+                    format!(
+                        "unknown flag `{arg}` for `{}` (valid flags: {valid})",
+                        spec.name
+                    )
+                });
+            } else {
+                parsed.positionals.push(arg.clone());
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Every positional argument, in order.
+    #[must_use]
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// The first positional argument, or a `missing {what} argument`
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// When no positional argument was given.
+    pub fn first_positional(&self, what: &str) -> Result<&str, String> {
+        self.positionals
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing {what} argument"))
+    }
+
+    /// `true` if the boolean switch was given.
+    #[must_use]
+    pub fn has(&self, flag: &str) -> bool {
+        self.switches.contains(&flag)
+    }
+
+    /// The value of a value flag, if given (last occurrence wins).
+    #[must_use]
+    pub fn value_of(&self, flag: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(name, _)| *name == flag)
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// Parses the value of `flag` with `parse`, or returns `default` when
+    /// the flag is absent.
+    ///
+    /// # Errors
+    ///
+    /// `invalid {what} \`{value}\`` when parsing fails.
+    pub fn parsed_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        what: &str,
+        default: T,
+    ) -> Result<T, String> {
+        match self.value_of(flag) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| format!("invalid {what} `{raw}`")),
+        }
+    }
+}
+
+/// Splits a comma-separated list into parsed items.
+///
+/// # Errors
+///
+/// `invalid {what} \`{item}\`` on the first unparseable item.
+pub fn parse_list<T: std::str::FromStr>(spec: &str, what: &str) -> Result<Vec<T>, String> {
+    spec.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<T>()
+                .map_err(|_| format!("invalid {what} `{s}`"))
+        })
+        .collect()
+}
+
+/// Generates the global usage text from the command table.
+#[must_use]
+pub fn usage(commands: &[CommandSpec]) -> String {
+    let mut out = String::from("usage:\n");
+    for command in commands {
+        let _ = writeln!(out, "  hetrta {}", command.synopsis());
+    }
+    out.push_str("  hetrta help [COMMAND]   (or --help anywhere)");
+    out
+}
+
+/// Generates the global help screen (usage plus one line per command).
+#[must_use]
+pub fn global_help(commands: &[CommandSpec]) -> String {
+    let mut out =
+        String::from("hetrta — response-time analysis of heterogeneous DAG tasks\n\ncommands:\n");
+    let width = commands.iter().map(|c| c.name.len()).max().unwrap_or(0);
+    for command in commands {
+        let _ = writeln!(out, "  {:<width$}  {}", command.name, command.help);
+    }
+    out.push_str("\nrun `hetrta <command> --help` for flags and details\n");
+    out
+}

@@ -6,11 +6,17 @@
 //! [`Aggregator::finalize`] by replaying the slots in expansion order. That
 //! makes the aggregate **bit-identical across worker counts** — the
 //! determinism contract the engine tests pin down.
+//!
+//! Reduction is generic over the tagged [`AnalysisOutcome`]s a job carries:
+//! each tag feeds its own accumulators, so any registry selection — the
+//! four classic per-task analyses, suspension baselines, conditional
+//! bounds, acceptance tests — reduces without bespoke job shapes.
 
+use hetrta_api::AnalysisOutcome;
 use hetrta_sched::acceptance::TestKind;
 
 use crate::job::{JobMetrics, JobResult};
-use crate::spec::CellInfo;
+use crate::spec::{CellInfo, CellShape};
 use crate::EngineError;
 
 /// Per-cell summary of a per-task sweep.
@@ -30,25 +36,50 @@ pub struct TaskCellSummary {
     pub schedulable_het: usize,
     /// Tasks with `R_hom ≤ D`.
     pub schedulable_hom: usize,
-    /// Mean simulated makespan, if simulation was selected.
+    /// Mean simulated makespan of `τ`, if simulation was selected.
     pub mean_sim_makespan: Option<f64>,
+    /// Mean simulated makespan of the transformed `τ'`, if the simulation
+    /// ran with `sim_transformed` (Figure 6).
+    pub mean_sim_transformed: Option<f64>,
     /// Tasks the bounded exact solver finished.
     pub exact_solved: usize,
     /// Mean exact makespan over the solved tasks.
     pub mean_exact_makespan: Option<f64>,
+    /// Accuracy of the analytical bounds against the exact optimum, when
+    /// the sweep ran `exact`, `hom` and `het` together (Figure 7).
+    pub accuracy: Option<AccuracySummary>,
+    /// Self-suspending baseline means, when `suspend` was selected.
+    pub suspend: Option<SuspendCellSummary>,
 }
 
-impl TaskCellSummary {
-    /// Scenario shares `(s1, s2.1, s2.2)` in `[0, 1]`.
-    #[must_use]
-    pub fn scenario_shares(&self, samples: usize) -> (f64, f64, f64) {
-        let n = samples as f64;
-        (
-            self.scenario_counts[0] as f64 / n,
-            self.scenario_counts[1] as f64 / n,
-            self.scenario_counts[2] as f64 / n,
-        )
-    }
+/// Mean percentage increments of the analytical bounds over the proven
+/// exact optimum (instances the solver could not close are skipped, like
+/// the paper skips instances CPLEX could not solve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracySummary {
+    /// Mean `100·(R_hom − opt)/opt` over solved instances.
+    pub mean_hom_increment: f64,
+    /// Mean `100·(R_het − opt)/opt` over solved instances.
+    pub mean_het_increment: f64,
+    /// Instances where the solver proved optimality (and `opt > 0`).
+    pub solved: usize,
+}
+
+/// Per-cell means of the self-suspending baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuspendCellSummary {
+    /// Mean suspension-oblivious bound.
+    pub mean_oblivious: f64,
+    /// Mean phase-barrier bound.
+    pub mean_barrier: f64,
+    /// Mean `min(R_het, R_hom(τ'))`.
+    pub mean_het_tight: f64,
+    /// Mean of the unsound naive discount.
+    pub mean_naive: f64,
+    /// Mean worst observed makespan, when the exploration ran.
+    pub mean_worst_observed: Option<f64>,
+    /// Samples whose observed worst case exceeded the naive discount.
+    pub naive_violations: usize,
 }
 
 /// Per-cell summary of an acceptance sweep.
@@ -70,6 +101,34 @@ impl SetCellSummary {
     }
 }
 
+impl TaskCellSummary {
+    /// Scenario shares `(s1, s2.1, s2.2)` in `[0, 1]`.
+    #[must_use]
+    pub fn scenario_shares(&self, samples: usize) -> (f64, f64, f64) {
+        let n = samples as f64;
+        (
+            self.scenario_counts[0] as f64 / n,
+            self.scenario_counts[1] as f64 / n,
+            self.scenario_counts[2] as f64 / n,
+        )
+    }
+}
+
+/// Per-cell summary of a conditional-bound sweep. Samples enter the means
+/// only when the exact enumeration succeeded with a nonzero bound — the
+/// serial ablation's inclusion rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondCellSummary {
+    /// Samples included in the means.
+    pub included: usize,
+    /// Mean % by which flatten-all exceeds the conditional-aware bound.
+    pub mean_flat_overhead: f64,
+    /// Mean % by which the DP bound exceeds the exact enumeration.
+    pub mean_dp_overhead: f64,
+    /// Mean realizations per included expression.
+    pub mean_realizations: f64,
+}
+
 /// Aggregated contents of one sweep cell.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CellKind {
@@ -77,6 +136,8 @@ pub enum CellKind {
     Task(TaskCellSummary),
     /// Acceptance-test counts.
     Set(SetCellSummary),
+    /// Conditional-bound overheads.
+    Cond(CondCellSummary),
 }
 
 /// One finalized sweep cell.
@@ -84,9 +145,10 @@ pub enum CellKind {
 pub struct CellSummary {
     /// Host core count.
     pub m: u64,
-    /// Grid value (offload fraction or normalized utilization).
+    /// Grid value (offload fraction, normalized utilization, or
+    /// conditional share).
     pub grid_value: f64,
-    /// Jobs aggregated into this cell.
+    /// Jobs aggregated into this cell (declined samples excluded).
     pub samples: usize,
     /// The metrics.
     pub kind: CellKind,
@@ -114,21 +176,25 @@ impl SweepAggregate {
 #[derive(Debug)]
 pub struct Aggregator {
     cells: Vec<CellInfo>,
+    shape: CellShape,
     slots: Vec<Option<JobResult>>,
     received: usize,
     cache_hits: u64,
+    skipped: u64,
     first_error: Option<(usize, String)>,
 }
 
 impl Aggregator {
     /// Creates an aggregator for `job_count` jobs over `cells`.
     #[must_use]
-    pub fn new(cells: Vec<CellInfo>, job_count: usize) -> Self {
+    pub fn new(cells: Vec<CellInfo>, job_count: usize, shape: CellShape) -> Self {
         Aggregator {
             cells,
+            shape,
             slots: vec![None; job_count],
             received: 0,
             cache_hits: 0,
+            skipped: 0,
             first_error: None,
         }
     }
@@ -139,15 +205,19 @@ impl Aggregator {
         if result.cache_hit {
             self.cache_hits += 1;
         }
-        if let Err(message) = &result.metrics {
-            let candidate = (result.index, message.clone());
-            // Deterministic error selection: lowest job index wins.
-            if self
-                .first_error
-                .as_ref()
-                .is_none_or(|(i, _)| candidate.0 < *i)
-            {
-                self.first_error = Some(candidate);
+        match &result.metrics {
+            Ok(JobMetrics::Skipped) => self.skipped += 1,
+            Ok(JobMetrics::Outcomes(_)) => {}
+            Err(message) => {
+                let candidate = (result.index, message.clone());
+                // Deterministic error selection: lowest job index wins.
+                if self
+                    .first_error
+                    .as_ref()
+                    .is_none_or(|(i, _)| candidate.0 < *i)
+                {
+                    self.first_error = Some(candidate);
+                }
             }
         }
         let index = result.index;
@@ -160,10 +230,16 @@ impl Aggregator {
         self.received
     }
 
-    /// Jobs whose primary result came from the cache.
+    /// Jobs whose results came fully from the caches.
     #[must_use]
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits
+    }
+
+    /// Jobs whose sample the generator declined.
+    #[must_use]
+    pub fn skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// Replays the slots in expansion order and produces the aggregate.
@@ -176,44 +252,35 @@ impl Aggregator {
         if let Some((index, message)) = self.first_error {
             return Err(EngineError::Job { index, message });
         }
-        let mut per_cell: Vec<Vec<&JobMetrics>> = vec![Vec::new(); self.cells.len()];
+        let mut per_cell: Vec<Vec<&[AnalysisOutcome]>> = vec![Vec::new(); self.cells.len()];
         for (index, slot) in self.slots.iter().enumerate() {
             let result = slot.as_ref().ok_or(EngineError::Incomplete { index })?;
-            let metrics = result.metrics.as_ref().expect("errors already reported");
-            per_cell[result.cell].push(metrics);
+            match result.metrics.as_ref().expect("errors already reported") {
+                JobMetrics::Outcomes(outcomes) => per_cell[result.cell].push(outcomes),
+                JobMetrics::Skipped => {}
+            }
         }
 
         let cells = self
             .cells
             .iter()
             .zip(&per_cell)
-            .map(|(info, metrics)| summarize_cell(info, metrics))
+            .map(|(info, outcomes)| summarize_cell(self.shape, info, outcomes))
             .collect();
         Ok(SweepAggregate { cells })
     }
 }
 
-fn summarize_cell(info: &CellInfo, metrics: &[&JobMetrics]) -> CellSummary {
-    let samples = metrics.len();
-    let is_set = matches!(metrics.first(), Some(JobMetrics::Set(_)));
-    let kind = if is_set {
-        let mut accepted = [0usize; 6];
-        for m in metrics {
-            let JobMetrics::Set(s) = m else {
-                unreachable!("uniform cell job kinds")
-            };
-            for (count, &bit) in accepted.iter_mut().zip(&s.accepted) {
-                *count += usize::from(bit);
-            }
-        }
-        CellKind::Set(SetCellSummary { accepted })
-    } else {
-        CellKind::Task(summarize_task_cell(metrics))
+fn summarize_cell(shape: CellShape, info: &CellInfo, jobs: &[&[AnalysisOutcome]]) -> CellSummary {
+    let kind = match shape {
+        CellShape::Set => CellKind::Set(summarize_set_cell(jobs)),
+        CellShape::Cond => CellKind::Cond(summarize_cond_cell(jobs)),
+        CellShape::Task => CellKind::Task(summarize_task_cell(jobs)),
     };
     CellSummary {
         m: info.m,
         grid_value: info.grid_value,
-        samples,
+        samples: jobs.len(),
         kind,
     }
 }
@@ -237,41 +304,148 @@ fn max(values: &[f64]) -> f64 {
     }
 }
 
-fn summarize_task_cell(metrics: &[&JobMetrics]) -> TaskCellSummary {
+fn mean_opt(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(mean(values))
+    }
+}
+
+fn summarize_set_cell(jobs: &[&[AnalysisOutcome]]) -> SetCellSummary {
+    let mut accepted = [0usize; 6];
+    for outcomes in jobs {
+        for outcome in *outcomes {
+            if let AnalysisOutcome::Acceptance(a) = outcome {
+                for (count, &bit) in accepted.iter_mut().zip(&a.accepted) {
+                    *count += usize::from(bit);
+                }
+            }
+        }
+    }
+    SetCellSummary { accepted }
+}
+
+fn summarize_cond_cell(jobs: &[&[AnalysisOutcome]]) -> CondCellSummary {
+    let mut flat_overheads = Vec::new();
+    let mut dp_overheads = Vec::new();
+    let mut realizations = Vec::new();
+    for outcomes in jobs {
+        for outcome in *outcomes {
+            let AnalysisOutcome::Cond(c) = outcome else {
+                continue;
+            };
+            // Serial inclusion rule: exact enumeration succeeded, nonzero.
+            let Some(exact) = c.exact else { continue };
+            if exact == 0.0 {
+                continue;
+            }
+            flat_overheads.push((c.flattened / c.cond_aware - 1.0) * 100.0);
+            dp_overheads.push((c.cond_aware / exact - 1.0) * 100.0);
+            realizations.push(c.realizations as f64);
+        }
+    }
+    CondCellSummary {
+        included: flat_overheads.len(),
+        mean_flat_overhead: mean(&flat_overheads),
+        mean_dp_overhead: mean(&dp_overheads),
+        mean_realizations: mean(&realizations),
+    }
+}
+
+fn summarize_task_cell(jobs: &[&[AnalysisOutcome]]) -> TaskCellSummary {
     let mut scenario_counts = [0usize; 3];
-    let mut improvements = Vec::with_capacity(metrics.len());
-    let mut r_hets = Vec::with_capacity(metrics.len());
-    let mut r_homs = Vec::with_capacity(metrics.len());
+    let mut improvements = Vec::with_capacity(jobs.len());
+    let mut r_hets = Vec::with_capacity(jobs.len());
+    let mut r_homs = Vec::with_capacity(jobs.len());
     let mut sims = Vec::new();
+    let mut sims_transformed = Vec::new();
     let mut exacts = Vec::new();
+    let mut hom_increments = Vec::new();
+    let mut het_increments = Vec::new();
     let mut schedulable_het = 0usize;
     let mut schedulable_hom = 0usize;
+    let mut accuracy_selected = false;
+    let mut oblivious = Vec::new();
+    let mut barriers = Vec::new();
+    let mut het_tights = Vec::new();
+    let mut naives = Vec::new();
+    let mut worsts = Vec::new();
+    let mut naive_violations = 0usize;
+    let mut suspend_selected = false;
 
-    for m in metrics {
-        let JobMetrics::Task(t) = m else {
-            unreachable!("uniform cell job kinds")
-        };
-        if let Some(h) = &t.het {
-            use hetrta_core::Scenario;
-            let slot = match h.scenario {
-                Scenario::OffNotOnCriticalPath => 0,
-                Scenario::OffOnCriticalPathDominant => 1,
-                Scenario::OffOnCriticalPathDominated => 2,
-            };
-            scenario_counts[slot] += 1;
-            improvements.push(h.improvement_percent);
-            r_hets.push(h.r_het);
-            r_homs.push(h.r_hom_original);
-            schedulable_het += usize::from(h.schedulable_het);
-            schedulable_hom += usize::from(h.schedulable_hom);
-        } else if let Some(r) = t.r_hom {
-            r_homs.push(r);
+    for outcomes in jobs {
+        let mut het_value = None;
+        let mut hom_value = None;
+        let mut exact_outcome = None;
+        let mut exact_selected = false;
+        for outcome in *outcomes {
+            match outcome {
+                AnalysisOutcome::Het(h) => {
+                    use hetrta_core::Scenario;
+                    let slot = match h.scenario {
+                        Scenario::OffNotOnCriticalPath => 0,
+                        Scenario::OffOnCriticalPathDominant => 1,
+                        Scenario::OffOnCriticalPathDominated => 2,
+                    };
+                    scenario_counts[slot] += 1;
+                    improvements.push(h.improvement_percent);
+                    r_hets.push(h.r_het);
+                    r_homs.push(h.r_hom_original);
+                    schedulable_het += usize::from(h.schedulable_het);
+                    schedulable_hom += usize::from(h.schedulable_hom);
+                    het_value = Some(h.r_het);
+                }
+                AnalysisOutcome::Hom { r_hom } => hom_value = Some(*r_hom),
+                AnalysisOutcome::Sim(s) => {
+                    sims.push(s.makespan as f64);
+                    if let Some(t) = s.transformed_makespan {
+                        sims_transformed.push(t as f64);
+                    }
+                }
+                AnalysisOutcome::Exact(e) => {
+                    exact_selected = true;
+                    if let Some(x) = e {
+                        exacts.push(x.makespan as f64);
+                        exact_outcome = Some(*x);
+                    }
+                }
+                AnalysisOutcome::Suspend(s) => {
+                    suspend_selected = true;
+                    oblivious.push(s.oblivious);
+                    barriers.push(s.phase_barrier);
+                    het_tights.push(s.r_het_tight);
+                    naives.push(s.naive_unsound);
+                    if let Some(w) = s.worst_observed {
+                        worsts.push(w as f64);
+                    }
+                    naive_violations += usize::from(s.naive_violated == Some(true));
+                }
+                // Acceptance/Cond outcomes never appear in task cells by
+                // construction; ignore them defensively.
+                AnalysisOutcome::Acceptance(_) | AnalysisOutcome::Cond(_) => {}
+            }
         }
-        if let Some(ms) = t.sim_makespan {
-            sims.push(ms as f64);
+
+        // A job carrying both analyses contributes R_hom(τ) once: the het
+        // outcome's copy wins, mirroring the serial sweeps.
+        if het_value.is_none() {
+            if let Some(r) = hom_value {
+                r_homs.push(r);
+            }
         }
-        if let Some(e) = &t.exact {
-            exacts.push(e.makespan as f64);
+        // Figure 7: increments over the proven exact optimum.
+        if exact_selected && hom_value.is_some() && het_value.is_some() {
+            accuracy_selected = true;
+            if let (Some(e), Some(hom), Some(het)) = (exact_outcome, hom_value, het_value) {
+                if e.optimal {
+                    let opt = e.makespan as f64;
+                    if opt != 0.0 {
+                        hom_increments.push(100.0 * (hom - opt) / opt);
+                        het_increments.push(100.0 * (het - opt) / opt);
+                    }
+                }
+            }
         }
     }
 
@@ -283,39 +457,42 @@ fn summarize_task_cell(metrics: &[&JobMetrics]) -> TaskCellSummary {
         mean_r_hom: mean(&r_homs),
         schedulable_het,
         schedulable_hom,
-        mean_sim_makespan: if sims.is_empty() {
-            None
-        } else {
-            Some(mean(&sims))
-        },
+        mean_sim_makespan: mean_opt(&sims),
+        mean_sim_transformed: mean_opt(&sims_transformed),
         exact_solved: exacts.len(),
-        mean_exact_makespan: if exacts.is_empty() {
-            None
-        } else {
-            Some(mean(&exacts))
-        },
+        mean_exact_makespan: mean_opt(&exacts),
+        accuracy: accuracy_selected.then(|| AccuracySummary {
+            mean_hom_increment: mean(&hom_increments),
+            mean_het_increment: mean(&het_increments),
+            solved: hom_increments.len(),
+        }),
+        suspend: suspend_selected.then(|| SuspendCellSummary {
+            mean_oblivious: mean(&oblivious),
+            mean_barrier: mean(&barriers),
+            mean_het_tight: mean(&het_tights),
+            mean_naive: mean(&naives),
+            mean_worst_observed: mean_opt(&worsts),
+            naive_violations,
+        }),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{HetSummary, SetPointMetrics, TaskPointMetrics};
+    use hetrta_api::{AcceptanceOutcome, CondOutcome, HetOutcome, SuspendOutcome};
     use hetrta_core::Scenario;
 
     fn het(improvement: f64, scenario: Scenario) -> JobMetrics {
-        JobMetrics::Task(TaskPointMetrics {
-            het: Some(HetSummary {
-                r_het: 10.0,
-                r_hom_original: 12.0,
-                r_hom_transformed: 13.0,
-                scenario,
-                improvement_percent: improvement,
-                schedulable_het: true,
-                schedulable_hom: false,
-            }),
-            ..TaskPointMetrics::default()
-        })
+        JobMetrics::Outcomes(vec![AnalysisOutcome::Het(HetOutcome {
+            r_het: 10.0,
+            r_hom_original: 12.0,
+            r_hom_transformed: 13.0,
+            scenario,
+            improvement_percent: improvement,
+            schedulable_het: true,
+            schedulable_hom: false,
+        })])
     }
 
     fn result(index: usize, cell: usize, metrics: JobMetrics) -> JobResult {
@@ -328,23 +505,26 @@ mod tests {
         }
     }
 
-    #[test]
-    fn order_independence_of_acceptance() {
-        let cells = vec![CellInfo {
+    fn cell_infos() -> Vec<CellInfo> {
+        vec![CellInfo {
             m: 2,
             grid_value: 0.1,
-        }];
+        }]
+    }
+
+    #[test]
+    fn order_independence_of_acceptance() {
         let results = [
             result(0, 0, het(10.0, Scenario::OffNotOnCriticalPath)),
             result(1, 0, het(30.0, Scenario::OffOnCriticalPathDominant)),
             result(2, 0, het(20.0, Scenario::OffNotOnCriticalPath)),
         ];
 
-        let mut forward = Aggregator::new(cells.clone(), 3);
+        let mut forward = Aggregator::new(cell_infos(), 3, CellShape::Task);
         for r in &results {
             forward.accept(r.clone());
         }
-        let mut backward = Aggregator::new(cells, 3);
+        let mut backward = Aggregator::new(cell_infos(), 3, CellShape::Task);
         for r in results.iter().rev() {
             backward.accept(r.clone());
         }
@@ -369,20 +549,20 @@ mod tests {
             m: 4,
             grid_value: 0.5,
         }];
-        let mut agg = Aggregator::new(cells, 2);
+        let mut agg = Aggregator::new(cells, 2, CellShape::Set);
         agg.accept(result(
             0,
             0,
-            JobMetrics::Set(SetPointMetrics {
+            JobMetrics::Outcomes(vec![AnalysisOutcome::Acceptance(AcceptanceOutcome {
                 accepted: [true, true, false, true, false, true],
-            }),
+            })]),
         ));
         agg.accept(result(
             1,
             0,
-            JobMetrics::Set(SetPointMetrics {
+            JobMetrics::Outcomes(vec![AnalysisOutcome::Acceptance(AcceptanceOutcome {
                 accepted: [false, true, false, false, false, true],
-            }),
+            })]),
         ));
         let a = agg.finalize().unwrap();
         let CellKind::Set(s) = &a.cells[0].kind else {
@@ -394,12 +574,106 @@ mod tests {
     }
 
     #[test]
+    fn cond_cells_apply_the_serial_inclusion_rule() {
+        let cond = |flattened: f64, cond_aware: f64, exact: Option<f64>| {
+            JobMetrics::Outcomes(vec![AnalysisOutcome::Cond(CondOutcome {
+                flattened,
+                cond_aware,
+                exact,
+                realizations: 4,
+            })])
+        };
+        let mut agg = Aggregator::new(cell_infos(), 4, CellShape::Cond);
+        agg.accept(result(0, 0, cond(30.0, 20.0, Some(10.0))));
+        agg.accept(result(1, 0, cond(50.0, 25.0, None))); // enumeration refused
+        agg.accept(result(2, 0, cond(50.0, 25.0, Some(0.0)))); // zero bound
+        agg.accept(JobResult {
+            index: 3,
+            cell: 0,
+            worker: 0,
+            cache_hit: false,
+            metrics: Ok(JobMetrics::Skipped), // generation declined
+        });
+        let a = agg.finalize().unwrap();
+        assert_eq!(a.cells[0].samples, 3, "skips leave the sample count");
+        let CellKind::Cond(c) = &a.cells[0].kind else {
+            panic!("cond cell")
+        };
+        assert_eq!(c.included, 1);
+        assert_eq!(c.mean_flat_overhead, 50.0);
+        assert_eq!(c.mean_dp_overhead, 100.0);
+        assert_eq!(c.mean_realizations, 4.0);
+    }
+
+    #[test]
+    fn suspend_outcomes_summarize_in_task_cells() {
+        let suspend = |oblivious: f64, violated: bool| {
+            JobMetrics::Outcomes(vec![AnalysisOutcome::Suspend(SuspendOutcome {
+                oblivious,
+                phase_barrier: oblivious - 1.0,
+                r_het_tight: oblivious - 2.0,
+                naive_unsound: oblivious - 3.0,
+                worst_observed: Some(8),
+                naive_violated: Some(violated),
+            })])
+        };
+        let mut agg = Aggregator::new(cell_infos(), 2, CellShape::Task);
+        agg.accept(result(0, 0, suspend(10.0, true)));
+        agg.accept(result(1, 0, suspend(14.0, false)));
+        let a = agg.finalize().unwrap();
+        let CellKind::Task(t) = &a.cells[0].kind else {
+            panic!("task cell")
+        };
+        let s = t.suspend.as_ref().expect("suspend summarized");
+        assert_eq!(s.mean_oblivious, 12.0);
+        assert_eq!(s.mean_naive, 9.0);
+        assert_eq!(s.mean_worst_observed, Some(8.0));
+        assert_eq!(s.naive_violations, 1);
+        // No het/hom outcomes → those reductions stay at their defaults.
+        assert_eq!(t.scenario_counts, [0, 0, 0]);
+        assert!(t.accuracy.is_none());
+    }
+
+    #[test]
+    fn accuracy_increments_skip_unsolved_instances() {
+        use hetrta_api::ExactOutcome;
+        let job = |opt: Option<(u64, bool)>| {
+            JobMetrics::Outcomes(vec![
+                AnalysisOutcome::Exact(
+                    opt.map(|(makespan, optimal)| ExactOutcome { makespan, optimal }),
+                ),
+                AnalysisOutcome::Hom { r_hom: 12.0 },
+                AnalysisOutcome::Het(HetOutcome {
+                    r_het: 11.0,
+                    r_hom_original: 12.0,
+                    r_hom_transformed: 13.0,
+                    scenario: Scenario::OffNotOnCriticalPath,
+                    improvement_percent: 0.0,
+                    schedulable_het: true,
+                    schedulable_hom: true,
+                }),
+            ])
+        };
+        let mut agg = Aggregator::new(cell_infos(), 3, CellShape::Task);
+        agg.accept(result(0, 0, job(Some((10, true)))));
+        agg.accept(result(1, 0, job(Some((10, false))))); // not proven optimal
+        agg.accept(result(2, 0, job(None))); // solver gave up
+        let a = agg.finalize().unwrap();
+        let CellKind::Task(t) = &a.cells[0].kind else {
+            panic!("task cell")
+        };
+        let acc = t.accuracy.as_ref().expect("accuracy selected");
+        assert_eq!(acc.solved, 1);
+        assert_eq!(acc.mean_hom_increment, 20.0);
+        assert!((acc.mean_het_increment - 10.0).abs() < 1e-12);
+        assert_eq!(t.exact_solved, 2, "feasible-but-unproven still counts");
+        // R_hom enters the cell mean once per job (het's copy wins).
+        assert_eq!(t.mean_r_hom, 12.0);
+    }
+
+    #[test]
     fn lowest_index_error_wins() {
-        let cells = vec![CellInfo {
-            m: 2,
-            grid_value: 0.1,
-        }];
-        let mut agg = Aggregator::new(cells, 2);
+        let mut agg = Aggregator::new(cell_infos(), 2, CellShape::Task);
         agg.accept(JobResult {
             index: 1,
             cell: 0,
@@ -425,11 +699,7 @@ mod tests {
 
     #[test]
     fn missing_slots_are_reported() {
-        let cells = vec![CellInfo {
-            m: 2,
-            grid_value: 0.1,
-        }];
-        let agg = Aggregator::new(cells, 1);
+        let agg = Aggregator::new(cell_infos(), 1, CellShape::Task);
         assert!(matches!(
             agg.finalize(),
             Err(EngineError::Incomplete { index: 0 })

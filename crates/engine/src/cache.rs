@@ -2,17 +2,22 @@
 //!
 //! The unit of caching is a *structural hash* of the analyzed content — DAG
 //! shape, node WCETs, offloaded node, period and deadline, plus the analysis
-//! parameters (core count, analysis kind). Two jobs that analyze
-//! structurally identical tasks under the same parameters share one
-//! computation, whichever worker gets there first; everyone else gets a
-//! clone of the memoized value. Sweeps with repeated generator seeds, or
-//! spec cells that revisit the same `(seed, fraction)` task under several
-//! core counts, hit the cache instead of re-running the analysis.
+//! registry key and the parameter digest the analysis declares through
+//! [`Analysis::cache_params`](hetrta_api::Analysis::cache_params). Two jobs
+//! that analyze structurally identical inputs under the same parameters
+//! share one computation, whichever worker gets there first; everyone else
+//! gets a clone of the memoized value.
+//!
+//! Caches are **bounded**: each [`MemoCache`] is a sharded LRU with a
+//! configurable capacity, so a long-lived engine sweeping millions of
+//! mostly-unique jobs keeps a flat memory profile instead of growing
+//! linearly with distinct content.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use hetrta_api::AnalysisInput;
 use hetrta_dag::{Dag, HeteroDagTask};
 
 /// 128-bit FNV-1a, the workspace's convention for deterministic content
@@ -44,6 +49,14 @@ impl ContentHasher {
     /// Feeds a 64-bit word (little-endian).
     pub fn write_u64(&mut self, word: u64) {
         for byte in word.to_le_bytes() {
+            self.write_u8(byte);
+        }
+    }
+
+    /// Feeds a length-prefixed string.
+    pub fn write_str(&mut self, text: &str) {
+        self.write_u64(text.len() as u64);
+        for byte in text.bytes() {
             self.write_u8(byte);
         }
     }
@@ -104,6 +117,30 @@ pub fn hash_task_set(tasks: &[HeteroDagTask]) -> u128 {
     h.finish()
 }
 
+/// Content hash of a conditional expression (structure + leaf WCETs, via
+/// the expression's canonical `Debug` rendering).
+#[must_use]
+pub fn hash_cond_expr(expr: &hetrta_cond::CondExpr) -> u128 {
+    let mut h = ContentHasher::new();
+    h.write_str(&format!("{expr:?}"));
+    h.finish()
+}
+
+/// Domain-separated content hash of any analysis input.
+#[must_use]
+pub fn hash_input(input: &AnalysisInput) -> u128 {
+    let (tag, inner) = match input {
+        AnalysisInput::Task(t) => (1u8, hash_task(t)),
+        AnalysisInput::TaskSet(s) => (2, hash_task_set(s)),
+        AnalysisInput::Cond(e) => (3, hash_cond_expr(e)),
+    };
+    let mut h = ContentHasher::new();
+    h.write_u8(tag);
+    h.write_u64(inner as u64);
+    h.write_u64((inner >> 64) as u64);
+    h.finish()
+}
+
 /// Extends a content hash with analysis parameters, yielding a cache key.
 #[must_use]
 pub fn key_with_params(content: u128, tag: u8, m: u64) -> u128 {
@@ -112,6 +149,17 @@ pub fn key_with_params(content: u128, tag: u8, m: u64) -> u128 {
     h.write_u64((content >> 64) as u64);
     h.write_u8(tag);
     h.write_u64(m);
+    h.finish()
+}
+
+/// The result-cache key of one `(content, analysis, parameters)` triple.
+#[must_use]
+pub fn result_key(content: u128, analysis_key: &str, param_digest: u64) -> u128 {
+    let mut h = ContentHasher::new();
+    h.write_u64(content as u64);
+    h.write_u64((content >> 64) as u64);
+    h.write_str(analysis_key);
+    h.write_u64(param_digest);
     h.finish()
 }
 
@@ -148,33 +196,91 @@ impl CacheCounters {
     }
 }
 
-/// A sharded, content-addressed memo table.
+/// One LRU shard: the value map plus a stamp-ordered eviction index.
+#[derive(Debug)]
+struct Shard<V> {
+    map: HashMap<u128, (V, u64)>,
+    order: BTreeMap<u64, u128>,
+    clock: u64,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Bumps `key` to most-recently-used.
+    fn touch(&mut self, key: u128) {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some((_, entry_stamp)) = self.map.get_mut(&key) {
+            self.order.remove(entry_stamp);
+            *entry_stamp = stamp;
+            self.order.insert(stamp, key);
+        }
+    }
+
+    /// Inserts (or replaces) `key`, then evicts least-recently-used
+    /// entries down to `cap`.
+    fn insert(&mut self, key: u128, value: V, cap: usize) {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some((_, old)) = self.map.insert(key, (value, stamp)) {
+            self.order.remove(&old);
+        }
+        self.order.insert(stamp, key);
+        while self.map.len() > cap {
+            let Some((&oldest, _)) = self.order.iter().next() else {
+                break;
+            };
+            let victim = self.order.remove(&oldest).expect("indexed key");
+            self.map.remove(&victim);
+        }
+    }
+}
+
+/// A sharded, size-capped, content-addressed LRU memo table.
 ///
 /// Values are cloned out; computation runs *outside* the shard lock, so two
 /// workers racing on the same fresh key may both compute (both counted as
 /// misses) — the table stays consistent because the value for a key is a
-/// pure function of the key's content.
+/// pure function of the key's content. Capacity is enforced per shard
+/// (`capacity / 32`, at least 1), evicting least-recently-used entries.
 #[derive(Debug)]
 pub struct MemoCache<V> {
-    shards: Vec<Mutex<HashMap<u128, V>>>,
+    shards: Vec<Mutex<Shard<V>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    per_shard_cap: usize,
 }
 
 const SHARDS: usize = 32;
 
 impl<V: Clone> MemoCache<V> {
-    /// Creates an empty cache.
+    /// Creates an effectively unbounded cache.
     #[must_use]
     pub fn new() -> Self {
+        MemoCache::bounded(usize::MAX)
+    }
+
+    /// Creates a cache holding at most (approximately) `capacity` entries,
+    /// enforced per shard: each of the 32 shards keeps at most
+    /// `max(capacity / 32, 1)` entries.
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
         MemoCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            per_shard_cap: (capacity / SHARDS).max(1),
         }
     }
 
-    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, V>> {
+    fn shard(&self, key: u128) -> &Mutex<Shard<V>> {
         // High bits select the shard; FNV mixes enough for that.
         &self.shards[(key >> 96) as usize % SHARDS]
     }
@@ -182,15 +288,72 @@ impl<V: Clone> MemoCache<V> {
     /// Looks up `key`, computing and memoizing with `compute` on a miss.
     /// Returns the value and whether it was a hit.
     pub fn get_or_compute(&self, key: u128, compute: impl FnOnce() -> V) -> (V, bool) {
-        if let Some(v) = self.shard(key).lock().expect("cache shard").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (v.clone(), true);
+        {
+            let mut shard = self.shard(key).lock().expect("cache shard");
+            if let Some((v, _)) = shard.map.get(&key) {
+                let v = v.clone();
+                shard.touch(key);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (v, true);
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
         let mut shard = self.shard(key).lock().expect("cache shard");
-        let stored = shard.entry(key).or_insert_with(|| value.clone());
-        (stored.clone(), false)
+        if let Some((v, _)) = shard.map.get(&key) {
+            // A sibling raced us to the computation; keep its value.
+            let v = v.clone();
+            shard.touch(key);
+            return (v, false);
+        }
+        shard.insert(key, value.clone(), self.per_shard_cap);
+        (value, false)
+    }
+
+    /// Counted lookup: bumps the entry to most-recently-used and the
+    /// hit/miss counters, but never computes.
+    #[must_use]
+    pub fn get(&self, key: u128) -> Option<V> {
+        let mut shard = self.shard(key).lock().expect("cache shard");
+        match shard.map.get(&key) {
+            Some((v, _)) => {
+                let v = v.clone();
+                shard.touch(key);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Quiet lookup: no counter movement, but the entry is still bumped to
+    /// most-recently-used — served entries must not age out of a bounded
+    /// cache just because they were read quietly.
+    #[must_use]
+    pub fn peek(&self, key: u128) -> Option<V> {
+        let mut shard = self.shard(key).lock().expect("cache shard");
+        let value = shard.map.get(&key).map(|(v, _)| v.clone());
+        if value.is_some() {
+            shard.touch(key);
+        }
+        value
+    }
+
+    /// Stores `key → value` (replacing any earlier entry), evicting
+    /// least-recently-used entries beyond the capacity.
+    pub fn insert(&self, key: u128, value: V) {
+        self.shard(key)
+            .lock()
+            .expect("cache shard")
+            .insert(key, value, self.per_shard_cap);
+    }
+
+    /// Credits `n` hits observed through [`MemoCache::peek`].
+    pub fn note_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Number of memoized entries.
@@ -198,7 +361,7 @@ impl<V: Clone> MemoCache<V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard").len())
+            .map(|s| s.lock().expect("cache shard").map.len())
             .sum()
     }
 
@@ -206,6 +369,16 @@ impl<V: Clone> MemoCache<V> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Drops every memoized entry (the hit/miss counters keep running; use
+    /// [`CacheCounters::since`] for per-scope accounting).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard");
+            shard.map.clear();
+            shard.order.clear();
+        }
     }
 
     /// Snapshot of the hit/miss counters.
@@ -249,6 +422,16 @@ mod tests {
         let c = hash_task(&sample_task(9));
         assert_ne!(key_with_params(c, 0, 2), key_with_params(c, 0, 4));
         assert_ne!(key_with_params(c, 0, 2), key_with_params(c, 1, 2));
+        assert_ne!(result_key(c, "het", 1), result_key(c, "hom", 1));
+        assert_ne!(result_key(c, "het", 1), result_key(c, "het", 2));
+    }
+
+    #[test]
+    fn input_hashes_are_domain_separated() {
+        let task = sample_task(9);
+        let single = hash_input(&AnalysisInput::Task(task.clone()));
+        let set = hash_input(&AnalysisInput::TaskSet(vec![task]));
+        assert_ne!(single, set);
     }
 
     #[test]
@@ -261,6 +444,42 @@ mod tests {
         assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1 });
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn peek_get_insert_semantics() {
+        let cache: MemoCache<u64> = MemoCache::new();
+        assert_eq!(cache.peek(1), None);
+        assert_eq!(cache.counters(), CacheCounters::default());
+        assert_eq!(cache.get(1), None);
+        assert_eq!(cache.counters().misses, 1);
+        cache.insert(1, 10);
+        assert_eq!(cache.peek(1), Some(10));
+        assert_eq!(cache.get(1), Some(10));
+        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1 });
+        cache.note_hits(3);
+        assert_eq!(cache.counters().hits, 4);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_lru_eviction() {
+        let cache: MemoCache<u64> = MemoCache::bounded(32);
+        for key in 0..10_000u128 {
+            cache.insert(key << 96 | key, key as u64); // spread across shards
+        }
+        assert!(cache.len() <= 32, "cache grew to {}", cache.len());
+
+        // Single-shard LRU order: the recently-touched entry survives.
+        let cache: MemoCache<u64> = MemoCache::bounded(SHARDS * 2); // 2 per shard
+        cache.insert(1, 1); // shard 0
+        cache.insert(2, 2); // shard 0
+        assert_eq!(cache.get(1), Some(1)); // bump 1 to MRU
+        cache.insert(3, 3); // shard 0 → evicts 2 (LRU)
+        assert_eq!(cache.peek(1), Some(1));
+        assert_eq!(cache.peek(2), None);
+        assert_eq!(cache.peek(3), Some(3));
     }
 
     #[test]

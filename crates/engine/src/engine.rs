@@ -1,28 +1,52 @@
 //! The engine facade: spec in, deterministic aggregate + run statistics out.
 
+use std::cmp::Reverse;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use hetrta_api::{AnalysisOutcome, AnalysisRegistry};
 use hetrta_core::TransformedTask;
 
 use crate::aggregate::{Aggregator, SweepAggregate};
 use crate::cache::{CacheCounters, MemoCache};
-use crate::job::{self, CachedValue};
+use crate::job::{self, Job};
 use crate::pool;
 use crate::spec::SweepSpec;
 
+/// Default per-cache entry bound of [`EngineCaches`]: roomy for any
+/// realistic sweep, but a hard ceiling for resident memory.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
+
 /// Shared memoization state, persistent across [`Engine::run`] calls.
-#[derive(Debug, Default)]
+///
+/// Three sharded LRU caches, each bounded (default
+/// [`DEFAULT_CACHE_CAPACITY`] entries):
+///
+/// * `transform` — content hash → Algorithm 1 transformation
+///   (m-independent, so one entry serves every core count of a sweep);
+/// * `results` — content hash × registry key × parameter digest →
+///   analysis outcome;
+/// * `identity` — job input *recipe* → content hash, so repeated-seed jobs
+///   whose results are cached never regenerate the input.
+#[derive(Debug)]
 pub struct EngineCaches {
-    /// Content hash → Algorithm 1 transformation (m-independent, so one
-    /// entry serves every core count of a sweep).
     pub(crate) transform: MemoCache<Result<TransformedTask, String>>,
-    /// Content hash + params → analysis result.
-    pub(crate) results: MemoCache<CachedValue>,
+    pub(crate) results: MemoCache<Result<AnalysisOutcome, String>>,
+    pub(crate) identity: MemoCache<Option<u128>>,
 }
 
 impl EngineCaches {
+    /// Caches bounded at (approximately) `capacity` entries each.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EngineCaches {
+            transform: MemoCache::bounded(capacity),
+            results: MemoCache::bounded(capacity),
+            identity: MemoCache::bounded(capacity),
+        }
+    }
+
     /// Transformation-cache counters (lifetime of the engine).
     #[must_use]
     pub fn transform_counters(&self) -> CacheCounters {
@@ -34,6 +58,46 @@ impl EngineCaches {
     pub fn result_counters(&self) -> CacheCounters {
         self.results.counters()
     }
+
+    /// Identity-memo counters (lifetime of the engine).
+    #[must_use]
+    pub fn identity_counters(&self) -> CacheCounters {
+        self.identity.counters()
+    }
+
+    /// Total memoized entries across the three caches.
+    #[must_use]
+    pub fn resident_entries(&self) -> usize {
+        self.transform.len() + self.results.len() + self.identity.len()
+    }
+
+    /// Drops every memoized entry (a fresh scope for a long-lived engine;
+    /// counters keep running).
+    pub fn clear(&self) {
+        self.transform.clear();
+        self.results.clear();
+        self.identity.clear();
+    }
+}
+
+impl Default for EngineCaches {
+    /// Caches bounded at [`DEFAULT_CACHE_CAPACITY`] entries each.
+    fn default() -> Self {
+        EngineCaches::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+/// How the engine seeds its injector queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InjectionOrder {
+    /// Heaviest analysis kinds first (by
+    /// [`Analysis::cost_hint`](hetrta_api::Analysis::cost_hint)), so a
+    /// single expensive job does not tail the sweep. Aggregates are
+    /// injection-order independent, so this is the default.
+    #[default]
+    CostDescending,
+    /// Plain expansion order.
+    Expansion,
 }
 
 /// Statistics of one [`Engine::run`].
@@ -47,12 +111,16 @@ pub struct EngineStats {
     pub per_worker_jobs: Vec<u64>,
     /// Jobs each worker stole from a sibling's deque.
     pub per_worker_steals: Vec<u64>,
-    /// Jobs whose primary result was served from the cache.
+    /// Jobs served entirely from the memo caches.
     pub cached_jobs: u64,
+    /// Jobs whose sample the generator declined (skipped by aggregation).
+    pub skipped_jobs: u64,
     /// Transformation-cache activity during this run.
     pub transform_cache: CacheCounters,
     /// Result-cache activity during this run.
     pub result_cache: CacheCounters,
+    /// Identity-memo activity during this run.
+    pub identity_cache: CacheCounters,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
@@ -82,6 +150,14 @@ impl EngineStats {
             self.transform_cache.misses,
             self.transform_cache.hit_rate() * 100.0,
         );
+        let _ = writeln!(
+            out,
+            "  identity memo:   {} hits / {} misses",
+            self.identity_cache.hits, self.identity_cache.misses,
+        );
+        if self.skipped_jobs > 0 {
+            let _ = writeln!(out, "  skipped samples: {}", self.skipped_jobs);
+        }
         for (worker, (jobs, steals)) in self
             .per_worker_jobs
             .iter()
@@ -106,7 +182,8 @@ pub struct EngineOutput {
 /// Engine failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
-    /// The spec is internally inconsistent.
+    /// The spec is internally inconsistent (including unknown analysis
+    /// registry keys).
     InvalidSpec(String),
     /// A job failed; the lowest failing expansion index is reported.
     Job {
@@ -136,26 +213,53 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// The work-stealing batch-analysis engine.
+/// The work-stealing, registry-driven batch-analysis engine.
 ///
-/// Holds the worker-thread count and the content-addressed caches; caches
-/// persist across runs, so re-running a spec (or running an overlapping
-/// one) on the same engine is served from memory.
+/// Holds the worker-thread count, the [`AnalysisRegistry`] jobs resolve
+/// their keys against, and the content-addressed caches; caches persist
+/// across runs, so re-running a spec (or running an overlapping one) on
+/// the same engine is served from memory.
 #[derive(Debug)]
 pub struct Engine {
     threads: usize,
     caches: Arc<EngineCaches>,
+    registry: Arc<AnalysisRegistry>,
+    injection: InjectionOrder,
 }
 
 impl Engine {
     /// Creates an engine with `threads` workers (`0` = all available
-    /// cores).
+    /// cores) over the builtin registry.
     #[must_use]
     pub fn new(threads: usize) -> Self {
+        Engine::with_registry(threads, AnalysisRegistry::builtin())
+    }
+
+    /// Creates an engine over a custom registry.
+    #[must_use]
+    pub fn with_registry(threads: usize, registry: AnalysisRegistry) -> Self {
         Engine {
             threads: pool::resolve_threads(threads),
-            caches: Arc::default(),
+            caches: Arc::new(EngineCaches::default()),
+            registry: Arc::new(registry),
+            injection: InjectionOrder::default(),
         }
+    }
+
+    /// Creates an engine whose caches are bounded at (approximately)
+    /// `capacity` entries each.
+    #[must_use]
+    pub fn with_cache_capacity(threads: usize, capacity: usize) -> Self {
+        let mut engine = Engine::new(threads);
+        engine.caches = Arc::new(EngineCaches::with_capacity(capacity));
+        engine
+    }
+
+    /// Overrides the injector seeding order.
+    #[must_use]
+    pub fn with_injection_order(mut self, injection: InjectionOrder) -> Self {
+        self.injection = injection;
+        self
     }
 
     /// Worker threads this engine uses.
@@ -170,33 +274,62 @@ impl Engine {
         &self.caches
     }
 
+    /// The registry jobs resolve their analysis keys against.
+    #[must_use]
+    pub fn registry(&self) -> &AnalysisRegistry {
+        &self.registry
+    }
+
     /// Expands `spec`, runs every job on the worker pool, and aggregates.
     ///
     /// The aggregate is deterministic: same spec ⇒ identical result for
-    /// any thread count and any cache state.
+    /// any thread count, any injection order, and any cache state.
     ///
     /// # Errors
     ///
-    /// [`EngineError::InvalidSpec`] before any work starts, or
-    /// [`EngineError::Job`] if a job fails.
+    /// [`EngineError::InvalidSpec`] before any work starts (inconsistent
+    /// spec or unknown registry keys, the latter listing every valid key),
+    /// or [`EngineError::Job`] if a job fails.
     pub fn run(&self, spec: &SweepSpec) -> Result<EngineOutput, EngineError> {
         spec.validate()?;
+        let produced = spec.input_kind();
+        for key in spec.analyses.keys() {
+            let analysis = self
+                .registry
+                .get(key)
+                .map_err(|e| EngineError::InvalidSpec(e.to_string()))?;
+            // A key whose input kind cannot come out of this grid would
+            // deterministically fail every job; refuse before any work.
+            if analysis.input_kind() != produced {
+                return Err(EngineError::InvalidSpec(format!(
+                    "analysis `{key}` expects a {}, but this grid produces a {}",
+                    analysis.input_kind().describe(),
+                    produced.describe()
+                )));
+            }
+        }
         let started = Instant::now();
         let transform_before = self.caches.transform.counters();
         let results_before = self.caches.results.counters();
+        let identity_before = self.caches.identity.counters();
 
-        let (cells, jobs) = spec.expand();
+        let (cells, mut jobs) = spec.expand();
         let job_count = jobs.len();
-        let mut aggregator = Aggregator::new(cells, job_count);
+        if self.injection == InjectionOrder::CostDescending {
+            self.order_by_cost(&mut jobs);
+        }
+        let mut aggregator = Aggregator::new(cells, job_count, spec.cell_shape());
         let caches = Arc::clone(&self.caches);
+        let registry = Arc::clone(&self.registry);
         let worker_stats = pool::run_jobs(
             jobs,
             self.threads,
-            move |worker, j| job::execute(&caches, &j, worker),
+            move |worker, j| job::execute(&caches, &registry, &j, worker),
             |_, result| aggregator.accept(result),
         );
 
         let cached_jobs = aggregator.cache_hits();
+        let skipped_jobs = aggregator.skipped();
         let aggregate = aggregator.finalize()?;
         let stats = EngineStats {
             threads: worker_stats.len(),
@@ -204,11 +337,30 @@ impl Engine {
             per_worker_jobs: worker_stats.iter().map(|w| w.jobs).collect(),
             per_worker_steals: worker_stats.iter().map(|w| w.steals).collect(),
             cached_jobs,
+            skipped_jobs,
             transform_cache: self.caches.transform.counters().since(transform_before),
             result_cache: self.caches.results.counters().since(results_before),
+            identity_cache: self.caches.identity.counters().since(identity_before),
             elapsed: started.elapsed(),
         };
         Ok(EngineOutput { aggregate, stats })
+    }
+
+    /// Stable-sorts jobs so the heaviest analysis kinds enter the injector
+    /// first (the aggregator replays expansion order, so aggregates are
+    /// unaffected).
+    fn order_by_cost(&self, jobs: &mut [Job]) {
+        jobs.sort_by_cached_key(|job| {
+            let cost = job
+                .payload
+                .analyses
+                .iter()
+                .filter_map(|key| self.registry.get(key).ok())
+                .map(hetrta_api::Analysis::cost_hint)
+                .max()
+                .unwrap_or(0);
+            (Reverse(cost), job.index)
+        });
     }
 }
 
@@ -236,6 +388,32 @@ mod tests {
     }
 
     #[test]
+    fn unknown_analysis_keys_fail_fast_with_valid_keys() {
+        let engine = Engine::new(1);
+        let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 2, 1)
+            .with_analyses(crate::AnalysisSelection::from_keys(["zig"]));
+        let Err(EngineError::InvalidSpec(msg)) = engine.run(&spec) else {
+            panic!("unknown key must fail validation")
+        };
+        assert!(msg.contains("unknown analysis kind `zig`"), "{msg}");
+        assert!(msg.contains("het"), "{msg}");
+    }
+
+    #[test]
+    fn grid_and_analysis_input_kinds_must_agree() {
+        // `acceptance` needs a task set; a fraction grid produces tasks —
+        // the mismatch is knowable before any work, so run() refuses.
+        let engine = Engine::new(1);
+        let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 2, 1)
+            .with_analyses(crate::AnalysisSelection::from_keys(["exact", "acceptance"]));
+        let Err(EngineError::InvalidSpec(msg)) = engine.run(&spec) else {
+            panic!("input-kind mismatch must fail validation")
+        };
+        assert!(msg.contains("`acceptance` expects a task set"), "{msg}");
+        assert!(msg.contains("produces a task"), "{msg}");
+    }
+
+    #[test]
     fn stats_cover_all_workers_and_jobs() {
         let engine = Engine::new(2);
         let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2, 0.3], 4, 5);
@@ -246,7 +424,51 @@ mod tests {
         assert_eq!(out.aggregate.cells.len(), 2);
         let rendered = out.stats.render();
         assert!(rendered.contains("result cache"));
+        assert!(rendered.contains("identity memo"));
         assert!(rendered.contains("worker 0"));
+    }
+
+    #[test]
+    fn injection_order_does_not_change_the_aggregate() {
+        // Tiny DAGs keep the (heaviest-ranked) exact solves fast while the
+        // cost ordering still reshuffles all four analysis kinds.
+        let tiny =
+            GeneratorPreset::Custom(hetrta_gen::NfjParams::small_tasks().with_node_range(4, 12));
+        let spec = SweepSpec::fractions(tiny, vec![2, 4], vec![0.1, 0.3], 6, 11)
+            .with_analyses(crate::AnalysisSelection::all());
+        let by_cost = Engine::new(3).run(&spec).unwrap();
+        let by_expansion = Engine::new(3)
+            .with_injection_order(InjectionOrder::Expansion)
+            .run(&spec)
+            .unwrap();
+        assert_eq!(by_cost.aggregate, by_expansion.aggregate);
+    }
+
+    #[test]
+    fn bounded_caches_stay_under_their_cap() {
+        let engine = Engine::with_cache_capacity(2, 64);
+        // 2 × 4 × 20 = 160 distinct jobs — far beyond the 64-entry cap.
+        let spec = SweepSpec::fractions(
+            GeneratorPreset::Small,
+            vec![2, 4],
+            vec![0.1, 0.2, 0.3, 0.4],
+            20,
+            13,
+        );
+        let out = engine.run(&spec).unwrap();
+        assert_eq!(out.stats.jobs, 160);
+        assert!(
+            engine.caches().results.len() <= 64,
+            "result cache grew to {}",
+            engine.caches().results.len()
+        );
+        assert!(engine.caches().identity.len() <= 64);
+        // Bounded caches still produce the exact unbounded aggregate.
+        let unbounded = Engine::new(2).run(&spec).unwrap();
+        assert_eq!(out.aggregate, unbounded.aggregate);
+        // And clear() empties everything.
+        engine.caches().clear();
+        assert_eq!(engine.caches().resident_entries(), 0);
     }
 
     #[test]

@@ -1,31 +1,40 @@
 //! Independent units of work and their execution against the caches.
+//!
+//! A job is a recipe for an input ([`JobInput`]) plus an ordered list of
+//! analysis registry keys to run on it. Execution is layered over three
+//! memo caches:
+//!
+//! 1. an **identity memo** mapping the job's input *recipe* to the content
+//!    hash of the input it generates — so a repeated-seed job whose results
+//!    are already cached never rebuilds the DAG just to compute the lookup
+//!    key;
+//! 2. the **result cache**, keyed by content hash × registry key × the
+//!    parameter digest the analysis declares;
+//! 3. the **transformation memo**, shared through the
+//!    [`AnalysisContext`] seam so Algorithm 1 runs once per distinct DAG
+//!    regardless of core count or analysis kind.
 
 use std::sync::Arc;
 
-use hetrta_core::federated::{federated_partition, AnalysisKind};
-use hetrta_core::{r_het, r_hom_dag, transform, Scenario, TransformedTask};
+use hetrta_api::{
+    Analysis, AnalysisContext, AnalysisInput, AnalysisOutcome, AnalysisParams, AnalysisRegistry,
+    AnalysisRequest,
+};
+use hetrta_cond::{generate_cond, CondGenParams};
+use hetrta_core::{transform, TransformedTask};
 use hetrta_dag::HeteroDagTask;
-use hetrta_exact::{solve, SolverConfig, MAX_NODES_SUPPORTED};
+use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
 use hetrta_gen::series::BatchSpec;
-use hetrta_sched::model::{AnalysisModel, DeviceModel};
+use hetrta_gen::{generate_nfj, NfjParams};
 use hetrta_sched::taskset::{generate_task_set, sort_deadline_monotonic, TaskSetParams};
-use hetrta_sched::{gedf_test, gfp_test};
-use hetrta_sim::policy::BreadthFirst;
-use hetrta_sim::{simulate, Platform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::cache::{hash_task, hash_task_set, key_with_params};
-use crate::spec::AnalysisSelection;
+use crate::cache::{hash_input, hash_task, key_with_params, result_key, ContentHasher};
 use crate::EngineCaches;
 
-/// Cache key tags, one per memoized computation kind.
-const TAG_TRANSFORM: u8 = 0;
-const TAG_HET: u8 = 1;
-const TAG_HOM: u8 = 2;
-const TAG_SIM: u8 = 3;
-const TAG_EXACT: u8 = 4;
-const TAG_SET: u8 = 5;
+/// Cache-key tag of the transformation memo.
+const TAG_TRANSFORM: u8 = 0xF0;
 
 /// One independent unit of work.
 #[derive(Debug, Clone)]
@@ -38,101 +47,185 @@ pub struct Job {
     pub payload: JobPayload,
 }
 
-/// The two job shapes a [`SweepSpec`](crate::SweepSpec) expands into.
+/// What one job computes: an input recipe, the registry keys to run on it,
+/// and the analysis parameters.
 #[derive(Debug, Clone)]
-pub enum JobPayload {
-    /// Generate task `task_index` of `batch` at `fraction` and analyze it
-    /// on `m` cores.
-    Task {
+pub struct JobPayload {
+    /// How to obtain the input.
+    pub input: JobInput,
+    /// Registry keys of the analyses to run, in outcome order.
+    pub analyses: Arc<[Arc<str>]>,
+    /// Parameters handed to every analysis.
+    pub params: AnalysisParams,
+}
+
+/// A recipe for one analysis input.
+#[derive(Debug, Clone)]
+pub enum JobInput {
+    /// Task `task_index` of a reproducible batch at offload `fraction`.
+    BatchTask {
         /// Reproducible batch the task is drawn from.
         batch: Arc<BatchSpec>,
         /// Target `C_off/vol`.
         fraction: f64,
         /// Index within the batch.
         task_index: usize,
-        /// Host core count.
-        m: u64,
-        /// Which analyses to run.
-        analyses: AnalysisSelection,
-        /// Optional bounded-solver node budget.
-        exact_node_budget: Option<u64>,
     },
-    /// Generate one task set and run the six acceptance tests.
-    Set {
+    /// One independently sampled task from a fully derived seed;
+    /// generation failures *decline* the sample instead of failing the job
+    /// (the suspension-baseline convention).
+    SampledTask {
+        /// DAG generator parameters.
+        params: Arc<NfjParams>,
+        /// Target `C_off/vol`.
+        fraction: f64,
+        /// Fully derived RNG seed.
+        seed: u64,
+    },
+    /// One generated task set, sorted deadline-monotonically.
+    TaskSet {
         /// Task-set template (total utilization overwritten per point).
         template: Arc<TaskSetParams>,
         /// Tasks per set.
         n_tasks: usize,
-        /// Host core count.
+        /// Host core count (scales the total utilization).
         cores: u64,
         /// Normalized utilization `U/m` of this point.
         normalized_util: f64,
         /// Fully derived RNG seed for this set.
         seed: u64,
     },
+    /// One generated conditional expression; generation failures decline
+    /// the sample.
+    CondExpr {
+        /// Conditional-generator parameters.
+        params: Arc<CondGenParams>,
+        /// Fully derived RNG seed.
+        seed: u64,
+    },
 }
 
-/// Everything the heterogeneous analysis of one task produces, reduced to
-/// the values sweeps aggregate. Field-for-field this mirrors the accessors
-/// of [`hetrta_core::AnalysisReport`]; parity is covered by the
-/// `engine_parity` integration tests.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct HetSummary {
-    /// `R_het(τ')` (Theorem 1).
-    pub r_het: f64,
-    /// `R_hom(τ)` (Eq. 1 on the original DAG).
-    pub r_hom_original: f64,
-    /// `R_hom(τ')` (Eq. 1 on the transformed DAG).
-    pub r_hom_transformed: f64,
-    /// Which Theorem 1 scenario applied.
-    pub scenario: Scenario,
-    /// `100·(R_hom − R_het)/R_het` (the Figure 9 metric).
-    pub improvement_percent: f64,
-    /// `R_het(τ') ≤ D`.
-    pub schedulable_het: bool,
-    /// `R_hom(τ) ≤ D`.
-    pub schedulable_hom: bool,
-}
+impl JobInput {
+    /// Hash of the input *recipe* — what to generate, not the generated
+    /// content. Keyed on generator parameters and derivation scalars, so
+    /// two jobs that would generate identical inputs share one identity.
+    #[must_use]
+    pub fn identity_hash(&self) -> u128 {
+        let mut h = ContentHasher::new();
+        match self {
+            JobInput::BatchTask {
+                batch,
+                fraction,
+                task_index,
+            } => {
+                h.write_u8(1);
+                h.write_str(&format!("{:?}", batch.params));
+                h.write_u64(batch.base_seed);
+                h.write_str(&format!("{:?}", batch.selection));
+                h.write_u64(fraction.to_bits());
+                h.write_u64(*task_index as u64);
+            }
+            JobInput::SampledTask {
+                params,
+                fraction,
+                seed,
+            } => {
+                h.write_u8(2);
+                h.write_str(&format!("{params:?}"));
+                h.write_u64(fraction.to_bits());
+                h.write_u64(*seed);
+            }
+            JobInput::TaskSet {
+                template,
+                n_tasks,
+                cores,
+                normalized_util,
+                seed,
+            } => {
+                h.write_u8(3);
+                h.write_str(&format!("{template:?}"));
+                h.write_u64(*n_tasks as u64);
+                h.write_u64(*cores);
+                h.write_u64(normalized_util.to_bits());
+                h.write_u64(*seed);
+            }
+            JobInput::CondExpr { params, seed } => {
+                h.write_u8(4);
+                h.write_str(&format!("{params:?}"));
+                h.write_u64(*seed);
+            }
+        }
+        h.finish()
+    }
 
-/// Outcome of the bounded exact solver on one task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ExactSummary {
-    /// Minimum makespan found.
-    pub makespan: u64,
-    /// Whether the solver proved optimality within its budget.
-    pub optimal: bool,
-}
-
-/// Metrics of one per-task job (fields are `None` when the corresponding
-/// analysis was not selected, or — for `exact` — not solvable within the
-/// budget/size limits).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct TaskPointMetrics {
-    /// `R_hom(τ)` when only the homogeneous analysis was requested.
-    pub r_hom: Option<f64>,
-    /// Heterogeneous analysis summary.
-    pub het: Option<HetSummary>,
-    /// Simulated makespan (breadth-first, `m` hosts + accelerator).
-    pub sim_makespan: Option<u64>,
-    /// Bounded exact solve.
-    pub exact: Option<ExactSummary>,
-}
-
-/// Metrics of one task-set job: accept bit per test, in
-/// [`hetrta_sched::acceptance::TestKind::ALL`] order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SetPointMetrics {
-    /// GFP-hom, GFP-het, GEDF-hom, GEDF-het, FED-hom, FED-het.
-    pub accepted: [bool; 6],
+    /// Materializes the input. `Ok(None)` means the generator declined the
+    /// sample (sweeps skip it, mirroring the serial loops); `Err` is a
+    /// hard job failure.
+    fn materialize(&self) -> Result<Option<AnalysisInput>, String> {
+        match self {
+            JobInput::BatchTask {
+                batch,
+                fraction,
+                task_index,
+            } => match batch.task(*task_index, *fraction) {
+                Ok(task) => Ok(Some(AnalysisInput::Task(task))),
+                Err(e) => Err(format!("generation failed: {e}")),
+            },
+            JobInput::SampledTask {
+                params,
+                fraction,
+                seed,
+            } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let Ok(dag) = generate_nfj(params, &mut rng) else {
+                    return Ok(None);
+                };
+                match make_hetero_task(
+                    dag,
+                    OffloadSelection::AnyInterior,
+                    CoffSizing::VolumeFraction(*fraction),
+                    &mut rng,
+                ) {
+                    Ok(task) => Ok(Some(AnalysisInput::Task(task))),
+                    Err(_) => Ok(None),
+                }
+            }
+            JobInput::TaskSet {
+                template,
+                n_tasks,
+                cores,
+                normalized_util,
+                seed,
+            } => {
+                // Generation mirrors hetrta_sched::acceptance::acceptance_sweep.
+                let mut params = (**template).clone();
+                params.n_tasks = *n_tasks;
+                params.total_util = normalized_util * *cores as f64;
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut set = generate_task_set(&params, &mut rng)
+                    .map_err(|e| format!("task-set generation failed: {e}"))?;
+                sort_deadline_monotonic(&mut set);
+                Ok(Some(AnalysisInput::TaskSet(set)))
+            }
+            JobInput::CondExpr { params, seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                match generate_cond(params, &mut rng) {
+                    Ok(expr) => Ok(Some(AnalysisInput::Cond(expr))),
+                    Err(_) => Ok(None),
+                }
+            }
+        }
+    }
 }
 
 /// What a job computed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobMetrics {
-    /// Per-task analysis metrics.
-    Task(TaskPointMetrics),
-    /// Task-set acceptance bits.
-    Set(SetPointMetrics),
+    /// Outcomes of the selected analyses, in selection order.
+    Outcomes(Vec<AnalysisOutcome>),
+    /// The generator declined the sample; serial reference loops skip
+    /// these, and so does aggregation.
+    Skipped,
 }
 
 /// A finished job, streamed to the aggregator.
@@ -144,49 +237,39 @@ pub struct JobResult {
     pub cell: usize,
     /// Worker that executed it.
     pub worker: usize,
-    /// Whether the job's primary result came out of the memo cache.
+    /// Whether the job was served entirely from the memo caches.
     pub cache_hit: bool,
     /// Metrics, or the failure message.
     pub metrics: Result<JobMetrics, String>,
 }
 
-/// Values stored in the shared result cache.
-#[derive(Debug, Clone)]
-pub(crate) enum CachedValue {
-    Het(HetSummary),
-    Hom(f64),
-    Sim(u64),
-    Exact(Option<ExactSummary>),
-    Set([bool; 6]),
-    Failed(String),
+/// The engine's [`AnalysisContext`]: Algorithm 1 transformations are
+/// memoized by task content, shared across core counts and analysis kinds.
+struct EngineContext<'a> {
+    caches: &'a EngineCaches,
+}
+
+impl AnalysisContext for EngineContext<'_> {
+    fn transform(&self, task: &HeteroDagTask) -> Result<TransformedTask, String> {
+        let key = key_with_params(hash_task(task), TAG_TRANSFORM, 0);
+        let (value, _hit) = self
+            .caches
+            .transform
+            .get_or_compute(key, || transform(task).map_err(|e| e.to_string()));
+        value
+    }
 }
 
 /// Executes one job against the shared caches.
-pub(crate) fn execute(caches: &EngineCaches, job: &Job, worker: usize) -> JobResult {
-    let (metrics, cache_hit) = match &job.payload {
-        JobPayload::Task {
-            batch,
-            fraction,
-            task_index,
-            m,
-            analyses,
-            exact_node_budget,
-        } => execute_task(
-            caches,
-            batch,
-            *fraction,
-            *task_index,
-            *m,
-            *analyses,
-            *exact_node_budget,
-        ),
-        JobPayload::Set {
-            template,
-            n_tasks,
-            cores,
-            normalized_util,
-            seed,
-        } => execute_set(caches, template, *n_tasks, *cores, *normalized_util, *seed),
+pub(crate) fn execute(
+    caches: &EngineCaches,
+    registry: &AnalysisRegistry,
+    job: &Job,
+    worker: usize,
+) -> JobResult {
+    let (metrics, cache_hit) = match execute_payload(caches, registry, &job.payload) {
+        Ok((metrics, cache_hit)) => (Ok(metrics), cache_hit),
+        Err(message) => (Err(message), false),
     };
     JobResult {
         index: job.index,
@@ -197,236 +280,123 @@ pub(crate) fn execute(caches: &EngineCaches, job: &Job, worker: usize) -> JobRes
     }
 }
 
-fn execute_task(
+fn execute_payload(
     caches: &EngineCaches,
-    batch: &BatchSpec,
-    fraction: f64,
-    task_index: usize,
-    m: u64,
-    analyses: AnalysisSelection,
-    exact_node_budget: Option<u64>,
-) -> (Result<JobMetrics, String>, bool) {
-    let task = match batch.task(task_index, fraction) {
-        Ok(t) => t,
-        Err(e) => return (Err(format!("generation failed: {e}")), false),
-    };
-    let content = hash_task(&task);
-    let mut metrics = TaskPointMetrics::default();
-    let mut all_hits = true;
+    registry: &AnalysisRegistry,
+    payload: &JobPayload,
+) -> Result<(JobMetrics, bool), String> {
+    let analyses: Vec<&dyn Analysis> = payload
+        .analyses
+        .iter()
+        .map(|key| registry.get(key).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
 
-    if analyses.het {
-        let key = key_with_params(content, TAG_HET, m);
-        let (value, hit) = caches
-            .results
-            .get_or_compute(key, || het_summary(caches, &task, content, m));
-        all_hits &= hit;
-        match value {
-            CachedValue::Het(h) => metrics.het = Some(h),
-            CachedValue::Failed(e) => return (Err(e), false),
-            _ => unreachable!("het key yields het value"),
-        }
-    }
-    if analyses.hom {
-        let key = key_with_params(content, TAG_HOM, m);
-        let (value, hit) = caches
-            .results
-            .get_or_compute(key, || match r_hom_dag(task.dag(), m) {
-                Ok(r) => CachedValue::Hom(r.to_f64()),
-                Err(e) => CachedValue::Failed(format!("R_hom failed: {e}")),
-            });
-        all_hits &= hit;
-        match value {
-            CachedValue::Hom(r) => metrics.r_hom = Some(r),
-            CachedValue::Failed(e) => return (Err(e), false),
-            _ => unreachable!("hom key yields hom value"),
-        }
-    }
-    if analyses.sim {
-        let key = key_with_params(content, TAG_SIM, m);
-        let (value, hit) = caches.results.get_or_compute(key, || {
-            let platform = Platform::with_accelerator(m as usize);
-            match simulate(
-                task.dag(),
-                Some(task.offloaded()),
-                platform,
-                &mut BreadthFirst::new(),
-            ) {
-                Ok(r) => CachedValue::Sim(r.makespan().get()),
-                Err(e) => CachedValue::Failed(format!("simulation failed: {e}")),
+    // Fast path: a previously seen recipe whose results are all cached is
+    // served without regenerating the input.
+    let identity = payload.input.identity_hash();
+    match caches.identity.get(identity) {
+        Some(None) => return Ok((JobMetrics::Skipped, true)),
+        Some(Some(content)) => {
+            if let Some(outcomes) = cached_outcomes(caches, content, &analyses, &payload.params)? {
+                return Ok((JobMetrics::Outcomes(outcomes), true));
             }
-        });
-        all_hits &= hit;
-        match value {
-            CachedValue::Sim(ms) => metrics.sim_makespan = Some(ms),
-            CachedValue::Failed(e) => return (Err(e), false),
-            _ => unreachable!("sim key yields sim value"),
         }
+        None => {}
     }
-    if analyses.exact {
-        // The budget changes what "unsolved" means, so it is part of the
-        // content address (u64::MAX stands for the solver default).
-        let budget_key = exact_node_budget.unwrap_or(u64::MAX);
-        let key = key_with_params(
-            key_with_params(content, TAG_EXACT, m),
-            TAG_EXACT,
-            budget_key,
+
+    let Some(input) = payload.input.materialize()? else {
+        caches.identity.insert(identity, None);
+        return Ok((JobMetrics::Skipped, false));
+    };
+    let content = hash_input(&input);
+    caches.identity.insert(identity, Some(content));
+
+    let request = AnalysisRequest {
+        input,
+        params: payload.params.clone(),
+    };
+    let ctx = EngineContext { caches };
+    let mut outcomes = Vec::with_capacity(analyses.len());
+    let mut all_hits = true;
+    for analysis in &analyses {
+        let key = result_key(
+            content,
+            analysis.key(),
+            analysis.cache_params(&request.params),
         );
         let (value, hit) = caches.results.get_or_compute(key, || {
-            if task.dag().node_count() > MAX_NODES_SUPPORTED {
-                return CachedValue::Exact(None);
-            }
-            let mut config = SolverConfig::default();
-            if let Some(budget) = exact_node_budget {
-                config.max_nodes = budget;
-            }
-            match solve(task.dag(), Some(task.offloaded()), m, &config) {
-                Ok(sol) => CachedValue::Exact(Some(ExactSummary {
-                    makespan: sol.makespan().get(),
-                    optimal: sol.is_optimal(),
-                })),
-                // A budget/size refusal is data ("unsolved"), not a failure.
-                Err(_) => CachedValue::Exact(None),
-            }
+            analysis.run(&request, &ctx).map_err(|e| e.to_string())
         });
         all_hits &= hit;
-        match value {
-            CachedValue::Exact(e) => metrics.exact = e,
-            CachedValue::Failed(e) => return (Err(e), false),
-            _ => unreachable!("exact key yields exact value"),
+        outcomes.push(value?);
+    }
+    Ok((JobMetrics::Outcomes(outcomes), all_hits))
+}
+
+/// Assembles every selected outcome from the result cache, or `None` when
+/// at least one is missing (the job then takes the slow path).
+fn cached_outcomes(
+    caches: &EngineCaches,
+    content: u128,
+    analyses: &[&dyn Analysis],
+    params: &AnalysisParams,
+) -> Result<Option<Vec<AnalysisOutcome>>, String> {
+    let mut outcomes = Vec::with_capacity(analyses.len());
+    for analysis in analyses {
+        let key = result_key(content, analysis.key(), analysis.cache_params(params));
+        match caches.results.peek(key) {
+            Some(Ok(outcome)) => outcomes.push(outcome),
+            Some(Err(message)) => return Err(message),
+            None => return Ok(None),
         }
     }
-
-    (Ok(JobMetrics::Task(metrics)), all_hits)
-}
-
-/// Computes the heterogeneous summary, reusing the memoized transformation
-/// when any previous job (e.g. the same task under another core count)
-/// already produced it.
-fn het_summary(caches: &EngineCaches, task: &HeteroDagTask, content: u128, m: u64) -> CachedValue {
-    let transform_key = key_with_params(content, TAG_TRANSFORM, 0);
-    let (transformed, _hit) = caches
-        .transform
-        .get_or_compute(transform_key, || transform(task).map_err(|e| e.to_string()));
-    let transformed: TransformedTask = match transformed {
-        Ok(t) => t,
-        Err(e) => return CachedValue::Failed(format!("transformation failed: {e}")),
-    };
-    let het = match r_het(&transformed, m) {
-        Ok(h) => h,
-        Err(e) => return CachedValue::Failed(format!("R_het failed: {e}")),
-    };
-    let r_hom_original = match r_hom_dag(task.dag(), m) {
-        Ok(r) => r,
-        Err(e) => return CachedValue::Failed(format!("R_hom failed: {e}")),
-    };
-    let r_hom_transformed = het.r_hom_transformed();
-    let deadline = task.deadline().to_rational();
-    let r_het_value = het.value();
-    // improvement_percent mirrors AnalysisReport::improvement_percent
-    // operation-for-operation so engine and serial sweeps agree bitwise.
-    let het_f = r_het_value.to_f64();
-    let improvement = if het_f == 0.0 {
-        0.0
-    } else {
-        100.0 * (r_hom_original.to_f64() - het_f) / het_f
-    };
-    CachedValue::Het(HetSummary {
-        r_het: het_f,
-        r_hom_original: r_hom_original.to_f64(),
-        r_hom_transformed: r_hom_transformed.to_f64(),
-        scenario: het.scenario(),
-        improvement_percent: improvement,
-        schedulable_het: r_het_value <= deadline,
-        schedulable_hom: r_hom_original <= deadline,
-    })
-}
-
-fn execute_set(
-    caches: &EngineCaches,
-    template: &TaskSetParams,
-    n_tasks: usize,
-    cores: u64,
-    normalized_util: f64,
-    seed: u64,
-) -> (Result<JobMetrics, String>, bool) {
-    // Generation mirrors hetrta_sched::acceptance::acceptance_sweep.
-    let mut params = template.clone();
-    params.n_tasks = n_tasks;
-    params.total_util = normalized_util * cores as f64;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut set = match generate_task_set(&params, &mut rng) {
-        Ok(s) => s,
-        Err(e) => return (Err(format!("task-set generation failed: {e}")), false),
-    };
-    sort_deadline_monotonic(&mut set);
-
-    let content = hash_task_set(&set);
-    let key = key_with_params(content, TAG_SET, cores);
-    let (value, hit) = caches
-        .results
-        .get_or_compute(key, || set_verdicts(&set, cores));
-    match value {
-        CachedValue::Set(accepted) => (Ok(JobMetrics::Set(SetPointMetrics { accepted })), hit),
-        CachedValue::Failed(e) => (Err(e), false),
-        _ => unreachable!("set key yields set value"),
-    }
-}
-
-/// Runs the six acceptance tests of the serial sweep, in
-/// [`hetrta_sched::acceptance::TestKind::ALL`] order.
-fn set_verdicts(set: &[HeteroDagTask], cores: u64) -> CachedValue {
-    let het = AnalysisModel::Heterogeneous(DeviceModel::DedicatedPerTask);
-    let mut accepted = [false; 6];
-    let outcome: Result<(), String> = (|| {
-        accepted[0] = gfp_test(set, cores, AnalysisModel::Homogeneous)
-            .map_err(|e| e.to_string())?
-            .is_schedulable();
-        accepted[1] = gfp_test(set, cores, het)
-            .map_err(|e| e.to_string())?
-            .is_schedulable();
-        accepted[2] = gedf_test(set, cores, AnalysisModel::Homogeneous)
-            .map_err(|e| e.to_string())?
-            .is_schedulable();
-        accepted[3] = gedf_test(set, cores, het)
-            .map_err(|e| e.to_string())?
-            .is_schedulable();
-        accepted[4] = federated_partition(set, cores, AnalysisKind::Homogeneous)
-            .map_err(|e| e.to_string())?
-            .is_schedulable();
-        accepted[5] = federated_partition(set, cores, AnalysisKind::Heterogeneous)
-            .map_err(|e| e.to_string())?
-            .is_schedulable();
-        Ok(())
-    })();
-    match outcome {
-        Ok(()) => CachedValue::Set(accepted),
-        Err(e) => CachedValue::Failed(format!("acceptance tests failed: {e}")),
-    }
+    caches.results.note_hits(outcomes.len() as u64);
+    Ok(Some(outcomes))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::spec::{GeneratorPreset, SweepSpec};
+    use hetrta_api::HetOutcome;
+
+    fn registry() -> AnalysisRegistry {
+        AnalysisRegistry::builtin()
+    }
+
+    fn het_of(metrics: &JobMetrics) -> HetOutcome {
+        let JobMetrics::Outcomes(outcomes) = metrics else {
+            panic!("outcomes")
+        };
+        let AnalysisOutcome::Het(h) = outcomes
+            .iter()
+            .find(|o| o.key() == "het")
+            .expect("het selected")
+        else {
+            panic!("het outcome")
+        };
+        *h
+    }
 
     #[test]
     fn task_job_executes_and_caches() {
         let caches = EngineCaches::default();
         let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 1, 7);
         let (_, jobs) = spec.expand();
-        let first = execute(&caches, &jobs[0], 0);
+        let first = execute(&caches, &registry(), &jobs[0], 0);
         assert!(!first.cache_hit);
         let metrics = first.metrics.expect("job succeeds");
-        let JobMetrics::Task(t) = &metrics else {
-            panic!("task job")
-        };
-        let het = t.het.expect("het selected");
+        let het = het_of(&metrics);
         assert!(het.r_het <= het.r_hom_transformed + 1e-9);
 
-        // Same job again: fully served from cache, same values.
-        let again = execute(&caches, &jobs[0], 1);
+        // Same job again: fully served from cache, same values — without
+        // regenerating the input (the identity memo answers first).
+        let identity_before = caches.identity.counters();
+        let again = execute(&caches, &registry(), &jobs[0], 1);
         assert!(again.cache_hit);
         assert_eq!(again.metrics.expect("job succeeds"), metrics);
+        let identity_after = caches.identity.counters();
+        assert_eq!(identity_after.hits, identity_before.hits + 1);
     }
 
     #[test]
@@ -435,7 +405,7 @@ mod tests {
         let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2, 4, 8], vec![0.2], 1, 7);
         let (_, jobs) = spec.expand();
         for job in &jobs {
-            let r = execute(&caches, job, 0);
+            let r = execute(&caches, &registry(), job, 0);
             assert!(r.metrics.is_ok());
         }
         let counters = caches.transform.counters();
@@ -444,24 +414,91 @@ mod tests {
     }
 
     #[test]
-    fn all_analyses_fill_all_metrics() {
+    fn all_analyses_fill_all_outcomes() {
         let caches = EngineCaches::default();
         let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.25], 1, 3)
             .with_analyses(crate::AnalysisSelection::all());
         let (_, jobs) = spec.expand();
-        let r = execute(&caches, &jobs[0], 0);
-        let JobMetrics::Task(t) = r.metrics.expect("job succeeds") else {
-            panic!("task job")
+        let r = execute(&caches, &registry(), &jobs[0], 0);
+        let JobMetrics::Outcomes(outcomes) = r.metrics.expect("job succeeds") else {
+            panic!("outcomes")
         };
-        assert!(t.r_hom.is_some());
-        assert!(t.het.is_some());
-        assert!(t.sim_makespan.is_some());
+        assert_eq!(outcomes.len(), 4);
+        // Outcome order follows selection order.
+        let keys: Vec<&str> = outcomes.iter().map(AnalysisOutcome::key).collect();
+        assert_eq!(keys, vec!["hom", "het", "sim", "exact"]);
+        let AnalysisOutcome::Sim(sim) = &outcomes[2] else {
+            panic!("sim outcome")
+        };
         // exact may be None only for oversized DAGs; small preset fits.
-        let exact = t.exact.expect("small task solves");
-        let sim = t.sim_makespan.unwrap();
+        let AnalysisOutcome::Exact(Some(exact)) = &outcomes[3] else {
+            panic!("small task solves")
+        };
         assert!(
-            exact.makespan <= sim,
+            exact.makespan <= sim.makespan,
             "exact optimum cannot exceed a simulated schedule"
         );
+    }
+
+    #[test]
+    fn unknown_registry_key_is_a_job_error_listing_valid_keys() {
+        let caches = EngineCaches::default();
+        let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 1, 7);
+        let (_, jobs) = spec.expand();
+        let mut job = jobs[0].clone();
+        job.payload.analyses = Arc::from(vec![Arc::<str>::from("frob")]);
+        let r = execute(&caches, &registry(), &job, 0);
+        let err = r.metrics.unwrap_err();
+        assert!(err.contains("unknown analysis kind `frob`"), "{err}");
+        assert!(err.contains("valid keys"), "{err}");
+    }
+
+    #[test]
+    fn declined_samples_are_skipped_and_memoized() {
+        let caches = EngineCaches::default();
+        // An impossible sampled task: fraction ~1.0 is invalid for sizing,
+        // but grid validation is bypassed by constructing the input
+        // directly; use a generator that cannot produce 3 nodes instead.
+        let params = Arc::new(hetrta_gen::NfjParams::small_tasks().with_node_range(1, 1));
+        let job = Job {
+            index: 0,
+            cell: 0,
+            payload: JobPayload {
+                input: JobInput::SampledTask {
+                    params,
+                    fraction: 0.2,
+                    seed: 5,
+                },
+                analyses: crate::AnalysisSelection::from_keys(["suspend"]).to_shared(),
+                params: AnalysisParams::new(2),
+            },
+        };
+        let first = execute(&caches, &registry(), &job, 0);
+        assert_eq!(
+            first.metrics.expect("skip is not an error"),
+            JobMetrics::Skipped
+        );
+        assert!(!first.cache_hit);
+        let again = execute(&caches, &registry(), &job, 0);
+        assert_eq!(
+            again.metrics.expect("skip is not an error"),
+            JobMetrics::Skipped
+        );
+        assert!(again.cache_hit, "the declined sample is memoized");
+    }
+
+    #[test]
+    fn identity_memo_spans_structurally_equal_recipes() {
+        // Two distinct Arc instances describing the same batch share one
+        // identity, so the second job is a pure cache hit.
+        let caches = EngineCaches::default();
+        let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 2, 9);
+        let (_, jobs_a) = spec.expand();
+        let (_, jobs_b) = spec.expand();
+        let a = execute(&caches, &registry(), &jobs_a[0], 0);
+        let b = execute(&caches, &registry(), &jobs_b[0], 0);
+        assert!(!a.cache_hit);
+        assert!(b.cache_hit);
+        assert_eq!(a.metrics.unwrap(), b.metrics.unwrap());
     }
 }

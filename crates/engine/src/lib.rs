@@ -1,22 +1,26 @@
-//! # hetrta-engine — parallel batch-analysis engine with content-addressed
-//! # result caching
+//! # hetrta-engine — registry-driven parallel batch-analysis engine with
+//! # content-addressed result caching
 //!
-//! The per-task analyses of this workspace (transformation + Theorem 1,
-//! Eq. 1, simulation, bounded exact solving) and the task-set acceptance
-//! tests are all pure functions of their inputs, and evaluation sweeps run
-//! them over thousands of independently generated inputs. This crate is the
-//! production path for those sweeps:
+//! The analyses of this workspace are pure functions of their inputs, and
+//! evaluation sweeps run them over thousands of independently generated
+//! inputs. This crate is the production path for those sweeps:
 //!
-//! * a declarative [`SweepSpec`] (generator preset × core counts ×
-//!   utilization/fraction grid × seeds × analysis kinds) expands into
-//!   independent [`Job`]s;
-//! * a **work-stealing worker pool** ([`pool`]) runs the jobs: a shared
-//!   injector queue feeds per-worker deques, idle workers steal from
-//!   siblings, and results stream through a channel into an aggregator;
-//! * a **content-addressed memo cache** ([`cache`]) keyed by a structural
-//!   hash of the DAG + analysis parameters ensures repeated content —
-//!   repeated seeds, the same task under several core counts — is analyzed
-//!   once, with hit/miss counters surfaced in [`EngineStats`];
+//! * a declarative [`SweepSpec`] (generator preset × core counts × grid ×
+//!   seeds × analysis registry keys) expands into independent [`Job`]s;
+//!   grids cover offload fractions (Figures 6–9), normalized utilizations
+//!   (acceptance tests), per-job sampled fractions (suspension baselines)
+//!   and conditional shares;
+//! * every job resolves its analyses through the
+//!   [`AnalysisRegistry`] of `hetrta-api` — `"het"`, `"hom"`, `"sim"`,
+//!   `"exact"`, `"cond"`, `"suspend"`, `"acceptance"`, or any custom
+//!   [`Analysis`] registered by the application;
+//! * a **work-stealing worker pool** ([`pool`]) runs the jobs — heaviest
+//!   analysis kinds first, so one expensive solve does not tail the sweep;
+//! * three bounded, sharded-LRU **memo caches** ([`cache`]) serve repeated
+//!   content: analysis results by content hash × key × parameter digest,
+//!   Algorithm 1 transformations across core counts, and a job-identity →
+//!   content-hash memo so repeated-seed jobs never regenerate their DAG
+//!   just to compute the lookup key;
 //! * the [`SweepAggregate`] is **bit-deterministic**: expansion order, not
 //!   completion order, drives every floating-point reduction, so one
 //!   thread and N threads produce identical aggregates.
@@ -57,11 +61,28 @@ pub mod job;
 pub mod pool;
 pub mod spec;
 
-pub use aggregate::{CellKind, CellSummary, SetCellSummary, SweepAggregate, TaskCellSummary};
+pub use aggregate::{
+    AccuracySummary, CellKind, CellSummary, CondCellSummary, SetCellSummary, SuspendCellSummary,
+    SweepAggregate, TaskCellSummary,
+};
 pub use cache::CacheCounters;
-pub use engine::{Engine, EngineCaches, EngineError, EngineOutput, EngineStats};
-pub use job::{ExactSummary, HetSummary, Job, JobMetrics, JobPayload, JobResult};
-pub use spec::{AnalysisSelection, CellInfo, GeneratorPreset, SweepGrid, SweepSpec};
+pub use engine::{
+    Engine, EngineCaches, EngineError, EngineOutput, EngineStats, InjectionOrder,
+    DEFAULT_CACHE_CAPACITY,
+};
+pub use job::{Job, JobInput, JobMetrics, JobPayload, JobResult};
+pub use spec::{AnalysisSelection, CellInfo, CellShape, GeneratorPreset, SweepGrid, SweepSpec};
+
+// The unified analysis API the engine schedules over.
+pub use hetrta_api::{
+    Analysis, AnalysisContext, AnalysisInput, AnalysisOutcome, AnalysisParams, AnalysisRegistry,
+    AnalysisRequest, ApiError, CondOutcome, HetOutcome, SimOutcome, SuspendOutcome,
+};
+
+/// Backwards-compatible name of [`hetrta_api::HetOutcome`].
+pub type HetSummary = hetrta_api::HetOutcome;
+/// Backwards-compatible name of [`hetrta_api::ExactOutcome`].
+pub type ExactSummary = hetrta_api::ExactOutcome;
 
 // The acceptance-test order of set sweeps is the serial path's.
 pub use hetrta_sched::acceptance::TestKind;

@@ -143,13 +143,8 @@ fn exact_budget_is_part_of_the_cache_key() {
     // engine with a real budget must not be served the stale verdict.
     // Tiny DAGs keep the branch-and-bound solver fast here.
     let tiny = GeneratorPreset::Custom(hetrta_gen::NfjParams::small_tasks().with_node_range(4, 10));
-    let mut starved =
-        SweepSpec::fractions(tiny, vec![2], vec![0.25], 3, 3).with_analyses(AnalysisSelection {
-            hom: false,
-            het: false,
-            sim: false,
-            exact: true,
-        });
+    let mut starved = SweepSpec::fractions(tiny, vec![2], vec![0.25], 3, 3)
+        .with_analyses(AnalysisSelection::from_keys(["exact"]));
     starved.exact_node_budget = Some(1);
     let mut generous = starved.clone();
     generous.exact_node_budget = None;

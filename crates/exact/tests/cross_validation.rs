@@ -1,9 +1,14 @@
 //! Cross-validation of the exact solver against the simulator and bounds.
+//!
+//! Each property has two drivers over the same check function: a quick
+//! default run (a handful of cases, so `cargo test` stays fast) and the
+//! full-depth sweep behind `#[ignore]` — run it with
+//! `cargo test -p hetrta-exact -- --ignored`.
 
 use hetrta_core::{r_het, r_hom_dag, transform};
 use hetrta_dag::HeteroDagTask;
 use hetrta_exact::bounds::root_bound;
-use hetrta_exact::{list_schedule_cp_first, solve, SolverConfig};
+use hetrta_exact::{list_schedule_cp_first, solve, SolverConfig, MAX_NODES_SUPPORTED};
 use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
 use hetrta_gen::{generate_nfj, NfjParams};
 use hetrta_sim::policy::{BreadthFirst, DepthFirst, RandomTieBreak};
@@ -28,78 +33,183 @@ fn small_task(seed: u64, fraction: f64) -> HeteroDagTask {
     .expect("offload assignment succeeds")
 }
 
+/// `exact ≤` every simulated schedule (any policy).
+fn check_exact_below_every_simulated_schedule(seed: u64, pct: u32, m: u64) {
+    let task = small_task(seed, f64::from(pct) / 100.0);
+    let sol = solve(
+        task.dag(),
+        Some(task.offloaded()),
+        m,
+        &SolverConfig::default(),
+    )
+    .unwrap();
+    if !sol.is_optimal() {
+        return; // unproven instances carry no guarantee to check
+    }
+    for policy in 0..3u8 {
+        let r = match policy {
+            0 => simulate(
+                task.dag(),
+                Some(task.offloaded()),
+                Platform::with_accelerator(m as usize),
+                &mut BreadthFirst::new(),
+            ),
+            1 => simulate(
+                task.dag(),
+                Some(task.offloaded()),
+                Platform::with_accelerator(m as usize),
+                &mut DepthFirst::new(),
+            ),
+            _ => simulate(
+                task.dag(),
+                Some(task.offloaded()),
+                Platform::with_accelerator(m as usize),
+                &mut RandomTieBreak::new(seed),
+            ),
+        }
+        .unwrap();
+        assert!(
+            sol.makespan() <= r.makespan(),
+            "exact {} > simulated {}",
+            sol.makespan(),
+            r.makespan()
+        );
+    }
+}
+
+/// The solution lies within the root lower bound and the list-schedule
+/// upper bound.
+fn check_exact_within_root_bounds(seed: u64, pct: u32, m: u64) {
+    let task = small_task(seed, f64::from(pct) / 100.0);
+    let sol = solve(
+        task.dag(),
+        Some(task.offloaded()),
+        m,
+        &SolverConfig::default(),
+    )
+    .unwrap();
+    let lb = root_bound(task.dag(), Some(task.offloaded()), m);
+    assert!(sol.makespan() >= lb);
+    let (ub, _) = list_schedule_cp_first(task.dag(), Some(task.offloaded()), m).unwrap();
+    assert!(sol.makespan() <= ub);
+}
+
+/// The chain `exact ≤ R_het(τ')` for the transformed task and
+/// `exact ≤ R_hom(τ)` for the original — Figure 7's premise.
+fn check_analytic_bounds_dominate_exact_makespan(seed: u64, pct: u32, m: u64) {
+    let task = small_task(seed, f64::from(pct) / 100.0);
+    let t = transform(&task).unwrap();
+
+    let exact_orig = solve(
+        task.dag(),
+        Some(task.offloaded()),
+        m,
+        &SolverConfig::default(),
+    )
+    .unwrap();
+    if !exact_orig.is_optimal() {
+        return;
+    }
+    assert!(exact_orig.makespan().to_rational() <= r_hom_dag(task.dag(), m).unwrap());
+
+    let exact_trans = solve(
+        t.transformed(),
+        Some(task.offloaded()),
+        m,
+        &SolverConfig::default(),
+    )
+    .unwrap();
+    if !exact_trans.is_optimal() {
+        return;
+    }
+    assert!(exact_trans.makespan().to_rational() <= r_het(&t, m).unwrap().value());
+
+    // The barrier never lets the transformed task finish earlier than
+    // the untransformed optimum (it only removes schedules).
+    assert!(exact_orig.makespan() <= exact_trans.makespan());
+}
+
+/// With the accelerator, the optimum can only improve (or tie) over the
+/// all-host optimum on the same core count.
+fn check_homogeneous_exact_at_most_heterogeneous(seed: u64, pct: u32) {
+    let task = small_task(seed, f64::from(pct) / 100.0);
+    let m = 2;
+    let het = solve(
+        task.dag(),
+        Some(task.offloaded()),
+        m,
+        &SolverConfig::default(),
+    )
+    .unwrap();
+    let hom = solve(task.dag(), None, m, &SolverConfig::default()).unwrap();
+    if !(het.is_optimal() && hom.is_optimal()) {
+        return;
+    }
+    assert!(het.makespan() <= hom.makespan());
+}
+
+// Quick default drivers: a handful of cases keep `cargo test` fast while
+// still exercising every property end to end.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn exact_below_every_simulated_schedule_quick(seed in 0u64..400, pct in 1u32..60, m in 1u64..9) {
+        check_exact_below_every_simulated_schedule(seed, pct, m);
+    }
+
+    #[test]
+    fn exact_within_root_bounds_quick(seed in 0u64..400, pct in 1u32..60, m in 1u64..9) {
+        check_exact_within_root_bounds(seed, pct, m);
+    }
+
+    #[test]
+    fn analytic_bounds_dominate_exact_makespan_quick(seed in 0u64..400, pct in 1u32..60, m in 1u64..9) {
+        check_analytic_bounds_dominate_exact_makespan(seed, pct, m);
+    }
+
+    #[test]
+    fn homogeneous_exact_at_most_heterogeneous_quick(seed in 0u64..200, pct in 5u32..50) {
+        check_homogeneous_exact_at_most_heterogeneous(seed, pct);
+    }
+}
+
+// The full-depth sweeps of the original suite, gated behind `--ignored`.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
+    #[ignore = "full-depth cross-validation (minutes); run with --ignored"]
     fn exact_below_every_simulated_schedule(seed in 0u64..3000, pct in 1u32..60, m in 1u64..9) {
-        let task = small_task(seed, f64::from(pct) / 100.0);
-        let sol = solve(task.dag(), Some(task.offloaded()), m, &SolverConfig::default()).unwrap();
-        prop_assume!(sol.is_optimal());
-        for policy in 0..3u8 {
-            let r = match policy {
-                0 => simulate(task.dag(), Some(task.offloaded()), Platform::with_accelerator(m as usize), &mut BreadthFirst::new()),
-                1 => simulate(task.dag(), Some(task.offloaded()), Platform::with_accelerator(m as usize), &mut DepthFirst::new()),
-                _ => simulate(task.dag(), Some(task.offloaded()), Platform::with_accelerator(m as usize), &mut RandomTieBreak::new(seed)),
-            }.unwrap();
-            prop_assert!(
-                sol.makespan() <= r.makespan(),
-                "exact {} > simulated {}", sol.makespan(), r.makespan()
-            );
-        }
+        check_exact_below_every_simulated_schedule(seed, pct, m);
     }
 
     #[test]
+    #[ignore = "full-depth cross-validation (minutes); run with --ignored"]
     fn exact_within_root_bounds(seed in 0u64..3000, pct in 1u32..60, m in 1u64..9) {
-        let task = small_task(seed, f64::from(pct) / 100.0);
-        let sol = solve(task.dag(), Some(task.offloaded()), m, &SolverConfig::default()).unwrap();
-        let lb = root_bound(task.dag(), Some(task.offloaded()), m);
-        prop_assert!(sol.makespan() >= lb);
-        let (ub, _) = list_schedule_cp_first(task.dag(), Some(task.offloaded()), m).unwrap();
-        prop_assert!(sol.makespan() <= ub);
+        check_exact_within_root_bounds(seed, pct, m);
     }
 
     #[test]
+    #[ignore = "full-depth cross-validation (minutes); run with --ignored"]
     fn analytic_bounds_dominate_exact_makespan(seed in 0u64..3000, pct in 1u32..60, m in 1u64..9) {
-        // The chain exact ≤ R_het(τ') for the transformed task and
-        // exact ≤ R_hom(τ) for the original — Figure 7's premise.
-        let task = small_task(seed, f64::from(pct) / 100.0);
-        let t = transform(&task).unwrap();
-
-        let exact_orig = solve(task.dag(), Some(task.offloaded()), m, &SolverConfig::default()).unwrap();
-        prop_assume!(exact_orig.is_optimal());
-        prop_assert!(exact_orig.makespan().to_rational() <= r_hom_dag(task.dag(), m).unwrap());
-
-        let exact_trans = solve(t.transformed(), Some(task.offloaded()), m, &SolverConfig::default()).unwrap();
-        prop_assume!(exact_trans.is_optimal());
-        prop_assert!(exact_trans.makespan().to_rational() <= r_het(&t, m).unwrap().value());
-
-        // The barrier never lets the transformed task finish earlier than
-        // the untransformed optimum (it only removes schedules).
-        prop_assert!(exact_orig.makespan() <= exact_trans.makespan());
+        check_analytic_bounds_dominate_exact_makespan(seed, pct, m);
     }
 
     #[test]
+    #[ignore = "full-depth cross-validation (minutes); run with --ignored"]
     fn homogeneous_exact_at_most_heterogeneous_volume_argument(seed in 0u64..1500, pct in 5u32..50) {
-        // With the accelerator, the optimum can only improve (or tie) over
-        // the all-host optimum on the same core count.
-        let task = small_task(seed, f64::from(pct) / 100.0);
-        let m = 2;
-        let het = solve(task.dag(), Some(task.offloaded()), m, &SolverConfig::default()).unwrap();
-        let hom = solve(task.dag(), None, m, &SolverConfig::default()).unwrap();
-        prop_assume!(het.is_optimal() && hom.is_optimal());
-        prop_assert!(het.makespan() <= hom.makespan());
+        check_homogeneous_exact_at_most_heterogeneous(seed, pct);
     }
 }
 
-#[test]
-fn most_small_instances_are_proven_optimal() {
-    // Mirrors the paper's setup: the ILP oracle must actually close the
-    // small instances. Count optimality over a fixed batch.
+/// Mirrors the paper's setup: the ILP oracle must actually close small
+/// instances. Counts optimality over a fixed batch.
+fn assert_mostly_optimal(total: u64) {
     let mut optimal = 0;
-    let total = 60;
     for seed in 0..total {
         let task = small_task(seed, 0.2);
+        assert!(task.dag().node_count() <= MAX_NODES_SUPPORTED);
         let sol = solve(
             task.dag(),
             Some(task.offloaded()),
@@ -115,4 +225,15 @@ fn most_small_instances_are_proven_optimal() {
         optimal >= total * 9 / 10,
         "only {optimal}/{total} instances closed"
     );
+}
+
+#[test]
+fn most_small_instances_are_proven_optimal_quick() {
+    assert_mostly_optimal(20);
+}
+
+#[test]
+#[ignore = "full 60-instance oracle batch; run with --ignored"]
+fn most_small_instances_are_proven_optimal() {
+    assert_mostly_optimal(60);
 }

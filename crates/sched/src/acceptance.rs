@@ -128,11 +128,17 @@ impl AcceptancePoint {
 /// keeps their acceptance ratios identical.
 #[must_use]
 pub fn point_seed(base_seed: u64, point_index: usize, set_index: usize) -> u64 {
-    let mut z = base_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    splitmix64(base_seed) ^ ((point_index as u64) << 32) ^ set_index as u64
+}
+
+/// The SplitMix64 finalizer used to decorrelate nearby base seeds (shared
+/// by [`point_seed`] and the engine's sampled-grid seed derivations).
+#[must_use]
+pub fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^= z >> 31;
-    z ^ ((point_index as u64) << 32) ^ set_index as u64
+    z ^ (z >> 31)
 }
 
 /// Runs the acceptance sweep and returns one point per normalized

@@ -4,21 +4,52 @@
 //! of *Serrano & Quiñones, "Response-Time Analysis of DAG Tasks Supporting
 //! Heterogeneous Computing", DAC 2018*.
 //!
-//! The workspace is organized as nine library crates, all re-exported here:
+//! The workspace is organized as ten library crates, all re-exported here:
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
 //! | [`dag`] | `hetrta-dag` | DAG model, graph algorithms, exact arithmetic |
 //! | [`gen`] | `hetrta-gen` | random DAG task generators (paper §5.1) |
 //! | [`analysis`] | `hetrta-core` | Algorithm 1 transformation + Theorem 1 RTA |
+//! | [`api`] | `hetrta-api` | unified [`Analysis`](api::Analysis) trait, typed request/outcome, key-addressed registry |
 //! | [`sim`] | `hetrta-sim` | work-conserving execution simulator (paper §5.2) |
 //! | [`exact`] | `hetrta-exact` | exact minimum-makespan solver (ILP substitute, §5.3) |
 //! | [`sched`] | `hetrta-sched` | multi-task global schedulability (extension: future work "(i) more tasks") |
 //! | [`suspend`] | `hetrta-suspend` | self-suspending baselines (the related work of §6) |
 //! | [`cond`] | `hetrta-cond` | conditional DAG tasks (the model of reference \[12\]) with offloading |
-//! | [`engine`] | `hetrta-engine` | work-stealing batch-analysis engine with content-addressed result caching |
+//! | [`engine`] | `hetrta-engine` | registry-driven work-stealing batch-analysis engine with bounded content-addressed caching |
 //!
 //! The most common entry points are also re-exported at the crate root.
+//!
+//! ## The analysis registry
+//!
+//! Every analysis entry point is also reachable through the unified
+//! [`api`] layer — one [`AnalysisRegistry`] resolving stable string keys
+//! (`"het"`, `"hom"`, `"sim"`, `"exact"`, `"cond"`, `"suspend"`,
+//! `"acceptance"`) to [`api::Analysis`] implementations:
+//!
+//! ```
+//! use hetrta::api::{AnalysisOutcome, AnalysisRegistry, AnalysisRequest, DirectContext};
+//! use hetrta::{DagBuilder, HeteroDagTask, Ticks};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DagBuilder::new();
+//! let pre = b.node("pre", Ticks::new(2));
+//! let gpu = b.node("gpu", Ticks::new(9));
+//! b.edges([(pre, gpu)])?;
+//! let task = HeteroDagTask::new(b.build()?, gpu, Ticks::new(40), Ticks::new(40))?;
+//!
+//! let registry = AnalysisRegistry::builtin();
+//! let outcome = registry.run("het", &AnalysisRequest::task(task, 2), &DirectContext)?;
+//! let AnalysisOutcome::Het(h) = outcome else { unreachable!() };
+//! assert!(h.r_het <= h.r_hom_original);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Custom analyses implement [`api::Analysis`] and register under their
+//! own key; the [`engine`] then schedules, caches, and aggregates them
+//! like the builtins (see the trait docs for a complete example).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +79,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hetrta_api as api;
 pub use hetrta_cond as cond;
 pub use hetrta_core as analysis;
 pub use hetrta_dag as dag;
@@ -58,6 +90,7 @@ pub use hetrta_sched as sched;
 pub use hetrta_sim as sim;
 pub use hetrta_suspend as suspend;
 
+pub use hetrta_api::{Analysis, AnalysisOutcome, AnalysisRegistry, AnalysisRequest};
 pub use hetrta_core::{transform::TransformedTask, HeterogeneousAnalysis, Scenario};
 pub use hetrta_dag::{Dag, DagBuilder, DagError, DagTask, HeteroDagTask, NodeId, Rational, Ticks};
 pub use hetrta_engine::{Engine, EngineStats, SweepSpec};
