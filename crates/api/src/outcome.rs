@@ -129,4 +129,280 @@ impl AnalysisOutcome {
             AnalysisOutcome::Acceptance(_) => "acceptance",
         }
     }
+
+    /// Encodes the outcome as one line of space-separated fields: the
+    /// registry key tag followed by the variant's values. Floats are
+    /// written as their IEEE-754 bit patterns, so
+    /// [`AnalysisOutcome::decode`] round-trips **bitwise** — the contract
+    /// disk-persistent result caches rely on.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        fn f(x: f64) -> String {
+            format!("{:016x}", x.to_bits())
+        }
+        fn opt_u(x: Option<u64>) -> String {
+            x.map_or_else(|| "-".to_owned(), |v| v.to_string())
+        }
+        match self {
+            AnalysisOutcome::Het(h) => format!(
+                "het {} {} {} {} {} {} {}",
+                f(h.r_het),
+                f(h.r_hom_original),
+                f(h.r_hom_transformed),
+                match h.scenario {
+                    Scenario::OffNotOnCriticalPath => "s1",
+                    Scenario::OffOnCriticalPathDominant => "s2.1",
+                    Scenario::OffOnCriticalPathDominated => "s2.2",
+                },
+                f(h.improvement_percent),
+                u8::from(h.schedulable_het),
+                u8::from(h.schedulable_hom),
+            ),
+            AnalysisOutcome::Hom { r_hom } => format!("hom {}", f(*r_hom)),
+            AnalysisOutcome::Sim(s) => {
+                format!("sim {} {}", s.makespan, opt_u(s.transformed_makespan))
+            }
+            AnalysisOutcome::Exact(e) => match e {
+                None => "exact -".to_owned(),
+                Some(x) => format!("exact {} {}", x.makespan, u8::from(x.optimal)),
+            },
+            AnalysisOutcome::Cond(c) => format!(
+                "cond {} {} {} {}",
+                f(c.flattened),
+                f(c.cond_aware),
+                c.exact.map_or_else(|| "-".to_owned(), f),
+                c.realizations,
+            ),
+            AnalysisOutcome::Suspend(s) => format!(
+                "suspend {} {} {} {} {} {}",
+                f(s.oblivious),
+                f(s.phase_barrier),
+                f(s.r_het_tight),
+                f(s.naive_unsound),
+                opt_u(s.worst_observed),
+                match s.naive_violated {
+                    None => "-",
+                    Some(true) => "1",
+                    Some(false) => "0",
+                },
+            ),
+            AnalysisOutcome::Acceptance(a) => {
+                let bits: String = a
+                    .accepted
+                    .iter()
+                    .map(|&b| if b { '1' } else { '0' })
+                    .collect();
+                format!("acceptance {bits}")
+            }
+        }
+    }
+
+    /// Decodes one [`AnalysisOutcome::encode`] line. Returns `None` for
+    /// anything malformed — an unknown tag, a missing or unparseable
+    /// field, trailing garbage — so callers reading untrusted bytes (a
+    /// disk cache written by an older build, a truncated file) degrade to
+    /// a cache miss instead of panicking.
+    #[must_use]
+    pub fn decode(line: &str) -> Option<AnalysisOutcome> {
+        let mut fields = line.split(' ');
+        let tag = fields.next()?;
+        fn f(s: &str) -> Option<f64> {
+            if s.len() != 16 {
+                return None;
+            }
+            u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+        }
+        fn opt_u(s: &str) -> Option<Option<u64>> {
+            if s == "-" {
+                Some(None)
+            } else {
+                s.parse().ok().map(Some)
+            }
+        }
+        fn bit(s: &str) -> Option<bool> {
+            match s {
+                "0" => Some(false),
+                "1" => Some(true),
+                _ => None,
+            }
+        }
+        let mut next = || fields.next();
+        let outcome = match tag {
+            "het" => AnalysisOutcome::Het(HetOutcome {
+                r_het: f(next()?)?,
+                r_hom_original: f(next()?)?,
+                r_hom_transformed: f(next()?)?,
+                scenario: match next()? {
+                    "s1" => Scenario::OffNotOnCriticalPath,
+                    "s2.1" => Scenario::OffOnCriticalPathDominant,
+                    "s2.2" => Scenario::OffOnCriticalPathDominated,
+                    _ => return None,
+                },
+                improvement_percent: f(next()?)?,
+                schedulable_het: bit(next()?)?,
+                schedulable_hom: bit(next()?)?,
+            }),
+            "hom" => AnalysisOutcome::Hom { r_hom: f(next()?)? },
+            "sim" => AnalysisOutcome::Sim(SimOutcome {
+                makespan: next()?.parse().ok()?,
+                transformed_makespan: opt_u(next()?)?,
+            }),
+            "exact" => match next()? {
+                "-" => AnalysisOutcome::Exact(None),
+                makespan => AnalysisOutcome::Exact(Some(ExactOutcome {
+                    makespan: makespan.parse().ok()?,
+                    optimal: bit(next()?)?,
+                })),
+            },
+            "cond" => AnalysisOutcome::Cond(CondOutcome {
+                flattened: f(next()?)?,
+                cond_aware: f(next()?)?,
+                exact: match next()? {
+                    "-" => None,
+                    bits => Some(f(bits)?),
+                },
+                realizations: next()?.parse().ok()?,
+            }),
+            "suspend" => AnalysisOutcome::Suspend(SuspendOutcome {
+                oblivious: f(next()?)?,
+                phase_barrier: f(next()?)?,
+                r_het_tight: f(next()?)?,
+                naive_unsound: f(next()?)?,
+                worst_observed: opt_u(next()?)?,
+                naive_violated: match next()? {
+                    "-" => None,
+                    bits => Some(bit(bits)?),
+                },
+            }),
+            "acceptance" => {
+                let bits = next()?;
+                if bits.len() != 6 {
+                    return None;
+                }
+                let mut accepted = [false; 6];
+                for (slot, c) in accepted.iter_mut().zip(bits.chars()) {
+                    *slot = match c {
+                        '0' => false,
+                        '1' => true,
+                        _ => return None,
+                    };
+                }
+                AnalysisOutcome::Acceptance(AcceptanceOutcome { accepted })
+            }
+            _ => return None,
+        };
+        // Trailing fields mean the line is from a different (newer)
+        // encoding — refuse rather than silently dropping data.
+        if fields.next().is_some() {
+            return None;
+        }
+        Some(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<AnalysisOutcome> {
+        vec![
+            AnalysisOutcome::Het(HetOutcome {
+                r_het: 10.25,
+                r_hom_original: 12.0,
+                r_hom_transformed: std::f64::consts::PI * 1e3,
+                scenario: Scenario::OffOnCriticalPathDominant,
+                improvement_percent: -3.5,
+                schedulable_het: true,
+                schedulable_hom: false,
+            }),
+            AnalysisOutcome::Hom { r_hom: 0.1 + 0.2 },
+            AnalysisOutcome::Sim(SimOutcome {
+                makespan: 42,
+                transformed_makespan: None,
+            }),
+            AnalysisOutcome::Sim(SimOutcome {
+                makespan: 42,
+                transformed_makespan: Some(40),
+            }),
+            AnalysisOutcome::Exact(None),
+            AnalysisOutcome::Exact(Some(ExactOutcome {
+                makespan: 7,
+                optimal: true,
+            })),
+            AnalysisOutcome::Cond(CondOutcome {
+                flattened: 30.0,
+                cond_aware: 20.5,
+                exact: Some(10.125),
+                realizations: 16,
+            }),
+            AnalysisOutcome::Cond(CondOutcome {
+                flattened: 30.0,
+                cond_aware: 20.5,
+                exact: None,
+                realizations: 1 << 40,
+            }),
+            AnalysisOutcome::Suspend(SuspendOutcome {
+                oblivious: 13.0,
+                phase_barrier: 12.5,
+                r_het_tight: 12.0,
+                naive_unsound: 11.0,
+                worst_observed: Some(12),
+                naive_violated: Some(true),
+            }),
+            AnalysisOutcome::Suspend(SuspendOutcome {
+                oblivious: 13.0,
+                phase_barrier: 12.5,
+                r_het_tight: 12.0,
+                naive_unsound: 11.0,
+                worst_observed: None,
+                naive_violated: None,
+            }),
+            AnalysisOutcome::Acceptance(AcceptanceOutcome {
+                accepted: [true, false, true, true, false, false],
+            }),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_bitwise() {
+        for outcome in samples() {
+            let line = outcome.encode();
+            let back = AnalysisOutcome::decode(&line)
+                .unwrap_or_else(|| panic!("decode failed for {line:?}"));
+            assert_eq!(back, outcome, "round-trip diverged for {line:?}");
+            // PartialEq on f64 is already bitwise here (no NaNs), and the
+            // encoding itself is the bit pattern; re-encoding is stable.
+            assert_eq!(back.encode(), line);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_decode_to_none() {
+        for line in [
+            "",
+            "frob 1 2 3",
+            "hom",
+            "hom xyz",
+            "hom 4029000000000000 trailing",
+            "het 4029000000000000",
+            "sim 1x -",
+            "exact 5",
+            "exact 5 2",
+            "acceptance 10101",
+            "acceptance 1010102",
+            "suspend 4029000000000000",
+            "cond 4029000000000000 4029000000000000 - notanumber",
+        ] {
+            assert!(
+                AnalysisOutcome::decode(line).is_none(),
+                "`{line}` unexpectedly decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn float_fields_must_be_full_width() {
+        // Short hex would silently decode a different bit pattern.
+        assert!(AnalysisOutcome::decode("hom 4029").is_none());
+    }
 }

@@ -404,3 +404,45 @@ fn shared_engine_reuses_transformations_across_experiments() {
         "identical workloads must not transform anything anew"
     );
 }
+
+#[test]
+fn streaming_session_equals_the_serial_reference_bitwise() {
+    // The experiments consume `Engine::run`, which is now a thin wrapper
+    // over submit+wait. Drive the same fig8 spec through the *streaming*
+    // session path — consuming every event — and pin the final aggregate
+    // to the serial loop bitwise, so the API redesign provably changed
+    // nothing about the numbers.
+    use hetrta_engine::{SessionConfig, SweepEvent};
+
+    let config = small_fig8_config();
+    let serial = serial_fig8(&config);
+
+    let engine = Engine::new(2);
+    let handle = engine
+        .submit_with(&fig8::sweep_spec(&config), SessionConfig::with_partials(4))
+        .expect("submit");
+    let mut finished_jobs = 0usize;
+    let mut partials = 0usize;
+    while let Some(event) = handle.next_event() {
+        match event {
+            SweepEvent::JobFinished { .. } => finished_jobs += 1,
+            SweepEvent::PartialAggregate { .. } => partials += 1,
+            _ => {}
+        }
+    }
+    let out = handle.wait().expect("streamed sweep");
+    assert_eq!(finished_jobs, out.stats.jobs);
+    assert!(partials > 0, "partial aggregates streamed");
+
+    assert_eq!(out.aggregate.cells.len(), serial.len());
+    for (cell, point) in out.aggregate.cells.iter().zip(&serial) {
+        let hetrta_engine::CellKind::Task(t) = &cell.kind else {
+            panic!("task cell")
+        };
+        let (s1, s21, s22) = t.scenario_shares(cell.samples);
+        assert_eq!((cell.m, cell.grid_value), (point.m, point.fraction));
+        assert_eq!(s1.to_bits(), point.s1.to_bits());
+        assert_eq!(s21.to_bits(), point.s21.to_bits());
+        assert_eq!(s22.to_bits(), point.s22.to_bits());
+    }
+}

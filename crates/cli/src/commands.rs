@@ -14,7 +14,9 @@ use hetrta_core::{transform, HeterogeneousAnalysis};
 use hetrta_dag::dot::{to_dot, DotOptions};
 use hetrta_dag::io::{parse_task, render_task, TaskKind};
 use hetrta_dag::{HeteroDagTask, NodeId, Ticks};
-use hetrta_engine::{AnalysisSelection, CellKind, Engine, GeneratorPreset, SweepSpec, TestKind};
+use hetrta_engine::{
+    AnalysisSelection, CellKind, EngineBuilder, GeneratorPreset, SweepEvent, SweepSpec, TestKind,
+};
 use hetrta_exact::{lp, solve, SolverConfig};
 use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
 use hetrta_gen::{generate_nfj, NfjParams};
@@ -33,6 +35,7 @@ const M_FLAG: FlagSpec = FlagSpec {
     name: "-m",
     value: Some("CORES[,CORES...]"),
     help: "host core counts (default 2,4,8,16; single-platform commands use the first)",
+    ..FlagSpec::DEFAULT
 };
 
 /// The declarative command table: dispatch, `--help`, usage, and flag
@@ -53,6 +56,7 @@ pub const COMMANDS: &[CommandSpec] = &[
             name: "--dot",
             value: None,
             help: "emit Graphviz instead of the task format",
+            ..FlagSpec::DEFAULT
         }],
         handler: transform_cmd,
     },
@@ -66,11 +70,13 @@ pub const COMMANDS: &[CommandSpec] = &[
                 name: "--policy",
                 value: Some("bfs|dfs|cp|random:SEED"),
                 help: "ready-queue policy (default bfs)",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--gantt",
                 value: None,
                 help: "print an ASCII Gantt chart of the schedule",
+                ..FlagSpec::DEFAULT
             },
         ],
         handler: simulate_cmd,
@@ -85,6 +91,7 @@ pub const COMMANDS: &[CommandSpec] = &[
                 name: "--lp",
                 value: None,
                 help: "emit the CPLEX-style LP formulation instead of solving",
+                ..FlagSpec::DEFAULT
             },
         ],
         handler: solve_cmd,
@@ -99,11 +106,13 @@ pub const COMMANDS: &[CommandSpec] = &[
                 name: "--edf",
                 value: None,
                 help: "global EDF instead of fixed priorities",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--shared-device",
                 value: None,
                 help: "one shared FIFO accelerator instead of one per task",
+                ..FlagSpec::DEFAULT
             },
         ],
         handler: sched_cmd,
@@ -125,6 +134,7 @@ pub const COMMANDS: &[CommandSpec] = &[
                 name: "--offload",
                 value: Some("LABEL"),
                 help: "also bound the expression with LABEL offloaded",
+                ..FlagSpec::DEFAULT
             },
         ],
         handler: cond_cmd,
@@ -138,21 +148,25 @@ pub const COMMANDS: &[CommandSpec] = &[
                 name: "--small",
                 value: None,
                 help: "small-tasks preset (default)",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--large",
                 value: None,
                 help: "large-tasks preset",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--seed",
                 value: Some("N"),
                 help: "RNG seed (default 0)",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--fraction",
                 value: Some("F"),
                 help: "target C_off/vol instead of a generated WCET",
+                ..FlagSpec::DEFAULT
             },
         ],
         handler: generate_cmd,
@@ -166,76 +180,103 @@ pub const COMMANDS: &[CommandSpec] = &[
                 name: "--threads",
                 value: Some("N"),
                 help: "worker threads (default: all cores)",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--cores",
                 value: Some("A,B,..."),
                 help: "host core counts to sweep (default 2,8)",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--per-point",
                 value: Some("N"),
                 help: "jobs per sweep point (default 20)",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--seed",
                 value: Some("S[,S...]"),
                 help: "replication base seeds",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--fractions",
                 value: Some("F,..."),
                 help: "offload-fraction grid (the default sweep shape)",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--utils",
                 value: Some("U,..."),
                 help: "normalized-utilization grid (task-set acceptance tests)",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--cond-shares",
                 value: Some("P,..."),
                 help: "conditional-share grid (conditional-DAG bounds)",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--n-tasks",
                 value: Some("N"),
                 help: "tasks per generated set (utilization sweeps, default 4)",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--analyses",
                 value: Some("KEY[,KEY...]"),
-                help: "registry keys to run per task (het, hom, sim, exact, suspend, ...)",
+                help: "registry keys to run per job",
+                dynamic_help: Some(analyses_help),
             },
             FlagSpec {
                 name: "--preset",
                 value: Some("small|large|paper"),
                 help: "DAG generator preset for fraction sweeps",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--sim-transformed",
                 value: None,
                 help: "sim also measures the transformed task (Figure 6 comparison)",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--exact-budget",
                 value: Some("N"),
                 help: "node budget for the exact solver",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--explore-seeds",
                 value: Some("N"),
                 help: "worst-case exploration seeds for suspend (default 0 = off)",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--realization-cap",
                 value: Some("N"),
                 help: "enumeration cap for cond (default 4096)",
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--csv",
                 value: None,
                 help: "machine-readable CSV instead of the table",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--cache-dir",
+                value: Some("DIR"),
+                help: "disk-persistent result cache: later sweeps (any process) replay from DIR",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--progress",
+                value: None,
+                help: "stream live progress (completed jobs, cache hits) to stderr while sweeping",
+                ..FlagSpec::DEFAULT
             },
         ],
         handler: engine_sweep_cmd,
@@ -691,9 +732,23 @@ fn generate_cmd(args: &ParsedArgs) -> Result<String, String> {
     Ok(render_task(&task))
 }
 
+/// The `--analyses` help line, generated from the [`AnalysisRegistry`] so
+/// it never drifts from the keys actually registered.
+fn analyses_help() -> String {
+    format!(
+        "registry keys to run per job ({})",
+        hetrta_engine::AnalysisRegistry::builtin().keys().join(", ")
+    )
+}
+
 /// `hetrta engine sweep …` — run a batch sweep on the work-stealing engine
 /// and report per-cell results plus engine statistics (cache hit/miss,
 /// per-worker job counts).
+///
+/// Any registry key is selectable on any grid; which key/grid pairs are
+/// coherent is decided by the registry itself (each analysis declares the
+/// input kind it consumes, the engine rejects mismatches up front), not by
+/// CLI-side rules.
 fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
     let threads = args.parsed_or("--threads", "thread count", 0usize)?;
     let cores = match args.value_of("--cores") {
@@ -711,10 +766,13 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
         Some("paper") => GeneratorPreset::LargePaper,
         Some(other) => return Err(format!("unknown preset `{other}`")),
     };
-    let analyses = match args.value_of("--analyses") {
-        None => AnalysisSelection::het_only(),
-        Some(list) => AnalysisSelection::parse(list)?,
-    };
+    // Registry-validated selection; `None` keeps each grid's default
+    // (het for fractions, acceptance for utils, cond for cond-shares).
+    // Grid/key *compatibility* is the engine's registry-driven check.
+    let analyses = args
+        .value_of("--analyses")
+        .map(AnalysisSelection::parse)
+        .transpose()?;
 
     let grids = [
         args.value_of("--fractions").is_some(),
@@ -742,11 +800,6 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
             .next()
     };
     if args.value_of("--utils").is_some() {
-        if args.value_of("--analyses").is_some() {
-            return Err("--analyses applies to fraction sweeps; utilization sweeps \
-                        always run the six acceptance tests"
-                .into());
-        }
         if args.value_of("--preset").is_some() {
             return Err("--preset applies to fraction sweeps; utilization sweeps \
                         use the small task-set template"
@@ -759,11 +812,6 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
             return Err("--realization-cap applies to fraction and conditional sweeps".into());
         }
     } else if args.value_of("--cond-shares").is_some() {
-        if args.value_of("--analyses").is_some() {
-            return Err("--analyses applies to fraction sweeps; conditional sweeps \
-                        always run the cond analysis"
-                .into());
-        }
         if args.value_of("--preset").is_some() {
             return Err("--preset applies to fraction sweeps; conditional sweeps \
                         use the small expression template"
@@ -776,7 +824,7 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
         return Err("--n-tasks applies to utilization sweeps (--utils)".into());
     }
 
-    let spec = if let Some(utils) = args.value_of("--utils") {
+    let mut spec = if let Some(utils) = args.value_of("--utils") {
         let n_tasks = args.parsed_or("--n-tasks", "task count", 4usize)?;
         SweepSpec::acceptance(
             hetrta_sched::taskset::TaskSetParams::small(n_tasks, 1.0)
@@ -803,9 +851,8 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
             None => vec![0.05, 0.10, 0.20, 0.30, 0.50],
             Some(spec) => parse_list(spec, "fraction")?,
         };
-        let mut spec = SweepSpec::fractions(preset, cores, fractions, per_point, seeds[0])
-            .with_seeds(seeds)
-            .with_analyses(analyses);
+        let mut spec =
+            SweepSpec::fractions(preset, cores, fractions, per_point, seeds[0]).with_seeds(seeds);
         spec.sim_transformed = args.has("--sim-transformed");
         spec.explore_seeds = args.parsed_or("--explore-seeds", "exploration seed count", 0u64)?;
         spec.realization_cap = args.parsed_or("--realization-cap", "realization cap", 4096usize)?;
@@ -818,9 +865,21 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
         }
         spec
     };
+    if let Some(selection) = analyses {
+        spec = spec.with_analyses(selection);
+    }
 
-    let engine = Engine::new(threads);
-    let out = engine.run(&spec).map_err(|e| e.to_string())?;
+    let mut builder = EngineBuilder::new().threads(threads);
+    if let Some(dir) = args.value_of("--cache-dir") {
+        builder = builder.with_cache_dir(dir);
+    }
+    let engine = builder.build().map_err(|e| e.to_string())?;
+
+    let out = if args.has("--progress") {
+        run_with_progress(&engine, &spec)?
+    } else {
+        engine.run(&spec).map_err(|e| e.to_string())?
+    };
 
     let mut text = if args.has("--csv") {
         render_cells_csv(&out.aggregate.cells)
@@ -830,6 +889,52 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
     text.push('\n');
     text.push_str(&out.stats.render());
     Ok(text)
+}
+
+/// Submits the sweep as a session and renders `PartialAggregate`
+/// snapshots to stderr as they stream in (stdout stays clean for the
+/// final table/CSV).
+fn run_with_progress(
+    engine: &hetrta_engine::Engine,
+    spec: &SweepSpec,
+) -> Result<hetrta_engine::EngineOutput, String> {
+    let total = spec.job_count();
+    // ~50 snapshots over the sweep, at least one per job for tiny runs.
+    // Per-job events are off: the renderer only consumes the snapshots,
+    // so 2·jobs queue pushes and wakeups would be pure overhead.
+    let every = (total / 50).max(1);
+    let config = hetrta_engine::SessionConfig {
+        job_events: false,
+        ..hetrta_engine::SessionConfig::with_partials(every)
+    };
+    let handle = engine
+        .submit_with(spec, config)
+        .map_err(|e| e.to_string())?;
+    while let Some(event) = handle.next_event() {
+        match event {
+            SweepEvent::PartialAggregate {
+                completed,
+                total,
+                aggregate,
+            } => {
+                let populated = aggregate.cells.iter().filter(|c| c.samples > 0).count();
+                let stats = handle.stats();
+                eprint!(
+                    "\r[{completed}/{total} jobs] {populated}/{} cells populated, \
+                     {} cached, {} disk hits ({:.1?})   ",
+                    aggregate.cells.len(),
+                    stats.cached_jobs,
+                    stats.disk_cache.hits,
+                    stats.elapsed,
+                );
+            }
+            SweepEvent::SweepFinished { completed, .. } => {
+                eprintln!("\r[{completed}/{total} jobs] done{}", " ".repeat(48));
+            }
+            SweepEvent::JobStarted { .. } | SweepEvent::JobFinished { .. } => {}
+        }
+    }
+    handle.wait().map_err(|e| e.to_string())
 }
 
 fn render_cells_table(cells: &[hetrta_engine::CellSummary]) -> String {
@@ -1429,29 +1534,34 @@ mod tests {
         assert!(run(&args(&["engine", "sweep", "--preset", "giant"]))
             .unwrap_err()
             .contains("unknown preset"));
-        // Flags that would otherwise be silently ignored are rejected.
-        assert!(run(&args(&[
+        // Grid/analysis conflicts are decided by the registry (each key
+        // declares its input kind), and the error names the keys that fit.
+        let err = run(&args(&[
             "engine",
             "sweep",
             "--utils",
             "0.5",
             "--analyses",
-            "hom"
+            "hom",
         ]))
-        .unwrap_err()
-        .contains("fraction sweeps"));
-        assert!(run(&args(&[
-            "engine", "sweep", "--utils", "0.5", "--preset", "large"
-        ]))
-        .unwrap_err()
-        .contains("fraction sweeps"));
-        assert!(run(&args(&[
+        .unwrap_err();
+        assert!(err.contains("`hom` expects a task"), "{err}");
+        assert!(err.contains("produces a task set"), "{err}");
+        assert!(err.contains("acceptance"), "{err}");
+        let err = run(&args(&[
             "engine",
             "sweep",
             "--cond-shares",
             "0.2",
             "--analyses",
-            "cond"
+            "het",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("`het` expects a task"), "{err}");
+        assert!(err.contains("conditional expression"), "{err}");
+        assert!(err.contains("cond"), "{err}");
+        assert!(run(&args(&[
+            "engine", "sweep", "--utils", "0.5", "--preset", "large"
         ]))
         .unwrap_err()
         .contains("fraction sweeps"));
@@ -1497,6 +1607,126 @@ mod tests {
         for key in registry_keys() {
             assert!(err.contains(&key), "`{key}` missing from: {err}");
         }
+    }
+
+    #[test]
+    fn explicit_analyses_work_on_every_grid_kind() {
+        // Selecting the grid's own analysis explicitly is no longer an
+        // error: validity comes from the registry's input kinds.
+        let utils = run(&args(&[
+            "engine",
+            "sweep",
+            "--cores",
+            "2",
+            "--per-point",
+            "2",
+            "--utils",
+            "0.5",
+            "--analyses",
+            "acceptance",
+        ]))
+        .unwrap();
+        assert!(utils.contains("GFP-hom"), "{utils}");
+        let cond = run(&args(&[
+            "engine",
+            "sweep",
+            "--cores",
+            "2",
+            "--per-point",
+            "2",
+            "--cond-shares",
+            "0.2",
+            "--analyses",
+            "cond",
+        ]))
+        .unwrap();
+        assert!(cond.contains("flat-vs-aware"), "{cond}");
+    }
+
+    #[test]
+    fn sweep_help_lists_every_registry_key() {
+        // The --analyses help line is generated from the registry.
+        let help = run(&args(&["engine", "sweep", "--help"])).unwrap();
+        for key in registry_keys() {
+            assert!(help.contains(&key), "`{key}` missing from:\n{help}");
+        }
+        assert!(help.contains("--cache-dir"), "{help}");
+        assert!(help.contains("--progress"), "{help}");
+    }
+
+    #[test]
+    fn cache_dir_persists_results_across_engine_processes() {
+        let dir = std::env::temp_dir().join(format!("hetrta-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sweep = || {
+            run(&args(&[
+                "engine",
+                "sweep",
+                "--threads",
+                "2",
+                "--cores",
+                "2",
+                "--per-point",
+                "4",
+                "--fractions",
+                "0.1,0.3",
+                "--seed",
+                "9",
+                "--cache-dir",
+                dir.to_str().unwrap(),
+            ]))
+            .unwrap()
+        };
+        let cold = sweep();
+        assert!(cold.contains("disk cache"), "{cold}");
+        // Each CLI invocation builds a fresh engine: the second one can
+        // only be warm through the disk layer.
+        let warm = sweep();
+        assert!(warm.contains("8 jobs fully cached"), "{warm}");
+        assert!(
+            warm.contains("0 misses") || warm.contains("(100.0% hit rate)"),
+            "warm run must not recompute: {warm}"
+        );
+        // The cells themselves are identical.
+        let cells = |text: &str| {
+            text.lines()
+                .take_while(|l| !l.starts_with("engine:"))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(cells(&cold), cells(&warm));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_flag_streams_without_disturbing_the_output() {
+        let base = args(&[
+            "engine",
+            "sweep",
+            "--threads",
+            "2",
+            "--cores",
+            "2",
+            "--per-point",
+            "4",
+            "--fractions",
+            "0.1,0.3",
+            "--seed",
+            "9",
+            "--csv",
+        ]);
+        let quiet = run(&base).unwrap();
+        let mut progress = base.clone();
+        progress.push("--progress".into());
+        let streamed = run(&progress).unwrap();
+        // Progress renders to stderr; stdout's cells are untouched.
+        let cells = |text: &str| {
+            text.lines()
+                .take_while(|l| !l.is_empty())
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(cells(&quiet), cells(&streamed));
     }
 
     #[test]

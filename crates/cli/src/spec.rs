@@ -16,8 +16,35 @@ pub struct FlagSpec {
     /// `Some(placeholder)` when the flag consumes a value (shown in help
     /// as `--flag PLACEHOLDER`); `None` for boolean switches.
     pub value: Option<&'static str>,
-    /// One-line description.
+    /// One-line description (the fallback when `dynamic_help` is unset).
     pub help: &'static str,
+    /// Generates the help line at render time — for flags whose
+    /// documentation is derived from runtime state (e.g. `--analyses`
+    /// listing the keys of the `AnalysisRegistry`), so help never drifts
+    /// from the registry.
+    pub dynamic_help: Option<fn() -> String>,
+}
+
+impl FlagSpec {
+    /// Base for struct-update literals (`..FlagSpec::DEFAULT`), so table
+    /// rows only spell the fields they use and future optional fields
+    /// default here instead of in every literal.
+    pub const DEFAULT: FlagSpec = FlagSpec {
+        name: "",
+        value: None,
+        help: "",
+        dynamic_help: None,
+    };
+
+    /// The help line: generated when [`FlagSpec::dynamic_help`] is set,
+    /// the static text otherwise.
+    #[must_use]
+    pub fn help_text(&self) -> String {
+        match self.dynamic_help {
+            Some(generate) => generate(),
+            None => self.help.to_owned(),
+        }
+    }
 }
 
 /// One subcommand: everything needed to parse, document, and run it.
@@ -78,7 +105,7 @@ impl CommandSpec {
                     Some(placeholder) => format!("{} {placeholder}", flag.name),
                     None => flag.name.to_owned(),
                 };
-                let _ = writeln!(out, "  {label:<width$}  {}", flag.help);
+                let _ = writeln!(out, "  {label:<width$}  {}", flag.help_text());
             }
         }
         out

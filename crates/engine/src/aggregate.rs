@@ -242,6 +242,23 @@ impl Aggregator {
         self.skipped
     }
 
+    /// A snapshot aggregate over every result received *so far* — the
+    /// payload of [`SweepEvent::PartialAggregate`](crate::SweepEvent)
+    /// events. Unfilled slots and failed jobs are simply absent from
+    /// their cells; once every slot is filled, the snapshot of an
+    /// error-free sweep equals [`Aggregator::finalize`]'s aggregate
+    /// exactly (slots replay in expansion order either way).
+    #[must_use]
+    pub fn partial(&self) -> SweepAggregate {
+        let mut per_cell: Vec<Vec<&[AnalysisOutcome]>> = vec![Vec::new(); self.cells.len()];
+        for result in self.slots.iter().flatten() {
+            if let Ok(JobMetrics::Outcomes(outcomes)) = &result.metrics {
+                per_cell[result.cell].push(outcomes);
+            }
+        }
+        summarize_cells(&self.cells, self.shape, &per_cell)
+    }
+
     /// Replays the slots in expansion order and produces the aggregate.
     ///
     /// # Errors
@@ -261,13 +278,22 @@ impl Aggregator {
             }
         }
 
-        let cells = self
-            .cells
+        Ok(summarize_cells(&self.cells, self.shape, &per_cell))
+    }
+}
+
+/// Summarizes every cell's collected outcome slices into an aggregate.
+fn summarize_cells(
+    cells: &[CellInfo],
+    shape: CellShape,
+    per_cell: &[Vec<&[AnalysisOutcome]>],
+) -> SweepAggregate {
+    SweepAggregate {
+        cells: cells
             .iter()
-            .zip(&per_cell)
-            .map(|(info, outcomes)| summarize_cell(self.shape, info, outcomes))
-            .collect();
-        Ok(SweepAggregate { cells })
+            .zip(per_cell)
+            .map(|(info, outcomes)| summarize_cell(shape, info, outcomes))
+            .collect(),
     }
 }
 
@@ -500,7 +526,10 @@ mod tests {
             index,
             cell,
             worker: 0,
+            identity: 0,
             cache_hit: false,
+            wall_time: std::time::Duration::ZERO,
+            timings: Vec::new(),
             metrics: Ok(metrics),
         }
     }
@@ -587,13 +616,7 @@ mod tests {
         agg.accept(result(0, 0, cond(30.0, 20.0, Some(10.0))));
         agg.accept(result(1, 0, cond(50.0, 25.0, None))); // enumeration refused
         agg.accept(result(2, 0, cond(50.0, 25.0, Some(0.0)))); // zero bound
-        agg.accept(JobResult {
-            index: 3,
-            cell: 0,
-            worker: 0,
-            cache_hit: false,
-            metrics: Ok(JobMetrics::Skipped), // generation declined
-        });
+        agg.accept(result(3, 0, JobMetrics::Skipped)); // generation declined
         let a = agg.finalize().unwrap();
         assert_eq!(a.cells[0].samples, 3, "skips leave the sample count");
         let CellKind::Cond(c) = &a.cells[0].kind else {
@@ -674,20 +697,13 @@ mod tests {
     #[test]
     fn lowest_index_error_wins() {
         let mut agg = Aggregator::new(cell_infos(), 2, CellShape::Task);
-        agg.accept(JobResult {
-            index: 1,
-            cell: 0,
-            worker: 0,
-            cache_hit: false,
-            metrics: Err("late failure".into()),
-        });
-        agg.accept(JobResult {
-            index: 0,
-            cell: 0,
-            worker: 1,
-            cache_hit: false,
-            metrics: Err("early failure".into()),
-        });
+        let failure = |index: usize, message: &str| {
+            let mut r = result(index, 0, JobMetrics::Skipped);
+            r.metrics = Err(message.into());
+            r
+        };
+        agg.accept(failure(1, "late failure"));
+        agg.accept(failure(0, "early failure"));
         match agg.finalize() {
             Err(EngineError::Job { index, message }) => {
                 assert_eq!(index, 0);

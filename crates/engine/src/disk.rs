@@ -1,0 +1,306 @@
+//! Disk-persistent layer under the in-memory result caches.
+//!
+//! The unit of persistence is one cache entry per file, addressed by the
+//! same stable 128-bit content keys the in-memory [`MemoCache`]s use —
+//! `results/` holds analysis outcomes keyed by content hash × registry key
+//! × parameter digest, `identity/` holds the job-recipe → content-hash
+//! memo (including "the generator declined this sample"). Because keys are
+//! content hashes, entries never go stale with respect to their inputs;
+//! the only invalidation is the format version in each file's magic line,
+//! which a newer build bumps to orphan old entries.
+//!
+//! Robustness contract: a corrupt, truncated, stale-versioned, or
+//! concurrently half-written entry **reads as a miss** (the engine
+//! recomputes and rewrites it), and write failures are counted, never
+//! fatal — a full disk degrades to an in-memory-only engine.
+//!
+//! Layout under the cache directory:
+//!
+//! ```text
+//! <dir>/results/<hh>/<032x key>    one analysis outcome per file
+//! <dir>/identity/<hh>/<032x key>   recipe → content hash (or "skip")
+//! ```
+//!
+//! where `<hh>` is the top byte of the key in hex (256-way fan-out) and
+//! each file is `magic line \n payload \n fnv64(payload)`.
+//! Writes go through a temp file + atomic rename, so concurrent engines
+//! sharing a directory never observe torn entries.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hetrta_api::AnalysisOutcome;
+
+use crate::cache::CacheCounters;
+
+/// First line of every entry file; bumping the version orphans (never
+/// misreads) entries written by older builds.
+const MAGIC: &str = "hetrta-cache v1";
+
+/// Identity-entry payload for a declined sample.
+const SKIP: &str = "skip";
+
+/// FNV-1a over the payload bytes — the per-entry corruption check.
+fn fnv64(payload: &str) -> u64 {
+    let mut state: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in payload.bytes() {
+        state ^= u64::from(byte);
+        state = state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    state
+}
+
+/// A disk-persistent, content-addressed cache directory shared by every
+/// engine (and every process) pointed at it.
+#[derive(Debug)]
+pub struct DiskCache {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    write_errors: AtomicU64,
+    tmp_counter: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the directory (or its `results/` and
+    /// `identity/` namespaces) cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<DiskCache, String> {
+        let root = dir.into();
+        for namespace in ["results", "identity"] {
+            let path = root.join(namespace);
+            std::fs::create_dir_all(&path)
+                .map_err(|e| format!("cannot create cache dir {}: {e}", path.display()))?;
+        }
+        Ok(DiskCache {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this cache persists into.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Hit/miss counters of disk probes (lifetime of this handle).
+    #[must_use]
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Entries that failed to persist (full disk, permissions); reads are
+    /// unaffected.
+    #[must_use]
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    fn entry_path(&self, namespace: &str, key: u128) -> PathBuf {
+        self.root
+            .join(namespace)
+            .join(format!("{:02x}", (key >> 120) as u8))
+            .join(format!("{key:032x}"))
+    }
+
+    /// Reads and verifies one entry's payload; `None` on any defect.
+    fn read_payload(&self, namespace: &str, key: u128) -> Option<String> {
+        let text = std::fs::read_to_string(self.entry_path(namespace, key)).ok();
+        let payload = text.as_deref().and_then(verify_entry);
+        if payload.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        payload.map(str::to_owned)
+    }
+
+    /// Persists one entry atomically (temp file + rename); failures are
+    /// counted and swallowed.
+    fn write_payload(&self, namespace: &str, key: u128, payload: &str) {
+        let path = self.entry_path(namespace, key);
+        let content = format!("{MAGIC}\n{payload}\n{:016x}\n", fnv64(payload));
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = path
+            .parent()
+            .map_or(Ok(()), std::fs::create_dir_all)
+            .and_then(|()| std::fs::write(&tmp, content))
+            .and_then(|()| std::fs::rename(&tmp, &path));
+        if written.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Loads a persisted analysis outcome, or `None` (miss / unreadable /
+    /// corrupt / stale format).
+    #[must_use]
+    pub fn load_result(&self, key: u128) -> Option<AnalysisOutcome> {
+        let payload = self.read_payload("results", key)?;
+        let decoded = AnalysisOutcome::decode(&payload);
+        if decoded.is_none() {
+            // Checksum passed but the payload grammar did not: a stale
+            // encoding. Count the probe back down to a miss.
+            self.hits.fetch_sub(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        decoded
+    }
+
+    /// Persists one analysis outcome.
+    pub fn store_result(&self, key: u128, outcome: &AnalysisOutcome) {
+        self.write_payload("results", key, &outcome.encode());
+    }
+
+    /// Loads a persisted identity entry: `Some(None)` for a memoized
+    /// declined sample, `Some(Some(content))` for a content hash, `None`
+    /// for a miss.
+    #[must_use]
+    pub fn load_identity(&self, key: u128) -> Option<Option<u128>> {
+        let payload = self.read_payload("identity", key)?;
+        if payload == SKIP {
+            return Some(None);
+        }
+        match u128::from_str_radix(&payload, 16) {
+            Ok(content) if payload.len() == 32 => Some(Some(content)),
+            _ => {
+                self.hits.fetch_sub(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists one identity entry.
+    pub fn store_identity(&self, key: u128, content: Option<u128>) {
+        let payload = match content {
+            None => SKIP.to_owned(),
+            Some(c) => format!("{c:032x}"),
+        };
+        self.write_payload("identity", key, &payload);
+    }
+}
+
+/// Validates `magic \n payload \n checksum` and returns the payload.
+fn verify_entry(text: &str) -> Option<&str> {
+    let mut lines = text.lines();
+    if lines.next() != Some(MAGIC) {
+        return None;
+    }
+    let payload = lines.next()?;
+    let checksum = lines.next()?;
+    if lines.next().is_some() || u64::from_str_radix(checksum, 16) != Ok(fnv64(payload)) {
+        return None;
+    }
+    Some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetrta_api::SimOutcome;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "hetrta-disk-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn outcome() -> AnalysisOutcome {
+        AnalysisOutcome::Sim(SimOutcome {
+            makespan: 17,
+            transformed_makespan: Some(12),
+        })
+    }
+
+    #[test]
+    fn result_roundtrip_across_handles() {
+        let dir = temp_dir("roundtrip");
+        let cache = DiskCache::open(&dir).unwrap();
+        assert_eq!(cache.load_result(42), None);
+        cache.store_result(42, &outcome());
+        assert_eq!(cache.load_result(42), Some(outcome()));
+        // A second handle on the same directory (≈ a second process).
+        let other = DiskCache::open(&dir).unwrap();
+        assert_eq!(other.load_result(42), Some(outcome()));
+        assert_eq!(other.counters().hits, 1);
+        assert_eq!(cache.counters(), CacheCounters { hits: 1, misses: 1 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn identity_roundtrip_including_skips() {
+        let dir = temp_dir("identity");
+        let cache = DiskCache::open(&dir).unwrap();
+        assert_eq!(cache.load_identity(7), None);
+        cache.store_identity(7, Some(0xFEED_F00D));
+        cache.store_identity(8, None);
+        assert_eq!(cache.load_identity(7), Some(Some(0xFEED_F00D)));
+        assert_eq!(cache.load_identity(8), Some(None));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_and_stale_versions_read_as_misses() {
+        let dir = temp_dir("corrupt");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store_result(1, &outcome());
+        let path = cache.entry_path("results", 1);
+
+        // Flipped payload byte: checksum rejects it.
+        let good = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, good.replace("17", "99")).unwrap();
+        assert_eq!(cache.load_result(1), None);
+
+        // Truncation.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert_eq!(cache.load_result(1), None);
+
+        // Stale format version.
+        std::fs::write(&path, good.replace(MAGIC, "hetrta-cache v0")).unwrap();
+        assert_eq!(cache.load_result(1), None);
+
+        // Garbage.
+        std::fs::write(&path, b"\x00\xFF not a cache entry").unwrap();
+        assert_eq!(cache.load_result(1), None);
+
+        // Checksum-valid but grammatically stale payload.
+        let payload = "frobnicate 1 2 3";
+        std::fs::write(
+            &path,
+            format!("{MAGIC}\n{payload}\n{:016x}\n", fnv64(payload)),
+        )
+        .unwrap();
+        assert_eq!(cache.load_result(1), None);
+        assert_eq!(cache.counters().hits, 0, "no defect may count as a hit");
+
+        // Rewriting repairs the entry.
+        cache.store_result(1, &outcome());
+        assert_eq!(cache.load_result(1), Some(outcome()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_directory_fails_open() {
+        let err = DiskCache::open("/proc/definitely-not-writable/hetrta").unwrap_err();
+        assert!(err.contains("cannot create cache dir"), "{err}");
+    }
+}

@@ -1,8 +1,13 @@
-//! The engine facade: spec in, deterministic aggregate + run statistics out.
+//! The engine facade: specs in, deterministic aggregates + run statistics
+//! out — either blocking ([`Engine::run`]) or as an observable session
+//! ([`Engine::submit`] → [`SweepHandle`]).
 
 use std::cmp::Reverse;
+use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hetrta_api::{AnalysisOutcome, AnalysisRegistry};
@@ -10,8 +15,12 @@ use hetrta_core::TransformedTask;
 
 use crate::aggregate::{Aggregator, SweepAggregate};
 use crate::cache::{CacheCounters, MemoCache};
-use crate::job::{self, Job};
+use crate::disk::DiskCache;
+use crate::job::{self, Job, JobMetrics};
 use crate::pool;
+use crate::session::{
+    EventQueue, ProgressCounters, SessionConfig, SessionShared, SweepEvent, SweepHandle,
+};
 use crate::spec::SweepSpec;
 
 /// Default per-cache entry bound of [`EngineCaches`]: roomy for any
@@ -29,11 +38,17 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
 ///   analysis outcome;
 /// * `identity` — job input *recipe* → content hash, so repeated-seed jobs
 ///   whose results are cached never regenerate the input.
+///
+/// Optionally layered over a disk-persistent [`DiskCache`]
+/// ([`EngineBuilder::with_cache_dir`]): memory misses probe the disk
+/// before computing, and fresh results are written through, so a second
+/// engine — in this process or another — replays instead of recomputing.
 #[derive(Debug)]
 pub struct EngineCaches {
     pub(crate) transform: MemoCache<Result<TransformedTask, String>>,
     pub(crate) results: MemoCache<Result<AnalysisOutcome, String>>,
     pub(crate) identity: MemoCache<Option<u128>>,
+    pub(crate) disk: Option<DiskCache>,
 }
 
 impl EngineCaches {
@@ -44,6 +59,90 @@ impl EngineCaches {
             transform: MemoCache::bounded(capacity),
             results: MemoCache::bounded(capacity),
             identity: MemoCache::bounded(capacity),
+            disk: None,
+        }
+    }
+
+    /// Bounded in-memory caches layered over a disk-persistent directory.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Cache`] when the directory cannot be created.
+    pub fn with_disk(capacity: usize, dir: impl Into<PathBuf>) -> Result<Self, EngineError> {
+        let mut caches = EngineCaches::with_capacity(capacity);
+        caches.disk = Some(DiskCache::open(dir).map_err(EngineError::Cache)?);
+        Ok(caches)
+    }
+
+    /// The disk layer, when one is attached.
+    #[must_use]
+    pub fn disk(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
+    }
+
+    /// Disk-probe counters (zero when no cache directory is attached).
+    #[must_use]
+    pub fn disk_counters(&self) -> CacheCounters {
+        self.disk
+            .as_ref()
+            .map_or_else(CacheCounters::default, DiskCache::counters)
+    }
+
+    /// Looks up a memoized result: memory first, then (on a memory miss)
+    /// the disk layer, promoting disk hits into memory. Quiet on the
+    /// in-memory counters, like [`MemoCache::peek`].
+    pub(crate) fn peek_result(&self, key: u128) -> Option<Result<AnalysisOutcome, String>> {
+        if let Some(value) = self.results.peek(key) {
+            return Some(value);
+        }
+        let outcome = self.disk.as_ref()?.load_result(key)?;
+        let value = Ok(outcome);
+        self.results.insert(key, value.clone());
+        Some(value)
+    }
+
+    /// Memory → disk → compute. Returns the value and whether it was
+    /// served without computing (either layer). Freshly computed `Ok`
+    /// results are persisted to the disk layer; errors never are.
+    pub(crate) fn result_get_or_compute(
+        &self,
+        key: u128,
+        compute: impl FnOnce() -> Result<AnalysisOutcome, String>,
+    ) -> (Result<AnalysisOutcome, String>, bool) {
+        let mut computed = false;
+        let (value, memory_hit) = self.results.get_or_compute(key, || {
+            if let Some(disk) = &self.disk {
+                if let Some(outcome) = disk.load_result(key) {
+                    return Ok(outcome);
+                }
+            }
+            computed = true;
+            compute()
+        });
+        if computed {
+            if let (Some(disk), Ok(outcome)) = (&self.disk, &value) {
+                disk.store_result(key, outcome);
+            }
+        }
+        (value, memory_hit || !computed)
+    }
+
+    /// Identity-memo lookup with disk fallback (disk hits are promoted
+    /// into memory).
+    pub(crate) fn identity_lookup(&self, key: u128) -> Option<Option<u128>> {
+        if let Some(value) = self.identity.get(key) {
+            return Some(value);
+        }
+        let value = self.disk.as_ref()?.load_identity(key)?;
+        self.identity.insert(key, value);
+        Some(value)
+    }
+
+    /// Stores one identity entry in memory and (when attached) on disk.
+    pub(crate) fn identity_store(&self, key: u128, content: Option<u128>) {
+        self.identity.insert(key, content);
+        if let Some(disk) = &self.disk {
+            disk.store_identity(key, content);
         }
     }
 
@@ -90,14 +189,66 @@ impl Default for EngineCaches {
 /// How the engine seeds its injector queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum InjectionOrder {
-    /// Heaviest analysis kinds first (by
-    /// [`Analysis::cost_hint`](hetrta_api::Analysis::cost_hint)), so a
-    /// single expensive job does not tail the sweep. Aggregates are
-    /// injection-order independent, so this is the default.
+    /// Heaviest analysis kinds first, so a single expensive job does not
+    /// tail the sweep. "Heaviest" is *measured*: the engine learns a
+    /// wall-clock EWMA per registry key from finished jobs (see
+    /// [`CostModel`]) and falls back to the static
+    /// [`Analysis::cost_hint`](hetrta_api::Analysis::cost_hint) rank for
+    /// keys it has not timed yet. Aggregates are injection-order
+    /// independent, so this is the default.
     #[default]
     CostDescending,
     /// Plain expansion order.
     Expansion,
+}
+
+/// Per-registry-key wall-clock cost estimates, learned from finished jobs.
+///
+/// Each computed (non-cached) analysis execution feeds an exponentially
+/// weighted moving average of its wall time; the injector orders jobs by
+/// these measurements instead of the static `cost_hint` rank once a key
+/// has been observed. The model is shared across every run of an engine,
+/// so a second sweep is ordered by what the first one actually measured.
+#[derive(Debug, Default)]
+pub struct CostModel {
+    ewma_micros: Mutex<HashMap<Arc<str>, f64>>,
+}
+
+/// EWMA smoothing factor: new measurements carry 20% weight.
+const EWMA_ALPHA: f64 = 0.2;
+
+impl CostModel {
+    /// Feeds one measured analysis execution.
+    pub fn observe(&self, key: &Arc<str>, elapsed: Duration) {
+        let micros = elapsed.as_secs_f64() * 1e6;
+        let mut map = self.ewma_micros.lock().expect("cost model");
+        match map.get_mut(key) {
+            Some(current) => *current = EWMA_ALPHA * micros + (1.0 - EWMA_ALPHA) * *current,
+            None => {
+                map.insert(Arc::clone(key), micros);
+            }
+        }
+    }
+
+    /// The learned EWMA for `key` in microseconds, if any job timed it.
+    #[must_use]
+    pub fn measured_micros(&self, key: &str) -> Option<f64> {
+        self.ewma_micros
+            .lock()
+            .expect("cost model")
+            .get(key)
+            .copied()
+    }
+
+    /// The ordering estimate for `key`: the measured EWMA, or the static
+    /// `hint` rank as a (dimensionless, very small) prior for keys never
+    /// timed — enough to order unmeasured keys among themselves exactly
+    /// like the pre-measurement engine did.
+    #[must_use]
+    pub fn estimate_micros(&self, key: &str, hint: u8) -> f64 {
+        self.measured_micros(key)
+            .unwrap_or_else(|| f64::from(hint) * 1e-3)
+    }
 }
 
 /// Statistics of one [`Engine::run`].
@@ -121,6 +272,9 @@ pub struct EngineStats {
     pub result_cache: CacheCounters,
     /// Identity-memo activity during this run.
     pub identity_cache: CacheCounters,
+    /// Disk-layer probe activity during this run (all zero when the
+    /// engine has no cache directory).
+    pub disk_cache: CacheCounters,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
@@ -155,6 +309,13 @@ impl EngineStats {
             "  identity memo:   {} hits / {} misses",
             self.identity_cache.hits, self.identity_cache.misses,
         );
+        if self.disk_cache != CacheCounters::default() {
+            let _ = writeln!(
+                out,
+                "  disk cache:      {} hits / {} misses",
+                self.disk_cache.hits, self.disk_cache.misses,
+            );
+        }
         if self.skipped_jobs > 0 {
             let _ = writeln!(out, "  skipped samples: {}", self.skipped_jobs);
         }
@@ -197,6 +358,11 @@ pub enum EngineError {
         /// Expansion index of the missing job.
         index: usize,
     },
+    /// The sweep was cancelled through its [`SweepHandle`] before every
+    /// job ran.
+    Cancelled,
+    /// The disk cache directory could not be opened.
+    Cache(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -207,24 +373,162 @@ impl std::fmt::Display for EngineError {
             EngineError::Incomplete { index } => {
                 write!(f, "internal: job {index} produced no result")
             }
+            EngineError::Cancelled => write!(f, "sweep cancelled"),
+            EngineError::Cache(msg) => write!(f, "disk cache: {msg}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
 
+/// Cache-counter snapshot taken when a run starts, so its statistics
+/// report per-run deltas on the engine's long-lived caches.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CacheBaseline {
+    pub(crate) transform: CacheCounters,
+    pub(crate) results: CacheCounters,
+    pub(crate) identity: CacheCounters,
+    pub(crate) disk: CacheCounters,
+}
+
+impl CacheBaseline {
+    fn snapshot(caches: &EngineCaches) -> Self {
+        CacheBaseline {
+            transform: caches.transform.counters(),
+            results: caches.results.counters(),
+            identity: caches.identity.counters(),
+            disk: caches.disk_counters(),
+        }
+    }
+}
+
+/// Builds an [`Engine`] — worker threads, registry, cache capacity,
+/// injection order, and (the option only the builder offers) a
+/// disk-persistent cache directory.
+///
+/// ```no_run
+/// use hetrta_engine::EngineBuilder;
+///
+/// # fn main() -> Result<(), hetrta_engine::EngineError> {
+/// // Results persist under .hetrta-cache: a second process running the
+/// // same spec replays every analysis from disk instead of recomputing.
+/// let engine = EngineBuilder::new()
+///     .threads(8)
+///     .with_cache_dir(".hetrta-cache")
+///     .build()?;
+/// # let _ = engine;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EngineBuilder {
+    threads: usize,
+    registry: AnalysisRegistry,
+    capacity: usize,
+    injection: InjectionOrder,
+    cache_dir: Option<PathBuf>,
+}
+
+impl EngineBuilder {
+    /// A builder with the defaults of [`Engine::new`]: all cores, the
+    /// builtin registry, [`DEFAULT_CACHE_CAPACITY`], cost-descending
+    /// injection, no disk layer.
+    #[must_use]
+    pub fn new() -> Self {
+        EngineBuilder {
+            threads: 0,
+            registry: AnalysisRegistry::builtin(),
+            capacity: DEFAULT_CACHE_CAPACITY,
+            injection: InjectionOrder::default(),
+            cache_dir: None,
+        }
+    }
+
+    /// Worker threads (`0` = all available cores).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The registry jobs resolve their analysis keys against.
+    #[must_use]
+    pub fn registry(mut self, registry: AnalysisRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Bound of each in-memory cache, in entries.
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Injector seeding order.
+    #[must_use]
+    pub fn injection_order(mut self, injection: InjectionOrder) -> Self {
+        self.injection = injection;
+        self
+    }
+
+    /// Attaches a disk-persistent cache directory: analysis results (and
+    /// the job-identity memo) are written under `dir` keyed by their
+    /// stable content hashes, so a later engine — including one in a
+    /// fresh process — replays them instead of recomputing. See
+    /// [`crate::disk`] for the layout and invalidation story.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Cache`] when the cache directory cannot be created.
+    pub fn build(self) -> Result<Engine, EngineError> {
+        let caches = match self.cache_dir {
+            None => EngineCaches::with_capacity(self.capacity),
+            Some(dir) => EngineCaches::with_disk(self.capacity, dir)?,
+        };
+        Ok(Engine {
+            threads: pool::resolve_threads(self.threads),
+            caches: Arc::new(caches),
+            registry: Arc::new(self.registry),
+            injection: self.injection,
+            cost_model: Arc::new(CostModel::default()),
+        })
+    }
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder::new()
+    }
+}
+
 /// The work-stealing, registry-driven batch-analysis engine.
 ///
 /// Holds the worker-thread count, the [`AnalysisRegistry`] jobs resolve
 /// their keys against, and the content-addressed caches; caches persist
 /// across runs, so re-running a spec (or running an overlapping one) on
-/// the same engine is served from memory.
+/// the same engine is served from memory — and, with
+/// [`EngineBuilder::with_cache_dir`], across processes from disk.
+///
+/// Sweeps run either blocking ([`Engine::run`]) or as an observable
+/// session ([`Engine::submit`] → [`SweepHandle`] with a typed event
+/// stream, live statistics, and cancellation). `run` is literally
+/// `submit` + [`SweepHandle::wait`], so both paths produce bitwise
+/// identical aggregates.
 #[derive(Debug)]
 pub struct Engine {
     threads: usize,
     caches: Arc<EngineCaches>,
     registry: Arc<AnalysisRegistry>,
     injection: InjectionOrder,
+    cost_model: Arc<CostModel>,
 }
 
 impl Engine {
@@ -238,21 +542,22 @@ impl Engine {
     /// Creates an engine over a custom registry.
     #[must_use]
     pub fn with_registry(threads: usize, registry: AnalysisRegistry) -> Self {
-        Engine {
-            threads: pool::resolve_threads(threads),
-            caches: Arc::new(EngineCaches::default()),
-            registry: Arc::new(registry),
-            injection: InjectionOrder::default(),
-        }
+        EngineBuilder::new()
+            .threads(threads)
+            .registry(registry)
+            .build()
+            .expect("no cache dir, cannot fail")
     }
 
     /// Creates an engine whose caches are bounded at (approximately)
     /// `capacity` entries each.
     #[must_use]
     pub fn with_cache_capacity(threads: usize, capacity: usize) -> Self {
-        let mut engine = Engine::new(threads);
-        engine.caches = Arc::new(EngineCaches::with_capacity(capacity));
-        engine
+        EngineBuilder::new()
+            .threads(threads)
+            .cache_capacity(capacity)
+            .build()
+            .expect("no cache dir, cannot fail")
     }
 
     /// Overrides the injector seeding order.
@@ -280,7 +585,17 @@ impl Engine {
         &self.registry
     }
 
+    /// The learned per-key cost model feeding the injector order.
+    #[must_use]
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
     /// Expands `spec`, runs every job on the worker pool, and aggregates.
+    ///
+    /// A thin wrapper over [`Engine::submit`] + [`SweepHandle::wait`]
+    /// with events disabled — the blocking path and the streaming path
+    /// are the same machinery, pinned bitwise-identical by tests.
     ///
     /// The aggregate is deterministic: same spec ⇒ identical result for
     /// any thread count, any injection order, and any cache state.
@@ -291,6 +606,30 @@ impl Engine {
     /// spec or unknown registry keys, the latter listing every valid key),
     /// or [`EngineError::Job`] if a job fails.
     pub fn run(&self, spec: &SweepSpec) -> Result<EngineOutput, EngineError> {
+        self.submit_with(spec, SessionConfig::quiet())?.wait()
+    }
+
+    /// Submits `spec` as an observable session with default
+    /// [`SessionConfig`] (per-job events, no partial snapshots).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidSpec`] — validation happens here, before the
+    /// session thread spawns, so a handle always denotes runnable work.
+    pub fn submit(&self, spec: &SweepSpec) -> Result<SweepHandle, EngineError> {
+        self.submit_with(spec, SessionConfig::default())
+    }
+
+    /// Submits `spec` with explicit observability knobs.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidSpec`] (see [`Engine::submit`]).
+    pub fn submit_with(
+        &self,
+        spec: &SweepSpec,
+        config: SessionConfig,
+    ) -> Result<SweepHandle, EngineError> {
         spec.validate()?;
         let produced = spec.input_kind();
         for key in spec.analyses.keys() {
@@ -301,36 +640,186 @@ impl Engine {
             // A key whose input kind cannot come out of this grid would
             // deterministically fail every job; refuse before any work.
             if analysis.input_kind() != produced {
+                let compatible: Vec<&str> = self
+                    .registry
+                    .keys()
+                    .into_iter()
+                    .filter(|k| {
+                        self.registry
+                            .get(k)
+                            .is_ok_and(|a| a.input_kind() == produced)
+                    })
+                    .collect();
                 return Err(EngineError::InvalidSpec(format!(
-                    "analysis `{key}` expects a {}, but this grid produces a {}",
+                    "analysis `{key}` expects a {}, but this grid produces a {} \
+                     (analyses of this grid: {})",
                     analysis.input_kind().describe(),
-                    produced.describe()
+                    produced.describe(),
+                    compatible.join(", ")
                 )));
             }
         }
-        let started = Instant::now();
-        let transform_before = self.caches.transform.counters();
-        let results_before = self.caches.results.counters();
-        let identity_before = self.caches.identity.counters();
 
         let (cells, mut jobs) = spec.expand();
         let job_count = jobs.len();
         if self.injection == InjectionOrder::CostDescending {
             self.order_by_cost(&mut jobs);
         }
-        let mut aggregator = Aggregator::new(cells, job_count, spec.cell_shape());
-        let caches = Arc::clone(&self.caches);
-        let registry = Arc::clone(&self.registry);
-        let worker_stats = pool::run_jobs(
+        let shape = spec.cell_shape();
+
+        let shared = Arc::new(SessionShared {
+            events: EventQueue::new(config.max_buffered_events),
+            cancel: AtomicBool::new(false),
+            progress: ProgressCounters::default(),
+            caches: Arc::clone(&self.caches),
+            baseline: CacheBaseline::snapshot(&self.caches),
+            threads: self.threads.min(job_count.max(1)),
+            total_jobs: job_count,
+            started: Instant::now(),
+        });
+        let result = Arc::new(Mutex::new(None));
+
+        let session = SessionTask {
+            caches: Arc::clone(&self.caches),
+            registry: Arc::clone(&self.registry),
+            cost_model: Arc::clone(&self.cost_model),
+            shared: Arc::clone(&shared),
+            result: Arc::clone(&result),
+            config,
+            cells,
             jobs,
-            self.threads,
-            move |worker, j| job::execute(&caches, &registry, &j, worker),
-            |_, result| aggregator.accept(result),
+            shape,
+        };
+        let thread = std::thread::Builder::new()
+            .name("hetrta-sweep".into())
+            .spawn(move || session.run())
+            .expect("spawn sweep session thread");
+        Ok(SweepHandle::new(shared, result, thread))
+    }
+
+    /// Stable-sorts jobs so the heaviest analysis kinds enter the injector
+    /// first — by learned wall-clock EWMA where measured, by the static
+    /// `cost_hint` rank otherwise (the aggregator replays expansion order,
+    /// so aggregates are unaffected either way).
+    fn order_by_cost(&self, jobs: &mut [Job]) {
+        jobs.sort_by_cached_key(|job| {
+            let cost = job
+                .payload
+                .analyses
+                .iter()
+                .filter_map(|key| {
+                    let hint = self.registry.get(key).ok()?.cost_hint();
+                    Some(self.cost_model.estimate_micros(key, hint))
+                })
+                .fold(0.0_f64, f64::max);
+            // Non-negative f64 bit patterns order like the floats.
+            (Reverse(cost.max(0.0).to_bits()), job.index)
+        });
+    }
+}
+
+/// Everything one session thread owns: it executes the jobs, feeds the
+/// aggregator and cost model, emits events, and deposits the result.
+struct SessionTask {
+    caches: Arc<EngineCaches>,
+    registry: Arc<AnalysisRegistry>,
+    cost_model: Arc<CostModel>,
+    shared: Arc<SessionShared>,
+    result: Arc<Mutex<Option<Result<EngineOutput, EngineError>>>>,
+    config: SessionConfig,
+    cells: Vec<crate::spec::CellInfo>,
+    jobs: Vec<Job>,
+    shape: crate::spec::CellShape,
+}
+
+impl SessionTask {
+    fn run(mut self) {
+        // Close the event stream even if a worker (or the aggregation
+        // callback) panics: a consumer blocked in `next_event()` must
+        // wake up and fall through to `wait()`, which re-raises the
+        // panic — never hang on a Condvar that nobody will notify.
+        struct CloseOnDrop(Arc<SessionShared>);
+        impl Drop for CloseOnDrop {
+            fn drop(&mut self) {
+                self.0.events.close();
+            }
+        }
+        let _close = CloseOnDrop(Arc::clone(&self.shared));
+        let outcome = self.execute();
+        *self.result.lock().expect("session result") = Some(outcome);
+    }
+
+    fn execute(&mut self) -> Result<EngineOutput, EngineError> {
+        let shared = &self.shared;
+        let jobs = std::mem::take(&mut self.jobs);
+        let job_count = jobs.len();
+        let mut aggregator =
+            Aggregator::new(std::mem::take(&mut self.cells), job_count, self.shape);
+        let caches = &self.caches;
+        let registry = &self.registry;
+        let config = &self.config;
+        let cost_model = &self.cost_model;
+
+        let worker_stats = pool::run_jobs_cancellable(
+            jobs,
+            shared.threads,
+            Some(&shared.cancel),
+            move |worker, j: Job| {
+                if config.job_events {
+                    shared
+                        .events
+                        .push(SweepEvent::JobStarted { index: j.index });
+                }
+                job::execute(caches, registry, &j, worker)
+            },
+            |_, result| {
+                for (key, elapsed) in &result.timings {
+                    cost_model.observe(key, *elapsed);
+                }
+                shared.progress.done.fetch_add(1, Ordering::Relaxed);
+                if result.cache_hit {
+                    shared.progress.cached.fetch_add(1, Ordering::Relaxed);
+                }
+                if matches!(result.metrics, Ok(JobMetrics::Skipped)) {
+                    shared.progress.skipped.fetch_add(1, Ordering::Relaxed);
+                }
+                if config.job_events {
+                    shared.events.push(SweepEvent::JobFinished {
+                        index: result.index,
+                        cell: result.cell,
+                        key: result.identity,
+                        cache_hit: result.cache_hit,
+                        wall_time: result.wall_time,
+                    });
+                }
+                aggregator.accept(result);
+                if let Some(every) = config.partial_every {
+                    let received = aggregator.received();
+                    if received.is_multiple_of(every) && received < job_count {
+                        shared.events.push(SweepEvent::PartialAggregate {
+                            completed: received,
+                            total: job_count,
+                            aggregate: aggregator.partial(),
+                        });
+                    }
+                }
+            },
         );
+
+        let completed = aggregator.received();
+        let cancelled = shared.cancel.load(Ordering::Relaxed) && completed < job_count;
+        shared.events.push(SweepEvent::SweepFinished {
+            completed,
+            cancelled,
+        });
+        if cancelled {
+            return Err(EngineError::Cancelled);
+        }
 
         let cached_jobs = aggregator.cache_hits();
         let skipped_jobs = aggregator.skipped();
         let aggregate = aggregator.finalize()?;
+        let baseline = shared.baseline;
         let stats = EngineStats {
             threads: worker_stats.len(),
             jobs: job_count,
@@ -338,29 +827,13 @@ impl Engine {
             per_worker_steals: worker_stats.iter().map(|w| w.steals).collect(),
             cached_jobs,
             skipped_jobs,
-            transform_cache: self.caches.transform.counters().since(transform_before),
-            result_cache: self.caches.results.counters().since(results_before),
-            identity_cache: self.caches.identity.counters().since(identity_before),
-            elapsed: started.elapsed(),
+            transform_cache: caches.transform.counters().since(baseline.transform),
+            result_cache: caches.results.counters().since(baseline.results),
+            identity_cache: caches.identity.counters().since(baseline.identity),
+            disk_cache: caches.disk_counters().since(baseline.disk),
+            elapsed: shared.started.elapsed(),
         };
         Ok(EngineOutput { aggregate, stats })
-    }
-
-    /// Stable-sorts jobs so the heaviest analysis kinds enter the injector
-    /// first (the aggregator replays expansion order, so aggregates are
-    /// unaffected).
-    fn order_by_cost(&self, jobs: &mut [Job]) {
-        jobs.sort_by_cached_key(|job| {
-            let cost = job
-                .payload
-                .analyses
-                .iter()
-                .filter_map(|key| self.registry.get(key).ok())
-                .map(hetrta_api::Analysis::cost_hint)
-                .max()
-                .unwrap_or(0);
-            (Reverse(cost), job.index)
-        });
     }
 }
 
@@ -482,5 +955,51 @@ mod tests {
         assert!(e.to_string().contains("job 3"));
         let e = EngineError::Incomplete { index: 1 };
         assert!(e.to_string().contains("no result"));
+        assert!(EngineError::Cancelled.to_string().contains("cancelled"));
+        let e = EngineError::Cache("denied".into());
+        assert!(e.to_string().contains("disk cache: denied"));
+    }
+
+    #[test]
+    fn cost_model_learns_ewmas_and_orders_by_them() {
+        let model = CostModel::default();
+        let key: Arc<str> = Arc::from("hom");
+        assert_eq!(model.measured_micros("hom"), None);
+        // Unmeasured keys order by their static hints.
+        assert!(model.estimate_micros("exact", 4) > model.estimate_micros("hom", 0));
+        model.observe(&key, Duration::from_micros(100));
+        assert_eq!(model.measured_micros("hom"), Some(100.0));
+        // EWMA: 0.2·500 + 0.8·100 = 180.
+        model.observe(&key, Duration::from_micros(500));
+        let ewma = model.measured_micros("hom").unwrap();
+        assert!((ewma - 180.0).abs() < 1e-6, "{ewma}");
+        // A measured key outweighs any static hint.
+        assert!(model.estimate_micros("hom", 0) > model.estimate_micros("exact", 255));
+    }
+
+    #[test]
+    fn measured_costs_reorder_the_injector_without_changing_aggregates() {
+        // Run once (costs get measured), then again: the second run's
+        // injector is EWMA-ordered, and the aggregate must not move.
+        let spec = SweepSpec::fractions(
+            GeneratorPreset::Custom(hetrta_gen::NfjParams::small_tasks().with_node_range(4, 12)),
+            vec![2],
+            vec![0.2],
+            4,
+            5,
+        )
+        .with_analyses(crate::AnalysisSelection::all());
+        let engine = Engine::new(2);
+        let first = engine.run(&spec).unwrap();
+        for key in ["het", "hom", "sim", "exact"] {
+            assert!(
+                engine.cost_model().measured_micros(key).is_some(),
+                "`{key}` was executed but never measured"
+            );
+        }
+        let second = engine.run(&spec).unwrap();
+        assert_eq!(first.aggregate, second.aggregate);
+        // Fully cached second run adds no new measurements.
+        assert_eq!(second.stats.cached_jobs as usize, second.stats.jobs);
     }
 }

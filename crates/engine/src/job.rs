@@ -15,6 +15,7 @@
 //!    regardless of core count or analysis kind.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use hetrta_api::{
     Analysis, AnalysisContext, AnalysisInput, AnalysisOutcome, AnalysisParams, AnalysisRegistry,
@@ -228,7 +229,8 @@ pub enum JobMetrics {
     Skipped,
 }
 
-/// A finished job, streamed to the aggregator.
+/// A finished job, streamed to the aggregator (and, through session
+/// events, to observers).
 #[derive(Debug, Clone)]
 pub struct JobResult {
     /// The job's expansion index.
@@ -237,8 +239,17 @@ pub struct JobResult {
     pub cell: usize,
     /// Worker that executed it.
     pub worker: usize,
-    /// Whether the job was served entirely from the memo caches.
+    /// Stable content key of the job's input recipe ([`JobInput::identity_hash`]).
+    pub identity: u128,
+    /// Whether the job was served entirely from the memo caches (memory
+    /// or disk).
     pub cache_hit: bool,
+    /// Wall-clock execution time on the worker.
+    pub wall_time: Duration,
+    /// Measured wall time of each analysis that was actually *computed*
+    /// (cache-served analyses are not timed) — the feed of the engine's
+    /// per-key cost EWMAs.
+    pub timings: Vec<(Arc<str>, Duration)>,
     /// Metrics, or the failure message.
     pub metrics: Result<JobMetrics, String>,
 }
@@ -267,15 +278,22 @@ pub(crate) fn execute(
     job: &Job,
     worker: usize,
 ) -> JobResult {
-    let (metrics, cache_hit) = match execute_payload(caches, registry, &job.payload) {
-        Ok((metrics, cache_hit)) => (Ok(metrics), cache_hit),
-        Err(message) => (Err(message), false),
-    };
+    let started = Instant::now();
+    let identity = job.payload.input.identity_hash();
+    let mut timings = Vec::new();
+    let (metrics, cache_hit) =
+        match execute_payload(caches, registry, &job.payload, identity, &mut timings) {
+            Ok((metrics, cache_hit)) => (Ok(metrics), cache_hit),
+            Err(message) => (Err(message), false),
+        };
     JobResult {
         index: job.index,
         cell: job.cell,
         worker,
+        identity,
         cache_hit,
+        wall_time: started.elapsed(),
+        timings,
         metrics,
     }
 }
@@ -284,6 +302,8 @@ fn execute_payload(
     caches: &EngineCaches,
     registry: &AnalysisRegistry,
     payload: &JobPayload,
+    identity: u128,
+    timings: &mut Vec<(Arc<str>, Duration)>,
 ) -> Result<(JobMetrics, bool), String> {
     let analyses: Vec<&dyn Analysis> = payload
         .analyses
@@ -291,10 +311,9 @@ fn execute_payload(
         .map(|key| registry.get(key).map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
 
-    // Fast path: a previously seen recipe whose results are all cached is
-    // served without regenerating the input.
-    let identity = payload.input.identity_hash();
-    match caches.identity.get(identity) {
+    // Fast path: a previously seen recipe whose results are all cached
+    // (in memory or on disk) is served without regenerating the input.
+    match caches.identity_lookup(identity) {
         Some(None) => return Ok((JobMetrics::Skipped, true)),
         Some(Some(content)) => {
             if let Some(outcomes) = cached_outcomes(caches, content, &analyses, &payload.params)? {
@@ -305,11 +324,11 @@ fn execute_payload(
     }
 
     let Some(input) = payload.input.materialize()? else {
-        caches.identity.insert(identity, None);
+        caches.identity_store(identity, None);
         return Ok((JobMetrics::Skipped, false));
     };
     let content = hash_input(&input);
-    caches.identity.insert(identity, Some(content));
+    caches.identity_store(identity, Some(content));
 
     let request = AnalysisRequest {
         input,
@@ -318,15 +337,22 @@ fn execute_payload(
     let ctx = EngineContext { caches };
     let mut outcomes = Vec::with_capacity(analyses.len());
     let mut all_hits = true;
-    for analysis in &analyses {
+    for (analysis, key_arc) in analyses.iter().zip(payload.analyses.iter()) {
         let key = result_key(
             content,
             analysis.key(),
             analysis.cache_params(&request.params),
         );
-        let (value, hit) = caches.results.get_or_compute(key, || {
-            analysis.run(&request, &ctx).map_err(|e| e.to_string())
+        let mut measured = None;
+        let (value, hit) = caches.result_get_or_compute(key, || {
+            let t0 = Instant::now();
+            let value = analysis.run(&request, &ctx).map_err(|e| e.to_string());
+            measured = Some(t0.elapsed());
+            value
         });
+        if let Some(elapsed) = measured {
+            timings.push((Arc::clone(key_arc), elapsed));
+        }
         all_hits &= hit;
         outcomes.push(value?);
     }
@@ -344,7 +370,7 @@ fn cached_outcomes(
     let mut outcomes = Vec::with_capacity(analyses.len());
     for analysis in analyses {
         let key = result_key(content, analysis.key(), analysis.cache_params(params));
-        match caches.results.peek(key) {
+        match caches.peek_result(key) {
             Some(Ok(outcome)) => outcomes.push(outcome),
             Some(Err(message)) => return Err(message),
             None => return Ok(None),

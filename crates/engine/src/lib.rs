@@ -23,7 +23,13 @@
 //!   just to compute the lookup key;
 //! * the [`SweepAggregate`] is **bit-deterministic**: expansion order, not
 //!   completion order, drives every floating-point reduction, so one
-//!   thread and N threads produce identical aggregates.
+//!   thread and N threads produce identical aggregates;
+//! * sweeps are **observable sessions** ([`session`]): [`Engine::submit`]
+//!   returns a [`SweepHandle`] with a typed [`SweepEvent`] stream, live
+//!   statistics, and cancellation — [`Engine::run`] is submit + wait;
+//! * the caches can persist to **disk** ([`disk`], via
+//!   [`EngineBuilder::with_cache_dir`]), so a second process running the
+//!   same spec replays every result instead of recomputing.
 //!
 //! ## Example
 //!
@@ -56,9 +62,11 @@
 
 pub mod aggregate;
 pub mod cache;
+pub mod disk;
 mod engine;
 pub mod job;
 pub mod pool;
+pub mod session;
 pub mod spec;
 
 pub use aggregate::{
@@ -66,11 +74,13 @@ pub use aggregate::{
     SweepAggregate, TaskCellSummary,
 };
 pub use cache::CacheCounters;
+pub use disk::DiskCache;
 pub use engine::{
-    Engine, EngineCaches, EngineError, EngineOutput, EngineStats, InjectionOrder,
-    DEFAULT_CACHE_CAPACITY,
+    CostModel, Engine, EngineBuilder, EngineCaches, EngineError, EngineOutput, EngineStats,
+    InjectionOrder, DEFAULT_CACHE_CAPACITY,
 };
 pub use job::{Job, JobInput, JobMetrics, JobPayload, JobResult};
+pub use session::{SessionConfig, SweepEvent, SweepHandle};
 pub use spec::{AnalysisSelection, CellInfo, CellShape, GeneratorPreset, SweepGrid, SweepSpec};
 
 // The unified analysis API the engine schedules over.

@@ -13,6 +13,7 @@
 //! re-establish deterministic order regardless of scheduling.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
 
@@ -45,9 +46,27 @@ pub fn resolve_threads(requested: usize) -> usize {
 /// # Panics
 ///
 /// Propagates worker panics (via [`std::thread::scope`]).
-pub fn run_jobs<J, R, E, C>(
+pub fn run_jobs<J, R, E, C>(jobs: Vec<J>, threads: usize, exec: E, consume: C) -> Vec<WorkerStats>
+where
+    J: Send,
+    R: Send,
+    E: Fn(usize, J) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    run_jobs_cancellable(jobs, threads, None, exec, consume)
+}
+
+/// Like [`run_jobs`], with cooperative cancellation: once `cancel` reads
+/// `true`, workers stop dequeuing (jobs already executing finish and their
+/// results are still delivered), so remaining jobs are simply never run.
+///
+/// # Panics
+///
+/// Propagates worker panics (via [`std::thread::scope`]).
+pub fn run_jobs_cancellable<J, R, E, C>(
     jobs: Vec<J>,
     threads: usize,
+    cancel: Option<&AtomicBool>,
     exec: E,
     mut consume: C,
 ) -> Vec<WorkerStats>
@@ -83,6 +102,9 @@ where
             handles.push(scope.spawn(move || {
                 let mut local_stats = WorkerStats::default();
                 loop {
+                    if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                        break;
+                    }
                     let job = next_job(worker, injector, locals, batch, &mut local_stats);
                     let Some((index, job)) = job else { break };
                     let result = exec(worker, job);
@@ -102,7 +124,12 @@ where
         }
 
         for (worker, handle) in handles.into_iter().enumerate() {
-            stats[worker] = handle.join().expect("worker panicked");
+            match handle.join() {
+                Ok(worker_stats) => stats[worker] = worker_stats,
+                // Re-raise with the worker's own payload so the original
+                // failure context survives to the caller.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     stats
@@ -227,5 +254,44 @@ mod tests {
     fn thread_resolution() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn cancellation_stops_dequeuing() {
+        let cancel = AtomicBool::new(false);
+        let mut delivered = 0usize;
+        let stats = run_jobs_cancellable(
+            (0..500u64).collect(),
+            2,
+            Some(&cancel),
+            |_, j| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                j
+            },
+            |_, _| {
+                delivered += 1;
+                cancel.store(true, Ordering::Relaxed); // cancel on first result
+            },
+        );
+        let executed: u64 = stats.iter().map(|s| s.jobs).sum();
+        assert!(executed >= 1, "at least the first job ran");
+        assert!(
+            executed < 500,
+            "cancellation must leave jobs unexecuted, ran {executed}"
+        );
+        assert_eq!(delivered as u64, executed, "every executed job delivers");
+    }
+
+    #[test]
+    fn cancelled_before_start_runs_nothing() {
+        let cancel = AtomicBool::new(true);
+        let stats = run_jobs_cancellable(
+            (0..64u64).collect(),
+            4,
+            Some(&cancel),
+            |_, j| j,
+            |_, _| panic!("no job may run"),
+        );
+        assert_eq!(stats.iter().map(|s| s.jobs).sum::<u64>(), 0);
     }
 }

@@ -1,0 +1,364 @@
+//! Event-driven sweep sessions: `submit` a spec, observe a typed event
+//! stream, `wait` for (or `cancel`) the deterministic result.
+//!
+//! A [`SweepHandle`] is the observable face of one running sweep. The
+//! sweep itself executes on a background orchestrator thread (which owns
+//! the work-stealing worker pool and the streaming aggregator), while the
+//! handle exposes:
+//!
+//! * a typed [`SweepEvent`] stream — [`SweepEvent::JobStarted`],
+//!   [`SweepEvent::JobFinished`] (content key, cache hit, wall time),
+//!   periodic [`SweepEvent::PartialAggregate`] snapshots, and a terminal
+//!   [`SweepEvent::SweepFinished`];
+//! * live [`EngineStats`] snapshots while the sweep runs;
+//! * [`SweepHandle::cancel`] (workers stop dequeuing; in-flight jobs
+//!   finish) and [`SweepHandle::wait`] (blocks for the final
+//!   [`EngineOutput`]).
+//!
+//! The event buffer is bounded: when a consumer falls more than
+//! [`SessionConfig::max_buffered_events`] behind, the oldest events are
+//! dropped (counted by [`SweepHandle::dropped_events`]) rather than
+//! blocking the workers — progress consumers tolerate gaps; the final
+//! aggregate never depends on the event stream.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::aggregate::SweepAggregate;
+use crate::engine::{EngineError, EngineOutput, EngineStats};
+use crate::EngineCaches;
+
+/// One observation from a running sweep, in the order the orchestrator
+/// made it (worker completion order, not expansion order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepEvent {
+    /// A worker dequeued the job and is about to execute it.
+    JobStarted {
+        /// The job's expansion index.
+        index: usize,
+    },
+    /// A job completed (including fully-cached and declined-sample jobs).
+    JobFinished {
+        /// The job's expansion index.
+        index: usize,
+        /// The sweep cell the job contributes to.
+        cell: usize,
+        /// Stable content key of the job's input recipe (the identity
+        /// hash the content-addressed caches are keyed under).
+        key: u128,
+        /// Whether every selected analysis was served from cache (memory
+        /// or disk) without recomputation.
+        cache_hit: bool,
+        /// Wall-clock execution time of the job on its worker.
+        wall_time: Duration,
+    },
+    /// A deterministic-so-far snapshot of the aggregate over every job
+    /// that has completed (cadence set by [`SessionConfig::partial_every`]).
+    PartialAggregate {
+        /// Jobs aggregated into this snapshot.
+        completed: usize,
+        /// Total jobs of the sweep.
+        total: usize,
+        /// The partial aggregate (cells summarize completed jobs only).
+        aggregate: SweepAggregate,
+    },
+    /// Terminal event: the sweep finished (or was cancelled); the final
+    /// result is ready for [`SweepHandle::wait`].
+    SweepFinished {
+        /// Jobs that completed.
+        completed: usize,
+        /// Whether the sweep was cancelled before running every job.
+        cancelled: bool,
+    },
+}
+
+/// Observability knobs of one submitted sweep.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Emit [`SweepEvent::JobStarted`] / [`SweepEvent::JobFinished`] per
+    /// job. Disable for fire-and-wait submissions that never drain the
+    /// stream ([`Engine::run`](crate::Engine::run) does).
+    pub job_events: bool,
+    /// Emit a [`SweepEvent::PartialAggregate`] snapshot after every `n`
+    /// completed jobs (`None` = only the terminal event).
+    pub partial_every: Option<usize>,
+    /// Event-buffer bound; beyond it the oldest events are dropped.
+    pub max_buffered_events: usize,
+}
+
+impl Default for SessionConfig {
+    /// Job events on, no partial snapshots, 64Ki-event buffer.
+    fn default() -> Self {
+        SessionConfig {
+            job_events: true,
+            partial_every: None,
+            max_buffered_events: 1 << 16,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// No events at all — for submit-and-wait callers that never consume
+    /// the stream.
+    #[must_use]
+    pub fn quiet() -> Self {
+        SessionConfig {
+            job_events: false,
+            partial_every: None,
+            ..SessionConfig::default()
+        }
+    }
+
+    /// Job events plus a partial aggregate every `n` completed jobs.
+    #[must_use]
+    pub fn with_partials(n: usize) -> Self {
+        SessionConfig {
+            partial_every: Some(n.max(1)),
+            ..SessionConfig::default()
+        }
+    }
+}
+
+/// Bounded MPSC event buffer (drop-oldest on overflow, never blocks
+/// producers).
+#[derive(Debug)]
+pub(crate) struct EventQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    events: VecDeque<SweepEvent>,
+    closed: bool,
+    dropped: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new(cap: usize) -> Self {
+        EventQueue {
+            state: Mutex::new(QueueState {
+                events: VecDeque::new(),
+                closed: false,
+                dropped: 0,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    pub(crate) fn push(&self, event: SweepEvent) {
+        let mut state = self.state.lock().expect("event queue");
+        if state.events.len() >= self.cap {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        state.events.push_back(event);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("event queue").closed = true;
+        self.ready.notify_all();
+    }
+
+    fn recv(&self) -> Option<SweepEvent> {
+        let mut state = self.state.lock().expect("event queue");
+        loop {
+            if let Some(event) = state.events.pop_front() {
+                return Some(event);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("event queue");
+        }
+    }
+
+    fn try_recv(&self) -> Option<SweepEvent> {
+        self.state.lock().expect("event queue").events.pop_front()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.state.lock().expect("event queue").dropped
+    }
+}
+
+/// Live progress counters shared between the orchestrator and the handle.
+#[derive(Debug, Default)]
+pub(crate) struct ProgressCounters {
+    pub(crate) done: AtomicU64,
+    pub(crate) cached: AtomicU64,
+    pub(crate) skipped: AtomicU64,
+}
+
+/// Everything the handle needs to snapshot live [`EngineStats`].
+#[derive(Debug)]
+pub(crate) struct SessionShared {
+    pub(crate) events: EventQueue,
+    pub(crate) cancel: AtomicBool,
+    pub(crate) progress: ProgressCounters,
+    pub(crate) caches: Arc<EngineCaches>,
+    pub(crate) baseline: crate::engine::CacheBaseline,
+    pub(crate) threads: usize,
+    pub(crate) total_jobs: usize,
+    pub(crate) started: Instant,
+}
+
+/// A handle on one submitted sweep: event stream, live statistics,
+/// cancellation, and the final result.
+///
+/// Dropping an unfinished handle cancels the sweep and joins the
+/// orchestrator, so a `SweepHandle` never leaks a running session.
+///
+/// ```
+/// use hetrta_engine::{Engine, GeneratorPreset, SweepSpec, SweepEvent};
+///
+/// # fn main() -> Result<(), hetrta_engine::EngineError> {
+/// let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 4, 7);
+/// let engine = Engine::new(2);
+/// let handle = engine.submit(&spec)?;
+/// let mut finished = 0;
+/// while let Some(event) = handle.next_event() {
+///     if let SweepEvent::JobFinished { cache_hit, .. } = event {
+///         finished += 1;
+///         let _ = cache_hit; // drive a progress UI here
+///     }
+/// }
+/// let out = handle.wait()?; // same output `Engine::run` would produce
+/// assert_eq!(finished, out.stats.jobs);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SweepHandle {
+    shared: Arc<SessionShared>,
+    result: Arc<Mutex<Option<Result<EngineOutput, EngineError>>>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SweepHandle {
+    pub(crate) fn new(
+        shared: Arc<SessionShared>,
+        result: Arc<Mutex<Option<Result<EngineOutput, EngineError>>>>,
+        thread: std::thread::JoinHandle<()>,
+    ) -> Self {
+        SweepHandle {
+            shared,
+            result,
+            thread: Some(thread),
+        }
+    }
+
+    /// Blocks for the next event; `None` once the sweep has finished and
+    /// every buffered event was drained.
+    #[must_use]
+    pub fn next_event(&self) -> Option<SweepEvent> {
+        self.shared.events.recv()
+    }
+
+    /// A buffered event if one is ready (never blocks).
+    #[must_use]
+    pub fn try_next_event(&self) -> Option<SweepEvent> {
+        self.shared.events.try_recv()
+    }
+
+    /// Events discarded because the consumer fell behind the buffer bound.
+    #[must_use]
+    pub fn dropped_events(&self) -> u64 {
+        self.shared.events.dropped()
+    }
+
+    /// Requests cancellation: workers stop dequeuing, in-flight jobs
+    /// finish, and [`SweepHandle::wait`] returns
+    /// [`EngineError::Cancelled`] (unless every job had already run).
+    pub fn cancel(&self) {
+        self.shared.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Jobs completed so far out of the sweep's total.
+    #[must_use]
+    pub fn progress(&self) -> (usize, usize) {
+        let done = usize::try_from(self.shared.progress.done.load(Ordering::Relaxed))
+            .unwrap_or(usize::MAX);
+        (done, self.shared.total_jobs)
+    }
+
+    /// `true` once the final result is available.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.result.lock().expect("session result").is_some()
+    }
+
+    /// A live [`EngineStats`] snapshot. While the sweep runs the
+    /// per-worker vectors are empty (workers report on join); every other
+    /// field is current. The final, complete statistics are in the
+    /// [`EngineOutput`] returned by [`SweepHandle::wait`].
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        let shared = &self.shared;
+        let progress = &shared.progress;
+        EngineStats {
+            threads: shared.threads,
+            jobs: shared.total_jobs,
+            per_worker_jobs: Vec::new(),
+            per_worker_steals: Vec::new(),
+            cached_jobs: progress.cached.load(Ordering::Relaxed),
+            skipped_jobs: progress.skipped.load(Ordering::Relaxed),
+            transform_cache: shared
+                .caches
+                .transform_counters()
+                .since(shared.baseline.transform),
+            result_cache: shared
+                .caches
+                .result_counters()
+                .since(shared.baseline.results),
+            identity_cache: shared
+                .caches
+                .identity_counters()
+                .since(shared.baseline.identity),
+            disk_cache: shared.caches.disk_counters().since(shared.baseline.disk),
+            elapsed: shared.started.elapsed(),
+        }
+    }
+
+    /// Blocks until the sweep finishes and returns its result — exactly
+    /// what [`Engine::run`](crate::Engine::run) returns (`run` *is*
+    /// `submit` + `wait`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Job`] if a job failed, [`EngineError::Cancelled`]
+    /// if [`SweepHandle::cancel`] stopped the sweep early.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the sweep's worker threads with its
+    /// original payload, so the failure context (which analysis, what
+    /// invariant) is not lost behind a generic message.
+    pub fn wait(mut self) -> Result<EngineOutput, EngineError> {
+        if let Some(thread) = self.thread.take() {
+            if let Err(payload) = thread.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        self.result
+            .lock()
+            .expect("session result")
+            .take()
+            .expect("finished session stores a result")
+    }
+}
+
+impl Drop for SweepHandle {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.shared.cancel.store(true, Ordering::Relaxed);
+            let _ = thread.join();
+        }
+    }
+}

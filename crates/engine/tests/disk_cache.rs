@@ -1,0 +1,154 @@
+//! Disk-persistent cache guarantees: a second engine instance (standing
+//! in for a second process — nothing is shared but the directory) replays
+//! every result from disk with zero recomputation, corrupt or stale
+//! entries degrade to recomputation without ever panicking, and disk
+//! activity is reported in `EngineStats`.
+
+use std::path::PathBuf;
+
+use hetrta_engine::{
+    AnalysisSelection, Engine, EngineBuilder, EngineError, GeneratorPreset, SweepSpec,
+};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hetrta-engine-disk-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> SweepSpec {
+    SweepSpec::fractions(
+        GeneratorPreset::Small,
+        vec![2, 4],
+        vec![0.1, 0.3],
+        5,
+        0xCAFE,
+    )
+    .with_analyses(AnalysisSelection::from_keys(["het", "hom", "sim"]))
+}
+
+fn engine_on(dir: &PathBuf) -> Engine {
+    EngineBuilder::new()
+        .threads(2)
+        .with_cache_dir(dir)
+        .build()
+        .expect("cache dir opens")
+}
+
+#[test]
+fn second_engine_instance_replays_from_disk_with_zero_recomputes() {
+    let dir = temp_dir("roundtrip");
+
+    let cold = engine_on(&dir).run(&spec()).expect("cold run");
+    assert_eq!(cold.stats.disk_cache.hits, 0, "nothing persisted yet");
+    assert!(cold.stats.disk_cache.misses > 0, "disk was probed");
+
+    // A brand-new engine on the same directory: fresh in-memory caches,
+    // so everything must come off disk.
+    let warm = engine_on(&dir).run(&spec()).expect("warm run");
+    assert_eq!(warm.aggregate, cold.aggregate);
+    assert_eq!(
+        format!("{:?}", warm.aggregate),
+        format!("{:?}", cold.aggregate),
+        "disk replay must be bitwise identical"
+    );
+    assert_eq!(
+        warm.stats.cached_jobs as usize, warm.stats.jobs,
+        "zero recomputed jobs on an unchanged spec"
+    );
+    assert!(warm.stats.disk_cache.hits > 0);
+    assert!(
+        warm.stats.render().contains("disk cache"),
+        "{}",
+        warm.stats.render()
+    );
+
+    // And a disk-free engine agrees (the disk layer changes nothing).
+    let reference = Engine::new(2).run(&spec()).expect("reference run");
+    assert_eq!(reference.aggregate, cold.aggregate);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn declined_samples_are_persisted_too() {
+    // A generator that cannot produce a valid task: every job is a
+    // declined sample, memoized on disk, so the second instance skips
+    // generation entirely.
+    let tiny = GeneratorPreset::Custom(hetrta_gen::NfjParams::small_tasks().with_node_range(1, 1));
+    let mut spec = SweepSpec::suspension(vec![2], vec![0.05], 4, 0);
+    spec.preset = tiny;
+    let dir = temp_dir("skips");
+
+    let cold = engine_on(&dir).run(&spec).expect("cold run");
+    assert_eq!(cold.stats.skipped_jobs, 4);
+    let warm = engine_on(&dir).run(&spec).expect("warm run");
+    assert_eq!(warm.stats.skipped_jobs, 4);
+    assert_eq!(warm.stats.cached_jobs, 4, "skips replay from disk");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_and_stale_entries_fall_back_to_recompute() {
+    let dir = temp_dir("corrupt");
+    let cold = engine_on(&dir).run(&spec()).expect("cold run");
+
+    // Vandalize every persisted entry: truncated, garbage, stale magic.
+    let mut vandalized = 0usize;
+    for namespace in ["results", "identity"] {
+        for shard in std::fs::read_dir(dir.join(namespace)).expect("namespace dir") {
+            for entry in std::fs::read_dir(shard.expect("shard").path()).expect("shard dir") {
+                let path = entry.expect("entry").path();
+                let content = match vandalized % 3 {
+                    0 => Vec::new(),                                     // truncated to nothing
+                    1 => b"\xDE\xAD\xBE\xEF garbage".to_vec(),           // binary garbage
+                    _ => b"hetrta-cache v0\nold payload\n00\n".to_vec(), // stale version
+                };
+                std::fs::write(&path, content).expect("vandalize");
+                vandalized += 1;
+            }
+        }
+    }
+    assert!(vandalized > 0, "the cold run persisted entries");
+
+    // The engine must recompute everything, bit-identically, no panic.
+    let recovered = engine_on(&dir).run(&spec()).expect("recovery run");
+    assert_eq!(recovered.aggregate, cold.aggregate);
+    assert_eq!(recovered.stats.disk_cache.hits, 0, "nothing valid on disk");
+    assert!(recovered.stats.disk_cache.misses > 0);
+
+    // Recomputation rewrote the entries: a further instance replays.
+    let warm = engine_on(&dir).run(&spec()).expect("rewritten run");
+    assert_eq!(warm.stats.cached_jobs as usize, warm.stats.jobs);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unusable_cache_dir_is_a_builder_error() {
+    let err = EngineBuilder::new()
+        .with_cache_dir("/proc/definitely/not/writable")
+        .build()
+        .map(|_| ())
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Cache(_)), "{err}");
+    assert!(err.to_string().contains("disk cache"), "{err}");
+}
+
+#[test]
+fn disk_layer_composes_with_bounded_memory_caches() {
+    // Memory far too small to hold the run: the disk still captures
+    // everything, so instance two is fully cached even though instance
+    // one was evicting constantly.
+    let dir = temp_dir("bounded");
+    let tiny = EngineBuilder::new()
+        .threads(2)
+        .cache_capacity(32)
+        .with_cache_dir(&dir)
+        .build()
+        .expect("build");
+    let cold = tiny.run(&spec()).expect("cold run");
+
+    let warm = engine_on(&dir).run(&spec()).expect("warm run");
+    assert_eq!(warm.aggregate, cold.aggregate);
+    assert_eq!(warm.stats.cached_jobs as usize, warm.stats.jobs);
+    let _ = std::fs::remove_dir_all(&dir);
+}

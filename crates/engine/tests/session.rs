@@ -1,0 +1,295 @@
+//! Session-API guarantees: the streaming path is the blocking path
+//! (bitwise-identical aggregates), events are complete and well-formed,
+//! partial aggregates converge on the final one, cancellation stops the
+//! sweep, and live statistics track progress.
+
+use hetrta_engine::{
+    AnalysisSelection, Engine, EngineError, GeneratorPreset, SessionConfig, SweepEvent, SweepSpec,
+};
+
+fn spec() -> SweepSpec {
+    SweepSpec::fractions(
+        GeneratorPreset::Small,
+        vec![2, 4],
+        vec![0.1, 0.3],
+        6,
+        0xD1CE,
+    )
+}
+
+#[test]
+fn streaming_consumption_matches_blocking_run_bitwise() {
+    let blocking = Engine::new(2).run(&spec()).expect("blocking run");
+
+    let engine = Engine::new(2);
+    let handle = engine
+        .submit_with(&spec(), SessionConfig::with_partials(1))
+        .expect("submit");
+    let mut started = 0usize;
+    let mut finished = 0usize;
+    let mut partials = 0usize;
+    let mut terminal = None;
+    while let Some(event) = handle.next_event() {
+        match event {
+            SweepEvent::JobStarted { .. } => started += 1,
+            SweepEvent::JobFinished { wall_time: _, .. } => finished += 1,
+            SweepEvent::PartialAggregate {
+                completed, total, ..
+            } => {
+                assert!(completed >= 1 && completed < total);
+                partials += 1;
+            }
+            SweepEvent::SweepFinished {
+                completed,
+                cancelled,
+            } => {
+                assert!(terminal.is_none(), "exactly one terminal event");
+                terminal = Some((completed, cancelled));
+            }
+        }
+    }
+    let streamed = handle.wait().expect("streamed run");
+
+    assert_eq!(streamed.aggregate, blocking.aggregate);
+    // Byte-identical, not approximately equal.
+    assert_eq!(
+        format!("{:?}", streamed.aggregate),
+        format!("{:?}", blocking.aggregate)
+    );
+    assert_eq!(started, blocking.stats.jobs);
+    assert_eq!(finished, blocking.stats.jobs);
+    // partial_every = 1 → one snapshot per completed job except the last.
+    assert_eq!(partials, blocking.stats.jobs - 1);
+    assert_eq!(terminal, Some((blocking.stats.jobs, false)));
+}
+
+#[test]
+fn event_keys_are_the_stable_content_identities() {
+    // The same spec twice: JobFinished keys must repeat exactly, and the
+    // second submission's jobs must all be cache hits.
+    let engine = Engine::new(1);
+    let keys = |handle: &hetrta_engine::SweepHandle| {
+        let mut keys = Vec::new();
+        let mut hits = 0usize;
+        while let Some(event) = handle.next_event() {
+            if let SweepEvent::JobFinished {
+                index,
+                key,
+                cache_hit,
+                ..
+            } = event
+            {
+                keys.push((index, key));
+                hits += usize::from(cache_hit);
+            }
+        }
+        keys.sort_unstable();
+        (keys, hits)
+    };
+    let first = engine.submit(&spec()).expect("submit");
+    let (first_keys, _) = keys(&first);
+    first.wait().expect("first run");
+    let second = engine.submit(&spec()).expect("submit");
+    let (second_keys, second_hits) = keys(&second);
+    let out = second.wait().expect("second run");
+
+    assert_eq!(first_keys, second_keys, "content identities are stable");
+    assert_eq!(second_hits, out.stats.jobs, "warm run is all cache hits");
+    assert!(first_keys.iter().any(|&(_, k)| k != 0));
+}
+
+#[test]
+fn partial_aggregates_converge_to_the_final_aggregate() {
+    // With a single worker, completion order is expansion order, so the
+    // last partial (after jobs-1 results) differs from the final only in
+    // the final job's cell — and a partial over *all* results would be
+    // the final. Check the last partial's fully-populated cells match.
+    let engine = Engine::new(1);
+    let handle = engine
+        .submit_with(&spec(), SessionConfig::with_partials(1))
+        .expect("submit");
+    let mut last_partial = None;
+    while let Some(event) = handle.next_event() {
+        if let SweepEvent::PartialAggregate { aggregate, .. } = event {
+            last_partial = Some(aggregate);
+        }
+    }
+    let out = handle.wait().expect("run");
+    let last = last_partial.expect("partials were emitted");
+    assert_eq!(last.cells.len(), out.aggregate.cells.len());
+    // All cells except the final one are complete in the last partial.
+    for (partial_cell, final_cell) in last
+        .cells
+        .iter()
+        .zip(&out.aggregate.cells)
+        .take(out.aggregate.cells.len() - 1)
+    {
+        assert_eq!(partial_cell, final_cell);
+    }
+}
+
+/// Many moderately-sized jobs (tiny DAGs keep exact solves at
+/// milliseconds, not seconds) — enough runway that a cancel lands before
+/// the sweep drains.
+fn cancellable_spec() -> SweepSpec {
+    let tiny = GeneratorPreset::Custom(hetrta_gen::NfjParams::small_tasks().with_node_range(4, 12));
+    SweepSpec::fractions(tiny, vec![2], vec![0.2], 64, 3)
+        .with_analyses(AnalysisSelection::from_keys(["sim", "exact"]))
+}
+
+#[test]
+fn cancellation_returns_cancelled_and_stops_the_sweep() {
+    // Plenty of jobs on one worker; cancel after the first finishes.
+    let spec = cancellable_spec();
+    let engine = Engine::new(1);
+    let handle = engine.submit(&spec).expect("submit");
+    while let Some(event) = handle.next_event() {
+        if matches!(event, SweepEvent::JobFinished { .. }) {
+            handle.cancel();
+            break;
+        }
+    }
+    // Drain to the terminal event.
+    let mut cancelled_event = false;
+    while let Some(event) = handle.next_event() {
+        if let SweepEvent::SweepFinished { cancelled, .. } = event {
+            cancelled_event = cancelled;
+        }
+    }
+    assert!(cancelled_event, "terminal event reports the cancellation");
+    let (done, total) = handle.progress();
+    assert!(
+        done < total,
+        "cancellation left jobs unexecuted ({done}/{total})"
+    );
+    assert!(matches!(handle.wait(), Err(EngineError::Cancelled)));
+}
+
+#[test]
+fn live_stats_track_progress_and_finish_consistent() {
+    let engine = Engine::new(2);
+    let handle = engine.submit(&spec()).expect("submit");
+    let total = spec().job_count();
+    let mut saw_midway_stats = false;
+    while let Some(event) = handle.next_event() {
+        if matches!(event, SweepEvent::JobFinished { .. }) {
+            let live = handle.stats();
+            assert_eq!(live.jobs, total);
+            assert!(live.cached_jobs <= live.jobs as u64);
+            saw_midway_stats = true;
+        }
+    }
+    assert!(saw_midway_stats);
+    assert!(handle.is_finished());
+    let final_live = handle.stats();
+    assert_eq!(handle.progress(), (total, total));
+    let out = handle.wait().expect("run");
+    assert_eq!(final_live.jobs, out.stats.jobs);
+    assert_eq!(
+        out.stats.per_worker_jobs.iter().sum::<u64>() as usize,
+        total
+    );
+}
+
+#[test]
+fn quiet_sessions_emit_only_the_terminal_event() {
+    let engine = Engine::new(2);
+    let handle = engine
+        .submit_with(&spec(), SessionConfig::quiet())
+        .expect("submit");
+    let mut events = Vec::new();
+    while let Some(event) = handle.next_event() {
+        events.push(event);
+    }
+    assert_eq!(events.len(), 1, "{events:?}");
+    assert!(matches!(events[0], SweepEvent::SweepFinished { .. }));
+    assert_eq!(handle.dropped_events(), 0);
+    handle.wait().expect("run");
+}
+
+#[test]
+fn unconsumed_event_buffers_bound_their_memory() {
+    // 96 jobs, buffer of 8: the producer must never block, the consumer
+    // sees only the newest events, and the drop counter reports the rest.
+    let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 96, 3);
+    let engine = Engine::new(2);
+    let config = SessionConfig {
+        max_buffered_events: 8,
+        ..SessionConfig::default()
+    };
+    let handle = engine.submit_with(&spec, config).expect("submit");
+    while !handle.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    assert!(handle.dropped_events() > 0, "overflow must be counted");
+    // The terminal event is the newest, so it survived the drops.
+    let mut drained = Vec::new();
+    while let Some(event) = handle.try_next_event() {
+        drained.push(event);
+    }
+    assert!(drained.len() <= 8);
+    assert!(matches!(
+        drained.last(),
+        Some(SweepEvent::SweepFinished { .. })
+    ));
+    let out = handle.wait().expect("run completes without a consumer");
+    assert_eq!(out.stats.jobs, 96);
+}
+
+#[test]
+fn dropping_an_unwaited_handle_cancels_cleanly() {
+    let spec = cancellable_spec();
+    let engine = Engine::new(1);
+    let handle = engine.submit(&spec).expect("submit");
+    drop(handle); // must join the session thread, not leak it
+                  // The engine is still usable afterwards.
+    let out = engine.run(&fast()).expect("post-drop run");
+    assert_eq!(out.stats.jobs, fast().job_count());
+
+    fn fast() -> SweepSpec {
+        SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 2, 3)
+    }
+}
+
+#[test]
+fn panicking_analysis_closes_the_stream_and_reraises_the_payload() {
+    // A worker panic must (a) close the event stream so a blocked
+    // consumer terminates instead of hanging on the Condvar, and
+    // (b) surface the *original* panic payload through wait().
+    use std::sync::Arc;
+
+    #[derive(Debug)]
+    struct Exploding;
+    impl hetrta_engine::Analysis for Exploding {
+        fn key(&self) -> &str {
+            "explode"
+        }
+        fn describe(&self) -> &str {
+            "panics on purpose"
+        }
+        fn run(
+            &self,
+            _request: &hetrta_engine::AnalysisRequest,
+            _ctx: &dyn hetrta_engine::AnalysisContext,
+        ) -> Result<hetrta_engine::AnalysisOutcome, hetrta_engine::ApiError> {
+            panic!("analysis exploded on purpose")
+        }
+    }
+
+    let mut registry = hetrta_engine::AnalysisRegistry::builtin();
+    registry.register(Arc::new(Exploding));
+    let engine = Engine::with_registry(1, registry);
+    let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 2, 7)
+        .with_analyses(AnalysisSelection::from_keys(["explode"]));
+
+    let handle = engine.submit(&spec).expect("submit");
+    // This loop must terminate (close-on-drop), not deadlock.
+    while handle.next_event().is_some() {}
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.wait()))
+        .expect_err("the worker panic re-raises");
+    let message = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .expect("original payload survives");
+    assert_eq!(message, "analysis exploded on purpose");
+}

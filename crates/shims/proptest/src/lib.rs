@@ -14,10 +14,13 @@
 //! * [`test_runner::ProptestConfig`] (`cases`, `with_cases`, struct-update
 //!   syntax) and [`test_runner::TestCaseError`].
 //!
-//! Unlike upstream proptest there is **no shrinking**: a failing case reports
-//! its deterministic case seed instead of a minimized input. Runs are fully
-//! deterministic per test name, so a reported failure is reproducible by
-//! simply re-running the test.
+//! Unlike upstream proptest there is **no shrinking**: a failing case
+//! reports its case number *and the exact RNG seed that generated it*
+//! instead of a minimized input. Runs are fully deterministic per test
+//! name, so re-running the test reproduces the failure — and setting
+//! `HETRTA_PROPTEST_SEED=0x<seed>` (the value printed in the panic
+//! message) re-runs **only** that failing case, which is the fast loop
+//! for debugging a property violation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -382,6 +385,19 @@ pub mod test_runner {
         }
     }
 
+    /// Environment variable that pins the RNG seed: when set (hex with a
+    /// `0x` prefix, or decimal), the runner executes exactly one case from
+    /// that seed — the reproduction loop for a reported failure.
+    pub const SEED_ENV: &str = "HETRTA_PROPTEST_SEED";
+
+    fn parse_seed(text: &str) -> Option<u64> {
+        let text = text.trim();
+        match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => text.parse().ok(),
+        }
+    }
+
     /// Drives the cases of one property test.
     #[derive(Debug)]
     pub struct TestRunner {
@@ -389,12 +405,43 @@ pub mod test_runner {
         name: &'static str,
         base_seed: u64,
         rejects: u32,
+        seed_override: Option<u64>,
     }
 
     impl TestRunner {
-        /// Creates a runner for the named test.
+        /// Creates a runner for the named test, honoring [`SEED_ENV`].
+        ///
+        /// # Panics
+        ///
+        /// Panics when [`SEED_ENV`] is set but unparseable — a silently
+        /// ignored override would "reproduce" the wrong case.
         #[must_use]
         pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            let seed_override = std::env::var(SEED_ENV).ok().map(|raw| {
+                parse_seed(&raw).unwrap_or_else(|| panic!("unparseable {SEED_ENV} value `{raw}`"))
+            });
+            if let Some(seed) = seed_override {
+                // The override is process-wide: every property test in
+                // this run shrinks to one case. Say so per test, loudly,
+                // so a forgotten export can't silently gut coverage.
+                eprintln!(
+                    "proptest `{name}`: {SEED_ENV}={seed:#018x} set — running 1 case \
+                     from that seed instead of {}",
+                    config.cases
+                );
+            }
+            TestRunner::with_seed_override(config, name, seed_override)
+        }
+
+        /// Creates a runner with an explicit seed override (what
+        /// [`SEED_ENV`] sets from the environment): `Some(seed)` runs
+        /// exactly one case generated from `seed`.
+        #[must_use]
+        pub fn with_seed_override(
+            config: ProptestConfig,
+            name: &'static str,
+            seed_override: Option<u64>,
+        ) -> Self {
             // FNV-1a over the test name: deterministic per test, stable
             // across runs, decorrelated between tests.
             let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
@@ -407,19 +454,33 @@ pub mod test_runner {
                 name,
                 base_seed: seed,
                 rejects: 0,
+                seed_override,
             }
         }
 
-        /// Number of successful cases required.
+        /// Number of successful cases required (one under a seed
+        /// override).
         #[must_use]
         pub fn cases(&self) -> u32 {
-            self.config.cases
+            if self.seed_override.is_some() {
+                1
+            } else {
+                self.config.cases
+            }
+        }
+
+        /// The RNG seed driving the given case index — the value a
+        /// failure report prints and [`SEED_ENV`] accepts back.
+        #[must_use]
+        pub fn seed_for_case(&self, case: u32) -> u64 {
+            self.seed_override
+                .unwrap_or_else(|| self.base_seed ^ (u64::from(case) << 32) ^ 0x5851_f42d_4c95_7f2d)
         }
 
         /// RNG for the given case index.
         #[must_use]
         pub fn rng_for_case(&self, case: u32) -> TestRng {
-            TestRng::from_seed(self.base_seed ^ (u64::from(case) << 32) ^ 0x5851_f42d_4c95_7f2d)
+            TestRng::from_seed(self.seed_for_case(case))
         }
 
         /// Applies one case outcome; returns `true` if the case counts
@@ -429,7 +490,8 @@ pub mod test_runner {
         ///
         /// Panics (failing the enclosing `#[test]`) on
         /// [`TestCaseError::Fail`] or when the rejection budget is
-        /// exhausted.
+        /// exhausted. The failure message includes the case's RNG seed,
+        /// re-runnable in isolation via [`SEED_ENV`].
         pub fn process(&mut self, case: u32, outcome: Result<(), TestCaseError>) -> bool {
             match outcome {
                 Ok(()) => true,
@@ -444,9 +506,11 @@ pub mod test_runner {
                     false
                 }
                 Err(TestCaseError::Fail(reason)) => {
+                    let seed = self.seed_for_case(case);
                     panic!(
-                        "proptest `{}` failed at case {} (deterministic; re-run to reproduce): {}",
-                        self.name, case, reason
+                        "proptest `{}` failed at case {} with seed {:#018x} \
+                         (re-run just this case with {}={:#018x}): {}",
+                        self.name, case, seed, SEED_ENV, seed, reason
                     );
                 }
             }
@@ -661,8 +725,8 @@ mod self_tests {
     }
 
     #[test]
-    #[should_panic(expected = "failed at case")]
-    fn failures_panic_with_case_number() {
+    #[should_panic(expected = "with seed 0x")]
+    fn failures_panic_with_the_rng_seed() {
         always_fails_inner();
     }
 
@@ -676,5 +740,35 @@ mod self_tests {
                 r2.rng_for_case(case).next_u64()
             );
         }
+    }
+
+    #[test]
+    fn reported_seed_reruns_the_exact_failing_case() {
+        use crate::test_runner::TestRunner;
+        // A "failure" at case 5 of some run: the reported seed, fed back
+        // as an override, regenerates the identical inputs in one case.
+        let original = TestRunner::new(ProptestConfig::default(), "repro");
+        let reported = original.seed_for_case(5);
+        let replay =
+            TestRunner::with_seed_override(ProptestConfig::default(), "repro", Some(reported));
+        assert_eq!(replay.cases(), 1, "override runs exactly one case");
+        assert_eq!(replay.seed_for_case(0), reported);
+        assert_eq!(
+            replay.rng_for_case(0).next_u64(),
+            original.rng_for_case(5).next_u64(),
+            "the replayed case draws the same values"
+        );
+        // And the failure message of the replay names the same seed.
+        let mut replay =
+            TestRunner::with_seed_override(ProptestConfig::default(), "repro", Some(reported));
+        let message = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            replay.process(0, Err(crate::test_runner::TestCaseError::fail("boom")));
+        }))
+        .unwrap_err();
+        let text = message
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        assert!(text.contains(&format!("{reported:#018x}")), "{text}");
+        assert!(text.contains("HETRTA_PROPTEST_SEED"), "{text}");
     }
 }

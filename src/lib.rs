@@ -93,4 +93,4 @@ pub use hetrta_suspend as suspend;
 pub use hetrta_api::{Analysis, AnalysisOutcome, AnalysisRegistry, AnalysisRequest};
 pub use hetrta_core::{transform::TransformedTask, HeterogeneousAnalysis, Scenario};
 pub use hetrta_dag::{Dag, DagBuilder, DagError, DagTask, HeteroDagTask, NodeId, Rational, Ticks};
-pub use hetrta_engine::{Engine, EngineStats, SweepSpec};
+pub use hetrta_engine::{Engine, EngineBuilder, EngineStats, SweepEvent, SweepHandle, SweepSpec};
