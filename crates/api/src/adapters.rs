@@ -7,16 +7,26 @@
 //! engine-routed sweeps reproduce them bitwise (pinned by the
 //! `engine_parity` integration tests of `hetrta-bench`).
 
+use std::cell::RefCell;
 use std::sync::Arc;
 
 use hetrta_core::federated::{federated_partition, AnalysisKind};
-use hetrta_core::{r_het, r_hom_dag};
-use hetrta_exact::{solve, SolverConfig, MAX_NODES_SUPPORTED};
+use hetrta_core::{r_het, r_hom_parts};
+use hetrta_exact::{solve_with, SolverConfig, SolverWorkspace, MAX_NODES_SUPPORTED};
 use hetrta_sched::model::{AnalysisModel, DeviceModel};
 use hetrta_sched::{gedf_test, gfp_test};
 use hetrta_sim::policy::BreadthFirst;
-use hetrta_sim::{explore_worst_case, simulate, Platform};
+use hetrta_sim::{explore_worst_case, simulate_makespan, Platform, SimWorkspace};
 use hetrta_suspend::BaselineComparison;
+
+thread_local! {
+    // Per-thread reusable workspaces: each worker of a batch engine's pool
+    // owns one of each, so steady-state sweeps re-run the simulator and the
+    // exact solver without per-job heap churn. Analyses stay pure — the
+    // workspaces hold scratch buffers, never results.
+    static SIM_WORKSPACE: RefCell<SimWorkspace> = RefCell::new(SimWorkspace::new());
+    static SOLVER_WORKSPACE: RefCell<SolverWorkspace> = RefCell::new(SolverWorkspace::new());
+}
 
 use crate::registry::{InputKind, ParamDigest};
 use crate::{
@@ -68,8 +78,11 @@ impl Analysis for HetAnalysis {
             .transform(task)
             .map_err(|e| fail(format!("transformation failed: {e}")))?;
         let het = r_het(&transformed, m).map_err(|e| fail(format!("R_het failed: {e}")))?;
-        let r_hom_original =
-            r_hom_dag(task.dag(), m).map_err(|e| fail(format!("R_hom failed: {e}")))?;
+        let derived = ctx
+            .derived(task)
+            .map_err(|e| fail(format!("derived data failed: {e}")))?;
+        let r_hom_original = r_hom_parts(derived.length(), derived.volume, m)
+            .map_err(|e| fail(format!("R_hom failed: {e}")))?;
         let r_hom_transformed = het.r_hom_transformed();
         let deadline = task.deadline().to_rational();
         let r_het_value = het.value();
@@ -113,11 +126,15 @@ impl Analysis for HomAnalysis {
     fn run(
         &self,
         request: &AnalysisRequest,
-        _ctx: &dyn AnalysisContext,
+        ctx: &dyn AnalysisContext,
     ) -> Result<AnalysisOutcome, ApiError> {
         let task = request.input.as_task(self.key())?;
-        let r = r_hom_dag(task.dag(), request.params.m)
-            .map_err(|e| ApiError::failed("hom", format!("R_hom failed: {e}")))?;
+        let fail = |message: String| ApiError::failed("hom", message);
+        let derived = ctx
+            .derived(task)
+            .map_err(|e| fail(format!("derived data failed: {e}")))?;
+        let r = r_hom_parts(derived.length(), derived.volume, request.params.m)
+            .map_err(|e| fail(format!("R_hom failed: {e}")))?;
         Ok(AnalysisOutcome::Hom { r_hom: r.to_f64() })
     }
 
@@ -151,32 +168,37 @@ impl Analysis for SimAnalysis {
         let task = request.input.as_task(self.key())?;
         let platform = Platform::with_accelerator(request.params.m as usize);
         let fail = |message: String| ApiError::failed("sim", message);
-        let original = simulate(
-            task.dag(),
-            Some(task.offloaded()),
-            platform,
-            &mut BreadthFirst::new(),
-        )
-        .map_err(|e| fail(format!("simulation failed: {e}")))?;
-        let transformed_makespan = if request.params.sim_transformed {
-            let t = ctx
-                .transform(task)
-                .map_err(|e| fail(format!("transformation failed: {e}")))?;
-            let result = simulate(
-                t.transformed(),
+        SIM_WORKSPACE.with(|ws| {
+            let ws = &mut *ws.borrow_mut();
+            let original = simulate_makespan(
+                ws,
+                task.dag(),
                 Some(task.offloaded()),
                 platform,
                 &mut BreadthFirst::new(),
             )
             .map_err(|e| fail(format!("simulation failed: {e}")))?;
-            Some(result.makespan().get())
-        } else {
-            None
-        };
-        Ok(AnalysisOutcome::Sim(SimOutcome {
-            makespan: original.makespan().get(),
-            transformed_makespan,
-        }))
+            let transformed_makespan = if request.params.sim_transformed {
+                let t = ctx
+                    .transform(task)
+                    .map_err(|e| fail(format!("transformation failed: {e}")))?;
+                let result = simulate_makespan(
+                    ws,
+                    t.transformed(),
+                    Some(task.offloaded()),
+                    platform,
+                    &mut BreadthFirst::new(),
+                )
+                .map_err(|e| fail(format!("simulation failed: {e}")))?;
+                Some(result.get())
+            } else {
+                None
+            };
+            Ok(AnalysisOutcome::Sim(SimOutcome {
+                makespan: original.get(),
+                transformed_makespan,
+            }))
+        })
     }
 
     fn cache_params(&self, params: &AnalysisParams) -> u64 {
@@ -217,12 +239,16 @@ impl Analysis for ExactAnalysis {
         if let Some(budget) = request.params.exact_node_budget {
             config.max_nodes = budget;
         }
-        match solve(
-            task.dag(),
-            Some(task.offloaded()),
-            request.params.m,
-            &config,
-        ) {
+        let solved = SOLVER_WORKSPACE.with(|ws| {
+            solve_with(
+                &mut ws.borrow_mut(),
+                task.dag(),
+                Some(task.offloaded()),
+                request.params.m,
+                &config,
+            )
+        });
+        match solved {
             Ok(sol) => Ok(AnalysisOutcome::Exact(Some(ExactOutcome {
                 makespan: sol.makespan().get(),
                 optimal: sol.is_optimal(),

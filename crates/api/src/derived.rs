@@ -1,0 +1,76 @@
+//! Per-input derived quantities, shared across analyses and grid cells.
+//!
+//! Several analyses of one task need the same `m`-independent facts about
+//! its graph: the critical path (`len(G)`, head/tail distances), the
+//! reachability closure (Algorithm 1's `Pred`/`Succ` sets) and the volume.
+//! [`DerivedData`] bundles them so an [`AnalysisContext`] backed by a
+//! content-addressed cache (the batch engine) computes them **once per
+//! distinct DAG** and shares them across every core count and analysis
+//! kind of a sweep, while the plain `DirectContext` computes them on the
+//! spot.
+//!
+//! [`AnalysisContext`]: crate::AnalysisContext
+
+use hetrta_dag::algo::{CriticalPath, Reachability};
+use hetrta_dag::{Dag, Ticks};
+
+/// `m`-independent derived quantities of one task graph.
+#[derive(Debug, Clone)]
+pub struct DerivedData {
+    /// The critical path of the graph (`len(G)`, per-node head/tail).
+    pub critical_path: CriticalPath,
+    /// The all-pairs reachability closure (`Pred(v)` / `Succ(v)`).
+    pub reachability: Reachability,
+    /// `vol(G)`, the sum of all node WCETs.
+    pub volume: Ticks,
+}
+
+impl DerivedData {
+    /// Computes every derived quantity of `dag`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the graph is cyclic.
+    pub fn compute(dag: &Dag) -> Result<Self, String> {
+        Ok(DerivedData {
+            critical_path: CriticalPath::try_of(dag).map_err(|e| e.to_string())?,
+            reachability: Reachability::of(dag).map_err(|e| e.to_string())?,
+            volume: dag.volume(),
+        })
+    }
+
+    /// `len(G)`, the critical-path length.
+    #[must_use]
+    pub fn length(&self) -> Ticks {
+        self.critical_path.length()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetrta_dag::{DagBuilder, Ticks};
+
+    #[test]
+    fn compute_bundles_the_three_quantities() {
+        let mut b = DagBuilder::new();
+        let a = b.node("a", Ticks::new(2));
+        let z = b.node("z", Ticks::new(3));
+        b.edge(a, z).unwrap();
+        let dag = b.build().unwrap();
+        let d = DerivedData::compute(&dag).unwrap();
+        assert_eq!(d.length(), Ticks::new(5));
+        assert_eq!(d.volume, Ticks::new(5));
+        assert!(d.reachability.is_ordered_before(a, z));
+    }
+
+    #[test]
+    fn cycles_are_reported_as_strings() {
+        let mut dag = Dag::new();
+        let a = dag.add_node(Ticks::ONE);
+        let b = dag.add_node(Ticks::ONE);
+        dag.add_edge(a, b).unwrap();
+        dag.add_edge(b, a).unwrap();
+        assert!(DerivedData::compute(&dag).is_err());
+    }
+}

@@ -55,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adapters;
+mod derived;
 mod error;
 mod outcome;
 mod registry;
@@ -64,6 +65,7 @@ pub use adapters::{
     AcceptanceAnalysis, CondAnalysis, ExactAnalysis, HetAnalysis, HomAnalysis, SimAnalysis,
     SuspendAnalysis,
 };
+pub use derived::DerivedData;
 pub use error::ApiError;
 pub use outcome::{
     AcceptanceOutcome, AnalysisOutcome, CondOutcome, ExactOutcome, HetOutcome, SimOutcome,

@@ -38,9 +38,10 @@ impl InputKind {
 /// The context is the seam between the pure analysis code and its
 /// execution environment: the default [`DirectContext`] computes
 /// everything on the spot, while the batch engine supplies a context
-/// backed by its content-addressed memo caches so e.g. the Algorithm 1
-/// transformation of a task is shared across core counts and analysis
-/// kinds.
+/// backed by its content-addressed memo caches so the Algorithm 1
+/// transformation and the [`DerivedData`] of a task (critical path,
+/// reachability closure, volume) are computed once per distinct DAG and
+/// shared across every core count and analysis kind that touches it.
 pub trait AnalysisContext {
     /// The Algorithm 1 transformation of `task` (possibly memoized).
     ///
@@ -48,6 +49,17 @@ pub trait AnalysisContext {
     ///
     /// A human-readable message when the transformation fails.
     fn transform(&self, task: &HeteroDagTask) -> Result<TransformedTask, String>;
+
+    /// The `m`-independent derived quantities of the task's graph
+    /// (possibly memoized per content hash). The default computes them
+    /// directly, so existing custom contexts keep working unchanged.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the graph is cyclic.
+    fn derived(&self, task: &HeteroDagTask) -> Result<Arc<crate::DerivedData>, String> {
+        crate::DerivedData::compute(task.dag()).map(Arc::new)
+    }
 }
 
 /// The memo-free context: every service is computed directly.

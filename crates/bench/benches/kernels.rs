@@ -1,0 +1,93 @@
+//! Criterion benches for the flat-CSR graph kernels and the reusable
+//! analysis workspaces — the per-kernel counterpart of `hetrta bench`
+//! (which also measures end-to-end sweeps and emits the `BENCH_*.json`
+//! trajectory).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hetrta_core::transform;
+use hetrta_dag::algo::{topological_order, CriticalPath, Reachability};
+use hetrta_dag::HeteroDagTask;
+use hetrta_exact::{solve_with, SolverConfig, SolverWorkspace};
+use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+use hetrta_gen::{generate_nfj, NfjParams};
+use hetrta_sim::policy::BreadthFirst;
+use hetrta_sim::{simulate_makespan, Platform, SimWorkspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_task(n_min: usize, n_max: usize, seed: u64) -> HeteroDagTask {
+    let params = NfjParams::large_tasks().with_node_range(n_min, n_max);
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let Ok(dag) = generate_nfj(&params, &mut rng) else {
+            continue;
+        };
+        if let Ok(task) = make_hetero_task(
+            dag,
+            OffloadSelection::AnyInterior,
+            CoffSizing::VolumeFraction(0.1),
+            &mut rng,
+        ) {
+            return task;
+        }
+    }
+}
+
+fn csr_kernels(c: &mut Criterion) {
+    let task = bench_task(100, 250, 0xBE9C_BE9C);
+    let dag = task.dag();
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("dag_clone", |b| b.iter(|| black_box(dag.clone())));
+    group.bench_function("topological_order", |b| {
+        b.iter(|| black_box(topological_order(dag).unwrap()))
+    });
+    group.bench_function("reachability", |b| {
+        b.iter(|| black_box(Reachability::of(dag).unwrap()))
+    });
+    group.bench_function("critical_path", |b| {
+        b.iter(|| black_box(CriticalPath::of(dag).length()))
+    });
+    group.bench_function("transform_alg1", |b| {
+        b.iter(|| black_box(transform(&task).unwrap()))
+    });
+}
+
+fn workspace_kernels(c: &mut Criterion) {
+    let task = bench_task(100, 250, 0xBE9C_BE9D);
+    let mut group = c.benchmark_group("workspaces");
+    let mut sim_ws = SimWorkspace::new();
+    group.bench_function("sim_breadth_first_warm", |b| {
+        b.iter(|| {
+            black_box(
+                simulate_makespan(
+                    &mut sim_ws,
+                    task.dag(),
+                    Some(task.offloaded()),
+                    Platform::with_accelerator(4),
+                    &mut BreadthFirst::new(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+    let small = bench_task(10, 14, 0xBE9C_BE9E);
+    let mut solver_ws = SolverWorkspace::new();
+    group.bench_function("exact_solve_small_warm", |b| {
+        b.iter(|| {
+            black_box(
+                solve_with(
+                    &mut solver_ws,
+                    small.dag(),
+                    Some(small.offloaded()),
+                    2,
+                    &SolverConfig::default(),
+                )
+                .unwrap()
+                .makespan(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, csr_kernels, workspace_kernels);
+criterion_main!(benches);

@@ -29,6 +29,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod perf;
 pub mod runner;
 pub mod stats;
 pub mod table;

@@ -1,0 +1,300 @@
+//! Measured performance harness: per-kernel ns/op plus end-to-end engine
+//! sweep wall times, with a JSON rendering for the repo's `BENCH_*.json`
+//! perf trajectory.
+//!
+//! Everything is deterministic up to wall-clock noise: the kernel inputs
+//! are a fixed seeded batch of generated tasks, so two runs of the harness
+//! measure the same work. The `hetrta bench` CLI subcommand is a thin
+//! wrapper over [`run`]; `--json` emits [`PerfReport::to_json`] for
+//! machine comparison (the CI perf-smoke job and the committed
+//! `BENCH_*.json` files).
+
+use std::time::{Duration, Instant};
+
+use hetrta_core::{r_het, r_hom, transform, TransformedTask};
+use hetrta_dag::algo::{
+    topological_order, transitive::find_transitive_edge, CriticalPath, Reachability,
+};
+use hetrta_dag::HeteroDagTask;
+use hetrta_engine::{Engine, EngineOutput, SweepSpec};
+use hetrta_exact::{solve, SolverConfig};
+use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+use hetrta_gen::{generate_nfj, NfjParams};
+use hetrta_sim::policy::BreadthFirst;
+use hetrta_sim::{simulate, Platform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::experiments::{fig8, fig9};
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Scaled-down inputs and iteration budgets (CI smoke mode).
+    pub quick: bool,
+}
+
+impl PerfConfig {
+    /// The full measurement configuration.
+    #[must_use]
+    pub fn full() -> Self {
+        PerfConfig { quick: false }
+    }
+
+    /// The scaled-down smoke configuration.
+    #[must_use]
+    pub fn quick() -> Self {
+        PerfConfig { quick: true }
+    }
+}
+
+/// One measured kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// Stable kernel name (`"algo/critical_path"`).
+    pub name: &'static str,
+    /// Mean wall time per operation, in nanoseconds.
+    pub ns_per_op: f64,
+    /// Operations measured.
+    pub iters: u64,
+}
+
+/// One measured end-to-end sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Stable sweep name (`"sweep/fig8_quick_cold"`).
+    pub name: &'static str,
+    /// Wall-clock time of the sweep, in milliseconds.
+    pub wall_ms: f64,
+    /// Jobs the sweep expanded into.
+    pub jobs: usize,
+}
+
+/// The full harness output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Per-kernel measurements.
+    pub kernels: Vec<KernelResult>,
+    /// End-to-end sweep measurements.
+    pub sweeps: Vec<SweepResult>,
+}
+
+impl PerfReport {
+    /// JSON rendering (stable key order, no external dependencies).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let comma = if i + 1 < self.kernels.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ns_per_op\": {:.1}, \"iters\": {}}}{comma}\n",
+                k.name, k.ns_per_op, k.iters
+            ));
+        }
+        out.push_str("  ],\n  \"sweeps\": [\n");
+        for (i, s) in self.sweeps.iter().enumerate() {
+            let comma = if i + 1 < self.sweeps.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.2}, \"jobs\": {}}}{comma}\n",
+                s.name, s.wall_ms, s.jobs
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Human-readable table rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("kernel                        ns/op\n");
+        for k in &self.kernels {
+            out.push_str(&format!("  {:<28}{:>12.1}\n", k.name, k.ns_per_op));
+        }
+        out.push_str("sweep                         wall ms     jobs\n");
+        for s in &self.sweeps {
+            out.push_str(&format!(
+                "  {:<28}{:>9.1}{:>9}\n",
+                s.name, s.wall_ms, s.jobs
+            ));
+        }
+        out
+    }
+}
+
+/// Times `op` until the budget elapses (one warm-up call first).
+fn time_kernel<T>(
+    name: &'static str,
+    budget: Duration,
+    mut op: impl FnMut(u64) -> T,
+) -> KernelResult {
+    std::hint::black_box(op(0));
+    let mut iters = 0u64;
+    let started = Instant::now();
+    loop {
+        std::hint::black_box(op(iters));
+        iters += 1;
+        if started.elapsed() >= budget {
+            break;
+        }
+    }
+    let ns_per_op = started.elapsed().as_nanos() as f64 / iters as f64;
+    KernelResult {
+        name,
+        ns_per_op,
+        iters,
+    }
+}
+
+/// The fixed seeded task batch the kernels run on.
+fn kernel_tasks(config: &PerfConfig) -> Vec<HeteroDagTask> {
+    let (count, n_min, n_max) = if config.quick {
+        (6, 60, 120)
+    } else {
+        (12, 100, 250)
+    };
+    let params = NfjParams::large_tasks().with_node_range(n_min, n_max);
+    let mut rng = StdRng::seed_from_u64(0xBE9C_0001);
+    let mut tasks = Vec::with_capacity(count);
+    while tasks.len() < count {
+        let Ok(dag) = generate_nfj(&params, &mut rng) else {
+            continue;
+        };
+        if let Ok(task) = make_hetero_task(
+            dag,
+            OffloadSelection::AnyInterior,
+            CoffSizing::VolumeFraction(0.1),
+            &mut rng,
+        ) {
+            tasks.push(task);
+        }
+    }
+    tasks
+}
+
+/// A small fixed task the exact solver finishes instantly.
+fn exact_task() -> HeteroDagTask {
+    let params = NfjParams::small_tasks().with_node_range(8, 12);
+    let mut rng = StdRng::seed_from_u64(0xBE9C_0002);
+    loop {
+        let Ok(dag) = generate_nfj(&params, &mut rng) else {
+            continue;
+        };
+        if let Ok(task) = make_hetero_task(
+            dag,
+            OffloadSelection::AnyInterior,
+            CoffSizing::VolumeFraction(0.2),
+            &mut rng,
+        ) {
+            return task;
+        }
+    }
+}
+
+fn timed_sweep(name: &'static str, engine: &Engine, spec: &SweepSpec) -> SweepResult {
+    let started = Instant::now();
+    let out: EngineOutput = engine.run(spec).expect("perf sweep succeeds");
+    SweepResult {
+        name,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        jobs: out.stats.jobs,
+    }
+}
+
+/// Runs the full harness: kernels on a fixed seeded task batch, then the
+/// Figure 8/9 quick sweeps end-to-end on the engine (cold and warm).
+///
+/// # Panics
+///
+/// Panics if a sweep fails (deterministic specs; cannot happen).
+#[must_use]
+pub fn run(config: &PerfConfig) -> PerfReport {
+    let budget = if config.quick {
+        Duration::from_millis(30)
+    } else {
+        Duration::from_millis(200)
+    };
+    let tasks = kernel_tasks(config);
+    let transformed: Vec<TransformedTask> = tasks
+        .iter()
+        .map(|t| transform(t).expect("generated tasks transform"))
+        .collect();
+    let pick = |i: u64| &tasks[(i % tasks.len() as u64) as usize];
+
+    let mut kernels = Vec::new();
+    kernels.push(time_kernel("dag/clone", budget, |i| pick(i).dag().clone()));
+    kernels.push(time_kernel("algo/topological_order", budget, |i| {
+        topological_order(pick(i).dag()).expect("acyclic")
+    }));
+    kernels.push(time_kernel("algo/reachability", budget, |i| {
+        Reachability::of(pick(i).dag()).expect("acyclic")
+    }));
+    kernels.push(time_kernel("algo/critical_path", budget, |i| {
+        CriticalPath::of(pick(i).dag()).length()
+    }));
+    kernels.push(time_kernel("algo/transitive_find", budget, |i| {
+        find_transitive_edge(pick(i).dag()).expect("acyclic")
+    }));
+    kernels.push(time_kernel("core/transform_alg1", budget, |i| {
+        transform(pick(i)).expect("transformable")
+    }));
+    kernels.push(time_kernel("core/r_hom", budget, |i| {
+        r_hom(&pick(i).as_homogeneous(), 4).expect("acyclic")
+    }));
+    kernels.push(time_kernel("core/r_het", budget, |i| {
+        let t = &transformed[(i % transformed.len() as u64) as usize];
+        r_het(t, 4).expect("valid cores").value()
+    }));
+    kernels.push(time_kernel("sim/breadth_first", budget, |i| {
+        let task = pick(i);
+        simulate(
+            task.dag(),
+            Some(task.offloaded()),
+            Platform::with_accelerator(4),
+            &mut BreadthFirst::new(),
+        )
+        .expect("simulates")
+        .makespan()
+    }));
+    let small = exact_task();
+    kernels.push(time_kernel("exact/solve_small", budget, |_| {
+        solve(
+            small.dag(),
+            Some(small.offloaded()),
+            2,
+            &SolverConfig::default(),
+        )
+        .expect("small instance solves")
+        .makespan()
+    }));
+
+    let mut sweeps = Vec::new();
+    let fig8_spec = fig8::sweep_spec(&fig8::Config::quick());
+    let engine = Engine::new(0);
+    sweeps.push(timed_sweep("sweep/fig8_quick_cold", &engine, &fig8_spec));
+    sweeps.push(timed_sweep("sweep/fig8_quick_warm", &engine, &fig8_spec));
+    if !config.quick {
+        let fig9_spec = fig9::sweep_spec(&fig9::Config::quick());
+        let engine9 = Engine::new(0);
+        sweeps.push(timed_sweep("sweep/fig9_quick_cold", &engine9, &fig9_spec));
+    }
+
+    PerfReport { kernels, sweeps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_harness_produces_every_section() {
+        let report = run(&PerfConfig::quick());
+        assert!(report.kernels.len() >= 8);
+        assert!(report.sweeps.len() >= 2);
+        assert!(report.kernels.iter().all(|k| k.ns_per_op > 0.0));
+        let json = report.to_json();
+        assert!(json.contains("\"kernels\""));
+        assert!(json.contains("sweep/fig8_quick_cold"));
+        let table = report.render();
+        assert!(table.contains("algo/critical_path"));
+    }
+}

@@ -282,6 +282,45 @@ pub const COMMANDS: &[CommandSpec] = &[
         handler: engine_sweep_cmd,
     },
     CommandSpec {
+        name: "cache gc",
+        args: "",
+        help: "bound a disk cache directory, sweeping oldest result entries first",
+        flags: &[
+            FlagSpec {
+                name: "--cache-dir",
+                value: Some("DIR"),
+                help: "the cache directory (as passed to `engine sweep --cache-dir`)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--max-bytes",
+                value: Some("N"),
+                help: "target size bound in bytes (identity memo entries are never deleted)",
+                ..FlagSpec::DEFAULT
+            },
+        ],
+        handler: cache_gc_cmd,
+    },
+    CommandSpec {
+        name: "bench",
+        args: "",
+        help: "measure kernel ns/op and end-to-end sweep wall times",
+        flags: &[
+            FlagSpec {
+                name: "--quick",
+                help: "scaled-down inputs and iteration budgets (CI smoke mode)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--json",
+                value: Some("PATH"),
+                help: "also write the report as JSON to PATH (the BENCH_*.json format)",
+                ..FlagSpec::DEFAULT
+            },
+        ],
+        handler: bench_cmd,
+    },
+    CommandSpec {
         name: "example",
         args: "",
         help: "print the paper's Figure 1 task in the .hdag format",
@@ -289,6 +328,42 @@ pub const COMMANDS: &[CommandSpec] = &[
         handler: |_| Ok(example_file()),
     },
 ];
+
+fn cache_gc_cmd(args: &ParsedArgs) -> Result<String, String> {
+    let dir = args
+        .value_of("--cache-dir")
+        .ok_or("missing --cache-dir DIR")?;
+    let raw = args
+        .value_of("--max-bytes")
+        .ok_or("missing --max-bytes N")?;
+    let max_bytes: u64 = raw
+        .parse()
+        .map_err(|_| format!("invalid byte count `{raw}`"))?;
+    let cache = hetrta_engine::DiskCache::open(dir)?;
+    let stats = cache.gc(max_bytes)?;
+    Ok(format!(
+        "cache gc: {} → scanned {} bytes, deleted {} result entries ({} bytes), {} bytes remain (bound {})\n",
+        dir,
+        stats.scanned_bytes,
+        stats.deleted_entries,
+        stats.deleted_bytes,
+        stats.remaining_bytes,
+        max_bytes,
+    ))
+}
+
+fn bench_cmd(args: &ParsedArgs) -> Result<String, String> {
+    let config = if args.has("--quick") {
+        hetrta_bench::perf::PerfConfig::quick()
+    } else {
+        hetrta_bench::perf::PerfConfig::full()
+    };
+    let report = hetrta_bench::perf::run(&config);
+    if let Some(path) = args.value_of("--json") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(report.render())
+}
 
 /// Usage text shown on errors (generated from the command table).
 #[must_use]

@@ -59,5 +59,5 @@ pub mod transform;
 pub use analysis::{AnalysisReport, HeterogeneousAnalysis};
 pub use error::AnalysisError;
 pub use multi::r_het_multi;
-pub use rta::{r_het, r_hom, r_hom_dag, HetBound, Scenario};
-pub use transform::{transform, TransformedTask};
+pub use rta::{r_het, r_hom, r_hom_dag, r_hom_parts, HetBound, Scenario};
+pub use transform::{transform, transform_with_reachability, TransformedTask};

@@ -87,6 +87,23 @@ pub fn r_hom_dag(dag: &Dag, m: u64) -> Result<Rational, AnalysisError> {
     Ok(graham(len, vol, len, m))
 }
 
+/// Equation 1 from precomputed parts: `len(G) + (vol(G) − len(G))/m`.
+///
+/// Operation-for-operation identical to [`r_hom_dag`] — callers that
+/// already hold `len(G)` and `vol(G)` (e.g. through a derived-data cache
+/// or a [`TransformedTask`]) skip the critical-path recomputation and get
+/// the bitwise-same rational.
+///
+/// # Errors
+///
+/// [`AnalysisError::ZeroCores`] if `m == 0`.
+pub fn r_hom_parts(len: Ticks, vol: Ticks, m: u64) -> Result<Rational, AnalysisError> {
+    if m == 0 {
+        return Err(AnalysisError::ZeroCores);
+    }
+    Ok(graham(len, vol, len, m))
+}
+
 /// `chain + (vol − discount)/m` with everything exact.
 fn graham(chain: Ticks, vol: Ticks, discount: Ticks, m: u64) -> Rational {
     debug_assert!(vol >= discount);
@@ -221,7 +238,10 @@ pub fn r_het(t: &TransformedTask, m: u64) -> Result<HetBound, AnalysisError> {
     let len2 = t.len_transformed();
     let vol2 = t.vol_transformed();
     let c_off = t.c_off();
-    let r_hom_g_par = r_hom_dag(t.g_par(), m)?;
+    // `len(G_par)` and `vol(G_par)` were computed by the transformation;
+    // feeding them to Eq. 1 directly is bitwise identical to re-deriving
+    // the critical path of `G_par` here.
+    let r_hom_g_par = graham(t.len_g_par(), t.vol_g_par(), t.len_g_par(), m);
     let r_hom_transformed = graham(len2, vol2, len2, m);
 
     let (scenario, r_het) = if !t.off_on_critical_path() {

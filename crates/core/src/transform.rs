@@ -183,12 +183,35 @@ impl TransformedTask {
 /// See the [crate-level example](crate#the-worked-example-of-the-paper-figures-12)
 /// and [`crate::analysis::HeterogeneousAnalysis`].
 pub fn transform(task: &HeteroDagTask) -> Result<TransformedTask, AnalysisError> {
+    let reach = hetrta_dag::algo::Reachability::of(task.dag())?;
+    transform_with_reachability(task, &reach)
+}
+
+/// Runs Algorithm 1 reusing a precomputed reachability closure of the
+/// task's *original* graph (e.g. from a per-input derived-data cache), so
+/// line 1 of the algorithm costs nothing.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Dag`] if the task's graph is cyclic.
+///
+/// # Panics
+///
+/// Panics if `reach` was computed for a graph with a different node count.
+pub fn transform_with_reachability(
+    task: &HeteroDagTask,
+    reach: &hetrta_dag::algo::Reachability,
+) -> Result<TransformedTask, AnalysisError> {
     let dag = task.dag();
     let v_off = task.offloaded();
     let n = dag.node_count();
+    assert_eq!(
+        reach.node_count(),
+        n,
+        "reachability closure does not match the task graph"
+    );
 
     // Line 1: Pred(v_off) and Succ(v_off).
-    let reach = hetrta_dag::algo::Reachability::of(dag)?;
     let pred = reach.ancestors(v_off).clone();
     let succ = reach.descendants(v_off).clone();
 

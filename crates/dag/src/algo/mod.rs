@@ -19,7 +19,7 @@ pub mod transitive;
 mod width;
 
 pub use critical_path::CriticalPath;
-pub use paths::{count_paths, enumerate_paths};
+pub use paths::{count_paths, enumerate_paths, PathEnumeration};
 pub use reach::Reachability;
 pub use topo::{is_acyclic, topological_order};
 pub use width::{max_antichain, width};

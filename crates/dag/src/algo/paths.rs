@@ -52,41 +52,72 @@ pub fn count_paths(dag: &Dag, from: NodeId, to: NodeId) -> Result<u128, DagError
     Ok(count[to.index()])
 }
 
+/// The outcome of a bounded path enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathEnumeration {
+    /// The enumerated source-to-sink paths, each a node sequence in
+    /// execution order, in deterministic DFS order.
+    pub paths: Vec<Vec<NodeId>>,
+    /// `true` when the graph has more paths than the requested limit —
+    /// the enumeration stopped early rather than being exhaustive.
+    pub truncated: bool,
+}
+
 /// Enumerates up to `limit` source-to-sink paths of `dag`, each as a node
 /// sequence in execution order.
 ///
 /// Intended for diagnostics and tests on small graphs; the number of paths
-/// can be exponential, hence the mandatory bound.
+/// can be exponential, hence the mandatory bound. When the graph has more
+/// than `limit` paths the result is flagged
+/// [`truncated`](PathEnumeration::truncated) instead of silently stopping.
+///
+/// The walk is an explicit-stack DFS, so path depth is bounded by available
+/// memory, not the thread's call stack — a 100 000-node chain enumerates
+/// fine.
 ///
 /// # Errors
 ///
 /// Returns [`DagError::Cycle`] if the graph is not acyclic.
-pub fn enumerate_paths(dag: &Dag, limit: usize) -> Result<Vec<Vec<NodeId>>, DagError> {
+pub fn enumerate_paths(dag: &Dag, limit: usize) -> Result<PathEnumeration, DagError> {
     topological_order(dag)?; // cycle check
     let mut out = Vec::new();
-    let mut stack: Vec<NodeId> = Vec::new();
-    for src in dag.sources() {
-        dfs(dag, src, &mut stack, &mut out, limit);
-        if out.len() >= limit {
-            break;
+    let mut truncated = false;
+    // DFS state: `path` is the current node sequence, `cursor[d]` the next
+    // successor index to explore at depth `d`.
+    let mut path: Vec<NodeId> = Vec::new();
+    let mut cursor: Vec<usize> = Vec::new();
+    'sources: for src in dag.sources() {
+        path.clear();
+        cursor.clear();
+        path.push(src);
+        cursor.push(0);
+        while let Some(&next) = cursor.last() {
+            let v = *path.last().expect("path and cursor move together");
+            let succs = dag.successors(v);
+            if succs.is_empty() {
+                // A leaf of the walk is always a complete path: emitting the
+                // (limit + 1)-th one instead records the truncation.
+                if out.len() == limit {
+                    truncated = true;
+                    break 'sources;
+                }
+                out.push(path.clone());
+                path.pop();
+                cursor.pop();
+            } else if next < succs.len() {
+                *cursor.last_mut().expect("checked non-empty") += 1;
+                path.push(succs[next]);
+                cursor.push(0);
+            } else {
+                path.pop();
+                cursor.pop();
+            }
         }
     }
-    Ok(out)
-}
-
-fn dfs(dag: &Dag, v: NodeId, stack: &mut Vec<NodeId>, out: &mut Vec<Vec<NodeId>>, limit: usize) {
-    if out.len() >= limit {
-        return;
-    }
-    stack.push(v);
-    if dag.out_degree(v) == 0 {
-        out.push(stack.clone());
-    } else {
-        for &s in dag.successors(v) {
-            dfs(dag, s, stack, out, limit);
-        }
-    }
-    stack.pop();
+    Ok(PathEnumeration {
+        paths: out,
+        truncated,
+    })
 }
 
 #[cfg(test)]
@@ -132,17 +163,41 @@ mod tests {
     #[test]
     fn enumerate_diamond_paths() {
         let (dag, [a, b, c, d]) = diamond();
-        let paths = enumerate_paths(&dag, 100).unwrap();
-        assert_eq!(paths.len(), 2);
-        assert!(paths.contains(&vec![a, b, d]));
-        assert!(paths.contains(&vec![a, c, d]));
+        let result = enumerate_paths(&dag, 100).unwrap();
+        assert_eq!(result.paths.len(), 2);
+        assert!(!result.truncated);
+        assert!(result.paths.contains(&vec![a, b, d]));
+        assert!(result.paths.contains(&vec![a, c, d]));
     }
 
     #[test]
-    fn enumeration_respects_limit() {
+    fn enumeration_respects_limit_and_reports_truncation() {
         let (dag, _) = diamond();
-        let paths = enumerate_paths(&dag, 1).unwrap();
-        assert_eq!(paths.len(), 1);
+        let result = enumerate_paths(&dag, 1).unwrap();
+        assert_eq!(result.paths.len(), 1);
+        assert!(result.truncated, "a second path exists beyond the limit");
+        // An exact limit is not truncation.
+        let exact = enumerate_paths(&dag, 2).unwrap();
+        assert_eq!(exact.paths.len(), 2);
+        assert!(!exact.truncated);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // A recursive DFS would need ~100k stack frames here.
+        let mut dag = Dag::new();
+        let mut prev = dag.add_node(Ticks::ONE);
+        let first = prev;
+        for _ in 0..100_000 {
+            let v = dag.add_node(Ticks::ONE);
+            dag.add_edge(prev, v).unwrap();
+            prev = v;
+        }
+        let result = enumerate_paths(&dag, 10).unwrap();
+        assert_eq!(result.paths.len(), 1);
+        assert!(!result.truncated);
+        assert_eq!(result.paths[0].len(), 100_001);
+        assert_eq!(result.paths[0][0], first);
     }
 
     #[test]
@@ -168,7 +223,8 @@ mod tests {
     fn isolated_node_is_its_own_path() {
         let mut dag = Dag::new();
         let a = dag.add_node(Ticks::ONE);
-        let paths = enumerate_paths(&dag, 10).unwrap();
-        assert_eq!(paths, vec![vec![a]]);
+        let result = enumerate_paths(&dag, 10).unwrap();
+        assert_eq!(result.paths, vec![vec![a]]);
+        assert!(!result.truncated);
     }
 }

@@ -47,10 +47,13 @@ impl Reachability {
     pub fn of(dag: &Dag) -> Result<Self, DagError> {
         let n = dag.node_count();
         let order = topological_order(dag)?;
+        // Build each row in place (take/put-back instead of a fresh
+        // allocation per node): the only heap traffic is the 2·n row sets
+        // the result owns anyway.
         let mut descendants = vec![BitSet::new(n); n];
         for &v in order.iter().rev() {
             // succ sets of children are already complete.
-            let mut set = BitSet::new(n);
+            let mut set = core::mem::take(&mut descendants[v.index()]);
             for &s in dag.successors(v) {
                 set.insert(s);
                 set.union_with(&descendants[s.index()]);
@@ -59,7 +62,7 @@ impl Reachability {
         }
         let mut ancestors = vec![BitSet::new(n); n];
         for &v in &order {
-            let mut set = BitSet::new(n);
+            let mut set = core::mem::take(&mut ancestors[v.index()]);
             for &p in dag.predecessors(v) {
                 set.insert(p);
                 set.union_with(&ancestors[p.index()]);

@@ -1,7 +1,5 @@
 //! Topological ordering (Kahn's algorithm).
 
-use std::collections::VecDeque;
-
 use crate::{Dag, DagError, NodeId};
 
 /// Computes a topological order of the nodes of `dag`.
@@ -29,24 +27,28 @@ use crate::{Dag, DagError, NodeId};
 /// ```
 pub fn topological_order(dag: &Dag) -> Result<Vec<NodeId>, DagError> {
     let n = dag.node_count();
-    let mut in_deg: Vec<usize> = (0..n)
-        .map(|i| dag.in_degree(NodeId::from_index(i)))
+    let mut in_deg: Vec<u32> = (0..n)
+        .map(|i| dag.in_degree(NodeId::from_index(i)) as u32)
         .collect();
     // A BinaryHeap would give the smallest-index-first property directly but
     // costs O(E log V); node ids are created in roughly topological order by
-    // the builders, so a deque with ordered initial seeding is near-optimal
-    // and deterministic.
-    let mut queue: VecDeque<NodeId> = (0..n)
-        .map(NodeId::from_index)
-        .filter(|&v| in_deg[v.index()] == 0)
-        .collect();
-    let mut order = Vec::with_capacity(n);
-    while let Some(v) = queue.pop_front() {
-        order.push(v);
+    // the builders, so FIFO seeding in index order is near-optimal and
+    // deterministic. The order vector doubles as the FIFO queue (a cursor
+    // chases the push end), so the sweep allocates exactly two flat vectors.
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    order.extend(
+        (0..n)
+            .map(NodeId::from_index)
+            .filter(|&v| in_deg[v.index()] == 0),
+    );
+    let mut head = 0;
+    while head < order.len() {
+        let v = order[head];
+        head += 1;
         for &s in dag.successors(v) {
             in_deg[s.index()] -= 1;
             if in_deg[s.index()] == 0 {
-                queue.push_back(s);
+                order.push(s);
             }
         }
     }

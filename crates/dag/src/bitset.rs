@@ -33,6 +33,14 @@ pub struct BitSet {
     capacity: usize,
 }
 
+impl Default for BitSet {
+    /// The empty set with zero capacity (useful as a take/replace
+    /// placeholder in in-place algorithms).
+    fn default() -> Self {
+        BitSet::new(0)
+    }
+}
+
 impl BitSet {
     /// Creates an empty set able to hold indices `0..capacity`.
     #[must_use]

@@ -1,4 +1,4 @@
-//! Mutable DAG storage.
+//! DAG storage in a compressed-sparse-row (CSR) layout.
 
 use core::fmt;
 
@@ -18,6 +18,18 @@ use crate::{BitSet, DagError, NodeId, Ticks};
 /// (the model never needs it and stable ids keep cross-references between
 /// the original DAG `G` and the transformed `G'` trivial).
 ///
+/// # Storage layout
+///
+/// Adjacency is compressed-sparse-row: one flat successor array and one
+/// flat predecessor array, each indexed by a per-node offset table, with
+/// WCETs in a parallel slice. The analysis kernels in [`crate::algo`]
+/// therefore traverse contiguous memory — [`Dag::successors`] and
+/// [`Dag::predecessors`] are slices into one allocation, and cloning a
+/// graph copies six flat vectors instead of `2·|V|` heap blocks. Edge
+/// insertion shifts the tail of the flat array (`O(|E| + |V|)` per edge);
+/// graphs here are small and built once but analyzed many times, so the
+/// layout is optimized for the read path.
+///
 /// # Examples
 ///
 /// ```
@@ -32,14 +44,31 @@ use crate::{BitSet, DagError, NodeId, Ticks};
 /// assert!(dag.has_edge(a, b));
 /// # Ok::<(), hetrta_dag::DagError>(())
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dag {
     wcets: Vec<Ticks>,
     labels: Vec<String>,
-    succs: Vec<Vec<NodeId>>,
-    preds: Vec<Vec<NodeId>>,
-    edge_count: usize,
+    /// Successor segment of node `i`: `succs[succ_off[i]..succ_off[i + 1]]`,
+    /// in edge-insertion order.
+    succ_off: Vec<u32>,
+    succs: Vec<NodeId>,
+    /// Predecessor segment of node `i`, symmetric to `succ_off`/`succs`.
+    pred_off: Vec<u32>,
+    preds: Vec<NodeId>,
+}
+
+impl Default for Dag {
+    fn default() -> Self {
+        Dag {
+            wcets: Vec::new(),
+            labels: Vec::new(),
+            succ_off: vec![0],
+            succs: Vec::new(),
+            pred_off: vec![0],
+            preds: Vec::new(),
+        }
+    }
 }
 
 impl Dag {
@@ -52,12 +81,17 @@ impl Dag {
     /// Creates an empty graph with room for `nodes` nodes.
     #[must_use]
     pub fn with_capacity(nodes: usize) -> Self {
+        let mut succ_off = Vec::with_capacity(nodes + 1);
+        succ_off.push(0);
+        let mut pred_off = Vec::with_capacity(nodes + 1);
+        pred_off.push(0);
         Dag {
             wcets: Vec::with_capacity(nodes),
             labels: Vec::with_capacity(nodes),
-            succs: Vec::with_capacity(nodes),
-            preds: Vec::with_capacity(nodes),
-            edge_count: 0,
+            succ_off,
+            succs: Vec::new(),
+            pred_off,
+            preds: Vec::new(),
         }
     }
 
@@ -72,8 +106,10 @@ impl Dag {
         let id = NodeId::from_index(self.wcets.len());
         self.wcets.push(wcet);
         self.labels.push(label.into());
-        self.succs.push(Vec::new());
-        self.preds.push(Vec::new());
+        self.succ_off
+            .push(*self.succ_off.last().expect("offset base"));
+        self.pred_off
+            .push(*self.pred_off.last().expect("offset base"));
         id
     }
 
@@ -86,7 +122,7 @@ impl Dag {
     /// Number of edges `|E|`.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.edge_count
+        self.succs.len()
     }
 
     /// `true` if the graph has no nodes.
@@ -178,9 +214,19 @@ impl Dag {
         if self.has_edge(from, to) {
             return Err(DagError::DuplicateEdge(from, to));
         }
-        self.succs[from.index()].push(to);
-        self.preds[to.index()].push(from);
-        self.edge_count += 1;
+        // Append to the end of each endpoint's segment (preserving
+        // edge-insertion order within a node) and shift the offsets of
+        // every later node.
+        self.succs
+            .insert(self.succ_off[from.index() + 1] as usize, to);
+        for off in &mut self.succ_off[from.index() + 1..] {
+            *off += 1;
+        }
+        self.preds
+            .insert(self.pred_off[to.index() + 1] as usize, from);
+        for off in &mut self.pred_off[to.index() + 1..] {
+            *off += 1;
+        }
         Ok(())
     }
 
@@ -208,17 +254,28 @@ impl Dag {
     pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), DagError> {
         self.check_node(from)?;
         self.check_node(to)?;
-        let spos = self.succs[from.index()].iter().position(|&v| v == to);
+        let spos = self
+            .successors(from)
+            .iter()
+            .position(|&v| v == to)
+            .map(|i| self.succ_off[from.index()] as usize + i);
         match spos {
             None => Err(DagError::UnknownEdge(from, to)),
             Some(i) => {
-                self.succs[from.index()].remove(i);
-                let j = self.preds[to.index()]
+                self.succs.remove(i);
+                for off in &mut self.succ_off[from.index() + 1..] {
+                    *off -= 1;
+                }
+                let j = self
+                    .predecessors(to)
                     .iter()
                     .position(|&v| v == from)
-                    .expect("adjacency lists out of sync");
-                self.preds[to.index()].remove(j);
-                self.edge_count -= 1;
+                    .map(|j| self.pred_off[to.index()] as usize + j)
+                    .expect("adjacency arrays out of sync");
+                self.preds.remove(j);
+                for off in &mut self.pred_off[to.index() + 1..] {
+                    *off -= 1;
+                }
                 Ok(())
             }
         }
@@ -227,27 +284,29 @@ impl Dag {
     /// `true` if the edge `(from, to)` exists.
     #[must_use]
     pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
-        self.contains_node(from) && self.contains_node(to) && self.succs[from.index()].contains(&to)
+        self.contains_node(from) && self.contains_node(to) && self.successors(from).contains(&to)
     }
 
-    /// Direct successors of a node, in edge-insertion order.
+    /// Direct successors of a node, in edge-insertion order — a slice into
+    /// the flat CSR edge array.
     ///
     /// # Panics
     ///
     /// Panics if `id` is not a node of this graph.
     #[must_use]
     pub fn successors(&self, id: NodeId) -> &[NodeId] {
-        &self.succs[id.index()]
+        &self.succs[self.succ_off[id.index()] as usize..self.succ_off[id.index() + 1] as usize]
     }
 
-    /// Direct predecessors of a node, in edge-insertion order.
+    /// Direct predecessors of a node, in edge-insertion order — a slice
+    /// into the flat CSR edge array.
     ///
     /// # Panics
     ///
     /// Panics if `id` is not a node of this graph.
     #[must_use]
     pub fn predecessors(&self, id: NodeId) -> &[NodeId] {
-        &self.preds[id.index()]
+        &self.preds[self.pred_off[id.index()] as usize..self.pred_off[id.index() + 1] as usize]
     }
 
     /// Out-degree of a node.
@@ -257,7 +316,7 @@ impl Dag {
     /// Panics if `id` is not a node of this graph.
     #[must_use]
     pub fn out_degree(&self, id: NodeId) -> usize {
-        self.succs[id.index()].len()
+        (self.succ_off[id.index() + 1] - self.succ_off[id.index()]) as usize
     }
 
     /// In-degree of a node.
@@ -267,7 +326,7 @@ impl Dag {
     /// Panics if `id` is not a node of this graph.
     #[must_use]
     pub fn in_degree(&self, id: NodeId) -> usize {
-        self.preds[id.index()].len()
+        (self.pred_off[id.index() + 1] - self.pred_off[id.index()]) as usize
     }
 
     /// Iterates over all node ids in index order.
@@ -381,21 +440,71 @@ impl Dag {
     /// parallel node set `V_par`.
     #[must_use]
     pub fn induced_subgraph(&self, nodes: &BitSet) -> (Dag, Vec<NodeId>) {
-        let mut sub = Dag::with_capacity(nodes.len());
+        let mut wcets = Vec::with_capacity(nodes.len());
+        let mut labels = Vec::with_capacity(nodes.len());
         let mut old_of_new: Vec<NodeId> = Vec::with_capacity(nodes.len());
         let mut new_of_old: Vec<Option<NodeId>> = vec![None; self.node_count()];
         for old in nodes.iter().filter(|&v| self.contains_node(v)) {
-            let new = sub.add_labeled_node(self.label(old).to_owned(), self.wcet(old));
-            new_of_old[old.index()] = Some(new);
+            new_of_old[old.index()] = Some(NodeId::from_index(old_of_new.len()));
             old_of_new.push(old);
+            wcets.push(self.wcet(old));
+            labels.push(self.label(old).to_owned());
         }
-        for (from, to) in self.edges() {
-            if let (Some(nf), Some(nt)) = (new_of_old[from.index()], new_of_old[to.index()]) {
-                sub.add_edge(nf, nt)
-                    .expect("induced subgraph edges are unique");
-            }
+        let edges: Vec<(NodeId, NodeId)> = self
+            .edges()
+            .filter_map(
+                |(from, to)| match (new_of_old[from.index()], new_of_old[to.index()]) {
+                    (Some(nf), Some(nt)) => Some((nf, nt)),
+                    _ => None,
+                },
+            )
+            .collect();
+        (Dag::from_parts(wcets, labels, &edges), old_of_new)
+    }
+
+    /// Builds a graph in one `O(|V| + |E|)` pass from parallel node arrays
+    /// and an already-validated edge list (in-range endpoints, no
+    /// self-loops, no duplicates — the caller guarantees it).
+    ///
+    /// Successor and predecessor segments come out in edge-list order,
+    /// exactly as the same sequence of [`Dag::add_edge`] calls would
+    /// produce them — bulk constructors (the builder's freeze, induced
+    /// subgraphs) must not change adjacency iteration order.
+    pub(crate) fn from_parts(
+        wcets: Vec<Ticks>,
+        labels: Vec<String>,
+        edges: &[(NodeId, NodeId)],
+    ) -> Dag {
+        let n = wcets.len();
+        let mut succ_off = vec![0u32; n + 1];
+        let mut pred_off = vec![0u32; n + 1];
+        for &(from, to) in edges {
+            debug_assert!(from.index() < n && to.index() < n && from != to);
+            succ_off[from.index() + 1] += 1;
+            pred_off[to.index() + 1] += 1;
         }
-        (sub, old_of_new)
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut succs = vec![NodeId::from_index(0); edges.len()];
+        let mut preds = vec![NodeId::from_index(0); edges.len()];
+        let mut succ_cursor = succ_off.clone();
+        let mut pred_cursor = pred_off.clone();
+        for &(from, to) in edges {
+            succs[succ_cursor[from.index()] as usize] = to;
+            succ_cursor[from.index()] += 1;
+            preds[pred_cursor[to.index()] as usize] = from;
+            pred_cursor[to.index()] += 1;
+        }
+        Dag {
+            wcets,
+            labels,
+            succ_off,
+            succs,
+            pred_off,
+            preds,
+        }
     }
 }
 
@@ -465,7 +574,7 @@ impl Iterator for EdgeIter<'_> {
 
     fn next(&mut self) -> Option<(NodeId, NodeId)> {
         while self.from < self.dag.node_count() {
-            let succs = &self.dag.succs[self.from];
+            let succs = self.dag.successors(NodeId::from_index(self.from));
             if self.succ_pos < succs.len() {
                 let edge = (NodeId::from_index(self.from), succs[self.succ_pos]);
                 self.succ_pos += 1;

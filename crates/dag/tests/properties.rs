@@ -81,7 +81,7 @@ proptest! {
     #[test]
     fn critical_path_dominates_every_enumerated_path(dag in arb_dag()) {
         let cp = CriticalPath::of(&dag);
-        let paths = hetrta_dag::algo::enumerate_paths(&dag, 200).unwrap();
+        let paths = hetrta_dag::algo::enumerate_paths(&dag, 200).unwrap().paths;
         for p in paths {
             let len: Ticks = p.iter().map(|&v| dag.wcet(v)).sum();
             prop_assert!(len <= cp.length());

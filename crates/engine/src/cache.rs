@@ -92,6 +92,16 @@ pub fn hash_dag(h: &mut ContentHasher, dag: &Dag) {
     }
 }
 
+/// Content hash of a bare DAG (structure + WCETs, no timing parameters) —
+/// the key of `m`-independent derived data shared across tasks that wrap
+/// the same graph.
+#[must_use]
+pub fn hash_dag_only(dag: &Dag) -> u128 {
+    let mut h = ContentHasher::new();
+    hash_dag(&mut h, dag);
+    h.finish()
+}
+
 /// Content hash of a heterogeneous task (structure + timing parameters).
 #[must_use]
 pub fn hash_task(task: &HeteroDagTask) -> u128 {

@@ -193,6 +193,102 @@ impl DiskCache {
         };
         self.write_payload("identity", key, &payload);
     }
+
+    /// Bounds the cache directory to (approximately) `max_bytes`, deleting
+    /// the **oldest-mtime result entries first** until the total size fits.
+    ///
+    /// The identity memo (`identity/`) is never touched: its entries are a
+    /// few dozen bytes each, and deleting one mid-sweep would force a
+    /// running engine to regenerate an input it believes is memoized. When
+    /// the identity namespace alone exceeds the bound, gc reports
+    /// `remaining_bytes > max_bytes` instead of violating that invariant.
+    ///
+    /// Concurrent engines are safe: a deleted entry simply reads as a miss
+    /// and is recomputed and rewritten. Half-written `*.tmp.*` files are
+    /// ignored (and never counted).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when a namespace directory cannot be read;
+    /// failures to delete individual entries are counted, not fatal.
+    pub fn gc(&self, max_bytes: u64) -> Result<GcStats, String> {
+        let identity_bytes: u64 = self.scan_entries("identity")?.iter().map(|e| e.bytes).sum();
+        let mut results = self.scan_entries("results")?;
+        // Oldest first; path disambiguates equal timestamps so the sweep
+        // order is deterministic.
+        results.sort_by(|a, b| (a.mtime, &a.path).cmp(&(b.mtime, &b.path)));
+        let mut remaining: u64 = identity_bytes + results.iter().map(|e| e.bytes).sum::<u64>();
+        let scanned_bytes = remaining;
+        let mut stats = GcStats {
+            scanned_bytes,
+            remaining_bytes: remaining,
+            deleted_entries: 0,
+            deleted_bytes: 0,
+        };
+        for entry in &results {
+            if remaining <= max_bytes {
+                break;
+            }
+            if std::fs::remove_file(&entry.path).is_ok() {
+                remaining -= entry.bytes;
+                stats.deleted_entries += 1;
+                stats.deleted_bytes += entry.bytes;
+            }
+        }
+        stats.remaining_bytes = remaining;
+        Ok(stats)
+    }
+
+    /// Every committed entry file of `namespace` with its size and mtime.
+    fn scan_entries(&self, namespace: &str) -> Result<Vec<DiskEntry>, String> {
+        let root = self.root.join(namespace);
+        let mut entries = Vec::new();
+        let shards = std::fs::read_dir(&root)
+            .map_err(|e| format!("cannot read cache dir {}: {e}", root.display()))?;
+        for shard in shards.flatten() {
+            let Ok(files) = std::fs::read_dir(shard.path()) else {
+                continue;
+            };
+            for file in files.flatten() {
+                // Committed entries are exactly 32 hex chars; anything else
+                // (in-flight `*.tmp.*` files) is skipped.
+                let name = file.file_name();
+                let name = name.to_string_lossy();
+                if name.len() != 32 || !name.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    continue;
+                }
+                let Ok(meta) = file.metadata() else { continue };
+                let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                entries.push(DiskEntry {
+                    path: file.path(),
+                    bytes: meta.len(),
+                    mtime,
+                });
+            }
+        }
+        Ok(entries)
+    }
+}
+
+/// One committed cache entry on disk (gc bookkeeping).
+#[derive(Debug, Clone)]
+struct DiskEntry {
+    path: PathBuf,
+    bytes: u64,
+    mtime: std::time::SystemTime,
+}
+
+/// What one [`DiskCache::gc`] sweep did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcStats {
+    /// Total committed bytes found (results + identity).
+    pub scanned_bytes: u64,
+    /// Result entries deleted.
+    pub deleted_entries: u64,
+    /// Bytes reclaimed.
+    pub deleted_bytes: u64,
+    /// Committed bytes left after the sweep.
+    pub remaining_bytes: u64,
 }
 
 /// Validates `magic \n payload \n checksum` and returns the payload.
@@ -295,6 +391,64 @@ mod tests {
         // Rewriting repairs the entry.
         cache.store_result(1, &outcome());
         assert_eq!(cache.load_result(1), Some(outcome()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_respects_the_bound_and_spares_the_identity_memo() {
+        let dir = temp_dir("gc");
+        let cache = DiskCache::open(&dir).unwrap();
+        // Identity memo entries (must survive any sweep) …
+        cache.store_identity(1, Some(0xAA));
+        cache.store_identity(2, None);
+        // … and ten result entries, written oldest-first.
+        for key in 0..10u128 {
+            cache.store_result(key << 96 | 0x100 | key, &outcome());
+        }
+        let before = cache.gc(u64::MAX).unwrap();
+        assert_eq!(before.deleted_entries, 0, "roomy bound deletes nothing");
+        let entry_bytes = before.scanned_bytes / 12; // rough per-entry size
+
+        // Bound to roughly half: the sweep must delete oldest-first until
+        // the total fits, and the bound must hold afterwards.
+        let bound = before.scanned_bytes / 2;
+        let stats = cache.gc(bound).unwrap();
+        assert!(stats.deleted_entries > 0);
+        assert!(
+            stats.remaining_bytes <= bound,
+            "remaining {} > bound {bound}",
+            stats.remaining_bytes
+        );
+        assert_eq!(
+            stats.remaining_bytes,
+            before.scanned_bytes - stats.deleted_bytes
+        );
+        // Oldest result entries went first; the newest still loads.
+        assert_eq!(cache.load_result(9 << 96 | 0x100 | 9), Some(outcome()));
+        assert_eq!(cache.load_result(0x100), None, "oldest entry swept");
+        // The identity memo is untouched even by a zero-byte bound.
+        let zero = cache.gc(0).unwrap();
+        assert_eq!(cache.load_identity(1), Some(Some(0xAA)));
+        assert_eq!(cache.load_identity(2), Some(None));
+        assert!(
+            zero.remaining_bytes >= 2 * entry_bytes / 2,
+            "identity bytes remain counted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_ignores_inflight_tmp_files() {
+        let dir = temp_dir("gc-tmp");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store_result(7, &outcome());
+        // A concurrent writer's half-written file must be neither counted
+        // nor deleted.
+        let tmp = cache.entry_path("results", 7).with_extension("tmp.999.0");
+        std::fs::write(&tmp, "half-written").unwrap();
+        let stats = cache.gc(0).unwrap();
+        assert_eq!(stats.deleted_entries, 1);
+        assert!(tmp.exists(), "tmp files are not gc'd");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use hetrta_api::{AnalysisOutcome, AnalysisRegistry};
+use hetrta_api::{AnalysisInput, AnalysisOutcome, AnalysisRegistry, DerivedData};
 use hetrta_core::TransformedTask;
 
 use crate::aggregate::{Aggregator, SweepAggregate};
@@ -27,17 +27,33 @@ use crate::spec::SweepSpec;
 /// realistic sweep, but a hard ceiling for resident memory.
 pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
 
+/// Entry cap of the input-materialization cache. Its values are whole
+/// graphs/task sets (kilobytes each, not the ~16 bytes of the other
+/// caches), and its purpose is reuse *across the grid cells of one sweep*
+/// — the reuse distance is one per-core-count block of recipes, far below
+/// this cap — so a small LRU captures the wins while bounding memory.
+pub const INPUT_CACHE_CAP: usize = 4096;
+
 /// Shared memoization state, persistent across [`Engine::run`] calls.
 ///
-/// Three sharded LRU caches, each bounded (default
+/// Five sharded LRU caches, each bounded (default
 /// [`DEFAULT_CACHE_CAPACITY`] entries):
 ///
 /// * `transform` — content hash → Algorithm 1 transformation
 ///   (m-independent, so one entry serves every core count of a sweep);
+/// * `derived` — DAG content hash → [`DerivedData`] (critical path,
+///   reachability closure, volume), shared across every grid cell and
+///   analysis kind that touches the same graph;
 /// * `results` — content hash × registry key × parameter digest →
 ///   analysis outcome;
 /// * `identity` — job input *recipe* → content hash, so repeated-seed jobs
-///   whose results are cached never regenerate the input.
+///   whose results are cached never regenerate the input;
+/// * `inputs` — job input recipe → the materialized input itself, so a
+///   repeated recipe analyzed under *new* parameters (another core count
+///   of the grid) skips DAG generation too. Unlike the other caches this
+///   one holds whole graphs/task sets, so its entry bound is capped at
+///   [`INPUT_CACHE_CAP`] regardless of the configured capacity — large
+///   sweeps evict and regenerate instead of retaining gigabytes.
 ///
 /// Optionally layered over a disk-persistent [`DiskCache`]
 /// ([`EngineBuilder::with_cache_dir`]): memory misses probe the disk
@@ -46,8 +62,10 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
 #[derive(Debug)]
 pub struct EngineCaches {
     pub(crate) transform: MemoCache<Result<TransformedTask, String>>,
+    pub(crate) derived: MemoCache<Result<Arc<DerivedData>, String>>,
     pub(crate) results: MemoCache<Result<AnalysisOutcome, String>>,
     pub(crate) identity: MemoCache<Option<u128>>,
+    pub(crate) inputs: MemoCache<AnalysisInput>,
     pub(crate) disk: Option<DiskCache>,
 }
 
@@ -57,8 +75,10 @@ impl EngineCaches {
     pub fn with_capacity(capacity: usize) -> Self {
         EngineCaches {
             transform: MemoCache::bounded(capacity),
+            derived: MemoCache::bounded(capacity),
             results: MemoCache::bounded(capacity),
             identity: MemoCache::bounded(capacity),
+            inputs: MemoCache::bounded(capacity.min(INPUT_CACHE_CAP)),
             disk: None,
         }
     }
@@ -152,6 +172,18 @@ impl EngineCaches {
         self.transform.counters()
     }
 
+    /// Derived-data-cache counters (lifetime of the engine).
+    #[must_use]
+    pub fn derived_counters(&self) -> CacheCounters {
+        self.derived.counters()
+    }
+
+    /// Input-materialization-cache counters (lifetime of the engine).
+    #[must_use]
+    pub fn input_counters(&self) -> CacheCounters {
+        self.inputs.counters()
+    }
+
     /// Result-cache counters (lifetime of the engine).
     #[must_use]
     pub fn result_counters(&self) -> CacheCounters {
@@ -164,18 +196,24 @@ impl EngineCaches {
         self.identity.counters()
     }
 
-    /// Total memoized entries across the three caches.
+    /// Total memoized entries across the five caches.
     #[must_use]
     pub fn resident_entries(&self) -> usize {
-        self.transform.len() + self.results.len() + self.identity.len()
+        self.transform.len()
+            + self.derived.len()
+            + self.results.len()
+            + self.identity.len()
+            + self.inputs.len()
     }
 
     /// Drops every memoized entry (a fresh scope for a long-lived engine;
     /// counters keep running).
     pub fn clear(&self) {
         self.transform.clear();
+        self.derived.clear();
         self.results.clear();
         self.identity.clear();
+        self.inputs.clear();
     }
 }
 
@@ -268,10 +306,15 @@ pub struct EngineStats {
     pub skipped_jobs: u64,
     /// Transformation-cache activity during this run.
     pub transform_cache: CacheCounters,
+    /// Derived-data-cache activity during this run (critical path,
+    /// reachability, volume shared per distinct DAG).
+    pub derived_cache: CacheCounters,
     /// Result-cache activity during this run.
     pub result_cache: CacheCounters,
     /// Identity-memo activity during this run.
     pub identity_cache: CacheCounters,
+    /// Input-materialization-cache activity during this run.
+    pub input_cache: CacheCounters,
     /// Disk-layer probe activity during this run (all zero when the
     /// engine has no cache directory).
     pub disk_cache: CacheCounters,
@@ -306,8 +349,18 @@ impl EngineStats {
         );
         let _ = writeln!(
             out,
+            "  derived cache:   {} hits / {} misses",
+            self.derived_cache.hits, self.derived_cache.misses,
+        );
+        let _ = writeln!(
+            out,
             "  identity memo:   {} hits / {} misses",
             self.identity_cache.hits, self.identity_cache.misses,
+        );
+        let _ = writeln!(
+            out,
+            "  input memo:      {} hits / {} misses",
+            self.input_cache.hits, self.input_cache.misses,
         );
         if self.disk_cache != CacheCounters::default() {
             let _ = writeln!(
@@ -386,8 +439,10 @@ impl std::error::Error for EngineError {}
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct CacheBaseline {
     pub(crate) transform: CacheCounters,
+    pub(crate) derived: CacheCounters,
     pub(crate) results: CacheCounters,
     pub(crate) identity: CacheCounters,
+    pub(crate) inputs: CacheCounters,
     pub(crate) disk: CacheCounters,
 }
 
@@ -395,8 +450,10 @@ impl CacheBaseline {
     fn snapshot(caches: &EngineCaches) -> Self {
         CacheBaseline {
             transform: caches.transform.counters(),
+            derived: caches.derived.counters(),
             results: caches.results.counters(),
             identity: caches.identity.counters(),
+            inputs: caches.inputs.counters(),
             disk: caches.disk_counters(),
         }
     }
@@ -828,8 +885,10 @@ impl SessionTask {
             cached_jobs,
             skipped_jobs,
             transform_cache: caches.transform.counters().since(baseline.transform),
+            derived_cache: caches.derived.counters().since(baseline.derived),
             result_cache: caches.results.counters().since(baseline.results),
             identity_cache: caches.identity.counters().since(baseline.identity),
+            input_cache: caches.inputs.counters().since(baseline.inputs),
             disk_cache: caches.disk_counters().since(baseline.disk),
             elapsed: shared.started.elapsed(),
         };

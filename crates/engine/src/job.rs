@@ -19,10 +19,10 @@ use std::time::{Duration, Instant};
 
 use hetrta_api::{
     Analysis, AnalysisContext, AnalysisInput, AnalysisOutcome, AnalysisParams, AnalysisRegistry,
-    AnalysisRequest,
+    AnalysisRequest, DerivedData,
 };
 use hetrta_cond::{generate_cond, CondGenParams};
-use hetrta_core::{transform, TransformedTask};
+use hetrta_core::{transform_with_reachability, TransformedTask};
 use hetrta_dag::HeteroDagTask;
 use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
 use hetrta_gen::series::BatchSpec;
@@ -31,11 +31,16 @@ use hetrta_sched::taskset::{generate_task_set, sort_deadline_monotonic, TaskSetP
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::cache::{hash_input, hash_task, key_with_params, result_key, ContentHasher};
+use crate::cache::{
+    hash_dag_only, hash_input, hash_task, key_with_params, result_key, ContentHasher,
+};
 use crate::EngineCaches;
 
 /// Cache-key tag of the transformation memo.
 const TAG_TRANSFORM: u8 = 0xF0;
+
+/// Cache-key tag of the derived-data memo.
+const TAG_DERIVED: u8 = 0xF1;
 
 /// One independent unit of work.
 #[derive(Debug, Clone)]
@@ -254,8 +259,11 @@ pub struct JobResult {
     pub metrics: Result<JobMetrics, String>,
 }
 
-/// The engine's [`AnalysisContext`]: Algorithm 1 transformations are
-/// memoized by task content, shared across core counts and analysis kinds.
+/// The engine's [`AnalysisContext`]: Algorithm 1 transformations and the
+/// per-DAG derived data (critical path, reachability closure, volume) are
+/// memoized by content, shared across core counts and analysis kinds —
+/// and the transformation reuses the memoized reachability closure
+/// instead of recomputing it.
 struct EngineContext<'a> {
     caches: &'a EngineCaches,
 }
@@ -263,10 +271,21 @@ struct EngineContext<'a> {
 impl AnalysisContext for EngineContext<'_> {
     fn transform(&self, task: &HeteroDagTask) -> Result<TransformedTask, String> {
         let key = key_with_params(hash_task(task), TAG_TRANSFORM, 0);
+        let (value, _hit) = self.caches.transform.get_or_compute(key, || {
+            let derived = self.derived(task)?;
+            transform_with_reachability(task, &derived.reachability).map_err(|e| e.to_string())
+        });
+        value
+    }
+
+    fn derived(&self, task: &HeteroDagTask) -> Result<Arc<DerivedData>, String> {
+        // Keyed by the graph alone: tasks differing only in period or
+        // deadline share one entry.
+        let key = key_with_params(hash_dag_only(task.dag()), TAG_DERIVED, 0);
         let (value, _hit) = self
             .caches
-            .transform
-            .get_or_compute(key, || transform(task).map_err(|e| e.to_string()));
+            .derived
+            .get_or_compute(key, || DerivedData::compute(task.dag()).map(Arc::new));
         value
     }
 }
@@ -323,7 +342,21 @@ fn execute_payload(
         None => {}
     }
 
-    let Some(input) = payload.input.materialize()? else {
+    // Input-materialization memo: a recipe already generated for another
+    // grid cell (a different core count, say) is reused instead of
+    // regenerated — generation is often the dominant per-job cost for
+    // large DAGs.
+    let input = match caches.inputs.get(identity) {
+        Some(input) => Some(input),
+        None => {
+            let input = payload.input.materialize()?;
+            if let Some(input) = &input {
+                caches.inputs.insert(identity, input.clone());
+            }
+            input
+        }
+    };
+    let Some(input) = input else {
         caches.identity_store(identity, None);
         return Ok((JobMetrics::Skipped, false));
     };

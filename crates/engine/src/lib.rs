@@ -16,11 +16,14 @@
 //!   [`Analysis`] registered by the application;
 //! * a **work-stealing worker pool** ([`pool`]) runs the jobs — heaviest
 //!   analysis kinds first, so one expensive solve does not tail the sweep;
-//! * three bounded, sharded-LRU **memo caches** ([`cache`]) serve repeated
+//! * five bounded, sharded-LRU **memo caches** ([`cache`]) serve repeated
 //!   content: analysis results by content hash × key × parameter digest,
-//!   Algorithm 1 transformations across core counts, and a job-identity →
-//!   content-hash memo so repeated-seed jobs never regenerate their DAG
-//!   just to compute the lookup key;
+//!   Algorithm 1 transformations and per-DAG derived data (critical path,
+//!   reachability closure, volume) across core counts and analysis kinds,
+//!   a job-identity → content-hash memo so repeated-seed jobs never
+//!   regenerate their DAG just to compute the lookup key, and the
+//!   materialized inputs themselves so a recipe revisited under new
+//!   parameters skips generation too;
 //! * the [`SweepAggregate`] is **bit-deterministic**: expansion order, not
 //!   completion order, drives every floating-point reduction, so one
 //!   thread and N threads produce identical aggregates;
@@ -74,10 +77,10 @@ pub use aggregate::{
     SweepAggregate, TaskCellSummary,
 };
 pub use cache::CacheCounters;
-pub use disk::DiskCache;
+pub use disk::{DiskCache, GcStats};
 pub use engine::{
     CostModel, Engine, EngineBuilder, EngineCaches, EngineError, EngineOutput, EngineStats,
-    InjectionOrder, DEFAULT_CACHE_CAPACITY,
+    InjectionOrder, DEFAULT_CACHE_CAPACITY, INPUT_CACHE_CAP,
 };
 pub use job::{Job, JobInput, JobMetrics, JobPayload, JobResult};
 pub use session::{SessionConfig, SweepEvent, SweepHandle};

@@ -313,6 +313,10 @@ impl SweepHandle {
                 .caches
                 .transform_counters()
                 .since(shared.baseline.transform),
+            derived_cache: shared
+                .caches
+                .derived_counters()
+                .since(shared.baseline.derived),
             result_cache: shared
                 .caches
                 .result_counters()
@@ -321,6 +325,7 @@ impl SweepHandle {
                 .caches
                 .identity_counters()
                 .since(shared.baseline.identity),
+            input_cache: shared.caches.input_counters().since(shared.baseline.inputs),
             disk_cache: shared.caches.disk_counters().since(shared.baseline.disk),
             elapsed: shared.started.elapsed(),
         }

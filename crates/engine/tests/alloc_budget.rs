@@ -1,0 +1,179 @@
+//! Allocation accounting for the workspace-reuse layer.
+//!
+//! A counting global allocator measures heap allocations of the analysis
+//! hot paths, recording the before/after of the refactor **in the test
+//! itself**: the pre-refactor shape (fresh scratch state per call —
+//! `simulate`, `solve`) is measured next to the workspace-reusing path
+//! (`simulate_makespan`, `solve_with` on a warm workspace), and the warm
+//! path must do strictly less heap work per call. A separate budget pins
+//! the steady-state allocations per *sweep cell* of a fully warmed engine.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter is the only addition.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations_during<T>(op: impl FnOnce() -> T) -> (u64, T) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let value = op();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, value)
+}
+
+use hetrta_engine::{Engine, GeneratorPreset, SweepSpec};
+use hetrta_exact::{solve, solve_with, SolverConfig, SolverWorkspace};
+use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+use hetrta_gen::{generate_nfj, NfjParams};
+use hetrta_sim::policy::BreadthFirst;
+use hetrta_sim::{simulate, simulate_makespan, Platform, SimWorkspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_task(n_min: usize, n_max: usize) -> hetrta_dag::HeteroDagTask {
+    let params = NfjParams::large_tasks().with_node_range(n_min, n_max);
+    let mut rng = StdRng::seed_from_u64(0x000A_110C);
+    loop {
+        let Ok(dag) = generate_nfj(&params, &mut rng) else {
+            continue;
+        };
+        if let Ok(task) = make_hetero_task(
+            dag,
+            OffloadSelection::AnyInterior,
+            CoffSizing::VolumeFraction(0.15),
+            &mut rng,
+        ) {
+            return task;
+        }
+    }
+}
+
+#[test]
+fn warm_sim_workspace_allocates_an_order_less_than_the_cold_path() {
+    let task = sample_task(60, 120);
+    let platform = Platform::with_accelerator(4);
+    let mut ws = SimWorkspace::new();
+    // Warm up the workspace buffers.
+    for _ in 0..3 {
+        simulate_makespan(
+            &mut ws,
+            task.dag(),
+            Some(task.offloaded()),
+            platform,
+            &mut BreadthFirst::new(),
+        )
+        .unwrap();
+    }
+
+    const RUNS: u64 = 20;
+    let (cold, _) = allocations_during(|| {
+        for _ in 0..RUNS {
+            // The pre-refactor shape: every call builds its own queues,
+            // heaps and per-node arrays (and an intervals vector).
+            simulate(
+                task.dag(),
+                Some(task.offloaded()),
+                platform,
+                &mut BreadthFirst::new(),
+            )
+            .unwrap();
+        }
+    });
+    let (warm, _) = allocations_during(|| {
+        for _ in 0..RUNS {
+            simulate_makespan(
+                &mut ws,
+                task.dag(),
+                Some(task.offloaded()),
+                platform,
+                &mut BreadthFirst::new(),
+            )
+            .unwrap();
+        }
+    });
+    // Fixed budget: a warm simulation may allocate a handful of times
+    // (`sources()` collects), nothing per-node.
+    assert!(
+        warm <= RUNS * 4,
+        "warm sim path allocates {warm} over {RUNS} runs (budget {})",
+        RUNS * 4
+    );
+    assert!(
+        warm * 5 <= cold,
+        "workspace reuse saves less than 5x: warm {warm} vs cold {cold}"
+    );
+}
+
+#[test]
+fn warm_solver_workspace_allocates_less_than_the_cold_path() {
+    let task = sample_task(14, 20);
+    let config = SolverConfig::default();
+    let mut ws = SolverWorkspace::new();
+    for _ in 0..2 {
+        solve_with(&mut ws, task.dag(), Some(task.offloaded()), 2, &config).unwrap();
+    }
+
+    const RUNS: u64 = 10;
+    let (cold, _) = allocations_during(|| {
+        for _ in 0..RUNS {
+            solve(task.dag(), Some(task.offloaded()), 2, &config).unwrap();
+        }
+    });
+    let (warm, _) = allocations_during(|| {
+        for _ in 0..RUNS {
+            solve_with(&mut ws, task.dag(), Some(task.offloaded()), 2, &config).unwrap();
+        }
+    });
+    assert!(
+        warm < cold,
+        "solver workspace reuse must reduce allocations: warm {warm} vs cold {cold}"
+    );
+}
+
+#[test]
+fn steady_state_engine_cells_fit_a_fixed_allocation_budget() {
+    // 2 cores × 2 fractions × 8 tasks = 32 jobs over 4 cells. After the
+    // first run everything is memoized; the steady-state re-run must stay
+    // under a fixed per-cell allocation budget (cache lookups, outcome
+    // clones, aggregation — no DAG generation, no analysis scratch).
+    let spec = SweepSpec::fractions(
+        GeneratorPreset::Custom(NfjParams::large_tasks().with_node_range(60, 120)),
+        vec![2, 8],
+        vec![0.02, 0.25],
+        8,
+        0x00A1_10C2,
+    );
+    let engine = Engine::new(1);
+    engine.run(&spec).unwrap();
+
+    let cells = 4u64;
+    let (steady, out) = allocations_during(|| engine.run(&spec).unwrap());
+    assert_eq!(out.stats.cached_jobs as usize, out.stats.jobs);
+    const PER_CELL_BUDGET: u64 = 4_000;
+    assert!(
+        steady / cells < PER_CELL_BUDGET,
+        "steady-state sweep allocated {steady} over {cells} cells \
+         ({} per cell, budget {PER_CELL_BUDGET})",
+        steady / cells
+    );
+}

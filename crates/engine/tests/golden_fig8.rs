@@ -1,0 +1,125 @@
+//! Golden parity pin for the CSR/workspace/derived-data refactor: the
+//! engine aggregate of a small Figure-8-style sweep must stay **bitwise
+//! identical** to the output captured from the pre-refactor engine (nested
+//! `Vec<Vec>` adjacency, per-job allocation, no derived-data sharing).
+//!
+//! Every floating-point constant below is the exact `f64::to_bits` pattern
+//! the pre-refactor build produced for this spec. Any change to graph
+//! layout, kernel order of operations, caching, or aggregation that moves
+//! a single mantissa bit fails this test.
+
+use hetrta_engine::{CellKind, Engine, GeneratorPreset, SweepSpec};
+use hetrta_gen::NfjParams;
+
+/// One expected cell: `(m, grid-value bits, samples, scenario counts,
+/// mean/max improvement bits, mean R_het/R_hom bits, schedulable counts)`.
+type GoldenCell = (
+    u64,
+    u64,
+    usize,
+    [usize; 3],
+    u64,
+    u64,
+    u64,
+    u64,
+    usize,
+    usize,
+);
+
+/// Captured from the pre-refactor engine (commit 086983d) for the spec in
+/// `golden_spec()`.
+const GOLDEN: [GoldenCell; 4] = [
+    (
+        2,
+        0x3f94_7ae1_47ae_147b,
+        8,
+        [8, 0, 0],
+        0x3fd6_f72a_a244_1648,
+        0x3ffc_e944_3365_ce94,
+        0x40a5_9580_0000_0000,
+        0x40a5_a8e0_0000_0000,
+        8,
+        8,
+    ),
+    (
+        2,
+        0x3fd0_0000_0000_0000,
+        8,
+        [0, 1, 7],
+        0x4047_7c9d_a15b_8f4d,
+        0x4049_c213_185c_15c6,
+        0x40a4_e8c0_0000_0000,
+        0x40ae_c6e0_0000_0000,
+        8,
+        8,
+    ),
+    (
+        8,
+        0x3f94_7ae1_47ae_147b,
+        8,
+        [8, 0, 0],
+        0xc011_aa02_f730_ce95,
+        0x3ff1_4d8a_6644_7a61,
+        0x4093_7300_0000_0000,
+        0x4092_9250_0000_0000,
+        8,
+        8,
+    ),
+    (
+        8,
+        0x3fd0_0000_0000_0000,
+        8,
+        [0, 8, 0],
+        0x4037_721d_1581_3819,
+        0x403d_e297_fcd3_fd5b,
+        0x409f_1e70_0000_0000,
+        0x40a3_1df8_0000_0000,
+        8,
+        8,
+    ),
+];
+
+fn golden_spec() -> SweepSpec {
+    SweepSpec::fractions(
+        GeneratorPreset::Custom(NfjParams::large_tasks().with_node_range(60, 120)),
+        vec![2, 8],
+        vec![0.02, 0.25],
+        8,
+        0x8008_0002,
+    )
+}
+
+fn assert_matches_golden(engine: &Engine) {
+    let out = engine.run(&golden_spec()).expect("sweep succeeds");
+    assert_eq!(out.aggregate.cells.len(), GOLDEN.len());
+    for (cell, golden) in out.aggregate.cells.iter().zip(GOLDEN) {
+        let (m, f_bits, samples, counts, mean_imp, max_imp, mean_het, mean_hom, sh, shm) = golden;
+        let CellKind::Task(t) = &cell.kind else {
+            panic!("fraction sweeps produce task cells")
+        };
+        assert_eq!(cell.m, m);
+        assert_eq!(cell.grid_value.to_bits(), f_bits);
+        assert_eq!(cell.samples, samples);
+        assert_eq!(t.scenario_counts, counts);
+        assert_eq!(t.mean_improvement.to_bits(), mean_imp, "mean improvement");
+        assert_eq!(t.max_improvement.to_bits(), max_imp, "max improvement");
+        assert_eq!(t.mean_r_het.to_bits(), mean_het, "mean R_het");
+        assert_eq!(t.mean_r_hom.to_bits(), mean_hom, "mean R_hom");
+        assert_eq!(t.schedulable_het, sh);
+        assert_eq!(t.schedulable_hom, shm);
+    }
+}
+
+#[test]
+fn engine_aggregate_is_bitwise_identical_to_pre_refactor_output() {
+    assert_matches_golden(&Engine::new(0));
+}
+
+#[test]
+fn golden_parity_holds_single_threaded_and_warm() {
+    // One thread, then a warm re-run on the same engine: the cached path
+    // must replay the exact same bits.
+    let engine = Engine::new(1);
+    assert_matches_golden(&engine);
+    assert_matches_golden(&engine);
+}

@@ -57,4 +57,6 @@ mod solver;
 pub use error::ExactError;
 pub use heuristics::list_schedule_cp_first;
 pub use schedule::{ExactSchedule, Optimality};
-pub use solver::{solve, solve_hetero_task, SolverConfig, MAX_NODES_SUPPORTED};
+pub use solver::{
+    solve, solve_hetero_task, solve_with, SolverConfig, SolverWorkspace, MAX_NODES_SUPPORTED,
+};

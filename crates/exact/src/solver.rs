@@ -93,6 +93,46 @@ pub fn solve(
     m: u64,
     config: &SolverConfig,
 ) -> Result<ExactSchedule, ExactError> {
+    solve_with(&mut SolverWorkspace::new(), dag, offloaded, m, config)
+}
+
+/// Reusable scratch state of the branch-and-bound search: per-node tail
+/// and WCET tables, the chain-bound estimation buffer, and the dominance
+/// memo.
+///
+/// One workspace serves any number of sequential solves; each
+/// [`solve_with`] call resets (but does not reallocate) the buffers.
+/// Batch engines keep one per worker thread so steady-state sweeps do
+/// near-zero setup allocation per solved instance — and the chain bound,
+/// evaluated at every search node, stops allocating entirely.
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    tails: Vec<u64>,
+    wcets: Vec<u64>,
+    est_finish: Vec<u64>,
+    memo: HashMap<u128, Vec<Vec<u64>>>,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+}
+
+/// [`solve`] with caller-owned scratch state (see [`SolverWorkspace`]).
+///
+/// # Errors
+///
+/// See [`solve`].
+pub fn solve_with(
+    ws: &mut SolverWorkspace,
+    dag: &Dag,
+    offloaded: Option<NodeId>,
+    m: u64,
+    config: &SolverConfig,
+) -> Result<ExactSchedule, ExactError> {
     if m == 0 {
         return Err(ExactError::ZeroCores);
     }
@@ -118,8 +158,19 @@ pub fn solve(
     }
     let topo = topological_order(dag)?;
     let cp = CriticalPath::try_of(dag)?;
-    let tails: Vec<u64> = dag.node_ids().map(|v| cp.tail(v).get()).collect();
-    let wcets: Vec<u64> = dag.node_ids().map(|v| dag.wcet(v).get()).collect();
+    let SolverWorkspace {
+        tails,
+        wcets,
+        est_finish,
+        memo,
+    } = ws;
+    tails.clear();
+    tails.extend(dag.node_ids().map(|v| cp.tail(v).get()));
+    wcets.clear();
+    wcets.extend(dag.node_ids().map(|v| dag.wcet(v).get()));
+    est_finish.clear();
+    est_finish.resize(n, 0);
+    memo.clear();
 
     // Incumbent from the CP-first list schedule.
     let (inc_makespan, inc_starts) = list_schedule_cp_first(dag, offloaded, m)?;
@@ -129,14 +180,15 @@ pub fn solve(
         dag,
         offloaded,
         topo: &topo,
-        tails: &tails,
-        wcets: &wcets,
+        tails,
+        wcets,
+        est_finish,
         config,
         best_makespan: inc_makespan.get(),
         best_starts: inc_starts.iter().map(|t| t.get()).collect(),
         explored: 0,
         exhausted: false,
-        memo: HashMap::new(),
+        memo,
         deadline: config.time_limit.map(|d| std::time::Instant::now() + d),
     };
 
@@ -206,12 +258,14 @@ struct Search<'a> {
     topo: &'a [NodeId],
     tails: &'a [u64],
     wcets: &'a [u64],
+    /// Chain-bound estimation buffer (fully overwritten per evaluation).
+    est_finish: &'a mut Vec<u64>,
     config: &'a SolverConfig,
     best_makespan: u64,
     best_starts: Vec<u64>,
     explored: u64,
     exhausted: bool,
-    memo: HashMap<u128, Vec<Vec<u64>>>,
+    memo: &'a mut HashMap<u128, Vec<Vec<u64>>>,
     deadline: Option<std::time::Instant>,
 }
 
@@ -266,8 +320,12 @@ impl Search<'_> {
 
     /// Chain lower bound: earliest possible completion of the whole task
     /// from this partial state, ignoring future core contention.
-    fn chain_bound(&self, state: &State) -> u64 {
-        let mut est_finish = vec![0u64; self.dag.node_count()];
+    ///
+    /// Evaluated at every search node — the estimation buffer lives in the
+    /// [`SolverWorkspace`] and is fully overwritten here, so the bound is
+    /// allocation-free.
+    fn chain_bound(&mut self, state: &State) -> u64 {
+        let est_finish = &mut *self.est_finish;
         let mut bound = state.finishes.iter().copied().max().unwrap_or(0);
         let earliest_core = state.cores[0];
         for &v in self.topo {

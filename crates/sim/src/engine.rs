@@ -191,6 +191,123 @@ pub fn simulate_multi(
     platform: Platform,
     policy: &mut dyn Policy,
 ) -> Result<SimResult, SimError> {
+    let mut ws = SimWorkspace::new();
+    run_event_loop(&mut ws, dag, offloaded, platform, policy)?;
+    let makespan = ws
+        .intervals
+        .iter()
+        .map(|i| i.finish)
+        .max()
+        .unwrap_or(Ticks::ZERO);
+    let mut intervals = std::mem::take(&mut ws.intervals);
+    intervals.sort_by_key(|i| (i.start, i.node));
+    Ok(SimResult {
+        makespan,
+        intervals,
+        policy: policy.name(),
+        platform,
+    })
+}
+
+/// Simulates `dag` and returns only the makespan, reusing `ws` for every
+/// queue, heap and per-node array — the steady-state allocation count of a
+/// warm workspace is zero, which is what the batch engine's per-worker
+/// workspaces rely on.
+///
+/// Produces exactly the makespan [`simulate`] would report for the same
+/// arguments (pinned by tests).
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_makespan(
+    ws: &mut SimWorkspace,
+    dag: &Dag,
+    offloaded: Option<NodeId>,
+    platform: Platform,
+    policy: &mut dyn Policy,
+) -> Result<Ticks, SimError> {
+    let storage;
+    let offloaded: &[NodeId] = match offloaded {
+        Some(off) => {
+            storage = [off];
+            &storage
+        }
+        None => &[],
+    };
+    run_event_loop(ws, dag, offloaded, platform, policy)?;
+    Ok(ws
+        .intervals
+        .iter()
+        .map(|i| i.finish)
+        .max()
+        .unwrap_or(Ticks::ZERO))
+}
+
+/// Reusable scratch state of the simulation event loop: per-node arrays,
+/// ready queues, resource heaps, and the interval log.
+///
+/// One workspace serves any number of sequential simulations of any
+/// graphs/platforms; each run resets (but does not reallocate) the
+/// buffers. Owned per worker thread by batch engines so steady-state
+/// sweeps do near-zero heap allocation per simulated task.
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    is_offloaded: Vec<bool>,
+    remaining_preds: Vec<u32>,
+    ready_time: Vec<Ticks>,
+    intervals: Vec<Interval>,
+    finished: usize,
+    free_cores: BinaryHeap<Reverse<usize>>,
+    free_accels: BinaryHeap<Reverse<usize>>,
+    running: BinaryHeap<Reverse<(u64, u32, ResourceKey)>>,
+    ready_host: Vec<NodeId>,
+    ready_accel: Vec<NodeId>,
+}
+
+impl SimWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        SimWorkspace::default()
+    }
+
+    fn reset(&mut self, dag: &Dag, offloaded: &[NodeId], platform: Platform) {
+        let n = dag.node_count();
+        self.is_offloaded.clear();
+        self.is_offloaded.resize(n, false);
+        for &off in offloaded {
+            self.is_offloaded[off.index()] = true;
+        }
+        self.remaining_preds.clear();
+        self.remaining_preds
+            .extend((0..n).map(|i| dag.in_degree(NodeId::from_index(i)) as u32));
+        self.ready_time.clear();
+        self.ready_time.resize(n, Ticks::ZERO);
+        self.intervals.clear();
+        self.intervals.reserve(n);
+        self.finished = 0;
+        self.free_cores.clear();
+        self.free_cores.extend((0..platform.cores()).map(Reverse));
+        self.free_accels.clear();
+        self.free_accels
+            .extend((0..platform.accelerators()).map(Reverse));
+        self.running.clear();
+        self.ready_host.clear();
+        self.ready_accel.clear();
+    }
+}
+
+/// Runs the event loop into `ws` (validation, policy preparation, reset,
+/// execution, stall check). `ws.intervals` holds every executed interval
+/// in completion order afterwards.
+fn run_event_loop(
+    ws: &mut SimWorkspace,
+    dag: &Dag,
+    offloaded: &[NodeId],
+    platform: Platform,
+    policy: &mut dyn Policy,
+) -> Result<(), SimError> {
     if platform.cores() == 0 {
         return Err(SimError::ZeroCores);
     }
@@ -205,25 +322,8 @@ pub fn simulate_multi(
     policy.prepare(dag);
 
     let n = dag.node_count();
-    let mut is_offloaded = vec![false; n];
-    for &off in offloaded {
-        is_offloaded[off.index()] = true;
-    }
-    let mut engine = Engine {
-        dag,
-        is_offloaded,
-        remaining_preds: (0..n)
-            .map(|i| dag.in_degree(NodeId::from_index(i)))
-            .collect(),
-        ready_time: vec![Ticks::ZERO; n],
-        intervals: Vec::with_capacity(n),
-        finished: 0,
-        free_cores: (0..platform.cores()).map(Reverse).collect(),
-        free_accels: (0..platform.accelerators()).map(Reverse).collect(),
-        running: BinaryHeap::new(),
-        ready_host: Vec::new(),
-        ready_accel: Vec::new(),
-    };
+    ws.reset(dag, offloaded, platform);
+    let mut engine = EngineRun { dag, ws };
 
     let mut now = Ticks::ZERO;
     for v in dag.sources() {
@@ -232,64 +332,52 @@ pub fn simulate_multi(
 
     loop {
         // Start device work (FIFO over the device-ready queue).
-        while !engine.ready_accel.is_empty() && !engine.free_accels.is_empty() {
-            let v = engine.ready_accel.remove(0);
-            let Reverse(dev) = engine.free_accels.pop().expect("checked non-empty");
+        while !engine.ws.ready_accel.is_empty() && !engine.ws.free_accels.is_empty() {
+            let v = engine.ws.ready_accel.remove(0);
+            let Reverse(dev) = engine.ws.free_accels.pop().expect("checked non-empty");
             engine.start(v, now, ResourceKey::Accel(dev));
         }
         // Start host work while cores are free (work conservation).
-        while !engine.ready_host.is_empty() && !engine.free_cores.is_empty() {
+        while !engine.ws.ready_host.is_empty() && !engine.ws.free_cores.is_empty() {
             let ctx = PolicyContext {
                 dag,
                 now: now.get(),
             };
-            let idx = policy.choose(&engine.ready_host, &ctx);
+            let idx = policy.choose(&engine.ws.ready_host, &ctx);
             assert!(
-                idx < engine.ready_host.len(),
+                idx < engine.ws.ready_host.len(),
                 "policy {} returned out-of-range index",
                 policy.name()
             );
-            let v = engine.ready_host.remove(idx);
-            let Reverse(core) = engine.free_cores.pop().expect("checked non-empty");
+            let v = engine.ws.ready_host.remove(idx);
+            let Reverse(core) = engine.ws.free_cores.pop().expect("checked non-empty");
             engine.start(v, now, ResourceKey::Host(core));
         }
 
-        let Some(Reverse((finish, vi, res))) = engine.running.pop() else {
+        let Some(Reverse((finish, vi, res))) = engine.ws.running.pop() else {
             break;
         };
         now = Ticks::new(finish);
         match res {
-            ResourceKey::Host(core) => engine.free_cores.push(Reverse(core)),
-            ResourceKey::Accel(dev) => engine.free_accels.push(Reverse(dev)),
+            ResourceKey::Host(core) => engine.ws.free_cores.push(Reverse(core)),
+            ResourceKey::Accel(dev) => engine.ws.free_accels.push(Reverse(dev)),
         }
-        engine.finished += 1;
+        engine.ws.finished += 1;
         let v = NodeId::from_index(vi as usize);
         for &s in dag.successors(v) {
-            engine.remaining_preds[s.index()] -= 1;
-            if engine.remaining_preds[s.index()] == 0 {
+            engine.ws.remaining_preds[s.index()] -= 1;
+            if engine.ws.remaining_preds[s.index()] == 0 {
                 engine.release(s, now);
             }
         }
     }
 
-    if engine.finished != n {
+    if ws.finished != n {
         return Err(SimError::Stalled {
-            unfinished: n - engine.finished,
+            unfinished: n - ws.finished,
         });
     }
-    let makespan = engine
-        .intervals
-        .iter()
-        .map(|i| i.finish)
-        .max()
-        .unwrap_or(Ticks::ZERO);
-    engine.intervals.sort_by_key(|i| (i.start, i.node));
-    Ok(SimResult {
-        makespan,
-        intervals: engine.intervals,
-        policy: policy.name(),
-        platform,
-    })
+    Ok(())
 }
 
 /// Internal ordering key so simultaneous completions resolve
@@ -300,63 +388,55 @@ enum ResourceKey {
     Accel(usize),
 }
 
-struct Engine<'a> {
+struct EngineRun<'a, 'w> {
     dag: &'a Dag,
-    is_offloaded: Vec<bool>,
-    remaining_preds: Vec<usize>,
-    ready_time: Vec<Ticks>,
-    intervals: Vec<Interval>,
-    finished: usize,
-    free_cores: BinaryHeap<Reverse<usize>>,
-    free_accels: BinaryHeap<Reverse<usize>>,
-    running: BinaryHeap<Reverse<(u64, u32, ResourceKey)>>,
-    ready_host: Vec<NodeId>,
-    ready_accel: Vec<NodeId>,
+    ws: &'w mut SimWorkspace,
 }
 
-impl Engine<'_> {
+impl EngineRun<'_, '_> {
     fn start(&mut self, v: NodeId, now: Ticks, key: ResourceKey) {
         let finish = now + self.dag.wcet(v);
-        self.running
+        self.ws
+            .running
             .push(Reverse((finish.get(), v.index() as u32, key)));
         let resource = match key {
             ResourceKey::Host(c) => Resource::HostCore(c),
             ResourceKey::Accel(d) => Resource::Accelerator(d),
         };
-        self.intervals.push(Interval {
+        self.ws.intervals.push(Interval {
             node: v,
             start: now,
             finish,
             resource,
-            ready: self.ready_time[v.index()],
+            ready: self.ws.ready_time[v.index()],
         });
     }
 
     /// A node became ready: dispatch to a device queue, instant-complete,
     /// or queue for the host.
     fn release(&mut self, v: NodeId, now: Ticks) {
-        self.ready_time[v.index()] = now;
+        self.ws.ready_time[v.index()] = now;
         let wcet = self.dag.wcet(v);
         if wcet.is_zero() {
-            self.intervals.push(Interval {
+            self.ws.intervals.push(Interval {
                 node: v,
                 start: now,
                 finish: now,
                 resource: Resource::Instant,
                 ready: now,
             });
-            self.finished += 1;
+            self.ws.finished += 1;
             for i in 0..self.dag.successors(v).len() {
                 let s = self.dag.successors(v)[i];
-                self.remaining_preds[s.index()] -= 1;
-                if self.remaining_preds[s.index()] == 0 {
+                self.ws.remaining_preds[s.index()] -= 1;
+                if self.ws.remaining_preds[s.index()] == 0 {
                     self.release(s, now);
                 }
             }
-        } else if self.is_offloaded[v.index()] {
-            self.ready_accel.push(v);
+        } else if self.ws.is_offloaded[v.index()] {
+            self.ws.ready_accel.push(v);
         } else {
-            self.ready_host.push(v);
+            self.ws.ready_host.push(v);
         }
     }
 }
@@ -714,6 +794,65 @@ mod tests {
         assert_eq!(i2.start, i1.finish);
         // host node unaffected
         assert_eq!(r.interval_of(h).unwrap().resource, Resource::HostCore(0));
+    }
+
+    #[test]
+    fn workspace_makespan_matches_simulate() {
+        // One warm workspace across graphs, platforms and policies must
+        // reproduce the makespan of the allocating path exactly.
+        let (fig, [_, _, _, _, _, voff]) = figure1();
+        let (two, [_, k1, _, _, _]) = two_kernel_dag();
+        let mut ws = SimWorkspace::new();
+        for m in [1usize, 2, 4] {
+            for (dag, off) in [
+                (&fig, Some(voff)),
+                (&fig, None),
+                (&two, Some(k1)),
+                (&two, None),
+            ] {
+                let platform = if off.is_some() {
+                    Platform::with_accelerator(m)
+                } else {
+                    Platform::host_only(m)
+                };
+                let full = simulate(dag, off, platform, &mut BreadthFirst::new()).unwrap();
+                let fast = simulate_makespan(&mut ws, dag, off, platform, &mut BreadthFirst::new())
+                    .unwrap();
+                assert_eq!(full.makespan(), fast);
+                let fast_dfs =
+                    simulate_makespan(&mut ws, dag, off, platform, &mut DepthFirst::new()).unwrap();
+                let full_dfs = simulate(dag, off, platform, &mut DepthFirst::new()).unwrap();
+                assert_eq!(full_dfs.makespan(), fast_dfs);
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_errors_match_simulate() {
+        let (dag, [_, _, _, _, _, voff]) = figure1();
+        let mut ws = SimWorkspace::new();
+        assert_eq!(
+            simulate_makespan(
+                &mut ws,
+                &dag,
+                None,
+                Platform::host_only(0),
+                &mut BreadthFirst::new()
+            )
+            .unwrap_err(),
+            SimError::ZeroCores
+        );
+        assert_eq!(
+            simulate_makespan(
+                &mut ws,
+                &dag,
+                Some(voff),
+                Platform::host_only(2),
+                &mut BreadthFirst::new()
+            )
+            .unwrap_err(),
+            SimError::NoAccelerator(voff)
+        );
     }
 
     #[test]

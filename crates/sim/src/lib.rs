@@ -53,7 +53,7 @@ pub mod sporadic;
 pub mod trace;
 
 pub use engine::{
-    explore_worst_case, simulate, simulate_hetero_task, simulate_multi, Interval, Platform,
-    Resource, SimResult,
+    explore_worst_case, simulate, simulate_hetero_task, simulate_makespan, simulate_multi,
+    Interval, Platform, Resource, SimResult, SimWorkspace,
 };
 pub use error::SimError;
