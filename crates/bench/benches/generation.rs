@@ -1,0 +1,96 @@
+//! Criterion benches for the builder-first generation pipeline — the
+//! paper-scale presets and the large-graph tier (n ≈ 10,000) that
+//! edge-by-edge CSR mutation made impractical before PR 5.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hetrta_core::transform;
+use hetrta_gen::layered::{generate_layered, LayeredParams};
+use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
+use hetrta_gen::openmp::{Program, Stmt};
+use hetrta_gen::{generate_nfj, NfjParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn generation_paper_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation_paper");
+    let small = NfjParams::small_tasks();
+    group.bench_function("nfj_small", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(generate_nfj(&small, &mut rng).unwrap())
+        })
+    });
+    let large = NfjParams::large_tasks();
+    group.bench_function("nfj_large", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(generate_nfj(&large, &mut rng).unwrap())
+        })
+    });
+    let layered = LayeredParams::default();
+    group.bench_function("layered_default", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            black_box(generate_layered(&layered, &mut rng).unwrap())
+        })
+    });
+    let program = Program::new(vec![
+        Stmt::work("prep", 2),
+        Stmt::offload("gpu", 20),
+        Stmt::spawn(Program::new(vec![Stmt::work("cpu_a", 9)])),
+        Stmt::spawn(Program::new(vec![Stmt::work("cpu_b", 7)])),
+        Stmt::work("local", 3),
+        Stmt::Taskwait,
+        Stmt::work("post", 1),
+    ]);
+    group.bench_function("openmp_lower", |b| {
+        b.iter(|| black_box(program.lower().unwrap()))
+    });
+}
+
+fn generation_large_graphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation_10k");
+    group.sample_size(10);
+    let nfj = NfjParams::large_graphs(10_000);
+    group.bench_function("nfj_build_10k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(0xBE9C_0010 ^ seed);
+            black_box(generate_nfj(&nfj, &mut rng).unwrap())
+        })
+    });
+    let layered = LayeredParams::large_graphs(10_000);
+    group.bench_function("layered_build_10k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(0xBE9C_0020 ^ seed);
+            black_box(generate_layered(&layered, &mut rng).unwrap())
+        })
+    });
+    // Algorithm 1 at the large-graph tier (analysis-side counterpart).
+    let task = {
+        let mut rng = StdRng::seed_from_u64(0xBE9C_0030);
+        let dag = generate_nfj(&nfj, &mut rng).unwrap();
+        make_hetero_task(
+            dag,
+            OffloadSelection::AnyInterior,
+            CoffSizing::VolumeFraction(0.2),
+            &mut rng,
+        )
+        .unwrap()
+    };
+    group.bench_function("transform_10k", |b| {
+        b.iter(|| black_box(transform(&task).unwrap()))
+    });
+}
+
+criterion_group!(benches, generation_paper_scale, generation_large_graphs);
+criterion_main!(benches);

@@ -16,8 +16,9 @@ use hetrta_dag::algo::{
     topological_order, transitive::find_transitive_edge, CriticalPath, Reachability,
 };
 use hetrta_dag::HeteroDagTask;
-use hetrta_engine::{Engine, EngineOutput, SweepSpec};
+use hetrta_engine::{Engine, EngineOutput, GeneratorPreset, SweepSpec};
 use hetrta_exact::{solve, SolverConfig};
+use hetrta_gen::layered::{generate_layered, LayeredParams};
 use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
 use hetrta_gen::{generate_nfj, NfjParams};
 use hetrta_sim::policy::BreadthFirst;
@@ -267,6 +268,36 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         .makespan()
     }));
 
+    // Large-graph tier: n≈10k construction through the builder-first
+    // pipeline (the pre-PR5 edge-by-edge path was 5.7 ms / 117 ms per
+    // graph here), plus Algorithm 1 at that scale. One op is one whole
+    // graph, so these get a larger budget than the microsecond kernels.
+    let gen_budget = budget.max(Duration::from_millis(120));
+    let nfj_10k = NfjParams::large_graphs(10_000);
+    kernels.push(time_kernel("gen/nfj_build_10k", gen_budget, |i| {
+        let mut rng = StdRng::seed_from_u64(0xBE9C_0010 ^ i);
+        generate_nfj(&nfj_10k, &mut rng).expect("large-graph sample accepted")
+    }));
+    let layered_10k = LayeredParams::large_graphs(10_000);
+    kernels.push(time_kernel("gen/layered_build_10k", gen_budget, |i| {
+        let mut rng = StdRng::seed_from_u64(0xBE9C_0020 ^ i);
+        generate_layered(&layered_10k, &mut rng).expect("valid params")
+    }));
+    let large_task = {
+        let mut rng = StdRng::seed_from_u64(0xBE9C_0030);
+        let dag = generate_nfj(&nfj_10k, &mut rng).expect("large-graph sample accepted");
+        make_hetero_task(
+            dag,
+            OffloadSelection::AnyInterior,
+            CoffSizing::VolumeFraction(0.2),
+            &mut rng,
+        )
+        .expect("offload assignment succeeds")
+    };
+    kernels.push(time_kernel("core/transform_10k", gen_budget, |_| {
+        transform(&large_task).expect("transformable")
+    }));
+
     let mut sweeps = Vec::new();
     let fig8_spec = fig8::sweep_spec(&fig8::Config::quick());
     let engine = Engine::new(0);
@@ -276,6 +307,19 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         let fig9_spec = fig9::sweep_spec(&fig9::Config::quick());
         let engine9 = Engine::new(0);
         sweeps.push(timed_sweep("sweep/fig9_quick_cold", &engine9, &fig9_spec));
+        // The first end-to-end large-graph sweep: ten jobs over
+        // ten-thousand-node DAGs (generation + Algorithm 1 + Theorem 1),
+        // impossible before builder-first construction unlocked the tier.
+        let n10k_spec = SweepSpec::fractions(
+            GeneratorPreset::LargeGraphs(10_000),
+            vec![8],
+            vec![0.1, 0.3],
+            5,
+            0xDAC_2018,
+        );
+        let engine10k = Engine::new(0);
+        sweeps.push(timed_sweep("sweep/n10k_het_cold", &engine10k, &n10k_spec));
+        sweeps.push(timed_sweep("sweep/n10k_het_warm", &engine10k, &n10k_spec));
     }
 
     PerfReport { kernels, sweeps }

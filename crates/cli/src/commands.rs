@@ -237,6 +237,13 @@ pub const COMMANDS: &[CommandSpec] = &[
                 ..FlagSpec::DEFAULT
             },
             FlagSpec {
+                name: "--n-max",
+                value: Some("N"),
+                help: "large-graph tier: sweep NFJ DAGs of up to N nodes \
+                       (accepted from N/4 up; builder-first generation keeps this O(V+E))",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
                 name: "--sim-transformed",
                 value: None,
                 help: "sim also measures the transformed task (Figure 6 comparison)",
@@ -835,11 +842,25 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
         None => vec![0xDAC_2018],
         Some(spec) => parse_list(spec, "seed")?,
     };
-    let preset = match args.value_of("--preset") {
-        None | Some("small") => GeneratorPreset::Small,
-        Some("large") => GeneratorPreset::Large,
-        Some("paper") => GeneratorPreset::LargePaper,
-        Some(other) => return Err(format!("unknown preset `{other}`")),
+    let preset = match (args.value_of("--preset"), args.value_of("--n-max")) {
+        (Some(_), Some(_)) => {
+            return Err("choose one of --preset and --n-max (the large-graph \
+                        tier is its own preset)"
+                .into())
+        }
+        (_, Some(raw)) => {
+            let n_max: usize = raw
+                .parse()
+                .map_err(|_| format!("invalid node count `{raw}`"))?;
+            if n_max < 4 {
+                return Err(format!("--n-max {n_max} is too small (need ≥ 4 nodes)"));
+            }
+            GeneratorPreset::LargeGraphs(n_max)
+        }
+        (None | Some("small"), None) => GeneratorPreset::Small,
+        (Some("large"), None) => GeneratorPreset::Large,
+        (Some("paper"), None) => GeneratorPreset::LargePaper,
+        (Some(other), None) => return Err(format!("unknown preset `{other}`")),
     };
     // Registry-validated selection; `None` keeps each grid's default
     // (het for fractions, acceptance for utils, cond for cond-shares).
@@ -875,9 +896,9 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
             .next()
     };
     if args.value_of("--utils").is_some() {
-        if args.value_of("--preset").is_some() {
-            return Err("--preset applies to fraction sweeps; utilization sweeps \
-                        use the small task-set template"
+        if args.value_of("--preset").is_some() || args.value_of("--n-max").is_some() {
+            return Err("--preset/--n-max apply to fraction sweeps; utilization \
+                        sweeps use the small task-set template"
                 .into());
         }
         if let Some(flag) = fraction_only_given(args) {
@@ -887,9 +908,9 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
             return Err("--realization-cap applies to fraction and conditional sweeps".into());
         }
     } else if args.value_of("--cond-shares").is_some() {
-        if args.value_of("--preset").is_some() {
-            return Err("--preset applies to fraction sweeps; conditional sweeps \
-                        use the small expression template"
+        if args.value_of("--preset").is_some() || args.value_of("--n-max").is_some() {
+            return Err("--preset/--n-max apply to fraction sweeps; conditional \
+                        sweeps use the small expression template"
                 .into());
         }
         if let Some(flag) = fraction_only_given(args) {
@@ -985,13 +1006,19 @@ fn run_with_progress(
     let handle = engine
         .submit_with(spec, config)
         .map_err(|e| e.to_string())?;
+    // Partial aggregates stream as changed-cell deltas with periodic
+    // keyframes; the view reassembles full snapshots.
+    let mut view = hetrta_engine::AggregateView::new();
     while let Some(event) = handle.next_event() {
         match event {
             SweepEvent::PartialAggregate {
                 completed,
                 total,
-                aggregate,
+                update,
             } => {
+                let Some(aggregate) = view.apply(&update) else {
+                    continue; // keyframe not seen yet (dropped event)
+                };
                 let populated = aggregate.cells.iter().filter(|c| c.samples > 0).count();
                 let stats = handle.stats();
                 eprint!(

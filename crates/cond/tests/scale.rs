@@ -1,0 +1,53 @@
+//! Large-graph tier smoke test for the conditional generator's expansion
+//! path: a ~10k-leaf expression must expand to a task-model DAG
+//! sub-second in release (the expansion goes through `DagBuilder::build`,
+//! so this exercises the builder-first freeze at scale).
+//!
+//! `#[ignore]`-gated; run with `cargo test -p hetrta-cond --release -- --ignored`.
+
+use std::time::{Duration, Instant};
+
+use hetrta_cond::CondExpr;
+use hetrta_dag::Ticks;
+
+#[test]
+#[ignore = "large-graph tier; run with --ignored (release)"]
+fn conditional_expansion_at_10k_leaves_is_subsecond() {
+    // 100 parallel branches × a series of 100 leaves ≈ 10k leaves, plus
+    // the fork/join/source/sink nodes the expansion inserts.
+    let expr = CondExpr::Parallel(
+        (0..100u64)
+            .map(|b| {
+                CondExpr::Series(
+                    (0..100u64)
+                        .map(|i| CondExpr::Leaf {
+                            label: format!("v{b}_{i}"),
+                            wcet: Ticks::new(1 + (b * 100 + i) % 50),
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    expr.validate().expect("well-formed");
+    assert_eq!(expr.leaf_count(), 10_000);
+
+    let started = Instant::now();
+    let realization = expr.expand(&[]).expect("no conditionals, no choices");
+    let elapsed = started.elapsed();
+
+    assert!(
+        realization.dag.node_count() > 10_000,
+        "n = {}",
+        realization.dag.node_count()
+    );
+    hetrta_dag::validate_task_model(&realization.dag).expect("task model holds");
+    if cfg!(debug_assertions) {
+        assert!(elapsed < Duration::from_secs(30), "{elapsed:?}");
+    } else {
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "10k-leaf expansion took {elapsed:?}"
+        );
+    }
+}

@@ -68,12 +68,13 @@ impl fmt::Display for Scenario {
 ///
 /// ```
 /// use hetrta_core::r_hom_dag;
-/// use hetrta_dag::{Dag, Rational, Ticks};
+/// use hetrta_dag::{DagBuilder, Rational, Ticks};
 ///
-/// let mut dag = Dag::new();
-/// let a = dag.add_node(Ticks::new(4));
-/// let b = dag.add_node(Ticks::new(4));
-/// dag.add_edge(a, b)?;
+/// let mut b = DagBuilder::new();
+/// let v1 = b.unlabeled_node(Ticks::new(4));
+/// let v2 = b.unlabeled_node(Ticks::new(4));
+/// b.edge(v1, v2)?;
+/// let dag = b.build()?;
 /// // len = 8, vol = 8 → bound 8 regardless of m
 /// assert_eq!(r_hom_dag(&dag, 4)?, Rational::from_integer(8));
 /// # Ok::<(), Box<dyn std::error::Error>>(())

@@ -215,48 +215,111 @@ pub fn transform_with_reachability(
     let pred = reach.ancestors(v_off).clone();
     let succ = reach.descendants(v_off).clone();
 
-    // Line 2: V' = V ∪ {v_sync}, E' = E.
-    let mut g2 = dag.clone();
-    let sync = g2.add_labeled_node("v_sync", Ticks::ZERO);
-
-    // Lines 3–8: loop over v_off's direct predecessors.
-    let direct_pred: Vec<NodeId> = g2.predecessors(v_off).to_vec();
+    // The rewiring is computed *symbolically* against the immutable
+    // original graph and assembled into the transformed CSR arrays in one
+    // pass — the frozen `Dag` is never mutated (edge-by-edge rewiring
+    // cost `O(|V| + |E|)` per touched edge on CSR storage). The edit set
+    // of Algorithm 1 is fully characterized by `Pred(v_off)`:
+    //
+    // * every edge out of a *direct* predecessor of `v_off` is removed
+    //   (lines 3–8 reroute all of them through `v_sync`);
+    // * every edge from a remaining ancestor to a non-ancestor is removed
+    //   (lines 10–13; the target is necessarily parallel to `v_off`
+    //   because the model has no transitive edges);
+    // * `v_sync` gains the rerouted targets (deduplicated, in first-seen
+    //   order), then `v_off`, then the line-10–13 targets — appended
+    //   edges land at the end of each endpoint's segment, exactly as
+    //   incremental insertion ordered them.
+    let sync = NodeId::from_index(n);
+    let direct_pred: Vec<NodeId> = dag.predecessors(v_off).to_vec();
+    let mut is_direct = BitSet::new(n);
     for &vi in &direct_pred {
-        g2.remove_edge(vi, v_off)?;
-        if !g2.has_edge(vi, sync) {
-            g2.add_edge(vi, sync)?;
-        }
-        // Reroute v_i's remaining successors through v_sync. Snapshot the
-        // list: we mutate it while iterating.
-        for vj in g2.successors(vi).to_vec() {
-            if vj == sync {
-                continue;
+        is_direct.insert(vi);
+    }
+
+    // Successor list of v_sync, in the order the mutation path added the
+    // edges; `sync_targets` doubles as the "already added" dedup set.
+    let mut sync_targets = BitSet::new(n);
+    let mut sync_succ: Vec<NodeId> = Vec::new();
+    // Lines 3–8: reroute the remaining successors of direct predecessors.
+    for &vi in &direct_pred {
+        for &vj in dag.successors(vi) {
+            if vj == v_off {
+                continue; // the (v_i, v_off) edge is removed, not rerouted
             }
-            g2.remove_edge(vi, vj)?;
-            if !g2.has_edge(sync, vj) {
-                g2.add_edge(sync, vj)?;
+            if sync_targets.insert(vj) {
+                sync_succ.push(vj);
             }
         }
     }
-
     // Line 9: (v_sync, v_off).
-    g2.add_edge(sync, v_off)?;
-
-    // Lines 10–13: loop over the remaining ancestors of v_off.
-    for vi in pred.iter().filter(|v| !direct_pred.contains(v)) {
-        for vj in g2.successors(vi).to_vec() {
-            if vj == sync || pred.contains(vj) {
+    sync_targets.insert(v_off);
+    sync_succ.push(v_off);
+    // Lines 10–13: reroute ancestor edges that leave Pred(v_off).
+    for vi in pred.iter().filter(|v| !is_direct.contains(*v)) {
+        for &vj in dag.successors(vi) {
+            if pred.contains(vj) {
                 continue;
             }
             // The model has no transitive edges, so v_j ∉ Succ(v_off):
             // it is parallel to v_off and must start after the barrier.
             debug_assert!(!succ.contains(vj), "transitive edge slipped through");
-            g2.remove_edge(vi, vj)?;
-            if !g2.has_edge(sync, vj) {
-                g2.add_edge(sync, vj)?;
+            if sync_targets.insert(vj) {
+                sync_succ.push(vj);
             }
         }
     }
+
+    // An original edge (u, v) survives the rewiring iff u is not a direct
+    // predecessor (those lose every outgoing edge) and, when u is a
+    // remaining ancestor, v stays inside Pred(v_off).
+    let kept =
+        |u: NodeId, v: NodeId| !is_direct.contains(u) && (!pred.contains(u) || pred.contains(v));
+    debug_assert!(
+        direct_pred.iter().all(|&u| pred.contains(u)),
+        "direct predecessors are ancestors"
+    );
+
+    // Assemble G' = (V ∪ {v_sync}, E') directly in CSR form, preserving
+    // the exact per-segment adjacency order of the mutation path: kept
+    // original edges keep their positions, appended edges follow.
+    let mut wcets = Vec::with_capacity(n + 1);
+    let mut labels = Vec::with_capacity(n + 1);
+    let mut succ_off = Vec::with_capacity(n + 2);
+    succ_off.push(0u32);
+    let mut succs = Vec::with_capacity(dag.edge_count() + sync_succ.len() + direct_pred.len());
+    let mut pred_off = Vec::with_capacity(n + 2);
+    pred_off.push(0u32);
+    let mut preds = Vec::with_capacity(dag.edge_count() + sync_succ.len() + direct_pred.len());
+    for u in dag.node_ids() {
+        wcets.push(dag.wcet(u));
+        labels.push(dag.label(u).to_owned());
+        if is_direct.contains(u) {
+            // Lines 3–8 leave v_sync as the node's only successor.
+            succs.push(sync);
+        } else {
+            succs.extend(dag.successors(u).iter().copied().filter(|&vj| kept(u, vj)));
+        }
+        succ_off.push(succs.len() as u32);
+        preds.extend(
+            dag.predecessors(u)
+                .iter()
+                .copied()
+                .filter(|&vi| kept(vi, u)),
+        );
+        if sync_targets.contains(u) {
+            preds.push(sync);
+        }
+        pred_off.push(preds.len() as u32);
+    }
+    // v_sync itself: the rerouted targets out, the direct predecessors in.
+    wcets.push(Ticks::ZERO);
+    labels.push("v_sync".to_owned());
+    succs.extend_from_slice(&sync_succ);
+    succ_off.push(succs.len() as u32);
+    preds.extend_from_slice(&direct_pred);
+    pred_off.push(preds.len() as u32);
+    let g2 = Dag::from_csr_parts(wcets, labels, succ_off, succs, pred_off, preds);
 
     // Line 14: V_par = V \ Pred(v_off) \ Succ(v_off) \ {v_off}.
     let mut par_nodes = BitSet::full(n);

@@ -26,14 +26,14 @@ use crate::{Dag, DagError, NodeId, Ticks};
 /// # Examples
 ///
 /// ```
-/// use hetrta_dag::{Dag, Ticks, algo::CriticalPath};
+/// use hetrta_dag::{DagBuilder, Ticks, algo::CriticalPath};
 ///
-/// let mut dag = Dag::new();
-/// let a = dag.add_node(Ticks::new(2));
-/// let b = dag.add_node(Ticks::new(3));
-/// let c = dag.add_node(Ticks::new(1));
-/// dag.add_edge(a, b)?;
-/// dag.add_edge(a, c)?;
+/// let mut builder = DagBuilder::new();
+/// let a = builder.unlabeled_node(Ticks::new(2));
+/// let b = builder.unlabeled_node(Ticks::new(3));
+/// let c = builder.unlabeled_node(Ticks::new(1));
+/// builder.edges([(a, b), (a, c)])?;
+/// let dag = builder.freeze(); // two sinks: `build()` would normalize
 /// let cp = CriticalPath::of(&dag);
 /// assert_eq!(cp.length(), Ticks::new(5));
 /// assert_eq!(cp.path(), &[a, b]);

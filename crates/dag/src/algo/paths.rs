@@ -17,16 +17,15 @@ use crate::{Dag, DagError, NodeId};
 /// # Examples
 ///
 /// ```
-/// use hetrta_dag::{Dag, Ticks, algo::count_paths};
+/// use hetrta_dag::{DagBuilder, Ticks, algo::count_paths};
 ///
-/// let mut dag = Dag::new();
-/// let a = dag.add_node(Ticks::ONE);
-/// let b = dag.add_node(Ticks::ONE);
-/// let c = dag.add_node(Ticks::ONE);
-/// let d = dag.add_node(Ticks::ONE);
-/// for (f, t) in [(a, b), (a, c), (b, d), (c, d)] {
-///     dag.add_edge(f, t)?;
-/// }
+/// let mut builder = DagBuilder::new();
+/// let a = builder.unlabeled_node(Ticks::ONE);
+/// let b = builder.unlabeled_node(Ticks::ONE);
+/// let c = builder.unlabeled_node(Ticks::ONE);
+/// let d = builder.unlabeled_node(Ticks::ONE);
+/// builder.edges([(a, b), (a, c), (b, d), (c, d)])?;
+/// let dag = builder.build()?;
 /// assert_eq!(count_paths(&dag, a, d)?, 2);
 /// # Ok::<(), hetrta_dag::DagError>(())
 /// ```

@@ -18,14 +18,14 @@ use crate::{BitSet, Dag, DagError, NodeId};
 /// # Examples
 ///
 /// ```
-/// use hetrta_dag::{Dag, Ticks, algo::Reachability};
+/// use hetrta_dag::{DagBuilder, Ticks, algo::Reachability};
 ///
-/// let mut dag = Dag::new();
-/// let a = dag.add_node(Ticks::ONE);
-/// let b = dag.add_node(Ticks::ONE);
-/// let c = dag.add_node(Ticks::ONE);
-/// dag.add_edge(a, b)?;
-/// dag.add_edge(a, c)?;
+/// let mut builder = DagBuilder::new();
+/// let a = builder.unlabeled_node(Ticks::ONE);
+/// let b = builder.unlabeled_node(Ticks::ONE);
+/// let c = builder.unlabeled_node(Ticks::ONE);
+/// builder.edges([(a, b), (a, c)])?;
+/// let dag = builder.freeze(); // two sinks: `build()` would normalize
 /// let reach = Reachability::of(&dag)?;
 /// assert!(reach.descendants(a).contains(c));
 /// assert!(reach.ancestors(c).contains(a));

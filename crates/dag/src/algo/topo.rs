@@ -16,12 +16,13 @@ use crate::{Dag, DagError, NodeId};
 /// # Examples
 ///
 /// ```
-/// use hetrta_dag::{Dag, Ticks, algo::topological_order};
+/// use hetrta_dag::{DagBuilder, Ticks, algo::topological_order};
 ///
-/// let mut dag = Dag::new();
-/// let a = dag.add_node(Ticks::ONE);
-/// let b = dag.add_node(Ticks::ONE);
-/// dag.add_edge(a, b)?;
+/// let mut builder = DagBuilder::new();
+/// let a = builder.unlabeled_node(Ticks::ONE);
+/// let b = builder.unlabeled_node(Ticks::ONE);
+/// builder.edge(a, b)?;
+/// let dag = builder.build()?;
 /// assert_eq!(topological_order(&dag)?, vec![a, b]);
 /// # Ok::<(), hetrta_dag::DagError>(())
 /// ```
@@ -68,13 +69,13 @@ pub fn topological_order(dag: &Dag) -> Result<Vec<NodeId>, DagError> {
 /// # Examples
 ///
 /// ```
-/// use hetrta_dag::{Dag, Ticks, algo::is_acyclic};
+/// use hetrta_dag::{DagBuilder, Ticks, algo::is_acyclic};
 ///
-/// let mut dag = Dag::new();
-/// let a = dag.add_node(Ticks::ONE);
-/// let b = dag.add_node(Ticks::ONE);
-/// dag.add_edge(a, b)?;
-/// assert!(is_acyclic(&dag));
+/// let mut builder = DagBuilder::new();
+/// let a = builder.unlabeled_node(Ticks::ONE);
+/// let b = builder.unlabeled_node(Ticks::ONE);
+/// builder.edge(a, b)?;
+/// assert!(is_acyclic(&builder.build()?));
 /// # Ok::<(), hetrta_dag::DagError>(())
 /// ```
 #[must_use]

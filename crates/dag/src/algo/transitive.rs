@@ -23,16 +23,15 @@ use crate::{Dag, DagError, NodeId};
 /// # Examples
 ///
 /// ```
-/// use hetrta_dag::{Dag, Ticks, algo::transitive};
+/// use hetrta_dag::{DagBuilder, Ticks, algo::transitive};
 ///
-/// let mut dag = Dag::new();
-/// let a = dag.add_node(Ticks::ONE);
-/// let b = dag.add_node(Ticks::ONE);
-/// let c = dag.add_node(Ticks::ONE);
-/// dag.add_edge(a, b)?;
-/// dag.add_edge(b, c)?;
-/// dag.add_edge(a, c)?; // transitive: a → b → c exists
-/// assert_eq!(transitive::find_transitive_edge(&dag)?, Some((a, c)));
+/// let mut b = DagBuilder::new();
+/// let v1 = b.unlabeled_node(Ticks::ONE);
+/// let v2 = b.unlabeled_node(Ticks::ONE);
+/// let v3 = b.unlabeled_node(Ticks::ONE);
+/// b.edges([(v1, v2), (v2, v3), (v1, v3)])?; // (v1, v3) is transitive
+/// let dag = b.freeze(); // `build()` would reject the transitive edge
+/// assert_eq!(transitive::find_transitive_edge(&dag)?, Some((v1, v3)));
 /// # Ok::<(), hetrta_dag::DagError>(())
 /// ```
 pub fn find_transitive_edge(dag: &Dag) -> Result<Option<(NodeId, NodeId)>, DagError> {
@@ -63,7 +62,12 @@ pub fn is_transitively_reduced(dag: &Dag) -> Result<bool, DagError> {
 /// transitive reduction of a DAG).
 ///
 /// Node ids, WCETs and labels are preserved; only redundant edges are
-/// dropped. Useful to sanitize externally supplied graphs before building a
+/// dropped. The surviving edges keep their exact positions within every
+/// successor *and* predecessor segment (the reduction filters the CSR
+/// segments in place rather than rebuilding from an edge list), so the
+/// result is bitwise-identical to removing each redundant edge one by one
+/// — without the `O(|V| + |E|)`-per-removal cost of mutating a frozen
+/// graph. Useful to sanitize externally supplied graphs before building a
 /// [`DagTask`](crate::task::DagTask).
 ///
 /// # Errors
@@ -71,19 +75,48 @@ pub fn is_transitively_reduced(dag: &Dag) -> Result<bool, DagError> {
 /// Returns [`DagError::Cycle`] if the graph is not acyclic.
 pub fn transitive_reduction(dag: &Dag) -> Result<Dag, DagError> {
     let reach = Reachability::of(dag)?;
-    let mut reduced = dag.clone();
-    let edges: Vec<(NodeId, NodeId)> = dag.edges().collect();
-    for (u, w) in edges {
-        let redundant = dag
-            .successors(u)
+    // (u, w) is transitive iff some *other* successor of u reaches w.
+    let redundant = |u: NodeId, w: NodeId| {
+        dag.successors(u)
             .iter()
-            .any(|&s| s != w && reach.is_ordered_before(s, w));
-        if redundant {
-            reduced
-                .remove_edge(u, w)
-                .expect("edge listed by iterator exists");
-        }
+            .any(|&s| s != w && reach.is_ordered_before(s, w))
+    };
+    let n = dag.node_count();
+    // One redundancy scan per edge: decide while filtering the successor
+    // segments (redundant edges are usually a small minority, so a set of
+    // the removed ones is the cheap way to reuse the verdicts when the
+    // predecessor segments are filtered below).
+    let mut removed: std::collections::HashSet<(NodeId, NodeId)> = std::collections::HashSet::new();
+    let mut succ_off = Vec::with_capacity(n + 1);
+    succ_off.push(0u32);
+    let mut succs = Vec::with_capacity(dag.edge_count());
+    let mut wcets = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for v in dag.node_ids() {
+        succs.extend(dag.successors(v).iter().copied().filter(|&w| {
+            let keep = !redundant(v, w);
+            if !keep {
+                removed.insert((v, w));
+            }
+            keep
+        }));
+        succ_off.push(succs.len() as u32);
+        wcets.push(dag.wcet(v));
+        labels.push(dag.label(v).to_owned());
     }
+    let mut pred_off = Vec::with_capacity(n + 1);
+    pred_off.push(0u32);
+    let mut preds = Vec::with_capacity(succs.len());
+    for v in dag.node_ids() {
+        preds.extend(
+            dag.predecessors(v)
+                .iter()
+                .copied()
+                .filter(|&u| !removed.contains(&(u, v))),
+        );
+        pred_off.push(preds.len() as u32);
+    }
+    let reduced = Dag::from_csr_parts(wcets, labels, succ_off, succs, pred_off, preds);
     debug_assert!(is_transitively_reduced(&reduced).unwrap_or(false));
     Ok(reduced)
 }

@@ -25,18 +25,19 @@ use crate::{Dag, DagError, NodeId};
 /// # Examples
 ///
 /// ```
-/// use hetrta_dag::{Dag, Ticks, algo::width};
+/// use hetrta_dag::{DagBuilder, Ticks, algo::width};
 ///
-/// let mut dag = Dag::new();
-/// let f = dag.add_node(Ticks::ONE);
-/// let a = dag.add_node(Ticks::ONE);
-/// let b = dag.add_node(Ticks::ONE);
-/// let c = dag.add_node(Ticks::ONE);
-/// let j = dag.add_node(Ticks::ONE);
+/// let mut builder = DagBuilder::new();
+/// let f = builder.unlabeled_node(Ticks::ONE);
+/// let a = builder.unlabeled_node(Ticks::ONE);
+/// let b = builder.unlabeled_node(Ticks::ONE);
+/// let c = builder.unlabeled_node(Ticks::ONE);
+/// let j = builder.unlabeled_node(Ticks::ONE);
 /// for mid in [a, b, c] {
-///     dag.add_edge(f, mid)?;
-///     dag.add_edge(mid, j)?;
+///     builder.edge(f, mid)?;
+///     builder.edge(mid, j)?;
 /// }
+/// let dag = builder.build()?;
 /// assert_eq!(width(&dag)?, 3); // {a, b, c} run in parallel
 /// # Ok::<(), hetrta_dag::DagError>(())
 /// ```

@@ -74,8 +74,8 @@ impl DagBuilder {
     ///
     /// # Errors
     ///
-    /// The structural errors of [`Dag::add_edge`]: unknown node,
-    /// self-loop, duplicate.
+    /// The per-edge structural errors: unknown node, self-loop,
+    /// duplicate.
     pub fn edge(&mut self, from: NodeId, to: NodeId) -> Result<&mut Self, DagError> {
         if from.index() >= self.wcets.len() {
             return Err(DagError::UnknownNode(from));
@@ -135,6 +135,43 @@ impl DagBuilder {
         self.wcets.len()
     }
 
+    /// Number of edges added so far.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if the edge `(from, to)` was already added — an `O(deg)`
+    /// probe into the accumulated adjacency, for construction-side dedup
+    /// (e.g. the OpenMP lowering joining the same open task exit twice).
+    #[must_use]
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.succs
+            .get(from.index())
+            .is_some_and(|succs| succs.contains(&to))
+    }
+
+    /// Freezes the accumulated structure into a [`Dag`] in one
+    /// `O(|V| + |E|)` pass **without model validation** — no acyclicity,
+    /// transitive-edge or terminal checks (the per-edge checks of
+    /// [`DagBuilder::edge`] have already run).
+    ///
+    /// This is the fast path for generators whose output is valid by
+    /// construction (the nested fork-join expansion can only produce
+    /// acyclic, transitively-reduced graphs) and for intermediate graphs
+    /// that intentionally violate the model before a later normalization
+    /// pass (the OpenMP lowering freezes, transitively reduces, then
+    /// validates). Untrusted input should go through
+    /// [`DagBuilder::build`].
+    ///
+    /// Adjacency order is identical to inserting the same edges
+    /// incrementally, so freezing is bitwise-transparent to every
+    /// downstream analysis.
+    #[must_use]
+    pub fn freeze(&self) -> Dag {
+        Dag::from_parts(self.wcets.clone(), self.labels.clone(), &self.edges)
+    }
+
     /// Finishes construction, validating the task model.
     ///
     /// The accumulated adjacency freezes into the [`Dag`]'s flat CSR form
@@ -149,29 +186,61 @@ impl DagBuilder {
     /// - [`DagError::MultipleSources`] / [`DagError::MultipleSinks`] unless
     ///   allowed or normalized away.
     pub fn build(&self) -> Result<Dag, DagError> {
-        let mut dag = Dag::from_parts(self.wcets.clone(), self.labels.clone(), &self.edges);
-        if dag.is_empty() {
+        if self.wcets.is_empty() {
             return Err(DagError::Empty);
         }
+        // Dummy terminals are decided from the accumulated adjacency and
+        // appended to the *parts* before the single freeze — the frozen
+        // graph is never mutated. Appending the dummy nodes and edges at
+        // the end of the part vectors yields exactly the adjacency the
+        // old freeze-then-mutate path produced (appended edges land at
+        // the end of each endpoint's segment either way).
+        let n = self.wcets.len();
+        let dag = if self.add_dummies {
+            let mut in_deg = vec![0u32; n];
+            let mut out_deg = vec![0u32; n];
+            for &(from, to) in &self.edges {
+                out_deg[from.index()] += 1;
+                in_deg[to.index()] += 1;
+            }
+            let sources: Vec<NodeId> = (0..n)
+                .filter(|&i| in_deg[i] == 0)
+                .map(NodeId::from_index)
+                .collect();
+            let sinks: Vec<NodeId> = (0..n)
+                .filter(|&i| out_deg[i] == 0)
+                .map(NodeId::from_index)
+                .collect();
+            if sources.len() > 1 || sinks.len() > 1 {
+                let mut wcets = self.wcets.clone();
+                let mut labels = self.labels.clone();
+                let mut edges = self.edges.clone();
+                if sources.len() > 1 {
+                    let src = NodeId::from_index(wcets.len());
+                    wcets.push(Ticks::ZERO);
+                    labels.push("src".to_owned());
+                    edges.extend(sources.into_iter().map(|s| (src, s)));
+                }
+                if sinks.len() > 1 {
+                    let sink = NodeId::from_index(wcets.len());
+                    wcets.push(Ticks::ZERO);
+                    labels.push("sink".to_owned());
+                    edges.extend(sinks.into_iter().map(|s| (s, sink)));
+                }
+                Dag::from_parts(wcets, labels, &edges)
+            } else {
+                self.freeze()
+            }
+        } else {
+            self.freeze()
+        };
         topological_order(&dag)?;
+        // Dummy terminal edges can never be transitive (a dummy source is
+        // the only predecessor of every original source, symmetrically
+        // for sinks), so validating the final graph reports the same
+        // transitive edges the pre-dummy graph would.
         if let Some((u, w)) = transitive::find_transitive_edge(&dag)? {
             return Err(DagError::TransitiveEdge(u, w));
-        }
-        if self.add_dummies {
-            let sources = dag.sources();
-            if sources.len() > 1 {
-                let src = dag.add_labeled_node("src", Ticks::ZERO);
-                for s in sources {
-                    dag.add_edge(src, s).expect("fresh source edges are unique");
-                }
-            }
-            let sinks = dag.sinks();
-            if sinks.len() > 1 {
-                let sink = dag.add_labeled_node("sink", Ticks::ZERO);
-                for s in sinks {
-                    dag.add_edge(s, sink).expect("fresh sink edges are unique");
-                }
-            }
         }
         if !self.allow_multi_terminals {
             let sources = dag.sources();

@@ -46,12 +46,13 @@ fn node_display(dag: &Dag, v: NodeId) -> String {
 /// # Examples
 ///
 /// ```
-/// use hetrta_dag::{Dag, Ticks, dot};
+/// use hetrta_dag::{DagBuilder, Ticks, dot};
 ///
-/// let mut dag = Dag::new();
-/// let a = dag.add_labeled_node("a", Ticks::new(2));
-/// let b = dag.add_labeled_node("b", Ticks::new(3));
-/// dag.add_edge(a, b)?;
+/// let mut b = DagBuilder::new();
+/// let v1 = b.node("a", Ticks::new(2));
+/// let v2 = b.node("b", Ticks::new(3));
+/// b.edge(v1, v2)?;
+/// let dag = b.build()?;
 /// let text = dot::to_dot(&dag, &dot::DotOptions::named("demo"));
 /// assert!(text.starts_with("digraph demo {"));
 /// assert!(text.contains("n0 -> n1"));

@@ -8,11 +8,15 @@ use crate::{BitSet, DagError, NodeId, Ticks};
 ///
 /// `Dag` is the `G = (V, E)` of the paper's task model: nodes represent
 /// sequential jobs characterized by a WCET, edges represent precedence
-/// constraints. The structure is kept deliberately mutable — the DAG
-/// transformation of Algorithm 1 inserts a node and rewires edges — while
-/// the *model* constraints (acyclicity, single source/sink, no transitive
-/// edges) are enforced at the boundaries by [`DagBuilder`](crate::DagBuilder)
-/// and [`validate_task_model`](crate::validate_task_model).
+/// constraints. The structure is **immutable after freeze**: graphs are
+/// accumulated in a [`DagBuilder`](crate::DagBuilder) (or assembled in
+/// bulk via [`Dag::from_parts`]) and frozen into this compressed-sparse-row
+/// form exactly once, in `O(|V| + |E|)`. The *model* constraints
+/// (acyclicity, single source/sink, no transitive edges) are enforced at
+/// the boundaries by [`DagBuilder::build`](crate::DagBuilder::build) and
+/// [`validate_task_model`](crate::validate_task_model). Only node
+/// *attributes* (WCETs, labels) stay mutable — the offload sizing of the
+/// generators rewrites them in place without touching the structure.
 ///
 /// Node ids are dense indices in insertion order; nodes cannot be removed
 /// (the model never needs it and stable ids keep cross-references between
@@ -25,23 +29,25 @@ use crate::{BitSet, DagError, NodeId, Ticks};
 /// WCETs in a parallel slice. The analysis kernels in [`crate::algo`]
 /// therefore traverse contiguous memory — [`Dag::successors`] and
 /// [`Dag::predecessors`] are slices into one allocation, and cloning a
-/// graph copies six flat vectors instead of `2·|V|` heap blocks. Edge
-/// insertion shifts the tail of the flat array (`O(|E| + |V|)` per edge);
-/// graphs here are small and built once but analyzed many times, so the
-/// layout is optimized for the read path.
+/// graph copies six flat vectors instead of `2·|V|` heap blocks. Because
+/// the structure never changes after freeze, nothing ever shifts inside
+/// the flat arrays: construction-side code that still needs incremental
+/// mutation (test fixtures, legacy-parity references) lives behind the
+/// `legacy-mutation` feature, off by default.
 ///
 /// # Examples
 ///
 /// ```
-/// use hetrta_dag::{Dag, Ticks};
+/// use hetrta_dag::{DagBuilder, Ticks};
 ///
-/// let mut dag = Dag::new();
-/// let a = dag.add_node(Ticks::new(2));
-/// let b = dag.add_node(Ticks::new(3));
-/// dag.add_edge(a, b)?;
+/// let mut b = DagBuilder::new();
+/// let a = b.unlabeled_node(Ticks::new(2));
+/// let c = b.unlabeled_node(Ticks::new(3));
+/// b.edge(a, c)?;
+/// let dag = b.build()?;
 /// assert_eq!(dag.node_count(), 2);
 /// assert_eq!(dag.volume(), Ticks::new(5));
-/// assert!(dag.has_edge(a, b));
+/// assert!(dag.has_edge(a, c));
 /// # Ok::<(), hetrta_dag::DagError>(())
 /// ```
 #[derive(Clone)]
@@ -79,6 +85,10 @@ impl Dag {
     }
 
     /// Creates an empty graph with room for `nodes` nodes.
+    ///
+    /// Part of the legacy incremental-construction API (see
+    /// [`Dag::add_edge`]); builder-first code never needs it.
+    #[cfg(any(test, feature = "legacy-mutation"))]
     #[must_use]
     pub fn with_capacity(nodes: usize) -> Self {
         let mut succ_off = Vec::with_capacity(nodes + 1);
@@ -96,12 +106,22 @@ impl Dag {
     }
 
     /// Adds an unlabeled node with the given WCET and returns its id.
+    ///
+    /// Part of the legacy incremental-construction API: production code
+    /// accumulates nodes in a [`DagBuilder`](crate::DagBuilder) instead.
+    /// Kept (behind the `legacy-mutation` feature) for test fixtures that
+    /// must assemble graphs the validating builder would reject — cyclic
+    /// graphs exercising error paths, parity references for the old
+    /// edge-by-edge construction.
+    #[cfg(any(test, feature = "legacy-mutation"))]
     pub fn add_node(&mut self, wcet: Ticks) -> NodeId {
         self.add_labeled_node(String::new(), wcet)
     }
 
-    /// Adds a node with a human-readable label (used by DOT export and
-    /// debugging) and returns its id.
+    /// Adds a node with a human-readable label and returns its id.
+    ///
+    /// Legacy incremental-construction API; see [`Dag::add_node`].
+    #[cfg(any(test, feature = "legacy-mutation"))]
     pub fn add_labeled_node(&mut self, label: impl Into<String>, wcet: Ticks) -> NodeId {
         let id = NodeId::from_index(self.wcets.len());
         self.wcets.push(wcet);
@@ -193,11 +213,19 @@ impl Dag {
         Ok(())
     }
 
-    /// Adds the precedence edge `(from, to)`.
+    /// Adds the precedence edge `(from, to)`, shifting the CSR arrays —
+    /// `O(|V| + |E|)` per edge.
     ///
-    /// Acyclicity is *not* re-checked here (it would make Algorithm 1
-    /// quadratic); use [`Dag::add_edge_acyclic`] for untrusted input, or
-    /// validate the finished graph with
+    /// Part of the legacy incremental-construction API, gated behind the
+    /// `legacy-mutation` feature (enabled by the workspace's test suites
+    /// only). Production code accumulates edges in a
+    /// [`DagBuilder`](crate::DagBuilder) and freezes once; this method
+    /// remains as (a) the reference semantics the builder's freeze is
+    /// parity-tested against, and (b) the only way to build structurally
+    /// *invalid* graphs (cycles, transitive edges) for error-path tests.
+    ///
+    /// Acyclicity is *not* checked here; use [`Dag::add_edge_acyclic`]
+    /// for untrusted input, or validate the finished graph with
     /// [`validate_task_model`](crate::validate_task_model).
     ///
     /// # Errors
@@ -205,6 +233,7 @@ impl Dag {
     /// - [`DagError::UnknownNode`] if either endpoint is out of range;
     /// - [`DagError::SelfLoop`] if `from == to`;
     /// - [`DagError::DuplicateEdge`] if the edge already exists.
+    #[cfg(any(test, feature = "legacy-mutation"))]
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), DagError> {
         self.check_node(from)?;
         self.check_node(to)?;
@@ -232,10 +261,13 @@ impl Dag {
 
     /// Adds `(from, to)` after checking that it would not create a cycle.
     ///
+    /// Legacy incremental-construction API; see [`Dag::add_edge`].
+    ///
     /// # Errors
     ///
     /// Everything [`Dag::add_edge`] reports, plus [`DagError::Cycle`] if a
     /// path `to → … → from` already exists.
+    #[cfg(any(test, feature = "legacy-mutation"))]
     pub fn add_edge_acyclic(&mut self, from: NodeId, to: NodeId) -> Result<(), DagError> {
         self.check_node(from)?;
         self.check_node(to)?;
@@ -247,10 +279,15 @@ impl Dag {
 
     /// Removes the edge `(from, to)`.
     ///
+    /// Legacy incremental-construction API; see [`Dag::add_edge`]. The
+    /// Algorithm-1 rewiring that used to need it now assembles the
+    /// transformed graph in one [`Dag::from_csr_parts`] pass.
+    ///
     /// # Errors
     ///
     /// Returns [`DagError::UnknownEdge`] if the edge does not exist and
     /// [`DagError::UnknownNode`] if either endpoint is out of range.
+    #[cfg(any(test, feature = "legacy-mutation"))]
     pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), DagError> {
         self.check_node(from)?;
         self.check_node(to)?;
@@ -464,17 +501,22 @@ impl Dag {
 
     /// Builds a graph in one `O(|V| + |E|)` pass from parallel node arrays
     /// and an already-validated edge list (in-range endpoints, no
-    /// self-loops, no duplicates — the caller guarantees it).
+    /// self-loops, no duplicates — the caller guarantees it; violations
+    /// are caught by `debug_assert` only).
     ///
     /// Successor and predecessor segments come out in edge-list order,
-    /// exactly as the same sequence of [`Dag::add_edge`] calls would
+    /// exactly as the same sequence of legacy `add_edge` calls would
     /// produce them — bulk constructors (the builder's freeze, induced
-    /// subgraphs) must not change adjacency iteration order.
-    pub(crate) fn from_parts(
-        wcets: Vec<Ticks>,
-        labels: Vec<String>,
-        edges: &[(NodeId, NodeId)],
-    ) -> Dag {
+    /// subgraphs, the generators) must not change adjacency iteration
+    /// order, because downstream float reductions replay adjacency order
+    /// and are pinned bitwise.
+    ///
+    /// This is the freeze primitive of the builder-first construction
+    /// pipeline; most callers want [`DagBuilder`](crate::DagBuilder),
+    /// which layers per-edge validation (and, via
+    /// [`build`](crate::DagBuilder::build), model validation) on top.
+    #[must_use]
+    pub fn from_parts(wcets: Vec<Ticks>, labels: Vec<String>, edges: &[(NodeId, NodeId)]) -> Dag {
         let n = wcets.len();
         let mut succ_off = vec![0u32; n + 1];
         let mut pred_off = vec![0u32; n + 1];
@@ -497,6 +539,50 @@ impl Dag {
             preds[pred_cursor[to.index()] as usize] = from;
             pred_cursor[to.index()] += 1;
         }
+        Dag {
+            wcets,
+            labels,
+            succ_off,
+            succs,
+            pred_off,
+            preds,
+        }
+    }
+
+    /// Assembles a graph directly from its six CSR arrays, in `O(1)`.
+    ///
+    /// For bulk constructors that already know both adjacency views —
+    /// e.g. the transitive reduction (which filters each successor and
+    /// predecessor segment of an existing graph) and the Algorithm-1
+    /// rewiring (which derives the transformed segments from the original
+    /// ones). Unlike [`Dag::from_parts`], the per-node segment *orders*
+    /// are taken verbatim, so a caller can preserve the exact adjacency
+    /// order of a source graph even where a flat edge list could not
+    /// express it.
+    ///
+    /// The caller guarantees consistency: monotonic offset tables of
+    /// length `|V| + 1` ending at the edge count, in-range node ids, and
+    /// successor/predecessor views describing the same edge set.
+    /// Violations are caught by `debug_assert` only.
+    #[must_use]
+    pub fn from_csr_parts(
+        wcets: Vec<Ticks>,
+        labels: Vec<String>,
+        succ_off: Vec<u32>,
+        succs: Vec<NodeId>,
+        pred_off: Vec<u32>,
+        preds: Vec<NodeId>,
+    ) -> Dag {
+        let n = wcets.len();
+        debug_assert_eq!(labels.len(), n);
+        debug_assert_eq!(succ_off.len(), n + 1);
+        debug_assert_eq!(pred_off.len(), n + 1);
+        debug_assert_eq!(*succ_off.last().unwrap_or(&0) as usize, succs.len());
+        debug_assert_eq!(*pred_off.last().unwrap_or(&0) as usize, preds.len());
+        debug_assert_eq!(succs.len(), preds.len());
+        debug_assert!(succ_off.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(pred_off.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(succs.iter().chain(&preds).all(|v| v.index() < n));
         Dag {
             wcets,
             labels,

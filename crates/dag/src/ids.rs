@@ -12,11 +12,11 @@ use core::fmt;
 /// # Examples
 ///
 /// ```
-/// use hetrta_dag::{Dag, Ticks};
+/// use hetrta_dag::{DagBuilder, Ticks};
 ///
-/// let mut dag = Dag::new();
-/// let a = dag.add_node(Ticks::new(1));
-/// let b = dag.add_node(Ticks::new(2));
+/// let mut builder = DagBuilder::new();
+/// let a = builder.unlabeled_node(Ticks::new(1));
+/// let b = builder.unlabeled_node(Ticks::new(2));
 /// assert_eq!(a.index(), 0);
 /// assert_eq!(b.index(), 1);
 /// ```
@@ -30,7 +30,7 @@ impl NodeId {
     ///
     /// Mostly useful in tests and when deserializing externally produced
     /// graphs; prefer the ids returned by
-    /// [`Dag::add_node`](crate::Dag::add_node).
+    /// [`DagBuilder::node`](crate::DagBuilder::node).
     #[must_use]
     pub const fn from_index(index: usize) -> Self {
         debug_assert!(index <= u32::MAX as usize);

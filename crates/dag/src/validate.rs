@@ -36,13 +36,14 @@ pub struct StructureReport {
 /// # Examples
 ///
 /// ```
-/// use hetrta_dag::{Dag, Ticks, validate_task_model};
+/// use hetrta_dag::{DagBuilder, Ticks, validate_task_model};
 ///
-/// let mut dag = Dag::new();
-/// let a = dag.add_node(Ticks::new(1));
-/// let b = dag.add_node(Ticks::new(2));
-/// dag.add_edge(a, b)?;
-/// let report = validate_task_model(&dag)?;
+/// let mut builder = DagBuilder::new();
+/// let a = builder.unlabeled_node(Ticks::new(1));
+/// let b = builder.unlabeled_node(Ticks::new(2));
+/// builder.edge(a, b)?;
+/// // `freeze()` skips validation; check the model explicitly.
+/// let report = validate_task_model(&builder.freeze())?;
 /// assert_eq!(report.nodes, 2);
 /// assert_eq!(report.source, a);
 /// # Ok::<(), hetrta_dag::DagError>(())

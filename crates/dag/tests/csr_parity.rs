@@ -10,7 +10,7 @@ use proptest::prelude::*;
 
 /// The pre-refactor representation: one `Vec` of successors/predecessors
 /// per node, edges in insertion order.
-#[derive(Default)]
+#[derive(Debug, Default, Clone)]
 struct RefGraph {
     wcets: Vec<u64>,
     succs: Vec<Vec<NodeId>>,

@@ -302,3 +302,77 @@ mod io_roundtrip {
         }
     }
 }
+
+// ------------------------------------------------------------------------
+// Builder-first freeze parity: `DagBuilder::build`'s single-pass freeze
+// (including the mutation-free dummy-terminal normalization) must equal
+// the legacy path — incremental `add_edge` insertion on the frozen graph
+// plus post-freeze dummy mutation — bitwise, adjacency order included.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_dummy_normalization_matches_legacy_mutation(
+        uppers in 1usize..6,
+        lowers in 1usize..6,
+        edge_coins in proptest::collection::vec(0u8..100, 1..64),
+        wcets in proptest::collection::vec(1u64..50, 1..12),
+    ) {
+        // A random bipartite graph: upper→lower edges only, so it is
+        // acyclic and transitively reduced by construction, but usually
+        // has multiple sources and sinks — the dummy-normalization case.
+        let n = uppers + lowers;
+        let mut coin = edge_coins.iter().copied().cycle();
+        let mut edges = Vec::new();
+        for u in 0..uppers {
+            for l in 0..lowers {
+                if coin.next().unwrap_or(0) < 40 {
+                    edges.push((NodeId::from_index(u), NodeId::from_index(uppers + l)));
+                }
+            }
+        }
+
+        // Builder-first path.
+        let mut b = hetrta_dag::DagBuilder::new();
+        for i in 0..n {
+            b.node(format!("v{i}"), Ticks::new(wcets[i % wcets.len()]));
+        }
+        b.edges(edges.iter().copied()).unwrap();
+        b.add_dummy_terminals();
+        let built = b.build().unwrap();
+
+        // Legacy path: freeze the raw graph via incremental insertion,
+        // then mutate the dummy terminals on.
+        let mut legacy = Dag::new();
+        for i in 0..n {
+            legacy.add_labeled_node(format!("v{i}"), Ticks::new(wcets[i % wcets.len()]));
+        }
+        for &(f, t) in &edges {
+            legacy.add_edge(f, t).unwrap();
+        }
+        let sources = legacy.sources();
+        if sources.len() > 1 {
+            let src = legacy.add_labeled_node("src", Ticks::ZERO);
+            for s in sources {
+                legacy.add_edge(src, s).unwrap();
+            }
+        }
+        let sinks = legacy.sinks();
+        if sinks.len() > 1 {
+            let sink = legacy.add_labeled_node("sink", Ticks::ZERO);
+            for s in sinks {
+                legacy.add_edge(s, sink).unwrap();
+            }
+        }
+
+        prop_assert_eq!(built.node_count(), legacy.node_count());
+        prop_assert_eq!(built.edge_count(), legacy.edge_count());
+        for v in built.node_ids() {
+            prop_assert_eq!(built.wcet(v), legacy.wcet(v));
+            prop_assert_eq!(built.label(v), legacy.label(v));
+            prop_assert_eq!(built.successors(v), legacy.successors(v));
+            prop_assert_eq!(built.predecessors(v), legacy.predecessors(v));
+        }
+    }
+}

@@ -172,6 +172,179 @@ impl SweepAggregate {
     }
 }
 
+/// One delta-encoded [`SweepAggregate`] snapshot — the payload of
+/// [`SweepEvent::PartialAggregate`](crate::SweepEvent).
+///
+/// Huge sweeps emit hundreds of partial snapshots over thousands of
+/// cells, but between two consecutive snapshots only the cells of the
+/// jobs that completed in between actually change. The session stream
+/// therefore carries *changed cells only*, with a periodic full keyframe
+/// (cadence set by
+/// [`SessionConfig::keyframe_every`](crate::SessionConfig)) so a consumer
+/// that joined late — or fell behind a drop-oldest event buffer — can
+/// resynchronize. Updates carry a per-stream sequence number so a
+/// consumer can *detect* gaps (the bounded event buffer drops oldest
+/// events under pressure): [`AggregateView`] refuses to apply a delta
+/// whose predecessor it never saw and reports unsynced until the next
+/// keyframe, rather than silently patching stale state. Reconstruction
+/// is otherwise bitwise exact: the view's state after applying an update
+/// equals the full snapshot the encoder saw (pinned by the unit tests
+/// below).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggregateUpdate {
+    /// A complete snapshot (always the first update of a stream).
+    Keyframe {
+        /// Position of this update in the encoder's stream (0-based).
+        seq: u64,
+        /// The full snapshot.
+        aggregate: SweepAggregate,
+    },
+    /// The cells that changed since the previous update, as
+    /// `(cell index, new summary)` pairs in cell order.
+    Delta {
+        /// Position of this update in the encoder's stream; valid only
+        /// on a state that has applied update `seq - 1`.
+        seq: u64,
+        /// Changed cells; indices address the keyframe's `cells` vector.
+        changed: Vec<(usize, CellSummary)>,
+    },
+}
+
+impl AggregateUpdate {
+    /// Number of cell summaries this update carries (what the delta
+    /// encoding saves: deltas carry only changed cells).
+    #[must_use]
+    pub fn cells_carried(&self) -> usize {
+        match self {
+            AggregateUpdate::Keyframe { aggregate, .. } => aggregate.cells.len(),
+            AggregateUpdate::Delta { changed, .. } => changed.len(),
+        }
+    }
+
+    /// This update's position in the encoder's stream.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        match self {
+            AggregateUpdate::Keyframe { seq, .. } | AggregateUpdate::Delta { seq, .. } => *seq,
+        }
+    }
+}
+
+/// Turns a stream of full snapshots into [`AggregateUpdate`]s: the first
+/// snapshot (and every `keyframe_every`-th thereafter) becomes a
+/// [`AggregateUpdate::Keyframe`], the rest shrink to changed-cells
+/// deltas against the previously emitted state.
+#[derive(Debug)]
+pub(crate) struct AggregateDeltaEncoder {
+    last: Option<SweepAggregate>,
+    keyframe_every: usize,
+    since_keyframe: usize,
+    next_seq: u64,
+}
+
+impl AggregateDeltaEncoder {
+    /// An encoder emitting a keyframe every `keyframe_every` updates
+    /// (clamped to ≥ 1; `1` disables delta encoding entirely).
+    pub(crate) fn new(keyframe_every: usize) -> Self {
+        AggregateDeltaEncoder {
+            last: None,
+            keyframe_every: keyframe_every.max(1),
+            since_keyframe: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Encodes one snapshot.
+    pub(crate) fn encode(&mut self, snapshot: SweepAggregate) -> AggregateUpdate {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let update = match &self.last {
+            Some(last)
+                if self.since_keyframe < self.keyframe_every - 1
+                    && last.cells.len() == snapshot.cells.len() =>
+            {
+                self.since_keyframe += 1;
+                AggregateUpdate::Delta {
+                    seq,
+                    changed: snapshot
+                        .cells
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, cell)| last.cells[i] != *cell)
+                        .map(|(i, cell)| (i, cell.clone()))
+                        .collect(),
+                }
+            }
+            _ => {
+                self.since_keyframe = 0;
+                AggregateUpdate::Keyframe {
+                    seq,
+                    aggregate: snapshot.clone(),
+                }
+            }
+        };
+        self.last = Some(snapshot);
+        update
+    }
+}
+
+/// Consumer-side reassembly of delta-encoded partial aggregates.
+///
+/// Feed every [`AggregateUpdate`] from the event stream to
+/// [`AggregateView::apply`]; the view returns the reconstructed full
+/// snapshot. The view tracks the stream's sequence numbers: a delta
+/// arriving before any keyframe, or after a *gap* (the bounded
+/// drop-oldest event buffer discarded an update in between), is refused
+/// — the view reports unsynced (`None`) until the next keyframe
+/// resynchronizes it, so it never silently patches stale state.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateView {
+    current: Option<SweepAggregate>,
+    last_seq: Option<u64>,
+}
+
+impl AggregateView {
+    /// An empty view (no keyframe seen yet).
+    #[must_use]
+    pub fn new() -> Self {
+        AggregateView::default()
+    }
+
+    /// Applies one update; returns the reconstructed snapshot, or `None`
+    /// while the view is unsynced (no keyframe seen yet, or a dropped
+    /// update left a sequence gap a delta cannot bridge).
+    pub fn apply(&mut self, update: &AggregateUpdate) -> Option<&SweepAggregate> {
+        match update {
+            AggregateUpdate::Keyframe { seq, aggregate } => {
+                self.current = Some(aggregate.clone());
+                self.last_seq = Some(*seq);
+            }
+            AggregateUpdate::Delta { seq, changed } => {
+                if self.last_seq != seq.checked_sub(1) {
+                    // Gap (or no keyframe yet): applying this delta would
+                    // yield a silently wrong snapshot. Desynchronize
+                    // until the next keyframe.
+                    self.current = None;
+                    self.last_seq = None;
+                    return None;
+                }
+                let current = self.current.as_mut()?;
+                for (index, cell) in changed {
+                    current.cells[*index] = cell.clone();
+                }
+                self.last_seq = Some(*seq);
+            }
+        }
+        self.current.as_ref()
+    }
+
+    /// The last reconstructed snapshot, if the view is in sync.
+    #[must_use]
+    pub fn snapshot(&self) -> Option<&SweepAggregate> {
+        self.current.as_ref()
+    }
+}
+
 /// Collects streamed results and finalizes them deterministically.
 #[derive(Debug)]
 pub struct Aggregator {
@@ -692,6 +865,92 @@ mod tests {
         assert_eq!(t.exact_solved, 2, "feasible-but-unproven still counts");
         // R_hom enters the cell mean once per job (het's copy wins).
         assert_eq!(t.mean_r_hom, 12.0);
+    }
+
+    #[test]
+    fn delta_encoding_reconstructs_snapshots_bitwise() {
+        // Feed results one by one; after each, the encoder's update
+        // applied to the consumer view must reproduce the full snapshot
+        // exactly — bitwise, pinned through the Debug rendering (which
+        // prints every f64 digit-exact via `{:?}`).
+        let cells = vec![
+            CellInfo {
+                m: 2,
+                grid_value: 0.1,
+            },
+            CellInfo {
+                m: 2,
+                grid_value: 0.3,
+            },
+        ];
+        let mut agg = Aggregator::new(cells, 6, CellShape::Task);
+        let mut encoder = AggregateDeltaEncoder::new(3);
+        let mut view = AggregateView::new();
+        let mut keyframes = 0;
+        let mut deltas = 0;
+        for i in 0..6 {
+            let cell = i % 2;
+            agg.accept(result(
+                i,
+                cell,
+                het(7.5 * i as f64, Scenario::OffNotOnCriticalPath),
+            ));
+            let snapshot = agg.partial();
+            let update = encoder.encode(snapshot.clone());
+            assert_eq!(update.seq(), u64::from(i as u32), "stream position");
+            match &update {
+                AggregateUpdate::Keyframe { .. } => keyframes += 1,
+                AggregateUpdate::Delta { changed, .. } => {
+                    deltas += 1;
+                    assert_eq!(changed.len(), 1, "one result → one changed cell");
+                }
+            }
+            let reconstructed = view.apply(&update).expect("keyframe seen");
+            assert_eq!(*reconstructed, snapshot);
+            assert_eq!(format!("{reconstructed:?}"), format!("{snapshot:?}"));
+        }
+        // Cadence 3 over 6 updates: keyframes at 0 and 3.
+        assert_eq!((keyframes, deltas), (2, 4));
+    }
+
+    #[test]
+    fn deltas_before_a_keyframe_or_after_a_gap_desynchronize_the_view() {
+        let cell = CellSummary {
+            m: 2,
+            grid_value: 0.5,
+            samples: 1,
+            kind: CellKind::Set(SetCellSummary { accepted: [0; 6] }),
+        };
+        let mut view = AggregateView::new();
+        // Orphan delta (keyframe dropped by the event buffer): refused.
+        let orphan = AggregateUpdate::Delta {
+            seq: 3,
+            changed: vec![(0, cell.clone())],
+        };
+        assert!(view.apply(&orphan).is_none());
+        assert!(view.snapshot().is_none());
+        // Keyframe resynchronizes…
+        let keyframe = AggregateUpdate::Keyframe {
+            seq: 4,
+            aggregate: SweepAggregate {
+                cells: vec![cell.clone()],
+            },
+        };
+        assert!(view.apply(&keyframe).is_some());
+        // …a contiguous delta applies…
+        let next = AggregateUpdate::Delta {
+            seq: 5,
+            changed: vec![(0, cell.clone())],
+        };
+        assert!(view.apply(&next).is_some());
+        // …but a delta after a dropped update (seq 6 missing) must
+        // desynchronize rather than silently patch stale cells.
+        let gapped = AggregateUpdate::Delta {
+            seq: 7,
+            changed: vec![(0, cell)],
+        };
+        assert!(view.apply(&gapped).is_none());
+        assert!(view.snapshot().is_none(), "stale state is discarded");
     }
 
     #[test]

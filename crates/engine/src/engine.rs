@@ -817,6 +817,10 @@ impl SessionTask {
         let config = &self.config;
         let cost_model = &self.cost_model;
 
+        let mut delta_encoder = config
+            .partial_every
+            .map(|_| crate::aggregate::AggregateDeltaEncoder::new(config.keyframe_every));
+        let delta_encoder = &mut delta_encoder;
         let worker_stats = pool::run_jobs_cancellable(
             jobs,
             shared.threads,
@@ -853,10 +857,11 @@ impl SessionTask {
                 if let Some(every) = config.partial_every {
                     let received = aggregator.received();
                     if received.is_multiple_of(every) && received < job_count {
+                        let encoder = delta_encoder.as_mut().expect("encoder exists");
                         shared.events.push(SweepEvent::PartialAggregate {
                             completed: received,
                             total: job_count,
-                            aggregate: aggregator.partial(),
+                            update: encoder.encode(aggregator.partial()),
                         });
                     }
                 }

@@ -73,8 +73,8 @@ pub mod session;
 pub mod spec;
 
 pub use aggregate::{
-    AccuracySummary, CellKind, CellSummary, CondCellSummary, SetCellSummary, SuspendCellSummary,
-    SweepAggregate, TaskCellSummary,
+    AccuracySummary, AggregateUpdate, AggregateView, CellKind, CellSummary, CondCellSummary,
+    SetCellSummary, SuspendCellSummary, SweepAggregate, TaskCellSummary,
 };
 pub use cache::CacheCounters;
 pub use disk::{DiskCache, GcStats};

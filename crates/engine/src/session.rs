@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::aggregate::SweepAggregate;
+use crate::aggregate::AggregateUpdate;
 use crate::engine::{EngineError, EngineOutput, EngineStats};
 use crate::EngineCaches;
 
@@ -55,14 +55,19 @@ pub enum SweepEvent {
         wall_time: Duration,
     },
     /// A deterministic-so-far snapshot of the aggregate over every job
-    /// that has completed (cadence set by [`SessionConfig::partial_every`]).
+    /// that has completed (cadence set by [`SessionConfig::partial_every`]),
+    /// delta-encoded: most events carry only the cells that changed since
+    /// the previous snapshot, with a periodic full keyframe (cadence set
+    /// by [`SessionConfig::keyframe_every`]). Reassemble with
+    /// [`AggregateView`](crate::AggregateView).
     PartialAggregate {
         /// Jobs aggregated into this snapshot.
         completed: usize,
         /// Total jobs of the sweep.
         total: usize,
-        /// The partial aggregate (cells summarize completed jobs only).
-        aggregate: SweepAggregate,
+        /// The delta-encoded partial aggregate (cells summarize
+        /// completed jobs only).
+        update: AggregateUpdate,
     },
     /// Terminal event: the sweep finished (or was cancelled); the final
     /// result is ready for [`SweepHandle::wait`].
@@ -84,16 +89,23 @@ pub struct SessionConfig {
     /// Emit a [`SweepEvent::PartialAggregate`] snapshot after every `n`
     /// completed jobs (`None` = only the terminal event).
     pub partial_every: Option<usize>,
+    /// Every `keyframe_every`-th partial aggregate is a full
+    /// [`AggregateUpdate::Keyframe`]; the ones in between are
+    /// changed-cells deltas. `1` disables delta encoding (every partial
+    /// is a keyframe); the default is 16.
+    pub keyframe_every: usize,
     /// Event-buffer bound; beyond it the oldest events are dropped.
     pub max_buffered_events: usize,
 }
 
 impl Default for SessionConfig {
-    /// Job events on, no partial snapshots, 64Ki-event buffer.
+    /// Job events on, no partial snapshots, keyframe every 16 partials,
+    /// 64Ki-event buffer.
     fn default() -> Self {
         SessionConfig {
             job_events: true,
             partial_every: None,
+            keyframe_every: 16,
             max_buffered_events: 1 << 16,
         }
     }

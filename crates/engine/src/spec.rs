@@ -22,6 +22,12 @@ pub enum GeneratorPreset {
     /// Large tasks constrained to the paper's evaluation range
     /// `n ∈ [100, 250]` (Figures 8–9).
     LargePaper,
+    /// The large-graph tier (an order of magnitude beyond the paper):
+    /// nested fork-join DAGs of up to the given number of nodes, accepted
+    /// from a quarter of it upward — see
+    /// [`NfjParams::large_graphs`]. Reached from the CLI via
+    /// `hetrta engine sweep --n-max N`.
+    LargeGraphs(usize),
     /// Explicit generator parameters.
     Custom(NfjParams),
 }
@@ -34,6 +40,7 @@ impl GeneratorPreset {
             GeneratorPreset::Small => NfjParams::small_tasks(),
             GeneratorPreset::Large => NfjParams::large_tasks(),
             GeneratorPreset::LargePaper => NfjParams::large_tasks().with_node_range(100, 250),
+            GeneratorPreset::LargeGraphs(n_max) => NfjParams::large_graphs(*n_max),
             GeneratorPreset::Custom(p) => p.clone(),
         }
     }

@@ -103,18 +103,33 @@ fn partial_aggregates_converge_to_the_final_aggregate() {
     // With a single worker, completion order is expansion order, so the
     // last partial (after jobs-1 results) differs from the final only in
     // the final job's cell — and a partial over *all* results would be
-    // the final. Check the last partial's fully-populated cells match.
+    // the final. Check the last reconstructed partial's fully-populated
+    // cells match. Partials stream delta-encoded; `AggregateView`
+    // reassembles them (keyframe cadence 4 exercises both variants).
     let engine = Engine::new(1);
-    let handle = engine
-        .submit_with(&spec(), SessionConfig::with_partials(1))
-        .expect("submit");
+    let config = SessionConfig {
+        keyframe_every: 4,
+        ..SessionConfig::with_partials(1)
+    };
+    let handle = engine.submit_with(&spec(), config).expect("submit");
+    let mut view = hetrta_engine::AggregateView::new();
+    let mut keyframes = 0usize;
+    let mut deltas = 0usize;
     let mut last_partial = None;
     while let Some(event) = handle.next_event() {
-        if let SweepEvent::PartialAggregate { aggregate, .. } = event {
-            last_partial = Some(aggregate);
+        if let SweepEvent::PartialAggregate { update, .. } = event {
+            match &update {
+                hetrta_engine::AggregateUpdate::Keyframe { .. } => keyframes += 1,
+                hetrta_engine::AggregateUpdate::Delta { .. } => deltas += 1,
+            }
+            last_partial = view.apply(&update).cloned();
         }
     }
     let out = handle.wait().expect("run");
+    // 23 partials at cadence 4: keyframes at 0, 4, 8, ... — deltas carry
+    // the rest, and deltas must actually dominate the stream.
+    assert!(keyframes >= 1, "first partial must be a keyframe");
+    assert!(deltas > keyframes, "deltas should dominate at cadence 4");
     let last = last_partial.expect("partials were emitted");
     assert_eq!(last.cells.len(), out.aggregate.cells.len());
     // All cells except the final one are complete in the last partial.
@@ -126,6 +141,39 @@ fn partial_aggregates_converge_to_the_final_aggregate() {
     {
         assert_eq!(partial_cell, final_cell);
     }
+}
+
+#[test]
+fn delta_encoded_partials_carry_fewer_cells_than_keyframes() {
+    // The point of the delta encoding: between two snapshots only the
+    // cells of the jobs that completed in between change, so deltas must
+    // be strictly smaller than the 4-cell keyframes on this sweep.
+    let engine = Engine::new(1);
+    let config = SessionConfig {
+        keyframe_every: 8,
+        ..SessionConfig::with_partials(1)
+    };
+    let handle = engine.submit_with(&spec(), config).expect("submit");
+    let mut keyframe_cells = Vec::new();
+    let mut delta_cells = Vec::new();
+    while let Some(event) = handle.next_event() {
+        if let SweepEvent::PartialAggregate { update, .. } = event {
+            match &update {
+                hetrta_engine::AggregateUpdate::Keyframe { .. } => {
+                    keyframe_cells.push(update.cells_carried());
+                }
+                hetrta_engine::AggregateUpdate::Delta { .. } => {
+                    delta_cells.push(update.cells_carried());
+                }
+            }
+        }
+    }
+    handle.wait().expect("run");
+    assert!(keyframe_cells.iter().all(|&c| c == 4), "{keyframe_cells:?}");
+    // One job finishes between consecutive partials → exactly one cell
+    // changes (its own), so every delta carries at most one cell.
+    assert!(!delta_cells.is_empty());
+    assert!(delta_cells.iter().all(|&c| c <= 1), "{delta_cells:?}");
 }
 
 /// Many moderately-sized jobs (tiny DAGs keep exact solves at

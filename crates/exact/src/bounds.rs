@@ -32,17 +32,18 @@ pub fn workload_bound(dag: &Dag, offloaded: Option<NodeId>, m: u64) -> Ticks {
 /// # Examples
 ///
 /// ```
-/// use hetrta_dag::{Dag, Ticks};
+/// use hetrta_dag::{DagBuilder, Ticks};
 /// use hetrta_exact::bounds::root_bound;
 ///
-/// let mut dag = Dag::new();
-/// let a = dag.add_node(Ticks::new(3));
-/// let b = dag.add_node(Ticks::new(3));
-/// let c = dag.add_node(Ticks::new(3));
-/// dag.add_edge(a, b)?;
+/// let mut b = DagBuilder::new();
+/// let v1 = b.unlabeled_node(Ticks::new(3));
+/// let v2 = b.unlabeled_node(Ticks::new(3));
+/// let v3 = b.unlabeled_node(Ticks::new(3));
+/// b.edge(v1, v2)?;
+/// let dag = b.freeze(); // v3 floats free: two sources, two sinks
 /// // len = 6; workload = ceil(9/2) = 5 → bound 6
 /// assert_eq!(root_bound(&dag, None, 2), Ticks::new(6));
-/// # let _ = c;
+/// # let _ = v3;
 /// # Ok::<(), hetrta_dag::DagError>(())
 /// ```
 #[must_use]

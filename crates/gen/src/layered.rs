@@ -10,6 +10,10 @@ use hetrta_dag::algo::transitive;
 use hetrta_dag::{Dag, DagBuilder, NodeId, Ticks};
 use rand::Rng;
 
+/// One hundred nodes per layer: the width the large-graph tier keeps
+/// fixed while scaling the number of layers.
+const LARGE_TIER_WIDTH: usize = 100;
+
 use crate::GenError;
 
 /// Parameters of the layered generator.
@@ -46,6 +50,22 @@ impl Default for LayeredParams {
 }
 
 impl LayeredParams {
+    /// The *large-graph* tier: roughly `n_nodes` nodes in layers of
+    /// ~[`80, 120`] width with sparse (5%) extra wiring — the layered
+    /// counterpart of [`NfjParams::large_graphs`](crate::NfjParams::large_graphs).
+    /// At `n_nodes = 10_000` this yields ≈100 layers and ≈60k edges.
+    #[must_use]
+    pub fn large_graphs(n_nodes: usize) -> Self {
+        LayeredParams {
+            layers: (n_nodes / LARGE_TIER_WIDTH).max(1),
+            width_min: LARGE_TIER_WIDTH - 20,
+            width_max: LARGE_TIER_WIDTH + 20,
+            p_edge: 0.05,
+            c_min: 1,
+            c_max: 100,
+        }
+    }
+
     fn validate(&self) -> Result<(), GenError> {
         if self.layers == 0 {
             return Err(GenError::InvalidParams("layers must be ≥ 1".into()));
@@ -98,13 +118,16 @@ pub fn generate_layered<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Dag, GenError> {
     params.validate()?;
-    let mut dag = Dag::new();
+    // Accumulate the random wiring in the builder's nested adjacency and
+    // freeze once — edge-by-edge CSR insertion made this generator
+    // quadratic at the large-graph tier's sizes.
+    let mut accum = DagBuilder::new();
     let mut layers: Vec<Vec<NodeId>> = Vec::with_capacity(params.layers);
     for l in 0..params.layers {
         let width = rng.gen_range(params.width_min..=params.width_max);
         let layer: Vec<NodeId> = (0..width)
             .map(|i| {
-                dag.add_labeled_node(
+                accum.node(
                     format!("l{l}_{i}"),
                     Ticks::new(rng.gen_range(params.c_min..=params.c_max)),
                 )
@@ -117,17 +140,17 @@ pub fn generate_layered<R: Rng + ?Sized>(
         for &b in lower {
             // guaranteed predecessor keeps every node reachable
             let anchor = upper[rng.gen_range(0..upper.len())];
-            let _ = dag.add_edge(anchor, b);
+            let _ = accum.edge(anchor, b);
             for &a in upper {
                 if a != anchor && rng.gen_bool(params.p_edge) {
-                    let _ = dag.add_edge(a, b);
+                    let _ = accum.edge(a, b);
                 }
             }
         }
     }
     // Consecutive-layer wiring cannot create transitive edges *across*
     // layers, but a reduction keeps the invariant explicit and future-proof.
-    let reduced = transitive::transitive_reduction(&dag)?;
+    let reduced = transitive::transitive_reduction(&accum.freeze())?;
     // Normalize terminals with the validating builder.
     let mut b = DagBuilder::new();
     let ids: Vec<NodeId> = reduced

@@ -1,6 +1,6 @@
 //! Nested fork-join DAG generation (the paper's generator, §5.1).
 
-use hetrta_dag::{Dag, NodeId, Ticks};
+use hetrta_dag::{Dag, DagBuilder, NodeId, Ticks};
 use rand::Rng;
 
 use crate::GenError;
@@ -74,6 +74,38 @@ impl NfjParams {
     #[must_use]
     pub fn large_tasks() -> Self {
         NfjParams::new(8, 5, 100, 400)
+    }
+
+    /// The *large-graph* tier (beyond the paper's sizes): nested
+    /// fork-join graphs of up to `n_max` nodes, accepted from
+    /// `n_max / 4` upward.
+    ///
+    /// The recursion depth is derived from the target size (the NFJ
+    /// process grows geometrically with depth, roughly ×5 per level at
+    /// `n_par = 8`), and the expansion probability is raised to `0.85` so
+    /// degenerate single-node samples are rare. Builder-first
+    /// construction freezes each accepted sample in `O(|V| + |E|)`, which
+    /// is what makes this tier practical: `hetrta engine sweep
+    /// --n-max 10000` sweeps ten-thousand-node DAGs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hetrta_gen::NfjParams;
+    ///
+    /// let p = NfjParams::large_graphs(10_000);
+    /// assert_eq!(p.n_min(), 2_500);
+    /// assert_eq!(p.n_max(), 10_000);
+    /// ```
+    #[must_use]
+    pub fn large_graphs(n_max: usize) -> Self {
+        // depth ≈ log₅(0.75·n_max): lands the typical sample size inside
+        // the [n_max/4, n_max] acceptance window (tuned empirically).
+        let target = (0.75 * n_max.max(4) as f64).ln() / 5f64.ln();
+        let depth = (target.round() as usize).max(3);
+        NfjParams::new(8, depth, (n_max / 4).max(1), n_max)
+            .with_p_par(0.85)
+            .with_max_attempts(1_000)
     }
 
     /// Sets the probability of parallel expansion.
@@ -207,9 +239,16 @@ impl NfjParams {
 pub fn generate_nfj<R: Rng + ?Sized>(params: &NfjParams, rng: &mut R) -> Result<Dag, GenError> {
     params.validate()?;
     for attempt in 1..=params.max_attempts {
-        let dag = sample(params, rng);
-        let n = dag.node_count();
+        // Accumulate the sample in the builder's nested adjacency and
+        // only freeze to CSR when the rejection sampler accepts it — one
+        // O(|V| + |E|) pass per accepted graph, none per rejected one.
+        let mut b = DagBuilder::new();
+        expand(&mut b, 0, params, rng);
+        let n = b.node_count();
         if n >= params.n_min && n <= params.n_max {
+            // Valid by construction (acyclic, single terminals, no
+            // transitive edges), so the unvalidated freeze suffices.
+            let dag = b.freeze();
             debug_assert!(hetrta_dag::validate_task_model(&dag).is_ok());
             return Ok(dag);
         }
@@ -220,32 +259,26 @@ pub fn generate_nfj<R: Rng + ?Sized>(params: &NfjParams, rng: &mut R) -> Result<
     unreachable!("loop returns or errors on the last attempt")
 }
 
-fn sample<R: Rng + ?Sized>(params: &NfjParams, rng: &mut R) -> Dag {
-    let mut dag = Dag::new();
-    expand(&mut dag, 0, params, rng);
-    dag
-}
-
 /// Expands one abstract node at `depth`; returns its (entry, exit) node ids.
 fn expand<R: Rng + ?Sized>(
-    dag: &mut Dag,
+    b: &mut DagBuilder,
     depth: usize,
     params: &NfjParams,
     rng: &mut R,
 ) -> (NodeId, NodeId) {
     let wcet = |rng: &mut R| Ticks::new(rng.gen_range(params.c_min..=params.c_max));
     if depth < params.max_depth && rng.gen_bool(params.p_par) {
-        let fork = dag.add_labeled_node(format!("fork@{depth}"), wcet(rng));
-        let join = dag.add_labeled_node(format!("join@{depth}"), wcet(rng));
+        let fork = b.node(format!("fork@{depth}"), wcet(rng));
+        let join = b.node(format!("join@{depth}"), wcet(rng));
         let branches = rng.gen_range(2..=params.n_par);
         for _ in 0..branches {
-            let (entry, exit) = expand(dag, depth + 1, params, rng);
-            dag.add_edge(fork, entry).expect("fresh branch entry");
-            dag.add_edge(exit, join).expect("fresh branch exit");
+            let (entry, exit) = expand(b, depth + 1, params, rng);
+            b.edge(fork, entry).expect("fresh branch entry");
+            b.edge(exit, join).expect("fresh branch exit");
         }
         (fork, join)
     } else {
-        let t = dag.add_labeled_node(format!("t@{depth}"), wcet(rng));
+        let t = b.node(format!("t@{depth}"), wcet(rng));
         (t, t)
     }
 }

@@ -234,10 +234,11 @@ mod tests {
     #[test]
     fn interior_selection_fails_on_tiny_graph() {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut dag = Dag::new();
-        let a = dag.add_node(Ticks::ONE);
-        let b = dag.add_node(Ticks::ONE);
-        dag.add_edge(a, b).unwrap();
+        let mut b = hetrta_dag::DagBuilder::new();
+        let v1 = b.unlabeled_node(Ticks::ONE);
+        let v2 = b.unlabeled_node(Ticks::ONE);
+        b.edge(v1, v2).unwrap();
+        let dag = b.build().unwrap();
         assert!(matches!(
             make_hetero_task(
                 dag,

@@ -42,7 +42,7 @@
 //! ```
 
 use hetrta_dag::algo::transitive;
-use hetrta_dag::{Dag, NodeId, Ticks};
+use hetrta_dag::{Dag, DagBuilder, NodeId, Ticks};
 
 use crate::GenError;
 
@@ -123,16 +123,17 @@ impl Program {
             return Err(GenError::InvalidParams("empty program".into()));
         }
         let mut builder = Lowering {
-            dag: Dag::new(),
+            b: DagBuilder::new(),
             offloaded: None,
             sync_counter: 0,
         };
-        let source = builder.dag.add_labeled_node("entry", Ticks::ZERO);
+        let source = builder.b.node("entry", Ticks::ZERO);
         // region() joins every spawned task into its returned exit node, so
         // the graph ends in a single sink.
         builder.region(self, source)?;
-        // Remove redundant precedence introduced by join fan-ins.
-        let reduced = transitive::transitive_reduction(&builder.dag)?;
+        // Freeze the accumulated structure once (O(|V| + |E|)), then
+        // remove the redundant precedence introduced by join fan-ins.
+        let reduced = transitive::transitive_reduction(&builder.b.freeze())?;
         hetrta_dag::validate_task_model(&reduced)?;
         Ok(LoweredProgram {
             dag: reduced,
@@ -142,7 +143,7 @@ impl Program {
 }
 
 struct Lowering {
-    dag: Dag,
+    b: DagBuilder,
     offloaded: Option<NodeId>,
     sync_counter: usize,
 }
@@ -157,8 +158,8 @@ impl Lowering {
         for stmt in &program.0 {
             match stmt {
                 Stmt::Work(label, wcet) => {
-                    let v = self.dag.add_labeled_node(label.clone(), Ticks::new(*wcet));
-                    self.dag.add_edge(current, v)?;
+                    let v = self.b.node(label.clone(), Ticks::new(*wcet));
+                    self.b.edge(current, v)?;
                     current = v;
                 }
                 Stmt::Spawn(sub) => {
@@ -171,8 +172,8 @@ impl Lowering {
                             "the task model supports a single offloaded region".into(),
                         ));
                     }
-                    let v = self.dag.add_labeled_node(label.clone(), Ticks::new(*wcet));
-                    self.dag.add_edge(current, v)?;
+                    let v = self.b.node(label.clone(), Ticks::new(*wcet));
+                    self.b.edge(current, v)?;
                     self.offloaded = Some(v);
                     open.push(v);
                 }
@@ -191,16 +192,19 @@ impl Lowering {
             return Ok(current);
         }
         let j = self
-            .dag
-            .add_labeled_node(format!("taskwait{}", self.sync_counter), Ticks::ZERO);
+            .b
+            .node(format!("taskwait{}", self.sync_counter), Ticks::ZERO);
         self.sync_counter += 1;
         for exit in open.drain(..) {
-            if !self.dag.has_edge(exit, j) {
-                self.dag.add_edge(exit, j)?;
+            // `open` can hold the same exit twice (a spawn of an empty
+            // region returns its entry), and `current` may equal an open
+            // exit — dedup against the accumulated adjacency.
+            if !self.b.has_edge(exit, j) {
+                self.b.edge(exit, j)?;
             }
         }
-        if !self.dag.has_edge(current, j) {
-            self.dag.add_edge(current, j)?;
+        if !self.b.has_edge(current, j) {
+            self.b.edge(current, j)?;
         }
         Ok(j)
     }

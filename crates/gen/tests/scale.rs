@@ -1,0 +1,92 @@
+//! Large-graph tier smoke tests: every generator must construct a
+//! ten-thousand-node DAG in `O(|V| + |E|)` — concretely, in well under a
+//! second in release builds (the builder-first pipeline's whole point).
+//!
+//! `#[ignore]`-gated like the other long-running suites; run with
+//! `cargo test -p hetrta-gen --release -- --ignored`.
+
+use std::time::{Duration, Instant};
+
+use hetrta_dag::validate_task_model;
+use hetrta_gen::layered::{generate_layered, LayeredParams};
+use hetrta_gen::openmp::{Program, Stmt};
+use hetrta_gen::{generate_nfj, NfjParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Sub-second in release; debug builds only check that construction
+/// terminates in reasonable time at all.
+fn assert_fast(what: &str, elapsed: Duration) {
+    if cfg!(debug_assertions) {
+        assert!(elapsed < Duration::from_secs(30), "{what}: {elapsed:?}");
+    } else {
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "{what} took {elapsed:?} — the large-graph tier must construct sub-second"
+        );
+    }
+}
+
+#[test]
+#[ignore = "large-graph tier; run with --ignored (release)"]
+fn nfj_10k_constructs_subsecond() {
+    let params = NfjParams::large_graphs(10_000);
+    let mut rng = StdRng::seed_from_u64(0xBE9C_0010);
+    let started = Instant::now();
+    let dag = generate_nfj(&params, &mut rng).expect("large-graph sample accepted");
+    let elapsed = started.elapsed();
+    assert!(
+        (2_500..=10_000).contains(&dag.node_count()),
+        "n = {}",
+        dag.node_count()
+    );
+    // Nested fork-join: every non-terminal contributes 2 edges per branch.
+    assert!(dag.edge_count() >= dag.node_count() - 1);
+    validate_task_model(&dag).expect("task model holds at 10k nodes");
+    assert_fast("nfj 10k", elapsed);
+}
+
+#[test]
+#[ignore = "large-graph tier; run with --ignored (release)"]
+fn layered_10k_constructs_subsecond() {
+    let params = LayeredParams::large_graphs(10_000);
+    let mut rng = StdRng::seed_from_u64(0xBE9C_0020);
+    let started = Instant::now();
+    let dag = generate_layered(&params, &mut rng).expect("valid params");
+    let elapsed = started.elapsed();
+    assert!(
+        (8_000..=12_100).contains(&dag.node_count()),
+        "n = {}",
+        dag.node_count()
+    );
+    assert!(dag.edge_count() >= dag.node_count() - 2, "connected layers");
+    validate_task_model(&dag).expect("task model holds at 10k nodes");
+    assert_fast("layered 10k", elapsed);
+}
+
+#[test]
+#[ignore = "large-graph tier; run with --ignored (release)"]
+fn openmp_10k_statement_program_lowers_subsecond() {
+    // ~3,333 iterations of work+spawn+taskwait ≈ 10k statements; the
+    // lowering adds a join node per taskwait.
+    let mut stmts = Vec::new();
+    for i in 0..3_333 {
+        stmts.push(Stmt::work(format!("w{i}"), 1 + (i as u64 % 20)));
+        stmts.push(Stmt::spawn(Program::new(vec![Stmt::work(
+            format!("t{i}"),
+            1 + (i as u64 % 13),
+        )])));
+        stmts.push(Stmt::Taskwait);
+    }
+    let program = Program::new(stmts);
+    let started = Instant::now();
+    let lowered = program.lower().expect("structured program lowers");
+    let elapsed = started.elapsed();
+    assert!(
+        lowered.dag.node_count() > 9_000,
+        "n = {}",
+        lowered.dag.node_count()
+    );
+    validate_task_model(&lowered.dag).expect("task model holds");
+    assert_fast("openmp 10k", elapsed);
+}

@@ -14,13 +14,20 @@
 //! * [`test_runner::ProptestConfig`] (`cases`, `with_cases`, struct-update
 //!   syntax) and [`test_runner::TestCaseError`].
 //!
-//! Unlike upstream proptest there is **no shrinking**: a failing case
-//! reports its case number *and the exact RNG seed that generated it*
-//! instead of a minimized input. Runs are fully deterministic per test
-//! name, so re-running the test reproduces the failure — and setting
+//! Failing cases are **shrunk** with a simple halving ladder before
+//! being reported: numeric inputs halve toward their range start and
+//! collections truncate toward their minimum size
+//! ([`Strategy::shrink`](strategy::Strategy::shrink)), re-running the
+//! test body after each step and keeping the smaller input while it
+//! still fails. The panic message reports the case number, *the exact
+//! RNG seed that generated the original failure*, and the minimized
+//! input (`Debug`-rendered). Runs are fully deterministic per test name,
+//! so re-running the test reproduces the failure — and setting
 //! `HETRTA_PROPTEST_SEED=0x<seed>` (the value printed in the panic
 //! message) re-runs **only** that failing case, which is the fast loop
-//! for debugging a property violation.
+//! for debugging a property violation. Shrinking is intentionally
+//! simpler than upstream proptest's (no strategy-tree rewinding): one
+//! candidate per step, at most 64 steps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +46,19 @@ pub mod strategy {
 
         /// Generates one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Produces one *smaller* candidate from a failing `value`, or
+        /// `None` when no further shrink applies.
+        ///
+        /// The shim's minimizer walks this halving ladder: numeric
+        /// ranges halve the value toward the range start, collection
+        /// strategies truncate toward their minimum size, tuples shrink
+        /// their first shrinkable component. Mapped strategies
+        /// ([`Strategy::prop_map`]) cannot invert their closure and
+        /// return `None` (the default).
+        fn shrink(&self, _value: &Self::Value) -> Option<Self::Value> {
+            None
+        }
 
         /// Maps generated values through `f`.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -76,6 +96,20 @@ pub mod strategy {
         }
     }
 
+    /// Halves an integer value toward the range start (`i128` math like
+    /// `generate`, so signed ranges cannot overflow).
+    macro_rules! int_halve_toward {
+        ($t:ty, $lo:expr, $value:expr) => {{
+            let span = (*$value as i128).wrapping_sub($lo as i128);
+            if span > 0 {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                Some((($lo as i128).wrapping_add(span / 2)) as $t)
+            } else {
+                None
+            }
+        }};
+    }
+
     macro_rules! int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -87,6 +121,10 @@ pub mod strategy {
                     let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
                     let offset = u128::from(rng.next_u64()) % span;
                     ((self.start as i128).wrapping_add(offset as i128)) as $t
+                }
+
+                fn shrink(&self, value: &$t) -> Option<$t> {
+                    int_halve_toward!($t, self.start, value)
                 }
             }
 
@@ -101,10 +139,27 @@ pub mod strategy {
                     let offset = u128::from(rng.next_u64()) % span;
                     ((lo as i128).wrapping_add(offset as i128)) as $t
                 }
+
+                fn shrink(&self, value: &$t) -> Option<$t> {
+                    int_halve_toward!($t, *self.start(), value)
+                }
             }
         )*};
     }
     int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+    /// Halves a float value toward the range start, stopping once the
+    /// distance becomes negligible.
+    macro_rules! float_halve_toward {
+        ($t:ty, $lo:expr, $value:expr) => {{
+            let distance = *$value - $lo;
+            if distance.is_finite() && distance > 1e-9 {
+                Some($lo + distance / 2.0)
+            } else {
+                None
+            }
+        }};
+    }
 
     macro_rules! float_range_strategy {
         ($($t:ty),*) => {$(
@@ -115,6 +170,10 @@ pub mod strategy {
                     assert!(self.start < self.end, "empty strategy range");
                     self.start + (self.end - self.start) * rng.unit() as $t
                 }
+
+                fn shrink(&self, value: &$t) -> Option<$t> {
+                    float_halve_toward!($t, self.start, value)
+                }
             }
 
             impl Strategy for RangeInclusive<$t> {
@@ -124,32 +183,60 @@ pub mod strategy {
                     let (lo, hi) = (*self.start(), *self.end());
                     lo + (hi - lo) * rng.unit() as $t
                 }
+
+                fn shrink(&self, value: &$t) -> Option<$t> {
+                    float_halve_toward!($t, *self.start(), value)
+                }
             }
         )*};
     }
     float_range_strategy!(f32, f64);
 
+    // Tuple strategies shrink component-wise (first shrinkable component
+    // wins), which needs `Clone` values to rebuild the tuple — every
+    // value type the shim supports is `Clone` anyway.
     macro_rules! tuple_strategy {
-        ($($name:ident),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($(($name:ident, $idx:tt)),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
                 type Value = ($($name::Value,)+);
 
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                    #[allow(non_snake_case)]
-                    let ($($name,)+) = self;
-                    ($($name.generate(rng),)+)
+                    ($(self.$idx.generate(rng),)+)
+                }
+
+                fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+                    $(
+                        if let Some(candidate) = self.$idx.shrink(&value.$idx) {
+                            let mut out = value.clone();
+                            out.$idx = candidate;
+                            return Some(out);
+                        }
+                    )+
+                    None
                 }
             }
         };
     }
-    tuple_strategy!(A);
-    tuple_strategy!(A, B);
-    tuple_strategy!(A, B, C);
-    tuple_strategy!(A, B, C, D);
-    tuple_strategy!(A, B, C, D, E);
-    tuple_strategy!(A, B, C, D, E, F);
-    tuple_strategy!(A, B, C, D, E, F, G);
-    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!((A, 0));
+    tuple_strategy!((A, 0), (B, 1));
+    tuple_strategy!((A, 0), (B, 1), (C, 2));
+    tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+    tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+    tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+    tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+    tuple_strategy!(
+        (A, 0),
+        (B, 1),
+        (C, 2),
+        (D, 3),
+        (E, 4),
+        (F, 5),
+        (G, 6),
+        (H, 7)
+    );
 
     /// Strategy for any [`Arbitrary`](crate::arbitrary::Arbitrary) type
     /// (upstream `any::<T>()`).
@@ -254,12 +341,25 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let len = self.size.clone().generate(rng);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Truncates toward the minimum length (half the excess per step).
+        fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+            let min = self.size.start;
+            if value.len() > min {
+                Some(value[..min.max(value.len() / 2)].to_vec())
+            } else {
+                None
+            }
         }
     }
 
@@ -282,13 +382,30 @@ pub mod collection {
 
     impl<S: Strategy> Strategy for BTreeSetStrategy<S>
     where
-        S::Value: Ord,
+        S::Value: Ord + Clone,
     {
         type Value = BTreeSet<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let target = self.size.clone().generate(rng);
             (0..target).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Truncates (keeping the smallest elements) toward the minimum
+        /// size, half the excess per step.
+        fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+            let min = self.size.start;
+            if value.len() > min {
+                Some(
+                    value
+                        .iter()
+                        .take(min.max(value.len() / 2))
+                        .cloned()
+                        .collect(),
+                )
+            } else {
+                None
+            }
         }
     }
 }
@@ -458,6 +575,12 @@ pub mod test_runner {
             }
         }
 
+        /// The test name this runner reports failures under.
+        #[must_use]
+        pub fn name(&self) -> &'static str {
+            self.name
+        }
+
         /// Number of successful cases required (one under a seed
         /// override).
         #[must_use]
@@ -516,6 +639,114 @@ pub mod test_runner {
             }
         }
     }
+
+    /// Cap on halving-ladder steps: each step halves a numeric distance
+    /// or a collection length, so 64 steps exhaust any practical input.
+    const MAX_SHRINK_STEPS: u32 = 64;
+
+    /// Drives the cases of one property test over `strategy`, feeding
+    /// each generated value to `run` (the macro-wrapped test body) and
+    /// minimizing failures through [`minimize_and_report`].
+    ///
+    /// This is what a [`proptest!`](crate::proptest) test function
+    /// expands into — keeping the loop generic over the strategy (rather
+    /// than expanded inline) is what pins the closure's input type to
+    /// `S::Value` for inference, and it keeps the shrink machinery out
+    /// of every macro expansion.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) when a case fails or the
+    /// `prop_assume!` rejection budget is exhausted.
+    pub fn run_proptest<S, F>(config: ProptestConfig, name: &'static str, strategy: S, mut run: F)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut runner = TestRunner::new(config, name);
+        let mut accepted: u32 = 0;
+        let mut case: u32 = 0;
+        while accepted < runner.cases() {
+            let mut rng = runner.rng_for_case(case);
+            let value = strategy.generate(&mut rng);
+            match run(&value) {
+                Err(TestCaseError::Fail(reason)) => {
+                    minimize_and_report(&runner, case, &strategy, value, reason, &mut run);
+                }
+                outcome => {
+                    if runner.process(case, outcome) {
+                        accepted += 1;
+                    }
+                }
+            }
+            case += 1;
+        }
+    }
+
+    /// Minimizes a failing case along the strategy's halving ladder
+    /// ([`Strategy::shrink`](crate::strategy::Strategy::shrink)), then
+    /// panics with the original case's replay seed *and* the minimized
+    /// input.
+    ///
+    /// Each shrink candidate re-runs the test body; a candidate that
+    /// still fails becomes the new current value (and its failure reason
+    /// the reported one), a candidate that passes, is rejected by
+    /// `prop_assume!`, or *panics* (shrunk inputs can take code paths the
+    /// generator never produced — those panics are contained, not
+    /// propagated, so the original failure's report is never lost) ends
+    /// the ladder. Called by the [`proptest!`] macro expansion; not part
+    /// of the upstream-compatible surface.
+    ///
+    /// # Panics
+    ///
+    /// Always — this *is* the failure report.
+    pub fn minimize_and_report<S: crate::strategy::Strategy>(
+        runner: &TestRunner,
+        case: u32,
+        strategy: &S,
+        value: S::Value,
+        reason: String,
+        run: &mut dyn FnMut(&S::Value) -> Result<(), TestCaseError>,
+    ) -> !
+    where
+        S::Value: std::fmt::Debug,
+    {
+        let mut value = value;
+        let mut reason = reason;
+        let mut steps = 0u32;
+        while steps < MAX_SHRINK_STEPS {
+            let Some(candidate) = strategy.shrink(&value) else {
+                break;
+            };
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&candidate)));
+            match outcome {
+                Ok(Err(TestCaseError::Fail(smaller_reason))) => {
+                    value = candidate;
+                    reason = smaller_reason;
+                    steps += 1;
+                }
+                // Passed, rejected, or panicked on the shrunk input:
+                // keep the last value known to fail *this* property.
+                _ => break,
+            }
+        }
+        let seed = runner.seed_for_case(case);
+        panic!(
+            "proptest `{}` failed at case {} with seed {:#018x} \
+             (re-run just this case with {}={:#018x}): {}\n\
+             minimized input after {} shrink step(s): {:?}",
+            runner.name(),
+            case,
+            seed,
+            SEED_ENV,
+            seed,
+            reason,
+            steps,
+            value
+        );
+    }
 }
 
 pub mod prelude {
@@ -557,47 +788,65 @@ macro_rules! __proptest_impl {
     ) => {
         $(#[$attr])*
         fn $name() {
-            let mut runner = $crate::test_runner::TestRunner::new($cfg, stringify!($name));
-            let mut accepted: u32 = 0;
-            let mut case: u32 = 0;
-            while accepted < runner.cases() {
-                let mut __proptest_rng = runner.rng_for_case(case);
-                let outcome = (|| -> ::std::result::Result<
-                    (),
-                    $crate::test_runner::TestCaseError,
-                > {
-                    $crate::__proptest_bind! { __proptest_rng; $($params)* }
-                    $body
-                    Ok(())
-                })();
-                if runner.process(case, outcome) {
-                    accepted += 1;
-                }
-                case += 1;
-            }
+            $crate::__proptest_case! { ($cfg); $name; [] []; { $($params)* } $body }
         }
         $crate::__proptest_impl! { config = ($cfg); $($rest)* }
     };
 }
 
-/// Internal: binds one `proptest!` parameter list entry at a time.
+/// Internal: munches the parameter list of one `proptest!` test into a
+/// parenthesized-pattern list and a strategy list (the `name: Type` form
+/// desugars to `name in any::<Type>()`), then emits the runner loop over
+/// the combined tuple strategy — which is what lets the minimizer re-run
+/// the body on shrunk inputs.
 #[doc(hidden)]
 #[macro_export]
-macro_rules! __proptest_bind {
-    ($rng:ident;) => {};
-    ($rng:ident; $pat:pat_param in $strat:expr, $($rest:tt)*) => {
-        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
-        $crate::__proptest_bind! { $rng; $($rest)* }
+macro_rules! __proptest_case {
+    // `pat in strategy` parameter, more to come.
+    (($cfg:expr); $name:ident; [$($pats:tt)*] [$($strats:tt)*];
+     { $pat:pat_param in $strat:expr, $($rest:tt)* } $body:block) => {
+        $crate::__proptest_case! {
+            ($cfg); $name; [$($pats)* ($pat)] [$($strats)* ($strat)]; { $($rest)* } $body
+        }
     };
-    ($rng:ident; $pat:pat_param in $strat:expr) => {
-        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    // `pat in strategy`, final parameter (no trailing comma).
+    (($cfg:expr); $name:ident; [$($pats:tt)*] [$($strats:tt)*];
+     { $pat:pat_param in $strat:expr } $body:block) => {
+        $crate::__proptest_case! {
+            ($cfg); $name; [$($pats)* ($pat)] [$($strats)* ($strat)]; {} $body
+        }
     };
-    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
-        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
-        $crate::__proptest_bind! { $rng; $($rest)* }
+    // `name: Type` parameter, more to come.
+    (($cfg:expr); $name:ident; [$($pats:tt)*] [$($strats:tt)*];
+     { $param:ident : $ty:ty, $($rest:tt)* } $body:block) => {
+        $crate::__proptest_case! {
+            ($cfg); $name;
+            [$($pats)* ($param)] [$($strats)* ($crate::arbitrary::any::<$ty>())];
+            { $($rest)* } $body
+        }
     };
-    ($rng:ident; $name:ident : $ty:ty) => {
-        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+    // `name: Type`, final parameter.
+    (($cfg:expr); $name:ident; [$($pats:tt)*] [$($strats:tt)*];
+     { $param:ident : $ty:ty } $body:block) => {
+        $crate::__proptest_case! {
+            ($cfg); $name;
+            [$($pats)* ($param)] [$($strats)* ($crate::arbitrary::any::<$ty>())];
+            {} $body
+        }
+    };
+    // Every parameter munched: run the generic case driver over the
+    // combined tuple strategy.
+    (($cfg:expr); $name:ident; [$(($pat:pat_param))+] [$(($strat:expr))+]; {} $body:block) => {
+        $crate::test_runner::run_proptest(
+            $cfg,
+            stringify!($name),
+            ($($strat,)+),
+            |__proptest_input| {
+                let ($($pat,)+) = ::std::clone::Clone::clone(__proptest_input);
+                $body
+                ::std::result::Result::Ok(())
+            },
+        )
     };
 }
 
@@ -728,6 +977,74 @@ mod self_tests {
     #[should_panic(expected = "with seed 0x")]
     fn failures_panic_with_the_rng_seed() {
         always_fails_inner();
+    }
+
+    proptest! {
+        fn shrink_numeric_inner(x in 0u64..1000) {
+            prop_assert!(x < 1);
+        }
+
+        fn shrink_vec_inner(v in crate::collection::vec(0u8..10, 0..20)) {
+            prop_assert!(v.is_empty());
+        }
+    }
+
+    fn panic_text(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let payload = std::panic::catch_unwind(f).expect_err("property must fail");
+        payload
+            .downcast_ref::<String>()
+            .expect("panic carries a String")
+            .clone()
+    }
+
+    #[test]
+    fn numeric_failures_minimize_to_the_boundary() {
+        // `x < 1` fails for every x ≥ 1; the halving ladder bottoms out
+        // at exactly 1 (its shrink, 0, passes), whatever the original
+        // failing value was.
+        let text = panic_text(shrink_numeric_inner);
+        assert!(text.contains("minimized input after"), "{text}");
+        assert!(text.contains("(1,)"), "{text}");
+        // The replay seed is still reported alongside.
+        assert!(text.contains("HETRTA_PROPTEST_SEED"), "{text}");
+    }
+
+    proptest! {
+        fn shrink_panicking_candidate_inner(x in 0u64..1000) {
+            // Plain `assert!` (a hard panic, not a TestCaseError) on a
+            // value the halving ladder reaches while minimizing the
+            // `prop_assert!` failure below.
+            assert!(x != 1, "boom");
+            prop_assert!(x == 0);
+        }
+    }
+
+    #[test]
+    fn panicking_shrink_candidates_do_not_lose_the_report() {
+        // The ladder bottoms out against the panicking candidate (x = 1):
+        // the panic is contained, the last value known to fail the
+        // property is reported, and the replay seed survives.
+        let text = panic_text(shrink_panicking_candidate_inner);
+        assert!(text.contains("with seed 0x"), "{text}");
+        assert!(text.contains("minimized input"), "{text}");
+        assert!(
+            !text.contains("boom"),
+            "shrink-candidate panic must be contained: {text}"
+        );
+    }
+
+    #[test]
+    fn collection_failures_truncate_to_one_element() {
+        // `v.is_empty()` fails for every non-empty vector; truncation
+        // bottoms out at a single element.
+        let text = panic_text(shrink_vec_inner);
+        assert!(text.contains("minimized input after"), "{text}");
+        let minimized = text.split("minimized input").nth(1).expect("report tail");
+        assert_eq!(
+            minimized.matches(',').count(),
+            1,
+            "single-element vec in a 1-tuple: {text}"
+        );
     }
 
     #[test]
