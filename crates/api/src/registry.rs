@@ -171,9 +171,15 @@ pub trait Analysis: Send + Sync + fmt::Debug {
         h.finish()
     }
 
-    /// Relative cost rank for schedulers (higher = heavier). Batch engines
-    /// may start heavy kinds first so a single expensive job does not tail
-    /// a sweep.
+    /// Static relative cost rank (higher = heavier), used only as a
+    /// **cold-start fallback**: schedulers that order work by expense —
+    /// the batch engine injects heavy kinds first so a single expensive
+    /// job does not tail a sweep — prefer *measured* per-key wall-clock
+    /// EWMAs learned from finished jobs (the engine's `CostModel`) and
+    /// consult this rank solely for keys they have never timed. The
+    /// learned estimates are also exported to the engine's metrics
+    /// registry as `cost.ewma_us.{key}` gauges, so the effective cost
+    /// ordering is observable after any run.
     fn cost_hint(&self) -> u8 {
         1
     }

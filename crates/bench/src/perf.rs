@@ -71,6 +71,20 @@ pub struct SweepResult {
     pub jobs: usize,
 }
 
+/// Latency quantiles of one analysis kind, measured inside the engine
+/// during the Figure 8 sweeps (the engine's per-analysis histograms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyResult {
+    /// Analysis registry key (`"het"`).
+    pub analysis: String,
+    /// Computed analyses the histogram saw (cache hits record nothing).
+    pub count: u64,
+    /// Median latency, in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency, in nanoseconds.
+    pub p99_ns: u64,
+}
+
 /// The full harness output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
@@ -78,6 +92,8 @@ pub struct PerfReport {
     pub kernels: Vec<KernelResult>,
     /// End-to-end sweep measurements.
     pub sweeps: Vec<SweepResult>,
+    /// Per-analysis latency quantiles from the Figure 8 sweeps.
+    pub latencies: Vec<LatencyResult>,
 }
 
 impl PerfReport {
@@ -100,6 +116,18 @@ impl PerfReport {
                 s.name, s.wall_ms, s.jobs
             ));
         }
+        out.push_str("  ],\n  \"analysis_latency\": [\n");
+        for (i, l) in self.latencies.iter().enumerate() {
+            let comma = if i + 1 < self.latencies.len() {
+                ","
+            } else {
+                ""
+            };
+            out.push_str(&format!(
+                "    {{\"analysis\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}{comma}\n",
+                l.analysis, l.count, l.p50_ns, l.p99_ns
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -117,6 +145,18 @@ impl PerfReport {
                 "  {:<28}{:>9.1}{:>9}\n",
                 s.name, s.wall_ms, s.jobs
             ));
+        }
+        if !self.latencies.is_empty() {
+            out.push_str("analysis latency                count   p50 us   p99 us\n");
+            for l in &self.latencies {
+                out.push_str(&format!(
+                    "  {:<28}{:>7}{:>9.1}{:>9.1}\n",
+                    l.analysis,
+                    l.count,
+                    l.p50_ns as f64 / 1e3,
+                    l.p99_ns as f64 / 1e3
+                ));
+            }
         }
         out
     }
@@ -303,6 +343,25 @@ pub fn run(config: &PerfConfig) -> PerfReport {
     let engine = Engine::new(0);
     sweeps.push(timed_sweep("sweep/fig8_quick_cold", &engine, &fig8_spec));
     sweeps.push(timed_sweep("sweep/fig8_quick_warm", &engine, &fig8_spec));
+
+    // The engine recorded a latency histogram per analysis kind while the
+    // Figure 8 sweeps ran; lift its quantiles into the report.
+    let snapshot = engine.metrics().snapshot();
+    let latencies: Vec<LatencyResult> = snapshot
+        .histograms_with_prefix("analysis.")
+        .into_iter()
+        .filter_map(|(name, hist)| {
+            let analysis = name
+                .strip_prefix("analysis.")?
+                .strip_suffix(".latency_ns")?;
+            Some(LatencyResult {
+                analysis: analysis.to_owned(),
+                count: hist.count,
+                p50_ns: hist.p50().unwrap_or(0),
+                p99_ns: hist.p99().unwrap_or(0),
+            })
+        })
+        .collect();
     if !config.quick {
         let fig9_spec = fig9::sweep_spec(&fig9::Config::quick());
         let engine9 = Engine::new(0);
@@ -322,7 +381,11 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         sweeps.push(timed_sweep("sweep/n10k_het_warm", &engine10k, &n10k_spec));
     }
 
-    PerfReport { kernels, sweeps }
+    PerfReport {
+        kernels,
+        sweeps,
+        latencies,
+    }
 }
 
 #[cfg(test)]
@@ -335,10 +398,21 @@ mod tests {
         assert!(report.kernels.len() >= 8);
         assert!(report.sweeps.len() >= 2);
         assert!(report.kernels.iter().all(|k| k.ns_per_op > 0.0));
+        assert!(
+            report.latencies.iter().any(|l| l.analysis == "het"),
+            "fig8 sweeps feed the het latency histogram"
+        );
+        for l in &report.latencies {
+            assert!(l.count > 0);
+            assert!(l.p50_ns <= l.p99_ns, "{}: p50 above p99", l.analysis);
+        }
         let json = report.to_json();
         assert!(json.contains("\"kernels\""));
         assert!(json.contains("sweep/fig8_quick_cold"));
+        assert!(json.contains("\"analysis_latency\""));
+        assert!(json.contains("\"p99_ns\""));
         let table = report.render();
         assert!(table.contains("algo/critical_path"));
+        assert!(table.contains("analysis latency"));
     }
 }

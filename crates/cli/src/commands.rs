@@ -16,6 +16,7 @@ use hetrta_dag::io::{parse_task, render_task, TaskKind};
 use hetrta_dag::{HeteroDagTask, NodeId, Ticks};
 use hetrta_engine::{
     AnalysisSelection, CellKind, EngineBuilder, GeneratorPreset, SweepEvent, SweepSpec, TestKind,
+    TraceRecorder,
 };
 use hetrta_exact::{lp, solve, SolverConfig};
 use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
@@ -232,8 +233,9 @@ pub const COMMANDS: &[CommandSpec] = &[
             },
             FlagSpec {
                 name: "--preset",
-                value: Some("small|large|paper"),
-                help: "DAG generator preset for fraction sweeps",
+                value: Some("small|large|paper|fig8"),
+                help: "DAG generator preset for fraction sweeps \
+                       (fig8 = the benchmark harness's quick Figure 8 sweep)",
                 ..FlagSpec::DEFAULT
             },
             FlagSpec {
@@ -283,6 +285,20 @@ pub const COMMANDS: &[CommandSpec] = &[
                 name: "--progress",
                 value: None,
                 help: "stream live progress (completed jobs, cache hits) to stderr while sweeping",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--trace",
+                value: Some("FILE"),
+                help: "record structured spans and write a Chrome trace-event JSON \
+                       (load in Perfetto or chrome://tracing)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--metrics",
+                value: None,
+                help: "append the engine metrics table (cache counters, pool totals, \
+                       per-analysis latency quantiles) to the output",
                 ..FlagSpec::DEFAULT
             },
         ],
@@ -857,11 +873,24 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
             }
             GeneratorPreset::LargeGraphs(n_max)
         }
-        (None | Some("small"), None) => GeneratorPreset::Small,
+        (None | Some("small" | "fig8"), None) => GeneratorPreset::Small,
         (Some("large"), None) => GeneratorPreset::Large,
         (Some("paper"), None) => GeneratorPreset::LargePaper,
         (Some(other), None) => return Err(format!("unknown preset `{other}`")),
     };
+    // `--preset fig8` is not a generator preset but the benchmark
+    // harness's quick Figure 8 sweep, spec and all — the same workload
+    // `hetrta bench --quick` measures, here with full observability.
+    let fig8 = args.value_of("--preset") == Some("fig8");
+    if fig8 {
+        for flag in ["--fractions", "--utils", "--cond-shares", "--cores"] {
+            if args.value_of(flag).is_some() {
+                return Err(format!(
+                    "{flag} conflicts with --preset fig8 (a fixed benchmark sweep)"
+                ));
+            }
+        }
+    }
     // Registry-validated selection; `None` keeps each grid's default
     // (het for fractions, acceptance for utils, cond for cond-shares).
     // Grid/key *compatibility* is the engine's registry-driven check.
@@ -920,7 +949,11 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
         return Err("--n-tasks applies to utilization sweeps (--utils)".into());
     }
 
-    let mut spec = if let Some(utils) = args.value_of("--utils") {
+    let mut spec = if fig8 {
+        hetrta_bench::experiments::fig8::sweep_spec(
+            &hetrta_bench::experiments::fig8::Config::quick(),
+        )
+    } else if let Some(utils) = args.value_of("--utils") {
         let n_tasks = args.parsed_or("--n-tasks", "task count", 4usize)?;
         SweepSpec::acceptance(
             hetrta_sched::taskset::TaskSetParams::small(n_tasks, 1.0)
@@ -969,6 +1002,16 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
     if let Some(dir) = args.value_of("--cache-dir") {
         builder = builder.with_cache_dir(dir);
     }
+    // A recorder is attached only when something consumes it: a --trace
+    // output file, or structured stderr logging via HETRTA_LOG. Without
+    // either, the engine keeps its zero-cost no-op recorder.
+    let trace_path = args.value_of("--trace");
+    let stderr_log = std::env::var("HETRTA_LOG").is_ok_and(|v| !v.is_empty() && v != "0");
+    let recorder = (trace_path.is_some() || stderr_log)
+        .then(|| std::sync::Arc::new(TraceRecorder::new().with_stderr_log(stderr_log)));
+    if let Some(recorder) = &recorder {
+        builder = builder.with_recorder(std::sync::Arc::clone(recorder) as _);
+    }
     let engine = builder.build().map_err(|e| e.to_string())?;
 
     let out = if args.has("--progress") {
@@ -984,6 +1027,19 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
     };
     text.push('\n');
     text.push_str(&out.stats.render());
+    if let (Some(path), Some(recorder)) = (trace_path, &recorder) {
+        recorder
+            .write_chrome_trace(path)
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+        text.push_str(&format!(
+            "trace: {} spans written to {path} (load in Perfetto or chrome://tracing)\n",
+            recorder.spans().len()
+        ));
+    }
+    if args.has("--metrics") {
+        text.push('\n');
+        text.push_str(&engine.metrics().snapshot().render_table());
+    }
     Ok(text)
 }
 

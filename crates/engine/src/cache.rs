@@ -14,11 +14,11 @@
 //! linearly with distinct content.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use hetrta_api::AnalysisInput;
 use hetrta_dag::{Dag, HeteroDagTask};
+use hetrta_obs::Counter;
 
 /// 128-bit FNV-1a, the workspace's convention for deterministic content
 /// hashes (64-bit would start colliding around a few billion distinct
@@ -263,8 +263,8 @@ impl<V> Shard<V> {
 #[derive(Debug)]
 pub struct MemoCache<V> {
     shards: Vec<Mutex<Shard<V>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
     per_shard_cap: usize,
 }
 
@@ -284,10 +284,20 @@ impl<V: Clone> MemoCache<V> {
     pub fn bounded(capacity: usize) -> Self {
         MemoCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::detached(),
+            misses: Counter::detached(),
             per_shard_cap: (capacity / SHARDS).max(1),
         }
+    }
+
+    /// Replaces the hit/miss cells with externally owned counters
+    /// (typically handles from a
+    /// [`MetricsRegistry`](hetrta_obs::MetricsRegistry), so the cache's
+    /// activity shows up in engine-wide metrics snapshots). Call before
+    /// first use: prior counts do not carry over.
+    pub(crate) fn bind_counters(&mut self, hits: Counter, misses: Counter) {
+        self.hits = hits;
+        self.misses = misses;
     }
 
     fn shard(&self, key: u128) -> &Mutex<Shard<V>> {
@@ -303,11 +313,11 @@ impl<V: Clone> MemoCache<V> {
             if let Some((v, _)) = shard.map.get(&key) {
                 let v = v.clone();
                 shard.touch(key);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.incr();
                 return (v, true);
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.incr();
         let value = compute();
         let mut shard = self.shard(key).lock().expect("cache shard");
         if let Some((v, _)) = shard.map.get(&key) {
@@ -329,11 +339,11 @@ impl<V: Clone> MemoCache<V> {
             Some((v, _)) => {
                 let v = v.clone();
                 shard.touch(key);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.incr();
                 Some(v)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.incr();
                 None
             }
         }
@@ -363,7 +373,7 @@ impl<V: Clone> MemoCache<V> {
 
     /// Credits `n` hits observed through [`MemoCache::peek`].
     pub fn note_hits(&self, n: u64) {
-        self.hits.fetch_add(n, Ordering::Relaxed);
+        self.hits.add(n);
     }
 
     /// Number of memoized entries.
@@ -395,8 +405,8 @@ impl<V: Clone> MemoCache<V> {
     #[must_use]
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
         }
     }
 }

@@ -28,8 +28,10 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use hetrta_api::AnalysisOutcome;
+use hetrta_obs::{span, Counter, MetricsRegistry, NoopRecorder, Recorder};
 
 use crate::cache::CacheCounters;
 
@@ -55,10 +57,11 @@ fn fnv64(payload: &str) -> u64 {
 #[derive(Debug)]
 pub struct DiskCache {
     root: PathBuf,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    write_errors: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    write_errors: Counter,
     tmp_counter: AtomicU64,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl DiskCache {
@@ -77,11 +80,29 @@ impl DiskCache {
         }
         Ok(DiskCache {
             root,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            write_errors: AtomicU64::new(0),
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+            write_errors: Counter::detached(),
             tmp_counter: AtomicU64::new(0),
+            recorder: Arc::new(NoopRecorder),
         })
+    }
+
+    /// Rebinds this cache's counters onto `metrics` (as `disk.hits`,
+    /// `disk.misses`, `disk.write_errors`) and routes `disk.read` /
+    /// `disk.write` / `disk.gc` spans to `recorder`.
+    ///
+    /// Called by the engine builder before the cache is shared; counts
+    /// are zero at that point, so the swap is lossless.
+    pub(crate) fn bind_observability(
+        &mut self,
+        metrics: &MetricsRegistry,
+        recorder: Arc<dyn Recorder>,
+    ) {
+        self.hits = metrics.counter("disk.hits");
+        self.misses = metrics.counter("disk.misses");
+        self.write_errors = metrics.counter("disk.write_errors");
+        self.recorder = recorder;
     }
 
     /// The directory this cache persists into.
@@ -94,8 +115,8 @@ impl DiskCache {
     #[must_use]
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
         }
     }
 
@@ -103,7 +124,7 @@ impl DiskCache {
     /// unaffected.
     #[must_use]
     pub fn write_errors(&self) -> u64 {
-        self.write_errors.load(Ordering::Relaxed)
+        self.write_errors.get()
     }
 
     fn entry_path(&self, namespace: &str, key: u128) -> PathBuf {
@@ -114,20 +135,20 @@ impl DiskCache {
     }
 
     /// Reads and verifies one entry's payload; `None` on any defect.
+    ///
+    /// Does **not** count: a checksum-valid payload can still fail to
+    /// decode, so hit/miss accounting happens in the typed loaders once
+    /// the full decode has succeeded or failed.
     fn read_payload(&self, namespace: &str, key: u128) -> Option<String> {
+        let _span = span!(self.recorder.as_ref(), "disk.read", ns = namespace);
         let text = std::fs::read_to_string(self.entry_path(namespace, key)).ok();
-        let payload = text.as_deref().and_then(verify_entry);
-        if payload.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
-        }
-        payload.map(str::to_owned)
+        text.as_deref().and_then(verify_entry).map(str::to_owned)
     }
 
     /// Persists one entry atomically (temp file + rename); failures are
     /// counted and swallowed.
     fn write_payload(&self, namespace: &str, key: u128, payload: &str) {
+        let _span = span!(self.recorder.as_ref(), "disk.write", ns = namespace);
         let path = self.entry_path(namespace, key);
         let content = format!("{MAGIC}\n{payload}\n{:016x}\n", fnv64(payload));
         let tmp = path.with_extension(format!(
@@ -142,7 +163,7 @@ impl DiskCache {
             .and_then(|()| std::fs::rename(&tmp, &path));
         if written.is_err() {
             let _ = std::fs::remove_file(&tmp);
-            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            self.write_errors.incr();
         }
     }
 
@@ -150,13 +171,13 @@ impl DiskCache {
     /// corrupt / stale format).
     #[must_use]
     pub fn load_result(&self, key: u128) -> Option<AnalysisOutcome> {
-        let payload = self.read_payload("results", key)?;
-        let decoded = AnalysisOutcome::decode(&payload);
-        if decoded.is_none() {
-            // Checksum passed but the payload grammar did not: a stale
-            // encoding. Count the probe back down to a miss.
-            self.hits.fetch_sub(1, Ordering::Relaxed);
-            self.misses.fetch_add(1, Ordering::Relaxed);
+        let decoded = self
+            .read_payload("results", key)
+            .and_then(|payload| AnalysisOutcome::decode(&payload));
+        if decoded.is_some() {
+            self.hits.incr();
+        } else {
+            self.misses.incr();
         }
         decoded
     }
@@ -171,18 +192,21 @@ impl DiskCache {
     /// for a miss.
     #[must_use]
     pub fn load_identity(&self, key: u128) -> Option<Option<u128>> {
-        let payload = self.read_payload("identity", key)?;
-        if payload == SKIP {
-            return Some(None);
-        }
-        match u128::from_str_radix(&payload, 16) {
-            Ok(content) if payload.len() == 32 => Some(Some(content)),
-            _ => {
-                self.hits.fetch_sub(1, Ordering::Relaxed);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+        let decoded = self.read_payload("identity", key).and_then(|payload| {
+            if payload == SKIP {
+                return Some(None);
             }
+            match u128::from_str_radix(&payload, 16) {
+                Ok(content) if payload.len() == 32 => Some(Some(content)),
+                _ => None,
+            }
+        });
+        if decoded.is_some() {
+            self.hits.incr();
+        } else {
+            self.misses.incr();
         }
+        decoded
     }
 
     /// Persists one identity entry.
@@ -212,6 +236,7 @@ impl DiskCache {
     /// A human-readable message when a namespace directory cannot be read;
     /// failures to delete individual entries are counted, not fatal.
     pub fn gc(&self, max_bytes: u64) -> Result<GcStats, String> {
+        let _span = span!(self.recorder.as_ref(), "disk.gc", max_bytes = max_bytes);
         let identity_bytes: u64 = self.scan_entries("identity")?.iter().map(|e| e.bytes).sum();
         let mut results = self.scan_entries("results")?;
         // Oldest first; path disambiguates equal timestamps so the sweep

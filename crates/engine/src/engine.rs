@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use hetrta_api::{AnalysisInput, AnalysisOutcome, AnalysisRegistry, DerivedData};
 use hetrta_core::TransformedTask;
+use hetrta_obs::{span, Histogram, MetricsRegistry, NoopRecorder, Recorder};
 
 use crate::aggregate::{Aggregator, SweepAggregate};
 use crate::cache::{CacheCounters, MemoCache};
@@ -318,6 +319,9 @@ pub struct EngineStats {
     /// Disk-layer probe activity during this run (all zero when the
     /// engine has no cache directory).
     pub disk_cache: CacheCounters,
+    /// Session events discarded by the bounded drop-oldest event buffer
+    /// (a slow consumer; the sweep itself is unaffected).
+    pub events_dropped: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
@@ -371,6 +375,9 @@ impl EngineStats {
         }
         if self.skipped_jobs > 0 {
             let _ = writeln!(out, "  skipped samples: {}", self.skipped_jobs);
+        }
+        if self.events_dropped > 0 {
+            let _ = writeln!(out, "  events dropped:  {}", self.events_dropped);
         }
         for (worker, (jobs, steals)) in self
             .per_worker_jobs
@@ -484,6 +491,7 @@ pub struct EngineBuilder {
     capacity: usize,
     injection: InjectionOrder,
     cache_dir: Option<PathBuf>,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl EngineBuilder {
@@ -498,6 +506,7 @@ impl EngineBuilder {
             capacity: DEFAULT_CACHE_CAPACITY,
             injection: InjectionOrder::default(),
             cache_dir: None,
+            recorder: None,
         }
     }
 
@@ -540,22 +549,80 @@ impl EngineBuilder {
         self
     }
 
+    /// Attaches a [`Recorder`] that receives structured spans from every
+    /// layer of the engine: per-job spans (with per-analysis child spans)
+    /// on worker lanes, session spans on lane 0, disk-cache read/write/gc
+    /// spans, and injector queue-depth samples.
+    ///
+    /// The default recorder is a no-op whose `enabled()` gate skips all
+    /// clock reads and formatting, so an engine without one pays nothing.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use hetrta_engine::{EngineBuilder, obs::TraceRecorder};
+    ///
+    /// # fn main() -> Result<(), hetrta_engine::EngineError> {
+    /// let recorder = Arc::new(TraceRecorder::new());
+    /// let engine = EngineBuilder::new()
+    ///     .threads(2)
+    ///     .with_recorder(Arc::clone(&recorder) as _)
+    ///     .build()?;
+    /// // ... run sweeps, then export a Chrome trace for Perfetto:
+    /// let trace_json = recorder.to_chrome_json();
+    /// # let _ = (engine, trace_json);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     /// Builds the engine.
     ///
     /// # Errors
     ///
     /// [`EngineError::Cache`] when the cache directory cannot be created.
     pub fn build(self) -> Result<Engine, EngineError> {
-        let caches = match self.cache_dir {
+        let mut caches = match self.cache_dir {
             None => EngineCaches::with_capacity(self.capacity),
             Some(dir) => EngineCaches::with_disk(self.capacity, dir)?,
         };
+        let metrics = Arc::new(MetricsRegistry::new());
+        let recorder: Arc<dyn Recorder> = self
+            .recorder
+            .unwrap_or_else(|| Arc::new(NoopRecorder) as Arc<dyn Recorder>);
+        // Rebind every cache's counters onto the shared registry before
+        // the caches are shared — counts are zero here, so nothing is
+        // lost and [`EngineStats`] becomes a view over the registry.
+        let bind = |m: &MetricsRegistry, name: &str| {
+            (
+                m.counter(&format!("{name}.hits")),
+                m.counter(&format!("{name}.misses")),
+            )
+        };
+        let (h, m) = bind(&metrics, "cache.transform");
+        caches.transform.bind_counters(h, m);
+        let (h, m) = bind(&metrics, "cache.derived");
+        caches.derived.bind_counters(h, m);
+        let (h, m) = bind(&metrics, "cache.result");
+        caches.results.bind_counters(h, m);
+        let (h, m) = bind(&metrics, "cache.identity");
+        caches.identity.bind_counters(h, m);
+        let (h, m) = bind(&metrics, "cache.input");
+        caches.inputs.bind_counters(h, m);
+        if let Some(disk) = &mut caches.disk {
+            disk.bind_observability(&metrics, Arc::clone(&recorder));
+        }
         Ok(Engine {
             threads: pool::resolve_threads(self.threads),
             caches: Arc::new(caches),
             registry: Arc::new(self.registry),
             injection: self.injection,
             cost_model: Arc::new(CostModel::default()),
+            metrics,
+            recorder,
         })
     }
 }
@@ -586,6 +653,8 @@ pub struct Engine {
     registry: Arc<AnalysisRegistry>,
     injection: InjectionOrder,
     cost_model: Arc<CostModel>,
+    metrics: Arc<MetricsRegistry>,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Engine {
@@ -648,6 +717,21 @@ impl Engine {
         &self.cost_model
     }
 
+    /// The engine's metrics registry: cache hit/miss counters, pool
+    /// busy/idle totals, queue-depth gauge, and per-analysis latency
+    /// histograms, accumulated across every run of this engine.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The recorder structured spans are routed to (a no-op recorder
+    /// unless one was attached via [`EngineBuilder::with_recorder`]).
+    #[must_use]
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
     /// Expands `spec`, runs every job on the worker pool, and aggregates.
     ///
     /// A thin wrapper over [`Engine::submit`] + [`SweepHandle::wait`]
@@ -687,6 +771,7 @@ impl Engine {
         spec: &SweepSpec,
         config: SessionConfig,
     ) -> Result<SweepHandle, EngineError> {
+        let _span = span!(self.recorder.as_ref(), "sweep.submit");
         spec.validate()?;
         let produced = spec.input_kind();
         for key in spec.analyses.keys() {
@@ -740,6 +825,8 @@ impl Engine {
             caches: Arc::clone(&self.caches),
             registry: Arc::clone(&self.registry),
             cost_model: Arc::clone(&self.cost_model),
+            metrics: Arc::clone(&self.metrics),
+            recorder: Arc::clone(&self.recorder),
             shared: Arc::clone(&shared),
             result: Arc::clone(&result),
             config,
@@ -781,6 +868,8 @@ struct SessionTask {
     caches: Arc<EngineCaches>,
     registry: Arc<AnalysisRegistry>,
     cost_model: Arc<CostModel>,
+    metrics: Arc<MetricsRegistry>,
+    recorder: Arc<dyn Recorder>,
     shared: Arc<SessionShared>,
     result: Arc<Mutex<Option<Result<EngineOutput, EngineError>>>>,
     config: SessionConfig,
@@ -816,26 +905,58 @@ impl SessionTask {
         let registry = &self.registry;
         let config = &self.config;
         let cost_model = &self.cost_model;
+        let metrics = &self.metrics;
+        let recorder: &dyn Recorder = self.recorder.as_ref();
+
+        // Name the timeline lanes (lane 0 = this session thread, lane
+        // 1+k = worker k) and open the root span covering the whole run.
+        if recorder.enabled() {
+            recorder.name_lane(0, "session");
+            for worker in 0..shared.threads {
+                recorder.name_lane(worker as u32 + 1, &format!("worker {worker}"));
+            }
+        }
+        hetrta_obs::set_thread_lane(0);
+        let sweep_span = span!(recorder, "sweep", jobs = job_count);
+
+        let queue_gauge = metrics.gauge("pool.queue_depth");
+        let observe_depth = |depth: usize| {
+            queue_gauge.set(depth as u64);
+            recorder.record_counter("pool.queue_depth", depth as u64);
+        };
+
+        // Per-analysis latency histograms are fed here on the
+        // single-threaded consume path, through a local handle cache, so
+        // workers never touch (or contend on) the registry.
+        let mut latency_handles: HashMap<Arc<str>, Histogram> = HashMap::new();
 
         let mut delta_encoder = config
             .partial_every
             .map(|_| crate::aggregate::AggregateDeltaEncoder::new(config.keyframe_every));
         let delta_encoder = &mut delta_encoder;
-        let worker_stats = pool::run_jobs_cancellable(
+        let latency = &mut latency_handles;
+        let worker_stats = pool::run_jobs_observed(
             jobs,
             shared.threads,
             Some(&shared.cancel),
+            Some(&observe_depth),
             move |worker, j: Job| {
+                hetrta_obs::set_thread_lane(worker as u32 + 1);
                 if config.job_events {
                     shared
                         .events
                         .push(SweepEvent::JobStarted { index: j.index });
                 }
-                job::execute(caches, registry, &j, worker)
+                let _span = span!(recorder, "job", index = j.index, cell = j.cell);
+                job::execute(caches, registry, &j, worker, recorder)
             },
             |_, result| {
                 for (key, elapsed) in &result.timings {
                     cost_model.observe(key, *elapsed);
+                    latency
+                        .entry(Arc::clone(key))
+                        .or_insert_with(|| metrics.histogram(&format!("analysis.{key}.latency_ns")))
+                        .record_duration(*elapsed);
                 }
                 shared.progress.done.fetch_add(1, Ordering::Relaxed);
                 if result.cache_hit {
@@ -857,6 +978,7 @@ impl SessionTask {
                 if let Some(every) = config.partial_every {
                     let received = aggregator.received();
                     if received.is_multiple_of(every) && received < job_count {
+                        let _span = span!(recorder, "session.emit_partial");
                         let encoder = delta_encoder.as_mut().expect("encoder exists");
                         shared.events.push(SweepEvent::PartialAggregate {
                             completed: received,
@@ -867,6 +989,35 @@ impl SessionTask {
                 }
             },
         );
+
+        // Pool-level totals and the learned per-key cost EWMAs land on
+        // the registry once per run.
+        metrics
+            .counter("pool.jobs")
+            .add(worker_stats.iter().map(|w| w.jobs).sum());
+        metrics
+            .counter("pool.steals")
+            .add(worker_stats.iter().map(|w| w.steals).sum());
+        metrics.counter("pool.busy_us").add(
+            worker_stats
+                .iter()
+                .map(|w| u64::try_from(w.busy.as_micros()).unwrap_or(u64::MAX))
+                .sum(),
+        );
+        metrics.counter("pool.idle_us").add(
+            worker_stats
+                .iter()
+                .map(|w| u64::try_from(w.idle.as_micros()).unwrap_or(u64::MAX))
+                .sum(),
+        );
+        for key in latency_handles.keys() {
+            if let Some(micros) = cost_model.measured_micros(key) {
+                #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+                metrics
+                    .gauge(&format!("cost.ewma_us.{key}"))
+                    .set(micros.max(0.0) as u64);
+            }
+        }
 
         let completed = aggregator.received();
         let cancelled = shared.cancel.load(Ordering::Relaxed) && completed < job_count;
@@ -880,7 +1031,10 @@ impl SessionTask {
 
         let cached_jobs = aggregator.cache_hits();
         let skipped_jobs = aggregator.skipped();
+        let finalize_span = span!(recorder, "aggregate.finalize");
         let aggregate = aggregator.finalize()?;
+        drop(finalize_span);
+        drop(sweep_span);
         let baseline = shared.baseline;
         let stats = EngineStats {
             threads: worker_stats.len(),
@@ -895,6 +1049,7 @@ impl SessionTask {
             identity_cache: caches.identity.counters().since(baseline.identity),
             input_cache: caches.inputs.counters().since(baseline.inputs),
             disk_cache: caches.disk_counters().since(baseline.disk),
+            events_dropped: shared.events.dropped(),
             elapsed: shared.started.elapsed(),
         };
         Ok(EngineOutput { aggregate, stats })

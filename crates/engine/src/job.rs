@@ -27,6 +27,7 @@ use hetrta_dag::HeteroDagTask;
 use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
 use hetrta_gen::series::BatchSpec;
 use hetrta_gen::{generate_nfj, NfjParams};
+use hetrta_obs::{span, Recorder};
 use hetrta_sched::taskset::{generate_task_set, sort_deadline_monotonic, TaskSetParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -266,12 +267,15 @@ pub struct JobResult {
 /// instead of recomputing it.
 struct EngineContext<'a> {
     caches: &'a EngineCaches,
+    recorder: &'a dyn Recorder,
 }
 
 impl AnalysisContext for EngineContext<'_> {
     fn transform(&self, task: &HeteroDagTask) -> Result<TransformedTask, String> {
         let key = key_with_params(hash_task(task), TAG_TRANSFORM, 0);
         let (value, _hit) = self.caches.transform.get_or_compute(key, || {
+            // Span only on actual computes: memo hits cost no clock reads.
+            let _span = span!(self.recorder, "ctx.transform");
             let derived = self.derived(task)?;
             transform_with_reachability(task, &derived.reachability).map_err(|e| e.to_string())
         });
@@ -282,10 +286,10 @@ impl AnalysisContext for EngineContext<'_> {
         // Keyed by the graph alone: tasks differing only in period or
         // deadline share one entry.
         let key = key_with_params(hash_dag_only(task.dag()), TAG_DERIVED, 0);
-        let (value, _hit) = self
-            .caches
-            .derived
-            .get_or_compute(key, || DerivedData::compute(task.dag()).map(Arc::new));
+        let (value, _hit) = self.caches.derived.get_or_compute(key, || {
+            let _span = span!(self.recorder, "ctx.derived");
+            DerivedData::compute(task.dag()).map(Arc::new)
+        });
         value
     }
 }
@@ -296,15 +300,22 @@ pub(crate) fn execute(
     registry: &AnalysisRegistry,
     job: &Job,
     worker: usize,
+    recorder: &dyn Recorder,
 ) -> JobResult {
     let started = Instant::now();
     let identity = job.payload.input.identity_hash();
     let mut timings = Vec::new();
-    let (metrics, cache_hit) =
-        match execute_payload(caches, registry, &job.payload, identity, &mut timings) {
-            Ok((metrics, cache_hit)) => (Ok(metrics), cache_hit),
-            Err(message) => (Err(message), false),
-        };
+    let (metrics, cache_hit) = match execute_payload(
+        caches,
+        registry,
+        &job.payload,
+        identity,
+        &mut timings,
+        recorder,
+    ) {
+        Ok((metrics, cache_hit)) => (Ok(metrics), cache_hit),
+        Err(message) => (Err(message), false),
+    };
     JobResult {
         index: job.index,
         cell: job.cell,
@@ -323,6 +334,7 @@ fn execute_payload(
     payload: &JobPayload,
     identity: u128,
     timings: &mut Vec<(Arc<str>, Duration)>,
+    recorder: &dyn Recorder,
 ) -> Result<(JobMetrics, bool), String> {
     let analyses: Vec<&dyn Analysis> = payload
         .analyses
@@ -349,6 +361,7 @@ fn execute_payload(
     let input = match caches.inputs.get(identity) {
         Some(input) => Some(input),
         None => {
+            let _span = span!(recorder, "materialize");
             let input = payload.input.materialize()?;
             if let Some(input) = &input {
                 caches.inputs.insert(identity, input.clone());
@@ -367,7 +380,7 @@ fn execute_payload(
         input,
         params: payload.params.clone(),
     };
-    let ctx = EngineContext { caches };
+    let ctx = EngineContext { caches, recorder };
     let mut outcomes = Vec::with_capacity(analyses.len());
     let mut all_hits = true;
     for (analysis, key_arc) in analyses.iter().zip(payload.analyses.iter()) {
@@ -378,6 +391,7 @@ fn execute_payload(
         );
         let mut measured = None;
         let (value, hit) = caches.result_get_or_compute(key, || {
+            let _span = span!(recorder, "analysis", key = analysis.key());
             let t0 = Instant::now();
             let value = analysis.run(&request, &ctx).map_err(|e| e.to_string());
             measured = Some(t0.elapsed());
@@ -442,7 +456,7 @@ mod tests {
         let caches = EngineCaches::default();
         let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 1, 7);
         let (_, jobs) = spec.expand();
-        let first = execute(&caches, &registry(), &jobs[0], 0);
+        let first = execute(&caches, &registry(), &jobs[0], 0, &hetrta_obs::NOOP);
         assert!(!first.cache_hit);
         let metrics = first.metrics.expect("job succeeds");
         let het = het_of(&metrics);
@@ -451,7 +465,7 @@ mod tests {
         // Same job again: fully served from cache, same values — without
         // regenerating the input (the identity memo answers first).
         let identity_before = caches.identity.counters();
-        let again = execute(&caches, &registry(), &jobs[0], 1);
+        let again = execute(&caches, &registry(), &jobs[0], 1, &hetrta_obs::NOOP);
         assert!(again.cache_hit);
         assert_eq!(again.metrics.expect("job succeeds"), metrics);
         let identity_after = caches.identity.counters();
@@ -464,7 +478,7 @@ mod tests {
         let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2, 4, 8], vec![0.2], 1, 7);
         let (_, jobs) = spec.expand();
         for job in &jobs {
-            let r = execute(&caches, &registry(), job, 0);
+            let r = execute(&caches, &registry(), job, 0, &hetrta_obs::NOOP);
             assert!(r.metrics.is_ok());
         }
         let counters = caches.transform.counters();
@@ -478,7 +492,7 @@ mod tests {
         let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.25], 1, 3)
             .with_analyses(crate::AnalysisSelection::all());
         let (_, jobs) = spec.expand();
-        let r = execute(&caches, &registry(), &jobs[0], 0);
+        let r = execute(&caches, &registry(), &jobs[0], 0, &hetrta_obs::NOOP);
         let JobMetrics::Outcomes(outcomes) = r.metrics.expect("job succeeds") else {
             panic!("outcomes")
         };
@@ -506,7 +520,7 @@ mod tests {
         let (_, jobs) = spec.expand();
         let mut job = jobs[0].clone();
         job.payload.analyses = Arc::from(vec![Arc::<str>::from("frob")]);
-        let r = execute(&caches, &registry(), &job, 0);
+        let r = execute(&caches, &registry(), &job, 0, &hetrta_obs::NOOP);
         let err = r.metrics.unwrap_err();
         assert!(err.contains("unknown analysis kind `frob`"), "{err}");
         assert!(err.contains("valid keys"), "{err}");
@@ -532,13 +546,13 @@ mod tests {
                 params: AnalysisParams::new(2),
             },
         };
-        let first = execute(&caches, &registry(), &job, 0);
+        let first = execute(&caches, &registry(), &job, 0, &hetrta_obs::NOOP);
         assert_eq!(
             first.metrics.expect("skip is not an error"),
             JobMetrics::Skipped
         );
         assert!(!first.cache_hit);
-        let again = execute(&caches, &registry(), &job, 0);
+        let again = execute(&caches, &registry(), &job, 0, &hetrta_obs::NOOP);
         assert_eq!(
             again.metrics.expect("skip is not an error"),
             JobMetrics::Skipped
@@ -554,8 +568,8 @@ mod tests {
         let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 2, 9);
         let (_, jobs_a) = spec.expand();
         let (_, jobs_b) = spec.expand();
-        let a = execute(&caches, &registry(), &jobs_a[0], 0);
-        let b = execute(&caches, &registry(), &jobs_b[0], 0);
+        let a = execute(&caches, &registry(), &jobs_a[0], 0, &hetrta_obs::NOOP);
+        let b = execute(&caches, &registry(), &jobs_b[0], 0, &hetrta_obs::NOOP);
         assert!(!a.cache_hit);
         assert!(b.cache_hit);
         assert_eq!(a.metrics.unwrap(), b.metrics.unwrap());

@@ -86,6 +86,13 @@ pub use job::{Job, JobInput, JobMetrics, JobPayload, JobResult};
 pub use session::{SessionConfig, SweepEvent, SweepHandle};
 pub use spec::{AnalysisSelection, CellInfo, CellShape, GeneratorPreset, SweepGrid, SweepSpec};
 
+// The observability layer the engine reports through: re-exported whole
+// (as `obs`) plus the handful of types engine signatures mention.
+pub use hetrta_obs as obs;
+pub use hetrta_obs::{
+    MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder, SpanRecord, TraceRecorder,
+};
+
 // The unified analysis API the engine schedules over.
 pub use hetrta_api::{
     Analysis, AnalysisContext, AnalysisInput, AnalysisOutcome, AnalysisParams, AnalysisRegistry,

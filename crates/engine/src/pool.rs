@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Per-worker execution counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -24,6 +25,11 @@ pub struct WorkerStats {
     pub jobs: u64,
     /// Jobs this worker stole from a sibling's deque.
     pub steals: u64,
+    /// Wall time spent inside `exec` calls.
+    pub busy: Duration,
+    /// Wall time spent outside `exec` (dequeuing, stealing, waiting on
+    /// the channel) between the worker's first and last activity.
+    pub idle: Duration,
 }
 
 /// Resolves a requested thread count: `0` means "all available cores".
@@ -68,6 +74,32 @@ pub fn run_jobs_cancellable<J, R, E, C>(
     threads: usize,
     cancel: Option<&AtomicBool>,
     exec: E,
+    consume: C,
+) -> Vec<WorkerStats>
+where
+    J: Send,
+    R: Send,
+    E: Fn(usize, J) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    run_jobs_observed(jobs, threads, cancel, None, exec, consume)
+}
+
+/// Like [`run_jobs_cancellable`], with an observation hook: `queue_depth`
+/// (when present) is called with the injector's remaining length after
+/// every batch refill, letting an observer sample how fast the shared
+/// queue drains. The hook runs on worker threads under no lock and must
+/// be cheap.
+///
+/// # Panics
+///
+/// Propagates worker panics (via [`std::thread::scope`]).
+pub fn run_jobs_observed<J, R, E, C>(
+    jobs: Vec<J>,
+    threads: usize,
+    cancel: Option<&AtomicBool>,
+    queue_depth: Option<&(dyn Fn(usize) + Sync)>,
+    exec: E,
     mut consume: C,
 ) -> Vec<WorkerStats>
 where
@@ -101,18 +133,29 @@ where
             let exec = &exec;
             handles.push(scope.spawn(move || {
                 let mut local_stats = WorkerStats::default();
+                let started = Instant::now();
                 loop {
                     if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
                         break;
                     }
-                    let job = next_job(worker, injector, locals, batch, &mut local_stats);
+                    let job = next_job(
+                        worker,
+                        injector,
+                        locals,
+                        batch,
+                        queue_depth,
+                        &mut local_stats,
+                    );
                     let Some((index, job)) = job else { break };
+                    let t0 = Instant::now();
                     let result = exec(worker, job);
+                    local_stats.busy += t0.elapsed();
                     local_stats.jobs += 1;
                     if tx.send((index, result)).is_err() {
                         break; // receiver gone: caller is unwinding
                     }
                 }
+                local_stats.idle = started.elapsed().saturating_sub(local_stats.busy);
                 local_stats
             }));
         }
@@ -142,6 +185,7 @@ fn next_job<J>(
     injector: &Mutex<VecDeque<(usize, J)>>,
     locals: &[Mutex<VecDeque<(usize, J)>>],
     batch: usize,
+    queue_depth: Option<&(dyn Fn(usize) + Sync)>,
     stats: &mut WorkerStats,
 ) -> Option<(usize, J)> {
     if let Some(job) = locals[worker].lock().expect("local deque").pop_front() {
@@ -159,8 +203,14 @@ fn next_job<J>(
                     mine.push_back(job);
                 }
             }
+            let remaining = inj.len();
             drop(inj);
-            return mine.pop_front();
+            let popped = mine.pop_front();
+            drop(mine);
+            if let Some(observe) = queue_depth {
+                observe(remaining);
+            }
+            return popped;
         }
     }
 

@@ -195,7 +195,7 @@ impl EventQueue {
         self.state.lock().expect("event queue").events.pop_front()
     }
 
-    fn dropped(&self) -> u64 {
+    pub(crate) fn dropped(&self) -> u64 {
         self.state.lock().expect("event queue").dropped
     }
 }
@@ -339,6 +339,7 @@ impl SweepHandle {
                 .since(shared.baseline.identity),
             input_cache: shared.caches.input_counters().since(shared.baseline.inputs),
             disk_cache: shared.caches.disk_counters().since(shared.baseline.disk),
+            events_dropped: shared.events.dropped(),
             elapsed: shared.started.elapsed(),
         }
     }

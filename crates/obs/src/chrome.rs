@@ -1,0 +1,175 @@
+//! Chrome trace-event JSON export.
+//!
+//! Renders a [`TraceRecorder`]'s spans, counter samples, and lane names
+//! as the Trace Event Format's object form
+//! (`{"traceEvents": [...], "displayTimeUnit": "ms"}`), loadable in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`:
+//!
+//! * every span becomes a `"ph": "X"` *complete* event with `ts`/`dur`
+//!   in microseconds relative to the recorder's epoch, `pid` 1, and the
+//!   span's lane as `tid` — so the session thread and each worker get
+//!   their own timeline row, with nesting rendered by interval
+//!   containment;
+//! * lane names become `"ph": "M"` `thread_name` metadata events;
+//! * counter samples become `"ph": "C"` counter-track events.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::recorder::TraceRecorder;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_into(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Microseconds from `epoch` to `at`, with sub-microsecond precision.
+fn micros_since(epoch: Instant, at: Instant) -> f64 {
+    at.saturating_duration_since(epoch).as_secs_f64() * 1e6
+}
+
+/// Renders `recorder`'s contents as a Chrome trace-event JSON document.
+#[must_use]
+pub(crate) fn render(recorder: &TraceRecorder) -> String {
+    let epoch = recorder.epoch();
+    let spans = recorder.spans();
+    let counters = recorder.counter_samples();
+    let lanes = recorder.lane_names();
+
+    let mut out = String::with_capacity(128 + spans.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+
+    for (lane, name) in &lanes {
+        sep(&mut out);
+        out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{lane},\"args\":{{\"name\":\"");
+        escape_into(&mut out, name);
+        out.push_str("\"}}");
+    }
+
+    for span in &spans {
+        sep(&mut out);
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, span.name);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"hetrta\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":1,\"tid\":{tid}",
+            ts = micros_since(epoch, span.start),
+            dur = micros_since(span.start, span.end),
+            tid = span.lane,
+        );
+        let _ = write!(out, ",\"args\":{{\"depth\":{}", span.depth);
+        if let Some(detail) = &span.detail {
+            out.push_str(",\"detail\":\"");
+            escape_into(&mut out, detail);
+            out.push('"');
+        }
+        out.push_str("}}");
+    }
+
+    for sample in &counters {
+        sep(&mut out);
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, sample.name);
+        let _ = write!(
+            out,
+            "\",\"ph\":\"C\",\"ts\":{ts:.3},\"pid\":1,\"args\":{{\"value\":{value}}}}}",
+            ts = micros_since(epoch, sample.at),
+            value = sample.value,
+        );
+    }
+
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn export_is_valid_json_with_well_formed_events() {
+        let rec = TraceRecorder::new();
+        rec.name_lane(0, "session");
+        rec.name_lane(1, "worker \"0\"");
+        let start = Instant::now();
+        rec.record_span(crate::recorder::SpanRecord {
+            name: "job",
+            detail: Some("index=1 cell=0".into()),
+            lane: 1,
+            depth: 0,
+            start,
+            end: start + std::time::Duration::from_micros(250),
+        });
+        rec.record_counter("queue_depth", 3);
+
+        let text = rec.to_chrome_json();
+        let doc = JsonValue::parse(&text).expect("export parses as JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 4, "2 lanes + 1 span + 1 counter");
+        for event in events {
+            let ph = event.get("ph").and_then(JsonValue::as_str).expect("ph");
+            assert!(["M", "X", "C"].contains(&ph), "unexpected ph {ph}");
+            if ph == "X" {
+                let ts = event.get("ts").and_then(JsonValue::as_f64).expect("ts");
+                let dur = event.get("dur").and_then(JsonValue::as_f64).expect("dur");
+                assert!(ts >= 0.0 && dur >= 0.0);
+                assert!((dur - 250.0).abs() < 1.0, "dur = {dur}µs");
+            }
+        }
+        // Escaped lane name survives the round trip.
+        let meta = events
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some("M")
+                    && e.get("tid").and_then(JsonValue::as_f64) == Some(1.0)
+            })
+            .expect("worker lane metadata");
+        assert_eq!(
+            meta.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(JsonValue::as_str),
+            Some("worker \"0\"")
+        );
+    }
+
+    #[test]
+    fn empty_recorder_exports_an_empty_event_list() {
+        let rec = TraceRecorder::new();
+        let doc = JsonValue::parse(&rec.to_chrome_json()).unwrap();
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert!(events.is_empty());
+        assert_eq!(
+            doc.get("displayTimeUnit").and_then(JsonValue::as_str),
+            Some("ms")
+        );
+    }
+}

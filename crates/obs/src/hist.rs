@@ -1,0 +1,273 @@
+//! Log-bucketed latency histograms with bounded relative error.
+//!
+//! A [`LogHistogram`] covers the full `u64` range with ~500 buckets:
+//! values below 8 get exact unit buckets, and every power-of-two octave
+//! above is split into 8 sub-buckets, so any recorded value lands in a
+//! bucket whose width is at most 1/8 of its magnitude (≤ 12.5% relative
+//! quantile error). Recording is wait-free (one atomic add per bucket
+//! plus running count/sum/min/max); quantiles are extracted from a
+//! consistent-enough [`HistogramSnapshot`] by a cumulative walk.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// `2^SUB_BITS` linear sub-buckets.
+pub const SUB_BITS: u32 = 3;
+
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count: `SUB` exact unit buckets below `SUB`, then
+/// `(64 - SUB_BITS)` octaves of `SUB` sub-buckets each.
+pub const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB as usize;
+
+/// The bucket index a value lands in.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros(); // ≥ SUB_BITS
+    let shift = msb - SUB_BITS;
+    let sub = (value >> shift) & (SUB - 1);
+    ((shift as usize) + 1) * SUB as usize + sub as usize
+}
+
+/// The inclusive `[low, high]` value range of bucket `index`.
+///
+/// # Panics
+///
+/// When `index >= BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket {index} out of range");
+    if index < SUB as usize {
+        return (index as u64, index as u64);
+    }
+    let shift = (index / SUB as usize - 1) as u32;
+    let sub = (index % SUB as usize) as u64;
+    let low = (SUB + sub) << shift;
+    let width = 1u64 << shift;
+    (low, low + (width - 1))
+}
+
+/// A concurrent log-bucketed histogram over `u64` values (the engine
+/// records latencies as nanoseconds).
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, elapsed: std::time::Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for quantile extraction. Concurrent writers
+    /// may land between the field reads; each field is individually
+    /// consistent, which is all quantile reporting needs.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// A point-in-time copy of a [`LogHistogram`], with quantile extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket occupancy (see [`bucket_bounds`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding the `ceil(q·count)`-th smallest value, clamped to the
+    /// observed `[min, max]`; `None` when empty. The log-bucket layout
+    /// bounds the relative error at `1 / 2^SUB_BITS` (12.5%).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &occupancy) in self.buckets.iter().enumerate() {
+            cumulative += occupancy;
+            if cumulative >= target {
+                let (_, high) = bucket_bounds(index);
+                return Some(high.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (see [`HistogramSnapshot::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    #[must_use]
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean of recorded values (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_ordered() {
+        // Every bucket's range starts right after the previous one ends.
+        let mut expected_low = 0u64;
+        for index in 0..BUCKETS {
+            let (low, high) = bucket_bounds(index);
+            assert_eq!(low, expected_low, "bucket {index} leaves a gap");
+            assert!(high >= low);
+            if high == u64::MAX {
+                assert_eq!(index, BUCKETS - 1, "only the last bucket may saturate");
+                return;
+            }
+            expected_low = high + 1;
+        }
+        panic!("the last bucket must reach u64::MAX");
+    }
+
+    #[test]
+    fn index_and_bounds_agree_at_edges() {
+        for value in [0u64, 1, 7, 8, 9, 15, 16, 255, 256, 1 << 20, u64::MAX] {
+            let index = bucket_index(value);
+            let (low, high) = bucket_bounds(index);
+            assert!(
+                (low..=high).contains(&value),
+                "{value} mapped to bucket {index} = [{low}, {high}]"
+            );
+        }
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for index in SUB as usize..BUCKETS {
+            let (low, high) = bucket_bounds(index);
+            let width = high - low + 1;
+            assert!(
+                width as f64 <= low as f64 / SUB as f64 + 1.0,
+                "bucket {index} [{low}, {high}] too wide"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let hist = LogHistogram::new();
+        for value in 1..=100u64 {
+            hist.record(value);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 100);
+        assert_eq!(snap.mean(), Some(50.5));
+        // Bucketed quantiles sit within one bucket width of the truth.
+        let p50 = snap.p50().unwrap();
+        assert!((50..=55).contains(&p50), "p50 = {p50}");
+        let p99 = snap.p99().unwrap();
+        assert!((99..=103).contains(&p99), "p99 = {p99}");
+        assert_eq!(snap.quantile(0.0), Some(1));
+        assert_eq!(snap.quantile(1.0), Some(100), "p100 clamps to the max");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let snap = LogHistogram::new().snapshot();
+        assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.mean(), None);
+        assert_eq!(snap.min, 0);
+    }
+
+    #[test]
+    fn durations_record_as_nanos() {
+        let hist = LogHistogram::new();
+        hist.record_duration(std::time::Duration::from_micros(3));
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.sum, 3_000);
+    }
+}

@@ -1,0 +1,66 @@
+//! # hetrta-obs — structured tracing spans, an engine-wide metrics
+//! # registry, and Chrome-trace export
+//!
+//! Dependency-free observability primitives for the hetrta sweep engine
+//! (and anything else in the workspace), built for two regimes:
+//!
+//! * **disabled** (the default): every instrumentation point costs one
+//!   atomic-flag load ([`Recorder::enabled`]) and nothing else — no
+//!   allocation, no formatting, no clock reads;
+//! * **enabled**: thread-local **span stacks** capture enter/exit
+//!   timestamps with per-thread nesting depth ([`span!`]), and a
+//!   [`TraceRecorder`] accumulates them for export as Chrome
+//!   trace-event JSON (loadable in Perfetto or `chrome://tracing`) or
+//!   structured stderr log lines (`HETRTA_LOG`).
+//!
+//! Orthogonal to spans, a lock-sharded [`MetricsRegistry`] hands out
+//! cheap atomic handles — monotonic [`Counter`]s, [`Gauge`]s, and
+//! log-bucketed latency [`Histogram`]s with p50/p90/p99 extraction —
+//! and snapshots them into a text table or CSV ([`MetricsSnapshot`]).
+//!
+//! ## Spans
+//!
+//! ```
+//! use hetrta_obs::{span, Recorder, TraceRecorder};
+//!
+//! let recorder = TraceRecorder::new();
+//! {
+//!     let _sweep = span!(&recorder, "sweep", jobs = 4);
+//!     let _job = span!(&recorder, "job", index = 0); // nested: depth 1
+//! }
+//! let spans = recorder.spans();
+//! assert_eq!(spans.len(), 2);
+//! let json = recorder.to_chrome_json(); // open in Perfetto
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+//!
+//! ## Metrics
+//!
+//! ```
+//! use hetrta_obs::MetricsRegistry;
+//! use std::time::Duration;
+//!
+//! let metrics = MetricsRegistry::new();
+//! metrics.counter("cache.result.hits").add(3);
+//! let latency = metrics.histogram("analysis.het.latency_ns");
+//! latency.record_duration(Duration::from_micros(250));
+//! let snap = metrics.snapshot();
+//! assert_eq!(snap.counter("cache.result.hits"), Some(3));
+//! println!("{}", snap.render_table());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use hist::{HistogramSnapshot, LogHistogram};
+pub use metrics::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{CounterSample, NoopRecorder, Recorder, SpanRecord, TraceRecorder, NOOP};
+pub use span::{set_thread_lane, start_span, thread_lane, SpanGuard};

@@ -1,0 +1,441 @@
+//! The lock-sharded metrics registry: named counters, gauges, and
+//! latency histograms, snapshotted into a table or CSV.
+//!
+//! Registration (name → handle) takes one shard lock; the returned
+//! handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-backed and
+//! update lock-free, so hot paths register once and record forever.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{HistogramSnapshot, LogHistogram};
+
+/// A monotonic counter handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not registered anywhere (for components that count
+    /// before — or without — being wired to a [`MetricsRegistry`]).
+    #[must_use]
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value gauge handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A gauge not registered anywhere.
+    #[must_use]
+    pub fn detached() -> Self {
+        Gauge::default()
+    }
+
+    /// Stores `value`.
+    pub fn set(&self, value: u64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// The last stored value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A latency-histogram handle over a shared [`LogHistogram`].
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<LogHistogram>,
+}
+
+impl Histogram {
+    /// A histogram not registered anywhere.
+    #[must_use]
+    pub fn detached() -> Self {
+        Histogram {
+            inner: Arc::new(LogHistogram::new()),
+        }
+    }
+
+    /// Records one value (the engine's convention: nanoseconds).
+    pub fn record(&self, value: u64) {
+        self.inner.record(value);
+    }
+
+    /// Records a duration as nanoseconds.
+    pub fn record_duration(&self, elapsed: std::time::Duration) {
+        self.inner.record_duration(elapsed);
+    }
+
+    /// A point-in-time copy for quantile extraction.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.inner.snapshot()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::detached()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Registry shard count; names hash to shards so concurrent
+/// registration from many workers rarely contends.
+const SHARDS: usize = 16;
+
+/// A lock-sharded registry of named metrics.
+///
+/// The same name always yields the same underlying metric: a second
+/// `counter("x")` call returns a handle on the first call's cell. Asking
+/// for a registered name **as a different kind** is a programming error
+/// the registry tolerates: it returns a fresh detached handle (recorded
+/// values go nowhere) rather than panicking on an observability path.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    shards: Vec<Mutex<HashMap<String, Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Metric>> {
+        // FNV-1a over the name selects the shard.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    /// The counter registered under `name` (registering it on first use).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut shard = self.shard(name).lock().expect("metrics shard");
+        match shard
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Counter::detached()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::detached(),
+        }
+    }
+
+    /// The gauge registered under `name` (registering it on first use).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut shard = self.shard(name).lock().expect("metrics shard");
+        match shard
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Gauge::detached()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::detached(),
+        }
+    }
+
+    /// The histogram registered under `name` (registering it on first
+    /// use).
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut shard = self.shard(name).lock().expect("metrics shard");
+        match shard
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::detached()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => Histogram::detached(),
+        }
+    }
+
+    /// A name-ordered point-in-time copy of every registered metric.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut entries = BTreeMap::new();
+        for shard in &self.shards {
+            for (name, metric) in shard.lock().expect("metrics shard").iter() {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                entries.insert(name.clone(), value);
+            }
+        }
+        MetricsSnapshot { entries }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+/// One snapshotted metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A monotonic counter's current value.
+    Counter(u64),
+    /// A gauge's last stored value.
+    Gauge(u64),
+    /// A histogram's full bucket copy.
+    Histogram(HistogramSnapshot),
+}
+
+/// A name-ordered point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Metric name → snapshotted value, name-ordered.
+    pub entries: BTreeMap<String, MetricValue>,
+}
+
+/// Renders a nanosecond quantity with a human unit.
+fn humanize_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name`, if registered as one.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value of gauge `name`, if registered as one.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.entries.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The snapshot of histogram `name`, if registered as one.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.entries.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Histograms whose name matches `prefix`, name-ordered.
+    #[must_use]
+    pub fn histograms_with_prefix(&self, prefix: &str) -> Vec<(&str, &HistogramSnapshot)> {
+        self.entries
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .filter_map(|(name, value)| match value {
+                MetricValue::Histogram(h) => Some((name.as_str(), h)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// A human-readable metrics table. Histogram names ending in `_ns`
+    /// render their quantiles with duration units.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let width = self
+            .entries
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<width$}  value", "metric");
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name:<width$}  {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name:<width$}  {v} (gauge)");
+                }
+                MetricValue::Histogram(h) => {
+                    let ns = name.ends_with("_ns");
+                    let show = |q: Option<u64>| {
+                        q.map_or_else(
+                            || "-".to_owned(),
+                            |v| if ns { humanize_ns(v) } else { v.to_string() },
+                        )
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{name:<width$}  count={} p50={} p90={} p99={} max={}",
+                        h.count,
+                        show(h.p50()),
+                        show(h.p90()),
+                        show(h.p99()),
+                        show((h.count > 0).then_some(h.max)),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// A machine-readable CSV rendering: one line per metric with
+    /// `name,kind,count,value,p50,p90,p99,min,max` columns (empty where
+    /// a column does not apply).
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("name,kind,count,value,p50,p90,p99,min,max\n");
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name},counter,,{v},,,,,");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name},gauge,,{v},,,,,");
+                }
+                MetricValue::Histogram(h) => {
+                    let q = |v: Option<u64>| v.map(|v| v.to_string()).unwrap_or_default();
+                    let _ = writeln!(
+                        out,
+                        "{name},histogram,{},,{},{},{},{},{}",
+                        h.count,
+                        q(h.p50()),
+                        q(h.p90()),
+                        q(h.p99()),
+                        h.min,
+                        h.max,
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_their_cell() {
+        let registry = MetricsRegistry::new();
+        registry.counter("jobs").add(2);
+        registry.counter("jobs").incr();
+        assert_eq!(registry.counter("jobs").get(), 3);
+        registry.gauge("depth").set(9);
+        assert_eq!(registry.gauge("depth").get(), 9);
+        registry.histogram("lat_ns").record(100);
+        assert_eq!(registry.histogram("lat_ns").snapshot().count, 1);
+    }
+
+    #[test]
+    fn kind_mismatch_yields_a_detached_handle() {
+        let registry = MetricsRegistry::new();
+        registry.counter("x").add(5);
+        let not_a_gauge = registry.gauge("x");
+        not_a_gauge.set(99);
+        assert_eq!(registry.snapshot().counter("x"), Some(5), "counter intact");
+    }
+
+    #[test]
+    fn snapshot_orders_and_renders() {
+        let registry = MetricsRegistry::new();
+        registry.counter("b.count").add(4);
+        registry.gauge("a.depth").set(2);
+        registry.histogram("c.latency_ns").record(1500);
+        let snap = registry.snapshot();
+        let names: Vec<&String> = snap.entries.keys().collect();
+        assert_eq!(names, ["a.depth", "b.count", "c.latency_ns"]);
+        let table = snap.render_table();
+        assert!(table.contains("b.count"), "{table}");
+        assert!(table.contains("(gauge)"), "{table}");
+        assert!(table.contains("µs"), "ns histograms humanize: {table}");
+        let csv = snap.render_csv();
+        assert!(csv.starts_with("name,kind,"), "{csv}");
+        assert!(csv.contains("b.count,counter,,4,"), "{csv}");
+        assert!(csv.contains("c.latency_ns,histogram,1,"), "{csv}");
+    }
+
+    #[test]
+    fn prefix_lookup_finds_histograms() {
+        let registry = MetricsRegistry::new();
+        registry.histogram("analysis.het.latency_ns").record(10);
+        registry.histogram("analysis.hom.latency_ns").record(20);
+        registry.counter("analysis.total").incr();
+        let snap = registry.snapshot();
+        let found = snap.histograms_with_prefix("analysis.");
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].0, "analysis.het.latency_ns");
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let registry = Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    let counter = registry.counter("n");
+                    let hist = registry.histogram("h");
+                    for value in 0..1000u64 {
+                        counter.incr();
+                        hist.record(value);
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("n"), Some(4000));
+        assert_eq!(snap.histogram("h").unwrap().count, 4000);
+    }
+}

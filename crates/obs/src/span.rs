@@ -1,0 +1,196 @@
+//! Thread-local span stacks: RAII guards that time a scope and record
+//! it on drop, tracking per-thread nesting depth and a display lane.
+//!
+//! Use through the [`span!`](crate::span!) macro; [`start_span`] is the
+//! non-macro entry point. When the recorder is disabled the guard is an
+//! empty shell: no clock read, no allocation, nothing recorded.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::recorder::{Recorder, SpanRecord};
+
+thread_local! {
+    /// Nesting depth of the current thread's open spans.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Display lane of the current thread (engine convention: 0 =
+    /// session/orchestrator, 1 + k = worker k).
+    static LANE: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Assigns the current thread's display lane; spans opened afterwards
+/// carry it. Idempotent and cheap (one `Cell` store).
+pub fn set_thread_lane(lane: u32) {
+    LANE.with(|l| l.set(lane));
+}
+
+/// The current thread's display lane (0 until assigned).
+#[must_use]
+pub fn thread_lane() -> u32 {
+    LANE.with(Cell::get)
+}
+
+/// An open span; records itself on drop. Construct through
+/// [`span!`](crate::span!) or [`start_span`].
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to; drop ends it"]
+pub struct SpanGuard<'a>(Option<ActiveSpan<'a>>);
+
+#[derive(Debug)]
+struct ActiveSpan<'a> {
+    recorder: &'a dyn Recorder,
+    name: &'static str,
+    detail: Option<String>,
+    depth: u32,
+    start: Instant,
+}
+
+/// Opens a span on `recorder`. When the recorder is disabled this does
+/// no work at all and the returned guard is inert.
+pub fn start_span<'a>(
+    recorder: &'a dyn Recorder,
+    name: &'static str,
+    detail: Option<String>,
+) -> SpanGuard<'a> {
+    if !recorder.enabled() {
+        return SpanGuard(None);
+    }
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    SpanGuard(Some(ActiveSpan {
+        recorder,
+        name,
+        detail,
+        depth,
+        start: Instant::now(),
+    }))
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        let end = Instant::now();
+        DEPTH.with(|d| d.set(active.depth));
+        active.recorder.record_span(SpanRecord {
+            name: active.name,
+            detail: active.detail,
+            lane: thread_lane(),
+            depth: active.depth,
+            start: active.start,
+            end,
+        });
+    }
+}
+
+/// Opens a [`SpanGuard`] on a recorder, optionally with `key = value`
+/// details that are formatted **only when the recorder is enabled**.
+///
+/// ```
+/// use hetrta_obs::{span, TraceRecorder};
+///
+/// let recorder = TraceRecorder::new();
+/// {
+///     let _outer = span!(&recorder, "sweep");
+///     let _inner = span!(&recorder, "job", index = 3, cell = 1);
+/// }
+/// let spans = recorder.spans();
+/// assert_eq!(spans[1].detail.as_deref(), Some("index=3 cell=1"));
+/// assert_eq!(spans[1].depth, 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $name:expr $(,)?) => {
+        $crate::start_span($rec, $name, ::core::option::Option::None)
+    };
+    ($rec:expr, $name:expr, $($k:ident = $v:expr),+ $(,)?) => {{
+        let rec: &dyn $crate::Recorder = $rec;
+        let detail = if $crate::Recorder::enabled(rec) {
+            let mut rendered = ::std::string::String::new();
+            $(
+                if !rendered.is_empty() {
+                    rendered.push(' ');
+                }
+                let _ = ::std::fmt::Write::write_fmt(
+                    &mut rendered,
+                    ::core::format_args!(::core::concat!(::core::stringify!($k), "={}"), $v),
+                );
+            )+
+            ::core::option::Option::Some(rendered)
+        } else {
+            ::core::option::Option::None
+        };
+        $crate::start_span(rec, $name, detail)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{TraceRecorder, NOOP};
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let guard = start_span(&NOOP, "quiet", None);
+        drop(guard);
+        // Depth untouched by inert guards.
+        let rec = TraceRecorder::new();
+        let _outer = crate::span!(&rec, "outer");
+        drop(crate::span!(&NOOP, "inert"));
+        drop(crate::span!(&rec, "inner"));
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].depth, 1, "inert guard must not bump depth");
+    }
+
+    #[test]
+    fn nesting_depth_restores_after_drop() {
+        let rec = TraceRecorder::new();
+        {
+            let _a = crate::span!(&rec, "a");
+            {
+                let _b = crate::span!(&rec, "b", step = 1);
+            }
+            {
+                let _c = crate::span!(&rec, "c");
+            }
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 3);
+        let depth_of = |name: &str| spans.iter().find(|s| s.name == name).unwrap().depth;
+        assert_eq!(depth_of("a"), 0);
+        assert_eq!(depth_of("b"), 1);
+        assert_eq!(depth_of("c"), 1, "sibling reuses the restored depth");
+    }
+
+    #[test]
+    fn lanes_are_per_thread() {
+        let rec = TraceRecorder::new();
+        set_thread_lane(0);
+        std::thread::scope(|scope| {
+            for worker in 0..3u32 {
+                let rec = &rec;
+                scope.spawn(move || {
+                    set_thread_lane(worker + 1);
+                    let _outer = crate::span!(rec, "job", worker = worker);
+                    let _inner = crate::span!(rec, "analysis");
+                });
+            }
+        });
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 6);
+        for lane in 1..=3u32 {
+            let mine: Vec<_> = spans.iter().filter(|s| s.lane == lane).collect();
+            assert_eq!(mine.len(), 2, "each worker thread has its own lane");
+            // Nesting is tracked per thread, not globally.
+            let job = mine.iter().find(|s| s.name == "job").unwrap();
+            let analysis = mine.iter().find(|s| s.name == "analysis").unwrap();
+            assert_eq!(job.depth, 0);
+            assert_eq!(analysis.depth, 1);
+            assert!(analysis.start >= job.start && analysis.end <= job.end);
+        }
+        assert_eq!(thread_lane(), 0, "spawning threads leaves ours alone");
+    }
+}

@@ -1,0 +1,219 @@
+//! Integration tests for the obs core: histogram quantiles against a
+//! sorted-vector reference (property-based), span nesting across
+//! threads, and golden validation of the Chrome trace export.
+
+use hetrta_obs::json::JsonValue;
+use hetrta_obs::{
+    hist::{bucket_bounds, bucket_index},
+    span, LogHistogram, MetricsRegistry, Recorder, TraceRecorder,
+};
+use proptest::prelude::*;
+
+/// The exact `q`-quantile of `values` (the reference the log-bucketed
+/// histogram is allowed to approximate by at most one bucket width).
+fn reference_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+proptest! {
+    #[test]
+    fn histogram_quantiles_track_a_sorted_reference(
+        values in proptest::collection::vec(0u64..2_000_000_000, 1..300),
+        percent in 0u32..=100,
+    ) {
+        let hist = LogHistogram::new();
+        for &value in &values {
+            hist.record(value);
+        }
+        let q = f64::from(percent) / 100.0;
+        let got = hist.snapshot().quantile(q).expect("non-empty");
+        let reference = reference_quantile(&values, q);
+        // The histogram answers with the upper bound of the bucket the
+        // reference rank falls in: never below the true quantile, never
+        // above its bucket's high edge.
+        let (_, high) = bucket_bounds(bucket_index(reference));
+        prop_assert!(
+            got >= reference && got <= high,
+            "q={q}: got {got}, reference {reference} in bucket up to {high}"
+        );
+    }
+
+    #[test]
+    fn histogram_count_sum_min_max_are_exact(
+        values in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let hist = LogHistogram::new();
+        for &value in &values {
+            hist.record(value);
+        }
+        let snap = hist.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *values.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *values.iter().max().unwrap());
+    }
+}
+
+#[test]
+fn span_stacks_nest_independently_across_threads() {
+    let recorder = TraceRecorder::new();
+    std::thread::scope(|scope| {
+        for worker in 0..4u32 {
+            let recorder = &recorder;
+            scope.spawn(move || {
+                hetrta_obs::set_thread_lane(worker + 1);
+                for job in 0..3u32 {
+                    let _job = span!(recorder, "job", worker = worker, job = job);
+                    let _inner = span!(recorder, "analysis", key = "het");
+                }
+            });
+        }
+    });
+    let spans = recorder.spans();
+    assert_eq!(spans.len(), 4 * 3 * 2);
+    for lane in 1..=4u32 {
+        let jobs = spans
+            .iter()
+            .filter(|s| s.lane == lane && s.name == "job")
+            .count();
+        assert_eq!(jobs, 3, "lane {lane}");
+    }
+    // Depth never leaks between threads: every job span is a root,
+    // every analysis span sits exactly one level deeper and inside its
+    // enclosing job's interval.
+    for span in &spans {
+        match span.name {
+            "job" => assert_eq!(span.depth, 0),
+            "analysis" => {
+                assert_eq!(span.depth, 1);
+                assert!(
+                    spans.iter().any(|job| job.name == "job"
+                        && job.lane == span.lane
+                        && job.start <= span.start
+                        && span.end <= job.end),
+                    "analysis span outside any job on its lane"
+                );
+            }
+            other => panic!("unexpected span {other}"),
+        }
+    }
+}
+
+/// Golden validation of the Chrome trace export: the document must be
+/// valid JSON whose events all carry well-formed `ph`/`ts`/`dur` fields
+/// and whose structure matches what was recorded.
+#[test]
+fn chrome_export_golden_structure() {
+    let recorder = TraceRecorder::new();
+    recorder.name_lane(0, "session");
+    recorder.name_lane(1, "worker 0");
+    hetrta_obs::set_thread_lane(0);
+    {
+        let _sweep = span!(&recorder, "sweep", jobs = 2);
+        for index in 0..2u32 {
+            let _job = span!(&recorder, "job", index = index);
+        }
+    }
+    recorder.record_counter("queue_depth", 5);
+    recorder.record_counter("queue_depth", 0);
+
+    let doc = JsonValue::parse(&recorder.to_chrome_json()).expect("valid JSON");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(JsonValue::as_str),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents");
+
+    let mut metadata = 0;
+    let mut complete = 0;
+    let mut counters = 0;
+    for event in events {
+        let ph = event.get("ph").and_then(JsonValue::as_str).expect("ph");
+        assert!(event.get("pid").and_then(JsonValue::as_f64).is_some());
+        match ph {
+            "M" => {
+                metadata += 1;
+                assert_eq!(
+                    event.get("name").and_then(JsonValue::as_str),
+                    Some("thread_name")
+                );
+            }
+            "X" => {
+                complete += 1;
+                let ts = event.get("ts").and_then(JsonValue::as_f64).expect("ts");
+                let dur = event.get("dur").and_then(JsonValue::as_f64).expect("dur");
+                assert!(ts >= 0.0, "ts = {ts}");
+                assert!(dur >= 0.0, "dur = {dur}");
+                assert!(event.get("tid").and_then(JsonValue::as_f64).is_some());
+                let name = event.get("name").and_then(JsonValue::as_str).unwrap();
+                assert!(["sweep", "job"].contains(&name), "{name}");
+            }
+            "C" => {
+                counters += 1;
+                assert!(event
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(JsonValue::as_f64)
+                    .is_some());
+            }
+            other => panic!("unexpected ph {other}"),
+        }
+    }
+    assert_eq!(metadata, 2);
+    assert_eq!(complete, 3, "one sweep + two jobs");
+    assert_eq!(counters, 2);
+
+    // Nesting survives export: both job spans sit inside the sweep span.
+    let x_events: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+        .collect();
+    let span_of = |e: &&JsonValue| {
+        let ts = e.get("ts").and_then(JsonValue::as_f64).unwrap();
+        let dur = e.get("dur").and_then(JsonValue::as_f64).unwrap();
+        (ts, ts + dur)
+    };
+    let sweep = x_events
+        .iter()
+        .find(|e| e.get("name").and_then(JsonValue::as_str) == Some("sweep"))
+        .map(span_of)
+        .unwrap();
+    for job in x_events
+        .iter()
+        .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("job"))
+    {
+        let (start, end) = span_of(job);
+        assert!(sweep.0 <= start && end <= sweep.1, "job outside sweep");
+        assert_eq!(
+            job.get("args")
+                .and_then(|a| a.get("depth"))
+                .and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+    }
+}
+
+#[test]
+fn metrics_snapshot_renders_registered_families() {
+    let metrics = MetricsRegistry::new();
+    metrics.counter("cache.result.hits").add(12);
+    metrics.gauge("pool.queue_depth").set(4);
+    metrics
+        .histogram("analysis.het.latency_ns")
+        .record_duration(std::time::Duration::from_micros(42));
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("cache.result.hits"), Some(12));
+    assert_eq!(snap.gauge("pool.queue_depth"), Some(4));
+    let table = snap.render_table();
+    for needle in ["cache.result.hits", "pool.queue_depth", "p99="] {
+        assert!(table.contains(needle), "missing {needle} in:\n{table}");
+    }
+    assert_eq!(snap.render_csv().lines().count(), 4, "header + 3 metrics");
+}
