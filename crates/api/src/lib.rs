@@ -60,6 +60,7 @@ mod error;
 mod outcome;
 mod registry;
 mod request;
+pub mod wire;
 
 pub use adapters::{
     AcceptanceAnalysis, CondAnalysis, ExactAnalysis, HetAnalysis, HomAnalysis, SimAnalysis,
@@ -75,3 +76,4 @@ pub use registry::{
     Analysis, AnalysisContext, AnalysisRegistry, DirectContext, InputKind, ParamDigest,
 };
 pub use request::{AnalysisInput, AnalysisParams, AnalysisRequest};
+pub use wire::{WireError, MAX_FRAME_LEN, WIRE_VERSION};

@@ -298,6 +298,35 @@ impl AnalysisOutcome {
         }
         Some(outcome)
     }
+
+    /// Encodes this outcome as one checksummed wire frame
+    /// ([`crate::wire::KIND_OUTCOME`]), suitable for a socket or a file.
+    #[must_use]
+    pub fn encode_frame(&self) -> Vec<u8> {
+        crate::wire::encode_frame(crate::wire::KIND_OUTCOME, self.encode().as_bytes())
+    }
+
+    /// Decodes one [`AnalysisOutcome::encode_frame`] frame. Corruption,
+    /// truncation, a version bump, a wrong frame kind, or an unparseable
+    /// payload all map to a typed [`crate::wire::WireError`].
+    ///
+    /// # Errors
+    ///
+    /// Every defect maps to its [`crate::wire::WireError`] variant;
+    /// nothing panics.
+    pub fn decode_frame(buf: &[u8]) -> Result<AnalysisOutcome, crate::wire::WireError> {
+        use crate::wire::{WireError, KIND_OUTCOME};
+        let (kind, payload) = crate::wire::decode_frame(buf)?;
+        if kind != KIND_OUTCOME {
+            return Err(WireError::Malformed(format!(
+                "frame kind {kind:#04x} is not an analysis outcome"
+            )));
+        }
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| WireError::Malformed("outcome payload is not utf-8".into()))?;
+        AnalysisOutcome::decode(text)
+            .ok_or_else(|| WireError::Malformed(format!("unparseable outcome line: {text:?}")))
+    }
 }
 
 #[cfg(test)]
@@ -404,5 +433,55 @@ mod tests {
     fn float_fields_must_be_full_width() {
         // Short hex would silently decode a different bit pattern.
         assert!(AnalysisOutcome::decode("hom 4029").is_none());
+    }
+
+    #[test]
+    fn frame_roundtrips_every_sample() {
+        for outcome in samples() {
+            let frame = outcome.encode_frame();
+            assert_eq!(AnalysisOutcome::decode_frame(&frame).unwrap(), outcome);
+        }
+    }
+
+    #[test]
+    fn corrupt_and_version_bumped_frames_error_typed() {
+        use crate::wire::WireError;
+        let frame = samples().remove(0).encode_frame();
+
+        // Flip one payload byte: checksum catches it.
+        let mut corrupt = frame.clone();
+        corrupt[14] ^= 0x20;
+        assert_eq!(
+            AnalysisOutcome::decode_frame(&corrupt),
+            Err(WireError::Checksum)
+        );
+
+        // Bump the version field: typed mismatch, not garbage.
+        let mut bumped = frame.clone();
+        bumped[5] = bumped[5].wrapping_add(1);
+        assert!(matches!(
+            AnalysisOutcome::decode_frame(&bumped),
+            Err(WireError::Version { .. })
+        ));
+
+        // Truncate mid-payload.
+        assert_eq!(
+            AnalysisOutcome::decode_frame(&frame[..frame.len() - 4]),
+            Err(WireError::Truncated)
+        );
+
+        // A valid frame of the wrong kind is refused.
+        let alien = crate::wire::encode_frame(0x7F, b"hom 4029000000000000");
+        assert!(matches!(
+            AnalysisOutcome::decode_frame(&alien),
+            Err(WireError::Malformed(_))
+        ));
+
+        // A valid frame whose payload is not an outcome line is refused.
+        let junk = crate::wire::encode_frame(crate::wire::KIND_OUTCOME, b"not an outcome");
+        assert!(matches!(
+            AnalysisOutcome::decode_frame(&junk),
+            Err(WireError::Malformed(_))
+        ));
     }
 }

@@ -39,6 +39,120 @@ const M_FLAG: FlagSpec = FlagSpec {
     ..FlagSpec::DEFAULT
 };
 
+const ADDR_FLAG: FlagSpec = FlagSpec {
+    name: "--addr",
+    value: Some("HOST:PORT"),
+    help: "daemon address (default 127.0.0.1:7917)",
+    ..FlagSpec::DEFAULT
+};
+
+const CSV_FLAG: FlagSpec = FlagSpec {
+    name: "--csv",
+    value: None,
+    help: "machine-readable CSV instead of the table",
+    ..FlagSpec::DEFAULT
+};
+
+/// The sweep-shape flags (grid, preset, analyses, per-analysis knobs)
+/// shared by `engine sweep`, `submit`, and `loadgen`: one source of
+/// truth, parsed by [`build_sweep_spec`], so a sweep described at the
+/// shell runs identically on a local engine or against a daemon.
+/// `pre`/`post` splice each verb's own flags around the shared block.
+macro_rules! sweep_shape_flags {
+    (pre: [$($pre:expr),* $(,)?], post: [$($post:expr),* $(,)?]) => {
+        &[
+            $($pre,)*
+            FlagSpec {
+                name: "--cores",
+                value: Some("A,B,..."),
+                help: "host core counts to sweep (default 2,8)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--per-point",
+                value: Some("N"),
+                help: "jobs per sweep point (default 20)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--seed",
+                value: Some("S[,S...]"),
+                help: "replication base seeds",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--fractions",
+                value: Some("F,..."),
+                help: "offload-fraction grid (the default sweep shape)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--utils",
+                value: Some("U,..."),
+                help: "normalized-utilization grid (task-set acceptance tests)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--cond-shares",
+                value: Some("P,..."),
+                help: "conditional-share grid (conditional-DAG bounds)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--n-tasks",
+                value: Some("N"),
+                help: "tasks per generated set (utilization sweeps, default 4)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--analyses",
+                value: Some("KEY[,KEY...]"),
+                help: "registry keys to run per job",
+                dynamic_help: Some(analyses_help),
+            },
+            FlagSpec {
+                name: "--preset",
+                value: Some("small|large|paper|fig8"),
+                help: "DAG generator preset for fraction sweeps \
+                       (fig8 = the benchmark harness's quick Figure 8 sweep)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--n-max",
+                value: Some("N"),
+                help: "large-graph tier: sweep NFJ DAGs of up to N nodes \
+                       (accepted from N/4 up; builder-first generation keeps this O(V+E))",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--sim-transformed",
+                value: None,
+                help: "sim also measures the transformed task (Figure 6 comparison)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--exact-budget",
+                value: Some("N"),
+                help: "node budget for the exact solver",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--explore-seeds",
+                value: Some("N"),
+                help: "worst-case exploration seeds for suspend (default 0 = off)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--realization-cap",
+                value: Some("N"),
+                help: "enumeration cap for cond (default 4096)",
+                ..FlagSpec::DEFAULT
+            },
+            $($post,)*
+        ]
+    };
+}
+
 /// The declarative command table: dispatch, `--help`, usage, and flag
 /// validation are all generated from these rows.
 pub const COMMANDS: &[CommandSpec] = &[
@@ -176,133 +290,154 @@ pub const COMMANDS: &[CommandSpec] = &[
         name: "engine sweep",
         args: "",
         help: "batch sweep on the work-stealing engine (registry-driven analyses)",
-        flags: &[
-            FlagSpec {
+        flags: sweep_shape_flags!(
+            pre: [FlagSpec {
                 name: "--threads",
                 value: Some("N"),
                 help: "worker threads (default: all cores)",
                 ..FlagSpec::DEFAULT
-            },
+            }],
+            post: [
+                CSV_FLAG,
+                FlagSpec {
+                    name: "--cache-dir",
+                    value: Some("DIR"),
+                    help: "disk-persistent result cache: later sweeps (any process) replay from DIR",
+                    ..FlagSpec::DEFAULT
+                },
+                FlagSpec {
+                    name: "--progress",
+                    value: None,
+                    help: "stream live progress (completed jobs, cache hits) to stderr while sweeping",
+                    ..FlagSpec::DEFAULT
+                },
+                FlagSpec {
+                    name: "--trace",
+                    value: Some("FILE"),
+                    help: "record structured spans and write a Chrome trace-event JSON \
+                           (load in Perfetto or chrome://tracing)",
+                    ..FlagSpec::DEFAULT
+                },
+                FlagSpec {
+                    name: "--metrics",
+                    value: None,
+                    help: "append the engine metrics table (cache counters, pool totals, \
+                           per-analysis latency quantiles) to the output",
+                    ..FlagSpec::DEFAULT
+                },
+            ]
+        ),
+        handler: engine_sweep_cmd,
+    },
+    CommandSpec {
+        name: "serve",
+        args: "",
+        help: "multi-tenant analysis daemon: many clients, one shared engine",
+        flags: &[
             FlagSpec {
-                name: "--cores",
-                value: Some("A,B,..."),
-                help: "host core counts to sweep (default 2,8)",
+                name: "--addr",
+                value: Some("HOST:PORT"),
+                help: "listen address (default 127.0.0.1:7917; port 0 picks a free one)",
                 ..FlagSpec::DEFAULT
             },
             FlagSpec {
-                name: "--per-point",
+                name: "--threads",
                 value: Some("N"),
-                help: "jobs per sweep point (default 20)",
-                ..FlagSpec::DEFAULT
-            },
-            FlagSpec {
-                name: "--seed",
-                value: Some("S[,S...]"),
-                help: "replication base seeds",
-                ..FlagSpec::DEFAULT
-            },
-            FlagSpec {
-                name: "--fractions",
-                value: Some("F,..."),
-                help: "offload-fraction grid (the default sweep shape)",
-                ..FlagSpec::DEFAULT
-            },
-            FlagSpec {
-                name: "--utils",
-                value: Some("U,..."),
-                help: "normalized-utilization grid (task-set acceptance tests)",
-                ..FlagSpec::DEFAULT
-            },
-            FlagSpec {
-                name: "--cond-shares",
-                value: Some("P,..."),
-                help: "conditional-share grid (conditional-DAG bounds)",
-                ..FlagSpec::DEFAULT
-            },
-            FlagSpec {
-                name: "--n-tasks",
-                value: Some("N"),
-                help: "tasks per generated set (utilization sweeps, default 4)",
-                ..FlagSpec::DEFAULT
-            },
-            FlagSpec {
-                name: "--analyses",
-                value: Some("KEY[,KEY...]"),
-                help: "registry keys to run per job",
-                dynamic_help: Some(analyses_help),
-            },
-            FlagSpec {
-                name: "--preset",
-                value: Some("small|large|paper|fig8"),
-                help: "DAG generator preset for fraction sweeps \
-                       (fig8 = the benchmark harness's quick Figure 8 sweep)",
-                ..FlagSpec::DEFAULT
-            },
-            FlagSpec {
-                name: "--n-max",
-                value: Some("N"),
-                help: "large-graph tier: sweep NFJ DAGs of up to N nodes \
-                       (accepted from N/4 up; builder-first generation keeps this O(V+E))",
-                ..FlagSpec::DEFAULT
-            },
-            FlagSpec {
-                name: "--sim-transformed",
-                value: None,
-                help: "sim also measures the transformed task (Figure 6 comparison)",
-                ..FlagSpec::DEFAULT
-            },
-            FlagSpec {
-                name: "--exact-budget",
-                value: Some("N"),
-                help: "node budget for the exact solver",
-                ..FlagSpec::DEFAULT
-            },
-            FlagSpec {
-                name: "--explore-seeds",
-                value: Some("N"),
-                help: "worst-case exploration seeds for suspend (default 0 = off)",
-                ..FlagSpec::DEFAULT
-            },
-            FlagSpec {
-                name: "--realization-cap",
-                value: Some("N"),
-                help: "enumeration cap for cond (default 4096)",
-                ..FlagSpec::DEFAULT
-            },
-            FlagSpec {
-                name: "--csv",
-                value: None,
-                help: "machine-readable CSV instead of the table",
+                help: "worker threads of the shared engine pool (default: all cores)",
                 ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--cache-dir",
                 value: Some("DIR"),
-                help: "disk-persistent result cache: later sweeps (any process) replay from DIR",
+                help: "disk-persistent result cache shared by every tenant",
                 ..FlagSpec::DEFAULT
             },
             FlagSpec {
-                name: "--progress",
-                value: None,
-                help: "stream live progress (completed jobs, cache hits) to stderr while sweeping",
+                name: "--max-active",
+                value: Some("N"),
+                help: "sweeps running concurrently on the engine (default 2)",
                 ..FlagSpec::DEFAULT
             },
             FlagSpec {
-                name: "--trace",
-                value: Some("FILE"),
-                help: "record structured spans and write a Chrome trace-event JSON \
-                       (load in Perfetto or chrome://tracing)",
+                name: "--max-pending",
+                value: Some("N"),
+                help: "bounded admission queue; past it clients get a typed Busy (default 64)",
                 ..FlagSpec::DEFAULT
             },
             FlagSpec {
-                name: "--metrics",
-                value: None,
-                help: "append the engine metrics table (cache counters, pool totals, \
-                       per-analysis latency quantiles) to the output",
+                name: "--retry-after-ms",
+                value: Some("MS"),
+                help: "backoff hint carried in Busy replies (default 200)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--partial-every",
+                value: Some("N"),
+                help: "stream a partial aggregate every N completed jobs (default 8)",
                 ..FlagSpec::DEFAULT
             },
         ],
-        handler: engine_sweep_cmd,
+        handler: serve_cmd,
+    },
+    CommandSpec {
+        name: "submit",
+        args: "",
+        help: "run a sweep on a daemon, streaming progress (same flags as engine sweep)",
+        flags: sweep_shape_flags!(
+            pre: [
+                ADDR_FLAG,
+                FlagSpec {
+                    name: "--tenant",
+                    value: Some("NAME"),
+                    help: "tenant to account and fair-queue the sweep under (default cli)",
+                    ..FlagSpec::DEFAULT
+                },
+                FlagSpec {
+                    name: "--stats",
+                    value: None,
+                    help: "print the daemon's metrics snapshot instead of submitting",
+                    ..FlagSpec::DEFAULT
+                },
+                FlagSpec {
+                    name: "--shutdown",
+                    value: None,
+                    help: "ask the daemon to drain in-flight sweeps and exit instead of submitting",
+                    ..FlagSpec::DEFAULT
+                },
+            ],
+            post: [CSV_FLAG]
+        ),
+        handler: submit_cmd,
+    },
+    CommandSpec {
+        name: "loadgen",
+        args: "",
+        help: "drive a daemon to saturation, measuring sweeps/sec and p50/p99 latency",
+        flags: sweep_shape_flags!(
+            pre: [
+                ADDR_FLAG,
+                FlagSpec {
+                    name: "--clients",
+                    value: Some("N[,N...]"),
+                    help: "concurrent-client ladder (default 1,8,64,256)",
+                    ..FlagSpec::DEFAULT
+                },
+                FlagSpec {
+                    name: "--sweeps",
+                    value: Some("K"),
+                    help: "sweeps each client completes per rung (default 4)",
+                    ..FlagSpec::DEFAULT
+                },
+                FlagSpec {
+                    name: "--json",
+                    value: Some("PATH"),
+                    help: "also write the report as JSON to PATH (the BENCH_6.json format)",
+                    ..FlagSpec::DEFAULT
+                },
+            ],
+            post: []
+        ),
+        handler: loadgen_cmd,
     },
     CommandSpec {
         name: "cache gc",
@@ -847,8 +982,10 @@ fn analyses_help() -> String {
 /// coherent is decided by the registry itself (each analysis declares the
 /// input kind it consumes, the engine rejects mismatches up front), not by
 /// CLI-side rules.
-fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
-    let threads = args.parsed_or("--threads", "thread count", 0usize)?;
+/// Builds a [`SweepSpec`] from the shared sweep-shape flags — the one
+/// parser behind `engine sweep` (local engine), `submit` (daemon), and
+/// `loadgen` (saturation driver).
+fn build_sweep_spec(args: &ParsedArgs) -> Result<SweepSpec, String> {
     let cores = match args.value_of("--cores") {
         None => vec![2, 8],
         Some(spec) => parse_list(spec, "core count")?,
@@ -997,6 +1134,12 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
     if let Some(selection) = analyses {
         spec = spec.with_analyses(selection);
     }
+    Ok(spec)
+}
+
+fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
+    let threads = args.parsed_or("--threads", "thread count", 0usize)?;
+    let spec = build_sweep_spec(args)?;
 
     let mut builder = EngineBuilder::new().threads(threads);
     if let Some(dir) = args.value_of("--cache-dir") {
@@ -1093,6 +1236,151 @@ fn run_with_progress(
         }
     }
     handle.wait().map_err(|e| e.to_string())
+}
+
+const DEFAULT_DAEMON_ADDR: &str = "127.0.0.1:7917";
+
+fn serve_cmd(args: &ParsedArgs) -> Result<String, String> {
+    let defaults = hetrta_serve::AdmissionConfig::default();
+    let config = hetrta_serve::ServerConfig {
+        addr: args
+            .value_of("--addr")
+            .unwrap_or(DEFAULT_DAEMON_ADDR)
+            .to_string(),
+        threads: args.parsed_or("--threads", "thread count", 0usize)?,
+        cache_dir: args.value_of("--cache-dir").map(Into::into),
+        admission: hetrta_serve::AdmissionConfig {
+            max_active: args.parsed_or("--max-active", "active bound", defaults.max_active)?,
+            max_pending: args.parsed_or("--max-pending", "pending bound", defaults.max_pending)?,
+            retry_after_ms: args.parsed_or(
+                "--retry-after-ms",
+                "retry hint",
+                defaults.retry_after_ms,
+            )?,
+        },
+        partial_every: Some(args.parsed_or("--partial-every", "partial cadence", 8usize)?),
+    };
+    let server = hetrta_serve::Server::bind(config).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    // Announced on stderr *before* the blocking serve loop, so scripts
+    // starting the daemon in the background know where to connect.
+    eprintln!(
+        "hetrta serve: listening on {addr} \
+         (drain with `hetrta submit --addr {addr} --shutdown` or SIGTERM)"
+    );
+    server.run().map_err(|e| e.to_string())?;
+    Ok(format!("hetrta serve: {addr} drained and exited\n"))
+}
+
+fn submit_cmd(args: &ParsedArgs) -> Result<String, String> {
+    let addr = args.value_of("--addr").unwrap_or(DEFAULT_DAEMON_ADDR);
+    let mut client = hetrta_serve::ServeClient::connect(addr).map_err(|e| e.to_string())?;
+    if args.has("--shutdown") {
+        client.shutdown().map_err(|e| e.to_string())?;
+        return Ok(format!(
+            "daemon at {addr} acknowledged shutdown and is draining\n"
+        ));
+    }
+    if args.has("--stats") {
+        return client.stats().map_err(|e| e.to_string());
+    }
+    let tenant = args.value_of("--tenant").unwrap_or("cli");
+    let spec = build_sweep_spec(args)?;
+
+    // Reassemble streamed deltas exactly like the local --progress path.
+    let mut view = hetrta_engine::AggregateView::new();
+    let outcome = client
+        .run_to_completion(tenant, &spec, |event| {
+            if let SweepEvent::PartialAggregate {
+                completed,
+                total,
+                update,
+            } = event
+            {
+                if let Some(aggregate) = view.apply(update) {
+                    let populated = aggregate.cells.iter().filter(|c| c.samples > 0).count();
+                    eprint!(
+                        "\r[{completed}/{total} jobs] {populated}/{} cells populated   ",
+                        aggregate.cells.len()
+                    );
+                }
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "\r[{}/{} jobs] done{}",
+        outcome.completed,
+        spec.job_count(),
+        " ".repeat(48)
+    );
+
+    let mut text = if args.has("--csv") {
+        render_cells_csv(&outcome.aggregate.cells)
+    } else {
+        render_cells_table(&outcome.aggregate.cells)
+    };
+    text.push('\n');
+    let _ = writeln!(
+        text,
+        "remote: {} jobs on {addr} as tenant `{tenant}`, cancelled={}, events dropped={}",
+        outcome.completed, outcome.cancelled, outcome.events_dropped,
+    );
+    Ok(text)
+}
+
+fn loadgen_cmd(args: &ParsedArgs) -> Result<String, String> {
+    let addr = args.value_of("--addr").unwrap_or(DEFAULT_DAEMON_ADDR);
+    let ladder: Vec<usize> = match args.value_of("--clients") {
+        None => vec![1, 8, 64, 256],
+        Some(spec) => parse_list(spec, "client count")?,
+    };
+    let sweeps = args.parsed_or("--sweeps", "sweep count", 4usize)?;
+    let spec = build_sweep_spec(args)?;
+
+    let mut rows = Vec::new();
+    let mut text =
+        String::from("cache  clients  completed  failed  sweeps/s    p50 ms    p99 ms   busy\n");
+    // Cold rungs give every sweep a unique seed (nothing replays from
+    // cache); warm rungs resubmit the identical spec, so after the first
+    // completion the daemon answers from cache.
+    let mut cold_seed_offset = 0x5EED_0000u64;
+    for cache in ["cold", "warm"] {
+        for &clients in &ladder {
+            let mut config = hetrta_serve::LoadgenConfig::new(addr, clients, sweeps, spec.clone());
+            if cache == "cold" {
+                config.vary_seeds = Some(cold_seed_offset);
+                cold_seed_offset += (clients * sweeps) as u64;
+            }
+            let report = hetrta_serve::loadgen::run(&config).map_err(|e| e.to_string())?;
+            let _ = writeln!(
+                text,
+                "{cache:>5}  {:>7}  {:>9}  {:>6}  {:>8.2}  {:>8.2}  {:>8.2}  {:>5}",
+                report.clients,
+                report.completed,
+                report.failed,
+                report.sweeps_per_sec,
+                report.p50_ms,
+                report.p99_ms,
+                report.busy_retries,
+            );
+            if report.protocol_errors > 0 {
+                let _ = writeln!(
+                    text,
+                    "       ^ {} protocol errors at {clients} clients",
+                    report.protocol_errors
+                );
+            }
+            if let Some(err) = &report.first_error {
+                let _ = writeln!(text, "       ^ first failure: {err}");
+            }
+            rows.push((cache.to_string(), report));
+        }
+    }
+    if let Some(path) = args.value_of("--json") {
+        std::fs::write(path, hetrta_serve::loadgen::render_bench_json(&rows))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(text)
 }
 
 fn render_cells_table(cells: &[hetrta_engine::CellSummary]) -> String {
@@ -1534,6 +1822,53 @@ mod tests {
         assert!(out.contains("result cache"), "{out}");
         assert!(out.contains("worker 0"), "{out}");
         assert!(out.contains("worker 1"), "{out}");
+    }
+
+    #[test]
+    fn submit_against_a_live_daemon_matches_engine_sweep() {
+        let server = hetrta_serve::Server::bind(hetrta_serve::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        let shape = [
+            "--cores",
+            "2",
+            "--per-point",
+            "4",
+            "--fractions",
+            "0.1,0.3",
+            "--seed",
+            "5",
+            "--csv",
+        ];
+        let mut local_args = args(&["engine", "sweep", "--threads", "2"]);
+        local_args.extend(shape.iter().map(|s| (*s).to_owned()));
+        let mut remote_args = args(&["submit", "--addr", &addr]);
+        remote_args.extend(shape.iter().map(|s| (*s).to_owned()));
+        let local = run(&local_args).unwrap();
+        let remote = run(&remote_args).unwrap();
+        // Same flags, same CSV cell block: the daemon path is bitwise
+        // the local engine path.
+        let cells = |text: &str| {
+            text.lines()
+                .take_while(|l| !l.is_empty())
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(cells(&local), cells(&remote));
+        assert!(remote.contains("remote: 8 jobs"), "{remote}");
+
+        let stats = run(&args(&["submit", "--addr", &addr, "--stats"])).unwrap();
+        assert!(stats.contains("serve.tenant.cli.completed"), "{stats}");
+
+        let bye = run(&args(&["submit", "--addr", &addr, "--shutdown"])).unwrap();
+        assert!(bye.contains("draining"), "{bye}");
+        daemon.join().unwrap();
     }
 
     #[test]

@@ -26,9 +26,10 @@
 //! Writes go through a temp file + atomic rename, so concurrent engines
 //! sharing a directory never observe torn entries.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use hetrta_api::AnalysisOutcome;
 use hetrta_obs::{span, Counter, MetricsRegistry, NoopRecorder, Recorder};
@@ -62,6 +63,9 @@ pub struct DiskCache {
     write_errors: Counter,
     tmp_counter: AtomicU64,
     recorder: Arc<dyn Recorder>,
+    /// Entry paths with reads in flight in this process (refcounted); gc
+    /// skips them so a reader never loses its file mid-read.
+    pins: Mutex<HashMap<PathBuf, usize>>,
 }
 
 impl DiskCache {
@@ -85,6 +89,7 @@ impl DiskCache {
             write_errors: Counter::detached(),
             tmp_counter: AtomicU64::new(0),
             recorder: Arc::new(NoopRecorder),
+            pins: Mutex::new(HashMap::new()),
         })
     }
 
@@ -139,10 +144,47 @@ impl DiskCache {
     /// Does **not** count: a checksum-valid payload can still fail to
     /// decode, so hit/miss accounting happens in the typed loaders once
     /// the full decode has succeeded or failed.
+    ///
+    /// The entry is pinned for the duration of the read, so a concurrent
+    /// [`DiskCache::gc`] on this handle never deletes a file out from
+    /// under an in-flight reader.
     fn read_payload(&self, namespace: &str, key: u128) -> Option<String> {
         let _span = span!(self.recorder.as_ref(), "disk.read", ns = namespace);
-        let text = std::fs::read_to_string(self.entry_path(namespace, key)).ok();
+        let path = self.entry_path(namespace, key);
+        let _pin = self.pin(path.clone());
+        let text = std::fs::read_to_string(path).ok();
         text.as_deref().and_then(verify_entry).map(str::to_owned)
+    }
+
+    /// Refcounts `path` into the pin registry; the returned guard
+    /// releases it on drop.
+    fn pin(&self, path: PathBuf) -> ReadPin<'_> {
+        *self
+            .pins
+            .lock()
+            .expect("disk pin registry")
+            .entry(path.clone())
+            .or_insert(0) += 1;
+        ReadPin { cache: self, path }
+    }
+
+    /// Paths currently pinned by in-flight reads.
+    fn pinned_paths(&self) -> std::collections::HashSet<PathBuf> {
+        self.pins
+            .lock()
+            .expect("disk pin registry")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Pins the `results/` entry of `key` until the returned guard drops,
+    /// protecting it from [`DiskCache::gc`] on this handle. For daemons
+    /// whose sweeps hold references to cached results while a background
+    /// gc sweeps the directory.
+    #[must_use]
+    pub fn begin_read(&self, key: u128) -> ReadPin<'_> {
+        self.pin(self.entry_path("results", key))
     }
 
     /// Persists one entry atomically (temp file + rename); failures are
@@ -229,7 +271,10 @@ impl DiskCache {
     ///
     /// Concurrent engines are safe: a deleted entry simply reads as a miss
     /// and is recomputed and rewritten. Half-written `*.tmp.*` files are
-    /// ignored (and never counted).
+    /// ignored (and never counted), and entries with reads in flight in
+    /// this process (pinned via [`DiskCache::begin_read`] or an internal
+    /// load) are skipped — counted in [`GcStats::pinned_entries`] — so gc
+    /// never races its own readers.
     ///
     /// # Errors
     ///
@@ -242,6 +287,11 @@ impl DiskCache {
         // Oldest first; path disambiguates equal timestamps so the sweep
         // order is deterministic.
         results.sort_by(|a, b| (a.mtime, &a.path).cmp(&(b.mtime, &b.path)));
+        // Snapshot the pin registry once: an entry pinned now stays
+        // untouchable for this whole sweep (a pin acquired later pins a
+        // file this sweep already decided to keep or already deleted —
+        // the reader of a deleted file sees an ordinary miss).
+        let pinned = self.pinned_paths();
         let mut remaining: u64 = identity_bytes + results.iter().map(|e| e.bytes).sum::<u64>();
         let scanned_bytes = remaining;
         let mut stats = GcStats {
@@ -249,10 +299,15 @@ impl DiskCache {
             remaining_bytes: remaining,
             deleted_entries: 0,
             deleted_bytes: 0,
+            pinned_entries: 0,
         };
         for entry in &results {
             if remaining <= max_bytes {
                 break;
+            }
+            if pinned.contains(&entry.path) {
+                stats.pinned_entries += 1;
+                continue;
             }
             if std::fs::remove_file(&entry.path).is_ok() {
                 remaining -= entry.bytes;
@@ -314,6 +369,29 @@ pub struct GcStats {
     pub deleted_bytes: u64,
     /// Committed bytes left after the sweep.
     pub remaining_bytes: u64,
+    /// Result entries spared because a read was in flight on them.
+    pub pinned_entries: u64,
+}
+
+/// A pin on one cache entry: while it lives, [`DiskCache::gc`] on the
+/// same handle will not delete the entry. Obtained via
+/// [`DiskCache::begin_read`]; released on drop.
+#[derive(Debug)]
+pub struct ReadPin<'a> {
+    cache: &'a DiskCache,
+    path: PathBuf,
+}
+
+impl Drop for ReadPin<'_> {
+    fn drop(&mut self) {
+        let mut pins = self.cache.pins.lock().expect("disk pin registry");
+        if let Some(count) = pins.get_mut(&self.path) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&self.path);
+            }
+        }
+    }
 }
 
 /// Validates `magic \n payload \n checksum` and returns the payload.
@@ -474,6 +552,49 @@ mod tests {
         let stats = cache.gc(0).unwrap();
         assert_eq!(stats.deleted_entries, 1);
         assert!(tmp.exists(), "tmp files are not gc'd");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_skips_entries_with_reads_in_flight() {
+        let dir = temp_dir("gc-pins");
+        let cache = DiskCache::open(&dir).unwrap();
+        for key in 0..4u128 {
+            cache.store_result(key, &outcome());
+        }
+        // Pin two entries as an in-flight reader would, then demand a
+        // zero-byte bound: everything unpinned goes, the pinned survive.
+        let pin_a = cache.begin_read(0);
+        let pin_b = cache.begin_read(2);
+        let stats = cache.gc(0).unwrap();
+        assert_eq!(stats.pinned_entries, 2);
+        assert_eq!(stats.deleted_entries, 2);
+        assert_eq!(cache.load_result(0), Some(outcome()), "pinned survives");
+        assert_eq!(cache.load_result(2), Some(outcome()), "pinned survives");
+        assert_eq!(cache.load_result(1), None, "unpinned swept");
+        drop(pin_a);
+        drop(pin_b);
+        // Pins released: the next sweep reclaims them.
+        let stats = cache.gc(0).unwrap();
+        assert_eq!(stats.pinned_entries, 0);
+        assert_eq!(cache.load_result(0), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn double_pins_are_refcounted() {
+        let dir = temp_dir("gc-refcount");
+        let cache = DiskCache::open(&dir).unwrap();
+        cache.store_result(5, &outcome());
+        let first = cache.begin_read(5);
+        let second = cache.begin_read(5);
+        drop(first);
+        // One pin remains: still protected.
+        cache.gc(0).unwrap();
+        assert_eq!(cache.load_result(5), Some(outcome()));
+        drop(second);
+        cache.gc(0).unwrap();
+        assert_eq!(cache.load_result(5), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

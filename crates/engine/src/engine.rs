@@ -6,7 +6,7 @@ use std::cmp::Reverse;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -623,6 +623,7 @@ impl EngineBuilder {
             cost_model: Arc::new(CostModel::default()),
             metrics,
             recorder,
+            active_sessions: Arc::new(AtomicUsize::new(0)),
         })
     }
 }
@@ -655,6 +656,7 @@ pub struct Engine {
     cost_model: Arc<CostModel>,
     metrics: Arc<MetricsRegistry>,
     recorder: Arc<dyn Recorder>,
+    active_sessions: Arc<AtomicUsize>,
 }
 
 impl Engine {
@@ -730,6 +732,15 @@ impl Engine {
     #[must_use]
     pub fn recorder(&self) -> &Arc<dyn Recorder> {
         &self.recorder
+    }
+
+    /// Sessions currently running on this engine (submitted, not yet
+    /// finished or cancelled-and-joined). A daemon draining on shutdown —
+    /// or a test pinning that client disconnect really cancels its sweep —
+    /// polls this to observe the count return to zero.
+    #[must_use]
+    pub fn active_sessions(&self) -> usize {
+        self.active_sessions.load(Ordering::SeqCst)
     }
 
     /// Expands `spec`, runs every job on the worker pool, and aggregates.
@@ -833,6 +844,7 @@ impl Engine {
             cells,
             jobs,
             shape,
+            _active: ActiveGuard::enter(Arc::clone(&self.active_sessions)),
         };
         let thread = std::thread::Builder::new()
             .name("hetrta-sweep".into())
@@ -876,6 +888,25 @@ struct SessionTask {
     cells: Vec<crate::spec::CellInfo>,
     jobs: Vec<Job>,
     shape: crate::spec::CellShape,
+    _active: ActiveGuard,
+}
+
+/// RAII increment of the engine's active-session count; decremented when
+/// the session thread drops its task (normal finish, cancellation, or
+/// panic — the guard lives in the task, so every exit path counts down).
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl ActiveGuard {
+    fn enter(count: Arc<AtomicUsize>) -> Self {
+        count.fetch_add(1, Ordering::SeqCst);
+        ActiveGuard(count)
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl SessionTask {
@@ -1021,10 +1052,13 @@ impl SessionTask {
 
         let completed = aggregator.received();
         let cancelled = shared.cancel.load(Ordering::Relaxed) && completed < job_count;
-        shared.events.push(SweepEvent::SweepFinished {
-            completed,
-            cancelled,
-        });
+        shared
+            .events
+            .push_with_dropped(|events_dropped| SweepEvent::SweepFinished {
+                completed,
+                cancelled,
+                events_dropped,
+            });
         if cancelled {
             return Err(EngineError::Cancelled);
         }

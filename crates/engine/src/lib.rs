@@ -71,19 +71,20 @@ pub mod job;
 pub mod pool;
 pub mod session;
 pub mod spec;
+pub mod wire;
 
 pub use aggregate::{
     AccuracySummary, AggregateUpdate, AggregateView, CellKind, CellSummary, CondCellSummary,
     SetCellSummary, SuspendCellSummary, SweepAggregate, TaskCellSummary,
 };
 pub use cache::CacheCounters;
-pub use disk::{DiskCache, GcStats};
+pub use disk::{DiskCache, GcStats, ReadPin};
 pub use engine::{
     CostModel, Engine, EngineBuilder, EngineCaches, EngineError, EngineOutput, EngineStats,
     InjectionOrder, DEFAULT_CACHE_CAPACITY, INPUT_CACHE_CAP,
 };
 pub use job::{Job, JobInput, JobMetrics, JobPayload, JobResult};
-pub use session::{SessionConfig, SweepEvent, SweepHandle};
+pub use session::{SessionConfig, SweepCancelToken, SweepEvent, SweepHandle};
 pub use spec::{AnalysisSelection, CellInfo, CellShape, GeneratorPreset, SweepGrid, SweepSpec};
 
 // The observability layer the engine reports through: re-exported whole

@@ -76,6 +76,11 @@ pub enum SweepEvent {
         completed: usize,
         /// Whether the sweep was cancelled before running every job.
         cancelled: bool,
+        /// Events this session discarded because the consumer fell behind
+        /// the buffer bound — a remote consumer learns its stream was
+        /// lossy from the terminal event itself (which, being the last
+        /// push, is never dropped).
+        events_dropped: u64,
     },
 }
 
@@ -168,6 +173,22 @@ impl EventQueue {
             state.events.pop_front();
             state.dropped += 1;
         }
+        state.events.push_back(event);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Pushes an event built from the queue's exact drop count, with
+    /// room-making and counting under the same lock — the terminal event
+    /// reports every drop that preceded it, including the one its own
+    /// arrival may cause.
+    pub(crate) fn push_with_dropped(&self, make: impl FnOnce(u64) -> SweepEvent) {
+        let mut state = self.state.lock().expect("event queue");
+        if state.events.len() >= self.cap {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        let event = make(state.dropped);
         state.events.push_back(event);
         drop(state);
         self.ready.notify_one();
@@ -285,6 +306,17 @@ impl SweepHandle {
         self.shared.events.dropped()
     }
 
+    /// A detached, cloneable cancellation token for this sweep. A daemon
+    /// thread pumping the handle's events can hand the token to the
+    /// connection's reader thread, which cancels the sweep the moment the
+    /// client disconnects — without sharing the handle itself.
+    #[must_use]
+    pub fn cancel_token(&self) -> SweepCancelToken {
+        SweepCancelToken {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Requests cancellation: workers stop dequeuing, in-flight jobs
     /// finish, and [`SweepHandle::wait`] returns
     /// [`EngineError::Cancelled`] (unless every job had already run).
@@ -378,5 +410,41 @@ impl Drop for SweepHandle {
             self.shared.cancel.store(true, Ordering::Relaxed);
             let _ = thread.join();
         }
+    }
+}
+
+/// A cloneable cancel/progress view on one sweep, detached from its
+/// [`SweepHandle`] (which is `!Clone` because it owns the result and the
+/// orchestrator join handle). Obtained via [`SweepHandle::cancel_token`];
+/// holding a token does not keep the sweep alive.
+#[derive(Debug, Clone)]
+pub struct SweepCancelToken {
+    shared: Arc<SessionShared>,
+}
+
+impl SweepCancelToken {
+    /// Requests cancellation, exactly like [`SweepHandle::cancel`].
+    pub fn cancel(&self) {
+        self.shared.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once cancellation was requested (by any token or the handle).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.shared.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Jobs completed so far out of the sweep's total.
+    #[must_use]
+    pub fn progress(&self) -> (usize, usize) {
+        let done = usize::try_from(self.shared.progress.done.load(Ordering::Relaxed))
+            .unwrap_or(usize::MAX);
+        (done, self.shared.total_jobs)
+    }
+
+    /// Events this session has discarded so far.
+    #[must_use]
+    pub fn events_dropped(&self) -> u64 {
+        self.shared.events.dropped()
     }
 }

@@ -1,0 +1,1028 @@
+//! Wire codecs for the engine's session types — [`SweepSpec`],
+//! [`SweepEvent`] and [`AggregateUpdate`] — over the checksummed frame
+//! layer of `hetrta-api` ([`hetrta_api::wire`]).
+//!
+//! The payloads are deliberately textual, in the bit-exact style of
+//! [`AnalysisOutcome::encode`](hetrta_api::AnalysisOutcome::encode):
+//! every `f64` travels as its sixteen-hex-digit bit pattern (so a
+//! decoded aggregate is *bitwise* the encoder's — the determinism
+//! contract survives the network), `Option`s travel as `-`, and any
+//! defect decodes to a typed [`WireError`] rather than a panic or
+//! silent garbage. The frame layer around the payload contributes the
+//! magic, version and FNV checksum.
+
+use std::time::Duration;
+
+use hetrta_api::wire::{self, WireError};
+use hetrta_cond::CondGenParams;
+use hetrta_gen::NfjParams;
+use hetrta_sched::taskset::TaskSetParams;
+
+use crate::aggregate::{
+    AccuracySummary, AggregateUpdate, CellKind, CellSummary, CondCellSummary, SetCellSummary,
+    SuspendCellSummary, SweepAggregate, TaskCellSummary,
+};
+use crate::session::SweepEvent;
+use crate::spec::{AnalysisSelection, GeneratorPreset, SweepGrid, SweepSpec};
+
+/// Frame kind tag of an encoded [`AggregateUpdate`].
+pub const KIND_AGGREGATE: u8 = 0x11;
+
+fn fbits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn parse_fbits(s: &str) -> Result<f64, WireError> {
+    if s.len() != 16 {
+        return Err(malformed(format!("float bits `{s}` are not 16 hex digits")));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| malformed(format!("unparseable float bits `{s}`")))
+}
+
+fn malformed(msg: impl Into<String>) -> WireError {
+    WireError::Malformed(msg.into())
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, WireError> {
+    s.parse()
+        .map_err(|_| malformed(format!("unparseable {what} `{s}`")))
+}
+
+fn opt_fbits(x: Option<f64>) -> String {
+    x.map_or_else(|| "-".into(), fbits)
+}
+
+fn parse_opt_fbits(s: &str) -> Result<Option<f64>, WireError> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        parse_fbits(s).map(Some)
+    }
+}
+
+/// Space-separated token cursor with typed errors for missing fields.
+struct Tokens<'a> {
+    iter: std::str::SplitWhitespace<'a>,
+    what: &'static str,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(line: &'a str, what: &'static str) -> Self {
+        Tokens {
+            iter: line.split_whitespace(),
+            what,
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, WireError> {
+        self.iter
+            .next()
+            .ok_or_else(|| malformed(format!("truncated {} line", self.what)))
+    }
+
+    fn finish(mut self) -> Result<(), WireError> {
+        match self.iter.next() {
+            None => Ok(()),
+            Some(extra) => Err(malformed(format!(
+                "trailing field `{extra}` on {} line",
+                self.what
+            ))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SweepSpec
+// ---------------------------------------------------------------------------
+
+fn encode_nfj(p: &NfjParams) -> String {
+    format!(
+        "{}:{}:{}:{}:{}:{}:{}:{}",
+        fbits(p.p_par()),
+        p.n_par(),
+        p.max_depth(),
+        p.n_min(),
+        p.n_max(),
+        p.c_min(),
+        p.c_max(),
+        p.max_attempts()
+    )
+}
+
+fn decode_nfj(fields: &[&str]) -> Result<NfjParams, WireError> {
+    if fields.len() != 8 {
+        return Err(malformed(format!(
+            "generator parameters need 8 fields, got {}",
+            fields.len()
+        )));
+    }
+    Ok(NfjParams::new(
+        parse_num(fields[1], "n_par")?,
+        parse_num(fields[2], "max_depth")?,
+        parse_num(fields[3], "n_min")?,
+        parse_num(fields[4], "n_max")?,
+    )
+    .with_p_par(parse_fbits(fields[0])?)
+    .with_wcet_range(
+        parse_num(fields[5], "c_min")?,
+        parse_num(fields[6], "c_max")?,
+    )
+    .with_max_attempts(parse_num(fields[7], "max_attempts")?))
+}
+
+fn encode_preset(preset: &GeneratorPreset) -> String {
+    match preset {
+        GeneratorPreset::Small => "small".into(),
+        GeneratorPreset::Large => "large".into(),
+        GeneratorPreset::LargePaper => "paper".into(),
+        GeneratorPreset::LargeGraphs(n) => format!("graphs:{n}"),
+        GeneratorPreset::Custom(p) => format!("custom:{}", encode_nfj(p)),
+    }
+}
+
+fn decode_preset(s: &str) -> Result<GeneratorPreset, WireError> {
+    let fields: Vec<&str> = s.split(':').collect();
+    match fields[0] {
+        "small" => Ok(GeneratorPreset::Small),
+        "large" => Ok(GeneratorPreset::Large),
+        "paper" => Ok(GeneratorPreset::LargePaper),
+        "graphs" if fields.len() == 2 => {
+            Ok(GeneratorPreset::LargeGraphs(parse_num(fields[1], "n_max")?))
+        }
+        "custom" => Ok(GeneratorPreset::Custom(decode_nfj(&fields[1..])?)),
+        other => Err(malformed(format!("unknown generator preset `{other}`"))),
+    }
+}
+
+fn encode_u64_list(values: &[u64]) -> String {
+    let strings: Vec<String> = values.iter().map(u64::to_string).collect();
+    strings.join(",")
+}
+
+fn decode_u64_list(s: &str, what: &str) -> Result<Vec<u64>, WireError> {
+    s.split(',').map(|t| parse_num(t, what)).collect()
+}
+
+fn encode_f64_list(values: &[f64]) -> String {
+    let strings: Vec<String> = values.iter().map(|v| fbits(*v)).collect();
+    strings.join(",")
+}
+
+fn decode_f64_list(s: &str) -> Result<Vec<f64>, WireError> {
+    s.split(',').map(parse_fbits).collect()
+}
+
+fn encode_set_template(t: &TaskSetParams) -> String {
+    format!(
+        "{}:{}:{}:{}:{}:{}:{}",
+        t.n_tasks,
+        fbits(t.total_util),
+        fbits(t.util_cap),
+        encode_nfj(&t.nfj),
+        fbits(t.offload_fraction.0),
+        fbits(t.offload_fraction.1),
+        fbits(t.deadline_ratio)
+    )
+}
+
+fn decode_set_template(s: &str) -> Result<TaskSetParams, WireError> {
+    let fields: Vec<&str> = s.split(':').collect();
+    if fields.len() != 14 {
+        return Err(malformed(format!(
+            "set template needs 14 fields, got {}",
+            fields.len()
+        )));
+    }
+    Ok(TaskSetParams {
+        n_tasks: parse_num(fields[0], "n_tasks")?,
+        total_util: parse_fbits(fields[1])?,
+        util_cap: parse_fbits(fields[2])?,
+        nfj: decode_nfj(&fields[3..11])?,
+        offload_fraction: (parse_fbits(fields[11])?, parse_fbits(fields[12])?),
+        deadline_ratio: parse_fbits(fields[13])?,
+    })
+}
+
+fn encode_cond_template(t: &CondGenParams) -> String {
+    format!(
+        "{}:{}:{}:{}:{}:{}",
+        fbits(t.p_par),
+        fbits(t.p_cond),
+        t.n_par,
+        t.max_depth,
+        t.c_min,
+        t.c_max
+    )
+}
+
+fn decode_cond_template(s: &str) -> Result<CondGenParams, WireError> {
+    let fields: Vec<&str> = s.split(':').collect();
+    if fields.len() != 6 {
+        return Err(malformed(format!(
+            "cond template needs 6 fields, got {}",
+            fields.len()
+        )));
+    }
+    Ok(CondGenParams {
+        p_par: parse_fbits(fields[0])?,
+        p_cond: parse_fbits(fields[1])?,
+        n_par: parse_num(fields[2], "n_par")?,
+        max_depth: parse_num(fields[3], "max_depth")?,
+        c_min: parse_num(fields[4], "c_min")?,
+        c_max: parse_num(fields[5], "c_max")?,
+    })
+}
+
+/// Encodes a [`SweepSpec`] as fixed-order `key value` lines, floats as
+/// bit patterns, so a daemon re-expands exactly the sweep the client
+/// validated locally.
+#[must_use]
+pub fn encode_spec(spec: &SweepSpec) -> String {
+    let (grid_tag, grid_values) = match &spec.grid {
+        SweepGrid::OffloadFractions(v) => ("fractions", v),
+        SweepGrid::SampledFractions(v) => ("sampled", v),
+        SweepGrid::NormalizedUtilizations(v) => ("utils", v),
+        SweepGrid::CondShares(v) => ("shares", v),
+    };
+    let keys: Vec<&str> = spec.analyses.keys().iter().map(|k| k.as_ref()).collect();
+    let mut out = String::new();
+    out.push_str(&format!("preset {}\n", encode_preset(&spec.preset)));
+    out.push_str(&format!("cores {}\n", encode_u64_list(&spec.core_counts)));
+    out.push_str(&format!(
+        "grid {grid_tag} {}\n",
+        encode_f64_list(grid_values)
+    ));
+    out.push_str(&format!("per-point {}\n", spec.jobs_per_point));
+    out.push_str(&format!("seeds {}\n", encode_u64_list(&spec.seeds)));
+    out.push_str(&format!("analyses {}\n", keys.join(",")));
+    out.push_str(&format!(
+        "set-template {}\n",
+        spec.set_template
+            .as_ref()
+            .map_or_else(|| "-".into(), encode_set_template)
+    ));
+    out.push_str(&format!(
+        "cond-template {}\n",
+        spec.cond_template
+            .as_ref()
+            .map_or_else(|| "-".into(), encode_cond_template)
+    ));
+    out.push_str(&format!("n-tasks {}\n", spec.n_tasks));
+    out.push_str(&format!(
+        "exact-budget {}\n",
+        spec.exact_node_budget
+            .map_or_else(|| "-".into(), |b| b.to_string())
+    ));
+    out.push_str(&format!("realization-cap {}\n", spec.realization_cap));
+    out.push_str(&format!(
+        "sim-transformed {}\n",
+        u8::from(spec.sim_transformed)
+    ));
+    out.push_str(&format!("explore-seeds {}\n", spec.explore_seeds));
+    out
+}
+
+/// Decodes one [`encode_spec`] text.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] naming the offending line or field; nothing
+/// panics on untrusted input.
+pub fn decode_spec(text: &str) -> Result<SweepSpec, WireError> {
+    let mut lines = text.lines();
+    let mut field = |key: &str| -> Result<String, WireError> {
+        let line = lines
+            .next()
+            .ok_or_else(|| malformed(format!("spec truncated before `{key}`")))?;
+        let rest = line
+            .strip_prefix(key)
+            .and_then(|r| r.strip_prefix(' '))
+            .ok_or_else(|| malformed(format!("expected `{key} …`, got `{line}`")))?;
+        Ok(rest.to_string())
+    };
+
+    let preset = decode_preset(&field("preset")?)?;
+    let core_counts = decode_u64_list(&field("cores")?, "core count")?;
+    let grid_field = field("grid")?;
+    let (grid_tag, grid_rest) = grid_field
+        .split_once(' ')
+        .ok_or_else(|| malformed(format!("grid line `{grid_field}` has no values")))?;
+    let grid_values = decode_f64_list(grid_rest)?;
+    let grid = match grid_tag {
+        "fractions" => SweepGrid::OffloadFractions(grid_values),
+        "sampled" => SweepGrid::SampledFractions(grid_values),
+        "utils" => SweepGrid::NormalizedUtilizations(grid_values),
+        "shares" => SweepGrid::CondShares(grid_values),
+        other => return Err(malformed(format!("unknown grid kind `{other}`"))),
+    };
+    let jobs_per_point = parse_num(&field("per-point")?, "jobs per point")?;
+    let seeds = decode_u64_list(&field("seeds")?, "seed")?;
+    let analyses = AnalysisSelection::from_keys(
+        field("analyses")?
+            .split(',')
+            .filter(|t| !t.is_empty())
+            .map(str::to_string),
+    );
+    let set_template = match field("set-template")?.as_str() {
+        "-" => None,
+        packed => Some(decode_set_template(packed)?),
+    };
+    let cond_template = match field("cond-template")?.as_str() {
+        "-" => None,
+        packed => Some(decode_cond_template(packed)?),
+    };
+    let n_tasks = parse_num(&field("n-tasks")?, "n_tasks")?;
+    let exact_node_budget = match field("exact-budget")?.as_str() {
+        "-" => None,
+        n => Some(parse_num(n, "exact budget")?),
+    };
+    let realization_cap = parse_num(&field("realization-cap")?, "realization cap")?;
+    let sim_transformed = match field("sim-transformed")?.as_str() {
+        "0" => false,
+        "1" => true,
+        other => {
+            return Err(malformed(format!(
+                "sim-transformed must be 0/1, got `{other}`"
+            )))
+        }
+    };
+    let explore_seeds = parse_num(&field("explore-seeds")?, "explore seeds")?;
+    if let Some(extra) = lines.next() {
+        if !extra.trim().is_empty() {
+            return Err(malformed(format!("trailing spec line `{extra}`")));
+        }
+    }
+    Ok(SweepSpec {
+        preset,
+        core_counts,
+        grid,
+        jobs_per_point,
+        seeds,
+        analyses,
+        set_template,
+        cond_template,
+        n_tasks,
+        exact_node_budget,
+        realization_cap,
+        sim_transformed,
+        explore_seeds,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Cells and aggregate updates
+// ---------------------------------------------------------------------------
+
+fn encode_cell(cell: &CellSummary) -> String {
+    let mut out = format!("{} {} {} ", cell.m, fbits(cell.grid_value), cell.samples);
+    match &cell.kind {
+        CellKind::Task(t) => {
+            let accuracy = t.accuracy.as_ref().map_or_else(
+                || "-".into(),
+                |a| {
+                    format!(
+                        "{}:{}:{}",
+                        fbits(a.mean_hom_increment),
+                        fbits(a.mean_het_increment),
+                        a.solved
+                    )
+                },
+            );
+            let suspend = t.suspend.as_ref().map_or_else(
+                || "-".into(),
+                |s| {
+                    format!(
+                        "{}:{}:{}:{}:{}:{}",
+                        fbits(s.mean_oblivious),
+                        fbits(s.mean_barrier),
+                        fbits(s.mean_het_tight),
+                        fbits(s.mean_naive),
+                        s.mean_worst_observed.map_or_else(|| "-".into(), fbits),
+                        s.naive_violations
+                    )
+                },
+            );
+            out.push_str(&format!(
+                "task {} {} {} {} {} {} {} {} {} {} {} {} {} {accuracy} {suspend}",
+                t.scenario_counts[0],
+                t.scenario_counts[1],
+                t.scenario_counts[2],
+                fbits(t.mean_improvement),
+                fbits(t.max_improvement),
+                fbits(t.mean_r_het),
+                fbits(t.mean_r_hom),
+                t.schedulable_het,
+                t.schedulable_hom,
+                opt_fbits(t.mean_sim_makespan),
+                opt_fbits(t.mean_sim_transformed),
+                t.exact_solved,
+                opt_fbits(t.mean_exact_makespan),
+            ));
+        }
+        CellKind::Set(s) => {
+            out.push_str("set");
+            for count in s.accepted {
+                out.push_str(&format!(" {count}"));
+            }
+        }
+        CellKind::Cond(c) => {
+            out.push_str(&format!(
+                "cond {} {} {} {}",
+                c.included,
+                fbits(c.mean_flat_overhead),
+                fbits(c.mean_dp_overhead),
+                fbits(c.mean_realizations)
+            ));
+        }
+    }
+    out
+}
+
+fn decode_colon_accuracy(s: &str) -> Result<Option<AccuracySummary>, WireError> {
+    if s == "-" {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = s.split(':').collect();
+    if fields.len() != 3 {
+        return Err(malformed(format!("accuracy pack `{s}` needs 3 fields")));
+    }
+    Ok(Some(AccuracySummary {
+        mean_hom_increment: parse_fbits(fields[0])?,
+        mean_het_increment: parse_fbits(fields[1])?,
+        solved: parse_num(fields[2], "accuracy solved")?,
+    }))
+}
+
+fn decode_colon_suspend(s: &str) -> Result<Option<SuspendCellSummary>, WireError> {
+    if s == "-" {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = s.split(':').collect();
+    if fields.len() != 6 {
+        return Err(malformed(format!("suspend pack `{s}` needs 6 fields")));
+    }
+    Ok(Some(SuspendCellSummary {
+        mean_oblivious: parse_fbits(fields[0])?,
+        mean_barrier: parse_fbits(fields[1])?,
+        mean_het_tight: parse_fbits(fields[2])?,
+        mean_naive: parse_fbits(fields[3])?,
+        mean_worst_observed: parse_opt_fbits(fields[4])?,
+        naive_violations: parse_num(fields[5], "naive violations")?,
+    }))
+}
+
+fn decode_cell(tokens: &mut Tokens<'_>) -> Result<CellSummary, WireError> {
+    let m = parse_num(tokens.next()?, "core count")?;
+    let grid_value = parse_fbits(tokens.next()?)?;
+    let samples = parse_num(tokens.next()?, "samples")?;
+    let kind = match tokens.next()? {
+        "task" => CellKind::Task(TaskCellSummary {
+            scenario_counts: [
+                parse_num(tokens.next()?, "scenario count")?,
+                parse_num(tokens.next()?, "scenario count")?,
+                parse_num(tokens.next()?, "scenario count")?,
+            ],
+            mean_improvement: parse_fbits(tokens.next()?)?,
+            max_improvement: parse_fbits(tokens.next()?)?,
+            mean_r_het: parse_fbits(tokens.next()?)?,
+            mean_r_hom: parse_fbits(tokens.next()?)?,
+            schedulable_het: parse_num(tokens.next()?, "schedulable count")?,
+            schedulable_hom: parse_num(tokens.next()?, "schedulable count")?,
+            mean_sim_makespan: parse_opt_fbits(tokens.next()?)?,
+            mean_sim_transformed: parse_opt_fbits(tokens.next()?)?,
+            exact_solved: parse_num(tokens.next()?, "exact solved")?,
+            mean_exact_makespan: parse_opt_fbits(tokens.next()?)?,
+            accuracy: decode_colon_accuracy(tokens.next()?)?,
+            suspend: decode_colon_suspend(tokens.next()?)?,
+        }),
+        "set" => {
+            let mut accepted = [0usize; 6];
+            for slot in &mut accepted {
+                *slot = parse_num(tokens.next()?, "acceptance count")?;
+            }
+            CellKind::Set(SetCellSummary { accepted })
+        }
+        "cond" => CellKind::Cond(CondCellSummary {
+            included: parse_num(tokens.next()?, "included count")?,
+            mean_flat_overhead: parse_fbits(tokens.next()?)?,
+            mean_dp_overhead: parse_fbits(tokens.next()?)?,
+            mean_realizations: parse_fbits(tokens.next()?)?,
+        }),
+        other => return Err(malformed(format!("unknown cell kind `{other}`"))),
+    };
+    Ok(CellSummary {
+        m,
+        grid_value,
+        samples,
+        kind,
+    })
+}
+
+/// Encodes an [`AggregateUpdate`] as a header line plus one line per
+/// carried cell — the keyframe/delta structure survives the wire, so
+/// remote consumers reassemble with the same
+/// [`AggregateView`](crate::AggregateView) local ones use.
+#[must_use]
+pub fn encode_update(update: &AggregateUpdate) -> String {
+    let mut out = String::new();
+    match update {
+        AggregateUpdate::Keyframe { seq, aggregate } => {
+            out.push_str(&format!("keyframe {seq} {}\n", aggregate.cells.len()));
+            for cell in &aggregate.cells {
+                out.push_str(&encode_cell(cell));
+                out.push('\n');
+            }
+        }
+        AggregateUpdate::Delta { seq, changed } => {
+            out.push_str(&format!("delta {seq} {}\n", changed.len()));
+            for (index, cell) in changed {
+                out.push_str(&format!("{index} "));
+                out.push_str(&encode_cell(cell));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Decodes one [`encode_update`] text.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] naming the defect; decoded floats are
+/// bitwise the encoder's.
+pub fn decode_update(text: &str) -> Result<AggregateUpdate, WireError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| malformed("empty aggregate update"))?;
+    let mut head = Tokens::new(header, "update header");
+    let tag = head.next()?;
+    let seq = parse_num(head.next()?, "sequence number")?;
+    let count: usize = parse_num(head.next()?, "cell count")?;
+    head.finish()?;
+    let mut cell_line = |what: &'static str| -> Result<Tokens<'_>, WireError> {
+        lines
+            .next()
+            .map(|line| Tokens::new(line, what))
+            .ok_or_else(|| malformed(format!("update truncated: missing {what} line")))
+    };
+    let update = match tag {
+        "keyframe" => {
+            let mut cells = Vec::with_capacity(count);
+            for _ in 0..count {
+                let mut tokens = cell_line("keyframe cell")?;
+                cells.push(decode_cell(&mut tokens)?);
+                tokens.finish()?;
+            }
+            AggregateUpdate::Keyframe {
+                seq,
+                aggregate: SweepAggregate { cells },
+            }
+        }
+        "delta" => {
+            let mut changed = Vec::with_capacity(count);
+            for _ in 0..count {
+                let mut tokens = cell_line("delta cell")?;
+                let index = parse_num(tokens.next()?, "cell index")?;
+                changed.push((index, decode_cell(&mut tokens)?));
+                tokens.finish()?;
+            }
+            AggregateUpdate::Delta { seq, changed }
+        }
+        other => return Err(malformed(format!("unknown update tag `{other}`"))),
+    };
+    if let Some(extra) = lines.next() {
+        if !extra.trim().is_empty() {
+            return Err(malformed(format!("trailing update line `{extra}`")));
+        }
+    }
+    Ok(update)
+}
+
+impl AggregateUpdate {
+    /// Encodes this update as one checksummed wire frame
+    /// ([`KIND_AGGREGATE`]).
+    #[must_use]
+    pub fn encode_frame(&self) -> Vec<u8> {
+        wire::encode_frame(KIND_AGGREGATE, encode_update(self).as_bytes())
+    }
+
+    /// Decodes one [`AggregateUpdate::encode_frame`] frame. Corruption,
+    /// truncation, version bumps, wrong frame kinds and unparseable
+    /// payloads all map to typed [`WireError`]s.
+    ///
+    /// # Errors
+    ///
+    /// Every defect maps to its [`WireError`] variant; nothing panics.
+    pub fn decode_frame(buf: &[u8]) -> Result<AggregateUpdate, WireError> {
+        let (kind, payload) = wire::decode_frame(buf)?;
+        if kind != KIND_AGGREGATE {
+            return Err(malformed(format!(
+                "frame kind {kind:#04x} is not an aggregate update"
+            )));
+        }
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| malformed("aggregate payload is not utf-8"))?;
+        decode_update(text)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SweepEvent
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`SweepEvent`] (first token is the event tag; a
+/// `PartialAggregate` carries its update text on the following lines).
+#[must_use]
+pub fn encode_event(event: &SweepEvent) -> String {
+    match event {
+        SweepEvent::JobStarted { index } => format!("started {index}"),
+        SweepEvent::JobFinished {
+            index,
+            cell,
+            key,
+            cache_hit,
+            wall_time,
+        } => format!(
+            "finished {index} {cell} {key:032x} {} {}",
+            u8::from(*cache_hit),
+            wall_time.as_nanos()
+        ),
+        SweepEvent::PartialAggregate {
+            completed,
+            total,
+            update,
+        } => format!("partial {completed} {total}\n{}", encode_update(update)),
+        SweepEvent::SweepFinished {
+            completed,
+            cancelled,
+            events_dropped,
+        } => format!("done {completed} {} {events_dropped}", u8::from(*cancelled)),
+    }
+}
+
+/// Decodes one [`encode_event`] text.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] naming the defect; nothing panics.
+pub fn decode_event(text: &str) -> Result<SweepEvent, WireError> {
+    let (first, rest) = match text.split_once('\n') {
+        Some((first, rest)) => (first, rest),
+        None => (text, ""),
+    };
+    let mut tokens = Tokens::new(first, "event");
+    let event = match tokens.next()? {
+        "started" => SweepEvent::JobStarted {
+            index: parse_num(tokens.next()?, "job index")?,
+        },
+        "finished" => SweepEvent::JobFinished {
+            index: parse_num(tokens.next()?, "job index")?,
+            cell: parse_num(tokens.next()?, "cell index")?,
+            key: {
+                let hex = tokens.next()?;
+                if hex.len() != 32 {
+                    return Err(malformed(format!(
+                        "content key `{hex}` is not 32 hex digits"
+                    )));
+                }
+                u128::from_str_radix(hex, 16)
+                    .map_err(|_| malformed(format!("unparseable content key `{hex}`")))?
+            },
+            cache_hit: match tokens.next()? {
+                "0" => false,
+                "1" => true,
+                other => return Err(malformed(format!("cache-hit bit `{other}` is not 0/1"))),
+            },
+            wall_time: {
+                let nanos: u64 = parse_num(tokens.next()?, "wall time")?;
+                Duration::from_nanos(nanos)
+            },
+        },
+        "partial" => {
+            let completed = parse_num(tokens.next()?, "completed count")?;
+            let total = parse_num(tokens.next()?, "total count")?;
+            tokens.finish()?;
+            return Ok(SweepEvent::PartialAggregate {
+                completed,
+                total,
+                update: decode_update(rest)?,
+            });
+        }
+        "done" => SweepEvent::SweepFinished {
+            completed: parse_num(tokens.next()?, "completed count")?,
+            cancelled: match tokens.next()? {
+                "0" => false,
+                "1" => true,
+                other => return Err(malformed(format!("cancelled bit `{other}` is not 0/1"))),
+            },
+            events_dropped: parse_num(tokens.next()?, "dropped count")?,
+        },
+        other => return Err(malformed(format!("unknown event tag `{other}`"))),
+    };
+    tokens.finish()?;
+    if !rest.trim().is_empty() {
+        return Err(malformed("trailing lines after a single-line event"));
+    }
+    Ok(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GeneratorPreset;
+    use crate::AggregateView;
+
+    fn task_cell(m: u64, grid: f64, full: bool) -> CellSummary {
+        CellSummary {
+            m,
+            grid_value: grid,
+            samples: 17,
+            kind: CellKind::Task(TaskCellSummary {
+                scenario_counts: [3, 9, 5],
+                mean_improvement: 12.75,
+                max_improvement: 31.0 + f64::EPSILON,
+                mean_r_het: 0.1 + 0.2,
+                mean_r_hom: 991.25,
+                schedulable_het: 15,
+                schedulable_hom: 11,
+                mean_sim_makespan: full.then_some(812.0),
+                mean_sim_transformed: None,
+                exact_solved: 4,
+                mean_exact_makespan: full.then_some(790.5),
+                accuracy: full.then_some(AccuracySummary {
+                    mean_hom_increment: 8.125,
+                    mean_het_increment: 2.5,
+                    solved: 4,
+                }),
+                suspend: full.then_some(SuspendCellSummary {
+                    mean_oblivious: 1000.0,
+                    mean_barrier: 950.0,
+                    mean_het_tight: 900.0,
+                    mean_naive: 870.0,
+                    mean_worst_observed: full.then_some(905.0),
+                    naive_violations: 2,
+                }),
+            }),
+        }
+    }
+
+    fn sample_specs() -> Vec<SweepSpec> {
+        vec![
+            SweepSpec::fractions(
+                GeneratorPreset::Small,
+                vec![2, 8],
+                vec![0.05, 0.30],
+                8,
+                0xDAC_2018,
+            ),
+            SweepSpec::suspension(vec![4], vec![10.0, 20.0], 6, 1),
+            SweepSpec::acceptance(
+                TaskSetParams::small(5, 2.0),
+                vec![4, 16],
+                vec![0.3, 0.5, 0.7],
+                5,
+                10,
+                3,
+            ),
+            SweepSpec::conditional(CondGenParams::small(), vec![2], vec![0.25, 0.4], 12, 512),
+            SweepSpec::fractions(
+                GeneratorPreset::Custom(
+                    NfjParams::new(5, 4, 10, 50)
+                        .with_p_par(0.65)
+                        .with_wcet_range(3, 77)
+                        .with_max_attempts(12345),
+                ),
+                vec![2],
+                vec![0.1],
+                4,
+                7,
+            ),
+        ]
+    }
+
+    #[test]
+    fn spec_roundtrips_reencode_identically() {
+        for spec in sample_specs() {
+            let text = encode_spec(&spec);
+            let back = decode_spec(&text).unwrap_or_else(|e| panic!("{e} for:\n{text}"));
+            // SweepSpec has no PartialEq; re-encoding is the bitwise
+            // equality witness (every float travels as its bit pattern).
+            assert_eq!(encode_spec(&back), text);
+            // And the decoded spec expands to the same job count.
+            assert_eq!(back.job_count(), spec.job_count());
+        }
+    }
+
+    #[test]
+    fn decoded_spec_produces_identical_aggregate() {
+        let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 4, 11);
+        let engine = crate::Engine::new(2);
+        let local = engine.run(&spec).unwrap();
+        let remote = engine
+            .run(&decode_spec(&encode_spec(&spec)).unwrap())
+            .unwrap();
+        assert_eq!(local.aggregate, remote.aggregate);
+    }
+
+    #[test]
+    fn malformed_specs_error_typed() {
+        let good = encode_spec(&sample_specs()[0]);
+        for bad in [
+            String::new(),
+            "preset frob\ncores 2".to_string(),
+            good.replace("per-point 8", "per-point eight"),
+            good.replace("cores 2,8", "cores 2,borked"),
+            good.replace("grid fractions", "grid pentagons"),
+            good.replace("sim-transformed 0", "sim-transformed maybe"),
+            format!("{good}surprise extra line\n"),
+        ] {
+            assert!(
+                matches!(decode_spec(&bad), Err(WireError::Malformed(_))),
+                "decoded unexpectedly:\n{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn update_roundtrips_bitwise() {
+        let keyframe = AggregateUpdate::Keyframe {
+            seq: 0,
+            aggregate: SweepAggregate {
+                cells: vec![
+                    task_cell(2, 0.05, true),
+                    task_cell(8, 0.30, false),
+                    CellSummary {
+                        m: 4,
+                        grid_value: 0.5,
+                        samples: 9,
+                        kind: CellKind::Set(SetCellSummary {
+                            accepted: [9, 7, 5, 3, 1, 0],
+                        }),
+                    },
+                    CellSummary {
+                        m: 2,
+                        grid_value: 0.25,
+                        samples: 6,
+                        kind: CellKind::Cond(CondCellSummary {
+                            included: 5,
+                            mean_flat_overhead: 14.5,
+                            mean_dp_overhead: 3.25,
+                            mean_realizations: 12.0,
+                        }),
+                    },
+                ],
+            },
+        };
+        let delta = AggregateUpdate::Delta {
+            seq: 3,
+            changed: vec![
+                (1, task_cell(8, 0.30, true)),
+                (3, task_cell(2, 0.25, false)),
+            ],
+        };
+        for update in [keyframe, delta] {
+            let text = encode_update(&update);
+            assert_eq!(decode_update(&text).unwrap(), update, "text:\n{text}");
+            let frame = update.encode_frame();
+            assert_eq!(AggregateUpdate::decode_frame(&frame).unwrap(), update);
+        }
+    }
+
+    #[test]
+    fn corrupt_and_version_bumped_update_frames_error_typed() {
+        let update = AggregateUpdate::Keyframe {
+            seq: 0,
+            aggregate: SweepAggregate {
+                cells: vec![task_cell(2, 0.1, true)],
+            },
+        };
+        let frame = update.encode_frame();
+
+        let mut corrupt = frame.clone();
+        let mid = frame.len() / 2;
+        corrupt[mid] ^= 0x40;
+        assert_eq!(
+            AggregateUpdate::decode_frame(&corrupt),
+            Err(WireError::Checksum)
+        );
+
+        let mut bumped = frame.clone();
+        bumped[5] = bumped[5].wrapping_add(3);
+        assert!(matches!(
+            AggregateUpdate::decode_frame(&bumped),
+            Err(WireError::Version { .. })
+        ));
+
+        assert_eq!(
+            AggregateUpdate::decode_frame(&frame[..frame.len() - 2]),
+            Err(WireError::Truncated)
+        );
+
+        let alien = wire::encode_frame(0x66, b"keyframe 0 0\n");
+        assert!(matches!(
+            AggregateUpdate::decode_frame(&alien),
+            Err(WireError::Malformed(_))
+        ));
+
+        for text in [
+            "keyframe 0 2\n",                // promises cells it lacks
+            "keyframe zero 0\n",             // unparseable seq
+            "delta 1 1\nnotanindex 2 x 3\n", // garbage delta line
+            "hologram 1 0\n",                // unknown tag
+        ] {
+            assert!(
+                matches!(decode_update(text), Err(WireError::Malformed(_))),
+                "decoded unexpectedly: {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn events_roundtrip_and_remote_view_reassembles() {
+        let events = vec![
+            SweepEvent::JobStarted { index: 7 },
+            SweepEvent::JobFinished {
+                index: 7,
+                cell: 2,
+                key: 0xDEAD_BEEF_0123_4567_89AB_CDEF_0011_2233,
+                cache_hit: true,
+                wall_time: Duration::from_nanos(123_456_789),
+            },
+            SweepEvent::PartialAggregate {
+                completed: 12,
+                total: 48,
+                update: AggregateUpdate::Delta {
+                    seq: 4,
+                    changed: vec![(0, task_cell(2, 0.05, false))],
+                },
+            },
+            SweepEvent::SweepFinished {
+                completed: 48,
+                cancelled: false,
+                events_dropped: 3,
+            },
+        ];
+        for event in &events {
+            let text = encode_event(event);
+            assert_eq!(&decode_event(&text).unwrap(), event, "text:\n{text}");
+        }
+
+        // End to end: a real sweep's partial updates survive the text
+        // codec transparently — a view fed decoded updates reconstructs
+        // bitwise the same snapshots as a view fed the originals.
+        let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.1, 0.3], 4, 5);
+        let engine = crate::Engine::new(2);
+        let handle = engine
+            .submit_with(
+                &spec,
+                crate::SessionConfig {
+                    job_events: false,
+                    partial_every: Some(1),
+                    keyframe_every: 4,
+                    ..crate::SessionConfig::default()
+                },
+            )
+            .unwrap();
+        let mut local_view = AggregateView::new();
+        let mut remote_view = AggregateView::new();
+        let mut partials = 0usize;
+        while let Some(event) = handle.next_event() {
+            if let SweepEvent::PartialAggregate { update, .. } = event {
+                let decoded = decode_update(&encode_update(&update)).unwrap();
+                assert_eq!(decoded, update);
+                local_view.apply(&update);
+                remote_view.apply(&decoded);
+                assert_eq!(remote_view.snapshot(), local_view.snapshot());
+                partials += 1;
+            }
+        }
+        handle.wait().unwrap();
+        assert!(partials > 0, "the sweep must have streamed partials");
+        assert!(remote_view.snapshot().is_some(), "view ends in sync");
+    }
+
+    #[test]
+    fn malformed_events_error_typed() {
+        for text in [
+            "",
+            "exploded 1",
+            "started",
+            "started x",
+            "finished 1 2 deadbeef 1 5", // short key
+            "finished 1 2",              // truncated
+            "done 4 maybe 0",
+            "done 4 1", // missing drop count
+            "started 1 extra",
+            "started 1\ntrailing line",
+        ] {
+            assert!(
+                matches!(decode_event(text), Err(WireError::Malformed(_))),
+                "decoded unexpectedly: {text:?}"
+            );
+        }
+    }
+}

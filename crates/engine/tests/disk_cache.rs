@@ -123,6 +123,66 @@ fn corrupt_and_stale_entries_fall_back_to_recompute() {
 }
 
 #[test]
+fn two_engines_share_one_cache_dir_under_concurrent_gc() {
+    // Two engines (standing in for two processes — nothing shared but
+    // the directory) run the same sweep concurrently while a third
+    // thread aggressively gc's the directory the whole time. Entries
+    // vanishing mid-run must read as misses and be recomputed; tmp+rename
+    // from the concurrent writer must never yield a torn read; the
+    // outputs must match a disk-free reference bitwise.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let dir = temp_dir("two-engines");
+    let reference = Engine::new(2).run(&spec()).expect("reference run");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let gc_thread = {
+        let dir = dir.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            // A dedicated handle, like an operator's `hetrta cache gc`
+            // racing the daemons.
+            let cache = hetrta_engine::DiskCache::open(&dir).expect("gc handle");
+            let mut sweeps = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                cache.gc(0).expect("gc never errors");
+                sweeps += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            sweeps
+        })
+    };
+
+    let runs: Vec<_> = (0..2)
+        .map(|_| {
+            let dir = dir.clone();
+            std::thread::spawn(move || engine_on(&dir).run(&spec()).expect("concurrent run"))
+        })
+        .collect();
+    let outputs: Vec<_> = runs
+        .into_iter()
+        .map(|t| t.join().expect("run thread"))
+        .collect();
+    stop.store(true, Ordering::Relaxed);
+    let sweeps = gc_thread.join().expect("gc thread");
+    assert!(sweeps > 0, "gc actually raced the engines");
+
+    for out in &outputs {
+        assert_eq!(out.aggregate, reference.aggregate);
+        assert_eq!(
+            format!("{:?}", out.aggregate),
+            format!("{:?}", reference.aggregate),
+            "bitwise identical under gc pressure"
+        );
+    }
+    // The directory is still a working cache afterwards.
+    let warm = engine_on(&dir).run(&spec()).expect("post-stress run");
+    assert_eq!(warm.aggregate, reference.aggregate);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn unusable_cache_dir_is_a_builder_error() {
     let err = EngineBuilder::new()
         .with_cache_dir("/proc/definitely/not/writable")

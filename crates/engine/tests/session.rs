@@ -42,8 +42,10 @@ fn streaming_consumption_matches_blocking_run_bitwise() {
             SweepEvent::SweepFinished {
                 completed,
                 cancelled,
+                events_dropped,
             } => {
                 assert!(terminal.is_none(), "exactly one terminal event");
+                assert_eq!(events_dropped, 0, "nothing dropped on a drained stream");
                 terminal = Some((completed, cancelled));
             }
         }
@@ -282,6 +284,56 @@ fn unconsumed_event_buffers_bound_their_memory() {
     ));
     let out = handle.wait().expect("run completes without a consumer");
     assert_eq!(out.stats.jobs, 96);
+}
+
+#[test]
+fn slow_consumers_see_their_drop_count_rise() {
+    // A consumer that never drains until the sweep is done, against a
+    // tiny buffer and a chatty event config: the per-session drop count
+    // must rise, and the terminal event itself must carry it — that is
+    // how a daemon tells the affected client its stream was lossy.
+    let spec = spec(); // 24 jobs
+    let engine = Engine::new(2);
+    let config = SessionConfig {
+        job_events: true,
+        partial_every: Some(1),
+        keyframe_every: 1,
+        max_buffered_events: 4,
+    };
+    let handle = engine.submit_with(&spec, config).expect("submit");
+    while !handle.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let dropped = handle.dropped_events();
+    assert!(dropped > 0, "a slow consumer must observe drops");
+    // The terminal event is the last push and is never itself dropped;
+    // its count equals the handle's view at that moment.
+    let mut terminal_dropped = None;
+    while let Some(event) = handle.try_next_event() {
+        if let SweepEvent::SweepFinished { events_dropped, .. } = event {
+            terminal_dropped = Some(events_dropped);
+        }
+    }
+    assert_eq!(terminal_dropped, Some(dropped));
+    handle.wait().expect("run");
+}
+
+#[test]
+fn cancel_tokens_cancel_and_observe_from_another_thread() {
+    let spec = cancellable_spec();
+    let engine = Engine::new(1);
+    let handle = engine.submit(&spec).expect("submit");
+    assert_eq!(engine.active_sessions(), 1);
+    let token = handle.cancel_token();
+    assert!(!token.is_cancelled());
+    let canceller = std::thread::spawn(move || {
+        token.cancel();
+        token.is_cancelled()
+    });
+    assert!(canceller.join().expect("canceller thread"));
+    while handle.next_event().is_some() {}
+    assert!(matches!(handle.wait(), Err(EngineError::Cancelled)));
+    assert_eq!(engine.active_sessions(), 0, "session count returns to zero");
 }
 
 #[test]

@@ -168,6 +168,24 @@ impl NfjParams {
         self.n_max
     }
 
+    /// Minimum per-node WCET (ticks).
+    #[must_use]
+    pub fn c_min(&self) -> u64 {
+        self.c_min
+    }
+
+    /// Maximum per-node WCET (ticks).
+    #[must_use]
+    pub fn c_max(&self) -> u64 {
+        self.c_max
+    }
+
+    /// Rejection-sampling attempt budget.
+    #[must_use]
+    pub fn max_attempts(&self) -> usize {
+        self.max_attempts
+    }
+
     /// Longest possible path (in nodes) any generated DAG can have:
     /// `2·max_depth + 1`.
     #[must_use]

@@ -1,0 +1,383 @@
+//! Admission control: a bounded pending-sweep queue with per-tenant
+//! round-robin fairness.
+//!
+//! The daemon never buffers unboundedly — past `max_pending` queued
+//! sweeps it answers [`Offer::Busy`] with a retry hint and drops the
+//! request on the floor. Granted slots are bounded by `max_active`, and
+//! tenants take turns: one chatty tenant enqueueing fifty sweeps cannot
+//! starve a quiet one's single request, because grants rotate across
+//! tenants with pending work rather than draining queues FIFO.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+use hetrta_obs::Gauge;
+
+/// Tuning knobs for [`Admission`].
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Sweeps allowed to run concurrently on the shared engine.
+    pub max_active: usize,
+    /// Sweeps allowed to wait; one more gets `Busy`.
+    pub max_pending: usize,
+    /// Backoff hint carried in `Busy` replies, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_active: 2,
+            max_pending: 64,
+            retry_after_ms: 200,
+        }
+    }
+}
+
+/// Outcome of offering a sweep to the queue.
+#[derive(Debug)]
+pub enum Offer {
+    /// Admitted; the scheduler will grant it a slot in fair order.
+    Enqueued,
+    /// Queue full — the typed backpressure reply, instead of buffering.
+    Busy {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The daemon is draining and takes no new work.
+    Draining,
+}
+
+struct State<T> {
+    /// Pending sweeps, one FIFO per tenant.
+    queues: HashMap<String, VecDeque<T>>,
+    /// Round-robin rotation of tenants that have pending work.
+    rotation: VecDeque<String>,
+    pending_total: usize,
+    active: usize,
+    draining: bool,
+}
+
+/// The bounded, tenant-fair pending queue shared by every connection.
+///
+/// `T` is the queued work item (the daemon queues pending sweeps; the
+/// unit tests queue labels).
+pub struct Admission<T> {
+    config: AdmissionConfig,
+    state: Mutex<State<T>>,
+    /// Signalled when a grant may have become possible.
+    grantable: Condvar,
+    /// Signalled when drain may have completed.
+    drained: Condvar,
+    queue_depth: Gauge,
+    active_gauge: Gauge,
+}
+
+impl<T> std::fmt::Debug for Admission<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("admission lock");
+        f.debug_struct("Admission")
+            .field("config", &self.config)
+            .field("pending_total", &state.pending_total)
+            .field("active", &state.active)
+            .field("draining", &state.draining)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> Admission<T> {
+    /// A queue with the given bounds, publishing depth/active gauges.
+    #[must_use]
+    pub fn new(config: AdmissionConfig, queue_depth: Gauge, active_gauge: Gauge) -> Self {
+        Admission {
+            config,
+            state: Mutex::new(State {
+                queues: HashMap::new(),
+                rotation: VecDeque::new(),
+                pending_total: 0,
+                active: 0,
+                draining: false,
+            }),
+            grantable: Condvar::new(),
+            drained: Condvar::new(),
+            queue_depth,
+            active_gauge,
+        }
+    }
+
+    /// Offers one sweep under `tenant`; bounded, so this never blocks.
+    pub fn offer(&self, tenant: &str, item: T) -> Offer {
+        self.offer_with(tenant, item, |_| {})
+    }
+
+    /// [`Admission::offer`], with `on_decision` invoked while the queue
+    /// lock is still held — before [`Admission::next_granted`] in any
+    /// other thread can observe the enqueue. A reply enqueued inside the
+    /// callback is therefore ordered ahead of every frame the granted
+    /// sweep itself emits (on a fully-cached sweep the pump can reach
+    /// its terminal frame within a millisecond of the enqueue, beating
+    /// an `Accepted` sent after `offer` returns).
+    pub fn offer_with(&self, tenant: &str, item: T, on_decision: impl FnOnce(&Offer)) -> Offer {
+        let mut state = self.state.lock().expect("admission lock");
+        let offer = if state.draining {
+            Offer::Draining
+        } else if state.pending_total >= self.config.max_pending {
+            Offer::Busy {
+                retry_after_ms: self.config.retry_after_ms,
+            }
+        } else {
+            let queue = state.queues.entry(tenant.to_string()).or_default();
+            let newly_pending = queue.is_empty();
+            queue.push_back(item);
+            if newly_pending {
+                state.rotation.push_back(tenant.to_string());
+            }
+            state.pending_total += 1;
+            self.queue_depth.set(state.pending_total as u64);
+            self.grantable.notify_all();
+            Offer::Enqueued
+        };
+        on_decision(&offer);
+        offer
+    }
+
+    /// Blocks until a slot opens and pending work exists, then grants
+    /// the next sweep in tenant round-robin order. Returns `None` once
+    /// the queue is draining and empty — the scheduler's exit signal.
+    pub fn next_granted(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("admission lock");
+        loop {
+            if state.pending_total > 0 && state.active < self.config.max_active {
+                let tenant = state.rotation.pop_front().expect("rotation tracks pending");
+                let queue = state.queues.get_mut(&tenant).expect("queued tenant");
+                let item = queue.pop_front().expect("non-empty queue in rotation");
+                if queue.is_empty() {
+                    state.queues.remove(&tenant);
+                } else {
+                    state.rotation.push_back(tenant);
+                }
+                state.pending_total -= 1;
+                state.active += 1;
+                self.queue_depth.set(state.pending_total as u64);
+                self.active_gauge.set(state.active as u64);
+                return Some(item);
+            }
+            if state.draining && state.pending_total == 0 {
+                return None;
+            }
+            state = self.grantable.wait(state).expect("admission lock");
+        }
+    }
+
+    /// Releases a granted slot (call exactly once per grant, after the
+    /// sweep finished, failed, or was skipped).
+    pub fn complete(&self) {
+        let mut state = self.state.lock().expect("admission lock");
+        state.active = state
+            .active
+            .checked_sub(1)
+            .expect("complete() pairs with a grant");
+        self.active_gauge.set(state.active as u64);
+        self.grantable.notify_all();
+        if state.draining && state.active == 0 && state.pending_total == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Stops admitting, then blocks until every pending and active sweep
+    /// has completed. Idempotent.
+    pub fn drain(&self) {
+        let mut state = self.state.lock().expect("admission lock");
+        state.draining = true;
+        // Wake the scheduler so it can observe draining (and exit once
+        // the queue empties).
+        self.grantable.notify_all();
+        while state.active > 0 || state.pending_total > 0 {
+            state = self.drained.wait(state).expect("admission lock");
+        }
+    }
+
+    /// Pending sweeps currently queued (not yet granted).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.state.lock().expect("admission lock").pending_total
+    }
+
+    /// Sweeps currently holding a granted slot.
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.state.lock().expect("admission lock").active
+    }
+
+    /// Whether [`Admission::drain`] has been initiated.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.state.lock().expect("admission lock").draining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn admission(max_active: usize, max_pending: usize) -> Admission<&'static str> {
+        Admission::new(
+            AdmissionConfig {
+                max_active,
+                max_pending,
+                retry_after_ms: 125,
+            },
+            Gauge::detached(),
+            Gauge::detached(),
+        )
+    }
+
+    #[test]
+    fn grants_rotate_across_tenants_not_fifo() {
+        let adm = admission(1, 16);
+        // Tenant `a` floods the queue before `b` and `c` show up once.
+        for item in ["a1", "a2", "a3", "a4"] {
+            assert!(matches!(adm.offer("a", item), Offer::Enqueued));
+        }
+        assert!(matches!(adm.offer("b", "b1"), Offer::Enqueued));
+        assert!(matches!(adm.offer("c", "c1"), Offer::Enqueued));
+
+        let mut order = Vec::new();
+        for _ in 0..6 {
+            order.push(adm.next_granted().expect("pending work"));
+            adm.complete();
+        }
+        assert_eq!(
+            order,
+            vec!["a1", "b1", "c1", "a2", "a3", "a4"],
+            "each waiting tenant gets a turn before a's backlog continues"
+        );
+    }
+
+    #[test]
+    fn bounded_queue_answers_busy_with_the_configured_hint() {
+        let adm = admission(1, 2);
+        assert!(matches!(adm.offer("t", "s1"), Offer::Enqueued));
+        assert!(matches!(adm.offer("t", "s2"), Offer::Enqueued));
+        match adm.offer("t", "s3") {
+            Offer::Busy { retry_after_ms } => assert_eq!(retry_after_ms, 125),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // A grant frees pending capacity (even while the slot is active).
+        assert_eq!(adm.next_granted(), Some("s1"));
+        assert!(matches!(adm.offer("t", "s3"), Offer::Enqueued));
+        adm.complete();
+    }
+
+    #[test]
+    fn active_slots_are_capped() {
+        let adm = Arc::new(admission(2, 16));
+        for item in ["s1", "s2", "s3"] {
+            adm.offer("t", item);
+        }
+        assert!(adm.next_granted().is_some());
+        assert!(adm.next_granted().is_some());
+        assert_eq!(adm.active(), 2);
+
+        // The third grant blocks until a slot completes.
+        let waiter = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || adm.next_granted())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "grant must wait for a free slot");
+        adm.complete();
+        assert_eq!(waiter.join().expect("waiter"), Some("s3"));
+        adm.complete();
+        adm.complete();
+    }
+
+    #[test]
+    fn drain_refuses_new_work_and_waits_for_the_backlog() {
+        let adm = Arc::new(admission(1, 16));
+        adm.offer("t", "s1");
+        adm.offer("t", "s2");
+
+        // A scheduler that keeps granting until drain empties the queue.
+        let scheduler = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || {
+                let mut ran = Vec::new();
+                while let Some(item) = adm.next_granted() {
+                    std::thread::sleep(Duration::from_millis(10));
+                    ran.push(item);
+                    adm.complete();
+                }
+                ran
+            })
+        };
+
+        std::thread::sleep(Duration::from_millis(5));
+        adm.drain();
+        assert!(matches!(adm.offer("t", "s3"), Offer::Draining));
+        assert_eq!(
+            adm.pending(),
+            0,
+            "drain returned only after the backlog ran"
+        );
+        assert_eq!(adm.active(), 0);
+        assert_eq!(scheduler.join().expect("scheduler"), vec!["s1", "s2"]);
+    }
+
+    #[test]
+    fn offer_decision_runs_before_the_grant_is_observable() {
+        // Regression: the daemon's `Accepted` reply is enqueued inside
+        // `offer_with`'s callback. If the scheduler could pop the item
+        // before the callback ran, a fast sweep's `Done` could beat
+        // `Accepted` onto the wire.
+        let adm = Arc::new(admission(1, 4));
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        let scheduler = {
+            let adm = Arc::clone(&adm);
+            let order = Arc::clone(&order);
+            std::thread::spawn(move || {
+                let item = adm.next_granted().expect("pending work");
+                order.lock().expect("order").push(item);
+                adm.complete();
+            })
+        };
+        // Give the scheduler time to block in next_granted first, then
+        // hold the decision callback open: the grant must still wait.
+        std::thread::sleep(Duration::from_millis(20));
+        adm.offer_with("t", "reply-sent", |offer| {
+            assert!(matches!(offer, Offer::Enqueued));
+            std::thread::sleep(Duration::from_millis(30));
+            order.lock().expect("order").push("decision");
+        });
+        scheduler.join().expect("scheduler");
+        assert_eq!(
+            *order.lock().expect("order"),
+            vec!["decision", "reply-sent"]
+        );
+    }
+
+    #[test]
+    fn gauges_track_depth_and_active() {
+        let depth = Gauge::detached();
+        let active = Gauge::detached();
+        let adm: Admission<&str> = Admission::new(
+            AdmissionConfig {
+                max_active: 1,
+                max_pending: 8,
+                retry_after_ms: 50,
+            },
+            depth.clone(),
+            active.clone(),
+        );
+        adm.offer("t", "s1");
+        adm.offer("t", "s2");
+        assert_eq!(depth.get(), 2);
+        assert_eq!(active.get(), 0);
+        adm.next_granted();
+        assert_eq!((depth.get(), active.get()), (1, 1));
+        adm.complete();
+        assert_eq!(active.get(), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! The blocking client: connect, submit, stream events, collect the
+//! final aggregate. Used by `hetrta submit`, the load generator, and
+//! any program that wants daemon results without speaking frames
+//! by hand.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use hetrta_api::wire::WireError;
+use hetrta_engine::{SweepAggregate, SweepEvent, SweepSpec};
+
+use crate::proto::{Reply, Request};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or codec defect (includes connect failures).
+    Wire(WireError),
+    /// The daemon's admission queue is full; retry after the hint.
+    Busy {
+        /// Daemon-suggested backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The daemon refused or aborted the sweep (bad spec, draining,
+    /// cancelled, engine failure) with this message.
+    Rejected(String),
+    /// The daemon answered with a frame that makes no sense here.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(err) => write!(f, "wire: {err}"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "daemon busy, retry after {retry_after_ms}ms")
+            }
+            ClientError::Rejected(msg) => write!(f, "rejected: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(err: WireError) -> Self {
+        ClientError::Wire(err)
+    }
+}
+
+/// The final result of a remotely-run sweep.
+#[derive(Debug, Clone)]
+pub struct RemoteOutcome {
+    /// Jobs that completed daemon-side.
+    pub completed: usize,
+    /// Whether the sweep was cancelled before running every job.
+    pub cancelled: bool,
+    /// Events the daemon dropped because this client fell behind.
+    pub events_dropped: u64,
+    /// The final aggregate — bitwise what a local run produces.
+    pub aggregate: SweepAggregate,
+}
+
+/// A blocking connection to a `hetrta serve` daemon.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to the daemon at `addr` (e.g. `127.0.0.1:7917`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] when the connection fails.
+    pub fn connect(addr: &str) -> Result<ServeClient, ClientError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|err| ClientError::Wire(WireError::Io(format!("connect {addr}: {err}"))))?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServeClient { stream })
+    }
+
+    /// Like [`ServeClient::connect`] with a connect timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] on failure or timeout.
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> Result<ServeClient, ClientError> {
+        let sock_addr = addr
+            .parse()
+            .map_err(|err| ClientError::Wire(WireError::Io(format!("bad addr {addr}: {err}"))))?;
+        let stream = TcpStream::connect_timeout(&sock_addr, timeout)
+            .map_err(|err| ClientError::Wire(WireError::Io(format!("connect {addr}: {err}"))))?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServeClient { stream })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        request
+            .write_to(&mut self.stream)
+            .map_err(ClientError::from)
+    }
+
+    fn recv(&mut self) -> Result<Reply, ClientError> {
+        Reply::read_from(&mut self.stream).map_err(ClientError::from)
+    }
+
+    /// Submits one sweep and returns its daemon-side job count once
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Busy`] when admission is full (retry later);
+    /// [`ClientError::Rejected`] when the daemon refuses the spec.
+    pub fn submit(&mut self, tenant: &str, spec: &SweepSpec) -> Result<usize, ClientError> {
+        self.send(&Request::Submit {
+            tenant: tenant.to_string(),
+            spec: Box::new(spec.clone()),
+        })?;
+        match self.recv()? {
+            Reply::Accepted { jobs } => Ok(jobs),
+            Reply::Busy { retry_after_ms } => Err(ClientError::Busy { retry_after_ms }),
+            Reply::Error { message } => Err(ClientError::Rejected(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to submit: {other:?}"
+            ))),
+        }
+    }
+
+    /// After a successful [`ServeClient::submit`], blocks for the next
+    /// streamed event or the terminal outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] when the daemon aborts the sweep;
+    /// [`ClientError::Wire`] on transport defects.
+    pub fn next_progress(&mut self) -> Result<Progress, ClientError> {
+        match self.recv()? {
+            Reply::Event(event) => Ok(Progress::Event(event)),
+            Reply::Done {
+                completed,
+                cancelled,
+                events_dropped,
+                aggregate,
+            } => Ok(Progress::Done(RemoteOutcome {
+                completed,
+                cancelled,
+                events_dropped,
+                aggregate,
+            })),
+            Reply::Error { message } => Err(ClientError::Rejected(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply mid-stream: {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits and blocks until the terminal outcome, handing every
+    /// streamed event to `on_event`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeClient::submit`] and stream errors.
+    pub fn run_to_completion(
+        &mut self,
+        tenant: &str,
+        spec: &SweepSpec,
+        mut on_event: impl FnMut(&SweepEvent),
+    ) -> Result<RemoteOutcome, ClientError> {
+        self.submit(tenant, spec)?;
+        loop {
+            match self.next_progress()? {
+                Progress::Event(event) => on_event(&event),
+                Progress::Done(outcome) => return Ok(outcome),
+            }
+        }
+    }
+
+    /// Asks the in-flight sweep to cancel (fire-and-forget; the stream
+    /// still terminates with an `Error` or `Done` reply).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] when the send fails.
+    pub fn cancel(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Cancel)
+    }
+
+    /// Fetches the daemon's rendered metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on an unexpected reply.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Reply::StatsReply { text } => Ok(text),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit; returns once acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on an unexpected reply.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        match self.recv()? {
+            Reply::ShutdownAck => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to shutdown: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One step of a streamed sweep.
+#[derive(Debug, Clone)]
+pub enum Progress {
+    /// A streamed event (job progress or partial aggregate).
+    Event(SweepEvent),
+    /// The terminal outcome.
+    Done(RemoteOutcome),
+}

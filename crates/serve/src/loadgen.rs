@@ -1,0 +1,280 @@
+//! The saturation benchmark driver: N concurrent clients each pushing K
+//! sweeps through a live daemon, measuring end-to-end submit→`Done`
+//! latency and aggregate throughput.
+//!
+//! `Busy` replies are handled the way a well-behaved client must —
+//! sleep the daemon's hint and retry — so a saturated queue shows up as
+//! latency and retry counts, never as protocol errors.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hetrta_engine::SweepSpec;
+
+use crate::client::{ClientError, ServeClient};
+
+/// One load-generation rung: a fixed client count against one daemon.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Sweeps each client completes before exiting.
+    pub sweeps_per_client: usize,
+    /// The sweep every client submits.
+    pub spec: SweepSpec,
+    /// Distinct tenant names to spread clients over (≥1; exercises the
+    /// fairness rotation when >1).
+    pub tenants: usize,
+    /// Cap on consecutive `Busy` retries per sweep before counting a
+    /// failure (guards against a wedged daemon; generous by default).
+    pub max_busy_retries: usize,
+    /// `Some(offset)` gives every submitted sweep a unique seed (offset
+    /// plus a per-sweep index) so nothing replays from cache — the
+    /// cold-cache measurement. `None` submits the spec verbatim every
+    /// time, so after the first completion the daemon answers from
+    /// cache — the warm measurement.
+    pub vary_seeds: Option<u64>,
+}
+
+impl LoadgenConfig {
+    /// A rung with default tenant spread (4) and retry cap (10 000).
+    #[must_use]
+    pub fn new(addr: &str, clients: usize, sweeps_per_client: usize, spec: SweepSpec) -> Self {
+        LoadgenConfig {
+            addr: addr.to_string(),
+            clients,
+            sweeps_per_client,
+            spec,
+            tenants: 4,
+            max_busy_retries: 10_000,
+            vary_seeds: None,
+        }
+    }
+}
+
+/// What one rung measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Concurrent clients of the rung.
+    pub clients: usize,
+    /// Sweeps that reached `Done`.
+    pub completed: usize,
+    /// Sweeps that failed (rejected, protocol error, retry cap).
+    pub failed: usize,
+    /// `Busy` replies honoured with a backoff-and-retry.
+    pub busy_retries: usize,
+    /// Transport/codec defects observed (must be zero on a sound wire).
+    pub protocol_errors: usize,
+    /// Wall-clock of the whole rung.
+    pub elapsed: Duration,
+    /// Completed sweeps per second of wall-clock.
+    pub sweeps_per_sec: f64,
+    /// Median end-to-end submit→`Done` latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+    /// The first per-sweep failure of the rung, rendered — the counts
+    /// say how often, this says what.
+    pub first_error: Option<String>,
+}
+
+/// The `q`-quantile (0..=1) of unsorted latency samples, in
+/// milliseconds. Nearest-rank on the sorted samples; 0 when empty.
+#[must_use]
+pub fn percentile_ms(samples: &[Duration], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e3
+}
+
+/// Runs one rung to completion against a live daemon.
+///
+/// # Errors
+///
+/// [`ClientError`] only when the very first connection cannot be
+/// established (a dead daemon); per-sweep failures are counted in the
+/// report instead.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
+    // Fail fast (and typed) if the daemon isn't there at all.
+    drop(ServeClient::connect(&config.addr)?);
+
+    let latencies: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+    let busy_retries = Arc::new(AtomicUsize::new(0));
+    let protocol_errors = Arc::new(AtomicUsize::new(0));
+    let failed = Arc::new(AtomicUsize::new(0));
+    let first_error: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    let started = Instant::now();
+
+    let workers: Vec<_> = (0..config.clients)
+        .map(|client_index| {
+            let config = config.clone();
+            let latencies = Arc::clone(&latencies);
+            let busy_retries = Arc::clone(&busy_retries);
+            let protocol_errors = Arc::clone(&protocol_errors);
+            let failed = Arc::clone(&failed);
+            let first_error = Arc::clone(&first_error);
+            std::thread::spawn(move || {
+                let tenant = format!("loadgen-{}", client_index % config.tenants.max(1));
+                for iteration in 0..config.sweeps_per_client {
+                    let spec = match config.vary_seeds {
+                        Some(offset) => config.spec.clone().with_seeds(vec![
+                            offset + (client_index * config.sweeps_per_client + iteration) as u64,
+                        ]),
+                        None => config.spec.clone(),
+                    };
+                    match run_one_sweep(&config, &spec, &tenant, &busy_retries) {
+                        Ok(latency) => latencies.lock().expect("latencies").push(latency),
+                        Err(err) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                            if matches!(err, ClientError::Wire(_) | ClientError::Protocol(_)) {
+                                protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            first_error
+                                .lock()
+                                .expect("first error")
+                                .get_or_insert_with(|| format!("{err:?}"));
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        let _ = worker.join();
+    }
+
+    let elapsed = started.elapsed();
+    let first_error = first_error.lock().expect("first error").take();
+    let latencies = latencies.lock().expect("latencies");
+    let completed = latencies.len();
+    Ok(LoadgenReport {
+        clients: config.clients,
+        completed,
+        failed: failed.load(Ordering::Relaxed),
+        busy_retries: busy_retries.load(Ordering::Relaxed),
+        protocol_errors: protocol_errors.load(Ordering::Relaxed),
+        elapsed,
+        sweeps_per_sec: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ms: percentile_ms(&latencies, 0.50),
+        p99_ms: percentile_ms(&latencies, 0.99),
+        first_error,
+    })
+}
+
+/// Connects with a short retry loop: under a saturating connect storm
+/// the listener's accept backlog can momentarily refuse, which is
+/// backpressure, not a protocol defect.
+fn connect_with_retry(addr: &str) -> Result<ServeClient, ClientError> {
+    let mut last = None;
+    for _ in 0..200 {
+        match ServeClient::connect(addr) {
+            Ok(client) => return Ok(client),
+            Err(err) => {
+                last = Some(err);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+/// One submit→`Done`, with the polite `Busy` backoff-and-retry loop.
+/// A fresh connection per sweep, like a CLI client would make.
+fn run_one_sweep(
+    config: &LoadgenConfig,
+    spec: &hetrta_engine::SweepSpec,
+    tenant: &str,
+    busy_retries: &AtomicUsize,
+) -> Result<Duration, ClientError> {
+    let started = Instant::now();
+    let mut retries = 0usize;
+    loop {
+        let mut client = connect_with_retry(&config.addr)?;
+        match client.run_to_completion(tenant, spec, |_| {}) {
+            Ok(_) => return Ok(started.elapsed()),
+            Err(ClientError::Busy { retry_after_ms }) => {
+                retries += 1;
+                busy_retries.fetch_add(1, Ordering::Relaxed);
+                if retries > config.max_busy_retries {
+                    return Err(ClientError::Rejected(format!(
+                        "gave up after {retries} busy retries"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+/// Renders ladder results as the BENCH_6.json document: one row per
+/// (cache-state, client-count) rung.
+#[must_use]
+pub fn render_bench_json(rows: &[(String, LoadgenReport)]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"serve_saturation\",\n  \"rungs\": [\n");
+    for (i, (cache, report)) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"cache\": \"{cache}\", \"clients\": {}, \"completed\": {}, \"failed\": {}, \
+             \"busy_retries\": {}, \"protocol_errors\": {}, \"elapsed_s\": {:.3}, \
+             \"sweeps_per_sec\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+            report.clients,
+            report.completed,
+            report.failed,
+            report.busy_retries,
+            report.protocol_errors,
+            report.elapsed.as_secs_f64(),
+            report.sweeps_per_sec,
+            report.p50_ms,
+            report.p99_ms,
+        );
+        out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile_ms(&samples, 0.50), 50.0);
+        assert_eq!(percentile_ms(&samples, 0.99), 99.0);
+        assert_eq!(percentile_ms(&samples, 1.0), 100.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+        assert_eq!(percentile_ms(&[Duration::from_millis(7)], 0.99), 7.0);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let report = LoadgenReport {
+            clients: 8,
+            completed: 64,
+            failed: 0,
+            busy_retries: 3,
+            protocol_errors: 0,
+            elapsed: Duration::from_millis(1500),
+            sweeps_per_sec: 42.7,
+            p50_ms: 12.5,
+            p99_ms: 80.25,
+            first_error: None,
+        };
+        let json = render_bench_json(&[("cold".into(), report.clone()), ("warm".into(), report)]);
+        assert!(json.contains("\"bench\": \"serve_saturation\""));
+        assert!(json.contains("\"clients\": 8"));
+        assert_eq!(json.matches("\"cache\"").count(), 2);
+        // Brace balance as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,496 @@
+//! The daemon's request/reply protocol over the checksummed frame layer
+//! of `hetrta-api` ([`hetrta_api::wire`]).
+//!
+//! Every message is one frame; the frame kind selects the message and
+//! the payload reuses the engine's text codecs ([`hetrta_engine::wire`])
+//! — a streamed event is literally an [`encode_event`] text, and the
+//! final result rides in the `Done` frame as an
+//! [`AggregateUpdate::Keyframe`] text, so clients reassemble with the
+//! same machinery local consumers use. Any defect on the wire decodes
+//! to a typed [`WireError`], never a panic.
+
+use std::io::{Read, Write};
+
+use hetrta_api::wire::{self, WireError};
+use hetrta_engine::wire::{
+    decode_event, decode_spec, decode_update, encode_event, encode_spec, encode_update,
+};
+use hetrta_engine::{AggregateUpdate, SweepAggregate, SweepEvent, SweepSpec};
+
+/// Frame kind of a [`Request::Submit`].
+pub const KIND_SUBMIT: u8 = 0x01;
+/// Frame kind of a [`Request::Cancel`].
+pub const KIND_CANCEL: u8 = 0x02;
+/// Frame kind of a [`Request::Stats`].
+pub const KIND_STATS: u8 = 0x03;
+/// Frame kind of a [`Request::Shutdown`].
+pub const KIND_SHUTDOWN: u8 = 0x04;
+/// Frame kind of a [`Reply::Accepted`].
+pub const KIND_ACCEPTED: u8 = 0x81;
+/// Frame kind of a [`Reply::Busy`].
+pub const KIND_BUSY: u8 = 0x82;
+/// Frame kind of a [`Reply::Event`].
+pub const KIND_EVENT: u8 = 0x83;
+/// Frame kind of a [`Reply::Done`].
+pub const KIND_DONE: u8 = 0x84;
+/// Frame kind of a [`Reply::Error`].
+pub const KIND_ERROR: u8 = 0x85;
+/// Frame kind of a [`Reply::StatsReply`].
+pub const KIND_STATS_REPLY: u8 = 0x86;
+/// Frame kind of a [`Reply::ShutdownAck`].
+pub const KIND_SHUTDOWN_ACK: u8 = 0x87;
+
+/// What a client asks the daemon.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Submit one sweep under a tenant name.
+    Submit {
+        /// Tenant the sweep is accounted (and queued fairly) under.
+        tenant: String,
+        /// The sweep, validated daemon-side before admission (boxed:
+        /// a spec is large next to the payload-free request kinds).
+        spec: Box<SweepSpec>,
+    },
+    /// Cancel the connection's in-flight (or pending) sweep.
+    Cancel,
+    /// Ask for the daemon's metrics snapshot.
+    Stats,
+    /// Ask the daemon to drain in-flight sweeps and exit.
+    Shutdown,
+}
+
+/// What the daemon answers (several per submit: `Accepted`, a stream of
+/// `Event`s, then one terminal `Done` or `Error`).
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// The sweep was admitted; `jobs` jobs will run.
+    Accepted {
+        /// Jobs the accepted spec expands to.
+        jobs: usize,
+    },
+    /// The pending queue is full — retry after the given backoff instead
+    /// of buffering unboundedly daemon-side.
+    Busy {
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// One streamed sweep event (progress / partial aggregates).
+    Event(SweepEvent),
+    /// Terminal success: the sweep's deterministic final aggregate.
+    Done {
+        /// Jobs that completed.
+        completed: usize,
+        /// Whether the sweep was cancelled before running every job.
+        cancelled: bool,
+        /// Events the daemon's session dropped because this client's
+        /// stream fell behind (the stream was lossy, the result is not).
+        events_dropped: u64,
+        /// The final aggregate, bitwise the one a local run produces.
+        aggregate: SweepAggregate,
+    },
+    /// Terminal failure (rejected spec, cancelled sweep, draining daemon).
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The metrics snapshot, rendered as text.
+    StatsReply {
+        /// Rendered metrics table plus daemon gauges.
+        text: String,
+    },
+    /// Shutdown acknowledged; the daemon drains and exits.
+    ShutdownAck,
+}
+
+fn text_payload(payload: &[u8], what: &str) -> Result<String, WireError> {
+    String::from_utf8(payload.to_vec())
+        .map_err(|_| WireError::Malformed(format!("{what} payload is not utf-8")))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, WireError> {
+    s.parse()
+        .map_err(|_| WireError::Malformed(format!("unparseable {what} `{s}`")))
+}
+
+/// `true` for tenant names the daemon accepts (1–64 chars of
+/// `[A-Za-z0-9._-]` — they become metric names and queue keys).
+#[must_use]
+pub fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+impl Request {
+    /// Encodes this request as `(frame kind, payload)`.
+    #[must_use]
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Request::Submit { tenant, spec } => (
+                KIND_SUBMIT,
+                format!("tenant {tenant}\n{}", encode_spec(spec)).into_bytes(),
+            ),
+            Request::Cancel => (KIND_CANCEL, Vec::new()),
+            Request::Stats => (KIND_STATS, Vec::new()),
+            Request::Shutdown => (KIND_SHUTDOWN, Vec::new()),
+        }
+    }
+
+    /// Decodes one request from `(frame kind, payload)`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] for unknown kinds, bad tenants, or
+    /// unparseable specs.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Request, WireError> {
+        match kind {
+            KIND_SUBMIT => {
+                let text = text_payload(payload, "submit")?;
+                let (tenant_line, spec_text) = text.split_once('\n').ok_or_else(|| {
+                    WireError::Malformed("submit payload has no spec after the tenant line".into())
+                })?;
+                let tenant = tenant_line
+                    .strip_prefix("tenant ")
+                    .ok_or_else(|| {
+                        WireError::Malformed(format!("expected `tenant …`, got `{tenant_line}`"))
+                    })?
+                    .to_string();
+                if !valid_tenant(&tenant) {
+                    return Err(WireError::Malformed(format!(
+                        "invalid tenant name `{tenant}` (1-64 chars of [A-Za-z0-9._-])"
+                    )));
+                }
+                Ok(Request::Submit {
+                    tenant,
+                    spec: Box::new(decode_spec(spec_text)?),
+                })
+            }
+            KIND_CANCEL => Ok(Request::Cancel),
+            KIND_STATS => Ok(Request::Stats),
+            KIND_SHUTDOWN => Ok(Request::Shutdown),
+            other => Err(WireError::Malformed(format!(
+                "unknown request kind {other:#04x}"
+            ))),
+        }
+    }
+
+    /// Writes this request as one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the write fails.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> Result<(), WireError> {
+        let (kind, payload) = self.encode();
+        wire::write_frame(writer, kind, &payload)
+    }
+
+    /// Reads one request frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Eof`] when the peer hung up between frames; every
+    /// other defect maps to its variant.
+    pub fn read_from<R: Read>(reader: &mut R) -> Result<Request, WireError> {
+        let (kind, payload) = wire::read_frame(reader)?;
+        Request::decode(kind, &payload)
+    }
+}
+
+impl Reply {
+    /// Encodes this reply as `(frame kind, payload)`.
+    #[must_use]
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Reply::Accepted { jobs } => (KIND_ACCEPTED, format!("jobs {jobs}").into_bytes()),
+            Reply::Busy { retry_after_ms } => (
+                KIND_BUSY,
+                format!("retry-after-ms {retry_after_ms}").into_bytes(),
+            ),
+            Reply::Event(event) => (KIND_EVENT, encode_event(event).into_bytes()),
+            Reply::Done {
+                completed,
+                cancelled,
+                events_dropped,
+                aggregate,
+            } => (
+                KIND_DONE,
+                format!(
+                    "done {completed} {} {events_dropped}\n{}",
+                    u8::from(*cancelled),
+                    encode_update(&AggregateUpdate::Keyframe {
+                        seq: 0,
+                        aggregate: aggregate.clone(),
+                    })
+                )
+                .into_bytes(),
+            ),
+            Reply::Error { message } => (KIND_ERROR, message.clone().into_bytes()),
+            Reply::StatsReply { text } => (KIND_STATS_REPLY, text.clone().into_bytes()),
+            Reply::ShutdownAck => (KIND_SHUTDOWN_ACK, Vec::new()),
+        }
+    }
+
+    /// Decodes one reply from `(frame kind, payload)`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] for unknown kinds or unparseable
+    /// payloads.
+    pub fn decode(kind: u8, payload: &[u8]) -> Result<Reply, WireError> {
+        match kind {
+            KIND_ACCEPTED => {
+                let text = text_payload(payload, "accepted")?;
+                let jobs = text
+                    .strip_prefix("jobs ")
+                    .ok_or_else(|| WireError::Malformed(format!("bad accepted line `{text}`")))?;
+                Ok(Reply::Accepted {
+                    jobs: parse_num(jobs, "job count")?,
+                })
+            }
+            KIND_BUSY => {
+                let text = text_payload(payload, "busy")?;
+                let ms = text
+                    .strip_prefix("retry-after-ms ")
+                    .ok_or_else(|| WireError::Malformed(format!("bad busy line `{text}`")))?;
+                Ok(Reply::Busy {
+                    retry_after_ms: parse_num(ms, "retry-after")?,
+                })
+            }
+            KIND_EVENT => Ok(Reply::Event(decode_event(&text_payload(
+                payload, "event",
+            )?)?)),
+            KIND_DONE => {
+                let text = text_payload(payload, "done")?;
+                let (head, update_text) = text
+                    .split_once('\n')
+                    .ok_or_else(|| WireError::Malformed("done payload has no aggregate".into()))?;
+                let mut fields = head.split(' ');
+                let tag = fields.next();
+                if tag != Some("done") {
+                    return Err(WireError::Malformed(format!("bad done line `{head}`")));
+                }
+                let completed = parse_num(
+                    fields
+                        .next()
+                        .ok_or_else(|| WireError::Malformed("done line truncated".into()))?,
+                    "completed count",
+                )?;
+                let cancelled = match fields.next() {
+                    Some("0") => false,
+                    Some("1") => true,
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "bad cancelled bit `{other:?}`"
+                        )))
+                    }
+                };
+                let events_dropped = parse_num(
+                    fields
+                        .next()
+                        .ok_or_else(|| WireError::Malformed("done line truncated".into()))?,
+                    "dropped count",
+                )?;
+                if fields.next().is_some() {
+                    return Err(WireError::Malformed("trailing fields on done line".into()));
+                }
+                match decode_update(update_text)? {
+                    AggregateUpdate::Keyframe { aggregate, .. } => Ok(Reply::Done {
+                        completed,
+                        cancelled,
+                        events_dropped,
+                        aggregate,
+                    }),
+                    AggregateUpdate::Delta { .. } => Err(WireError::Malformed(
+                        "done frame must carry a keyframe, got a delta".into(),
+                    )),
+                }
+            }
+            KIND_ERROR => Ok(Reply::Error {
+                message: text_payload(payload, "error")?,
+            }),
+            KIND_STATS_REPLY => Ok(Reply::StatsReply {
+                text: text_payload(payload, "stats")?,
+            }),
+            KIND_SHUTDOWN_ACK => Ok(Reply::ShutdownAck),
+            other => Err(WireError::Malformed(format!(
+                "unknown reply kind {other:#04x}"
+            ))),
+        }
+    }
+
+    /// Writes this reply as one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the write fails.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> Result<(), WireError> {
+        let (kind, payload) = self.encode();
+        wire::write_frame(writer, kind, &payload)
+    }
+
+    /// Reads one reply frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Eof`] when the daemon hung up between frames; every
+    /// other defect maps to its variant.
+    pub fn read_from<R: Read>(reader: &mut R) -> Result<Reply, WireError> {
+        let (kind, payload) = wire::read_frame(reader)?;
+        Reply::decode(kind, &payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetrta_engine::GeneratorPreset;
+
+    fn spec() -> SweepSpec {
+        SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.1, 0.3], 4, 9)
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let requests = vec![
+            Request::Submit {
+                tenant: "team-a.prod_1".into(),
+                spec: Box::new(spec()),
+            },
+            Request::Cancel,
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let mut buf = Vec::new();
+            request.write_to(&mut buf).unwrap();
+            let mut cursor = std::io::Cursor::new(buf);
+            let back = Request::read_from(&mut cursor).unwrap();
+            match (&request, &back) {
+                (
+                    Request::Submit { tenant, spec },
+                    Request::Submit {
+                        tenant: t2,
+                        spec: s2,
+                    },
+                ) => {
+                    assert_eq!(tenant, t2);
+                    assert_eq!(
+                        hetrta_engine::wire::encode_spec(spec),
+                        hetrta_engine::wire::encode_spec(s2)
+                    );
+                }
+                (Request::Cancel, Request::Cancel)
+                | (Request::Stats, Request::Stats)
+                | (Request::Shutdown, Request::Shutdown) => {}
+                other => panic!("request changed shape over the wire: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        let engine = hetrta_engine::Engine::new(2);
+        let aggregate = engine.run(&spec()).unwrap().aggregate;
+        let replies = vec![
+            Reply::Accepted { jobs: 8 },
+            Reply::Busy {
+                retry_after_ms: 250,
+            },
+            Reply::Event(hetrta_engine::SweepEvent::JobStarted { index: 3 }),
+            Reply::Done {
+                completed: 8,
+                cancelled: false,
+                events_dropped: 2,
+                aggregate: aggregate.clone(),
+            },
+            Reply::Error {
+                message: "no such analysis".into(),
+            },
+            Reply::StatsReply {
+                text: "metric value\n".into(),
+            },
+            Reply::ShutdownAck,
+        ];
+        for reply in replies {
+            let mut buf = Vec::new();
+            reply.write_to(&mut buf).unwrap();
+            let mut cursor = std::io::Cursor::new(buf);
+            let back = Reply::read_from(&mut cursor).unwrap();
+            match (&reply, &back) {
+                (Reply::Accepted { jobs }, Reply::Accepted { jobs: j2 }) => assert_eq!(jobs, j2),
+                (Reply::Busy { retry_after_ms }, Reply::Busy { retry_after_ms: m2 }) => {
+                    assert_eq!(retry_after_ms, m2)
+                }
+                (Reply::Event(a), Reply::Event(b)) => assert_eq!(a, b),
+                (
+                    Reply::Done {
+                        completed,
+                        cancelled,
+                        events_dropped,
+                        aggregate,
+                    },
+                    Reply::Done {
+                        completed: c2,
+                        cancelled: x2,
+                        events_dropped: d2,
+                        aggregate: a2,
+                    },
+                ) => {
+                    assert_eq!(completed, c2);
+                    assert_eq!(cancelled, x2);
+                    assert_eq!(events_dropped, d2);
+                    assert_eq!(aggregate, a2, "aggregate survives bitwise");
+                }
+                (Reply::Error { message }, Reply::Error { message: m2 }) => {
+                    assert_eq!(message, m2);
+                }
+                (Reply::StatsReply { text }, Reply::StatsReply { text: t2 }) => {
+                    assert_eq!(text, t2);
+                }
+                (Reply::ShutdownAck, Reply::ShutdownAck) => {}
+                other => panic!("reply changed shape over the wire: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_names_are_validated() {
+        for good in ["a", "team-a", "team_b.9", &"x".repeat(64)] {
+            assert!(valid_tenant(good), "{good}");
+        }
+        for bad in ["", "has space", "semi;colon", "new\nline", &"x".repeat(65)] {
+            assert!(!valid_tenant(bad), "{bad:?}");
+        }
+        let naughty = format!("tenant bad guy\n{}", encode_spec(&spec()));
+        assert!(matches!(
+            Request::decode(KIND_SUBMIT, naughty.as_bytes()),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn defective_frames_never_panic() {
+        assert!(matches!(
+            Request::decode(0x7E, b""),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            Reply::decode(0x7E, b""),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            Reply::decode(KIND_ACCEPTED, b"jobs many"),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            Reply::decode(KIND_DONE, b"done 1 0 0\ndelta 1 0\n"),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            Request::decode(KIND_SUBMIT, b"no tenant line"),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

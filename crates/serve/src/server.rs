@@ -1,0 +1,584 @@
+//! The daemon: one shared [`Engine`] behind a `TcpListener`, a
+//! reader/writer thread pair per connection, and the [`Admission`]
+//! queue between them.
+//!
+//! Lifecycle of a submit: the reader decodes the request, offers it to
+//! admission (replying `Busy`/`Error` synchronously when refused), and
+//! the scheduler thread later grants it a slot and spawns a pump thread.
+//! The pump runs the sweep on the shared engine, streams its events to
+//! the connection's writer thread, and finishes with `Done` carrying the
+//! final aggregate. A client that disconnects mid-sweep has its sweep
+//! cancelled through [`SweepCancelToken`]; `Shutdown` (and SIGTERM on
+//! unix) drains every admitted sweep before the daemon exits.
+
+use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hetrta_api::wire::WireError;
+use hetrta_engine::{
+    Engine, EngineBuilder, EngineError, SessionConfig, SweepCancelToken, SweepEvent, SweepSpec,
+};
+
+use crate::admission::{Admission, AdmissionConfig, Offer};
+use crate::proto::{Reply, Request};
+
+/// Everything needed to bring up a daemon.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7917` (port 0 picks a free one).
+    pub addr: String,
+    /// Worker threads of the shared engine pool (0 = auto).
+    pub threads: usize,
+    /// Optional shared on-disk result cache.
+    pub cache_dir: Option<PathBuf>,
+    /// Admission bounds and backpressure hint.
+    pub admission: AdmissionConfig,
+    /// Cadence of streamed partial aggregates, in completed jobs
+    /// (`None` streams no partials, only the terminal `Done`).
+    pub partial_every: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 0,
+            cache_dir: None,
+            admission: AdmissionConfig::default(),
+            partial_every: Some(8),
+        }
+    }
+}
+
+/// Daemon-level failures (binding, engine construction).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listen socket could not be bound.
+    Bind(String),
+    /// The shared engine could not be built (e.g. unusable cache dir).
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(msg) => write!(f, "cannot bind listener: {msg}"),
+            ServeError::Engine(err) => write!(f, "cannot build engine: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Sets the shutdown flag from outside `run()` (tests, signal handlers,
+/// a `Shutdown` frame). Cloneable and cheap.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Requests a graceful drain-and-exit.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// Messages to a connection's writer thread.
+enum Out {
+    /// One reply frame to serialize onto the socket.
+    Frame(Reply),
+    /// Flush barrier: ack once every earlier frame hit the socket.
+    Flush(mpsc::Sender<()>),
+}
+
+/// State shared between a connection's reader, its writer, and the pump
+/// threads running its sweeps.
+struct ConnShared {
+    out: mpsc::Sender<Out>,
+    /// Cancel token of the in-flight sweep, when one is running.
+    cancel: Mutex<Option<SweepCancelToken>>,
+    /// Set by the reader on EOF/error; pumps skip or cancel accordingly.
+    disconnected: AtomicBool,
+    /// Set by a `Cancel` frame arriving before the sweep was granted.
+    cancel_requested: AtomicBool,
+    /// One sweep in flight per connection (admission + stream framing
+    /// both assume it).
+    in_flight: AtomicBool,
+}
+
+impl ConnShared {
+    fn send(&self, reply: Reply) {
+        // A failed send means the writer exited (socket gone) — the
+        // disconnect path already cancels the sweep, so just drop it.
+        let _ = self.out.send(Out::Frame(reply));
+    }
+
+    /// Queues `reply` and blocks until the writer has flushed it (used
+    /// for terminal frames so drain can't close the socket under them).
+    fn send_flushed(&self, reply: Reply) {
+        let _ = self.out.send(Out::Frame(reply));
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if self.out.send(Out::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+}
+
+/// One pending sweep travelling from reader to scheduler to pump.
+struct PendingSweep {
+    tenant: String,
+    spec: SweepSpec,
+    conn: Arc<ConnShared>,
+}
+
+/// The daemon. Construct with [`Server::bind`], drive with
+/// [`Server::run`] (blocking until shutdown).
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    engine: Arc<Engine>,
+    admission: Arc<Admission<PendingSweep>>,
+    shutdown: ShutdownHandle,
+    config: ServerConfig,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener and builds the shared engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bind`] or [`ServeError::Engine`].
+    pub fn bind(config: ServerConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|err| ServeError::Bind(format!("{}: {err}", config.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|err| ServeError::Bind(err.to_string()))?;
+        let mut builder = EngineBuilder::new().threads(config.threads);
+        if let Some(dir) = &config.cache_dir {
+            builder = builder.with_cache_dir(dir);
+        }
+        let engine = Arc::new(builder.build().map_err(ServeError::Engine)?);
+        let metrics = engine.metrics();
+        let admission = Arc::new(Admission::new(
+            config.admission.clone(),
+            metrics.gauge("serve.queue_depth"),
+            metrics.gauge("serve.active_sweeps"),
+        ));
+        Ok(Server {
+            listener,
+            local_addr,
+            engine,
+            admission,
+            shutdown: ShutdownHandle {
+                flag: Arc::new(AtomicBool::new(false)),
+            },
+            config,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that triggers graceful shutdown from another thread.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.shutdown.clone()
+    }
+
+    /// The daemon's shared engine (tests inspect `active_sessions`).
+    #[must_use]
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Serves until shutdown is requested (by a `Shutdown` frame, the
+    /// [`ShutdownHandle`], or SIGTERM on unix), then drains every
+    /// admitted sweep, closes connections, and joins every thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bind`] when the listener cannot enter
+    /// non-blocking mode.
+    pub fn run(self) -> Result<(), ServeError> {
+        #[cfg(unix)]
+        sigterm::install();
+
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|err| ServeError::Bind(err.to_string()))?;
+
+        let scheduler = {
+            let admission = Arc::clone(&self.admission);
+            let engine = Arc::clone(&self.engine);
+            let partial_every = self.config.partial_every;
+            std::thread::spawn(move || {
+                let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+                while let Some(pending) = admission.next_granted() {
+                    let admission = Arc::clone(&admission);
+                    let engine = Arc::clone(&engine);
+                    pumps.retain(|pump| !pump.is_finished());
+                    pumps.push(std::thread::spawn(move || {
+                        pump_sweep(&engine, pending, partial_every);
+                        admission.complete();
+                    }));
+                }
+                for pump in pumps {
+                    let _ = pump.join();
+                }
+            })
+        };
+
+        let mut connections: Vec<(TcpStream, JoinHandle<()>, JoinHandle<()>)> = Vec::new();
+        loop {
+            if self.shutdown.is_shutdown() || sigterm_requested() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    connections.retain(|(_, reader, writer)| {
+                        !(reader.is_finished() && writer.is_finished())
+                    });
+                    match spawn_connection(
+                        stream,
+                        Arc::clone(&self.engine),
+                        Arc::clone(&self.admission),
+                        self.shutdown.clone(),
+                    ) {
+                        Ok(conn) => connections.push(conn),
+                        Err(_) => continue,
+                    }
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+
+        // Graceful drain: no new admissions, every admitted sweep runs to
+        // completion and its terminal frame is flushed before sockets
+        // close.
+        self.admission.drain();
+        let _ = scheduler.join();
+        for (stream, reader, writer) in connections {
+            let _ = stream.shutdown(SocketShutdown::Both);
+            let _ = reader.join();
+            let _ = writer.join();
+        }
+        Ok(())
+    }
+}
+
+/// Whether a SIGTERM arrived (always `false` off unix).
+fn sigterm_requested() -> bool {
+    #[cfg(unix)]
+    {
+        sigterm::TERM.load(Ordering::SeqCst)
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+/// Minimal SIGTERM latch: `signal(2)` flips an atomic the accept loop
+/// polls. The handler body is async-signal-safe (one atomic store).
+#[cfg(unix)]
+mod sigterm {
+    #![allow(unsafe_code)]
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub(super) static TERM: AtomicBool = AtomicBool::new(false);
+
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+        }
+    }
+}
+
+/// Spawns the reader/writer thread pair for one accepted connection.
+fn spawn_connection(
+    stream: TcpStream,
+    engine: Arc<Engine>,
+    admission: Arc<Admission<PendingSweep>>,
+    shutdown: ShutdownHandle,
+) -> std::io::Result<(TcpStream, JoinHandle<()>, JoinHandle<()>)> {
+    stream.set_nonblocking(false)?;
+    let _ = stream.set_nodelay(true);
+    let reader_stream = stream.try_clone()?;
+    let mut writer_stream = stream.try_clone()?;
+    let (out_tx, out_rx) = mpsc::channel::<Out>();
+
+    let writer = std::thread::spawn(move || {
+        while let Ok(out) = out_rx.recv() {
+            match out {
+                Out::Frame(reply) => {
+                    // Socket errors are terminal for this connection; keep
+                    // draining the channel so pumps never block on send.
+                    let _ = reply.write_to(&mut writer_stream);
+                }
+                Out::Flush(ack) => {
+                    let _ = ack.send(());
+                }
+            }
+        }
+    });
+
+    let conn = Arc::new(ConnShared {
+        out: out_tx,
+        cancel: Mutex::new(None),
+        disconnected: AtomicBool::new(false),
+        cancel_requested: AtomicBool::new(false),
+        in_flight: AtomicBool::new(false),
+    });
+    let reader = std::thread::spawn(move || {
+        serve_connection(&reader_stream, &engine, &admission, &conn, &shutdown);
+        // Reader exit = client gone (or daemon closing the socket):
+        // cancel whatever is still running for this connection.
+        conn.disconnected.store(true, Ordering::SeqCst);
+        if let Some(token) = conn.cancel.lock().expect("cancel slot").as_ref() {
+            token.cancel();
+        }
+    });
+    Ok((stream, reader, writer))
+}
+
+/// The reader loop: decode requests, answer or enqueue, until EOF.
+fn serve_connection(
+    stream: &TcpStream,
+    engine: &Arc<Engine>,
+    admission: &Arc<Admission<PendingSweep>>,
+    conn: &Arc<ConnShared>,
+    shutdown: &ShutdownHandle,
+) {
+    let metrics = engine.metrics();
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    loop {
+        let request = match Request::read_from(&mut reader) {
+            Ok(request) => request,
+            Err(WireError::Eof) => return,
+            Err(WireError::Io(_)) | Err(WireError::Truncated) => {
+                metrics.counter("serve.disconnects").incr();
+                return;
+            }
+            Err(err) => {
+                // Protocol defect: tell the client and drop the
+                // connection (framing may be out of sync).
+                conn.send_flushed(Reply::Error {
+                    message: format!("protocol error: {err}"),
+                });
+                metrics.counter("serve.disconnects").incr();
+                return;
+            }
+        };
+        match request {
+            Request::Submit { tenant, spec } => {
+                handle_submit(engine, admission, conn, tenant, *spec);
+            }
+            Request::Cancel => {
+                conn.cancel_requested.store(true, Ordering::SeqCst);
+                if let Some(token) = conn.cancel.lock().expect("cancel slot").as_ref() {
+                    token.cancel();
+                }
+            }
+            Request::Stats => {
+                let mut text = metrics.snapshot().render_table();
+                text.push_str(&format!(
+                    "queue: pending={} active={} draining={}\n",
+                    admission.pending(),
+                    admission.active(),
+                    admission.is_draining(),
+                ));
+                conn.send(Reply::StatsReply { text });
+            }
+            Request::Shutdown => {
+                conn.send_flushed(Reply::ShutdownAck);
+                shutdown.shutdown();
+            }
+        }
+    }
+}
+
+/// Validates and enqueues one submit, replying synchronously.
+fn handle_submit(
+    engine: &Arc<Engine>,
+    admission: &Arc<Admission<PendingSweep>>,
+    conn: &Arc<ConnShared>,
+    tenant: String,
+    spec: SweepSpec,
+) {
+    let metrics = engine.metrics();
+    metrics
+        .counter(&format!("serve.tenant.{tenant}.submitted"))
+        .incr();
+    if conn.in_flight.swap(true, Ordering::SeqCst) {
+        conn.send(Reply::Error {
+            message: "one sweep per connection: wait for the previous Done".into(),
+        });
+        return;
+    }
+    if let Err(err) = spec.validate() {
+        conn.in_flight.store(false, Ordering::SeqCst);
+        conn.send(Reply::Error {
+            message: format!("rejected spec: {err}"),
+        });
+        return;
+    }
+    let jobs = spec.job_count();
+    conn.cancel_requested.store(false, Ordering::SeqCst);
+    let pending = PendingSweep {
+        tenant: tenant.clone(),
+        spec,
+        conn: Arc::clone(conn),
+    };
+    // The reply is enqueued inside the admission critical section:
+    // once `offer` returns, the scheduler may grant the sweep and a
+    // fully-cached run can emit its terminal frame within a
+    // millisecond, so an `Accepted` sent after the fact could arrive
+    // behind the sweep's own `Done`.
+    let offer = admission.offer_with(&tenant, pending, |offer| match offer {
+        Offer::Enqueued => conn.send(Reply::Accepted { jobs }),
+        Offer::Busy { retry_after_ms } => conn.send(Reply::Busy {
+            retry_after_ms: *retry_after_ms,
+        }),
+        Offer::Draining => conn.send(Reply::Error {
+            message: "daemon is draining, not accepting new sweeps".into(),
+        }),
+    });
+    match offer {
+        Offer::Enqueued => {}
+        Offer::Busy { .. } => {
+            conn.in_flight.store(false, Ordering::SeqCst);
+            metrics
+                .counter(&format!("serve.tenant.{tenant}.busy"))
+                .incr();
+        }
+        Offer::Draining => conn.in_flight.store(false, Ordering::SeqCst),
+    }
+}
+
+/// Runs one granted sweep on the shared engine and streams it back.
+fn pump_sweep(engine: &Arc<Engine>, pending: PendingSweep, partial_every: Option<usize>) {
+    let PendingSweep { tenant, spec, conn } = pending;
+    let metrics = Arc::clone(engine.metrics());
+    let finish = |conn: &ConnShared, reply: Reply| {
+        // Release the connection's sweep slot before the terminal frame
+        // goes out: the moment the client sees it, a resubmit is legal.
+        *conn.cancel.lock().expect("cancel slot") = None;
+        conn.in_flight.store(false, Ordering::SeqCst);
+        conn.send_flushed(reply);
+    };
+
+    if conn.disconnected.load(Ordering::SeqCst) || conn.cancel_requested.load(Ordering::SeqCst) {
+        finish(
+            &conn,
+            Reply::Error {
+                message: "sweep cancelled before it started".into(),
+            },
+        );
+        return;
+    }
+
+    let session = SessionConfig {
+        job_events: false,
+        partial_every,
+        ..SessionConfig::quiet()
+    };
+    let handle = match engine.submit_with(&spec, session) {
+        Ok(handle) => handle,
+        Err(err) => {
+            finish(
+                &conn,
+                Reply::Error {
+                    message: format!("engine rejected sweep: {err}"),
+                },
+            );
+            return;
+        }
+    };
+    *conn.cancel.lock().expect("cancel slot") = Some(handle.cancel_token());
+    // The reader may have observed a disconnect between the pre-check and
+    // the token publication; re-check so the cancel is never lost.
+    if conn.disconnected.load(Ordering::SeqCst) || conn.cancel_requested.load(Ordering::SeqCst) {
+        handle.cancel();
+    }
+
+    let mut terminal = None;
+    while let Some(event) = handle.next_event() {
+        match event {
+            SweepEvent::SweepFinished {
+                completed,
+                cancelled,
+                events_dropped,
+            } => {
+                terminal = Some((completed, cancelled, events_dropped));
+            }
+            event => conn.send(Reply::Event(event)),
+        }
+    }
+    let (completed, cancelled, events_dropped) = terminal.unwrap_or((0, true, 0));
+    match handle.wait() {
+        Ok(output) => {
+            metrics
+                .counter(&format!("serve.tenant.{tenant}.completed"))
+                .incr();
+            finish(
+                &conn,
+                Reply::Done {
+                    completed,
+                    cancelled,
+                    events_dropped,
+                    aggregate: output.aggregate,
+                },
+            );
+        }
+        Err(err) => {
+            finish(
+                &conn,
+                Reply::Error {
+                    message: format!("sweep failed: {err}"),
+                },
+            );
+        }
+    }
+}

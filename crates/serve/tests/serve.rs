@@ -1,0 +1,249 @@
+//! End-to-end daemon guarantees, pinned over real sockets: a remote
+//! sweep is bitwise the local one, overload answers `Busy`, a client
+//! disconnect cancels its in-flight sweep on the shared engine, and
+//! shutdown drains admitted work before the daemon exits.
+
+use std::time::{Duration, Instant};
+
+use hetrta_engine::{
+    AggregateView, AnalysisSelection, Engine, GeneratorPreset, SweepEvent, SweepSpec,
+};
+use hetrta_serve::{
+    AdmissionConfig, ClientError, Progress, ServeClient, Server, ServerConfig, ShutdownHandle,
+};
+
+fn quick_spec() -> SweepSpec {
+    SweepSpec::fractions(
+        GeneratorPreset::Small,
+        vec![2, 4],
+        vec![0.1, 0.3],
+        4,
+        0xBEEF,
+    )
+}
+
+/// Plenty of jobs for a 1-thread engine: slow enough to observe
+/// in-flight cancellation and queueing.
+fn slow_spec() -> SweepSpec {
+    let tiny = GeneratorPreset::Custom(hetrta_gen::NfjParams::small_tasks().with_node_range(4, 12));
+    SweepSpec::fractions(tiny, vec![2], vec![0.2], 64, 3)
+        .with_analyses(AnalysisSelection::from_keys(["sim", "exact"]))
+}
+
+struct TestDaemon {
+    addr: String,
+    shutdown: ShutdownHandle,
+    engine: std::sync::Arc<Engine>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestDaemon {
+    fn start(admission: AdmissionConfig, threads: usize) -> TestDaemon {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads,
+            cache_dir: None,
+            admission,
+            partial_every: Some(1),
+        })
+        .expect("bind on a free port");
+        let addr = server.local_addr().to_string();
+        let shutdown = server.shutdown_handle();
+        let engine = std::sync::Arc::clone(server.engine());
+        let thread = std::thread::spawn(move || server.run().expect("daemon run"));
+        TestDaemon {
+            addr,
+            shutdown,
+            engine,
+            thread: Some(thread),
+        }
+    }
+
+    fn stop(mut self) {
+        self.shutdown.shutdown();
+        if let Some(thread) = self.thread.take() {
+            thread.join().expect("daemon thread");
+        }
+    }
+}
+
+fn wait_until(what: &str, timeout: Duration, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !done() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn remote_sweep_is_bitwise_the_local_one_and_events_reassemble() {
+    let daemon = TestDaemon::start(AdmissionConfig::default(), 2);
+    let local = Engine::new(2).run(&quick_spec()).expect("local run");
+
+    let mut client = ServeClient::connect(&daemon.addr).expect("connect");
+    let jobs = client.submit("team-a", &quick_spec()).expect("accepted");
+    assert_eq!(jobs, quick_spec().job_count());
+
+    // Reassemble the streamed partial aggregates exactly like a local
+    // consumer would.
+    let mut view = AggregateView::new();
+    let mut partials = 0usize;
+    let outcome = loop {
+        match client.next_progress().expect("stream") {
+            Progress::Event(SweepEvent::PartialAggregate { update, .. }) => {
+                partials += 1;
+                assert!(
+                    view.apply(&update).is_some(),
+                    "an in-order stream never desyncs the view"
+                );
+            }
+            Progress::Event(_) => {}
+            Progress::Done(outcome) => break outcome,
+        }
+    };
+    assert!(partials > 0, "partials were streamed");
+    assert!(!outcome.cancelled);
+    assert_eq!(outcome.completed, jobs);
+    assert_eq!(outcome.events_dropped, 0, "this client kept up");
+    assert_eq!(outcome.aggregate, local.aggregate);
+    assert_eq!(
+        format!("{:?}", outcome.aggregate),
+        format!("{:?}", local.aggregate),
+        "remote result is bitwise the local one"
+    );
+
+    // A second sweep on the same connection works once the first is done.
+    let again = client
+        .run_to_completion("team-a", &quick_spec(), |_| {})
+        .expect("second sweep");
+    assert_eq!(again.aggregate, local.aggregate);
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("serve.tenant.team-a.submitted"), "{stats}");
+    assert!(stats.contains("queue: pending="), "{stats}");
+    daemon.stop();
+}
+
+#[test]
+fn overload_answers_busy_with_the_configured_hint_not_buffering() {
+    let daemon = TestDaemon::start(
+        AdmissionConfig {
+            max_active: 1,
+            max_pending: 1,
+            retry_after_ms: 77,
+        },
+        1,
+    );
+
+    // First sweep occupies the single active slot…
+    let mut active = ServeClient::connect(&daemon.addr).expect("connect");
+    active.submit("flood", &slow_spec()).expect("accepted");
+    wait_until("the first sweep to start", Duration::from_secs(10), || {
+        daemon.engine.active_sessions() == 1
+    });
+    // …second fills the single pending slot…
+    let mut queued = ServeClient::connect(&daemon.addr).expect("connect");
+    queued.submit("flood", &slow_spec()).expect("enqueued");
+    // …so the third must bounce with the typed backpressure reply.
+    let mut refused = ServeClient::connect(&daemon.addr).expect("connect");
+    match refused.submit("flood", &slow_spec()) {
+        Err(ClientError::Busy { retry_after_ms }) => assert_eq!(retry_after_ms, 77),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // Cancel both admitted sweeps; both streams still terminate cleanly.
+    active.cancel().expect("cancel active");
+    queued.cancel().expect("cancel queued");
+    for client in [&mut active, &mut queued] {
+        loop {
+            match client.next_progress() {
+                Ok(Progress::Event(_)) => continue,
+                Ok(Progress::Done(outcome)) => {
+                    assert!(outcome.cancelled);
+                    break;
+                }
+                Err(ClientError::Rejected(_)) => break,
+                Err(err) => panic!("stream must end typed, got {err}"),
+            }
+        }
+    }
+    daemon.stop();
+}
+
+#[test]
+fn client_disconnect_cancels_the_in_flight_sweep() {
+    let daemon = TestDaemon::start(AdmissionConfig::default(), 1);
+
+    let mut client = ServeClient::connect(&daemon.addr).expect("connect");
+    client.submit("vanisher", &slow_spec()).expect("accepted");
+    wait_until("the sweep to start", Duration::from_secs(10), || {
+        daemon.engine.active_sessions() == 1
+    });
+
+    // The client vanishes mid-sweep: the daemon must map the dropped
+    // socket to a cancel, and the engine's session count must fall back
+    // to zero long before the 64-job sweep could finish on one thread.
+    drop(client);
+    wait_until(
+        "disconnect to cancel the sweep",
+        Duration::from_secs(30),
+        || daemon.engine.active_sessions() == 0,
+    );
+
+    // The daemon is still healthy for other clients.
+    let local = Engine::new(2).run(&quick_spec()).expect("local run");
+    let outcome = ServeClient::connect(&daemon.addr)
+        .expect("connect")
+        .run_to_completion("survivor", &quick_spec(), |_| {})
+        .expect("post-disconnect sweep");
+    assert_eq!(outcome.aggregate, local.aggregate);
+    daemon.stop();
+}
+
+#[test]
+fn shutdown_drains_in_flight_sweeps_before_exit() {
+    let daemon = TestDaemon::start(AdmissionConfig::default(), 2);
+    let local = Engine::new(2).run(&quick_spec()).expect("local run");
+
+    // A sweep is admitted, then a second connection requests shutdown.
+    let mut client = ServeClient::connect(&daemon.addr).expect("connect");
+    let jobs = client.submit("drainee", &quick_spec()).expect("accepted");
+    ServeClient::connect(&daemon.addr)
+        .expect("connect")
+        .shutdown()
+        .expect("acknowledged");
+
+    // Drain means: the admitted sweep still runs to completion and its
+    // Done frame reaches the client before the daemon closes sockets.
+    let outcome = loop {
+        match client.next_progress().expect("drained stream") {
+            Progress::Event(_) => continue,
+            Progress::Done(outcome) => break outcome,
+        }
+    };
+    assert!(!outcome.cancelled, "drain completes, not cancels");
+    assert_eq!(outcome.completed, jobs);
+    assert_eq!(outcome.aggregate, local.aggregate);
+
+    // The daemon actually exits (run() returns, every thread joined)…
+    let thread = daemon.thread.expect("daemon thread");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !thread.is_finished() {
+        assert!(Instant::now() < deadline, "daemon failed to exit");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    thread.join().expect("clean exit");
+    assert_eq!(daemon.engine.active_sessions(), 0, "no orphan sweeps");
+
+    // …and new work is refused while it was draining (pinned separately
+    // above via Offer::Draining unit tests; the socket is gone here).
+    assert!(
+        ServeClient::connect(&daemon.addr).is_err() || {
+            // Accept a race where the OS still completes the TCP handshake
+            // on the closed listener's backlog; any subsequent submit must
+            // then fail.
+            let mut late = ServeClient::connect(&daemon.addr).expect("raced connect");
+            late.submit("late", &quick_spec()).is_err()
+        }
+    );
+}
