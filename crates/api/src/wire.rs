@@ -236,9 +236,175 @@ pub fn read_frame<R: Read>(reader: &mut R) -> Result<(u8, Vec<u8>), WireError> {
     Ok((kind, rest))
 }
 
+// ---------------------------------------------------------------------------
+// Shared payload helpers
+// ---------------------------------------------------------------------------
+//
+// Every textual payload in the workspace — the engine's spec/event/update
+// codecs, the serve request/reply protocol, the dist coordinator frames —
+// parses with the same few primitives: typed `Malformed` construction,
+// number parsing that names the field, f64s as sixteen-hex-digit bit
+// patterns (so floats survive the wire bitwise), and a whitespace token
+// cursor that rejects both truncated and over-long lines.
+
+/// Builds a [`WireError::Malformed`] — the one-liner every payload codec
+/// reaches for.
+pub fn malformed(msg: impl Into<String>) -> WireError {
+    WireError::Malformed(msg.into())
+}
+
+/// Parses a number, mapping failure to a [`WireError::Malformed`] that
+/// names the field (`what`).
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] when `s` does not parse as `T`.
+pub fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, WireError> {
+    s.parse()
+        .map_err(|_| malformed(format!("unparseable {what} `{s}`")))
+}
+
+/// Interprets a frame payload as UTF-8 text, naming the frame (`what`) on
+/// failure.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] when the payload is not valid UTF-8.
+pub fn text_payload(payload: &[u8], what: &str) -> Result<String, WireError> {
+    String::from_utf8(payload.to_vec())
+        .map_err(|_| malformed(format!("{what} payload is not utf-8")))
+}
+
+/// Renders an `f64` as its sixteen-hex-digit bit pattern — the bitwise
+/// float encoding every textual codec in the workspace uses.
+#[must_use]
+pub fn fbits(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Parses one [`fbits`] pattern back to the identical `f64`.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] unless `s` is exactly 16 hex digits.
+pub fn parse_fbits(s: &str) -> Result<f64, WireError> {
+    if s.len() != 16 {
+        return Err(malformed(format!("float bits `{s}` are not 16 hex digits")));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| malformed(format!("unparseable float bits `{s}`")))
+}
+
+/// [`fbits`] for optional floats: `None` travels as `-`.
+#[must_use]
+pub fn opt_fbits(x: Option<f64>) -> String {
+    x.map_or_else(|| "-".into(), fbits)
+}
+
+/// Parses one [`opt_fbits`] field.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] unless `s` is `-` or 16 hex digits.
+pub fn parse_opt_fbits(s: &str) -> Result<Option<f64>, WireError> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        parse_fbits(s).map(Some)
+    }
+}
+
+/// Space-separated token cursor with typed errors for missing fields —
+/// `what` names the line being parsed in every error message.
+#[derive(Debug)]
+pub struct Tokens<'a> {
+    iter: std::str::SplitWhitespace<'a>,
+    what: &'static str,
+}
+
+impl<'a> Tokens<'a> {
+    /// A cursor over the whitespace-separated tokens of `line`.
+    #[must_use]
+    pub fn new(line: &'a str, what: &'static str) -> Self {
+        Tokens {
+            iter: line.split_whitespace(),
+            what,
+        }
+    }
+
+    /// The next token.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] when the line ran out of fields.
+    #[allow(clippy::should_implement_trait)] // fallible by design: Result, not Option
+    pub fn next(&mut self) -> Result<&'a str, WireError> {
+        self.iter
+            .next()
+            .ok_or_else(|| malformed(format!("truncated {} line", self.what)))
+    }
+
+    /// Consumes the cursor, refusing trailing fields — a line with more
+    /// tokens than its schema is as defective as a truncated one.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] naming the first trailing field.
+    pub fn finish(mut self) -> Result<(), WireError> {
+        match self.iter.next() {
+            None => Ok(()),
+            Some(extra) => Err(malformed(format!(
+                "trailing field `{extra}` on {} line",
+                self.what
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn payload_helpers_roundtrip_and_reject() {
+        for x in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::NAN, 0.1 + 0.2] {
+            let bits = fbits(x);
+            assert_eq!(parse_fbits(&bits).unwrap().to_bits(), x.to_bits());
+            assert_eq!(
+                parse_opt_fbits(&opt_fbits(Some(x)))
+                    .unwrap()
+                    .map(f64::to_bits),
+                Some(x.to_bits())
+            );
+        }
+        assert_eq!(parse_opt_fbits(&opt_fbits(None)).unwrap(), None);
+        for bad in ["", "zz", "0123", &"f".repeat(17)] {
+            assert!(matches!(parse_fbits(bad), Err(WireError::Malformed(_))));
+        }
+        assert_eq!(parse_num::<u32>("17", "count").unwrap(), 17);
+        assert!(matches!(
+            parse_num::<u32>("many", "count"),
+            Err(WireError::Malformed(_))
+        ));
+        assert!(matches!(
+            text_payload(&[0xFF, 0xFE], "blob"),
+            Err(WireError::Malformed(_))
+        ));
+
+        let mut tokens = Tokens::new("alpha 7", "test");
+        assert_eq!(tokens.next().unwrap(), "alpha");
+        assert_eq!(tokens.next().unwrap(), "7");
+        assert!(matches!(tokens.next(), Err(WireError::Malformed(_))));
+        assert!(Tokens::new("a", "t")
+            .finish()
+            .unwrap_err()
+            .to_string()
+            .contains("trailing"));
+        let mut exact = Tokens::new("one", "t");
+        exact.next().unwrap();
+        exact.finish().unwrap();
+    }
 
     #[test]
     fn buffer_roundtrip() {

@@ -109,6 +109,7 @@ macro_rules! sweep_shape_flags {
                 value: Some("KEY[,KEY...]"),
                 help: "registry keys to run per job",
                 dynamic_help: Some(analyses_help),
+                ..FlagSpec::DEFAULT
             },
             FlagSpec {
                 name: "--preset",
@@ -291,12 +292,32 @@ pub const COMMANDS: &[CommandSpec] = &[
         args: "",
         help: "batch sweep on the work-stealing engine (registry-driven analyses)",
         flags: sweep_shape_flags!(
-            pre: [FlagSpec {
-                name: "--threads",
-                value: Some("N"),
-                help: "worker threads (default: all cores)",
-                ..FlagSpec::DEFAULT
-            }],
+            pre: [
+                FlagSpec {
+                    name: "--threads",
+                    value: Some("N"),
+                    help: "worker threads (default: all cores)",
+                    ..FlagSpec::DEFAULT
+                },
+                FlagSpec {
+                    name: "--workers",
+                    value: Some("N"),
+                    help: "fan the sweep across N worker processes (each with --threads \
+                           threads, all sharing --cache-dir); bitwise the single-process \
+                           aggregate",
+                    conflicts: &["--shard", "--progress", "--metrics"],
+                    ..FlagSpec::DEFAULT
+                },
+                FlagSpec {
+                    name: "--shard",
+                    value: Some("I/K"),
+                    help: "run only the I-th of K deterministic shards in this process \
+                           (zero-based; merge all K partial aggregates to reassemble the \
+                           full sweep)",
+                    conflicts: &["--workers", "--progress"],
+                    ..FlagSpec::DEFAULT
+                },
+            ],
             post: [
                 CSV_FLAG,
                 FlagSpec {
@@ -376,8 +397,53 @@ pub const COMMANDS: &[CommandSpec] = &[
                 help: "stream a partial aggregate every N completed jobs (default 8)",
                 ..FlagSpec::DEFAULT
             },
+            FlagSpec {
+                name: "--workers",
+                value: Some("N"),
+                help: "fan each granted sweep across N worker processes (the \
+                       hetrta-dist fleet) instead of the in-process engine",
+                ..FlagSpec::DEFAULT
+            },
         ],
         handler: serve_cmd,
+    },
+    CommandSpec {
+        name: "dist worker",
+        args: "",
+        help: "one fleet worker: connect to a coordinator and compute assigned shards",
+        flags: &[
+            FlagSpec {
+                name: "--connect",
+                value: Some("HOST:PORT"),
+                help: "coordinator address (as printed by the spawning process)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--worker",
+                value: Some("N"),
+                help: "this worker's fleet slot index (default 0)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--threads",
+                value: Some("N"),
+                help: "engine threads of this worker (default: all cores)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--cache-dir",
+                value: Some("DIR"),
+                help: "disk cache namespace shared with the rest of the fleet",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--heartbeat-ms",
+                value: Some("MS"),
+                help: "liveness heartbeat period (default 200)",
+                ..FlagSpec::DEFAULT
+            },
+        ],
+        handler: dist_worker_cmd,
     },
     CommandSpec {
         name: "submit",
@@ -432,6 +498,15 @@ pub const COMMANDS: &[CommandSpec] = &[
                     name: "--json",
                     value: Some("PATH"),
                     help: "also write the report as JSON to PATH (the BENCH_6.json format)",
+                    ..FlagSpec::DEFAULT
+                },
+                FlagSpec {
+                    name: "--workers",
+                    value: Some("N[,N...]"),
+                    help: "fleet-scaling ladder instead of a daemon: run the sweep \
+                           distributed at each worker count (1 engine thread per \
+                           worker), cold then warm, recording per-worker job balance",
+                    conflicts: &["--addr", "--clients", "--sweeps"],
                     ..FlagSpec::DEFAULT
                 },
             ],
@@ -1141,6 +1216,14 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
     let threads = args.parsed_or("--threads", "thread count", 0usize)?;
     let spec = build_sweep_spec(args)?;
 
+    let workers = args.parsed_or("--workers", "worker count", 0usize)?;
+    if workers > 0 {
+        return engine_sweep_dist(args, &spec, workers, threads);
+    }
+    if let Some(raw) = args.value_of("--shard") {
+        return engine_sweep_shard(args, &spec, raw, threads);
+    }
+
     let mut builder = EngineBuilder::new().threads(threads);
     if let Some(dir) = args.value_of("--cache-dir") {
         builder = builder.with_cache_dir(dir);
@@ -1184,6 +1267,134 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
         text.push_str(&engine.metrics().snapshot().render_table());
     }
     Ok(text)
+}
+
+/// The worker launcher for locally spawned fleets: this very binary,
+/// re-entered as `hetrta dist worker`.
+fn self_launcher() -> Result<hetrta_dist::WorkerLauncher, String> {
+    Ok(hetrta_dist::WorkerLauncher {
+        program: std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?,
+        args: vec!["dist".into(), "worker".into()],
+    })
+}
+
+/// `engine sweep --workers N`: fan the job list across N locally
+/// spawned worker processes and merge their streams into the same
+/// bitwise aggregate a single-process run produces.
+fn engine_sweep_dist(
+    args: &ParsedArgs,
+    spec: &SweepSpec,
+    workers: usize,
+    threads: usize,
+) -> Result<String, String> {
+    let mut config = hetrta_dist::DistConfig::local(workers, self_launcher()?);
+    config.worker_threads = threads;
+    config.cache_dir = args.value_of("--cache-dir").map(Into::into);
+    // --trace attaches the recorder to the *coordinator*: the sweep
+    // span, per-worker lanes, and the byte/re-dispatch counters land in
+    // the Chrome trace (workers keep their own no-op recorders).
+    let trace_path = args.value_of("--trace");
+    let stderr_log = std::env::var("HETRTA_LOG").is_ok_and(|v| !v.is_empty() && v != "0");
+    let recorder = (trace_path.is_some() || stderr_log)
+        .then(|| std::sync::Arc::new(TraceRecorder::new().with_stderr_log(stderr_log)));
+    let dyn_recorder: &dyn hetrta_obs::Recorder = match &recorder {
+        Some(recorder) => recorder.as_ref(),
+        None => &hetrta_obs::NOOP,
+    };
+    let out = hetrta_dist::run_distributed(spec, &config, dyn_recorder, None, |_| {})
+        .map_err(|e| e.to_string())?;
+
+    let mut text = if args.has("--csv") {
+        render_cells_csv(&out.aggregate.cells)
+    } else {
+        render_cells_table(&out.aggregate.cells)
+    };
+    text.push('\n');
+    let balance: Vec<String> = out.worker_jobs.iter().map(u64::to_string).collect();
+    let _ = writeln!(
+        text,
+        "dist: {} jobs across {workers} workers [{}], {} redispatched, \
+         {} worker deaths, {} respawns, {} B tx / {} B rx",
+        out.completed,
+        balance.join("/"),
+        out.redispatched_jobs,
+        out.worker_deaths,
+        out.respawns,
+        out.bytes_tx,
+        out.bytes_rx,
+    );
+    if let (Some(path), Some(recorder)) = (trace_path, &recorder) {
+        recorder
+            .write_chrome_trace(path)
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+        let _ = writeln!(
+            text,
+            "trace: {} spans written to {path} (load in Perfetto or chrome://tracing)",
+            recorder.spans().len()
+        );
+    }
+    Ok(text)
+}
+
+/// `engine sweep --shard I/K`: run only the I-th deterministic shard
+/// in-process, rendering its partial aggregate. Merging all K shards
+/// through one aggregator reassembles the full sweep bitwise (pinned
+/// by `crates/dist/tests/parity.rs`).
+fn engine_sweep_shard(
+    args: &ParsedArgs,
+    spec: &SweepSpec,
+    raw: &str,
+    threads: usize,
+) -> Result<String, String> {
+    let (shard, shards) = hetrta_dist::parse_shard(raw)?;
+    let mut builder = EngineBuilder::new().threads(threads);
+    if let Some(dir) = args.value_of("--cache-dir") {
+        builder = builder.with_cache_dir(dir);
+    }
+    let engine = builder.build().map_err(|e| e.to_string())?;
+    let (cells, jobs) = spec.expand();
+    let total = jobs.len();
+    let indices = hetrta_dist::shard_indices(total, shard, shards);
+    let mut aggregator = hetrta_engine::Aggregator::new(cells, total, spec.cell_shape());
+    let ran = engine
+        .run_job_subset(spec, &indices, |result| aggregator.accept(result))
+        .map_err(|e| e.to_string())?;
+    let aggregate = aggregator.partial();
+
+    let mut text = if args.has("--csv") {
+        render_cells_csv(&aggregate.cells)
+    } else {
+        render_cells_table(&aggregate.cells)
+    };
+    text.push('\n');
+    let _ = writeln!(
+        text,
+        "shard {shard}/{shards}: ran {ran} of {total} jobs \
+         (merge all {shards} shards for the full aggregate)"
+    );
+    if args.has("--metrics") {
+        text.push('\n');
+        text.push_str(&engine.metrics().snapshot().render_table());
+    }
+    Ok(text)
+}
+
+/// `dist worker`: the fleet-worker process a coordinator spawns (or an
+/// operator starts by hand against `Launch::Attach`).
+fn dist_worker_cmd(args: &ParsedArgs) -> Result<String, String> {
+    let addr = args
+        .value_of("--connect")
+        .ok_or("missing --connect HOST:PORT (the coordinator address)")?;
+    let heartbeat_ms = args.parsed_or("--heartbeat-ms", "heartbeat period", 200u64)?;
+    let config = hetrta_dist::WorkerConfig {
+        addr: addr.to_string(),
+        worker: args.parsed_or("--worker", "worker index", 0usize)?,
+        threads: args.parsed_or("--threads", "thread count", 0usize)?,
+        cache_dir: args.value_of("--cache-dir").map(Into::into),
+        heartbeat_every: std::time::Duration::from_millis(heartbeat_ms.max(1)),
+    };
+    let jobs = hetrta_dist::run_worker(&config, &hetrta_obs::NOOP).map_err(|e| e.to_string())?;
+    Ok(format!("dist worker: {jobs} jobs computed\n"))
 }
 
 /// Submits the sweep as a session and renders `PartialAggregate`
@@ -1242,12 +1453,25 @@ const DEFAULT_DAEMON_ADDR: &str = "127.0.0.1:7917";
 
 fn serve_cmd(args: &ParsedArgs) -> Result<String, String> {
     let defaults = hetrta_serve::AdmissionConfig::default();
+    let workers = args.parsed_or("--workers", "worker count", 0usize)?;
+    let threads = args.parsed_or("--threads", "thread count", 0usize)?;
+    let dist = if workers > 0 {
+        // Fleet mode: each granted sweep fans across `workers` spawned
+        // processes; the fleet shares the daemon's cache directory so
+        // tenants still warm each other's cells.
+        let mut dist = hetrta_dist::DistConfig::local(workers, self_launcher()?);
+        dist.worker_threads = threads;
+        dist.cache_dir = args.value_of("--cache-dir").map(Into::into);
+        Some(dist)
+    } else {
+        None
+    };
     let config = hetrta_serve::ServerConfig {
         addr: args
             .value_of("--addr")
             .unwrap_or(DEFAULT_DAEMON_ADDR)
             .to_string(),
-        threads: args.parsed_or("--threads", "thread count", 0usize)?,
+        threads,
         cache_dir: args.value_of("--cache-dir").map(Into::into),
         admission: hetrta_serve::AdmissionConfig {
             max_active: args.parsed_or("--max-active", "active bound", defaults.max_active)?,
@@ -1259,6 +1483,7 @@ fn serve_cmd(args: &ParsedArgs) -> Result<String, String> {
             )?,
         },
         partial_every: Some(args.parsed_or("--partial-every", "partial cadence", 8usize)?),
+        dist,
     };
     let server = hetrta_serve::Server::bind(config).map_err(|e| e.to_string())?;
     let addr = server.local_addr();
@@ -1329,6 +1554,9 @@ fn submit_cmd(args: &ParsedArgs) -> Result<String, String> {
 }
 
 fn loadgen_cmd(args: &ParsedArgs) -> Result<String, String> {
+    if let Some(raw) = args.value_of("--workers") {
+        return loadgen_dist(args, raw);
+    }
     let addr = args.value_of("--addr").unwrap_or(DEFAULT_DAEMON_ADDR);
     let ladder: Vec<usize> = match args.value_of("--clients") {
         None => vec![1, 8, 64, 256],
@@ -1377,9 +1605,90 @@ fn loadgen_cmd(args: &ParsedArgs) -> Result<String, String> {
         }
     }
     if let Some(path) = args.value_of("--json") {
-        std::fs::write(path, hetrta_serve::loadgen::render_bench_json(&rows))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(
+            path,
+            hetrta_serve::loadgen::render_bench_json("serve_saturation", &rows),
+        )
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+    Ok(text)
+}
+
+/// `loadgen --workers`: the fleet-scaling ladder. No daemon involved —
+/// each rung runs the sweep through the dist coordinator at one worker
+/// count (1 engine thread per worker, so rungs measure process-level
+/// scaling), cold with a fresh cache directory and warm over the first
+/// cold rung's directory, recording jobs/sec and per-worker balance.
+fn loadgen_dist(args: &ParsedArgs, raw: &str) -> Result<String, String> {
+    let ladder: Vec<usize> = parse_list(raw, "worker count")?;
+    if ladder.contains(&0) {
+        return Err("worker counts must be >= 1".into());
+    }
+    let spec = build_sweep_spec(args)?;
+    let launcher = self_launcher()?;
+    let root = std::env::temp_dir().join(format!("hetrta-loadgen-dist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    // Warm rungs replay from the first cold rung's directory: by then it
+    // holds every job of the (identical) spec.
+    let warm_dir = root.join(format!("cold-{}", ladder[0]));
+
+    let mut rows = Vec::new();
+    let mut text =
+        String::from("cache  workers  jobs  failed    jobs/s    p50 ms    p99 ms  balance\n");
+    for cache in ["cold", "warm"] {
+        for &workers in &ladder {
+            let mut config = hetrta_dist::DistConfig::local(workers, launcher.clone());
+            config.worker_threads = 1;
+            config.cache_dir = Some(match cache {
+                "cold" => root.join(format!("cold-{workers}")),
+                _ => warm_dir.clone(),
+            });
+            let mut wall_times = Vec::new();
+            let started = std::time::Instant::now();
+            let out =
+                hetrta_dist::run_distributed(&spec, &config, &hetrta_obs::NOOP, None, |progress| {
+                    if let hetrta_dist::DistProgress::Job { wall_time, .. } = progress {
+                        wall_times.push(wall_time);
+                    }
+                })
+                .map_err(|e| e.to_string())?;
+            let elapsed = started.elapsed();
+            let balance: Vec<String> = out.worker_jobs.iter().map(u64::to_string).collect();
+            let report = hetrta_serve::loadgen::LoadgenReport {
+                clients: workers,
+                completed: out.completed,
+                failed: out.total - out.completed,
+                busy_retries: 0,
+                protocol_errors: 0,
+                elapsed,
+                sweeps_per_sec: out.completed as f64 / elapsed.as_secs_f64().max(1e-9),
+                p50_ms: hetrta_serve::loadgen::percentile_ms(&wall_times, 0.50),
+                p99_ms: hetrta_serve::loadgen::percentile_ms(&wall_times, 0.99),
+                first_error: None,
+                worker_jobs: out.worker_jobs,
+            };
+            let _ = writeln!(
+                text,
+                "{cache:>5}  {:>7}  {:>4}  {:>6}  {:>8.2}  {:>8.2}  {:>8.2}  [{}]",
+                report.clients,
+                report.completed,
+                report.failed,
+                report.sweeps_per_sec,
+                report.p50_ms,
+                report.p99_ms,
+                balance.join("/"),
+            );
+            rows.push((cache.to_string(), report));
+        }
+    }
+    if let Some(path) = args.value_of("--json") {
+        std::fs::write(
+            path,
+            hetrta_serve::loadgen::render_bench_json("dist_scaling", &rows),
+        )
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let _ = std::fs::remove_dir_all(&root);
     Ok(text)
 }
 
@@ -1869,6 +2178,47 @@ mod tests {
         let bye = run(&args(&["submit", "--addr", &addr, "--shutdown"])).unwrap();
         assert!(bye.contains("draining"), "{bye}");
         daemon.join().unwrap();
+    }
+
+    #[test]
+    fn engine_sweep_shard_runs_its_slice_and_conflicts_are_table_driven() {
+        // 2 cores × 2 fractions × 4 per point = 8 jobs; shard 0/2 owns
+        // the even expansion indices.
+        let out = run(&args(&[
+            "engine",
+            "sweep",
+            "--threads",
+            "1",
+            "--cores",
+            "2",
+            "--per-point",
+            "4",
+            "--fractions",
+            "0.1,0.3",
+            "--seed",
+            "9",
+            "--shard",
+            "0/2",
+        ]))
+        .unwrap();
+        assert!(out.contains("shard 0/2: ran 4 of 8 jobs"), "{out}");
+
+        // Conflict rules come from the FlagSpec table, not handler code.
+        for bad in [
+            ["--workers", "2", "--shard", "0/2"],
+            ["--workers", "2", "--progress", ""],
+        ] {
+            let mut argv = args(&["engine", "sweep"]);
+            argv.extend(
+                bad.iter()
+                    .filter(|s| !s.is_empty())
+                    .map(|s| (*s).to_owned()),
+            );
+            let err = run(&argv).unwrap_err();
+            assert!(err.contains("conflicts with"), "{err}");
+        }
+        let err = run(&args(&["engine", "sweep", "--shard", "2/2"])).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
     }
 
     #[test]

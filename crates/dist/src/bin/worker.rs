@@ -1,0 +1,75 @@
+//! Standalone dist worker binary.
+//!
+//! Spawned by the coordinator (and by the integration tests); the
+//! `hetrta dist worker` subcommand accepts the same flags and calls the
+//! same [`hetrta_dist::run_worker`] entry point.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use hetrta_dist::{run_worker, WorkerConfig};
+
+fn parse_args(args: &[String]) -> Result<WorkerConfig, String> {
+    let mut config = WorkerConfig {
+        addr: String::new(),
+        worker: 0,
+        threads: 0,
+        cache_dir: None,
+        heartbeat_every: WorkerConfig::DEFAULT_HEARTBEAT,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |what: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a {what}"))
+        };
+        match flag.as_str() {
+            "--connect" => config.addr = value("coordinator address")?,
+            "--worker" => {
+                config.worker = value("worker id")?
+                    .parse()
+                    .map_err(|_| format!("{flag} needs a number"))?;
+            }
+            "--threads" => {
+                config.threads = value("thread count")?
+                    .parse()
+                    .map_err(|_| format!("{flag} needs a number"))?;
+            }
+            "--cache-dir" => config.cache_dir = Some(PathBuf::from(value("directory")?)),
+            "--heartbeat-ms" => {
+                let ms: u64 = value("milliseconds")?
+                    .parse()
+                    .map_err(|_| format!("{flag} needs a number"))?;
+                config.heartbeat_every = Duration::from_millis(ms.max(1));
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if config.addr.is_empty() {
+        return Err("--connect <host:port> is required".into());
+    }
+    Ok(config)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("hetrta-dist-worker: {msg}");
+            eprintln!(
+                "usage: hetrta-dist-worker --connect <host:port> [--worker N] \
+                 [--threads N] [--cache-dir DIR] [--heartbeat-ms N]"
+            );
+            std::process::exit(2);
+        }
+    };
+    match run_worker(&config, &hetrta_obs::NOOP) {
+        Ok(_jobs) => {}
+        Err(e) => {
+            eprintln!("hetrta-dist-worker: {e}");
+            std::process::exit(1);
+        }
+    }
+}

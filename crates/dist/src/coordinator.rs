@@ -1,0 +1,674 @@
+//! The coordinator: shards a sweep across worker processes, merges
+//! their streamed results deterministically, and survives worker loss.
+//!
+//! ## Determinism
+//!
+//! The coordinator never reorders floating-point work. It feeds every
+//! [`JobDone`](crate::protocol::DistMsg::JobDone) into the engine's
+//! [`Aggregator`], which stores results in expansion-order slots and
+//! replays them in expansion order at finalize — so the distributed
+//! aggregate is **bitwise identical** to a single-process run of the
+//! same spec, for any worker count, any arrival order, and any number
+//! of mid-sweep worker deaths (the parity and fault integration tests
+//! pin this).
+//!
+//! ## Fault model
+//!
+//! Workers are expendable; the coordinator is not. Each worker
+//! heartbeats on a fixed cadence; a worker that disconnects, or goes
+//! silent past [`DistConfig::heartbeat_timeout`] while it still owes
+//! jobs, is declared dead. Its child process (if spawned) is killed,
+//! and its *unfinished* indices are re-dispatched: to a respawned
+//! replacement (exponential back-off, at most
+//! [`DistConfig::max_respawns`] times per slot), or — when respawning
+//! is impossible — to the least-loaded surviving worker. Re-dispatch is
+//! idempotent: a done-bitmask drops any duplicate result that raced the
+//! death, so each expansion slot is aggregated exactly once.
+
+use std::collections::BTreeSet;
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hetrta_api::wire::{self, WireError};
+use hetrta_engine::{AggregateUpdate, Aggregator, Engine, SweepAggregate, SweepSpec};
+use hetrta_obs::{span, Recorder};
+
+use crate::protocol::{DistMsg, FRAME_OVERHEAD};
+use crate::shard::shard_indices;
+use crate::DistError;
+
+/// How the coordinator obtains worker processes.
+#[derive(Debug, Clone)]
+pub enum Launch {
+    /// Spawn `workers` local child processes with this launcher; dead
+    /// workers are respawned from it too.
+    Spawn(WorkerLauncher),
+    /// Listen on this address and wait for `workers` externally started
+    /// workers (`hetrta dist worker --connect <addr> --worker <i>`) to
+    /// attach. No respawning: a dead worker's shard moves to survivors.
+    Attach {
+        /// Address to listen on (`host:port`).
+        addr: String,
+    },
+}
+
+/// Command line that starts one worker process. The coordinator appends
+/// the standard flags (`--connect`, `--worker`, `--threads`,
+/// `--heartbeat-ms` and, when configured, `--cache-dir`) after `args`.
+#[derive(Debug, Clone)]
+pub struct WorkerLauncher {
+    /// Program to execute.
+    pub program: PathBuf,
+    /// Arguments before the standard flags (e.g. `["dist", "worker"]`
+    /// when `program` is the `hetrta` binary itself).
+    pub args: Vec<String>,
+}
+
+impl WorkerLauncher {
+    fn spawn(&self, config: &DistConfig, addr: &str, worker: usize) -> Result<Child, DistError> {
+        let mut cmd = Command::new(&self.program);
+        cmd.args(&self.args)
+            .arg("--connect")
+            .arg(addr)
+            .arg("--worker")
+            .arg(worker.to_string())
+            .arg("--threads")
+            .arg(config.worker_threads.to_string())
+            .arg("--heartbeat-ms")
+            .arg(config.heartbeat_every.as_millis().to_string())
+            .stdin(Stdio::null())
+            // Workers inherit stderr (diagnostics) but not stdout: the
+            // coordinator's own output stream must stay clean.
+            .stdout(Stdio::null());
+        if let Some(dir) = &config.cache_dir {
+            cmd.arg("--cache-dir").arg(dir);
+        }
+        cmd.spawn()
+            .map_err(|e| DistError::Io(format!("spawn worker {}: {e}", self.program.display())))
+    }
+}
+
+/// Configuration of one distributed sweep.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Fleet size.
+    pub workers: usize,
+    /// Engine threads per worker (0 = all cores; the usual fleet choice
+    /// is `cores / workers`).
+    pub worker_threads: usize,
+    /// Disk-cache directory shared by the whole fleet (and by
+    /// single-process runs of the same spec — warm cells never
+    /// recompute anywhere).
+    pub cache_dir: Option<PathBuf>,
+    /// How workers come to exist.
+    pub launch: Launch,
+    /// Heartbeat cadence passed to spawned workers.
+    pub heartbeat_every: Duration,
+    /// Silence (no frame of any kind) after which a worker owing jobs
+    /// is declared dead.
+    pub heartbeat_timeout: Duration,
+    /// Respawn budget per fleet slot ([`Launch::Spawn`] only).
+    pub max_respawns: usize,
+    /// Base respawn back-off; attempt `n` for a slot waits
+    /// `backoff × 2ⁿ`.
+    pub respawn_backoff: Duration,
+    /// Emit a [`DistProgress::Partial`] every this many completed jobs.
+    pub partial_every: Option<usize>,
+    /// Fault-injection hook: SIGKILL worker `.0`'s child after the
+    /// coordinator has accepted `.1` of its jobs. Test-only; `None` in
+    /// production.
+    pub chaos_kill_after: Option<(usize, u64)>,
+}
+
+impl DistConfig {
+    /// A local fleet of `workers` processes spawned from `launcher`.
+    #[must_use]
+    pub fn local(workers: usize, launcher: WorkerLauncher) -> Self {
+        DistConfig {
+            workers,
+            worker_threads: 0,
+            cache_dir: None,
+            launch: Launch::Spawn(launcher),
+            heartbeat_every: crate::WorkerConfig::DEFAULT_HEARTBEAT,
+            heartbeat_timeout: crate::WorkerConfig::DEFAULT_HEARTBEAT * 10,
+            max_respawns: 2,
+            respawn_backoff: Duration::from_millis(50),
+            partial_every: None,
+            chaos_kill_after: None,
+        }
+    }
+}
+
+/// Progress callbacks a distributed sweep emits, mirroring the shapes
+/// of the engine's session events so daemon and CLI consumers reuse
+/// their streaming paths.
+#[derive(Debug, Clone)]
+pub enum DistProgress {
+    /// One job was accepted into the aggregate.
+    Job {
+        /// The job's expansion index.
+        index: usize,
+        /// The cell it contributes to.
+        cell: usize,
+        /// Fleet slot that ran it.
+        worker: usize,
+        /// Whether the worker served it from cache.
+        cache_hit: bool,
+        /// Wall-clock execution time on the worker.
+        wall_time: Duration,
+    },
+    /// A partial aggregate snapshot (cadence set by
+    /// [`DistConfig::partial_every`]).
+    Partial {
+        /// Jobs aggregated so far.
+        completed: usize,
+        /// Total jobs of the sweep.
+        total: usize,
+        /// Keyframe snapshot of the aggregate so far.
+        update: AggregateUpdate,
+    },
+    /// A worker was declared dead and its unfinished jobs re-dispatched.
+    WorkerDown {
+        /// The dead worker's fleet slot.
+        worker: usize,
+        /// Unfinished jobs that were re-dispatched.
+        redispatched: usize,
+        /// Why the coordinator gave up on it.
+        reason: String,
+    },
+}
+
+/// What a distributed sweep produced.
+#[derive(Debug, Clone)]
+pub struct DistOutcome {
+    /// The deterministic final aggregate (partial when `cancelled`).
+    pub aggregate: SweepAggregate,
+    /// Jobs aggregated.
+    pub completed: usize,
+    /// Total jobs of the spec's expansion.
+    pub total: usize,
+    /// Whether the sweep was cancelled before completion.
+    pub cancelled: bool,
+    /// Jobs aggregated per fleet slot (fleet-balance evidence).
+    pub worker_jobs: Vec<u64>,
+    /// Worker-death events handled.
+    pub worker_deaths: u64,
+    /// Unfinished jobs re-dispatched across all deaths.
+    pub redispatched_jobs: u64,
+    /// Worker processes respawned.
+    pub respawns: u64,
+    /// Duplicate results dropped by the done-bitmask.
+    pub duplicates: u64,
+    /// Frame bytes sent to workers.
+    pub bytes_tx: u64,
+    /// Frame bytes received from workers.
+    pub bytes_rx: u64,
+}
+
+/// What reader/accept threads report to the control loop.
+enum Event {
+    /// A worker's connection is up (hello read); the stream is the
+    /// write half the coordinator keeps.
+    Connected { worker: usize, writer: TcpStream },
+    /// One message from a connected worker.
+    Msg { worker: usize, msg: DistMsg },
+    /// A worker's connection died (hangup, defect, or I/O error).
+    Gone { worker: usize, reason: String },
+}
+
+struct WorkerSlot {
+    writer: Option<TcpStream>,
+    child: Option<Child>,
+    /// Outstanding expansion indices this slot owes.
+    assigned: BTreeSet<usize>,
+    last_seen: Instant,
+    connected_once: bool,
+    respawns: usize,
+    jobs: u64,
+}
+
+/// Runs `spec` across a worker fleet and merges the results.
+///
+/// `cancel`, when set, stops the sweep at the next control-loop tick
+/// (spawned children are killed; the outcome carries the partial
+/// aggregate with `cancelled = true`). `progress` receives
+/// [`DistProgress`] callbacks on the calling thread.
+///
+/// # Errors
+///
+/// - [`DistError::Engine`] when the spec is invalid (validated up front
+///   with the same rules as a local run) or a job failed;
+/// - [`DistError::WorkersLost`] when a shard cannot complete: its
+///   worker died, the respawn budget is spent, and no live worker
+///   remains to take the orphans;
+/// - [`DistError::Io`] / [`DistError::Wire`] on socket trouble.
+pub fn run_distributed(
+    spec: &SweepSpec,
+    config: &DistConfig,
+    recorder: &dyn Recorder,
+    cancel: Option<&AtomicBool>,
+    mut progress: impl FnMut(DistProgress),
+) -> Result<DistOutcome, DistError> {
+    let _span = span!(recorder, "dist.sweep", workers = config.workers);
+    if config.workers == 0 {
+        return Err(DistError::Config("a fleet needs at least 1 worker".into()));
+    }
+    // Validate exactly like a local run would (spec rules + registry
+    // compatibility) before any process is spawned: an empty subset
+    // runs the full validation path and no jobs.
+    Engine::new(1).run_job_subset(spec, &[], |_| {})?;
+
+    let (cells, jobs) = spec.expand();
+    let total = jobs.len();
+    drop(jobs); // workers re-expand; the coordinator only needs the count
+    let mut aggregator = Aggregator::new(cells, total, spec.cell_shape());
+    let mut done = vec![false; total];
+
+    let listener = match &config.launch {
+        Launch::Spawn(_) => TcpListener::bind("127.0.0.1:0"),
+        Launch::Attach { addr } => TcpListener::bind(addr),
+    }
+    .map_err(|e| DistError::Io(format!("bind coordinator listener: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| DistError::Io(format!("coordinator local addr: {e}")))?
+        .to_string();
+
+    let bytes_rx = Arc::new(AtomicU64::new(0));
+    let accept_done = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = std::sync::mpsc::channel::<Event>();
+    let accept_thread = {
+        let tx = tx.clone();
+        let bytes_rx = Arc::clone(&bytes_rx);
+        let accept_done = Arc::clone(&accept_done);
+        let listener = listener
+            .try_clone()
+            .map_err(|e| DistError::Io(format!("clone listener: {e}")))?;
+        std::thread::spawn(move || accept_loop(&listener, &tx, &bytes_rx, &accept_done))
+    };
+    drop(tx); // reader threads hold their own clones
+
+    let mut slots: Vec<WorkerSlot> = (0..config.workers)
+        .map(|w| WorkerSlot {
+            writer: None,
+            child: None,
+            assigned: shard_indices(total, w, config.workers)
+                .into_iter()
+                .collect(),
+            last_seen: Instant::now(),
+            connected_once: false,
+            respawns: 0,
+            jobs: 0,
+        })
+        .collect();
+    for (w, slot) in slots.iter_mut().enumerate() {
+        recorder.name_lane(
+            u32::try_from(w).unwrap_or(u32::MAX).saturating_add(1),
+            &format!("dist worker {w}"),
+        );
+        if let Launch::Spawn(launcher) = &config.launch {
+            slot.child = Some(launcher.spawn(config, &addr, w)?);
+            slot.last_seen = Instant::now();
+        }
+    }
+
+    let mut stats = Stats::default();
+    let mut chaos = config.chaos_kill_after;
+    let mut seq = 0u64;
+    let mut since_partial = 0usize;
+    let mut completed = 0usize;
+    let mut cancelled = false;
+    let tick = config.heartbeat_timeout.min(Duration::from_millis(100));
+
+    while completed < total {
+        if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            cancelled = true;
+            break;
+        }
+        match rx.recv_timeout(tick) {
+            Ok(Event::Connected { worker, writer }) => {
+                let Some(slot) = slots.get_mut(worker) else {
+                    continue; // unknown slot: drop the connection
+                };
+                slot.last_seen = Instant::now();
+                slot.connected_once = true;
+                slot.writer = Some(writer);
+                let assign = DistMsg::Assign {
+                    indices: slot.assigned.iter().copied().collect(),
+                    spec: Box::new(spec.clone()),
+                };
+                if let Err(e) = send(slot, &assign, &mut stats) {
+                    handle_death(
+                        spec,
+                        config,
+                        &addr,
+                        &mut slots,
+                        worker,
+                        &format!("assign failed: {e}"),
+                        &mut stats,
+                        recorder,
+                        &mut progress,
+                    )?;
+                }
+            }
+            Ok(Event::Msg { worker, msg }) => {
+                let Some(slot) = slots.get_mut(worker) else {
+                    continue;
+                };
+                slot.last_seen = Instant::now();
+                if let DistMsg::JobDone(result) = msg {
+                    let index = result.index;
+                    if index >= total || done[index] {
+                        stats.duplicates += 1;
+                        recorder.record_counter("dist.duplicate", 1);
+                        continue;
+                    }
+                    done[index] = true;
+                    slot.assigned.remove(&index);
+                    slot.jobs += 1;
+                    completed += 1;
+                    since_partial += 1;
+                    recorder.record_counter("dist.jobs", 1);
+                    progress(DistProgress::Job {
+                        index,
+                        cell: result.cell,
+                        worker,
+                        cache_hit: result.cache_hit,
+                        wall_time: result.wall_time,
+                    });
+                    aggregator.accept(result.into_result(worker));
+                    if config
+                        .partial_every
+                        .is_some_and(|every| since_partial >= every)
+                    {
+                        since_partial = 0;
+                        progress(DistProgress::Partial {
+                            completed,
+                            total,
+                            update: AggregateUpdate::Keyframe {
+                                seq,
+                                aggregate: aggregator.partial(),
+                            },
+                        });
+                        seq += 1;
+                    }
+                    if chaos.is_some_and(|(w, after)| w == worker && slots[worker].jobs >= after) {
+                        chaos = None;
+                        // SIGKILL, not a polite shutdown: the fault
+                        // tests assert recovery from the worst case.
+                        if let Some(child) = &mut slots[worker].child {
+                            let _ = child.kill();
+                        }
+                    }
+                }
+                // Heartbeat/ShardDone only refresh last_seen (above);
+                // completion is tracked per job, not per shard.
+            }
+            Ok(Event::Gone { worker, reason }) => {
+                handle_death(
+                    spec,
+                    config,
+                    &addr,
+                    &mut slots,
+                    worker,
+                    &reason,
+                    &mut stats,
+                    recorder,
+                    &mut progress,
+                )?;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                let now = Instant::now();
+                let stale: Vec<usize> = slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| {
+                        !s.assigned.is_empty()
+                            && now.duration_since(s.last_seen) > config.heartbeat_timeout
+                            // Attach-mode workers are started by hand;
+                            // wait for them indefinitely until first
+                            // contact.
+                            && (s.connected_once || matches!(config.launch, Launch::Spawn(_)))
+                    })
+                    .map(|(w, _)| w)
+                    .collect();
+                for worker in stale {
+                    handle_death(
+                        spec,
+                        config,
+                        &addr,
+                        &mut slots,
+                        worker,
+                        "heartbeat timeout",
+                        &mut stats,
+                        recorder,
+                        &mut progress,
+                    )?;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(DistError::Io("coordinator event channel closed".into()));
+            }
+        }
+    }
+
+    // Tear the fleet down: a polite shutdown first, then reap children.
+    for slot in &mut slots {
+        let told = if let Some(writer) = &mut slot.writer {
+            let ok = DistMsg::Shutdown.write_to(writer).is_ok();
+            let _ = writer.flush();
+            ok
+        } else {
+            false
+        };
+        slot.writer = None;
+        if let Some(child) = &mut slot.child {
+            // A child that never heard the shutdown (not yet connected,
+            // or a dead socket) would block `wait()` forever.
+            if cancelled || !told {
+                let _ = child.kill();
+            }
+            let _ = child.wait();
+        }
+    }
+    // Unblock the accept thread (it checks the flag after each accept).
+    accept_done.store(true, Ordering::Relaxed);
+    let _ = TcpStream::connect(&addr);
+    let _ = accept_thread.join();
+
+    recorder.record_counter("dist.bytes_tx", stats.bytes_tx);
+    recorder.record_counter("dist.bytes_rx", bytes_rx.load(Ordering::Relaxed));
+    let aggregate = if cancelled {
+        aggregator.partial()
+    } else {
+        aggregator.finalize()?
+    };
+    Ok(DistOutcome {
+        aggregate,
+        completed,
+        total,
+        cancelled,
+        worker_jobs: slots.iter().map(|s| s.jobs).collect(),
+        worker_deaths: stats.deaths,
+        redispatched_jobs: stats.redispatched,
+        respawns: stats.respawns,
+        duplicates: stats.duplicates,
+        bytes_tx: stats.bytes_tx,
+        bytes_rx: bytes_rx.load(Ordering::Relaxed),
+    })
+}
+
+#[derive(Default)]
+struct Stats {
+    bytes_tx: u64,
+    deaths: u64,
+    redispatched: u64,
+    respawns: u64,
+    duplicates: u64,
+}
+
+fn send(slot: &mut WorkerSlot, msg: &DistMsg, stats: &mut Stats) -> Result<(), WireError> {
+    let Some(writer) = &mut slot.writer else {
+        return Err(WireError::Io("worker has no connection".into()));
+    };
+    let (kind, payload) = msg.encode();
+    stats.bytes_tx += (payload.len() + FRAME_OVERHEAD) as u64;
+    wire::write_frame(writer, kind, &payload)
+}
+
+/// Declares `worker` dead and re-homes its unfinished indices: a
+/// respawned replacement when the launcher and budget allow, else the
+/// least-loaded surviving worker.
+#[allow(clippy::too_many_arguments)] // one cohesive death path, called thrice
+fn handle_death(
+    spec: &SweepSpec,
+    config: &DistConfig,
+    addr: &str,
+    slots: &mut [WorkerSlot],
+    worker: usize,
+    reason: &str,
+    stats: &mut Stats,
+    recorder: &dyn Recorder,
+    progress: &mut impl FnMut(DistProgress),
+) -> Result<(), DistError> {
+    let slot = &mut slots[worker];
+    slot.writer = None;
+    if let Some(child) = &mut slot.child {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    slot.child = None;
+    let orphans = slot.assigned.len();
+    if orphans == 0 {
+        // Nothing outstanding (e.g. hangup after its shard finished):
+        // not a fault, nothing to re-dispatch.
+        return Ok(());
+    }
+    stats.deaths += 1;
+    stats.redispatched += orphans as u64;
+    recorder.record_counter("dist.worker_death", 1);
+    recorder.record_counter("dist.redispatch", orphans as u64);
+    progress(DistProgress::WorkerDown {
+        worker,
+        redispatched: orphans,
+        reason: reason.to_string(),
+    });
+
+    if let Launch::Spawn(launcher) = &config.launch {
+        if slot.respawns < config.max_respawns {
+            let backoff = config.respawn_backoff * 2u32.saturating_pow(slot.respawns as u32);
+            std::thread::sleep(backoff);
+            slot.respawns += 1;
+            stats.respawns += 1;
+            recorder.record_counter("dist.respawn", 1);
+            slot.child = Some(launcher.spawn(config, addr, worker)?);
+            slot.last_seen = Instant::now();
+            slot.connected_once = false;
+            // The orphans stay on this slot; the replacement receives
+            // them in the Assign sent on its hello.
+            return Ok(());
+        }
+    }
+
+    // No replacement possible: hand the orphans to the least-loaded
+    // survivor (fewest outstanding jobs).
+    let orphaned: Vec<usize> = std::mem::take(&mut slots[worker].assigned)
+        .into_iter()
+        .collect();
+    let heir = slots
+        .iter()
+        .enumerate()
+        .filter(|(w, s)| *w != worker && s.writer.is_some())
+        .min_by_key(|(_, s)| s.assigned.len())
+        .map(|(w, _)| w);
+    let Some(heir) = heir else {
+        return Err(DistError::WorkersLost(format!(
+            "worker {worker} died ({reason}) with {orphans} jobs outstanding, \
+             its respawn budget is spent, and no live worker remains"
+        )));
+    };
+    slots[heir].assigned.extend(orphaned.iter().copied());
+    let assign = DistMsg::Assign {
+        indices: orphaned,
+        spec: Box::new(spec.clone()),
+    };
+    if let Err(e) = send(&mut slots[heir], &assign, stats) {
+        // The heir is dying too; recurse so *its* death path (which now
+        // owns the orphans) tries the next candidate.
+        let reason = format!("assign of re-dispatched jobs failed: {e}");
+        return handle_death(
+            spec, config, addr, slots, heir, &reason, stats, recorder, progress,
+        );
+    }
+    Ok(())
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &Sender<Event>,
+    bytes_rx: &Arc<AtomicU64>,
+    done: &Arc<AtomicBool>,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        if done.load(Ordering::Relaxed) {
+            return;
+        }
+        let tx = tx.clone();
+        let bytes_rx = Arc::clone(bytes_rx);
+        std::thread::spawn(move || reader_loop(stream, &tx, &bytes_rx));
+    }
+}
+
+/// Per-connection reader: expects a hello, then pumps messages into the
+/// control loop until the stream dies.
+fn reader_loop(stream: TcpStream, tx: &Sender<Event>, bytes_rx: &Arc<AtomicU64>) {
+    let mut reader = match stream.try_clone() {
+        Ok(reader) => reader,
+        Err(_) => return,
+    };
+    let worker = match read_counted(&mut reader, bytes_rx) {
+        Ok(DistMsg::Hello { worker }) => worker,
+        _ => return, // not a worker (e.g. the shutdown wake-up connect)
+    };
+    if tx
+        .send(Event::Connected {
+            worker,
+            writer: stream,
+        })
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        match read_counted(&mut reader, bytes_rx) {
+            Ok(msg) => {
+                if tx.send(Event::Msg { worker, msg }).is_err() {
+                    return;
+                }
+            }
+            Err(e) => {
+                let reason = match e {
+                    WireError::Eof => "connection closed".to_string(),
+                    other => other.to_string(),
+                };
+                let _ = tx.send(Event::Gone { worker, reason });
+                return;
+            }
+        }
+    }
+}
+
+fn read_counted(reader: &mut TcpStream, bytes_rx: &Arc<AtomicU64>) -> Result<DistMsg, WireError> {
+    let (kind, payload) = wire::read_frame(reader)?;
+    bytes_rx.fetch_add((payload.len() + FRAME_OVERHEAD) as u64, Ordering::Relaxed);
+    DistMsg::decode(kind, &payload)
+}

@@ -1,0 +1,93 @@
+//! Deterministic sharding of a spec's job expansion across a fleet.
+//!
+//! The shard function is pure arithmetic on the expansion index —
+//! `index % shards == shard` — so every participant (coordinator,
+//! workers, an operator running one shard by hand with
+//! `hetrta engine sweep --shard i/k`) derives the same partition from
+//! the spec alone, with no assignment table to distribute. Round-robin
+//! also interleaves neighbouring grid cells across workers, which keeps
+//! per-worker cost balanced even when one end of the grid is heavier.
+
+/// The expansion indices of shard `shard` of `shards`, ascending.
+///
+/// Every index in `0..job_count` lands in exactly one shard; shards
+/// differ in size by at most one job. An out-of-range `shard` yields an
+/// empty vector (callers validate with [`parse_shard`]).
+#[must_use]
+pub fn shard_indices(job_count: usize, shard: usize, shards: usize) -> Vec<usize> {
+    if shards == 0 || shard >= shards {
+        return Vec::new();
+    }
+    (shard..job_count).step_by(shards).collect()
+}
+
+/// Parses an `i/k` shard argument (shard `i` of `k`, zero-based).
+///
+/// # Errors
+///
+/// A human-readable message when the argument is not `i/k` with
+/// `k >= 1` and `i < k`.
+pub fn parse_shard(arg: &str) -> Result<(usize, usize), String> {
+    let (i, k) = arg
+        .split_once('/')
+        .ok_or_else(|| format!("shard `{arg}` is not of the form i/k (e.g. 0/4)"))?;
+    let shard: usize = i
+        .parse()
+        .map_err(|_| format!("shard index `{i}` is not a number"))?;
+    let shards: usize = k
+        .parse()
+        .map_err(|_| format!("shard count `{k}` is not a number"))?;
+    if shards == 0 {
+        return Err("shard count must be at least 1".into());
+    }
+    if shard >= shards {
+        return Err(format!(
+            "shard index {shard} is out of range for {shards} shards (indices are zero-based)"
+        ));
+    }
+    Ok((shard, shards))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_partition_the_expansion() {
+        for job_count in [0usize, 1, 7, 32, 100] {
+            for shards in [1usize, 2, 3, 8, 150] {
+                let mut seen = vec![false; job_count];
+                let mut sizes = Vec::new();
+                for shard in 0..shards {
+                    let indices = shard_indices(job_count, shard, shards);
+                    assert!(indices.windows(2).all(|w| w[0] < w[1]), "ascending");
+                    for &index in &indices {
+                        assert!(!seen[index], "index {index} assigned twice");
+                        seen[index] = true;
+                        assert_eq!(index % shards, shard);
+                    }
+                    sizes.push(indices.len());
+                }
+                assert!(seen.iter().all(|&s| s), "every index assigned");
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "balanced within one job");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_shards_are_empty() {
+        assert!(shard_indices(10, 3, 3).is_empty());
+        assert!(shard_indices(10, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn shard_args_parse_and_reject() {
+        assert_eq!(parse_shard("0/4"), Ok((0, 4)));
+        assert_eq!(parse_shard("3/4"), Ok((3, 4)));
+        assert_eq!(parse_shard("0/1"), Ok((0, 1)));
+        for bad in ["", "3", "a/4", "1/b", "4/4", "5/2", "1/0", "1/2/3"] {
+            assert!(parse_shard(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+}

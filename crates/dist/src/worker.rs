@@ -1,0 +1,156 @@
+//! The worker side of a distributed sweep: one process, one engine,
+//! assignments over a socket.
+//!
+//! A worker connects to the coordinator, introduces itself with
+//! [`DistMsg::Hello`], and then loops: receive an assignment, run the
+//! indices through [`Engine::run_job_subset`], stream one
+//! [`DistMsg::JobDone`] per result, finish with [`DistMsg::ShardDone`],
+//! and wait for the next assignment (or [`DistMsg::Shutdown`]). A
+//! background thread sends [`DistMsg::Heartbeat`]s on a fixed cadence,
+//! so the coordinator distinguishes a worker grinding through an
+//! expensive job from one that died — the job loop itself may go quiet
+//! for seconds.
+//!
+//! Workers pointed at the same `--cache-dir` share one disk-cache
+//! namespace: keys are content-addressed, so a cell warmed by any fleet
+//! member (or by an earlier single-process run) is a pure read for
+//! every other.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use hetrta_engine::{Engine, EngineBuilder};
+use hetrta_obs::{span, Recorder};
+
+use crate::protocol::{DistMsg, WireJobResult};
+use crate::DistError;
+
+/// How a worker process joins a fleet.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator address to connect to (`host:port`).
+    pub addr: String,
+    /// This worker's fleet slot, announced in the hello.
+    pub worker: usize,
+    /// Engine threads (0 = all cores).
+    pub threads: usize,
+    /// Shared disk-cache directory, if the fleet runs warm.
+    pub cache_dir: Option<PathBuf>,
+    /// Heartbeat cadence. Must be well under the coordinator's timeout.
+    pub heartbeat_every: Duration,
+}
+
+impl WorkerConfig {
+    /// The default heartbeat cadence (the coordinator's default timeout
+    /// is ten times this).
+    pub const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(200);
+}
+
+/// Runs one worker until the coordinator shuts it down or hangs up.
+/// Returns the total number of jobs completed across assignments.
+///
+/// # Errors
+///
+/// [`DistError::Io`] / [`DistError::Wire`] on connection trouble,
+/// [`DistError::Engine`] when the engine cannot be built or an
+/// assignment names out-of-range indices. A clean [`DistMsg::Shutdown`]
+/// and a bare hangup between assignments both end the loop normally: a
+/// worker must not report failure just because the coordinator left
+/// first.
+pub fn run_worker(config: &WorkerConfig, recorder: &dyn Recorder) -> Result<u64, DistError> {
+    let _span = span!(recorder, "dist.worker", worker = config.worker);
+    let stream = TcpStream::connect(&config.addr)
+        .map_err(|e| DistError::Io(format!("connect to coordinator {}: {e}", config.addr)))?;
+    let mut reader = stream
+        .try_clone()
+        .map_err(|e| DistError::Io(format!("clone worker stream: {e}")))?;
+    // The job loop and the heartbeat thread share the write half; frames
+    // must not interleave mid-frame, so writes go through a mutex.
+    let writer = Arc::new(Mutex::new(stream));
+
+    let mut engine = EngineBuilder::new().threads(config.threads);
+    if let Some(dir) = &config.cache_dir {
+        engine = engine.with_cache_dir(dir);
+    }
+    let engine: Engine = engine.build()?;
+
+    DistMsg::Hello {
+        worker: config.worker,
+    }
+    .write_to(&mut *lock(&writer))?;
+
+    let jobs_done = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = {
+        let writer = Arc::clone(&writer);
+        let jobs_done = Arc::clone(&jobs_done);
+        let stop = Arc::clone(&stop);
+        let every = config.heartbeat_every;
+        std::thread::spawn(move || loop {
+            std::thread::sleep(every);
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let beat = DistMsg::Heartbeat {
+                jobs_done: jobs_done.load(Ordering::Relaxed),
+            };
+            // A failed write means the coordinator is gone; the main
+            // loop will notice on its next read. Just stop beating.
+            if beat.write_to(&mut *lock(&writer)).is_err() {
+                return;
+            }
+        })
+    };
+
+    let outcome = assignment_loop(&mut reader, &engine, &writer, &jobs_done, recorder);
+    stop.store(true, Ordering::Relaxed);
+    // Unblock quickly: the heartbeat thread wakes at most one cadence
+    // later and exits on the stop flag.
+    let _ = heartbeat.join();
+    outcome.map(|()| jobs_done.load(Ordering::Relaxed))
+}
+
+fn assignment_loop(
+    reader: &mut TcpStream,
+    engine: &Engine,
+    writer: &Arc<Mutex<TcpStream>>,
+    jobs_done: &AtomicU64,
+    recorder: &dyn Recorder,
+) -> Result<(), DistError> {
+    loop {
+        match DistMsg::read_from(reader) {
+            Ok(DistMsg::Assign { indices, spec }) => {
+                let _span = span!(recorder, "dist.assignment", jobs = indices.len());
+                let mut completed = 0usize;
+                engine.run_job_subset(&spec, &indices, |result| {
+                    let msg = DistMsg::JobDone(Box::new(WireJobResult::from(&result)));
+                    // A send failure here means the coordinator is gone
+                    // mid-assignment; keep draining the pool (results
+                    // still land in the shared caches) and let the next
+                    // read surface the hangup.
+                    let _ = msg.write_to(&mut *lock(writer));
+                    completed += 1;
+                    jobs_done.fetch_add(1, Ordering::Relaxed);
+                })?;
+                DistMsg::ShardDone { completed }.write_to(&mut *lock(writer))?;
+            }
+            Ok(DistMsg::Shutdown) => return Ok(()),
+            Ok(other) => {
+                return Err(DistError::Io(format!(
+                    "unexpected message from coordinator: {other:?}"
+                )))
+            }
+            Err(hetrta_api::wire::WireError::Eof) => return Ok(()),
+            Err(e) => return Err(DistError::Wire(e)),
+        }
+    }
+}
+
+fn lock(writer: &Arc<Mutex<TcpStream>>) -> std::sync::MutexGuard<'_, TcpStream> {
+    writer
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

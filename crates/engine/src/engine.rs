@@ -17,7 +17,7 @@ use hetrta_obs::{span, Histogram, MetricsRegistry, NoopRecorder, Recorder};
 use crate::aggregate::{Aggregator, SweepAggregate};
 use crate::cache::{CacheCounters, MemoCache};
 use crate::disk::DiskCache;
-use crate::job::{self, Job, JobMetrics};
+use crate::job::{self, Job, JobMetrics, JobResult};
 use crate::pool;
 use crate::session::{
     EventQueue, ProgressCounters, SessionConfig, SessionShared, SweepEvent, SweepHandle,
@@ -783,35 +783,7 @@ impl Engine {
         config: SessionConfig,
     ) -> Result<SweepHandle, EngineError> {
         let _span = span!(self.recorder.as_ref(), "sweep.submit");
-        spec.validate()?;
-        let produced = spec.input_kind();
-        for key in spec.analyses.keys() {
-            let analysis = self
-                .registry
-                .get(key)
-                .map_err(|e| EngineError::InvalidSpec(e.to_string()))?;
-            // A key whose input kind cannot come out of this grid would
-            // deterministically fail every job; refuse before any work.
-            if analysis.input_kind() != produced {
-                let compatible: Vec<&str> = self
-                    .registry
-                    .keys()
-                    .into_iter()
-                    .filter(|k| {
-                        self.registry
-                            .get(k)
-                            .is_ok_and(|a| a.input_kind() == produced)
-                    })
-                    .collect();
-                return Err(EngineError::InvalidSpec(format!(
-                    "analysis `{key}` expects a {}, but this grid produces a {} \
-                     (analyses of this grid: {})",
-                    analysis.input_kind().describe(),
-                    produced.describe(),
-                    compatible.join(", ")
-                )));
-            }
-        }
+        self.validate_spec(spec)?;
 
         let (cells, mut jobs) = spec.expand();
         let job_count = jobs.len();
@@ -851,6 +823,107 @@ impl Engine {
             .spawn(move || session.run())
             .expect("spawn sweep session thread");
         Ok(SweepHandle::new(shared, result, thread))
+    }
+
+    /// Validates a spec against this engine's registry: spec-internal
+    /// consistency first, then every analysis key must consume the input
+    /// kind this grid produces (a mismatch would deterministically fail
+    /// every job, so it is refused before any work starts).
+    fn validate_spec(&self, spec: &SweepSpec) -> Result<(), EngineError> {
+        spec.validate()?;
+        let produced = spec.input_kind();
+        for key in spec.analyses.keys() {
+            let analysis = self
+                .registry
+                .get(key)
+                .map_err(|e| EngineError::InvalidSpec(e.to_string()))?;
+            // A key whose input kind cannot come out of this grid would
+            // deterministically fail every job; refuse before any work.
+            if analysis.input_kind() != produced {
+                let compatible: Vec<&str> = self
+                    .registry
+                    .keys()
+                    .into_iter()
+                    .filter(|k| {
+                        self.registry
+                            .get(k)
+                            .is_ok_and(|a| a.input_kind() == produced)
+                    })
+                    .collect();
+                return Err(EngineError::InvalidSpec(format!(
+                    "analysis `{key}` expects a {}, but this grid produces a {} \
+                     (analyses of this grid: {})",
+                    analysis.input_kind().describe(),
+                    produced.describe(),
+                    compatible.join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs only the jobs whose expansion index is in `indices`, streaming
+    /// each finished [`JobResult`] to `sink` — the deterministic-shard
+    /// building block under `hetrta engine sweep --shard i/k` and the
+    /// `hetrta-dist` worker loop.
+    ///
+    /// Results carry the same content-addressed identity, metrics and
+    /// timings a full run produces (an [`Aggregator`](crate::aggregate::Aggregator)
+    /// fed subset results from *every* shard finalizes to the bitwise
+    /// aggregate of a single-process run — expansion order, not arrival
+    /// order, drives the reduction). `sink` runs on the calling thread;
+    /// the jobs themselves run on this engine's worker pool and hit the
+    /// same memo/disk caches as any other run.
+    ///
+    /// Returns the number of jobs run.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidSpec`] for an invalid spec, unknown analysis
+    /// keys, or an index outside the spec's expansion.
+    pub fn run_job_subset(
+        &self,
+        spec: &SweepSpec,
+        indices: &[usize],
+        mut sink: impl FnMut(JobResult),
+    ) -> Result<usize, EngineError> {
+        let _span = span!(self.recorder.as_ref(), "sweep.subset");
+        self.validate_spec(spec)?;
+        let (_cells, jobs) = spec.expand();
+        let job_count = jobs.len();
+        let mut wanted = vec![false; job_count];
+        for &index in indices {
+            if index >= job_count {
+                return Err(EngineError::InvalidSpec(format!(
+                    "job index {index} is outside this spec's {job_count}-job expansion"
+                )));
+            }
+            wanted[index] = true;
+        }
+        let mut jobs: Vec<Job> = jobs.into_iter().filter(|job| wanted[job.index]).collect();
+        let ran = jobs.len();
+        if self.injection == InjectionOrder::CostDescending {
+            self.order_by_cost(&mut jobs);
+        }
+        let caches = &self.caches;
+        let registry = &self.registry;
+        let recorder: &dyn Recorder = self.recorder.as_ref();
+        pool::run_jobs(
+            jobs,
+            self.threads.min(ran.max(1)),
+            |worker, job: Job| {
+                hetrta_obs::set_thread_lane(worker as u32 + 1);
+                let _span = span!(recorder, "job", index = job.index, cell = job.cell);
+                job::execute(caches, registry, &job, worker, recorder)
+            },
+            |_, result| {
+                for (key, elapsed) in &result.timings {
+                    self.cost_model.observe(key, *elapsed);
+                }
+                sink(result);
+            },
+        );
+        Ok(ran)
     }
 
     /// Stable-sorts jobs so the heaviest analysis kinds enter the injector

@@ -74,8 +74,8 @@ pub mod spec;
 pub mod wire;
 
 pub use aggregate::{
-    AccuracySummary, AggregateUpdate, AggregateView, CellKind, CellSummary, CondCellSummary,
-    SetCellSummary, SuspendCellSummary, SweepAggregate, TaskCellSummary,
+    AccuracySummary, AggregateUpdate, AggregateView, Aggregator, CellKind, CellSummary,
+    CondCellSummary, SetCellSummary, SuspendCellSummary, SweepAggregate, TaskCellSummary,
 };
 pub use cache::CacheCounters;
 pub use disk::{DiskCache, GcStats, ReadPin};

@@ -13,7 +13,9 @@
 
 use std::time::Duration;
 
-use hetrta_api::wire::{self, WireError};
+use hetrta_api::wire::{
+    self, fbits, malformed, opt_fbits, parse_fbits, parse_num, parse_opt_fbits, Tokens, WireError,
+};
 use hetrta_cond::CondGenParams;
 use hetrta_gen::NfjParams;
 use hetrta_sched::taskset::TaskSetParams;
@@ -27,71 +29,6 @@ use crate::spec::{AnalysisSelection, GeneratorPreset, SweepGrid, SweepSpec};
 
 /// Frame kind tag of an encoded [`AggregateUpdate`].
 pub const KIND_AGGREGATE: u8 = 0x11;
-
-fn fbits(x: f64) -> String {
-    format!("{:016x}", x.to_bits())
-}
-
-fn parse_fbits(s: &str) -> Result<f64, WireError> {
-    if s.len() != 16 {
-        return Err(malformed(format!("float bits `{s}` are not 16 hex digits")));
-    }
-    u64::from_str_radix(s, 16)
-        .map(f64::from_bits)
-        .map_err(|_| malformed(format!("unparseable float bits `{s}`")))
-}
-
-fn malformed(msg: impl Into<String>) -> WireError {
-    WireError::Malformed(msg.into())
-}
-
-fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, WireError> {
-    s.parse()
-        .map_err(|_| malformed(format!("unparseable {what} `{s}`")))
-}
-
-fn opt_fbits(x: Option<f64>) -> String {
-    x.map_or_else(|| "-".into(), fbits)
-}
-
-fn parse_opt_fbits(s: &str) -> Result<Option<f64>, WireError> {
-    if s == "-" {
-        Ok(None)
-    } else {
-        parse_fbits(s).map(Some)
-    }
-}
-
-/// Space-separated token cursor with typed errors for missing fields.
-struct Tokens<'a> {
-    iter: std::str::SplitWhitespace<'a>,
-    what: &'static str,
-}
-
-impl<'a> Tokens<'a> {
-    fn new(line: &'a str, what: &'static str) -> Self {
-        Tokens {
-            iter: line.split_whitespace(),
-            what,
-        }
-    }
-
-    fn next(&mut self) -> Result<&'a str, WireError> {
-        self.iter
-            .next()
-            .ok_or_else(|| malformed(format!("truncated {} line", self.what)))
-    }
-
-    fn finish(mut self) -> Result<(), WireError> {
-        match self.iter.next() {
-            None => Ok(()),
-            Some(extra) => Err(malformed(format!(
-                "trailing field `{extra}` on {} line",
-                self.what
-            ))),
-        }
-    }
-}
 
 // ---------------------------------------------------------------------------
 // SweepSpec

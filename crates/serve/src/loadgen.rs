@@ -80,6 +80,9 @@ pub struct LoadgenReport {
     /// The first per-sweep failure of the rung, rendered — the counts
     /// say how often, this says what.
     pub first_error: Option<String>,
+    /// Jobs computed per fleet worker (dist-mode rungs only; empty when
+    /// the rung drove a daemon). Records fleet balance in BENCH docs.
+    pub worker_jobs: Vec<u64>,
 }
 
 /// The `q`-quantile (0..=1) of unsorted latency samples, in
@@ -166,6 +169,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, ClientError> {
         p50_ms: percentile_ms(&latencies, 0.50),
         p99_ms: percentile_ms(&latencies, 0.99),
         first_error,
+        worker_jobs: Vec::new(),
     })
 }
 
@@ -215,17 +219,19 @@ fn run_one_sweep(
     }
 }
 
-/// Renders ladder results as the BENCH_6.json document: one row per
-/// (cache-state, client-count) rung.
+/// Renders ladder results as a BENCH_*.json document (`bench` names the
+/// ladder — `serve_saturation` for daemon rungs, `dist_scaling` for
+/// worker-fleet rungs): one row per (cache-state, count) rung, with
+/// per-worker job counts when the rung ran a fleet.
 #[must_use]
-pub fn render_bench_json(rows: &[(String, LoadgenReport)]) -> String {
-    let mut out = String::from("{\n  \"bench\": \"serve_saturation\",\n  \"rungs\": [\n");
+pub fn render_bench_json(bench: &str, rows: &[(String, LoadgenReport)]) -> String {
+    let mut out = format!("{{\n  \"bench\": \"{bench}\",\n  \"rungs\": [\n");
     for (i, (cache, report)) in rows.iter().enumerate() {
         let _ = write!(
             out,
             "    {{\"cache\": \"{cache}\", \"clients\": {}, \"completed\": {}, \"failed\": {}, \
              \"busy_retries\": {}, \"protocol_errors\": {}, \"elapsed_s\": {:.3}, \
-             \"sweeps_per_sec\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+             \"sweeps_per_sec\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}",
             report.clients,
             report.completed,
             report.failed,
@@ -236,6 +242,11 @@ pub fn render_bench_json(rows: &[(String, LoadgenReport)]) -> String {
             report.p50_ms,
             report.p99_ms,
         );
+        if !report.worker_jobs.is_empty() {
+            let jobs: Vec<String> = report.worker_jobs.iter().map(u64::to_string).collect();
+            let _ = write!(out, ", \"worker_jobs\": [{}]", jobs.join(", "));
+        }
+        out.push('}');
         out.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
     }
     out.push_str("  ]\n}\n");
@@ -269,10 +280,18 @@ mod tests {
             p50_ms: 12.5,
             p99_ms: 80.25,
             first_error: None,
+            worker_jobs: Vec::new(),
         };
-        let json = render_bench_json(&[("cold".into(), report.clone()), ("warm".into(), report)]);
+        let mut fleet = report.clone();
+        fleet.worker_jobs = vec![32, 32];
+        let json = render_bench_json(
+            "serve_saturation",
+            &[("cold".into(), report), ("warm".into(), fleet)],
+        );
         assert!(json.contains("\"bench\": \"serve_saturation\""));
         assert!(json.contains("\"clients\": 8"));
+        assert!(json.contains("\"worker_jobs\": [32, 32]"));
+        assert_eq!(json.matches("\"worker_jobs\"").count(), 1);
         assert_eq!(json.matches("\"cache\"").count(), 2);
         // Brace balance as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

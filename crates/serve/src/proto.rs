@@ -11,7 +11,7 @@
 
 use std::io::{Read, Write};
 
-use hetrta_api::wire::{self, WireError};
+use hetrta_api::wire::{self, parse_num, text_payload, WireError};
 use hetrta_engine::wire::{
     decode_event, decode_spec, decode_update, encode_event, encode_spec, encode_update,
 };
@@ -100,16 +100,6 @@ pub enum Reply {
     },
     /// Shutdown acknowledged; the daemon drains and exits.
     ShutdownAck,
-}
-
-fn text_payload(payload: &[u8], what: &str) -> Result<String, WireError> {
-    String::from_utf8(payload.to_vec())
-        .map_err(|_| WireError::Malformed(format!("{what} payload is not utf-8")))
-}
-
-fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, WireError> {
-    s.parse()
-        .map_err(|_| WireError::Malformed(format!("unparseable {what} `{s}`")))
 }
 
 /// `true` for tenant names the daemon accepts (1–64 chars of

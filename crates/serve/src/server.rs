@@ -41,6 +41,11 @@ pub struct ServerConfig {
     /// Cadence of streamed partial aggregates, in completed jobs
     /// (`None` streams no partials, only the terminal `Done`).
     pub partial_every: Option<usize>,
+    /// `Some` fans every granted sweep across a multi-process worker
+    /// fleet (`hetrta-dist`) instead of the in-process engine; the
+    /// fleet shares this daemon's cache directory, so tenants still
+    /// warm each other's cells.
+    pub dist: Option<hetrta_dist::DistConfig>,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +56,7 @@ impl Default for ServerConfig {
             cache_dir: None,
             admission: AdmissionConfig::default(),
             partial_every: Some(8),
+            dist: None,
         }
     }
 }
@@ -109,6 +115,9 @@ struct ConnShared {
     out: mpsc::Sender<Out>,
     /// Cancel token of the in-flight sweep, when one is running.
     cancel: Mutex<Option<SweepCancelToken>>,
+    /// Cancel flag of the in-flight *distributed* sweep (dist mode has
+    /// no session token; the coordinator polls this flag instead).
+    dist_cancel: Mutex<Option<Arc<AtomicBool>>>,
     /// Set by the reader on EOF/error; pumps skip or cancel accordingly.
     disconnected: AtomicBool,
     /// Set by a `Cancel` frame arriving before the sweep was granted.
@@ -235,15 +244,16 @@ impl Server {
         let scheduler = {
             let admission = Arc::clone(&self.admission);
             let engine = Arc::clone(&self.engine);
-            let partial_every = self.config.partial_every;
+            let config = self.config.clone();
             std::thread::spawn(move || {
                 let mut pumps: Vec<JoinHandle<()>> = Vec::new();
                 while let Some(pending) = admission.next_granted() {
                     let admission = Arc::clone(&admission);
                     let engine = Arc::clone(&engine);
+                    let config = config.clone();
                     pumps.retain(|pump| !pump.is_finished());
                     pumps.push(std::thread::spawn(move || {
-                        pump_sweep(&engine, pending, partial_every);
+                        pump_sweep(&engine, pending, &config);
                         admission.complete();
                     }));
                 }
@@ -364,6 +374,7 @@ fn spawn_connection(
     let conn = Arc::new(ConnShared {
         out: out_tx,
         cancel: Mutex::new(None),
+        dist_cancel: Mutex::new(None),
         disconnected: AtomicBool::new(false),
         cancel_requested: AtomicBool::new(false),
         in_flight: AtomicBool::new(false),
@@ -375,6 +386,9 @@ fn spawn_connection(
         conn.disconnected.store(true, Ordering::SeqCst);
         if let Some(token) = conn.cancel.lock().expect("cancel slot").as_ref() {
             token.cancel();
+        }
+        if let Some(flag) = conn.dist_cancel.lock().expect("dist cancel").as_ref() {
+            flag.store(true, Ordering::SeqCst);
         }
     });
     Ok((stream, reader, writer))
@@ -419,6 +433,9 @@ fn serve_connection(
                 conn.cancel_requested.store(true, Ordering::SeqCst);
                 if let Some(token) = conn.cancel.lock().expect("cancel slot").as_ref() {
                     token.cancel();
+                }
+                if let Some(flag) = conn.dist_cancel.lock().expect("dist cancel").as_ref() {
+                    flag.store(true, Ordering::SeqCst);
                 }
             }
             Request::Stats => {
@@ -497,14 +514,17 @@ fn handle_submit(
     }
 }
 
-/// Runs one granted sweep on the shared engine and streams it back.
-fn pump_sweep(engine: &Arc<Engine>, pending: PendingSweep, partial_every: Option<usize>) {
+/// Runs one granted sweep — on the shared engine, or fanned across the
+/// worker fleet when dist mode is configured — and streams it back.
+fn pump_sweep(engine: &Arc<Engine>, pending: PendingSweep, config: &ServerConfig) {
     let PendingSweep { tenant, spec, conn } = pending;
+    let partial_every = config.partial_every;
     let metrics = Arc::clone(engine.metrics());
     let finish = |conn: &ConnShared, reply: Reply| {
         // Release the connection's sweep slot before the terminal frame
         // goes out: the moment the client sees it, a resubmit is legal.
         *conn.cancel.lock().expect("cancel slot") = None;
+        *conn.dist_cancel.lock().expect("dist cancel") = None;
         conn.in_flight.store(false, Ordering::SeqCst);
         conn.send_flushed(reply);
     };
@@ -516,6 +536,11 @@ fn pump_sweep(engine: &Arc<Engine>, pending: PendingSweep, partial_every: Option
                 message: "sweep cancelled before it started".into(),
             },
         );
+        return;
+    }
+
+    if let Some(dist) = &config.dist {
+        pump_sweep_dist(engine, &tenant, &spec, &conn, dist, partial_every, finish);
         return;
     }
 
@@ -577,6 +602,76 @@ fn pump_sweep(engine: &Arc<Engine>, pending: PendingSweep, partial_every: Option
                 &conn,
                 Reply::Error {
                     message: format!("sweep failed: {err}"),
+                },
+            );
+        }
+    }
+}
+
+/// Dist-mode pump: fan the sweep across the worker fleet, streaming
+/// the coordinator's partial keyframes as ordinary `Event` frames so
+/// clients reassemble progress exactly as in engine mode.
+fn pump_sweep_dist(
+    engine: &Arc<Engine>,
+    tenant: &str,
+    spec: &SweepSpec,
+    conn: &Arc<ConnShared>,
+    dist: &hetrta_dist::DistConfig,
+    partial_every: Option<usize>,
+    finish: impl Fn(&ConnShared, Reply),
+) {
+    let metrics = Arc::clone(engine.metrics());
+    let cancel = Arc::new(AtomicBool::new(false));
+    *conn.dist_cancel.lock().expect("dist cancel") = Some(Arc::clone(&cancel));
+    // The reader may have observed a disconnect between the pre-check
+    // and the flag publication; re-check so the cancel is never lost.
+    if conn.disconnected.load(Ordering::SeqCst) || conn.cancel_requested.load(Ordering::SeqCst) {
+        cancel.store(true, Ordering::SeqCst);
+    }
+
+    let mut config = dist.clone();
+    config.partial_every = partial_every;
+    let outcome = hetrta_dist::run_distributed(
+        spec,
+        &config,
+        &hetrta_obs::NOOP,
+        Some(&cancel),
+        |progress| match progress {
+            hetrta_dist::DistProgress::Partial {
+                completed,
+                total,
+                update,
+            } => conn.send(Reply::Event(SweepEvent::PartialAggregate {
+                completed,
+                total,
+                update,
+            })),
+            hetrta_dist::DistProgress::WorkerDown { .. } => {
+                metrics.counter("serve.dist.worker_deaths").incr();
+            }
+            hetrta_dist::DistProgress::Job { .. } => {}
+        },
+    );
+    match outcome {
+        Ok(out) => {
+            metrics
+                .counter(&format!("serve.tenant.{tenant}.completed"))
+                .incr();
+            finish(
+                conn,
+                Reply::Done {
+                    completed: out.completed,
+                    cancelled: out.cancelled,
+                    events_dropped: 0,
+                    aggregate: out.aggregate,
+                },
+            );
+        }
+        Err(err) => {
+            finish(
+                conn,
+                Reply::Error {
+                    message: format!("distributed sweep failed: {err}"),
                 },
             );
         }

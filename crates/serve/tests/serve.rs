@@ -45,6 +45,7 @@ impl TestDaemon {
             cache_dir: None,
             admission,
             partial_every: Some(1),
+            dist: None,
         })
         .expect("bind on a free port");
         let addr = server.local_addr().to_string();
