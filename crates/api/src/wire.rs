@@ -178,14 +178,52 @@ pub fn decode_frame(buf: &[u8]) -> Result<(u8, &[u8]), WireError> {
     Ok((kind, payload))
 }
 
+/// Injection seam for deterministic wire-fault testing.
+///
+/// The frame layer stays fault-free by default: [`write_frame`] and
+/// [`read_frame`] never consult a plan. Codecs that opt in (the dist
+/// coordinator/worker link under `--chaos`) thread a plan through
+/// [`write_frame_with`] / [`read_frame_with`], and the receiving side
+/// must degrade to a typed [`WireError`] — the same contract untrusted
+/// bytes already get. Implemented by `hetrta-fault`'s `FaultPlan`.
+pub trait FrameFaults: Send + Sync {
+    /// May mutate one encoded outgoing frame in place (truncation, a
+    /// bitflip corrupting payload or checksum). Returns `true` when a
+    /// fault was injected.
+    fn corrupt_frame(&self, frame: &mut Vec<u8>) -> bool;
+
+    /// An artificial delay to impose before reading the next frame (a
+    /// stalled peer), or `None` to read immediately.
+    fn read_stall(&self) -> Option<std::time::Duration>;
+}
+
 /// Writes one frame to a stream.
 ///
 /// # Errors
 ///
 /// [`WireError::Io`] when the underlying write fails.
 pub fn write_frame<W: Write>(writer: &mut W, kind: u8, payload: &[u8]) -> Result<(), WireError> {
+    write_frame_with(writer, kind, payload, None)
+}
+
+/// [`write_frame`] with an optional fault-injection plan applied to the
+/// encoded bytes (the wire analogue of a lossy link).
+///
+/// # Errors
+///
+/// [`WireError::Io`] when the underlying write fails.
+pub fn write_frame_with<W: Write>(
+    writer: &mut W,
+    kind: u8,
+    payload: &[u8],
+    faults: Option<&dyn FrameFaults>,
+) -> Result<(), WireError> {
+    let mut frame = encode_frame(kind, payload);
+    if let Some(faults) = faults {
+        faults.corrupt_frame(&mut frame);
+    }
     writer
-        .write_all(&encode_frame(kind, payload))
+        .write_all(&frame)
         .and_then(|()| writer.flush())
         .map_err(|e| WireError::Io(e.to_string()))
 }
@@ -201,6 +239,24 @@ pub fn write_frame<W: Write>(writer: &mut W, kind: u8, payload: &[u8]) -> Result
 ///
 /// Every defect maps to its [`WireError`] variant; nothing panics.
 pub fn read_frame<R: Read>(reader: &mut R) -> Result<(u8, Vec<u8>), WireError> {
+    read_frame_with(reader, None)
+}
+
+/// [`read_frame`] with an optional fault-injection plan consulted before
+/// the read (a stalled-peer delay). Corruption is injected on the *write*
+/// side ([`write_frame_with`]) so the reader exercises its real decode
+/// path against the defective bytes.
+///
+/// # Errors
+///
+/// Every defect maps to its [`WireError`] variant; nothing panics.
+pub fn read_frame_with<R: Read>(
+    reader: &mut R,
+    faults: Option<&dyn FrameFaults>,
+) -> Result<(u8, Vec<u8>), WireError> {
+    if let Some(stall) = faults.and_then(FrameFaults::read_stall) {
+        std::thread::sleep(stall);
+    }
     let mut header = [0u8; HEADER_LEN];
     let mut filled = 0;
     while filled < header.len() {

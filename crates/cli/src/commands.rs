@@ -333,6 +333,32 @@ pub const COMMANDS: &[CommandSpec] = &[
                     ..FlagSpec::DEFAULT
                 },
                 FlagSpec {
+                    name: "--journal",
+                    value: Some("DIR"),
+                    help: "write a durable sweep journal to DIR: every finished job is \
+                           recorded (checksummed, atomically) before it aggregates, so a \
+                           killed sweep can be resumed",
+                    conflicts: &["--shard"],
+                    ..FlagSpec::DEFAULT
+                },
+                FlagSpec {
+                    name: "--resume",
+                    value: None,
+                    help: "replay finished jobs from the --journal DIR of an interrupted \
+                           run and execute only the remainder (the final aggregate is \
+                           bitwise the uninterrupted one)",
+                    conflicts: &["--shard"],
+                    ..FlagSpec::DEFAULT
+                },
+                FlagSpec {
+                    name: "--chaos",
+                    value: Some("SEED"),
+                    help: "arm the deterministic fault-injection plane with SEED (decimal \
+                           or 0x hex): seeded disk/wire/process faults, same seed same \
+                           fault sequence; the fault report appends to the output",
+                    ..FlagSpec::DEFAULT
+                },
+                FlagSpec {
                     name: "--trace",
                     value: Some("FILE"),
                     help: "record structured spans and write a Chrome trace-event JSON \
@@ -404,6 +430,21 @@ pub const COMMANDS: &[CommandSpec] = &[
                        hetrta-dist fleet) instead of the in-process engine",
                 ..FlagSpec::DEFAULT
             },
+            FlagSpec {
+                name: "--journal-dir",
+                value: Some("DIR"),
+                help: "journal every in-process sweep under DIR (one subdirectory per \
+                       spec hash); a restarted daemon resumes interrupted sweeps on \
+                       resubmit instead of recomputing finished jobs",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--chaos",
+                value: Some("SEED"),
+                help: "arm the shared engine's deterministic fault-injection plane \
+                       with SEED (fault counters land in the daemon metrics)",
+                ..FlagSpec::DEFAULT
+            },
         ],
         handler: serve_cmd,
     },
@@ -440,6 +481,13 @@ pub const COMMANDS: &[CommandSpec] = &[
                 name: "--heartbeat-ms",
                 value: Some("MS"),
                 help: "liveness heartbeat period (default 200)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--chaos",
+                value: Some("SEED"),
+                help: "arm this worker's deterministic fault-injection plane with SEED \
+                       (a coordinator running --chaos forwards a derived seed here)",
                 ..FlagSpec::DEFAULT
             },
         ],
@@ -1215,6 +1263,9 @@ fn build_sweep_spec(args: &ParsedArgs) -> Result<SweepSpec, String> {
 fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
     let threads = args.parsed_or("--threads", "thread count", 0usize)?;
     let spec = build_sweep_spec(args)?;
+    if args.has("--resume") && args.value_of("--journal").is_none() {
+        return Err("--resume needs --journal DIR (the journal of the interrupted run)".into());
+    }
 
     let workers = args.parsed_or("--workers", "worker count", 0usize)?;
     if workers > 0 {
@@ -1224,7 +1275,11 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
         return engine_sweep_shard(args, &spec, raw, threads);
     }
 
+    let chaos = chaos_plan(args)?;
     let mut builder = EngineBuilder::new().threads(threads);
+    if let Some(plan) = &chaos {
+        builder = builder.with_fault_plan(std::sync::Arc::clone(plan));
+    }
     if let Some(dir) = args.value_of("--cache-dir") {
         builder = builder.with_cache_dir(dir);
     }
@@ -1240,19 +1295,45 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
     }
     let engine = builder.build().map_err(|e| e.to_string())?;
 
-    let out = if args.has("--progress") {
-        run_with_progress(&engine, &spec)?
+    let (aggregate, run_summary) = if let Some(dir) = args.value_of("--journal") {
+        let mut cfg = hetrta_engine::JournalConfig::new(dir);
+        if args.has("--resume") {
+            cfg = cfg.resuming();
+        }
+        let progress = args.has("--progress");
+        let out = engine
+            .run_journaled_with(&spec, &cfg, None, |completed, total, _| {
+                if progress {
+                    eprint!("\r[{completed}/{total} jobs]   ");
+                }
+            })
+            .map_err(|e| e.to_string())?;
+        if progress {
+            eprintln!("\r[{0}/{0} jobs] done        ", out.total);
+        }
+        let summary = format!(
+            "journal: {} of {} jobs replayed from {dir}, {} executed, \
+             {} journal write failures\n",
+            out.replayed, out.total, out.executed, out.journal_write_failures,
+        );
+        (out.aggregate, summary)
     } else {
-        engine.run(&spec).map_err(|e| e.to_string())?
+        let out = if args.has("--progress") {
+            run_with_progress(&engine, &spec)?
+        } else {
+            engine.run(&spec).map_err(|e| e.to_string())?
+        };
+        let summary = out.stats.render();
+        (out.aggregate, summary)
     };
 
     let mut text = if args.has("--csv") {
-        render_cells_csv(&out.aggregate.cells)
+        render_cells_csv(&aggregate.cells)
     } else {
-        render_cells_table(&out.aggregate.cells)
+        render_cells_table(&aggregate.cells)
     };
     text.push('\n');
-    text.push_str(&out.stats.render());
+    text.push_str(&run_summary);
     if let (Some(path), Some(recorder)) = (trace_path, &recorder) {
         recorder
             .write_chrome_trace(path)
@@ -1266,7 +1347,21 @@ fn engine_sweep_cmd(args: &ParsedArgs) -> Result<String, String> {
         text.push('\n');
         text.push_str(&engine.metrics().snapshot().render_table());
     }
+    if let Some(plan) = &chaos {
+        text.push('\n');
+        text.push_str(&plan.report());
+    }
     Ok(text)
+}
+
+/// Builds the seeded fault-injection plan when `--chaos SEED` is given.
+fn chaos_plan(
+    args: &ParsedArgs,
+) -> Result<Option<std::sync::Arc<hetrta_engine::FaultPlan>>, String> {
+    Ok(
+        parse_chaos_seed(args)?
+            .map(|seed| std::sync::Arc::new(hetrta_engine::FaultPlan::new(seed))),
+    )
 }
 
 /// The worker launcher for locally spawned fleets: this very binary,
@@ -1290,6 +1385,15 @@ fn engine_sweep_dist(
     let mut config = hetrta_dist::DistConfig::local(workers, self_launcher()?);
     config.worker_threads = threads;
     config.cache_dir = args.value_of("--cache-dir").map(Into::into);
+    if let Some(dir) = args.value_of("--journal") {
+        let mut cfg = hetrta_engine::JournalConfig::new(dir);
+        if args.has("--resume") {
+            cfg = cfg.resuming();
+        }
+        config.journal = Some(cfg);
+    }
+    let chaos = chaos_plan(args)?;
+    config.fault = chaos.clone();
     // --trace attaches the recorder to the *coordinator*: the sweep
     // span, per-worker lanes, and the byte/re-dispatch counters land in
     // the Chrome trace (workers keep their own no-op recorders).
@@ -1323,6 +1427,19 @@ fn engine_sweep_dist(
         out.bytes_tx,
         out.bytes_rx,
     );
+    if let Some(dir) = args.value_of("--journal") {
+        let executed: u64 = out.worker_jobs.iter().sum();
+        let replayed = (out.completed as u64).saturating_sub(executed);
+        let _ = writeln!(
+            text,
+            "journal: {replayed} of {} jobs replayed from {dir}, {executed} executed",
+            out.completed,
+        );
+    }
+    if let Some(plan) = &chaos {
+        text.push('\n');
+        text.push_str(&plan.report());
+    }
     if let (Some(path), Some(recorder)) = (trace_path, &recorder) {
         recorder
             .write_chrome_trace(path)
@@ -1347,7 +1464,11 @@ fn engine_sweep_shard(
     threads: usize,
 ) -> Result<String, String> {
     let (shard, shards) = hetrta_dist::parse_shard(raw)?;
+    let chaos = chaos_plan(args)?;
     let mut builder = EngineBuilder::new().threads(threads);
+    if let Some(plan) = &chaos {
+        builder = builder.with_fault_plan(std::sync::Arc::clone(plan));
+    }
     if let Some(dir) = args.value_of("--cache-dir") {
         builder = builder.with_cache_dir(dir);
     }
@@ -1376,6 +1497,10 @@ fn engine_sweep_shard(
         text.push('\n');
         text.push_str(&engine.metrics().snapshot().render_table());
     }
+    if let Some(plan) = &chaos {
+        text.push('\n');
+        text.push_str(&plan.report());
+    }
     Ok(text)
 }
 
@@ -1392,9 +1517,22 @@ fn dist_worker_cmd(args: &ParsedArgs) -> Result<String, String> {
         threads: args.parsed_or("--threads", "thread count", 0usize)?,
         cache_dir: args.value_of("--cache-dir").map(Into::into),
         heartbeat_every: std::time::Duration::from_millis(heartbeat_ms.max(1)),
+        chaos: parse_chaos_seed(args)?,
     };
     let jobs = hetrta_dist::run_worker(&config, &hetrta_obs::NOOP).map_err(|e| e.to_string())?;
     Ok(format!("dist worker: {jobs} jobs computed\n"))
+}
+
+/// Parses `--chaos SEED` (decimal or `0x` hex) when present.
+fn parse_chaos_seed(args: &ParsedArgs) -> Result<Option<u64>, String> {
+    let Some(raw) = args.value_of("--chaos") else {
+        return Ok(None);
+    };
+    let seed = raw
+        .strip_prefix("0x")
+        .map_or_else(|| raw.parse(), |hex| u64::from_str_radix(hex, 16))
+        .map_err(|_| format!("--chaos needs a seed (decimal or 0x hex), got `{raw}`"))?;
+    Ok(Some(seed))
 }
 
 /// Submits the sweep as a session and renders `PartialAggregate`
@@ -1484,6 +1622,8 @@ fn serve_cmd(args: &ParsedArgs) -> Result<String, String> {
         },
         partial_every: Some(args.parsed_or("--partial-every", "partial cadence", 8usize)?),
         dist,
+        journal_dir: args.value_of("--journal-dir").map(Into::into),
+        chaos: parse_chaos_seed(args)?,
     };
     let server = hetrta_serve::Server::bind(config).map_err(|e| e.to_string())?;
     let addr = server.local_addr();
@@ -1511,26 +1651,41 @@ fn submit_cmd(args: &ParsedArgs) -> Result<String, String> {
     }
     let tenant = args.value_of("--tenant").unwrap_or("cli");
     let spec = build_sweep_spec(args)?;
+    drop(client);
 
-    // Reassemble streamed deltas exactly like the local --progress path.
-    let mut view = hetrta_engine::AggregateView::new();
-    let outcome = client
-        .run_to_completion(tenant, &spec, |event| {
-            if let SweepEvent::PartialAggregate {
-                completed,
-                total,
-                update,
-            } = event
-            {
-                if let Some(aggregate) = view.apply(update) {
-                    let populated = aggregate.cells.iter().filter(|c| c.samples > 0).count();
-                    eprint!(
-                        "\r[{completed}/{total} jobs] {populated}/{} cells populated   ",
-                        aggregate.cells.len()
-                    );
-                }
-            }
-        })
+    // `Busy` is backpressure, not failure: honour the daemon's hint with
+    // the shared jittered-exponential policy (the same one loadgen uses),
+    // reconnecting per attempt like any polite client.
+    let policy = hetrta_serve::RetryPolicy::new();
+    let outcome = policy
+        .run(
+            || {
+                // Reassemble streamed deltas exactly like the local
+                // --progress path (fresh per attempt).
+                let mut view = hetrta_engine::AggregateView::new();
+                let mut client = hetrta_serve::ServeClient::connect(addr)?;
+                client.run_to_completion(tenant, &spec, |event| {
+                    if let SweepEvent::PartialAggregate {
+                        completed,
+                        total,
+                        update,
+                    } = event
+                    {
+                        if let Some(aggregate) = view.apply(update) {
+                            let populated =
+                                aggregate.cells.iter().filter(|c| c.samples > 0).count();
+                            eprint!(
+                                "\r[{completed}/{total} jobs] {populated}/{} cells populated   ",
+                                aggregate.cells.len()
+                            );
+                        }
+                    }
+                })
+            },
+            |delay| {
+                eprintln!("daemon busy; retrying in {}ms", delay.as_millis());
+            },
+        )
         .map_err(|e| e.to_string())?;
     eprintln!(
         "\r[{}/{} jobs] done{}",

@@ -1,0 +1,277 @@
+//! Crash-safety guarantees through the real binary: a SIGKILLed
+//! journaled sweep resumes to the bitwise aggregate of an uninterrupted
+//! run (engine-local and `--workers 2`), and the same `--chaos` seed
+//! renders the same fault report.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+fn hetrta(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_hetrta"))
+        .args(args)
+        .output()
+        .expect("run hetrta");
+    assert!(
+        out.status.success(),
+        "hetrta {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+/// The cell block: everything up to the first blank line (the summary
+/// blocks below it are run-dependent).
+fn cells(text: &str) -> Vec<String> {
+    text.lines()
+        .take_while(|l| !l.is_empty())
+        .map(String::from)
+        .collect()
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hetrta-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `done` records across every journal segment (sealed + active tail).
+/// Record lines are `<checksum> <payload>`, so a done payload shows up
+/// as `" done "` right after the 16-hex-digit checksum.
+fn done_records(journal: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(journal) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter_map(|e| std::fs::read_to_string(e.path()).ok())
+        .map(|text| text.lines().filter(|l| l.contains(" done ")).count())
+        .sum()
+}
+
+/// Spawns the binary, SIGKILLs it once the journal holds at least one
+/// `done` record, and reaps it.
+fn kill_once_journal_has_progress(mut child: Child, journal: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if done_records(journal) > 0 {
+            break;
+        }
+        if let Some(status) = child.try_wait().expect("poll child") {
+            panic!("sweep finished before the kill landed ({status:?}); use a heavier spec");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no journal progress within the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("SIGKILL the sweep");
+    let _ = child.wait();
+}
+
+/// Parses `journal: R of T jobs replayed from DIR, E executed...` into
+/// `(replayed, total, executed)`.
+fn journal_line(text: &str) -> (usize, usize, usize) {
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("journal: "))
+        .unwrap_or_else(|| panic!("no journal line in {text:?}"));
+    // `journal: R of T jobs replayed from <dir>, E executed...` — the
+    // directory may contain digits, so parse around it, not through it.
+    let (head, tail) = line
+        .split_once(" jobs replayed")
+        .unwrap_or_else(|| panic!("malformed journal line {line:?}"));
+    let mut counts = head
+        .trim_start_matches("journal: ")
+        .split(" of ")
+        .map(|s| s.parse::<usize>().expect("count"));
+    let replayed = counts.next().expect("replayed");
+    let total = counts.next().expect("total");
+    let executed = tail
+        .split(", ")
+        .find_map(|s| s.strip_suffix(" executed"))
+        .unwrap_or_else(|| panic!("no executed count in {line:?}"))
+        .parse()
+        .expect("executed");
+    (replayed, total, executed)
+}
+
+/// A sweep heavy enough that a single thread takes long past the first
+/// journal record: 16 large-graph jobs.
+const HEAVY: &[&str] = &[
+    "engine",
+    "sweep",
+    "--n-max",
+    "2500",
+    "--cores",
+    "2,4",
+    "--fractions",
+    "0.2,0.4",
+    "--per-point",
+    "4",
+    "--seed",
+    "77",
+    "--csv",
+];
+
+#[test]
+fn sigkilled_local_sweep_resumes_to_the_bitwise_aggregate() {
+    let journal = fresh_dir("journal-local");
+    let golden = hetrta(&[HEAVY, &["--threads", "2"]].concat());
+
+    let child = Command::new(env!("CARGO_BIN_EXE_hetrta"))
+        .args([HEAVY, &["--threads", "1", "--journal"]].concat())
+        .arg(&journal)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn journaled sweep");
+    kill_once_journal_has_progress(child, &journal);
+    let survived = done_records(&journal);
+    assert!(survived > 0, "the kill landed after journal progress");
+
+    // Without --resume a non-empty journal is refused, not overwritten.
+    let refused = Command::new(env!("CARGO_BIN_EXE_hetrta"))
+        .args([HEAVY, &["--threads", "2", "--journal"]].concat())
+        .arg(&journal)
+        .output()
+        .expect("run hetrta");
+    assert!(!refused.status.success(), "unresumed reuse must be refused");
+    assert!(
+        String::from_utf8_lossy(&refused.stderr).contains("--resume"),
+        "the refusal names the fix"
+    );
+
+    let resumed = {
+        let mut args: Vec<String> = HEAVY.iter().map(ToString::to_string).collect();
+        args.extend(["--threads".into(), "2".into()]);
+        args.extend(["--journal".into(), journal.display().to_string()]);
+        args.push("--resume".into());
+        let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        hetrta(&refs)
+    };
+    assert_eq!(
+        cells(&golden),
+        cells(&resumed),
+        "resumed aggregate is bitwise the uninterrupted one"
+    );
+    let (replayed, total, executed) = journal_line(&resumed);
+    assert_eq!(total, 16);
+    assert!(replayed >= survived, "every journaled job was replayed");
+    assert_eq!(
+        replayed + executed,
+        total,
+        "no job ran twice: replayed + executed covers the sweep exactly"
+    );
+    let _ = std::fs::remove_dir_all(&journal);
+}
+
+#[test]
+fn sigkilled_dist_coordinator_resumes_to_the_bitwise_aggregate() {
+    let journal = fresh_dir("journal-dist");
+    let golden = hetrta(&[HEAVY, &["--threads", "2"]].concat());
+
+    let child = Command::new(env!("CARGO_BIN_EXE_hetrta"))
+        .args([HEAVY, &["--workers", "2", "--threads", "1", "--journal"]].concat())
+        .arg(&journal)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn dist sweep");
+    kill_once_journal_has_progress(child, &journal);
+
+    let resumed = {
+        let mut args: Vec<String> = HEAVY.iter().map(ToString::to_string).collect();
+        args.extend([
+            "--workers".into(),
+            "2".into(),
+            "--threads".into(),
+            "1".into(),
+        ]);
+        args.extend(["--journal".into(), journal.display().to_string()]);
+        args.push("--resume".into());
+        let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        hetrta(&refs)
+    };
+    assert_eq!(
+        cells(&golden),
+        cells(&resumed),
+        "resumed fleet aggregate is bitwise the uninterrupted local one"
+    );
+    let (replayed, total, executed) = journal_line(&resumed);
+    assert_eq!(total, 16);
+    assert!(replayed >= 1, "the journaled prefix was replayed");
+    assert_eq!(replayed + executed, total, "no job ran twice");
+    let _ = std::fs::remove_dir_all(&journal);
+}
+
+#[test]
+fn same_chaos_seed_renders_the_same_fault_report() {
+    let shape = [
+        "engine",
+        "sweep",
+        "--cores",
+        "2,4",
+        "--per-point",
+        "8",
+        "--fractions",
+        "0.1,0.3",
+        "--seed",
+        "9",
+        "--threads",
+        "1",
+        "--csv",
+        "--chaos",
+        "0xC4A05",
+        "--cache-dir",
+    ];
+    let report_of = |tag: &str| {
+        let cache = fresh_dir(tag);
+        let out = {
+            let mut args: Vec<String> = shape.iter().map(ToString::to_string).collect();
+            args.push(cache.display().to_string());
+            let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+            hetrta(&refs)
+        };
+        let _ = std::fs::remove_dir_all(&cache);
+        let report = out
+            .split("chaos seed")
+            .nth(1)
+            .unwrap_or_else(|| panic!("no fault report in {out:?}"))
+            .to_string();
+        (cells(&out), report)
+    };
+
+    let golden = hetrta(&[
+        "engine",
+        "sweep",
+        "--cores",
+        "2,4",
+        "--per-point",
+        "8",
+        "--fractions",
+        "0.1,0.3",
+        "--seed",
+        "9",
+        "--threads",
+        "2",
+        "--csv",
+    ]);
+    let (cells_a, report_a) = report_of("chaos-a");
+    let (cells_b, report_b) = report_of("chaos-b");
+    assert_eq!(
+        report_a, report_b,
+        "same seed, same workload: identical fault sequence"
+    );
+    assert!(
+        report_a.lines().any(|l| l.starts_with("fault disk.")),
+        "the seed actually injected disk faults: {report_a}"
+    );
+    assert_eq!(
+        cells(&golden),
+        cells_a,
+        "injected disk faults degrade the cache, never the results"
+    );
+    assert_eq!(cells_a, cells_b);
+}

@@ -16,6 +16,7 @@ fn parse_args(args: &[String]) -> Result<WorkerConfig, String> {
         threads: 0,
         cache_dir: None,
         heartbeat_every: WorkerConfig::DEFAULT_HEARTBEAT,
+        chaos: None,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -43,6 +44,14 @@ fn parse_args(args: &[String]) -> Result<WorkerConfig, String> {
                     .map_err(|_| format!("{flag} needs a number"))?;
                 config.heartbeat_every = Duration::from_millis(ms.max(1));
             }
+            "--chaos" => {
+                let raw = value("seed")?;
+                let seed = raw
+                    .strip_prefix("0x")
+                    .map_or_else(|| raw.parse(), |hex| u64::from_str_radix(hex, 16))
+                    .map_err(|_| format!("{flag} needs a seed (decimal or 0x hex)"))?;
+                config.chaos = Some(seed);
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -60,7 +69,7 @@ fn main() {
             eprintln!("hetrta-dist-worker: {msg}");
             eprintln!(
                 "usage: hetrta-dist-worker --connect <host:port> [--worker N] \
-                 [--threads N] [--cache-dir DIR] [--heartbeat-ms N]"
+                 [--threads N] [--cache-dir DIR] [--heartbeat-ms N] [--chaos SEED]"
             );
             std::process::exit(2);
         }

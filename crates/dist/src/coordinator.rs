@@ -35,8 +35,11 @@ use std::sync::mpsc::{RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hetrta_api::wire::{self, WireError};
-use hetrta_engine::{AggregateUpdate, Aggregator, Engine, SweepAggregate, SweepSpec};
+use hetrta_api::wire::{self, FrameFaults, WireError};
+use hetrta_engine::{
+    AggregateUpdate, Aggregator, Engine, FaultPlan, JournalConfig, SweepAggregate, SweepJournal,
+    SweepSpec,
+};
 use hetrta_obs::{span, Recorder};
 
 use crate::protocol::{DistMsg, FRAME_OVERHEAD};
@@ -89,6 +92,9 @@ impl WorkerLauncher {
         if let Some(dir) = &config.cache_dir {
             cmd.arg("--cache-dir").arg(dir);
         }
+        if let Some(plan) = &config.fault {
+            cmd.arg("--chaos").arg(format!("{:#x}", plan.seed()));
+        }
         cmd.spawn()
             .map_err(|e| DistError::Io(format!("spawn worker {}: {e}", self.program.display())))
     }
@@ -124,6 +130,16 @@ pub struct DistConfig {
     /// coordinator has accepted `.1` of its jobs. Test-only; `None` in
     /// production.
     pub chaos_kill_after: Option<(usize, u64)>,
+    /// Durable sweep journal: when set, every accepted job is recorded
+    /// (write-ahead, before aggregation) and an interrupted run resumes
+    /// from the journal instead of re-executing finished jobs.
+    pub journal: Option<JournalConfig>,
+    /// Seeded fault plan: drives wire-frame corruption and stalled
+    /// reads on the coordinator side, a generalized kill-worker-at-job-K
+    /// schedule (when [`DistConfig::chaos_kill_after`] is unset), and —
+    /// via a forwarded `--chaos` flag — disk/wire/heartbeat faults
+    /// inside spawned workers. Same seed, same fault sequence.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl DistConfig {
@@ -141,6 +157,8 @@ impl DistConfig {
             respawn_backoff: Duration::from_millis(50),
             partial_every: None,
             chaos_kill_after: None,
+            journal: None,
+            fault: None,
         }
     }
 }
@@ -270,6 +288,22 @@ pub fn run_distributed(
     let mut aggregator = Aggregator::new(cells, total, spec.cell_shape());
     let mut done = vec![false; total];
 
+    // Open the durable journal (if configured) before any process is
+    // spawned: replayed jobs are marked done up front so the shards
+    // dispatched below only ever contain the remainder.
+    let journal = match &config.journal {
+        Some(cfg) => {
+            let (journal, replay) = SweepJournal::open(cfg, spec, total)?;
+            for result in replay.results {
+                done[result.index] = true;
+                aggregator.accept(result);
+            }
+            Some(journal)
+        }
+        None => None,
+    };
+    let replayed = done.iter().filter(|d| **d).count();
+
     let listener = match &config.launch {
         Launch::Spawn(_) => TcpListener::bind("127.0.0.1:0"),
         Launch::Attach { addr } => TcpListener::bind(addr),
@@ -287,10 +321,11 @@ pub fn run_distributed(
         let tx = tx.clone();
         let bytes_rx = Arc::clone(&bytes_rx);
         let accept_done = Arc::clone(&accept_done);
+        let fault = config.fault.clone();
         let listener = listener
             .try_clone()
             .map_err(|e| DistError::Io(format!("clone listener: {e}")))?;
-        std::thread::spawn(move || accept_loop(&listener, &tx, &bytes_rx, &accept_done))
+        std::thread::spawn(move || accept_loop(&listener, &tx, &bytes_rx, &accept_done, fault))
     };
     drop(tx); // reader threads hold their own clones
 
@@ -300,6 +335,7 @@ pub fn run_distributed(
             child: None,
             assigned: shard_indices(total, w, config.workers)
                 .into_iter()
+                .filter(|&index| !done[index])
                 .collect(),
             last_seen: Instant::now(),
             connected_once: false,
@@ -312,17 +348,27 @@ pub fn run_distributed(
             u32::try_from(w).unwrap_or(u32::MAX).saturating_add(1),
             &format!("dist worker {w}"),
         );
-        if let Launch::Spawn(launcher) = &config.launch {
-            slot.child = Some(launcher.spawn(config, &addr, w)?);
-            slot.last_seen = Instant::now();
+        // A fully-replayed sweep needs no fleet at all.
+        if replayed < total {
+            if let Launch::Spawn(launcher) = &config.launch {
+                slot.child = Some(launcher.spawn(config, &addr, w)?);
+                slot.last_seen = Instant::now();
+            }
         }
     }
 
     let mut stats = Stats::default();
-    let mut chaos = config.chaos_kill_after;
+    // The explicit kill-at-job-K hook wins; otherwise a fault plan
+    // draws a deterministic (worker, K) from its own stream.
+    let mut chaos = config.chaos_kill_after.or_else(|| {
+        config.fault.as_deref().map(|plan| {
+            let bits = plan.draw("dist.kill_worker");
+            ((bits as usize) % config.workers, 1 + (bits >> 16) % 4)
+        })
+    });
     let mut seq = 0u64;
     let mut since_partial = 0usize;
-    let mut completed = 0usize;
+    let mut completed = replayed;
     let mut cancelled = false;
     let tick = config.heartbeat_timeout.min(Duration::from_millis(100));
 
@@ -343,7 +389,7 @@ pub fn run_distributed(
                     indices: slot.assigned.iter().copied().collect(),
                     spec: Box::new(spec.clone()),
                 };
-                if let Err(e) = send(slot, &assign, &mut stats) {
+                if let Err(e) = send(slot, &assign, &mut stats, frame_faults(config)) {
                     handle_death(
                         spec,
                         config,
@@ -382,7 +428,17 @@ pub fn run_distributed(
                         cache_hit: result.cache_hit,
                         wall_time: result.wall_time,
                     });
-                    aggregator.accept(result.into_result(worker));
+                    let result = result.into_result(worker);
+                    // Write-ahead: the journal records the job before the
+                    // aggregate absorbs it, so a crash between the two
+                    // replays (dedups) rather than loses it.
+                    let keyframe_due = journal.as_ref().is_some_and(|j| j.record_done(&result));
+                    aggregator.accept(result);
+                    if keyframe_due && completed < total {
+                        if let Some(j) = &journal {
+                            j.record_keyframe(completed, aggregator.partial());
+                        }
+                    }
                     if config
                         .partial_every
                         .is_some_and(|every| since_partial >= every)
@@ -482,6 +538,13 @@ pub fn run_distributed(
     let _ = TcpStream::connect(&addr);
     let _ = accept_thread.join();
 
+    // Seal the journal's active segment so every record written so far
+    // sits in a durable, atomically renamed file — whether the sweep
+    // completed or was cancelled mid-flight.
+    if let Some(j) = &journal {
+        j.seal();
+    }
+
     recorder.record_counter("dist.bytes_tx", stats.bytes_tx);
     recorder.record_counter("dist.bytes_rx", bytes_rx.load(Ordering::Relaxed));
     let aggregate = if cancelled {
@@ -513,13 +576,24 @@ struct Stats {
     duplicates: u64,
 }
 
-fn send(slot: &mut WorkerSlot, msg: &DistMsg, stats: &mut Stats) -> Result<(), WireError> {
+fn send(
+    slot: &mut WorkerSlot,
+    msg: &DistMsg,
+    stats: &mut Stats,
+    faults: Option<&dyn FrameFaults>,
+) -> Result<(), WireError> {
     let Some(writer) = &mut slot.writer else {
         return Err(WireError::Io("worker has no connection".into()));
     };
     let (kind, payload) = msg.encode();
     stats.bytes_tx += (payload.len() + FRAME_OVERHEAD) as u64;
-    wire::write_frame(writer, kind, &payload)
+    wire::write_frame_with(writer, kind, &payload, faults)
+}
+
+/// The coordinator-side frame-fault seam: present only when a fault
+/// plan is configured.
+fn frame_faults(config: &DistConfig) -> Option<&dyn FrameFaults> {
+    config.fault.as_deref().map(|p| p as &dyn FrameFaults)
 }
 
 /// Declares `worker` dead and re-homes its unfinished indices: a
@@ -598,7 +672,7 @@ fn handle_death(
         indices: orphaned,
         spec: Box::new(spec.clone()),
     };
-    if let Err(e) = send(&mut slots[heir], &assign, stats) {
+    if let Err(e) = send(&mut slots[heir], &assign, stats, frame_faults(config)) {
         // The heir is dying too; recurse so *its* death path (which now
         // owns the orphans) tries the next candidate.
         let reason = format!("assign of re-dispatched jobs failed: {e}");
@@ -614,6 +688,7 @@ fn accept_loop(
     tx: &Sender<Event>,
     bytes_rx: &Arc<AtomicU64>,
     done: &Arc<AtomicBool>,
+    fault: Option<Arc<FaultPlan>>,
 ) {
     loop {
         let Ok((stream, _)) = listener.accept() else {
@@ -624,18 +699,25 @@ fn accept_loop(
         }
         let tx = tx.clone();
         let bytes_rx = Arc::clone(bytes_rx);
-        std::thread::spawn(move || reader_loop(stream, &tx, &bytes_rx));
+        let fault = fault.clone();
+        std::thread::spawn(move || reader_loop(stream, &tx, &bytes_rx, fault));
     }
 }
 
 /// Per-connection reader: expects a hello, then pumps messages into the
 /// control loop until the stream dies.
-fn reader_loop(stream: TcpStream, tx: &Sender<Event>, bytes_rx: &Arc<AtomicU64>) {
+fn reader_loop(
+    stream: TcpStream,
+    tx: &Sender<Event>,
+    bytes_rx: &Arc<AtomicU64>,
+    fault: Option<Arc<FaultPlan>>,
+) {
+    let faults = fault.as_deref().map(|p| p as &dyn FrameFaults);
     let mut reader = match stream.try_clone() {
         Ok(reader) => reader,
         Err(_) => return,
     };
-    let worker = match read_counted(&mut reader, bytes_rx) {
+    let worker = match read_counted(&mut reader, bytes_rx, faults) {
         Ok(DistMsg::Hello { worker }) => worker,
         _ => return, // not a worker (e.g. the shutdown wake-up connect)
     };
@@ -649,7 +731,7 @@ fn reader_loop(stream: TcpStream, tx: &Sender<Event>, bytes_rx: &Arc<AtomicU64>)
         return;
     }
     loop {
-        match read_counted(&mut reader, bytes_rx) {
+        match read_counted(&mut reader, bytes_rx, faults) {
             Ok(msg) => {
                 if tx.send(Event::Msg { worker, msg }).is_err() {
                     return;
@@ -667,8 +749,12 @@ fn reader_loop(stream: TcpStream, tx: &Sender<Event>, bytes_rx: &Arc<AtomicU64>)
     }
 }
 
-fn read_counted(reader: &mut TcpStream, bytes_rx: &Arc<AtomicU64>) -> Result<DistMsg, WireError> {
-    let (kind, payload) = wire::read_frame(reader)?;
+fn read_counted(
+    reader: &mut TcpStream,
+    bytes_rx: &Arc<AtomicU64>,
+    faults: Option<&dyn FrameFaults>,
+) -> Result<DistMsg, WireError> {
+    let (kind, payload) = wire::read_frame_with(reader, faults)?;
     bytes_rx.fetch_add((payload.len() + FRAME_OVERHEAD) as u64, Ordering::Relaxed);
     DistMsg::decode(kind, &payload)
 }

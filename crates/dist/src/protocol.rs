@@ -329,8 +329,23 @@ impl DistMsg {
     ///
     /// [`WireError::Io`] when the write fails.
     pub fn write_to<W: Write>(&self, writer: &mut W) -> Result<(), WireError> {
+        self.write_to_with(writer, None)
+    }
+
+    /// Writes this message as one frame, routed through an optional
+    /// fault-injection seam (see
+    /// [`FrameFaults`](hetrta_api::wire::FrameFaults)).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] when the write fails.
+    pub fn write_to_with<W: Write>(
+        &self,
+        writer: &mut W,
+        faults: Option<&dyn wire::FrameFaults>,
+    ) -> Result<(), WireError> {
         let (kind, payload) = self.encode();
-        wire::write_frame(writer, kind, &payload)
+        wire::write_frame_with(writer, kind, &payload, faults)
     }
 
     /// Reads one message frame.
@@ -340,7 +355,21 @@ impl DistMsg {
     /// [`WireError::Eof`] when the peer hung up between frames; every
     /// other defect maps to its variant.
     pub fn read_from<R: Read>(reader: &mut R) -> Result<DistMsg, WireError> {
-        let (kind, payload) = wire::read_frame(reader)?;
+        Self::read_from_with(reader, None)
+    }
+
+    /// Reads one message frame through an optional fault-injection
+    /// seam (stalled reads).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Eof`] when the peer hung up between frames; every
+    /// other defect maps to its variant.
+    pub fn read_from_with<R: Read>(
+        reader: &mut R,
+        faults: Option<&dyn wire::FrameFaults>,
+    ) -> Result<DistMsg, WireError> {
+        let (kind, payload) = wire::read_frame_with(reader, faults)?;
         DistMsg::decode(kind, &payload)
     }
 }

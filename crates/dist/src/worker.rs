@@ -22,7 +22,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use hetrta_engine::{Engine, EngineBuilder};
+use hetrta_api::wire::FrameFaults;
+use hetrta_engine::{Engine, EngineBuilder, FaultPlan};
 use hetrta_obs::{span, Recorder};
 
 use crate::protocol::{DistMsg, WireJobResult};
@@ -41,6 +42,12 @@ pub struct WorkerConfig {
     pub cache_dir: Option<PathBuf>,
     /// Heartbeat cadence. Must be well under the coordinator's timeout.
     pub heartbeat_every: Duration,
+    /// Chaos seed (the `--chaos` flag): builds a deterministic
+    /// [`FaultPlan`] injecting disk faults into this worker's engine,
+    /// wire faults into its frames, and delays into its heartbeats. The
+    /// per-worker stream is derived from `(seed, slot)` so fleet
+    /// members don't fault in lockstep.
+    pub chaos: Option<u64>,
 }
 
 impl WorkerConfig {
@@ -71,12 +78,27 @@ pub fn run_worker(config: &WorkerConfig, recorder: &dyn Recorder) -> Result<u64,
     // must not interleave mid-frame, so writes go through a mutex.
     let writer = Arc::new(Mutex::new(stream));
 
+    // Derive this worker's fault stream from (seed, slot): same seed →
+    // same per-worker fault sequence, but the fleet doesn't fault in
+    // lockstep.
+    let fault = config.chaos.map(|seed| {
+        Arc::new(FaultPlan::new(
+            seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(config.worker as u64 + 1),
+        ))
+    });
+
     let mut engine = EngineBuilder::new().threads(config.threads);
     if let Some(dir) = &config.cache_dir {
         engine = engine.with_cache_dir(dir);
     }
+    if let Some(plan) = &fault {
+        engine = engine.with_fault_plan(Arc::clone(plan));
+    }
     let engine: Engine = engine.build()?;
 
+    // The hello is deliberately exempt from wire faults: a respawned
+    // worker replays the same derived fault stream, so a corrupt hello
+    // would deterministically kill every replacement of this slot.
     DistMsg::Hello {
         worker: config.worker,
     }
@@ -89,23 +111,35 @@ pub fn run_worker(config: &WorkerConfig, recorder: &dyn Recorder) -> Result<u64,
         let jobs_done = Arc::clone(&jobs_done);
         let stop = Arc::clone(&stop);
         let every = config.heartbeat_every;
+        let fault = fault.clone();
         std::thread::spawn(move || loop {
             std::thread::sleep(every);
             if stop.load(Ordering::Relaxed) {
                 return;
+            }
+            // Chaos: delay this beat, pushing the worker toward (but not
+            // deterministically past) the coordinator's silence timeout.
+            if let Some(bits) = fault
+                .as_deref()
+                .and_then(|p| p.fires("dist.heartbeat_delay"))
+            {
+                std::thread::sleep(Duration::from_millis(1 + bits % 200));
             }
             let beat = DistMsg::Heartbeat {
                 jobs_done: jobs_done.load(Ordering::Relaxed),
             };
             // A failed write means the coordinator is gone; the main
             // loop will notice on its next read. Just stop beating.
-            if beat.write_to(&mut *lock(&writer)).is_err() {
+            if beat
+                .write_to_with(&mut *lock(&writer), faults_of(&fault))
+                .is_err()
+            {
                 return;
             }
         })
     };
 
-    let outcome = assignment_loop(&mut reader, &engine, &writer, &jobs_done, recorder);
+    let outcome = assignment_loop(&mut reader, &engine, &writer, &jobs_done, &fault, recorder);
     stop.store(true, Ordering::Relaxed);
     // Unblock quickly: the heartbeat thread wakes at most one cadence
     // later and exits on the stop flag.
@@ -118,10 +152,11 @@ fn assignment_loop(
     engine: &Engine,
     writer: &Arc<Mutex<TcpStream>>,
     jobs_done: &AtomicU64,
+    fault: &Option<Arc<FaultPlan>>,
     recorder: &dyn Recorder,
 ) -> Result<(), DistError> {
     loop {
-        match DistMsg::read_from(reader) {
+        match DistMsg::read_from_with(reader, faults_of(fault)) {
             Ok(DistMsg::Assign { indices, spec }) => {
                 let _span = span!(recorder, "dist.assignment", jobs = indices.len());
                 let mut completed = 0usize;
@@ -131,11 +166,12 @@ fn assignment_loop(
                     // mid-assignment; keep draining the pool (results
                     // still land in the shared caches) and let the next
                     // read surface the hangup.
-                    let _ = msg.write_to(&mut *lock(writer));
+                    let _ = msg.write_to_with(&mut *lock(writer), faults_of(fault));
                     completed += 1;
                     jobs_done.fetch_add(1, Ordering::Relaxed);
                 })?;
-                DistMsg::ShardDone { completed }.write_to(&mut *lock(writer))?;
+                DistMsg::ShardDone { completed }
+                    .write_to_with(&mut *lock(writer), faults_of(fault))?;
             }
             Ok(DistMsg::Shutdown) => return Ok(()),
             Ok(other) => {
@@ -153,4 +189,9 @@ fn lock(writer: &Arc<Mutex<TcpStream>>) -> std::sync::MutexGuard<'_, TcpStream> 
     writer
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The worker-side frame-fault seam: present only under `--chaos`.
+fn faults_of(fault: &Option<Arc<FaultPlan>>) -> Option<&dyn FrameFaults> {
+    fault.as_deref().map(|p| p as &dyn FrameFaults)
 }

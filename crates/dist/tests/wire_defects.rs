@@ -1,0 +1,91 @@
+//! Property tests of the coordinator ⇄ worker protocol against
+//! defective bytes: truncation of any `DistMsg` frame reads back as a
+//! typed error, bitflips never panic, and the payload decoder survives
+//! arbitrary bytes — the contract the `--chaos` wire faults rely on.
+
+use std::io::Cursor;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use hetrta_dist::{DistMsg, WireJobResult};
+use hetrta_engine::{GeneratorPreset, JobMetrics, SweepSpec};
+use proptest::prelude::*;
+
+fn tiny_spec() -> SweepSpec {
+    SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.1], 1, 0xFADE)
+}
+
+/// Every message kind once, encoded to its frame bytes.
+fn sample_frames() -> &'static Vec<Vec<u8>> {
+    static FRAMES: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    FRAMES.get_or_init(|| {
+        let messages = [
+            DistMsg::Hello { worker: 1 },
+            DistMsg::Assign {
+                indices: vec![0, 3, 7, 11],
+                spec: Box::new(tiny_spec()),
+            },
+            DistMsg::JobDone(Box::new(WireJobResult {
+                index: 3,
+                cell: 1,
+                identity: 0xDEAD_BEEF_CAFE,
+                cache_hit: false,
+                wall_time: Duration::from_micros(417),
+                metrics: Ok(JobMetrics::Skipped),
+            })),
+            DistMsg::JobDone(Box::new(WireJobResult {
+                index: 4,
+                cell: 2,
+                identity: 7,
+                cache_hit: true,
+                wall_time: Duration::from_millis(3),
+                metrics: Err("worker error: demo".into()),
+            })),
+            DistMsg::Heartbeat { jobs_done: 42 },
+            DistMsg::ShardDone { completed: 9 },
+            DistMsg::Shutdown,
+        ];
+        messages
+            .iter()
+            .map(|msg| {
+                let mut buf = Vec::new();
+                msg.write_to(&mut buf).expect("encode message");
+                buf
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn truncated_dist_frames_read_back_as_typed_errors(
+        pick in 0usize..10_000,
+        cut_seed in 0usize..1_000_000,
+    ) {
+        let frames = sample_frames();
+        let frame = &frames[pick % frames.len()];
+        let cut = cut_seed % frame.len();
+        prop_assert!(DistMsg::read_from(&mut Cursor::new(&frame[..cut])).is_err());
+    }
+
+    #[test]
+    fn bitflipped_dist_frames_never_panic(
+        pick in 0usize..10_000,
+        bit_seed in 0usize..10_000_000,
+    ) {
+        let frames = sample_frames();
+        let frame = &frames[pick % frames.len()];
+        let bit = bit_seed % (frame.len() * 8);
+        let mut corrupted = frame.clone();
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        let _ = DistMsg::read_from(&mut Cursor::new(&corrupted));
+    }
+
+    #[test]
+    fn arbitrary_payload_bytes_never_panic_the_decoder(
+        kind in 0u8..=255,
+        payload in proptest::collection::vec(0u8..=255, 0..200),
+    ) {
+        let _ = DistMsg::decode(kind, &payload);
+    }
+}

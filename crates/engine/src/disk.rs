@@ -29,9 +29,10 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Once};
 
 use hetrta_api::AnalysisOutcome;
+use hetrta_fault::FaultPlan;
 use hetrta_obs::{span, Counter, MetricsRegistry, NoopRecorder, Recorder};
 
 use crate::cache::CacheCounters;
@@ -66,6 +67,12 @@ pub struct DiskCache {
     /// Entry paths with reads in flight in this process (refcounted); gc
     /// skips them so a reader never loses its file mid-read.
     pins: Mutex<HashMap<PathBuf, usize>>,
+    /// Deterministic fault injection (`--chaos`): `disk.write.enospc`,
+    /// `disk.write.torn` and `disk.read.bitflip` sites. `None` in
+    /// production.
+    fault: Option<Arc<FaultPlan>>,
+    /// Emits the operator-facing degradation warning once per handle.
+    write_warn: Once,
 }
 
 impl DiskCache {
@@ -90,11 +97,13 @@ impl DiskCache {
             tmp_counter: AtomicU64::new(0),
             recorder: Arc::new(NoopRecorder),
             pins: Mutex::new(HashMap::new()),
+            fault: None,
+            write_warn: Once::new(),
         })
     }
 
     /// Rebinds this cache's counters onto `metrics` (as `disk.hits`,
-    /// `disk.misses`, `disk.write_errors`) and routes `disk.read` /
+    /// `disk.misses`, `disk.write_failed`) and routes `disk.read` /
     /// `disk.write` / `disk.gc` spans to `recorder`.
     ///
     /// Called by the engine builder before the cache is shared; counts
@@ -106,8 +115,16 @@ impl DiskCache {
     ) {
         self.hits = metrics.counter("disk.hits");
         self.misses = metrics.counter("disk.misses");
-        self.write_errors = metrics.counter("disk.write_errors");
+        self.write_errors = metrics.counter("disk.write_failed");
         self.recorder = recorder;
+    }
+
+    /// Arms deterministic fault injection on this cache's read and write
+    /// paths (sites `disk.write.enospc`, `disk.write.torn`,
+    /// `disk.read.bitflip`). Wired by
+    /// [`EngineBuilder::with_fault_plan`](crate::EngineBuilder::with_fault_plan).
+    pub(crate) fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault = Some(plan);
     }
 
     /// The directory this cache persists into.
@@ -126,9 +143,10 @@ impl DiskCache {
     }
 
     /// Entries that failed to persist (full disk, permissions); reads are
-    /// unaffected.
+    /// unaffected and the engine falls through to in-memory results —
+    /// mirrored as the `disk.write_failed` metric.
     #[must_use]
-    pub fn write_errors(&self) -> u64 {
+    pub fn write_failed(&self) -> u64 {
         self.write_errors.get()
     }
 
@@ -152,7 +170,19 @@ impl DiskCache {
         let _span = span!(self.recorder.as_ref(), "disk.read", ns = namespace);
         let path = self.entry_path(namespace, key);
         let _pin = self.pin(path.clone());
-        let text = std::fs::read_to_string(path).ok();
+        let text = std::fs::read_to_string(path).ok().map(|text| {
+            // Injected read corruption: flip one bit of the entry before
+            // verification — it must read as a miss, never as data.
+            let bits = match self.fault.as_deref() {
+                Some(plan) if !text.is_empty() => plan.fires("disk.read.bitflip"),
+                _ => None,
+            };
+            let Some(bits) = bits else { return text };
+            let mut bytes = text.into_bytes();
+            let index = (bits as usize) % bytes.len();
+            bytes[index] ^= 1 << ((bits >> 32) % 8);
+            String::from_utf8_lossy(&bytes).into_owned()
+        });
         text.as_deref().and_then(verify_entry).map(str::to_owned)
     }
 
@@ -192,20 +222,45 @@ impl DiskCache {
     fn write_payload(&self, namespace: &str, key: u128, payload: &str) {
         let _span = span!(self.recorder.as_ref(), "disk.write", ns = namespace);
         let path = self.entry_path(namespace, key);
-        let content = format!("{MAGIC}\n{payload}\n{:016x}\n", fnv64(payload));
+        let mut content = format!("{MAGIC}\n{payload}\n{:016x}\n", fnv64(payload));
+        // Injected torn write: commit a truncated entry, as a crash
+        // straddling write and rename could — it must later read as a
+        // miss and be recomputed, never misread.
+        if let Some(bits) = self
+            .fault
+            .as_deref()
+            .and_then(|p| p.fires("disk.write.torn"))
+        {
+            content.truncate(1 + (bits as usize) % content.len());
+        }
         let tmp = path.with_extension(format!(
             "tmp.{}.{}",
             std::process::id(),
             self.tmp_counter.fetch_add(1, Ordering::Relaxed)
         ));
-        let written = path
-            .parent()
-            .map_or(Ok(()), std::fs::create_dir_all)
-            .and_then(|()| std::fs::write(&tmp, content))
-            .and_then(|()| std::fs::rename(&tmp, &path));
-        if written.is_err() {
+        let written = if self
+            .fault
+            .as_deref()
+            .is_some_and(|p| p.fires("disk.write.enospc").is_some())
+        {
+            Err(std::io::Error::other("injected ENOSPC (chaos)"))
+        } else {
+            path.parent()
+                .map_or(Ok(()), std::fs::create_dir_all)
+                .and_then(|()| std::fs::write(&tmp, content))
+                .and_then(|()| std::fs::rename(&tmp, &path))
+        };
+        if let Err(error) = written {
             let _ = std::fs::remove_file(&tmp);
             self.write_errors.incr();
+            let _span = span!(self.recorder.as_ref(), "disk.write_failed", ns = namespace);
+            self.write_warn.call_once(|| {
+                eprintln!(
+                    "hetrta: disk cache write failed ({error}) at {}; \
+                     continuing with in-memory results (disk.write_failed counts)",
+                    path.display()
+                );
+            });
         }
     }
 
@@ -602,5 +657,86 @@ mod tests {
     fn unwritable_directory_fails_open() {
         let err = DiskCache::open("/proc/definitely-not-writable/hetrta").unwrap_err();
         assert!(err.contains("cannot create cache dir"), "{err}");
+    }
+
+    #[test]
+    fn injected_write_failure_degrades_gracefully() {
+        let dir = temp_dir("enospc");
+        let mut cache = DiskCache::open(&dir).unwrap();
+        // Every write hits an injected ENOSPC; reads stay healthy.
+        cache.set_fault_plan(Arc::new(
+            FaultPlan::with_rate(0xE205, 1, 1).restrict_to(["disk.write.enospc"]),
+        ));
+        cache.store_result(42, &outcome());
+        cache.store_identity(7, Some(0xFEED));
+        assert_eq!(cache.write_failed(), 2, "every failure is counted");
+        assert_eq!(cache.load_result(42), None, "nothing was persisted");
+        assert_eq!(cache.load_identity(7), None);
+        // No half-written tmp litter survives a failed write.
+        let tmp_litter = std::fs::read_dir(dir.join("results"))
+            .unwrap()
+            .flatten()
+            .flat_map(|shard| std::fs::read_dir(shard.path()).into_iter().flatten())
+            .count();
+        assert_eq!(tmp_litter, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_torn_write_reads_as_a_miss() {
+        let dir = temp_dir("torn");
+        let mut cache = DiskCache::open(&dir).unwrap();
+        cache.set_fault_plan(Arc::new(
+            FaultPlan::with_rate(0x70B2, 1, 1).restrict_to(["disk.write.torn"]),
+        ));
+        cache.store_result(42, &outcome());
+        // The torn entry committed (no write error) but must never
+        // decode; the engine recomputes and rewrites.
+        assert_eq!(cache.write_failed(), 0);
+        assert_eq!(cache.load_result(42), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_bitflip_reads_as_a_miss() {
+        let dir = temp_dir("bitflip");
+        let mut cache = DiskCache::open(&dir).unwrap();
+        cache.store_result(42, &outcome());
+        assert_eq!(cache.load_result(42), Some(outcome()), "healthy first");
+        cache.set_fault_plan(Arc::new(
+            FaultPlan::with_rate(0xB17F, 1, 1).restrict_to(["disk.read.bitflip"]),
+        ));
+        assert_eq!(cache.load_result(42), None, "flipped bit fails checksum");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_falls_through_to_memory_when_every_write_fails() {
+        use crate::spec::{GeneratorPreset, SweepSpec};
+        use crate::EngineBuilder;
+
+        let dir = temp_dir("fall-through");
+        let plan = Arc::new(FaultPlan::with_rate(0xDE6A, 1, 1).restrict_to(["disk.write.enospc"]));
+        let engine = EngineBuilder::new()
+            .threads(2)
+            .with_cache_dir(&dir)
+            .with_fault_plan(Arc::clone(&plan))
+            .build()
+            .unwrap();
+        let spec = SweepSpec::fractions(GeneratorPreset::Small, vec![2], vec![0.2], 3, 5);
+        let out = engine.run(&spec).unwrap();
+        // The sweep succeeded purely in memory, failures were counted
+        // and surfaced through both the metric and the fault counters.
+        let healthy = crate::Engine::new(2).run(&spec).unwrap();
+        assert_eq!(out.aggregate, healthy.aggregate);
+        let snapshot = engine.metrics().snapshot();
+        let failed = snapshot.counter("disk.write_failed").unwrap_or(0);
+        assert!(failed > 0, "writes must have failed");
+        assert_eq!(
+            snapshot.counter("fault.disk.write.enospc"),
+            Some(failed),
+            "every failure was an injected one"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

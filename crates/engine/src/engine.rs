@@ -492,6 +492,7 @@ pub struct EngineBuilder {
     injection: InjectionOrder,
     cache_dir: Option<PathBuf>,
     recorder: Option<Arc<dyn Recorder>>,
+    fault: Option<Arc<hetrta_fault::FaultPlan>>,
 }
 
 impl EngineBuilder {
@@ -507,6 +508,7 @@ impl EngineBuilder {
             injection: InjectionOrder::default(),
             cache_dir: None,
             recorder: None,
+            fault: None,
         }
     }
 
@@ -579,6 +581,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Arms a deterministic [`FaultPlan`](hetrta_fault::FaultPlan) on
+    /// this engine (the `--chaos SEED` plane): the disk cache's read and
+    /// write paths consult it, and its `fault.*` counters are bound to
+    /// the engine's metrics registry at build time. Production engines
+    /// leave this unset and pay nothing.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: Arc<hetrta_fault::FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Builds the engine.
     ///
     /// # Errors
@@ -614,6 +627,12 @@ impl EngineBuilder {
         caches.inputs.bind_counters(h, m);
         if let Some(disk) = &mut caches.disk {
             disk.bind_observability(&metrics, Arc::clone(&recorder));
+            if let Some(plan) = &self.fault {
+                disk.set_fault_plan(Arc::clone(plan));
+            }
+        }
+        if let Some(plan) = &self.fault {
+            plan.bind_observability(&metrics);
         }
         Ok(Engine {
             threads: pool::resolve_threads(self.threads),
@@ -885,6 +904,26 @@ impl Engine {
         &self,
         spec: &SweepSpec,
         indices: &[usize],
+        sink: impl FnMut(JobResult),
+    ) -> Result<usize, EngineError> {
+        self.run_job_subset_cancellable(spec, indices, None, sink)
+    }
+
+    /// [`Engine::run_job_subset`] with cooperative cancellation: once
+    /// `cancel` flips, queued jobs are skipped (in-flight jobs finish
+    /// and still reach `sink`). Returns the number of jobs *selected*;
+    /// callers observing a cancel decide for themselves whether a short
+    /// run is an error (the journaled path turns it into
+    /// [`EngineError::Cancelled`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run_job_subset`].
+    pub fn run_job_subset_cancellable(
+        &self,
+        spec: &SweepSpec,
+        indices: &[usize],
+        cancel: Option<&std::sync::atomic::AtomicBool>,
         mut sink: impl FnMut(JobResult),
     ) -> Result<usize, EngineError> {
         let _span = span!(self.recorder.as_ref(), "sweep.subset");
@@ -908,9 +947,10 @@ impl Engine {
         let caches = &self.caches;
         let registry = &self.registry;
         let recorder: &dyn Recorder = self.recorder.as_ref();
-        pool::run_jobs(
+        pool::run_jobs_cancellable(
             jobs,
             self.threads.min(ran.max(1)),
+            cancel,
             |worker, job: Job| {
                 hetrta_obs::set_thread_lane(worker as u32 + 1);
                 let _span = span!(recorder, "job", index = job.index, cell = job.cell);
@@ -1078,7 +1118,18 @@ impl SessionTask {
                         wall_time: result.wall_time,
                     });
                 }
+                // Journal before the aggregator consumes the result: the
+                // done record is the durability point for this job.
+                let journal_keyframe_due = config
+                    .journal
+                    .as_deref()
+                    .is_some_and(|journal| journal.record_done(&result));
                 aggregator.accept(result);
+                if journal_keyframe_due && aggregator.received() < job_count {
+                    if let Some(journal) = &config.journal {
+                        journal.record_keyframe(aggregator.received(), aggregator.partial());
+                    }
+                }
                 if let Some(every) = config.partial_every {
                     let received = aggregator.received();
                     if received.is_multiple_of(every) && received < job_count {
@@ -1121,6 +1172,12 @@ impl SessionTask {
                     .gauge(&format!("cost.ewma_us.{key}"))
                     .set(micros.max(0.0) as u64);
             }
+        }
+
+        // Seal the journal tail whether the sweep finished or was
+        // cancelled — either way its records must survive this process.
+        if let Some(journal) = &self.config.journal {
+            journal.seal();
         }
 
         let completed = aggregator.received();

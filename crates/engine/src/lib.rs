@@ -68,6 +68,7 @@ pub mod cache;
 pub mod disk;
 mod engine;
 pub mod job;
+pub mod journal;
 pub mod pool;
 pub mod session;
 pub mod spec;
@@ -84,6 +85,7 @@ pub use engine::{
     InjectionOrder, DEFAULT_CACHE_CAPACITY, INPUT_CACHE_CAP,
 };
 pub use job::{Job, JobInput, JobMetrics, JobPayload, JobResult};
+pub use journal::{spec_hash, JournalConfig, JournalOutcome, SweepJournal};
 pub use session::{SessionConfig, SweepCancelToken, SweepEvent, SweepHandle};
 pub use spec::{AnalysisSelection, CellInfo, CellShape, GeneratorPreset, SweepGrid, SweepSpec};
 
@@ -93,6 +95,9 @@ pub use hetrta_obs as obs;
 pub use hetrta_obs::{
     MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder, SpanRecord, TraceRecorder,
 };
+
+// The fault-injection plane the engine's robustness hooks consume.
+pub use hetrta_fault::{FaultEvent, FaultPlan};
 
 // The unified analysis API the engine schedules over.
 pub use hetrta_api::{

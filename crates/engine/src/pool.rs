@@ -280,18 +280,26 @@ mod tests {
 
     #[test]
     fn uneven_work_gets_stolen() {
-        // One enormous job first; the rest are tiny. With more threads than
-        // the injector batch, siblings must steal or starve.
+        // Job 0 parks until a sibling finishes a tiny job, so the rest of
+        // the sweep must be stolen while its worker is pinned — a fixed
+        // spin count was optimizer- and scheduler-dependent. The deadline
+        // only bounds the failure mode (total starvation) instead of a hang.
+        let tiny_done = AtomicU64::new(0);
         let stats = run_jobs(
             (0..64u64).collect(),
             4,
             |_, j| {
-                let spins = if j == 0 { 2_000_000 } else { 10 };
-                let mut acc = j;
-                for i in 0..spins {
-                    acc = acc.wrapping_mul(31).wrapping_add(i);
+                if j == 0 {
+                    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                    while tiny_done.load(Ordering::Relaxed) == 0
+                        && std::time::Instant::now() < deadline
+                    {
+                        std::hint::spin_loop();
+                    }
+                } else {
+                    tiny_done.fetch_add(1, Ordering::Relaxed);
                 }
-                acc
+                j
             },
             |_, _| {},
         );

@@ -101,17 +101,23 @@ pub struct SessionConfig {
     pub keyframe_every: usize,
     /// Event-buffer bound; beyond it the oldest events are dropped.
     pub max_buffered_events: usize,
+    /// Write-ahead journal for crash-safe resume: every finished job is
+    /// recorded (with periodic aggregate keyframes) before it enters the
+    /// aggregator, so a killed process resumes from the journal instead
+    /// of re-running completed work. `None` = no journaling.
+    pub journal: Option<Arc<crate::journal::SweepJournal>>,
 }
 
 impl Default for SessionConfig {
     /// Job events on, no partial snapshots, keyframe every 16 partials,
-    /// 64Ki-event buffer.
+    /// 64Ki-event buffer, no journal.
     fn default() -> Self {
         SessionConfig {
             job_events: true,
             partial_every: None,
             keyframe_every: 16,
             max_buffered_events: 1 << 16,
+            journal: None,
         }
     }
 }

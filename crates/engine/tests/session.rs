@@ -299,6 +299,7 @@ fn slow_consumers_see_their_drop_count_rise() {
         partial_every: Some(1),
         keyframe_every: 1,
         max_buffered_events: 4,
+        journal: None,
     };
     let handle = engine.submit_with(&spec, config).expect("submit");
     while !handle.is_finished() {

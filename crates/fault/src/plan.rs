@@ -1,0 +1,357 @@
+//! The seeded fault plan: keyed injection sites, one deterministic
+//! xoshiro-style stream per site, and a replayable event log.
+//!
+//! Every injection point in the workspace names a **site** (a short
+//! dotted string like `disk.write.enospc` or `wire.corrupt`) and asks
+//! the plan whether this *trial* fires. Each site owns its own RNG
+//! stream, seeded from `splitmix64(seed ^ fnv64(site))`, and counts its
+//! trials — so the sequence of fired trials per site is a pure function
+//! of the seed and the number of times the site is exercised, no matter
+//! how threads interleave across sites. Two runs with the same seed and
+//! the same per-site trial counts produce identical fault-event
+//! sequences ([`FaultPlan::report`]), which is what makes failure
+//! behavior testable instead of flaky.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use hetrta_api::wire::{fnv64, FrameFaults};
+use hetrta_obs::MetricsRegistry;
+
+/// Default injection probability: 1 in 16 trials per site.
+const DEFAULT_RATE: (u32, u32) = (1, 16);
+
+/// One injected fault, as recorded in the plan's log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The injection site that fired.
+    pub site: String,
+    /// Zero-based trial index *within the site's stream* that fired.
+    pub trial: u64,
+    /// The raw random word drawn for the trial (hooks derive fault
+    /// parameters — offsets, byte indices, delays — from these bits).
+    pub bits: u64,
+}
+
+/// Per-site stream state: an xoshiro256++ generator plus trial counts.
+#[derive(Debug)]
+struct SiteState {
+    s: [u64; 4],
+    trials: u64,
+    fired: u64,
+}
+
+impl SiteState {
+    fn new(seed: u64, site: &str) -> SiteState {
+        // Seed the stream from the plan seed and the site name so every
+        // site draws from an independent deterministic sequence.
+        let mut sm = seed ^ fnv64(site.as_bytes());
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SiteState {
+            s: [next(), next(), next(), next()],
+            trials: 0,
+            fired: 0,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[derive(Debug, Default)]
+struct PlanInner {
+    sites: BTreeMap<String, SiteState>,
+    log: Vec<FaultEvent>,
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// Cheap when absent: every hook takes an `Option<&FaultPlan>` (or an
+/// `Option<Arc<FaultPlan>>` field) and the disabled path is a `None`
+/// check. When present, [`FaultPlan::fires`] decides injection per
+/// (site, trial) and logs what fired; counters surface as
+/// `fault.<site>` through a bound [`MetricsRegistry`].
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rate: (u32, u32),
+    /// When set, only these sites may fire (others are inert — their
+    /// streams do not even advance, so restricting one site leaves its
+    /// sequence identical to an unrestricted run's for that site).
+    only: Option<std::collections::BTreeSet<String>>,
+    inner: Mutex<PlanInner>,
+    metrics: Mutex<Option<std::sync::Arc<MetricsRegistry>>>,
+}
+
+impl FaultPlan {
+    /// A plan firing with the default rate (1/16 per trial).
+    #[must_use]
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan::with_rate(seed, DEFAULT_RATE.0, DEFAULT_RATE.1)
+    }
+
+    /// A plan firing `num` out of every `den` trials (in expectation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `den` is zero.
+    #[must_use]
+    pub fn with_rate(seed: u64, num: u32, den: u32) -> FaultPlan {
+        assert!(den > 0, "fault rate denominator must be positive");
+        FaultPlan {
+            seed,
+            rate: (num, den),
+            only: None,
+            inner: Mutex::new(PlanInner::default()),
+            metrics: Mutex::new(None),
+        }
+    }
+
+    /// Restricts this plan to the named sites; every other site becomes
+    /// inert. For targeting one failure mode in tests or drills.
+    #[must_use]
+    pub fn restrict_to<S: Into<String>>(mut self, sites: impl IntoIterator<Item = S>) -> FaultPlan {
+        self.only = Some(sites.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// The seed this plan was built from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Binds `fault.injected` and per-site `fault.<site>` counters to
+    /// `metrics` (counters for sites that fire later register lazily).
+    pub fn bind_observability(&self, metrics: &std::sync::Arc<MetricsRegistry>) {
+        let _ = metrics.counter("fault.injected");
+        *lock(&self.metrics) = Some(std::sync::Arc::clone(metrics));
+    }
+
+    /// Runs one trial at `site`: returns `Some(bits)` when the fault
+    /// fires (logging the event), `None` otherwise. The per-site stream
+    /// advances exactly one word per trial either way.
+    pub fn fires(&self, site: &str) -> Option<u64> {
+        let (num, den) = self.rate;
+        self.trial(site, |bits| bits % u64::from(den) < u64::from(num))
+    }
+
+    /// An always-firing deterministic draw at `site` — for hooks that
+    /// need seeded parameters rather than a fire/no-fire decision (e.g.
+    /// picking which worker a kill plan targets).
+    pub fn draw(&self, site: &str) -> u64 {
+        self.trial(site, |_| true).unwrap_or_default()
+    }
+
+    fn trial(&self, site: &str, decide: impl Fn(u64) -> bool) -> Option<u64> {
+        if self.only.as_ref().is_some_and(|only| !only.contains(site)) {
+            return None;
+        }
+        let seed = self.seed;
+        let mut inner = lock(&self.inner);
+        let state = inner
+            .sites
+            .entry(site.to_owned())
+            .or_insert_with(|| SiteState::new(seed, site));
+        let trial = state.trials;
+        state.trials += 1;
+        let bits = state.next_u64();
+        if !decide(bits) {
+            return None;
+        }
+        state.fired += 1;
+        inner.log.push(FaultEvent {
+            site: site.to_owned(),
+            trial,
+            bits,
+        });
+        drop(inner);
+        if let Some(metrics) = lock(&self.metrics).as_ref() {
+            metrics.counter("fault.injected").incr();
+            metrics.counter(&format!("fault.{site}")).incr();
+        }
+        Some(bits)
+    }
+
+    /// Total faults injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        lock(&self.inner).log.len() as u64
+    }
+
+    /// The fault log so far, sorted by `(site, trial)` so two same-seed
+    /// runs compare equal regardless of thread interleaving.
+    #[must_use]
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut events = lock(&self.inner).log.clone();
+        events.sort_by(|a, b| (a.site.as_str(), a.trial).cmp(&(b.site.as_str(), b.trial)));
+        events
+    }
+
+    /// A deterministic text rendering of the fault log — one
+    /// `fault <site> trial=<n> bits=<hex>` line per event, `(site,
+    /// trial)`-ordered. Two runs with the same seed (and the same
+    /// per-site workload) render identically; the CLI prints this under
+    /// `--chaos` so the acceptance check is a `diff`.
+    #[must_use]
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+
+        let events = self.events();
+        let mut out = format!(
+            "chaos seed {:#x}: {} fault(s) injected\n",
+            self.seed,
+            events.len()
+        );
+        for event in &events {
+            let _ = writeln!(
+                out,
+                "fault {} trial={} bits={:016x}",
+                event.site, event.trial, event.bits
+            );
+        }
+        out
+    }
+}
+
+/// Wire-level faults: truncate or bitflip outgoing frames, stall reads.
+/// Applied only where a codec opts in (the dist link under `--chaos`).
+impl FrameFaults for FaultPlan {
+    fn corrupt_frame(&self, frame: &mut Vec<u8>) -> bool {
+        if frame.is_empty() {
+            return false;
+        }
+        if let Some(bits) = self.fires("wire.truncate") {
+            // Keep at least one byte so the peer sees a mid-frame cut,
+            // not a clean Eof (which would mask the defect as a hangup).
+            let keep = 1 + (bits as usize) % frame.len();
+            frame.truncate(keep);
+            return true;
+        }
+        if let Some(bits) = self.fires("wire.corrupt") {
+            let index = (bits as usize) % frame.len();
+            frame[index] ^= 1 << ((bits >> 32) % 8);
+            return true;
+        }
+        false
+    }
+
+    fn read_stall(&self) -> Option<Duration> {
+        self.fires("wire.stall")
+            .map(|bits| Duration::from_millis(1 + bits % 20))
+    }
+}
+
+/// Locks a mutex, recovering from poisoning (a panicked holder must not
+/// cascade through the fault plane itself).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_event_sequence() {
+        let runs: Vec<Vec<FaultEvent>> = (0..2)
+            .map(|_| {
+                let plan = FaultPlan::with_rate(42, 1, 4);
+                for _ in 0..200 {
+                    plan.fires("disk.write.enospc");
+                    plan.fires("wire.corrupt");
+                }
+                plan.events()
+            })
+            .collect();
+        assert!(!runs[0].is_empty(), "rate 1/4 over 200 trials must fire");
+        assert_eq!(runs[0], runs[1]);
+
+        let other = FaultPlan::with_rate(43, 1, 4);
+        for _ in 0..200 {
+            other.fires("disk.write.enospc");
+            other.fires("wire.corrupt");
+        }
+        assert_ne!(runs[0], other.events(), "different seed, different plan");
+    }
+
+    #[test]
+    fn sites_draw_independent_streams() {
+        let plan = FaultPlan::with_rate(7, 1, 1);
+        let a = plan.draw("site.a");
+        let b = plan.draw("site.b");
+        assert_ne!(a, b);
+        // Re-seeding reproduces both streams from scratch.
+        let again = FaultPlan::with_rate(7, 1, 1);
+        assert_eq!(again.draw("site.a"), a);
+        assert_eq!(again.draw("site.b"), b);
+    }
+
+    #[test]
+    fn report_is_deterministic_under_interleaving() {
+        let render = |order: &[&str]| {
+            let plan = FaultPlan::with_rate(11, 1, 2);
+            for &site in order {
+                plan.fires(site);
+            }
+            plan.report()
+        };
+        // Same per-site trial counts, different global interleaving.
+        let a = render(&["x", "y", "x", "y", "x", "y"]);
+        let b = render(&["x", "x", "x", "y", "y", "y"]);
+        assert_eq!(a, b);
+        assert!(a.starts_with("chaos seed 0xb:"), "{a}");
+    }
+
+    #[test]
+    fn frame_faults_produce_decodable_defects() {
+        use hetrta_api::wire::{decode_frame, encode_frame};
+
+        let plan = FaultPlan::with_rate(3, 1, 1); // always fire
+        let mut truncated = encode_frame(0x10, b"some payload");
+        assert!(plan.corrupt_frame(&mut truncated));
+        assert!(decode_frame(&truncated).is_err(), "defect must be typed");
+        assert!(plan.read_stall().is_some());
+    }
+
+    #[test]
+    fn restriction_makes_other_sites_inert() {
+        let plan = FaultPlan::with_rate(5, 1, 1).restrict_to(["a.only"]);
+        assert!(plan.fires("a.only").is_some());
+        assert!(plan.fires("b.other").is_none());
+        assert_eq!(plan.events().len(), 1);
+    }
+
+    #[test]
+    fn counters_export_through_a_registry() {
+        let metrics = std::sync::Arc::new(MetricsRegistry::new());
+        let plan = FaultPlan::with_rate(1, 1, 1);
+        plan.bind_observability(&metrics);
+        plan.fires("disk.write.enospc");
+        plan.fires("disk.write.enospc");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("fault.injected"), Some(2));
+        assert_eq!(snap.counter("fault.disk.write.enospc"), Some(2));
+    }
+}

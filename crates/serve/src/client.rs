@@ -62,6 +62,21 @@ pub struct RemoteOutcome {
     pub aggregate: SweepAggregate,
 }
 
+/// Socket deadlines for a [`ServeClient`] connection.
+///
+/// `connect` bounds how long establishing the TCP connection may take;
+/// `read` bounds each blocking wait for a reply frame (beware: a sweep
+/// that streams no partials can legitimately go quiet for the duration
+/// of its longest job, so pick read deadlines accordingly). `None`
+/// means block indefinitely — the historical behavior.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientTimeouts {
+    /// Deadline for establishing the connection.
+    pub connect: Option<Duration>,
+    /// Deadline for each blocking read of a reply frame.
+    pub read: Option<Duration>,
+}
+
 /// A blocking connection to a `hetrta serve` daemon.
 #[derive(Debug)]
 pub struct ServeClient {
@@ -75,10 +90,7 @@ impl ServeClient {
     ///
     /// [`ClientError::Wire`] when the connection fails.
     pub fn connect(addr: &str) -> Result<ServeClient, ClientError> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|err| ClientError::Wire(WireError::Io(format!("connect {addr}: {err}"))))?;
-        let _ = stream.set_nodelay(true);
-        Ok(ServeClient { stream })
+        ServeClient::connect_with(addr, ClientTimeouts::default())
     }
 
     /// Like [`ServeClient::connect`] with a connect timeout.
@@ -87,13 +99,52 @@ impl ServeClient {
     ///
     /// [`ClientError::Wire`] on failure or timeout.
     pub fn connect_timeout(addr: &str, timeout: Duration) -> Result<ServeClient, ClientError> {
-        let sock_addr = addr
-            .parse()
-            .map_err(|err| ClientError::Wire(WireError::Io(format!("bad addr {addr}: {err}"))))?;
-        let stream = TcpStream::connect_timeout(&sock_addr, timeout)
-            .map_err(|err| ClientError::Wire(WireError::Io(format!("connect {addr}: {err}"))))?;
+        ServeClient::connect_with(
+            addr,
+            ClientTimeouts {
+                connect: Some(timeout),
+                read: None,
+            },
+        )
+    }
+
+    /// Connects with explicit [`ClientTimeouts`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] on connect failure, timeout, or an
+    /// unparseable address (only needed when a connect deadline is set).
+    pub fn connect_with(addr: &str, timeouts: ClientTimeouts) -> Result<ServeClient, ClientError> {
+        let stream = match timeouts.connect {
+            None => TcpStream::connect(addr).map_err(|err| {
+                ClientError::Wire(WireError::Io(format!("connect {addr}: {err}")))
+            })?,
+            Some(deadline) => {
+                let sock_addr = addr.parse().map_err(|err| {
+                    ClientError::Wire(WireError::Io(format!("bad addr {addr}: {err}")))
+                })?;
+                TcpStream::connect_timeout(&sock_addr, deadline).map_err(|err| {
+                    ClientError::Wire(WireError::Io(format!("connect {addr}: {err}")))
+                })?
+            }
+        };
         let _ = stream.set_nodelay(true);
-        Ok(ServeClient { stream })
+        let client = ServeClient { stream };
+        client.set_read_timeout(timeouts.read)?;
+        Ok(client)
+    }
+
+    /// Sets (or clears, with `None`) the per-read deadline; a reply
+    /// frame that takes longer surfaces as [`ClientError::Wire`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Wire`] when the socket refuses the option (a
+    /// zero `Duration` does).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|err| ClientError::Wire(WireError::Io(format!("set read timeout: {err}"))))
     }
 
     fn send(&mut self, request: &Request) -> Result<(), ClientError> {

@@ -25,10 +25,12 @@ pub mod admission;
 pub mod client;
 pub mod loadgen;
 pub mod proto;
+pub mod retry;
 pub mod server;
 
 pub use admission::{Admission, AdmissionConfig, Offer};
-pub use client::{ClientError, Progress, RemoteOutcome, ServeClient};
+pub use client::{ClientError, ClientTimeouts, Progress, RemoteOutcome, ServeClient};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use proto::{Reply, Request};
+pub use retry::RetryPolicy;
 pub use server::{ServeError, Server, ServerConfig, ShutdownHandle};

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use hetrta_engine::SweepSpec;
 
 use crate::client::{ClientError, ServeClient};
+use crate::retry::RetryPolicy;
 
 /// One load-generation rung: a fixed client count against one daemon.
 #[derive(Debug, Clone)]
@@ -190,8 +191,8 @@ fn connect_with_retry(addr: &str) -> Result<ServeClient, ClientError> {
     Err(last.expect("at least one attempt"))
 }
 
-/// One submit→`Done`, with the polite `Busy` backoff-and-retry loop.
-/// A fresh connection per sweep, like a CLI client would make.
+/// One submit→`Done`, with the shared polite `Busy` backoff-and-retry
+/// policy. A fresh connection per sweep, like a CLI client would make.
 fn run_one_sweep(
     config: &LoadgenConfig,
     spec: &hetrta_engine::SweepSpec,
@@ -199,24 +200,17 @@ fn run_one_sweep(
     busy_retries: &AtomicUsize,
 ) -> Result<Duration, ClientError> {
     let started = Instant::now();
-    let mut retries = 0usize;
-    loop {
-        let mut client = connect_with_retry(&config.addr)?;
-        match client.run_to_completion(tenant, spec, |_| {}) {
-            Ok(_) => return Ok(started.elapsed()),
-            Err(ClientError::Busy { retry_after_ms }) => {
-                retries += 1;
-                busy_retries.fetch_add(1, Ordering::Relaxed);
-                if retries > config.max_busy_retries {
-                    return Err(ClientError::Rejected(format!(
-                        "gave up after {retries} busy retries"
-                    )));
-                }
-                std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
-            }
-            Err(err) => return Err(err),
-        }
-    }
+    let policy = RetryPolicy::new().with_max_retries(config.max_busy_retries);
+    policy.run(
+        || {
+            let mut client = connect_with_retry(&config.addr)?;
+            client.run_to_completion(tenant, spec, |_| {}).map(|_| ())
+        },
+        |_| {
+            busy_retries.fetch_add(1, Ordering::Relaxed);
+        },
+    )?;
+    Ok(started.elapsed())
 }
 
 /// Renders ladder results as a BENCH_*.json document (`bench` names the

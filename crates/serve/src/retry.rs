@@ -1,0 +1,181 @@
+//! The one polite way to retry a busy daemon: jittered exponential
+//! backoff, honouring the server's `retry_after_ms` hint as a floor.
+//!
+//! Both the load generator and `hetrta submit` used to carry their own
+//! copies of this loop; they now share [`RetryPolicy`], so the backoff
+//! shape (and its cap and jitter) is decided in exactly one place.
+
+use std::time::Duration;
+
+use crate::client::ClientError;
+
+/// Backoff-and-retry policy for [`ClientError::Busy`] replies.
+///
+/// Delay before retry `n` (0-based) is the daemon's hint floored under
+/// an exponential curve `base × 2ⁿ`, capped at `cap`, then scaled by a
+/// deterministic jitter in `[0.5, 1.0)` drawn from `seed` — deterministic
+/// so a chaos run with a pinned seed replays the same schedule.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Consecutive `Busy` replies tolerated before giving up.
+    pub max_retries: usize,
+    /// First-retry delay (the exponential curve's base).
+    pub base: Duration,
+    /// Ceiling on any single delay.
+    pub cap: Duration,
+    /// Jitter seed. Two policies with the same seed sleep identically.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 10_000,
+            base: Duration::from_millis(2),
+            cap: Duration::from_secs(2),
+            seed: 0x9E37_79B9,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy (generous retry budget, 2ms base, 2s cap).
+    #[must_use]
+    pub fn new() -> Self {
+        RetryPolicy::default()
+    }
+
+    /// Same policy with a different retry budget.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// The delay before retry `attempt` (0-based), given the daemon's
+    /// `retry_after_ms` hint. Pure: same (policy, attempt, hint) →
+    /// same delay.
+    #[must_use]
+    pub fn delay(&self, attempt: usize, hint_ms: u64) -> Duration {
+        let shift = u32::try_from(attempt.min(20)).unwrap_or(20);
+        let exponential = self
+            .base
+            .saturating_mul(2u32.saturating_pow(shift))
+            .max(Duration::from_millis(hint_ms.max(1)))
+            .min(self.cap);
+        // splitmix64 of (seed, attempt) → jitter factor in [0.5, 1.0):
+        // spreads synchronized clients without ever undercutting half
+        // the hinted floor.
+        let mut z = self
+            .seed
+            .wrapping_add(attempt as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        exponential.mul_f64(0.5 + unit / 2.0)
+    }
+
+    /// Runs `op` until it succeeds or fails with anything other than
+    /// [`ClientError::Busy`]; each `Busy` sleeps this policy's delay
+    /// after calling `on_busy(delay)`. Exhausting the budget returns
+    /// [`ClientError::Rejected`].
+    ///
+    /// # Errors
+    ///
+    /// The first non-`Busy` error of `op`, or `Rejected` when
+    /// `max_retries` consecutive `Busy` replies were honoured.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, ClientError>,
+        mut on_busy: impl FnMut(Duration),
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0usize;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(ClientError::Busy { retry_after_ms }) => {
+                    if attempt >= self.max_retries {
+                        return Err(ClientError::Rejected(format!(
+                            "gave up after {attempt} busy retries"
+                        )));
+                    }
+                    let delay = self.delay(attempt, retry_after_ms);
+                    attempt += 1;
+                    on_busy(delay);
+                    std::thread::sleep(delay);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially_respect_the_hint_and_stay_capped() {
+        let policy = RetryPolicy::new();
+        // Jitter keeps every delay within [raw/2, raw); compare bounds.
+        let early = policy.delay(0, 1);
+        assert!(early >= Duration::from_millis(1), "{early:?}");
+        assert!(early < Duration::from_millis(2), "{early:?}");
+        // The hint floors the curve when it exceeds the exponential.
+        let hinted = policy.delay(0, 100);
+        assert!(hinted >= Duration::from_millis(50), "{hinted:?}");
+        assert!(hinted < Duration::from_millis(100), "{hinted:?}");
+        // Deep attempts never exceed the cap.
+        assert!(policy.delay(40, 1) < policy.cap);
+        // Deterministic: same (policy, attempt, hint) → same delay.
+        assert_eq!(policy.delay(7, 10), policy.delay(7, 10));
+        // Different attempts jitter differently (with overwhelming odds).
+        assert_ne!(policy.delay(19, 1), policy.delay(20, 1));
+    }
+
+    #[test]
+    fn run_retries_busy_until_success_and_exhausts_into_rejected() {
+        let policy = RetryPolicy {
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+            ..RetryPolicy::new().with_max_retries(3)
+        };
+        let mut calls = 0;
+        let mut busy_sleeps = 0usize;
+        let out = policy.run(
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err(ClientError::Busy { retry_after_ms: 0 })
+                } else {
+                    Ok(calls)
+                }
+            },
+            |_| busy_sleeps += 1,
+        );
+        assert_eq!(out.unwrap(), 3);
+        assert_eq!(busy_sleeps, 2);
+
+        let always_busy = policy.run(
+            || Err::<(), _>(ClientError::Busy { retry_after_ms: 0 }),
+            |_| {},
+        );
+        match always_busy {
+            Err(ClientError::Rejected(msg)) => assert!(msg.contains("3 busy retries")),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+
+        // Non-busy errors pass straight through without retries.
+        let mut calls = 0;
+        let fatal = policy.run(
+            || {
+                calls += 1;
+                Err::<(), _>(ClientError::Rejected("bad spec".into()))
+            },
+            |_| {},
+        );
+        assert!(matches!(fatal, Err(ClientError::Rejected(_))));
+        assert_eq!(calls, 1);
+    }
+}

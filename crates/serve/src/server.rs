@@ -21,7 +21,8 @@ use std::time::Duration;
 
 use hetrta_api::wire::WireError;
 use hetrta_engine::{
-    Engine, EngineBuilder, EngineError, SessionConfig, SweepCancelToken, SweepEvent, SweepSpec,
+    spec_hash, Engine, EngineBuilder, EngineError, FaultPlan, JournalConfig, SessionConfig,
+    SweepCancelToken, SweepEvent, SweepSpec,
 };
 
 use crate::admission::{Admission, AdmissionConfig, Offer};
@@ -46,6 +47,18 @@ pub struct ServerConfig {
     /// fleet shares this daemon's cache directory, so tenants still
     /// warm each other's cells.
     pub dist: Option<hetrta_dist::DistConfig>,
+    /// `Some` journals every engine-mode sweep into
+    /// `<dir>/<spec_hash:016x>` (one directory per distinct spec) and
+    /// always resumes: a daemon killed mid-sweep replays the journaled
+    /// jobs on resubmit and executes only the remainder. Concurrent
+    /// submits of the *same* spec share a directory — appends stay
+    /// checksummed and replay dedups, but durability is strongest when
+    /// identical specs are serialized.
+    pub journal_dir: Option<PathBuf>,
+    /// Chaos seed: arms a deterministic [`FaultPlan`] on the shared
+    /// engine (disk-cache read/write faults, `fault.*` counters in
+    /// `stats`). Same seed, same fault sequence.
+    pub chaos: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +70,8 @@ impl Default for ServerConfig {
             admission: AdmissionConfig::default(),
             partial_every: Some(8),
             dist: None,
+            journal_dir: None,
+            chaos: None,
         }
     }
 }
@@ -187,6 +202,9 @@ impl Server {
         let mut builder = EngineBuilder::new().threads(config.threads);
         if let Some(dir) = &config.cache_dir {
             builder = builder.with_cache_dir(dir);
+        }
+        if let Some(seed) = config.chaos {
+            builder = builder.with_fault_plan(Arc::new(FaultPlan::new(seed)));
         }
         let engine = Arc::new(builder.build().map_err(ServeError::Engine)?);
         let metrics = engine.metrics();
@@ -544,6 +562,11 @@ fn pump_sweep(engine: &Arc<Engine>, pending: PendingSweep, config: &ServerConfig
         return;
     }
 
+    if let Some(dir) = &config.journal_dir {
+        pump_sweep_journaled(engine, &tenant, &spec, &conn, dir, finish);
+        return;
+    }
+
     let session = SessionConfig {
         job_events: false,
         partial_every,
@@ -600,6 +623,81 @@ fn pump_sweep(engine: &Arc<Engine>, pending: PendingSweep, config: &ServerConfig
         Err(err) => {
             finish(
                 &conn,
+                Reply::Error {
+                    message: format!("sweep failed: {err}"),
+                },
+            );
+        }
+    }
+}
+
+/// Journal-mode pump: run the sweep write-ahead journaled under
+/// `<journal_dir>/<spec_hash:016x>` with resume always on — the daemon
+/// restart-recovery path. A sweep the previous daemon process was
+/// SIGKILLed out of replays its journaled jobs and executes only the
+/// remainder; the aggregate stays bitwise identical to an
+/// uninterrupted run. Executed jobs stream as `JobFinished` events.
+fn pump_sweep_journaled(
+    engine: &Arc<Engine>,
+    tenant: &str,
+    spec: &SweepSpec,
+    conn: &Arc<ConnShared>,
+    journal_dir: &std::path::Path,
+    finish: impl Fn(&ConnShared, Reply),
+) {
+    let metrics = Arc::clone(engine.metrics());
+    let cancel = Arc::new(AtomicBool::new(false));
+    // Journal mode cancels through the same polled flag dist mode uses
+    // (there is no session token on this path).
+    *conn.dist_cancel.lock().expect("dist cancel") = Some(Arc::clone(&cancel));
+    if conn.disconnected.load(Ordering::SeqCst) || conn.cancel_requested.load(Ordering::SeqCst) {
+        cancel.store(true, Ordering::SeqCst);
+    }
+
+    let cfg = JournalConfig::new(journal_dir.join(format!("{:016x}", spec_hash(spec)))).resuming();
+    let outcome = engine.run_journaled_with(spec, &cfg, Some(&cancel), |_, _, result| {
+        conn.send(Reply::Event(SweepEvent::JobFinished {
+            index: result.index,
+            cell: result.cell,
+            key: result.identity,
+            cache_hit: result.cache_hit,
+            wall_time: result.wall_time,
+        }));
+    });
+    match outcome {
+        Ok(out) => {
+            metrics
+                .counter(&format!("serve.tenant.{tenant}.completed"))
+                .incr();
+            metrics
+                .counter("serve.journal.replayed")
+                .add(out.replayed as u64);
+            metrics
+                .counter("serve.journal.executed")
+                .add(out.executed as u64);
+            finish(
+                conn,
+                Reply::Done {
+                    completed: out.total,
+                    cancelled: false,
+                    events_dropped: 0,
+                    aggregate: out.aggregate,
+                },
+            );
+        }
+        Err(EngineError::Cancelled) => {
+            finish(
+                conn,
+                Reply::Error {
+                    message: "sweep cancelled (journal keeps the finished jobs; \
+                              resubmitting resumes)"
+                        .into(),
+                },
+            );
+        }
+        Err(err) => {
+            finish(
+                conn,
                 Reply::Error {
                     message: format!("sweep failed: {err}"),
                 },

@@ -23,10 +23,12 @@ fn quick_spec() -> SweepSpec {
 }
 
 /// Plenty of jobs for a 1-thread engine: slow enough to observe
-/// in-flight cancellation and queueing.
+/// in-flight cancellation and queueing. Every user cancels it mid-run,
+/// so the count only has to outlast a few client round-trips — 20k tiny
+/// jobs keeps that true even for a release build (64 did not).
 fn slow_spec() -> SweepSpec {
     let tiny = GeneratorPreset::Custom(hetrta_gen::NfjParams::small_tasks().with_node_range(4, 12));
-    SweepSpec::fractions(tiny, vec![2], vec![0.2], 64, 3)
+    SweepSpec::fractions(tiny, vec![2], vec![0.2], 20_000, 3)
         .with_analyses(AnalysisSelection::from_keys(["sim", "exact"]))
 }
 
@@ -39,15 +41,20 @@ struct TestDaemon {
 
 impl TestDaemon {
     fn start(admission: AdmissionConfig, threads: usize) -> TestDaemon {
-        let server = Server::bind(ServerConfig {
+        TestDaemon::start_with(ServerConfig {
             addr: "127.0.0.1:0".into(),
             threads,
             cache_dir: None,
             admission,
             partial_every: Some(1),
             dist: None,
+            journal_dir: None,
+            chaos: None,
         })
-        .expect("bind on a free port");
+    }
+
+    fn start_with(config: ServerConfig) -> TestDaemon {
+        let server = Server::bind(config).expect("bind on a free port");
         let addr = server.local_addr().to_string();
         let shutdown = server.shutdown_handle();
         let engine = std::sync::Arc::clone(server.engine());
@@ -183,7 +190,7 @@ fn client_disconnect_cancels_the_in_flight_sweep() {
 
     // The client vanishes mid-sweep: the daemon must map the dropped
     // socket to a cancel, and the engine's session count must fall back
-    // to zero long before the 64-job sweep could finish on one thread.
+    // to zero long before the 20k-job sweep could finish on one thread.
     drop(client);
     wait_until(
         "disconnect to cancel the sweep",
@@ -247,4 +254,78 @@ fn shutdown_drains_in_flight_sweeps_before_exit() {
             late.submit("late", &quick_spec()).is_err()
         }
     );
+}
+
+#[test]
+fn journaling_daemon_resumes_an_interrupted_sweep_on_resubmit() {
+    use hetrta_engine::{spec_hash, JournalConfig, SweepJournal};
+
+    let local = Engine::new(2).run(&quick_spec()).expect("local run");
+    let total = local.stats.jobs;
+
+    // Simulate a daemon that was SIGKILLed mid-sweep: its journal holds
+    // `done` records for 4 jobs and nothing else (no seal, torn tail).
+    let journal_root =
+        std::env::temp_dir().join(format!("hetrta-serve-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_root);
+    let sweep_dir = journal_root.join(format!("{:016x}", spec_hash(&quick_spec())));
+    let prefix = [0usize, 2, 4, 6];
+    {
+        let cfg = JournalConfig::new(&sweep_dir);
+        let (journal, _) = SweepJournal::open(&cfg, &quick_spec(), total).expect("fresh journal");
+        Engine::new(1)
+            .run_job_subset(&quick_spec(), &prefix, |result| {
+                journal.record_done(&result);
+            })
+            .expect("prefix subset");
+    }
+
+    // The "restarted" daemon points at the same journal directory.
+    let daemon = TestDaemon::start_with(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        journal_dir: Some(journal_root.clone()),
+        ..ServerConfig::default()
+    });
+
+    let outcome = ServeClient::connect(&daemon.addr)
+        .expect("connect")
+        .run_to_completion("recoverer", &quick_spec(), |_| {})
+        .expect("resumed sweep");
+    assert_eq!(outcome.completed, total);
+    assert_eq!(
+        outcome.aggregate, local.aggregate,
+        "resumed daemon aggregate is bitwise the uninterrupted local one"
+    );
+    let snapshot = daemon.engine.metrics().snapshot();
+    assert_eq!(
+        snapshot.counter("serve.journal.replayed"),
+        Some(prefix.len() as u64),
+        "the journaled prefix was replayed, not re-executed"
+    );
+    assert_eq!(
+        snapshot.counter("serve.journal.executed"),
+        Some((total - prefix.len()) as u64),
+        "only the remainder was executed"
+    );
+
+    // Resubmitting the now-complete sweep replays everything.
+    let again = ServeClient::connect(&daemon.addr)
+        .expect("connect")
+        .run_to_completion("recoverer", &quick_spec(), |_| {})
+        .expect("fully-replayed sweep");
+    assert_eq!(again.aggregate, local.aggregate);
+    let snapshot = daemon.engine.metrics().snapshot();
+    assert_eq!(
+        snapshot.counter("serve.journal.replayed"),
+        Some((prefix.len() + total) as u64)
+    );
+    assert_eq!(
+        snapshot.counter("serve.journal.executed"),
+        Some((total - prefix.len()) as u64),
+        "the second submit executed nothing"
+    );
+
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&journal_root);
 }
