@@ -12,10 +12,12 @@ use std::sync::Arc;
 
 use hetrta_core::federated::{federated_partition, AnalysisKind};
 use hetrta_core::{r_het, r_hom_parts};
+use hetrta_exact::bounds::root_bound;
+use hetrta_exact::list_schedule_cp_first;
 use hetrta_exact::{solve_with, SolverConfig, SolverWorkspace, MAX_NODES_SUPPORTED};
 use hetrta_sched::model::{AnalysisModel, DeviceModel};
 use hetrta_sched::{gedf_test, gfp_test};
-use hetrta_sim::policy::BreadthFirst;
+use hetrta_sim::policy::{BreadthFirst, RandomTieBreak};
 use hetrta_sim::{explore_worst_case, simulate_makespan, Platform, SimWorkspace};
 use hetrta_suspend::BaselineComparison;
 
@@ -31,10 +33,11 @@ thread_local! {
 use crate::registry::{InputKind, ParamDigest};
 use crate::{
     AcceptanceOutcome, Analysis, AnalysisContext, AnalysisOutcome, AnalysisParams, AnalysisRequest,
-    ApiError, CondOutcome, ExactOutcome, HetOutcome, SimOutcome, SuspendOutcome,
+    AnytimeOutcome, ApiError, CondOutcome, ExactOutcome, HetOutcome, SampledOutcome, SimOutcome,
+    SuspendOutcome,
 };
 
-/// The seven builtin analyses, in their canonical registration order.
+/// The nine builtin analyses, in their canonical registration order.
 pub(crate) fn builtin_analyses() -> Vec<Arc<dyn Analysis>> {
     vec![
         Arc::new(HetAnalysis),
@@ -44,6 +47,8 @@ pub(crate) fn builtin_analyses() -> Vec<Arc<dyn Analysis>> {
         Arc::new(CondAnalysis),
         Arc::new(SuspendAnalysis),
         Arc::new(AcceptanceAnalysis),
+        Arc::new(SampledSimAnalysis),
+        Arc::new(AnytimeExactAnalysis),
     ]
 }
 
@@ -453,6 +458,174 @@ impl Analysis for AcceptanceAnalysis {
     }
 }
 
+/// Per-sample seed of the `sampled` analysis: a fixed odd multiplier
+/// (the 64-bit golden-ratio constant) decorrelates consecutive sample
+/// indices while keeping the derivation pure, so any worker can recompute
+/// sample `i` of base seed `s` without coordination.
+#[must_use]
+fn sample_seed(base: u64, index: usize) -> u64 {
+    base ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// `"sampled"` — seeded sampled makespan simulation (mean + 95% CI).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampledSimAnalysis;
+
+impl Analysis for SampledSimAnalysis {
+    fn key(&self) -> &str {
+        "sampled"
+    }
+
+    fn describe(&self) -> &str {
+        "sampled makespan simulation: k seeded random-tie-break runs, mean + 95% CI"
+    }
+
+    fn run(
+        &self,
+        request: &AnalysisRequest,
+        _ctx: &dyn AnalysisContext,
+    ) -> Result<AnalysisOutcome, ApiError> {
+        let task = request.input.as_task(self.key())?;
+        let platform = Platform::with_accelerator(request.params.m as usize);
+        let k = request.params.sample_budget.max(1);
+        let base = request.params.sample_seed;
+        let fail = |message: String| ApiError::failed("sampled", message);
+        SIM_WORKSPACE.with(|ws| {
+            let ws = &mut *ws.borrow_mut();
+            // Sequential accumulation in sample order: the mean and CI are
+            // a pure function of (seed, budget), bitwise-reproducible on
+            // any thread or worker count.
+            let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
+            let (mut min, mut max) = (u64::MAX, 0u64);
+            for i in 0..k {
+                let mut policy = RandomTieBreak::new(sample_seed(base, i));
+                let makespan = simulate_makespan(
+                    ws,
+                    task.dag(),
+                    Some(task.offloaded()),
+                    platform,
+                    &mut policy,
+                )
+                .map_err(|e| fail(format!("simulation failed: {e}")))?
+                .get();
+                let x = makespan as f64;
+                sum += x;
+                sum_sq += x * x;
+                min = min.min(makespan);
+                max = max.max(makespan);
+            }
+            let count = k as f64;
+            let mean = sum / count;
+            let ci_half = if k > 1 {
+                // Unbiased sample variance; the subtraction can go
+                // slightly negative in floating point when all samples
+                // are equal, hence the clamp.
+                let var = (sum_sq - sum * sum / count).max(0.0) / (count - 1.0);
+                1.96 * (var / count).sqrt()
+            } else {
+                0.0
+            };
+            Ok(AnalysisOutcome::Sampled(SampledOutcome {
+                mean,
+                ci_half,
+                min,
+                max,
+                count: k as u64,
+            }))
+        })
+    }
+
+    fn cache_params(&self, params: &AnalysisParams) -> u64 {
+        let mut h = ParamDigest::new();
+        h.push(params.m);
+        h.push(params.sample_budget as u64);
+        h.push(params.sample_seed);
+        h.finish()
+    }
+
+    fn cost_hint(&self) -> u8 {
+        4
+    }
+}
+
+/// `"anytime"` — anytime exact bounds: the full solver inside its size
+/// cap, an `O(V + E)` lower bound + list-schedule upper bound beyond it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnytimeExactAnalysis;
+
+impl Analysis for AnytimeExactAnalysis {
+    fn key(&self) -> &str {
+        "anytime"
+    }
+
+    fn describe(&self) -> &str {
+        "anytime exact bounds: best lower/upper makespan bound at budget exhaustion, any size"
+    }
+
+    fn run(
+        &self,
+        request: &AnalysisRequest,
+        _ctx: &dyn AnalysisContext,
+    ) -> Result<AnalysisOutcome, ApiError> {
+        let task = request.input.as_task(self.key())?;
+        let m = request.params.m;
+        let dag = task.dag();
+        let fail = |message: String| ApiError::failed("anytime", message);
+        if dag.node_count() <= MAX_NODES_SUPPORTED {
+            let mut config = SolverConfig::default();
+            if let Some(budget) = request.params.exact_node_budget {
+                config.max_nodes = budget;
+            }
+            let sol = SOLVER_WORKSPACE
+                .with(|ws| {
+                    solve_with(
+                        &mut ws.borrow_mut(),
+                        dag,
+                        Some(task.offloaded()),
+                        m,
+                        &config,
+                    )
+                })
+                .map_err(|e| fail(format!("solver failed: {e}")))?;
+            return Ok(AnalysisOutcome::Anytime(AnytimeOutcome {
+                lower: sol.lower_bound().get(),
+                upper: sol.makespan().get(),
+                optimal: sol.is_optimal(),
+            }));
+        }
+        // Past the solver's cap: never refuse. Root bound below, CP-first
+        // list schedule above — both linear-ish in the graph size, so the
+        // bracket stays available at n = 10⁵–10⁶. The list schedule runs
+        // first: it rejects m = 0 with a typed error where the bound
+        // would panic.
+        let (upper, _) = list_schedule_cp_first(dag, Some(task.offloaded()), m)
+            .map_err(|e| fail(format!("list schedule failed: {e}")))?;
+        let lower = root_bound(dag, Some(task.offloaded()), m);
+        Ok(AnalysisOutcome::Anytime(AnytimeOutcome {
+            lower: lower.get(),
+            upper: upper.get(),
+            optimal: lower == upper,
+        }))
+    }
+
+    fn cache_params(&self, params: &AnalysisParams) -> u64 {
+        let mut h = ParamDigest::new();
+        h.push(params.m);
+        match params.exact_node_budget {
+            None => h.push(0),
+            Some(budget) => {
+                h.push(1);
+                h.push(budget);
+            }
+        }
+        h.finish()
+    }
+
+    fn cost_hint(&self) -> u8 {
+        4
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +731,87 @@ mod tests {
             SimAnalysis.cache_params(&AnalysisParams::new(2)),
             SimAnalysis.cache_params(&c)
         );
+    }
+
+    #[test]
+    fn sampled_is_seed_deterministic_and_brackets_the_sim() {
+        let mut request = AnalysisRequest::task(figure1_task(), 2);
+        request.params.sample_budget = 16;
+        request.params.sample_seed = 0xDAC_2018;
+        let AnalysisOutcome::Sampled(a) = SampledSimAnalysis.run(&request, &DirectContext).unwrap()
+        else {
+            panic!("sampled outcome")
+        };
+        assert_eq!(a.count, 16);
+        assert!(a.min <= a.max);
+        assert!(a.mean >= a.min as f64 && a.mean <= a.max as f64);
+        assert!(a.ci_half >= 0.0);
+        // Bitwise reproducible from (seed, budget) alone.
+        let AnalysisOutcome::Sampled(b) = SampledSimAnalysis.run(&request, &DirectContext).unwrap()
+        else {
+            panic!("sampled outcome")
+        };
+        assert_eq!(a, b);
+        // A different seed is allowed to differ; a different budget must
+        // change the count.
+        request.params.sample_budget = 4;
+        let AnalysisOutcome::Sampled(c) = SampledSimAnalysis.run(&request, &DirectContext).unwrap()
+        else {
+            panic!("sampled outcome")
+        };
+        assert_eq!(c.count, 4);
+    }
+
+    #[test]
+    fn anytime_is_optimal_on_figure1_and_never_refuses_large_graphs() {
+        let request = AnalysisRequest::task(figure1_task(), 2);
+        let AnalysisOutcome::Anytime(a) =
+            AnytimeExactAnalysis.run(&request, &DirectContext).unwrap()
+        else {
+            panic!("anytime outcome")
+        };
+        // Matches the exact solver on the small instance.
+        assert_eq!(a.upper, 8);
+        assert_eq!(a.lower, 8);
+        assert!(a.optimal);
+
+        // A graph past the solver cap still yields a bracket.
+        let mut b = DagBuilder::new();
+        let nodes: Vec<_> = (0..(MAX_NODES_SUPPORTED + 10))
+            .map(|i| b.node(format!("v{i}"), Ticks::new(1 + (i as u64 % 3))))
+            .collect();
+        for pair in nodes.windows(2) {
+            b.edge(pair[0], pair[1]).unwrap();
+        }
+        let task = HeteroDagTask::new(
+            b.build().unwrap(),
+            nodes[5],
+            Ticks::new(100_000),
+            Ticks::new(100_000),
+        )
+        .unwrap();
+        let request = AnalysisRequest::task(task, 2);
+        let AnalysisOutcome::Anytime(big) =
+            AnytimeExactAnalysis.run(&request, &DirectContext).unwrap()
+        else {
+            panic!("anytime outcome")
+        };
+        assert!(big.lower <= big.upper);
+        assert!(big.lower > 0);
+    }
+
+    #[test]
+    fn anytime_degraded_budget_still_brackets() {
+        let mut request = AnalysisRequest::task(figure1_task(), 2);
+        // One search node: the solver cannot prove optimality, but the
+        // anytime contract still yields lower ≤ optimum ≤ upper.
+        request.params.exact_node_budget = Some(1);
+        let AnalysisOutcome::Anytime(a) =
+            AnytimeExactAnalysis.run(&request, &DirectContext).unwrap()
+        else {
+            panic!("anytime outcome")
+        };
+        assert!(a.lower <= 8 && 8 <= a.upper);
     }
 
     #[test]

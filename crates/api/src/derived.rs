@@ -1,17 +1,21 @@
 //! Per-input derived quantities, shared across analyses and grid cells.
 //!
 //! Several analyses of one task need the same `m`-independent facts about
-//! its graph: the critical path (`len(G)`, head/tail distances), the
-//! reachability closure (Algorithm 1's `Pred`/`Succ` sets) and the volume.
-//! [`DerivedData`] bundles them so an [`AnalysisContext`] backed by a
-//! content-addressed cache (the batch engine) computes them **once per
-//! distinct DAG** and shares them across every core count and analysis
+//! its graph: the critical path (`len(G)`, head/tail distances) and the
+//! volume. [`DerivedData`] bundles them so an [`AnalysisContext`] backed
+//! by a content-addressed cache (the batch engine) computes them **once
+//! per distinct DAG** and shares them across every core count and analysis
 //! kind of a sweep, while the plain `DirectContext` computes them on the
 //! spot.
 //!
+//! The bundle deliberately does *not* include the all-pairs reachability
+//! closure: its `O(V²/64)` rows would dominate the cache at n = 10⁵–10⁶,
+//! and Algorithm 1 now derives the two per-node sets it needs directly
+//! (see [`hetrta_dag::algo::node_reach_sets`]).
+//!
 //! [`AnalysisContext`]: crate::AnalysisContext
 
-use hetrta_dag::algo::{CriticalPath, Reachability};
+use hetrta_dag::algo::CriticalPath;
 use hetrta_dag::{Dag, Ticks};
 
 /// `m`-independent derived quantities of one task graph.
@@ -19,8 +23,6 @@ use hetrta_dag::{Dag, Ticks};
 pub struct DerivedData {
     /// The critical path of the graph (`len(G)`, per-node head/tail).
     pub critical_path: CriticalPath,
-    /// The all-pairs reachability closure (`Pred(v)` / `Succ(v)`).
-    pub reachability: Reachability,
     /// `vol(G)`, the sum of all node WCETs.
     pub volume: Ticks,
 }
@@ -34,7 +36,6 @@ impl DerivedData {
     pub fn compute(dag: &Dag) -> Result<Self, String> {
         Ok(DerivedData {
             critical_path: CriticalPath::try_of(dag).map_err(|e| e.to_string())?,
-            reachability: Reachability::of(dag).map_err(|e| e.to_string())?,
             volume: dag.volume(),
         })
     }
@@ -52,7 +53,7 @@ mod tests {
     use hetrta_dag::{DagBuilder, Ticks};
 
     #[test]
-    fn compute_bundles_the_three_quantities() {
+    fn compute_bundles_the_quantities() {
         let mut b = DagBuilder::new();
         let a = b.node("a", Ticks::new(2));
         let z = b.node("z", Ticks::new(3));
@@ -61,7 +62,6 @@ mod tests {
         let d = DerivedData::compute(&dag).unwrap();
         assert_eq!(d.length(), Ticks::new(5));
         assert_eq!(d.volume, Ticks::new(5));
-        assert!(d.reachability.is_ordered_before(a, z));
     }
 
     #[test]

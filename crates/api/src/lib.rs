@@ -63,14 +63,14 @@ mod request;
 pub mod wire;
 
 pub use adapters::{
-    AcceptanceAnalysis, CondAnalysis, ExactAnalysis, HetAnalysis, HomAnalysis, SimAnalysis,
-    SuspendAnalysis,
+    AcceptanceAnalysis, AnytimeExactAnalysis, CondAnalysis, ExactAnalysis, HetAnalysis,
+    HomAnalysis, SampledSimAnalysis, SimAnalysis, SuspendAnalysis,
 };
 pub use derived::DerivedData;
 pub use error::ApiError;
 pub use outcome::{
-    AcceptanceOutcome, AnalysisOutcome, CondOutcome, ExactOutcome, HetOutcome, SimOutcome,
-    SuspendOutcome,
+    AcceptanceOutcome, AnalysisOutcome, AnytimeOutcome, CondOutcome, ExactOutcome, HetOutcome,
+    SampledOutcome, SimOutcome, SuspendOutcome,
 };
 pub use registry::{
     Analysis, AnalysisContext, AnalysisRegistry, DirectContext, InputKind, ParamDigest,

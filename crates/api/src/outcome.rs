@@ -80,6 +80,43 @@ pub struct SuspendOutcome {
     pub naive_violated: Option<bool>,
 }
 
+/// Statistics of the reservoir-sampled makespan simulation of one task.
+///
+/// The sample budget and base seed fully determine every field (per-sample
+/// seeds are derived deterministically and summed in sample order), so the
+/// same request reproduces this outcome **bitwise** on any thread or
+/// worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledOutcome {
+    /// Mean simulated makespan over the sample budget.
+    pub mean: f64,
+    /// Half-width of the normal-approximation 95% confidence interval
+    /// (`1.96·s/√k`; `0` when only one sample was drawn).
+    pub ci_half: f64,
+    /// Smallest sampled makespan.
+    pub min: u64,
+    /// Largest sampled makespan.
+    pub max: u64,
+    /// Number of samples actually drawn.
+    pub count: u64,
+}
+
+/// Anytime bounds of the exact minimum makespan of one task.
+///
+/// Unlike `exact`, this never refuses: past the solver's node-count cap it
+/// degrades to an `O(V + E)` lower bound plus a list-schedule upper bound,
+/// so `lower ≤ optimum ≤ upper` holds at **any** graph size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnytimeOutcome {
+    /// Best proven lower bound on the minimum makespan.
+    pub lower: u64,
+    /// Best feasible-schedule makespan found (an upper bound).
+    pub upper: u64,
+    /// Whether the bounds are proven tight (`lower == upper` via an
+    /// exhausted search).
+    pub optimal: bool,
+}
+
 /// Accept bit per schedulability test, in
 /// [`hetrta_sched::acceptance::TestKind::ALL`] order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +150,10 @@ pub enum AnalysisOutcome {
     Suspend(SuspendOutcome),
     /// `"acceptance"` — the six task-set schedulability tests.
     Acceptance(AcceptanceOutcome),
+    /// `"sampled"` — seeded sampled makespan simulation (mean + CI).
+    Sampled(SampledOutcome),
+    /// `"anytime"` — anytime exact bounds (never refuses on size).
+    Anytime(AnytimeOutcome),
 }
 
 impl AnalysisOutcome {
@@ -127,6 +168,8 @@ impl AnalysisOutcome {
             AnalysisOutcome::Cond(_) => "cond",
             AnalysisOutcome::Suspend(_) => "suspend",
             AnalysisOutcome::Acceptance(_) => "acceptance",
+            AnalysisOutcome::Sampled(_) => "sampled",
+            AnalysisOutcome::Anytime(_) => "anytime",
         }
     }
 
@@ -193,6 +236,17 @@ impl AnalysisOutcome {
                     .map(|&b| if b { '1' } else { '0' })
                     .collect();
                 format!("acceptance {bits}")
+            }
+            AnalysisOutcome::Sampled(s) => format!(
+                "sampled {} {} {} {} {}",
+                f(s.mean),
+                f(s.ci_half),
+                s.min,
+                s.max,
+                s.count,
+            ),
+            AnalysisOutcome::Anytime(a) => {
+                format!("anytime {} {} {}", a.lower, a.upper, u8::from(a.optimal))
             }
         }
     }
@@ -289,6 +343,18 @@ impl AnalysisOutcome {
                 }
                 AnalysisOutcome::Acceptance(AcceptanceOutcome { accepted })
             }
+            "sampled" => AnalysisOutcome::Sampled(SampledOutcome {
+                mean: f(next()?)?,
+                ci_half: f(next()?)?,
+                min: next()?.parse().ok()?,
+                max: next()?.parse().ok()?,
+                count: next()?.parse().ok()?,
+            }),
+            "anytime" => AnalysisOutcome::Anytime(AnytimeOutcome {
+                lower: next()?.parse().ok()?,
+                upper: next()?.parse().ok()?,
+                optimal: bit(next()?)?,
+            }),
             _ => return None,
         };
         // Trailing fields mean the line is from a different (newer)
@@ -389,6 +455,23 @@ mod tests {
             AnalysisOutcome::Acceptance(AcceptanceOutcome {
                 accepted: [true, false, true, true, false, false],
             }),
+            AnalysisOutcome::Sampled(SampledOutcome {
+                mean: 41.75,
+                ci_half: 1.5,
+                min: 38,
+                max: 45,
+                count: 64,
+            }),
+            AnalysisOutcome::Anytime(AnytimeOutcome {
+                lower: 7,
+                upper: 8,
+                optimal: false,
+            }),
+            AnalysisOutcome::Anytime(AnytimeOutcome {
+                lower: 8,
+                upper: 8,
+                optimal: true,
+            }),
         ]
     }
 
@@ -421,6 +504,11 @@ mod tests {
             "acceptance 1010102",
             "suspend 4029000000000000",
             "cond 4029000000000000 4029000000000000 - notanumber",
+            "sampled 4029000000000000",
+            "sampled 4029000000000000 4029000000000000 1 2 3 extra",
+            "sampled 4029000000000000 4029000000000000 x 2 3",
+            "anytime 7",
+            "anytime 7 8 2",
         ] {
             assert!(
                 AnalysisOutcome::decode(line).is_none(),

@@ -40,7 +40,7 @@ impl InputKind {
 /// everything on the spot, while the batch engine supplies a context
 /// backed by its content-addressed memo caches so the Algorithm 1
 /// transformation and the [`DerivedData`] of a task (critical path,
-/// reachability closure, volume) are computed once per distinct DAG and
+/// volume) are computed once per distinct DAG and
 /// shared across every core count and analysis kind that touches it.
 pub trait AnalysisContext {
     /// The Algorithm 1 transformation of `task` (possibly memoized).
@@ -168,6 +168,8 @@ pub trait Analysis: Send + Sync + fmt::Debug {
         h.push(params.realization_cap as u64);
         h.push(u64::from(params.sim_transformed));
         h.push(params.explore_seeds);
+        h.push(params.sample_budget as u64);
+        h.push(params.sample_seed);
         h.finish()
     }
 
@@ -251,8 +253,8 @@ impl AnalysisRegistry {
         }
     }
 
-    /// The seven builtin analyses of this workspace:
-    /// `het`, `hom`, `sim`, `exact`, `cond`, `suspend`, `acceptance`.
+    /// The nine builtin analyses of this workspace: `het`, `hom`, `sim`,
+    /// `exact`, `cond`, `suspend`, `acceptance`, `sampled`, `anytime`.
     #[must_use]
     pub fn builtin() -> Self {
         let mut registry = AnalysisRegistry::empty();
@@ -336,7 +338,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builtin_has_the_seven_keys_in_stable_order() {
+    fn builtin_has_the_nine_keys_in_stable_order() {
         let registry = AnalysisRegistry::builtin();
         assert_eq!(
             registry.keys(),
@@ -347,7 +349,9 @@ mod tests {
                 "exact",
                 "cond",
                 "suspend",
-                "acceptance"
+                "acceptance",
+                "sampled",
+                "anytime"
             ]
         );
         for (key, description) in registry.descriptions() {

@@ -94,12 +94,20 @@ pub struct AnalysisParams {
     /// Random tie-break seeds for the worst-case schedule exploration
     /// (`0` = skip the exploration). Read by `suspend`.
     pub explore_seeds: u64,
+    /// Number of seeded simulation samples the `sampled` analysis draws
+    /// (its fixed sample budget; at least 1 is always drawn).
+    pub sample_budget: usize,
+    /// Base seed of the `sampled` analysis; per-sample seeds are derived
+    /// deterministically from it, so the same seed + budget reproduce the
+    /// mean/CI bitwise on any thread or worker count.
+    pub sample_seed: u64,
 }
 
 impl AnalysisParams {
     /// Parameters for `m` host cores with every other knob at its default
     /// (no exact budget override, 4096-realization cap, original-task
-    /// simulation only, no worst-case exploration).
+    /// simulation only, no worst-case exploration, 64 simulation samples
+    /// from seed 0).
     #[must_use]
     pub fn new(m: u64) -> Self {
         AnalysisParams {
@@ -108,6 +116,8 @@ impl AnalysisParams {
             realization_cap: 4096,
             sim_transformed: false,
             explore_seeds: 0,
+            sample_budget: 64,
+            sample_seed: 0,
         }
     }
 }

@@ -16,7 +16,7 @@ use hetrta_dag::algo::{
     topological_order, transitive::find_transitive_edge, CriticalPath, Reachability,
 };
 use hetrta_dag::HeteroDagTask;
-use hetrta_engine::{Engine, EngineOutput, GeneratorPreset, SweepSpec};
+use hetrta_engine::{AnalysisSelection, Engine, EngineOutput, GeneratorPreset, SweepSpec};
 use hetrta_exact::{solve, SolverConfig};
 use hetrta_gen::layered::{generate_layered, LayeredParams};
 use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
@@ -337,12 +337,51 @@ pub fn run(config: &PerfConfig) -> PerfReport {
     kernels.push(time_kernel("core/transform_10k", gen_budget, |_| {
         transform(&large_task).expect("transformable")
     }));
+    // The tier this PR opens: n≈10⁵ construction must stay closure-free
+    // (the old bitset-closure reduction alone would be seconds and ≈1.2
+    // GiB here). One op is one whole 100k-node graph.
+    let layered_100k = LayeredParams::large_graphs(100_000);
+    kernels.push(time_kernel("gen/layered_build_100k", gen_budget, |i| {
+        let mut rng = StdRng::seed_from_u64(0xBE9C_0021 ^ i);
+        generate_layered(&layered_100k, &mut rng).expect("valid params")
+    }));
+    if !config.quick {
+        let layered_1m = LayeredParams::large_graphs(1_000_000);
+        kernels.push(time_kernel("gen/layered_build_1m", gen_budget, |i| {
+            let mut rng = StdRng::seed_from_u64(0xBE9C_0022 ^ i);
+            generate_layered(&layered_1m, &mut rng).expect("valid params")
+        }));
+    }
 
     let mut sweeps = Vec::new();
     let fig8_spec = fig8::sweep_spec(&fig8::Config::quick());
     let engine = Engine::new(0);
     sweeps.push(timed_sweep("sweep/fig8_quick_cold", &engine, &fig8_spec));
     sweeps.push(timed_sweep("sweep/fig8_quick_warm", &engine, &fig8_spec));
+
+    // Sampled analysis at the 100k-node tier: generation + Algorithm 1 +
+    // an 8-sample seeded makespan estimate per job, cold and warm (the
+    // warm run measures the result cache at large n).
+    let mut n100k_spec = SweepSpec::fractions(
+        GeneratorPreset::LargeGraphs(100_000),
+        vec![8],
+        vec![0.2],
+        2,
+        0xDAC_2018,
+    )
+    .with_analyses(AnalysisSelection::from_keys(["sampled", "anytime"]));
+    n100k_spec.sample_budget = 8;
+    let engine100k = Engine::new(0);
+    sweeps.push(timed_sweep(
+        "sweep/n100k_sampled_cold",
+        &engine100k,
+        &n100k_spec,
+    ));
+    sweeps.push(timed_sweep(
+        "sweep/n100k_sampled_warm",
+        &engine100k,
+        &n100k_spec,
+    ));
 
     // The engine recorded a latency histogram per analysis kind while the
     // Figure 8 sweeps ran; lift its quantiles into the report.
@@ -379,6 +418,19 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         let engine10k = Engine::new(0);
         sweeps.push(timed_sweep("sweep/n10k_het_cold", &engine10k, &n10k_spec));
         sweeps.push(timed_sweep("sweep/n10k_het_warm", &engine10k, &n10k_spec));
+        // The top of the tier: one million-node job end to end
+        // (generation, transform, sampled + anytime analyses).
+        let mut n1m_spec = SweepSpec::fractions(
+            GeneratorPreset::LargeGraphs(1_000_000),
+            vec![8],
+            vec![0.2],
+            1,
+            0xDAC_2018,
+        )
+        .with_analyses(AnalysisSelection::from_keys(["sampled", "anytime"]));
+        n1m_spec.sample_budget = 4;
+        let engine1m = Engine::new(0);
+        sweeps.push(timed_sweep("sweep/n1m_sampled_cold", &engine1m, &n1m_spec));
     }
 
     PerfReport {

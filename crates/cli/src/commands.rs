@@ -149,6 +149,18 @@ macro_rules! sweep_shape_flags {
                 help: "enumeration cap for cond (default 4096)",
                 ..FlagSpec::DEFAULT
             },
+            FlagSpec {
+                name: "--sample-budget",
+                value: Some("K"),
+                help: "simulation samples per job for sampled (default 64)",
+                ..FlagSpec::DEFAULT
+            },
+            FlagSpec {
+                name: "--sample-seed",
+                value: Some("S"),
+                help: "base seed for sampled draws (default 0)",
+                ..FlagSpec::DEFAULT
+            },
             $($post,)*
         ]
     };
@@ -1177,10 +1189,15 @@ fn build_sweep_spec(args: &ParsedArgs) -> Result<SweepSpec, String> {
             .copied()
             .filter(|f| args.has(f))
             .chain(
-                ["--explore-seeds", "--exact-budget"]
-                    .iter()
-                    .copied()
-                    .filter(|f| args.value_of(f).is_some()),
+                [
+                    "--explore-seeds",
+                    "--exact-budget",
+                    "--sample-budget",
+                    "--sample-seed",
+                ]
+                .iter()
+                .copied()
+                .filter(|f| args.value_of(f).is_some()),
             )
             .next()
     };
@@ -1245,6 +1262,8 @@ fn build_sweep_spec(args: &ParsedArgs) -> Result<SweepSpec, String> {
         spec.sim_transformed = args.has("--sim-transformed");
         spec.explore_seeds = args.parsed_or("--explore-seeds", "exploration seed count", 0u64)?;
         spec.realization_cap = args.parsed_or("--realization-cap", "realization cap", 4096usize)?;
+        spec.sample_budget = args.parsed_or("--sample-budget", "sample budget", 64usize)?;
+        spec.sample_seed = args.parsed_or("--sample-seed", "sample seed", 0u64)?;
         if let Some(budget) = args.value_of("--exact-budget") {
             spec.exact_node_budget = Some(
                 budget
@@ -1996,6 +2015,54 @@ fn render_cells_table(cells: &[hetrta_engine::CellSummary]) -> String {
                     );
                 }
             }
+            if cells
+                .iter()
+                .any(|c| matches!(&c.kind, CellKind::Task(t) if t.sampled.is_some()))
+            {
+                let _ = writeln!(
+                    out,
+                    "\n  m  C_off/vol   mean-mk      ±CI        min        max  samples"
+                );
+                for cell in cells {
+                    let CellKind::Task(t) = &cell.kind else {
+                        continue;
+                    };
+                    let Some(s) = &t.sampled else { continue };
+                    let _ = writeln!(
+                        out,
+                        "{:>3}  {:>8.2}%  {:>9.2}  {:>7.2}  {:>9}  {:>9}  {:>7}",
+                        cell.m,
+                        cell.grid_value * 100.0,
+                        s.mean,
+                        s.mean_ci_half,
+                        s.min,
+                        s.max,
+                        s.total_samples,
+                    );
+                }
+            }
+            if cells
+                .iter()
+                .any(|c| matches!(&c.kind, CellKind::Task(t) if t.anytime.is_some()))
+            {
+                let _ = writeln!(out, "\n  m  C_off/vol      lower      upper  optimal");
+                for cell in cells {
+                    let CellKind::Task(t) = &cell.kind else {
+                        continue;
+                    };
+                    let Some(a) = &t.anytime else { continue };
+                    let _ = writeln!(
+                        out,
+                        "{:>3}  {:>8.2}%  {:>9.2}  {:>9.2}  {:>5}/{}",
+                        cell.m,
+                        cell.grid_value * 100.0,
+                        a.mean_lower,
+                        a.mean_upper,
+                        a.optimal,
+                        cell.samples,
+                    );
+                }
+            }
         }
     }
     out
@@ -2052,7 +2119,9 @@ fn render_cells_csv(cells: &[hetrta_engine::CellSummary]) -> String {
                  mean_sim_makespan,mean_sim_transformed,exact_solved,mean_exact_makespan,\
                  hom_increment,het_increment,solved,\
                  suspend_oblivious,suspend_barrier,suspend_het_tight,suspend_naive,\
-                 suspend_worst,naive_violations"
+                 suspend_worst,naive_violations,\
+                 sampled_mean,sampled_ci_half,sampled_min,sampled_max,sampled_total,\
+                 anytime_lower,anytime_upper,anytime_optimal"
             );
             for cell in cells {
                 let CellKind::Task(t) = &cell.kind else {
@@ -2061,9 +2130,11 @@ fn render_cells_csv(cells: &[hetrta_engine::CellSummary]) -> String {
                 let (s1, s21, s22) = t.scenario_shares(cell.samples);
                 let accuracy = t.accuracy.as_ref();
                 let suspend = t.suspend.as_ref();
+                let sampled = t.sampled.as_ref();
+                let anytime = t.anytime.as_ref();
                 let _ = writeln!(
                     out,
-                    "{},{},{},{s1:.6},{s21:.6},{s22:.6},{:.6},{:.6},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{s1:.6},{s21:.6},{s22:.6},{:.6},{:.6},{},{},{:.6},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                     cell.m,
                     cell.grid_value,
                     cell.samples,
@@ -2086,6 +2157,14 @@ fn render_cells_csv(cells: &[hetrta_engine::CellSummary]) -> String {
                     opt(suspend.map(|s| s.mean_naive)),
                     opt(suspend.and_then(|s| s.mean_worst_observed)),
                     suspend.map_or(String::new(), |s| s.naive_violations.to_string()),
+                    opt(sampled.map(|s| s.mean)),
+                    opt(sampled.map(|s| s.mean_ci_half)),
+                    sampled.map_or(String::new(), |s| s.min.to_string()),
+                    sampled.map_or(String::new(), |s| s.max.to_string()),
+                    sampled.map_or(String::new(), |s| s.total_samples.to_string()),
+                    opt(anytime.map(|a| a.mean_lower)),
+                    opt(anytime.map(|a| a.mean_upper)),
+                    anytime.map_or(String::new(), |a| a.optimal.to_string()),
                 );
             }
         }
@@ -2475,6 +2554,51 @@ mod tests {
     }
 
     #[test]
+    fn engine_sweep_sampled_and_anytime_analyses() {
+        let sweep = |csv: bool| {
+            let mut argv = vec![
+                "engine",
+                "sweep",
+                "--threads",
+                "1",
+                "--cores",
+                "2",
+                "--per-point",
+                "3",
+                "--fractions",
+                "0.2",
+                "--analyses",
+                "sampled,anytime",
+                "--sample-budget",
+                "8",
+                "--sample-seed",
+                "7",
+                "--exact-budget",
+                "5000",
+            ];
+            if csv {
+                argv.push("--csv");
+            }
+            run(&args(&argv)).unwrap()
+        };
+        let table = sweep(false);
+        assert!(table.contains("mean-mk"), "{table}");
+        assert!(table.contains("±CI"), "{table}");
+        assert!(table.contains("optimal"), "{table}");
+        let csv = sweep(true);
+        assert!(csv.contains("sampled_mean"), "{csv}");
+        assert!(csv.contains("anytime_upper"), "{csv}");
+        // 3 jobs × 8 samples land in the one cell.
+        let data = csv.lines().nth(1).unwrap();
+        let cols: Vec<&str> = data.split(',').collect();
+        assert_eq!(cols[cols.len() - 4], "24", "sampled_total in {data}");
+        // Same seed and budget ⇒ bitwise-identical report on a rerun
+        // (the engine footer carries wall time, so compare the tables).
+        let report = |s: &str| s.split("engine:").next().unwrap().to_owned();
+        assert_eq!(report(&table), report(&sweep(false)));
+    }
+
+    #[test]
     fn engine_sweep_accuracy_analyses() {
         let out = run(&args(&[
             "engine",
@@ -2596,6 +2720,26 @@ mod tests {
         ]))
         .unwrap_err()
         .contains("conditional sweeps"));
+        assert!(run(&args(&[
+            "engine",
+            "sweep",
+            "--utils",
+            "0.5",
+            "--sample-budget",
+            "8"
+        ]))
+        .unwrap_err()
+        .contains("fraction sweeps"));
+        assert!(run(&args(&[
+            "engine",
+            "sweep",
+            "--fractions",
+            "0.2",
+            "--sample-budget",
+            "0"
+        ]))
+        .unwrap_err()
+        .contains("sample budget"));
     }
 
     #[test]

@@ -56,6 +56,45 @@ fn fig8_with_four_workers_is_bitwise_the_threads_only_run() {
 }
 
 #[test]
+fn sampled_sweep_with_two_workers_is_bitwise_the_threads_only_run() {
+    // The sampled tier's determinism contract: the sample seed and budget
+    // live in the spec (not per worker), and every sample's seed is a pure
+    // function of the base seed and sample index — so sharding the sweep
+    // across worker processes draws the identical sample set and the
+    // mean/CI columns match bit-for-bit.
+    let shape = [
+        "--cores",
+        "2",
+        "--per-point",
+        "4",
+        "--fractions",
+        "0.1,0.3",
+        "--seed",
+        "11",
+        "--analyses",
+        "sampled,anytime",
+        "--sample-budget",
+        "12",
+        "--sample-seed",
+        "42",
+        "--exact-budget",
+        "5000",
+        "--csv",
+    ];
+    let mut local_args = vec!["engine", "sweep", "--threads", "2"];
+    local_args.extend_from_slice(&shape);
+    let mut dist_args = vec!["engine", "sweep", "--workers", "2", "--threads", "1"];
+    dist_args.extend_from_slice(&shape);
+    let local = hetrta(&local_args);
+    let dist = hetrta(&dist_args);
+    assert_eq!(cells(&local), cells(&dist), "sampled dist != local");
+    let header = &cells(&local)[0];
+    assert!(header.contains("sampled_mean"), "{header}");
+    assert!(header.contains("sampled_ci_half"), "{header}");
+    assert!(header.contains("anytime_lower"), "{header}");
+}
+
+#[test]
 fn daemon_in_fleet_mode_answers_with_the_local_cells() {
     let shape = [
         "--cores",

@@ -51,3 +51,46 @@ fn conditional_expansion_at_10k_leaves_is_subsecond() {
         );
     }
 }
+
+#[test]
+#[ignore = "large-graph tier; run with --ignored (release)"]
+fn conditional_expansion_at_100k_leaves_is_subsecond() {
+    // One more order of magnitude: 100 parallel branches × 1000 leaves.
+    // Closure-free validation keeps the whole expand+build+validate path
+    // O(V + E) — the old closure check alone would allocate ≈ 1.2 GiB.
+    let expr = CondExpr::Parallel(
+        (0..100u64)
+            .map(|b| {
+                CondExpr::Series(
+                    (0..1_000u64)
+                        .map(|i| CondExpr::Leaf {
+                            label: format!("v{b}_{i}"),
+                            wcet: Ticks::new(1 + (b * 1_000 + i) % 50),
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    );
+    expr.validate().expect("well-formed");
+    assert_eq!(expr.leaf_count(), 100_000);
+
+    let started = Instant::now();
+    let realization = expr.expand(&[]).expect("no conditionals, no choices");
+    let elapsed = started.elapsed();
+
+    assert!(
+        realization.dag.node_count() > 100_000,
+        "n = {}",
+        realization.dag.node_count()
+    );
+    hetrta_dag::validate_task_model(&realization.dag).expect("task model holds");
+    if cfg!(debug_assertions) {
+        assert!(elapsed < Duration::from_secs(60), "{elapsed:?}");
+    } else {
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "100k-leaf expansion took {elapsed:?}"
+        );
+    }
+}

@@ -183,13 +183,20 @@ impl TransformedTask {
 /// See the [crate-level example](crate#the-worked-example-of-the-paper-figures-12)
 /// and [`crate::analysis::HeterogeneousAnalysis`].
 pub fn transform(task: &HeteroDagTask) -> Result<TransformedTask, AnalysisError> {
-    let reach = hetrta_dag::algo::Reachability::of(task.dag())?;
-    transform_with_reachability(task, &reach)
+    // Line 1, closure-free: only Pred(v_off)/Succ(v_off) matter, so two
+    // per-node traversals (O(V+E) time, O(V/8) space) replace the
+    // all-pairs closure — this is what keeps n = 10⁵–10⁶ tasks viable.
+    let (pred, succ) = hetrta_dag::algo::node_reach_sets(task.dag(), task.offloaded())?;
+    transform_with_sets(task, pred, succ)
 }
 
 /// Runs Algorithm 1 reusing a precomputed reachability closure of the
-/// task's *original* graph (e.g. from a per-input derived-data cache), so
-/// line 1 of the algorithm costs nothing.
+/// task's *original* graph, so line 1 of the algorithm costs nothing.
+///
+/// [`transform`] no longer needs the closure (it derives the two per-node
+/// sets directly); this entry point remains for callers that already hold
+/// a [`Reachability`](hetrta_dag::algo::Reachability) and for parity tests
+/// pinning the two paths bitwise-identical.
 ///
 /// # Errors
 ///
@@ -202,18 +209,28 @@ pub fn transform_with_reachability(
     task: &HeteroDagTask,
     reach: &hetrta_dag::algo::Reachability,
 ) -> Result<TransformedTask, AnalysisError> {
+    assert_eq!(
+        reach.node_count(),
+        task.dag().node_count(),
+        "reachability closure does not match the task graph"
+    );
+    let v_off = task.offloaded();
+    transform_with_sets(
+        task,
+        reach.ancestors(v_off).clone(),
+        reach.descendants(v_off).clone(),
+    )
+}
+
+/// Algorithm 1's rewiring given line 1's `Pred(v_off)`/`Succ(v_off)` sets.
+fn transform_with_sets(
+    task: &HeteroDagTask,
+    pred: BitSet,
+    succ: BitSet,
+) -> Result<TransformedTask, AnalysisError> {
     let dag = task.dag();
     let v_off = task.offloaded();
     let n = dag.node_count();
-    assert_eq!(
-        reach.node_count(),
-        n,
-        "reachability closure does not match the task graph"
-    );
-
-    // Line 1: Pred(v_off) and Succ(v_off).
-    let pred = reach.ancestors(v_off).clone();
-    let succ = reach.descendants(v_off).clone();
 
     // The rewiring is computed *symbolically* against the immutable
     // original graph and assembled into the transformed CSR arrays in one
@@ -498,6 +515,42 @@ mod tests {
         }
         // E_par keeps internal edges (v2,v10), (v7,v10) but not (v11,v12).
         assert_eq!(t.g_par().edge_count(), 2);
+    }
+
+    #[test]
+    fn closure_free_transform_matches_reachability_path_bitwise() {
+        for (task, _) in [
+            {
+                let (t, v) = figure1_task();
+                (t, v.to_vec())
+            },
+            {
+                let (t, m) = figure3_task();
+                (t, m.values().copied().collect())
+            },
+        ] {
+            let reach = Reachability::of(task.dag()).unwrap();
+            let a = transform(&task).unwrap();
+            let b = transform_with_reachability(&task, &reach).unwrap();
+            assert_eq!(a.len_transformed(), b.len_transformed());
+            assert_eq!(a.len_g_par(), b.len_g_par());
+            assert_eq!(a.vol_g_par(), b.vol_g_par());
+            assert_eq!(a.sync_node(), b.sync_node());
+            assert_eq!(a.par_nodes(), b.par_nodes());
+            assert_eq!(a.off_on_critical_path(), b.off_on_critical_path());
+            let (ga, gb) = (a.transformed(), b.transformed());
+            assert_eq!(ga.node_count(), gb.node_count());
+            for v in ga.node_ids() {
+                assert_eq!(ga.label(v), gb.label(v));
+                assert_eq!(ga.wcet(v), gb.wcet(v));
+                assert_eq!(ga.successors(v), gb.successors(v), "succ segment of {v}");
+                assert_eq!(
+                    ga.predecessors(v),
+                    gb.predecessors(v),
+                    "pred segment of {v}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -129,6 +129,26 @@ proptest! {
     }
 
     #[test]
+    fn closure_free_reduction_matches_bitset_closure_edge_for_edge(dag in arb_dag()) {
+        // The closure-free structural path (levels + pruned mark-DFS) must
+        // be indistinguishable from the all-pairs bitset-closure reference:
+        // same witness edge, same surviving edges in the same CSR segment
+        // order, bitwise.
+        prop_assert_eq!(
+            transitive::find_transitive_edge(&dag).unwrap(),
+            transitive::find_transitive_edge_via_closure(&dag).unwrap()
+        );
+        let fast = transitive::transitive_reduction(&dag).unwrap();
+        let slow = transitive::transitive_reduction_via_closure(&dag).unwrap();
+        prop_assert_eq!(fast.node_count(), slow.node_count());
+        prop_assert_eq!(fast.edge_count(), slow.edge_count());
+        for v in fast.node_ids() {
+            prop_assert_eq!(fast.successors(v), slow.successors(v));
+            prop_assert_eq!(fast.predecessors(v), slow.predecessors(v));
+        }
+    }
+
+    #[test]
     fn transitive_reduction_preserves_critical_path(dag in arb_dag()) {
         // Longest paths never use transitive shortcuts (WCETs are ≥ 1).
         let reduced = transitive::transitive_reduction(&dag).unwrap();

@@ -50,6 +50,36 @@ pub struct TaskCellSummary {
     pub accuracy: Option<AccuracySummary>,
     /// Self-suspending baseline means, when `suspend` was selected.
     pub suspend: Option<SuspendCellSummary>,
+    /// Sampled-simulation statistics, when `sampled` was selected.
+    pub sampled: Option<SampledCellSummary>,
+    /// Anytime exact-bound means, when `anytime` was selected.
+    pub anytime: Option<AnytimeCellSummary>,
+}
+
+/// Per-cell statistics of the sampled makespan simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledCellSummary {
+    /// Mean of the per-job sample means.
+    pub mean: f64,
+    /// Mean per-job 95% CI half-width (the sampling noise indicator).
+    pub mean_ci_half: f64,
+    /// Smallest sampled makespan across the cell.
+    pub min: u64,
+    /// Largest sampled makespan across the cell.
+    pub max: u64,
+    /// Total simulation samples drawn across the cell's jobs.
+    pub total_samples: u64,
+}
+
+/// Per-cell means of the anytime exact bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnytimeCellSummary {
+    /// Mean proven lower bound.
+    pub mean_lower: f64,
+    /// Mean feasible upper bound.
+    pub mean_upper: f64,
+    /// Jobs whose bounds were proven tight.
+    pub optimal: usize,
 }
 
 /// Mean percentage increments of the analytical bounds over the proven
@@ -130,6 +160,12 @@ pub struct CondCellSummary {
 }
 
 /// Aggregated contents of one sweep cell.
+//
+// Task cells dwarf the other variants (every optional per-analysis
+// summary lives inline), but an aggregate holds one cell per grid
+// point — dozens, not millions — so indirection would cost more in
+// destructuring churn than it saves in memory.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum CellKind {
     /// Per-task metrics.
@@ -572,6 +608,15 @@ fn summarize_task_cell(jobs: &[&[AnalysisOutcome]]) -> TaskCellSummary {
     let mut worsts = Vec::new();
     let mut naive_violations = 0usize;
     let mut suspend_selected = false;
+    let mut sampled_means = Vec::new();
+    let mut sampled_cis = Vec::new();
+    let (mut sampled_min, mut sampled_max) = (u64::MAX, 0u64);
+    let mut sampled_total = 0u64;
+    let mut sampled_selected = false;
+    let mut anytime_lowers = Vec::new();
+    let mut anytime_uppers = Vec::new();
+    let mut anytime_optimal = 0usize;
+    let mut anytime_selected = false;
 
     for outcomes in jobs {
         let mut het_value = None;
@@ -619,6 +664,20 @@ fn summarize_task_cell(jobs: &[&[AnalysisOutcome]]) -> TaskCellSummary {
                         worsts.push(w as f64);
                     }
                     naive_violations += usize::from(s.naive_violated == Some(true));
+                }
+                AnalysisOutcome::Sampled(s) => {
+                    sampled_selected = true;
+                    sampled_means.push(s.mean);
+                    sampled_cis.push(s.ci_half);
+                    sampled_min = sampled_min.min(s.min);
+                    sampled_max = sampled_max.max(s.max);
+                    sampled_total += s.count;
+                }
+                AnalysisOutcome::Anytime(a) => {
+                    anytime_selected = true;
+                    anytime_lowers.push(a.lower as f64);
+                    anytime_uppers.push(a.upper as f64);
+                    anytime_optimal += usize::from(a.optimal);
                 }
                 // Acceptance/Cond outcomes never appear in task cells by
                 // construction; ignore them defensively.
@@ -672,6 +731,18 @@ fn summarize_task_cell(jobs: &[&[AnalysisOutcome]]) -> TaskCellSummary {
             mean_naive: mean(&naives),
             mean_worst_observed: mean_opt(&worsts),
             naive_violations,
+        }),
+        sampled: sampled_selected.then(|| SampledCellSummary {
+            mean: mean(&sampled_means),
+            mean_ci_half: mean(&sampled_cis),
+            min: sampled_min,
+            max: sampled_max,
+            total_samples: sampled_total,
+        }),
+        anytime: anytime_selected.then(|| AnytimeCellSummary {
+            mean_lower: mean(&anytime_lowers),
+            mean_upper: mean(&anytime_uppers),
+            optimal: anytime_optimal,
         }),
     }
 }
@@ -828,6 +899,45 @@ mod tests {
         // No het/hom outcomes → those reductions stay at their defaults.
         assert_eq!(t.scenario_counts, [0, 0, 0]);
         assert!(t.accuracy.is_none());
+    }
+
+    #[test]
+    fn sampled_and_anytime_outcomes_summarize_in_task_cells() {
+        use hetrta_api::{AnytimeOutcome, SampledOutcome};
+        let job = |mean: f64, lower: u64, optimal: bool| {
+            JobMetrics::Outcomes(vec![
+                AnalysisOutcome::Sampled(SampledOutcome {
+                    mean,
+                    ci_half: 2.0,
+                    min: mean as u64 - 4,
+                    max: mean as u64 + 4,
+                    count: 16,
+                }),
+                AnalysisOutcome::Anytime(AnytimeOutcome {
+                    lower,
+                    upper: lower + 2,
+                    optimal,
+                }),
+            ])
+        };
+        let mut agg = Aggregator::new(cell_infos(), 2, CellShape::Task);
+        agg.accept(result(0, 0, job(40.0, 30, true)));
+        agg.accept(result(1, 0, job(44.0, 34, false)));
+        let a = agg.finalize().unwrap();
+        let CellKind::Task(t) = &a.cells[0].kind else {
+            panic!("task cell")
+        };
+        let s = t.sampled.as_ref().expect("sampled summarized");
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.mean_ci_half, 2.0);
+        assert_eq!((s.min, s.max), (36, 48));
+        assert_eq!(s.total_samples, 32);
+        let any = t.anytime.as_ref().expect("anytime summarized");
+        assert_eq!(any.mean_lower, 32.0);
+        assert_eq!(any.mean_upper, 34.0);
+        assert_eq!(any.optimal, 1);
+        // No het outcomes → the het reductions stay at defaults.
+        assert_eq!(t.scenario_counts, [0, 0, 0]);
     }
 
     #[test]

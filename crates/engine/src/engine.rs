@@ -43,8 +43,8 @@ pub const INPUT_CACHE_CAP: usize = 4096;
 /// * `transform` — content hash → Algorithm 1 transformation
 ///   (m-independent, so one entry serves every core count of a sweep);
 /// * `derived` — DAG content hash → [`DerivedData`] (critical path,
-///   reachability closure, volume), shared across every grid cell and
-///   analysis kind that touches the same graph;
+///   volume), shared across every grid cell and analysis kind that
+///   touches the same graph;
 /// * `results` — content hash × registry key × parameter digest →
 ///   analysis outcome;
 /// * `identity` — job input *recipe* → content hash, so repeated-seed jobs
@@ -308,7 +308,7 @@ pub struct EngineStats {
     /// Transformation-cache activity during this run.
     pub transform_cache: CacheCounters,
     /// Derived-data-cache activity during this run (critical path,
-    /// reachability, volume shared per distinct DAG).
+    /// volume shared per distinct DAG).
     pub derived_cache: CacheCounters,
     /// Result-cache activity during this run.
     pub result_cache: CacheCounters,

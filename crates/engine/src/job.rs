@@ -22,7 +22,7 @@ use hetrta_api::{
     AnalysisRequest, DerivedData,
 };
 use hetrta_cond::{generate_cond, CondGenParams};
-use hetrta_core::{transform_with_reachability, TransformedTask};
+use hetrta_core::TransformedTask;
 use hetrta_dag::HeteroDagTask;
 use hetrta_gen::offload::{make_hetero_task, CoffSizing, OffloadSelection};
 use hetrta_gen::series::BatchSpec;
@@ -261,10 +261,10 @@ pub struct JobResult {
 }
 
 /// The engine's [`AnalysisContext`]: Algorithm 1 transformations and the
-/// per-DAG derived data (critical path, reachability closure, volume) are
-/// memoized by content, shared across core counts and analysis kinds —
-/// and the transformation reuses the memoized reachability closure
-/// instead of recomputing it.
+/// per-DAG derived data (critical path, volume) are memoized by content,
+/// shared across core counts and analysis kinds. The transformation is
+/// closure-free (per-node reach sets), so memoizing the result alone is
+/// enough — no reachability closure is cached.
 struct EngineContext<'a> {
     caches: &'a EngineCaches,
     recorder: &'a dyn Recorder,
@@ -276,8 +276,7 @@ impl AnalysisContext for EngineContext<'_> {
         let (value, _hit) = self.caches.transform.get_or_compute(key, || {
             // Span only on actual computes: memo hits cost no clock reads.
             let _span = span!(self.recorder, "ctx.transform");
-            let derived = self.derived(task)?;
-            transform_with_reachability(task, &derived.reachability).map_err(|e| e.to_string())
+            hetrta_core::transform(task).map_err(|e| e.to_string())
         });
         value
     }

@@ -19,7 +19,7 @@
 //! * five bounded, sharded-LRU **memo caches** ([`cache`]) serve repeated
 //!   content: analysis results by content hash × key × parameter digest,
 //!   Algorithm 1 transformations and per-DAG derived data (critical path,
-//!   reachability closure, volume) across core counts and analysis kinds,
+//!   volume) across core counts and analysis kinds,
 //!   a job-identity → content-hash memo so repeated-seed jobs never
 //!   regenerate their DAG just to compute the lookup key, and the
 //!   materialized inputs themselves so a recipe revisited under new

@@ -251,6 +251,11 @@ pub struct SweepSpec {
     /// Random tie-break seeds for the suspension worst-case exploration
     /// (`0` = skip).
     pub explore_seeds: u64,
+    /// Sample budget of the `sampled` analysis (simulations per job).
+    pub sample_budget: usize,
+    /// Base seed of the `sampled` analysis. Part of the spec (not derived
+    /// per worker), so local and distributed runs draw identical samples.
+    pub sample_seed: u64,
 }
 
 impl SweepSpec {
@@ -269,6 +274,8 @@ impl SweepSpec {
             realization_cap: 4096,
             sim_transformed: false,
             explore_seeds: 0,
+            sample_budget: 64,
+            sample_seed: 0,
         }
     }
 
@@ -433,6 +440,8 @@ impl SweepSpec {
             realization_cap: self.realization_cap,
             sim_transformed: self.sim_transformed,
             explore_seeds: self.explore_seeds,
+            sample_budget: self.sample_budget,
+            sample_seed: self.sample_seed,
         }
     }
 
@@ -460,6 +469,9 @@ impl SweepSpec {
         }
         if self.analyses.is_empty() {
             return fail("no analyses selected");
+        }
+        if self.sample_budget == 0 {
+            return fail("sample budget is 0");
         }
         match &self.grid {
             SweepGrid::OffloadFractions(fs) => {

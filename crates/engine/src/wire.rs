@@ -21,8 +21,8 @@ use hetrta_gen::NfjParams;
 use hetrta_sched::taskset::TaskSetParams;
 
 use crate::aggregate::{
-    AccuracySummary, AggregateUpdate, CellKind, CellSummary, CondCellSummary, SetCellSummary,
-    SuspendCellSummary, SweepAggregate, TaskCellSummary,
+    AccuracySummary, AggregateUpdate, AnytimeCellSummary, CellKind, CellSummary, CondCellSummary,
+    SampledCellSummary, SetCellSummary, SuspendCellSummary, SweepAggregate, TaskCellSummary,
 };
 use crate::session::SweepEvent;
 use crate::spec::{AnalysisSelection, GeneratorPreset, SweepGrid, SweepSpec};
@@ -218,6 +218,8 @@ pub fn encode_spec(spec: &SweepSpec) -> String {
         u8::from(spec.sim_transformed)
     ));
     out.push_str(&format!("explore-seeds {}\n", spec.explore_seeds));
+    out.push_str(&format!("sample-budget {}\n", spec.sample_budget));
+    out.push_str(&format!("sample-seed {}\n", spec.sample_seed));
     out
 }
 
@@ -286,6 +288,8 @@ pub fn decode_spec(text: &str) -> Result<SweepSpec, WireError> {
         }
     };
     let explore_seeds = parse_num(&field("explore-seeds")?, "explore seeds")?;
+    let sample_budget = parse_num(&field("sample-budget")?, "sample budget")?;
+    let sample_seed = parse_num(&field("sample-seed")?, "sample seed")?;
     if let Some(extra) = lines.next() {
         if !extra.trim().is_empty() {
             return Err(malformed(format!("trailing spec line `{extra}`")));
@@ -305,6 +309,8 @@ pub fn decode_spec(text: &str) -> Result<SweepSpec, WireError> {
         realization_cap,
         sim_transformed,
         explore_seeds,
+        sample_budget,
+        sample_seed,
     })
 }
 
@@ -341,8 +347,32 @@ fn encode_cell(cell: &CellSummary) -> String {
                     )
                 },
             );
+            let sampled = t.sampled.as_ref().map_or_else(
+                || "-".into(),
+                |s| {
+                    format!(
+                        "{}:{}:{}:{}:{}",
+                        fbits(s.mean),
+                        fbits(s.mean_ci_half),
+                        s.min,
+                        s.max,
+                        s.total_samples
+                    )
+                },
+            );
+            let anytime = t.anytime.as_ref().map_or_else(
+                || "-".into(),
+                |a| {
+                    format!(
+                        "{}:{}:{}",
+                        fbits(a.mean_lower),
+                        fbits(a.mean_upper),
+                        a.optimal
+                    )
+                },
+            );
             out.push_str(&format!(
-                "task {} {} {} {} {} {} {} {} {} {} {} {} {} {accuracy} {suspend}",
+                "task {} {} {} {} {} {} {} {} {} {} {} {} {} {accuracy} {suspend} {sampled} {anytime}",
                 t.scenario_counts[0],
                 t.scenario_counts[1],
                 t.scenario_counts[2],
@@ -410,6 +440,38 @@ fn decode_colon_suspend(s: &str) -> Result<Option<SuspendCellSummary>, WireError
     }))
 }
 
+fn decode_colon_sampled(s: &str) -> Result<Option<SampledCellSummary>, WireError> {
+    if s == "-" {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = s.split(':').collect();
+    if fields.len() != 5 {
+        return Err(malformed(format!("sampled pack `{s}` needs 5 fields")));
+    }
+    Ok(Some(SampledCellSummary {
+        mean: parse_fbits(fields[0])?,
+        mean_ci_half: parse_fbits(fields[1])?,
+        min: parse_num(fields[2], "sampled min")?,
+        max: parse_num(fields[3], "sampled max")?,
+        total_samples: parse_num(fields[4], "sampled total")?,
+    }))
+}
+
+fn decode_colon_anytime(s: &str) -> Result<Option<AnytimeCellSummary>, WireError> {
+    if s == "-" {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = s.split(':').collect();
+    if fields.len() != 3 {
+        return Err(malformed(format!("anytime pack `{s}` needs 3 fields")));
+    }
+    Ok(Some(AnytimeCellSummary {
+        mean_lower: parse_fbits(fields[0])?,
+        mean_upper: parse_fbits(fields[1])?,
+        optimal: parse_num(fields[2], "anytime optimal")?,
+    }))
+}
+
 fn decode_cell(tokens: &mut Tokens<'_>) -> Result<CellSummary, WireError> {
     let m = parse_num(tokens.next()?, "core count")?;
     let grid_value = parse_fbits(tokens.next()?)?;
@@ -433,6 +495,8 @@ fn decode_cell(tokens: &mut Tokens<'_>) -> Result<CellSummary, WireError> {
             mean_exact_makespan: parse_opt_fbits(tokens.next()?)?,
             accuracy: decode_colon_accuracy(tokens.next()?)?,
             suspend: decode_colon_suspend(tokens.next()?)?,
+            sampled: decode_colon_sampled(tokens.next()?)?,
+            anytime: decode_colon_anytime(tokens.next()?)?,
         }),
         "set" => {
             let mut accepted = [0usize; 6];
@@ -702,6 +766,18 @@ mod tests {
                     mean_naive: 870.0,
                     mean_worst_observed: full.then_some(905.0),
                     naive_violations: 2,
+                }),
+                sampled: full.then_some(SampledCellSummary {
+                    mean: 810.5,
+                    mean_ci_half: 3.25,
+                    min: 780,
+                    max: 860,
+                    total_samples: 1088,
+                }),
+                anytime: full.then_some(AnytimeCellSummary {
+                    mean_lower: 781.0,
+                    mean_upper: 812.5,
+                    optimal: 9,
                 }),
             }),
         }

@@ -320,6 +320,54 @@ fn slow_consumers_see_their_drop_count_rise() {
 }
 
 #[test]
+#[ignore = "large-graph tier; run with --ignored (release)"]
+fn hundred_thousand_job_sweep_keeps_the_event_buffer_bounded() {
+    // The 10⁵-job tier: a chatty config (job events + per-job partials at
+    // keyframe cadence 16) against a fixed 512-event buffer and a consumer
+    // that never drains until the sweep is done. The buffer must stay
+    // bounded (the producer never blocks and never accumulates), the drop
+    // accounting must be exact, and the terminal event must survive.
+    let spec = SweepSpec::fractions(
+        GeneratorPreset::Custom(hetrta_gen::NfjParams::small_tasks().with_node_range(4, 8)),
+        vec![2],
+        vec![0.2],
+        100_000,
+        0xBE9C_0100,
+    )
+    .with_analyses(AnalysisSelection::from_keys(["het"]));
+    let engine = Engine::new(4);
+    let config = SessionConfig {
+        job_events: true,
+        partial_every: Some(1),
+        keyframe_every: 16,
+        max_buffered_events: 512,
+        journal: None,
+    };
+    let handle = engine.submit_with(&spec, config).expect("submit");
+    while !handle.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let dropped = handle.dropped_events();
+    assert!(dropped > 0, "an undrained 10⁵-job stream must drop");
+    let mut drained = 0usize;
+    let mut terminal_dropped = None;
+    while let Some(event) = handle.try_next_event() {
+        drained += 1;
+        if let SweepEvent::SweepFinished { events_dropped, .. } = event {
+            terminal_dropped = Some(events_dropped);
+        }
+    }
+    assert!(drained <= 512, "buffer exceeded its bound: {drained}");
+    assert_eq!(
+        terminal_dropped,
+        Some(dropped),
+        "terminal carries the count"
+    );
+    let out = handle.wait().expect("run completes without a consumer");
+    assert_eq!(out.stats.jobs, 100_000);
+}
+
+#[test]
 fn cancel_tokens_cancel_and_observe_from_another_thread() {
     let spec = cancellable_spec();
     let engine = Engine::new(1);

@@ -66,6 +66,43 @@ fn layered_10k_constructs_subsecond() {
 
 #[test]
 #[ignore = "large-graph tier; run with --ignored (release)"]
+fn nfj_100k_constructs_subsecond() {
+    let params = NfjParams::large_graphs(100_000);
+    let mut rng = StdRng::seed_from_u64(0xBE9C_0011);
+    let started = Instant::now();
+    let dag = generate_nfj(&params, &mut rng).expect("large-graph sample accepted");
+    let elapsed = started.elapsed();
+    assert!(
+        (25_000..=100_000).contains(&dag.node_count()),
+        "n = {}",
+        dag.node_count()
+    );
+    validate_task_model(&dag).expect("task model holds at 100k nodes");
+    assert_fast("nfj 100k", elapsed);
+}
+
+#[test]
+#[ignore = "large-graph tier; run with --ignored (release)"]
+fn layered_100k_constructs_subsecond() {
+    // The tier the closure-free reduction opens: the old bitset-closure
+    // path would spend O(V·E/64) time and O(V²/64) ≈ 1.2 GiB here.
+    let params = LayeredParams::large_graphs(100_000);
+    let mut rng = StdRng::seed_from_u64(0xBE9C_0021);
+    let started = Instant::now();
+    let dag = generate_layered(&params, &mut rng).expect("valid params");
+    let elapsed = started.elapsed();
+    assert!(
+        (80_000..=121_000).contains(&dag.node_count()),
+        "n = {}",
+        dag.node_count()
+    );
+    assert!(dag.edge_count() >= dag.node_count() - 2, "connected layers");
+    validate_task_model(&dag).expect("task model holds at 100k nodes");
+    assert_fast("layered 100k", elapsed);
+}
+
+#[test]
+#[ignore = "large-graph tier; run with --ignored (release)"]
 fn openmp_10k_statement_program_lowers_subsecond() {
     // ~3,333 iterations of work+spawn+taskwait ≈ 10k statements; the
     // lowering adds a join node per taskwait.
